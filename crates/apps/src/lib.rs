@@ -1,0 +1,33 @@
+//! # knactor-apps
+//!
+//! The paper's two case-study applications, each implemented **twice**:
+//! once API-centric (the baseline of §2) and once as knactors (§3–4).
+//!
+//! * [`retail`] — the online-retail web app (derived from the 11-service
+//!   microservices demo the paper studied): Frontend, ProductCatalog,
+//!   Cart, Checkout, Shipping, Payment, Currency, Email, Recommendation,
+//!   Ad, and Inventory.
+//!   * [`retail::rpc_app`] composes them with the mini-RPC framework and
+//!     hand-maintained stub modules ([`retail::stubs`]), exactly the
+//!     structure a Protobuf toolchain generates — this is what Table 1
+//!     counts.
+//!   * [`retail::knactor_app`] externalizes each service's state and
+//!     composes them with a single Cast integrator driven by the Fig. 6
+//!     DXG (shipped verbatim in `assets/retail_dxg.yaml`).
+//! * [`smarthome`] — the House/Motion/Lamp IoT app (Fig. 4):
+//!   * [`smarthome::pubsub_app`] composes via a message broker (the EMQX
+//!     pattern of §2), and
+//!   * [`smarthome::knactor_app`] gives each device an Object store
+//!     (configuration) and a Log store (telemetry), composed by Cast and
+//!     Sync.
+//! * [`table1`] — the task manifests (T1–T3) whose files and SLOC the
+//!   Table 1 harness counts.
+
+pub mod retail;
+pub mod smarthome;
+pub mod table1;
+
+/// Workspace-root-relative path of a file in this crate.
+pub fn crate_file(rel: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}

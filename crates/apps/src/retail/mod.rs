@@ -1,0 +1,79 @@
+//! The online-retail application (the paper's first case study).
+//!
+//! Eleven services, mirroring the microservices demo the paper studied:
+//! Frontend, ProductCatalog, Cart, Checkout, Shipping, Payment, Currency,
+//! Email, Recommendation, Ad, Inventory. The flow under the microscope is
+//! the **shipment request** (Fig. 3): an order checked out in Checkout
+//! must produce a payment in Payment and a shipment in Shipping, with the
+//! shipping cost, payment id, and tracking id flowing back into the
+//! order.
+
+pub mod knactor_app;
+pub mod rpc_app;
+pub mod stubs;
+
+use knactor_types::Value;
+use serde_json::json;
+
+/// The eleven service names.
+pub const SERVICES: [&str; 11] = [
+    "frontend",
+    "productcatalog",
+    "cart",
+    "checkout",
+    "shipping",
+    "payment",
+    "currency",
+    "email",
+    "recommendation",
+    "ad",
+    "inventory",
+];
+
+/// A checked-out order, in the shape of the Fig. 5 Checkout schema.
+pub fn sample_order(cost: f64) -> Value {
+    json!({
+        "order": {
+            // `items: object` per Fig. 5 — a map keyed by product id
+            // (the comprehension in the DXG iterates its values).
+            "items": {
+                "mug": {"name": "mug", "qty": 2, "unitPrice": cost / 4.0},
+                "poster": {"name": "poster", "qty": 1, "unitPrice": cost / 2.0}
+            },
+            "address": "2570 Soda Hall, Berkeley CA",
+            "cost": cost,
+            "totalCost": cost * 1.0825,
+            "currency": "USD"
+        }
+    })
+}
+
+/// Simulated carrier quote for a shipment (deterministic in the item
+/// count so tests can assert on it).
+pub fn carrier_quote(item_count: usize) -> Value {
+    json!({
+        "price": 4.0 + item_count as f64 * 2.5,
+        "currency": "USD"
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_order_matches_schema_shape() {
+        let schema = knactor_core::parse_schema(
+            &std::fs::read_to_string(crate::crate_file("assets/checkout_schema.yaml")).unwrap(),
+        )
+        .unwrap();
+        let order = sample_order(100.0);
+        schema.validate(&order["order"]).unwrap();
+    }
+
+    #[test]
+    fn carrier_quote_is_deterministic() {
+        assert_eq!(carrier_quote(2), carrier_quote(2));
+        assert_eq!(carrier_quote(2)["price"], json!(9.0));
+    }
+}

@@ -1,0 +1,290 @@
+//! The retail app, the API-centric way (Fig. 3a).
+//!
+//! Checkout composes Payment, Shipping, and Currency by **calling their
+//! APIs**: it vendors their stubs ([`super::stubs`]), knows their
+//! endpoints (`assets/api/checkout-endpoints.yaml`), sequences the
+//! calls, and handles their errors — all inside its own codebase. The
+//! marked regions (`>>> T1-API` etc.) delimit the code each Table 1 task
+//! touches.
+
+use crate::retail::carrier_quote;
+use knactor_rpc::{RpcClient, RpcServer};
+use knactor_types::{Result, Value};
+use serde_json::json;
+use std::time::Duration;
+
+/// Start the provider services (Shipping v1+v2, Payment, Currency) on
+/// one RPC server. `processing` simulates the carrier API inside
+/// `ShipOrder` (the paper's ≈446 ms S stage).
+pub async fn serve_providers(processing: Duration) -> Result<RpcServer> {
+    let mut server = RpcServer::new();
+
+    // Shipping v1.
+    server.register(super::stubs::shipping_v1::METHOD_GET_QUOTE, move |p: Value| async move {
+        let items = p["items"].as_array().map(|a| a.len()).unwrap_or(0);
+        Ok(carrier_quote(items))
+    });
+    server.register(super::stubs::shipping_v1::METHOD_SHIP_ORDER, move |p: Value| async move {
+        if processing > Duration::ZERO {
+            tokio::time::sleep(processing).await;
+        }
+        let addr = p["addr"].as_str().unwrap_or_default();
+        Ok(json!({"tracking_id": format!("track-{}", short_hash(addr))}))
+    });
+
+    // Shipping v2 (the evolved API of task T3).
+    server.register(super::stubs::shipping_v2::METHOD_GET_QUOTE, move |p: Value| async move {
+        let items = p["items"].as_array().map(|a| a.len()).unwrap_or(0);
+        Ok(json!({ "quote": carrier_quote(items) }))
+    });
+    server.register(super::stubs::shipping_v2::METHOD_SHIP_ORDER, move |p: Value| async move {
+        if processing > Duration::ZERO {
+            tokio::time::sleep(processing).await;
+        }
+        let dest = p["destination"].as_str().unwrap_or_default();
+        let items = p["items"].as_array().map(|a| a.len()).unwrap_or(0);
+        Ok(json!({
+            "tracking_id": format!("track-{}", short_hash(dest)),
+            "quote": carrier_quote(items),
+        }))
+    });
+
+    // Payment.
+    server.register(super::stubs::payment_v1::METHOD_CHARGE, |p: Value| async move {
+        let amount = p["amount"].as_f64().unwrap_or(0.0);
+        Ok(json!({"payment_id": format!("pay-{}", (amount * 100.0) as u64)}))
+    });
+
+    // Currency (same fixed table as the expression builtin, so both
+    // composition styles compute identical numbers).
+    server.register(super::stubs::currency_v1::METHOD_CONVERT, |p: Value| async move {
+        let amount = p["amount"].as_f64().unwrap_or(0.0);
+        let from = p["from"].as_str().unwrap_or("USD").to_string();
+        let to = p["to"].as_str().unwrap_or("USD").to_string();
+        let reg = knactor_expr::FnRegistry::standard();
+        let converted = reg.call(
+            "currency_convert",
+            &[json!(amount), json!(from), json!(to)],
+        )?;
+        Ok(json!({"amount": converted, "currency": p["to"]}))
+    });
+
+    server.bind("127.0.0.1:0").await?;
+    Ok(server)
+}
+
+fn short_hash(s: &str) -> u64 {
+    // Stable tiny hash so tracking ids are deterministic for tests.
+    s.bytes().fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64)) % 100_000
+}
+
+/// The Checkout service's composition logic, API-centric. Everything in
+/// this struct is code Checkout's own team must write, own, and redeploy
+/// when any dependency changes.
+pub struct CheckoutRpc {
+    client: RpcClient,
+}
+
+/// Result of the shipment flow (what Checkout returns to the frontend).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedOrder {
+    pub payment_id: String,
+    pub tracking_id: String,
+    pub shipping_cost: f64,
+    pub method: String,
+}
+
+impl CheckoutRpc {
+    pub async fn connect(addr: std::net::SocketAddr) -> Result<CheckoutRpc> {
+        Ok(CheckoutRpc { client: RpcClient::connect(addr).await? })
+    }
+
+    pub async fn connect_with_latency(
+        addr: std::net::SocketAddr,
+        rtt: Duration,
+    ) -> Result<CheckoutRpc> {
+        Ok(CheckoutRpc { client: RpcClient::connect(addr).await?.with_latency(rtt) })
+    }
+
+    /// The shipment request against Shipping **v1** (tasks T1 + T2).
+    pub async fn place_order(&self, order: &Value) -> Result<PlacedOrder> {
+        let order = &order["order"];
+        // >>> T1-API
+        // Compose Payment and Shipping with Checkout: import both stubs,
+        // sequence the calls, translate between *their* schemas and the
+        // order's fields, and handle each service's errors separately.
+        let items: Vec<String> = order["items"]
+            .as_object()
+            .map(|m| {
+                m.values()
+                    .filter_map(|i| i["name"].as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let addr = order["address"].as_str().unwrap_or_default().to_string();
+
+        let payment = super::stubs::payment_v1::PaymentClient::new(&self.client);
+        let charge = payment
+            .charge(super::stubs::payment_v1::ChargeRequest {
+                amount: order["totalCost"].as_f64().unwrap_or(0.0),
+                currency: order["currency"].as_str().unwrap_or("USD").to_string(),
+            })
+            .await?;
+
+        let shipping = super::stubs::shipping_v1::ShippingClient::new(&self.client);
+        let quote = shipping
+            .get_quote(super::stubs::shipping_v1::GetQuoteRequest {
+                addr: addr.clone(),
+                items: items.clone(),
+            })
+            .await?;
+
+        let currency = super::stubs::currency_v1::CurrencyClient::new(&self.client);
+        let converted = currency
+            .convert(super::stubs::currency_v1::ConvertRequest {
+                amount: quote.price,
+                from: quote.currency.clone(),
+                to: order["currency"].as_str().unwrap_or("USD").to_string(),
+            })
+            .await?;
+        // <<< T1-API
+
+        // >>> T2-API
+        // Shipment-method policy: lives inside Checkout, so changing the
+        // threshold means editing, rebuilding, and redeploying Checkout.
+        let method = if order["cost"].as_f64().unwrap_or(0.0) > 1000.0 {
+            "air".to_string()
+        } else {
+            "ground".to_string()
+        };
+        // <<< T2-API
+
+        // >>> T1-API
+        let shipped = shipping
+            .ship_order(super::stubs::shipping_v1::ShipOrderRequest {
+                addr,
+                items,
+                method: method.clone(),
+            })
+            .await?;
+
+        Ok(PlacedOrder {
+            payment_id: charge.payment_id,
+            tracking_id: shipped.tracking_id,
+            shipping_cost: converted.amount,
+            method,
+        })
+        // <<< T1-API
+    }
+
+    /// The same flow against Shipping **v2** — the adaptation a consumer
+    /// must write when the provider evolves its schema (task T3).
+    pub async fn place_order_v2(&self, order: &Value) -> Result<PlacedOrder> {
+        let order = &order["order"];
+        // >>> T3-API
+        // Adapt to Shipping v2: new field names, new required `contact`,
+        // quote moved into the ship response — every call site changes.
+        let items: Vec<String> = order["items"]
+            .as_object()
+            .map(|m| {
+                m.values()
+                    .filter_map(|i| i["name"].as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let destination = order["address"].as_str().unwrap_or_default().to_string();
+        let contact = order["email"]
+            .as_str()
+            .unwrap_or("orders@retail.example")
+            .to_string();
+
+        let payment = super::stubs::payment_v1::PaymentClient::new(&self.client);
+        let charge = payment
+            .charge(super::stubs::payment_v1::ChargeRequest {
+                amount: order["totalCost"].as_f64().unwrap_or(0.0),
+                currency: order["currency"].as_str().unwrap_or("USD").to_string(),
+            })
+            .await?;
+
+        let method = if order["cost"].as_f64().unwrap_or(0.0) > 1000.0 {
+            "air".to_string()
+        } else {
+            "ground".to_string()
+        };
+
+        let shipping = super::stubs::shipping_v2::ShippingClient::new(&self.client);
+        let shipped = shipping
+            .ship_order(super::stubs::shipping_v2::ShipOrderRequest {
+                destination,
+                items,
+                contact,
+                method: method.clone(),
+            })
+            .await?;
+
+        let currency = super::stubs::currency_v1::CurrencyClient::new(&self.client);
+        let converted = currency
+            .convert(super::stubs::currency_v1::ConvertRequest {
+                amount: shipped.quote.price,
+                from: shipped.quote.currency.clone(),
+                to: order["currency"].as_str().unwrap_or("USD").to_string(),
+            })
+            .await?;
+
+        Ok(PlacedOrder {
+            payment_id: charge.payment_id,
+            tracking_id: shipped.tracking_id,
+            shipping_cost: converted.amount,
+            method,
+        })
+        // <<< T3-API
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retail::sample_order;
+
+    #[tokio::test]
+    async fn rpc_flow_places_order() {
+        let server = serve_providers(Duration::ZERO).await.unwrap();
+        let checkout = CheckoutRpc::connect(server.local_addr().unwrap()).await.unwrap();
+        let placed = checkout.place_order(&sample_order(1200.0)).await.unwrap();
+        assert_eq!(placed.method, "air");
+        assert!(placed.payment_id.starts_with("pay-"));
+        assert!(placed.tracking_id.starts_with("track-"));
+        assert_eq!(placed.shipping_cost, 9.0);
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn rpc_flow_cheap_order_ground() {
+        let server = serve_providers(Duration::ZERO).await.unwrap();
+        let checkout = CheckoutRpc::connect(server.local_addr().unwrap()).await.unwrap();
+        let placed = checkout.place_order(&sample_order(50.0)).await.unwrap();
+        assert_eq!(placed.method, "ground");
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn v2_flow_matches_v1_results() {
+        let server = serve_providers(Duration::ZERO).await.unwrap();
+        let checkout = CheckoutRpc::connect(server.local_addr().unwrap()).await.unwrap();
+        let v1 = checkout.place_order(&sample_order(1200.0)).await.unwrap();
+        let v2 = checkout.place_order_v2(&sample_order(1200.0)).await.unwrap();
+        assert_eq!(v1.method, v2.method);
+        assert_eq!(v1.shipping_cost, v2.shipping_cost);
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn processing_delay_dominates_latency() {
+        let server = serve_providers(Duration::from_millis(50)).await.unwrap();
+        let checkout = CheckoutRpc::connect(server.local_addr().unwrap()).await.unwrap();
+        let t0 = std::time::Instant::now();
+        checkout.place_order(&sample_order(100.0)).await.unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(50));
+        server.shutdown().await;
+    }
+}

@@ -1,0 +1,39 @@
+// >>> T1-API
+//! Generated-style stub for `OnlineRetail.Currency` v1.
+
+use knactor_rpc::RpcClient;
+use knactor_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+pub const METHOD_CONVERT: &str = "Currency.v1/Convert";
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ConvertRequest {
+    pub amount: f64,
+    pub from: String,
+    pub to: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ConvertResponse {
+    pub amount: f64,
+    pub currency: String,
+}
+
+pub struct CurrencyClient<'c> {
+    inner: &'c RpcClient,
+}
+
+impl<'c> CurrencyClient<'c> {
+    pub fn new(inner: &'c RpcClient) -> Self {
+        CurrencyClient { inner }
+    }
+
+    pub async fn convert(&self, request: ConvertRequest) -> Result<ConvertResponse> {
+        let payload = serde_json::to_value(&request)?;
+        let reply = self.inner.call(METHOD_CONVERT, payload).await?;
+        serde_json::from_value(reply)
+            .map_err(|e| Error::SchemaViolation(format!("ConvertResponse: {e}")))
+    }
+}
+// <<< T1-API

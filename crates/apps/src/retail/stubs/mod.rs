@@ -1,0 +1,13 @@
+//! Client stub modules for the API-centric retail app.
+//!
+//! Each module mirrors what a Protobuf/gRPC toolchain generates from a
+//! service's API definition: request/response message types, a typed
+//! client wrapper over the transport, and error mapping. In the
+//! API-centric world **these files live with the consumer** (Checkout
+//! vendors them in), so every schema change upstream lands here and in
+//! the code that uses them — which is exactly the churn Table 1 counts.
+
+pub mod currency_v1;
+pub mod payment_v1;
+pub mod shipping_v1;
+pub mod shipping_v2;

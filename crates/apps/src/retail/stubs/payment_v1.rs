@@ -1,0 +1,37 @@
+// >>> T1-API
+//! Generated-style stub for `OnlineRetail.Payment` v1.
+
+use knactor_rpc::RpcClient;
+use knactor_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+pub const METHOD_CHARGE: &str = "Payment.v1/Charge";
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ChargeRequest {
+    pub amount: f64,
+    pub currency: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ChargeResponse {
+    pub payment_id: String,
+}
+
+pub struct PaymentClient<'c> {
+    inner: &'c RpcClient,
+}
+
+impl<'c> PaymentClient<'c> {
+    pub fn new(inner: &'c RpcClient) -> Self {
+        PaymentClient { inner }
+    }
+
+    pub async fn charge(&self, request: ChargeRequest) -> Result<ChargeResponse> {
+        let payload = serde_json::to_value(&request)?;
+        let reply = self.inner.call(METHOD_CHARGE, payload).await?;
+        serde_json::from_value(reply)
+            .map_err(|e| Error::SchemaViolation(format!("ChargeResponse: {e}")))
+    }
+}
+// <<< T1-API

@@ -1,0 +1,69 @@
+// >>> T1-API
+//! Generated-style stub for `OnlineRetail.Shipping` v1.
+//!
+//! Source API definition (what `shipping.proto` would declare):
+//!
+//! ```text
+//! service Shipping {
+//!   rpc GetQuote(GetQuoteRequest) returns (GetQuoteResponse);
+//!   rpc ShipOrder(ShipOrderRequest) returns (ShipOrderResponse);
+//! }
+//! ```
+
+use knactor_rpc::RpcClient;
+use knactor_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Fully-qualified method names (the API endpoints of Fig. 3a).
+pub const METHOD_GET_QUOTE: &str = "Shipping.v1/GetQuote";
+pub const METHOD_SHIP_ORDER: &str = "Shipping.v1/ShipOrder";
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct GetQuoteRequest {
+    pub addr: String,
+    pub items: Vec<String>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct GetQuoteResponse {
+    pub price: f64,
+    pub currency: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ShipOrderRequest {
+    pub addr: String,
+    pub items: Vec<String>,
+    pub method: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ShipOrderResponse {
+    pub tracking_id: String,
+}
+
+/// Typed client over the RPC transport.
+pub struct ShippingClient<'c> {
+    inner: &'c RpcClient,
+}
+
+impl<'c> ShippingClient<'c> {
+    pub fn new(inner: &'c RpcClient) -> Self {
+        ShippingClient { inner }
+    }
+
+    pub async fn get_quote(&self, request: GetQuoteRequest) -> Result<GetQuoteResponse> {
+        let payload = serde_json::to_value(&request)?;
+        let reply = self.inner.call(METHOD_GET_QUOTE, payload).await?;
+        serde_json::from_value(reply)
+            .map_err(|e| Error::SchemaViolation(format!("GetQuoteResponse: {e}")))
+    }
+
+    pub async fn ship_order(&self, request: ShipOrderRequest) -> Result<ShipOrderResponse> {
+        let payload = serde_json::to_value(&request)?;
+        let reply = self.inner.call(METHOD_SHIP_ORDER, payload).await?;
+        serde_json::from_value(reply)
+            .map_err(|e| Error::SchemaViolation(format!("ShipOrderResponse: {e}")))
+    }
+}
+// <<< T1-API

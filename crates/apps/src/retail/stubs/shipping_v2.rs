@@ -1,0 +1,71 @@
+// >>> T3-API
+//! Generated-style stub for `OnlineRetail.Shipping` **v2** (task T3).
+//!
+//! The Shipping team evolved its API: `addr` became `destination`, a
+//! required `contact` was added, and the quote moved inside the ship
+//! response. In the API-centric world every consumer must regenerate
+//! this stub *and* adapt its call sites, then rebuild and redeploy.
+
+use knactor_rpc::RpcClient;
+use knactor_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+pub const METHOD_GET_QUOTE: &str = "Shipping.v2/GetQuote";
+pub const METHOD_SHIP_ORDER: &str = "Shipping.v2/ShipOrder";
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct GetQuoteRequest {
+    pub destination: String,
+    pub items: Vec<String>,
+    pub contact: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Quote {
+    pub price: f64,
+    pub currency: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct GetQuoteResponse {
+    pub quote: Quote,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ShipOrderRequest {
+    pub destination: String,
+    pub items: Vec<String>,
+    pub contact: String,
+    pub method: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ShipOrderResponse {
+    pub tracking_id: String,
+    pub quote: Quote,
+}
+
+pub struct ShippingClient<'c> {
+    inner: &'c RpcClient,
+}
+
+impl<'c> ShippingClient<'c> {
+    pub fn new(inner: &'c RpcClient) -> Self {
+        ShippingClient { inner }
+    }
+
+    pub async fn get_quote(&self, request: GetQuoteRequest) -> Result<GetQuoteResponse> {
+        let payload = serde_json::to_value(&request)?;
+        let reply = self.inner.call(METHOD_GET_QUOTE, payload).await?;
+        serde_json::from_value(reply)
+            .map_err(|e| Error::SchemaViolation(format!("GetQuoteResponse: {e}")))
+    }
+
+    pub async fn ship_order(&self, request: ShipOrderRequest) -> Result<ShipOrderResponse> {
+        let payload = serde_json::to_value(&request)?;
+        let reply = self.inner.call(METHOD_SHIP_ORDER, payload).await?;
+        serde_json::from_value(reply)
+            .map_err(|e| Error::SchemaViolation(format!("ShipOrderResponse: {e}")))
+    }
+}
+// <<< T3-API

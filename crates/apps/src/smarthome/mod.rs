@@ -1,0 +1,30 @@
+//! The smart-home application (the paper's second case study, Fig. 4).
+//!
+//! Three services from three vendors: **House** (the automation hub,
+//! IoT company X), **Motion** (occupancy sensor, vendor Z), and **Lamp**
+//! (smart light, vendor Y). The app adjusts the lamp's brightness from
+//! occupancy while tracking the devices' energy consumption.
+//!
+//! * [`pubsub_app`] — the §2 baseline: composition through broker topics
+//!   and vendor schemas, with the logic living inside House's code.
+//! * [`knactor_app`] — the Fig. 4 version: each device gets an Object
+//!   store (configuration state) and a Log store (sensor telemetry),
+//!   composed by one Cast (brightness policy) and two Syncs (telemetry
+//!   rename + energy rollup).
+
+pub mod knactor_app;
+pub mod pubsub_app;
+
+/// Energy a lamp draws per activation tick at a given brightness.
+pub fn lamp_kwh(brightness: f64) -> f64 {
+    brightness * 0.05
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn lamp_energy_scales_with_brightness() {
+        assert_eq!(super::lamp_kwh(0.0), 0.0);
+        assert!(super::lamp_kwh(8.0) > super::lamp_kwh(2.0));
+    }
+}

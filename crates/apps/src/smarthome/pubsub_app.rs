@@ -1,0 +1,150 @@
+//! The smart home, the API-centric way (§2's second example).
+//!
+//! House, Motion, and Lamp compose through broker topics. Note where the
+//! knowledge lives: **House's code** subscribes to Motion's topic,
+//! decodes Motion's message schema, decides the brightness, and publishes
+//! to Lamp's topic in Lamp's schema. Swapping the lamp vendor, renaming a
+//! field, or adding an energy dashboard all mean editing and redeploying
+//! House (and possibly the devices).
+
+use crate::smarthome::lamp_kwh;
+use knactor_rpc::Broker;
+use knactor_types::Value;
+use parking_lot::Mutex;
+use serde_json::json;
+use std::sync::Arc;
+use tokio::task::JoinHandle;
+
+/// Topic names — the implicit API surface of this composition.
+pub const TOPIC_MOTION: &str = "home/motion";
+pub const TOPIC_LAMP: &str = "home/lamp/set";
+pub const TOPIC_ENERGY: &str = "home/lamp/energy";
+
+/// Shared observable state for assertions (each service's internal view).
+#[derive(Debug, Default)]
+pub struct HomeState {
+    pub lamp_brightness: f64,
+    pub house_motion: bool,
+    pub house_energy_total: f64,
+    pub lamp_commands_seen: u64,
+}
+
+/// The running Pub/Sub smart home.
+pub struct PubSubHome {
+    pub broker: Broker,
+    pub state: Arc<Mutex<HomeState>>,
+    tasks: Vec<JoinHandle<()>>,
+}
+
+/// Start the three services against a broker.
+pub fn deploy(target_brightness: f64) -> PubSubHome {
+    let broker = Broker::new();
+    let state = Arc::new(Mutex::new(HomeState::default()));
+    let mut tasks = Vec::new();
+
+    // House: subscribes to Motion's topic, publishes to Lamp's topic —
+    // composition logic embedded in the service.
+    {
+        let mut motion_rx = broker.subscribe(TOPIC_MOTION);
+        let mut energy_rx = broker.subscribe(TOPIC_ENERGY);
+        let broker = broker.clone();
+        let state = Arc::clone(&state);
+        tasks.push(tokio::spawn(async move {
+            loop {
+                tokio::select! {
+                    msg = motion_rx.recv() => {
+                        let Some(msg) = msg else { return };
+                        // Decode Motion's schema (vendor Z).
+                        let triggered = msg.payload["triggered"].as_bool().unwrap_or(false);
+                        state.lock().house_motion = triggered;
+                        // Encode Lamp's schema (vendor Y).
+                        let brightness = if triggered { target_brightness } else { 0.0 };
+                        broker.publish(TOPIC_LAMP, json!({"brightness": brightness}));
+                    }
+                    msg = energy_rx.recv() => {
+                        let Some(msg) = msg else { return };
+                        let kwh = msg.payload["kwh"].as_f64().unwrap_or(0.0);
+                        state.lock().house_energy_total += kwh;
+                    }
+                }
+            }
+        }));
+    }
+
+    // Lamp: applies brightness commands, reports energy.
+    {
+        let mut lamp_rx = broker.subscribe(TOPIC_LAMP);
+        let broker = broker.clone();
+        let state = Arc::clone(&state);
+        tasks.push(tokio::spawn(async move {
+            while let Some(msg) = lamp_rx.recv().await {
+                let b = msg.payload["brightness"].as_f64().unwrap_or(0.0);
+                {
+                    let mut s = state.lock();
+                    s.lamp_brightness = b;
+                    s.lamp_commands_seen += 1;
+                }
+                broker.publish(TOPIC_ENERGY, json!({"kwh": lamp_kwh(b)}));
+            }
+        }));
+    }
+
+    PubSubHome { broker, state, tasks }
+}
+
+impl PubSubHome {
+    /// The motion device fires.
+    pub fn sense_motion(&self, triggered: bool) {
+        self.broker
+            .publish(TOPIC_MOTION, motion_message(triggered));
+    }
+
+    pub async fn shutdown(self) {
+        for t in &self.tasks {
+            t.abort();
+        }
+        for t in self.tasks {
+            let _ = t.await;
+        }
+    }
+}
+
+/// Motion's message schema (vendor Z's Protobuf, in JSON form here).
+pub fn motion_message(triggered: bool) -> Value {
+    json!({"triggered": triggered, "sensor": "ring-v2"})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    async fn eventually(state: &Arc<Mutex<HomeState>>, f: impl Fn(&HomeState) -> bool) {
+        let deadline = tokio::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if f(&state.lock()) {
+                return;
+            }
+            assert!(tokio::time::Instant::now() < deadline, "condition not met");
+            tokio::time::sleep(Duration::from_millis(5)).await;
+        }
+    }
+
+    #[tokio::test]
+    async fn motion_drives_lamp_through_broker() {
+        let home = deploy(8.0);
+        home.sense_motion(true);
+        eventually(&home.state, |s| s.lamp_brightness == 8.0 && s.house_motion).await;
+        home.sense_motion(false);
+        eventually(&home.state, |s| s.lamp_brightness == 0.0).await;
+        home.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn energy_accumulates_in_house() {
+        let home = deploy(4.0);
+        home.sense_motion(true);
+        eventually(&home.state, |s| s.house_energy_total > 0.0).await;
+        home.shutdown().await;
+    }
+}

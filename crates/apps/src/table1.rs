@@ -1,0 +1,320 @@
+//! Table 1 manifests: the composition tasks and the artifacts each one
+//! touches, per approach.
+//!
+//! The paper compares the cost of three composition tasks in the retail
+//! app under the API-centric approach vs Knactor, counting the required
+//! operations (code change / config change / rebuild / redeploy), the
+//! number of files, and the SLOC changed or used. This module declares,
+//! for every task and approach, exactly which **real files in this
+//! repository** implement the task; `knactor-bench`'s `table1` binary
+//! measures them.
+//!
+//! Files created for a task count whole; regions of shared files are
+//! delimited by `>>> TAG` / `<<< TAG` markers and only those lines count.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// Table 1's operation kinds (the paper's c / f / b / d annotations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Op {
+    /// `c` — source-code change.
+    Code,
+    /// `f` — configuration change.
+    Config,
+    /// `b` — service rebuild.
+    Build,
+    /// `d` — service redeploy.
+    Deploy,
+}
+
+impl Op {
+    pub fn letter(&self) -> char {
+        match self {
+            Op::Code => 'c',
+            Op::Config => 'f',
+            Op::Build => 'b',
+            Op::Deploy => 'd',
+        }
+    }
+}
+
+/// One file (or marked region) a task touches.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Path relative to the `knactor-apps` crate root.
+    pub path: &'static str,
+    /// `Some(tag)` counts only lines inside `>>> tag` / `<<< tag` regions.
+    pub marker: Option<&'static str>,
+    pub ops: &'static [Op],
+}
+
+/// One Table 1 task with both approaches' artifact lists.
+#[derive(Debug, Clone)]
+pub struct TaskManifest {
+    pub id: &'static str,
+    pub description: &'static str,
+    pub api: Vec<Artifact>,
+    pub kn: Vec<Artifact>,
+}
+
+/// Measured cost of one approach to one task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskCost {
+    pub ops: BTreeSet<Op>,
+    pub files: usize,
+    pub sloc: usize,
+}
+
+impl TaskCost {
+    /// The paper's operations string, e.g. `c / f / b / d`.
+    pub fn ops_string(&self) -> String {
+        self.ops
+            .iter()
+            .map(|o| o.letter().to_string())
+            .collect::<Vec<_>>()
+            .join(" / ")
+    }
+}
+
+/// The three tasks of Table 1.
+pub fn manifests() -> Vec<TaskManifest> {
+    vec![
+        TaskManifest {
+            id: "T1",
+            description: "Compose Payment and Shipping with Checkout",
+            api: vec![
+                Artifact {
+                    path: "assets/api/shipping_v1.proto",
+                    marker: None,
+                    ops: &[Op::Config],
+                },
+                Artifact {
+                    path: "assets/api/payment_v1.proto",
+                    marker: None,
+                    ops: &[Op::Config],
+                },
+                Artifact {
+                    path: "src/retail/stubs/shipping_v1.rs",
+                    marker: None,
+                    ops: &[Op::Code, Op::Build],
+                },
+                Artifact {
+                    path: "src/retail/stubs/payment_v1.rs",
+                    marker: None,
+                    ops: &[Op::Code, Op::Build],
+                },
+                Artifact {
+                    path: "src/retail/stubs/currency_v1.rs",
+                    marker: None,
+                    ops: &[Op::Code, Op::Build],
+                },
+                Artifact {
+                    path: "src/retail/rpc_app.rs",
+                    marker: Some("T1-API"),
+                    ops: &[Op::Code, Op::Build],
+                },
+                Artifact {
+                    path: "assets/api/checkout-endpoints.yaml",
+                    marker: Some("T1-API"),
+                    ops: &[Op::Config],
+                },
+                Artifact {
+                    path: "assets/api/checkout-deployment.yaml",
+                    marker: Some("T1-API"),
+                    ops: &[Op::Config, Op::Deploy],
+                },
+            ],
+            kn: vec![Artifact {
+                path: "assets/retail_dxg.yaml",
+                marker: None,
+                ops: &[Op::Config],
+            }],
+        },
+        TaskManifest {
+            id: "T2",
+            description: "Add a shipment policy based on the order price",
+            api: vec![
+                Artifact {
+                    path: "src/retail/rpc_app.rs",
+                    marker: Some("T2-API"),
+                    ops: &[Op::Code, Op::Build],
+                },
+                Artifact {
+                    path: "assets/api/checkout-deployment-t2.yaml",
+                    marker: Some("T2-API"),
+                    ops: &[Op::Config, Op::Deploy],
+                },
+            ],
+            kn: vec![Artifact {
+                path: "assets/retail_dxg.yaml",
+                marker: Some("T2-KN"),
+                ops: &[Op::Config],
+            }],
+        },
+        TaskManifest {
+            id: "T3",
+            description: "Update the Shipping schema (v1 → v2)",
+            api: vec![
+                Artifact {
+                    path: "assets/api/shipping_v2.proto",
+                    marker: None,
+                    ops: &[Op::Config],
+                },
+                Artifact {
+                    path: "src/retail/stubs/shipping_v2.rs",
+                    marker: None,
+                    ops: &[Op::Code, Op::Build],
+                },
+                Artifact {
+                    path: "src/retail/rpc_app.rs",
+                    marker: Some("T3-API"),
+                    ops: &[Op::Code, Op::Build],
+                },
+                Artifact {
+                    path: "assets/api/shipping-endpoints-v2.yaml",
+                    marker: Some("T3-API"),
+                    ops: &[Op::Config],
+                },
+                Artifact {
+                    path: "assets/api/checkout-deployment-t3.yaml",
+                    marker: Some("T3-API"),
+                    ops: &[Op::Config, Op::Deploy],
+                },
+            ],
+            kn: vec![Artifact {
+                path: "assets/retail_dxg_t3.yaml",
+                marker: Some("T3-KN"),
+                ops: &[Op::Config],
+            }],
+        },
+    ]
+}
+
+fn apps_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// True for lines that count as source (non-blank, non-comment-only).
+fn is_sloc(line: &str) -> bool {
+    let t = line.trim();
+    !t.is_empty() && !t.starts_with("//") && !t.starts_with('#')
+}
+
+/// Count one artifact's SLOC.
+pub fn count_sloc(artifact: &Artifact) -> std::io::Result<usize> {
+    let path = apps_root().join(artifact.path);
+    let text = std::fs::read_to_string(&path)?;
+    Ok(match artifact.marker {
+        None => text.lines().filter(|l| is_sloc(l)).count(),
+        Some(tag) => {
+            let open = format!(">>> {tag}");
+            let close = format!("<<< {tag}");
+            let mut inside = false;
+            let mut count = 0;
+            for line in text.lines() {
+                if line.contains(&open) {
+                    inside = true;
+                } else if line.contains(&close) {
+                    inside = false;
+                } else if inside && is_sloc(line) {
+                    count += 1;
+                }
+            }
+            count
+        }
+    })
+}
+
+/// Measure one approach's artifacts.
+pub fn measure(artifacts: &[Artifact]) -> std::io::Result<TaskCost> {
+    let mut ops = BTreeSet::new();
+    let mut files = BTreeSet::new();
+    let mut sloc = 0;
+    for a in artifacts {
+        sloc += count_sloc(a)?;
+        files.insert(a.path);
+        ops.extend(a.ops.iter().copied());
+    }
+    Ok(TaskCost { ops, files: files.len(), sloc })
+}
+
+/// Workspace path of an artifact, for reporting.
+pub fn artifact_path(a: &Artifact) -> PathBuf {
+    apps_root().join(a.path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_artifact_exists_and_counts_nonzero() {
+        for task in manifests() {
+            for a in task.api.iter().chain(task.kn.iter()) {
+                let path = artifact_path(a);
+                assert!(path.exists(), "{} missing", path.display());
+                let sloc = count_sloc(a).unwrap();
+                assert!(sloc > 0, "{} ({:?}) counted 0 SLOC", a.path, a.marker);
+            }
+        }
+    }
+
+    #[test]
+    fn knactor_needs_only_config_changes() {
+        for task in manifests() {
+            let kn = measure(&task.kn).unwrap();
+            assert_eq!(
+                kn.ops.iter().copied().collect::<Vec<_>>(),
+                vec![Op::Config],
+                "{}: Knactor must be config-only",
+                task.id
+            );
+            assert_eq!(kn.files, 1, "{}: Knactor touches one file", task.id);
+        }
+    }
+
+    #[test]
+    fn api_needs_code_build_deploy() {
+        for task in manifests() {
+            let api = measure(&task.api).unwrap();
+            for op in [Op::Code, Op::Config, Op::Build, Op::Deploy] {
+                assert!(api.ops.contains(&op), "{}: API side lacks {op:?}", task.id);
+            }
+        }
+    }
+
+    #[test]
+    fn knactor_sloc_is_smaller_every_task() {
+        for task in manifests() {
+            let api = measure(&task.api).unwrap();
+            let kn = measure(&task.kn).unwrap();
+            assert!(
+                kn.sloc < api.sloc,
+                "{}: KN {} SLOC !< API {} SLOC",
+                task.id,
+                kn.sloc,
+                api.sloc
+            );
+            assert!(kn.files <= api.files);
+        }
+    }
+
+    #[test]
+    fn t2_kn_is_tiny() {
+        let t2 = &manifests()[1];
+        let kn = measure(&t2.kn).unwrap();
+        // The policy is a couple of spec lines.
+        assert!(kn.sloc <= 3, "T2-KN should be ~2 lines, got {}", kn.sloc);
+    }
+
+    #[test]
+    fn ops_string_formats_like_the_paper() {
+        let cost = TaskCost {
+            ops: [Op::Code, Op::Config, Op::Build, Op::Deploy].into_iter().collect(),
+            files: 8,
+            sloc: 109,
+        };
+        assert_eq!(cost.ops_string(), "c / f / b / d");
+    }
+}

@@ -1,0 +1,90 @@
+//! Log-exchange costs: ingestion throughput and the Sync integrator's
+//! dataflow operators (Fig. 4's telemetry path).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use knactor_logstore::{AggFn, LogStore, Query};
+use serde_json::json;
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_ingest");
+
+    group.bench_function("append", |b| {
+        let log = LogStore::new("bench/ingest");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            log.append(json!({"triggered": i % 2 == 0, "sensitivity": i % 10}))
+        });
+    });
+
+    group.bench_function("append_batch_100", |b| {
+        b.iter_batched(
+            || {
+                (
+                    LogStore::new("bench/batch"),
+                    (0..100)
+                        .map(|i| json!({"kwh": i as f64 * 0.01}))
+                        .collect::<Vec<_>>(),
+                )
+            },
+            |(log, batch)| log.append_batch(batch),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+fn motion_log(n: usize) -> LogStore {
+    let log = LogStore::new("bench/motion");
+    for i in 0..n {
+        log.append(json!({
+            "triggered": i % 3 == 0,
+            "sensitivity": i % 10,
+            "room": if i % 2 == 0 { "kitchen" } else { "hall" },
+        }));
+    }
+    log
+}
+
+fn bench_query_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_query_1k");
+    let log = motion_log(1000);
+
+    let filter = Query::new().filter("this.triggered == true").unwrap();
+    group.bench_function("filter", |b| {
+        b.iter(|| filter.run(log.read_all().into_iter().map(|r| r.fields)).unwrap());
+    });
+
+    let rename = Query::new().rename("triggered", "motion");
+    group.bench_function("rename", |b| {
+        b.iter(|| rename.run(log.read_all().into_iter().map(|r| r.fields)).unwrap());
+    });
+
+    let sort = Query::new().sort("sensitivity", true).unwrap();
+    group.bench_function("sort", |b| {
+        b.iter(|| sort.run(log.read_all().into_iter().map(|r| r.fields)).unwrap());
+    });
+
+    let agg = Query::new()
+        .aggregate(Some("room"), AggFn::Sum, Some("sensitivity"), "total")
+        .unwrap();
+    group.bench_function("aggregate_grouped", |b| {
+        b.iter(|| agg.run(log.read_all().into_iter().map(|r| r.fields)).unwrap());
+    });
+
+    let pipeline = Query::new()
+        .filter("this.triggered == true")
+        .unwrap()
+        .rename("triggered", "motion")
+        .project(["motion", "room"])
+        .limit(100);
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| pipeline.run(log.read_all().into_iter().map(|r| r.fields)).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_query_ops);
+criterion_main!(benches);

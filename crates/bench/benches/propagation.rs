@@ -1,0 +1,120 @@
+//! Ablation: state-propagation latency across engine profiles and
+//! transports (the mechanisms behind Table 2's Prop. column).
+//!
+//! * push vs poll watch delivery (K-redis vs K-apiserver style)
+//! * zero-copy loopback vs framed TCP transport (§3.3's zero-copy
+//!   optimization)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use knactor_net::loopback::in_process;
+use knactor_net::proto::ProfileSpec;
+use knactor_net::server::test_server;
+use knactor_net::{ExchangeApi, TcpClient};
+use knactor_rbac::Subject;
+use knactor_store::profile::WatchDelivery;
+use knactor_store::{EngineProfile, ObjectStore};
+use knactor_types::{ObjectKey, Revision, StoreId};
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn rt() -> tokio::runtime::Runtime {
+    tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(2)
+        .enable_all()
+        .build()
+        .unwrap()
+}
+
+/// Commit → watcher-sees latency for an engine profile.
+fn bench_watch_delivery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("watch_delivery");
+    group.sample_size(30);
+    let runtime = rt();
+
+    for (name, profile) in [
+        ("push_redis_style", EngineProfile::redis()),
+        (
+            "poll_apiserver_style",
+            EngineProfile {
+                watch: WatchDelivery::Poll { interval: Duration::from_millis(5) },
+                ..EngineProfile::instant()
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.to_async(&runtime).iter_custom(|iters| {
+                let profile = profile.clone();
+                async move {
+                    let store = Arc::new(
+                        ObjectStore::open(StoreId::new("bench/w"), profile).unwrap(),
+                    );
+                    let handle = knactor_store::StoreHandle::open_access(
+                        Arc::clone(&store),
+                        Subject::operator("bench"),
+                    );
+                    let mut watch = handle.watch_from(Revision::ZERO).unwrap();
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        let t0 = std::time::Instant::now();
+                        store
+                            .create(ObjectKey::new(format!("k{i}")), json!({"i": i}))
+                            .unwrap();
+                        let _ = watch.recv().await.unwrap();
+                        total += t0.elapsed();
+                    }
+                    total
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// One read round trip: in-process zero-copy vs framed TCP.
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_get");
+    let runtime = rt();
+
+    group.bench_function("loopback_zero_copy", |b| {
+        let (_, _, client) = in_process(Subject::operator("bench"));
+        let api: Arc<dyn ExchangeApi> = Arc::new(client);
+        runtime.block_on(async {
+            api.create_store(StoreId::new("b/s"), ProfileSpec::Instant).await.unwrap();
+            api.create(StoreId::new("b/s"), ObjectKey::new("k"), json!({"v": 1}))
+                .await
+                .unwrap();
+        });
+        b.to_async(&runtime).iter(|| {
+            let api = Arc::clone(&api);
+            async move { api.get(StoreId::new("b/s"), ObjectKey::new("k")).await.unwrap() }
+        });
+    });
+
+    group.bench_function("tcp_framed", |b| {
+        let (server, client) = runtime.block_on(async {
+            let server = test_server(&["b/s"], &[]).await.unwrap();
+            let client = TcpClient::connect(server.local_addr(), Subject::operator("bench"))
+                .await
+                .unwrap();
+            client
+                .create(StoreId::new("b/s"), ObjectKey::new("k"), json!({"v": 1}))
+                .await
+                .unwrap();
+            (server, client)
+        });
+        let client = Arc::new(client);
+        b.to_async(&runtime).iter(|| {
+            let client = Arc::clone(&client);
+            async move {
+                client.get(StoreId::new("b/s"), ObjectKey::new("k")).await.unwrap()
+            }
+        });
+        runtime.block_on(server.shutdown());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_watch_delivery, bench_transport);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Ablation: per-operation cost of the Object exchange's engines
+//! (§3.3 — "the choice of DE substantially impacts latency").
+//!
+//! Benchmarks the *core* (no injected profile delays, no fsync) and the
+//! durable WAL variants separately, so the numbers separate algorithmic
+//! cost from durability cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use knactor_store::{EngineProfile, ObjectStore};
+use knactor_types::{ObjectKey, StoreId};
+use serde_json::json;
+
+fn bench_core_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_core");
+
+    group.bench_function("create", |b| {
+        b.iter_batched(
+            || (ObjectStore::in_memory("b/s"), 0u64),
+            |(store, mut n)| {
+                n += 1;
+                store.create(ObjectKey::new(format!("k{n}")), json!({"v": n})).unwrap();
+                (store, n)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let store = ObjectStore::in_memory("b/get");
+    store.create(ObjectKey::new("k"), json!({"v": 1, "nested": {"a": [1, 2, 3]}})).unwrap();
+    group.bench_function("get", |b| {
+        b.iter(|| store.get(&ObjectKey::new("k")).unwrap());
+    });
+
+    let store = ObjectStore::in_memory("b/update");
+    store.create(ObjectKey::new("k"), json!({"v": 0})).unwrap();
+    let mut n = 0u64;
+    group.bench_function("update", |b| {
+        b.iter(|| {
+            n += 1;
+            store.update(&ObjectKey::new("k"), json!({"v": n}), None).unwrap()
+        });
+    });
+
+    let store = ObjectStore::in_memory("b/patch");
+    store.create(ObjectKey::new("k"), json!({"v": 0, "stable": true})).unwrap();
+    let mut n = 0u64;
+    group.bench_function("patch_changing", |b| {
+        b.iter(|| {
+            n += 1;
+            store.patch(&ObjectKey::new("k"), &json!({"v": n}), false).unwrap()
+        });
+    });
+
+    // No-op patches are the convergence fast path for integrators.
+    let store = ObjectStore::in_memory("b/noop");
+    store.create(ObjectKey::new("k"), json!({"v": 1})).unwrap();
+    group.bench_function("patch_noop_suppressed", |b| {
+        b.iter(|| store.patch(&ObjectKey::new("k"), &json!({"v": 1}), false).unwrap());
+    });
+
+    group.finish();
+}
+
+fn bench_durable_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_durable");
+    group.sample_size(20);
+
+    // WAL without fsync: the serialization + I/O cost.
+    let dir = std::env::temp_dir().join(format!("knactor-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut profile = EngineProfile::apiserver(&dir, "bench/nofsync");
+    profile.fsync = false;
+    let store = ObjectStore::open(StoreId::new("bench/nofsync"), profile).unwrap();
+    store.create(ObjectKey::new("k"), json!({"v": 0})).unwrap();
+    let mut n = 0u64;
+    group.bench_function("update_wal_no_fsync", |b| {
+        b.iter(|| {
+            n += 1;
+            store.update(&ObjectKey::new("k"), json!({"v": n}), None).unwrap()
+        });
+    });
+
+    // WAL with fsync: the real durability price (the apiserver's story).
+    let mut profile = EngineProfile::apiserver(&dir, "bench/fsync");
+    profile.fsync = true;
+    let store = ObjectStore::open(StoreId::new("bench/fsync"), profile).unwrap();
+    store.create(ObjectKey::new("k"), json!({"v": 0})).unwrap();
+    let mut n = 0u64;
+    group.bench_function("update_wal_fsync", |b| {
+        b.iter(|| {
+            n += 1;
+            store.update(&ObjectKey::new("k"), json!({"v": n}), None).unwrap()
+        });
+    });
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_core_ops, bench_durable_ops);
+criterion_main!(benches);

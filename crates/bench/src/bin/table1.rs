@@ -1,0 +1,61 @@
+//! Regenerates **Table 1**: composition cost, API-centric vs Knactor.
+//!
+//! ```text
+//! cargo run -p knactor-bench --bin table1
+//! ```
+//!
+//! Counts real files and SLOC from the task manifests in
+//! `knactor_apps::table1` (see that module for the counting rules) and
+//! prints the paper-style table plus the per-task artifact lists.
+
+use knactor_apps::table1::{manifests, measure};
+
+fn main() {
+    println!("Table 1: comparison of composition cost (API-centric vs Knactor)\n");
+    println!("Operations: c = code change, f = config change, b = rebuild, d = redeploy\n");
+
+    let mut rows = Vec::new();
+    for task in manifests() {
+        let api = measure(&task.api).expect("measure API artifacts");
+        let kn = measure(&task.kn).expect("measure KN artifacts");
+        rows.push(vec![
+            task.id.to_string(),
+            api.ops_string(),
+            kn.ops_string(),
+            api.files.to_string(),
+            kn.files.to_string(),
+            api.sloc.to_string(),
+            kn.sloc.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        knactor_bench::render_table(
+            &["Task", "API ops", "KN ops", "API files", "KN files", "API SLOC", "KN SLOC"],
+            &rows,
+        )
+    );
+
+    println!("Paper's measurements for the same tasks (their codebase):");
+    println!("  T1: API c/f/b/d, 8 files, 109 SLOC   vs  KN f, 1 file, 7 SLOC");
+    println!("  T2: API c/f/b/d, 2 files,  14 SLOC   vs  KN f, 1 file, 1 SLOC");
+    println!("  T3: API c/f/b/d, 4 files,  93 SLOC   vs  KN f, 1 file, 7 SLOC");
+    println!();
+
+    for task in manifests() {
+        println!("{} — {}", task.id, task.description);
+        println!("  API-centric artifacts:");
+        for a in &task.api {
+            let sloc = knactor_apps::table1::count_sloc(a).unwrap_or(0);
+            let scope = a.marker.map(|m| format!(" [region {m}]")).unwrap_or_default();
+            println!("    {:>4} SLOC  {}{}", sloc, a.path, scope);
+        }
+        println!("  Knactor artifacts:");
+        for a in &task.kn {
+            let sloc = knactor_apps::table1::count_sloc(a).unwrap_or(0);
+            let scope = a.marker.map(|m| format!(" [region {m}]")).unwrap_or_default();
+            println!("    {:>4} SLOC  {}{}", sloc, a.path, scope);
+        }
+        println!();
+    }
+}

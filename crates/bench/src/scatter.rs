@@ -1,0 +1,132 @@
+//! §2 "Problem 2" statistics: how scattered is the composition logic?
+//!
+//! The paper counted 15 API-handling methods scattered across 11 services
+//! in the web app it studied (and 36 across 14 in a social-network app).
+//! This harness produces the equivalent numbers for *this* repository's
+//! API-centric retail app, and contrasts them with the Knactor version,
+//! where the composition logic is one DXG file.
+//!
+//! Counting method: scan the API-centric sources for
+//!
+//! * stub client methods (`pub async fn` inside `stubs/`) — the
+//!   invocation surface each consumer vendors in,
+//! * RPC invocation sites (`.call(` / typed stub calls) in service code,
+//! * broker topic interactions (`publish(` / `subscribe(`) in the
+//!   Pub/Sub smart home,
+//!
+//! versus, for Knactor, the assignments of the DXG spec (one file).
+
+use std::path::PathBuf;
+
+/// One scanned location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteCount {
+    pub file: String,
+    pub sites: usize,
+}
+
+/// Aggregate scatter statistics for one composition style.
+#[derive(Debug, Clone)]
+pub struct ScatterStats {
+    pub label: String,
+    pub files: Vec<SiteCount>,
+    pub total_sites: usize,
+}
+
+fn apps_root() -> PathBuf {
+    // knactor-apps is a sibling crate.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("crates dir")
+        .join("apps")
+}
+
+fn count_occurrences(text: &str, needles: &[&str]) -> usize {
+    text.lines()
+        .filter(|l| {
+            let t = l.trim();
+            !t.starts_with("//") && !t.starts_with('#') && needles.iter().any(|n| t.contains(n))
+        })
+        .count()
+}
+
+/// Count composition sites in the API-centric retail + smart-home code.
+pub fn api_centric() -> std::io::Result<ScatterStats> {
+    let mut files = Vec::new();
+    // Stub modules: every public client method is composition surface the
+    // consumer owns.
+    for stub in ["shipping_v1.rs", "shipping_v2.rs", "payment_v1.rs", "currency_v1.rs"] {
+        let path = apps_root().join("src/retail/stubs").join(stub);
+        let text = std::fs::read_to_string(&path)?;
+        let sites = count_occurrences(&text, &["pub async fn"]);
+        files.push(SiteCount { file: format!("retail/stubs/{stub}"), sites });
+    }
+    // Checkout's composition code: typed stub invocations.
+    let rpc_app = std::fs::read_to_string(apps_root().join("src/retail/rpc_app.rs"))?;
+    files.push(SiteCount {
+        file: "retail/rpc_app.rs".to_string(),
+        sites: count_occurrences(
+            &rpc_app,
+            &[".charge(", ".get_quote(", ".ship_order(", ".convert(", "server.register("],
+        ),
+    });
+    // Smart home over the broker.
+    let pubsub = std::fs::read_to_string(apps_root().join("src/smarthome/pubsub_app.rs"))?;
+    files.push(SiteCount {
+        file: "smarthome/pubsub_app.rs".to_string(),
+        sites: count_occurrences(&pubsub, &[".publish(", ".subscribe("]),
+    });
+    let total = files.iter().map(|f| f.sites).sum();
+    Ok(ScatterStats { label: "API-centric".to_string(), files, total_sites: total })
+}
+
+/// Count composition sites in the Knactor version: DXG assignments.
+pub fn knactor() -> std::io::Result<ScatterStats> {
+    let mut files = Vec::new();
+    for (file, label) in [
+        ("assets/retail_dxg.yaml", "retail DXG"),
+        ("assets/smarthome_dxg.yaml", "smart-home DXG"),
+    ] {
+        let text = std::fs::read_to_string(apps_root().join(file))?;
+        let dxg = knactor_dxg::Dxg::parse(&text)
+            .map_err(|e| std::io::Error::other(format!("{label}: {e}")))?;
+        files.push(SiteCount { file: file.to_string(), sites: dxg.assignments.len() });
+    }
+    let total = files.iter().map(|f| f.sites).sum();
+    Ok(ScatterStats { label: "Knactor".to_string(), files, total_sites: total })
+}
+
+/// Render both sides.
+pub fn render(api: &ScatterStats, kn: &ScatterStats) -> String {
+    let mut out = String::new();
+    for stats in [api, kn] {
+        out.push_str(&format!(
+            "{}: {} composition sites across {} files\n",
+            stats.label,
+            stats.total_sites,
+            stats.files.len()
+        ));
+        for f in &stats.files {
+            out.push_str(&format!("    {:>3}  {}\n", f.sites, f.file));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_side_is_scattered_kn_side_is_consolidated() {
+        let api = api_centric().unwrap();
+        let kn = knactor().unwrap();
+        assert!(api.files.len() > kn.files.len(), "{api:?} vs {kn:?}");
+        assert!(api.total_sites > 10, "expected double-digit API sites: {api:?}");
+        // Knactor: all retail composition in ONE file.
+        assert_eq!(kn.files[0].sites, 8, "Fig. 6 has 8 assignments");
+        let rendered = render(&api, &kn);
+        assert!(rendered.contains("API-centric"));
+        assert!(rendered.contains("Knactor"));
+    }
+}

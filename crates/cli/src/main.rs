@@ -1,0 +1,219 @@
+//! `knactorctl` — the operator CLI for the Knactor framework.
+//!
+//! ```text
+//! knactorctl schema validate <file>       check a schema file, list external fields
+//! knactorctl schema show <file>           parse and re-render a schema
+//! knactorctl dxg validate <file>          parse a DXG spec and run static analysis
+//! knactorctl dxg plan <file>              show the consolidated execution plan
+//! knactorctl dxg udf <file>               export the DXG as pushdown UDF assignments
+//! knactorctl codegen <schema-file>        generate typed Rust accessors
+//! ```
+
+mod codegen;
+
+use knactor_dxg::{analyze, Dxg, Plan, Severity};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg_strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match arg_strs.as_slice() {
+        ["schema", "validate", file] => schema_validate(file),
+        ["schema", "show", file] => schema_show(file),
+        ["dxg", "validate", file] => dxg_validate(file),
+        ["dxg", "plan", file] => dxg_plan(file),
+        ["dxg", "udf", file] => dxg_udf(file),
+        ["dxg", "diff", old, new] => dxg_diff(old, new),
+        ["codegen", file] => codegen_cmd(file),
+        ["help"] | ["--help"] | ["-h"] | [] => {
+            print!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {}\n", other.join(" "));
+            eprint!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "knactorctl — operate knactors, validate specs, generate code\n\n\
+     USAGE:\n\
+     \u{20}   knactorctl schema validate <file>\n\
+     \u{20}   knactorctl schema show <file>\n\
+     \u{20}   knactorctl dxg validate <file>\n\
+     \u{20}   knactorctl dxg plan <file>\n\
+     \u{20}   knactorctl dxg udf <file>\n\
+     \u{20}   knactorctl dxg diff <old> <new>\n\
+     \u{20}   knactorctl codegen <schema-file>\n"
+        .to_string()
+}
+
+fn read(file: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(file).map_err(|e| {
+        eprintln!("cannot read {file}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn schema_validate(file: &str) -> ExitCode {
+    let text = match read(file) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    match knactor_core::parse_schema(&text) {
+        Ok(schema) => {
+            println!("schema {} is valid", schema.name);
+            println!("  {} fields", schema.fields.len());
+            let external: Vec<&str> =
+                schema.external_fields().map(|f| f.name.as_str()).collect();
+            if external.is_empty() {
+                println!("  no external fields (nothing for integrators to fill)");
+            } else {
+                println!("  external fields (integrator-filled): {}", external.join(", "));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("invalid schema: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn schema_show(file: &str) -> ExitCode {
+    let text = match read(file) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    match knactor_core::parse_schema(&text) {
+        Ok(schema) => {
+            print!("{}", knactor_core::schema_to_yaml(&schema));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("invalid schema: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_dxg(file: &str) -> Result<Dxg, ExitCode> {
+    let text = read(file)?;
+    Dxg::parse(&text).map_err(|e| {
+        eprintln!("invalid DXG: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn dxg_validate(file: &str) -> ExitCode {
+    let dxg = match load_dxg(file) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    println!(
+        "DXG parsed: {} inputs, {} assignments",
+        dxg.inputs.len(),
+        dxg.assignments.len()
+    );
+    let analysis = analyze::analyze(&dxg);
+    if analysis.findings.is_empty() {
+        println!("static analysis: clean");
+    }
+    for f in &analysis.findings {
+        let tag = match f.severity {
+            Severity::Error => "ERROR",
+            Severity::Warning => "WARN ",
+            Severity::Info => "INFO ",
+        };
+        println!("  {tag} [{}] {}", f.code, f.message);
+    }
+    if analysis.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn dxg_plan(file: &str) -> ExitCode {
+    let dxg = match load_dxg(file) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    match Plan::build(&dxg) {
+        Ok(plan) => {
+            println!(
+                "plan: {} assignments consolidated into {} write steps",
+                plan.assignment_count(),
+                plan.write_ops()
+            );
+            for (i, step) in plan.steps.iter().enumerate() {
+                println!("  step {} -> {}", i + 1, step.target_alias);
+                for &idx in &step.assignments {
+                    let a = &dxg.assignments[idx];
+                    println!("      {} = {}", a.write_ref(), a.source.trim());
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot plan: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dxg_udf(file: &str) -> ExitCode {
+    let dxg = match load_dxg(file) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    match Plan::build(&dxg) {
+        Ok(plan) => {
+            println!("inputs: {}", Plan::udf_inputs(&dxg).join(", "));
+            for a in plan.to_udf_assignments(&dxg) {
+                println!("  {}.{} := {}", a.target_alias, a.target_path, a.expr);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot export: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dxg_diff(old: &str, new: &str) -> ExitCode {
+    let (old, new) = match (load_dxg(old), load_dxg(new)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let changes = knactor_dxg::diff(&old, &new);
+    if changes.is_empty() {
+        println!("specs are equivalent (no exchange-level changes)");
+        return ExitCode::SUCCESS;
+    }
+    println!("{} exchange-level change(s):", changes.len());
+    for c in &changes {
+        println!("  {c}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn codegen_cmd(file: &str) -> ExitCode {
+    let text = match read(file) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    match knactor_core::parse_schema(&text) {
+        Ok(schema) => {
+            print!("{}", codegen::generate(&schema));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("invalid schema: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,708 @@
+//! The **Cast** integrator: executes data exchange graphs over Object
+//! stores (§3.2).
+//!
+//! Cast watches the stores of every alias the DXG reads, and on each
+//! state change runs one *activation*:
+//!
+//! 1. **bind** — resolve each alias to a concrete object. `Correlated`
+//!    bindings use the triggering object's key (the retail app correlates
+//!    checkout order, payment, and shipment by order key); `Fixed`
+//!    bindings name a singleton (the smart-home stores).
+//! 2. **read** — fetch every bound object (missing targets start empty).
+//! 3. **evaluate** — run the plan's steps in dependency order; each step
+//!    consolidates all assignments to one target into a single patch
+//!    (§3.3 consolidation). Assignments whose inputs are not available
+//!    yet (evaluation errors or `null` results) are skipped — they will
+//!    fire on a later activation once the state they need appears.
+//! 4. **write** — patch each target object. The store suppresses no-op
+//!    patches, so activations triggered by Cast's own writes converge
+//!    instead of looping.
+//!
+//! In [`CastMode::Pushdown`] the evaluate+write phases run *inside* the
+//! exchange as a registered UDF — one round trip per activation instead
+//! of one per read plus one per write.
+//!
+//! A running Cast is driven through its [`CastController`]:
+//! [`CastController::reconfigure`] swaps the entire DXG at run time —
+//! no knactor is touched, rebuilt, or redeployed.
+
+use crate::telemetry::TraceCollector;
+use knactor_dxg::{Dxg, Plan};
+use knactor_expr::{Env, FnRegistry};
+use knactor_net::ExchangeApi;
+use knactor_store::{EventKind, UdfBinding, WatchEvent};
+use knactor_types::{Error, ObjectKey, Result, Revision, StoreId, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tokio::sync::{mpsc, oneshot};
+use tokio::task::JoinHandle;
+
+/// How an alias resolves to an object key at activation time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyBinding {
+    /// Always this key (singleton stores, e.g. `lamp/config:cfg`).
+    Fixed(ObjectKey),
+    /// The key of the object that triggered the activation.
+    Correlated,
+}
+
+/// Binds a DXG alias to a store (and key policy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CastBinding {
+    pub store: StoreId,
+    pub key: KeyBinding,
+}
+
+impl CastBinding {
+    pub fn correlated(store: impl Into<StoreId>) -> CastBinding {
+        CastBinding { store: store.into(), key: KeyBinding::Correlated }
+    }
+
+    pub fn fixed(store: impl Into<StoreId>, key: impl Into<ObjectKey>) -> CastBinding {
+        CastBinding { store: store.into(), key: KeyBinding::Fixed(key.into()) }
+    }
+}
+
+/// Client-side evaluation vs store-side pushdown (§3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CastMode {
+    Direct,
+    Pushdown { udf_name: String },
+}
+
+/// Full configuration of a Cast instance. Swappable at run time.
+#[derive(Debug, Clone)]
+pub struct CastConfig {
+    pub name: String,
+    pub dxg: Dxg,
+    pub bindings: BTreeMap<String, CastBinding>,
+    pub mode: CastMode,
+}
+
+impl CastConfig {
+    /// Validate: plan builds, every alias is bound.
+    fn validate(&self) -> Result<Plan> {
+        let plan = Plan::build(&self.dxg)?;
+        for alias in self.dxg.inputs.keys() {
+            if !self.bindings.contains_key(alias) {
+                return Err(Error::Dxg(format!(
+                    "cast {}: alias '{alias}' has no binding",
+                    self.name
+                )));
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// The Cast integrator factory.
+pub struct Cast {
+    api: Arc<dyn ExchangeApi>,
+    fns: FnRegistry,
+    traces: TraceCollector,
+}
+
+enum Command {
+    Reconfigure(CastConfig, oneshot::Sender<Result<()>>),
+    Shutdown(oneshot::Sender<()>),
+}
+
+/// Handle to a running Cast task.
+pub struct CastController {
+    cmd_tx: mpsc::UnboundedSender<Command>,
+    task: JoinHandle<()>,
+    activations: Arc<AtomicU64>,
+}
+
+impl CastController {
+    /// Swap in a new configuration (new DXG, bindings, or mode). Returns
+    /// once the new configuration is live. This is the run-time
+    /// reconfiguration of §3.3: tasks T1–T3 of Table 1 are exactly one
+    /// such call.
+    pub async fn reconfigure(&self, config: CastConfig) -> Result<()> {
+        let (tx, rx) = oneshot::channel();
+        self.cmd_tx
+            .send(Command::Reconfigure(config, tx))
+            .map_err(|_| Error::ShuttingDown)?;
+        rx.await.map_err(|_| Error::ShuttingDown)?
+    }
+
+    /// Stop the integrator and wait for it to finish.
+    pub async fn shutdown(self) {
+        let (tx, rx) = oneshot::channel();
+        if self.cmd_tx.send(Command::Shutdown(tx)).is_ok() {
+            let _ = rx.await;
+        }
+        let _ = self.task.await;
+    }
+
+    /// Number of activations processed (diagnostics, test sync).
+    pub fn activations(&self) -> u64 {
+        self.activations.load(Ordering::Relaxed)
+    }
+}
+
+impl Cast {
+    pub fn new(api: Arc<dyn ExchangeApi>) -> Cast {
+        Cast { api, fns: FnRegistry::standard(), traces: TraceCollector::new() }
+    }
+
+    pub fn with_functions(mut self, fns: FnRegistry) -> Cast {
+        self.fns = fns;
+        self
+    }
+
+    pub fn with_traces(mut self, traces: TraceCollector) -> Cast {
+        self.traces = traces;
+        self
+    }
+
+    pub fn traces(&self) -> &TraceCollector {
+        &self.traces
+    }
+
+    /// Run one activation manually (tests, benchmarks, CLI `cast run`).
+    pub async fn activate_once(&self, config: &CastConfig, trigger_key: &ObjectKey) -> Result<()> {
+        let plan = config.validate()?;
+        if let CastMode::Pushdown { udf_name } = &config.mode {
+            self.register_pushdown(config, &plan, udf_name).await?;
+        }
+        activation(
+            &*self.api,
+            &self.fns,
+            &self.traces,
+            config,
+            &plan,
+            trigger_key,
+        )
+        .await
+    }
+
+    async fn register_pushdown(&self, config: &CastConfig, plan: &Plan, udf_name: &str) -> Result<()> {
+        self.api
+            .register_udf(
+                udf_name.to_string(),
+                Plan::udf_inputs(&config.dxg),
+                plan.to_udf_assignments(&config.dxg),
+            )
+            .await
+    }
+
+    /// Spawn the integrator: validate, (for pushdown) register the UDF,
+    /// start watching every source store, and return the controller.
+    pub async fn spawn(self, config: CastConfig) -> Result<CastController> {
+        let plan = config.validate()?;
+        if let CastMode::Pushdown { udf_name } = &config.mode {
+            self.register_pushdown(&config, &plan, udf_name).await?;
+        }
+        let (cmd_tx, cmd_rx) = mpsc::unbounded_channel();
+        let activations = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&activations);
+        let task = tokio::spawn(run_loop(
+            self.api,
+            self.fns,
+            self.traces,
+            config,
+            plan,
+            cmd_rx,
+            counter,
+        ));
+        Ok(CastController { cmd_tx, task, activations })
+    }
+}
+
+/// Aliases whose stores must be watched: every alias the DXG reads from
+/// or writes to (writes re-trigger forward propagation of dependents).
+fn watch_aliases(dxg: &Dxg) -> Vec<String> {
+    let mut aliases = dxg.source_aliases();
+    for alias in dxg.target_aliases() {
+        if !aliases.contains(&alias) {
+            aliases.push(alias);
+        }
+    }
+    aliases
+}
+
+async fn start_watches(
+    api: &Arc<dyn ExchangeApi>,
+    config: &CastConfig,
+    merged_tx: &mpsc::UnboundedSender<(String, WatchEvent)>,
+) -> Result<Vec<JoinHandle<()>>> {
+    let mut tasks = Vec::new();
+    for alias in watch_aliases(&config.dxg) {
+        let binding = config
+            .bindings
+            .get(&alias)
+            .expect("validated: every alias bound");
+        let mut rx = api.watch(binding.store.clone(), Revision::ZERO).await?;
+        let tx = merged_tx.clone();
+        let alias_name = alias.clone();
+        tasks.push(tokio::spawn(async move {
+            while let Some(event) = rx.recv().await {
+                if tx.send((alias_name.clone(), event)).is_err() {
+                    break;
+                }
+            }
+        }));
+    }
+    Ok(tasks)
+}
+
+async fn run_loop(
+    api: Arc<dyn ExchangeApi>,
+    fns: FnRegistry,
+    traces: TraceCollector,
+    mut config: CastConfig,
+    mut plan: Plan,
+    mut cmd_rx: mpsc::UnboundedReceiver<Command>,
+    activations: Arc<AtomicU64>,
+) {
+    'outer: loop {
+        let (merged_tx, mut merged_rx) = mpsc::unbounded_channel();
+        let watch_tasks = match start_watches(&api, &config, &merged_tx).await {
+            Ok(t) => t,
+            Err(_) => {
+                // Source store unavailable or watch denied (possibly a
+                // *temporary* condition, e.g. a time-window policy):
+                // retry with backoff, still answering commands.
+                tokio::select! {
+                    cmd = cmd_rx.recv() => {
+                        match cmd {
+                            Some(Command::Reconfigure(new_config, ack)) => {
+                                match apply_reconfigure(&api, new_config).await {
+                                    Ok((c, p)) => {
+                                        config = c;
+                                        plan = p;
+                                        let _ = ack.send(Ok(()));
+                                    }
+                                    Err(e) => {
+                                        let _ = ack.send(Err(e));
+                                    }
+                                }
+                            }
+                            Some(Command::Shutdown(ack)) => {
+                                let _ = ack.send(());
+                                return;
+                            }
+                            None => return,
+                        }
+                    }
+                    _ = tokio::time::sleep(std::time::Duration::from_millis(200)) => {}
+                }
+                continue 'outer;
+            }
+        };
+
+        loop {
+            tokio::select! {
+                cmd = cmd_rx.recv() => {
+                    match cmd {
+                        Some(Command::Reconfigure(new_config, ack)) => {
+                            match apply_reconfigure(&api, new_config).await {
+                                Ok((c, p)) => {
+                                    config = c;
+                                    plan = p;
+                                    let _ = ack.send(Ok(()));
+                                    for t in &watch_tasks { t.abort(); }
+                                    continue 'outer;
+                                }
+                                Err(e) => {
+                                    // Keep running the old config.
+                                    let _ = ack.send(Err(e));
+                                }
+                            }
+                        }
+                        Some(Command::Shutdown(ack)) => {
+                            for t in &watch_tasks { t.abort(); }
+                            let _ = ack.send(());
+                            return;
+                        }
+                        None => {
+                            for t in &watch_tasks { t.abort(); }
+                            return;
+                        }
+                    }
+                }
+                event = merged_rx.recv() => {
+                    let Some((_, event)) = event else {
+                        for t in &watch_tasks { t.abort(); }
+                        return;
+                    };
+                    if event.kind == EventKind::Deleted {
+                        continue;
+                    }
+                    let key = event.key.clone();
+                    // Activation failures are logged as traces, never
+                    // fatal: the next event retries naturally.
+                    let _ = activation(&*api, &fns, &traces, &config, &plan, &key).await;
+                    activations.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+async fn apply_reconfigure(
+    api: &Arc<dyn ExchangeApi>,
+    config: CastConfig,
+) -> Result<(CastConfig, Plan)> {
+    let plan = config.validate()?;
+    if let CastMode::Pushdown { udf_name } = &config.mode {
+        api.register_udf(
+            udf_name.to_string(),
+            Plan::udf_inputs(&config.dxg),
+            plan.to_udf_assignments(&config.dxg),
+        )
+        .await?;
+    }
+    Ok((config, plan))
+}
+
+fn resolve_key(binding: &CastBinding, trigger: &ObjectKey) -> ObjectKey {
+    match &binding.key {
+        KeyBinding::Fixed(k) => k.clone(),
+        KeyBinding::Correlated => trigger.clone(),
+    }
+}
+
+/// One activation: bind → read → evaluate → write.
+async fn activation(
+    api: &dyn ExchangeApi,
+    fns: &FnRegistry,
+    traces: &TraceCollector,
+    config: &CastConfig,
+    plan: &Plan,
+    trigger_key: &ObjectKey,
+) -> Result<()> {
+    let trace_id = trigger_key.to_string();
+    let component = format!("cast:{}", config.name);
+
+    if let CastMode::Pushdown { udf_name } = &config.mode {
+        let start = Instant::now();
+        let bindings: Vec<UdfBinding> = config
+            .bindings
+            .iter()
+            .map(|(alias, b)| UdfBinding {
+                alias: alias.clone(),
+                store: b.store.clone(),
+                key: resolve_key(b, trigger_key),
+            })
+            .collect();
+        let result = api.execute_udf(udf_name.clone(), bindings).await;
+        traces.record(&trace_id, &component, "pushdown-execute", start.elapsed());
+        return result.map(|_| ());
+    }
+
+    // Read phase.
+    let start = Instant::now();
+    let mut env = Env::new();
+    for (alias, binding) in &config.bindings {
+        let key = resolve_key(binding, trigger_key);
+        let value = match api.get(binding.store.clone(), key).await {
+            Ok(obj) => obj.value,
+            Err(Error::NotFound(_)) => Value::Object(serde_json::Map::new()),
+            Err(e) => return Err(e),
+        };
+        env.bind(alias.clone(), value);
+    }
+    traces.record(&trace_id, &component, "read-sources", start.elapsed());
+
+    // Evaluate + write, step by step (steps are dependency-ordered, so
+    // later steps must observe earlier steps' writes via the local env).
+    for step in &plan.steps {
+        let start = Instant::now();
+        let mut patch = Value::Object(serde_json::Map::new());
+        let mut wrote = false;
+        for &idx in &step.assignments {
+            let a = &config.dxg.assignments[idx];
+            match knactor_expr::eval(&a.expr, &env, fns) {
+                // `null` means "input not present yet" — skip and let a
+                // later activation fill it (see module docs).
+                Ok(Value::Null) => {}
+                Ok(v) => {
+                    knactor_types::value::set_path(&mut patch, &a.target_path(), v)?;
+                    wrote = true;
+                }
+                Err(_) => {
+                    // Unready inputs (e.g. member access on a scalar that
+                    // is still null upstream): skip, retry on next event.
+                }
+            }
+        }
+        traces.record(&trace_id, &component, "evaluate", start.elapsed());
+        if !wrote {
+            continue;
+        }
+        let binding = &config.bindings[&step.target_alias];
+        let key = resolve_key(binding, trigger_key);
+        // Mirror the write into the local env so later steps see it.
+        if let Some(slot) = env.get(&step.target_alias).cloned().as_mut() {
+            knactor_types::value::merge(slot, &patch);
+            env.bind(step.target_alias.clone(), slot.clone());
+        }
+        let start = Instant::now();
+        api.patch(binding.store.clone(), key, patch, true).await?;
+        traces.record(
+            &trace_id,
+            &component,
+            &format!("write:{}", step.target_alias),
+            start.elapsed(),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knactor_dxg::spec::FIG6_RETAIL_DXG;
+    use knactor_net::loopback::in_process;
+    use knactor_net::proto::ProfileSpec;
+    use knactor_rbac::Subject;
+    use serde_json::json;
+    use std::time::Duration;
+
+    async fn retail_setup() -> (Arc<dyn ExchangeApi>, CastConfig) {
+        let (_, _, client) = in_process(Subject::integrator("cast"));
+        let api: Arc<dyn ExchangeApi> = Arc::new(client);
+        for s in ["checkout/state", "shipping/state", "payment/state"] {
+            api.create_store(StoreId::new(s), ProfileSpec::Instant).await.unwrap();
+        }
+        let mut bindings = BTreeMap::new();
+        bindings.insert("C".to_string(), CastBinding::correlated("checkout/state"));
+        bindings.insert("S".to_string(), CastBinding::correlated("shipping/state"));
+        bindings.insert("P".to_string(), CastBinding::correlated("payment/state"));
+        let config = CastConfig {
+            name: "retail".to_string(),
+            dxg: Dxg::parse(FIG6_RETAIL_DXG).unwrap(),
+            bindings,
+            mode: CastMode::Direct,
+        };
+        (api, config)
+    }
+
+    fn order() -> Value {
+        json!({
+            "order": {
+                "items": [{"name": "mug", "qty": 2}, {"name": "pen", "qty": 1}],
+                "address": "Soda Hall",
+                "cost": 1200.0,
+                "totalCost": 1212.5,
+                "currency": "USD"
+            }
+        })
+    }
+
+    #[tokio::test]
+    async fn activate_once_propagates_order_to_shipping_and_payment() {
+        let (api, config) = retail_setup().await;
+        api.create(StoreId::new("checkout/state"), ObjectKey::new("order-1"), order())
+            .await
+            .unwrap();
+        let cast = Cast::new(Arc::clone(&api));
+        cast.activate_once(&config, &ObjectKey::new("order-1")).await.unwrap();
+
+        let s = api
+            .get(StoreId::new("shipping/state"), ObjectKey::new("order-1"))
+            .await
+            .unwrap();
+        assert_eq!(s.value["addr"], json!("Soda Hall"));
+        assert_eq!(s.value["items"], json!(["mug", "pen"]));
+        assert_eq!(s.value["method"], json!("air"), "cost 1200 > 1000 → air");
+
+        let p = api
+            .get(StoreId::new("payment/state"), ObjectKey::new("order-1"))
+            .await
+            .unwrap();
+        assert_eq!(p.value["amount"], json!(1212.5));
+        assert_eq!(p.value["currency"], json!("USD"));
+    }
+
+    #[tokio::test]
+    async fn null_inputs_are_skipped_until_ready() {
+        let (api, config) = retail_setup().await;
+        api.create(StoreId::new("checkout/state"), ObjectKey::new("o"), order())
+            .await
+            .unwrap();
+        let cast = Cast::new(Arc::clone(&api));
+        cast.activate_once(&config, &ObjectKey::new("o")).await.unwrap();
+
+        // S.id / S.quote / P.id are unset → trackingID, paymentID,
+        // shippingCost must NOT be written (not even as null).
+        let c = api
+            .get(StoreId::new("checkout/state"), ObjectKey::new("o"))
+            .await
+            .unwrap();
+        assert!(c.value["order"].get("trackingID").is_none());
+        assert!(c.value["order"].get("paymentID").is_none());
+
+        // Shipping's reconciler posts id + quote; Payment posts id.
+        api.patch(
+            StoreId::new("shipping/state"),
+            ObjectKey::new("o"),
+            json!({"id": "ship-7", "quote": {"price": 12.5, "currency": "USD"}}),
+            false,
+        )
+        .await
+        .unwrap();
+        api.patch(
+            StoreId::new("payment/state"),
+            ObjectKey::new("o"),
+            json!({"id": "pay-3"}),
+            false,
+        )
+        .await
+        .unwrap();
+
+        cast.activate_once(&config, &ObjectKey::new("o")).await.unwrap();
+        let c = api
+            .get(StoreId::new("checkout/state"), ObjectKey::new("o"))
+            .await
+            .unwrap();
+        assert_eq!(c.value["order"]["trackingID"], json!("ship-7"));
+        assert_eq!(c.value["order"]["paymentID"], json!("pay-3"));
+        assert_eq!(c.value["order"]["shippingCost"], json!(12.5));
+    }
+
+    #[tokio::test]
+    async fn spawned_cast_reacts_to_events_and_converges() {
+        let (api, config) = retail_setup().await;
+        let cast = Cast::new(Arc::clone(&api));
+        let controller = cast.spawn(config).await.unwrap();
+
+        api.create(StoreId::new("checkout/state"), ObjectKey::new("order-9"), order())
+            .await
+            .unwrap();
+
+        // Wait until the shipment materializes.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Ok(s) = api
+                .get(StoreId::new("shipping/state"), ObjectKey::new("order-9"))
+                .await
+            {
+                if s.value["method"] == json!("air") {
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "cast did not propagate in time");
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+
+        // Convergence: activations settle (no infinite echo loop).
+        let mut last = controller.activations();
+        let mut stable = 0;
+        for _ in 0..100 {
+            tokio::time::sleep(Duration::from_millis(10)).await;
+            let now = controller.activations();
+            if now == last {
+                stable += 1;
+                if stable >= 10 {
+                    break;
+                }
+            } else {
+                stable = 0;
+                last = now;
+            }
+        }
+        assert!(stable >= 10, "cast keeps re-activating: {last} and counting");
+        controller.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn pushdown_mode_produces_same_result() {
+        let (api, mut config) = retail_setup().await;
+        config.mode = CastMode::Pushdown { udf_name: "retail-dxg".to_string() };
+        api.create(StoreId::new("checkout/state"), ObjectKey::new("o2"), order())
+            .await
+            .unwrap();
+        let cast = Cast::new(Arc::clone(&api));
+        cast.activate_once(&config, &ObjectKey::new("o2")).await.unwrap();
+        let s = api
+            .get(StoreId::new("shipping/state"), ObjectKey::new("o2"))
+            .await
+            .unwrap();
+        assert_eq!(s.value["method"], json!("air"));
+        assert_eq!(s.value["addr"], json!("Soda Hall"));
+    }
+
+    #[tokio::test]
+    async fn reconfigure_swaps_policy_at_runtime() {
+        let (api, config) = retail_setup().await;
+        let cast = Cast::new(Arc::clone(&api));
+        let controller = cast.spawn(config.clone()).await.unwrap();
+
+        // T2 of Table 1: change the shipment-method threshold from 1000
+        // to 2000 — one integrator reconfiguration, no service changes.
+        let new_spec = FIG6_RETAIL_DXG.replace("C.order.cost > 1000", "C.order.cost > 2000");
+        let new_config = CastConfig {
+            dxg: Dxg::parse(&new_spec).unwrap(),
+            ..config.clone()
+        };
+        controller.reconfigure(new_config).await.unwrap();
+
+        api.create(StoreId::new("checkout/state"), ObjectKey::new("order-x"), order())
+            .await
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Ok(s) = api
+                .get(StoreId::new("shipping/state"), ObjectKey::new("order-x"))
+                .await
+            {
+                if s.value.get("method").map(|m| !m.is_null()).unwrap_or(false) {
+                    // Cost 1200 is now below the 2000 threshold → ground.
+                    assert_eq!(s.value["method"], json!("ground"));
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "no shipment after reconfigure");
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        controller.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn reconfigure_rejects_invalid_spec_and_keeps_running() {
+        let (api, config) = retail_setup().await;
+        let cast = Cast::new(Arc::clone(&api));
+        let controller = cast.spawn(config.clone()).await.unwrap();
+
+        // A cyclic DXG is rejected…
+        let bad = Dxg::parse(
+            "Input:\n  C: g/v/s/c\n  S: g/v/s/s\nDXG:\n  C:\n    x: S.y\n  S:\n    y: C.x\n",
+        )
+        .unwrap();
+        let mut bad_config = config.clone();
+        bad_config.dxg = bad;
+        assert!(controller.reconfigure(bad_config).await.is_err());
+
+        // …and the old config still works.
+        api.create(StoreId::new("checkout/state"), ObjectKey::new("order-z"), order())
+            .await
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if api
+                .get(StoreId::new("shipping/state"), ObjectKey::new("order-z"))
+                .await
+                .is_ok()
+            {
+                break;
+            }
+            assert!(Instant::now() < deadline);
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        controller.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn unbound_alias_rejected_at_spawn() {
+        let (api, mut config) = retail_setup().await;
+        config.bindings.remove("P");
+        let cast = Cast::new(api);
+        assert!(matches!(cast.spawn(config).await, Err(Error::Dxg(_))));
+    }
+}

@@ -1,0 +1,189 @@
+//! The knactor service abstraction.
+//!
+//! A knactor is "a service that contains a reconciler component and one or
+//! multiple data stores" (§3.2). Building one performs the first two
+//! steps of the development workflow:
+//!
+//! 1. **Externalize** — register the data-store schema with the exchange
+//!    and create the store(s).
+//! 2. **Express** — the schema's `+kr: external` annotations declare what
+//!    the store can ingest from integrators.
+//!
+//! The third step, **Exchange**, belongs to integrators (`cast`, `sync`),
+//! not to any knactor — that is the decoupling.
+
+use crate::reconciler::Reconciler;
+use knactor_net::ExchangeApi;
+use knactor_store::object::RetentionPolicy;
+use knactor_types::{KnactorId, Result, Schema, StoreId};
+use std::sync::Arc;
+
+/// A declared knactor: identity, stores, schema, and (optionally) its
+/// reconciler. Deployment happens through [`crate::runtime::Runtime`].
+pub struct Knactor {
+    pub id: KnactorId,
+    /// Object stores owned by this knactor (usually one, `<id>/state`).
+    pub object_stores: Vec<StoreId>,
+    /// Log stores owned by this knactor (telemetry).
+    pub log_stores: Vec<StoreId>,
+    /// Schema registered for the primary object store.
+    pub schema: Option<Schema>,
+    pub retention: RetentionPolicy,
+    pub reconciler: Option<Arc<dyn Reconciler>>,
+}
+
+impl std::fmt::Debug for Knactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Knactor")
+            .field("id", &self.id)
+            .field("object_stores", &self.object_stores)
+            .field("log_stores", &self.log_stores)
+            .field("has_reconciler", &self.reconciler.is_some())
+            .finish()
+    }
+}
+
+impl Knactor {
+    pub fn builder(id: impl Into<KnactorId>) -> KnactorBuilder {
+        KnactorBuilder::new(id)
+    }
+
+    /// The knactor's primary object store (`<id>/state` by convention).
+    pub fn primary_store(&self) -> Option<&StoreId> {
+        self.object_stores.first()
+    }
+
+    /// Externalize: create stores and register the schema on the exchange
+    /// reachable through `api`.
+    pub async fn externalize(&self, api: &dyn ExchangeApi) -> Result<()> {
+        for store in &self.object_stores {
+            api.create_store(store.clone(), knactor_net::proto::ProfileSpec::Instant)
+                .await?;
+        }
+        for store in &self.log_stores {
+            api.log_create_store(store.clone()).await?;
+        }
+        if let Some(schema) = &self.schema {
+            api.register_schema(schema.clone()).await?;
+            if let Some(primary) = self.primary_store() {
+                api.bind_schema(primary.clone(), schema.name.clone()).await?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent construction of a [`Knactor`].
+pub struct KnactorBuilder {
+    id: KnactorId,
+    object_stores: Vec<StoreId>,
+    log_stores: Vec<StoreId>,
+    schema: Option<Schema>,
+    retention: RetentionPolicy,
+    reconciler: Option<Arc<dyn Reconciler>>,
+}
+
+impl KnactorBuilder {
+    pub fn new(id: impl Into<KnactorId>) -> KnactorBuilder {
+        KnactorBuilder {
+            id: id.into(),
+            object_stores: Vec::new(),
+            log_stores: Vec::new(),
+            schema: None,
+            retention: RetentionPolicy::Forever,
+            reconciler: None,
+        }
+    }
+
+    /// Add an object store named `<id>/<name>`.
+    pub fn object_store(mut self, name: &str) -> Self {
+        self.object_stores.push(StoreId::of(&self.id, name));
+        self
+    }
+
+    /// Add a log store named `<id>/<name>`.
+    pub fn log_store(mut self, name: &str) -> Self {
+        self.log_stores.push(StoreId::of(&self.id, name));
+        self
+    }
+
+    /// Register the primary store's schema (the Externalize step).
+    pub fn schema(mut self, schema: Schema) -> Self {
+        self.schema = Some(schema);
+        self
+    }
+
+    pub fn retention(mut self, policy: RetentionPolicy) -> Self {
+        self.retention = policy;
+        self
+    }
+
+    pub fn reconciler(mut self, r: impl Reconciler + 'static) -> Self {
+        self.reconciler = Some(Arc::new(r));
+        self
+    }
+
+    pub fn reconciler_arc(mut self, r: Arc<dyn Reconciler>) -> Self {
+        self.reconciler = Some(r);
+        self
+    }
+
+    pub fn build(mut self) -> Knactor {
+        if self.object_stores.is_empty() {
+            // Every knactor externalizes at least one object store.
+            self.object_stores.push(StoreId::of(&self.id, "state"));
+        }
+        Knactor {
+            id: self.id,
+            object_stores: self.object_stores,
+            log_stores: self.log_stores,
+            schema: self.schema,
+            retention: self.retention,
+            reconciler: self.reconciler,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knactor_net::loopback::in_process;
+    use knactor_rbac::Subject;
+    use knactor_types::schema::{FieldSpec, FieldType};
+
+    #[test]
+    fn builder_defaults_primary_store() {
+        let k = Knactor::builder("checkout").build();
+        assert_eq!(k.primary_store().unwrap().as_str(), "checkout/state");
+        assert!(k.log_stores.is_empty());
+    }
+
+    #[test]
+    fn builder_collects_stores() {
+        let k = Knactor::builder("house")
+            .object_store("config")
+            .log_store("telemetry")
+            .build();
+        assert_eq!(k.object_stores[0].as_str(), "house/config");
+        assert_eq!(k.log_stores[0].as_str(), "house/telemetry");
+    }
+
+    #[tokio::test]
+    async fn externalize_creates_stores_and_schema() {
+        let (object, log, client) = in_process(Subject::operator("deploy"));
+        let schema = Schema::new("OnlineRetail/v1/Checkout/Order")
+            .field(FieldSpec::new("address", FieldType::String));
+        let k = Knactor::builder("checkout")
+            .object_store("state")
+            .log_store("audit")
+            .schema(schema.clone())
+            .build();
+        k.externalize(&client).await.unwrap();
+        assert!(object.store(&StoreId::new("checkout/state")).is_ok());
+        assert!(log.store(&StoreId::new("checkout/audit")).is_ok());
+        assert_eq!(
+            object.schema(&schema.name).unwrap().fields.len(),
+            schema.fields.len()
+        );
+    }
+}

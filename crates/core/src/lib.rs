@@ -1,0 +1,47 @@
+//! # knactor-core
+//!
+//! The Knactor framework (§3.2): the `knactor` service abstraction, the
+//! reconciler programming model, the runtime that hosts them, and the two
+//! built-in integrators.
+//!
+//! ## The Knactor pattern, concretely
+//!
+//! * A [`knactor::Knactor`] is a service that talks **only to its own
+//!   data stores** — one or more Object stores (configuration-like state)
+//!   and Log stores (telemetry-like state), hosted on data exchanges.
+//! * Its [`reconciler::Reconciler`] watches the knactor's own store and
+//!   reacts to state changes (e.g. a new `Shipment` object appears → call
+//!   the carrier, write back `trackingID`).
+//! * Composition lives **outside** every service, in integrators:
+//!   [`cast::Cast`] executes a data-exchange graph over Object stores;
+//!   [`sync::Sync`] runs dataflow pipelines between Log stores.
+//! * The [`runtime::Runtime`] supervises all of it: spawn, restart on
+//!   panic, graceful shutdown (the Tokio shutdown pattern).
+//!
+//! ## Run-time reconfiguration (§3.3)
+//!
+//! Both integrators accept configuration updates while running —
+//! [`cast::CastController::reconfigure`] swaps in a new DXG without
+//! touching, rebuilding, or redeploying any knactor. That operation *is*
+//! the paper's headline claim, and Table 1's harness measures it.
+//!
+//! ## Observability
+//!
+//! [`telemetry`] threads exchange-level traces (per-activation spans)
+//! through Cast and Sync so cross-service data flows stay visible.
+
+pub mod cast;
+pub mod knactor;
+pub mod reconciler;
+pub mod runtime;
+pub mod schema_file;
+pub mod sync;
+pub mod telemetry;
+
+pub use cast::{Cast, CastBinding, CastConfig, CastController, CastMode, KeyBinding};
+pub use knactor::{Knactor, KnactorBuilder};
+pub use reconciler::{FnReconciler, Reconciler, ReconcilerCtx};
+pub use runtime::Runtime;
+pub use schema_file::{parse_schema, schema_to_yaml};
+pub use sync::{Sync, SyncConfig, SyncDest, SyncMode};
+pub use telemetry::{Span, TraceCollector};

@@ -1,0 +1,280 @@
+//! The Knactor runtime: deploys knactors, supervises reconcilers,
+//! coordinates graceful shutdown.
+//!
+//! Each deployed knactor gets a reconcile loop task: watch the primary
+//! store, call the reconciler per event. Supervision follows the "task
+//! per unit of failure" pattern: every `reconcile` call runs in its own
+//! task, so a panic is contained, logged, and the loop continues with the
+//! next event. Shutdown is the Tokio watch-flag pattern — all loops
+//! observe one flag and drain.
+
+use crate::knactor::Knactor;
+use crate::reconciler::ReconcilerCtx;
+use knactor_net::ExchangeApi;
+use knactor_types::{Error, Result, Revision};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::sync::watch;
+use tokio::task::JoinHandle;
+
+/// Supervises a set of knactor reconcile loops.
+pub struct Runtime {
+    shutdown_tx: watch::Sender<bool>,
+    tasks: Mutex<Vec<(String, JoinHandle<()>)>>,
+    /// Reconcile invocations that ended in panic (visible to tests and
+    /// operators; a growing count means a sick reconciler).
+    panics: Arc<AtomicU64>,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::new()
+    }
+}
+
+impl Runtime {
+    pub fn new() -> Runtime {
+        let (shutdown_tx, _) = watch::channel(false);
+        Runtime {
+            shutdown_tx,
+            tasks: Mutex::new(Vec::new()),
+            panics: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Deploy a knactor: externalize its stores/schema through `api`,
+    /// then (if it has a reconciler) start its reconcile loop using the
+    /// same client.
+    ///
+    /// `api` should be authenticated as the knactor's own reconciler
+    /// subject so the exchange's RBAC sees the right identity.
+    pub async fn deploy(&self, knactor: Knactor, api: Arc<dyn ExchangeApi>) -> Result<()> {
+        knactor.externalize(&*api).await?;
+        self.deploy_pre_externalized(knactor, api).await
+    }
+
+    /// Like [`Runtime::deploy`], but the caller already created the
+    /// stores (e.g. with a non-default engine profile) and registered
+    /// any schema — only the reconcile loop is started.
+    pub async fn deploy_pre_externalized(
+        &self,
+        knactor: Knactor,
+        api: Arc<dyn ExchangeApi>,
+    ) -> Result<()> {
+        let Some(reconciler) = knactor.reconciler.clone() else {
+            return Ok(());
+        };
+        let store = knactor
+            .primary_store()
+            .cloned()
+            .ok_or_else(|| Error::Internal(format!("knactor {} has no store", knactor.id)))?;
+        let ctx = ReconcilerCtx::new(
+            knactor.id.clone(),
+            store.clone(),
+            knactor.log_stores.clone(),
+            Arc::clone(&api),
+        );
+        let mut shutdown = self.shutdown_tx.subscribe();
+        let panics = Arc::clone(&self.panics);
+        let name = knactor.id.to_string();
+        let task_name = name.clone();
+        let task = tokio::spawn(async move {
+            let mut rx = match api.watch(store.clone(), Revision::ZERO).await {
+                Ok(rx) => rx,
+                Err(_) => return,
+            };
+            loop {
+                tokio::select! {
+                    _ = shutdown.changed() => {
+                        if *shutdown.borrow() {
+                            return;
+                        }
+                    }
+                    event = rx.recv() => {
+                        let Some(event) = event else { return };
+                        let ctx = ctx.clone();
+                        let reconciler = Arc::clone(&reconciler);
+                        // Contain panics: one bad event must not kill the
+                        // loop.
+                        let handle = tokio::spawn(async move {
+                            reconciler.reconcile(&ctx, event).await
+                        });
+                        match handle.await {
+                            Ok(Ok(())) => {}
+                            Ok(Err(_e)) => {
+                                // Reconcile errors are per-event; the next
+                                // event retries naturally.
+                            }
+                            Err(join_err) if join_err.is_panic() => {
+                                panics.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                }
+            }
+        });
+        self.tasks.lock().push((task_name, task));
+        Ok(())
+    }
+
+    /// Register an externally-spawned task for shutdown tracking.
+    pub fn adopt(&self, name: impl Into<String>, task: JoinHandle<()>) {
+        self.tasks.lock().push((name.into(), task));
+    }
+
+    /// A shutdown flag receiver for custom components.
+    pub fn shutdown_signal(&self) -> watch::Receiver<bool> {
+        self.shutdown_tx.subscribe()
+    }
+
+    pub fn panic_count(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    pub fn task_names(&self) -> Vec<String> {
+        self.tasks.lock().iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Graceful shutdown: raise the flag, await every task.
+    pub async fn shutdown(self) {
+        let _ = self.shutdown_tx.send(true);
+        let tasks: Vec<_> = self.tasks.into_inner();
+        for (_name, task) in tasks {
+            let _ = task.await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knactor::Knactor;
+    use crate::reconciler::FnReconciler;
+    use knactor_net::loopback::in_process;
+    use knactor_rbac::Subject;
+    use knactor_store::WatchEvent;
+    use knactor_types::{ObjectKey, StoreId};
+    use serde_json::json;
+    use std::time::{Duration, Instant};
+
+    #[tokio::test]
+    async fn deploy_runs_reconciler_on_events() {
+        let (_, _, client) = in_process(Subject::reconciler("shipping"));
+        let api: Arc<dyn ExchangeApi> = Arc::new(client);
+        let runtime = Runtime::new();
+
+        // A shipping reconciler: when a shipment object appears with an
+        // address, post a tracking id.
+        let shipping = Knactor::builder("shipping")
+            .object_store("state")
+            .reconciler(FnReconciler::new(|ctx: ReconcilerCtx, event: WatchEvent| async move {
+                if event.value.get("addr").map(|a| !a.is_null()).unwrap_or(false)
+                    && event.value.get("id").map(|v| v.is_null()).unwrap_or(true)
+                {
+                    ctx.patch(&event.key, json!({"id": format!("track-{}", event.key)}))
+                        .await?;
+                }
+                Ok(())
+            }))
+            .build();
+        runtime.deploy(shipping, Arc::clone(&api)).await.unwrap();
+
+        api.create(
+            StoreId::new("shipping/state"),
+            ObjectKey::new("order-1"),
+            json!({"addr": "Soda Hall"}),
+        )
+        .await
+        .unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let obj = api
+                .get(StoreId::new("shipping/state"), ObjectKey::new("order-1"))
+                .await
+                .unwrap();
+            if obj.value.get("id").map(|v| !v.is_null()).unwrap_or(false) {
+                assert_eq!(obj.value["id"], json!("track-order-1"));
+                break;
+            }
+            assert!(Instant::now() < deadline, "reconciler never wrote id");
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        runtime.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn panicking_reconciler_is_contained() {
+        let (_, _, client) = in_process(Subject::reconciler("flaky"));
+        let api: Arc<dyn ExchangeApi> = Arc::new(client);
+        let runtime = Runtime::new();
+
+        let flaky = Knactor::builder("flaky")
+            .reconciler(FnReconciler::new(|ctx: ReconcilerCtx, event: WatchEvent| async move {
+                if event.value.get("boom").is_some() {
+                    panic!("injected failure");
+                }
+                ctx.patch(&event.key, json!({"ok": true})).await?;
+                Ok(())
+            }))
+            .build();
+        runtime.deploy(flaky, Arc::clone(&api)).await.unwrap();
+
+        // First event panics; second must still be processed.
+        api.create(StoreId::new("flaky/state"), ObjectKey::new("bad"), json!({"boom": 1}))
+            .await
+            .unwrap();
+        api.create(StoreId::new("flaky/state"), ObjectKey::new("good"), json!({"n": 1}))
+            .await
+            .unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let obj = api
+                .get(StoreId::new("flaky/state"), ObjectKey::new("good"))
+                .await
+                .unwrap();
+            if obj.value.get("ok").is_some() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "loop died after panic");
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        assert!(runtime.panic_count() >= 1);
+        runtime.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn shutdown_stops_loops() {
+        let (_, _, client) = in_process(Subject::reconciler("quiet"));
+        let api: Arc<dyn ExchangeApi> = Arc::new(client);
+        let runtime = Runtime::new();
+        let quiet = Knactor::builder("quiet")
+            .reconciler(FnReconciler::new(|_ctx: ReconcilerCtx, _e: WatchEvent| async move {
+                Ok(())
+            }))
+            .build();
+        runtime.deploy(quiet, Arc::clone(&api)).await.unwrap();
+        assert_eq!(runtime.task_names(), vec!["quiet"]);
+        // Must return promptly.
+        tokio::time::timeout(Duration::from_secs(5), runtime.shutdown())
+            .await
+            .expect("shutdown hung");
+    }
+
+    #[tokio::test]
+    async fn deploy_without_reconciler_only_externalizes() {
+        let (object, _, client) = in_process(Subject::operator("deploy"));
+        let api: Arc<dyn ExchangeApi> = Arc::new(client);
+        let runtime = Runtime::new();
+        runtime
+            .deploy(Knactor::builder("passive").build(), Arc::clone(&api))
+            .await
+            .unwrap();
+        assert!(object.store(&StoreId::new("passive/state")).is_ok());
+        assert!(runtime.task_names().is_empty());
+        runtime.shutdown().await;
+    }
+}

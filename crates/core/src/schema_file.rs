@@ -1,0 +1,114 @@
+//! Schema files: the Fig. 5 on-disk format.
+//!
+//! ```yaml
+//! schema: OnlineRetail/v1/Checkout/Order
+//! items: object
+//! address: string
+//! shippingCost: number # +kr: external
+//! ```
+//!
+//! The first entry names the schema; every other entry declares a field
+//! as `name: type`, with `+kr:` trailing comments carrying annotations
+//! (the *Express* step of the development workflow). A `!` suffix on the
+//! type marks the field required (`address: string!`).
+
+use knactor_types::{Annotation, Error, FieldSpec, FieldType, Result, Schema, SchemaName};
+
+/// Parse a schema document.
+pub fn parse_schema(text: &str) -> Result<Schema> {
+    let doc = knactor_yamlish::parse(text)?;
+    let entries = doc.entries()?;
+    let name_node = doc
+        .get("schema")
+        .ok_or_else(|| Error::SchemaViolation("schema file missing 'schema:' entry".to_string()))?;
+    let name = SchemaName::new(name_node.as_str()?);
+    let mut schema = Schema::new(name);
+    for (field, node) in entries {
+        if field == "schema" {
+            continue;
+        }
+        let ty_text = node.as_str()?;
+        let (ty_text, required) = match ty_text.strip_suffix('!') {
+            Some(t) => (t, true),
+            None => (ty_text, false),
+        };
+        let ty = FieldType::parse(ty_text)?;
+        let mut spec = FieldSpec::new(field.clone(), ty);
+        spec.required = required;
+        for ann in &node.annotations {
+            spec.annotations.push(Annotation::parse(ann));
+        }
+        schema = schema.field(spec);
+    }
+    if schema.fields.is_empty() {
+        return Err(Error::SchemaViolation(format!(
+            "schema {} declares no fields",
+            schema.name
+        )));
+    }
+    Ok(schema)
+}
+
+/// Render a schema back to the file format.
+pub fn schema_to_yaml(schema: &Schema) -> String {
+    let mut entries = vec![(
+        "schema".to_string(),
+        knactor_yamlish::Node::scalar(schema.name.as_str()),
+    )];
+    for f in &schema.fields {
+        let ty = if f.required { format!("{}!", f.ty) } else { f.ty.to_string() };
+        let mut node = knactor_yamlish::Node::scalar(ty);
+        for a in &f.annotations {
+            node = node.with_annotation(a.to_string());
+        }
+        entries.push((f.name.clone(), node));
+    }
+    knactor_yamlish::to_string(&knactor_yamlish::Node::map(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG5: &str = "\
+schema: OnlineRetail/v1/Checkout/Order
+items: object
+address: string!
+cost: number
+shippingCost: number # +kr: external
+totalCost: number
+currency: string
+paymentID: string # +kr: external
+trackingID: string # +kr: external
+";
+
+    #[test]
+    fn parses_fig5() {
+        let schema = parse_schema(FIG5).unwrap();
+        assert_eq!(schema.name.as_str(), "OnlineRetail/v1/Checkout/Order");
+        assert_eq!(schema.fields.len(), 8);
+        assert!(schema.get("address").unwrap().required);
+        assert!(!schema.get("cost").unwrap().required);
+        let external: Vec<_> = schema.external_fields().map(|f| f.name.as_str()).collect();
+        assert_eq!(external, vec!["shippingCost", "paymentID", "trackingID"]);
+    }
+
+    #[test]
+    fn roundtrips() {
+        let schema = parse_schema(FIG5).unwrap();
+        let text = schema_to_yaml(&schema);
+        let back = parse_schema(&text).unwrap();
+        assert_eq!(back, schema);
+    }
+
+    #[test]
+    fn missing_name_or_fields_rejected() {
+        assert!(parse_schema("a: string\n").is_err());
+        assert!(parse_schema("schema: X/v1/Y/Z\n").is_err());
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        assert!(parse_schema("schema: X/v1/Y/Z\nf: quux\n").is_err());
+    }
+}

@@ -1,0 +1,452 @@
+//! Static analysis over DXG specifications.
+//!
+//! The paper (§5) argues that making data exchanges explicit lets the
+//! framework bring program-analysis tooling to composition. This module
+//! implements the two analyses the paper names — **loop detection** and
+//! **unused state detection** — plus the checks a registry of schemas
+//! makes possible: unknown references and unfilled `external` fields.
+
+use crate::spec::{Assignment, Dxg};
+use knactor_types::{FieldPath, Schema};
+use std::collections::BTreeMap;
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The spec cannot execute correctly.
+    Error,
+    /// Suspicious but executable.
+    Warning,
+    /// Informational (e.g. unused declared state).
+    Info,
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub severity: Severity,
+    pub code: &'static str,
+    pub message: String,
+}
+
+impl Finding {
+    fn error(code: &'static str, message: String) -> Finding {
+        Finding { severity: Severity::Error, code, message }
+    }
+
+    fn warning(code: &'static str, message: String) -> Finding {
+        Finding { severity: Severity::Warning, code, message }
+    }
+
+    fn info(code: &'static str, message: String) -> Finding {
+        Finding { severity: Severity::Info, code, message }
+    }
+}
+
+/// The result of analyzing a DXG.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    pub findings: Vec<Finding>,
+    /// Indices of assignments participating in a dependency cycle.
+    pub cyclic_assignments: Vec<usize>,
+    /// A dependency-respecting evaluation order (assignment indices),
+    /// present only when the graph is acyclic.
+    pub order: Option<Vec<usize>>,
+}
+
+impl Analysis {
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+
+    pub fn errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.severity == Severity::Error)
+    }
+}
+
+/// Does assignment `writer`'s write overlap one of `reader`'s reads?
+///
+/// Overlap is prefix overlap in either direction: writing `order` affects
+/// a reader of `order.cost`, and writing `order.cost` affects a reader of
+/// `order`.
+fn depends_on(reader: &Assignment, writer: &Assignment) -> bool {
+    let w_alias = &writer.target_alias;
+    let w_path = writer.target_path();
+    for r in reader.read_refs() {
+        let Some((alias, rest)) = split_ref(&r) else { continue };
+        if alias != *w_alias {
+            continue;
+        }
+        let Ok(r_path) = FieldPath::parse(&rest) else { continue };
+        if w_path.is_prefix_of(&r_path) || r_path.is_prefix_of(&w_path) {
+            return true;
+        }
+    }
+    false
+}
+
+fn split_ref(r: &str) -> Option<(String, String)> {
+    match r.split_once('.') {
+        Some((alias, rest)) => Some((alias.to_string(), rest.to_string())),
+        None => Some((r.to_string(), String::new())),
+    }
+}
+
+/// Analyze without schema information: duplicate targets, dependency
+/// cycles, self-dependencies, and an execution order when acyclic.
+pub fn analyze(dxg: &Dxg) -> Analysis {
+    let mut analysis = Analysis::default();
+    let n = dxg.assignments.len();
+
+    // Duplicate / overlapping writes to the same path.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (a, b) = (&dxg.assignments[i], &dxg.assignments[j]);
+            if a.target_alias == b.target_alias {
+                let (pa, pb) = (a.target_path(), b.target_path());
+                if pa.is_prefix_of(&pb) || pb.is_prefix_of(&pa) {
+                    analysis.findings.push(Finding::error(
+                        "overlapping-writes",
+                        format!(
+                            "assignments at lines {} and {} both write {} / {}",
+                            a.line,
+                            b.line,
+                            a.write_ref(),
+                            b.write_ref()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Dependency edges: edge i -> j when j reads what i writes
+    // (i must run before j).
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indegree = vec![0usize; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && depends_on(&dxg.assignments[j], &dxg.assignments[i]) {
+                edges[i].push(j);
+                indegree[j] += 1;
+            }
+        }
+    }
+
+    // Self-dependency (an assignment reading its own target) is a direct
+    // loop: `x: A.x + 1` would re-trigger itself forever.
+    for (i, a) in dxg.assignments.iter().enumerate() {
+        if depends_on(a, a) {
+            analysis.findings.push(Finding::error(
+                "self-dependency",
+                format!("assignment {} (line {}) reads its own target", a.write_ref(), a.line),
+            ));
+            analysis.cyclic_assignments.push(i);
+        }
+    }
+
+    // Kahn's algorithm; leftovers are on cycles.
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut indegree_mut = indegree.clone();
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &j in &edges[i] {
+            indegree_mut[j] -= 1;
+            if indegree_mut[j] == 0 {
+                queue.push(j);
+            }
+        }
+    }
+    if order.len() < n {
+        let mut cyclic: Vec<usize> = (0..n).filter(|i| !order.contains(i)).collect();
+        let names: Vec<String> = cyclic
+            .iter()
+            .map(|&i| dxg.assignments[i].write_ref())
+            .collect();
+        analysis.findings.push(Finding::error(
+            "dependency-cycle",
+            format!("assignments form a dependency cycle: {}", names.join(" -> ")),
+        ));
+        analysis.cyclic_assignments.append(&mut cyclic);
+        analysis.cyclic_assignments.sort_unstable();
+        analysis.cyclic_assignments.dedup();
+    } else {
+        analysis.order = Some(order);
+    }
+
+    analysis
+}
+
+/// Analyze with schemas bound per alias: adds unknown-reference checking,
+/// unfilled-external-field warnings, and unused-state reporting.
+pub fn analyze_with_schemas(dxg: &Dxg, schemas: &BTreeMap<String, Schema>) -> Analysis {
+    let mut analysis = analyze(dxg);
+
+    for (alias, schema) in schemas {
+        if !dxg.inputs.contains_key(alias) {
+            analysis.findings.push(Finding::warning(
+                "schema-for-unknown-alias",
+                format!("schema {} bound to undeclared alias '{alias}'", schema.name),
+            ));
+        }
+    }
+
+    // Unknown references: the first field segment of each read and write
+    // must be declared in the alias's schema.
+    for a in &dxg.assignments {
+        let mut check = |alias: &str, path: &FieldPath, what: &str| {
+            let Some(schema) = schemas.get(alias) else { return };
+            let Some(first) = path.head_field() else { return };
+            if schema.get(first).is_none() {
+                analysis.findings.push(Finding::error(
+                    "unknown-field",
+                    format!(
+                        "{what} '{alias}.{path}' (line {}): field '{first}' not in schema {}",
+                        a.line, schema.name
+                    ),
+                ));
+            }
+        };
+        check(&a.target_alias, &a.target_path(), "write to");
+        for r in a.read_refs() {
+            if let Some((alias, rest)) = split_ref(&r) {
+                if rest.is_empty() {
+                    continue;
+                }
+                if let Ok(path) = FieldPath::parse(&rest) {
+                    check(&alias, &path, "read of");
+                }
+            }
+        }
+    }
+
+    // External fields the DXG never fills (the store declared it expects
+    // an integrator to provide them).
+    for (alias, schema) in schemas {
+        for field in schema.external_fields() {
+            let filled = dxg.assignments.iter().any(|a| {
+                a.target_alias == *alias
+                    && a.target_path().head_field() == Some(field.name.as_str())
+            });
+            if !filled {
+                analysis.findings.push(Finding::warning(
+                    "unfilled-external",
+                    format!(
+                        "external field '{alias}.{}' ({}) is never filled by this DXG",
+                        field.name, schema.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Unused state: declared fields neither read nor written.
+    for (alias, schema) in schemas {
+        for field in &schema.fields {
+            let touched = dxg.assignments.iter().any(|a| {
+                let written = a.target_alias == *alias
+                    && a.target_path().head_field() == Some(field.name.as_str());
+                let read = a.read_refs().iter().any(|r| {
+                    split_ref(r)
+                        .and_then(|(ra, rest)| {
+                            if ra == *alias {
+                                FieldPath::parse(&rest).ok()
+                            } else {
+                                None
+                            }
+                        })
+                        .and_then(|p| p.head_field().map(|h| h == field.name))
+                        .unwrap_or(false)
+                });
+                written || read
+            });
+            if !touched {
+                analysis.findings.push(Finding::info(
+                    "unused-state",
+                    format!("field '{alias}.{}' is not used by this DXG", field.name),
+                ));
+            }
+        }
+    }
+
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FIG6_RETAIL_DXG;
+    use knactor_types::schema::{FieldSpec, FieldType};
+
+    #[test]
+    fn fig6_is_clean_and_ordered() {
+        let dxg = Dxg::parse(FIG6_RETAIL_DXG).unwrap();
+        let analysis = analyze(&dxg);
+        assert!(!analysis.has_errors(), "{:?}", analysis.findings);
+        let order = analysis.order.expect("acyclic");
+        assert_eq!(order.len(), dxg.assignments.len());
+        // Dependencies respected: P.amount (reads C.order.totalCost) may
+        // be anywhere, but C.order.paymentID (reads P.id) must come after
+        // nothing writes P.id in this DXG — verify ordering is at least a
+        // permutation that respects S.method-before-nothing and the
+        // writes-before-reads pairs that do exist:
+        // C.order.shippingCost reads S.quote.* — never written here, fine.
+        let pos = |write: &str| {
+            order
+                .iter()
+                .position(|&i| dxg.assignments[i].write_ref() == write)
+                .unwrap()
+        };
+        // P.amount and P.currency are written; nothing reads them. The
+        // assignments reading C.order.* must run after writes into
+        // C.order.* only when they overlap — shippingCost writes
+        // C.order.shippingCost, and no assignment reads it, so any order
+        // works. Sanity: all 8 present.
+        assert_eq!(order.len(), 8);
+        let _ = pos("C.order.shippingCost");
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let src = "\
+Input:
+  A: g/v/s/a
+  B: g/v/s/b
+DXG:
+  A:
+    x: B.y
+  B:
+    y: A.x
+";
+        let dxg = Dxg::parse(src).unwrap();
+        let analysis = analyze(&dxg);
+        assert!(analysis.has_errors());
+        assert!(analysis
+            .findings
+            .iter()
+            .any(|f| f.code == "dependency-cycle"));
+        assert_eq!(analysis.cyclic_assignments.len(), 2);
+        assert!(analysis.order.is_none());
+    }
+
+    #[test]
+    fn self_dependency_detected() {
+        let src = "Input:\n  A: g/v/s/a\nDXG:\n  A:\n    x: A.x + 1\n";
+        let dxg = Dxg::parse(src).unwrap();
+        let analysis = analyze(&dxg);
+        assert!(analysis.findings.iter().any(|f| f.code == "self-dependency"));
+    }
+
+    #[test]
+    fn chain_is_ordered_writes_before_reads() {
+        let src = "\
+Input:
+  A: g/v/s/a
+  B: g/v/s/b
+  C: g/v/s/c
+DXG:
+  B:
+    y: A.x
+  C:
+    z: B.y
+";
+        let dxg = Dxg::parse(src).unwrap();
+        let analysis = analyze(&dxg);
+        assert!(!analysis.has_errors());
+        let order = analysis.order.unwrap();
+        let by = order
+            .iter()
+            .position(|&i| dxg.assignments[i].write_ref() == "B.y")
+            .unwrap();
+        let cz = order
+            .iter()
+            .position(|&i| dxg.assignments[i].write_ref() == "C.z")
+            .unwrap();
+        assert!(by < cz, "B.y must be computed before C.z reads it");
+    }
+
+    #[test]
+    fn overlapping_writes_detected() {
+        let src = "\
+Input:
+  A: g/v/s/a
+  B: g/v/s/b
+DXG:
+  A:
+    order: B.whole
+    order.cost: B.cost
+";
+        let dxg = Dxg::parse(src).unwrap();
+        let analysis = analyze(&dxg);
+        assert!(analysis.findings.iter().any(|f| f.code == "overlapping-writes"));
+    }
+
+    #[test]
+    fn prefix_overlap_creates_dependency() {
+        // Writing A.order (whole object) then reading A.order.cost.
+        let src = "\
+Input:
+  A: g/v/s/a
+  B: g/v/s/b
+  C: g/v/s/c
+DXG:
+  A.order:
+    cost: B.cost
+  C:
+    x: A.order.cost * 2
+";
+        let dxg = Dxg::parse(src).unwrap();
+        let analysis = analyze(&dxg);
+        let order = analysis.order.unwrap();
+        let w = order
+            .iter()
+            .position(|&i| dxg.assignments[i].write_ref() == "A.order.cost")
+            .unwrap();
+        let r = order
+            .iter()
+            .position(|&i| dxg.assignments[i].write_ref() == "C.x")
+            .unwrap();
+        assert!(w < r);
+    }
+
+    fn checkout_schema() -> Schema {
+        Schema::new("OnlineRetail/v1/Checkout/Order")
+            .field(FieldSpec::new("order", FieldType::Object))
+            .field(FieldSpec::new("neverTouched", FieldType::String))
+    }
+
+    #[test]
+    fn unknown_field_reported_with_schemas() {
+        let src = "Input:\n  C: g/v/s/c\n  S: g/v/s/s\nDXG:\n  S:\n    x: C.bogus.y\n";
+        let dxg = Dxg::parse(src).unwrap();
+        let mut schemas = BTreeMap::new();
+        schemas.insert("C".to_string(), checkout_schema());
+        let analysis = analyze_with_schemas(&dxg, &schemas);
+        assert!(analysis.findings.iter().any(|f| f.code == "unknown-field"));
+    }
+
+    #[test]
+    fn unused_and_unfilled_reported() {
+        let src = "Input:\n  C: g/v/s/c\n  S: g/v/s/s\nDXG:\n  S:\n    x: C.order.cost\n";
+        let dxg = Dxg::parse(src).unwrap();
+        let mut schemas = BTreeMap::new();
+        schemas.insert(
+            "C".to_string(),
+            Schema::new("T/v1/C/K")
+                .field(FieldSpec::new("order", FieldType::Object))
+                .field(FieldSpec::new("unused", FieldType::String))
+                .field(FieldSpec::new("tracking", FieldType::String).external()),
+        );
+        let analysis = analyze_with_schemas(&dxg, &schemas);
+        assert!(analysis
+            .findings
+            .iter()
+            .any(|f| f.code == "unused-state" && f.message.contains("C.unused")));
+        assert!(analysis
+            .findings
+            .iter()
+            .any(|f| f.code == "unfilled-external" && f.message.contains("C.tracking")));
+        assert!(!analysis.has_errors());
+    }
+}

@@ -1,0 +1,160 @@
+//! Structural diffing of DXG specifications.
+//!
+//! Run-time reconfiguration (§3.3) swaps one spec for another; operators
+//! reviewing such a change want to know *what the exchange will do
+//! differently*, not a textual diff of YAML. [`diff`] compares two specs
+//! at the assignment level: added, removed, and rewritten assignments,
+//! plus input-binding changes. `knactorctl dxg diff` exposes it, and it
+//! is exactly the audit record a marketplace of shared integrators
+//! (§5, *Ecosystem*) would attach to an upgrade.
+
+use crate::spec::Dxg;
+use std::collections::BTreeMap;
+
+/// One assignment-level change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Change {
+    /// Present in `new` only: this state starts being filled.
+    Added { target: String, expr: String },
+    /// Present in `old` only: this state stops being filled.
+    Removed { target: String, expr: String },
+    /// Same target, different expression.
+    Rewritten { target: String, old_expr: String, new_expr: String },
+    /// An input alias appeared or disappeared, or its reference changed.
+    InputChanged { alias: String, old: Option<String>, new: Option<String> },
+}
+
+impl std::fmt::Display for Change {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Change::Added { target, expr } => write!(f, "+ {target} = {expr}"),
+            Change::Removed { target, expr } => write!(f, "- {target} = {expr}"),
+            Change::Rewritten { target, old_expr, new_expr } => {
+                write!(f, "~ {target}: {old_expr}  ->  {new_expr}")
+            }
+            Change::InputChanged { alias, old, new } => match (old, new) {
+                (None, Some(n)) => write!(f, "+ input {alias}: {n}"),
+                (Some(o), None) => write!(f, "- input {alias}: {o}"),
+                (Some(o), Some(n)) => write!(f, "~ input {alias}: {o} -> {n}"),
+                (None, None) => write!(f, "? input {alias}"),
+            },
+        }
+    }
+}
+
+/// Compare two specs. Assignments are keyed by their write reference
+/// (`alias.path`); expressions compare by printed form, so formatting
+/// and `this`-sugar differences do not register as changes.
+pub fn diff(old: &Dxg, new: &Dxg) -> Vec<Change> {
+    let mut changes = Vec::new();
+
+    // Inputs.
+    let mut aliases: Vec<&String> = old.inputs.keys().chain(new.inputs.keys()).collect();
+    aliases.sort();
+    aliases.dedup();
+    for alias in aliases {
+        let o = old.inputs.get(alias).map(|r| r.raw.clone());
+        let n = new.inputs.get(alias).map(|r| r.raw.clone());
+        if o != n {
+            changes.push(Change::InputChanged { alias: alias.clone(), old: o, new: n });
+        }
+    }
+
+    // Assignments by write ref.
+    let index = |dxg: &Dxg| -> BTreeMap<String, String> {
+        dxg.assignments
+            .iter()
+            .map(|a| (a.write_ref(), a.expr.to_string()))
+            .collect()
+    };
+    let old_map = index(old);
+    let new_map = index(new);
+    for (target, old_expr) in &old_map {
+        match new_map.get(target) {
+            None => changes.push(Change::Removed { target: target.clone(), expr: old_expr.clone() }),
+            Some(new_expr) if new_expr != old_expr => changes.push(Change::Rewritten {
+                target: target.clone(),
+                old_expr: old_expr.clone(),
+                new_expr: new_expr.clone(),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (target, expr) in &new_map {
+        if !old_map.contains_key(target) {
+            changes.push(Change::Added { target: target.clone(), expr: expr.clone() });
+        }
+    }
+    changes
+}
+
+/// True when the two specs produce identical exchanges.
+pub fn equivalent(old: &Dxg, new: &Dxg) -> bool {
+    diff(old, new).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FIG6_RETAIL_DXG;
+
+    #[test]
+    fn identical_specs_are_equivalent() {
+        let a = Dxg::parse(FIG6_RETAIL_DXG).unwrap();
+        let b = Dxg::parse(FIG6_RETAIL_DXG).unwrap();
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn formatting_differences_do_not_register() {
+        let a = Dxg::parse("Input:\n  A: g/v/s/a\nDXG:\n  A:\n    x: 1 +   2\n").unwrap();
+        let b = Dxg::parse("Input:\n  A: g/v/s/a\nDXG:\n  A:\n    x: >\n      1 + 2\n").unwrap();
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn policy_change_is_a_rewrite() {
+        let old = Dxg::parse(FIG6_RETAIL_DXG).unwrap();
+        let new = Dxg::parse(&FIG6_RETAIL_DXG.replace("C.order.cost > 1000", "C.order.cost > 2000"))
+            .unwrap();
+        let changes = diff(&old, &new);
+        assert_eq!(changes.len(), 1);
+        match &changes[0] {
+            Change::Rewritten { target, old_expr, new_expr } => {
+                assert_eq!(target, "S.method");
+                assert!(old_expr.contains("1000"));
+                assert!(new_expr.contains("2000"));
+            }
+            other => panic!("expected rewrite, got {other:?}"),
+        }
+        assert!(changes[0].to_string().starts_with("~ S.method"));
+    }
+
+    #[test]
+    fn added_and_removed_assignments() {
+        let old = Dxg::parse("Input:\n  A: g/v/s/a\nDXG:\n  A:\n    x: '1'\n    y: '2'\n").unwrap();
+        let new = Dxg::parse("Input:\n  A: g/v/s/a\nDXG:\n  A:\n    x: '1'\n    z: '3'\n").unwrap();
+        let changes = diff(&old, &new);
+        // The YAML-quoted '2' is the expression `2`, printed as `2.0`.
+        assert!(changes.contains(&Change::Removed { target: "A.y".into(), expr: "2.0".into() }));
+        assert!(changes.contains(&Change::Added { target: "A.z".into(), expr: "3.0".into() }));
+        assert_eq!(changes.len(), 2);
+    }
+
+    #[test]
+    fn input_changes_detected() {
+        let old = Dxg::parse(FIG6_RETAIL_DXG).unwrap();
+        // Shipping evolves to v2 (task T3's Input line).
+        let new = Dxg::parse(
+            &FIG6_RETAIL_DXG
+                .replace("OnlineRetail/v1/Shipping", "OnlineRetail/v2/Shipping"),
+        )
+        .unwrap();
+        let changes = diff(&old, &new);
+        assert!(changes.iter().any(|c| matches!(
+            c,
+            Change::InputChanged { alias, old: Some(o), new: Some(n) }
+                if alias == "S" && o.contains("/v1/") && n.contains("/v2/")
+        )));
+    }
+}

@@ -1,0 +1,419 @@
+//! DXG specification model and parser.
+
+use knactor_expr::Expr;
+use knactor_types::{Error, FieldPath, Result};
+use knactor_yamlish::{Node, Yaml};
+use std::collections::BTreeMap;
+
+/// A parsed `Input` entry: `C: OnlineRetail/v1/Checkout/knactor-checkout`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputRef {
+    pub raw: String,
+    /// `group/version/service` when the reference is fully qualified.
+    pub group: Option<String>,
+    pub version: Option<String>,
+    pub service: Option<String>,
+    /// The knactor name (last path component).
+    pub knactor: String,
+}
+
+impl InputRef {
+    pub fn parse(raw: &str) -> InputRef {
+        let parts: Vec<&str> = raw.split('/').collect();
+        match parts.as_slice() {
+            [group, version, service, knactor] => InputRef {
+                raw: raw.to_string(),
+                group: Some(group.to_string()),
+                version: Some(version.to_string()),
+                service: Some(service.to_string()),
+                knactor: knactor.to_string(),
+            },
+            _ => InputRef {
+                raw: raw.to_string(),
+                group: None,
+                version: None,
+                service: None,
+                knactor: parts.last().unwrap_or(&raw).to_string(),
+            },
+        }
+    }
+}
+
+/// One assignment: write `expr` to `target_alias` at `base + path`.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    pub target_alias: String,
+    /// Base path from a dotted DXG key (`C.order` → base `order`).
+    pub target_base: FieldPath,
+    /// Path below the base (nested mapping keys).
+    pub target_field: FieldPath,
+    /// The expression with `this` already resolved to the target alias +
+    /// base (so dependency analysis and pushdown see real references).
+    pub expr: Expr,
+    /// Original source text, for diagnostics and serialization.
+    pub source: String,
+    /// Source line of the assignment in the spec document.
+    pub line: usize,
+}
+
+impl Assignment {
+    /// Full path written inside the target object.
+    pub fn target_path(&self) -> FieldPath {
+        let mut segments = self.target_base.segments.clone();
+        segments.extend(self.target_field.segments.iter().cloned());
+        FieldPath { segments }
+    }
+
+    /// The write, rendered as `alias.path` (diagnostics, graph nodes).
+    pub fn write_ref(&self) -> String {
+        let p = self.target_path();
+        if p.is_root() {
+            self.target_alias.clone()
+        } else {
+            format!("{}.{}", self.target_alias, p)
+        }
+    }
+
+    /// The reads, rendered as `alias.path` strings.
+    pub fn read_refs(&self) -> Vec<String> {
+        self.expr.reference_paths()
+    }
+}
+
+/// A parsed DXG document.
+#[derive(Debug, Clone)]
+pub struct Dxg {
+    pub inputs: BTreeMap<String, InputRef>,
+    pub assignments: Vec<Assignment>,
+}
+
+impl Dxg {
+    /// Parse a YAML-subset DXG document (Fig. 6 format).
+    pub fn parse(text: &str) -> Result<Dxg> {
+        let doc = knactor_yamlish::parse(text)?;
+        Self::from_node(&doc)
+    }
+
+    /// Build from an already-parsed YAML node.
+    pub fn from_node(doc: &Node) -> Result<Dxg> {
+        let mut inputs = BTreeMap::new();
+        let input_node = doc
+            .get("Input")
+            .ok_or_else(|| Error::Dxg("missing 'Input' section".to_string()))?;
+        for (alias, value) in input_node.entries()? {
+            if alias == "this" {
+                return Err(Error::Dxg("'this' cannot be an input alias".to_string()));
+            }
+            inputs.insert(alias.clone(), InputRef::parse(value.as_str()?));
+        }
+        if inputs.is_empty() {
+            return Err(Error::Dxg("'Input' section is empty".to_string()));
+        }
+
+        let dxg_node = doc
+            .get("DXG")
+            .ok_or_else(|| Error::Dxg("missing 'DXG' section".to_string()))?;
+        let mut assignments = Vec::new();
+        for (key, value) in dxg_node.entries()? {
+            // `C` or `C.order` — alias plus optional base path.
+            let (alias, base) = match key.split_once('.') {
+                Some((alias, base)) => (alias.to_string(), FieldPath::parse(base)?),
+                None => (key.clone(), FieldPath::root()),
+            };
+            if !inputs.contains_key(&alias) {
+                return Err(Error::Dxg(format!(
+                    "DXG key '{key}' references undeclared alias '{alias}'"
+                )));
+            }
+            collect_assignments(&alias, &base, FieldPath::root(), value, &inputs, &mut assignments)?;
+        }
+        if assignments.is_empty() {
+            return Err(Error::Dxg("'DXG' section declares no assignments".to_string()));
+        }
+        Ok(Dxg { inputs, assignments })
+    }
+
+    /// Aliases that some assignment writes to.
+    pub fn target_aliases(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.assignments.iter().map(|a| a.target_alias.clone()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Aliases read by at least one expression.
+    pub fn source_aliases(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .assignments
+            .iter()
+            .flat_map(|a| a.expr.free_roots())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+fn collect_assignments(
+    alias: &str,
+    base: &FieldPath,
+    at: FieldPath,
+    node: &Node,
+    inputs: &BTreeMap<String, InputRef>,
+    out: &mut Vec<Assignment>,
+) -> Result<()> {
+    match &node.yaml {
+        Yaml::Map(entries) => {
+            for (field, child) in entries {
+                let path = extend(&at, field)?;
+                collect_assignments(alias, base, path, child, inputs, out)?;
+            }
+            Ok(())
+        }
+        Yaml::Scalar(v) => {
+            let src = v.as_str().ok_or_else(|| Error::Dxg(format!(
+                "assignment '{}.{at}' must be an expression string, got {v}",
+                alias
+            )))?;
+            let raw = knactor_expr::parse_expr(src)?;
+            // Resolve `this` to the target alias + base so everything
+            // downstream sees concrete references.
+            let expr = substitute_this(&raw, alias, base);
+            for root in expr.free_roots() {
+                if !inputs.contains_key(&root) {
+                    return Err(Error::Dxg(format!(
+                        "expression '{src}' references undeclared alias '{root}' (line {})",
+                        node.line
+                    )));
+                }
+            }
+            out.push(Assignment {
+                target_alias: alias.to_string(),
+                target_base: base.clone(),
+                target_field: at,
+                expr,
+                source: src.to_string(),
+                line: node.line,
+            });
+            Ok(())
+        }
+        Yaml::Seq(_) => Err(Error::Dxg(format!(
+            "unexpected sequence at '{alias}.{at}' (line {})",
+            node.line
+        ))),
+    }
+}
+
+fn extend(base: &FieldPath, key: &str) -> Result<FieldPath> {
+    let rel = FieldPath::parse(key)?;
+    let mut segments = base.segments.clone();
+    segments.extend(rel.segments);
+    Ok(FieldPath { segments })
+}
+
+/// Replace free occurrences of `this` with `alias` followed by `base`.
+pub fn substitute_this(expr: &Expr, alias: &str, base: &FieldPath) -> Expr {
+    fn target_expr(alias: &str, base: &FieldPath) -> Expr {
+        let mut e = Expr::Ident(alias.to_string());
+        for seg in &base.segments {
+            match seg {
+                knactor_types::path::Segment::Field(f) => {
+                    e = Expr::Member(Box::new(e), f.clone());
+                }
+                knactor_types::path::Segment::Index(i) => {
+                    e = Expr::Index(
+                        Box::new(e),
+                        Box::new(Expr::Literal(serde_json::Value::from(*i as u64))),
+                    );
+                }
+            }
+        }
+        e
+    }
+    fn walk(expr: &Expr, alias: &str, base: &FieldPath, bound: &mut Vec<String>) -> Expr {
+        match expr {
+            Expr::Ident(name) if name == "this" && !bound.iter().any(|b| b == "this") => {
+                target_expr(alias, base)
+            }
+            Expr::Ident(_) | Expr::Literal(_) => expr.clone(),
+            Expr::Member(b, f) => Expr::Member(Box::new(walk(b, alias, base, bound)), f.clone()),
+            Expr::Index(b, i) => Expr::Index(
+                Box::new(walk(b, alias, base, bound)),
+                Box::new(walk(i, alias, base, bound)),
+            ),
+            Expr::Call(name, args) => Expr::Call(
+                name.clone(),
+                args.iter().map(|a| walk(a, alias, base, bound)).collect(),
+            ),
+            Expr::Binary(op, l, r) => Expr::Binary(
+                *op,
+                Box::new(walk(l, alias, base, bound)),
+                Box::new(walk(r, alias, base, bound)),
+            ),
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(walk(e, alias, base, bound))),
+            Expr::If { then, cond, otherwise } => Expr::If {
+                then: Box::new(walk(then, alias, base, bound)),
+                cond: Box::new(walk(cond, alias, base, bound)),
+                otherwise: Box::new(walk(otherwise, alias, base, bound)),
+            },
+            Expr::Comprehension { body, var, source, filter } => {
+                let source = Box::new(walk(source, alias, base, bound));
+                bound.push(var.clone());
+                let body = Box::new(walk(body, alias, base, bound));
+                let filter = filter
+                    .as_ref()
+                    .map(|f| Box::new(walk(f, alias, base, bound)));
+                bound.pop();
+                Expr::Comprehension { body, var: var.clone(), source, filter }
+            }
+            Expr::List(items) => {
+                Expr::List(items.iter().map(|i| walk(i, alias, base, bound)).collect())
+            }
+        }
+    }
+    walk(expr, alias, base, &mut Vec::new())
+}
+
+/// The paper's Fig. 6 spec, verbatim-equivalent, used by tests, examples,
+/// and benchmarks.
+pub const FIG6_RETAIL_DXG: &str = r#"
+Input:
+  C: OnlineRetail/v1/Checkout/knactor-checkout
+  S: OnlineRetail/v1/Shipping/knactor-shipping
+  P: OnlineRetail/v1/Payment/knactor-payment
+DXG:
+  C.order:
+    shippingCost: >
+      currency_convert(S.quote.price,
+      S.quote.currency, this.currency)
+    paymentID: P.id
+    trackingID: S.id
+  P:
+    amount: C.order.totalCost
+    currency: C.order.currency
+  S:
+    items: '[item.name for item in C.order.items]'
+    addr: C.order.address
+    method: >
+      "air" if C.order.cost > 1000 else "ground"
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig6() {
+        let dxg = Dxg::parse(FIG6_RETAIL_DXG).unwrap();
+        assert_eq!(dxg.inputs.len(), 3);
+        assert_eq!(dxg.inputs["C"].service.as_deref(), Some("Checkout"));
+        assert_eq!(dxg.inputs["C"].knactor, "knactor-checkout");
+        assert_eq!(dxg.assignments.len(), 8);
+        let aliases = dxg.target_aliases();
+        assert_eq!(aliases, vec!["C", "P", "S"]);
+        assert_eq!(dxg.source_aliases(), vec!["C", "P", "S"]);
+    }
+
+    #[test]
+    fn this_resolves_to_target_base() {
+        let dxg = Dxg::parse(FIG6_RETAIL_DXG).unwrap();
+        let shipping_cost = dxg
+            .assignments
+            .iter()
+            .find(|a| a.write_ref() == "C.order.shippingCost")
+            .unwrap();
+        // this.currency became C.order.currency.
+        assert!(shipping_cost
+            .read_refs()
+            .contains(&"C.order.currency".to_string()));
+        assert!(!shipping_cost.source.is_empty());
+    }
+
+    #[test]
+    fn target_paths_compose_base_and_field() {
+        let dxg = Dxg::parse(FIG6_RETAIL_DXG).unwrap();
+        let pay = dxg
+            .assignments
+            .iter()
+            .find(|a| a.target_alias == "P" && a.target_field.to_string() == "amount")
+            .unwrap();
+        assert!(pay.target_base.is_root());
+        assert_eq!(pay.target_path().to_string(), "amount");
+        assert_eq!(pay.write_ref(), "P.amount");
+    }
+
+    #[test]
+    fn nested_mapping_extends_path() {
+        let src = r#"
+Input:
+  A: g/v/s/k
+DXG:
+  A:
+    outer:
+      inner: "1"
+      other: "2"
+"#;
+        let dxg = Dxg::parse(src).unwrap();
+        let refs: Vec<String> = dxg.assignments.iter().map(|a| a.write_ref()).collect();
+        assert_eq!(refs, vec!["A.outer.inner", "A.outer.other"]);
+    }
+
+    #[test]
+    fn undeclared_alias_in_key_rejected() {
+        let src = "Input:\n  A: g/v/s/k\nDXG:\n  B:\n    x: '1'\n";
+        assert!(matches!(Dxg::parse(src), Err(Error::Dxg(_))));
+    }
+
+    #[test]
+    fn undeclared_alias_in_expr_rejected() {
+        let src = "Input:\n  A: g/v/s/k\nDXG:\n  A:\n    x: B.y\n";
+        let err = Dxg::parse(src).unwrap_err();
+        assert!(matches!(err, Error::Dxg(ref m) if m.contains("'B'")));
+    }
+
+    #[test]
+    fn this_cannot_be_alias() {
+        let src = "Input:\n  this: g/v/s/k\nDXG:\n  this:\n    x: '1'\n";
+        assert!(Dxg::parse(src).is_err());
+    }
+
+    #[test]
+    fn missing_sections_rejected() {
+        assert!(Dxg::parse("DXG:\n  A:\n    x: '1'\n").is_err());
+        assert!(Dxg::parse("Input:\n  A: g/v/s/k\n").is_err());
+        assert!(Dxg::parse("Input:\n  A: g/v/s/k\nDXG:\n").is_err());
+    }
+
+    #[test]
+    fn non_string_assignment_rejected() {
+        let src = "Input:\n  A: g/v/s/k\nDXG:\n  A:\n    x: 42\n";
+        assert!(matches!(Dxg::parse(src), Err(Error::Dxg(_))));
+    }
+
+    #[test]
+    fn bad_expression_rejected() {
+        let src = "Input:\n  A: g/v/s/k\nDXG:\n  A:\n    x: 'A.y +'\n";
+        assert!(Dxg::parse(src).is_err());
+    }
+
+    #[test]
+    fn input_ref_parsing() {
+        let full = InputRef::parse("OnlineRetail/v1/Checkout/knactor-checkout");
+        assert_eq!(full.group.as_deref(), Some("OnlineRetail"));
+        assert_eq!(full.version.as_deref(), Some("v1"));
+        assert_eq!(full.knactor, "knactor-checkout");
+        let short = InputRef::parse("just-a-name");
+        assert_eq!(short.group, None);
+        assert_eq!(short.knactor, "just-a-name");
+    }
+
+    #[test]
+    fn substitute_this_respects_comprehension_shadowing() {
+        let expr = knactor_expr::parse_expr("[this for this in this.items]").unwrap();
+        let base = FieldPath::parse("order").unwrap();
+        let out = substitute_this(&expr, "C", &base);
+        // The *source* `this.items` resolves; the body `this` is the bound
+        // comprehension variable and stays.
+        assert_eq!(out.to_string(), "[this for this in C.order.items]");
+    }
+}

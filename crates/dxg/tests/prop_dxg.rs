@@ -1,0 +1,151 @@
+//! Property tests for DXG analysis and planning over *generated* specs.
+
+use knactor_dxg::{analyze, diff, Dxg, Plan};
+use proptest::prelude::*;
+
+/// Generate a random DXG source over a small alias/field universe.
+/// Assignments write `alias.fN` and read other `alias.fM` references, so
+/// both acyclic and cyclic dependency graphs occur.
+fn dxg_source() -> impl Strategy<Value = String> {
+    let aliases = ["A", "B", "C"];
+    let assignment = (0usize..3, 0usize..4, 0usize..3, 0usize..4).prop_map(
+        move |(ti, tf, ri, rf)| {
+            (
+                aliases[ti].to_string(),
+                format!("f{tf}"),
+                format!("{}.f{rf}", aliases[ri]),
+            )
+        },
+    );
+    proptest::collection::vec(assignment, 1..8).prop_map(move |assignments| {
+        let mut src = String::from("Input:\n");
+        for a in aliases {
+            src.push_str(&format!("  {a}: g/v/s/{}\n", a.to_lowercase()));
+        }
+        src.push_str("DXG:\n");
+        // Group by target alias; dedupe identical target paths (the
+        // parser rejects duplicate keys).
+        let mut by_alias: std::collections::BTreeMap<String, Vec<(String, String)>> =
+            Default::default();
+        for (alias, field, expr) in assignments {
+            let entry = by_alias.entry(alias).or_default();
+            if !entry.iter().any(|(f, _)| *f == field) {
+                entry.push((field, expr));
+            }
+        }
+        for (alias, fields) in by_alias {
+            src.push_str(&format!("  {alias}:\n"));
+            for (field, expr) in fields {
+                src.push_str(&format!("    {field}: {expr}\n"));
+            }
+        }
+        src
+    })
+}
+
+proptest! {
+    /// Parsing generated specs never panics; analysis is total.
+    #[test]
+    fn analysis_total(src in dxg_source()) {
+        if let Ok(dxg) = Dxg::parse(&src) {
+            let _ = analyze::analyze(&dxg);
+        }
+    }
+
+    /// When analysis reports no errors, a plan builds and its order is a
+    /// topological order: every read of a written path happens after the
+    /// write's step.
+    #[test]
+    fn plan_respects_dependencies(src in dxg_source()) {
+        let Ok(dxg) = Dxg::parse(&src) else { return Ok(()) };
+        let analysis = analyze::analyze(&dxg);
+        if analysis.has_errors() {
+            prop_assert!(Plan::build(&dxg).is_err(), "plan must refuse erroneous specs");
+            return Ok(());
+        }
+        let plan = Plan::build(&dxg).unwrap();
+        // Every assignment appears exactly once.
+        let mut seen = vec![false; dxg.assignments.len()];
+        for step in &plan.steps {
+            for &i in &step.assignments {
+                prop_assert!(!seen[i], "assignment {i} scheduled twice");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "assignment missing from plan");
+
+        // Position of each assignment in the flattened order.
+        let flat: Vec<usize> = plan.steps.iter().flat_map(|s| s.assignments.clone()).collect();
+        let pos = |i: usize| flat.iter().position(|&x| x == i).unwrap();
+        for (wi, w) in dxg.assignments.iter().enumerate() {
+            for (ri, r) in dxg.assignments.iter().enumerate() {
+                if wi == ri {
+                    continue;
+                }
+                // r reads what w writes (exact write-ref containment check)?
+                let w_ref = w.write_ref();
+                let reads = r.read_refs();
+                let overlaps = reads.iter().any(|rr| {
+                    rr == &w_ref
+                        || rr.starts_with(&format!("{w_ref}."))
+                        || w_ref.starts_with(&format!("{rr}."))
+                });
+                if overlaps {
+                    prop_assert!(
+                        pos(wi) < pos(ri),
+                        "write {} (idx {wi}) must precede reader {} (idx {ri})\n{src}",
+                        w_ref,
+                        r.write_ref()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Consolidation never increases write ops beyond the assignment
+    /// count, and each step is single-target.
+    #[test]
+    fn consolidation_sound(src in dxg_source()) {
+        let Ok(dxg) = Dxg::parse(&src) else { return Ok(()) };
+        let Ok(plan) = Plan::build(&dxg) else { return Ok(()) };
+        prop_assert!(plan.write_ops() <= plan.assignment_count());
+        for step in &plan.steps {
+            for &i in &step.assignments {
+                prop_assert_eq!(&dxg.assignments[i].target_alias, &step.target_alias);
+            }
+        }
+    }
+
+    /// diff(x, x) is empty and diff is anti-symmetric in add/remove.
+    #[test]
+    fn diff_laws(a in dxg_source(), b in dxg_source()) {
+        let (Ok(da), Ok(db)) = (Dxg::parse(&a), Dxg::parse(&b)) else { return Ok(()) };
+        prop_assert!(diff(&da, &da).is_empty());
+        prop_assert!(diff(&db, &db).is_empty());
+        let forward = diff(&da, &db);
+        let backward = diff(&db, &da);
+        let adds = |cs: &[knactor_dxg::Change]| {
+            cs.iter()
+                .filter(|c| matches!(c, knactor_dxg::Change::Added { .. }))
+                .count()
+        };
+        let removes = |cs: &[knactor_dxg::Change]| {
+            cs.iter()
+                .filter(|c| matches!(c, knactor_dxg::Change::Removed { .. }))
+                .count()
+        };
+        prop_assert_eq!(adds(&forward), removes(&backward));
+        prop_assert_eq!(removes(&forward), adds(&backward));
+    }
+
+    /// UDF export of a valid plan always re-compiles.
+    #[test]
+    fn udf_export_compiles(src in dxg_source()) {
+        let Ok(dxg) = Dxg::parse(&src) else { return Ok(()) };
+        let Ok(plan) = Plan::build(&dxg) else { return Ok(()) };
+        let assignments = plan.to_udf_assignments(&dxg);
+        let inputs = Plan::udf_inputs(&dxg);
+        knactor_store::Udf::compile("prop", inputs, &assignments)
+            .expect("exported UDF must compile");
+    }
+}

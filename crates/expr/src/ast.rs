@@ -1,0 +1,338 @@
+//! Abstract syntax for DXG expressions.
+
+use std::fmt;
+
+/// Binary operators, in Python-like spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal scalar or list-of-literals constant.
+    Literal(serde_json::Value),
+    /// A bare identifier: service alias, `this`, or comprehension variable.
+    Ident(String),
+    /// Member access: `base.field`.
+    Member(Box<Expr>, String),
+    /// Index access: `base[expr]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Function call: `name(args…)`.
+    Call(String, Vec<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// `then if cond else otherwise` (Python conditional expression).
+    If {
+        then: Box<Expr>,
+        cond: Box<Expr>,
+        otherwise: Box<Expr>,
+    },
+    /// `[body for var in source if filter]`.
+    Comprehension {
+        body: Box<Expr>,
+        var: String,
+        source: Box<Expr>,
+        filter: Option<Box<Expr>>,
+    },
+    /// List literal with non-constant elements: `[a, b.c, 1 + 2]`.
+    List(Vec<Expr>),
+}
+
+impl Expr {
+    /// All *free* root identifiers referenced by this expression — the
+    /// service aliases (and `this`) the expression reads. Comprehension
+    /// variables are bound, not free.
+    ///
+    /// The DXG dependency analyzer is built on this: an assignment depends
+    /// on exactly the states its expression's free roots reach.
+    pub fn free_roots(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut bound = Vec::new();
+        self.collect_roots(&mut bound, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_roots(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Ident(name) => {
+                if !bound.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            Expr::Member(base, _) => base.collect_roots(bound, out),
+            Expr::Index(base, idx) => {
+                base.collect_roots(bound, out);
+                idx.collect_roots(bound, out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_roots(bound, out);
+                }
+            }
+            Expr::Binary(_, l, r) => {
+                l.collect_roots(bound, out);
+                r.collect_roots(bound, out);
+            }
+            Expr::Unary(_, e) => e.collect_roots(bound, out),
+            Expr::If { then, cond, otherwise } => {
+                then.collect_roots(bound, out);
+                cond.collect_roots(bound, out);
+                otherwise.collect_roots(bound, out);
+            }
+            Expr::Comprehension { body, var, source, filter } => {
+                source.collect_roots(bound, out);
+                bound.push(var.clone());
+                body.collect_roots(bound, out);
+                if let Some(f) = filter {
+                    f.collect_roots(bound, out);
+                }
+                bound.pop();
+            }
+            Expr::List(items) => {
+                for i in items {
+                    i.collect_roots(bound, out);
+                }
+            }
+        }
+    }
+
+    /// The full reference paths (root + member chain) this expression
+    /// reads, rendered as dotted strings like `C.order.totalCost`.
+    /// Index steps and computed suffixes stop the chain at the static
+    /// prefix, which is what dependency tracking needs (it is a safe
+    /// over-approximation to depend on the prefix).
+    pub fn reference_paths(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut bound = Vec::new();
+        self.collect_refs(&mut bound, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_refs(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        match self {
+            Expr::Member(_, _) | Expr::Ident(_) => {
+                if let Some(path) = self.static_path() {
+                    let root = path.split('.').next().unwrap_or("").to_string();
+                    if !bound.contains(&root) {
+                        out.push(path);
+                    }
+                } else {
+                    // Fall back to sub-expressions.
+                    if let Expr::Member(base, _) = self {
+                        base.collect_refs(bound, out);
+                    }
+                }
+            }
+            Expr::Literal(_) => {}
+            Expr::Index(base, idx) => {
+                base.collect_refs(bound, out);
+                idx.collect_refs(bound, out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_refs(bound, out);
+                }
+            }
+            Expr::Binary(_, l, r) => {
+                l.collect_refs(bound, out);
+                r.collect_refs(bound, out);
+            }
+            Expr::Unary(_, e) => e.collect_refs(bound, out),
+            Expr::If { then, cond, otherwise } => {
+                then.collect_refs(bound, out);
+                cond.collect_refs(bound, out);
+                otherwise.collect_refs(bound, out);
+            }
+            Expr::Comprehension { body, var, source, filter } => {
+                source.collect_refs(bound, out);
+                bound.push(var.clone());
+                body.collect_refs(bound, out);
+                if let Some(f) = filter {
+                    f.collect_refs(bound, out);
+                }
+                bound.pop();
+            }
+            Expr::List(items) => {
+                for i in items {
+                    i.collect_refs(bound, out);
+                }
+            }
+        }
+    }
+
+    /// Render a pure `Ident`/`Member` chain as `a.b.c`, if this is one.
+    pub fn static_path(&self) -> Option<String> {
+        match self {
+            Expr::Ident(name) => Some(name.clone()),
+            Expr::Member(base, field) => {
+                let mut p = base.static_path()?;
+                p.push('.');
+                p.push_str(field);
+                Some(p)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Round-trippable rendering (used by UDF pushdown to ship an
+    /// expression to the store server as text).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => match v {
+                serde_json::Value::String(s) => write!(f, "{}", serde_json::Value::String(s.clone())),
+                other => write!(f, "{other}"),
+            },
+            Expr::Ident(name) => f.write_str(name),
+            Expr::Member(base, field) => write!(f, "{base}.{field}"),
+            Expr::Index(base, idx) => write!(f, "{base}[{idx}]"),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Binary(op, l, r) => write!(f, "({l} {} {r})", op.symbol()),
+            Expr::Unary(UnOp::Neg, e) => write!(f, "(-{e})"),
+            Expr::Unary(UnOp::Not, e) => write!(f, "(not {e})"),
+            Expr::If { then, cond, otherwise } => {
+                write!(f, "({then} if {cond} else {otherwise})")
+            }
+            Expr::Comprehension { body, var, source, filter } => {
+                write!(f, "[{body} for {var} in {source}")?;
+                if let Some(flt) = filter {
+                    write!(f, " if {flt}")?;
+                }
+                f.write_str("]")
+            }
+            Expr::List(items) => {
+                f.write_str("[")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_expr;
+
+    #[test]
+    fn free_roots_sees_through_members_and_calls() {
+        let e = parse_expr("currency_convert(S.quote.price, S.quote.currency, this.currency)")
+            .unwrap();
+        assert_eq!(e.free_roots(), vec!["S".to_string(), "this".to_string()]);
+    }
+
+    #[test]
+    fn comprehension_var_is_bound() {
+        let e = parse_expr("[item.name for item in C.order.items]").unwrap();
+        assert_eq!(e.free_roots(), vec!["C".to_string()]);
+    }
+
+    #[test]
+    fn comprehension_source_root_still_free() {
+        let e = parse_expr("[item for item in item]").unwrap();
+        // The *source* `item` is evaluated before the variable binds.
+        assert_eq!(e.free_roots(), vec!["item".to_string()]);
+    }
+
+    #[test]
+    fn reference_paths_capture_full_chains() {
+        let e = parse_expr("C.order.totalCost + P.fee if S.quote.ready else 0").unwrap();
+        assert_eq!(
+            e.reference_paths(),
+            vec![
+                "C.order.totalCost".to_string(),
+                "P.fee".to_string(),
+                "S.quote.ready".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn static_path_rejects_computed() {
+        assert_eq!(parse_expr("a.b.c").unwrap().static_path(), Some("a.b.c".into()));
+        assert_eq!(parse_expr("a[0].b").unwrap().static_path(), None);
+        assert_eq!(parse_expr("f(x)").unwrap().static_path(), None);
+    }
+
+    #[test]
+    fn display_reparses_to_same_ast() {
+        for src in [
+            "1 + 2 * 3",
+            "a.b[0].c",
+            "\"air\" if C.order.cost > 1000 else \"ground\"",
+            "[item.name for item in C.order.items if item.qty > 0]",
+            "not (a and b) or c",
+            "currency_convert(S.quote.price, S.quote.currency, this.currency)",
+            "[1, x, f(y)]",
+            "-x % 3",
+        ] {
+            let e = parse_expr(src).unwrap();
+            let printed = e.to_string();
+            let reparsed = parse_expr(&printed)
+                .unwrap_or_else(|err| panic!("reparse of '{printed}' failed: {err}"));
+            assert_eq!(reparsed, e, "src '{src}' printed as '{printed}'");
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! Builtin function registry for DXG expressions.
+//!
+//! All builtins are pure: no I/O, no clocks, no randomness. The registry
+//! is extensible so applications can register domain transforms (the
+//! paper's `currency_convert` is exactly such a transform); extension
+//! functions must uphold the same purity contract because integrators and
+//! store-side UDFs re-run expressions at will.
+
+use crate::eval::{as_number, num};
+use knactor_types::{Error, Result};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Signature of a builtin: evaluated argument values in, value out.
+pub type BuiltinFn = Arc<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
+
+/// A registry of named pure functions.
+#[derive(Clone, Default)]
+pub struct FnRegistry {
+    fns: BTreeMap<String, BuiltinFn>,
+}
+
+impl std::fmt::Debug for FnRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnRegistry")
+            .field("functions", &self.fns.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl FnRegistry {
+    /// An empty registry (no functions, not even the standard ones).
+    pub fn empty() -> FnRegistry {
+        FnRegistry::default()
+    }
+
+    /// The standard library described below, including a fixed-rate
+    /// `currency_convert` suitable for tests and the example apps.
+    ///
+    /// | name | effect |
+    /// |------|--------|
+    /// | `len(x)` | length of array, object, or string |
+    /// | `sum(xs)` / `min(xs)` / `max(xs)` / `avg(xs)` | numeric folds |
+    /// | `abs(n)` / `round(n)` / `floor(n)` / `ceil(n)` | numeric maps |
+    /// | `upper(s)` / `lower(s)` / `trim(s)` | string maps |
+    /// | `concat(a, b, …)` | stringify-and-join all arguments |
+    /// | `join(xs, sep)` / `split(s, sep)` | array ↔ string |
+    /// | `contains(hay, needle)` | substring / array membership / object key |
+    /// | `coalesce(a, b, …)` | first non-null argument |
+    /// | `default(a, d)` | `a` unless null, else `d` |
+    /// | `str(x)` / `number(x)` | conversions |
+    /// | `keys(obj)` / `values(obj)` | object projections |
+    /// | `currency_convert(amount, from, to)` | fixed-table FX conversion |
+    pub fn standard() -> FnRegistry {
+        let mut reg = FnRegistry::empty();
+        install_standard(&mut reg);
+        reg
+    }
+
+    /// Register (or replace) a function.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        self.fns.insert(name.into(), Arc::new(f));
+    }
+
+    /// Invoke a function by name.
+    pub fn call(&self, name: &str, args: &[Value]) -> Result<Value> {
+        let f = self
+            .fns
+            .get(name)
+            .ok_or_else(|| Error::Expr(format!("unknown function '{name}'")))?;
+        f(args)
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.fns.contains_key(name)
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &String> {
+        self.fns.keys()
+    }
+}
+
+fn arity(args: &[Value], want: usize, name: &str) -> Result<()> {
+    if args.len() == want {
+        Ok(())
+    } else {
+        Err(Error::Expr(format!(
+            "{name} expects {want} argument(s), got {}",
+            args.len()
+        )))
+    }
+}
+
+fn want_array<'a>(v: &'a Value, name: &str) -> Result<&'a Vec<Value>> {
+    v.as_array().ok_or_else(|| {
+        Error::Expr(format!(
+            "{name} expects an array, got {}",
+            knactor_types::value::type_name(v)
+        ))
+    })
+}
+
+fn want_str<'a>(v: &'a Value, name: &str) -> Result<&'a str> {
+    v.as_str().ok_or_else(|| {
+        Error::Expr(format!(
+            "{name} expects a string, got {}",
+            knactor_types::value::type_name(v)
+        ))
+    })
+}
+
+fn stringify(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Null => String::new(),
+        other => other.to_string(),
+    }
+}
+
+/// Fixed FX table (per-USD rates) so `currency_convert` is pure. A real
+/// deployment would register its own function backed by a rates *state*
+/// (itself exchanged through a data store), keeping evaluation pure.
+const FX_PER_USD: &[(&str, f64)] = &[
+    ("USD", 1.0),
+    ("EUR", 0.92),
+    ("GBP", 0.79),
+    ("JPY", 157.0),
+    ("CAD", 1.37),
+    ("AUD", 1.50),
+];
+
+fn fx_rate(code: &str) -> Result<f64> {
+    FX_PER_USD
+        .iter()
+        .find(|(c, _)| *c == code)
+        .map(|(_, r)| *r)
+        .ok_or_else(|| Error::Expr(format!("unknown currency '{code}'")))
+}
+
+fn install_standard(reg: &mut FnRegistry) {
+    reg.register("len", |args| {
+        arity(args, 1, "len")?;
+        let n = match &args[0] {
+            Value::Array(a) => a.len(),
+            Value::Object(o) => o.len(),
+            Value::String(s) => s.chars().count(),
+            Value::Null => 0,
+            other => {
+                return Err(Error::Expr(format!(
+                    "len: unsupported type {}",
+                    knactor_types::value::type_name(other)
+                )))
+            }
+        };
+        Ok(num(n as f64))
+    });
+
+    reg.register("sum", |args| {
+        arity(args, 1, "sum")?;
+        let xs = want_array(&args[0], "sum")?;
+        let mut acc = 0.0;
+        for x in xs {
+            acc += as_number(x, "sum")?;
+        }
+        Ok(num(acc))
+    });
+
+    reg.register("avg", |args| {
+        arity(args, 1, "avg")?;
+        let xs = want_array(&args[0], "avg")?;
+        if xs.is_empty() {
+            return Ok(Value::Null);
+        }
+        let mut acc = 0.0;
+        for x in xs {
+            acc += as_number(x, "avg")?;
+        }
+        Ok(num(acc / xs.len() as f64))
+    });
+
+    reg.register("min", |args| {
+        arity(args, 1, "min")?;
+        let xs = want_array(&args[0], "min")?;
+        let mut best: Option<f64> = None;
+        for x in xs {
+            let n = as_number(x, "min")?;
+            best = Some(best.map_or(n, |b| b.min(n)));
+        }
+        Ok(best.map(num).unwrap_or(Value::Null))
+    });
+
+    reg.register("max", |args| {
+        arity(args, 1, "max")?;
+        let xs = want_array(&args[0], "max")?;
+        let mut best: Option<f64> = None;
+        for x in xs {
+            let n = as_number(x, "max")?;
+            best = Some(best.map_or(n, |b| b.max(n)));
+        }
+        Ok(best.map(num).unwrap_or(Value::Null))
+    });
+
+    reg.register("abs", |args| {
+        arity(args, 1, "abs")?;
+        Ok(num(as_number(&args[0], "abs")?.abs()))
+    });
+    reg.register("round", |args| {
+        arity(args, 1, "round")?;
+        Ok(num(as_number(&args[0], "round")?.round()))
+    });
+    reg.register("floor", |args| {
+        arity(args, 1, "floor")?;
+        Ok(num(as_number(&args[0], "floor")?.floor()))
+    });
+    reg.register("ceil", |args| {
+        arity(args, 1, "ceil")?;
+        Ok(num(as_number(&args[0], "ceil")?.ceil()))
+    });
+
+    reg.register("upper", |args| {
+        arity(args, 1, "upper")?;
+        Ok(Value::String(want_str(&args[0], "upper")?.to_uppercase()))
+    });
+    reg.register("lower", |args| {
+        arity(args, 1, "lower")?;
+        Ok(Value::String(want_str(&args[0], "lower")?.to_lowercase()))
+    });
+    reg.register("trim", |args| {
+        arity(args, 1, "trim")?;
+        Ok(Value::String(want_str(&args[0], "trim")?.trim().to_string()))
+    });
+
+    reg.register("concat", |args| {
+        let mut out = String::new();
+        for a in args {
+            out.push_str(&stringify(a));
+        }
+        Ok(Value::String(out))
+    });
+
+    reg.register("join", |args| {
+        arity(args, 2, "join")?;
+        let xs = want_array(&args[0], "join")?;
+        let sep = want_str(&args[1], "join")?;
+        Ok(Value::String(
+            xs.iter().map(stringify).collect::<Vec<_>>().join(sep),
+        ))
+    });
+
+    reg.register("split", |args| {
+        arity(args, 2, "split")?;
+        let s = want_str(&args[0], "split")?;
+        let sep = want_str(&args[1], "split")?;
+        if sep.is_empty() {
+            return Err(Error::Expr("split: empty separator".to_string()));
+        }
+        Ok(Value::Array(
+            s.split(sep).map(|p| Value::String(p.to_string())).collect(),
+        ))
+    });
+
+    reg.register("contains", |args| {
+        arity(args, 2, "contains")?;
+        let found = match (&args[0], &args[1]) {
+            (Value::String(hay), Value::String(needle)) => hay.contains(needle.as_str()),
+            (Value::Array(xs), needle) => xs.iter().any(|x| crate::eval::values_equal(x, needle)),
+            (Value::Object(map), Value::String(key)) => map.contains_key(key),
+            (hay, _) => {
+                return Err(Error::Expr(format!(
+                    "contains: unsupported haystack {}",
+                    knactor_types::value::type_name(hay)
+                )))
+            }
+        };
+        Ok(Value::Bool(found))
+    });
+
+    reg.register("coalesce", |args| {
+        for a in args {
+            if !a.is_null() {
+                return Ok(a.clone());
+            }
+        }
+        Ok(Value::Null)
+    });
+
+    reg.register("default", |args| {
+        arity(args, 2, "default")?;
+        Ok(if args[0].is_null() { args[1].clone() } else { args[0].clone() })
+    });
+
+    reg.register("str", |args| {
+        arity(args, 1, "str")?;
+        Ok(Value::String(stringify(&args[0])))
+    });
+
+    reg.register("number", |args| {
+        arity(args, 1, "number")?;
+        match &args[0] {
+            Value::Number(n) => Ok(Value::Number(n.clone())),
+            Value::String(s) => s
+                .trim()
+                .parse::<f64>()
+                .map(num)
+                .map_err(|_| Error::Expr(format!("number: cannot parse '{s}'"))),
+            Value::Bool(b) => Ok(num(if *b { 1.0 } else { 0.0 })),
+            other => Err(Error::Expr(format!(
+                "number: cannot convert {}",
+                knactor_types::value::type_name(other)
+            ))),
+        }
+    });
+
+    reg.register("keys", |args| {
+        arity(args, 1, "keys")?;
+        match &args[0] {
+            Value::Object(map) => Ok(Value::Array(
+                map.keys().map(|k| Value::String(k.clone())).collect(),
+            )),
+            Value::Null => Ok(Value::Array(Vec::new())),
+            other => Err(Error::Expr(format!(
+                "keys: expected object, got {}",
+                knactor_types::value::type_name(other)
+            ))),
+        }
+    });
+
+    reg.register("values", |args| {
+        arity(args, 1, "values")?;
+        match &args[0] {
+            Value::Object(map) => Ok(Value::Array(map.values().cloned().collect())),
+            Value::Null => Ok(Value::Array(Vec::new())),
+            other => Err(Error::Expr(format!(
+                "values: expected object, got {}",
+                knactor_types::value::type_name(other)
+            ))),
+        }
+    });
+
+    reg.register("currency_convert", |args| {
+        arity(args, 3, "currency_convert")?;
+        let amount = as_number(&args[0], "currency_convert")?;
+        let from = want_str(&args[1], "currency_convert")?;
+        let to = want_str(&args[2], "currency_convert")?;
+        let usd = amount / fx_rate(from)?;
+        // Round to cents to keep exchanged money states stable.
+        let converted = (usd * fx_rate(to)? * 100.0).round() / 100.0;
+        Ok(num(converted))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn call(name: &str, args: &[Value]) -> Value {
+        FnRegistry::standard().call(name, args).unwrap()
+    }
+
+    fn call_err(name: &str, args: &[Value]) -> Error {
+        FnRegistry::standard().call(name, args).unwrap_err()
+    }
+
+    #[test]
+    fn len_across_types() {
+        assert_eq!(call("len", &[json!([1, 2, 3])]), json!(3.0));
+        assert_eq!(call("len", &[json!({"a": 1})]), json!(1.0));
+        assert_eq!(call("len", &[json!("héllo")]), json!(5.0));
+        assert_eq!(call("len", &[json!(null)]), json!(0.0));
+        assert!(matches!(call_err("len", &[json!(5)]), Error::Expr(_)));
+    }
+
+    #[test]
+    fn numeric_folds() {
+        assert_eq!(call("sum", &[json!([1, 2, 3.5])]), json!(6.5));
+        assert_eq!(call("min", &[json!([3, 1, 2])]), json!(1.0));
+        assert_eq!(call("max", &[json!([3, 1, 2])]), json!(3.0));
+        assert_eq!(call("avg", &[json!([1, 2, 3])]), json!(2.0));
+        assert_eq!(call("min", &[json!([])]), json!(null));
+        assert_eq!(call("avg", &[json!([])]), json!(null));
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(call("upper", &[json!("air")]), json!("AIR"));
+        assert_eq!(call("lower", &[json!("AIR")]), json!("air"));
+        assert_eq!(call("trim", &[json!("  x ")]), json!("x"));
+        assert_eq!(call("concat", &[json!("a"), json!(1), json!(null)]), json!("a1"));
+        assert_eq!(call("join", &[json!(["a", "b"]), json!("-")]), json!("a-b"));
+        assert_eq!(call("split", &[json!("a-b"), json!("-")]), json!(["a", "b"]));
+    }
+
+    #[test]
+    fn contains_variants() {
+        assert_eq!(call("contains", &[json!("shipment"), json!("ship")]), json!(true));
+        assert_eq!(call("contains", &[json!([1, 2]), json!(2)]), json!(true));
+        assert_eq!(call("contains", &[json!([1, 2]), json!(2.0)]), json!(true));
+        assert_eq!(call("contains", &[json!({"k": 1}), json!("k")]), json!(true));
+        assert_eq!(call("contains", &[json!({"k": 1}), json!("z")]), json!(false));
+    }
+
+    #[test]
+    fn null_handling_helpers() {
+        assert_eq!(
+            call("coalesce", &[json!(null), json!(null), json!(3)]),
+            json!(3)
+        );
+        assert_eq!(call("coalesce", &[json!(null)]), json!(null));
+        assert_eq!(call("default", &[json!(null), json!("d")]), json!("d"));
+        assert_eq!(call("default", &[json!(0), json!("d")]), json!(0));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(call("str", &[json!(1.5)]), json!("1.5"));
+        assert_eq!(call("number", &[json!("2.5")]), json!(2.5));
+        assert_eq!(call("number", &[json!(true)]), json!(1.0));
+        assert!(matches!(call_err("number", &[json!("abc")]), Error::Expr(_)));
+    }
+
+    #[test]
+    fn currency_convert_identity_and_cross() {
+        assert_eq!(
+            call("currency_convert", &[json!(12.5), json!("USD"), json!("USD")]),
+            json!(12.5)
+        );
+        assert_eq!(
+            call("currency_convert", &[json!(100), json!("USD"), json!("EUR")]),
+            json!(92.0)
+        );
+        assert!(matches!(
+            call_err("currency_convert", &[json!(1), json!("XXX"), json!("USD")]),
+            Error::Expr(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_function_is_error() {
+        assert!(matches!(call_err("zzz", &[]), Error::Expr(_)));
+    }
+
+    #[test]
+    fn custom_registration_overrides() {
+        let mut reg = FnRegistry::standard();
+        reg.register("currency_convert", |_args| Ok(json!(42.0)));
+        assert_eq!(
+            reg.call("currency_convert", &[json!(1), json!("USD"), json!("USD")]).unwrap(),
+            json!(42.0)
+        );
+    }
+
+    #[test]
+    fn keys_values() {
+        // serde_json maps are sorted by key.
+        assert_eq!(call("keys", &[json!({"b": 1, "a": 2})]), json!(["a", "b"]));
+        assert_eq!(call("values", &[json!({"b": 1, "a": 2})]), json!([2, 1]));
+        assert_eq!(call("keys", &[json!(null)]), json!([]));
+    }
+}

@@ -1,0 +1,481 @@
+//! Evaluator for DXG expressions.
+//!
+//! Evaluation is pure: the environment is read-only, builtins are
+//! side-effect-free, and the same `(expr, env)` pair always produces the
+//! same value. Semantics follow Python where the paper's spec syntax does:
+//!
+//! * `and` / `or` short-circuit and yield the deciding operand
+//! * truthiness: `null`/`false`/`0`/`""`/`[]`/`{}` are falsy
+//! * all arithmetic is over f64 (JSON numbers); `+` also concatenates
+//!   strings and arrays
+//! * comparisons work on numbers and on strings (lexicographic)
+//! * member access on `null` or a missing field yields `null` rather than
+//!   an error — integrators routinely evaluate against states whose
+//!   `external` fields are not filled yet, and "not there yet" must be
+//!   representable. Indexing out of bounds is also `null`. Calling an
+//!   unknown *function*, by contrast, is an error: that is a spec bug.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::builtins::FnRegistry;
+use knactor_types::{Error, Result};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// The evaluation environment: bindings from root identifiers (service
+/// aliases, `this`, comprehension variables) to state values.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    bindings: BTreeMap<String, Value>,
+}
+
+impl Env {
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Bind a root identifier to a value (overwrites).
+    pub fn bind(&mut self, name: impl Into<String>, value: Value) -> &mut Self {
+        self.bindings.insert(name.into(), value);
+        self
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.bindings.get(name)
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &String> {
+        self.bindings.keys()
+    }
+}
+
+/// Evaluate an expression against an environment and function registry.
+pub fn eval(expr: &Expr, env: &Env, fns: &FnRegistry) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Ident(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::Expr(format!("unbound identifier '{name}'"))),
+        Expr::Member(base, field) => {
+            let b = eval(base, env, fns)?;
+            Ok(match &b {
+                Value::Object(map) => map.get(field).cloned().unwrap_or(Value::Null),
+                Value::Null => Value::Null,
+                other => {
+                    return Err(Error::Expr(format!(
+                        "cannot access field '{field}' on {}",
+                        knactor_types::value::type_name(other)
+                    )))
+                }
+            })
+        }
+        Expr::Index(base, idx) => {
+            let b = eval(base, env, fns)?;
+            let i = eval(idx, env, fns)?;
+            match (&b, &i) {
+                (Value::Array(items), Value::Number(n)) => {
+                    let raw = n.as_f64().unwrap_or(f64::NAN);
+                    if raw.fract() != 0.0 || raw < 0.0 {
+                        return Err(Error::Expr(format!("bad array index {raw}")));
+                    }
+                    Ok(items.get(raw as usize).cloned().unwrap_or(Value::Null))
+                }
+                (Value::Object(map), Value::String(key)) => {
+                    Ok(map.get(key).cloned().unwrap_or(Value::Null))
+                }
+                (Value::Null, _) => Ok(Value::Null),
+                (b, i) => Err(Error::Expr(format!(
+                    "cannot index {} with {}",
+                    knactor_types::value::type_name(b),
+                    knactor_types::value::type_name(i)
+                ))),
+            }
+        }
+        Expr::Call(name, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, env, fns)?);
+            }
+            fns.call(name, &vals)
+        }
+        Expr::Unary(UnOp::Neg, inner) => {
+            let v = eval(inner, env, fns)?;
+            let n = as_number(&v, "unary '-'")?;
+            Ok(num(-n))
+        }
+        Expr::Unary(UnOp::Not, inner) => {
+            let v = eval(inner, env, fns)?;
+            Ok(Value::Bool(!truthy(&v)))
+        }
+        Expr::Binary(BinOp::And, l, r) => {
+            let lv = eval(l, env, fns)?;
+            if !truthy(&lv) {
+                Ok(lv)
+            } else {
+                eval(r, env, fns)
+            }
+        }
+        Expr::Binary(BinOp::Or, l, r) => {
+            let lv = eval(l, env, fns)?;
+            if truthy(&lv) {
+                Ok(lv)
+            } else {
+                eval(r, env, fns)
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            let lv = eval(l, env, fns)?;
+            let rv = eval(r, env, fns)?;
+            binary(*op, &lv, &rv)
+        }
+        Expr::If { then, cond, otherwise } => {
+            let c = eval(cond, env, fns)?;
+            if truthy(&c) {
+                eval(then, env, fns)
+            } else {
+                eval(otherwise, env, fns)
+            }
+        }
+        Expr::Comprehension { body, var, source, filter } => {
+            let src = eval(source, env, fns)?;
+            let items: Vec<Value> = match src {
+                Value::Array(items) => items,
+                // Iterating an object yields its values, which makes
+                // `[item.name for item in C.order.items]` work whether
+                // `items` is a list or a keyed map (the retail app's cart
+                // uses a map keyed by product id).
+                Value::Object(map) => map.into_iter().map(|(_, v)| v).collect(),
+                Value::Null => Vec::new(),
+                other => {
+                    return Err(Error::Expr(format!(
+                        "cannot iterate {}",
+                        knactor_types::value::type_name(&other)
+                    )))
+                }
+            };
+            let mut out = Vec::new();
+            let mut inner_env = env.clone();
+            for item in items {
+                inner_env.bind(var.clone(), item);
+                if let Some(f) = filter {
+                    let keep = eval(f, &inner_env, fns)?;
+                    if !truthy(&keep) {
+                        continue;
+                    }
+                }
+                out.push(eval(body, &inner_env, fns)?);
+            }
+            Ok(Value::Array(out))
+        }
+        Expr::List(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for e in items {
+                out.push(eval(e, env, fns)?);
+            }
+            Ok(Value::Array(out))
+        }
+    }
+}
+
+/// Python-style truthiness.
+pub fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Null => false,
+        Value::Bool(b) => *b,
+        Value::Number(n) => n.as_f64().map(|f| f != 0.0).unwrap_or(false),
+        Value::String(s) => !s.is_empty(),
+        Value::Array(a) => !a.is_empty(),
+        Value::Object(o) => !o.is_empty(),
+    }
+}
+
+/// Numeric-aware equality: `1 == 1.0`, everything else structural.
+pub fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => {
+            x.as_f64().zip(y.as_f64()).map(|(x, y)| x == y).unwrap_or(false)
+        }
+        (Value::Array(xs), Value::Array(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| values_equal(x, y))
+        }
+        (Value::Object(xm), Value::Object(ym)) => {
+            xm.len() == ym.len()
+                && xm
+                    .iter()
+                    .all(|(k, v)| ym.get(k).map(|w| values_equal(v, w)).unwrap_or(false))
+        }
+        _ => a == b,
+    }
+}
+
+fn binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    match op {
+        BinOp::Add => match (l, r) {
+            (Value::String(a), Value::String(b)) => Ok(Value::String(format!("{a}{b}"))),
+            (Value::Array(a), Value::Array(b)) => {
+                let mut out = a.clone();
+                out.extend(b.iter().cloned());
+                Ok(Value::Array(out))
+            }
+            _ => {
+                let (a, b) = (as_number(l, "'+'")?, as_number(r, "'+'")?);
+                Ok(num(a + b))
+            }
+        },
+        BinOp::Sub => Ok(num(as_number(l, "'-'")? - as_number(r, "'-'")?)),
+        BinOp::Mul => Ok(num(as_number(l, "'*'")? * as_number(r, "'*'")?)),
+        BinOp::Div => {
+            let d = as_number(r, "'/'")?;
+            if d == 0.0 {
+                return Err(Error::Expr("division by zero".to_string()));
+            }
+            Ok(num(as_number(l, "'/'")? / d))
+        }
+        BinOp::Mod => {
+            let d = as_number(r, "'%'")?;
+            if d == 0.0 {
+                return Err(Error::Expr("modulo by zero".to_string()));
+            }
+            Ok(num(as_number(l, "'%'")?.rem_euclid(d)))
+        }
+        BinOp::Eq => Ok(Value::Bool(values_equal(l, r))),
+        BinOp::Ne => Ok(Value::Bool(!values_equal(l, r))),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let ord = compare(l, r)?;
+            let b = match op {
+                BinOp::Lt => ord == std::cmp::Ordering::Less,
+                BinOp::Le => ord != std::cmp::Ordering::Greater,
+                BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                BinOp::Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        BinOp::And | BinOp::Or => unreachable!("short-circuit ops handled in eval"),
+    }
+}
+
+fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
+    match (l, r) {
+        (Value::Number(a), Value::Number(b)) => {
+            let (a, b) = (a.as_f64().unwrap_or(f64::NAN), b.as_f64().unwrap_or(f64::NAN));
+            a.partial_cmp(&b)
+                .ok_or_else(|| Error::Expr("cannot compare NaN".to_string()))
+        }
+        (Value::String(a), Value::String(b)) => Ok(a.cmp(b)),
+        (a, b) => Err(Error::Expr(format!(
+            "cannot order {} and {}",
+            knactor_types::value::type_name(a),
+            knactor_types::value::type_name(b)
+        ))),
+    }
+}
+
+pub(crate) fn as_number(v: &Value, ctx: &str) -> Result<f64> {
+    match v {
+        Value::Number(n) => n
+            .as_f64()
+            .ok_or_else(|| Error::Expr(format!("non-finite number in {ctx}"))),
+        other => Err(Error::Expr(format!(
+            "{ctx} expects a number, got {}",
+            knactor_types::value::type_name(other)
+        ))),
+    }
+}
+
+pub(crate) fn num(f: f64) -> Value {
+    serde_json::Number::from_f64(f)
+        .map(Value::Number)
+        .unwrap_or(Value::Null)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_expr, FnRegistry};
+    use serde_json::json;
+
+    fn run(src: &str, env: &Env) -> Value {
+        let fns = FnRegistry::standard();
+        eval(&parse_expr(src).unwrap(), env, &fns).unwrap()
+    }
+
+    fn run_err(src: &str, env: &Env) -> Error {
+        let fns = FnRegistry::standard();
+        eval(&parse_expr(src).unwrap(), env, &fns).unwrap_err()
+    }
+
+    fn retail_env() -> Env {
+        let mut env = Env::new();
+        env.bind(
+            "C",
+            json!({"order": {
+                "items": [{"name": "mug", "qty": 2}, {"name": "pen", "qty": 0}],
+                "address": "Soda Hall",
+                "cost": 1200.0,
+                "totalCost": 1212.5,
+                "currency": "USD"
+            }}),
+        );
+        env.bind("S", json!({"quote": {"price": 12.5, "currency": "USD"}, "id": "ship-7"}));
+        env.bind("P", json!({"id": "pay-3"}));
+        env.bind("this", json!({"currency": "USD"}));
+        env
+    }
+
+    #[test]
+    fn fig6_shipping_policy() {
+        let env = retail_env();
+        assert_eq!(
+            run(r#""air" if C.order.cost > 1000 else "ground""#, &env),
+            json!("air")
+        );
+        let mut cheap = retail_env();
+        cheap.bind("C", json!({"order": {"cost": 30}}));
+        assert_eq!(
+            run(r#""air" if C.order.cost > 1000 else "ground""#, &cheap),
+            json!("ground")
+        );
+    }
+
+    #[test]
+    fn fig6_items_comprehension() {
+        let env = retail_env();
+        assert_eq!(
+            run("[item.name for item in C.order.items]", &env),
+            json!(["mug", "pen"])
+        );
+        assert_eq!(
+            run("[item.name for item in C.order.items if item.qty > 0]", &env),
+            json!(["mug"])
+        );
+    }
+
+    #[test]
+    fn fig6_currency_convert() {
+        let env = retail_env();
+        assert_eq!(
+            run("currency_convert(S.quote.price, S.quote.currency, this.currency)", &env),
+            json!(12.5)
+        );
+    }
+
+    #[test]
+    fn missing_field_is_null_not_error() {
+        let env = retail_env();
+        assert_eq!(run("C.order.nonexistent", &env), json!(null));
+        assert_eq!(run("C.order.nonexistent.deeper", &env), json!(null));
+        assert_eq!(run("C.order.items[99]", &env), json!(null));
+    }
+
+    #[test]
+    fn member_on_scalar_is_error() {
+        let env = retail_env();
+        let e = run_err("C.order.cost.units", &env);
+        assert!(matches!(e, Error::Expr(_)));
+    }
+
+    #[test]
+    fn unbound_identifier_is_error() {
+        let env = Env::new();
+        assert!(matches!(run_err("missing", &env), Error::Expr(_)));
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let env = Env::new();
+        assert_eq!(run("2 + 3 * 4", &env), json!(14.0));
+        assert_eq!(run("10 / 4", &env), json!(2.5));
+        assert_eq!(run("7 % 3", &env), json!(1.0));
+        assert_eq!(run("-7 % 3", &env), json!(2.0)); // Euclidean, like Python.
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let env = Env::new();
+        assert!(matches!(run_err("1 / 0", &env), Error::Expr(_)));
+        assert!(matches!(run_err("1 % 0", &env), Error::Expr(_)));
+    }
+
+    #[test]
+    fn string_and_array_concat() {
+        let env = Env::new();
+        assert_eq!(run(r#""a" + "b""#, &env), json!("ab"));
+        assert_eq!(run("[1] + [2, 3]", &env), json!([1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn short_circuit_returns_operand() {
+        let mut env = Env::new();
+        env.bind("x", json!(null));
+        env.bind("y", json!("fallback"));
+        assert_eq!(run("x or y", &env), json!("fallback"));
+        assert_eq!(run("y or x", &env), json!("fallback"));
+        assert_eq!(run("x and y", &env), json!(null));
+        // The right side is never evaluated (would error on unbound).
+        assert_eq!(run("x and zzz_unbound", &env), json!(null));
+        assert_eq!(run("y or zzz_unbound", &env), json!("fallback"));
+    }
+
+    #[test]
+    fn truthiness_table() {
+        assert!(!truthy(&json!(null)));
+        assert!(!truthy(&json!(false)));
+        assert!(!truthy(&json!(0)));
+        assert!(!truthy(&json!("")));
+        assert!(!truthy(&json!([])));
+        assert!(!truthy(&json!({})));
+        assert!(truthy(&json!(1)));
+        assert!(truthy(&json!("x")));
+        assert!(truthy(&json!([0])));
+    }
+
+    #[test]
+    fn equality_is_numeric_aware() {
+        let env = Env::new();
+        assert_eq!(run("1 == 1.0", &env), json!(true));
+        assert_eq!(run(r#"1 == "1""#, &env), json!(false));
+        assert_eq!(run("[1, 2] == [1, 2]", &env), json!(true));
+        assert_eq!(run("null == null", &env), json!(true));
+    }
+
+    #[test]
+    fn string_comparison_lexicographic() {
+        let env = Env::new();
+        assert_eq!(run(r#""air" < "ground""#, &env), json!(true));
+        assert!(matches!(run_err(r#"1 < "x""#, &env), Error::Expr(_)));
+    }
+
+    #[test]
+    fn object_iteration_yields_values() {
+        let mut env = Env::new();
+        env.bind("cart", json!({"items": {"sku1": {"qty": 1}, "sku2": {"qty": 3}}}));
+        // Values come straight from the state, so they keep integer form.
+        assert_eq!(run("[i.qty for i in cart.items]", &env), json!([1, 3]));
+    }
+
+    #[test]
+    fn iterating_null_yields_empty() {
+        let mut env = Env::new();
+        env.bind("x", json!({"xs": null}));
+        assert_eq!(run("[i for i in x.xs]", &env), json!([]));
+    }
+
+    #[test]
+    fn index_object_by_string() {
+        let mut env = Env::new();
+        env.bind("m", json!({"a": 1}));
+        assert_eq!(run(r#"m["a"]"#, &env), json!(1));
+        assert_eq!(run(r#"m["zz"]"#, &env), json!(null));
+    }
+
+    #[test]
+    fn comprehension_shadows_outer_binding() {
+        let mut env = Env::new();
+        env.bind("i", json!("outer"));
+        env.bind("xs", json!([1, 2]));
+        assert_eq!(run("[i * 2 for i in xs]", &env), json!([2.0, 4.0]));
+        // Outer binding visible again outside.
+        assert_eq!(run("i", &env), json!("outer"));
+    }
+}

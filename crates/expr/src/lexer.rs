@@ -1,0 +1,315 @@
+//! Tokenizer for the DXG expression language.
+
+use knactor_types::{Error, Result};
+
+/// A lexical token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Number(f64),
+    Str(String),
+    Ident(String),
+    /// Keywords: `if`, `else`, `for`, `in`, `and`, `or`, `not`, `true`,
+    /// `false`, `null` are lexed as identifiers and classified here.
+    True,
+    False,
+    Null,
+    If,
+    Else,
+    For,
+    In,
+    And,
+    Or,
+    Not,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+}
+
+/// Tokenize `src`. Whitespace (including newlines, so folded YAML block
+/// scalars work unmodified) separates tokens and is otherwise ignored.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, offset: start });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, offset: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token { kind: TokenKind::Percent, offset: start });
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::EqEq, offset: start });
+                    i += 2;
+                } else {
+                    return Err(err(src, start, "'=' is not an operator; use '=='"));
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                    i += 2;
+                } else {
+                    return Err(err(src, start, "'!' is not an operator; use 'not'"));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut out = String::new();
+                i += 1;
+                let mut closed = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d == '\\' {
+                        match bytes.get(i + 1).map(|&b| b as char) {
+                            Some('n') => out.push('\n'),
+                            Some('t') => out.push('\t'),
+                            Some('\\') => out.push('\\'),
+                            Some('"') => out.push('"'),
+                            Some('\'') => out.push('\''),
+                            Some(other) => {
+                                return Err(err(src, i, &format!("unknown escape '\\{other}'")))
+                            }
+                            None => return Err(err(src, i, "dangling escape")),
+                        }
+                        i += 2;
+                    } else if d == quote {
+                        i += 1;
+                        closed = true;
+                        break;
+                    } else {
+                        out.push(d);
+                        i += d.len_utf8();
+                    }
+                }
+                if !closed {
+                    return Err(err(src, start, "unterminated string literal"));
+                }
+                tokens.push(Token { kind: TokenKind::Str(out), offset: start });
+            }
+            '0'..='9' => {
+                let mut end = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while end < bytes.len() {
+                    let d = bytes[end] as char;
+                    match d {
+                        '0'..='9' => end += 1,
+                        '.' if !seen_dot && !seen_exp => {
+                            // A dot must be followed by a digit to be part
+                            // of the number (else `1.name` is member access
+                            // on a literal — nonsense, but lex it cleanly).
+                            if bytes
+                                .get(end + 1)
+                                .map(|&b| (b as char).is_ascii_digit())
+                                .unwrap_or(false)
+                            {
+                                seen_dot = true;
+                                end += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        'e' | 'E' if !seen_exp => {
+                            seen_exp = true;
+                            end += 1;
+                            if bytes.get(end) == Some(&b'-') || bytes.get(end) == Some(&b'+') {
+                                end += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &src[i..end];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| err_owned(src, i, format!("bad number '{text}'")))?;
+                tokens.push(Token { kind: TokenKind::Number(n), offset: start });
+                i = end;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len() {
+                    let d = bytes[end] as char;
+                    if d.is_alphanumeric() || d == '_' {
+                        end += d.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[i..end];
+                let kind = match word {
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "for" => TokenKind::For,
+                    "in" => TokenKind::In,
+                    "and" => TokenKind::And,
+                    "or" => TokenKind::Or,
+                    "not" => TokenKind::Not,
+                    "true" | "True" => TokenKind::True,
+                    "false" | "False" => TokenKind::False,
+                    "null" | "None" => TokenKind::Null,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, offset: start });
+                i = end;
+            }
+            other => {
+                return Err(err(src, start, &format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn err(src: &str, offset: usize, msg: &str) -> Error {
+    err_owned(src, offset, msg.to_string())
+}
+
+fn err_owned(src: &str, offset: usize, msg: String) -> Error {
+    Error::Expr(format!("{msg} at offset {offset} in '{src}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a + b * 2 >= 10"),
+            vec![Ident("a".into()), Plus, Ident("b".into()), Star, Number(2.0), Ge, Number(10.0)]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_vs_idents() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("air if cost not in_flight"),
+            vec![Ident("air".into()), If, Ident("cost".into()), Not, Ident("in_flight".into())]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(kinds(r#""a\"b""#), vec![TokenKind::Str("a\"b".into())]);
+        assert_eq!(kinds(r#"'it\'s'"#), vec![TokenKind::Str("it's".into())]);
+        assert_eq!(kinds(r#""tab\there""#), vec![TokenKind::Str("tab\there".into())]);
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("1.5"), vec![TokenKind::Number(1.5)]);
+        assert_eq!(kinds("2e3"), vec![TokenKind::Number(2000.0)]);
+        assert_eq!(kinds("1.5e-2"), vec![TokenKind::Number(0.015)]);
+        // `1.name` lexes as number, dot, ident.
+        assert_eq!(
+            kinds("1.name"),
+            vec![TokenKind::Number(1.0), TokenKind::Dot, TokenKind::Ident("name".into())]
+        );
+    }
+
+    #[test]
+    fn newlines_are_whitespace() {
+        // Folded YAML block scalars arrive with embedded line breaks.
+        let t = kinds("currency_convert(S.quote.price,\n      S.quote.currency, this.currency)");
+        assert_eq!(t.len(), 18);
+    }
+
+    #[test]
+    fn rejects_bad_chars() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("a = b").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

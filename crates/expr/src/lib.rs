@@ -1,0 +1,60 @@
+//! # knactor-expr
+//!
+//! The expression language used inside data-exchange-graph (DXG)
+//! specifications. Fig. 6 of the paper writes assignments like:
+//!
+//! ```text
+//! shippingCost: currency_convert(S.quote.price, S.quote.currency, this.currency)
+//! items:        [item.name for item in C.order.items]
+//! method:       "air" if C.order.cost > 1000 else "ground"
+//! ```
+//!
+//! The language is a small, deterministic, side-effect-free subset of a
+//! Python-like expression grammar:
+//!
+//! * **references** — `C.order.totalCost`, `this.currency`, indexing
+//!   `xs[0]`; the leading identifier resolves against an evaluation
+//!   [`Env`] (service aliases, `this`, comprehension variables)
+//! * **literals** — numbers, strings (single or double quotes), `true` /
+//!   `false`, `null`, list literals `[1, 2]`
+//! * **operators** — `+ - * /` and `%`, comparisons `== != < <= > >=`,
+//!   boolean `and` / `or` / `not`, string concatenation via `+`
+//! * **conditional** — `a if cond else b`
+//! * **comprehension** — `[expr for var in listexpr]`, optionally with a
+//!   filter: `[expr for var in listexpr if cond]`
+//! * **calls** — `fn(args…)` resolved in a [`FnRegistry`] of pure builtin
+//!   functions ([`builtins`])
+//!
+//! Determinism and totality matter: integrators re-evaluate expressions
+//! whenever watched state changes, and both the store-side UDF pushdown
+//! (§3.3) and exchange replay assume re-running an expression over the
+//! same state produces the same value.
+
+pub mod ast;
+pub mod builtins;
+pub mod eval;
+pub mod lexer;
+pub mod optimize;
+pub mod parser;
+
+pub use ast::Expr;
+pub use builtins::FnRegistry;
+pub use eval::{Env, eval};
+pub use optimize::fold_constants;
+pub use parser::parse_expr;
+
+use knactor_types::Result;
+
+/// Parse and evaluate an expression in one step.
+///
+/// ```
+/// use knactor_expr::{quick_eval, Env, FnRegistry};
+/// let mut env = Env::new();
+/// env.bind("x", serde_json::json!({"n": 20}));
+/// let v = quick_eval("x.n * 2 + 2", &env, &FnRegistry::standard()).unwrap();
+/// assert_eq!(v, serde_json::json!(42.0));
+/// ```
+pub fn quick_eval(src: &str, env: &Env, fns: &FnRegistry) -> Result<serde_json::Value> {
+    let expr = parse_expr(src)?;
+    eval(&expr, env, fns)
+}

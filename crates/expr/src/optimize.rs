@@ -1,0 +1,124 @@
+//! Constant folding for DXG expressions.
+//!
+//! Integrators and store-side UDFs re-evaluate expressions on every
+//! activation; pre-computing constant sub-trees once at compile time is a
+//! free win (§3.3 "consolidate state processing logic into fewer, more
+//! efficient operations"). Folding is semantics-preserving by
+//! construction: a sub-tree is replaced only when it evaluates
+//! successfully in an *empty* environment, i.e. it is closed and pure.
+//! Anything that errors (division by zero, unknown function) or touches
+//! state is left intact so run-time behaviour — including which errors
+//! surface and when — is unchanged.
+
+use crate::ast::Expr;
+use crate::builtins::FnRegistry;
+use crate::eval::{eval, Env};
+
+/// Fold every closed, pure sub-expression to a literal.
+pub fn fold_constants(expr: &Expr, fns: &FnRegistry) -> Expr {
+    // Fold children first so enclosing nodes see literals.
+    let rebuilt = match expr {
+        Expr::Literal(_) | Expr::Ident(_) => expr.clone(),
+        Expr::Member(base, field) => {
+            Expr::Member(Box::new(fold_constants(base, fns)), field.clone())
+        }
+        Expr::Index(base, idx) => Expr::Index(
+            Box::new(fold_constants(base, fns)),
+            Box::new(fold_constants(idx, fns)),
+        ),
+        Expr::Call(name, args) => Expr::Call(
+            name.clone(),
+            args.iter().map(|a| fold_constants(a, fns)).collect(),
+        ),
+        Expr::Binary(op, l, r) => Expr::Binary(
+            *op,
+            Box::new(fold_constants(l, fns)),
+            Box::new(fold_constants(r, fns)),
+        ),
+        Expr::Unary(op, e) => Expr::Unary(*op, Box::new(fold_constants(e, fns))),
+        Expr::If { then, cond, otherwise } => Expr::If {
+            then: Box::new(fold_constants(then, fns)),
+            cond: Box::new(fold_constants(cond, fns)),
+            otherwise: Box::new(fold_constants(otherwise, fns)),
+        },
+        Expr::Comprehension { body, var, source, filter } => Expr::Comprehension {
+            body: Box::new(fold_constants(body, fns)),
+            var: var.clone(),
+            source: Box::new(fold_constants(source, fns)),
+            filter: filter.as_ref().map(|f| Box::new(fold_constants(f, fns))),
+        },
+        Expr::List(items) => {
+            Expr::List(items.iter().map(|i| fold_constants(i, fns)).collect())
+        }
+    };
+    if matches!(rebuilt, Expr::Literal(_)) {
+        return rebuilt;
+    }
+    // Closed expression? Evaluate once and freeze — but only if it has no
+    // free roots (no state access, no comprehension leakage).
+    if rebuilt.free_roots().is_empty() {
+        if let Ok(v) = eval(&rebuilt, &Env::new(), fns) {
+            return Expr::Literal(v);
+        }
+    }
+    rebuilt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_expr;
+    use serde_json::json;
+
+    fn fold(src: &str) -> Expr {
+        fold_constants(&parse_expr(src).unwrap(), &FnRegistry::standard())
+    }
+
+    #[test]
+    fn folds_arithmetic() {
+        assert_eq!(fold("1 + 2 * 3"), Expr::Literal(json!(7.0)));
+        assert_eq!(fold("upper(\"air\")"), Expr::Literal(json!("AIR")));
+        assert_eq!(fold("[1, 2] + [3]"), Expr::Literal(json!([1.0, 2.0, 3.0])));
+    }
+
+    #[test]
+    fn folds_constant_subtrees_inside_open_expressions() {
+        let folded = fold("C.order.cost > 500 * 2");
+        assert_eq!(folded.to_string(), "(C.order.cost > 1000.0)");
+    }
+
+    #[test]
+    fn leaves_state_access_alone() {
+        let folded = fold("C.order.cost + P.fee");
+        assert_eq!(folded.to_string(), "(C.order.cost + P.fee)");
+    }
+
+    #[test]
+    fn does_not_fold_erroring_subtrees() {
+        // Division by zero must still surface at run time, not vanish or
+        // crash compilation.
+        let folded = fold("1 / 0");
+        assert_eq!(folded.to_string(), "(1.0 / 0.0)");
+        let err = eval(&folded, &Env::new(), &FnRegistry::standard()).unwrap_err();
+        assert!(format!("{err}").contains("division by zero"));
+    }
+
+    #[test]
+    fn folds_conditionals_with_constant_condition() {
+        assert_eq!(fold(r#""a" if 2 > 1 else "b""#), Expr::Literal(json!("a")));
+        // Open condition: branches fold, structure remains.
+        let folded = fold(r#"(1 + 1) if C.x else (2 + 2)"#);
+        assert_eq!(folded.to_string(), "(2.0 if C.x else 4.0)");
+    }
+
+    #[test]
+    fn comprehension_over_literal_list_folds() {
+        assert_eq!(
+            fold("[i * 2 for i in [1, 2, 3]]"),
+            Expr::Literal(json!([2.0, 4.0, 6.0]))
+        );
+        // Open source survives.
+        let folded = fold("[i * (1 + 1) for i in C.items]");
+        assert_eq!(folded.to_string(), "[(i * 2.0) for i in C.items]");
+    }
+}

@@ -1,0 +1,415 @@
+//! Recursive-descent / Pratt-style parser for DXG expressions.
+//!
+//! Precedence, loosest to tightest (Python-like):
+//!
+//! ```text
+//! conditional   a if cond else b           (right associative)
+//! or            a or b
+//! and           a and b
+//! not           not a
+//! comparison    == != < <= > >=            (non-chaining)
+//! additive      + -
+//! multiplicative * / %
+//! unary         -a
+//! postfix       a.b   a[i]
+//! primary       literal, ident, call, (expr), [list], [comprehension]
+//! ```
+//!
+//! Comparisons deliberately do not chain (`a < b < c` is a parse error, not
+//! Python's conjunction) — exchange specs should spell compound conditions
+//! out with `and`.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::lexer::{lex, Token, TokenKind};
+use knactor_types::{Error, Result};
+
+/// Parse one expression; trailing tokens are an error.
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0, src };
+    let e = p.conditional()?;
+    if p.pos < p.tokens.len() {
+        return Err(p.err_here("unexpected trailing tokens"));
+    }
+    Ok(e)
+}
+
+struct Parser<'s> {
+    tokens: Vec<Token>,
+    pos: usize,
+    src: &'s str,
+}
+
+impl<'s> Parser<'s> {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<()> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(self.err_here(what))
+        }
+    }
+
+    fn err_here(&self, msg: &str) -> Error {
+        let at = self
+            .tokens
+            .get(self.pos)
+            .map(|t| format!("offset {}", t.offset))
+            .unwrap_or_else(|| "end of input".to_string());
+        Error::Expr(format!("{msg} at {at} in '{}'", self.src))
+    }
+
+    /// conditional := or ('if' or 'else' conditional)?
+    fn conditional(&mut self) -> Result<Expr> {
+        let then = self.or_expr()?;
+        if self.eat(&TokenKind::If) {
+            let cond = self.or_expr()?;
+            self.expect(TokenKind::Else, "expected 'else' in conditional expression")?;
+            let otherwise = self.conditional()?;
+            Ok(Expr::If {
+                then: Box::new(then),
+                cond: Box::new(cond),
+                otherwise: Box::new(otherwise),
+            })
+        } else {
+            Ok(then)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat(&TokenKind::Or) {
+            let right = self.and_expr()?;
+            left = Expr::Binary(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat(&TokenKind::And) {
+            let right = self.not_expr()?;
+            left = Expr::Binary(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Not) {
+            let inner = self.not_expr()?;
+            Ok(Expr::Unary(UnOp::Not, Box::new(inner)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            Some(TokenKind::EqEq) => Some(BinOp::Eq),
+            Some(TokenKind::NotEq) => Some(BinOp::Ne),
+            Some(TokenKind::Lt) => Some(BinOp::Lt),
+            Some(TokenKind::Le) => Some(BinOp::Le),
+            Some(TokenKind::Gt) => Some(BinOp::Gt),
+            Some(TokenKind::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            // Reject chained comparisons explicitly for a clear message.
+            if matches!(
+                self.peek(),
+                Some(
+                    TokenKind::EqEq
+                        | TokenKind::NotEq
+                        | TokenKind::Lt
+                        | TokenKind::Le
+                        | TokenKind::Gt
+                        | TokenKind::Ge
+                )
+            ) {
+                return Err(self.err_here("chained comparisons are not supported; use 'and'"));
+            }
+            Ok(Expr::Binary(op, Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Star) => BinOp::Mul,
+                Some(TokenKind::Slash) => BinOp::Div,
+                Some(TokenKind::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.unary()?;
+            Ok(Expr::Unary(UnOp::Neg, Box::new(inner)))
+        } else {
+            self.postfix()
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat(&TokenKind::Dot) {
+                match self.bump() {
+                    Some(TokenKind::Ident(name)) => {
+                        e = Expr::Member(Box::new(e), name);
+                    }
+                    _ => return Err(self.err_here("expected field name after '.'")),
+                }
+            } else if self.eat(&TokenKind::LBracket) {
+                let idx = self.conditional()?;
+                self.expect(TokenKind::RBracket, "expected ']' after index")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Some(TokenKind::Number(n)) => Ok(Expr::Literal(
+                serde_json::Number::from_f64(n)
+                    .map(serde_json::Value::Number)
+                    .unwrap_or(serde_json::Value::Null),
+            )),
+            Some(TokenKind::Str(s)) => Ok(Expr::Literal(serde_json::Value::String(s))),
+            Some(TokenKind::True) => Ok(Expr::Literal(serde_json::Value::Bool(true))),
+            Some(TokenKind::False) => Ok(Expr::Literal(serde_json::Value::Bool(false))),
+            Some(TokenKind::Null) => Ok(Expr::Literal(serde_json::Value::Null)),
+            Some(TokenKind::Ident(name)) => {
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.conditional()?);
+                            if self.eat(&TokenKind::RParen) {
+                                break;
+                            }
+                            self.expect(TokenKind::Comma, "expected ',' or ')' in call")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            Some(TokenKind::LParen) => {
+                let e = self.conditional()?;
+                self.expect(TokenKind::RParen, "expected ')'")?;
+                Ok(e)
+            }
+            Some(TokenKind::LBracket) => self.list_or_comprehension(),
+            Some(other) => Err(Error::Expr(format!(
+                "unexpected token {:?} in '{}'",
+                other, self.src
+            ))),
+            None => Err(self.err_here("unexpected end of expression")),
+        }
+    }
+
+    /// Called with the '[' consumed: either `[a, b, c]` or
+    /// `[body for var in src (if filter)?]`.
+    fn list_or_comprehension(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::RBracket) {
+            return Ok(Expr::List(Vec::new()));
+        }
+        let first = self.conditional()?;
+        if self.eat(&TokenKind::For) {
+            let var = match self.bump() {
+                Some(TokenKind::Ident(v)) => v,
+                _ => return Err(self.err_here("expected variable name after 'for'")),
+            };
+            self.expect(TokenKind::In, "expected 'in' in comprehension")?;
+            // As in Python, the iterable and the filter parse at `or`
+            // level: a bare `if` after them belongs to the comprehension,
+            // not to a conditional expression.
+            let source = self.or_expr()?;
+            let filter = if self.eat(&TokenKind::If) {
+                Some(Box::new(self.or_expr()?))
+            } else {
+                None
+            };
+            self.expect(TokenKind::RBracket, "expected ']' to close comprehension")?;
+            return Ok(Expr::Comprehension {
+                body: Box::new(first),
+                var,
+                source: Box::new(source),
+                filter,
+            });
+        }
+        let mut items = vec![first];
+        loop {
+            if self.eat(&TokenKind::RBracket) {
+                break;
+            }
+            self.expect(TokenKind::Comma, "expected ',' or ']' in list")?;
+            // Allow a trailing comma before ']'.
+            if self.eat(&TokenKind::RBracket) {
+                break;
+            }
+            items.push(self.conditional()?);
+        }
+        Ok(Expr::List(items))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "(1.0 + (2.0 * 3.0))");
+    }
+
+    #[test]
+    fn parens_override() {
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(e.to_string(), "((1.0 + 2.0) * 3.0)");
+    }
+
+    #[test]
+    fn conditional_is_right_associative() {
+        let e = parse_expr("1 if a else 2 if b else 3").unwrap();
+        assert_eq!(e.to_string(), "(1.0 if a else (2.0 if b else 3.0))");
+    }
+
+    #[test]
+    fn member_chain_and_index() {
+        let e = parse_expr("C.order.items[0].name").unwrap();
+        assert_eq!(e.to_string(), "C.order.items[0.0].name");
+    }
+
+    #[test]
+    fn call_with_member_args() {
+        let e = parse_expr("currency_convert(S.quote.price, S.quote.currency, this.currency)")
+            .unwrap();
+        match &e {
+            Expr::Call(name, args) => {
+                assert_eq!(name, "currency_convert");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comprehension_with_filter() {
+        let e = parse_expr("[i.name for i in xs if i.qty > 0]").unwrap();
+        match e {
+            Expr::Comprehension { filter: Some(_), var, .. } => assert_eq!(var, "i"),
+            other => panic!("expected comprehension, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_and_trailing_comma_lists() {
+        assert_eq!(parse_expr("[]").unwrap(), Expr::List(vec![]));
+        assert_eq!(
+            parse_expr("[1, 2,]").unwrap(),
+            Expr::List(vec![Expr::Literal(json!(1.0)), Expr::Literal(json!(2.0))])
+        );
+    }
+
+    #[test]
+    fn boolean_precedence() {
+        let e = parse_expr("not a and b or c").unwrap();
+        assert_eq!(e.to_string(), "(((not a) and b) or c)");
+    }
+
+    #[test]
+    fn comparison_binds_tighter_than_and() {
+        let e = parse_expr("a > 1 and b < 2").unwrap();
+        assert_eq!(e.to_string(), "((a > 1.0) and (b < 2.0))");
+    }
+
+    #[test]
+    fn chained_comparison_rejected() {
+        assert!(parse_expr("a < b < c").is_err());
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_expr("a b").is_err());
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("(1").is_err());
+        assert!(parse_expr("f(1,").is_err());
+        assert!(parse_expr("").is_err());
+    }
+
+    #[test]
+    fn keywords_cannot_be_idents() {
+        assert!(parse_expr("for").is_err());
+        assert!(parse_expr("x.if").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_and_unary() {
+        let e = parse_expr("-x + -2").unwrap();
+        assert_eq!(e.to_string(), "((-x) + (-2.0))");
+    }
+
+    #[test]
+    fn fig6_method_policy_parses() {
+        let e = parse_expr(r#""air" if C.order.cost > 1000 else "ground""#).unwrap();
+        match e {
+            Expr::If { .. } => {}
+            other => panic!("expected conditional, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the expression language.
+
+use knactor_expr::{eval, parse_expr, Env, FnRegistry};
+use proptest::prelude::*;
+use serde_json::json;
+
+/// Generate small random expression *sources* from a grammar, so the tests
+/// exercise the parser and printer together.
+fn expr_src() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0..1000u32).prop_map(|n| n.to_string()),
+        Just("x".to_string()),
+        Just("y".to_string()),
+        Just("\"s\"".to_string()),
+        Just("true".to_string()),
+        Just("null".to_string()),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} == {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} and {b})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, c, b)| format!("({a} if {c} else {b})")),
+            inner.clone().prop_map(|a| format!("(not {a})")),
+            inner.clone().prop_map(|a| format!("[{a} for v in xs]")),
+            (inner.clone(), inner).prop_map(|(a, b)| format!("[{a}, {b}]")),
+        ]
+    })
+}
+
+fn env() -> Env {
+    let mut e = Env::new();
+    e.bind("x", json!(3.0));
+    e.bind("y", json!("hello"));
+    e.bind("xs", json!([1.0, 2.0, 3.0]));
+    e
+}
+
+proptest! {
+    /// Parsing never panics on arbitrary printable input.
+    #[test]
+    fn parse_total(src in "[ -~]{0,80}") {
+        let _ = parse_expr(&src);
+    }
+
+    /// parse ∘ print ∘ parse is a fixpoint: the printed form of a parsed
+    /// expression re-parses to the identical AST.
+    #[test]
+    fn print_parse_fixpoint(src in expr_src()) {
+        if let Ok(ast) = parse_expr(&src) {
+            let printed = ast.to_string();
+            let reparsed = parse_expr(&printed)
+                .unwrap_or_else(|e| panic!("printed form '{printed}' failed: {e}"));
+            prop_assert_eq!(reparsed, ast);
+        }
+    }
+
+    /// Evaluation is deterministic: two evaluations agree (or both fail).
+    #[test]
+    fn eval_deterministic(src in expr_src()) {
+        if let Ok(ast) = parse_expr(&src) {
+            let fns = FnRegistry::standard();
+            let e = env();
+            let a = eval(&ast, &e, &fns);
+            let b = eval(&ast, &e, &fns);
+            prop_assert_eq!(a.is_ok(), b.is_ok());
+            if let (Ok(a), Ok(b)) = (eval(&ast, &e, &fns), eval(&ast, &e, &fns)) {
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    /// Evaluation never panics, whatever expression the grammar produced.
+    #[test]
+    fn eval_total(src in expr_src()) {
+        if let Ok(ast) = parse_expr(&src) {
+            let fns = FnRegistry::standard();
+            let _ = eval(&ast, &env(), &fns);
+        }
+    }
+
+    /// free_roots of a generated expression only ever mentions the
+    /// identifiers the grammar can produce.
+    #[test]
+    fn free_roots_sound(src in expr_src()) {
+        if let Ok(ast) = parse_expr(&src) {
+            for root in ast.free_roots() {
+                prop_assert!(
+                    ["x", "y", "xs", "v"].contains(&root.as_str()),
+                    "unexpected root {root}"
+                );
+                // "v" is bound by comprehensions; it may only appear free
+                // when used as a comprehension *source*, which the grammar
+                // never generates.
+                prop_assert_ne!(root, "v");
+            }
+        }
+    }
+
+    /// Comparisons always yield booleans when they succeed.
+    #[test]
+    fn comparisons_yield_bool(a in -100i32..100, b in -100i32..100) {
+        let fns = FnRegistry::standard();
+        let e = Env::new();
+        for op in ["<", "<=", ">", ">=", "==", "!="] {
+            let src = format!("{a} {op} {b}");
+            let v = eval(&parse_expr(&src).unwrap(), &e, &fns).unwrap();
+            prop_assert!(v.is_boolean(), "{src} -> {v}");
+        }
+    }
+
+    /// Arithmetic on integers matches f64 arithmetic.
+    #[test]
+    fn arithmetic_matches_f64(a in -1000i32..1000, b in -1000i32..1000) {
+        let fns = FnRegistry::standard();
+        let e = Env::new();
+        let v = eval(&parse_expr(&format!("{a} + {b} * 2")).unwrap(), &e, &fns).unwrap();
+        prop_assert_eq!(v, json!(a as f64 + b as f64 * 2.0));
+    }
+}
+
+proptest! {
+    /// Constant folding preserves semantics exactly: folded and original
+    /// expressions agree on the success value, and on whether evaluation
+    /// errors at all (erroring sub-trees are never folded away).
+    #[test]
+    fn fold_preserves_semantics(src in expr_src()) {
+        if let Ok(ast) = parse_expr(&src) {
+            let fns = FnRegistry::standard();
+            let folded = knactor_expr::fold_constants(&ast, &fns);
+            let e = env();
+            let a = eval(&ast, &e, &fns);
+            let b = eval(&folded, &e, &fns);
+            match (a, b) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "fold changed value of '{}'", src),
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "fold changed outcome of '{}': {:?} vs {:?}", src, a, b),
+            }
+        }
+    }
+
+    /// Folding is idempotent.
+    #[test]
+    fn fold_idempotent(src in expr_src()) {
+        if let Ok(ast) = parse_expr(&src) {
+            let fns = FnRegistry::standard();
+            let once = knactor_expr::fold_constants(&ast, &fns);
+            let twice = knactor_expr::fold_constants(&once, &fns);
+            prop_assert_eq!(once, twice);
+        }
+    }
+}

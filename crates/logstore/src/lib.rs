@@ -1,0 +1,29 @@
+//! # knactor-logstore
+//!
+//! The **Log data exchange**: keeps state as structured and
+//! semi-structured records in append-only logs and exposes data ingestion
+//! and analytics APIs (§3.2). The paper's prototype used the Zed lake;
+//! this crate is a from-scratch substitute that preserves the behaviours
+//! composition relies on:
+//!
+//! * **append-only ingestion** with per-store monotone sequence numbers
+//!   and segment rotation ([`store::LogStore`])
+//! * **schema-on-read**: records are heterogeneous JSON objects; queries
+//!   cope with missing fields by treating them as `null`
+//! * **analytics / dataflow operators** ([`query`]): `filter`, `rename`,
+//!   `project`, `derive`, `sort`, `aggregate`, `limit` — the operator
+//!   vocabulary the Sync integrator composes (e.g. renaming the Motion
+//!   knactor's `triggered` field to `motion` before loading it into the
+//!   House store, Fig. 4)
+//! * **tailing**: live subscription from any sequence number, so Sync can
+//!   run continuously rather than re-scanning
+//!
+//! Expressions inside operators are `knactor-expr` expressions with the
+//! record bound as `this`, keeping one expression language across both
+//! exchanges.
+
+pub mod query;
+pub mod store;
+
+pub use query::{AggFn, Op, Query};
+pub use store::{LogExchange, LogRecord, LogStore};

@@ -1,0 +1,515 @@
+//! Dataflow operators over log records (the Sync integrator's vocabulary).
+//!
+//! A [`Query`] is an ordered pipeline of [`Op`]s executed over a stream of
+//! record payloads. Operators are schema-on-read: a missing field reads as
+//! `null`, and records that fail an expression (e.g. filtering on a field
+//! that holds a string in one record and a number in the next) are
+//! *dropped with a count*, not fatal — telemetry streams are heterogeneous
+//! by nature and one malformed reading must not wedge composition.
+
+use knactor_expr::{Env, Expr, FnRegistry};
+use knactor_types::{Error, FieldPath, Result, Value};
+use std::collections::BTreeMap;
+
+/// Aggregation functions for [`Op::Aggregate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggFn {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    /// Last value wins (useful for "current reading" rollups).
+    Last,
+}
+
+impl AggFn {
+    pub fn parse(s: &str) -> Result<AggFn> {
+        match s {
+            "count" => Ok(AggFn::Count),
+            "sum" => Ok(AggFn::Sum),
+            "avg" => Ok(AggFn::Avg),
+            "min" => Ok(AggFn::Min),
+            "max" => Ok(AggFn::Max),
+            "last" => Ok(AggFn::Last),
+            other => Err(Error::Dxg(format!("unknown aggregate '{other}'"))),
+        }
+    }
+}
+
+/// One pipeline stage.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Keep records where the expression (record bound as `this`) is truthy.
+    Filter(Expr),
+    /// Rename a top-level field (`triggered` → `motion`, Fig. 4). Records
+    /// without the field pass through unchanged.
+    Rename { from: String, to: String },
+    /// Keep only the named fields.
+    Project(Vec<String>),
+    /// Add (or overwrite) a field computed from the record.
+    Derive { field: String, expr: Expr },
+    /// Stable sort by a field path; `null`s sort first.
+    Sort { by: FieldPath, descending: bool },
+    /// Group by a field (optional) and fold each group.
+    Aggregate {
+        group_by: Option<String>,
+        agg: AggFn,
+        /// Field the aggregate reads (ignored by `Count`).
+        field: Option<FieldPath>,
+        /// Output field name for the aggregate value.
+        as_field: String,
+    },
+    /// Keep the first `n` records.
+    Limit(usize),
+}
+
+/// A compiled pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    pub ops: Vec<Op>,
+}
+
+/// Outcome counters for a run (how many records each lossy stage dropped).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    pub dropped_errors: usize,
+}
+
+impl Query {
+    pub fn new() -> Query {
+        Query::default()
+    }
+
+    pub fn filter(mut self, expr_src: &str) -> Result<Query> {
+        self.ops.push(Op::Filter(knactor_expr::parse_expr(expr_src)?));
+        Ok(self)
+    }
+
+    pub fn rename(mut self, from: impl Into<String>, to: impl Into<String>) -> Query {
+        self.ops.push(Op::Rename { from: from.into(), to: to.into() });
+        self
+    }
+
+    pub fn project<I, S>(mut self, fields: I) -> Query
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.ops
+            .push(Op::Project(fields.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    pub fn derive(mut self, field: impl Into<String>, expr_src: &str) -> Result<Query> {
+        self.ops.push(Op::Derive {
+            field: field.into(),
+            expr: knactor_expr::parse_expr(expr_src)?,
+        });
+        Ok(self)
+    }
+
+    pub fn sort(mut self, by: &str, descending: bool) -> Result<Query> {
+        self.ops.push(Op::Sort { by: FieldPath::parse(by)?, descending });
+        Ok(self)
+    }
+
+    pub fn aggregate(
+        mut self,
+        group_by: Option<&str>,
+        agg: AggFn,
+        field: Option<&str>,
+        as_field: impl Into<String>,
+    ) -> Result<Query> {
+        let field = field.map(FieldPath::parse).transpose()?;
+        self.ops.push(Op::Aggregate {
+            group_by: group_by.map(|s| s.to_string()),
+            agg,
+            field,
+            as_field: as_field.into(),
+        });
+        Ok(self)
+    }
+
+    pub fn limit(mut self, n: usize) -> Query {
+        self.ops.push(Op::Limit(n));
+        self
+    }
+
+    /// Run the pipeline with the standard function registry.
+    pub fn run(&self, records: impl Iterator<Item = Value>) -> Result<Vec<Value>> {
+        self.run_with(records, &FnRegistry::standard()).map(|(v, _)| v)
+    }
+
+    /// Run with an explicit registry; also returns drop counters.
+    pub fn run_with(
+        &self,
+        records: impl Iterator<Item = Value>,
+        fns: &FnRegistry,
+    ) -> Result<(Vec<Value>, QueryStats)> {
+        let mut rows: Vec<Value> = records.collect();
+        let mut stats = QueryStats::default();
+        for op in &self.ops {
+            rows = apply(op, rows, fns, &mut stats)?;
+        }
+        Ok((rows, stats))
+    }
+}
+
+fn eval_on(expr: &Expr, record: &Value, fns: &FnRegistry) -> Result<Value> {
+    let mut env = Env::new();
+    env.bind("this", record.clone());
+    knactor_expr::eval(expr, &env, fns)
+}
+
+fn apply(op: &Op, rows: Vec<Value>, fns: &FnRegistry, stats: &mut QueryStats) -> Result<Vec<Value>> {
+    match op {
+        Op::Filter(expr) => {
+            let mut out = Vec::with_capacity(rows.len());
+            for r in rows {
+                match eval_on(expr, &r, fns) {
+                    Ok(v) if knactor_expr::eval::truthy(&v) => out.push(r),
+                    Ok(_) => {}
+                    Err(_) => stats.dropped_errors += 1,
+                }
+            }
+            Ok(out)
+        }
+        Op::Rename { from, to } => Ok(rows
+            .into_iter()
+            .map(|mut r| {
+                if let Some(map) = r.as_object_mut() {
+                    if let Some(v) = map.remove(from) {
+                        map.insert(to.clone(), v);
+                    }
+                }
+                r
+            })
+            .collect()),
+        Op::Project(fields) => Ok(rows
+            .into_iter()
+            .map(|r| {
+                let mut out = serde_json::Map::new();
+                if let Some(map) = r.as_object() {
+                    for f in fields {
+                        if let Some(v) = map.get(f) {
+                            out.insert(f.clone(), v.clone());
+                        }
+                    }
+                }
+                Value::Object(out)
+            })
+            .collect()),
+        Op::Derive { field, expr } => {
+            let mut out = Vec::with_capacity(rows.len());
+            for mut r in rows {
+                match eval_on(expr, &r, fns) {
+                    Ok(v) => {
+                        if let Some(map) = r.as_object_mut() {
+                            map.insert(field.clone(), v);
+                        }
+                        out.push(r);
+                    }
+                    Err(_) => {
+                        stats.dropped_errors += 1;
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Op::Sort { by, descending } => {
+            let mut rows = rows;
+            rows.sort_by(|a, b| {
+                let av = knactor_types::value::get_path(a, by);
+                let bv = knactor_types::value::get_path(b, by);
+                let ord = compare_nullable(av, bv);
+                if *descending {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+            Ok(rows)
+        }
+        Op::Aggregate { group_by, agg, field, as_field } => {
+            let mut groups: BTreeMap<String, Vec<&Value>> = BTreeMap::new();
+            if group_by.is_none() {
+                // SQL semantics: an ungrouped aggregate always yields one
+                // row, even over an empty input.
+                groups.insert(String::new(), Vec::new());
+            }
+            for r in &rows {
+                let key = match group_by {
+                    Some(g) => r
+                        .get(g)
+                        .map(render_group_key)
+                        .unwrap_or_else(|| "null".to_string()),
+                    None => String::new(),
+                };
+                groups.entry(key).or_default().push(r);
+            }
+            let mut out = Vec::with_capacity(groups.len());
+            for (key, members) in groups {
+                let folded = fold(agg, field.as_ref(), &members);
+                let mut obj = serde_json::Map::new();
+                if let Some(g) = group_by {
+                    // Reparse the rendered key back into its original value
+                    // when possible so group labels keep their type.
+                    let key_val = members
+                        .first()
+                        .and_then(|m| m.get(g))
+                        .cloned()
+                        .unwrap_or(Value::String(key));
+                    obj.insert(g.clone(), key_val);
+                }
+                obj.insert(as_field.clone(), folded);
+                out.push(Value::Object(obj));
+            }
+            Ok(out)
+        }
+        Op::Limit(n) => Ok(rows.into_iter().take(*n).collect()),
+    }
+}
+
+fn render_group_key(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+fn compare_nullable(a: Option<&Value>, b: Option<&Value>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(a), Some(b)) => compare_values(a, b),
+    }
+}
+
+/// Total order over JSON values (type rank, then value), so sort is total
+/// even on heterogeneous logs.
+fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Number(_) => 2,
+            Value::String(_) => 3,
+            Value::Array(_) => 4,
+            Value::Object(_) => 5,
+        }
+    }
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => x
+            .as_f64()
+            .partial_cmp(&y.as_f64())
+            .unwrap_or(Ordering::Equal),
+        (Value::String(x), Value::String(y)) => x.cmp(y),
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+fn fold(agg: &AggFn, field: Option<&FieldPath>, members: &[&Value]) -> Value {
+    let nums = || -> Vec<f64> {
+        members
+            .iter()
+            .filter_map(|m| {
+                field
+                    .and_then(|f| knactor_types::value::get_path(m, f))
+                    .and_then(Value::as_f64)
+            })
+            .collect()
+    };
+    match agg {
+        AggFn::Count => Value::from(members.len() as u64),
+        AggFn::Sum => number(nums().iter().sum()),
+        AggFn::Avg => {
+            let ns = nums();
+            if ns.is_empty() {
+                Value::Null
+            } else {
+                number(ns.iter().sum::<f64>() / ns.len() as f64)
+            }
+        }
+        AggFn::Min => nums()
+            .into_iter()
+            .fold(None::<f64>, |acc, n| Some(acc.map_or(n, |a| a.min(n))))
+            .map(number)
+            .unwrap_or(Value::Null),
+        AggFn::Max => nums()
+            .into_iter()
+            .fold(None::<f64>, |acc, n| Some(acc.map_or(n, |a| a.max(n))))
+            .map(number)
+            .unwrap_or(Value::Null),
+        AggFn::Last => members
+            .last()
+            .and_then(|m| field.and_then(|f| knactor_types::value::get_path(m, f)))
+            .cloned()
+            .unwrap_or(Value::Null),
+    }
+}
+
+fn number(f: f64) -> Value {
+    serde_json::Number::from_f64(f)
+        .map(Value::Number)
+        .unwrap_or(Value::Null)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn motion_records() -> Vec<Value> {
+        vec![
+            json!({"triggered": true, "sensitivity": 5, "room": "kitchen"}),
+            json!({"triggered": false, "sensitivity": 5, "room": "kitchen"}),
+            json!({"triggered": true, "sensitivity": 9, "room": "hall"}),
+            json!({"triggered": true, "sensitivity": 2, "room": "hall"}),
+        ]
+    }
+
+    #[test]
+    fn filter_keeps_truthy() {
+        let q = Query::new().filter("this.triggered == true").unwrap();
+        let out = q.run(motion_records().into_iter()).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn rename_triggered_to_motion() {
+        // The Fig. 4 Sync example.
+        let q = Query::new().rename("triggered", "motion");
+        let out = q.run(motion_records().into_iter()).unwrap();
+        assert_eq!(out[0]["motion"], json!(true));
+        assert!(out[0].get("triggered").is_none());
+    }
+
+    #[test]
+    fn rename_missing_field_passes_through() {
+        let q = Query::new().rename("absent", "x");
+        let out = q.run(vec![json!({"a": 1})].into_iter()).unwrap();
+        assert_eq!(out[0], json!({"a": 1}));
+    }
+
+    #[test]
+    fn project_keeps_only_named() {
+        let q = Query::new().project(["room"]);
+        let out = q.run(motion_records().into_iter()).unwrap();
+        assert_eq!(out[0], json!({"room": "kitchen"}));
+    }
+
+    #[test]
+    fn derive_computes_field() {
+        let q = Query::new().derive("loud", "this.sensitivity > 4").unwrap();
+        let out = q.run(motion_records().into_iter()).unwrap();
+        assert_eq!(out[0]["loud"], json!(true));
+        assert_eq!(out[3]["loud"], json!(false));
+    }
+
+    #[test]
+    fn sort_orders_with_nulls_first() {
+        let q = Query::new().sort("sensitivity", false).unwrap();
+        let rows = vec![json!({"sensitivity": 5}), json!({}), json!({"sensitivity": 1})];
+        let out = q.run(rows.into_iter()).unwrap();
+        assert_eq!(out[0], json!({}));
+        assert_eq!(out[1]["sensitivity"], json!(1));
+        let q = Query::new().sort("sensitivity", true).unwrap();
+        let rows = vec![json!({"sensitivity": 5}), json!({"sensitivity": 1})];
+        let out = q.run(rows.into_iter()).unwrap();
+        assert_eq!(out[0]["sensitivity"], json!(5));
+    }
+
+    #[test]
+    fn aggregate_grouped_count_and_sum() {
+        let q = Query::new()
+            .aggregate(Some("room"), AggFn::Count, None, "n")
+            .unwrap();
+        let out = q.run(motion_records().into_iter()).unwrap();
+        assert_eq!(out, vec![json!({"room": "hall", "n": 2}), json!({"room": "kitchen", "n": 2})]);
+
+        let q = Query::new()
+            .aggregate(Some("room"), AggFn::Sum, Some("sensitivity"), "total")
+            .unwrap();
+        let out = q.run(motion_records().into_iter()).unwrap();
+        assert_eq!(out[0], json!({"room": "hall", "total": 11.0}));
+    }
+
+    #[test]
+    fn aggregate_ungrouped() {
+        let q = Query::new()
+            .aggregate(None, AggFn::Avg, Some("sensitivity"), "avg")
+            .unwrap();
+        let out = q.run(motion_records().into_iter()).unwrap();
+        assert_eq!(out, vec![json!({"avg": 5.25})]);
+        let q = Query::new()
+            .aggregate(None, AggFn::Max, Some("sensitivity"), "m")
+            .unwrap();
+        assert_eq!(q.run(motion_records().into_iter()).unwrap()[0]["m"], json!(9.0));
+        let q = Query::new()
+            .aggregate(None, AggFn::Last, Some("room"), "r")
+            .unwrap();
+        assert_eq!(q.run(motion_records().into_iter()).unwrap()[0]["r"], json!("hall"));
+    }
+
+    #[test]
+    fn aggregate_empty_input() {
+        let q = Query::new()
+            .aggregate(None, AggFn::Avg, Some("x"), "avg")
+            .unwrap();
+        let out = q.run(Vec::new().into_iter()).unwrap();
+        assert_eq!(out, vec![json!({"avg": null})]);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let q = Query::new().limit(2);
+        assert_eq!(q.run(motion_records().into_iter()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pipeline_composes() {
+        // kWh rollup: filter to lamp records, rename, sum per device.
+        let records = vec![
+            json!({"dev": "lamp-1", "kind": "energy", "kwh": 0.2}),
+            json!({"dev": "lamp-1", "kind": "energy", "kwh": 0.3}),
+            json!({"dev": "lamp-2", "kind": "energy", "kwh": 0.1}),
+            json!({"dev": "lamp-1", "kind": "motion"}),
+        ];
+        let q = Query::new()
+            .filter(r#"this.kind == "energy""#)
+            .unwrap()
+            .aggregate(Some("dev"), AggFn::Sum, Some("kwh"), "energy")
+            .unwrap()
+            .sort("energy", true)
+            .unwrap();
+        let out = q.run(records.into_iter()).unwrap();
+        assert_eq!(out[0]["dev"], json!("lamp-1"));
+        assert!((out[0]["energy"].as_f64().unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_records_drop_not_fail() {
+        let records = vec![
+            json!({"n": 5}),
+            json!({"n": "not a number"}),
+            json!({"n": 7}),
+        ];
+        let q = Query::new().filter("this.n > 4").unwrap();
+        let (out, stats) = q
+            .run_with(records.into_iter(), &FnRegistry::standard())
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.dropped_errors, 1);
+    }
+
+    #[test]
+    fn agg_fn_parse() {
+        assert_eq!(AggFn::parse("sum").unwrap(), AggFn::Sum);
+        assert!(AggFn::parse("median").is_err());
+    }
+}

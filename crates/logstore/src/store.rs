@@ -1,0 +1,392 @@
+//! Append-only log stores and the exchange hosting them.
+
+use knactor_types::{Error, Result, StoreId, Value};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tokio::sync::mpsc;
+
+/// Records per segment before rotation. Segments exist to bound the cost
+/// of scans that only need recent data and to give retention a natural
+/// truncation unit.
+const SEGMENT_CAPACITY: usize = 1024;
+
+/// One ingested record: a sequence number and a structured payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Per-store, strictly monotone, starting at 1.
+    pub seq: u64,
+    /// Arbitrary structured data (schema-on-read).
+    pub fields: Value,
+}
+
+/// A sealed or active run of consecutive records.
+#[derive(Debug, Default)]
+struct Segment {
+    records: Vec<LogRecord>,
+}
+
+/// An append-only log store with tailing.
+pub struct LogStore {
+    id: StoreId,
+    inner: Mutex<LogInner>,
+}
+
+#[derive(Default)]
+struct LogInner {
+    segments: Vec<Segment>,
+    next_seq: u64,
+    tails: Vec<mpsc::UnboundedSender<LogRecord>>,
+    /// Maximum records retained (oldest segments truncate first);
+    /// `None` = unbounded.
+    retain_max: Option<usize>,
+    total: usize,
+}
+
+impl std::fmt::Debug for LogStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("LogStore")
+            .field("id", &self.id)
+            .field("records", &inner.total)
+            .field("segments", &inner.segments.len())
+            .finish()
+    }
+}
+
+impl LogStore {
+    pub fn new(id: impl Into<StoreId>) -> LogStore {
+        LogStore {
+            id: id.into(),
+            inner: Mutex::new(LogInner { next_seq: 1, ..Default::default() }),
+        }
+    }
+
+    pub fn id(&self) -> &StoreId {
+        &self.id
+    }
+
+    /// Bound retained records; excess oldest segments are dropped on the
+    /// next append. Tailers are unaffected (they already received those
+    /// records).
+    pub fn set_retention(&self, max_records: Option<usize>) {
+        self.inner.lock().retain_max = max_records;
+    }
+
+    /// Ingest one record. Non-object payloads are wrapped as
+    /// `{"value": …}` so schema-on-read field access always has an object
+    /// to address.
+    pub fn append(&self, fields: Value) -> u64 {
+        let fields = match fields {
+            Value::Object(_) => fields,
+            other => serde_json::json!({ "value": other }),
+        };
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let record = LogRecord { seq, fields };
+        if inner
+            .segments
+            .last()
+            .map(|s| s.records.len() >= SEGMENT_CAPACITY)
+            .unwrap_or(true)
+        {
+            inner.segments.push(Segment::default());
+        }
+        inner
+            .segments
+            .last_mut()
+            .expect("segment pushed above")
+            .records
+            .push(record.clone());
+        inner.total += 1;
+        // Retention: drop whole oldest segments while over budget.
+        if let Some(max) = inner.retain_max {
+            while inner.total > max && inner.segments.len() > 1 {
+                let dropped = inner.segments.remove(0);
+                inner.total -= dropped.records.len();
+            }
+        }
+        inner.tails.retain(|tx| tx.send(record.clone()).is_ok());
+        seq
+    }
+
+    /// Ingest a batch; returns the sequence of the last record.
+    pub fn append_batch(&self, batch: impl IntoIterator<Item = Value>) -> u64 {
+        let mut last = self.inner.lock().next_seq.saturating_sub(1);
+        for v in batch {
+            last = self.append(v);
+        }
+        last
+    }
+
+    /// All retained records with `seq > from`, in order.
+    pub fn read_from(&self, from: u64) -> Vec<LogRecord> {
+        let inner = self.inner.lock();
+        inner
+            .segments
+            .iter()
+            .flat_map(|s| s.records.iter())
+            .filter(|r| r.seq > from)
+            .cloned()
+            .collect()
+    }
+
+    /// Everything retained.
+    pub fn read_all(&self) -> Vec<LogRecord> {
+        self.read_from(0)
+    }
+
+    /// The sequence number of the most recent record (0 when empty).
+    pub fn last_seq(&self) -> u64 {
+        self.inner.lock().next_seq - 1
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Live subscription: replays retained records with `seq > from`,
+    /// then continues with new appends, gapless and in order.
+    ///
+    /// If `from` is older than the retention window the replay starts at
+    /// the oldest retained record — logs, unlike object stores, tolerate
+    /// holes by design (sensor telemetry is lossy); callers that need
+    /// gap detection can check `seq` continuity themselves.
+    pub fn tail(&self, from: u64) -> mpsc::UnboundedReceiver<LogRecord> {
+        let mut inner = self.inner.lock();
+        let (tx, rx) = mpsc::unbounded_channel();
+        for rec in inner
+            .segments
+            .iter()
+            .flat_map(|s| s.records.iter())
+            .filter(|r| r.seq > from)
+        {
+            let _ = tx.send(rec.clone());
+        }
+        inner.tails.push(tx);
+        rx
+    }
+}
+
+/// Hosts many log stores (the Log DE of Fig. 4). Access control follows
+/// the same model as the Object exchange; verbs map as ingest→`create`,
+/// read/query/tail→`get`.
+pub struct LogExchange {
+    stores: RwLock<BTreeMap<StoreId, Arc<LogStore>>>,
+    access: Arc<RwLock<knactor_rbac_shim::AccessShim>>,
+}
+
+/// Minimal indirection so the logstore crate does not depend on the rbac
+/// crate directly (it is below it in the dependency order used by the
+/// net layer); enforcement semantics are injected by the embedder.
+mod knactor_rbac_shim {
+    use knactor_types::StoreId;
+
+    /// Injected permission oracle: `(subject, verb, store) -> allowed`.
+    pub type CheckFn = Box<dyn Fn(&str, &str, &StoreId) -> bool + Send + Sync>;
+
+    pub struct AccessShim {
+        check: Option<CheckFn>,
+    }
+
+    impl Default for AccessShim {
+        fn default() -> Self {
+            AccessShim { check: None }
+        }
+    }
+
+    impl AccessShim {
+        pub fn allows(&self, subject: &str, verb: &str, store: &StoreId) -> bool {
+            match &self.check {
+                Some(f) => f(subject, verb, store),
+                None => true,
+            }
+        }
+
+        pub fn set(&mut self, f: CheckFn) {
+            self.check = Some(f);
+        }
+    }
+}
+
+impl Default for LogExchange {
+    fn default() -> Self {
+        LogExchange::new()
+    }
+}
+
+impl LogExchange {
+    pub fn new() -> LogExchange {
+        LogExchange {
+            stores: RwLock::new(BTreeMap::new()),
+            access: Arc::new(RwLock::new(Default::default())),
+        }
+    }
+
+    /// Install a permission oracle (wired to `knactor-rbac` by the
+    /// embedding exchange server).
+    pub fn set_access_check(
+        &self,
+        f: impl Fn(&str, &str, &StoreId) -> bool + Send + Sync + 'static,
+    ) {
+        self.access.write().set(Box::new(f));
+    }
+
+    pub fn create_store(&self, id: impl Into<StoreId>) -> Result<Arc<LogStore>> {
+        let id = id.into();
+        let mut stores = self.stores.write();
+        if stores.contains_key(&id) {
+            return Err(Error::AlreadyExists(format!("log store {id}")));
+        }
+        let store = Arc::new(LogStore::new(id.clone()));
+        stores.insert(id, Arc::clone(&store));
+        Ok(store)
+    }
+
+    pub fn store(&self, id: &StoreId) -> Result<Arc<LogStore>> {
+        self.stores
+            .read()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("log store {id}")))
+    }
+
+    pub fn store_ids(&self) -> Vec<StoreId> {
+        self.stores.read().keys().cloned().collect()
+    }
+
+    /// Ingest with access check.
+    pub fn ingest(&self, subject: &str, id: &StoreId, fields: Value) -> Result<u64> {
+        if !self.access.read().allows(subject, "create", id) {
+            return Err(Error::Forbidden(format!("{subject} may not ingest into {id}")));
+        }
+        Ok(self.store(id)?.append(fields))
+    }
+
+    /// Query with access check (see [`crate::query::Query::run`]).
+    pub fn query(&self, subject: &str, id: &StoreId, query: &crate::query::Query) -> Result<Vec<Value>> {
+        if !self.access.read().allows(subject, "get", id) {
+            return Err(Error::Forbidden(format!("{subject} may not query {id}")));
+        }
+        let records = self.store(id)?.read_all();
+        query.run(records.into_iter().map(|r| r.fields))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn append_assigns_monotone_seqs() {
+        let log = LogStore::new("motion/telemetry");
+        assert_eq!(log.append(json!({"triggered": true})), 1);
+        assert_eq!(log.append(json!({"triggered": false})), 2);
+        assert_eq!(log.last_seq(), 2);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn non_object_payload_is_wrapped() {
+        let log = LogStore::new("t");
+        log.append(json!(42));
+        assert_eq!(log.read_all()[0].fields, json!({"value": 42}));
+    }
+
+    #[test]
+    fn read_from_filters_by_seq() {
+        let log = LogStore::new("t");
+        for i in 0..5 {
+            log.append(json!({"i": i}));
+        }
+        let recs = log.read_from(3);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, 4);
+    }
+
+    #[test]
+    fn segment_rotation_preserves_order() {
+        let log = LogStore::new("t");
+        let n = SEGMENT_CAPACITY * 2 + 10;
+        for i in 0..n {
+            log.append(json!({"i": i}));
+        }
+        let recs = log.read_all();
+        assert_eq!(recs.len(), n);
+        for (idx, r) in recs.iter().enumerate() {
+            assert_eq!(r.seq, idx as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn retention_drops_oldest_segments() {
+        let log = LogStore::new("t");
+        log.set_retention(Some(SEGMENT_CAPACITY));
+        for i in 0..(SEGMENT_CAPACITY * 3) {
+            log.append(json!({"i": i}));
+        }
+        assert!(log.len() <= SEGMENT_CAPACITY * 2, "retention must bound growth");
+        // Sequence numbers keep counting despite truncation.
+        assert_eq!(log.last_seq(), (SEGMENT_CAPACITY * 3) as u64);
+        let first_retained = log.read_all()[0].seq;
+        assert!(first_retained > 1);
+    }
+
+    #[tokio::test]
+    async fn tail_replays_then_follows() {
+        let log = LogStore::new("t");
+        log.append(json!({"i": 0}));
+        log.append(json!({"i": 1}));
+        let mut rx = log.tail(1);
+        // Replay of seq 2.
+        assert_eq!(rx.recv().await.unwrap().seq, 2);
+        // Live append.
+        log.append(json!({"i": 2}));
+        assert_eq!(rx.recv().await.unwrap().seq, 3);
+    }
+
+    #[tokio::test]
+    async fn dropped_tail_is_pruned() {
+        let log = LogStore::new("t");
+        let rx = log.tail(0);
+        drop(rx);
+        log.append(json!({}));
+        assert_eq!(log.inner.lock().tails.len(), 0);
+    }
+
+    #[test]
+    fn exchange_create_and_lookup() {
+        let de = LogExchange::new();
+        de.create_store("motion/telemetry").unwrap();
+        assert!(de.create_store("motion/telemetry").is_err());
+        assert!(de.store(&StoreId::new("motion/telemetry")).is_ok());
+        assert!(de.store(&StoreId::new("nope")).is_err());
+        assert_eq!(de.store_ids().len(), 1);
+    }
+
+    #[test]
+    fn exchange_access_check_enforced() {
+        let de = LogExchange::new();
+        de.create_store("lamp/telemetry").unwrap();
+        let id = StoreId::new("lamp/telemetry");
+        // Open by default.
+        de.ingest("anyone", &id, json!({"kwh": 0.2})).unwrap();
+        // Install an oracle that only lets the lamp reconciler ingest.
+        de.set_access_check(|subject, verb, store| {
+            !(verb == "create" && store.as_str() == "lamp/telemetry" && subject != "reconciler:lamp")
+        });
+        assert!(de.ingest("reconciler:lamp", &id, json!({"kwh": 0.3})).is_ok());
+        assert!(matches!(
+            de.ingest("integrator:sync", &id, json!({"kwh": 0.4})),
+            Err(Error::Forbidden(_))
+        ));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the Log exchange and its dataflow operators.
+
+use knactor_logstore::{AggFn, LogStore, Query};
+use proptest::prelude::*;
+use serde_json::{json, Value};
+
+fn record() -> impl Strategy<Value = Value> {
+    (any::<i32>(), any::<bool>(), "[a-c]{1}").prop_map(|(n, b, room)| {
+        json!({"n": n, "flag": b, "room": room})
+    })
+}
+
+proptest! {
+    /// Sequence numbers are dense and strictly increasing from 1, and
+    /// read_from(k) returns exactly the records after k.
+    #[test]
+    fn seq_numbers_dense(records in proptest::collection::vec(record(), 0..50), cut in 0u64..60) {
+        let log = LogStore::new("p/l");
+        for r in &records {
+            log.append(r.clone());
+        }
+        let all = log.read_all();
+        prop_assert_eq!(all.len(), records.len());
+        for (i, r) in all.iter().enumerate() {
+            prop_assert_eq!(r.seq, i as u64 + 1);
+            prop_assert_eq!(&r.fields, &records[i]);
+        }
+        let suffix = log.read_from(cut);
+        let expected: Vec<_> = all.iter().filter(|r| r.seq > cut).collect();
+        prop_assert_eq!(suffix.len(), expected.len());
+    }
+
+    /// Filter keeps exactly the truthy subset, preserving order.
+    #[test]
+    fn filter_is_a_subsequence(records in proptest::collection::vec(record(), 0..40)) {
+        let q = Query::new().filter("this.flag").unwrap();
+        let out = q.run(records.iter().cloned()).unwrap();
+        let expected: Vec<&Value> = records.iter().filter(|r| r["flag"] == json!(true)).collect();
+        prop_assert_eq!(out.len(), expected.len());
+        for (got, want) in out.iter().zip(expected) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Filtering twice with the same predicate is idempotent.
+    #[test]
+    fn filter_idempotent(records in proptest::collection::vec(record(), 0..40)) {
+        let q = Query::new().filter("this.n > 0").unwrap();
+        let once = q.run(records.iter().cloned()).unwrap();
+        let twice = q.run(once.iter().cloned()).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Rename preserves record count and moves exactly one key.
+    #[test]
+    fn rename_preserves_shape(records in proptest::collection::vec(record(), 0..40)) {
+        let q = Query::new().rename("flag", "motion");
+        let out = q.run(records.iter().cloned()).unwrap();
+        prop_assert_eq!(out.len(), records.len());
+        for (got, orig) in out.iter().zip(&records) {
+            prop_assert!(got.get("flag").is_none());
+            prop_assert_eq!(got.get("motion"), orig.get("flag"));
+            prop_assert_eq!(got.get("n"), orig.get("n"));
+        }
+    }
+
+    /// Sort yields a permutation ordered by the key (nulls first).
+    #[test]
+    fn sort_is_ordered_permutation(records in proptest::collection::vec(record(), 0..40)) {
+        let q = Query::new().sort("n", false).unwrap();
+        let out = q.run(records.iter().cloned()).unwrap();
+        prop_assert_eq!(out.len(), records.len());
+        for w in out.windows(2) {
+            let a = w[0]["n"].as_i64().unwrap();
+            let b = w[1]["n"].as_i64().unwrap();
+            prop_assert!(a <= b);
+        }
+        // Permutation: same multiset of n values.
+        let mut before: Vec<i64> = records.iter().map(|r| r["n"].as_i64().unwrap()).collect();
+        let mut after: Vec<i64> = out.iter().map(|r| r["n"].as_i64().unwrap()).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Grouped counts sum to the record count.
+    #[test]
+    fn grouped_count_partitions(records in proptest::collection::vec(record(), 0..40)) {
+        let q = Query::new().aggregate(Some("room"), AggFn::Count, None, "c").unwrap();
+        let out = q.run(records.iter().cloned()).unwrap();
+        let total: u64 = out.iter().map(|r| r["c"].as_u64().unwrap()).sum();
+        prop_assert_eq!(total as usize, records.len());
+        // At most 3 rooms exist in the generator.
+        prop_assert!(out.len() <= 3);
+    }
+
+    /// Sum aggregate equals the reference fold.
+    #[test]
+    fn sum_matches_reference(records in proptest::collection::vec(record(), 0..40)) {
+        let q = Query::new().aggregate(None, AggFn::Sum, Some("n"), "total").unwrap();
+        let out = q.run(records.iter().cloned()).unwrap();
+        let expected: f64 = records.iter().map(|r| r["n"].as_i64().unwrap() as f64).sum();
+        let got = out[0]["total"].as_f64().unwrap();
+        prop_assert!((got - expected).abs() < 1e-6, "{got} vs {expected}");
+    }
+
+    /// Limit truncates to exactly min(n, len).
+    #[test]
+    fn limit_truncates(records in proptest::collection::vec(record(), 0..40), n in 0usize..50) {
+        let q = Query::new().limit(n);
+        let out = q.run(records.iter().cloned()).unwrap();
+        prop_assert_eq!(out.len(), records.len().min(n));
+    }
+
+    /// Retention never loses the most recent record and keeps seq order.
+    #[test]
+    fn retention_keeps_recent(extra in 1usize..3000) {
+        let log = LogStore::new("p/r");
+        log.set_retention(Some(1024));
+        for i in 0..extra {
+            log.append(json!({"i": i}));
+        }
+        let all = log.read_all();
+        prop_assert!(!all.is_empty());
+        prop_assert_eq!(all.last().unwrap().seq, extra as u64);
+        for w in all.windows(2) {
+            prop_assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+    }
+}

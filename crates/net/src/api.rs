@@ -1,0 +1,87 @@
+//! The transport-independent exchange API.
+//!
+//! Integrators and reconcilers are written against [`ExchangeApi`] and do
+//! not know whether the exchange lives in-process ([`crate::loopback`]) or
+//! across a network ([`crate::client`]). This is the seam that lets the
+//! benchmarks swap deployments without touching composition logic.
+
+use crate::proto::{ProfileSpec, QuerySpec};
+use knactor_logstore::LogRecord;
+use knactor_store::udf::UdfAssignment;
+use knactor_store::{StoredObject, TxOp, UdfBinding, WatchEvent};
+use knactor_types::{ObjectKey, Result, Revision, Schema, SchemaName, StoreId, Value};
+use std::future::Future;
+use std::pin::Pin;
+use tokio::sync::mpsc;
+
+/// Boxed future alias so the trait stays object-safe.
+pub type BoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + Send + 'a>>;
+
+/// Stream of object watch events.
+pub type WatchRx = mpsc::UnboundedReceiver<WatchEvent>;
+
+/// Stream of tailed log records.
+pub type TailRx = mpsc::UnboundedReceiver<LogRecord>;
+
+/// Everything a client can do against a data exchange (Object + Log).
+pub trait ExchangeApi: Send + Sync {
+    // ---- object exchange ---------------------------------------------------
+    fn create_store(&self, store: StoreId, profile: ProfileSpec) -> BoxFuture<'_, Result<()>>;
+    fn create(&self, store: StoreId, key: ObjectKey, value: Value) -> BoxFuture<'_, Result<Revision>>;
+    fn get(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<StoredObject>>;
+    fn list(&self, store: StoreId) -> BoxFuture<'_, Result<(Vec<StoredObject>, Revision)>>;
+    fn update(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        value: Value,
+        expected: Option<Revision>,
+    ) -> BoxFuture<'_, Result<Revision>>;
+    fn patch(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        patch: Value,
+        upsert: bool,
+    ) -> BoxFuture<'_, Result<Revision>>;
+    fn delete(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<Revision>>;
+    fn register_consumer(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        consumer: String,
+    ) -> BoxFuture<'_, Result<()>>;
+    fn mark_processed(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        consumer: String,
+    ) -> BoxFuture<'_, Result<Vec<ObjectKey>>>;
+    /// Watch events with revision greater than `from`.
+    fn watch(&self, store: StoreId, from: Revision) -> BoxFuture<'_, Result<WatchRx>>;
+    fn register_schema(&self, schema: Schema) -> BoxFuture<'_, Result<()>>;
+    fn bind_schema(&self, store: StoreId, schema: SchemaName) -> BoxFuture<'_, Result<()>>;
+    fn get_schema(&self, schema: SchemaName) -> BoxFuture<'_, Result<Schema>>;
+    fn register_udf(
+        &self,
+        name: String,
+        inputs: Vec<String>,
+        assignments: Vec<UdfAssignment>,
+    ) -> BoxFuture<'_, Result<()>>;
+    fn execute_udf(
+        &self,
+        name: String,
+        bindings: Vec<UdfBinding>,
+    ) -> BoxFuture<'_, Result<Vec<(StoreId, Revision)>>>;
+    /// Apply a set of patches across stores atomically: either every
+    /// precondition holds and every write commits, or nothing does.
+    fn transact(&self, ops: Vec<TxOp>) -> BoxFuture<'_, Result<Vec<(StoreId, Revision)>>>;
+
+    // ---- log exchange --------------------------------------------------------
+    fn log_create_store(&self, store: StoreId) -> BoxFuture<'_, Result<()>>;
+    fn log_append(&self, store: StoreId, fields: Value) -> BoxFuture<'_, Result<u64>>;
+    fn log_append_batch(&self, store: StoreId, batch: Vec<Value>) -> BoxFuture<'_, Result<u64>>;
+    fn log_read(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<Vec<LogRecord>>>;
+    fn log_query(&self, store: StoreId, query: QuerySpec) -> BoxFuture<'_, Result<Vec<Value>>>;
+    fn log_tail(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<TailRx>>;
+}

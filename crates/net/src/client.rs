@@ -1,0 +1,460 @@
+//! The TCP exchange client.
+//!
+//! One connection, pipelined: requests carry correlation ids, a background
+//! demultiplexer routes replies to per-request oneshot channels and pushed
+//! events to per-subscription streams. Optional injected latency models a
+//! cluster network RTT deterministically (loopback TCP alone measures in
+//! microseconds; pod-to-pod traffic does not).
+
+use crate::api::{BoxFuture, ExchangeApi, TailRx, WatchRx};
+use crate::frame::{FrameReader, FrameWriter};
+use crate::proto::{
+    decode, encode, EventBody, Hello, ProfileSpec, QuerySpec, Request, RequestEnvelope, Response,
+    ServerMsg,
+};
+use knactor_logstore::LogRecord;
+use knactor_rbac::{Subject, SubjectKind};
+use knactor_store::udf::UdfAssignment;
+use knactor_store::{StoredObject, TxOp, UdfBinding, WatchEvent};
+use knactor_types::{Error, ObjectKey, Result, Revision, Schema, SchemaName, StoreId, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::net::TcpStream;
+use tokio::sync::{mpsc, oneshot};
+
+/// Routing state shared with the demultiplexer task.
+#[derive(Default)]
+struct Router {
+    /// Set once the demultiplexer exits (connection gone); all later
+    /// requests fail fast instead of waiting on a reply that cannot come.
+    closed: bool,
+    pending: HashMap<u64, oneshot::Sender<Response>>,
+    /// Request id → channel to install once the Watch reply names a sub id.
+    staged_watches: HashMap<u64, StagedSub>,
+    object_subs: HashMap<u64, mpsc::UnboundedSender<WatchEvent>>,
+    record_subs: HashMap<u64, mpsc::UnboundedSender<LogRecord>>,
+}
+
+enum StagedSub {
+    Object(mpsc::UnboundedSender<WatchEvent>),
+    Record(mpsc::UnboundedSender<LogRecord>),
+}
+
+/// Async exchange client over TCP.
+pub struct TcpClient {
+    out_tx: mpsc::UnboundedSender<RequestEnvelope>,
+    router: Arc<Mutex<Router>>,
+    next_id: AtomicU64,
+    latency: Option<Duration>,
+    subject: Subject,
+}
+
+impl TcpClient {
+    /// Connect and identify as `subject`.
+    pub async fn connect(addr: impl tokio::net::ToSocketAddrs, subject: Subject) -> Result<TcpClient> {
+        let socket = TcpStream::connect(addr).await?;
+        socket
+            .set_nodelay(true)
+            .map_err(|e| Error::Transport(e.to_string()))?;
+        let (read_half, write_half) = socket.into_split();
+        let mut writer = FrameWriter::new(write_half);
+        let hello = Hello {
+            subject_kind: match subject.kind {
+                SubjectKind::Reconciler => "reconciler".to_string(),
+                SubjectKind::Integrator => "integrator".to_string(),
+                SubjectKind::Operator => "operator".to_string(),
+            },
+            subject_name: subject.name.clone(),
+        };
+        writer.write_frame(&encode(&hello)?).await?;
+
+        let router = Arc::new(Mutex::new(Router::default()));
+
+        // Writer task: serializes request envelopes onto the socket.
+        let (out_tx, mut out_rx) = mpsc::unbounded_channel::<RequestEnvelope>();
+        tokio::spawn(async move {
+            while let Some(envelope) = out_rx.recv().await {
+                let Ok(bytes) = encode(&envelope) else { break };
+                if writer.write_frame(&bytes).await.is_err() {
+                    break;
+                }
+            }
+        });
+
+        // Demultiplexer task.
+        let demux_router = Arc::clone(&router);
+        tokio::spawn(async move {
+            let mut reader = FrameReader::new(read_half);
+            loop {
+                let frame = match reader.read_frame().await {
+                    Ok(Some(f)) => f,
+                    _ => break,
+                };
+                let msg: ServerMsg = match decode(&frame) {
+                    Ok(m) => m,
+                    Err(_) => break,
+                };
+                let mut router = demux_router.lock();
+                match msg {
+                    ServerMsg::Reply { id, response } => {
+                        // A watch/tail reply installs its event channel
+                        // *before* the reply is released, so no event can
+                        // race past an unregistered subscription.
+                        if let Response::Watch { sub_id } = &response {
+                            if let Some(staged) = router.staged_watches.remove(&id) {
+                                match staged {
+                                    StagedSub::Object(tx) => {
+                                        router.object_subs.insert(*sub_id, tx);
+                                    }
+                                    StagedSub::Record(tx) => {
+                                        router.record_subs.insert(*sub_id, tx);
+                                    }
+                                }
+                            }
+                        } else {
+                            router.staged_watches.remove(&id);
+                        }
+                        if let Some(tx) = router.pending.remove(&id) {
+                            let _ = tx.send(response);
+                        }
+                    }
+                    ServerMsg::Event { sub_id, body } => match body {
+                        EventBody::Object { event } => {
+                            if let Some(tx) = router.object_subs.get(&sub_id) {
+                                if tx.send(event).is_err() {
+                                    router.object_subs.remove(&sub_id);
+                                }
+                            }
+                        }
+                        EventBody::Record { record } => {
+                            if let Some(tx) = router.record_subs.get(&sub_id) {
+                                if tx.send(record).is_err() {
+                                    router.record_subs.remove(&sub_id);
+                                }
+                            }
+                        }
+                        EventBody::Closed => {
+                            router.object_subs.remove(&sub_id);
+                            router.record_subs.remove(&sub_id);
+                        }
+                    },
+                }
+            }
+            // Connection gone: fail all pending requests by dropping their
+            // senders, close all subscriptions, and refuse future requests.
+            let mut router = demux_router.lock();
+            router.closed = true;
+            router.pending.clear();
+            router.object_subs.clear();
+            router.record_subs.clear();
+        });
+
+        Ok(TcpClient { out_tx, router, next_id: AtomicU64::new(1), latency: None, subject })
+    }
+
+    /// Inject a fixed round-trip latency applied to every request (models
+    /// cluster RTT; benchmarks use it to make transport cost explicit).
+    pub fn with_latency(mut self, rtt: Duration) -> TcpClient {
+        self.latency = Some(rtt);
+        self
+    }
+
+    pub fn subject(&self) -> &Subject {
+        &self.subject
+    }
+
+    async fn request(&self, body: Request) -> Result<Response> {
+        self.request_staged(body, None).await
+    }
+
+    async fn request_staged(&self, body: Request, staged: Option<StagedSub>) -> Result<Response> {
+        if let Some(rtt) = self.latency {
+            knactor_store::profile::precise_sleep(rtt).await;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = oneshot::channel();
+        {
+            let mut router = self.router.lock();
+            if router.closed {
+                return Err(Error::Transport("connection closed".to_string()));
+            }
+            router.pending.insert(id, tx);
+            if let Some(staged) = staged {
+                router.staged_watches.insert(id, staged);
+            }
+        }
+        self.out_tx
+            .send(RequestEnvelope { id, body })
+            .map_err(|_| Error::Transport("connection closed".to_string()))?;
+        let response = rx
+            .await
+            .map_err(|_| Error::Transport("connection closed awaiting reply".to_string()))?;
+        response.into_result()
+    }
+
+    /// Round-trip a ping (health check / latency probe).
+    pub async fn ping(&self) -> Result<()> {
+        match self.request(Request::Ping).await? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(r: Response) -> Error {
+    Error::Transport(format!("unexpected response {r:?}"))
+}
+
+impl ExchangeApi for TcpClient {
+    fn create_store(&self, store: StoreId, profile: ProfileSpec) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            match self.request(Request::CreateStore { store, profile }).await? {
+                Response::Ok => Ok(()),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn create(&self, store: StoreId, key: ObjectKey, value: Value) -> BoxFuture<'_, Result<Revision>> {
+        Box::pin(async move {
+            match self.request(Request::Create { store, key, value }).await? {
+                Response::Revision { revision } => Ok(revision),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn get(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<StoredObject>> {
+        Box::pin(async move {
+            match self.request(Request::Get { store, key }).await? {
+                Response::Object { object } => Ok(object),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn list(&self, store: StoreId) -> BoxFuture<'_, Result<(Vec<StoredObject>, Revision)>> {
+        Box::pin(async move {
+            match self.request(Request::List { store }).await? {
+                Response::Objects { objects, revision } => Ok((objects, revision)),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn update(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        value: Value,
+        expected: Option<Revision>,
+    ) -> BoxFuture<'_, Result<Revision>> {
+        Box::pin(async move {
+            match self
+                .request(Request::Update { store, key, value, expected })
+                .await?
+            {
+                Response::Revision { revision } => Ok(revision),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn patch(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        patch: Value,
+        upsert: bool,
+    ) -> BoxFuture<'_, Result<Revision>> {
+        Box::pin(async move {
+            match self.request(Request::Patch { store, key, patch, upsert }).await? {
+                Response::Revision { revision } => Ok(revision),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn delete(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<Revision>> {
+        Box::pin(async move {
+            match self.request(Request::Delete { store, key }).await? {
+                Response::Revision { revision } => Ok(revision),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn register_consumer(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        consumer: String,
+    ) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            match self
+                .request(Request::RegisterConsumer { store, key, consumer })
+                .await?
+            {
+                Response::Ok => Ok(()),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn mark_processed(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        consumer: String,
+    ) -> BoxFuture<'_, Result<Vec<ObjectKey>>> {
+        Box::pin(async move {
+            match self
+                .request(Request::MarkProcessed { store, key, consumer })
+                .await?
+            {
+                Response::Collected { keys } => Ok(keys),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn watch(&self, store: StoreId, from: Revision) -> BoxFuture<'_, Result<WatchRx>> {
+        Box::pin(async move {
+            let (tx, rx) = mpsc::unbounded_channel();
+            match self
+                .request_staged(Request::Watch { store, from }, Some(StagedSub::Object(tx)))
+                .await?
+            {
+                Response::Watch { .. } => Ok(rx),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn register_schema(&self, schema: Schema) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            match self.request(Request::RegisterSchema { schema }).await? {
+                Response::Ok => Ok(()),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn bind_schema(&self, store: StoreId, schema: SchemaName) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            match self.request(Request::BindSchema { store, schema }).await? {
+                Response::Ok => Ok(()),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn get_schema(&self, schema: SchemaName) -> BoxFuture<'_, Result<Schema>> {
+        Box::pin(async move {
+            match self.request(Request::GetSchema { schema }).await? {
+                Response::Schema { schema } => Ok(schema),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn register_udf(
+        &self,
+        name: String,
+        inputs: Vec<String>,
+        assignments: Vec<UdfAssignment>,
+    ) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            match self
+                .request(Request::RegisterUdf { name, inputs, assignments })
+                .await?
+            {
+                Response::Ok => Ok(()),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn execute_udf(
+        &self,
+        name: String,
+        bindings: Vec<UdfBinding>,
+    ) -> BoxFuture<'_, Result<Vec<(StoreId, Revision)>>> {
+        Box::pin(async move {
+            match self.request(Request::ExecuteUdf { name, bindings }).await? {
+                Response::Revisions { revisions } => Ok(revisions),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn transact(&self, ops: Vec<TxOp>) -> BoxFuture<'_, Result<Vec<(StoreId, Revision)>>> {
+        Box::pin(async move {
+            match self.request(Request::Transact { ops }).await? {
+                Response::Revisions { revisions } => Ok(revisions),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn log_create_store(&self, store: StoreId) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            match self.request(Request::LogCreateStore { store }).await? {
+                Response::Ok => Ok(()),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn log_append(&self, store: StoreId, fields: Value) -> BoxFuture<'_, Result<u64>> {
+        Box::pin(async move {
+            match self.request(Request::LogAppend { store, fields }).await? {
+                Response::Seq { seq } => Ok(seq),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn log_append_batch(&self, store: StoreId, batch: Vec<Value>) -> BoxFuture<'_, Result<u64>> {
+        Box::pin(async move {
+            match self.request(Request::LogAppendBatch { store, batch }).await? {
+                Response::Seq { seq } => Ok(seq),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn log_read(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<Vec<LogRecord>>> {
+        Box::pin(async move {
+            match self.request(Request::LogRead { store, from }).await? {
+                Response::Records { records } => Ok(records),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn log_query(&self, store: StoreId, query: QuerySpec) -> BoxFuture<'_, Result<Vec<Value>>> {
+        Box::pin(async move {
+            match self.request(Request::LogQuery { store, query }).await? {
+                Response::Rows { rows } => Ok(rows),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn log_tail(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<TailRx>> {
+        Box::pin(async move {
+            let (tx, rx) = mpsc::unbounded_channel();
+            match self
+                .request_staged(Request::LogTail { store, from }, Some(StagedSub::Record(tx)))
+                .await?
+            {
+                Response::Watch { .. } => Ok(rx),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+}

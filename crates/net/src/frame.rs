@@ -1,0 +1,147 @@
+//! Length-prefixed framing over async byte streams.
+//!
+//! Wire format: `u32` big-endian payload length, then the payload. The
+//! maximum frame size is enforced on both read and write so a corrupt
+//! or malicious length prefix cannot make the peer allocate unboundedly.
+
+use bytes::{Buf, BytesMut};
+use knactor_types::{Error, Result};
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+
+/// Frames above this size are protocol errors (16 MiB).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Reads frames from an async byte stream, buffering internally.
+pub struct FrameReader<R> {
+    inner: R,
+    buf: BytesMut,
+}
+
+impl<R: AsyncRead + Unpin> FrameReader<R> {
+    pub fn new(inner: R) -> Self {
+        FrameReader { inner, buf: BytesMut::with_capacity(8 * 1024) }
+    }
+
+    /// Read one frame. `Ok(None)` on clean EOF at a frame boundary;
+    /// `Err` on a mid-frame EOF or an oversized length prefix.
+    pub async fn read_frame(&mut self) -> Result<Option<BytesMut>> {
+        loop {
+            if let Some(frame) = self.try_parse()? {
+                return Ok(Some(frame));
+            }
+            let n = self.inner.read_buf(&mut self.buf).await?;
+            if n == 0 {
+                if self.buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(Error::Transport("connection reset mid-frame".to_string()));
+            }
+        }
+    }
+
+    fn try_parse(&mut self) -> Result<Option<BytesMut>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(Error::Transport(format!("frame of {len} bytes exceeds MAX_FRAME")));
+        }
+        if self.buf.len() < 4 + len {
+            self.buf.reserve(4 + len - self.buf.len());
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        Ok(Some(self.buf.split_to(len)))
+    }
+}
+
+/// Writes frames to an async byte stream.
+pub struct FrameWriter<W> {
+    inner: W,
+}
+
+impl<W: AsyncWrite + Unpin> FrameWriter<W> {
+    pub fn new(inner: W) -> Self {
+        FrameWriter { inner }
+    }
+
+    pub async fn write_frame(&mut self, payload: &[u8]) -> Result<()> {
+        if payload.len() > MAX_FRAME {
+            return Err(Error::Transport(format!(
+                "refusing to send {}-byte frame (max {MAX_FRAME})",
+                payload.len()
+            )));
+        }
+        self.inner
+            .write_all(&(payload.len() as u32).to_be_bytes())
+            .await?;
+        self.inner.write_all(payload).await?;
+        self.inner.flush().await?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn roundtrip_frames() {
+        // Buffer must hold all frames: the writer runs before the reader.
+        let (client, server) = tokio::io::duplex(4096);
+        let mut w = FrameWriter::new(client);
+        let mut r = FrameReader::new(server);
+        w.write_frame(b"hello").await.unwrap();
+        w.write_frame(b"").await.unwrap();
+        w.write_frame(&[0u8; 1000]).await.unwrap();
+        assert_eq!(&r.read_frame().await.unwrap().unwrap()[..], b"hello");
+        assert_eq!(r.read_frame().await.unwrap().unwrap().len(), 0);
+        assert_eq!(r.read_frame().await.unwrap().unwrap().len(), 1000);
+    }
+
+    #[tokio::test]
+    async fn clean_eof_returns_none() {
+        let (client, server) = tokio::io::duplex(64);
+        let mut w = FrameWriter::new(client);
+        w.write_frame(b"x").await.unwrap();
+        drop(w);
+        let mut r = FrameReader::new(server);
+        assert!(r.read_frame().await.unwrap().is_some());
+        assert!(r.read_frame().await.unwrap().is_none());
+    }
+
+    #[tokio::test]
+    async fn mid_frame_eof_is_error() {
+        let (client, server) = tokio::io::duplex(64);
+        {
+            use tokio::io::AsyncWriteExt;
+            let mut raw = client;
+            // Length says 100, but only 3 bytes follow.
+            raw.write_all(&100u32.to_be_bytes()).await.unwrap();
+            raw.write_all(b"abc").await.unwrap();
+        }
+        let mut r = FrameReader::new(server);
+        assert!(r.read_frame().await.is_err());
+    }
+
+    #[tokio::test]
+    async fn oversized_length_is_error() {
+        let (client, server) = tokio::io::duplex(64);
+        {
+            use tokio::io::AsyncWriteExt;
+            let mut raw = client;
+            raw.write_all(&(MAX_FRAME as u32 + 1).to_be_bytes()).await.unwrap();
+        }
+        let mut r = FrameReader::new(server);
+        assert!(r.read_frame().await.is_err());
+    }
+
+    #[tokio::test]
+    async fn oversized_write_refused() {
+        let (client, _server) = tokio::io::duplex(64);
+        let mut w = FrameWriter::new(client);
+        let big = vec![0u8; MAX_FRAME + 1];
+        assert!(w.write_frame(&big).await.is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # knactor-net
+//!
+//! The network substrate for Knactor data exchanges:
+//!
+//! * [`frame`] — a length-prefixed frame codec over any async byte stream
+//!   (the Tokio framing pattern; 4-byte big-endian length + payload).
+//! * [`proto`] — the wire protocol: serde-encoded requests, responses, and
+//!   server-pushed watch/tail events, multiplexed over one connection with
+//!   request-id correlation.
+//! * [`server`] — [`server::ExchangeServer`]: serves one
+//!   [`knactor_store::DataExchange`] plus one
+//!   [`knactor_logstore::LogExchange`] over TCP, with graceful shutdown.
+//! * [`client`] — [`client::TcpClient`]: an async client with pipelined
+//!   requests, background demultiplexing, and optional injected network
+//!   latency (to model cluster RTTs deterministically in benchmarks).
+//! * [`loopback`] — [`loopback::LoopbackClient`]: the same API surface
+//!   bound directly to an in-process exchange with **no serialization at
+//!   all** — the zero-copy data-exchange optimization of §3.3.
+//! * [`api`] — [`api::ExchangeApi`], the transport-independent trait both
+//!   clients implement; integrators and reconcilers are written against
+//!   it and never know whether the exchange is local or remote.
+
+pub mod api;
+pub mod client;
+pub mod frame;
+pub mod loopback;
+pub mod proto;
+pub mod server;
+
+pub use api::{BoxFuture, ExchangeApi, WatchRx};
+pub use client::TcpClient;
+pub use loopback::LoopbackClient;
+pub use server::ExchangeServer;
+
+/// Re-export: sub-millisecond-accurate sleep used for latency injection.
+pub use knactor_store::profile::precise_sleep;

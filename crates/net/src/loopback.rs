@@ -1,0 +1,310 @@
+//! In-process transport: the zero-copy deployment.
+//!
+//! A [`LoopbackClient`] implements [`ExchangeApi`] directly against
+//! in-process exchanges. Values move as `serde_json::Value` clones with
+//! **no serialization, framing, or syscalls** — this is the §3.3
+//! "zero-copy data exchange between DE and integrator" configuration, and
+//! the baseline the TCP transport is benchmarked against.
+//!
+//! Access control and engine-profile latency still apply: they are
+//! properties of the exchange, not of the transport.
+
+use crate::api::{BoxFuture, ExchangeApi, TailRx, WatchRx};
+use crate::proto::{ProfileSpec, QuerySpec};
+use knactor_logstore::{LogExchange, LogRecord};
+use knactor_store::udf::UdfAssignment;
+use knactor_store::{DataExchange, StoredObject, TxOp, UdfBinding};
+use knactor_rbac::Subject;
+use knactor_types::{ObjectKey, Result, Revision, Schema, SchemaName, StoreId, Value};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Client bound directly to in-process exchanges.
+#[derive(Clone)]
+pub struct LoopbackClient {
+    object: Arc<DataExchange>,
+    log: Arc<LogExchange>,
+    subject: Subject,
+    /// Where `ProfileSpec::Apiserver` stores roots its WAL files.
+    data_dir: PathBuf,
+}
+
+impl LoopbackClient {
+    pub fn new(object: Arc<DataExchange>, log: Arc<LogExchange>, subject: Subject) -> Self {
+        LoopbackClient {
+            object,
+            log,
+            subject,
+            data_dir: std::env::temp_dir().join("knactor-loopback"),
+        }
+    }
+
+    pub fn with_data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = dir.into();
+        self
+    }
+
+    pub fn subject(&self) -> &Subject {
+        &self.subject
+    }
+
+    /// The same exchanges viewed as a different subject.
+    pub fn as_subject(&self, subject: Subject) -> LoopbackClient {
+        LoopbackClient { subject, ..self.clone() }
+    }
+
+    fn subject_str(&self) -> String {
+        self.subject.to_string()
+    }
+}
+
+impl ExchangeApi for LoopbackClient {
+    fn create_store(&self, store: StoreId, profile: ProfileSpec) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            let profile = profile.materialize(&self.data_dir, &store);
+            self.object.create_store(store, profile)?;
+            Ok(())
+        })
+    }
+
+    fn create(&self, store: StoreId, key: ObjectKey, value: Value) -> BoxFuture<'_, Result<Revision>> {
+        Box::pin(async move {
+            self.object
+                .handle(&store, self.subject.clone())?
+                .create(key, value)
+                .await
+        })
+    }
+
+    fn get(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<StoredObject>> {
+        Box::pin(async move { self.object.handle(&store, self.subject.clone())?.get(&key).await })
+    }
+
+    fn list(&self, store: StoreId) -> BoxFuture<'_, Result<(Vec<StoredObject>, Revision)>> {
+        Box::pin(async move { self.object.handle(&store, self.subject.clone())?.list().await })
+    }
+
+    fn update(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        value: Value,
+        expected: Option<Revision>,
+    ) -> BoxFuture<'_, Result<Revision>> {
+        Box::pin(async move {
+            self.object
+                .handle(&store, self.subject.clone())?
+                .update(&key, value, expected)
+                .await
+        })
+    }
+
+    fn patch(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        patch: Value,
+        upsert: bool,
+    ) -> BoxFuture<'_, Result<Revision>> {
+        Box::pin(async move {
+            self.object
+                .handle(&store, self.subject.clone())?
+                .patch(&key, patch, upsert)
+                .await
+        })
+    }
+
+    fn delete(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<Revision>> {
+        Box::pin(async move {
+            self.object.handle(&store, self.subject.clone())?.delete(&key).await
+        })
+    }
+
+    fn register_consumer(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        consumer: String,
+    ) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            self.object
+                .handle(&store, self.subject.clone())?
+                .register_consumer(&key, &consumer)
+                .await
+        })
+    }
+
+    fn mark_processed(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        consumer: String,
+    ) -> BoxFuture<'_, Result<Vec<ObjectKey>>> {
+        Box::pin(async move {
+            self.object
+                .handle(&store, self.subject.clone())?
+                .mark_processed(&key, &consumer)
+                .await
+        })
+    }
+
+    fn watch(&self, store: StoreId, from: Revision) -> BoxFuture<'_, Result<WatchRx>> {
+        Box::pin(async move {
+            let stream = self
+                .object
+                .handle(&store, self.subject.clone())?
+                .watch_from(from)?;
+            Ok(stream.into_receiver())
+        })
+    }
+
+    fn register_schema(&self, schema: Schema) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move { self.object.register_schema(schema) })
+    }
+
+    fn bind_schema(&self, store: StoreId, schema: SchemaName) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move { self.object.bind_schema(&store, &schema) })
+    }
+
+    fn get_schema(&self, schema: SchemaName) -> BoxFuture<'_, Result<Schema>> {
+        Box::pin(async move { self.object.schema(&schema) })
+    }
+
+    fn register_udf(
+        &self,
+        name: String,
+        inputs: Vec<String>,
+        assignments: Vec<UdfAssignment>,
+    ) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move { self.object.register_udf(name, inputs, &assignments) })
+    }
+
+    fn execute_udf(
+        &self,
+        name: String,
+        bindings: Vec<UdfBinding>,
+    ) -> BoxFuture<'_, Result<Vec<(StoreId, Revision)>>> {
+        Box::pin(async move {
+            // Pushing logic down still costs one command round trip to
+            // the exchange (what Redis Functions cost); model it with the
+            // priciest bound store's per-op delays once, instead of once
+            // per read/write as the non-pushdown path pays.
+            let mut round_trip = std::time::Duration::ZERO;
+            for b in &bindings {
+                if let Ok(store) = self.object.store(&b.store) {
+                    let p = store.profile();
+                    round_trip = round_trip.max(p.read_delay + p.write_delay);
+                }
+            }
+            knactor_store::profile::precise_sleep(round_trip).await;
+            let revs = self.object.execute_udf(&self.subject, &name, &bindings)?;
+            Ok(revs.into_iter().collect())
+        })
+    }
+
+    fn transact(&self, ops: Vec<TxOp>) -> BoxFuture<'_, Result<Vec<(StoreId, Revision)>>> {
+        Box::pin(async move {
+            let revs = self.object.transact(&self.subject, &ops)?;
+            Ok(revs.into_iter().collect())
+        })
+    }
+
+    fn log_create_store(&self, store: StoreId) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            self.log.create_store(store)?;
+            Ok(())
+        })
+    }
+
+    fn log_append(&self, store: StoreId, fields: Value) -> BoxFuture<'_, Result<u64>> {
+        Box::pin(async move { self.log.ingest(&self.subject_str(), &store, fields) })
+    }
+
+    fn log_append_batch(&self, store: StoreId, batch: Vec<Value>) -> BoxFuture<'_, Result<u64>> {
+        Box::pin(async move {
+            let mut last = 0;
+            for fields in batch {
+                last = self.log.ingest(&self.subject_str(), &store, fields)?;
+            }
+            Ok(last)
+        })
+    }
+
+    fn log_read(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<Vec<LogRecord>>> {
+        Box::pin(async move { Ok(self.log.store(&store)?.read_from(from)) })
+    }
+
+    fn log_query(&self, store: StoreId, query: QuerySpec) -> BoxFuture<'_, Result<Vec<Value>>> {
+        Box::pin(async move {
+            let compiled = query.compile()?;
+            self.log.query(&self.subject_str(), &store, &compiled)
+        })
+    }
+
+    fn log_tail(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<TailRx>> {
+        Box::pin(async move { Ok(self.log.store(&store)?.tail(from)) })
+    }
+}
+
+/// Bundle of fresh in-process exchanges plus a client, for tests and
+/// single-process apps.
+pub fn in_process(subject: Subject) -> (Arc<DataExchange>, Arc<LogExchange>, LoopbackClient) {
+    let object = Arc::new(DataExchange::new());
+    let log = Arc::new(LogExchange::new());
+    let client = LoopbackClient::new(Arc::clone(&object), Arc::clone(&log), subject);
+    (object, log, client)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[tokio::test]
+    async fn loopback_object_roundtrip() {
+        let (_, _, client) = in_process(Subject::operator("test"));
+        let store = StoreId::new("t/s");
+        client.create_store(store.clone(), ProfileSpec::Instant).await.unwrap();
+        client
+            .create(store.clone(), ObjectKey::new("a"), json!({"x": 1}))
+            .await
+            .unwrap();
+        let obj = client.get(store.clone(), ObjectKey::new("a")).await.unwrap();
+        assert_eq!(obj.value, json!({"x": 1}));
+        let mut rx = client.watch(store.clone(), Revision::ZERO).await.unwrap();
+        let e = rx.recv().await.unwrap();
+        assert_eq!(e.key, ObjectKey::new("a"));
+    }
+
+    #[tokio::test]
+    async fn loopback_log_roundtrip() {
+        let (_, _, client) = in_process(Subject::operator("test"));
+        let store = StoreId::new("t/log");
+        client.log_create_store(store.clone()).await.unwrap();
+        client.log_append(store.clone(), json!({"n": 1})).await.unwrap();
+        client
+            .log_append_batch(store.clone(), vec![json!({"n": 2}), json!({"n": 3})])
+            .await
+            .unwrap();
+        let recs = client.log_read(store.clone(), 0).await.unwrap();
+        assert_eq!(recs.len(), 3);
+        let rows = client
+            .log_query(
+                store.clone(),
+                QuerySpec {
+                    ops: vec![crate::proto::OpSpec::Filter { expr: "this.n > 1".into() }],
+                },
+            )
+            .await
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[tokio::test]
+    async fn as_subject_switches_identity() {
+        let (_, _, client) = in_process(Subject::operator("a"));
+        let other = client.as_subject(Subject::integrator("b"));
+        assert_eq!(other.subject().to_string(), "integrator:b");
+        assert_eq!(client.subject().to_string(), "operator:a");
+    }
+}

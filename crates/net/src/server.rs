@@ -1,0 +1,383 @@
+//! The exchange server: serves Object + Log exchanges over TCP.
+//!
+//! One task per connection; requests on a connection are handled in
+//! arrival order (the apiserver-style serialization point), while watch
+//! and tail subscriptions fan out through a per-connection outbound
+//! channel so pushes never block request handling. Shutdown follows the
+//! Tokio graceful-shutdown pattern: a broadcast flag observed by the
+//! accept loop and every connection task.
+
+use crate::frame::{FrameReader, FrameWriter};
+use crate::proto::{
+    decode, encode, EventBody, Hello, Request, RequestEnvelope, Response, ServerMsg,
+};
+use knactor_logstore::LogExchange;
+use knactor_rbac::Subject;
+use knactor_store::DataExchange;
+use knactor_types::{Error, Result, StoreId};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::{mpsc, watch};
+use tokio::task::JoinHandle;
+
+/// A running exchange server.
+pub struct ExchangeServer {
+    pub object: Arc<DataExchange>,
+    pub log: Arc<LogExchange>,
+    local_addr: std::net::SocketAddr,
+    shutdown_tx: watch::Sender<bool>,
+    accept_task: JoinHandle<()>,
+    data_dir: PathBuf,
+}
+
+impl ExchangeServer {
+    /// Bind `addr` (use `127.0.0.1:0` for an ephemeral port) and start
+    /// serving the given exchanges.
+    pub async fn bind(
+        addr: &str,
+        object: Arc<DataExchange>,
+        log: Arc<LogExchange>,
+    ) -> Result<ExchangeServer> {
+        let listener = TcpListener::bind(addr).await?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| Error::Transport(e.to_string()))?;
+        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        let data_dir = std::env::temp_dir().join(format!("knactor-server-{local_addr}").replace(':', "_"));
+        let ctx = Arc::new(ServerCtx {
+            object: Arc::clone(&object),
+            log: Arc::clone(&log),
+            data_dir: data_dir.clone(),
+            next_sub: AtomicU64::new(1),
+        });
+        let accept_task = tokio::spawn(accept_loop(listener, ctx, shutdown_rx));
+        Ok(ExchangeServer { object, log, local_addr, shutdown_tx, accept_task, data_dir })
+    }
+
+    /// Convenience: fresh exchanges on an ephemeral localhost port.
+    pub async fn bind_ephemeral() -> Result<ExchangeServer> {
+        ExchangeServer::bind(
+            "127.0.0.1:0",
+            Arc::new(DataExchange::new()),
+            Arc::new(LogExchange::new()),
+        )
+        .await
+    }
+
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Directory under which remotely-requested durable stores place WALs.
+    pub fn data_dir(&self) -> &std::path::Path {
+        &self.data_dir
+    }
+
+    /// Signal shutdown and wait for the accept loop to finish. Existing
+    /// connections observe the flag and drain.
+    pub async fn shutdown(self) {
+        let _ = self.shutdown_tx.send(true);
+        let _ = self.accept_task.await;
+    }
+}
+
+struct ServerCtx {
+    object: Arc<DataExchange>,
+    log: Arc<LogExchange>,
+    data_dir: PathBuf,
+    next_sub: AtomicU64,
+}
+
+async fn accept_loop(
+    listener: TcpListener,
+    ctx: Arc<ServerCtx>,
+    mut shutdown: watch::Receiver<bool>,
+) {
+    loop {
+        tokio::select! {
+            accepted = listener.accept() => {
+                match accepted {
+                    Ok((socket, _peer)) => {
+                        let ctx = Arc::clone(&ctx);
+                        let shutdown = shutdown.clone();
+                        tokio::spawn(async move {
+                            // A failed connection is that client's problem;
+                            // the server keeps serving.
+                            let _ = serve_connection(socket, ctx, shutdown).await;
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+            _ = shutdown.changed() => {
+                if *shutdown.borrow() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+async fn serve_connection(
+    socket: TcpStream,
+    ctx: Arc<ServerCtx>,
+    mut shutdown: watch::Receiver<bool>,
+) -> Result<()> {
+    socket
+        .set_nodelay(true)
+        .map_err(|e| Error::Transport(e.to_string()))?;
+    let (read_half, write_half) = socket.into_split();
+    let mut reader = FrameReader::new(read_half);
+
+    // Outbound writer task: everything the server sends goes through here.
+    let (out_tx, mut out_rx) = mpsc::unbounded_channel::<ServerMsg>();
+    let writer_task = tokio::spawn(async move {
+        let mut writer = FrameWriter::new(write_half);
+        while let Some(msg) = out_rx.recv().await {
+            let Ok(bytes) = encode(&msg) else { break };
+            if writer.write_frame(&bytes).await.is_err() {
+                break;
+            }
+        }
+    });
+
+    // Hello frame: who is this?
+    let subject = match reader.read_frame().await? {
+        Some(frame) => {
+            let hello: Hello = decode(&frame)?;
+            subject_from_hello(&hello)?
+        }
+        None => return Ok(()),
+    };
+
+    // Active push subscriptions on this connection.
+    let mut subs: HashMap<u64, JoinHandle<()>> = HashMap::new();
+
+    let result = loop {
+        tokio::select! {
+            frame = reader.read_frame() => {
+                match frame {
+                    Ok(Some(frame)) => {
+                        let envelope: RequestEnvelope = match decode(&frame) {
+                            Ok(e) => e,
+                            Err(e) => break Err(e),
+                        };
+                        let id = envelope.id;
+                        let response = dispatch(
+                            envelope.body,
+                            &ctx,
+                            &subject,
+                            &out_tx,
+                            &mut subs,
+                        )
+                        .await
+                        .unwrap_or_else(|e| Response::from_error(&e));
+                        if out_tx.send(ServerMsg::Reply { id, response }).is_err() {
+                            break Ok(());
+                        }
+                    }
+                    Ok(None) => break Ok(()),
+                    Err(e) => break Err(e),
+                }
+            }
+            _ = shutdown.changed() => {
+                if *shutdown.borrow() {
+                    break Ok(());
+                }
+            }
+        }
+    };
+
+    for (_, task) in subs {
+        task.abort();
+    }
+    drop(out_tx);
+    let _ = writer_task.await;
+    result
+}
+
+fn subject_from_hello(hello: &Hello) -> Result<Subject> {
+    let subject = match hello.subject_kind.as_str() {
+        "reconciler" => Subject::reconciler(&hello.subject_name),
+        "integrator" => Subject::integrator(&hello.subject_name),
+        "operator" => Subject::operator(&hello.subject_name),
+        other => return Err(Error::Transport(format!("unknown subject kind '{other}'"))),
+    };
+    Ok(subject)
+}
+
+async fn dispatch(
+    request: Request,
+    ctx: &Arc<ServerCtx>,
+    subject: &Subject,
+    out_tx: &mpsc::UnboundedSender<ServerMsg>,
+    subs: &mut HashMap<u64, JoinHandle<()>>,
+) -> Result<Response> {
+    match request {
+        Request::Ping => Ok(Response::Pong),
+        Request::CreateStore { store, profile } => {
+            let profile = profile.materialize(&ctx.data_dir, &store);
+            ctx.object.create_store(store, profile)?;
+            Ok(Response::Ok)
+        }
+        Request::Create { store, key, value } => {
+            let rev = ctx.object.handle(&store, subject.clone())?.create(key, value).await?;
+            Ok(Response::Revision { revision: rev })
+        }
+        Request::Get { store, key } => {
+            let object = ctx.object.handle(&store, subject.clone())?.get(&key).await?;
+            Ok(Response::Object { object })
+        }
+        Request::List { store } => {
+            let (objects, revision) = ctx.object.handle(&store, subject.clone())?.list().await?;
+            Ok(Response::Objects { objects, revision })
+        }
+        Request::Update { store, key, value, expected } => {
+            let rev = ctx
+                .object
+                .handle(&store, subject.clone())?
+                .update(&key, value, expected)
+                .await?;
+            Ok(Response::Revision { revision: rev })
+        }
+        Request::Patch { store, key, patch, upsert } => {
+            let rev = ctx
+                .object
+                .handle(&store, subject.clone())?
+                .patch(&key, patch, upsert)
+                .await?;
+            Ok(Response::Revision { revision: rev })
+        }
+        Request::Delete { store, key } => {
+            let rev = ctx.object.handle(&store, subject.clone())?.delete(&key).await?;
+            Ok(Response::Revision { revision: rev })
+        }
+        Request::RegisterConsumer { store, key, consumer } => {
+            ctx.object
+                .handle(&store, subject.clone())?
+                .register_consumer(&key, &consumer)
+                .await?;
+            Ok(Response::Ok)
+        }
+        Request::MarkProcessed { store, key, consumer } => {
+            let keys = ctx
+                .object
+                .handle(&store, subject.clone())?
+                .mark_processed(&key, &consumer)
+                .await?;
+            Ok(Response::Collected { keys })
+        }
+        Request::Watch { store, from } => {
+            let mut stream = ctx
+                .object
+                .handle(&store, subject.clone())?
+                .watch_from(from)?;
+            let sub_id = ctx.next_sub.fetch_add(1, Ordering::Relaxed);
+            let out = out_tx.clone();
+            let task = tokio::spawn(async move {
+                while let Some(event) = stream.recv().await {
+                    if out
+                        .send(ServerMsg::Event { sub_id, body: EventBody::Object { event } })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                let _ = out.send(ServerMsg::Event { sub_id, body: EventBody::Closed });
+            });
+            subs.insert(sub_id, task);
+            Ok(Response::Watch { sub_id })
+        }
+        Request::Unwatch { sub_id } => {
+            if let Some(task) = subs.remove(&sub_id) {
+                task.abort();
+                Ok(Response::Ok)
+            } else {
+                Err(Error::NotFound(format!("subscription {sub_id}")))
+            }
+        }
+        Request::RegisterSchema { schema } => {
+            ctx.object.register_schema(schema)?;
+            Ok(Response::Ok)
+        }
+        Request::BindSchema { store, schema } => {
+            ctx.object.bind_schema(&store, &schema)?;
+            Ok(Response::Ok)
+        }
+        Request::GetSchema { schema } => {
+            Ok(Response::Schema { schema: ctx.object.schema(&schema)? })
+        }
+        Request::RegisterUdf { name, inputs, assignments } => {
+            ctx.object.register_udf(name, inputs, &assignments)?;
+            Ok(Response::Ok)
+        }
+        Request::ExecuteUdf { name, bindings } => {
+            let revisions = ctx.object.execute_udf(subject, &name, &bindings)?;
+            Ok(Response::Revisions { revisions: revisions.into_iter().collect() })
+        }
+        Request::Transact { ops } => {
+            let revisions = ctx.object.transact(subject, &ops)?;
+            Ok(Response::Revisions { revisions: revisions.into_iter().collect() })
+        }
+        Request::LogCreateStore { store } => {
+            ctx.log.create_store(store)?;
+            Ok(Response::Ok)
+        }
+        Request::LogAppend { store, fields } => {
+            let seq = ctx.log.ingest(&subject.to_string(), &store, fields)?;
+            Ok(Response::Seq { seq })
+        }
+        Request::LogAppendBatch { store, batch } => {
+            let mut seq = 0;
+            for fields in batch {
+                seq = ctx.log.ingest(&subject.to_string(), &store, fields)?;
+            }
+            Ok(Response::Seq { seq })
+        }
+        Request::LogRead { store, from } => {
+            let records = ctx.log.store(&store)?.read_from(from);
+            Ok(Response::Records { records })
+        }
+        Request::LogQuery { store, query } => {
+            let compiled = query.compile()?;
+            let rows = ctx.log.query(&subject.to_string(), &store, &compiled)?;
+            Ok(Response::Rows { rows })
+        }
+        Request::LogTail { store, from } => {
+            let mut rx = ctx.log.store(&store)?.tail(from);
+            let sub_id = ctx.next_sub.fetch_add(1, Ordering::Relaxed);
+            let out = out_tx.clone();
+            let task = tokio::spawn(async move {
+                while let Some(record) = rx.recv().await {
+                    if out
+                        .send(ServerMsg::Event { sub_id, body: EventBody::Record { record } })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                let _ = out.send(ServerMsg::Event { sub_id, body: EventBody::Closed });
+            });
+            subs.insert(sub_id, task);
+            Ok(Response::Watch { sub_id })
+        }
+    }
+}
+
+/// Helper used by tests and benches: a running server plus its address,
+/// with exchanges pre-created for the given store ids.
+pub async fn test_server(object_stores: &[&str], log_stores: &[&str]) -> Result<ExchangeServer> {
+    let server = ExchangeServer::bind_ephemeral().await?;
+    for id in object_stores {
+        server
+            .object
+            .create_store(StoreId::new(*id), knactor_store::EngineProfile::instant())?;
+    }
+    for id in log_stores {
+        server.log.create_store(StoreId::new(*id))?;
+    }
+    Ok(server)
+}

@@ -1,0 +1,136 @@
+//! Failure injection: how clients and servers behave when the other side
+//! disappears or sends garbage.
+
+use knactor_net::frame::FrameWriter;
+use knactor_net::proto::encode;
+use knactor_net::server::test_server;
+use knactor_net::{ExchangeApi, TcpClient};
+use knactor_rbac::Subject;
+use knactor_types::{Error, ObjectKey, Revision, StoreId};
+use serde_json::json;
+use std::time::Duration;
+
+#[tokio::test]
+async fn server_shutdown_fails_pending_and_ends_watches() {
+    let server = test_server(&["s/x"], &[]).await.unwrap();
+    let client = TcpClient::connect(server.local_addr(), Subject::operator("c"))
+        .await
+        .unwrap();
+    let mut watch = client.watch(StoreId::new("s/x"), Revision::ZERO).await.unwrap();
+    client
+        .create(StoreId::new("s/x"), ObjectKey::new("k"), json!(1))
+        .await
+        .unwrap();
+    assert!(watch.recv().await.is_some());
+
+    server.shutdown().await;
+
+    // The watch stream ends rather than hanging.
+    let next = tokio::time::timeout(Duration::from_secs(5), watch.recv()).await;
+    assert!(matches!(next, Ok(None)), "watch must end on server shutdown: {next:?}");
+
+    // New requests fail with a transport error rather than hanging.
+    let result = tokio::time::timeout(
+        Duration::from_secs(5),
+        client.get(StoreId::new("s/x"), ObjectKey::new("k")),
+    )
+    .await
+    .expect("request must not hang");
+    assert!(matches!(result, Err(Error::Transport(_))), "{result:?}");
+}
+
+#[tokio::test]
+async fn garbage_frames_kill_only_that_connection() {
+    let server = test_server(&["s/x"], &[]).await.unwrap();
+
+    // A raw connection that sends a valid hello, then garbage.
+    let socket = tokio::net::TcpStream::connect(server.local_addr()).await.unwrap();
+    let mut writer = FrameWriter::new(socket);
+    writer
+        .write_frame(
+            &encode(&knactor_net::proto::Hello {
+                subject_kind: "operator".into(),
+                subject_name: "vandal".into(),
+            })
+            .unwrap(),
+        )
+        .await
+        .unwrap();
+    writer.write_frame(b"this is not json").await.unwrap();
+    // Give the server a moment to process and drop the connection.
+    tokio::time::sleep(Duration::from_millis(50)).await;
+
+    // A well-behaved client still works.
+    let client = TcpClient::connect(server.local_addr(), Subject::operator("good"))
+        .await
+        .unwrap();
+    client.ping().await.unwrap();
+    client
+        .create(StoreId::new("s/x"), ObjectKey::new("k"), json!(1))
+        .await
+        .unwrap();
+    server.shutdown().await;
+}
+
+#[tokio::test]
+async fn bad_hello_subject_kind_rejected_gracefully() {
+    let server = test_server(&["s/x"], &[]).await.unwrap();
+    let socket = tokio::net::TcpStream::connect(server.local_addr()).await.unwrap();
+    let mut writer = FrameWriter::new(socket);
+    writer
+        .write_frame(
+            &encode(&knactor_net::proto::Hello {
+                subject_kind: "alien".into(),
+                subject_name: "x".into(),
+            })
+            .unwrap(),
+        )
+        .await
+        .unwrap();
+    tokio::time::sleep(Duration::from_millis(50)).await;
+    // Server is still healthy.
+    let client = TcpClient::connect(server.local_addr(), Subject::operator("good"))
+        .await
+        .unwrap();
+    client.ping().await.unwrap();
+    server.shutdown().await;
+}
+
+#[tokio::test]
+async fn unwatch_stops_event_flow() {
+    let server = test_server(&["s/x"], &[]).await.unwrap();
+    let client = TcpClient::connect(server.local_addr(), Subject::operator("c"))
+        .await
+        .unwrap();
+    // Drop the stream receiver: the demux prunes the subscription and the
+    // server's pushes land nowhere without wedging the connection.
+    let watch = client.watch(StoreId::new("s/x"), Revision::ZERO).await.unwrap();
+    drop(watch);
+    for i in 0..10 {
+        client
+            .create(StoreId::new("s/x"), ObjectKey::new(format!("k{i}")), json!(i))
+            .await
+            .unwrap();
+    }
+    client.ping().await.unwrap();
+    server.shutdown().await;
+}
+
+/// The decoder never panics on arbitrary bytes (fuzz-lite).
+#[test]
+fn decode_total_on_garbage() {
+    let samples: &[&[u8]] = &[
+        b"",
+        b"{",
+        b"null",
+        b"[1,2,3]",
+        b"{\"type\":\"nope\"}",
+        b"{\"id\":9}",
+        &[0xff, 0xfe, 0x00, 0x01],
+    ];
+    for bytes in samples {
+        let _ = knactor_net::proto::decode::<knactor_net::proto::RequestEnvelope>(bytes);
+        let _ = knactor_net::proto::decode::<knactor_net::proto::ServerMsg>(bytes);
+        let _ = knactor_net::proto::decode::<knactor_net::proto::Hello>(bytes);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests: every wire message round-trips through encode/decode.
+
+use knactor_net::proto::{
+    decode, encode, EventBody, Hello, OpSpec, ProfileSpec, QuerySpec, Request, RequestEnvelope,
+    Response, ServerMsg,
+};
+use knactor_store::{EventKind, TxOp, WatchEvent};
+use knactor_types::{ObjectKey, Revision, StoreId, Value};
+use proptest::prelude::*;
+use serde_json::json;
+
+fn any_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(json!(null)),
+        any::<bool>().prop_map(|b| json!(b)),
+        any::<i32>().prop_map(|n| json!(n)),
+        "[a-zA-Z0-9 ]{0,10}".prop_map(|s| json!(s)),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Value::Array),
+            proptest::collection::btree_map("[a-z]{1,4}", inner, 0..3)
+                .prop_map(|m| Value::Object(m.into_iter().collect())),
+        ]
+    })
+}
+
+fn any_request() -> impl Strategy<Value = Request> {
+    let store = "[a-z]{1,6}/[a-z]{1,6}".prop_map(StoreId::new);
+    let key = "[a-z0-9-]{1,8}".prop_map(ObjectKey::new);
+    prop_oneof![
+        Just(Request::Ping),
+        (store.clone(), key.clone(), any_value())
+            .prop_map(|(store, key, value)| Request::Create { store, key, value }),
+        (store.clone(), key.clone()).prop_map(|(store, key)| Request::Get { store, key }),
+        store.clone().prop_map(|store| Request::List { store }),
+        (store.clone(), key.clone(), any_value(), proptest::option::of(any::<u64>()))
+            .prop_map(|(store, key, value, rev)| Request::Update {
+                store,
+                key,
+                value,
+                expected: rev.map(Revision),
+            }),
+        (store.clone(), key.clone(), any_value(), any::<bool>())
+            .prop_map(|(store, key, patch, upsert)| Request::Patch { store, key, patch, upsert }),
+        (store.clone(), key.clone()).prop_map(|(store, key)| Request::Delete { store, key }),
+        (store.clone(), any::<u64>())
+            .prop_map(|(store, from)| Request::Watch { store, from: Revision(from) }),
+        proptest::collection::vec(
+            (store.clone(), key.clone(), any_value(), any::<bool>()).prop_map(
+                |(store, key, patch, upsert)| TxOp { store, key, patch, upsert, expected: None }
+            ),
+            0..3
+        )
+        .prop_map(|ops| Request::Transact { ops }),
+        (store.clone(), any_value()).prop_map(|(store, fields)| Request::LogAppend { store, fields }),
+        (store, "[a-z]{1,5}".prop_map(|f| QuerySpec {
+            ops: vec![OpSpec::Rename { from: f.clone(), to: format!("{f}2") }],
+        }))
+            .prop_map(|(store, query)| Request::LogQuery { store, query }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_envelope_roundtrip(id in any::<u64>(), body in any_request()) {
+        let env = RequestEnvelope { id, body };
+        let bytes = encode(&env).unwrap();
+        let back: RequestEnvelope = decode(&bytes).unwrap();
+        prop_assert_eq!(back, env);
+    }
+
+    #[test]
+    fn server_msg_roundtrip(
+        id in any::<u64>(),
+        rev in any::<u64>(),
+        key in "[a-z0-9-]{1,8}",
+        value in any_value(),
+    ) {
+        let samples = vec![
+            ServerMsg::Reply { id, response: Response::Revision { revision: Revision(rev) } },
+            ServerMsg::Reply { id, response: Response::Ok },
+            ServerMsg::Reply {
+                id,
+                response: Response::Error { code: "conflict".into(), message: "1:2".into() },
+            },
+            ServerMsg::Event {
+                sub_id: id,
+                body: EventBody::Object {
+                    event: WatchEvent {
+                        revision: Revision(rev),
+                        kind: EventKind::Updated,
+                        key: ObjectKey::new(key),
+                        value,
+                    },
+                },
+            },
+            ServerMsg::Event { sub_id: id, body: EventBody::Closed },
+        ];
+        for msg in samples {
+            let bytes = encode(&msg).unwrap();
+            let back: ServerMsg = decode(&bytes).unwrap();
+            prop_assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn hello_roundtrip(kind in "[a-z]{1,10}", name in "[a-zA-Z0-9_-]{1,16}") {
+        let hello = Hello { subject_kind: kind, subject_name: name };
+        let back: Hello = decode(&encode(&hello).unwrap()).unwrap();
+        prop_assert_eq!(back, hello);
+    }
+
+    /// Profile specs survive the wire and materialize deterministically.
+    #[test]
+    fn profile_spec_roundtrip(which in 0u8..3) {
+        let spec = match which {
+            0 => ProfileSpec::Instant,
+            1 => ProfileSpec::Redis,
+            _ => ProfileSpec::Apiserver,
+        };
+        let back: ProfileSpec = decode(&encode(&spec).unwrap()).unwrap();
+        prop_assert_eq!(back, spec);
+    }
+}

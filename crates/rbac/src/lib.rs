@@ -1,0 +1,97 @@
+//! # knactor-rbac
+//!
+//! State access control for Knactor data exchanges (§3.3 of the paper).
+//!
+//! Two layers:
+//!
+//! 1. **Role-based access control** in the Kubernetes style: subjects
+//!    (reconcilers, integrators, operators) are bound to roles; roles
+//!    grant verbs (`get`, `list`, `watch`, `create`, `update`, `delete`,
+//!    `execute`) on stores. Access is **deny-by-default**: a knactor's
+//!    store is reachable only by its own reconciler and by integrators
+//!    that were explicitly granted access.
+//! 2. **Field-level rules**: a grant may be scoped to field paths, and
+//!    may carve out denied sub-paths. Field rules can only *narrow* a
+//!    resource-level grant, never widen it — the paper's example of
+//!    "granting access to certain state objects/fields but not others".
+//!
+//! Rules may carry **conditions** evaluated against an [`AccessContext`]
+//! supplied by the caller (never a wall clock read inside the library —
+//! evaluation stays pure and testable). The smart-home app uses a
+//! [`Condition::OutsideMinutes`] window to keep the House integrator away
+//! from the Lamp during user-defined sleep hours.
+
+pub mod policy;
+
+pub use policy::{
+    AccessContext, AccessController, Condition, Decision, FieldRule, Role, RoleBinding, Rule,
+    Subject, SubjectKind, Verb,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knactor_types::{FieldPath, StoreId};
+
+    fn ctx() -> AccessContext {
+        AccessContext::default()
+    }
+
+    #[test]
+    fn deny_by_default() {
+        let ac = AccessController::enforcing();
+        let sub = Subject::integrator("cast");
+        let dec = ac.check(&sub, Verb::Get, &StoreId::new("checkout/state"), &ctx());
+        assert!(!dec.allowed());
+    }
+
+    #[test]
+    fn owner_full_access_via_role() {
+        let mut ac = AccessController::new();
+        ac.add_role(Role::full_access("checkout-owner", "checkout/state"));
+        ac.bind(RoleBinding::new(
+            Subject::reconciler("checkout"),
+            "checkout-owner",
+        ));
+        let sub = Subject::reconciler("checkout");
+        for verb in [Verb::Get, Verb::List, Verb::Watch, Verb::Create, Verb::Update, Verb::Delete]
+        {
+            assert!(
+                ac.check(&sub, verb, &StoreId::new("checkout/state"), &ctx()).allowed(),
+                "{verb:?}"
+            );
+        }
+        // But not on some other store.
+        assert!(!ac
+            .check(&sub, Verb::Get, &StoreId::new("shipping/state"), &ctx())
+            .allowed());
+    }
+
+    #[test]
+    fn field_scoping_narrows() {
+        let mut ac = AccessController::new();
+        let role = Role::new("cast-reader").rule(
+            Rule::on("checkout/state")
+                .verbs([Verb::Get, Verb::Watch])
+                .fields(FieldRule::allow_paths(["order"]).deny_paths(["order.paymentID"])),
+        );
+        ac.add_role(role);
+        ac.bind(RoleBinding::new(Subject::integrator("cast"), "cast-reader"));
+        let sub = Subject::integrator("cast");
+        let store = StoreId::new("checkout/state");
+        let allowed = |p: &str| {
+            ac.check_field(&sub, Verb::Get, &store, &FieldPath::parse(p).unwrap(), &ctx())
+                .allowed()
+        };
+        // Reading the whole of `order` would reveal the denied
+        // `order.paymentID`, so the ancestor is denied too.
+        assert!(!allowed("order"));
+        assert!(allowed("order.totalCost"));
+        assert!(!allowed("order.paymentID"));
+        assert!(!allowed("somethingElse"));
+        // Field rules never widen: update was not granted at all.
+        assert!(!ac
+            .check_field(&sub, Verb::Update, &store, &FieldPath::parse("order").unwrap(), &ctx())
+            .allowed());
+    }
+}

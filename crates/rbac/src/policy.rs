@@ -1,0 +1,609 @@
+//! RBAC model and evaluation.
+
+use knactor_types::{FieldPath, StoreId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What kind of component is asking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SubjectKind {
+    /// The reconciler inside a knactor (accesses only its own stores).
+    Reconciler,
+    /// An integrator module (Cast, Sync, or custom).
+    Integrator,
+    /// A human or tooling identity (`knactorctl`).
+    Operator,
+}
+
+/// An authenticated identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Subject {
+    pub kind: SubjectKind,
+    pub name: String,
+}
+
+impl Subject {
+    pub fn reconciler(name: impl Into<String>) -> Subject {
+        Subject { kind: SubjectKind::Reconciler, name: name.into() }
+    }
+
+    pub fn integrator(name: impl Into<String>) -> Subject {
+        Subject { kind: SubjectKind::Integrator, name: name.into() }
+    }
+
+    pub fn operator(name: impl Into<String>) -> Subject {
+        Subject { kind: SubjectKind::Operator, name: name.into() }
+    }
+}
+
+impl std::fmt::Display for Subject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let k = match self.kind {
+            SubjectKind::Reconciler => "reconciler",
+            SubjectKind::Integrator => "integrator",
+            SubjectKind::Operator => "operator",
+        };
+        write!(f, "{k}:{}", self.name)
+    }
+}
+
+/// Operations on a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Verb {
+    Get,
+    List,
+    Watch,
+    Create,
+    Update,
+    Delete,
+    /// Run a pushed-down UDF inside the store (§3.3 optimization).
+    Execute,
+}
+
+/// A condition gating a rule. Evaluated against caller-supplied context so
+/// policy evaluation stays pure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Condition {
+    /// No condition.
+    Always,
+    /// Allowed only when `ctx.minute_of_day` lies inside `[start, end)`.
+    /// Wrapping windows (start > end) span midnight.
+    WithinMinutes { start: u16, end: u16 },
+    /// Allowed only when `ctx.minute_of_day` lies *outside* `[start, end)`
+    /// — e.g. "the House integrator may not touch the Lamp during sleep
+    /// hours 22:00–07:00" is `OutsideMinutes { start: 1320, end: 420 }`.
+    OutsideMinutes { start: u16, end: u16 },
+}
+
+impl Condition {
+    pub fn holds(&self, ctx: &AccessContext) -> bool {
+        match self {
+            Condition::Always => true,
+            Condition::WithinMinutes { start, end } => in_window(ctx.minute_of_day, *start, *end),
+            Condition::OutsideMinutes { start, end } => !in_window(ctx.minute_of_day, *start, *end),
+        }
+    }
+}
+
+fn in_window(now: u16, start: u16, end: u16) -> bool {
+    if start <= end {
+        now >= start && now < end
+    } else {
+        // Wraps midnight.
+        now >= start || now < end
+    }
+}
+
+/// Caller-supplied evaluation context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessContext {
+    /// Minutes since local midnight, `0..1440`.
+    pub minute_of_day: u16,
+}
+
+impl AccessContext {
+    pub fn at(hour: u16, minute: u16) -> AccessContext {
+        AccessContext { minute_of_day: (hour % 24) * 60 + (minute % 60) }
+    }
+}
+
+/// Field-level scoping attached to a rule. Only meaningful for verbs that
+/// touch object contents (`get`, `watch`, `update`, `create`).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FieldRule {
+    /// If non-empty, access is limited to these paths (and descendants).
+    #[serde(default)]
+    pub allow: Vec<String>,
+    /// Paths (and descendants) excluded even when covered by `allow`.
+    #[serde(default)]
+    pub deny: Vec<String>,
+}
+
+impl FieldRule {
+    pub fn allow_paths<I, S>(paths: I) -> FieldRule
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        FieldRule { allow: paths.into_iter().map(Into::into).collect(), deny: Vec::new() }
+    }
+
+    pub fn deny_paths<I, S>(mut self, paths: I) -> FieldRule
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.deny = paths.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Does this rule admit `path`?
+    ///
+    /// * Denied if any deny path is a prefix of `path` **or** `path` is a
+    ///   proper prefix of a deny path (reading `order` would reveal the
+    ///   denied `order.paymentID`).
+    /// * Otherwise allowed if `allow` is empty or some allow path is a
+    ///   prefix of `path` (or `path` a prefix of an allow path — listing
+    ///   `order` when only `order.items` is granted is **not** allowed,
+    ///   because it would reveal siblings, so only the prefix direction
+    ///   allow→path counts).
+    pub fn admits(&self, path: &FieldPath) -> bool {
+        for d in &self.deny {
+            if let Ok(dp) = FieldPath::parse(d) {
+                if dp.is_prefix_of(path) || path.is_prefix_of(&dp) {
+                    return false;
+                }
+            }
+        }
+        if self.allow.is_empty() {
+            return true;
+        }
+        self.allow.iter().any(|a| {
+            FieldPath::parse(a)
+                .map(|ap| ap.is_prefix_of(path))
+                .unwrap_or(false)
+        })
+    }
+}
+
+/// One grant: verbs on a store (pattern), optionally field-scoped and
+/// conditional.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Store id, or a prefix pattern ending in `*` (`house/*`), or `*`.
+    pub store: String,
+    pub verbs: Vec<Verb>,
+    #[serde(default)]
+    pub field_rule: Option<FieldRule>,
+    #[serde(default = "default_condition")]
+    pub condition: Condition,
+}
+
+fn default_condition() -> Condition {
+    Condition::Always
+}
+
+impl Rule {
+    pub fn on(store: impl Into<String>) -> Rule {
+        Rule {
+            store: store.into(),
+            verbs: Vec::new(),
+            field_rule: None,
+            condition: Condition::Always,
+        }
+    }
+
+    pub fn verbs(mut self, verbs: impl IntoIterator<Item = Verb>) -> Rule {
+        self.verbs = verbs.into_iter().collect();
+        self
+    }
+
+    pub fn all_verbs(mut self) -> Rule {
+        self.verbs = vec![
+            Verb::Get,
+            Verb::List,
+            Verb::Watch,
+            Verb::Create,
+            Verb::Update,
+            Verb::Delete,
+            Verb::Execute,
+        ];
+        self
+    }
+
+    pub fn fields(mut self, fr: FieldRule) -> Rule {
+        self.field_rule = Some(fr);
+        self
+    }
+
+    pub fn when(mut self, condition: Condition) -> Rule {
+        self.condition = condition;
+        self
+    }
+
+    fn matches_store(&self, store: &StoreId) -> bool {
+        if self.store == "*" {
+            return true;
+        }
+        if let Some(prefix) = self.store.strip_suffix('*') {
+            return store.as_str().starts_with(prefix);
+        }
+        self.store == store.as_str()
+    }
+}
+
+/// A named set of rules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Role {
+    pub name: String,
+    pub rules: Vec<Rule>,
+}
+
+impl Role {
+    pub fn new(name: impl Into<String>) -> Role {
+        Role { name: name.into(), rules: Vec::new() }
+    }
+
+    pub fn rule(mut self, rule: Rule) -> Role {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Convenience: every verb on one store.
+    pub fn full_access(name: impl Into<String>, store: impl Into<String>) -> Role {
+        Role::new(name).rule(Rule::on(store).all_verbs())
+    }
+}
+
+/// Binds a subject to a role.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoleBinding {
+    pub subject: Subject,
+    pub role: String,
+}
+
+impl RoleBinding {
+    pub fn new(subject: Subject, role: impl Into<String>) -> RoleBinding {
+        RoleBinding { subject, role: role.into() }
+    }
+}
+
+/// The outcome of an access check, with the reason for audit logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    Allow { role: String },
+    Deny { reason: String },
+}
+
+impl Decision {
+    pub fn allowed(&self) -> bool {
+        matches!(self, Decision::Allow { .. })
+    }
+
+    pub fn reason(&self) -> &str {
+        match self {
+            Decision::Allow { role } => role,
+            Decision::Deny { reason } => reason,
+        }
+    }
+}
+
+/// Holds roles and bindings; answers access questions.
+///
+/// When no roles are registered at all the controller is **open**
+/// (`enforcing() == false` until the first role/binding arrives) — this
+/// keeps single-process experiments ergonomic while production setups,
+/// which always configure roles, get deny-by-default.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AccessController {
+    roles: BTreeMap<String, Role>,
+    bindings: Vec<RoleBinding>,
+    /// Force enforcement even with an empty policy set.
+    #[serde(default)]
+    pub always_enforce: bool,
+}
+
+impl AccessController {
+    pub fn new() -> AccessController {
+        AccessController::default()
+    }
+
+    /// A controller that denies everything until policies are added,
+    /// regardless of whether any roles exist yet.
+    pub fn enforcing() -> AccessController {
+        AccessController { always_enforce: true, ..Default::default() }
+    }
+
+    pub fn add_role(&mut self, role: Role) {
+        self.roles.insert(role.name.clone(), role);
+    }
+
+    pub fn bind(&mut self, binding: RoleBinding) {
+        if !self.bindings.contains(&binding) {
+            self.bindings.push(binding);
+        }
+    }
+
+    pub fn unbind(&mut self, subject: &Subject, role: &str) {
+        self.bindings
+            .retain(|b| !(b.subject == *subject && b.role == role));
+    }
+
+    pub fn is_enforcing(&self) -> bool {
+        self.always_enforce || !self.roles.is_empty() || !self.bindings.is_empty()
+    }
+
+    /// Object-level check: may `subject` perform `verb` on `store`?
+    pub fn check(
+        &self,
+        subject: &Subject,
+        verb: Verb,
+        store: &StoreId,
+        ctx: &AccessContext,
+    ) -> Decision {
+        if !self.is_enforcing() {
+            return Decision::Allow { role: "<open>".to_string() };
+        }
+        for binding in self.bindings.iter().filter(|b| b.subject == *subject) {
+            let Some(role) = self.roles.get(&binding.role) else { continue };
+            for rule in &role.rules {
+                if rule.matches_store(store)
+                    && rule.verbs.contains(&verb)
+                    && rule.condition.holds(ctx)
+                {
+                    return Decision::Allow { role: role.name.clone() };
+                }
+            }
+        }
+        Decision::Deny {
+            reason: format!("{subject} has no role granting {verb:?} on {store}"),
+        }
+    }
+
+    /// Field-level check: object-level grant plus field-rule admission.
+    pub fn check_field(
+        &self,
+        subject: &Subject,
+        verb: Verb,
+        store: &StoreId,
+        path: &FieldPath,
+        ctx: &AccessContext,
+    ) -> Decision {
+        if !self.is_enforcing() {
+            return Decision::Allow { role: "<open>".to_string() };
+        }
+        let mut denied_reason = None;
+        for binding in self.bindings.iter().filter(|b| b.subject == *subject) {
+            let Some(role) = self.roles.get(&binding.role) else { continue };
+            for rule in &role.rules {
+                if !(rule.matches_store(store)
+                    && rule.verbs.contains(&verb)
+                    && rule.condition.holds(ctx))
+                {
+                    continue;
+                }
+                match &rule.field_rule {
+                    None => return Decision::Allow { role: role.name.clone() },
+                    Some(fr) if fr.admits(path) => {
+                        return Decision::Allow { role: role.name.clone() }
+                    }
+                    Some(_) => {
+                        denied_reason = Some(format!(
+                            "field '{path}' excluded by field rules of role {}",
+                            role.name
+                        ));
+                    }
+                }
+            }
+        }
+        Decision::Deny {
+            reason: denied_reason.unwrap_or_else(|| {
+                format!("{subject} has no role granting {verb:?} on {store}")
+            }),
+        }
+    }
+
+    /// Project an object down to the fields `subject` may read, removing
+    /// everything else. Returns `None` when even the object root is
+    /// denied.
+    pub fn redact(
+        &self,
+        subject: &Subject,
+        store: &StoreId,
+        value: &serde_json::Value,
+        ctx: &AccessContext,
+    ) -> Option<serde_json::Value> {
+        if !self.is_enforcing() {
+            return Some(value.clone());
+        }
+        if !self.check(subject, Verb::Get, store, ctx).allowed() {
+            return None;
+        }
+        let serde_json::Value::Object(map) = value else {
+            return Some(value.clone());
+        };
+        let mut out = serde_json::Map::new();
+        for (k, v) in map {
+            let path = FieldPath::root().child(k.clone());
+            if self.check_field(subject, Verb::Get, store, &path, ctx).allowed() {
+                out.insert(k.clone(), v.clone());
+            }
+        }
+        Some(serde_json::Value::Object(out))
+    }
+
+    pub fn roles(&self) -> impl Iterator<Item = &Role> {
+        self.roles.values()
+    }
+
+    pub fn bindings(&self) -> &[RoleBinding] {
+        &self.bindings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn sleep_hours_controller() -> AccessController {
+        // House's Cast integrator may write the Lamp's store only outside
+        // sleep hours (22:00–07:00).
+        let mut ac = AccessController::new();
+        ac.add_role(Role::new("lamp-writer").rule(
+            Rule::on("lamp/config")
+                .verbs([Verb::Get, Verb::Update])
+                .when(Condition::OutsideMinutes { start: 22 * 60, end: 7 * 60 }),
+        ));
+        ac.bind(RoleBinding::new(Subject::integrator("house-cast"), "lamp-writer"));
+        ac
+    }
+
+    #[test]
+    fn sleep_hours_block_access() {
+        let ac = sleep_hours_controller();
+        let sub = Subject::integrator("house-cast");
+        let store = StoreId::new("lamp/config");
+        assert!(ac.check(&sub, Verb::Update, &store, &AccessContext::at(14, 0)).allowed());
+        assert!(!ac.check(&sub, Verb::Update, &store, &AccessContext::at(23, 30)).allowed());
+        assert!(!ac.check(&sub, Verb::Update, &store, &AccessContext::at(3, 0)).allowed());
+        assert!(ac.check(&sub, Verb::Update, &store, &AccessContext::at(7, 0)).allowed());
+        // 22:00 exactly is inside the window (inclusive start).
+        assert!(!ac.check(&sub, Verb::Update, &store, &AccessContext::at(22, 0)).allowed());
+    }
+
+    #[test]
+    fn window_without_wrap() {
+        assert!(in_window(100, 50, 200));
+        assert!(!in_window(20, 50, 200));
+        assert!(!in_window(200, 50, 200)); // end exclusive
+        assert!(in_window(50, 50, 200)); // start inclusive
+    }
+
+    #[test]
+    fn store_patterns() {
+        let rule = Rule::on("house/*").verbs([Verb::Get]);
+        assert!(rule.matches_store(&StoreId::new("house/config")));
+        assert!(rule.matches_store(&StoreId::new("house/telemetry")));
+        assert!(!rule.matches_store(&StoreId::new("lamp/config")));
+        let any = Rule::on("*").verbs([Verb::Get]);
+        assert!(any.matches_store(&StoreId::new("anything")));
+    }
+
+    #[test]
+    fn field_rule_prefix_semantics() {
+        let fr = FieldRule::allow_paths(["order"]).deny_paths(["order.paymentID"]);
+        let p = |s: &str| FieldPath::parse(s).unwrap();
+        assert!(fr.admits(&p("order")) == false); // order reveals paymentID
+        assert!(fr.admits(&p("order.totalCost")));
+        assert!(!fr.admits(&p("order.paymentID")));
+        assert!(!fr.admits(&p("order.paymentID.raw")));
+        assert!(!fr.admits(&p("elsewhere")));
+        // Empty allow admits everything not denied.
+        let open = FieldRule::default().deny_paths(["secret"]);
+        assert!(open.admits(&p("anything")));
+        assert!(!open.admits(&p("secret.inner")));
+    }
+
+    #[test]
+    fn redact_projects_fields() {
+        let mut ac = AccessController::new();
+        ac.add_role(Role::new("reader").rule(
+            Rule::on("checkout/state")
+                .verbs([Verb::Get])
+                .fields(FieldRule::allow_paths(["order", "status"]).deny_paths(["order"])),
+        ));
+        ac.bind(RoleBinding::new(Subject::integrator("cast"), "reader"));
+        let sub = Subject::integrator("cast");
+        let redacted = ac
+            .redact(
+                &sub,
+                &StoreId::new("checkout/state"),
+                &json!({"order": {"x": 1}, "status": "ok", "hidden": 2}),
+                &AccessContext::default(),
+            )
+            .unwrap();
+        assert_eq!(redacted, json!({"status": "ok"}));
+    }
+
+    #[test]
+    fn redact_denies_whole_object_without_get() {
+        let ac = AccessController::enforcing();
+        assert_eq!(
+            ac.redact(
+                &Subject::integrator("x"),
+                &StoreId::new("s"),
+                &json!({"a": 1}),
+                &AccessContext::default()
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn open_mode_until_policies_exist() {
+        let ac = AccessController::new();
+        assert!(!ac.is_enforcing());
+        assert!(ac
+            .check(&Subject::operator("cli"), Verb::Delete, &StoreId::new("s"), &AccessContext::default())
+            .allowed());
+        let strict = AccessController::enforcing();
+        assert!(strict.is_enforcing());
+        assert!(!strict
+            .check(&Subject::operator("cli"), Verb::Get, &StoreId::new("s"), &AccessContext::default())
+            .allowed());
+    }
+
+    #[test]
+    fn unbind_revokes() {
+        let mut ac = AccessController::new();
+        ac.add_role(Role::full_access("r", "s"));
+        let sub = Subject::operator("cli");
+        ac.bind(RoleBinding::new(sub.clone(), "r"));
+        let store = StoreId::new("s");
+        assert!(ac.check(&sub, Verb::Get, &store, &AccessContext::default()).allowed());
+        ac.unbind(&sub, "r");
+        assert!(!ac.check(&sub, Verb::Get, &store, &AccessContext::default()).allowed());
+    }
+
+    #[test]
+    fn decisions_carry_reasons() {
+        let ac = AccessController::enforcing();
+        let d = ac.check(
+            &Subject::integrator("cast"),
+            Verb::Get,
+            &StoreId::new("s"),
+            &AccessContext::default(),
+        );
+        assert!(d.reason().contains("integrator:cast"));
+    }
+
+    #[test]
+    fn policy_serde_roundtrip() {
+        let mut ac = AccessController::new();
+        ac.add_role(Role::new("r").rule(
+            Rule::on("s/*")
+                .verbs([Verb::Get, Verb::Execute])
+                .fields(FieldRule::allow_paths(["a"]))
+                .when(Condition::WithinMinutes { start: 0, end: 60 }),
+        ));
+        ac.bind(RoleBinding::new(Subject::reconciler("x"), "r"));
+        let text = serde_json::to_string(&ac).unwrap();
+        let back: AccessController = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.bindings(), ac.bindings());
+        assert_eq!(back.roles().count(), 1);
+    }
+
+    #[test]
+    fn binding_duplicates_ignored() {
+        let mut ac = AccessController::new();
+        ac.add_role(Role::full_access("r", "s"));
+        let b = RoleBinding::new(Subject::operator("o"), "r");
+        ac.bind(b.clone());
+        ac.bind(b);
+        assert_eq!(ac.bindings().len(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for access-control invariants.
+
+use knactor_rbac::{
+    AccessContext, AccessController, Condition, FieldRule, Role, RoleBinding, Rule, Subject, Verb,
+};
+use knactor_types::{FieldPath, StoreId};
+use proptest::prelude::*;
+
+fn any_verb() -> impl Strategy<Value = Verb> {
+    prop_oneof![
+        Just(Verb::Get),
+        Just(Verb::List),
+        Just(Verb::Watch),
+        Just(Verb::Create),
+        Just(Verb::Update),
+        Just(Verb::Delete),
+        Just(Verb::Execute),
+    ]
+}
+
+proptest! {
+    /// Deny-by-default: with no binding for the subject, everything is
+    /// denied under enforcement — whatever the verb, store, or time.
+    #[test]
+    fn deny_by_default(verb in any_verb(), store in "[a-z]{1,8}/[a-z]{1,8}", minute in 0u16..1440) {
+        let mut ac = AccessController::enforcing();
+        // Roles exist but are bound to someone else.
+        ac.add_role(Role::full_access("other", "*"));
+        ac.bind(RoleBinding::new(Subject::operator("someone-else"), "other"));
+        let d = ac.check(
+            &Subject::integrator("me"),
+            verb,
+            &StoreId::new(store),
+            &AccessContext { minute_of_day: minute },
+        );
+        prop_assert!(!d.allowed());
+    }
+
+    /// A full-access binding allows exactly the stores its pattern covers.
+    #[test]
+    fn pattern_scoping(store in "[a-z]{1,8}", suffix in "[a-z]{1,8}", verb in any_verb()) {
+        let mut ac = AccessController::enforcing();
+        ac.add_role(Role::full_access("r", format!("{}/*", store)));
+        ac.bind(RoleBinding::new(Subject::reconciler("s"), "r"));
+        let sub = Subject::reconciler("s");
+        let ctx = AccessContext::default();
+        let covered = StoreId::new(format!("{}/{}", store, suffix));
+        let uncovered = StoreId::new(format!("zz{}x/{}", store, suffix));
+        let allowed_covered = ac.check(&sub, verb, &covered, &ctx).allowed();
+        let allowed_uncovered = ac.check(&sub, verb, &uncovered, &ctx).allowed();
+        prop_assert!(allowed_covered);
+        prop_assert!(!allowed_uncovered);
+    }
+
+    /// Window conditions: WithinMinutes and OutsideMinutes are exact
+    /// complements at every minute of the day.
+    #[test]
+    fn window_complement(start in 0u16..1440, end in 0u16..1440, now in 0u16..1440) {
+        let ctx = AccessContext { minute_of_day: now };
+        let within = Condition::WithinMinutes { start, end }.holds(&ctx);
+        let outside = Condition::OutsideMinutes { start, end }.holds(&ctx);
+        prop_assert_ne!(within, outside);
+    }
+
+    /// Field rules never widen: a path denied at resource level stays
+    /// denied at field level, for all field rules.
+    #[test]
+    fn field_rules_never_widen(
+        allow in proptest::collection::vec("[a-z]{1,5}", 0..3),
+        deny in proptest::collection::vec("[a-z]{1,5}", 0..3),
+        path in "[a-z]{1,5}(\\.[a-z]{1,5}){0,2}",
+    ) {
+        let mut ac = AccessController::enforcing();
+        ac.add_role(Role::new("r").rule(
+            Rule::on("s/x")
+                .verbs([Verb::Get])
+                .fields(FieldRule::allow_paths(allow).deny_paths(deny)),
+        ));
+        ac.bind(RoleBinding::new(Subject::integrator("i"), "r"));
+        let sub = Subject::integrator("i");
+        let ctx = AccessContext::default();
+        let fp = FieldPath::parse(&path).unwrap();
+        // Update was never granted: field check must deny regardless of
+        // field rules.
+        prop_assert!(!ac.check_field(&sub, Verb::Update, &StoreId::new("s/x"), &fp, &ctx).allowed());
+        // And on an unmentioned store, even Get is denied.
+        prop_assert!(!ac.check_field(&sub, Verb::Get, &StoreId::new("other/x"), &fp, &ctx).allowed());
+    }
+
+    /// Redaction is a projection: every field surviving redaction was
+    /// individually readable, and redacting twice equals redacting once.
+    #[test]
+    fn redaction_projection(
+        deny in proptest::collection::vec("[a-z]{1,4}", 0..3),
+        keys in proptest::collection::btree_set("[a-z]{1,4}", 1..6),
+    ) {
+        let mut ac = AccessController::enforcing();
+        ac.add_role(Role::new("r").rule(
+            Rule::on("s/x")
+                .verbs([Verb::Get])
+                .fields(FieldRule::default().deny_paths(deny)),
+        ));
+        ac.bind(RoleBinding::new(Subject::integrator("i"), "r"));
+        let sub = Subject::integrator("i");
+        let ctx = AccessContext::default();
+        let store = StoreId::new("s/x");
+
+        let mut obj = serde_json::Map::new();
+        for k in &keys {
+            obj.insert(k.clone(), serde_json::json!(1));
+        }
+        let value = serde_json::Value::Object(obj);
+
+        let once = ac.redact(&sub, &store, &value, &ctx).unwrap();
+        for k in once.as_object().unwrap().keys() {
+            let fp = FieldPath::parse(k).unwrap();
+            prop_assert!(
+                ac.check_field(&sub, Verb::Get, &store, &fp, &ctx).allowed(),
+                "redaction leaked denied field {k}"
+            );
+        }
+        let twice = ac.redact(&sub, &store, &once, &ctx).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,23 @@
+//! # knactor-rpc
+//!
+//! The **API-centric baseline**: the composition mechanisms the paper
+//! compares against (Fig. 1a).
+//!
+//! * [`rpc`] — a miniature gRPC-style framework: services register
+//!   `Service/Method` handlers; clients make synchronous request/response
+//!   calls over the same framed TCP transport the exchanges use (so the
+//!   Table 2 comparison isolates the *composition mechanism*, not the
+//!   socket layer).
+//! * [`pubsub`] — a miniature message broker (EMQX stand-in): topics,
+//!   publish, subscribe. The smart-home baseline composes House, Motion,
+//!   and Lamp through it.
+//!
+//! The per-service **stub modules** that a Protobuf toolchain would
+//! generate live with the applications (`knactor-apps`), because their
+//! size and churn is exactly what Table 1 measures.
+
+pub mod pubsub;
+pub mod rpc;
+
+pub use pubsub::Broker;
+pub use rpc::{RpcClient, RpcServer};

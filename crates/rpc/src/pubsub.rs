@@ -1,0 +1,119 @@
+//! Miniature Pub/Sub broker (the EMQX stand-in).
+//!
+//! Topics with fan-out delivery: a published message reaches every
+//! current subscriber, asynchronously, in publish order per topic. As in
+//! MQTT/Kafka-style composition, the *topic name and message schema* are
+//! the implicit API — which is precisely the coupling the paper's
+//! smart-home example (§2) exhibits: House subscribes to Motion's topic,
+//! decodes Motion's schema, and publishes to Lamp's topic using Lamp's
+//! schema.
+
+use knactor_types::Value;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tokio::sync::mpsc;
+
+/// One received message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    pub topic: String,
+    pub payload: Value,
+}
+
+/// An in-process broker.
+#[derive(Clone, Default)]
+pub struct Broker {
+    topics: Arc<Mutex<HashMap<String, Vec<mpsc::UnboundedSender<Message>>>>>,
+    published: Arc<Mutex<u64>>,
+}
+
+impl std::fmt::Debug for Broker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Broker({} topics)", self.topics.lock().len())
+    }
+}
+
+impl Broker {
+    pub fn new() -> Broker {
+        Broker::default()
+    }
+
+    /// Subscribe to a topic; returns a stream of messages published from
+    /// now on (no replay — matching MQTT QoS-0 semantics, which is what
+    /// the original smart-home app uses).
+    pub fn subscribe(&self, topic: impl Into<String>) -> mpsc::UnboundedReceiver<Message> {
+        let (tx, rx) = mpsc::unbounded_channel();
+        self.topics.lock().entry(topic.into()).or_default().push(tx);
+        rx
+    }
+
+    /// Publish to a topic. Returns the number of subscribers reached.
+    pub fn publish(&self, topic: &str, payload: Value) -> usize {
+        *self.published.lock() += 1;
+        let mut topics = self.topics.lock();
+        let Some(subs) = topics.get_mut(topic) else { return 0 };
+        let msg = Message { topic: topic.to_string(), payload };
+        subs.retain(|tx| tx.send(msg.clone()).is_ok());
+        subs.len()
+    }
+
+    /// Total messages published (diagnostics).
+    pub fn published_count(&self) -> u64 {
+        *self.published.lock()
+    }
+
+    pub fn topic_names(&self) -> Vec<String> {
+        self.topics.lock().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[tokio::test]
+    async fn publish_reaches_all_subscribers() {
+        let broker = Broker::new();
+        let mut a = broker.subscribe("motion");
+        let mut b = broker.subscribe("motion");
+        let reached = broker.publish("motion", json!({"triggered": true}));
+        assert_eq!(reached, 2);
+        assert_eq!(a.recv().await.unwrap().payload, json!({"triggered": true}));
+        assert_eq!(b.recv().await.unwrap().payload, json!({"triggered": true}));
+    }
+
+    #[tokio::test]
+    async fn no_subscribers_drops_message() {
+        let broker = Broker::new();
+        assert_eq!(broker.publish("empty", json!(1)), 0);
+        // No replay: a late subscriber misses it.
+        let mut late = broker.subscribe("empty");
+        broker.publish("empty", json!(2));
+        assert_eq!(late.recv().await.unwrap().payload, json!(2));
+    }
+
+    #[tokio::test]
+    async fn dropped_subscriber_pruned() {
+        let broker = Broker::new();
+        let rx = broker.subscribe("t");
+        drop(rx);
+        assert_eq!(broker.publish("t", json!(1)), 0);
+    }
+
+    #[tokio::test]
+    async fn topics_are_independent() {
+        let broker = Broker::new();
+        let mut motion = broker.subscribe("motion");
+        let _lamp = broker.subscribe("lamp");
+        broker.publish("lamp", json!({"brightness": 5}));
+        broker.publish("motion", json!({"triggered": true}));
+        // The motion subscriber sees only motion traffic.
+        assert_eq!(
+            motion.recv().await.unwrap().payload,
+            json!({"triggered": true})
+        );
+        assert_eq!(broker.published_count(), 2);
+    }
+}

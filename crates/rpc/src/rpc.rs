@@ -1,0 +1,331 @@
+//! Miniature RPC framework (the gRPC stand-in).
+//!
+//! Wire format reuses `knactor-net`'s length-prefixed frames; each frame
+//! carries one JSON message. Calls are synchronous request/response with
+//! id correlation; a connection pipelines. Handlers run concurrently per
+//! request (one task each), like a gRPC server's handler pool.
+
+use knactor_net::frame::{FrameReader, FrameWriter};
+use knactor_types::{Error, Result, Value};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::{mpsc, oneshot, watch};
+use tokio::task::JoinHandle;
+
+type BoxFuture<T> = Pin<Box<dyn Future<Output = T> + Send>>;
+
+/// A registered method handler.
+pub type Handler = Arc<dyn Fn(Value) -> BoxFuture<Result<Value>> + Send + Sync>;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct RpcRequest {
+    id: u64,
+    method: String,
+    payload: Value,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct RpcReply {
+    id: u64,
+    #[serde(default)]
+    result: Option<Value>,
+    #[serde(default)]
+    error: Option<(String, String)>,
+}
+
+/// A server hosting named methods (`"Shipping/ShipOrder"`).
+pub struct RpcServer {
+    methods: Arc<Mutex<HashMap<String, Handler>>>,
+    local_addr: Option<std::net::SocketAddr>,
+    shutdown_tx: Option<watch::Sender<bool>>,
+    accept_task: Option<JoinHandle<()>>,
+}
+
+impl Default for RpcServer {
+    fn default() -> Self {
+        RpcServer::new()
+    }
+}
+
+impl RpcServer {
+    pub fn new() -> RpcServer {
+        RpcServer {
+            methods: Arc::new(Mutex::new(HashMap::new())),
+            local_addr: None,
+            shutdown_tx: None,
+            accept_task: None,
+        }
+    }
+
+    /// Register a method handler. `method` is `Service/Method`.
+    pub fn register<F, Fut>(&self, method: impl Into<String>, f: F)
+    where
+        F: Fn(Value) -> Fut + Send + Sync + 'static,
+        Fut: Future<Output = Result<Value>> + Send + 'static,
+    {
+        let handler: Handler = Arc::new(move |v| Box::pin(f(v)));
+        self.methods.lock().insert(method.into(), handler);
+    }
+
+    pub fn method_names(&self) -> Vec<String> {
+        self.methods.lock().keys().cloned().collect()
+    }
+
+    /// Bind and start serving. Use `127.0.0.1:0` for an ephemeral port.
+    pub async fn bind(&mut self, addr: &str) -> Result<std::net::SocketAddr> {
+        let listener = TcpListener::bind(addr).await?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| Error::Transport(e.to_string()))?;
+        let methods = Arc::clone(&self.methods);
+        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        let task = tokio::spawn(accept_loop(listener, methods, shutdown_rx));
+        self.local_addr = Some(local);
+        self.shutdown_tx = Some(shutdown_tx);
+        self.accept_task = Some(task);
+        Ok(local)
+    }
+
+    pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.local_addr
+    }
+
+    pub async fn shutdown(mut self) {
+        if let Some(tx) = self.shutdown_tx.take() {
+            let _ = tx.send(true);
+        }
+        if let Some(task) = self.accept_task.take() {
+            let _ = task.await;
+        }
+    }
+}
+
+async fn accept_loop(
+    listener: TcpListener,
+    methods: Arc<Mutex<HashMap<String, Handler>>>,
+    mut shutdown: watch::Receiver<bool>,
+) {
+    loop {
+        tokio::select! {
+            accepted = listener.accept() => {
+                let Ok((socket, _)) = accepted else { break };
+                let methods = Arc::clone(&methods);
+                tokio::spawn(async move {
+                    let _ = serve_connection(socket, methods).await;
+                });
+            }
+            _ = shutdown.changed() => {
+                if *shutdown.borrow() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+async fn serve_connection(
+    socket: TcpStream,
+    methods: Arc<Mutex<HashMap<String, Handler>>>,
+) -> Result<()> {
+    socket
+        .set_nodelay(true)
+        .map_err(|e| Error::Transport(e.to_string()))?;
+    let (read_half, write_half) = socket.into_split();
+    let mut reader = FrameReader::new(read_half);
+    let (out_tx, mut out_rx) = mpsc::unbounded_channel::<RpcReply>();
+    let writer_task = tokio::spawn(async move {
+        let mut writer = FrameWriter::new(write_half);
+        while let Some(reply) = out_rx.recv().await {
+            let Ok(bytes) = serde_json::to_vec(&reply) else { break };
+            if writer.write_frame(&bytes).await.is_err() {
+                break;
+            }
+        }
+    });
+    while let Some(frame) = reader.read_frame().await? {
+        let request: RpcRequest = serde_json::from_slice(&frame)?;
+        let handler = methods.lock().get(&request.method).cloned();
+        let out = out_tx.clone();
+        tokio::spawn(async move {
+            let reply = match handler {
+                Some(h) => match h(request.payload).await {
+                    Ok(result) => RpcReply { id: request.id, result: Some(result), error: None },
+                    Err(e) => RpcReply {
+                        id: request.id,
+                        result: None,
+                        error: Some((e.code().to_string(), e.wire_message())),
+                    },
+                },
+                None => RpcReply {
+                    id: request.id,
+                    result: None,
+                    error: Some((
+                        "not_found".to_string(),
+                        format!("no such method '{}'", request.method),
+                    )),
+                },
+            };
+            let _ = out.send(reply);
+        });
+    }
+    drop(out_tx);
+    let _ = writer_task.await;
+    Ok(())
+}
+
+/// A pipelining RPC client.
+pub struct RpcClient {
+    out_tx: mpsc::UnboundedSender<RpcRequest>,
+    pending: Arc<Mutex<HashMap<u64, oneshot::Sender<RpcReply>>>>,
+    next_id: AtomicU64,
+    latency: Option<Duration>,
+}
+
+impl RpcClient {
+    pub async fn connect(addr: impl tokio::net::ToSocketAddrs) -> Result<RpcClient> {
+        let socket = TcpStream::connect(addr).await?;
+        socket
+            .set_nodelay(true)
+            .map_err(|e| Error::Transport(e.to_string()))?;
+        let (read_half, write_half) = socket.into_split();
+        let (out_tx, mut out_rx) = mpsc::unbounded_channel::<RpcRequest>();
+        tokio::spawn(async move {
+            let mut writer = FrameWriter::new(write_half);
+            while let Some(req) = out_rx.recv().await {
+                let Ok(bytes) = serde_json::to_vec(&req) else { break };
+                if writer.write_frame(&bytes).await.is_err() {
+                    break;
+                }
+            }
+        });
+        let pending: Arc<Mutex<HashMap<u64, oneshot::Sender<RpcReply>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let demux_pending = Arc::clone(&pending);
+        tokio::spawn(async move {
+            let mut reader = FrameReader::new(read_half);
+            while let Ok(Some(frame)) = reader.read_frame().await {
+                let Ok(reply) = serde_json::from_slice::<RpcReply>(&frame) else { break };
+                if let Some(tx) = demux_pending.lock().remove(&reply.id) {
+                    let _ = tx.send(reply);
+                }
+            }
+            demux_pending.lock().clear();
+        });
+        Ok(RpcClient { out_tx, pending, next_id: AtomicU64::new(1), latency: None })
+    }
+
+    /// Inject a fixed per-call latency (cluster RTT model).
+    pub fn with_latency(mut self, rtt: Duration) -> RpcClient {
+        self.latency = Some(rtt);
+        self
+    }
+
+    /// Invoke `Service/Method` with a JSON payload.
+    pub async fn call(&self, method: &str, payload: Value) -> Result<Value> {
+        if let Some(rtt) = self.latency {
+            knactor_net::precise_sleep(rtt).await;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = oneshot::channel();
+        self.pending.lock().insert(id, tx);
+        self.out_tx
+            .send(RpcRequest { id, method: method.to_string(), payload })
+            .map_err(|_| Error::Transport("connection closed".to_string()))?;
+        let reply = rx
+            .await
+            .map_err(|_| Error::Transport("connection closed awaiting reply".to_string()))?;
+        match (reply.result, reply.error) {
+            (Some(v), None) => Ok(v),
+            (_, Some((code, msg))) => Err(Error::from_wire(&code, &msg)),
+            (None, None) => Err(Error::Transport("empty reply".to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[tokio::test]
+    async fn call_roundtrip() {
+        let mut server = RpcServer::new();
+        server.register("Echo/Upper", |payload: Value| async move {
+            let s = payload["s"].as_str().unwrap_or_default().to_uppercase();
+            Ok(json!({ "s": s }))
+        });
+        let addr = server.bind("127.0.0.1:0").await.unwrap();
+        let client = RpcClient::connect(addr).await.unwrap();
+        let out = client.call("Echo/Upper", json!({"s": "air"})).await.unwrap();
+        assert_eq!(out, json!({"s": "AIR"}));
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn unknown_method_errors() {
+        let mut server = RpcServer::new();
+        let addr = server.bind("127.0.0.1:0").await.unwrap();
+        let client = RpcClient::connect(addr).await.unwrap();
+        let err = client.call("Nope/Nothing", json!({})).await.unwrap_err();
+        assert!(matches!(err, Error::NotFound(_)));
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn handler_errors_cross_the_wire() {
+        let mut server = RpcServer::new();
+        server.register("Ship/Order", |_p: Value| async move {
+            Err(Error::SchemaViolation("missing addr".to_string()))
+        });
+        let addr = server.bind("127.0.0.1:0").await.unwrap();
+        let client = RpcClient::connect(addr).await.unwrap();
+        let err = client.call("Ship/Order", json!({})).await.unwrap_err();
+        assert!(matches!(err, Error::SchemaViolation(_)));
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn concurrent_calls_pipeline() {
+        let mut server = RpcServer::new();
+        server.register("Math/Square", |p: Value| async move {
+            let n = p["n"].as_i64().unwrap_or(0);
+            Ok(json!({"n": n * n}))
+        });
+        let addr = server.bind("127.0.0.1:0").await.unwrap();
+        let client = Arc::new(RpcClient::connect(addr).await.unwrap());
+        let mut tasks = Vec::new();
+        for i in 0..16i64 {
+            let client = Arc::clone(&client);
+            tasks.push(tokio::spawn(async move {
+                let out = client.call("Math/Square", json!({"n": i})).await.unwrap();
+                assert_eq!(out["n"], json!(i * i));
+            }));
+        }
+        for t in tasks {
+            t.await.unwrap();
+        }
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn injected_latency_applies() {
+        let mut server = RpcServer::new();
+        server.register("Ping/Ping", |_p| async move { Ok(json!({})) });
+        let addr = server.bind("127.0.0.1:0").await.unwrap();
+        let client = RpcClient::connect(addr)
+            .await
+            .unwrap()
+            .with_latency(Duration::from_millis(15));
+        let t0 = std::time::Instant::now();
+        client.call("Ping/Ping", json!({})).await.unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        server.shutdown().await;
+    }
+}

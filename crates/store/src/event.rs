@@ -1,0 +1,52 @@
+//! Watch events: the unit of state-change notification.
+
+use knactor_types::{ObjectKey, Revision, Value};
+use serde::{Deserialize, Serialize};
+
+/// What happened to an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EventKind {
+    Created,
+    Updated,
+    Deleted,
+}
+
+/// One committed change, as delivered to watchers and recorded in the WAL.
+///
+/// Events are totally ordered by [`WatchEvent::revision`]; the store emits
+/// exactly one event per committed mutation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WatchEvent {
+    pub revision: Revision,
+    pub kind: EventKind,
+    pub key: ObjectKey,
+    /// The object value after the change (the last value for `Deleted`).
+    pub value: Value,
+}
+
+impl WatchEvent {
+    pub fn is_delete(&self) -> bool {
+        self.kind == EventKind::Deleted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = WatchEvent {
+            revision: Revision(7),
+            kind: EventKind::Updated,
+            key: ObjectKey::new("order-1"),
+            value: json!({"x": 1}),
+        };
+        let text = serde_json::to_string(&e).unwrap();
+        let back: WatchEvent = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, e);
+        assert!(!back.is_delete());
+    }
+}

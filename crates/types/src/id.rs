@@ -1,0 +1,172 @@
+//! Strongly-typed identifiers.
+//!
+//! Knactor composes services by moving state between *data stores*; getting
+//! an identifier mixed up (writing to the wrong store, watching from the
+//! wrong revision) is the kind of bug the type system should rule out, so
+//! each identifier is its own newtype.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a knactor (a service participating in composition).
+///
+/// Knactor ids are plain names (`"checkout"`, `"shipping"`); the paper's
+/// fully-qualified form `OnlineRetail/v1/Checkout/knactor-checkout`
+/// is represented by pairing a [`KnactorId`] with its store's
+/// [`crate::schema::SchemaName`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct KnactorId(pub String);
+
+impl KnactorId {
+    pub fn new(name: impl Into<String>) -> Self {
+        KnactorId(name.into())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for KnactorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for KnactorId {
+    fn from(s: &str) -> Self {
+        KnactorId(s.to_string())
+    }
+}
+
+/// Identifies one data store hosted on a data exchange.
+///
+/// A knactor may own several stores (Fig. 4: House has one Object store and
+/// one Log store), so the id is `<knactor>/<store>`, e.g. `house/config`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct StoreId(pub String);
+
+impl StoreId {
+    pub fn new(name: impl Into<String>) -> Self {
+        StoreId(name.into())
+    }
+
+    /// Build the conventional `<knactor>/<store>` id.
+    pub fn of(knactor: &KnactorId, store: &str) -> Self {
+        StoreId(format!("{}/{}", knactor.0, store))
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The knactor component of a `<knactor>/<store>` id, if present.
+    pub fn knactor(&self) -> Option<KnactorId> {
+        self.0
+            .split_once('/')
+            .map(|(k, _)| KnactorId(k.to_string()))
+    }
+}
+
+impl fmt::Display for StoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for StoreId {
+    fn from(s: &str) -> Self {
+        StoreId(s.to_string())
+    }
+}
+
+/// Key of one state object within a store (e.g. `order-1042`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ObjectKey(pub String);
+
+impl ObjectKey {
+    pub fn new(key: impl Into<String>) -> Self {
+        ObjectKey(key.into())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ObjectKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ObjectKey {
+    fn from(s: &str) -> Self {
+        ObjectKey(s.to_string())
+    }
+}
+
+/// A store-wide, strictly monotonic revision number.
+///
+/// Every committed mutation bumps the store revision by exactly one; watch
+/// streams are ordered by revision and resumable from any revision. This is
+/// the same role `resourceVersion` plays for the Kubernetes apiserver the
+/// paper built on.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Revision(pub u64);
+
+impl Revision {
+    /// The revision before any write; watches from `ZERO` replay everything.
+    pub const ZERO: Revision = Revision(0);
+
+    pub fn next(self) -> Revision {
+        Revision(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Revision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_id_of_builds_qualified_name() {
+        let id = StoreId::of(&KnactorId::new("house"), "config");
+        assert_eq!(id.as_str(), "house/config");
+        assert_eq!(id.knactor(), Some(KnactorId::new("house")));
+    }
+
+    #[test]
+    fn bare_store_id_has_no_knactor() {
+        assert_eq!(StoreId::new("solo").knactor(), None);
+    }
+
+    #[test]
+    fn revisions_are_ordered_and_monotonic() {
+        let r = Revision::ZERO;
+        assert!(r.next() > r);
+        assert_eq!(r.next(), Revision(1));
+        assert_eq!(r.next().next(), Revision(2));
+    }
+
+    #[test]
+    fn ids_serialize_transparently() {
+        let k = KnactorId::new("checkout");
+        assert_eq!(serde_json::to_string(&k).unwrap(), "\"checkout\"");
+        let back: KnactorId = serde_json::from_str("\"checkout\"").unwrap();
+        assert_eq!(back, k);
+        let r = Revision(42);
+        assert_eq!(serde_json::to_string(&r).unwrap(), "42");
+    }
+}

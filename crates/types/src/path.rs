@@ -1,0 +1,250 @@
+//! Dotted field paths into state values.
+//!
+//! DXG specifications reference state as `C.order.totalCost` (Fig. 6); once
+//! the leading service alias is resolved, the remainder is a [`FieldPath`]
+//! into that service's externalized state. Paths support object fields and
+//! array indices: `order.items[0].name`.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One step of a [`FieldPath`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// Object member access (`.name`).
+    Field(String),
+    /// Array element access (`[3]`).
+    Index(usize),
+}
+
+/// A parsed path into a structured value, e.g. `order.items[0].name`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct FieldPath {
+    pub segments: Vec<Segment>,
+}
+
+impl FieldPath {
+    /// The empty path, addressing the whole value.
+    pub fn root() -> Self {
+        FieldPath { segments: Vec::new() }
+    }
+
+    /// Parse a dotted path. Field names are non-empty runs of characters
+    /// other than `.` and `[`; indices are decimal integers in brackets.
+    ///
+    /// ```
+    /// use knactor_types::FieldPath;
+    /// let p = FieldPath::parse("items[2].name").unwrap();
+    /// assert_eq!(p.to_string(), "items[2].name");
+    /// ```
+    pub fn parse(s: &str) -> Result<Self> {
+        if s.is_empty() {
+            return Ok(FieldPath::root());
+        }
+        let mut segments = Vec::new();
+        let mut chars = s.chars().peekable();
+        let mut expect_field = true;
+        while let Some(&c) = chars.peek() {
+            if c == '.' {
+                if expect_field {
+                    return Err(Error::BadPath(format!("empty segment in '{s}'")));
+                }
+                chars.next();
+                expect_field = true;
+                if chars.peek().is_none() {
+                    return Err(Error::BadPath(format!("trailing dot in '{s}'")));
+                }
+            } else if c == '[' {
+                chars.next();
+                let mut digits = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d == ']' {
+                        break;
+                    }
+                    digits.push(d);
+                    chars.next();
+                }
+                if chars.next() != Some(']') {
+                    return Err(Error::BadPath(format!("unterminated index in '{s}'")));
+                }
+                let idx: usize = digits
+                    .parse()
+                    .map_err(|_| Error::BadPath(format!("bad index '{digits}' in '{s}'")))?;
+                segments.push(Segment::Index(idx));
+                expect_field = false;
+            } else {
+                if !expect_field && !segments.is_empty() {
+                    return Err(Error::BadPath(format!(
+                        "expected '.' or '[' before '{c}' in '{s}'"
+                    )));
+                }
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d == '.' || d == '[' {
+                        break;
+                    }
+                    name.push(d);
+                    chars.next();
+                }
+                if name.is_empty() {
+                    return Err(Error::BadPath(format!("empty segment in '{s}'")));
+                }
+                segments.push(Segment::Field(name));
+                expect_field = false;
+            }
+        }
+        if expect_field && !segments.is_empty() {
+            return Err(Error::BadPath(format!("dangling separator in '{s}'")));
+        }
+        Ok(FieldPath { segments })
+    }
+
+    /// Append a field segment, returning the extended path.
+    pub fn child(&self, name: impl Into<String>) -> Self {
+        let mut p = self.clone();
+        p.segments.push(Segment::Field(name.into()));
+        p
+    }
+
+    /// Append an index segment, returning the extended path.
+    pub fn index(&self, idx: usize) -> Self {
+        let mut p = self.clone();
+        p.segments.push(Segment::Index(idx));
+        p
+    }
+
+    /// The first segment's field name, if the path starts with a field.
+    pub fn head_field(&self) -> Option<&str> {
+        match self.segments.first() {
+            Some(Segment::Field(f)) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Path with the first segment removed.
+    pub fn tail(&self) -> FieldPath {
+        FieldPath { segments: self.segments.iter().skip(1).cloned().collect() }
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Whether `self` is `other` or an ancestor of `other`.
+    ///
+    /// Used by field-level RBAC: a rule granting `order` covers
+    /// `order.totalCost`.
+    pub fn is_prefix_of(&self, other: &FieldPath) -> bool {
+        self.segments.len() <= other.segments.len()
+            && self
+                .segments
+                .iter()
+                .zip(other.segments.iter())
+                .all(|(a, b)| a == b)
+    }
+}
+
+impl fmt::Display for FieldPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, seg) in self.segments.iter().enumerate() {
+            match seg {
+                Segment::Field(name) => {
+                    if i > 0 {
+                        f.write_str(".")?;
+                    }
+                    f.write_str(name)?;
+                }
+                Segment::Index(idx) => write!(f, "[{idx}]")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for FieldPath {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self> {
+        FieldPath::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_fields() {
+        let p = FieldPath::parse("order.totalCost").unwrap();
+        assert_eq!(
+            p.segments,
+            vec![Segment::Field("order".into()), Segment::Field("totalCost".into())]
+        );
+    }
+
+    #[test]
+    fn parses_indices() {
+        let p = FieldPath::parse("items[2].name").unwrap();
+        assert_eq!(
+            p.segments,
+            vec![
+                Segment::Field("items".into()),
+                Segment::Index(2),
+                Segment::Field("name".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn index_can_follow_index() {
+        let p = FieldPath::parse("grid[1][2]").unwrap();
+        assert_eq!(p.segments.len(), 3);
+    }
+
+    #[test]
+    fn empty_string_is_root() {
+        assert!(FieldPath::parse("").unwrap().is_root());
+    }
+
+    #[test]
+    fn rejects_trailing_dot() {
+        assert!(FieldPath::parse("a.").is_err());
+        assert!(FieldPath::parse("a..b").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_or_bad_index() {
+        assert!(FieldPath::parse("a[2").is_err());
+        assert!(FieldPath::parse("a[x]").is_err());
+        assert!(FieldPath::parse("a[]").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in ["a", "a.b.c", "a[0]", "a[0].b[12].c", "grid[1][2]"] {
+            let p = FieldPath::parse(s).unwrap();
+            assert_eq!(p.to_string(), s);
+            assert_eq!(FieldPath::parse(&p.to_string()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a = FieldPath::parse("order").unwrap();
+        let b = FieldPath::parse("order.totalCost").unwrap();
+        assert!(a.is_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        assert!(a.is_prefix_of(&a));
+        let c = FieldPath::parse("shipping").unwrap();
+        assert!(!a.is_prefix_of(&c));
+        assert!(FieldPath::root().is_prefix_of(&c));
+    }
+
+    #[test]
+    fn head_and_tail() {
+        let p = FieldPath::parse("a.b[1]").unwrap();
+        assert_eq!(p.head_field(), Some("a"));
+        assert_eq!(p.tail().to_string(), "b[1]");
+        assert_eq!(FieldPath::parse("x").unwrap().tail(), FieldPath::root());
+    }
+}

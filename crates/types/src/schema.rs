@@ -1,0 +1,499 @@
+//! Data-store schemas and `+kr:` annotations.
+//!
+//! A schema describes the shape of the state a knactor externalizes
+//! (Fig. 5 of the paper). The *Externalize* step of the development
+//! workflow registers the schema with the data exchange; the *Express*
+//! step annotates fields the store can ingest from outside — in the paper,
+//! `# +kr: external` marks `shippingCost`, `paymentID`, and `trackingID`
+//! as fields an integrator fills in.
+//!
+//! Schemas are deliberately structural, not nominal: integrators are
+//! written by people who are *not* the service developers, so everything
+//! they need must be in the registered schema.
+
+use crate::error::{Error, Result};
+use crate::value::{self, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Fully-qualified schema name: `group/version/service/kind`,
+/// e.g. `OnlineRetail/v1/Checkout/Order`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SchemaName(pub String);
+
+impl SchemaName {
+    pub fn new(s: impl Into<String>) -> Self {
+        SchemaName(s.into())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Split into (group, version, service, kind) when fully qualified.
+    pub fn parts(&self) -> Option<(&str, &str, &str, &str)> {
+        let mut it = self.0.split('/');
+        match (it.next(), it.next(), it.next(), it.next(), it.next()) {
+            (Some(g), Some(v), Some(s), Some(k), None) => Some((g, v, s, k)),
+            _ => None,
+        }
+    }
+
+    /// The version component, when fully qualified (`v1`, `v2`, ...).
+    ///
+    /// Schema evolution (task T3 in the paper's Table 1) bumps this.
+    pub fn version(&self) -> Option<&str> {
+        self.parts().map(|(_, v, _, _)| v)
+    }
+}
+
+impl fmt::Display for SchemaName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for SchemaName {
+    fn from(s: &str) -> Self {
+        SchemaName(s.to_string())
+    }
+}
+
+/// A `+kr:` field annotation.
+///
+/// Annotations are how a knactor *expresses* which of its fields
+/// participate in composition without naming any peer service.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Annotation {
+    /// Filled in externally by an integrator (`# +kr: external`).
+    External,
+    /// May be ingested from outside at run-time (sensor feeds etc.).
+    Ingest,
+    /// Never exposed to integrators; field-level RBAC denies by default.
+    Secret,
+    /// Immutable after first write.
+    Immutable,
+    /// Free-form annotation we do not interpret but preserve.
+    Other(String),
+}
+
+impl Annotation {
+    /// Parse the text after `+kr:` in a schema comment.
+    pub fn parse(s: &str) -> Annotation {
+        match s.trim() {
+            "external" => Annotation::External,
+            "ingest" => Annotation::Ingest,
+            "secret" => Annotation::Secret,
+            "immutable" => Annotation::Immutable,
+            other => Annotation::Other(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Annotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Annotation::External => f.write_str("external"),
+            Annotation::Ingest => f.write_str("ingest"),
+            Annotation::Secret => f.write_str("secret"),
+            Annotation::Immutable => f.write_str("immutable"),
+            Annotation::Other(s) => f.write_str(s),
+        }
+    }
+}
+
+/// Declared type of a schema field.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FieldType {
+    String,
+    Number,
+    Bool,
+    /// Opaque structured object (the paper's `items: object`).
+    Object,
+    /// Array of any element type.
+    Array,
+    /// Any value; used when a field's shape is intentionally open.
+    Any,
+}
+
+impl FieldType {
+    /// Parse the textual type used in schema files.
+    pub fn parse(s: &str) -> Result<FieldType> {
+        match s.trim() {
+            "string" => Ok(FieldType::String),
+            "number" => Ok(FieldType::Number),
+            "bool" | "boolean" => Ok(FieldType::Bool),
+            "object" => Ok(FieldType::Object),
+            "array" | "list" => Ok(FieldType::Array),
+            "any" => Ok(FieldType::Any),
+            other => Err(Error::SchemaViolation(format!("unknown field type '{other}'"))),
+        }
+    }
+
+    /// Does `v` conform to this type? `Null` conforms to everything:
+    /// absence-before-fill is the normal state of `external` fields.
+    pub fn admits(&self, v: &Value) -> bool {
+        match (self, v) {
+            (_, Value::Null) => true,
+            (FieldType::Any, _) => true,
+            (FieldType::String, Value::String(_)) => true,
+            (FieldType::Number, Value::Number(_)) => true,
+            (FieldType::Bool, Value::Bool(_)) => true,
+            (FieldType::Object, Value::Object(_)) => true,
+            (FieldType::Array, Value::Array(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FieldType::String => "string",
+            FieldType::Number => "number",
+            FieldType::Bool => "bool",
+            FieldType::Object => "object",
+            FieldType::Array => "array",
+            FieldType::Any => "any",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One declared field of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldSpec {
+    pub name: String,
+    pub ty: FieldType,
+    /// `+kr:` annotations attached to the field.
+    #[serde(default)]
+    pub annotations: Vec<Annotation>,
+    /// Whether the field must be present (non-null) for an object to be
+    /// accepted. `external` fields are never required at ingest time.
+    #[serde(default)]
+    pub required: bool,
+}
+
+impl FieldSpec {
+    pub fn new(name: impl Into<String>, ty: FieldType) -> Self {
+        FieldSpec { name: name.into(), ty, annotations: Vec::new(), required: false }
+    }
+
+    pub fn external(mut self) -> Self {
+        self.annotations.push(Annotation::External);
+        self
+    }
+
+    pub fn required(mut self) -> Self {
+        self.required = true;
+        self
+    }
+
+    pub fn annotated(mut self, a: Annotation) -> Self {
+        self.annotations.push(a);
+        self
+    }
+
+    pub fn is_external(&self) -> bool {
+        self.annotations.contains(&Annotation::External)
+    }
+
+    pub fn is_secret(&self) -> bool {
+        self.annotations.contains(&Annotation::Secret)
+    }
+
+    pub fn is_immutable(&self) -> bool {
+        self.annotations.contains(&Annotation::Immutable)
+    }
+}
+
+/// A registered data-store schema: an ordered set of named, typed,
+/// annotated fields.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    pub name: SchemaName,
+    pub fields: Vec<FieldSpec>,
+}
+
+impl Schema {
+    pub fn new(name: impl Into<SchemaName>) -> Self {
+        Schema { name: name.into(), fields: Vec::new() }
+    }
+
+    pub fn field(mut self, spec: FieldSpec) -> Self {
+        self.fields.push(spec);
+        self
+    }
+
+    pub fn get(&self, field: &str) -> Option<&FieldSpec> {
+        self.fields.iter().find(|f| f.name == field)
+    }
+
+    /// Fields annotated `external` — the store's declared ingest surface
+    /// for integrators.
+    pub fn external_fields(&self) -> impl Iterator<Item = &FieldSpec> {
+        self.fields.iter().filter(|f| f.is_external())
+    }
+
+    /// Validate a state object against this schema.
+    ///
+    /// * every required non-external field must be present and non-null
+    /// * every present field must be declared and type-conformant
+    pub fn validate(&self, v: &Value) -> Result<()> {
+        let obj = v.as_object().ok_or_else(|| {
+            Error::SchemaViolation(format!(
+                "{}: expected object, got {}",
+                self.name,
+                value::type_name(v)
+            ))
+        })?;
+        for f in &self.fields {
+            match obj.get(&f.name) {
+                Some(val) => {
+                    if !f.ty.admits(val) {
+                        return Err(Error::SchemaViolation(format!(
+                            "{}: field '{}' expects {}, got {}",
+                            self.name,
+                            f.name,
+                            f.ty,
+                            value::type_name(val)
+                        )));
+                    }
+                }
+                None => {
+                    if f.required && !f.is_external() {
+                        return Err(Error::SchemaViolation(format!(
+                            "{}: missing required field '{}'",
+                            self.name, f.name
+                        )));
+                    }
+                }
+            }
+        }
+        for key in obj.keys() {
+            if self.get(key).is_none() {
+                return Err(Error::SchemaViolation(format!(
+                    "{}: undeclared field '{}'",
+                    self.name, key
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate an *update* against immutability annotations: an
+    /// `immutable` field, once non-null, may not change.
+    pub fn validate_update(&self, old: &Value, new: &Value) -> Result<()> {
+        self.validate(new)?;
+        for f in self.fields.iter().filter(|f| f.is_immutable()) {
+            let before = old.get(&f.name);
+            let after = new.get(&f.name);
+            if let Some(b) = before {
+                if !b.is_null() && after != before {
+                    return Err(Error::SchemaViolation(format!(
+                        "{}: field '{}' is immutable",
+                        self.name, f.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An in-memory registry of schemas, keyed by [`SchemaName`].
+///
+/// The data exchange holds one of these; `knactorctl schema register`
+/// populates it, and the DXG analyzer resolves field references against it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SchemaRegistry {
+    schemas: BTreeMap<SchemaName, Schema>,
+}
+
+impl SchemaRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a schema. Re-registering the same name replaces it only if
+    /// the version component changed; silently mutating a published schema
+    /// in place is exactly the kind of hidden coupling Knactor avoids.
+    pub fn register(&mut self, schema: Schema) -> Result<()> {
+        if let Some(existing) = self.schemas.get(&schema.name) {
+            if existing != &schema {
+                return Err(Error::AlreadyExists(format!(
+                    "schema {} already registered with different contents; \
+                     bump the version to evolve it",
+                    schema.name
+                )));
+            }
+            return Ok(());
+        }
+        self.schemas.insert(schema.name.clone(), schema);
+        Ok(())
+    }
+
+    /// Replace a schema unconditionally (schema evolution tooling only).
+    pub fn force_register(&mut self, schema: Schema) {
+        self.schemas.insert(schema.name.clone(), schema);
+    }
+
+    pub fn get(&self, name: &SchemaName) -> Option<&Schema> {
+        self.schemas.get(name)
+    }
+
+    pub fn resolve(&self, name: &SchemaName) -> Result<&Schema> {
+        self.get(name)
+            .ok_or_else(|| Error::UnknownSchema(name.to_string()))
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &SchemaName> {
+        self.schemas.keys()
+    }
+
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn checkout_schema() -> Schema {
+        // Fig. 5 of the paper.
+        Schema::new("OnlineRetail/v1/Checkout/Order")
+            .field(FieldSpec::new("items", FieldType::Object).required())
+            .field(FieldSpec::new("address", FieldType::String).required())
+            .field(FieldSpec::new("cost", FieldType::Number))
+            .field(FieldSpec::new("shippingCost", FieldType::Number).external())
+            .field(FieldSpec::new("totalCost", FieldType::Number))
+            .field(FieldSpec::new("currency", FieldType::String))
+            .field(FieldSpec::new("paymentID", FieldType::String).external())
+            .field(FieldSpec::new("trackingID", FieldType::String).external())
+    }
+
+    #[test]
+    fn schema_name_parts() {
+        let n = SchemaName::new("OnlineRetail/v1/Checkout/Order");
+        assert_eq!(n.parts(), Some(("OnlineRetail", "v1", "Checkout", "Order")));
+        assert_eq!(n.version(), Some("v1"));
+        assert_eq!(SchemaName::new("short").parts(), None);
+    }
+
+    #[test]
+    fn valid_order_passes() {
+        let s = checkout_schema();
+        let order = json!({
+            "items": {"mug": 2},
+            "address": "Soda Hall",
+            "cost": 30.0,
+            "totalCost": 30.0,
+            "currency": "USD"
+        });
+        s.validate(&order).unwrap();
+    }
+
+    #[test]
+    fn external_fields_not_required_at_ingest() {
+        let s = checkout_schema();
+        let ext: Vec<_> = s.external_fields().map(|f| f.name.clone()).collect();
+        assert_eq!(ext, vec!["shippingCost", "paymentID", "trackingID"]);
+        // Order without any external fields still validates.
+        s.validate(&json!({"items": {}, "address": "x"})).unwrap();
+    }
+
+    #[test]
+    fn missing_required_field_rejected() {
+        let s = checkout_schema();
+        let err = s.validate(&json!({"items": {}})).unwrap_err();
+        assert!(matches!(err, Error::SchemaViolation(ref m) if m.contains("address")));
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let s = checkout_schema();
+        let err = s
+            .validate(&json!({"items": {}, "address": "x", "cost": "thirty"}))
+            .unwrap_err();
+        assert!(matches!(err, Error::SchemaViolation(ref m) if m.contains("cost")));
+    }
+
+    #[test]
+    fn undeclared_field_rejected() {
+        let s = checkout_schema();
+        let err = s
+            .validate(&json!({"items": {}, "address": "x", "extra": 1}))
+            .unwrap_err();
+        assert!(matches!(err, Error::SchemaViolation(ref m) if m.contains("extra")));
+    }
+
+    #[test]
+    fn null_conforms_to_any_declared_type() {
+        let s = checkout_schema();
+        s.validate(&json!({"items": {}, "address": "x", "shippingCost": null}))
+            .unwrap();
+    }
+
+    #[test]
+    fn immutable_field_cannot_change_once_set() {
+        let s = Schema::new("T/v1/S/K")
+            .field(FieldSpec::new("id", FieldType::String).annotated(Annotation::Immutable))
+            .field(FieldSpec::new("note", FieldType::String));
+        let old = json!({"id": "a", "note": "x"});
+        s.validate_update(&old, &json!({"id": "a", "note": "y"})).unwrap();
+        assert!(s.validate_update(&old, &json!({"id": "b", "note": "y"})).is_err());
+        // Setting an immutable field for the first time is fine.
+        let unset = json!({"note": "x"});
+        s.validate_update(&unset, &json!({"id": "fresh", "note": "x"})).unwrap();
+    }
+
+    #[test]
+    fn registry_rejects_silent_mutation() {
+        let mut reg = SchemaRegistry::new();
+        reg.register(checkout_schema()).unwrap();
+        // Idempotent re-register of identical schema is fine.
+        reg.register(checkout_schema()).unwrap();
+        // Mutating in place is not.
+        let mut changed = checkout_schema();
+        changed.fields.pop();
+        assert!(reg.register(changed.clone()).is_err());
+        // But force_register (explicit evolution tooling) works.
+        reg.force_register(changed);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn registry_resolve_unknown_fails() {
+        let reg = SchemaRegistry::new();
+        assert!(matches!(
+            reg.resolve(&SchemaName::new("nope")),
+            Err(Error::UnknownSchema(_))
+        ));
+    }
+
+    #[test]
+    fn annotation_parse_roundtrip() {
+        for a in ["external", "ingest", "secret", "immutable", "custom-tag"] {
+            let ann = Annotation::parse(a);
+            assert_eq!(ann.to_string(), a);
+        }
+    }
+
+    #[test]
+    fn field_type_parse() {
+        assert_eq!(FieldType::parse("string").unwrap(), FieldType::String);
+        assert_eq!(FieldType::parse("boolean").unwrap(), FieldType::Bool);
+        assert_eq!(FieldType::parse("list").unwrap(), FieldType::Array);
+        assert!(FieldType::parse("quux").is_err());
+    }
+}

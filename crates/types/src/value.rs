@@ -1,0 +1,307 @@
+//! The dynamic state model.
+//!
+//! Externalized service state is structured, schema-described data. We use
+//! `serde_json::Value` as the concrete representation (the paper's
+//! prototype exchanged JSON-shaped API objects through the Kubernetes
+//! apiserver) and add the path-based accessors that data stores, the DXG
+//! evaluator, and the integrators need.
+
+use crate::error::{Error, Result};
+use crate::path::{FieldPath, Segment};
+
+/// The dynamic value type for all externalized state.
+pub type Value = serde_json::Value;
+
+/// Read the value at `path`, if present.
+///
+/// ```
+/// use knactor_types::{value, FieldPath};
+/// let v = serde_json::json!({"order": {"items": [{"name": "mug"}]}});
+/// let p = FieldPath::parse("order.items[0].name").unwrap();
+/// assert_eq!(value::get_path(&v, &p), Some(&serde_json::json!("mug")));
+/// ```
+pub fn get_path<'v>(value: &'v Value, path: &FieldPath) -> Option<&'v Value> {
+    let mut cur = value;
+    for seg in &path.segments {
+        match seg {
+            Segment::Field(name) => cur = cur.as_object()?.get(name)?,
+            Segment::Index(idx) => cur = cur.as_array()?.get(*idx)?,
+        }
+    }
+    Some(cur)
+}
+
+/// Write `new` at `path`, creating intermediate objects as needed.
+///
+/// Intermediate *arrays* are not created implicitly: writing through a
+/// missing index is an error, because silently materializing
+/// `[null, null, x]` hides bugs in exchange specs.
+pub fn set_path(value: &mut Value, path: &FieldPath, new: Value) -> Result<()> {
+    if path.is_root() {
+        *value = new;
+        return Ok(());
+    }
+    let mut cur = value;
+    let (last, init) = path.segments.split_last().expect("non-root path");
+    for seg in init {
+        match seg {
+            Segment::Field(name) => {
+                if !cur.is_object() {
+                    if cur.is_null() {
+                        *cur = Value::Object(serde_json::Map::new());
+                    } else {
+                        return Err(Error::BadPath(format!(
+                            "cannot descend into non-object at '{name}' (path {path})"
+                        )));
+                    }
+                }
+                let obj = cur.as_object_mut().expect("object checked above");
+                cur = obj
+                    .entry(name.clone())
+                    .or_insert(Value::Object(serde_json::Map::new()));
+            }
+            Segment::Index(idx) => {
+                let arr = cur.as_array_mut().ok_or_else(|| {
+                    Error::BadPath(format!("cannot index non-array at [{idx}] (path {path})"))
+                })?;
+                cur = arr.get_mut(*idx).ok_or_else(|| {
+                    Error::BadPath(format!("index {idx} out of bounds (path {path})"))
+                })?;
+            }
+        }
+    }
+    match last {
+        Segment::Field(name) => {
+            if !cur.is_object() {
+                if cur.is_null() {
+                    *cur = Value::Object(serde_json::Map::new());
+                } else {
+                    return Err(Error::BadPath(format!(
+                        "cannot set field '{name}' on non-object (path {path})"
+                    )));
+                }
+            }
+            cur.as_object_mut()
+                .expect("object checked above")
+                .insert(name.clone(), new);
+        }
+        Segment::Index(idx) => {
+            let arr = cur.as_array_mut().ok_or_else(|| {
+                Error::BadPath(format!("cannot index non-array at [{idx}] (path {path})"))
+            })?;
+            if *idx == arr.len() {
+                arr.push(new);
+            } else {
+                *arr.get_mut(*idx).ok_or_else(|| {
+                    Error::BadPath(format!("index {idx} out of bounds (path {path})"))
+                })? = new;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Remove and return the value at `path`. `Ok(None)` if absent.
+pub fn remove_path(value: &mut Value, path: &FieldPath) -> Result<Option<Value>> {
+    if path.is_root() {
+        return Ok(Some(std::mem::replace(value, Value::Null)));
+    }
+    let (last, init) = path.segments.split_last().expect("non-root path");
+    let parent_path = FieldPath { segments: init.to_vec() };
+    let Some(parent) = get_path_mut(value, &parent_path) else {
+        return Ok(None);
+    };
+    match last {
+        Segment::Field(name) => Ok(parent.as_object_mut().and_then(|o| o.remove(name))),
+        Segment::Index(idx) => {
+            let Some(arr) = parent.as_array_mut() else { return Ok(None) };
+            if *idx < arr.len() {
+                Ok(Some(arr.remove(*idx)))
+            } else {
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// Mutable counterpart of [`get_path`].
+pub fn get_path_mut<'v>(value: &'v mut Value, path: &FieldPath) -> Option<&'v mut Value> {
+    let mut cur = value;
+    for seg in &path.segments {
+        match seg {
+            Segment::Field(name) => cur = cur.as_object_mut()?.get_mut(name)?,
+            Segment::Index(idx) => cur = cur.as_array_mut()?.get_mut(*idx)?,
+        }
+    }
+    Some(cur)
+}
+
+/// Deep-merge `patch` into `base` (object fields recursively; everything
+/// else, including arrays, replaces). This mirrors Kubernetes strategic
+/// merge semantics closely enough for reconciler-style partial updates.
+pub fn merge(base: &mut Value, patch: &Value) {
+    match (base, patch) {
+        (Value::Object(b), Value::Object(p)) => {
+            for (k, v) in p {
+                match b.get_mut(k) {
+                    Some(slot) if slot.is_object() && v.is_object() => merge(slot, v),
+                    _ => {
+                        b.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+        }
+        (b, p) => *b = p.clone(),
+    }
+}
+
+/// Human-readable type name, used in schema-violation messages.
+pub fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+/// List every leaf path (non-object, non-array terminal) in a value.
+///
+/// The DXG static analyzer uses this to compute which declared fields a
+/// spec never reads or writes ("unused state detection", §5).
+pub fn leaf_paths(value: &Value) -> Vec<FieldPath> {
+    let mut out = Vec::new();
+    walk(value, FieldPath::root(), &mut out);
+    out
+}
+
+fn walk(v: &Value, at: FieldPath, out: &mut Vec<FieldPath>) {
+    match v {
+        Value::Object(map) if !map.is_empty() => {
+            for (k, child) in map {
+                walk(child, at.child(k.clone()), out);
+            }
+        }
+        Value::Array(items) if !items.is_empty() => {
+            for (i, child) in items.iter().enumerate() {
+                walk(child, at.index(i), out);
+            }
+        }
+        _ => out.push(at),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn p(s: &str) -> FieldPath {
+        FieldPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn get_nested() {
+        let v = json!({"a": {"b": [1, 2, {"c": true}]}});
+        assert_eq!(get_path(&v, &p("a.b[2].c")), Some(&json!(true)));
+        assert_eq!(get_path(&v, &p("a.b[9]")), None);
+        assert_eq!(get_path(&v, &p("a.x")), None);
+        assert_eq!(get_path(&v, &p("")), Some(&v));
+    }
+
+    #[test]
+    fn set_creates_intermediate_objects() {
+        let mut v = json!({});
+        set_path(&mut v, &p("order.address.city"), json!("Irvine")).unwrap();
+        assert_eq!(v, json!({"order": {"address": {"city": "Irvine"}}}));
+    }
+
+    #[test]
+    fn set_overwrites_scalar() {
+        let mut v = json!({"x": 1});
+        set_path(&mut v, &p("x"), json!(2)).unwrap();
+        assert_eq!(v, json!({"x": 2}));
+    }
+
+    #[test]
+    fn set_into_null_materializes_object() {
+        let mut v = json!({"x": null});
+        set_path(&mut v, &p("x.y"), json!(5)).unwrap();
+        assert_eq!(v, json!({"x": {"y": 5}}));
+    }
+
+    #[test]
+    fn set_through_scalar_fails() {
+        let mut v = json!({"x": 3});
+        assert!(set_path(&mut v, &p("x.y"), json!(5)).is_err());
+    }
+
+    #[test]
+    fn set_array_element_and_append() {
+        let mut v = json!({"xs": [1, 2]});
+        set_path(&mut v, &p("xs[0]"), json!(9)).unwrap();
+        assert_eq!(v, json!({"xs": [9, 2]}));
+        // Index == len appends.
+        set_path(&mut v, &p("xs[2]"), json!(3)).unwrap();
+        assert_eq!(v, json!({"xs": [9, 2, 3]}));
+        // Beyond len fails; no implicit null padding.
+        assert!(set_path(&mut v, &p("xs[7]"), json!(0)).is_err());
+    }
+
+    #[test]
+    fn set_root_replaces() {
+        let mut v = json!({"a": 1});
+        set_path(&mut v, &FieldPath::root(), json!(42)).unwrap();
+        assert_eq!(v, json!(42));
+    }
+
+    #[test]
+    fn remove_field_and_missing() {
+        let mut v = json!({"a": {"b": 1, "c": 2}});
+        assert_eq!(remove_path(&mut v, &p("a.b")).unwrap(), Some(json!(1)));
+        assert_eq!(v, json!({"a": {"c": 2}}));
+        assert_eq!(remove_path(&mut v, &p("a.zzz")).unwrap(), None);
+        assert_eq!(remove_path(&mut v, &p("nope.deep")).unwrap(), None);
+    }
+
+    #[test]
+    fn remove_array_element() {
+        let mut v = json!({"xs": [1, 2, 3]});
+        assert_eq!(remove_path(&mut v, &p("xs[1]")).unwrap(), Some(json!(2)));
+        assert_eq!(v, json!({"xs": [1, 3]}));
+    }
+
+    #[test]
+    fn merge_recurses_objects_replaces_arrays() {
+        let mut base = json!({"a": {"x": 1, "y": 2}, "arr": [1, 2, 3], "keep": true});
+        merge(&mut base, &json!({"a": {"y": 20, "z": 30}, "arr": [9]}));
+        assert_eq!(
+            base,
+            json!({"a": {"x": 1, "y": 20, "z": 30}, "arr": [9], "keep": true})
+        );
+    }
+
+    #[test]
+    fn merge_scalar_replaces() {
+        let mut base = json!({"a": 1});
+        merge(&mut base, &json!("now a string"));
+        assert_eq!(base, json!("now a string"));
+    }
+
+    #[test]
+    fn leaf_paths_enumerates_terminals() {
+        let v = json!({"a": {"b": 1}, "xs": [true, {"c": null}], "empty": {}});
+        let mut got: Vec<String> = leaf_paths(&v).iter().map(|p| p.to_string()).collect();
+        got.sort();
+        assert_eq!(got, vec!["a.b", "empty", "xs[0]", "xs[1].c"]);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(type_name(&json!(null)), "null");
+        assert_eq!(type_name(&json!(1.5)), "number");
+        assert_eq!(type_name(&json!([])), "array");
+    }
+}

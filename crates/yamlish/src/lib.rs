@@ -1,0 +1,224 @@
+//! # knactor-yamlish
+//!
+//! A small, dependency-free parser and serializer for the YAML subset used
+//! by Knactor specification files — data-store schemas (Fig. 5 of the
+//! paper) and data-exchange-graph specs (Fig. 6).
+//!
+//! Why not a full YAML library? Two reasons:
+//!
+//! 1. The specs only need a well-defined subset (see below), and a small
+//!    parser keeps the dependency surface of the framework tight.
+//! 2. Knactor schema files carry semantic information in *comments*
+//!    (`# +kr: external` marks fields an integrator fills in). Mainstream
+//!    YAML parsers discard comments; this one attaches `+kr:` annotations
+//!    to the node on the same line.
+//!
+//! ## Supported subset
+//!
+//! * block mappings (`key: value`, nested by indentation)
+//! * block sequences (`- item`, scalar or mapping items)
+//! * scalars: single-/double-quoted strings, bare strings, numbers,
+//!   `true`/`false`, `null`/`~`
+//! * folded (`>`) and literal (`|`) block scalars
+//! * full-line and trailing comments; trailing `# +kr: <text>` comments
+//!   become [`Node::annotations`]
+//!
+//! Anchors, aliases, tags, flow style, multi-document streams, and
+//! complex keys are intentionally not supported; encountering them is a
+//! parse error, not silent misbehaviour.
+
+mod parse;
+mod serialize;
+
+pub use parse::parse;
+pub use serialize::to_string;
+
+use knactor_types::{Error, Result};
+
+/// A parsed YAML-subset node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    pub yaml: Yaml,
+    /// 1-based source line where the node started (0 for synthesized nodes).
+    pub line: usize,
+    /// Text of `+kr:` trailing comments on the node's line.
+    pub annotations: Vec<String>,
+}
+
+/// Node payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Yaml {
+    /// A scalar, already coerced: string, number, bool, or null.
+    Scalar(serde_json::Value),
+    /// A block sequence.
+    Seq(Vec<Node>),
+    /// A block mapping with source order preserved.
+    Map(Vec<(String, Node)>),
+}
+
+impl Node {
+    /// A scalar node with no source position.
+    pub fn scalar(v: impl Into<serde_json::Value>) -> Node {
+        Node { yaml: Yaml::Scalar(v.into()), line: 0, annotations: Vec::new() }
+    }
+
+    /// A mapping node with no source position.
+    pub fn map(entries: Vec<(String, Node)>) -> Node {
+        Node { yaml: Yaml::Map(entries), line: 0, annotations: Vec::new() }
+    }
+
+    /// A sequence node with no source position.
+    pub fn seq(items: Vec<Node>) -> Node {
+        Node { yaml: Yaml::Seq(items), line: 0, annotations: Vec::new() }
+    }
+
+    /// Attach a `+kr:` annotation.
+    pub fn with_annotation(mut self, text: impl Into<String>) -> Node {
+        self.annotations.push(text.into());
+        self
+    }
+
+    /// Look up a mapping entry by key.
+    pub fn get(&self, key: &str) -> Option<&Node> {
+        match &self.yaml {
+            Yaml::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Mapping entries, or an error if this node is not a mapping.
+    pub fn entries(&self) -> Result<&[(String, Node)]> {
+        match &self.yaml {
+            Yaml::Map(entries) => Ok(entries),
+            other => Err(Error::Parse {
+                line: self.line,
+                msg: format!("expected mapping, found {}", kind_name(other)),
+            }),
+        }
+    }
+
+    /// Sequence items, or an error if this node is not a sequence.
+    pub fn items(&self) -> Result<&[Node]> {
+        match &self.yaml {
+            Yaml::Seq(items) => Ok(items),
+            other => Err(Error::Parse {
+                line: self.line,
+                msg: format!("expected sequence, found {}", kind_name(other)),
+            }),
+        }
+    }
+
+    /// Scalar payload, or an error.
+    pub fn scalar_value(&self) -> Result<&serde_json::Value> {
+        match &self.yaml {
+            Yaml::Scalar(v) => Ok(v),
+            other => Err(Error::Parse {
+                line: self.line,
+                msg: format!("expected scalar, found {}", kind_name(other)),
+            }),
+        }
+    }
+
+    /// String scalar payload, or an error.
+    pub fn as_str(&self) -> Result<&str> {
+        self.scalar_value()?.as_str().ok_or(Error::Parse {
+            line: self.line,
+            msg: "expected string scalar".to_string(),
+        })
+    }
+
+    /// Convert to a plain JSON value, dropping annotations and positions.
+    pub fn to_json(&self) -> serde_json::Value {
+        match &self.yaml {
+            Yaml::Scalar(v) => v.clone(),
+            Yaml::Seq(items) => {
+                serde_json::Value::Array(items.iter().map(Node::to_json).collect())
+            }
+            Yaml::Map(entries) => serde_json::Value::Object(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_json()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Build a node tree from a JSON value (no annotations).
+    pub fn from_json(v: &serde_json::Value) -> Node {
+        match v {
+            serde_json::Value::Array(items) => {
+                Node::seq(items.iter().map(Node::from_json).collect())
+            }
+            serde_json::Value::Object(map) => Node::map(
+                map.iter()
+                    .map(|(k, v)| (k.clone(), Node::from_json(v)))
+                    .collect(),
+            ),
+            scalar => Node::scalar(scalar.clone()),
+        }
+    }
+
+    /// Structural equality ignoring source lines (annotations still count).
+    pub fn structurally_eq(&self, other: &Node) -> bool {
+        if self.annotations != other.annotations {
+            return false;
+        }
+        match (&self.yaml, &other.yaml) {
+            (Yaml::Scalar(a), Yaml::Scalar(b)) => a == b,
+            (Yaml::Seq(a), Yaml::Seq(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.structurally_eq(y))
+            }
+            (Yaml::Map(a), Yaml::Map(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|((ka, va), (kb, vb))| ka == kb && va.structurally_eq(vb))
+            }
+            _ => false,
+        }
+    }
+}
+
+fn kind_name(y: &Yaml) -> &'static str {
+    match y {
+        Yaml::Scalar(_) => "scalar",
+        Yaml::Seq(_) => "sequence",
+        Yaml::Map(_) => "mapping",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn node_accessors() {
+        let n = Node::map(vec![
+            ("a".into(), Node::scalar(1)),
+            ("xs".into(), Node::seq(vec![Node::scalar("s")])),
+        ]);
+        assert_eq!(n.get("a").unwrap().scalar_value().unwrap(), &json!(1));
+        assert_eq!(n.get("xs").unwrap().items().unwrap().len(), 1);
+        assert!(n.get("missing").is_none());
+        assert!(n.items().is_err());
+        assert!(n.get("a").unwrap().entries().is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let v = json!({"a": [1, true, null], "b": {"c": "x"}});
+        assert_eq!(Node::from_json(&v).to_json(), v);
+    }
+
+    #[test]
+    fn structural_eq_ignores_lines() {
+        let mut a = Node::scalar(1);
+        a.line = 3;
+        let mut b = Node::scalar(1);
+        b.line = 99;
+        assert!(a.structurally_eq(&b));
+        assert!(!a.structurally_eq(&Node::scalar(2)));
+        assert!(!a.structurally_eq(&a.clone().with_annotation("external")));
+    }
+}

@@ -1,0 +1,738 @@
+//! The YAML-subset parser.
+//!
+//! Indentation-driven recursive descent over pre-scanned lines. The parser
+//! is strict: constructs outside the documented subset (tabs in
+//! indentation, flow style, anchors, tags) are errors rather than
+//! best-effort guesses, because spec files feed directly into composition
+//! logic and a silent misparse would surface as a baffling exchange bug.
+
+use crate::Node;
+use knactor_types::{Error, Result};
+
+/// Parse a YAML-subset document into a [`Node`].
+///
+/// The document root may be a mapping, a sequence, or a single scalar.
+/// An empty (or comment-only) document parses as an empty mapping, which
+/// is the useful default for configuration files.
+pub fn parse(input: &str) -> Result<Node> {
+    let mut lines = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        lines.push(scan_line(raw, idx + 1)?);
+    }
+    let mut p = Parser { lines, pos: 0 };
+    p.skip_insignificant();
+    if p.pos >= p.lines.len() {
+        return Ok(Node::map(Vec::new()));
+    }
+    let node = p.parse_node(0)?;
+    p.skip_insignificant();
+    if let Some(line) = p.peek() {
+        return Err(Error::Parse {
+            line: line.number,
+            msg: "trailing content after document root".to_string(),
+        });
+    }
+    Ok(node)
+}
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+struct Line {
+    number: usize,
+    indent: usize,
+    /// Content with any trailing comment stripped (empty if comment-only).
+    content: String,
+    /// Raw text (for block scalars, which keep comments and blanks).
+    raw: String,
+    /// `+kr:` annotation text, if the trailing comment carried one.
+    annotation: Option<String>,
+}
+
+impl Line {
+    fn is_blank(&self) -> bool {
+        self.content.is_empty()
+    }
+}
+
+/// Strip the trailing comment (quote-aware) and extract any `+kr:` text.
+fn scan_line(raw: &str, number: usize) -> Result<Line> {
+    let indent_len = raw.len() - raw.trim_start_matches(' ').len();
+    if raw[..indent_len].contains('\t') || raw.trim_start_matches(' ').starts_with('\t') {
+        // Only leading tabs are fatal; tabs inside content are data.
+        if raw.trim_start_matches([' ', '\t']).len() < raw.trim_start_matches(' ').len() {
+            return Err(Error::Parse { line: number, msg: "tab in indentation".to_string() });
+        }
+    }
+    let body = &raw[indent_len..];
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut escaped = false;
+    let mut comment_at = None;
+    let mut prev_ws = true;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            prev_ws = false;
+            continue;
+        }
+        match c {
+            '\\' if in_double => escaped = true,
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            '#' if !in_single && !in_double && prev_ws => {
+                comment_at = Some(i);
+                break;
+            }
+            _ => {}
+        }
+        prev_ws = c == ' ' || c == '\t';
+    }
+    let (content, annotation) = match comment_at {
+        Some(i) => {
+            let comment = body[i + 1..].trim();
+            let ann = comment.strip_prefix("+kr:").map(|s| s.trim().to_string());
+            (body[..i].trim_end().to_string(), ann)
+        }
+        None => (body.trim_end().to_string(), None),
+    };
+    Ok(Line { number, indent: indent_len, content, raw: raw.to_string(), annotation })
+}
+
+struct Parser {
+    lines: Vec<Line>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Line> {
+        self.lines.get(self.pos)
+    }
+
+    fn skip_insignificant(&mut self) {
+        while let Some(l) = self.lines.get(self.pos) {
+            if l.is_blank() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Parse the block starting at the current line, which must be indented
+    /// at least `min_indent`.
+    fn parse_node(&mut self, min_indent: usize) -> Result<Node> {
+        self.skip_insignificant();
+        let Some(first) = self.peek() else {
+            return Ok(Node::scalar(serde_json::Value::Null));
+        };
+        if first.indent < min_indent {
+            return Ok(Node::scalar(serde_json::Value::Null));
+        }
+        let base = first.indent;
+        if first.content == "-" || first.content.starts_with("- ") {
+            self.parse_seq(base)
+        } else if split_key(&first.content).is_some() {
+            self.parse_map(base)
+        } else {
+            // Single-line scalar document/value.
+            let line = self.lines[self.pos].clone();
+            self.pos += 1;
+            reject_flow(&line.content, line.number)?;
+            let mut node = Node::scalar(parse_scalar(&line.content, line.number)?);
+            node.line = line.number;
+            if let Some(a) = line.annotation {
+                node.annotations.push(a);
+            }
+            Ok(node)
+        }
+    }
+
+    fn parse_map(&mut self, base: usize) -> Result<Node> {
+        let mut entries: Vec<(String, Node)> = Vec::new();
+        let map_line = self.peek().map(|l| l.number).unwrap_or(0);
+        loop {
+            self.skip_insignificant();
+            let Some(line) = self.peek() else { break };
+            if line.indent < base {
+                break;
+            }
+            if line.indent > base {
+                return Err(Error::Parse {
+                    line: line.number,
+                    msg: format!("unexpected indent {} (mapping is at {})", line.indent, base),
+                });
+            }
+            if line.content == "-" || line.content.starts_with("- ") {
+                return Err(Error::Parse {
+                    line: line.number,
+                    msg: "sequence item inside mapping".to_string(),
+                });
+            }
+            let line = self.lines[self.pos].clone();
+            let Some((key, rest)) = split_key(&line.content) else {
+                return Err(Error::Parse {
+                    line: line.number,
+                    msg: format!("expected 'key:' line, found '{}'", line.content),
+                });
+            };
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(Error::Parse {
+                    line: line.number,
+                    msg: format!("duplicate key '{key}'"),
+                });
+            }
+            self.pos += 1;
+            let mut value = self.parse_value(&rest, base, line.number)?;
+            if let Some(a) = &line.annotation {
+                value.annotations.push(a.clone());
+            }
+            entries.push((key, value));
+        }
+        let mut node = Node::map(entries);
+        node.line = map_line;
+        Ok(node)
+    }
+
+    fn parse_seq(&mut self, base: usize) -> Result<Node> {
+        let mut items = Vec::new();
+        let seq_line = self.peek().map(|l| l.number).unwrap_or(0);
+        loop {
+            self.skip_insignificant();
+            let Some(line) = self.peek() else { break };
+            if line.indent != base || !(line.content == "-" || line.content.starts_with("- ")) {
+                if line.indent > base {
+                    return Err(Error::Parse {
+                        line: line.number,
+                        msg: "unexpected indent in sequence".to_string(),
+                    });
+                }
+                break;
+            }
+            let number = line.number;
+            let annotation = line.annotation.clone();
+            let rest = line.content[1..].trim_start().to_string();
+            if rest.is_empty() {
+                // `-` alone: the item is the following more-indented block.
+                self.pos += 1;
+                let mut item = self.parse_node(base + 1)?;
+                if item.line == 0 {
+                    item.line = number;
+                }
+                items.push(item);
+            } else {
+                // Rewrite `- x` as `x` at indent base+2 and re-parse, so an
+                // item that begins a mapping picks up its following keys.
+                let virtual_indent = base + 2;
+                {
+                    let slot = &mut self.lines[self.pos];
+                    slot.indent = virtual_indent;
+                    slot.content = rest;
+                }
+                let mut item = self.parse_node(virtual_indent)?;
+                if item.line == 0 {
+                    item.line = number;
+                }
+                if let Some(a) = annotation {
+                    if !item.annotations.contains(&a) {
+                        item.annotations.push(a);
+                    }
+                }
+                items.push(item);
+            }
+        }
+        let mut node = Node::seq(items);
+        node.line = seq_line;
+        Ok(node)
+    }
+
+    /// Parse a mapping value given the text after `key:`.
+    fn parse_value(&mut self, rest: &str, key_indent: usize, key_line: usize) -> Result<Node> {
+        let rest = rest.trim();
+        if rest.is_empty() {
+            // Nested block (or null if nothing more-indented follows).
+            let mut node = self.parse_node(key_indent + 1)?;
+            if node.line == 0 {
+                node.line = key_line;
+            }
+            return Ok(node);
+        }
+        if rest == ">" || rest == "|" {
+            return self.parse_block_scalar(rest == ">", key_indent, key_line);
+        }
+        reject_flow(rest, key_line)?;
+        let mut node = Node::scalar(parse_scalar(rest, key_line)?);
+        node.line = key_line;
+        Ok(node)
+    }
+
+    /// Folded (`>`) or literal (`|`) block scalar. Consumes every following
+    /// line that is blank or indented deeper than the key.
+    ///
+    /// Both forms strip the trailing newline (YAML's `>-` / `|-` chomping),
+    /// which is what spec expressions want.
+    fn parse_block_scalar(&mut self, folded: bool, key_indent: usize, key_line: usize) -> Result<Node> {
+        let mut raw_lines: Vec<String> = Vec::new();
+        while let Some(line) = self.peek() {
+            let raw_trimmed = line.raw.trim_end();
+            let is_blank_raw = raw_trimmed.trim().is_empty();
+            if !is_blank_raw && line.indent <= key_indent {
+                break;
+            }
+            raw_lines.push(line.raw.clone());
+            self.pos += 1;
+        }
+        while raw_lines.last().map(|l| l.trim().is_empty()).unwrap_or(false) {
+            raw_lines.pop();
+        }
+        if raw_lines.is_empty() {
+            return Err(Error::Parse {
+                line: key_line,
+                msg: "empty block scalar".to_string(),
+            });
+        }
+        let block_indent = raw_lines
+            .iter()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| l.len() - l.trim_start_matches(' ').len())
+            .min()
+            .unwrap_or(0);
+        let stripped: Vec<String> = raw_lines
+            .iter()
+            .map(|l| {
+                if l.len() >= block_indent {
+                    l[block_indent..].trim_end().to_string()
+                } else {
+                    String::new()
+                }
+            })
+            .collect();
+        let text = if folded {
+            // Folding: newlines become spaces; blank lines become newlines.
+            let mut out = String::new();
+            let mut pending_break = false;
+            for l in &stripped {
+                if l.is_empty() {
+                    out.push('\n');
+                    pending_break = false;
+                } else {
+                    if pending_break {
+                        out.push(' ');
+                    }
+                    out.push_str(l);
+                    pending_break = true;
+                }
+            }
+            out
+        } else {
+            stripped.join("\n")
+        };
+        let mut node = Node::scalar(serde_json::Value::String(text));
+        node.line = key_line;
+        Ok(node)
+    }
+}
+
+/// Split `key: rest` (rest may be empty). Returns `None` if the line does
+/// not contain a key separator outside quotes.
+fn split_key(content: &str) -> Option<(String, String)> {
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut escaped = false;
+    let chars: Vec<char> = content.chars().collect();
+    for i in 0..chars.len() {
+        let c = chars[i];
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_double => escaped = true,
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            ':' if !in_single && !in_double => {
+                let at_end = i + 1 == chars.len();
+                let followed_by_space = chars.get(i + 1) == Some(&' ');
+                if at_end || followed_by_space {
+                    let raw_key: String = chars[..i].iter().collect();
+                    let raw_key = raw_key.trim();
+                    if raw_key.is_empty() {
+                        return None;
+                    }
+                    let key = unquote_key(raw_key);
+                    let rest: String = if at_end {
+                        String::new()
+                    } else {
+                        chars[i + 1..].iter().collect::<String>().trim().to_string()
+                    };
+                    return Some((key, rest));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn unquote_key(raw: &str) -> String {
+    if (raw.starts_with('\'') && raw.ends_with('\'') && raw.len() >= 2)
+        || (raw.starts_with('"') && raw.ends_with('"') && raw.len() >= 2)
+    {
+        raw[1..raw.len() - 1].to_string()
+    } else {
+        raw.to_string()
+    }
+}
+
+/// Reject flow-style and other out-of-subset constructs loudly.
+fn reject_flow(s: &str, line: usize) -> Result<()> {
+    let first = s.chars().next().unwrap_or(' ');
+    if first == '{' || first == '[' {
+        return Err(Error::Parse {
+            line,
+            msg: "flow-style collections are outside the supported subset; \
+                  quote the value if it is a literal string"
+                .to_string(),
+        });
+    }
+    if first == '&' || first == '*' || first == '!' {
+        return Err(Error::Parse {
+            line,
+            msg: "anchors, aliases, and tags are not supported".to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Coerce a scalar token: quotes force strings; bare tokens try bool,
+/// null, integer, float; everything else is a string.
+fn parse_scalar(s: &str, line: usize) -> Result<serde_json::Value> {
+    if s.starts_with('\'') {
+        if s.len() < 2 || !s.ends_with('\'') {
+            return Err(Error::Parse { line, msg: "unterminated single-quoted string".into() });
+        }
+        // Single quotes: only escape is '' for a literal quote.
+        return Ok(serde_json::Value::String(s[1..s.len() - 1].replace("''", "'")));
+    }
+    if s.starts_with('"') {
+        if s.len() < 2 || !s.ends_with('"') {
+            return Err(Error::Parse { line, msg: "unterminated double-quoted string".into() });
+        }
+        let inner = &s[1..s.len() - 1];
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some(other) => {
+                        return Err(Error::Parse {
+                            line,
+                            msg: format!("unsupported escape '\\{other}'"),
+                        })
+                    }
+                    None => {
+                        return Err(Error::Parse { line, msg: "dangling escape".into() })
+                    }
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        return Ok(serde_json::Value::String(out));
+    }
+    match s {
+        "true" => return Ok(serde_json::Value::Bool(true)),
+        "false" => return Ok(serde_json::Value::Bool(false)),
+        "null" | "~" => return Ok(serde_json::Value::Null),
+        _ => {}
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(serde_json::Value::from(i));
+    }
+    if looks_like_float(s) {
+        if let Ok(f) = s.parse::<f64>() {
+            if let Some(n) = serde_json::Number::from_f64(f) {
+                return Ok(serde_json::Value::Number(n));
+            }
+        }
+    }
+    Ok(serde_json::Value::String(s.to_string()))
+}
+
+/// Only coerce floats that look like numbers (avoid "1.2.3" or "e5").
+pub(crate) fn looks_like_float(s: &str) -> bool {
+    let body = s.strip_prefix(['-', '+']).unwrap_or(s);
+    if body.is_empty() {
+        return false;
+    }
+    let mut dots = 0;
+    let mut exps = 0;
+    let mut digits = 0;
+    for (i, c) in body.char_indices() {
+        match c {
+            '0'..='9' => digits += 1,
+            '.' => dots += 1,
+            'e' | 'E' if i > 0 => exps += 1,
+            '-' | '+' => {
+                // Only valid right after the exponent marker.
+                if i == 0 {
+                    return false;
+                }
+                let prev = body.as_bytes()[i - 1];
+                if prev != b'e' && prev != b'E' {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    digits > 0 && dots <= 1 && exps <= 1 && (dots == 1 || exps == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn parses_fig5_checkout_schema() {
+        let src = "\
+schema: OnlineRetail/v1/Checkout/Order
+items: object
+address: string
+cost: number
+shippingCost: number # +kr: external
+totalCost: number
+currency: string
+paymentID: string # +kr: external
+trackingID: string # +kr: external
+";
+        let doc = parse(src).unwrap();
+        let entries = doc.entries().unwrap();
+        assert_eq!(entries.len(), 9);
+        assert_eq!(
+            doc.get("schema").unwrap().as_str().unwrap(),
+            "OnlineRetail/v1/Checkout/Order"
+        );
+        let ship = doc.get("shippingCost").unwrap();
+        assert_eq!(ship.as_str().unwrap(), "number");
+        assert_eq!(ship.annotations, vec!["external".to_string()]);
+        assert!(doc.get("totalCost").unwrap().annotations.is_empty());
+    }
+
+    #[test]
+    fn parses_fig6_dxg_spec() {
+        let src = r#"
+Input:
+  C: OnlineRetail/v1/Checkout/knactor-checkout
+  S: OnlineRetail/v1/Shipping/knactor-shipping
+  P: OnlineRetail/v1/Payment/knactor-payment
+DXG:
+  C.order:
+    shippingCost: >
+      currency_convert(S.quote.price,
+      S.quote.currency, this.currency)
+    paymentID: P.id
+    trackingID: S.id
+  P:
+    amount: C.order.totalCost
+    currency: C.order.currency
+  S:
+    items: '[item.name for item in C.order.items]'
+    addr: C.order.address
+    method: >
+      "air" if C.order.cost > 1000 else "ground"
+"#;
+        let doc = parse(src).unwrap();
+        let input = doc.get("Input").unwrap();
+        assert_eq!(input.entries().unwrap().len(), 3);
+        let dxg = doc.get("DXG").unwrap();
+        let c_order = dxg.get("C.order").unwrap();
+        let ship = c_order.get("shippingCost").unwrap().as_str().unwrap();
+        assert_eq!(
+            ship,
+            "currency_convert(S.quote.price, S.quote.currency, this.currency)"
+        );
+        let items = dxg.get("S").unwrap().get("items").unwrap().as_str().unwrap();
+        assert_eq!(items, "[item.name for item in C.order.items]");
+        let method = dxg.get("S").unwrap().get("method").unwrap().as_str().unwrap();
+        assert_eq!(method, r#""air" if C.order.cost > 1000 else "ground""#);
+    }
+
+    #[test]
+    fn scalar_coercion() {
+        let doc = parse("a: 3\nb: -2.5\nc: true\nd: null\ne: ~\nf: hello world\ng: 1.2.3\n").unwrap();
+        assert_eq!(doc.get("a").unwrap().to_json(), json!(3));
+        assert_eq!(doc.get("b").unwrap().to_json(), json!(-2.5));
+        assert_eq!(doc.get("c").unwrap().to_json(), json!(true));
+        assert_eq!(doc.get("d").unwrap().to_json(), json!(null));
+        assert_eq!(doc.get("e").unwrap().to_json(), json!(null));
+        assert_eq!(doc.get("f").unwrap().to_json(), json!("hello world"));
+        assert_eq!(doc.get("g").unwrap().to_json(), json!("1.2.3"));
+    }
+
+    #[test]
+    fn quoted_strings_stay_strings() {
+        let doc = parse("a: '42'\nb: \"true\"\nc: 'it''s'\nd: \"x\\ny\"\n").unwrap();
+        assert_eq!(doc.get("a").unwrap().to_json(), json!("42"));
+        assert_eq!(doc.get("b").unwrap().to_json(), json!("true"));
+        assert_eq!(doc.get("c").unwrap().to_json(), json!("it's"));
+        assert_eq!(doc.get("d").unwrap().to_json(), json!("x\ny"));
+    }
+
+    #[test]
+    fn hash_inside_quotes_is_not_comment() {
+        let doc = parse("a: 'x # y'\nb: \"p # q\" # +kr: external\n").unwrap();
+        assert_eq!(doc.get("a").unwrap().to_json(), json!("x # y"));
+        assert_eq!(doc.get("b").unwrap().to_json(), json!("p # q"));
+        assert_eq!(doc.get("b").unwrap().annotations, vec!["external".to_string()]);
+    }
+
+    #[test]
+    fn sequences_of_scalars_and_mappings() {
+        let src = "\
+rules:
+  - get
+  - list
+subjects:
+  - name: cast
+    role: integrator
+  - name: shipping-reconciler
+    role: owner
+";
+        let doc = parse(src).unwrap();
+        let rules = doc.get("rules").unwrap().items().unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].to_json(), json!("get"));
+        let subjects = doc.get("subjects").unwrap().items().unwrap();
+        assert_eq!(subjects.len(), 2);
+        assert_eq!(subjects[0].get("name").unwrap().to_json(), json!("cast"));
+        assert_eq!(subjects[1].get("role").unwrap().to_json(), json!("owner"));
+    }
+
+    #[test]
+    fn dash_alone_starts_nested_block() {
+        let src = "\
+items:
+  -
+    name: a
+  -
+    name: b
+";
+        let doc = parse(src).unwrap();
+        let items = doc.get("items").unwrap().items().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].get("name").unwrap().to_json(), json!("b"));
+    }
+
+    #[test]
+    fn literal_block_scalar_keeps_newlines() {
+        let src = "text: |\n  line one\n  line two\nafter: 1\n";
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.get("text").unwrap().to_json(), json!("line one\nline two"));
+        assert_eq!(doc.get("after").unwrap().to_json(), json!(1));
+    }
+
+    #[test]
+    fn folded_block_scalar_joins_lines() {
+        let src = "text: >\n  a b\n  c d\n\n  new para\n";
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.get("text").unwrap().to_json(), json!("a b c d\nnew para"));
+    }
+
+    #[test]
+    fn nested_mapping_null_when_empty() {
+        let doc = parse("a:\nb: 1\n").unwrap();
+        assert_eq!(doc.get("a").unwrap().to_json(), json!(null));
+        assert_eq!(doc.get("b").unwrap().to_json(), json!(1));
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let err = parse("a: 1\na: 2\n").unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn flow_style_rejected() {
+        assert!(parse("a: {x: 1}\n").is_err());
+        assert!(parse("a: [1, 2]\n").is_err());
+        assert!(parse("a: &anchor v\n").is_err());
+    }
+
+    #[test]
+    fn bad_indent_rejected() {
+        let err = parse("a: 1\n   b: 2\n").unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn tab_indentation_rejected() {
+        assert!(parse("a:\n\tb: 1\n").is_err());
+    }
+
+    #[test]
+    fn empty_document_is_empty_map() {
+        let doc = parse("").unwrap();
+        assert_eq!(doc.entries().unwrap().len(), 0);
+        let doc = parse("# only a comment\n\n").unwrap();
+        assert_eq!(doc.entries().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn root_scalar_document() {
+        assert_eq!(parse("42\n").unwrap().to_json(), json!(42));
+        assert_eq!(parse("'quoted: not a map'\n").unwrap().to_json(), json!("quoted: not a map"));
+    }
+
+    #[test]
+    fn root_sequence_document() {
+        let doc = parse("- 1\n- 2\n").unwrap();
+        assert_eq!(doc.to_json(), json!([1, 2]));
+    }
+
+    #[test]
+    fn quoted_keys() {
+        let doc = parse("'C.order': 1\n\"with space\": 2\n").unwrap();
+        assert_eq!(doc.get("C.order").unwrap().to_json(), json!(1));
+        assert_eq!(doc.get("with space").unwrap().to_json(), json!(2));
+    }
+
+    #[test]
+    fn value_with_colon_no_space_is_scalar() {
+        let doc = parse("url: redis://localhost:6379\n").unwrap();
+        assert_eq!(doc.get("url").unwrap().to_json(), json!("redis://localhost:6379"));
+    }
+
+    #[test]
+    fn line_numbers_recorded() {
+        let doc = parse("a: 1\nb:\n  c: 2\n").unwrap();
+        assert_eq!(doc.get("a").unwrap().line, 1);
+        assert_eq!(doc.get("b").unwrap().get("c").unwrap().line, 3);
+    }
+
+    #[test]
+    fn annotation_on_seq_item() {
+        let doc = parse("xs:\n  - a # +kr: external\n  - b\n").unwrap();
+        let items = doc.get("xs").unwrap().items().unwrap();
+        assert_eq!(items[0].annotations, vec!["external".to_string()]);
+        assert!(items[1].annotations.is_empty());
+    }
+
+    #[test]
+    fn float_detection_is_conservative() {
+        assert!(looks_like_float("1.5"));
+        assert!(looks_like_float("-0.25"));
+        assert!(looks_like_float("2e10"));
+        assert!(looks_like_float("3.1e-4"));
+        assert!(!looks_like_float("1.2.3"));
+        assert!(!looks_like_float("e5"));
+        assert!(!looks_like_float("1-2"));
+        assert!(!looks_like_float("."));
+        assert!(!looks_like_float("v1"));
+    }
+}

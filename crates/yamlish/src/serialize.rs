@@ -1,0 +1,271 @@
+//! Serializer for the YAML subset.
+//!
+//! Produces documents that [`crate::parse`] reads back structurally equal
+//! (source lines aside): strings that could be misread as numbers, bools,
+//! or syntax are quoted; multi-line strings become literal (`|`) blocks;
+//! `+kr:` annotations are emitted as trailing comments.
+
+use crate::{Node, Yaml};
+
+/// Serialize a node tree to YAML-subset text.
+pub fn to_string(node: &Node) -> String {
+    let mut out = String::new();
+    match &node.yaml {
+        Yaml::Scalar(v) => {
+            out.push_str(&scalar_to_string(v));
+            push_annotations(&mut out, &node.annotations);
+            out.push('\n');
+        }
+        Yaml::Map(_) | Yaml::Seq(_) => emit_block(node, 0, &mut out),
+    }
+    out
+}
+
+fn emit_block(node: &Node, indent: usize, out: &mut String) {
+    match &node.yaml {
+        Yaml::Map(entries) => {
+            for (key, value) in entries {
+                push_indent(out, indent);
+                out.push_str(&key_to_string(key));
+                out.push(':');
+                emit_value(value, indent, out);
+            }
+        }
+        Yaml::Seq(items) => {
+            for item in items {
+                push_indent(out, indent);
+                out.push('-');
+                emit_value(item, indent, out);
+            }
+        }
+        Yaml::Scalar(_) => unreachable!("emit_block called on scalar"),
+    }
+}
+
+/// Emit the value part after `key:` or `-` (the leading token is already
+/// in `out`, cursor sits right after it).
+fn emit_value(value: &Node, indent: usize, out: &mut String) {
+    match &value.yaml {
+        Yaml::Scalar(v) => {
+            if let Some(s) = v.as_str() {
+                if s.contains('\n') {
+                    // Literal block scalar.
+                    out.push_str(" |\n");
+                    push_annotations_inline(out, &value.annotations, indent);
+                    for line in s.split('\n') {
+                        push_indent(out, indent + 1);
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                    return;
+                }
+            }
+            out.push(' ');
+            out.push_str(&scalar_to_string(v));
+            push_annotations(out, &value.annotations);
+            out.push('\n');
+        }
+        Yaml::Map(entries) if entries.is_empty() => {
+            // An empty mapping round-trips as null; there is no way to
+            // write an empty block mapping in the subset.
+            out.push_str(" null");
+            push_annotations(out, &value.annotations);
+            out.push('\n');
+        }
+        Yaml::Seq(items) if items.is_empty() => {
+            out.push_str(" null");
+            push_annotations(out, &value.annotations);
+            out.push('\n');
+        }
+        Yaml::Map(_) | Yaml::Seq(_) => {
+            push_annotations(out, &value.annotations);
+            out.push('\n');
+            emit_block(value, indent + 1, out);
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn push_annotations(out: &mut String, annotations: &[String]) {
+    for a in annotations {
+        out.push_str(" # +kr: ");
+        out.push_str(a);
+    }
+}
+
+/// Block scalars cannot carry a trailing comment on the `|` line in our
+/// parser (it would be folded into nothing) — emit annotations as a
+/// comment line instead. Parse drops comment-only lines, so annotations on
+/// multi-line strings do not survive a round trip; the serializer keeps
+/// them for human readers.
+fn push_annotations_inline(out: &mut String, annotations: &[String], indent: usize) {
+    for a in annotations {
+        push_indent(out, indent + 1);
+        out.push_str("# +kr: ");
+        out.push_str(a);
+        out.push('\n');
+    }
+}
+
+fn key_to_string(key: &str) -> String {
+    if key.is_empty() || key.contains(':') || key.contains('#') || key.contains('\'') || key.contains('"')
+    {
+        format!("'{}'", key.replace('\'', "''"))
+    } else {
+        key.to_string()
+    }
+}
+
+fn scalar_to_string(v: &serde_json::Value) -> String {
+    match v {
+        serde_json::Value::Null => "null".to_string(),
+        serde_json::Value::Bool(b) => b.to_string(),
+        serde_json::Value::Number(n) => n.to_string(),
+        serde_json::Value::String(s) => string_to_string(s),
+        other => {
+            // Nested JSON inside a Scalar node is a programming error, but
+            // emitting the (quoted) JSON keeps the document parseable.
+            format!("'{}'", other.to_string().replace('\'', "''"))
+        }
+    }
+}
+
+fn string_to_string(s: &str) -> String {
+    if needs_quoting(s) {
+        format!("'{}'", s.replace('\'', "''"))
+    } else {
+        s.to_string()
+    }
+}
+
+fn needs_quoting(s: &str) -> bool {
+    if s.is_empty() {
+        return true;
+    }
+    // Values that would coerce to another type.
+    if matches!(s, "true" | "false" | "null" | "~") {
+        return true;
+    }
+    if s.parse::<i64>().is_ok() || crate::parse::looks_like_float(s) {
+        return true;
+    }
+    let first = s.chars().next().unwrap();
+    if matches!(first, '\'' | '"' | '-' | '[' | '{' | '&' | '*' | '!' | '>' | '|' | '#' | ' ') {
+        return true;
+    }
+    if s.ends_with(' ') {
+        return true;
+    }
+    // ": " or trailing ':' would read as a key separator; " #" starts a comment.
+    if s.contains(": ") || s.ends_with(':') || s.contains(" #") || s.contains('\t') {
+        return true;
+    }
+    // Unbalanced quote characters would derail the quote-aware comment
+    // scanner on lines that also carry a trailing `+kr:` annotation.
+    if s.contains('"') || s.contains('\'') {
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use serde_json::json;
+
+    fn roundtrip(node: &Node) {
+        let text = to_string(node);
+        let parsed = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        assert!(
+            parsed.structurally_eq(node),
+            "round trip mismatch\n--- emitted ---\n{text}\n--- got ---\n{parsed:?}\n--- want ---\n{node:?}"
+        );
+    }
+
+    #[test]
+    fn simple_map_roundtrip() {
+        roundtrip(&Node::map(vec![
+            ("a".into(), Node::scalar(1)),
+            ("b".into(), Node::scalar("hello")),
+            ("c".into(), Node::scalar(true)),
+            ("d".into(), Node::scalar(json!(null))),
+        ]));
+    }
+
+    #[test]
+    fn tricky_strings_are_quoted() {
+        roundtrip(&Node::map(vec![
+            ("a".into(), Node::scalar("42")),
+            ("b".into(), Node::scalar("true")),
+            ("c".into(), Node::scalar("- dash")),
+            ("d".into(), Node::scalar("x: y")),
+            ("e".into(), Node::scalar("it's")),
+            ("f".into(), Node::scalar("")),
+            ("g".into(), Node::scalar("has # hash")),
+            ("h".into(), Node::scalar("redis://h:6379")),
+        ]));
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        roundtrip(&Node::map(vec![
+            (
+                "dxg".into(),
+                Node::map(vec![
+                    ("x".into(), Node::scalar("C.order.totalCost")),
+                    (
+                        "subjects".into(),
+                        Node::seq(vec![
+                            Node::map(vec![("name".into(), Node::scalar("cast"))]),
+                            Node::scalar("plain"),
+                        ]),
+                    ),
+                ]),
+            ),
+        ]));
+    }
+
+    #[test]
+    fn annotations_roundtrip() {
+        roundtrip(&Node::map(vec![(
+            "shippingCost".into(),
+            Node::scalar("number").with_annotation("external"),
+        )]));
+    }
+
+    #[test]
+    fn multiline_string_uses_literal_block() {
+        roundtrip(&Node::map(vec![(
+            "text".into(),
+            Node::scalar("line one\nline two"),
+        )]));
+    }
+
+    #[test]
+    fn quoted_key_roundtrip() {
+        roundtrip(&Node::map(vec![
+            ("C.order".into(), Node::scalar(1)),
+            ("a:b".into(), Node::scalar(2)),
+        ]));
+    }
+
+    #[test]
+    fn empty_containers_become_null() {
+        let n = Node::map(vec![("a".into(), Node::map(vec![]))]);
+        let text = to_string(&n);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.get("a").unwrap().to_json(), json!(null));
+    }
+
+    #[test]
+    fn root_scalar_and_seq() {
+        roundtrip(&Node::scalar("just a string"));
+        roundtrip(&Node::seq(vec![Node::scalar(1), Node::scalar(2)]));
+    }
+}

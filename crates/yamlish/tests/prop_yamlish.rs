@@ -1,0 +1,89 @@
+//! Property tests: serialize ∘ parse is the identity on the supported
+//! subset, and the parser never panics on arbitrary input.
+
+use knactor_yamlish::{parse, to_string, Node};
+use proptest::prelude::*;
+
+/// Strings the serializer supports in scalar position (no control chars
+/// other than newline; newline triggers literal blocks which are only
+/// supported in mapping-value position, so keep leaves single-line here
+/// and test multi-line separately in the unit tests).
+fn leaf_string() -> impl Strategy<Value = String> {
+    "[ -~]{0,20}".prop_filter("no lone quotes handled via quoting anyway", |_| true)
+}
+
+fn scalar_node() -> impl Strategy<Value = Node> {
+    prop_oneof![
+        Just(Node::scalar(serde_json::Value::Null)),
+        any::<bool>().prop_map(Node::scalar),
+        any::<i64>().prop_map(Node::scalar),
+        (-1e9f64..1e9f64).prop_map(|f| {
+            // Round-trip through the printed form so equality is textual.
+            let printed: f64 = format!("{f}").parse().unwrap();
+            Node::scalar(printed)
+        }),
+        leaf_string().prop_map(Node::scalar),
+    ]
+}
+
+fn key() -> impl Strategy<Value = String> {
+    // Includes dotted keys like `C.order` used by DXG specs.
+    "[a-zA-Z][a-zA-Z0-9_.]{0,12}"
+}
+
+fn annotated(node: Node, ann: Option<String>) -> Node {
+    match ann {
+        Some(a) => node.with_annotation(a),
+        None => node,
+    }
+}
+
+fn doc_node() -> impl Strategy<Value = Node> {
+    let leaf = (scalar_node(), proptest::option::of("[a-z]{1,8}"))
+        .prop_map(|(n, a)| annotated(n, a));
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Node::seq),
+            (proptest::collection::vec((key(), inner), 1..4)).prop_map(|entries| {
+                // Deduplicate keys; the parser rejects duplicates.
+                let mut seen = std::collections::HashSet::new();
+                let entries: Vec<_> = entries
+                    .into_iter()
+                    .filter(|(k, _)| seen.insert(k.clone()))
+                    .collect();
+                Node::map(entries)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Documents built from the supported subset round-trip structurally.
+    #[test]
+    fn serialize_parse_roundtrip(doc in doc_node()) {
+        // Root must be a collection or scalar; all are supported.
+        let text = to_string(&doc);
+        let parsed = parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        prop_assert!(
+            parsed.structurally_eq(&doc),
+            "mismatch\n--- text ---\n{}\n--- parsed ---\n{:?}\n--- original ---\n{:?}",
+            text, parsed, doc
+        );
+    }
+
+    /// The parser returns Ok or Err but never panics, whatever the input.
+    #[test]
+    fn parser_total_on_arbitrary_input(input in "[ -~\n\t]{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// to_json is stable under round-trip for annotation-free docs.
+    #[test]
+    fn json_projection_stable(doc in doc_node()) {
+        let text = to_string(&doc);
+        if let Ok(parsed) = parse(&text) {
+            prop_assert_eq!(parsed.to_json(), doc.to_json());
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The smart-home case study (Fig. 4), end to end — including the
+//! sleep-hours access-control policy of §3.3.
+//!
+//! ```text
+//! cargo run --example smart_home
+//! ```
+
+use knactor::apps::smarthome::knactor_app::{self, sleep_hours_policy, STATE_KEY};
+use knactor::prelude::*;
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[tokio::main]
+async fn main() -> Result<()> {
+    let (object, _log, client) =
+        knactor::net::loopback::in_process(Subject::integrator("home"));
+    let api: Arc<dyn ExchangeApi> = Arc::new(client);
+
+    println!("deploying House, Motion, Lamp (each: Object store + Log store)...");
+    let app = knactor_app::deploy(Arc::clone(&api)).await?;
+
+    // Motion fires → the Cast raises the lamp to the house target.
+    println!("\nmotion detected:");
+    app.sense_motion(true).await?;
+    app.wait_for_brightness(8.0, Duration::from_secs(5)).await?;
+    println!("  lamp brightness -> {}", app.lamp_brightness().await?);
+
+    // Motion clears → lamp off.
+    app.sense_motion(false).await?;
+    app.wait_for_brightness(0.0, Duration::from_secs(5)).await?;
+    println!("motion cleared:\n  lamp brightness -> {}", app.lamp_brightness().await?);
+
+    // Telemetry: motion readings arrive in the House log, renamed by the
+    // Sync integrator; energy rolls up into House state.
+    tokio::time::sleep(Duration::from_millis(100)).await;
+    let house_log = api.log_read("house/telemetry".into(), 0).await?;
+    println!("\nhouse telemetry (via Sync, `triggered` renamed to `motion`):");
+    for rec in &house_log {
+        println!("  #{} {}", rec.seq, rec.fields);
+    }
+    if let Some(energy) = app.house_energy().await? {
+        println!("house energy rollup: {energy:.3} kWh");
+    }
+
+    // Sleep hours: the integrator may not touch the lamp 22:00–07:00.
+    println!("\nenabling sleep-hours policy (22:00-07:00)...");
+    object.configure_access(sleep_hours_policy);
+    object.set_access_context(AccessContext::at(23, 30));
+    // The device writes through its own store (it is not the integrator).
+    let motion = object.store(&"motion/config".into())?;
+    motion.patch(&ObjectKey::new(STATE_KEY), &json!({"triggered": true}), false)?;
+    tokio::time::sleep(Duration::from_millis(200)).await;
+    let lamp = object.store(&"lamp/config".into())?;
+    let brightness = lamp.get(&ObjectKey::new(STATE_KEY))?.value["brightness"].clone();
+    println!("  23:30, motion fired -> lamp stays at {brightness} (write denied)");
+    assert_eq!(brightness, json!(0.0));
+
+    object.set_access_context(AccessContext::at(8, 0));
+    motion.patch(&ObjectKey::new(STATE_KEY), &json!({"triggered": false}), false)?;
+    motion.patch(&ObjectKey::new(STATE_KEY), &json!({"triggered": true}), false)?;
+    let deadline = tokio::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let v = lamp.get(&ObjectKey::new(STATE_KEY))?.value["brightness"].clone();
+        if v == json!(8.0) {
+            println!("  08:00, motion fired -> lamp at {v} (policy allows again)");
+            break;
+        }
+        assert!(tokio::time::Instant::now() < deadline, "lamp never lit after wake");
+        tokio::time::sleep(Duration::from_millis(10)).await;
+    }
+
+    app.shutdown().await;
+    println!("done");
+    Ok(())
+}

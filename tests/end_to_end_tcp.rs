@@ -1,0 +1,104 @@
+//! Whole-system integration over real TCP: the retail app deployed
+//! against a remote exchange server, with every component talking
+//! through the wire protocol.
+
+use knactor::apps::retail::knactor_app::{self, RetailOptions};
+use knactor::apps::retail::sample_order;
+use knactor::prelude::*;
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[tokio::test]
+async fn retail_flow_over_tcp_exchange() {
+    let server = ExchangeServer::bind_ephemeral().await.unwrap();
+    let client = TcpClient::connect(server.local_addr(), Subject::integrator("retail"))
+        .await
+        .unwrap();
+    let api: Arc<dyn ExchangeApi> = Arc::new(client);
+
+    let app = knactor_app::deploy(
+        Arc::clone(&api),
+        RetailOptions {
+            shipment_processing: Duration::from_millis(20),
+            ..Default::default()
+        },
+    )
+    .await
+    .unwrap();
+
+    let done = app
+        .place_order("tcp-order", sample_order(1200.0), Duration::from_secs(15))
+        .await
+        .unwrap();
+    assert_eq!(done["order"]["paymentID"], json!("pay-tcp-order"));
+    assert_eq!(done["order"]["trackingID"], json!("track-tcp-order"));
+
+    let shipment = api
+        .get("shipping/state".into(), "tcp-order".into())
+        .await
+        .unwrap();
+    assert_eq!(shipment.value["method"], json!("air"));
+
+    app.shutdown().await;
+    server.shutdown().await;
+}
+
+#[tokio::test]
+async fn smart_home_over_tcp_exchange() {
+    let server = ExchangeServer::bind_ephemeral().await.unwrap();
+    let client = TcpClient::connect(server.local_addr(), Subject::integrator("home"))
+        .await
+        .unwrap();
+    let api: Arc<dyn ExchangeApi> = Arc::new(client);
+
+    let app = knactor::apps::smarthome::knactor_app::deploy(Arc::clone(&api))
+        .await
+        .unwrap();
+    app.sense_motion(true).await.unwrap();
+    app.wait_for_brightness(8.0, Duration::from_secs(10)).await.unwrap();
+    app.sense_motion(false).await.unwrap();
+    app.wait_for_brightness(0.0, Duration::from_secs(10)).await.unwrap();
+
+    // Telemetry crossed the wire too.
+    let deadline = tokio::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let recs = api.log_read("house/telemetry".into(), 0).await.unwrap();
+        if recs.len() >= 2 {
+            assert_eq!(recs[0].fields, json!({"motion": true}));
+            break;
+        }
+        assert!(tokio::time::Instant::now() < deadline);
+        tokio::time::sleep(Duration::from_millis(10)).await;
+    }
+
+    app.shutdown().await;
+    server.shutdown().await;
+}
+
+#[tokio::test]
+async fn mixed_transports_one_exchange() {
+    // One client over TCP, one in-process loopback handle — both must
+    // observe the same exchange state.
+    let server = ExchangeServer::bind_ephemeral().await.unwrap();
+    server
+        .object
+        .create_store(StoreId::new("shared/state"), EngineProfile::instant())
+        .unwrap();
+
+    let tcp = TcpClient::connect(server.local_addr(), Subject::operator("remote"))
+        .await
+        .unwrap();
+    tcp.create("shared/state".into(), "k".into(), json!({"from": "tcp"}))
+        .await
+        .unwrap();
+
+    let raw = server.object.store(&StoreId::new("shared/state")).unwrap();
+    assert_eq!(raw.get(&ObjectKey::new("k")).unwrap().value, json!({"from": "tcp"}));
+
+    raw.patch(&ObjectKey::new("k"), &json!({"seen": true}), false).unwrap();
+    let got = tcp.get("shared/state".into(), "k".into()).await.unwrap();
+    assert_eq!(got.value, json!({"from": "tcp", "seen": true}));
+
+    server.shutdown().await;
+}
