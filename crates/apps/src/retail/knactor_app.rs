@@ -16,8 +16,8 @@
 
 use crate::retail::carrier_quote;
 use knactor_core::{
-    Cast, CastBinding, CastConfig, CastController, CastMode, FnReconciler, Knactor,
-    ReconcilerCtx, Runtime, TraceCollector,
+    Cast, CastBinding, CastConfig, CastController, CastMode, FnReconciler, Knactor, ReconcilerCtx,
+    Runtime, TraceCollector,
 };
 use knactor_dxg::Dxg;
 use knactor_net::proto::ProfileSpec;
@@ -85,18 +85,25 @@ fn build_knactors(opts: &RetailOptions) -> Vec<Knactor> {
     knactors.push(
         Knactor::builder("checkout")
             .object_store("state")
-            .reconciler(FnReconciler::new(|ctx: ReconcilerCtx, event: WatchEvent| async move {
-                let has_order = event.value.get("order").map(|o| !o.is_null()).unwrap_or(false);
-                let not_marked = event
-                    .value
-                    .get("status")
-                    .map(|s| s.is_null())
-                    .unwrap_or(true);
-                if has_order && not_marked {
-                    ctx.patch(&event.key, json!({"status": "checked-out"})).await?;
-                }
-                Ok(())
-            }))
+            .reconciler(FnReconciler::new(
+                |ctx: ReconcilerCtx, event: WatchEvent| async move {
+                    let has_order = event
+                        .value
+                        .get("order")
+                        .map(|o| !o.is_null())
+                        .unwrap_or(false);
+                    let not_marked = event
+                        .value
+                        .get("status")
+                        .map(|s| s.is_null())
+                        .unwrap_or(true);
+                    if has_order && not_marked {
+                        ctx.patch(&event.key, json!({"status": "checked-out"}))
+                            .await?;
+                    }
+                    Ok(())
+                },
+            ))
             .build(),
     );
 
@@ -105,30 +112,43 @@ fn build_knactors(opts: &RetailOptions) -> Vec<Knactor> {
     knactors.push(
         Knactor::builder("shipping")
             .object_store("state")
-            .reconciler(FnReconciler::new(move |ctx: ReconcilerCtx, event: WatchEvent| {
-                let processing = shipment_processing;
-                async move {
-                    let ready = event.value.get("addr").map(|a| !a.is_null()).unwrap_or(false)
-                        && event.value.get("items").map(|i| !i.is_null()).unwrap_or(false);
-                    let done = event.value.get("id").map(|v| !v.is_null()).unwrap_or(false);
-                    if ready && !done {
-                        // The carrier call (FedEx in the paper's setup).
-                        if processing > Duration::ZERO {
-                            tokio::time::sleep(processing).await;
+            .reconciler(FnReconciler::new(
+                move |ctx: ReconcilerCtx, event: WatchEvent| {
+                    let processing = shipment_processing;
+                    async move {
+                        let ready = event
+                            .value
+                            .get("addr")
+                            .map(|a| !a.is_null())
+                            .unwrap_or(false)
+                            && event
+                                .value
+                                .get("items")
+                                .map(|i| !i.is_null())
+                                .unwrap_or(false);
+                        let done = event.value.get("id").map(|v| !v.is_null()).unwrap_or(false);
+                        if ready && !done {
+                            // The carrier call (FedEx in the paper's setup).
+                            if processing > Duration::ZERO {
+                                tokio::time::sleep(processing).await;
+                            }
+                            let items = event.value["items"]
+                                .as_array()
+                                .map(|a| a.len())
+                                .unwrap_or(0);
+                            ctx.patch(
+                                &event.key,
+                                json!({
+                                    "quote": carrier_quote(items),
+                                    "id": format!("track-{}", event.key),
+                                }),
+                            )
+                            .await?;
                         }
-                        let items = event.value["items"].as_array().map(|a| a.len()).unwrap_or(0);
-                        ctx.patch(
-                            &event.key,
-                            json!({
-                                "quote": carrier_quote(items),
-                                "id": format!("track-{}", event.key),
-                            }),
-                        )
-                        .await?;
+                        Ok(())
                     }
-                    Ok(())
-                }
-            }))
+                },
+            ))
             .build(),
     );
 
@@ -137,15 +157,21 @@ fn build_knactors(opts: &RetailOptions) -> Vec<Knactor> {
     knactors.push(
         Knactor::builder("payment")
             .object_store("state")
-            .reconciler(FnReconciler::new(|ctx: ReconcilerCtx, event: WatchEvent| async move {
-                let ready = event.value.get("amount").map(|a| !a.is_null()).unwrap_or(false);
-                let done = event.value.get("id").map(|v| !v.is_null()).unwrap_or(false);
-                if ready && !done {
-                    ctx.patch(&event.key, json!({"id": format!("pay-{}", event.key)}))
-                        .await?;
-                }
-                Ok(())
-            }))
+            .reconciler(FnReconciler::new(
+                |ctx: ReconcilerCtx, event: WatchEvent| async move {
+                    let ready = event
+                        .value
+                        .get("amount")
+                        .map(|a| !a.is_null())
+                        .unwrap_or(false);
+                    let done = event.value.get("id").map(|v| !v.is_null()).unwrap_or(false);
+                    if ready && !done {
+                        ctx.patch(&event.key, json!({"id": format!("pay-{}", event.key)}))
+                            .await?;
+                    }
+                    Ok(())
+                },
+            ))
             .build(),
     );
 
@@ -157,19 +183,33 @@ fn build_knactors(opts: &RetailOptions) -> Vec<Knactor> {
         Knactor::builder("email")
             .object_store("state")
             .log_store("sent")
-            .reconciler(FnReconciler::new(|ctx: ReconcilerCtx, event: WatchEvent| async move {
-                let pending = event.value.get("notify").map(|n| !n.is_null()).unwrap_or(false);
-                let sent = event.value.get("sentAt").map(|v| !v.is_null()).unwrap_or(false);
-                if pending && !sent {
-                    let log = ctx.log_stores.first().cloned();
-                    if let Some(log) = log {
-                        ctx.emit(&log, json!({"to": event.value["notify"], "order": event.key.as_str()}))
+            .reconciler(FnReconciler::new(
+                |ctx: ReconcilerCtx, event: WatchEvent| async move {
+                    let pending = event
+                        .value
+                        .get("notify")
+                        .map(|n| !n.is_null())
+                        .unwrap_or(false);
+                    let sent = event
+                        .value
+                        .get("sentAt")
+                        .map(|v| !v.is_null())
+                        .unwrap_or(false);
+                    if pending && !sent {
+                        let log = ctx.log_stores.first().cloned();
+                        if let Some(log) = log {
+                            ctx.emit(
+                                &log,
+                                json!({"to": event.value["notify"], "order": event.key.as_str()}),
+                            )
+                            .await?;
+                        }
+                        ctx.patch(&event.key, json!({"sentAt": "logical-now"}))
                             .await?;
                     }
-                    ctx.patch(&event.key, json!({"sentAt": "logical-now"})).await?;
-                }
-                Ok(())
-            }))
+                    Ok(())
+                },
+            ))
             .build(),
     );
 
@@ -183,7 +223,14 @@ fn build_knactors(opts: &RetailOptions) -> Vec<Knactor> {
 
     // The remaining services externalize state without bespoke
     // reconcile behaviour in the shipment flow.
-    for name in ["frontend", "productcatalog", "cart", "currency", "recommendation", "ad"] {
+    for name in [
+        "frontend",
+        "productcatalog",
+        "cart",
+        "currency",
+        "recommendation",
+        "ad",
+    ] {
         knactors.push(Knactor::builder(name).object_store("state").build());
     }
     knactors
@@ -196,12 +243,15 @@ pub async fn deploy(api: Arc<dyn ExchangeApi>, opts: RetailOptions) -> Result<Re
         // Create the stores here so they honor the requested engine
         // profile (externalize() would use the default).
         for store in &knactor.object_stores {
-            api.create_store(store.clone(), opts.profile.clone()).await?;
+            api.create_store(store.clone(), opts.profile.clone())
+                .await?;
         }
         for store in &knactor.log_stores {
             api.log_create_store(store.clone()).await?;
         }
-        runtime.deploy_pre_externalized(knactor, Arc::clone(&api)).await?;
+        runtime
+            .deploy_pre_externalized(knactor, Arc::clone(&api))
+            .await?;
     }
 
     let traces = TraceCollector::new();
@@ -215,7 +265,12 @@ pub async fn deploy(api: Arc<dyn ExchangeApi>, opts: RetailOptions) -> Result<Re
         })
         .await?;
 
-    Ok(RetailApp { runtime, cast, traces, api })
+    Ok(RetailApp {
+        runtime,
+        cast,
+        traces,
+        api,
+    })
 }
 
 impl RetailApp {
@@ -238,7 +293,7 @@ impl RetailApp {
                 && !order["trackingID"].is_null()
                 && !order["shippingCost"].is_null();
             if complete {
-                return Ok(obj.value);
+                return Ok(std::sync::Arc::unwrap_or_clone(obj.value));
             }
             if tokio::time::Instant::now() >= deadline {
                 return Err(knactor_types::Error::Timeout(format!(
@@ -272,7 +327,9 @@ mod tests {
     async fn shipment_flow_end_to_end() {
         let (_, _, client) = in_process(Subject::integrator("retail"));
         let api: Arc<dyn ExchangeApi> = Arc::new(client);
-        let app = deploy(Arc::clone(&api), RetailOptions::default()).await.unwrap();
+        let app = deploy(Arc::clone(&api), RetailOptions::default())
+            .await
+            .unwrap();
 
         let value = app
             .place_order("order-1001", sample_order(1200.0), Duration::from_secs(10))
@@ -298,7 +355,9 @@ mod tests {
     async fn cheap_order_ships_ground() {
         let (_, _, client) = in_process(Subject::integrator("retail"));
         let api: Arc<dyn ExchangeApi> = Arc::new(client);
-        let app = deploy(Arc::clone(&api), RetailOptions::default()).await.unwrap();
+        let app = deploy(Arc::clone(&api), RetailOptions::default())
+            .await
+            .unwrap();
         app.place_order("order-7", sample_order(40.0), Duration::from_secs(10))
             .await
             .unwrap();
@@ -317,7 +376,9 @@ mod tests {
         let app = deploy(
             Arc::clone(&api),
             RetailOptions {
-                mode: CastMode::Pushdown { udf_name: "retail-dxg".to_string() },
+                mode: CastMode::Pushdown {
+                    udf_name: "retail-dxg".to_string(),
+                },
                 ..Default::default()
             },
         )

@@ -20,54 +20,70 @@ pub async fn serve_providers(processing: Duration) -> Result<RpcServer> {
     let mut server = RpcServer::new();
 
     // Shipping v1.
-    server.register(super::stubs::shipping_v1::METHOD_GET_QUOTE, move |p: Value| async move {
-        let items = p["items"].as_array().map(|a| a.len()).unwrap_or(0);
-        Ok(carrier_quote(items))
-    });
-    server.register(super::stubs::shipping_v1::METHOD_SHIP_ORDER, move |p: Value| async move {
-        if processing > Duration::ZERO {
-            tokio::time::sleep(processing).await;
-        }
-        let addr = p["addr"].as_str().unwrap_or_default();
-        Ok(json!({"tracking_id": format!("track-{}", short_hash(addr))}))
-    });
+    server.register(
+        super::stubs::shipping_v1::METHOD_GET_QUOTE,
+        move |p: Value| async move {
+            let items = p["items"].as_array().map(|a| a.len()).unwrap_or(0);
+            Ok(carrier_quote(items))
+        },
+    );
+    server.register(
+        super::stubs::shipping_v1::METHOD_SHIP_ORDER,
+        move |p: Value| async move {
+            if processing > Duration::ZERO {
+                tokio::time::sleep(processing).await;
+            }
+            let addr = p["addr"].as_str().unwrap_or_default();
+            Ok(json!({"tracking_id": format!("track-{}", short_hash(addr))}))
+        },
+    );
 
     // Shipping v2 (the evolved API of task T3).
-    server.register(super::stubs::shipping_v2::METHOD_GET_QUOTE, move |p: Value| async move {
-        let items = p["items"].as_array().map(|a| a.len()).unwrap_or(0);
-        Ok(json!({ "quote": carrier_quote(items) }))
-    });
-    server.register(super::stubs::shipping_v2::METHOD_SHIP_ORDER, move |p: Value| async move {
-        if processing > Duration::ZERO {
-            tokio::time::sleep(processing).await;
-        }
-        let dest = p["destination"].as_str().unwrap_or_default();
-        let items = p["items"].as_array().map(|a| a.len()).unwrap_or(0);
-        Ok(json!({
-            "tracking_id": format!("track-{}", short_hash(dest)),
-            "quote": carrier_quote(items),
-        }))
-    });
+    server.register(
+        super::stubs::shipping_v2::METHOD_GET_QUOTE,
+        move |p: Value| async move {
+            let items = p["items"].as_array().map(|a| a.len()).unwrap_or(0);
+            Ok(json!({ "quote": carrier_quote(items) }))
+        },
+    );
+    server.register(
+        super::stubs::shipping_v2::METHOD_SHIP_ORDER,
+        move |p: Value| async move {
+            if processing > Duration::ZERO {
+                tokio::time::sleep(processing).await;
+            }
+            let dest = p["destination"].as_str().unwrap_or_default();
+            let items = p["items"].as_array().map(|a| a.len()).unwrap_or(0);
+            Ok(json!({
+                "tracking_id": format!("track-{}", short_hash(dest)),
+                "quote": carrier_quote(items),
+            }))
+        },
+    );
 
     // Payment.
-    server.register(super::stubs::payment_v1::METHOD_CHARGE, |p: Value| async move {
-        let amount = p["amount"].as_f64().unwrap_or(0.0);
-        Ok(json!({"payment_id": format!("pay-{}", (amount * 100.0) as u64)}))
-    });
+    server.register(
+        super::stubs::payment_v1::METHOD_CHARGE,
+        |p: Value| async move {
+            let amount = p["amount"].as_f64().unwrap_or(0.0);
+            Ok(json!({"payment_id": format!("pay-{}", (amount * 100.0) as u64)}))
+        },
+    );
 
     // Currency (same fixed table as the expression builtin, so both
     // composition styles compute identical numbers).
-    server.register(super::stubs::currency_v1::METHOD_CONVERT, |p: Value| async move {
-        let amount = p["amount"].as_f64().unwrap_or(0.0);
-        let from = p["from"].as_str().unwrap_or("USD").to_string();
-        let to = p["to"].as_str().unwrap_or("USD").to_string();
-        let reg = knactor_expr::FnRegistry::standard();
-        let converted = reg.call(
-            "currency_convert",
-            &[json!(amount), json!(from), json!(to)],
-        )?;
-        Ok(json!({"amount": converted, "currency": p["to"]}))
-    });
+    server.register(
+        super::stubs::currency_v1::METHOD_CONVERT,
+        |p: Value| async move {
+            let amount = p["amount"].as_f64().unwrap_or(0.0);
+            let from = p["from"].as_str().unwrap_or("USD").to_string();
+            let to = p["to"].as_str().unwrap_or("USD").to_string();
+            let reg = knactor_expr::FnRegistry::standard();
+            let converted =
+                reg.call("currency_convert", &[json!(amount), json!(from), json!(to)])?;
+            Ok(json!({"amount": converted, "currency": p["to"]}))
+        },
+    );
 
     server.bind("127.0.0.1:0").await?;
     Ok(server)
@@ -75,7 +91,9 @@ pub async fn serve_providers(processing: Duration) -> Result<RpcServer> {
 
 fn short_hash(s: &str) -> u64 {
     // Stable tiny hash so tracking ids are deterministic for tests.
-    s.bytes().fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64)) % 100_000
+    s.bytes()
+        .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64))
+        % 100_000
 }
 
 /// The Checkout service's composition logic, API-centric. Everything in
@@ -96,14 +114,18 @@ pub struct PlacedOrder {
 
 impl CheckoutRpc {
     pub async fn connect(addr: std::net::SocketAddr) -> Result<CheckoutRpc> {
-        Ok(CheckoutRpc { client: RpcClient::connect(addr).await? })
+        Ok(CheckoutRpc {
+            client: RpcClient::connect(addr).await?,
+        })
     }
 
     pub async fn connect_with_latency(
         addr: std::net::SocketAddr,
         rtt: Duration,
     ) -> Result<CheckoutRpc> {
-        Ok(CheckoutRpc { client: RpcClient::connect(addr).await?.with_latency(rtt) })
+        Ok(CheckoutRpc {
+            client: RpcClient::connect(addr).await?.with_latency(rtt),
+        })
     }
 
     /// The shipment request against Shipping **v1** (tasks T1 + T2).
@@ -249,7 +271,9 @@ mod tests {
     #[tokio::test]
     async fn rpc_flow_places_order() {
         let server = serve_providers(Duration::ZERO).await.unwrap();
-        let checkout = CheckoutRpc::connect(server.local_addr().unwrap()).await.unwrap();
+        let checkout = CheckoutRpc::connect(server.local_addr().unwrap())
+            .await
+            .unwrap();
         let placed = checkout.place_order(&sample_order(1200.0)).await.unwrap();
         assert_eq!(placed.method, "air");
         assert!(placed.payment_id.starts_with("pay-"));
@@ -261,7 +285,9 @@ mod tests {
     #[tokio::test]
     async fn rpc_flow_cheap_order_ground() {
         let server = serve_providers(Duration::ZERO).await.unwrap();
-        let checkout = CheckoutRpc::connect(server.local_addr().unwrap()).await.unwrap();
+        let checkout = CheckoutRpc::connect(server.local_addr().unwrap())
+            .await
+            .unwrap();
         let placed = checkout.place_order(&sample_order(50.0)).await.unwrap();
         assert_eq!(placed.method, "ground");
         server.shutdown().await;
@@ -270,9 +296,14 @@ mod tests {
     #[tokio::test]
     async fn v2_flow_matches_v1_results() {
         let server = serve_providers(Duration::ZERO).await.unwrap();
-        let checkout = CheckoutRpc::connect(server.local_addr().unwrap()).await.unwrap();
+        let checkout = CheckoutRpc::connect(server.local_addr().unwrap())
+            .await
+            .unwrap();
         let v1 = checkout.place_order(&sample_order(1200.0)).await.unwrap();
-        let v2 = checkout.place_order_v2(&sample_order(1200.0)).await.unwrap();
+        let v2 = checkout
+            .place_order_v2(&sample_order(1200.0))
+            .await
+            .unwrap();
         assert_eq!(v1.method, v2.method);
         assert_eq!(v1.shipping_cost, v2.shipping_cost);
         server.shutdown().await;
@@ -281,7 +312,9 @@ mod tests {
     #[tokio::test]
     async fn processing_delay_dominates_latency() {
         let server = serve_providers(Duration::from_millis(50)).await.unwrap();
-        let checkout = CheckoutRpc::connect(server.local_addr().unwrap()).await.unwrap();
+        let checkout = CheckoutRpc::connect(server.local_addr().unwrap())
+            .await
+            .unwrap();
         let t0 = std::time::Instant::now();
         checkout.place_order(&sample_order(100.0)).await.unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(50));

@@ -89,14 +89,17 @@ pub fn deploy(target_brightness: f64) -> PubSubHome {
         }));
     }
 
-    PubSubHome { broker, state, tasks }
+    PubSubHome {
+        broker,
+        state,
+        tasks,
+    }
 }
 
 impl PubSubHome {
     /// The motion device fires.
     pub fn sense_motion(&self, triggered: bool) {
-        self.broker
-            .publish(TOPIC_MOTION, motion_message(triggered));
+        self.broker.publish(TOPIC_MOTION, motion_message(triggered));
     }
 
     pub async fn shutdown(self) {

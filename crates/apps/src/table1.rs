@@ -236,7 +236,11 @@ pub fn measure(artifacts: &[Artifact]) -> std::io::Result<TaskCost> {
         files.insert(a.path);
         ops.extend(a.ops.iter().copied());
     }
-    Ok(TaskCost { ops, files: files.len(), sloc })
+    Ok(TaskCost {
+        ops,
+        files: files.len(),
+        sloc,
+    })
 }
 
 /// Workspace path of an artifact, for reporting.
@@ -311,7 +315,9 @@ mod tests {
     #[test]
     fn ops_string_formats_like_the_paper() {
         let cost = TaskCost {
-            ops: [Op::Code, Op::Config, Op::Build, Op::Deploy].into_iter().collect(),
+            ops: [Op::Code, Op::Config, Op::Build, Op::Deploy]
+                .into_iter()
+                .collect(),
             files: 8,
             sloc: 109,
         };

@@ -48,12 +48,18 @@ fn bench_expr_eval(c: &mut Criterion) {
     let fns = FnRegistry::standard();
     let mut env = Env::new();
     env.bind("C", sample_order(1200.0));
-    env.bind("S", json!({"quote": {"price": 9.0, "currency": "USD"}, "id": "t"}));
+    env.bind(
+        "S",
+        json!({"quote": {"price": 9.0, "currency": "USD"}, "id": "t"}),
+    );
     env.bind("this", json!({"currency": "USD"}));
 
     for (name, src) in [
         ("member_chain", "C.order.totalCost"),
-        ("conditional", r#""air" if C.order.cost > 1000 else "ground""#),
+        (
+            "conditional",
+            r#""air" if C.order.cost > 1000 else "ground""#,
+        ),
         ("comprehension", "[item.name for item in C.order.items]"),
         (
             "currency_convert",
@@ -84,11 +90,17 @@ async fn activation_setup(mode: CastMode) -> (Arc<dyn ExchangeApi>, Cast, CastCo
     let (_, _, client) = in_process(Subject::integrator("bench"));
     let api: Arc<dyn ExchangeApi> = Arc::new(client);
     for s in ["checkout/state", "shipping/state", "payment/state"] {
-        api.create_store(StoreId::new(s), ProfileSpec::Instant).await.unwrap();
+        api.create_store(StoreId::new(s), ProfileSpec::Instant)
+            .await
+            .unwrap();
     }
-    api.create(StoreId::new("checkout/state"), ObjectKey::new("o"), sample_order(1200.0))
-        .await
-        .unwrap();
+    api.create(
+        StoreId::new("checkout/state"),
+        ObjectKey::new("o"),
+        sample_order(1200.0),
+    )
+    .await
+    .unwrap();
     // Pre-fill the upstream results so every assignment is ready and an
     // activation exercises the full DXG.
     api.patch(
@@ -99,9 +111,14 @@ async fn activation_setup(mode: CastMode) -> (Arc<dyn ExchangeApi>, Cast, CastCo
     )
     .await
     .unwrap();
-    api.patch(StoreId::new("payment/state"), ObjectKey::new("o"), json!({"id": "p"}), true)
-        .await
-        .unwrap();
+    api.patch(
+        StoreId::new("payment/state"),
+        ObjectKey::new("o"),
+        json!({"id": "p"}),
+        true,
+    )
+    .await
+    .unwrap();
     let mut bindings = BTreeMap::new();
     bindings.insert("C".to_string(), CastBinding::correlated("checkout/state"));
     bindings.insert("S".to_string(), CastBinding::correlated("shipping/state"));
@@ -169,7 +186,7 @@ fn bench_consolidation(c: &mut Criterion) {
                         .get(binding.store.clone(), ObjectKey::new("o"))
                         .await
                         .map(|o| o.value)
-                        .unwrap_or(serde_json::Value::Null);
+                        .unwrap_or_else(|_| Arc::new(serde_json::Value::Null));
                     env.bind(alias.clone(), v);
                 }
                 for a in &dxg.assignments {

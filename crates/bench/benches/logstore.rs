@@ -13,7 +13,7 @@ fn bench_ingest(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            log.append(json!({"triggered": i % 2 == 0, "sensitivity": i % 10}))
+            log.append(json!({"triggered": i.is_multiple_of(2), "sensitivity": i % 10}))
         });
     });
 
@@ -53,24 +53,38 @@ fn bench_query_ops(c: &mut Criterion) {
 
     let filter = Query::new().filter("this.triggered == true").unwrap();
     group.bench_function("filter", |b| {
-        b.iter(|| filter.run(log.read_all().into_iter().map(|r| r.fields)).unwrap());
+        b.iter(|| {
+            filter
+                .run(log.read_all().into_iter().map(|r| r.fields))
+                .unwrap()
+        });
     });
 
     let rename = Query::new().rename("triggered", "motion");
     group.bench_function("rename", |b| {
-        b.iter(|| rename.run(log.read_all().into_iter().map(|r| r.fields)).unwrap());
+        b.iter(|| {
+            rename
+                .run(log.read_all().into_iter().map(|r| r.fields))
+                .unwrap()
+        });
     });
 
     let sort = Query::new().sort("sensitivity", true).unwrap();
     group.bench_function("sort", |b| {
-        b.iter(|| sort.run(log.read_all().into_iter().map(|r| r.fields)).unwrap());
+        b.iter(|| {
+            sort.run(log.read_all().into_iter().map(|r| r.fields))
+                .unwrap()
+        });
     });
 
     let agg = Query::new()
         .aggregate(Some("room"), AggFn::Sum, Some("sensitivity"), "total")
         .unwrap();
     group.bench_function("aggregate_grouped", |b| {
-        b.iter(|| agg.run(log.read_all().into_iter().map(|r| r.fields)).unwrap());
+        b.iter(|| {
+            agg.run(log.read_all().into_iter().map(|r| r.fields))
+                .unwrap()
+        });
     });
 
     let pipeline = Query::new()
@@ -80,7 +94,11 @@ fn bench_query_ops(c: &mut Criterion) {
         .project(["motion", "room"])
         .limit(100);
     group.bench_function("full_pipeline", |b| {
-        b.iter(|| pipeline.run(log.read_all().into_iter().map(|r| r.fields)).unwrap());
+        b.iter(|| {
+            pipeline
+                .run(log.read_all().into_iter().map(|r| r.fields))
+                .unwrap()
+        });
     });
 
     group.finish();

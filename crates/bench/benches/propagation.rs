@@ -37,7 +37,9 @@ fn bench_watch_delivery(c: &mut Criterion) {
         (
             "poll_apiserver_style",
             EngineProfile {
-                watch: WatchDelivery::Poll { interval: Duration::from_millis(5) },
+                watch: WatchDelivery::Poll {
+                    interval: Duration::from_millis(5),
+                },
                 ..EngineProfile::instant()
             },
         ),
@@ -46,9 +48,8 @@ fn bench_watch_delivery(c: &mut Criterion) {
             b.to_async(&runtime).iter_custom(|iters| {
                 let profile = profile.clone();
                 async move {
-                    let store = Arc::new(
-                        ObjectStore::open(StoreId::new("bench/w"), profile).unwrap(),
-                    );
+                    let store =
+                        Arc::new(ObjectStore::open(StoreId::new("bench/w"), profile).unwrap());
                     let handle = knactor_store::StoreHandle::open_access(
                         Arc::clone(&store),
                         Subject::operator("bench"),
@@ -80,14 +81,20 @@ fn bench_transport(c: &mut Criterion) {
         let (_, _, client) = in_process(Subject::operator("bench"));
         let api: Arc<dyn ExchangeApi> = Arc::new(client);
         runtime.block_on(async {
-            api.create_store(StoreId::new("b/s"), ProfileSpec::Instant).await.unwrap();
+            api.create_store(StoreId::new("b/s"), ProfileSpec::Instant)
+                .await
+                .unwrap();
             api.create(StoreId::new("b/s"), ObjectKey::new("k"), json!({"v": 1}))
                 .await
                 .unwrap();
         });
         b.to_async(&runtime).iter(|| {
             let api = Arc::clone(&api);
-            async move { api.get(StoreId::new("b/s"), ObjectKey::new("k")).await.unwrap() }
+            async move {
+                api.get(StoreId::new("b/s"), ObjectKey::new("k"))
+                    .await
+                    .unwrap()
+            }
         });
     });
 
@@ -107,7 +114,10 @@ fn bench_transport(c: &mut Criterion) {
         b.to_async(&runtime).iter(|| {
             let client = Arc::clone(&client);
             async move {
-                client.get(StoreId::new("b/s"), ObjectKey::new("k")).await.unwrap()
+                client
+                    .get(StoreId::new("b/s"), ObjectKey::new("k"))
+                    .await
+                    .unwrap()
             }
         });
         runtime.block_on(server.shutdown());

@@ -18,7 +18,9 @@ fn bench_core_ops(c: &mut Criterion) {
             || (ObjectStore::in_memory("b/s"), 0u64),
             |(store, mut n)| {
                 n += 1;
-                store.create(ObjectKey::new(format!("k{n}")), json!({"v": n})).unwrap();
+                store
+                    .create(ObjectKey::new(format!("k{n}")), json!({"v": n}))
+                    .unwrap();
                 (store, n)
             },
             BatchSize::SmallInput,
@@ -26,7 +28,12 @@ fn bench_core_ops(c: &mut Criterion) {
     });
 
     let store = ObjectStore::in_memory("b/get");
-    store.create(ObjectKey::new("k"), json!({"v": 1, "nested": {"a": [1, 2, 3]}})).unwrap();
+    store
+        .create(
+            ObjectKey::new("k"),
+            json!({"v": 1, "nested": {"a": [1, 2, 3]}}),
+        )
+        .unwrap();
     group.bench_function("get", |b| {
         b.iter(|| store.get(&ObjectKey::new("k")).unwrap());
     });
@@ -37,17 +44,23 @@ fn bench_core_ops(c: &mut Criterion) {
     group.bench_function("update", |b| {
         b.iter(|| {
             n += 1;
-            store.update(&ObjectKey::new("k"), json!({"v": n}), None).unwrap()
+            store
+                .update(&ObjectKey::new("k"), json!({"v": n}), None)
+                .unwrap()
         });
     });
 
     let store = ObjectStore::in_memory("b/patch");
-    store.create(ObjectKey::new("k"), json!({"v": 0, "stable": true})).unwrap();
+    store
+        .create(ObjectKey::new("k"), json!({"v": 0, "stable": true}))
+        .unwrap();
     let mut n = 0u64;
     group.bench_function("patch_changing", |b| {
         b.iter(|| {
             n += 1;
-            store.patch(&ObjectKey::new("k"), &json!({"v": n}), false).unwrap()
+            store
+                .patch(&ObjectKey::new("k"), &json!({"v": n}), false)
+                .unwrap()
         });
     });
 
@@ -55,7 +68,11 @@ fn bench_core_ops(c: &mut Criterion) {
     let store = ObjectStore::in_memory("b/noop");
     store.create(ObjectKey::new("k"), json!({"v": 1})).unwrap();
     group.bench_function("patch_noop_suppressed", |b| {
-        b.iter(|| store.patch(&ObjectKey::new("k"), &json!({"v": 1}), false).unwrap());
+        b.iter(|| {
+            store
+                .patch(&ObjectKey::new("k"), &json!({"v": 1}), false)
+                .unwrap()
+        });
     });
 
     group.finish();
@@ -76,7 +93,9 @@ fn bench_durable_ops(c: &mut Criterion) {
     group.bench_function("update_wal_no_fsync", |b| {
         b.iter(|| {
             n += 1;
-            store.update(&ObjectKey::new("k"), json!({"v": n}), None).unwrap()
+            store
+                .update(&ObjectKey::new("k"), json!({"v": n}), None)
+                .unwrap()
         });
     });
 
@@ -89,7 +108,9 @@ fn bench_durable_ops(c: &mut Criterion) {
     group.bench_function("update_wal_fsync", |b| {
         b.iter(|| {
             n += 1;
-            store.update(&ObjectKey::new("k"), json!({"v": n}), None).unwrap()
+            store
+                .update(&ObjectKey::new("k"), json!({"v": n}), None)
+                .unwrap()
         });
     });
 
@@ -97,5 +118,118 @@ fn bench_durable_ops(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, bench_core_ops, bench_durable_ops);
+/// Aggregate read throughput under concurrent readers with one writer
+/// churning a disjoint key — the contention profile of many integrators
+/// watching/reading one exchange while a reconciler posts state.
+///
+/// Reported time is *per read* across all readers (wall-clock of the
+/// parallel section divided by total reads), so lower is better and a
+/// contention-free engine scales it down as readers are added.
+fn bench_concurrent_readers(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let mut group = c.benchmark_group("store_concurrent_read");
+    for readers in [1usize, 4, 16] {
+        let store = Arc::new(ObjectStore::in_memory("b/conc"));
+        for i in 0..64 {
+            store
+                .create(
+                    ObjectKey::new(format!("k{i}")),
+                    json!({"v": i, "nested": {"a": [1, 2, 3]}}),
+                )
+                .unwrap();
+        }
+        group.bench_function(&format!("get_x{readers}_vs_1_writer"), |b| {
+            b.iter_custom(|iters| {
+                // A fixed, large batch per sample amortizes thread spawn;
+                // the result is scaled back to `iters` per-pool reads.
+                const READS_PER_THREAD: u64 = 100_000;
+                let stop = Arc::new(AtomicBool::new(false));
+                let writer = {
+                    let store = Arc::clone(&store);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut n = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            n += 1;
+                            let _ = store.update(&ObjectKey::new("k0"), json!({"v": n}), None);
+                        }
+                    })
+                };
+                let start = Instant::now();
+                let handles: Vec<_> = (0..readers)
+                    .map(|r| {
+                        let store = Arc::clone(&store);
+                        std::thread::spawn(move || {
+                            // Readers hit disjoint keys (not the written one):
+                            // the single-mutex engine still serializes them.
+                            let key = ObjectKey::new(format!("k{}", 1 + (r % 63)));
+                            for _ in 0..READS_PER_THREAD {
+                                criterion::black_box(store.get(&key).unwrap());
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                let elapsed = start.elapsed();
+                stop.store(true, Ordering::Relaxed);
+                writer.join().unwrap();
+                // Per-read cost across the whole reader pool (aggregate
+                // throughput view), scaled to the requested iters.
+                let per_read = elapsed.as_nanos() / (READS_PER_THREAD as u128 * readers as u128);
+                Duration::from_nanos((per_read.max(1) as u64).saturating_mul(iters))
+            });
+        });
+        drop(store);
+    }
+    group.finish();
+}
+
+/// Commit cost as watch subscribers are added: each committed event is
+/// fanned out to every subscriber.
+fn bench_watch_fanout(c: &mut Criterion) {
+    use std::time::{Duration, Instant};
+
+    let mut group = c.benchmark_group("store_watch_fanout");
+    for subs in [1usize, 8, 64] {
+        group.bench_function(&format!("update_x{subs}_subscribers"), |b| {
+            b.iter_custom(|iters| {
+                let store = ObjectStore::in_memory("b/fan");
+                store.create(ObjectKey::new("k"), json!({"v": 0})).unwrap();
+                let receivers: Vec<_> = (0..subs)
+                    .map(|_| store.watch_from(store.revision()).unwrap())
+                    .collect();
+                let start = Instant::now();
+                for n in 0..iters {
+                    store
+                        .update(&ObjectKey::new("k"), json!({"v": n}), None)
+                        .unwrap();
+                }
+                let elapsed = start.elapsed();
+                // Drain outside the timed section; receivers alive the
+                // whole time so every commit paid the full fan-out.
+                drop(receivers);
+                let _ = elapsed;
+                if elapsed.is_zero() {
+                    Duration::from_nanos(1)
+                } else {
+                    elapsed
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_core_ops,
+    bench_durable_ops,
+    bench_concurrent_readers,
+    bench_watch_fanout
+);
 criterion_main!(benches);

@@ -31,7 +31,15 @@ fn main() {
     println!(
         "{}",
         knactor_bench::render_table(
-            &["Task", "API ops", "KN ops", "API files", "KN files", "API SLOC", "KN SLOC"],
+            &[
+                "Task",
+                "API ops",
+                "KN ops",
+                "API files",
+                "KN files",
+                "API SLOC",
+                "KN SLOC"
+            ],
             &rows,
         )
     );
@@ -47,13 +55,19 @@ fn main() {
         println!("  API-centric artifacts:");
         for a in &task.api {
             let sloc = knactor_apps::table1::count_sloc(a).unwrap_or(0);
-            let scope = a.marker.map(|m| format!(" [region {m}]")).unwrap_or_default();
+            let scope = a
+                .marker
+                .map(|m| format!(" [region {m}]"))
+                .unwrap_or_default();
             println!("    {:>4} SLOC  {}{}", sloc, a.path, scope);
         }
         println!("  Knactor artifacts:");
         for a in &task.kn {
             let sloc = knactor_apps::table1::count_sloc(a).unwrap_or(0);
-            let scope = a.marker.map(|m| format!(" [region {m}]")).unwrap_or_default();
+            let scope = a
+                .marker
+                .map(|m| format!(" [region {m}]"))
+                .unwrap_or_default();
             println!("    {:>4} SLOC  {}{}", sloc, a.path, scope);
         }
         println!();

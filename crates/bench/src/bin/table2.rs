@@ -10,7 +10,11 @@ use knactor_bench::table2::{render, run_all, Params};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "quick" || a == "--quick");
-    let params = if quick { Params::quick() } else { Params::default() };
+    let params = if quick {
+        Params::quick()
+    } else {
+        Params::default()
+    };
 
     let runtime = tokio::runtime::Builder::new_multi_thread()
         .enable_all()
@@ -25,7 +29,10 @@ fn main() {
     println!("{}", render(&rows));
     println!("Stage key: C-I = Checkout->integrator (watch delivery), I = integrator");
     println!("compute (or in-exchange UDF), I-S = integrator->Shipping write, S =");
-    println!("shipment processing (simulated carrier: {:?}).", params.shipment_processing);
+    println!(
+        "shipment processing (simulated carrier: {:?}).",
+        params.shipment_processing
+    );
     println!();
     println!("Paper's measurements (their Kubernetes testbed):");
     println!("  RPC          -     -     -    446  1.8   447.8");

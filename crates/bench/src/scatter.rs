@@ -55,11 +55,19 @@ pub fn api_centric() -> std::io::Result<ScatterStats> {
     let mut files = Vec::new();
     // Stub modules: every public client method is composition surface the
     // consumer owns.
-    for stub in ["shipping_v1.rs", "shipping_v2.rs", "payment_v1.rs", "currency_v1.rs"] {
+    for stub in [
+        "shipping_v1.rs",
+        "shipping_v2.rs",
+        "payment_v1.rs",
+        "currency_v1.rs",
+    ] {
         let path = apps_root().join("src/retail/stubs").join(stub);
         let text = std::fs::read_to_string(&path)?;
         let sites = count_occurrences(&text, &["pub async fn"]);
-        files.push(SiteCount { file: format!("retail/stubs/{stub}"), sites });
+        files.push(SiteCount {
+            file: format!("retail/stubs/{stub}"),
+            sites,
+        });
     }
     // Checkout's composition code: typed stub invocations.
     let rpc_app = std::fs::read_to_string(apps_root().join("src/retail/rpc_app.rs"))?;
@@ -67,7 +75,13 @@ pub fn api_centric() -> std::io::Result<ScatterStats> {
         file: "retail/rpc_app.rs".to_string(),
         sites: count_occurrences(
             &rpc_app,
-            &[".charge(", ".get_quote(", ".ship_order(", ".convert(", "server.register("],
+            &[
+                ".charge(",
+                ".get_quote(",
+                ".ship_order(",
+                ".convert(",
+                "server.register(",
+            ],
         ),
     });
     // Smart home over the broker.
@@ -77,7 +91,11 @@ pub fn api_centric() -> std::io::Result<ScatterStats> {
         sites: count_occurrences(&pubsub, &[".publish(", ".subscribe("]),
     });
     let total = files.iter().map(|f| f.sites).sum();
-    Ok(ScatterStats { label: "API-centric".to_string(), files, total_sites: total })
+    Ok(ScatterStats {
+        label: "API-centric".to_string(),
+        files,
+        total_sites: total,
+    })
 }
 
 /// Count composition sites in the Knactor version: DXG assignments.
@@ -90,10 +108,17 @@ pub fn knactor() -> std::io::Result<ScatterStats> {
         let text = std::fs::read_to_string(apps_root().join(file))?;
         let dxg = knactor_dxg::Dxg::parse(&text)
             .map_err(|e| std::io::Error::other(format!("{label}: {e}")))?;
-        files.push(SiteCount { file: file.to_string(), sites: dxg.assignments.len() });
+        files.push(SiteCount {
+            file: file.to_string(),
+            sites: dxg.assignments.len(),
+        });
     }
     let total = files.iter().map(|f| f.sites).sum();
-    Ok(ScatterStats { label: "Knactor".to_string(), files, total_sites: total })
+    Ok(ScatterStats {
+        label: "Knactor".to_string(),
+        files,
+        total_sites: total,
+    })
 }
 
 /// Render both sides.
@@ -122,7 +147,10 @@ mod tests {
         let api = api_centric().unwrap();
         let kn = knactor().unwrap();
         assert!(api.files.len() > kn.files.len(), "{api:?} vs {kn:?}");
-        assert!(api.total_sites > 10, "expected double-digit API sites: {api:?}");
+        assert!(
+            api.total_sites > 10,
+            "expected double-digit API sites: {api:?}"
+        );
         // Knactor: all retail composition in ONE file.
         assert_eq!(kn.files[0].sites, 8, "Fig. 6 has 8 assignments");
         let rendered = render(&api, &kn);

@@ -102,11 +102,9 @@ impl Params {
 /// Measure the RPC baseline.
 pub async fn measure_rpc(params: &Params) -> Result<Breakdown> {
     let server = serve_providers(params.shipment_processing).await?;
-    let checkout = CheckoutRpc::connect_with_latency(
-        server.local_addr().expect("bound"),
-        params.rpc_rtt,
-    )
-    .await?;
+    let checkout =
+        CheckoutRpc::connect_with_latency(server.local_addr().expect("bound"), params.rpc_rtt)
+            .await?;
     let mut totals = Duration::ZERO;
     for i in 0..params.iterations {
         let order = sample_order(1200.0 + i as f64);
@@ -325,14 +323,22 @@ pub async fn run_all(params: &Params) -> Result<Vec<Breakdown>> {
     let mut rows = Vec::new();
     rows.push(measure_rpc(params).await?);
     rows.push(
-        measure_knactor("K-apiserver", ProfileSpec::Apiserver, CastMode::Direct, params).await?,
+        measure_knactor(
+            "K-apiserver",
+            ProfileSpec::Apiserver,
+            CastMode::Direct,
+            params,
+        )
+        .await?,
     );
     rows.push(measure_knactor("K-redis", ProfileSpec::Redis, CastMode::Direct, params).await?);
     rows.push(
         measure_knactor(
             "K-redis-udf",
             ProfileSpec::Redis,
-            CastMode::Pushdown { udf_name: "retail-dxg".to_string() },
+            CastMode::Pushdown {
+                udf_name: "retail-dxg".to_string(),
+            },
             params,
         )
         .await?,
@@ -365,7 +371,12 @@ mod tests {
 
         // S dominates everywhere.
         for r in &rows {
-            assert!(r.s >= params.shipment_processing / 2, "{}: S = {:?}", r.setup, r.s);
+            assert!(
+                r.s >= params.shipment_processing / 2,
+                "{}: S = {:?}",
+                r.setup,
+                r.s
+            );
             assert!(r.total >= r.s, "{}", r.setup);
         }
         // Propagation ordering: apiserver ≫ redis ≥ udf; RPC smallest.

@@ -66,12 +66,14 @@ fn schema_validate(file: &str) -> ExitCode {
         Ok(schema) => {
             println!("schema {} is valid", schema.name);
             println!("  {} fields", schema.fields.len());
-            let external: Vec<&str> =
-                schema.external_fields().map(|f| f.name.as_str()).collect();
+            let external: Vec<&str> = schema.external_fields().map(|f| f.name.as_str()).collect();
             if external.is_empty() {
                 println!("  no external fields (nothing for integrators to fill)");
             } else {
-                println!("  external fields (integrator-filled): {}", external.join(", "));
+                println!(
+                    "  external fields (integrator-filled): {}",
+                    external.join(", ")
+                );
             }
             ExitCode::SUCCESS
         }

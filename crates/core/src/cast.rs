@@ -30,7 +30,7 @@ use crate::telemetry::TraceCollector;
 use knactor_dxg::{Dxg, Plan};
 use knactor_expr::{Env, FnRegistry};
 use knactor_net::ExchangeApi;
-use knactor_store::{EventKind, UdfBinding, WatchEvent};
+use knactor_store::{EventKind, StoredObject, UdfBinding, WatchEvent};
 use knactor_types::{Error, ObjectKey, Result, Revision, StoreId, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -57,11 +57,17 @@ pub struct CastBinding {
 
 impl CastBinding {
     pub fn correlated(store: impl Into<StoreId>) -> CastBinding {
-        CastBinding { store: store.into(), key: KeyBinding::Correlated }
+        CastBinding {
+            store: store.into(),
+            key: KeyBinding::Correlated,
+        }
     }
 
     pub fn fixed(store: impl Into<StoreId>, key: impl Into<ObjectKey>) -> CastBinding {
-        CastBinding { store: store.into(), key: KeyBinding::Fixed(key.into()) }
+        CastBinding {
+            store: store.into(),
+            key: KeyBinding::Fixed(key.into()),
+        }
     }
 }
 
@@ -146,7 +152,11 @@ impl CastController {
 
 impl Cast {
     pub fn new(api: Arc<dyn ExchangeApi>) -> Cast {
-        Cast { api, fns: FnRegistry::standard(), traces: TraceCollector::new() }
+        Cast {
+            api,
+            fns: FnRegistry::standard(),
+            traces: TraceCollector::new(),
+        }
     }
 
     pub fn with_functions(mut self, fns: FnRegistry) -> Cast {
@@ -170,7 +180,7 @@ impl Cast {
             self.register_pushdown(config, &plan, udf_name).await?;
         }
         activation(
-            &*self.api,
+            &self.api,
             &self.fns,
             &self.traces,
             config,
@@ -180,7 +190,12 @@ impl Cast {
         .await
     }
 
-    async fn register_pushdown(&self, config: &CastConfig, plan: &Plan, udf_name: &str) -> Result<()> {
+    async fn register_pushdown(
+        &self,
+        config: &CastConfig,
+        plan: &Plan,
+        udf_name: &str,
+    ) -> Result<()> {
         self.api
             .register_udf(
                 udf_name.to_string(),
@@ -209,7 +224,11 @@ impl Cast {
             cmd_rx,
             counter,
         ));
-        Ok(CastController { cmd_tx, task, activations })
+        Ok(CastController {
+            cmd_tx,
+            task,
+            activations,
+        })
     }
 }
 
@@ -336,7 +355,7 @@ async fn run_loop(
                     let key = event.key.clone();
                     // Activation failures are logged as traces, never
                     // fatal: the next event retries naturally.
-                    let _ = activation(&*api, &fns, &traces, &config, &plan, &key).await;
+                    let _ = activation(&api, &fns, &traces, &config, &plan, &key).await;
                     activations.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -368,8 +387,15 @@ fn resolve_key(binding: &CastBinding, trigger: &ObjectKey) -> ObjectKey {
 }
 
 /// One activation: bind → read → evaluate → write.
+///
+/// Reads of all input aliases run concurrently (each `get` pays the
+/// engine's read delay, so N inputs cost one delay instead of N), and
+/// writes produced by the step loop are coalesced into one patch per
+/// target alias, flushed — again concurrently — after every step has
+/// evaluated. Steps still observe earlier steps' writes through the
+/// local env mirror, so coalescing does not change the dataflow.
 async fn activation(
-    api: &dyn ExchangeApi,
+    api: &Arc<dyn ExchangeApi>,
     fns: &FnRegistry,
     traces: &TraceCollector,
     config: &CastConfig,
@@ -395,22 +421,42 @@ async fn activation(
         return result.map(|_| ());
     }
 
-    // Read phase.
+    // Read phase: fetch every input alias concurrently.
     let start = Instant::now();
     let mut env = Env::new();
-    for (alias, binding) in &config.bindings {
+    if config.bindings.len() == 1 {
+        // No parallelism to win — skip the task machinery.
+        let (alias, binding) = config.bindings.iter().next().expect("len checked");
         let key = resolve_key(binding, trigger_key);
-        let value = match api.get(binding.store.clone(), key).await {
-            Ok(obj) => obj.value,
-            Err(Error::NotFound(_)) => Value::Object(serde_json::Map::new()),
-            Err(e) => return Err(e),
-        };
-        env.bind(alias.clone(), value);
+        env.bind(
+            alias.clone(),
+            fetched_value(api.get(binding.store.clone(), key).await)?,
+        );
+    } else {
+        let fetches: Vec<_> = config
+            .bindings
+            .iter()
+            .map(|(alias, binding)| {
+                let api = Arc::clone(api);
+                let alias = alias.clone();
+                let store = binding.store.clone();
+                let key = resolve_key(binding, trigger_key);
+                tokio::spawn(async move { (alias, api.get(store, key).await) })
+            })
+            .collect();
+        for fetch in fetches {
+            let (alias, result) = fetch
+                .await
+                .map_err(|e| Error::Internal(format!("cast fetch task: {e}")))?;
+            env.bind(alias, fetched_value(result)?);
+        }
     }
     traces.record(&trace_id, &component, "read-sources", start.elapsed());
 
-    // Evaluate + write, step by step (steps are dependency-ordered, so
-    // later steps must observe earlier steps' writes via the local env).
+    // Evaluate step by step (steps are dependency-ordered, so later steps
+    // must observe earlier steps' writes via the local env), coalescing
+    // all patches for one target alias into a single write.
+    let mut pending: BTreeMap<String, Value> = BTreeMap::new();
     for step in &plan.steps {
         let start = Instant::now();
         let mut patch = Value::Object(serde_json::Map::new());
@@ -435,23 +481,68 @@ async fn activation(
         if !wrote {
             continue;
         }
-        let binding = &config.bindings[&step.target_alias];
-        let key = resolve_key(binding, trigger_key);
         // Mirror the write into the local env so later steps see it.
         if let Some(slot) = env.get(&step.target_alias).cloned().as_mut() {
             knactor_types::value::merge(slot, &patch);
             env.bind(step.target_alias.clone(), slot.clone());
         }
+        match pending.entry(step.target_alias.clone()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(patch);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                knactor_types::value::merge(e.get_mut(), &patch);
+            }
+        }
+    }
+
+    // Write phase: one patch per target, all targets concurrently.
+    if pending.len() == 1 {
+        let (alias, patch) = pending.into_iter().next().expect("len checked");
+        let binding = &config.bindings[&alias];
+        let key = resolve_key(binding, trigger_key);
         let start = Instant::now();
         api.patch(binding.store.clone(), key, patch, true).await?;
         traces.record(
             &trace_id,
             &component,
-            &format!("write:{}", step.target_alias),
+            &format!("write:{alias}"),
             start.elapsed(),
         );
+    } else if !pending.is_empty() {
+        let flushes: Vec<_> = pending
+            .into_iter()
+            .map(|(alias, patch)| {
+                let api = Arc::clone(api);
+                let binding = &config.bindings[&alias];
+                let store = binding.store.clone();
+                let key = resolve_key(binding, trigger_key);
+                tokio::spawn(async move {
+                    let start = Instant::now();
+                    let result = api.patch(store, key, patch, true).await;
+                    (alias, start.elapsed(), result)
+                })
+            })
+            .collect();
+        for flush in flushes {
+            let (alias, elapsed, result) = flush
+                .await
+                .map_err(|e| Error::Internal(format!("cast flush task: {e}")))?;
+            result?;
+            traces.record(&trace_id, &component, &format!("write:{alias}"), elapsed);
+        }
     }
     Ok(())
+}
+
+/// Unwrap a fetched input: absent objects start the alias as an empty
+/// object (the write phase upserts them).
+fn fetched_value(result: Result<StoredObject>) -> Result<Arc<Value>> {
+    match result {
+        Ok(obj) => Ok(obj.value),
+        Err(Error::NotFound(_)) => Ok(Arc::new(Value::Object(serde_json::Map::new()))),
+        Err(e) => Err(e),
+    }
 }
 
 #[cfg(test)]
@@ -468,7 +559,9 @@ mod tests {
         let (_, _, client) = in_process(Subject::integrator("cast"));
         let api: Arc<dyn ExchangeApi> = Arc::new(client);
         for s in ["checkout/state", "shipping/state", "payment/state"] {
-            api.create_store(StoreId::new(s), ProfileSpec::Instant).await.unwrap();
+            api.create_store(StoreId::new(s), ProfileSpec::Instant)
+                .await
+                .unwrap();
         }
         let mut bindings = BTreeMap::new();
         bindings.insert("C".to_string(), CastBinding::correlated("checkout/state"));
@@ -498,11 +591,17 @@ mod tests {
     #[tokio::test]
     async fn activate_once_propagates_order_to_shipping_and_payment() {
         let (api, config) = retail_setup().await;
-        api.create(StoreId::new("checkout/state"), ObjectKey::new("order-1"), order())
+        api.create(
+            StoreId::new("checkout/state"),
+            ObjectKey::new("order-1"),
+            order(),
+        )
+        .await
+        .unwrap();
+        let cast = Cast::new(Arc::clone(&api));
+        cast.activate_once(&config, &ObjectKey::new("order-1"))
             .await
             .unwrap();
-        let cast = Cast::new(Arc::clone(&api));
-        cast.activate_once(&config, &ObjectKey::new("order-1")).await.unwrap();
 
         let s = api
             .get(StoreId::new("shipping/state"), ObjectKey::new("order-1"))
@@ -527,7 +626,9 @@ mod tests {
             .await
             .unwrap();
         let cast = Cast::new(Arc::clone(&api));
-        cast.activate_once(&config, &ObjectKey::new("o")).await.unwrap();
+        cast.activate_once(&config, &ObjectKey::new("o"))
+            .await
+            .unwrap();
 
         // S.id / S.quote / P.id are unset → trackingID, paymentID,
         // shippingCost must NOT be written (not even as null).
@@ -556,7 +657,9 @@ mod tests {
         .await
         .unwrap();
 
-        cast.activate_once(&config, &ObjectKey::new("o")).await.unwrap();
+        cast.activate_once(&config, &ObjectKey::new("o"))
+            .await
+            .unwrap();
         let c = api
             .get(StoreId::new("checkout/state"), ObjectKey::new("o"))
             .await
@@ -572,9 +675,13 @@ mod tests {
         let cast = Cast::new(Arc::clone(&api));
         let controller = cast.spawn(config).await.unwrap();
 
-        api.create(StoreId::new("checkout/state"), ObjectKey::new("order-9"), order())
-            .await
-            .unwrap();
+        api.create(
+            StoreId::new("checkout/state"),
+            ObjectKey::new("order-9"),
+            order(),
+        )
+        .await
+        .unwrap();
 
         // Wait until the shipment materializes.
         let deadline = Instant::now() + Duration::from_secs(5);
@@ -607,19 +714,30 @@ mod tests {
                 last = now;
             }
         }
-        assert!(stable >= 10, "cast keeps re-activating: {last} and counting");
+        assert!(
+            stable >= 10,
+            "cast keeps re-activating: {last} and counting"
+        );
         controller.shutdown().await;
     }
 
     #[tokio::test]
     async fn pushdown_mode_produces_same_result() {
         let (api, mut config) = retail_setup().await;
-        config.mode = CastMode::Pushdown { udf_name: "retail-dxg".to_string() };
-        api.create(StoreId::new("checkout/state"), ObjectKey::new("o2"), order())
+        config.mode = CastMode::Pushdown {
+            udf_name: "retail-dxg".to_string(),
+        };
+        api.create(
+            StoreId::new("checkout/state"),
+            ObjectKey::new("o2"),
+            order(),
+        )
+        .await
+        .unwrap();
+        let cast = Cast::new(Arc::clone(&api));
+        cast.activate_once(&config, &ObjectKey::new("o2"))
             .await
             .unwrap();
-        let cast = Cast::new(Arc::clone(&api));
-        cast.activate_once(&config, &ObjectKey::new("o2")).await.unwrap();
         let s = api
             .get(StoreId::new("shipping/state"), ObjectKey::new("o2"))
             .await
@@ -643,9 +761,13 @@ mod tests {
         };
         controller.reconfigure(new_config).await.unwrap();
 
-        api.create(StoreId::new("checkout/state"), ObjectKey::new("order-x"), order())
-            .await
-            .unwrap();
+        api.create(
+            StoreId::new("checkout/state"),
+            ObjectKey::new("order-x"),
+            order(),
+        )
+        .await
+        .unwrap();
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             if let Ok(s) = api
@@ -680,9 +802,13 @@ mod tests {
         assert!(controller.reconfigure(bad_config).await.is_err());
 
         // …and the old config still works.
-        api.create(StoreId::new("checkout/state"), ObjectKey::new("order-z"), order())
-            .await
-            .unwrap();
+        api.create(
+            StoreId::new("checkout/state"),
+            ObjectKey::new("order-z"),
+            order(),
+        )
+        .await
+        .unwrap();
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             if api

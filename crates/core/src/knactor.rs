@@ -66,7 +66,8 @@ impl Knactor {
         if let Some(schema) = &self.schema {
             api.register_schema(schema.clone()).await?;
             if let Some(primary) = self.primary_store() {
-                api.bind_schema(primary.clone(), schema.name.clone()).await?;
+                api.bind_schema(primary.clone(), schema.name.clone())
+                    .await?;
             }
         }
         Ok(())

@@ -31,7 +31,12 @@ impl ReconcilerCtx {
         log_stores: Vec<StoreId>,
         api: Arc<dyn ExchangeApi>,
     ) -> ReconcilerCtx {
-        ReconcilerCtx { knactor, store, log_stores, api }
+        ReconcilerCtx {
+            knactor,
+            store,
+            log_stores,
+            api,
+        }
     }
 
     /// Read an object from the knactor's own store.
@@ -42,7 +47,9 @@ impl ReconcilerCtx {
     /// Patch the knactor's own store (the usual reconcile write-back,
     /// e.g. posting a `trackingID`).
     pub async fn patch(&self, key: &ObjectKey, patch: Value) -> Result<Revision> {
-        self.api.patch(self.store.clone(), key.clone(), patch, false).await
+        self.api
+            .patch(self.store.clone(), key.clone(), patch, false)
+            .await
     }
 
     /// Create an object in the knactor's own store.
@@ -53,7 +60,11 @@ impl ReconcilerCtx {
     /// Mark the object processed for retention accounting.
     pub async fn mark_processed(&self, key: &ObjectKey) -> Result<Vec<ObjectKey>> {
         self.api
-            .mark_processed(self.store.clone(), key.clone(), format!("reconciler:{}", self.knactor))
+            .mark_processed(
+                self.store.clone(),
+                key.clone(),
+                format!("reconciler:{}", self.knactor),
+            )
             .await
     }
 
@@ -72,7 +83,11 @@ impl ReconcilerCtx {
 /// A reconciler: reacts to its store's events.
 pub trait Reconciler: Send + Sync {
     /// Handle one committed change to the knactor's own store.
-    fn reconcile<'a>(&'a self, ctx: &'a ReconcilerCtx, event: WatchEvent) -> BoxFuture<'a, Result<()>>;
+    fn reconcile<'a>(
+        &'a self,
+        ctx: &'a ReconcilerCtx,
+        event: WatchEvent,
+    ) -> BoxFuture<'a, Result<()>>;
 }
 
 /// Wrap an async closure as a reconciler.
@@ -102,7 +117,11 @@ where
     F: Fn(ReconcilerCtx, WatchEvent) -> Fut + Send + Sync,
     Fut: std::future::Future<Output = Result<()>> + Send + 'static,
 {
-    fn reconcile<'a>(&'a self, ctx: &'a ReconcilerCtx, event: WatchEvent) -> BoxFuture<'a, Result<()>> {
+    fn reconcile<'a>(
+        &'a self,
+        ctx: &'a ReconcilerCtx,
+        event: WatchEvent,
+    ) -> BoxFuture<'a, Result<()>> {
         let fut = (self.f)(ctx.clone(), event);
         Box::pin(fut)
     }
@@ -123,8 +142,14 @@ mod tests {
             .create_store(StoreId::new("lamp/config"), ProfileSpec::Instant)
             .await
             .unwrap();
-        client.log_create_store(StoreId::new("lamp/telemetry")).await.unwrap();
-        client.log_create_store(StoreId::new("other/telemetry")).await.unwrap();
+        client
+            .log_create_store(StoreId::new("lamp/telemetry"))
+            .await
+            .unwrap();
+        client
+            .log_create_store(StoreId::new("other/telemetry"))
+            .await
+            .unwrap();
 
         let ctx = ReconcilerCtx::new(
             KnactorId::new("lamp"),
@@ -133,7 +158,9 @@ mod tests {
             Arc::new(client),
         );
         ctx.create("cfg", json!({"brightness": 2})).await.unwrap();
-        ctx.patch(&ObjectKey::new("cfg"), json!({"brightness": 5})).await.unwrap();
+        ctx.patch(&ObjectKey::new("cfg"), json!({"brightness": 5}))
+            .await
+            .unwrap();
         assert_eq!(
             ctx.get(&ObjectKey::new("cfg")).await.unwrap().value,
             json!({"brightness": 5})
@@ -162,9 +189,13 @@ mod tests {
             vec![],
             Arc::clone(&api),
         );
-        api.create(StoreId::new("s/state"), ObjectKey::new("o"), json!({"n": 1}))
-            .await
-            .unwrap();
+        api.create(
+            StoreId::new("s/state"),
+            ObjectKey::new("o"),
+            json!({"n": 1}),
+        )
+        .await
+        .unwrap();
 
         let r = FnReconciler::new(|ctx: ReconcilerCtx, event: WatchEvent| async move {
             ctx.patch(&event.key, json!({"seen": true})).await?;
@@ -174,7 +205,7 @@ mod tests {
             revision: Revision(1),
             kind: knactor_store::EventKind::Created,
             key: ObjectKey::new("o"),
-            value: json!({"n": 1}),
+            value: Arc::new(json!({"n": 1})),
         };
         r.reconcile(&ctx, event).await.unwrap();
         let obj = ctx.get(&ObjectKey::new("o")).await.unwrap();

@@ -169,15 +169,21 @@ mod tests {
         // address, post a tracking id.
         let shipping = Knactor::builder("shipping")
             .object_store("state")
-            .reconciler(FnReconciler::new(|ctx: ReconcilerCtx, event: WatchEvent| async move {
-                if event.value.get("addr").map(|a| !a.is_null()).unwrap_or(false)
-                    && event.value.get("id").map(|v| v.is_null()).unwrap_or(true)
-                {
-                    ctx.patch(&event.key, json!({"id": format!("track-{}", event.key)}))
-                        .await?;
-                }
-                Ok(())
-            }))
+            .reconciler(FnReconciler::new(
+                |ctx: ReconcilerCtx, event: WatchEvent| async move {
+                    if event
+                        .value
+                        .get("addr")
+                        .map(|a| !a.is_null())
+                        .unwrap_or(false)
+                        && event.value.get("id").map(|v| v.is_null()).unwrap_or(true)
+                    {
+                        ctx.patch(&event.key, json!({"id": format!("track-{}", event.key)}))
+                            .await?;
+                    }
+                    Ok(())
+                },
+            ))
             .build();
         runtime.deploy(shipping, Arc::clone(&api)).await.unwrap();
 
@@ -212,23 +218,33 @@ mod tests {
         let runtime = Runtime::new();
 
         let flaky = Knactor::builder("flaky")
-            .reconciler(FnReconciler::new(|ctx: ReconcilerCtx, event: WatchEvent| async move {
-                if event.value.get("boom").is_some() {
-                    panic!("injected failure");
-                }
-                ctx.patch(&event.key, json!({"ok": true})).await?;
-                Ok(())
-            }))
+            .reconciler(FnReconciler::new(
+                |ctx: ReconcilerCtx, event: WatchEvent| async move {
+                    if event.value.get("boom").is_some() {
+                        panic!("injected failure");
+                    }
+                    ctx.patch(&event.key, json!({"ok": true})).await?;
+                    Ok(())
+                },
+            ))
             .build();
         runtime.deploy(flaky, Arc::clone(&api)).await.unwrap();
 
         // First event panics; second must still be processed.
-        api.create(StoreId::new("flaky/state"), ObjectKey::new("bad"), json!({"boom": 1}))
-            .await
-            .unwrap();
-        api.create(StoreId::new("flaky/state"), ObjectKey::new("good"), json!({"n": 1}))
-            .await
-            .unwrap();
+        api.create(
+            StoreId::new("flaky/state"),
+            ObjectKey::new("bad"),
+            json!({"boom": 1}),
+        )
+        .await
+        .unwrap();
+        api.create(
+            StoreId::new("flaky/state"),
+            ObjectKey::new("good"),
+            json!({"n": 1}),
+        )
+        .await
+        .unwrap();
 
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
@@ -252,9 +268,9 @@ mod tests {
         let api: Arc<dyn ExchangeApi> = Arc::new(client);
         let runtime = Runtime::new();
         let quiet = Knactor::builder("quiet")
-            .reconciler(FnReconciler::new(|_ctx: ReconcilerCtx, _e: WatchEvent| async move {
-                Ok(())
-            }))
+            .reconciler(FnReconciler::new(
+                |_ctx: ReconcilerCtx, _e: WatchEvent| async move { Ok(()) },
+            ))
             .build();
         runtime.deploy(quiet, Arc::clone(&api)).await.unwrap();
         assert_eq!(runtime.task_names(), vec!["quiet"]);

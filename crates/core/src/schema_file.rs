@@ -56,7 +56,11 @@ pub fn schema_to_yaml(schema: &Schema) -> String {
         knactor_yamlish::Node::scalar(schema.name.as_str()),
     )];
     for f in &schema.fields {
-        let ty = if f.required { format!("{}!", f.ty) } else { f.ty.to_string() };
+        let ty = if f.required {
+            format!("{}!", f.ty)
+        } else {
+            f.ty.to_string()
+        };
         let mut node = knactor_yamlish::Node::scalar(ty);
         for a in &f.annotations {
             node = node.with_annotation(a.to_string());

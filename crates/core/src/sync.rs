@@ -31,7 +31,11 @@ pub enum SyncDest {
     /// Write into a field of an object (upserted). With one output row
     /// holding one field, the field's value is written; otherwise the
     /// whole row set is written as an array.
-    ObjectField { store: StoreId, key: ObjectKey, field: FieldPath },
+    ObjectField {
+        store: StoreId,
+        key: ObjectKey,
+        field: FieldPath,
+    },
 }
 
 /// How the pipeline runs relative to the source log.
@@ -114,7 +118,10 @@ pub struct Sync {
 
 impl Sync {
     pub fn new(api: Arc<dyn ExchangeApi>) -> Sync {
-        Sync { api, traces: TraceCollector::new() }
+        Sync {
+            api,
+            traces: TraceCollector::new(),
+        }
     }
 
     pub fn with_traces(mut self, traces: TraceCollector) -> Sync {
@@ -130,7 +137,10 @@ impl Sync {
     /// results (tests, CLI, batch back-fills).
     pub async fn run_once(&self, config: &SyncConfig) -> Result<usize> {
         config.validate()?;
-        let rows = self.api.log_query(config.source.clone(), config.query.clone()).await?;
+        let rows = self
+            .api
+            .log_query(config.source.clone(), config.query.clone())
+            .await?;
         let n = rows.len();
         deliver(&*self.api, config, rows).await?;
         Ok(n)
@@ -143,7 +153,11 @@ impl Sync {
         let processed = Arc::new(AtomicU64::new(0));
         let counter = Arc::clone(&processed);
         let task = tokio::spawn(run_loop(self.api, self.traces, config, cmd_rx, counter));
-        Ok(SyncController { cmd_tx, task, processed })
+        Ok(SyncController {
+            cmd_tx,
+            task,
+            processed,
+        })
     }
 }
 
@@ -295,8 +309,12 @@ mod tests {
         // Fig. 4: Motion's log → (rename) → House's log.
         let (_, _, client) = in_process(Subject::integrator("sync"));
         let api: Arc<dyn ExchangeApi> = Arc::new(client);
-        api.log_create_store(StoreId::new("motion/telemetry")).await.unwrap();
-        api.log_create_store(StoreId::new("house/telemetry")).await.unwrap();
+        api.log_create_store(StoreId::new("motion/telemetry"))
+            .await
+            .unwrap();
+        api.log_create_store(StoreId::new("house/telemetry"))
+            .await
+            .unwrap();
 
         let config = SyncConfig {
             name: "motion-to-house".to_string(),
@@ -304,8 +322,13 @@ mod tests {
             dest: SyncDest::Log(StoreId::new("house/telemetry")),
             query: QuerySpec {
                 ops: vec![
-                    OpSpec::Filter { expr: "this.triggered == true".into() },
-                    OpSpec::Rename { from: "triggered".into(), to: "motion".into() },
+                    OpSpec::Filter {
+                        expr: "this.triggered == true".into(),
+                    },
+                    OpSpec::Rename {
+                        from: "triggered".into(),
+                        to: "motion".into(),
+                    },
                 ],
             },
             mode: SyncMode::Stream,
@@ -315,9 +338,12 @@ mod tests {
         api.log_append(StoreId::new("motion/telemetry"), json!({"triggered": true}))
             .await
             .unwrap();
-        api.log_append(StoreId::new("motion/telemetry"), json!({"triggered": false}))
-            .await
-            .unwrap();
+        api.log_append(
+            StoreId::new("motion/telemetry"),
+            json!({"triggered": false}),
+        )
+        .await
+        .unwrap();
 
         wait_until(|| {
             let api = Arc::clone(&api);
@@ -329,7 +355,10 @@ mod tests {
             })
         })
         .await;
-        let records = api.log_read(StoreId::new("house/telemetry"), 0).await.unwrap();
+        let records = api
+            .log_read(StoreId::new("house/telemetry"), 0)
+            .await
+            .unwrap();
         assert_eq!(records[0].fields, json!({"motion": true}));
         controller.shutdown().await;
     }
@@ -338,7 +367,9 @@ mod tests {
     async fn snapshot_maintains_energy_total_in_object_store() {
         let (_, _, client) = in_process(Subject::integrator("sync"));
         let api: Arc<dyn ExchangeApi> = Arc::new(client);
-        api.log_create_store(StoreId::new("lamp/telemetry")).await.unwrap();
+        api.log_create_store(StoreId::new("lamp/telemetry"))
+            .await
+            .unwrap();
         api.create_store(StoreId::new("house/state"), ProfileSpec::Instant)
             .await
             .unwrap();
@@ -393,18 +424,27 @@ mod tests {
         api.log_create_store(StoreId::new("a/log")).await.unwrap();
         api.log_create_store(StoreId::new("b/log")).await.unwrap();
         for i in 0..5 {
-            api.log_append(StoreId::new("a/log"), json!({"i": i})).await.unwrap();
+            api.log_append(StoreId::new("a/log"), json!({"i": i}))
+                .await
+                .unwrap();
         }
         let config = SyncConfig {
             name: "batch".to_string(),
             source: StoreId::new("a/log"),
             dest: SyncDest::Log(StoreId::new("b/log")),
-            query: QuerySpec { ops: vec![OpSpec::Filter { expr: "this.i % 2 == 0".into() }] },
+            query: QuerySpec {
+                ops: vec![OpSpec::Filter {
+                    expr: "this.i % 2 == 0".into(),
+                }],
+            },
             mode: SyncMode::Stream,
         };
         let n = Sync::new(Arc::clone(&api)).run_once(&config).await.unwrap();
         assert_eq!(n, 3);
-        assert_eq!(api.log_read(StoreId::new("b/log"), 0).await.unwrap().len(), 3);
+        assert_eq!(
+            api.log_read(StoreId::new("b/log"), 0).await.unwrap().len(),
+            3
+        );
     }
 
     #[tokio::test]
@@ -439,8 +479,13 @@ mod tests {
             query: QuerySpec::default(),
             mode: SyncMode::Stream,
         };
-        let controller = Sync::new(Arc::clone(&api)).spawn(pass_all.clone()).await.unwrap();
-        api.log_append(StoreId::new("src/log"), json!({"n": 1})).await.unwrap();
+        let controller = Sync::new(Arc::clone(&api))
+            .spawn(pass_all.clone())
+            .await
+            .unwrap();
+        api.log_append(StoreId::new("src/log"), json!({"n": 1}))
+            .await
+            .unwrap();
         wait_until(|| {
             let api = Arc::clone(&api);
             Box::pin(async move {
@@ -456,12 +501,20 @@ mod tests {
         // re-tails from the beginning; the no-op-free log dest would
         // re-deliver old records, so the new filter also excludes them.
         let filtered = SyncConfig {
-            query: QuerySpec { ops: vec![OpSpec::Filter { expr: "this.n >= 10".into() }] },
+            query: QuerySpec {
+                ops: vec![OpSpec::Filter {
+                    expr: "this.n >= 10".into(),
+                }],
+            },
             ..pass_all
         };
         controller.reconfigure(filtered).await.unwrap();
-        api.log_append(StoreId::new("src/log"), json!({"n": 5})).await.unwrap();
-        api.log_append(StoreId::new("src/log"), json!({"n": 50})).await.unwrap();
+        api.log_append(StoreId::new("src/log"), json!({"n": 5}))
+            .await
+            .unwrap();
+        api.log_append(StoreId::new("src/log"), json!({"n": 50}))
+            .await
+            .unwrap();
         wait_until(|| {
             let api = Arc::clone(&api);
             Box::pin(async move {

@@ -62,7 +62,13 @@ impl TraceCollector {
     }
 
     /// Time a closure and record it.
-    pub fn time<T>(&self, trace_id: &str, component: &str, stage: &str, f: impl FnOnce() -> T) -> T {
+    pub fn time<T>(
+        &self,
+        trace_id: &str,
+        component: &str,
+        stage: &str,
+        f: impl FnOnce() -> T,
+    ) -> T {
         let start = Instant::now();
         let out = f();
         self.record(trace_id, component, stage, start.elapsed());
@@ -105,9 +111,24 @@ mod tests {
     #[test]
     fn record_and_query() {
         let tc = TraceCollector::new();
-        tc.record("order-1", "cast:retail", "evaluate", Duration::from_millis(2));
-        tc.record("order-1", "cast:retail", "write:S", Duration::from_millis(3));
-        tc.record("order-2", "cast:retail", "evaluate", Duration::from_millis(1));
+        tc.record(
+            "order-1",
+            "cast:retail",
+            "evaluate",
+            Duration::from_millis(2),
+        );
+        tc.record(
+            "order-1",
+            "cast:retail",
+            "write:S",
+            Duration::from_millis(3),
+        );
+        tc.record(
+            "order-2",
+            "cast:retail",
+            "evaluate",
+            Duration::from_millis(1),
+        );
         assert_eq!(tc.spans().len(), 3);
         assert_eq!(tc.trace("order-1").len(), 2);
         let totals = tc.stage_totals();

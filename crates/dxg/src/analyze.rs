@@ -31,15 +31,27 @@ pub struct Finding {
 
 impl Finding {
     fn error(code: &'static str, message: String) -> Finding {
-        Finding { severity: Severity::Error, code, message }
+        Finding {
+            severity: Severity::Error,
+            code,
+            message,
+        }
     }
 
     fn warning(code: &'static str, message: String) -> Finding {
-        Finding { severity: Severity::Warning, code, message }
+        Finding {
+            severity: Severity::Warning,
+            code,
+            message,
+        }
     }
 
     fn info(code: &'static str, message: String) -> Finding {
-        Finding { severity: Severity::Info, code, message }
+        Finding {
+            severity: Severity::Info,
+            code,
+            message,
+        }
     }
 }
 
@@ -60,7 +72,9 @@ impl Analysis {
     }
 
     pub fn errors(&self) -> impl Iterator<Item = &Finding> {
-        self.findings.iter().filter(|f| f.severity == Severity::Error)
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
     }
 }
 
@@ -73,11 +87,15 @@ fn depends_on(reader: &Assignment, writer: &Assignment) -> bool {
     let w_alias = &writer.target_alias;
     let w_path = writer.target_path();
     for r in reader.read_refs() {
-        let Some((alias, rest)) = split_ref(&r) else { continue };
+        let Some((alias, rest)) = split_ref(&r) else {
+            continue;
+        };
         if alias != *w_alias {
             continue;
         }
-        let Ok(r_path) = FieldPath::parse(&rest) else { continue };
+        let Ok(r_path) = FieldPath::parse(&rest) else {
+            continue;
+        };
         if w_path.is_prefix_of(&r_path) || r_path.is_prefix_of(&w_path) {
             return true;
         }
@@ -124,11 +142,11 @@ pub fn analyze(dxg: &Dxg) -> Analysis {
     // (i must run before j).
     let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut indegree = vec![0usize; n];
-    for i in 0..n {
-        for j in 0..n {
+    for (i, out) in edges.iter_mut().enumerate() {
+        for (j, indeg) in indegree.iter_mut().enumerate() {
             if i != j && depends_on(&dxg.assignments[j], &dxg.assignments[i]) {
-                edges[i].push(j);
-                indegree[j] += 1;
+                out.push(j);
+                *indeg += 1;
             }
         }
     }
@@ -139,7 +157,11 @@ pub fn analyze(dxg: &Dxg) -> Analysis {
         if depends_on(a, a) {
             analysis.findings.push(Finding::error(
                 "self-dependency",
-                format!("assignment {} (line {}) reads its own target", a.write_ref(), a.line),
+                format!(
+                    "assignment {} (line {}) reads its own target",
+                    a.write_ref(),
+                    a.line
+                ),
             ));
             analysis.cyclic_assignments.push(i);
         }
@@ -166,7 +188,10 @@ pub fn analyze(dxg: &Dxg) -> Analysis {
             .collect();
         analysis.findings.push(Finding::error(
             "dependency-cycle",
-            format!("assignments form a dependency cycle: {}", names.join(" -> ")),
+            format!(
+                "assignments form a dependency cycle: {}",
+                names.join(" -> ")
+            ),
         ));
         analysis.cyclic_assignments.append(&mut cyclic);
         analysis.cyclic_assignments.sort_unstable();
@@ -196,8 +221,12 @@ pub fn analyze_with_schemas(dxg: &Dxg, schemas: &BTreeMap<String, Schema>) -> An
     // must be declared in the alias's schema.
     for a in &dxg.assignments {
         let mut check = |alias: &str, path: &FieldPath, what: &str| {
-            let Some(schema) = schemas.get(alias) else { return };
-            let Some(first) = path.head_field() else { return };
+            let Some(schema) = schemas.get(alias) else {
+                return;
+            };
+            let Some(first) = path.head_field() else {
+                return;
+            };
             if schema.get(first).is_none() {
                 analysis.findings.push(Finding::error(
                     "unknown-field",
@@ -335,7 +364,10 @@ DXG:
         let src = "Input:\n  A: g/v/s/a\nDXG:\n  A:\n    x: A.x + 1\n";
         let dxg = Dxg::parse(src).unwrap();
         let analysis = analyze(&dxg);
-        assert!(analysis.findings.iter().any(|f| f.code == "self-dependency"));
+        assert!(analysis
+            .findings
+            .iter()
+            .any(|f| f.code == "self-dependency"));
     }
 
     #[test]
@@ -379,7 +411,10 @@ DXG:
 ";
         let dxg = Dxg::parse(src).unwrap();
         let analysis = analyze(&dxg);
-        assert!(analysis.findings.iter().any(|f| f.code == "overlapping-writes"));
+        assert!(analysis
+            .findings
+            .iter()
+            .any(|f| f.code == "overlapping-writes"));
     }
 
     #[test]

@@ -19,9 +19,17 @@ pub enum Change {
     /// Present in `old` only: this state stops being filled.
     Removed { target: String, expr: String },
     /// Same target, different expression.
-    Rewritten { target: String, old_expr: String, new_expr: String },
+    Rewritten {
+        target: String,
+        old_expr: String,
+        new_expr: String,
+    },
     /// An input alias appeared or disappeared, or its reference changed.
-    InputChanged { alias: String, old: Option<String>, new: Option<String> },
+    InputChanged {
+        alias: String,
+        old: Option<String>,
+        new: Option<String>,
+    },
 }
 
 impl std::fmt::Display for Change {
@@ -29,7 +37,11 @@ impl std::fmt::Display for Change {
         match self {
             Change::Added { target, expr } => write!(f, "+ {target} = {expr}"),
             Change::Removed { target, expr } => write!(f, "- {target} = {expr}"),
-            Change::Rewritten { target, old_expr, new_expr } => {
+            Change::Rewritten {
+                target,
+                old_expr,
+                new_expr,
+            } => {
                 write!(f, "~ {target}: {old_expr}  ->  {new_expr}")
             }
             Change::InputChanged { alias, old, new } => match (old, new) {
@@ -56,7 +68,11 @@ pub fn diff(old: &Dxg, new: &Dxg) -> Vec<Change> {
         let o = old.inputs.get(alias).map(|r| r.raw.clone());
         let n = new.inputs.get(alias).map(|r| r.raw.clone());
         if o != n {
-            changes.push(Change::InputChanged { alias: alias.clone(), old: o, new: n });
+            changes.push(Change::InputChanged {
+                alias: alias.clone(),
+                old: o,
+                new: n,
+            });
         }
     }
 
@@ -71,7 +87,10 @@ pub fn diff(old: &Dxg, new: &Dxg) -> Vec<Change> {
     let new_map = index(new);
     for (target, old_expr) in &old_map {
         match new_map.get(target) {
-            None => changes.push(Change::Removed { target: target.clone(), expr: old_expr.clone() }),
+            None => changes.push(Change::Removed {
+                target: target.clone(),
+                expr: old_expr.clone(),
+            }),
             Some(new_expr) if new_expr != old_expr => changes.push(Change::Rewritten {
                 target: target.clone(),
                 old_expr: old_expr.clone(),
@@ -82,7 +101,10 @@ pub fn diff(old: &Dxg, new: &Dxg) -> Vec<Change> {
     }
     for (target, expr) in &new_map {
         if !old_map.contains_key(target) {
-            changes.push(Change::Added { target: target.clone(), expr: expr.clone() });
+            changes.push(Change::Added {
+                target: target.clone(),
+                expr: expr.clone(),
+            });
         }
     }
     changes
@@ -115,12 +137,17 @@ mod tests {
     #[test]
     fn policy_change_is_a_rewrite() {
         let old = Dxg::parse(FIG6_RETAIL_DXG).unwrap();
-        let new = Dxg::parse(&FIG6_RETAIL_DXG.replace("C.order.cost > 1000", "C.order.cost > 2000"))
-            .unwrap();
+        let new =
+            Dxg::parse(&FIG6_RETAIL_DXG.replace("C.order.cost > 1000", "C.order.cost > 2000"))
+                .unwrap();
         let changes = diff(&old, &new);
         assert_eq!(changes.len(), 1);
         match &changes[0] {
-            Change::Rewritten { target, old_expr, new_expr } => {
+            Change::Rewritten {
+                target,
+                old_expr,
+                new_expr,
+            } => {
                 assert_eq!(target, "S.method");
                 assert!(old_expr.contains("1000"));
                 assert!(new_expr.contains("2000"));
@@ -136,8 +163,14 @@ mod tests {
         let new = Dxg::parse("Input:\n  A: g/v/s/a\nDXG:\n  A:\n    x: '1'\n    z: '3'\n").unwrap();
         let changes = diff(&old, &new);
         // The YAML-quoted '2' is the expression `2`, printed as `2.0`.
-        assert!(changes.contains(&Change::Removed { target: "A.y".into(), expr: "2.0".into() }));
-        assert!(changes.contains(&Change::Added { target: "A.z".into(), expr: "3.0".into() }));
+        assert!(changes.contains(&Change::Removed {
+            target: "A.y".into(),
+            expr: "2.0".into()
+        }));
+        assert!(changes.contains(&Change::Added {
+            target: "A.z".into(),
+            expr: "3.0".into()
+        }));
         assert_eq!(changes.len(), 2);
     }
 
@@ -146,8 +179,7 @@ mod tests {
         let old = Dxg::parse(FIG6_RETAIL_DXG).unwrap();
         // Shipping evolves to v2 (task T3's Input line).
         let new = Dxg::parse(
-            &FIG6_RETAIL_DXG
-                .replace("OnlineRetail/v1/Shipping", "OnlineRetail/v2/Shipping"),
+            &FIG6_RETAIL_DXG.replace("OnlineRetail/v1/Shipping", "OnlineRetail/v2/Shipping"),
         )
         .unwrap();
         let changes = diff(&old, &new);

@@ -51,7 +51,10 @@ impl Plan {
             let alias = dxg.assignments[idx].target_alias.clone();
             match steps.last_mut() {
                 Some(step) if step.target_alias == alias => step.assignments.push(idx),
-                _ => steps.push(Step { target_alias: alias, assignments: vec![idx] }),
+                _ => steps.push(Step {
+                    target_alias: alias,
+                    assignments: vec![idx],
+                }),
             }
         }
         Ok(Plan { steps })
@@ -105,7 +108,10 @@ mod tests {
         assert_eq!(plan.assignment_count(), 8);
         // 8 assignments across 3 targets consolidate into at most 8 and
         // hopefully ~3 write ops; must be strictly fewer than naive.
-        assert!(plan.write_ops() < 8, "consolidation saved nothing: {plan:?}");
+        assert!(
+            plan.write_ops() < 8,
+            "consolidation saved nothing: {plan:?}"
+        );
         // Every step is single-target.
         for step in &plan.steps {
             assert!(!step.assignments.is_empty());

@@ -125,17 +125,33 @@ impl Dxg {
                     "DXG key '{key}' references undeclared alias '{alias}'"
                 )));
             }
-            collect_assignments(&alias, &base, FieldPath::root(), value, &inputs, &mut assignments)?;
+            collect_assignments(
+                &alias,
+                &base,
+                FieldPath::root(),
+                value,
+                &inputs,
+                &mut assignments,
+            )?;
         }
         if assignments.is_empty() {
-            return Err(Error::Dxg("'DXG' section declares no assignments".to_string()));
+            return Err(Error::Dxg(
+                "'DXG' section declares no assignments".to_string(),
+            ));
         }
-        Ok(Dxg { inputs, assignments })
+        Ok(Dxg {
+            inputs,
+            assignments,
+        })
     }
 
     /// Aliases that some assignment writes to.
     pub fn target_aliases(&self) -> Vec<String> {
-        let mut out: Vec<String> = self.assignments.iter().map(|a| a.target_alias.clone()).collect();
+        let mut out: Vec<String> = self
+            .assignments
+            .iter()
+            .map(|a| a.target_alias.clone())
+            .collect();
         out.sort();
         out.dedup();
         out
@@ -171,10 +187,12 @@ fn collect_assignments(
             Ok(())
         }
         Yaml::Scalar(v) => {
-            let src = v.as_str().ok_or_else(|| Error::Dxg(format!(
-                "assignment '{}.{at}' must be an expression string, got {v}",
-                alias
-            )))?;
+            let src = v.as_str().ok_or_else(|| {
+                Error::Dxg(format!(
+                    "assignment '{}.{at}' must be an expression string, got {v}",
+                    alias
+                ))
+            })?;
             let raw = knactor_expr::parse_expr(src)?;
             // Resolve `this` to the target alias + base so everything
             // downstream sees concrete references.
@@ -251,12 +269,21 @@ pub fn substitute_this(expr: &Expr, alias: &str, base: &FieldPath) -> Expr {
                 Box::new(walk(r, alias, base, bound)),
             ),
             Expr::Unary(op, e) => Expr::Unary(*op, Box::new(walk(e, alias, base, bound))),
-            Expr::If { then, cond, otherwise } => Expr::If {
+            Expr::If {
+                then,
+                cond,
+                otherwise,
+            } => Expr::If {
                 then: Box::new(walk(then, alias, base, bound)),
                 cond: Box::new(walk(cond, alias, base, bound)),
                 otherwise: Box::new(walk(otherwise, alias, base, bound)),
             },
-            Expr::Comprehension { body, var, source, filter } => {
+            Expr::Comprehension {
+                body,
+                var,
+                source,
+                filter,
+            } => {
                 let source = Box::new(walk(source, alias, base, bound));
                 bound.push(var.clone());
                 let body = Box::new(walk(body, alias, base, bound));
@@ -264,7 +291,12 @@ pub fn substitute_this(expr: &Expr, alias: &str, base: &FieldPath) -> Expr {
                     .as_ref()
                     .map(|f| Box::new(walk(f, alias, base, bound)));
                 bound.pop();
-                Expr::Comprehension { body, var: var.clone(), source, filter }
+                Expr::Comprehension {
+                    body,
+                    var: var.clone(),
+                    source,
+                    filter,
+                }
             }
             Expr::List(items) => {
                 Expr::List(items.iter().map(|i| walk(i, alias, base, bound)).collect())

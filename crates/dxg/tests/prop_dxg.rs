@@ -8,15 +8,14 @@ use proptest::prelude::*;
 /// both acyclic and cyclic dependency graphs occur.
 fn dxg_source() -> impl Strategy<Value = String> {
     let aliases = ["A", "B", "C"];
-    let assignment = (0usize..3, 0usize..4, 0usize..3, 0usize..4).prop_map(
-        move |(ti, tf, ri, rf)| {
+    let assignment =
+        (0usize..3, 0usize..4, 0usize..3, 0usize..4).prop_map(move |(ti, tf, ri, rf)| {
             (
                 aliases[ti].to_string(),
                 format!("f{tf}"),
                 format!("{}.f{rf}", aliases[ri]),
             )
-        },
-    );
+        });
     proptest::collection::vec(assignment, 1..8).prop_map(move |assignments| {
         let mut src = String::from("Input:\n");
         for a in aliases {

@@ -120,12 +120,21 @@ impl Expr {
                 r.collect_roots(bound, out);
             }
             Expr::Unary(_, e) => e.collect_roots(bound, out),
-            Expr::If { then, cond, otherwise } => {
+            Expr::If {
+                then,
+                cond,
+                otherwise,
+            } => {
                 then.collect_roots(bound, out);
                 cond.collect_roots(bound, out);
                 otherwise.collect_roots(bound, out);
             }
-            Expr::Comprehension { body, var, source, filter } => {
+            Expr::Comprehension {
+                body,
+                var,
+                source,
+                filter,
+            } => {
                 source.collect_roots(bound, out);
                 bound.push(var.clone());
                 body.collect_roots(bound, out);
@@ -186,12 +195,21 @@ impl Expr {
                 r.collect_refs(bound, out);
             }
             Expr::Unary(_, e) => e.collect_refs(bound, out),
-            Expr::If { then, cond, otherwise } => {
+            Expr::If {
+                then,
+                cond,
+                otherwise,
+            } => {
                 then.collect_refs(bound, out);
                 cond.collect_refs(bound, out);
                 otherwise.collect_refs(bound, out);
             }
-            Expr::Comprehension { body, var, source, filter } => {
+            Expr::Comprehension {
+                body,
+                var,
+                source,
+                filter,
+            } => {
                 source.collect_refs(bound, out);
                 bound.push(var.clone());
                 body.collect_refs(bound, out);
@@ -229,7 +247,9 @@ impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Expr::Literal(v) => match v {
-                serde_json::Value::String(s) => write!(f, "{}", serde_json::Value::String(s.clone())),
+                serde_json::Value::String(s) => {
+                    write!(f, "{}", serde_json::Value::String(s.clone()))
+                }
                 other => write!(f, "{other}"),
             },
             Expr::Ident(name) => f.write_str(name),
@@ -248,10 +268,19 @@ impl fmt::Display for Expr {
             Expr::Binary(op, l, r) => write!(f, "({l} {} {r})", op.symbol()),
             Expr::Unary(UnOp::Neg, e) => write!(f, "(-{e})"),
             Expr::Unary(UnOp::Not, e) => write!(f, "(not {e})"),
-            Expr::If { then, cond, otherwise } => {
+            Expr::If {
+                then,
+                cond,
+                otherwise,
+            } => {
                 write!(f, "({then} if {cond} else {otherwise})")
             }
-            Expr::Comprehension { body, var, source, filter } => {
+            Expr::Comprehension {
+                body,
+                var,
+                source,
+                filter,
+            } => {
                 write!(f, "[{body} for {var} in {source}")?;
                 if let Some(flt) = filter {
                     write!(f, " if {flt}")?;
@@ -278,8 +307,8 @@ mod tests {
 
     #[test]
     fn free_roots_sees_through_members_and_calls() {
-        let e = parse_expr("currency_convert(S.quote.price, S.quote.currency, this.currency)")
-            .unwrap();
+        let e =
+            parse_expr("currency_convert(S.quote.price, S.quote.currency, this.currency)").unwrap();
         assert_eq!(e.free_roots(), vec!["S".to_string(), "this".to_string()]);
     }
 
@@ -311,7 +340,10 @@ mod tests {
 
     #[test]
     fn static_path_rejects_computed() {
-        assert_eq!(parse_expr("a.b.c").unwrap().static_path(), Some("a.b.c".into()));
+        assert_eq!(
+            parse_expr("a.b.c").unwrap().static_path(),
+            Some("a.b.c".into())
+        );
         assert_eq!(parse_expr("a[0].b").unwrap().static_path(), None);
         assert_eq!(parse_expr("f(x)").unwrap().static_path(), None);
     }

@@ -232,7 +232,9 @@ fn install_standard(reg: &mut FnRegistry) {
     });
     reg.register("trim", |args| {
         arity(args, 1, "trim")?;
-        Ok(Value::String(want_str(&args[0], "trim")?.trim().to_string()))
+        Ok(Value::String(
+            want_str(&args[0], "trim")?.trim().to_string(),
+        ))
     });
 
     reg.register("concat", |args| {
@@ -291,7 +293,11 @@ fn install_standard(reg: &mut FnRegistry) {
 
     reg.register("default", |args| {
         arity(args, 2, "default")?;
-        Ok(if args[0].is_null() { args[1].clone() } else { args[0].clone() })
+        Ok(if args[0].is_null() {
+            args[1].clone()
+        } else {
+            args[0].clone()
+        })
     });
 
     reg.register("str", |args| {
@@ -302,7 +308,7 @@ fn install_standard(reg: &mut FnRegistry) {
     reg.register("number", |args| {
         arity(args, 1, "number")?;
         match &args[0] {
-            Value::Number(n) => Ok(Value::Number(n.clone())),
+            Value::Number(n) => Ok(Value::Number(*n)),
             Value::String(s) => s
                 .trim()
                 .parse::<f64>()
@@ -391,18 +397,33 @@ mod tests {
         assert_eq!(call("upper", &[json!("air")]), json!("AIR"));
         assert_eq!(call("lower", &[json!("AIR")]), json!("air"));
         assert_eq!(call("trim", &[json!("  x ")]), json!("x"));
-        assert_eq!(call("concat", &[json!("a"), json!(1), json!(null)]), json!("a1"));
+        assert_eq!(
+            call("concat", &[json!("a"), json!(1), json!(null)]),
+            json!("a1")
+        );
         assert_eq!(call("join", &[json!(["a", "b"]), json!("-")]), json!("a-b"));
-        assert_eq!(call("split", &[json!("a-b"), json!("-")]), json!(["a", "b"]));
+        assert_eq!(
+            call("split", &[json!("a-b"), json!("-")]),
+            json!(["a", "b"])
+        );
     }
 
     #[test]
     fn contains_variants() {
-        assert_eq!(call("contains", &[json!("shipment"), json!("ship")]), json!(true));
+        assert_eq!(
+            call("contains", &[json!("shipment"), json!("ship")]),
+            json!(true)
+        );
         assert_eq!(call("contains", &[json!([1, 2]), json!(2)]), json!(true));
         assert_eq!(call("contains", &[json!([1, 2]), json!(2.0)]), json!(true));
-        assert_eq!(call("contains", &[json!({"k": 1}), json!("k")]), json!(true));
-        assert_eq!(call("contains", &[json!({"k": 1}), json!("z")]), json!(false));
+        assert_eq!(
+            call("contains", &[json!({"k": 1}), json!("k")]),
+            json!(true)
+        );
+        assert_eq!(
+            call("contains", &[json!({"k": 1}), json!("z")]),
+            json!(false)
+        );
     }
 
     #[test]
@@ -421,17 +442,26 @@ mod tests {
         assert_eq!(call("str", &[json!(1.5)]), json!("1.5"));
         assert_eq!(call("number", &[json!("2.5")]), json!(2.5));
         assert_eq!(call("number", &[json!(true)]), json!(1.0));
-        assert!(matches!(call_err("number", &[json!("abc")]), Error::Expr(_)));
+        assert!(matches!(
+            call_err("number", &[json!("abc")]),
+            Error::Expr(_)
+        ));
     }
 
     #[test]
     fn currency_convert_identity_and_cross() {
         assert_eq!(
-            call("currency_convert", &[json!(12.5), json!("USD"), json!("USD")]),
+            call(
+                "currency_convert",
+                &[json!(12.5), json!("USD"), json!("USD")]
+            ),
             json!(12.5)
         );
         assert_eq!(
-            call("currency_convert", &[json!(100), json!("USD"), json!("EUR")]),
+            call(
+                "currency_convert",
+                &[json!(100), json!("USD"), json!("EUR")]
+            ),
             json!(92.0)
         );
         assert!(matches!(
@@ -450,7 +480,8 @@ mod tests {
         let mut reg = FnRegistry::standard();
         reg.register("currency_convert", |_args| Ok(json!(42.0)));
         assert_eq!(
-            reg.call("currency_convert", &[json!(1), json!("USD"), json!("USD")]).unwrap(),
+            reg.call("currency_convert", &[json!(1), json!("USD"), json!("USD")])
+                .unwrap(),
             json!(42.0)
         );
     }

@@ -20,12 +20,17 @@ use crate::builtins::FnRegistry;
 use knactor_types::{Error, Result};
 use serde_json::Value;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The evaluation environment: bindings from root identifiers (service
 /// aliases, `this`, comprehension variables) to state values.
+///
+/// Values are held as `Arc<Value>` so binding a freshly fetched object
+/// (already shared with its store) and cloning an environment are
+/// refcount bumps, not deep copies.
 #[derive(Debug, Clone, Default)]
 pub struct Env {
-    bindings: BTreeMap<String, Value>,
+    bindings: BTreeMap<String, Arc<Value>>,
 }
 
 impl Env {
@@ -33,14 +38,15 @@ impl Env {
         Env::default()
     }
 
-    /// Bind a root identifier to a value (overwrites).
-    pub fn bind(&mut self, name: impl Into<String>, value: Value) -> &mut Self {
-        self.bindings.insert(name.into(), value);
+    /// Bind a root identifier to a value (overwrites). Accepts owned
+    /// values and shared `Arc<Value>` handles alike.
+    pub fn bind(&mut self, name: impl Into<String>, value: impl Into<Arc<Value>>) -> &mut Self {
+        self.bindings.insert(name.into(), value.into());
         self
     }
 
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.bindings.get(name)
+        self.bindings.get(name).map(|v| &**v)
     }
 
     pub fn names(&self) -> impl Iterator<Item = &String> {
@@ -128,7 +134,11 @@ pub fn eval(expr: &Expr, env: &Env, fns: &FnRegistry) -> Result<Value> {
             let rv = eval(r, env, fns)?;
             binary(*op, &lv, &rv)
         }
-        Expr::If { then, cond, otherwise } => {
+        Expr::If {
+            then,
+            cond,
+            otherwise,
+        } => {
             let c = eval(cond, env, fns)?;
             if truthy(&c) {
                 eval(then, env, fns)
@@ -136,7 +146,12 @@ pub fn eval(expr: &Expr, env: &Env, fns: &FnRegistry) -> Result<Value> {
                 eval(otherwise, env, fns)
             }
         }
-        Expr::Comprehension { body, var, source, filter } => {
+        Expr::Comprehension {
+            body,
+            var,
+            source,
+            filter,
+        } => {
             let src = eval(source, env, fns)?;
             let items: Vec<Value> = match src {
                 Value::Array(items) => items,
@@ -192,9 +207,11 @@ pub fn truthy(v: &Value) -> bool {
 /// Numeric-aware equality: `1 == 1.0`, everything else structural.
 pub fn values_equal(a: &Value, b: &Value) -> bool {
     match (a, b) {
-        (Value::Number(x), Value::Number(y)) => {
-            x.as_f64().zip(y.as_f64()).map(|(x, y)| x == y).unwrap_or(false)
-        }
+        (Value::Number(x), Value::Number(y)) => x
+            .as_f64()
+            .zip(y.as_f64())
+            .map(|(x, y)| x == y)
+            .unwrap_or(false),
         (Value::Array(xs), Value::Array(ys)) => {
             xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| values_equal(x, y))
         }
@@ -258,7 +275,10 @@ fn binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
 fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
     match (l, r) {
         (Value::Number(a), Value::Number(b)) => {
-            let (a, b) = (a.as_f64().unwrap_or(f64::NAN), b.as_f64().unwrap_or(f64::NAN));
+            let (a, b) = (
+                a.as_f64().unwrap_or(f64::NAN),
+                b.as_f64().unwrap_or(f64::NAN),
+            );
             a.partial_cmp(&b)
                 .ok_or_else(|| Error::Expr("cannot compare NaN".to_string()))
         }
@@ -317,7 +337,10 @@ mod tests {
                 "currency": "USD"
             }}),
         );
-        env.bind("S", json!({"quote": {"price": 12.5, "currency": "USD"}, "id": "ship-7"}));
+        env.bind(
+            "S",
+            json!({"quote": {"price": 12.5, "currency": "USD"}, "id": "ship-7"}),
+        );
         env.bind("P", json!({"id": "pay-3"}));
         env.bind("this", json!({"currency": "USD"}));
         env
@@ -346,7 +369,10 @@ mod tests {
             json!(["mug", "pen"])
         );
         assert_eq!(
-            run("[item.name for item in C.order.items if item.qty > 0]", &env),
+            run(
+                "[item.name for item in C.order.items if item.qty > 0]",
+                &env
+            ),
             json!(["mug"])
         );
     }
@@ -355,7 +381,10 @@ mod tests {
     fn fig6_currency_convert() {
         let env = retail_env();
         assert_eq!(
-            run("currency_convert(S.quote.price, S.quote.currency, this.currency)", &env),
+            run(
+                "currency_convert(S.quote.price, S.quote.currency, this.currency)",
+                &env
+            ),
             json!(12.5)
         );
     }
@@ -449,7 +478,10 @@ mod tests {
     #[test]
     fn object_iteration_yields_values() {
         let mut env = Env::new();
-        env.bind("cart", json!({"items": {"sku1": {"qty": 1}, "sku2": {"qty": 3}}}));
+        env.bind(
+            "cart",
+            json!({"items": {"sku1": {"qty": 1}, "sku2": {"qty": 3}}}),
+        );
         // Values come straight from the state, so they keep integer form.
         assert_eq!(run("[i.qty for i in cart.items]", &env), json!([1, 3]));
     }

@@ -59,52 +59,88 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             '%' => {
-                tokens.push(Token { kind: TokenKind::Percent, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::EqEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::EqEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(err(src, start, "'=' is not an operator; use '=='"));
@@ -112,7 +148,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(err(src, start, "'!' is not an operator; use 'not'"));
@@ -120,19 +159,31 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -168,7 +219,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 if !closed {
                     return Err(err(src, start, "unterminated string literal"));
                 }
-                tokens.push(Token { kind: TokenKind::Str(out), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(out),
+                    offset: start,
+                });
             }
             '0'..='9' => {
                 let mut end = i;
@@ -207,7 +261,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 let n: f64 = text
                     .parse()
                     .map_err(|_| err_owned(src, i, format!("bad number '{text}'")))?;
-                tokens.push(Token { kind: TokenKind::Number(n), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Number(n),
+                    offset: start,
+                });
                 i = end;
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -234,7 +291,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                     "null" | "None" => TokenKind::Null,
                     _ => TokenKind::Ident(word.to_string()),
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = end;
             }
             other => {
@@ -266,7 +326,15 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("a + b * 2 >= 10"),
-            vec![Ident("a".into()), Plus, Ident("b".into()), Star, Number(2.0), Ge, Number(10.0)]
+            vec![
+                Ident("a".into()),
+                Plus,
+                Ident("b".into()),
+                Star,
+                Number(2.0),
+                Ge,
+                Number(10.0)
+            ]
         );
     }
 
@@ -275,7 +343,13 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("air if cost not in_flight"),
-            vec![Ident("air".into()), If, Ident("cost".into()), Not, Ident("in_flight".into())]
+            vec![
+                Ident("air".into()),
+                If,
+                Ident("cost".into()),
+                Not,
+                Ident("in_flight".into())
+            ]
         );
     }
 
@@ -283,7 +357,10 @@ mod tests {
     fn lexes_strings_with_escapes() {
         assert_eq!(kinds(r#""a\"b""#), vec![TokenKind::Str("a\"b".into())]);
         assert_eq!(kinds(r#"'it\'s'"#), vec![TokenKind::Str("it's".into())]);
-        assert_eq!(kinds(r#""tab\there""#), vec![TokenKind::Str("tab\there".into())]);
+        assert_eq!(
+            kinds(r#""tab\there""#),
+            vec![TokenKind::Str("tab\there".into())]
+        );
     }
 
     #[test]
@@ -294,7 +371,11 @@ mod tests {
         // `1.name` lexes as number, dot, ident.
         assert_eq!(
             kinds("1.name"),
-            vec![TokenKind::Number(1.0), TokenKind::Dot, TokenKind::Ident("name".into())]
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Dot,
+                TokenKind::Ident("name".into())
+            ]
         );
     }
 

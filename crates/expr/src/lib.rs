@@ -39,7 +39,7 @@ pub mod parser;
 
 pub use ast::Expr;
 pub use builtins::FnRegistry;
-pub use eval::{Env, eval};
+pub use eval::{eval, Env};
 pub use optimize::fold_constants;
 pub use parser::parse_expr;
 

@@ -36,20 +36,27 @@ pub fn fold_constants(expr: &Expr, fns: &FnRegistry) -> Expr {
             Box::new(fold_constants(r, fns)),
         ),
         Expr::Unary(op, e) => Expr::Unary(*op, Box::new(fold_constants(e, fns))),
-        Expr::If { then, cond, otherwise } => Expr::If {
+        Expr::If {
+            then,
+            cond,
+            otherwise,
+        } => Expr::If {
             then: Box::new(fold_constants(then, fns)),
             cond: Box::new(fold_constants(cond, fns)),
             otherwise: Box::new(fold_constants(otherwise, fns)),
         },
-        Expr::Comprehension { body, var, source, filter } => Expr::Comprehension {
+        Expr::Comprehension {
+            body,
+            var,
+            source,
+            filter,
+        } => Expr::Comprehension {
             body: Box::new(fold_constants(body, fns)),
             var: var.clone(),
             source: Box::new(fold_constants(source, fns)),
             filter: filter.as_ref().map(|f| Box::new(fold_constants(f, fns))),
         },
-        Expr::List(items) => {
-            Expr::List(items.iter().map(|i| fold_constants(i, fns)).collect())
-        }
+        Expr::List(items) => Expr::List(items.iter().map(|i| fold_constants(i, fns)).collect()),
     };
     if matches!(rebuilt, Expr::Literal(_)) {
         return rebuilt;

@@ -26,7 +26,11 @@ use knactor_types::{Error, Result};
 /// Parse one expression; trailing tokens are an error.
 pub fn parse_expr(src: &str) -> Result<Expr> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0, src };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src,
+    };
     let e = p.conditional()?;
     if p.pos < p.tokens.len() {
         return Err(p.err_here("unexpected trailing tokens"));
@@ -337,8 +341,8 @@ mod tests {
 
     #[test]
     fn call_with_member_args() {
-        let e = parse_expr("currency_convert(S.quote.price, S.quote.currency, this.currency)")
-            .unwrap();
+        let e =
+            parse_expr("currency_convert(S.quote.price, S.quote.currency, this.currency)").unwrap();
         match &e {
             Expr::Call(name, args) => {
                 assert_eq!(name, "currency_convert");
@@ -352,7 +356,11 @@ mod tests {
     fn comprehension_with_filter() {
         let e = parse_expr("[i.name for i in xs if i.qty > 0]").unwrap();
         match e {
-            Expr::Comprehension { filter: Some(_), var, .. } => assert_eq!(var, "i"),
+            Expr::Comprehension {
+                filter: Some(_),
+                var,
+                ..
+            } => assert_eq!(var, "i"),
             other => panic!("expected comprehension, got {other:?}"),
         }
     }

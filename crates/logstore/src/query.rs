@@ -82,12 +82,16 @@ impl Query {
     }
 
     pub fn filter(mut self, expr_src: &str) -> Result<Query> {
-        self.ops.push(Op::Filter(knactor_expr::parse_expr(expr_src)?));
+        self.ops
+            .push(Op::Filter(knactor_expr::parse_expr(expr_src)?));
         Ok(self)
     }
 
     pub fn rename(mut self, from: impl Into<String>, to: impl Into<String>) -> Query {
-        self.ops.push(Op::Rename { from: from.into(), to: to.into() });
+        self.ops.push(Op::Rename {
+            from: from.into(),
+            to: to.into(),
+        });
         self
     }
 
@@ -110,7 +114,10 @@ impl Query {
     }
 
     pub fn sort(mut self, by: &str, descending: bool) -> Result<Query> {
-        self.ops.push(Op::Sort { by: FieldPath::parse(by)?, descending });
+        self.ops.push(Op::Sort {
+            by: FieldPath::parse(by)?,
+            descending,
+        });
         Ok(self)
     }
 
@@ -138,7 +145,8 @@ impl Query {
 
     /// Run the pipeline with the standard function registry.
     pub fn run(&self, records: impl Iterator<Item = Value>) -> Result<Vec<Value>> {
-        self.run_with(records, &FnRegistry::standard()).map(|(v, _)| v)
+        self.run_with(records, &FnRegistry::standard())
+            .map(|(v, _)| v)
     }
 
     /// Run with an explicit registry; also returns drop counters.
@@ -162,7 +170,12 @@ fn eval_on(expr: &Expr, record: &Value, fns: &FnRegistry) -> Result<Value> {
     knactor_expr::eval(expr, &env, fns)
 }
 
-fn apply(op: &Op, rows: Vec<Value>, fns: &FnRegistry, stats: &mut QueryStats) -> Result<Vec<Value>> {
+fn apply(
+    op: &Op,
+    rows: Vec<Value>,
+    fns: &FnRegistry,
+    stats: &mut QueryStats,
+) -> Result<Vec<Value>> {
     match op {
         Op::Filter(expr) => {
             let mut out = Vec::with_capacity(rows.len());
@@ -231,7 +244,12 @@ fn apply(op: &Op, rows: Vec<Value>, fns: &FnRegistry, stats: &mut QueryStats) ->
             });
             Ok(rows)
         }
-        Op::Aggregate { group_by, agg, field, as_field } => {
+        Op::Aggregate {
+            group_by,
+            agg,
+            field,
+            as_field,
+        } => {
             let mut groups: BTreeMap<String, Vec<&Value>> = BTreeMap::new();
             if group_by.is_none() {
                 // SQL semantics: an ungrouped aggregate always yields one
@@ -414,7 +432,11 @@ mod tests {
     #[test]
     fn sort_orders_with_nulls_first() {
         let q = Query::new().sort("sensitivity", false).unwrap();
-        let rows = vec![json!({"sensitivity": 5}), json!({}), json!({"sensitivity": 1})];
+        let rows = vec![
+            json!({"sensitivity": 5}),
+            json!({}),
+            json!({"sensitivity": 1}),
+        ];
         let out = q.run(rows.into_iter()).unwrap();
         assert_eq!(out[0], json!({}));
         assert_eq!(out[1]["sensitivity"], json!(1));
@@ -430,7 +452,13 @@ mod tests {
             .aggregate(Some("room"), AggFn::Count, None, "n")
             .unwrap();
         let out = q.run(motion_records().into_iter()).unwrap();
-        assert_eq!(out, vec![json!({"room": "hall", "n": 2}), json!({"room": "kitchen", "n": 2})]);
+        assert_eq!(
+            out,
+            vec![
+                json!({"room": "hall", "n": 2}),
+                json!({"room": "kitchen", "n": 2})
+            ]
+        );
 
         let q = Query::new()
             .aggregate(Some("room"), AggFn::Sum, Some("sensitivity"), "total")
@@ -449,11 +477,17 @@ mod tests {
         let q = Query::new()
             .aggregate(None, AggFn::Max, Some("sensitivity"), "m")
             .unwrap();
-        assert_eq!(q.run(motion_records().into_iter()).unwrap()[0]["m"], json!(9.0));
+        assert_eq!(
+            q.run(motion_records().into_iter()).unwrap()[0]["m"],
+            json!(9.0)
+        );
         let q = Query::new()
             .aggregate(None, AggFn::Last, Some("room"), "r")
             .unwrap();
-        assert_eq!(q.run(motion_records().into_iter()).unwrap()[0]["r"], json!("hall"));
+        assert_eq!(
+            q.run(motion_records().into_iter()).unwrap()[0]["r"],
+            json!("hall")
+        );
     }
 
     #[test]

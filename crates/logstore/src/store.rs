@@ -59,7 +59,10 @@ impl LogStore {
     pub fn new(id: impl Into<StoreId>) -> LogStore {
         LogStore {
             id: id.into(),
-            inner: Mutex::new(LogInner { next_seq: 1, ..Default::default() }),
+            inner: Mutex::new(LogInner {
+                next_seq: 1,
+                ..Default::default()
+            }),
         }
     }
 
@@ -192,14 +195,9 @@ mod knactor_rbac_shim {
     /// Injected permission oracle: `(subject, verb, store) -> allowed`.
     pub type CheckFn = Box<dyn Fn(&str, &str, &StoreId) -> bool + Send + Sync>;
 
+    #[derive(Default)]
     pub struct AccessShim {
         check: Option<CheckFn>,
-    }
-
-    impl Default for AccessShim {
-        fn default() -> Self {
-            AccessShim { check: None }
-        }
     }
 
     impl AccessShim {
@@ -265,13 +263,20 @@ impl LogExchange {
     /// Ingest with access check.
     pub fn ingest(&self, subject: &str, id: &StoreId, fields: Value) -> Result<u64> {
         if !self.access.read().allows(subject, "create", id) {
-            return Err(Error::Forbidden(format!("{subject} may not ingest into {id}")));
+            return Err(Error::Forbidden(format!(
+                "{subject} may not ingest into {id}"
+            )));
         }
         Ok(self.store(id)?.append(fields))
     }
 
     /// Query with access check (see [`crate::query::Query::run`]).
-    pub fn query(&self, subject: &str, id: &StoreId, query: &crate::query::Query) -> Result<Vec<Value>> {
+    pub fn query(
+        &self,
+        subject: &str,
+        id: &StoreId,
+        query: &crate::query::Query,
+    ) -> Result<Vec<Value>> {
         if !self.access.read().allows(subject, "get", id) {
             return Err(Error::Forbidden(format!("{subject} may not query {id}")));
         }
@@ -333,7 +338,10 @@ mod tests {
         for i in 0..(SEGMENT_CAPACITY * 3) {
             log.append(json!({"i": i}));
         }
-        assert!(log.len() <= SEGMENT_CAPACITY * 2, "retention must bound growth");
+        assert!(
+            log.len() <= SEGMENT_CAPACITY * 2,
+            "retention must bound growth"
+        );
         // Sequence numbers keep counting despite truncation.
         assert_eq!(log.last_seq(), (SEGMENT_CAPACITY * 3) as u64);
         let first_retained = log.read_all()[0].seq;
@@ -381,9 +389,13 @@ mod tests {
         de.ingest("anyone", &id, json!({"kwh": 0.2})).unwrap();
         // Install an oracle that only lets the lamp reconciler ingest.
         de.set_access_check(|subject, verb, store| {
-            !(verb == "create" && store.as_str() == "lamp/telemetry" && subject != "reconciler:lamp")
+            !(verb == "create"
+                && store.as_str() == "lamp/telemetry"
+                && subject != "reconciler:lamp")
         });
-        assert!(de.ingest("reconciler:lamp", &id, json!({"kwh": 0.3})).is_ok());
+        assert!(de
+            .ingest("reconciler:lamp", &id, json!({"kwh": 0.3}))
+            .is_ok());
         assert!(matches!(
             de.ingest("integrator:sync", &id, json!({"kwh": 0.4})),
             Err(Error::Forbidden(_))

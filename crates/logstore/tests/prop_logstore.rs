@@ -5,9 +5,8 @@ use proptest::prelude::*;
 use serde_json::{json, Value};
 
 fn record() -> impl Strategy<Value = Value> {
-    (any::<i32>(), any::<bool>(), "[a-c]{1}").prop_map(|(n, b, room)| {
-        json!({"n": n, "flag": b, "room": room})
-    })
+    (any::<i32>(), any::<bool>(), "[a-c]{1}")
+        .prop_map(|(n, b, room)| json!({"n": n, "flag": b, "room": room}))
 }
 
 proptest! {

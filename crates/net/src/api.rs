@@ -27,7 +27,12 @@ pub type TailRx = mpsc::UnboundedReceiver<LogRecord>;
 pub trait ExchangeApi: Send + Sync {
     // ---- object exchange ---------------------------------------------------
     fn create_store(&self, store: StoreId, profile: ProfileSpec) -> BoxFuture<'_, Result<()>>;
-    fn create(&self, store: StoreId, key: ObjectKey, value: Value) -> BoxFuture<'_, Result<Revision>>;
+    fn create(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        value: Value,
+    ) -> BoxFuture<'_, Result<Revision>>;
     fn get(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<StoredObject>>;
     fn list(&self, store: StoreId) -> BoxFuture<'_, Result<(Vec<StoredObject>, Revision)>>;
     fn update(

@@ -54,7 +54,10 @@ pub struct TcpClient {
 
 impl TcpClient {
     /// Connect and identify as `subject`.
-    pub async fn connect(addr: impl tokio::net::ToSocketAddrs, subject: Subject) -> Result<TcpClient> {
+    pub async fn connect(
+        addr: impl tokio::net::ToSocketAddrs,
+        subject: Subject,
+    ) -> Result<TcpClient> {
         let socket = TcpStream::connect(addr).await?;
         socket
             .set_nodelay(true)
@@ -152,7 +155,13 @@ impl TcpClient {
             router.record_subs.clear();
         });
 
-        Ok(TcpClient { out_tx, router, next_id: AtomicU64::new(1), latency: None, subject })
+        Ok(TcpClient {
+            out_tx,
+            router,
+            next_id: AtomicU64::new(1),
+            latency: None,
+            subject,
+        })
     }
 
     /// Inject a fixed round-trip latency applied to every request (models
@@ -211,14 +220,22 @@ fn unexpected(r: Response) -> Error {
 impl ExchangeApi for TcpClient {
     fn create_store(&self, store: StoreId, profile: ProfileSpec) -> BoxFuture<'_, Result<()>> {
         Box::pin(async move {
-            match self.request(Request::CreateStore { store, profile }).await? {
+            match self
+                .request(Request::CreateStore { store, profile })
+                .await?
+            {
                 Response::Ok => Ok(()),
                 other => Err(unexpected(other)),
             }
         })
     }
 
-    fn create(&self, store: StoreId, key: ObjectKey, value: Value) -> BoxFuture<'_, Result<Revision>> {
+    fn create(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        value: Value,
+    ) -> BoxFuture<'_, Result<Revision>> {
         Box::pin(async move {
             match self.request(Request::Create { store, key, value }).await? {
                 Response::Revision { revision } => Ok(revision),
@@ -254,7 +271,12 @@ impl ExchangeApi for TcpClient {
     ) -> BoxFuture<'_, Result<Revision>> {
         Box::pin(async move {
             match self
-                .request(Request::Update { store, key, value, expected })
+                .request(Request::Update {
+                    store,
+                    key,
+                    value,
+                    expected,
+                })
                 .await?
             {
                 Response::Revision { revision } => Ok(revision),
@@ -271,7 +293,15 @@ impl ExchangeApi for TcpClient {
         upsert: bool,
     ) -> BoxFuture<'_, Result<Revision>> {
         Box::pin(async move {
-            match self.request(Request::Patch { store, key, patch, upsert }).await? {
+            match self
+                .request(Request::Patch {
+                    store,
+                    key,
+                    patch,
+                    upsert,
+                })
+                .await?
+            {
                 Response::Revision { revision } => Ok(revision),
                 other => Err(unexpected(other)),
             }
@@ -295,7 +325,11 @@ impl ExchangeApi for TcpClient {
     ) -> BoxFuture<'_, Result<()>> {
         Box::pin(async move {
             match self
-                .request(Request::RegisterConsumer { store, key, consumer })
+                .request(Request::RegisterConsumer {
+                    store,
+                    key,
+                    consumer,
+                })
                 .await?
             {
                 Response::Ok => Ok(()),
@@ -312,7 +346,11 @@ impl ExchangeApi for TcpClient {
     ) -> BoxFuture<'_, Result<Vec<ObjectKey>>> {
         Box::pin(async move {
             match self
-                .request(Request::MarkProcessed { store, key, consumer })
+                .request(Request::MarkProcessed {
+                    store,
+                    key,
+                    consumer,
+                })
                 .await?
             {
                 Response::Collected { keys } => Ok(keys),
@@ -369,7 +407,11 @@ impl ExchangeApi for TcpClient {
     ) -> BoxFuture<'_, Result<()>> {
         Box::pin(async move {
             match self
-                .request(Request::RegisterUdf { name, inputs, assignments })
+                .request(Request::RegisterUdf {
+                    name,
+                    inputs,
+                    assignments,
+                })
                 .await?
             {
                 Response::Ok => Ok(()),
@@ -420,7 +462,10 @@ impl ExchangeApi for TcpClient {
 
     fn log_append_batch(&self, store: StoreId, batch: Vec<Value>) -> BoxFuture<'_, Result<u64>> {
         Box::pin(async move {
-            match self.request(Request::LogAppendBatch { store, batch }).await? {
+            match self
+                .request(Request::LogAppendBatch { store, batch })
+                .await?
+            {
                 Response::Seq { seq } => Ok(seq),
                 other => Err(unexpected(other)),
             }
@@ -449,7 +494,10 @@ impl ExchangeApi for TcpClient {
         Box::pin(async move {
             let (tx, rx) = mpsc::unbounded_channel();
             match self
-                .request_staged(Request::LogTail { store, from }, Some(StagedSub::Record(tx)))
+                .request_staged(
+                    Request::LogTail { store, from },
+                    Some(StagedSub::Record(tx)),
+                )
                 .await?
             {
                 Response::Watch { .. } => Ok(rx),

@@ -19,7 +19,10 @@ pub struct FrameReader<R> {
 
 impl<R: AsyncRead + Unpin> FrameReader<R> {
     pub fn new(inner: R) -> Self {
-        FrameReader { inner, buf: BytesMut::with_capacity(8 * 1024) }
+        FrameReader {
+            inner,
+            buf: BytesMut::with_capacity(8 * 1024),
+        }
     }
 
     /// Read one frame. `Ok(None)` on clean EOF at a frame boundary;
@@ -45,7 +48,9 @@ impl<R: AsyncRead + Unpin> FrameReader<R> {
         }
         let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
         if len > MAX_FRAME {
-            return Err(Error::Transport(format!("frame of {len} bytes exceeds MAX_FRAME")));
+            return Err(Error::Transport(format!(
+                "frame of {len} bytes exceeds MAX_FRAME"
+            )));
         }
         if self.buf.len() < 4 + len {
             self.buf.reserve(4 + len - self.buf.len());
@@ -131,7 +136,9 @@ mod tests {
         {
             use tokio::io::AsyncWriteExt;
             let mut raw = client;
-            raw.write_all(&(MAX_FRAME as u32 + 1).to_be_bytes()).await.unwrap();
+            raw.write_all(&(MAX_FRAME as u32 + 1).to_be_bytes())
+                .await
+                .unwrap();
         }
         let mut r = FrameReader::new(server);
         assert!(r.read_frame().await.is_err());

@@ -12,9 +12,9 @@
 use crate::api::{BoxFuture, ExchangeApi, TailRx, WatchRx};
 use crate::proto::{ProfileSpec, QuerySpec};
 use knactor_logstore::{LogExchange, LogRecord};
+use knactor_rbac::Subject;
 use knactor_store::udf::UdfAssignment;
 use knactor_store::{DataExchange, StoredObject, TxOp, UdfBinding};
-use knactor_rbac::Subject;
 use knactor_types::{ObjectKey, Result, Revision, Schema, SchemaName, StoreId, Value};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -50,7 +50,10 @@ impl LoopbackClient {
 
     /// The same exchanges viewed as a different subject.
     pub fn as_subject(&self, subject: Subject) -> LoopbackClient {
-        LoopbackClient { subject, ..self.clone() }
+        LoopbackClient {
+            subject,
+            ..self.clone()
+        }
     }
 
     fn subject_str(&self) -> String {
@@ -67,7 +70,12 @@ impl ExchangeApi for LoopbackClient {
         })
     }
 
-    fn create(&self, store: StoreId, key: ObjectKey, value: Value) -> BoxFuture<'_, Result<Revision>> {
+    fn create(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        value: Value,
+    ) -> BoxFuture<'_, Result<Revision>> {
         Box::pin(async move {
             self.object
                 .handle(&store, self.subject.clone())?
@@ -77,11 +85,21 @@ impl ExchangeApi for LoopbackClient {
     }
 
     fn get(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<StoredObject>> {
-        Box::pin(async move { self.object.handle(&store, self.subject.clone())?.get(&key).await })
+        Box::pin(async move {
+            self.object
+                .handle(&store, self.subject.clone())?
+                .get(&key)
+                .await
+        })
     }
 
     fn list(&self, store: StoreId) -> BoxFuture<'_, Result<(Vec<StoredObject>, Revision)>> {
-        Box::pin(async move { self.object.handle(&store, self.subject.clone())?.list().await })
+        Box::pin(async move {
+            self.object
+                .handle(&store, self.subject.clone())?
+                .list()
+                .await
+        })
     }
 
     fn update(
@@ -116,7 +134,10 @@ impl ExchangeApi for LoopbackClient {
 
     fn delete(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<Revision>> {
         Box::pin(async move {
-            self.object.handle(&store, self.subject.clone())?.delete(&key).await
+            self.object
+                .handle(&store, self.subject.clone())?
+                .delete(&key)
+                .await
         })
     }
 
@@ -264,12 +285,18 @@ mod tests {
     async fn loopback_object_roundtrip() {
         let (_, _, client) = in_process(Subject::operator("test"));
         let store = StoreId::new("t/s");
-        client.create_store(store.clone(), ProfileSpec::Instant).await.unwrap();
+        client
+            .create_store(store.clone(), ProfileSpec::Instant)
+            .await
+            .unwrap();
         client
             .create(store.clone(), ObjectKey::new("a"), json!({"x": 1}))
             .await
             .unwrap();
-        let obj = client.get(store.clone(), ObjectKey::new("a")).await.unwrap();
+        let obj = client
+            .get(store.clone(), ObjectKey::new("a"))
+            .await
+            .unwrap();
         assert_eq!(obj.value, json!({"x": 1}));
         let mut rx = client.watch(store.clone(), Revision::ZERO).await.unwrap();
         let e = rx.recv().await.unwrap();
@@ -281,7 +308,10 @@ mod tests {
         let (_, _, client) = in_process(Subject::operator("test"));
         let store = StoreId::new("t/log");
         client.log_create_store(store.clone()).await.unwrap();
-        client.log_append(store.clone(), json!({"n": 1})).await.unwrap();
+        client
+            .log_append(store.clone(), json!({"n": 1}))
+            .await
+            .unwrap();
         client
             .log_append_batch(store.clone(), vec![json!({"n": 2}), json!({"n": 3})])
             .await
@@ -292,7 +322,9 @@ mod tests {
             .log_query(
                 store.clone(),
                 QuerySpec {
-                    ops: vec![crate::proto::OpSpec::Filter { expr: "this.n > 1".into() }],
+                    ops: vec![crate::proto::OpSpec::Filter {
+                        expr: "this.n > 1".into(),
+                    }],
                 },
             )
             .await

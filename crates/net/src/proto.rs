@@ -58,18 +58,33 @@ impl ProfileSpec {
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 #[serde(rename_all = "snake_case", tag = "op")]
 pub enum OpSpec {
-    Filter { expr: String },
-    Rename { from: String, to: String },
-    Project { fields: Vec<String> },
-    Derive { field: String, expr: String },
-    Sort { by: String, descending: bool },
+    Filter {
+        expr: String,
+    },
+    Rename {
+        from: String,
+        to: String,
+    },
+    Project {
+        fields: Vec<String>,
+    },
+    Derive {
+        field: String,
+        expr: String,
+    },
+    Sort {
+        by: String,
+        descending: bool,
+    },
     Aggregate {
         group_by: Option<String>,
         agg: String,
         field: Option<String>,
         as_field: String,
     },
-    Limit { n: usize },
+    Limit {
+        n: usize,
+    },
 }
 
 /// A serializable query pipeline.
@@ -89,7 +104,12 @@ impl QuerySpec {
                 OpSpec::Project { fields } => q.project(fields.clone()),
                 OpSpec::Derive { field, expr } => q.derive(field.clone(), expr)?,
                 OpSpec::Sort { by, descending } => q.sort(by, *descending)?,
-                OpSpec::Aggregate { group_by, agg, field, as_field } => q.aggregate(
+                OpSpec::Aggregate {
+                    group_by,
+                    agg,
+                    field,
+                    as_field,
+                } => q.aggregate(
                     group_by.as_deref(),
                     AggFn::parse(agg)?,
                     field.as_deref(),
@@ -108,36 +128,107 @@ impl QuerySpec {
 pub enum Request {
     Ping,
     // ---- object exchange --------------------------------------------------
-    CreateStore { store: StoreId, profile: ProfileSpec },
-    Create { store: StoreId, key: ObjectKey, value: Value },
-    Get { store: StoreId, key: ObjectKey },
-    List { store: StoreId },
-    Update { store: StoreId, key: ObjectKey, value: Value, expected: Option<Revision> },
-    Patch { store: StoreId, key: ObjectKey, patch: Value, upsert: bool },
-    Delete { store: StoreId, key: ObjectKey },
-    RegisterConsumer { store: StoreId, key: ObjectKey, consumer: String },
-    MarkProcessed { store: StoreId, key: ObjectKey, consumer: String },
+    CreateStore {
+        store: StoreId,
+        profile: ProfileSpec,
+    },
+    Create {
+        store: StoreId,
+        key: ObjectKey,
+        value: Value,
+    },
+    Get {
+        store: StoreId,
+        key: ObjectKey,
+    },
+    List {
+        store: StoreId,
+    },
+    Update {
+        store: StoreId,
+        key: ObjectKey,
+        value: Value,
+        expected: Option<Revision>,
+    },
+    Patch {
+        store: StoreId,
+        key: ObjectKey,
+        patch: Value,
+        upsert: bool,
+    },
+    Delete {
+        store: StoreId,
+        key: ObjectKey,
+    },
+    RegisterConsumer {
+        store: StoreId,
+        key: ObjectKey,
+        consumer: String,
+    },
+    MarkProcessed {
+        store: StoreId,
+        key: ObjectKey,
+        consumer: String,
+    },
     /// Start a watch; the reply is `Response::Watch { sub_id }` and events
     /// then arrive as `ServerMsg::Event`.
-    Watch { store: StoreId, from: Revision },
+    Watch {
+        store: StoreId,
+        from: Revision,
+    },
     /// Stop a watch subscription.
-    Unwatch { sub_id: u64 },
-    RegisterSchema { schema: Schema },
-    BindSchema { store: StoreId, schema: SchemaName },
-    GetSchema { schema: SchemaName },
-    RegisterUdf { name: String, inputs: Vec<String>, assignments: Vec<UdfAssignment> },
-    ExecuteUdf { name: String, bindings: Vec<UdfBinding> },
+    Unwatch {
+        sub_id: u64,
+    },
+    RegisterSchema {
+        schema: Schema,
+    },
+    BindSchema {
+        store: StoreId,
+        schema: SchemaName,
+    },
+    GetSchema {
+        schema: SchemaName,
+    },
+    RegisterUdf {
+        name: String,
+        inputs: Vec<String>,
+        assignments: Vec<UdfAssignment>,
+    },
+    ExecuteUdf {
+        name: String,
+        bindings: Vec<UdfBinding>,
+    },
     /// Atomic multi-store patch set (§5 run-time transactions).
-    Transact { ops: Vec<TxOp> },
+    Transact {
+        ops: Vec<TxOp>,
+    },
     // ---- log exchange -------------------------------------------------------
-    LogCreateStore { store: StoreId },
-    LogAppend { store: StoreId, fields: Value },
-    LogAppendBatch { store: StoreId, batch: Vec<Value> },
-    LogRead { store: StoreId, from: u64 },
-    LogQuery { store: StoreId, query: QuerySpec },
+    LogCreateStore {
+        store: StoreId,
+    },
+    LogAppend {
+        store: StoreId,
+        fields: Value,
+    },
+    LogAppendBatch {
+        store: StoreId,
+        batch: Vec<Value>,
+    },
+    LogRead {
+        store: StoreId,
+        from: u64,
+    },
+    LogQuery {
+        store: StoreId,
+        query: QuerySpec,
+    },
     /// Start a log tail; events arrive as `ServerMsg::Event` with
     /// `Response::Record` payloads wrapped in `EventBody::Record`.
-    LogTail { store: StoreId, from: u64 },
+    LogTail {
+        store: StoreId,
+        from: u64,
+    },
 }
 
 /// Server → client replies.
@@ -146,22 +237,49 @@ pub enum Request {
 pub enum Response {
     Ok,
     Pong,
-    Revision { revision: Revision },
-    Object { object: StoredObject },
-    Objects { objects: Vec<StoredObject>, revision: Revision },
-    Collected { keys: Vec<ObjectKey> },
-    Schema { schema: Schema },
-    Revisions { revisions: Vec<(StoreId, Revision)> },
-    Seq { seq: u64 },
-    Records { records: Vec<LogRecord> },
-    Rows { rows: Vec<Value> },
-    Watch { sub_id: u64 },
-    Error { code: String, message: String },
+    Revision {
+        revision: Revision,
+    },
+    Object {
+        object: StoredObject,
+    },
+    Objects {
+        objects: Vec<StoredObject>,
+        revision: Revision,
+    },
+    Collected {
+        keys: Vec<ObjectKey>,
+    },
+    Schema {
+        schema: Schema,
+    },
+    Revisions {
+        revisions: Vec<(StoreId, Revision)>,
+    },
+    Seq {
+        seq: u64,
+    },
+    Records {
+        records: Vec<LogRecord>,
+    },
+    Rows {
+        rows: Vec<Value>,
+    },
+    Watch {
+        sub_id: u64,
+    },
+    Error {
+        code: String,
+        message: String,
+    },
 }
 
 impl Response {
     pub fn from_error(e: &Error) -> Response {
-        Response::Error { code: e.code().to_string(), message: e.wire_message() }
+        Response::Error {
+            code: e.code().to_string(),
+            message: e.wire_message(),
+        }
     }
 
     /// Convert an error response back into an `Err`, pass others through.
@@ -177,8 +295,12 @@ impl Response {
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 #[serde(rename_all = "snake_case", tag = "type")]
 pub enum EventBody {
-    Object { event: WatchEvent },
-    Record { record: LogRecord },
+    Object {
+        event: WatchEvent,
+    },
+    Record {
+        record: LogRecord,
+    },
     /// The subscription ended server-side (store dropped, shutdown).
     Closed,
 }
@@ -222,7 +344,10 @@ mod tests {
 
     #[test]
     fn error_response_roundtrips_to_err() {
-        let e = Error::Conflict { expected: 1, actual: 2 };
+        let e = Error::Conflict {
+            expected: 1,
+            actual: 2,
+        };
         let resp = Response::from_error(&e);
         let bytes = encode(&resp).unwrap();
         let back: Response = decode(&bytes).unwrap();
@@ -238,8 +363,13 @@ mod tests {
     fn query_spec_compiles() {
         let spec = QuerySpec {
             ops: vec![
-                OpSpec::Filter { expr: "this.triggered == true".into() },
-                OpSpec::Rename { from: "triggered".into(), to: "motion".into() },
+                OpSpec::Filter {
+                    expr: "this.triggered == true".into(),
+                },
+                OpSpec::Rename {
+                    from: "triggered".into(),
+                    to: "motion".into(),
+                },
                 OpSpec::Aggregate {
                     group_by: None,
                     agg: "count".into(),
@@ -257,7 +387,9 @@ mod tests {
 
     #[test]
     fn query_spec_bad_expr_fails_compile() {
-        let spec = QuerySpec { ops: vec![OpSpec::Filter { expr: "1 +".into() }] };
+        let spec = QuerySpec {
+            ops: vec![OpSpec::Filter { expr: "1 +".into() }],
+        };
         assert!(spec.compile().is_err());
     }
 
@@ -265,7 +397,10 @@ mod tests {
     fn profile_spec_materializes() {
         let dir = std::env::temp_dir();
         let store = StoreId::new("a/b");
-        assert_eq!(ProfileSpec::Instant.materialize(&dir, &store).name, "instant");
+        assert_eq!(
+            ProfileSpec::Instant.materialize(&dir, &store).name,
+            "instant"
+        );
         assert_eq!(ProfileSpec::Redis.materialize(&dir, &store).name, "redis");
         let api = ProfileSpec::Apiserver.materialize(&dir, &store);
         assert!(api.is_durable());
@@ -276,7 +411,10 @@ mod tests {
         let msg = ServerMsg::Event {
             sub_id: 3,
             body: EventBody::Record {
-                record: LogRecord { seq: 9, fields: json!({"kwh": 0.2}) },
+                record: LogRecord {
+                    seq: 9,
+                    fields: json!({"kwh": 0.2}),
+                },
             },
         };
         let back: ServerMsg = decode(&encode(&msg).unwrap()).unwrap();

@@ -46,7 +46,8 @@ impl ExchangeServer {
             .local_addr()
             .map_err(|e| Error::Transport(e.to_string()))?;
         let (shutdown_tx, shutdown_rx) = watch::channel(false);
-        let data_dir = std::env::temp_dir().join(format!("knactor-server-{local_addr}").replace(':', "_"));
+        let data_dir =
+            std::env::temp_dir().join(format!("knactor-server-{local_addr}").replace(':', "_"));
         let ctx = Arc::new(ServerCtx {
             object: Arc::clone(&object),
             log: Arc::clone(&log),
@@ -54,7 +55,14 @@ impl ExchangeServer {
             next_sub: AtomicU64::new(1),
         });
         let accept_task = tokio::spawn(accept_loop(listener, ctx, shutdown_rx));
-        Ok(ExchangeServer { object, log, local_addr, shutdown_tx, accept_task, data_dir })
+        Ok(ExchangeServer {
+            object,
+            log,
+            local_addr,
+            shutdown_tx,
+            accept_task,
+            data_dir,
+        })
     }
 
     /// Convenience: fresh exchanges on an ephemeral localhost port.
@@ -224,18 +232,31 @@ async fn dispatch(
             Ok(Response::Ok)
         }
         Request::Create { store, key, value } => {
-            let rev = ctx.object.handle(&store, subject.clone())?.create(key, value).await?;
+            let rev = ctx
+                .object
+                .handle(&store, subject.clone())?
+                .create(key, value)
+                .await?;
             Ok(Response::Revision { revision: rev })
         }
         Request::Get { store, key } => {
-            let object = ctx.object.handle(&store, subject.clone())?.get(&key).await?;
+            let object = ctx
+                .object
+                .handle(&store, subject.clone())?
+                .get(&key)
+                .await?;
             Ok(Response::Object { object })
         }
         Request::List { store } => {
             let (objects, revision) = ctx.object.handle(&store, subject.clone())?.list().await?;
             Ok(Response::Objects { objects, revision })
         }
-        Request::Update { store, key, value, expected } => {
+        Request::Update {
+            store,
+            key,
+            value,
+            expected,
+        } => {
             let rev = ctx
                 .object
                 .handle(&store, subject.clone())?
@@ -243,7 +264,12 @@ async fn dispatch(
                 .await?;
             Ok(Response::Revision { revision: rev })
         }
-        Request::Patch { store, key, patch, upsert } => {
+        Request::Patch {
+            store,
+            key,
+            patch,
+            upsert,
+        } => {
             let rev = ctx
                 .object
                 .handle(&store, subject.clone())?
@@ -252,17 +278,29 @@ async fn dispatch(
             Ok(Response::Revision { revision: rev })
         }
         Request::Delete { store, key } => {
-            let rev = ctx.object.handle(&store, subject.clone())?.delete(&key).await?;
+            let rev = ctx
+                .object
+                .handle(&store, subject.clone())?
+                .delete(&key)
+                .await?;
             Ok(Response::Revision { revision: rev })
         }
-        Request::RegisterConsumer { store, key, consumer } => {
+        Request::RegisterConsumer {
+            store,
+            key,
+            consumer,
+        } => {
             ctx.object
                 .handle(&store, subject.clone())?
                 .register_consumer(&key, &consumer)
                 .await?;
             Ok(Response::Ok)
         }
-        Request::MarkProcessed { store, key, consumer } => {
+        Request::MarkProcessed {
+            store,
+            key,
+            consumer,
+        } => {
             let keys = ctx
                 .object
                 .handle(&store, subject.clone())?
@@ -280,13 +318,19 @@ async fn dispatch(
             let task = tokio::spawn(async move {
                 while let Some(event) = stream.recv().await {
                     if out
-                        .send(ServerMsg::Event { sub_id, body: EventBody::Object { event } })
+                        .send(ServerMsg::Event {
+                            sub_id,
+                            body: EventBody::Object { event },
+                        })
                         .is_err()
                     {
                         return;
                     }
                 }
-                let _ = out.send(ServerMsg::Event { sub_id, body: EventBody::Closed });
+                let _ = out.send(ServerMsg::Event {
+                    sub_id,
+                    body: EventBody::Closed,
+                });
             });
             subs.insert(sub_id, task);
             Ok(Response::Watch { sub_id })
@@ -307,20 +351,28 @@ async fn dispatch(
             ctx.object.bind_schema(&store, &schema)?;
             Ok(Response::Ok)
         }
-        Request::GetSchema { schema } => {
-            Ok(Response::Schema { schema: ctx.object.schema(&schema)? })
-        }
-        Request::RegisterUdf { name, inputs, assignments } => {
+        Request::GetSchema { schema } => Ok(Response::Schema {
+            schema: ctx.object.schema(&schema)?,
+        }),
+        Request::RegisterUdf {
+            name,
+            inputs,
+            assignments,
+        } => {
             ctx.object.register_udf(name, inputs, &assignments)?;
             Ok(Response::Ok)
         }
         Request::ExecuteUdf { name, bindings } => {
             let revisions = ctx.object.execute_udf(subject, &name, &bindings)?;
-            Ok(Response::Revisions { revisions: revisions.into_iter().collect() })
+            Ok(Response::Revisions {
+                revisions: revisions.into_iter().collect(),
+            })
         }
         Request::Transact { ops } => {
             let revisions = ctx.object.transact(subject, &ops)?;
-            Ok(Response::Revisions { revisions: revisions.into_iter().collect() })
+            Ok(Response::Revisions {
+                revisions: revisions.into_iter().collect(),
+            })
         }
         Request::LogCreateStore { store } => {
             ctx.log.create_store(store)?;
@@ -353,13 +405,19 @@ async fn dispatch(
             let task = tokio::spawn(async move {
                 while let Some(record) = rx.recv().await {
                     if out
-                        .send(ServerMsg::Event { sub_id, body: EventBody::Record { record } })
+                        .send(ServerMsg::Event {
+                            sub_id,
+                            body: EventBody::Record { record },
+                        })
                         .is_err()
                     {
                         return;
                     }
                 }
-                let _ = out.send(ServerMsg::Event { sub_id, body: EventBody::Closed });
+                let _ = out.send(ServerMsg::Event {
+                    sub_id,
+                    body: EventBody::Closed,
+                });
             });
             subs.insert(sub_id, task);
             Ok(Response::Watch { sub_id })

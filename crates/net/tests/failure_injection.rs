@@ -16,7 +16,10 @@ async fn server_shutdown_fails_pending_and_ends_watches() {
     let client = TcpClient::connect(server.local_addr(), Subject::operator("c"))
         .await
         .unwrap();
-    let mut watch = client.watch(StoreId::new("s/x"), Revision::ZERO).await.unwrap();
+    let mut watch = client
+        .watch(StoreId::new("s/x"), Revision::ZERO)
+        .await
+        .unwrap();
     client
         .create(StoreId::new("s/x"), ObjectKey::new("k"), json!(1))
         .await
@@ -27,7 +30,10 @@ async fn server_shutdown_fails_pending_and_ends_watches() {
 
     // The watch stream ends rather than hanging.
     let next = tokio::time::timeout(Duration::from_secs(5), watch.recv()).await;
-    assert!(matches!(next, Ok(None)), "watch must end on server shutdown: {next:?}");
+    assert!(
+        matches!(next, Ok(None)),
+        "watch must end on server shutdown: {next:?}"
+    );
 
     // New requests fail with a transport error rather than hanging.
     let result = tokio::time::timeout(
@@ -44,7 +50,9 @@ async fn garbage_frames_kill_only_that_connection() {
     let server = test_server(&["s/x"], &[]).await.unwrap();
 
     // A raw connection that sends a valid hello, then garbage.
-    let socket = tokio::net::TcpStream::connect(server.local_addr()).await.unwrap();
+    let socket = tokio::net::TcpStream::connect(server.local_addr())
+        .await
+        .unwrap();
     let mut writer = FrameWriter::new(socket);
     writer
         .write_frame(
@@ -75,7 +83,9 @@ async fn garbage_frames_kill_only_that_connection() {
 #[tokio::test]
 async fn bad_hello_subject_kind_rejected_gracefully() {
     let server = test_server(&["s/x"], &[]).await.unwrap();
-    let socket = tokio::net::TcpStream::connect(server.local_addr()).await.unwrap();
+    let socket = tokio::net::TcpStream::connect(server.local_addr())
+        .await
+        .unwrap();
     let mut writer = FrameWriter::new(socket);
     writer
         .write_frame(
@@ -104,11 +114,18 @@ async fn unwatch_stops_event_flow() {
         .unwrap();
     // Drop the stream receiver: the demux prunes the subscription and the
     // server's pushes land nowhere without wedging the connection.
-    let watch = client.watch(StoreId::new("s/x"), Revision::ZERO).await.unwrap();
+    let watch = client
+        .watch(StoreId::new("s/x"), Revision::ZERO)
+        .await
+        .unwrap();
     drop(watch);
     for i in 0..10 {
         client
-            .create(StoreId::new("s/x"), ObjectKey::new(format!("k{i}")), json!(i))
+            .create(
+                StoreId::new("s/x"),
+                ObjectKey::new(format!("k{i}")),
+                json!(i),
+            )
             .await
             .unwrap();
     }

@@ -30,33 +30,62 @@ fn any_request() -> impl Strategy<Value = Request> {
     let key = "[a-z0-9-]{1,8}".prop_map(ObjectKey::new);
     prop_oneof![
         Just(Request::Ping),
-        (store.clone(), key.clone(), any_value())
-            .prop_map(|(store, key, value)| Request::Create { store, key, value }),
+        (store.clone(), key.clone(), any_value()).prop_map(|(store, key, value)| Request::Create {
+            store,
+            key,
+            value
+        }),
         (store.clone(), key.clone()).prop_map(|(store, key)| Request::Get { store, key }),
         store.clone().prop_map(|store| Request::List { store }),
-        (store.clone(), key.clone(), any_value(), proptest::option::of(any::<u64>()))
+        (
+            store.clone(),
+            key.clone(),
+            any_value(),
+            proptest::option::of(any::<u64>())
+        )
             .prop_map(|(store, key, value, rev)| Request::Update {
                 store,
                 key,
                 value,
                 expected: rev.map(Revision),
             }),
-        (store.clone(), key.clone(), any_value(), any::<bool>())
-            .prop_map(|(store, key, patch, upsert)| Request::Patch { store, key, patch, upsert }),
+        (store.clone(), key.clone(), any_value(), any::<bool>()).prop_map(
+            |(store, key, patch, upsert)| Request::Patch {
+                store,
+                key,
+                patch,
+                upsert
+            }
+        ),
         (store.clone(), key.clone()).prop_map(|(store, key)| Request::Delete { store, key }),
-        (store.clone(), any::<u64>())
-            .prop_map(|(store, from)| Request::Watch { store, from: Revision(from) }),
+        (store.clone(), any::<u64>()).prop_map(|(store, from)| Request::Watch {
+            store,
+            from: Revision(from)
+        }),
         proptest::collection::vec(
             (store.clone(), key.clone(), any_value(), any::<bool>()).prop_map(
-                |(store, key, patch, upsert)| TxOp { store, key, patch, upsert, expected: None }
+                |(store, key, patch, upsert)| TxOp {
+                    store,
+                    key,
+                    patch,
+                    upsert,
+                    expected: None
+                }
             ),
             0..3
         )
         .prop_map(|ops| Request::Transact { ops }),
-        (store.clone(), any_value()).prop_map(|(store, fields)| Request::LogAppend { store, fields }),
-        (store, "[a-z]{1,5}".prop_map(|f| QuerySpec {
-            ops: vec![OpSpec::Rename { from: f.clone(), to: format!("{f}2") }],
-        }))
+        (store.clone(), any_value())
+            .prop_map(|(store, fields)| Request::LogAppend { store, fields }),
+        (
+            store,
+            "[a-z]{1,5}".prop_map(|f| QuerySpec {
+                ops: vec![OpSpec::Rename {
+                    from: f.clone(),
+                    to: format!("{f}2")
+                }],
+            })
+        )
             .prop_map(|(store, query)| Request::LogQuery { store, query }),
     ]
 }
@@ -91,7 +120,7 @@ proptest! {
                         revision: Revision(rev),
                         kind: EventKind::Updated,
                         key: ObjectKey::new(key),
-                        value,
+                        value: value.into(),
                     },
                 },
             },

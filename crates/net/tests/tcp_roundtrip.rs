@@ -12,7 +12,9 @@ use serde_json::json;
 use std::time::Duration;
 
 async fn client_for(server: &knactor_net::ExchangeServer, subject: Subject) -> TcpClient {
-    TcpClient::connect(server.local_addr(), subject).await.unwrap()
+    TcpClient::connect(server.local_addr(), subject)
+        .await
+        .unwrap()
 }
 
 #[tokio::test]
@@ -28,29 +30,56 @@ async fn crud_over_tcp() {
         .unwrap();
     assert_eq!(rev, Revision(1));
 
-    let obj = client.get(store.clone(), ObjectKey::new("o1")).await.unwrap();
+    let obj = client
+        .get(store.clone(), ObjectKey::new("o1"))
+        .await
+        .unwrap();
     assert_eq!(obj.value, json!({"cost": 30}));
 
     client
-        .update(store.clone(), ObjectKey::new("o1"), json!({"cost": 40}), Some(rev))
+        .update(
+            store.clone(),
+            ObjectKey::new("o1"),
+            json!({"cost": 40}),
+            Some(rev),
+        )
         .await
         .unwrap();
     // Stale OCC write must surface the typed Conflict error across the wire.
     let err = client
-        .update(store.clone(), ObjectKey::new("o1"), json!({"cost": 50}), Some(rev))
+        .update(
+            store.clone(),
+            ObjectKey::new("o1"),
+            json!({"cost": 50}),
+            Some(rev),
+        )
         .await
         .unwrap_err();
-    assert!(matches!(err, Error::Conflict { expected: 1, actual: 2 }));
+    assert!(matches!(
+        err,
+        Error::Conflict {
+            expected: 1,
+            actual: 2
+        }
+    ));
 
     client
-        .patch(store.clone(), ObjectKey::new("o1"), json!({"note": "hi"}), false)
+        .patch(
+            store.clone(),
+            ObjectKey::new("o1"),
+            json!({"note": "hi"}),
+            false,
+        )
         .await
         .unwrap();
     let (objects, _) = client.list(store.clone()).await.unwrap();
     assert_eq!(objects.len(), 1);
     assert_eq!(objects[0].value, json!({"cost": 40, "note": "hi"}));
 
-    client.delete(store.clone(), ObjectKey::new("o1")).await.unwrap();
+    client
+        .delete(store.clone(), ObjectKey::new("o1"))
+        .await
+        .unwrap();
     assert!(matches!(
         client.get(store, ObjectKey::new("o1")).await,
         Err(Error::NotFound(_))
@@ -67,7 +96,11 @@ async fn watch_over_tcp_delivers_in_order() {
     let mut rx = client.watch(store.clone(), Revision::ZERO).await.unwrap();
     for i in 0..10 {
         client
-            .create(store.clone(), ObjectKey::new(format!("k{i}")), json!({"i": i}))
+            .create(
+                store.clone(),
+                ObjectKey::new(format!("k{i}")),
+                json!({"i": i}),
+            )
             .await
             .unwrap();
     }
@@ -86,9 +119,18 @@ async fn watch_replays_history_from_revision() {
     let server = test_server(&["s/a"], &[]).await.unwrap();
     let client = client_for(&server, Subject::operator("w")).await;
     let store = StoreId::new("s/a");
-    client.create(store.clone(), ObjectKey::new("a"), json!(1)).await.unwrap();
-    let rev = client.create(store.clone(), ObjectKey::new("b"), json!(2)).await.unwrap();
-    client.create(store.clone(), ObjectKey::new("c"), json!(3)).await.unwrap();
+    client
+        .create(store.clone(), ObjectKey::new("a"), json!(1))
+        .await
+        .unwrap();
+    let rev = client
+        .create(store.clone(), ObjectKey::new("b"), json!(2))
+        .await
+        .unwrap();
+    client
+        .create(store.clone(), ObjectKey::new("c"), json!(3))
+        .await
+        .unwrap();
 
     let mut rx = client.watch(store.clone(), rev).await.unwrap();
     let e = rx.recv().await.unwrap();
@@ -98,7 +140,9 @@ async fn watch_replays_history_from_revision() {
 
 #[tokio::test]
 async fn schema_and_udf_over_tcp() {
-    let server = test_server(&["checkout/state", "shipping/state"], &[]).await.unwrap();
+    let server = test_server(&["checkout/state", "shipping/state"], &[])
+        .await
+        .unwrap();
     let client = client_for(&server, Subject::integrator("cast")).await;
 
     let schema = Schema::new("OnlineRetail/v1/Shipping/Shipment")
@@ -164,7 +208,10 @@ async fn log_ops_over_tcp() {
     let client = client_for(&server, Subject::reconciler("motion")).await;
     let store = StoreId::new("motion/telemetry");
 
-    client.log_append(store.clone(), json!({"triggered": true})).await.unwrap();
+    client
+        .log_append(store.clone(), json!({"triggered": true}))
+        .await
+        .unwrap();
     let seq = client
         .log_append_batch(
             store.clone(),
@@ -182,8 +229,13 @@ async fn log_ops_over_tcp() {
             store.clone(),
             QuerySpec {
                 ops: vec![
-                    OpSpec::Filter { expr: "this.triggered == true".into() },
-                    OpSpec::Rename { from: "triggered".into(), to: "motion".into() },
+                    OpSpec::Filter {
+                        expr: "this.triggered == true".into(),
+                    },
+                    OpSpec::Rename {
+                        from: "triggered".into(),
+                        to: "motion".into(),
+                    },
                 ],
             },
         )
@@ -194,7 +246,10 @@ async fn log_ops_over_tcp() {
     // Tail: replay + live.
     let mut tail = client.log_tail(store.clone(), 2).await.unwrap();
     assert_eq!(tail.recv().await.unwrap().seq, 3);
-    client.log_append(store.clone(), json!({"triggered": false})).await.unwrap();
+    client
+        .log_append(store.clone(), json!({"triggered": false}))
+        .await
+        .unwrap();
     assert_eq!(tail.recv().await.unwrap().seq, 4);
     server.shutdown().await;
 }
@@ -210,7 +265,11 @@ async fn rbac_enforced_over_tcp() {
 
     let owner = client_for(&server, Subject::reconciler("lamp")).await;
     owner
-        .create(StoreId::new("lamp/config"), ObjectKey::new("cfg"), json!({"brightness": 3}))
+        .create(
+            StoreId::new("lamp/config"),
+            ObjectKey::new("cfg"),
+            json!({"brightness": 3}),
+        )
         .await
         .unwrap();
 
@@ -301,7 +360,11 @@ async fn transact_over_tcp_is_atomic() {
     let server = test_server(&["a/state", "b/state"], &[]).await.unwrap();
     let client = client_for(&server, Subject::operator("tx")).await;
     let rev = client
-        .create(StoreId::new("a/state"), ObjectKey::new("k"), json!({"v": 1}))
+        .create(
+            StoreId::new("a/state"),
+            ObjectKey::new("k"),
+            json!({"v": 1}),
+        )
         .await
         .unwrap();
 
@@ -349,7 +412,9 @@ async fn transact_over_tcp_is_atomic() {
         .unwrap_err();
     assert!(matches!(err, Error::Conflict { .. }));
     assert!(matches!(
-        client.get(StoreId::new("b/state"), ObjectKey::new("mirror2")).await,
+        client
+            .get(StoreId::new("b/state"), ObjectKey::new("mirror2"))
+            .await,
         Err(Error::NotFound(_))
     ));
     server.shutdown().await;

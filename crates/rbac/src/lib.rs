@@ -54,10 +54,17 @@ mod tests {
             "checkout-owner",
         ));
         let sub = Subject::reconciler("checkout");
-        for verb in [Verb::Get, Verb::List, Verb::Watch, Verb::Create, Verb::Update, Verb::Delete]
-        {
+        for verb in [
+            Verb::Get,
+            Verb::List,
+            Verb::Watch,
+            Verb::Create,
+            Verb::Update,
+            Verb::Delete,
+        ] {
             assert!(
-                ac.check(&sub, verb, &StoreId::new("checkout/state"), &ctx()).allowed(),
+                ac.check(&sub, verb, &StoreId::new("checkout/state"), &ctx())
+                    .allowed(),
                 "{verb:?}"
             );
         }
@@ -80,8 +87,14 @@ mod tests {
         let sub = Subject::integrator("cast");
         let store = StoreId::new("checkout/state");
         let allowed = |p: &str| {
-            ac.check_field(&sub, Verb::Get, &store, &FieldPath::parse(p).unwrap(), &ctx())
-                .allowed()
+            ac.check_field(
+                &sub,
+                Verb::Get,
+                &store,
+                &FieldPath::parse(p).unwrap(),
+                &ctx(),
+            )
+            .allowed()
         };
         // Reading the whole of `order` would reveal the denied
         // `order.paymentID`, so the ancestor is denied too.
@@ -91,7 +104,13 @@ mod tests {
         assert!(!allowed("somethingElse"));
         // Field rules never widen: update was not granted at all.
         assert!(!ac
-            .check_field(&sub, Verb::Update, &store, &FieldPath::parse("order").unwrap(), &ctx())
+            .check_field(
+                &sub,
+                Verb::Update,
+                &store,
+                &FieldPath::parse("order").unwrap(),
+                &ctx()
+            )
             .allowed());
     }
 }

@@ -25,15 +25,24 @@ pub struct Subject {
 
 impl Subject {
     pub fn reconciler(name: impl Into<String>) -> Subject {
-        Subject { kind: SubjectKind::Reconciler, name: name.into() }
+        Subject {
+            kind: SubjectKind::Reconciler,
+            name: name.into(),
+        }
     }
 
     pub fn integrator(name: impl Into<String>) -> Subject {
-        Subject { kind: SubjectKind::Integrator, name: name.into() }
+        Subject {
+            kind: SubjectKind::Integrator,
+            name: name.into(),
+        }
     }
 
     pub fn operator(name: impl Into<String>) -> Subject {
-        Subject { kind: SubjectKind::Operator, name: name.into() }
+        Subject {
+            kind: SubjectKind::Operator,
+            name: name.into(),
+        }
     }
 }
 
@@ -106,7 +115,9 @@ pub struct AccessContext {
 
 impl AccessContext {
     pub fn at(hour: u16, minute: u16) -> AccessContext {
-        AccessContext { minute_of_day: (hour % 24) * 60 + (minute % 60) }
+        AccessContext {
+            minute_of_day: (hour % 24) * 60 + (minute % 60),
+        }
     }
 }
 
@@ -128,7 +139,10 @@ impl FieldRule {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        FieldRule { allow: paths.into_iter().map(Into::into).collect(), deny: Vec::new() }
+        FieldRule {
+            allow: paths.into_iter().map(Into::into).collect(),
+            deny: Vec::new(),
+        }
     }
 
     pub fn deny_paths<I, S>(mut self, paths: I) -> FieldRule
@@ -244,7 +258,10 @@ pub struct Role {
 
 impl Role {
     pub fn new(name: impl Into<String>) -> Role {
-        Role { name: name.into(), rules: Vec::new() }
+        Role {
+            name: name.into(),
+            rules: Vec::new(),
+        }
     }
 
     pub fn rule(mut self, rule: Rule) -> Role {
@@ -267,7 +284,10 @@ pub struct RoleBinding {
 
 impl RoleBinding {
     pub fn new(subject: Subject, role: impl Into<String>) -> RoleBinding {
-        RoleBinding { subject, role: role.into() }
+        RoleBinding {
+            subject,
+            role: role.into(),
+        }
     }
 }
 
@@ -314,7 +334,10 @@ impl AccessController {
     /// A controller that denies everything until policies are added,
     /// regardless of whether any roles exist yet.
     pub fn enforcing() -> AccessController {
-        AccessController { always_enforce: true, ..Default::default() }
+        AccessController {
+            always_enforce: true,
+            ..Default::default()
+        }
     }
 
     pub fn add_role(&mut self, role: Role) {
@@ -345,16 +368,22 @@ impl AccessController {
         ctx: &AccessContext,
     ) -> Decision {
         if !self.is_enforcing() {
-            return Decision::Allow { role: "<open>".to_string() };
+            return Decision::Allow {
+                role: "<open>".to_string(),
+            };
         }
         for binding in self.bindings.iter().filter(|b| b.subject == *subject) {
-            let Some(role) = self.roles.get(&binding.role) else { continue };
+            let Some(role) = self.roles.get(&binding.role) else {
+                continue;
+            };
             for rule in &role.rules {
                 if rule.matches_store(store)
                     && rule.verbs.contains(&verb)
                     && rule.condition.holds(ctx)
                 {
-                    return Decision::Allow { role: role.name.clone() };
+                    return Decision::Allow {
+                        role: role.name.clone(),
+                    };
                 }
             }
         }
@@ -373,11 +402,15 @@ impl AccessController {
         ctx: &AccessContext,
     ) -> Decision {
         if !self.is_enforcing() {
-            return Decision::Allow { role: "<open>".to_string() };
+            return Decision::Allow {
+                role: "<open>".to_string(),
+            };
         }
         let mut denied_reason = None;
         for binding in self.bindings.iter().filter(|b| b.subject == *subject) {
-            let Some(role) = self.roles.get(&binding.role) else { continue };
+            let Some(role) = self.roles.get(&binding.role) else {
+                continue;
+            };
             for rule in &role.rules {
                 if !(rule.matches_store(store)
                     && rule.verbs.contains(&verb)
@@ -386,9 +419,15 @@ impl AccessController {
                     continue;
                 }
                 match &rule.field_rule {
-                    None => return Decision::Allow { role: role.name.clone() },
+                    None => {
+                        return Decision::Allow {
+                            role: role.name.clone(),
+                        }
+                    }
                     Some(fr) if fr.admits(path) => {
-                        return Decision::Allow { role: role.name.clone() }
+                        return Decision::Allow {
+                            role: role.name.clone(),
+                        }
                     }
                     Some(_) => {
                         denied_reason = Some(format!(
@@ -400,9 +439,8 @@ impl AccessController {
             }
         }
         Decision::Deny {
-            reason: denied_reason.unwrap_or_else(|| {
-                format!("{subject} has no role granting {verb:?} on {store}")
-            }),
+            reason: denied_reason
+                .unwrap_or_else(|| format!("{subject} has no role granting {verb:?} on {store}")),
         }
     }
 
@@ -428,7 +466,10 @@ impl AccessController {
         let mut out = serde_json::Map::new();
         for (k, v) in map {
             let path = FieldPath::root().child(k.clone());
-            if self.check_field(subject, Verb::Get, store, &path, ctx).allowed() {
+            if self
+                .check_field(subject, Verb::Get, store, &path, ctx)
+                .allowed()
+            {
                 out.insert(k.clone(), v.clone());
             }
         }
@@ -453,12 +494,20 @@ mod tests {
         // House's Cast integrator may write the Lamp's store only outside
         // sleep hours (22:00–07:00).
         let mut ac = AccessController::new();
-        ac.add_role(Role::new("lamp-writer").rule(
-            Rule::on("lamp/config")
-                .verbs([Verb::Get, Verb::Update])
-                .when(Condition::OutsideMinutes { start: 22 * 60, end: 7 * 60 }),
+        ac.add_role(
+            Role::new("lamp-writer").rule(
+                Rule::on("lamp/config")
+                    .verbs([Verb::Get, Verb::Update])
+                    .when(Condition::OutsideMinutes {
+                        start: 22 * 60,
+                        end: 7 * 60,
+                    }),
+            ),
+        );
+        ac.bind(RoleBinding::new(
+            Subject::integrator("house-cast"),
+            "lamp-writer",
         ));
-        ac.bind(RoleBinding::new(Subject::integrator("house-cast"), "lamp-writer"));
         ac
     }
 
@@ -467,12 +516,22 @@ mod tests {
         let ac = sleep_hours_controller();
         let sub = Subject::integrator("house-cast");
         let store = StoreId::new("lamp/config");
-        assert!(ac.check(&sub, Verb::Update, &store, &AccessContext::at(14, 0)).allowed());
-        assert!(!ac.check(&sub, Verb::Update, &store, &AccessContext::at(23, 30)).allowed());
-        assert!(!ac.check(&sub, Verb::Update, &store, &AccessContext::at(3, 0)).allowed());
-        assert!(ac.check(&sub, Verb::Update, &store, &AccessContext::at(7, 0)).allowed());
+        assert!(ac
+            .check(&sub, Verb::Update, &store, &AccessContext::at(14, 0))
+            .allowed());
+        assert!(!ac
+            .check(&sub, Verb::Update, &store, &AccessContext::at(23, 30))
+            .allowed());
+        assert!(!ac
+            .check(&sub, Verb::Update, &store, &AccessContext::at(3, 0))
+            .allowed());
+        assert!(ac
+            .check(&sub, Verb::Update, &store, &AccessContext::at(7, 0))
+            .allowed());
         // 22:00 exactly is inside the window (inclusive start).
-        assert!(!ac.check(&sub, Verb::Update, &store, &AccessContext::at(22, 0)).allowed());
+        assert!(!ac
+            .check(&sub, Verb::Update, &store, &AccessContext::at(22, 0))
+            .allowed());
     }
 
     #[test]
@@ -497,7 +556,7 @@ mod tests {
     fn field_rule_prefix_semantics() {
         let fr = FieldRule::allow_paths(["order"]).deny_paths(["order.paymentID"]);
         let p = |s: &str| FieldPath::parse(s).unwrap();
-        assert!(fr.admits(&p("order")) == false); // order reveals paymentID
+        assert!(!fr.admits(&p("order"))); // order reveals paymentID
         assert!(fr.admits(&p("order.totalCost")));
         assert!(!fr.admits(&p("order.paymentID")));
         assert!(!fr.admits(&p("order.paymentID.raw")));
@@ -511,11 +570,13 @@ mod tests {
     #[test]
     fn redact_projects_fields() {
         let mut ac = AccessController::new();
-        ac.add_role(Role::new("reader").rule(
-            Rule::on("checkout/state")
-                .verbs([Verb::Get])
-                .fields(FieldRule::allow_paths(["order", "status"]).deny_paths(["order"])),
-        ));
+        ac.add_role(
+            Role::new("reader").rule(
+                Rule::on("checkout/state")
+                    .verbs([Verb::Get])
+                    .fields(FieldRule::allow_paths(["order", "status"]).deny_paths(["order"])),
+            ),
+        );
         ac.bind(RoleBinding::new(Subject::integrator("cast"), "reader"));
         let sub = Subject::integrator("cast");
         let redacted = ac
@@ -548,12 +609,22 @@ mod tests {
         let ac = AccessController::new();
         assert!(!ac.is_enforcing());
         assert!(ac
-            .check(&Subject::operator("cli"), Verb::Delete, &StoreId::new("s"), &AccessContext::default())
+            .check(
+                &Subject::operator("cli"),
+                Verb::Delete,
+                &StoreId::new("s"),
+                &AccessContext::default()
+            )
             .allowed());
         let strict = AccessController::enforcing();
         assert!(strict.is_enforcing());
         assert!(!strict
-            .check(&Subject::operator("cli"), Verb::Get, &StoreId::new("s"), &AccessContext::default())
+            .check(
+                &Subject::operator("cli"),
+                Verb::Get,
+                &StoreId::new("s"),
+                &AccessContext::default()
+            )
             .allowed());
     }
 
@@ -564,9 +635,13 @@ mod tests {
         let sub = Subject::operator("cli");
         ac.bind(RoleBinding::new(sub.clone(), "r"));
         let store = StoreId::new("s");
-        assert!(ac.check(&sub, Verb::Get, &store, &AccessContext::default()).allowed());
+        assert!(ac
+            .check(&sub, Verb::Get, &store, &AccessContext::default())
+            .allowed());
         ac.unbind(&sub, "r");
-        assert!(!ac.check(&sub, Verb::Get, &store, &AccessContext::default()).allowed());
+        assert!(!ac
+            .check(&sub, Verb::Get, &store, &AccessContext::default())
+            .allowed());
     }
 
     #[test]
@@ -584,12 +659,14 @@ mod tests {
     #[test]
     fn policy_serde_roundtrip() {
         let mut ac = AccessController::new();
-        ac.add_role(Role::new("r").rule(
-            Rule::on("s/*")
-                .verbs([Verb::Get, Verb::Execute])
-                .fields(FieldRule::allow_paths(["a"]))
-                .when(Condition::WithinMinutes { start: 0, end: 60 }),
-        ));
+        ac.add_role(
+            Role::new("r").rule(
+                Rule::on("s/*")
+                    .verbs([Verb::Get, Verb::Execute])
+                    .fields(FieldRule::allow_paths(["a"]))
+                    .when(Condition::WithinMinutes { start: 0, end: 60 }),
+            ),
+        );
         ac.bind(RoleBinding::new(Subject::reconciler("x"), "r"));
         let text = serde_json::to_string(&ac).unwrap();
         let back: AccessController = serde_json::from_str(&text).unwrap();

@@ -52,8 +52,13 @@ impl Broker {
     pub fn publish(&self, topic: &str, payload: Value) -> usize {
         *self.published.lock() += 1;
         let mut topics = self.topics.lock();
-        let Some(subs) = topics.get_mut(topic) else { return 0 };
-        let msg = Message { topic: topic.to_string(), payload };
+        let Some(subs) = topics.get_mut(topic) else {
+            return 0;
+        };
+        let msg = Message {
+            topic: topic.to_string(),
+            payload,
+        };
         subs.retain(|tx| tx.send(msg.clone()).is_ok());
         subs.len()
     }

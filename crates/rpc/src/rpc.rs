@@ -143,7 +143,9 @@ async fn serve_connection(
     let writer_task = tokio::spawn(async move {
         let mut writer = FrameWriter::new(write_half);
         while let Some(reply) = out_rx.recv().await {
-            let Ok(bytes) = serde_json::to_vec(&reply) else { break };
+            let Ok(bytes) = serde_json::to_vec(&reply) else {
+                break;
+            };
             if writer.write_frame(&bytes).await.is_err() {
                 break;
             }
@@ -156,7 +158,11 @@ async fn serve_connection(
         tokio::spawn(async move {
             let reply = match handler {
                 Some(h) => match h(request.payload).await {
-                    Ok(result) => RpcReply { id: request.id, result: Some(result), error: None },
+                    Ok(result) => RpcReply {
+                        id: request.id,
+                        result: Some(result),
+                        error: None,
+                    },
                     Err(e) => RpcReply {
                         id: request.id,
                         result: None,
@@ -199,7 +205,9 @@ impl RpcClient {
         tokio::spawn(async move {
             let mut writer = FrameWriter::new(write_half);
             while let Some(req) = out_rx.recv().await {
-                let Ok(bytes) = serde_json::to_vec(&req) else { break };
+                let Ok(bytes) = serde_json::to_vec(&req) else {
+                    break;
+                };
                 if writer.write_frame(&bytes).await.is_err() {
                     break;
                 }
@@ -211,14 +219,21 @@ impl RpcClient {
         tokio::spawn(async move {
             let mut reader = FrameReader::new(read_half);
             while let Ok(Some(frame)) = reader.read_frame().await {
-                let Ok(reply) = serde_json::from_slice::<RpcReply>(&frame) else { break };
+                let Ok(reply) = serde_json::from_slice::<RpcReply>(&frame) else {
+                    break;
+                };
                 if let Some(tx) = demux_pending.lock().remove(&reply.id) {
                     let _ = tx.send(reply);
                 }
             }
             demux_pending.lock().clear();
         });
-        Ok(RpcClient { out_tx, pending, next_id: AtomicU64::new(1), latency: None })
+        Ok(RpcClient {
+            out_tx,
+            pending,
+            next_id: AtomicU64::new(1),
+            latency: None,
+        })
     }
 
     /// Inject a fixed per-call latency (cluster RTT model).
@@ -236,7 +251,11 @@ impl RpcClient {
         let (tx, rx) = oneshot::channel();
         self.pending.lock().insert(id, tx);
         self.out_tx
-            .send(RpcRequest { id, method: method.to_string(), payload })
+            .send(RpcRequest {
+                id,
+                method: method.to_string(),
+                payload,
+            })
             .map_err(|_| Error::Transport("connection closed".to_string()))?;
         let reply = rx
             .await
@@ -263,7 +282,10 @@ mod tests {
         });
         let addr = server.bind("127.0.0.1:0").await.unwrap();
         let client = RpcClient::connect(addr).await.unwrap();
-        let out = client.call("Echo/Upper", json!({"s": "air"})).await.unwrap();
+        let out = client
+            .call("Echo/Upper", json!({"s": "air"}))
+            .await
+            .unwrap();
         assert_eq!(out, json!({"s": "AIR"}));
         server.shutdown().await;
     }

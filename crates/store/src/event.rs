@@ -2,6 +2,7 @@
 
 use knactor_types::{ObjectKey, Revision, Value};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// What happened to an object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -22,7 +23,10 @@ pub struct WatchEvent {
     pub kind: EventKind,
     pub key: ObjectKey,
     /// The object value after the change (the last value for `Deleted`).
-    pub value: Value,
+    ///
+    /// Shared with the stored object itself: fanning an event out to N
+    /// subscribers bumps a refcount N times instead of cloning the tree.
+    pub value: Arc<Value>,
 }
 
 impl WatchEvent {
@@ -42,7 +46,7 @@ mod tests {
             revision: Revision(7),
             kind: EventKind::Updated,
             key: ObjectKey::new("order-1"),
-            value: json!({"x": 1}),
+            value: Arc::new(json!({"x": 1})),
         };
         let text = serde_json::to_string(&e).unwrap();
         let back: WatchEvent = serde_json::from_str(&text).unwrap();

@@ -73,7 +73,11 @@ impl DataExchange {
     // ---- stores ----------------------------------------------------------
 
     /// Create a store with the given engine profile.
-    pub fn create_store(&self, id: impl Into<StoreId>, profile: EngineProfile) -> Result<Arc<ObjectStore>> {
+    pub fn create_store(
+        &self,
+        id: impl Into<StoreId>,
+        profile: EngineProfile,
+    ) -> Result<Arc<ObjectStore>> {
         let id = id.into();
         let mut stores = self.stores.write();
         if stores.contains_key(&id) {
@@ -217,21 +221,32 @@ impl DataExchange {
         // concurrent single-store writers surface as OCC conflicts below.
         for op in ops {
             if let Some(expected) = op.expected {
-                let store = &stores.iter().find(|(id, _)| *id == op.store).expect("collected").1;
+                let store = &stores
+                    .iter()
+                    .find(|(id, _)| *id == op.store)
+                    .expect("collected")
+                    .1;
                 let actual = match store.get(&op.key) {
                     Ok(obj) => obj.revision,
                     Err(Error::NotFound(_)) if op.upsert => Revision::ZERO,
                     Err(e) => return Err(e),
                 };
                 if actual != expected {
-                    return Err(Error::Conflict { expected: expected.0, actual: actual.0 });
+                    return Err(Error::Conflict {
+                        expected: expected.0,
+                        actual: actual.0,
+                    });
                 }
             }
         }
         // Apply phase.
         let mut out = BTreeMap::new();
         for op in ops {
-            let store = &stores.iter().find(|(id, _)| *id == op.store).expect("collected").1;
+            let store = &stores
+                .iter()
+                .find(|(id, _)| *id == op.store)
+                .expect("collected")
+                .1;
             let rev = store.patch(&op.key, &op.patch, op.upsert)?;
             out.insert(op.store.clone(), rev);
         }
@@ -275,7 +290,9 @@ impl DataExchange {
         }
         for input in &udf.inputs {
             if !by_alias.contains_key(input) {
-                return Err(Error::Dxg(format!("udf {name}: missing binding for '{input}'")));
+                return Err(Error::Dxg(format!(
+                    "udf {name}: missing binding for '{input}'"
+                )));
             }
         }
         // Read phase.
@@ -285,7 +302,9 @@ impl DataExchange {
             let value = match store.get(&b.key) {
                 Ok(obj) => obj.value,
                 // Absent targets start empty; the write phase upserts.
-                Err(Error::NotFound(_)) => serde_json::Value::Object(serde_json::Map::new()),
+                Err(Error::NotFound(_)) => {
+                    std::sync::Arc::new(serde_json::Value::Object(serde_json::Map::new()))
+                }
                 Err(e) => return Err(e),
             };
             env.bind(alias.clone(), value);
@@ -317,8 +336,10 @@ mod tests {
 
     fn exchange_with_stores() -> DataExchange {
         let de = DataExchange::new();
-        de.create_store("checkout/state", EngineProfile::instant()).unwrap();
-        de.create_store("shipping/state", EngineProfile::instant()).unwrap();
+        de.create_store("checkout/state", EngineProfile::instant())
+            .unwrap();
+        de.create_store("shipping/state", EngineProfile::instant())
+            .unwrap();
         de
     }
 
@@ -326,7 +347,9 @@ mod tests {
     fn store_lifecycle() {
         let de = exchange_with_stores();
         assert_eq!(de.store_ids().len(), 2);
-        assert!(de.create_store("checkout/state", EngineProfile::instant()).is_err());
+        assert!(de
+            .create_store("checkout/state", EngineProfile::instant())
+            .is_err());
         de.drop_store(&StoreId::new("shipping/state")).unwrap();
         assert!(de.store(&StoreId::new("shipping/state")).is_err());
     }
@@ -344,7 +367,9 @@ mod tests {
         .unwrap();
         let store = de.store(&StoreId::new("checkout/state")).unwrap();
         assert!(store.create(ObjectKey::new("o"), json!({})).is_err());
-        assert!(store.create(ObjectKey::new("o"), json!({"address": "x"})).is_ok());
+        assert!(store
+            .create(ObjectKey::new("o"), json!({"address": "x"}))
+            .is_ok());
         // Binding an unknown schema fails.
         assert!(de
             .bind_schema(&StoreId::new("shipping/state"), &SchemaName::new("nope"))
@@ -484,14 +509,19 @@ mod tests {
         )
         .unwrap();
         let checkout = de.store(&StoreId::new("checkout/state")).unwrap();
-        checkout.create(ObjectKey::new("k"), json!({"n": 21})).unwrap();
+        checkout
+            .create(ObjectKey::new("k"), json!({"n": 21}))
+            .unwrap();
         de.execute_udf(
             &Subject::integrator("i"),
             "d",
             &[UdfBinding::new("C", "checkout/state", "k")],
         )
         .unwrap();
-        assert_eq!(checkout.get(&ObjectKey::new("k")).unwrap().value["out"], json!(42.0));
+        assert_eq!(
+            checkout.get(&ObjectKey::new("k")).unwrap().value["out"],
+            json!(42.0)
+        );
     }
 
     #[test]
@@ -499,7 +529,9 @@ mod tests {
         let de = exchange_with_stores();
         let checkout = de.store(&StoreId::new("checkout/state")).unwrap();
         let shipping = de.store(&StoreId::new("shipping/state")).unwrap();
-        let rev = checkout.create(ObjectKey::new("o"), json!({"v": 1})).unwrap();
+        let rev = checkout
+            .create(ObjectKey::new("o"), json!({"v": 1}))
+            .unwrap();
 
         // Success: both writes land.
         let ops = vec![
@@ -519,7 +551,10 @@ mod tests {
             },
         ];
         de.transact(&Subject::integrator("cast"), &ops).unwrap();
-        assert_eq!(checkout.get(&ObjectKey::new("o")).unwrap().value, json!({"v": 2}));
+        assert_eq!(
+            checkout.get(&ObjectKey::new("o")).unwrap().value,
+            json!({"v": 2})
+        );
         assert!(shipping.get(&ObjectKey::new("s")).is_ok());
 
         // Failure: stale precondition aborts both writes.
@@ -543,7 +578,10 @@ mod tests {
             de.transact(&Subject::integrator("cast"), &stale),
             Err(Error::Conflict { .. })
         ));
-        assert_eq!(checkout.get(&ObjectKey::new("o")).unwrap().value, json!({"v": 2}));
+        assert_eq!(
+            checkout.get(&ObjectKey::new("o")).unwrap().value,
+            json!({"v": 2})
+        );
         assert!(shipping.get(&ObjectKey::new("s2")).is_err());
     }
 
@@ -553,7 +591,9 @@ mod tests {
         let store = de.store(&StoreId::new("checkout/state")).unwrap();
         let rev = store.create(ObjectKey::new("o"), json!({"v": 1})).unwrap();
         // Re-applying the same state is a no-op: same revision, no event.
-        let again = store.patch(&ObjectKey::new("o"), &json!({"v": 1}), false).unwrap();
+        let again = store
+            .patch(&ObjectKey::new("o"), &json!({"v": 1}), false)
+            .unwrap();
         assert_eq!(again, rev);
         assert_eq!(store.revision(), rev);
     }
@@ -565,8 +605,14 @@ mod tests {
             ac.always_enforce = true;
         });
         let h = de
-            .handle(&StoreId::new("checkout/state"), Subject::integrator("nobody"))
+            .handle(
+                &StoreId::new("checkout/state"),
+                Subject::integrator("nobody"),
+            )
             .unwrap();
-        assert!(matches!(h.get(&ObjectKey::new("x")).await, Err(Error::Forbidden(_))));
+        assert!(matches!(
+            h.get(&ObjectKey::new("x")).await,
+            Err(Error::Forbidden(_))
+        ));
     }
 }

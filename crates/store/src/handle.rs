@@ -69,7 +69,12 @@ impl StoreHandle {
         access: Arc<RwLock<AccessController>>,
         ctx: Arc<RwLock<AccessContext>>,
     ) -> StoreHandle {
-        StoreHandle { store, subject, access, ctx }
+        StoreHandle {
+            store,
+            subject,
+            access,
+            ctx,
+        }
     }
 
     /// Direct handle with open access (tests and single-process tools).
@@ -97,7 +102,10 @@ impl StoreHandle {
 
     fn check(&self, verb: Verb) -> Result<()> {
         let ctx = *self.ctx.read();
-        let decision = self.access.read().check(&self.subject, verb, self.store.id(), &ctx);
+        let decision = self
+            .access
+            .read()
+            .check(&self.subject, verb, self.store.id(), &ctx);
         if decision.allowed() {
             Ok(())
         } else {
@@ -168,7 +176,8 @@ impl StoreHandle {
     ) -> Result<Revision> {
         self.check(Verb::Update)?;
         let key = key.clone();
-        self.run_write(move |s| s.update(&key, value, expected)).await
+        self.run_write(move |s| s.update(&key, value, expected))
+            .await
     }
 
     /// Deep-merge a patch (creating the object when `upsert` is set).
@@ -278,23 +287,32 @@ impl StoreHandle {
     }
 
     /// Project a value down to what this subject may read.
-    fn redact(&self, value: &Value) -> Result<Value> {
+    /// Redact a shared value for this handle's subject. Without an
+    /// enforced policy — the hot path — the original `Arc` is handed
+    /// back untouched, so reads and watch delivery never copy the tree.
+    fn redact(&self, value: &Arc<Value>) -> Result<Arc<Value>> {
         let ctx = *self.ctx.read();
-        self.access
-            .read()
+        let access = self.access.read();
+        if !access.is_enforcing() {
+            return Ok(Arc::clone(value));
+        }
+        access
             .redact(&self.subject, self.store.id(), value, &ctx)
-            .ok_or_else(|| Error::Forbidden(format!("{} may not read {}", self.subject, self.store.id())))
+            .map(Arc::new)
+            .ok_or_else(|| {
+                Error::Forbidden(format!("{} may not read {}", self.subject, self.store.id()))
+            })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
     use crate::profile::EngineProfile;
     use knactor_rbac::{FieldRule, Role, RoleBinding, Rule};
     use knactor_types::StoreId;
     use serde_json::json;
+    use std::time::Duration;
 
     fn open_handle() -> StoreHandle {
         let store = Arc::new(ObjectStore::in_memory("t/s"));
@@ -311,9 +329,14 @@ mod tests {
         let rev = h.create("a", json!({"x": 1})).await.unwrap();
         assert_eq!(rev, Revision(1));
         assert_eq!(h.get(&key("a")).await.unwrap().value, json!({"x": 1}));
-        h.update(&key("a"), json!({"x": 2}), Some(rev)).await.unwrap();
+        h.update(&key("a"), json!({"x": 2}), Some(rev))
+            .await
+            .unwrap();
         h.patch(&key("a"), json!({"y": 3}), false).await.unwrap();
-        assert_eq!(h.get(&key("a")).await.unwrap().value, json!({"x": 2, "y": 3}));
+        assert_eq!(
+            h.get(&key("a")).await.unwrap().value,
+            json!({"x": 2, "y": 3})
+        );
         let (objs, _) = h.list().await.unwrap();
         assert_eq!(objs.len(), 1);
         h.delete(&key("a")).await.unwrap();
@@ -335,7 +358,9 @@ mod tests {
     #[tokio::test(start_paused = true)]
     async fn poll_watch_delivers_on_tick() {
         let profile = EngineProfile {
-            watch: WatchDelivery::Poll { interval: Duration::from_millis(50) },
+            watch: WatchDelivery::Poll {
+                interval: Duration::from_millis(50),
+            },
             ..EngineProfile::instant()
         };
         let store = Arc::new(ObjectStore::open(StoreId::new("t/poll"), profile).unwrap());
@@ -358,11 +383,13 @@ mod tests {
             let mut ac = access.write();
             ac.add_role(Role::full_access("owner", "checkout/state"));
             ac.bind(RoleBinding::new(Subject::reconciler("checkout"), "owner"));
-            ac.add_role(Role::new("reader").rule(
-                Rule::on("checkout/state")
-                    .verbs([Verb::Get, Verb::List, Verb::Watch])
-                    .fields(FieldRule::default().deny_paths(["secret"])),
-            ));
+            ac.add_role(
+                Role::new("reader").rule(
+                    Rule::on("checkout/state")
+                        .verbs([Verb::Get, Verb::List, Verb::Watch])
+                        .fields(FieldRule::default().deny_paths(["secret"])),
+                ),
+            );
             ac.bind(RoleBinding::new(Subject::integrator("cast"), "reader"));
         }
         let ctx = Arc::new(RwLock::new(AccessContext::default()));
@@ -372,10 +399,12 @@ mod tests {
             Arc::clone(&access),
             Arc::clone(&ctx),
         );
-        let reader =
-            StoreHandle::new(store, Subject::integrator("cast"), access, ctx);
+        let reader = StoreHandle::new(store, Subject::integrator("cast"), access, ctx);
 
-        owner.create("o", json!({"public": 1, "secret": 2})).await.unwrap();
+        owner
+            .create("o", json!({"public": 1, "secret": 2}))
+            .await
+            .unwrap();
         // Reader sees the object without the denied field.
         let got = reader.get(&key("o")).await.unwrap();
         assert_eq!(got.value, json!({"public": 1}));

@@ -3,6 +3,7 @@
 use knactor_types::{ObjectKey, Revision, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// How long a store keeps state objects around (§3.3, *State retention*).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -25,7 +26,9 @@ pub enum RetentionPolicy {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StoredObject {
     pub key: ObjectKey,
-    pub value: Value,
+    /// Shared with watch events and histories: reads hand out a reference
+    /// bump, never a deep copy of the JSON tree.
+    pub value: Arc<Value>,
     /// Store revision at which this object was last mutated.
     pub revision: Revision,
     /// Store revision at which this object was created.
@@ -37,10 +40,10 @@ pub struct StoredObject {
 }
 
 impl StoredObject {
-    pub fn new(key: ObjectKey, value: Value, revision: Revision) -> StoredObject {
+    pub fn new(key: ObjectKey, value: impl Into<Arc<Value>>, revision: Revision) -> StoredObject {
         StoredObject {
             key,
-            value,
+            value: value.into(),
             revision,
             created_revision: revision,
             consumers: BTreeMap::new(),

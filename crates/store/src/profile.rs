@@ -48,7 +48,15 @@ pub struct EngineProfile {
     pub write_delay: Duration,
     /// Watch delivery behaviour.
     pub watch: WatchDelivery,
+    /// How many committed events the store retains for watch replay.
+    /// Watches resuming from before this window get
+    /// [`knactor_types::Error::WatchTooOld`] and must re-list.
+    pub history_cap: usize,
 }
+
+/// Default watch-replay window, sized so short reconnect gaps replay
+/// cheaply while a hot store's memory stays bounded.
+pub const DEFAULT_HISTORY_CAP: usize = 8192;
 
 impl EngineProfile {
     /// The Kubernetes-apiserver-like engine: durable, deliberate.
@@ -65,7 +73,10 @@ impl EngineProfile {
             fsync: true,
             read_delay: Duration::from_micros(1500),
             write_delay: Duration::from_micros(2500),
-            watch: WatchDelivery::Poll { interval: Duration::from_millis(10) },
+            watch: WatchDelivery::Poll {
+                interval: Duration::from_millis(10),
+            },
+            history_cap: DEFAULT_HISTORY_CAP,
         }
     }
 
@@ -82,6 +93,7 @@ impl EngineProfile {
             read_delay: Duration::from_micros(250),
             write_delay: Duration::from_micros(300),
             watch: WatchDelivery::Push,
+            history_cap: DEFAULT_HISTORY_CAP,
         }
     }
 
@@ -94,6 +106,7 @@ impl EngineProfile {
             read_delay: Duration::ZERO,
             write_delay: Duration::ZERO,
             watch: WatchDelivery::Push,
+            history_cap: DEFAULT_HISTORY_CAP,
         }
     }
 
@@ -146,7 +159,11 @@ mod tests {
         assert!(api.is_durable());
         assert!(api.fsync);
         assert!(matches!(api.watch, WatchDelivery::Poll { .. }));
-        assert!(api.wal_path.unwrap().to_string_lossy().contains("checkout_state"));
+        assert!(api
+            .wal_path
+            .unwrap()
+            .to_string_lossy()
+            .contains("checkout_state"));
 
         let redis = EngineProfile::redis();
         assert!(!redis.is_durable());

@@ -5,19 +5,47 @@
 //! appends one event to the watch history, and (for durable engines)
 //! appends one WAL record. Watchers resume from any revision still in the
 //! history window and receive every later event exactly once, in order.
+//!
+//! # Concurrency
+//!
+//! The object map is hash-partitioned across [`SHARD_COUNT`] `RwLock`
+//! shards, so concurrent readers never contend with each other and
+//! writers to different shards only meet at the short commit section.
+//! A write takes, in order:
+//!
+//! 1. its key's **shard** write lock (existence/OCC/schema checks, then
+//!    the map mutation),
+//! 2. the **commit** lock (revision allocation, WAL append, history), and
+//! 3. the **fanout** lock just long enough to enqueue the event.
+//!
+//! Subscriber sends happen *outside* all three locks: committed events
+//! land in an outbox and a single drainer (elected by CAS) delivers them
+//! in revision order. Object values are `Arc<Value>` throughout, so
+//! reads, history retention, and fan-out are refcount bumps, never deep
+//! copies of the JSON tree.
 
 use crate::event::{EventKind, WatchEvent};
 use crate::object::{RetentionPolicy, StoredObject};
 use crate::profile::EngineProfile;
 use crate::wal::Wal;
 use knactor_types::{value, Error, ObjectKey, Result, Revision, Schema, StoreId, Value};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use tokio::sync::mpsc;
 
-/// Default number of events kept for watch resumption.
-const DEFAULT_HISTORY_CAP: usize = 8192;
+/// Number of hash-partitioned object shards. A power of two so the shard
+/// index is a mask; sized for "more shards than cores that plausibly
+/// write at once" without bloating empty stores.
+const SHARD_COUNT: usize = 16;
+
+/// Bounded internal retries for [`ObjectStore::patch`]'s read-merge-CAS
+/// loop under write contention.
+const PATCH_RETRIES: usize = 8;
+
+type Shard = RwLock<BTreeMap<ObjectKey, StoredObject>>;
 
 /// A single data store: versioned objects + watch machinery.
 ///
@@ -29,26 +57,45 @@ pub struct ObjectStore {
     profile: EngineProfile,
     schema: Mutex<Option<Schema>>,
     policy: Mutex<RetentionPolicy>,
-    inner: Mutex<Inner>,
+    /// Revision of the last committed mutation. Written only inside the
+    /// commit section; reads are lock-free.
+    revision: AtomicU64,
+    shards: Vec<Shard>,
+    commit: Mutex<CommitState>,
+    fanout: Mutex<Fanout>,
+    /// Set while one thread is draining the fan-out outbox.
+    draining: AtomicBool,
 }
 
-struct Inner {
-    revision: Revision,
-    objects: BTreeMap<ObjectKey, StoredObject>,
+/// Serialization point for commits: WAL + bounded watch history.
+struct CommitState {
     history: VecDeque<WatchEvent>,
     history_cap: usize,
-    subscribers: Vec<mpsc::UnboundedSender<WatchEvent>>,
     wal: Option<Arc<Wal>>,
+}
+
+/// Committed-but-undelivered events plus the live subscriber set.
+struct Fanout {
+    outbox: VecDeque<WatchEvent>,
+    subscribers: Vec<Subscriber>,
+}
+
+#[derive(Clone)]
+struct Subscriber {
+    tx: mpsc::UnboundedSender<WatchEvent>,
+    /// Store revision when the watch registered. Events at or before this
+    /// were already replayed from history, so the drainer skips them even
+    /// if they are still sitting in the outbox.
+    joined_at: Revision,
 }
 
 impl std::fmt::Debug for ObjectStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
         f.debug_struct("ObjectStore")
             .field("id", &self.id)
             .field("engine", &self.profile.name)
-            .field("revision", &inner.revision)
-            .field("objects", &inner.objects.len())
+            .field("revision", &self.revision.load(Ordering::Acquire))
+            .field("objects", &self.len())
             .finish()
     }
 }
@@ -57,27 +104,39 @@ impl ObjectStore {
     /// Create a store with the given engine profile. Durable profiles
     /// replay their WAL, restoring all previously committed state.
     pub fn open(id: StoreId, profile: EngineProfile) -> Result<ObjectStore> {
-        let mut inner = Inner {
-            revision: Revision::ZERO,
-            objects: BTreeMap::new(),
-            history: VecDeque::new(),
-            history_cap: DEFAULT_HISTORY_CAP,
-            subscribers: Vec::new(),
-            wal: None,
-        };
+        let mut shards: Vec<Shard> = (0..SHARD_COUNT)
+            .map(|_| RwLock::new(BTreeMap::new()))
+            .collect();
+        let mut revision = Revision::ZERO;
+        let mut wal = None;
         if let Some(path) = &profile.wal_path {
+            let mut objects = BTreeMap::new();
             for event in Wal::replay(path)? {
-                apply_event(&mut inner.objects, &event);
-                inner.revision = event.revision;
+                apply_event(&mut objects, &event);
+                revision = event.revision;
             }
-            inner.wal = Some(Arc::new(Wal::open(path, profile.fsync)?));
+            for (key, obj) in objects {
+                shards[shard_of(&key)].get_mut().insert(key, obj);
+            }
+            wal = Some(Arc::new(Wal::open(path, profile.fsync)?));
         }
         Ok(ObjectStore {
             id,
-            profile,
+            revision: AtomicU64::new(revision.0),
+            shards,
+            commit: Mutex::new(CommitState {
+                history: VecDeque::new(),
+                history_cap: profile.history_cap,
+                wal,
+            }),
+            fanout: Mutex::new(Fanout {
+                outbox: VecDeque::new(),
+                subscribers: Vec::new(),
+            }),
+            draining: AtomicBool::new(false),
             schema: Mutex::new(None),
             policy: Mutex::new(RetentionPolicy::Forever),
-            inner: Mutex::new(inner),
+            profile,
         })
     }
 
@@ -113,39 +172,44 @@ impl ObjectStore {
 
     /// Current store revision (revision of the last committed mutation).
     pub fn revision(&self) -> Revision {
-        self.inner.lock().revision
+        Revision(self.revision.load(Ordering::Acquire))
     }
 
     pub fn len(&self) -> usize {
-        self.inner.lock().objects.len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    fn shard(&self, key: &ObjectKey) -> &Shard {
+        &self.shards[shard_of(key)]
+    }
+
     /// Create a new object. Fails with `AlreadyExists` if the key is taken.
-    pub fn create(&self, key: ObjectKey, value: Value) -> Result<Revision> {
+    pub fn create(&self, key: ObjectKey, value: impl Into<Arc<Value>>) -> Result<Revision> {
+        let value: Arc<Value> = value.into();
         if let Some(schema) = &*self.schema.lock() {
             schema.validate(&value)?;
         }
-        let mut inner = self.inner.lock();
-        if inner.objects.contains_key(&key) {
-            return Err(Error::AlreadyExists(key.to_string()));
+        let rev;
+        {
+            let mut shard = self.shard(&key).write();
+            if shard.contains_key(&key) {
+                return Err(Error::AlreadyExists(key.to_string()));
+            }
+            rev = self.commit_locked(EventKind::Created, &key, &value)?;
+            shard.insert(key.clone(), StoredObject::new(key, value, rev));
         }
-        let rev = inner.revision.next();
-        inner
-            .objects
-            .insert(key.clone(), StoredObject::new(key.clone(), value.clone(), rev));
-        commit(&mut inner, WatchEvent { revision: rev, kind: EventKind::Created, key, value })?;
+        self.drain_fanout();
         Ok(rev)
     }
 
-    /// Read an object (clone of current value and metadata).
+    /// Read an object (shared value handle and metadata).
     pub fn get(&self, key: &ObjectKey) -> Result<StoredObject> {
-        self.inner
-            .lock()
-            .objects
+        self.shard(key)
+            .read()
             .get(key)
             .cloned()
             .ok_or_else(|| Error::NotFound(key.to_string()))
@@ -153,9 +217,17 @@ impl ObjectStore {
 
     /// List all objects, in key order, plus the revision the listing is
     /// consistent at (use it to start a gapless watch).
+    ///
+    /// Holds every shard's read lock at once: writers keep their shard
+    /// write-locked through the commit section, so no half-committed
+    /// state (or its revision bump) can be observed.
     pub fn list(&self) -> (Vec<StoredObject>, Revision) {
-        let inner = self.inner.lock();
-        (inner.objects.values().cloned().collect(), inner.revision)
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let rev = self.revision();
+        let mut objects: Vec<StoredObject> =
+            guards.iter().flat_map(|g| g.values().cloned()).collect();
+        objects.sort_by(|a, b| a.key.cmp(&b.key));
+        (objects, rev)
     }
 
     /// Replace an object's value. `expected` enables optimistic
@@ -164,37 +236,38 @@ impl ObjectStore {
     pub fn update(
         &self,
         key: &ObjectKey,
-        new_value: Value,
+        new_value: impl Into<Arc<Value>>,
         expected: Option<Revision>,
     ) -> Result<Revision> {
+        let new_value: Arc<Value> = new_value.into();
         let schema = self.schema.lock().clone();
-        let mut inner = self.inner.lock();
-        let obj = inner
-            .objects
-            .get(key)
-            .ok_or_else(|| Error::NotFound(key.to_string()))?;
-        if let Some(expected) = expected {
-            if obj.revision != expected {
-                return Err(Error::Conflict { expected: expected.0, actual: obj.revision.0 });
-            }
-        }
-        if let Some(schema) = &schema {
-            schema.validate_update(&obj.value, &new_value)?;
-        }
-        let rev = inner.revision.next();
+        let rev;
         {
-            let obj = inner.objects.get_mut(key).expect("checked above");
-            obj.value = new_value.clone();
+            let mut shard = self.shard(key).write();
+            let obj = shard
+                .get(key)
+                .ok_or_else(|| Error::NotFound(key.to_string()))?;
+            if let Some(expected) = expected {
+                if obj.revision != expected {
+                    return Err(Error::Conflict {
+                        expected: expected.0,
+                        actual: obj.revision.0,
+                    });
+                }
+            }
+            if let Some(schema) = &schema {
+                schema.validate_update(&obj.value, &new_value)?;
+            }
+            rev = self.commit_locked(EventKind::Updated, key, &new_value)?;
+            let obj = shard.get_mut(key).expect("checked above");
+            obj.value = new_value;
             obj.revision = rev;
             // A new value invalidates prior consumption.
             for done in obj.consumers.values_mut() {
                 *done = false;
             }
         }
-        commit(
-            &mut inner,
-            WatchEvent { revision: rev, kind: EventKind::Updated, key: clone_key(key), value: new_value },
-        )?;
+        self.drain_fanout();
         Ok(rev)
     }
 
@@ -205,38 +278,130 @@ impl ObjectStore {
     /// revision bump, no watch event. This no-op suppression is what lets
     /// integrators converge — a Cast activation that recomputes the same
     /// derived state produces no new events to re-trigger on.
+    ///
+    /// The read-merge-write runs as an internal OCC loop: a concurrent
+    /// writer racing between the read and the conditional write surfaces
+    /// as `Conflict`, and the merge is retried against fresh state a
+    /// bounded number of times before the conflict propagates.
     pub fn patch(&self, key: &ObjectKey, patch: &Value, upsert: bool) -> Result<Revision> {
-        let current = {
-            let inner = self.inner.lock();
-            inner.objects.get(key).map(|o| (o.value.clone(), o.revision))
-        };
-        match current {
-            Some((mut base, rev)) => {
-                let before = base.clone();
-                value::merge(&mut base, patch);
-                if base == before {
-                    return Ok(rev);
+        let mut last = None;
+        for _ in 0..PATCH_RETRIES {
+            let current = self
+                .shard(key)
+                .read()
+                .get(key)
+                .map(|o| (o.value.clone(), o.revision));
+            let attempt = match current {
+                Some((base, rev)) => {
+                    let mut merged = (*base).clone();
+                    value::merge(&mut merged, patch);
+                    if merged == *base {
+                        return Ok(rev);
+                    }
+                    self.update(key, merged, Some(rev))
                 }
-                self.update(key, base, Some(rev))
+                None if upsert => self.create(key.clone(), patch.clone()),
+                None => return Err(Error::NotFound(key.to_string())),
+            };
+            match attempt {
+                // Lost a race (concurrent update, or concurrent create for
+                // the upsert path): merge again against the fresh value.
+                Err(e @ (Error::Conflict { .. } | Error::AlreadyExists(_))) => last = Some(e),
+                done => return done,
             }
-            None if upsert => self.create(clone_key(key), patch.clone()),
-            None => Err(Error::NotFound(key.to_string())),
         }
+        Err(last.expect("loop ran"))
     }
 
     /// Delete an object.
     pub fn delete(&self, key: &ObjectKey) -> Result<Revision> {
-        let mut inner = self.inner.lock();
-        let obj = inner
-            .objects
-            .remove(key)
-            .ok_or_else(|| Error::NotFound(key.to_string()))?;
-        let rev = inner.revision.next();
-        commit(
-            &mut inner,
-            WatchEvent { revision: rev, kind: EventKind::Deleted, key: clone_key(key), value: obj.value },
-        )?;
+        let rev;
+        {
+            let mut shard = self.shard(key).write();
+            let value = shard
+                .get(key)
+                .map(|o| o.value.clone())
+                .ok_or_else(|| Error::NotFound(key.to_string()))?;
+            rev = self.commit_locked(EventKind::Deleted, key, &value)?;
+            shard.remove(key);
+        }
+        self.drain_fanout();
         Ok(rev)
+    }
+
+    /// Commit one mutation for `key`: allocate the next revision, append
+    /// to the WAL (the durability point — a WAL failure aborts the commit
+    /// before anything became visible), record watch history, and enqueue
+    /// the event for fan-out.
+    ///
+    /// The caller holds the key's shard write lock, which is what makes
+    /// "validate, commit, mutate" atomic against readers and other
+    /// writers of the same key.
+    fn commit_locked(
+        &self,
+        kind: EventKind,
+        key: &ObjectKey,
+        value: &Arc<Value>,
+    ) -> Result<Revision> {
+        let mut commit = self.commit.lock();
+        let rev = Revision(self.revision.load(Ordering::Relaxed) + 1);
+        let event = WatchEvent {
+            revision: rev,
+            kind,
+            key: key.clone(),
+            value: Arc::clone(value),
+        };
+        if let Some(wal) = &commit.wal {
+            wal.append(&event)?;
+        }
+        self.revision.store(rev.0, Ordering::Release);
+        commit.history.push_back(event.clone());
+        while commit.history.len() > commit.history_cap {
+            commit.history.pop_front();
+        }
+        self.fanout.lock().outbox.push_back(event);
+        Ok(rev)
+    }
+
+    /// Deliver queued events to subscribers, outside every store lock.
+    ///
+    /// A single drainer at a time (CAS-elected) keeps delivery in
+    /// revision order; after standing down it re-checks the outbox so an
+    /// event enqueued during the hand-off window is never stranded.
+    fn drain_fanout(&self) {
+        loop {
+            if self
+                .draining
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                // Another thread is draining; it will pick our event up.
+                return;
+            }
+            loop {
+                let (event, subscribers) = {
+                    let mut fanout = self.fanout.lock();
+                    fanout.subscribers.retain(|s| !s.tx.is_closed());
+                    match fanout.outbox.pop_front() {
+                        Some(event) => (event, fanout.subscribers.clone()),
+                        None => break,
+                    }
+                };
+                for sub in &subscribers {
+                    // Events up to `joined_at` were replayed from history
+                    // at registration time.
+                    if event.revision > sub.joined_at {
+                        let _ = sub.tx.send(event.clone());
+                    }
+                }
+            }
+            self.draining.store(false, Ordering::Release);
+            if self.fanout.lock().outbox.is_empty() {
+                return;
+            }
+            // A pusher enqueued after we emptied the outbox but lost the
+            // CAS before we stood down — take another turn.
+        }
     }
 
     /// Subscribe to committed events with revision **greater than**
@@ -244,29 +409,37 @@ impl ObjectStore {
     /// stream then continues live, in revision order, without gaps or
     /// duplicates.
     ///
-    /// Fails if `from` is older than the history window (the caller must
-    /// [`ObjectStore::list`] and watch from the listing's revision).
+    /// Fails with [`Error::WatchTooOld`] if `from` predates the bounded
+    /// history window (the caller must [`ObjectStore::list`] and watch
+    /// from the listing's revision).
     pub fn watch_from(&self, from: Revision) -> Result<mpsc::UnboundedReceiver<WatchEvent>> {
-        let mut inner = self.inner.lock();
-        let oldest = inner.history.front().map(|e| e.revision);
-        if let Some(oldest) = oldest {
+        // Commit lock freezes the revision and history; fanout lock makes
+        // "replay + register" atomic against the drainer.
+        let commit = self.commit.lock();
+        let mut fanout = self.fanout.lock();
+        let revision = self.revision();
+        if let Some(oldest) = commit.history.front().map(|e| e.revision) {
             if from.next() < oldest {
-                return Err(Error::Internal(format!(
-                    "watch revision {from} too old; history starts at {oldest} — list and re-watch"
-                )));
+                return Err(Error::WatchTooOld {
+                    from: from.0,
+                    oldest: oldest.0,
+                });
             }
-        } else if from < inner.revision {
-            return Err(Error::Internal(format!(
-                "watch revision {from} too old; history is empty at revision {}",
-                inner.revision
-            )));
+        } else if from < revision {
+            return Err(Error::WatchTooOld {
+                from: from.0,
+                oldest: revision.0,
+            });
         }
         let (tx, rx) = mpsc::unbounded_channel();
-        for event in inner.history.iter().filter(|e| e.revision > from) {
+        for event in commit.history.iter().filter(|e| e.revision > from) {
             // Receiver can't be dropped yet; ignore errors defensively.
             let _ = tx.send(event.clone());
         }
-        inner.subscribers.push(tx);
+        fanout.subscribers.push(Subscriber {
+            tx,
+            joined_at: revision,
+        });
         Ok(rx)
     }
 
@@ -277,9 +450,8 @@ impl ObjectStore {
 
     /// Register `consumer` as interested in `key` (state retention).
     pub fn register_consumer(&self, key: &ObjectKey, consumer: &str) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let obj = inner
-            .objects
+        let mut shard = self.shard(key).write();
+        let obj = shard
             .get_mut(key)
             .ok_or_else(|| Error::NotFound(key.to_string()))?;
         obj.consumers.entry(consumer.to_string()).or_insert(false);
@@ -290,9 +462,8 @@ impl ObjectStore {
     /// run retention. Returns the keys garbage-collected (if any).
     pub fn mark_processed(&self, key: &ObjectKey, consumer: &str) -> Result<Vec<ObjectKey>> {
         {
-            let mut inner = self.inner.lock();
-            let obj = inner
-                .objects
+            let mut shard = self.shard(key).write();
+            let obj = shard
                 .get_mut(key)
                 .ok_or_else(|| Error::NotFound(key.to_string()))?;
             match obj.consumers.get_mut(consumer) {
@@ -311,27 +482,38 @@ impl ObjectStore {
     /// normal `Deleted` events so watchers observe GC.
     pub fn gc(&self) -> Result<Vec<ObjectKey>> {
         let policy = *self.policy.lock();
-        let victims: Vec<ObjectKey> = {
-            let inner = self.inner.lock();
-            match policy {
-                RetentionPolicy::Forever => Vec::new(),
-                RetentionPolicy::RefCounted => inner
-                    .objects
-                    .values()
-                    .filter(|o| o.fully_consumed())
-                    .map(|o| clone_key(&o.key))
-                    .collect(),
-                RetentionPolicy::Archive { keep } => {
-                    let mut consumed: Vec<&StoredObject> =
-                        inner.objects.values().filter(|o| o.fully_consumed()).collect();
-                    consumed.sort_by_key(|o| o.created_revision);
-                    let excess = consumed.len().saturating_sub(keep);
-                    consumed
-                        .into_iter()
-                        .take(excess)
-                        .map(|o| clone_key(&o.key))
-                        .collect()
-                }
+        let victims: Vec<ObjectKey> = match policy {
+            RetentionPolicy::Forever => Vec::new(),
+            RetentionPolicy::RefCounted => self
+                .shards
+                .iter()
+                .flat_map(|s| {
+                    s.read()
+                        .values()
+                        .filter(|o| o.fully_consumed())
+                        .map(|o| o.key.clone())
+                        .collect::<Vec<_>>()
+                })
+                .collect(),
+            RetentionPolicy::Archive { keep } => {
+                let mut consumed: Vec<(Revision, ObjectKey)> = self
+                    .shards
+                    .iter()
+                    .flat_map(|s| {
+                        s.read()
+                            .values()
+                            .filter(|o| o.fully_consumed())
+                            .map(|o| (o.created_revision, o.key.clone()))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                consumed.sort();
+                let excess = consumed.len().saturating_sub(keep);
+                consumed
+                    .into_iter()
+                    .take(excess)
+                    .map(|(_, key)| key)
+                    .collect()
             }
         };
         for key in &victims {
@@ -342,30 +524,16 @@ impl ObjectStore {
 
     /// Number of live watch subscribers (diagnostics).
     pub fn subscriber_count(&self) -> usize {
-        let mut inner = self.inner.lock();
-        inner.subscribers.retain(|s| !s.is_closed());
-        inner.subscribers.len()
+        let mut fanout = self.fanout.lock();
+        fanout.subscribers.retain(|s| !s.tx.is_closed());
+        fanout.subscribers.len()
     }
 }
 
-fn clone_key(k: &ObjectKey) -> ObjectKey {
-    ObjectKey::new(k.as_str())
-}
-
-/// Commit an already-applied mutation: advance the revision, log to the
-/// WAL (durability point), record history, fan out to subscribers.
-fn commit(inner: &mut Inner, event: WatchEvent) -> Result<()> {
-    debug_assert_eq!(event.revision, inner.revision.next());
-    if let Some(wal) = &inner.wal {
-        wal.append(&event)?;
-    }
-    inner.revision = event.revision;
-    inner.history.push_back(event.clone());
-    while inner.history.len() > inner.history_cap {
-        inner.history.pop_front();
-    }
-    inner.subscribers.retain(|tx| tx.send(event.clone()).is_ok());
-    Ok(())
+fn shard_of(key: &ObjectKey) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) & (SHARD_COUNT - 1)
 }
 
 /// Apply a WAL event to the object map during replay.
@@ -425,7 +593,10 @@ mod tests {
     fn create_duplicate_fails() {
         let s = store();
         s.create(k("a"), json!(1)).unwrap();
-        assert!(matches!(s.create(k("a"), json!(2)), Err(Error::AlreadyExists(_))));
+        assert!(matches!(
+            s.create(k("a"), json!(2)),
+            Err(Error::AlreadyExists(_))
+        ));
     }
 
     #[test]
@@ -445,7 +616,13 @@ mod tests {
         let r2 = s.update(&k("a"), json!({"v": 1}), Some(rev)).unwrap();
         // Re-using the stale revision must conflict.
         let err = s.update(&k("a"), json!({"v": 2}), Some(rev)).unwrap_err();
-        assert_eq!(err, Error::Conflict { expected: rev.0, actual: r2.0 });
+        assert_eq!(
+            err,
+            Error::Conflict {
+                expected: rev.0,
+                actual: r2.0
+            }
+        );
         // Unconditional update still works.
         s.update(&k("a"), json!({"v": 3}), None).unwrap();
         assert_eq!(s.get(&k("a")).unwrap().value, json!({"v": 3}));
@@ -454,13 +631,17 @@ mod tests {
     #[test]
     fn patch_merges_and_upserts() {
         let s = store();
-        s.create(k("a"), json!({"x": {"y": 1}, "keep": true})).unwrap();
+        s.create(k("a"), json!({"x": {"y": 1}, "keep": true}))
+            .unwrap();
         s.patch(&k("a"), &json!({"x": {"z": 2}}), false).unwrap();
         assert_eq!(
             s.get(&k("a")).unwrap().value,
             json!({"x": {"y": 1, "z": 2}, "keep": true})
         );
-        assert!(matches!(s.patch(&k("nope"), &json!({}), false), Err(Error::NotFound(_))));
+        assert!(matches!(
+            s.patch(&k("nope"), &json!({}), false),
+            Err(Error::NotFound(_))
+        ));
         s.patch(&k("nope"), &json!({"fresh": 1}), true).unwrap();
         assert_eq!(s.get(&k("nope")).unwrap().value, json!({"fresh": 1}));
     }
@@ -523,15 +704,16 @@ mod tests {
 
     #[test]
     fn watch_too_old_fails() {
-        let s = store();
-        {
-            let mut inner = s.inner.lock();
-            inner.history_cap = 2;
-        }
+        let profile = EngineProfile {
+            history_cap: 2,
+            ..EngineProfile::instant()
+        };
+        let s = ObjectStore::open(StoreId::new("test/store"), profile).unwrap();
         for i in 0..5 {
             s.create(k(&format!("k{i}")), json!(i)).unwrap();
         }
-        assert!(s.watch_from(Revision(1)).is_err());
+        let err = s.watch_from(Revision(1)).unwrap_err();
+        assert_eq!(err, Error::WatchTooOld { from: 1, oldest: 4 });
         assert!(s.watch_from(Revision(3)).is_ok());
         assert!(s.watch_from(s.revision()).is_ok());
     }
@@ -632,5 +814,23 @@ mod tests {
         drop(rx);
         s.create(k("a"), json!(1)).unwrap();
         assert_eq!(s.subscriber_count(), 0);
+    }
+
+    /// A subscriber that registers while events for earlier revisions are
+    /// still queued in the outbox must not see them twice: they were
+    /// replayed from history at registration time.
+    #[tokio::test]
+    async fn late_subscriber_sees_no_duplicates() {
+        let s = store();
+        for i in 0..10 {
+            s.create(k(&format!("k{i}")), json!(i)).unwrap();
+        }
+        let mut rx = s.watch_from(Revision(5)).unwrap();
+        s.create(k("tail"), json!("t")).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            seen.push(rx.recv().await.unwrap().revision.0);
+        }
+        assert_eq!(seen, vec![6, 7, 8, 9, 10, 11]);
     }
 }

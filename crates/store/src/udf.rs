@@ -55,8 +55,16 @@ pub struct UdfBinding {
 }
 
 impl UdfBinding {
-    pub fn new(alias: impl Into<String>, store: impl Into<StoreId>, key: impl Into<ObjectKey>) -> Self {
-        UdfBinding { alias: alias.into(), store: store.into(), key: key.into() }
+    pub fn new(
+        alias: impl Into<String>,
+        store: impl Into<StoreId>,
+        key: impl Into<ObjectKey>,
+    ) -> Self {
+        UdfBinding {
+            alias: alias.into(),
+            store: store.into(),
+            key: key.into(),
+        }
     }
 }
 
@@ -96,7 +104,11 @@ impl Udf {
                 source: a.expr.clone(),
             });
         }
-        Ok(Udf { name, inputs, assignments: compiled })
+        Ok(Udf {
+            name,
+            inputs,
+            assignments: compiled,
+        })
     }
 
     /// Evaluate all assignments against an environment of bound states.
@@ -110,7 +122,11 @@ impl Udf {
     /// semantics: exchanges activate repeatedly as state fills in, and a
     /// reference into state another service has not produced yet must
     /// not poison the assignments that are ready.
-    pub fn evaluate(&self, env: &Env, fns: &FnRegistry) -> Result<BTreeMap<String, serde_json::Value>> {
+    pub fn evaluate(
+        &self,
+        env: &Env,
+        fns: &FnRegistry,
+    ) -> Result<BTreeMap<String, serde_json::Value>> {
         let mut patches: BTreeMap<String, serde_json::Value> = BTreeMap::new();
         for a in &self.assignments {
             let v = match knactor_expr::eval(&a.expr, env, fns) {
@@ -173,13 +189,20 @@ mod tests {
             vec!["C".into(), "S".into()],
             &[
                 assignment("S", "addr", "C.order.address"),
-                assignment("S", "method", r#""air" if C.order.cost > 1000 else "ground""#),
+                assignment(
+                    "S",
+                    "method",
+                    r#""air" if C.order.cost > 1000 else "ground""#,
+                ),
                 assignment("C", "order.shippingCost", "S.quote.price"),
             ],
         )
         .unwrap();
         let mut env = Env::new();
-        env.bind("C", json!({"order": {"address": "Soda Hall", "cost": 2000}}));
+        env.bind(
+            "C",
+            json!({"order": {"address": "Soda Hall", "cost": 2000}}),
+        );
         env.bind("S", json!({"quote": {"price": 12.5}}));
         let patches = udf.evaluate(&env, &FnRegistry::standard()).unwrap();
         assert_eq!(patches["S"], json!({"addr": "Soda Hall", "method": "air"}));

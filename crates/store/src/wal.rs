@@ -39,7 +39,11 @@ impl Wal {
             std::fs::create_dir_all(dir)?;
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Wal { path, file: Mutex::new(file), fsync })
+        Ok(Wal {
+            path,
+            file: Mutex::new(file),
+            fsync,
+        })
     }
 
     /// Append one committed event. With `fsync` enabled the call returns
@@ -102,7 +106,7 @@ mod tests {
             revision: Revision(rev),
             kind: EventKind::Created,
             key: ObjectKey::new(format!("k{rev}")),
-            value: json!({"r": rev}),
+            value: json!({"r": rev}).into(),
         }
     }
 

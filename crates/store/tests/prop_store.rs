@@ -87,7 +87,7 @@ proptest! {
                 assert_eq!(e.revision, Revision(i as u64 + 1));
             }
             // Replay reconstructs the live state.
-            let mut replayed: std::collections::BTreeMap<ObjectKey, serde_json::Value> =
+            let mut replayed: std::collections::BTreeMap<ObjectKey, std::sync::Arc<serde_json::Value>> =
                 Default::default();
             for e in &events {
                 match e.kind {

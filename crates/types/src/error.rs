@@ -35,6 +35,12 @@ pub enum Error {
     Dxg(String),
     /// A YAML-subset document failed to parse.
     Parse { line: usize, msg: String },
+    /// A watch was requested from a revision the store's bounded history
+    /// no longer covers; the watcher must re-list and resume from there.
+    ///
+    /// Contains the requested resume point and the oldest replayable
+    /// revision still held.
+    WatchTooOld { from: u64, oldest: u64 },
     /// A wire-protocol or transport failure.
     Transport(String),
     /// The store or exchange rejected the request (internal invariant,
@@ -60,6 +66,7 @@ impl Error {
             Error::Expr(_) => "expr",
             Error::Dxg(_) => "dxg",
             Error::Parse { .. } => "parse",
+            Error::WatchTooOld { .. } => "watch_too_old",
             Error::Transport(_) => "transport",
             Error::Internal(_) => "internal",
             Error::ShuttingDown => "shutting_down",
@@ -82,6 +89,12 @@ impl Error {
                 let actual = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
                 Error::Conflict { expected, actual }
             }
+            "watch_too_old" => {
+                let mut parts = msg.split(':');
+                let from = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+                let oldest = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+                Error::WatchTooOld { from, oldest }
+            }
             "forbidden" => Error::Forbidden(msg.to_string()),
             "schema_violation" => Error::SchemaViolation(msg.to_string()),
             "unknown_schema" => Error::UnknownSchema(msg.to_string()),
@@ -99,6 +112,7 @@ impl Error {
     pub fn wire_message(&self) -> String {
         match self {
             Error::Conflict { expected, actual } => format!("{expected}:{actual}"),
+            Error::WatchTooOld { from, oldest } => format!("{from}:{oldest}"),
             Error::Parse { line, msg } => format!("line {line}: {msg}"),
             other => format!("{other}"),
         }
@@ -128,6 +142,9 @@ impl fmt::Display for Error {
             Error::Expr(m) => write!(f, "expression error: {m}"),
             Error::Dxg(m) => write!(f, "dxg error: {m}"),
             Error::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            Error::WatchTooOld { from, oldest } => {
+                write!(f, "watch too old: from {from}, oldest retained {oldest}")
+            }
             Error::Transport(m) => write!(f, "transport error: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
             Error::ShuttingDown => write!(f, "shutting down"),
@@ -162,7 +179,17 @@ mod tests {
 
     #[test]
     fn conflict_roundtrips_through_wire_form() {
-        let e = Error::Conflict { expected: 3, actual: 7 };
+        let e = Error::Conflict {
+            expected: 3,
+            actual: 7,
+        };
+        let rebuilt = Error::from_wire(e.code(), &e.wire_message());
+        assert_eq!(rebuilt, e);
+    }
+
+    #[test]
+    fn watch_too_old_roundtrips_through_wire_form() {
+        let e = Error::WatchTooOld { from: 3, oldest: 9 };
         let rebuilt = Error::from_wire(e.code(), &e.wire_message());
         assert_eq!(rebuilt, e);
     }
@@ -172,13 +199,17 @@ mod tests {
         let samples = vec![
             Error::NotFound("k".into()),
             Error::AlreadyExists("k".into()),
-            Error::Conflict { expected: 1, actual: 2 },
+            Error::Conflict {
+                expected: 1,
+                actual: 2,
+            },
             Error::Forbidden("nope".into()),
             Error::SchemaViolation("bad".into()),
             Error::UnknownSchema("s".into()),
             Error::BadPath("p".into()),
             Error::Expr("e".into()),
             Error::Dxg("d".into()),
+            Error::WatchTooOld { from: 3, oldest: 9 },
             Error::Transport("t".into()),
             Error::ShuttingDown,
             Error::Timeout("t".into()),
@@ -191,7 +222,10 @@ mod tests {
 
     #[test]
     fn parse_error_degrades_to_internal_on_wire() {
-        let e = Error::Parse { line: 4, msg: "oops".into() };
+        let e = Error::Parse {
+            line: 4,
+            msg: "oops".into(),
+        };
         let rebuilt = Error::from_wire(e.code(), &e.wire_message());
         // Parse has no structured wire form; it degrades but keeps the text.
         assert!(matches!(rebuilt, Error::Internal(ref m) if m.contains("oops")));
@@ -199,7 +233,11 @@ mod tests {
 
     #[test]
     fn retryability() {
-        assert!(Error::Conflict { expected: 0, actual: 1 }.is_retryable());
+        assert!(Error::Conflict {
+            expected: 0,
+            actual: 1
+        }
+        .is_retryable());
         assert!(Error::Timeout("x".into()).is_retryable());
         assert!(!Error::Forbidden("x".into()).is_retryable());
     }

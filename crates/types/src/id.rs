@@ -83,12 +83,15 @@ impl From<&str> for StoreId {
 }
 
 /// Key of one state object within a store (e.g. `order-1042`).
+///
+/// Backed by `Arc<str>` so keys travel through events, watch histories,
+/// and fan-out queues as reference bumps rather than heap copies.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[serde(transparent)]
-pub struct ObjectKey(pub String);
+pub struct ObjectKey(pub std::sync::Arc<str>);
 
 impl ObjectKey {
-    pub fn new(key: impl Into<String>) -> Self {
+    pub fn new(key: impl Into<std::sync::Arc<str>>) -> Self {
         ObjectKey(key.into())
     }
 
@@ -105,7 +108,7 @@ impl fmt::Display for ObjectKey {
 
 impl From<&str> for ObjectKey {
     fn from(s: &str) -> Self {
-        ObjectKey(s.to_string())
+        ObjectKey(s.into())
     }
 }
 

@@ -27,7 +27,9 @@ pub struct FieldPath {
 impl FieldPath {
     /// The empty path, addressing the whole value.
     pub fn root() -> Self {
-        FieldPath { segments: Vec::new() }
+        FieldPath {
+            segments: Vec::new(),
+        }
     }
 
     /// Parse a dotted path. Field names are non-empty runs of characters
@@ -124,7 +126,9 @@ impl FieldPath {
 
     /// Path with the first segment removed.
     pub fn tail(&self) -> FieldPath {
-        FieldPath { segments: self.segments.iter().skip(1).cloned().collect() }
+        FieldPath {
+            segments: self.segments.iter().skip(1).cloned().collect(),
+        }
     }
 
     pub fn is_root(&self) -> bool {
@@ -178,7 +182,10 @@ mod tests {
         let p = FieldPath::parse("order.totalCost").unwrap();
         assert_eq!(
             p.segments,
-            vec![Segment::Field("order".into()), Segment::Field("totalCost".into())]
+            vec![
+                Segment::Field("order".into()),
+                Segment::Field("totalCost".into())
+            ]
         );
     }
 

@@ -130,23 +130,25 @@ impl FieldType {
             "object" => Ok(FieldType::Object),
             "array" | "list" => Ok(FieldType::Array),
             "any" => Ok(FieldType::Any),
-            other => Err(Error::SchemaViolation(format!("unknown field type '{other}'"))),
+            other => Err(Error::SchemaViolation(format!(
+                "unknown field type '{other}'"
+            ))),
         }
     }
 
     /// Does `v` conform to this type? `Null` conforms to everything:
     /// absence-before-fill is the normal state of `external` fields.
     pub fn admits(&self, v: &Value) -> bool {
-        match (self, v) {
-            (_, Value::Null) => true,
-            (FieldType::Any, _) => true,
-            (FieldType::String, Value::String(_)) => true,
-            (FieldType::Number, Value::Number(_)) => true,
-            (FieldType::Bool, Value::Bool(_)) => true,
-            (FieldType::Object, Value::Object(_)) => true,
-            (FieldType::Array, Value::Array(_)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (FieldType::Any, _)
+                | (FieldType::String, Value::String(_))
+                | (FieldType::Number, Value::Number(_))
+                | (FieldType::Bool, Value::Bool(_))
+                | (FieldType::Object, Value::Object(_))
+                | (FieldType::Array, Value::Array(_))
+        )
     }
 }
 
@@ -180,7 +182,12 @@ pub struct FieldSpec {
 
 impl FieldSpec {
     pub fn new(name: impl Into<String>, ty: FieldType) -> Self {
-        FieldSpec { name: name.into(), ty, annotations: Vec::new(), required: false }
+        FieldSpec {
+            name: name.into(),
+            ty,
+            annotations: Vec::new(),
+            required: false,
+        }
     }
 
     pub fn external(mut self) -> Self {
@@ -221,7 +228,10 @@ pub struct Schema {
 
 impl Schema {
     pub fn new(name: impl Into<SchemaName>) -> Self {
-        Schema { name: name.into(), fields: Vec::new() }
+        Schema {
+            name: name.into(),
+            fields: Vec::new(),
+        }
     }
 
     pub fn field(mut self, spec: FieldSpec) -> Self {
@@ -450,11 +460,15 @@ mod tests {
             .field(FieldSpec::new("id", FieldType::String).annotated(Annotation::Immutable))
             .field(FieldSpec::new("note", FieldType::String));
         let old = json!({"id": "a", "note": "x"});
-        s.validate_update(&old, &json!({"id": "a", "note": "y"})).unwrap();
-        assert!(s.validate_update(&old, &json!({"id": "b", "note": "y"})).is_err());
+        s.validate_update(&old, &json!({"id": "a", "note": "y"}))
+            .unwrap();
+        assert!(s
+            .validate_update(&old, &json!({"id": "b", "note": "y"}))
+            .is_err());
         // Setting an immutable field for the first time is fine.
         let unset = json!({"note": "x"});
-        s.validate_update(&unset, &json!({"id": "fresh", "note": "x"})).unwrap();
+        s.validate_update(&unset, &json!({"id": "fresh", "note": "x"}))
+            .unwrap();
     }
 
     #[test]

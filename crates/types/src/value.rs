@@ -107,14 +107,18 @@ pub fn remove_path(value: &mut Value, path: &FieldPath) -> Result<Option<Value>>
         return Ok(Some(std::mem::replace(value, Value::Null)));
     }
     let (last, init) = path.segments.split_last().expect("non-root path");
-    let parent_path = FieldPath { segments: init.to_vec() };
+    let parent_path = FieldPath {
+        segments: init.to_vec(),
+    };
     let Some(parent) = get_path_mut(value, &parent_path) else {
         return Ok(None);
     };
     match last {
         Segment::Field(name) => Ok(parent.as_object_mut().and_then(|o| o.remove(name))),
         Segment::Index(idx) => {
-            let Some(arr) = parent.as_array_mut() else { return Ok(None) };
+            let Some(arr) = parent.as_array_mut() else {
+                return Ok(None);
+            };
             if *idx < arr.len() {
                 Ok(Some(arr.remove(*idx)))
             } else {

@@ -35,9 +35,8 @@ fn value_strategy() -> impl Strategy<Value = serde_json::Value> {
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..4).prop_map(serde_json::Value::Array),
-            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..4).prop_map(|m| {
-                serde_json::Value::Object(m.into_iter().collect())
-            }),
+            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..4)
+                .prop_map(|m| { serde_json::Value::Object(m.into_iter().collect()) }),
         ]
     })
 }

@@ -59,17 +59,29 @@ pub enum Yaml {
 impl Node {
     /// A scalar node with no source position.
     pub fn scalar(v: impl Into<serde_json::Value>) -> Node {
-        Node { yaml: Yaml::Scalar(v.into()), line: 0, annotations: Vec::new() }
+        Node {
+            yaml: Yaml::Scalar(v.into()),
+            line: 0,
+            annotations: Vec::new(),
+        }
     }
 
     /// A mapping node with no source position.
     pub fn map(entries: Vec<(String, Node)>) -> Node {
-        Node { yaml: Yaml::Map(entries), line: 0, annotations: Vec::new() }
+        Node {
+            yaml: Yaml::Map(entries),
+            line: 0,
+            annotations: Vec::new(),
+        }
     }
 
     /// A sequence node with no source position.
     pub fn seq(items: Vec<Node>) -> Node {
-        Node { yaml: Yaml::Seq(items), line: 0, annotations: Vec::new() }
+        Node {
+            yaml: Yaml::Seq(items),
+            line: 0,
+            annotations: Vec::new(),
+        }
     }
 
     /// Attach a `+kr:` annotation.
@@ -131,9 +143,7 @@ impl Node {
     pub fn to_json(&self) -> serde_json::Value {
         match &self.yaml {
             Yaml::Scalar(v) => v.clone(),
-            Yaml::Seq(items) => {
-                serde_json::Value::Array(items.iter().map(Node::to_json).collect())
-            }
+            Yaml::Seq(items) => serde_json::Value::Array(items.iter().map(Node::to_json).collect()),
             Yaml::Map(entries) => serde_json::Value::Object(
                 entries
                     .iter()

@@ -60,7 +60,10 @@ fn scan_line(raw: &str, number: usize) -> Result<Line> {
     if raw[..indent_len].contains('\t') || raw.trim_start_matches(' ').starts_with('\t') {
         // Only leading tabs are fatal; tabs inside content are data.
         if raw.trim_start_matches([' ', '\t']).len() < raw.trim_start_matches(' ').len() {
-            return Err(Error::Parse { line: number, msg: "tab in indentation".to_string() });
+            return Err(Error::Parse {
+                line: number,
+                msg: "tab in indentation".to_string(),
+            });
         }
     }
     let body = &raw[indent_len..];
@@ -95,7 +98,13 @@ fn scan_line(raw: &str, number: usize) -> Result<Line> {
         }
         None => (body.trim_end().to_string(), None),
     };
-    Ok(Line { number, indent: indent_len, content, raw: raw.to_string(), annotation })
+    Ok(Line {
+        number,
+        indent: indent_len,
+        content,
+        raw: raw.to_string(),
+        annotation,
+    })
 }
 
 struct Parser {
@@ -270,7 +279,12 @@ impl Parser {
     ///
     /// Both forms strip the trailing newline (YAML's `>-` / `|-` chomping),
     /// which is what spec expressions want.
-    fn parse_block_scalar(&mut self, folded: bool, key_indent: usize, key_line: usize) -> Result<Node> {
+    fn parse_block_scalar(
+        &mut self,
+        folded: bool,
+        key_indent: usize,
+        key_line: usize,
+    ) -> Result<Node> {
         let mut raw_lines: Vec<String> = Vec::new();
         while let Some(line) = self.peek() {
             let raw_trimmed = line.raw.trim_end();
@@ -281,7 +295,11 @@ impl Parser {
             raw_lines.push(line.raw.clone());
             self.pos += 1;
         }
-        while raw_lines.last().map(|l| l.trim().is_empty()).unwrap_or(false) {
+        while raw_lines
+            .last()
+            .map(|l| l.trim().is_empty())
+            .unwrap_or(false)
+        {
             raw_lines.pop();
         }
         if raw_lines.is_empty() {
@@ -408,14 +426,22 @@ fn reject_flow(s: &str, line: usize) -> Result<()> {
 fn parse_scalar(s: &str, line: usize) -> Result<serde_json::Value> {
     if s.starts_with('\'') {
         if s.len() < 2 || !s.ends_with('\'') {
-            return Err(Error::Parse { line, msg: "unterminated single-quoted string".into() });
+            return Err(Error::Parse {
+                line,
+                msg: "unterminated single-quoted string".into(),
+            });
         }
         // Single quotes: only escape is '' for a literal quote.
-        return Ok(serde_json::Value::String(s[1..s.len() - 1].replace("''", "'")));
+        return Ok(serde_json::Value::String(
+            s[1..s.len() - 1].replace("''", "'"),
+        ));
     }
     if s.starts_with('"') {
         if s.len() < 2 || !s.ends_with('"') {
-            return Err(Error::Parse { line, msg: "unterminated double-quoted string".into() });
+            return Err(Error::Parse {
+                line,
+                msg: "unterminated double-quoted string".into(),
+            });
         }
         let inner = &s[1..s.len() - 1];
         let mut out = String::with_capacity(inner.len());
@@ -435,7 +461,10 @@ fn parse_scalar(s: &str, line: usize) -> Result<serde_json::Value> {
                         })
                     }
                     None => {
-                        return Err(Error::Parse { line, msg: "dangling escape".into() })
+                        return Err(Error::Parse {
+                            line,
+                            msg: "dangling escape".into(),
+                        })
                     }
                 }
             } else {
@@ -557,15 +586,28 @@ DXG:
             ship,
             "currency_convert(S.quote.price, S.quote.currency, this.currency)"
         );
-        let items = dxg.get("S").unwrap().get("items").unwrap().as_str().unwrap();
+        let items = dxg
+            .get("S")
+            .unwrap()
+            .get("items")
+            .unwrap()
+            .as_str()
+            .unwrap();
         assert_eq!(items, "[item.name for item in C.order.items]");
-        let method = dxg.get("S").unwrap().get("method").unwrap().as_str().unwrap();
+        let method = dxg
+            .get("S")
+            .unwrap()
+            .get("method")
+            .unwrap()
+            .as_str()
+            .unwrap();
         assert_eq!(method, r#""air" if C.order.cost > 1000 else "ground""#);
     }
 
     #[test]
     fn scalar_coercion() {
-        let doc = parse("a: 3\nb: -2.5\nc: true\nd: null\ne: ~\nf: hello world\ng: 1.2.3\n").unwrap();
+        let doc =
+            parse("a: 3\nb: -2.5\nc: true\nd: null\ne: ~\nf: hello world\ng: 1.2.3\n").unwrap();
         assert_eq!(doc.get("a").unwrap().to_json(), json!(3));
         assert_eq!(doc.get("b").unwrap().to_json(), json!(-2.5));
         assert_eq!(doc.get("c").unwrap().to_json(), json!(true));
@@ -589,7 +631,10 @@ DXG:
         let doc = parse("a: 'x # y'\nb: \"p # q\" # +kr: external\n").unwrap();
         assert_eq!(doc.get("a").unwrap().to_json(), json!("x # y"));
         assert_eq!(doc.get("b").unwrap().to_json(), json!("p # q"));
-        assert_eq!(doc.get("b").unwrap().annotations, vec!["external".to_string()]);
+        assert_eq!(
+            doc.get("b").unwrap().annotations,
+            vec!["external".to_string()]
+        );
     }
 
     #[test]
@@ -633,7 +678,10 @@ items:
     fn literal_block_scalar_keeps_newlines() {
         let src = "text: |\n  line one\n  line two\nafter: 1\n";
         let doc = parse(src).unwrap();
-        assert_eq!(doc.get("text").unwrap().to_json(), json!("line one\nline two"));
+        assert_eq!(
+            doc.get("text").unwrap().to_json(),
+            json!("line one\nline two")
+        );
         assert_eq!(doc.get("after").unwrap().to_json(), json!(1));
     }
 
@@ -641,7 +689,10 @@ items:
     fn folded_block_scalar_joins_lines() {
         let src = "text: >\n  a b\n  c d\n\n  new para\n";
         let doc = parse(src).unwrap();
-        assert_eq!(doc.get("text").unwrap().to_json(), json!("a b c d\nnew para"));
+        assert_eq!(
+            doc.get("text").unwrap().to_json(),
+            json!("a b c d\nnew para")
+        );
     }
 
     #[test]
@@ -686,7 +737,10 @@ items:
     #[test]
     fn root_scalar_document() {
         assert_eq!(parse("42\n").unwrap().to_json(), json!(42));
-        assert_eq!(parse("'quoted: not a map'\n").unwrap().to_json(), json!("quoted: not a map"));
+        assert_eq!(
+            parse("'quoted: not a map'\n").unwrap().to_json(),
+            json!("quoted: not a map")
+        );
     }
 
     #[test]
@@ -705,7 +759,10 @@ items:
     #[test]
     fn value_with_colon_no_space_is_scalar() {
         let doc = parse("url: redis://localhost:6379\n").unwrap();
-        assert_eq!(doc.get("url").unwrap().to_json(), json!("redis://localhost:6379"));
+        assert_eq!(
+            doc.get("url").unwrap().to_json(),
+            json!("redis://localhost:6379")
+        );
     }
 
     #[test]

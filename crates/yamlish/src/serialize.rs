@@ -113,7 +113,11 @@ fn push_annotations_inline(out: &mut String, annotations: &[String], indent: usi
 }
 
 fn key_to_string(key: &str) -> String {
-    if key.is_empty() || key.contains(':') || key.contains('#') || key.contains('\'') || key.contains('"')
+    if key.is_empty()
+        || key.contains(':')
+        || key.contains('#')
+        || key.contains('\'')
+        || key.contains('"')
     {
         format!("'{}'", key.replace('\'', "''"))
     } else {
@@ -155,7 +159,10 @@ fn needs_quoting(s: &str) -> bool {
         return true;
     }
     let first = s.chars().next().unwrap();
-    if matches!(first, '\'' | '"' | '-' | '[' | '{' | '&' | '*' | '!' | '>' | '|' | '#' | ' ') {
+    if matches!(
+        first,
+        '\'' | '"' | '-' | '[' | '{' | '&' | '*' | '!' | '>' | '|' | '#' | ' '
+    ) {
         return true;
     }
     if s.ends_with(' ') {
@@ -214,21 +221,19 @@ mod tests {
 
     #[test]
     fn nested_structures_roundtrip() {
-        roundtrip(&Node::map(vec![
-            (
-                "dxg".into(),
-                Node::map(vec![
-                    ("x".into(), Node::scalar("C.order.totalCost")),
-                    (
-                        "subjects".into(),
-                        Node::seq(vec![
-                            Node::map(vec![("name".into(), Node::scalar("cast"))]),
-                            Node::scalar("plain"),
-                        ]),
-                    ),
-                ]),
-            ),
-        ]));
+        roundtrip(&Node::map(vec![(
+            "dxg".into(),
+            Node::map(vec![
+                ("x".into(), Node::scalar("C.order.totalCost")),
+                (
+                    "subjects".into(),
+                    Node::seq(vec![
+                        Node::map(vec![("name".into(), Node::scalar("cast"))]),
+                        Node::scalar("plain"),
+                    ]),
+                ),
+            ]),
+        )]));
     }
 
     #[test]

@@ -39,8 +39,8 @@ fn annotated(node: Node, ann: Option<String>) -> Node {
 }
 
 fn doc_node() -> impl Strategy<Value = Node> {
-    let leaf = (scalar_node(), proptest::option::of("[a-z]{1,8}"))
-        .prop_map(|(n, a)| annotated(n, a));
+    let leaf =
+        (scalar_node(), proptest::option::of("[a-z]{1,8}")).prop_map(|(n, a)| annotated(n, a));
     leaf.prop_recursive(3, 32, 4, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 1..4).prop_map(Node::seq),

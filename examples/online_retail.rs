@@ -18,8 +18,7 @@ use std::time::Duration;
 
 #[tokio::main]
 async fn main() -> Result<()> {
-    let (_object, _log, client) =
-        knactor::net::loopback::in_process(Subject::integrator("retail"));
+    let (_object, _log, client) = knactor::net::loopback::in_process(Subject::integrator("retail"));
     let api: Arc<dyn ExchangeApi> = Arc::new(client);
 
     println!("deploying the retail app (11 knactors + 1 Cast integrator)...");
@@ -41,21 +40,26 @@ async fn main() -> Result<()> {
     println!("  order.shippingCost = {}", done["order"]["shippingCost"]);
     println!("  order.paymentID    = {}", done["order"]["paymentID"]);
     println!("  order.trackingID   = {}", done["order"]["trackingID"]);
-    println!("  shipment.method    = {} (cost > 1000 -> air)", shipment.value["method"]);
+    println!(
+        "  shipment.method    = {} (cost > 1000 -> air)",
+        shipment.value["method"]
+    );
 
     // Order 2: cheap → ground.
-    app.place_order("order-2", sample_order(60.0), Duration::from_secs(10)).await?;
+    app.place_order("order-2", sample_order(60.0), Duration::from_secs(10))
+        .await?;
     let shipment = api.get("shipping/state".into(), "order-2".into()).await?;
     println!("\norder-2 (cost 60):");
-    println!("  shipment.method    = {} (cost <= 1000 -> ground)", shipment.value["method"]);
+    println!(
+        "  shipment.method    = {} (cost <= 1000 -> ground)",
+        shipment.value["method"]
+    );
 
     // Run-time reconfiguration: raise the air threshold to 2000 (task
     // T2). One integrator call; no knactor is touched.
     println!("\nreconfiguring the integrator: air threshold 1000 -> 2000 ...");
-    let new_spec = std::fs::read_to_string(
-        knactor::apps::crate_file("assets/retail_dxg.yaml"),
-    )?
-    .replace("C.order.cost > 1000", "C.order.cost > 2000");
+    let new_spec = std::fs::read_to_string(knactor::apps::crate_file("assets/retail_dxg.yaml"))?
+        .replace("C.order.cost > 1000", "C.order.cost > 2000");
     app.cast
         .reconfigure(knactor::core::CastConfig {
             name: "retail".into(),
@@ -65,10 +69,14 @@ async fn main() -> Result<()> {
         })
         .await?;
 
-    app.place_order("order-3", sample_order(1500.0), Duration::from_secs(10)).await?;
+    app.place_order("order-3", sample_order(1500.0), Duration::from_secs(10))
+        .await?;
     let shipment = api.get("shipping/state".into(), "order-3".into()).await?;
     println!("order-3 (cost 1500, new policy):");
-    println!("  shipment.method    = {} (1500 <= 2000 -> ground now)", shipment.value["method"]);
+    println!(
+        "  shipment.method    = {} (1500 <= 2000 -> ground now)",
+        shipment.value["method"]
+    );
     assert_eq!(shipment.value["method"], serde_json::json!("ground"));
 
     // For the curious: the original DXG, statically analyzed.

@@ -13,11 +13,12 @@ use std::time::Duration;
 
 #[tokio::main]
 async fn main() -> Result<()> {
-    let (object, _log, client) =
-        knactor::net::loopback::in_process(Subject::operator("ops"));
+    let (object, _log, client) = knactor::net::loopback::in_process(Subject::operator("ops"));
     let api: Arc<dyn ExchangeApi> = Arc::new(client);
-    api.create_store("orders/state".into(), ProfileSpec::Instant).await?;
-    api.create_store("ledger/state".into(), ProfileSpec::Instant).await?;
+    api.create_store("orders/state".into(), ProfileSpec::Instant)
+        .await?;
+    api.create_store("ledger/state".into(), ProfileSpec::Instant)
+        .await?;
 
     // ---- transactions -----------------------------------------------------
     println!("== transactions ==");
@@ -64,21 +65,35 @@ async fn main() -> Result<()> {
         ])
         .await;
     println!("  stale transaction refused: {}", stale.unwrap_err());
-    assert!(api.get("ledger/state".into(), "entry-o1-dup".into()).await.is_err());
+    assert!(api
+        .get("ledger/state".into(), "entry-o1-dup".into())
+        .await
+        .is_err());
 
     // ---- retention ---------------------------------------------------------
     println!("\n== state retention ==");
     let store = object.store(&"orders/state".into())?;
     store.set_retention(RetentionPolicy::RefCounted);
-    api.create("orders/state".into(), "o2".into(), json!({"total": 5.0})).await?;
-    api.register_consumer("orders/state".into(), "o2".into(), "archiver".into()).await?;
-    api.register_consumer("orders/state".into(), "o2".into(), "billing".into()).await?;
-    api.mark_processed("orders/state".into(), "o2".into(), "archiver".into()).await?;
-    println!("  after archiver: o2 still present ({} objects)", store.len());
+    api.create("orders/state".into(), "o2".into(), json!({"total": 5.0}))
+        .await?;
+    api.register_consumer("orders/state".into(), "o2".into(), "archiver".into())
+        .await?;
+    api.register_consumer("orders/state".into(), "o2".into(), "billing".into())
+        .await?;
+    api.mark_processed("orders/state".into(), "o2".into(), "archiver".into())
+        .await?;
+    println!(
+        "  after archiver: o2 still present ({} objects)",
+        store.len()
+    );
     let collected = api
         .mark_processed("orders/state".into(), "o2".into(), "billing".into())
         .await?;
-    println!("  after billing:  collected {:?} ({} objects left)", collected, store.len());
+    println!(
+        "  after billing:  collected {:?} ({} objects left)",
+        collected,
+        store.len()
+    );
 
     // ---- telemetry -----------------------------------------------------------
     println!("\n== exchange tracing ==");
@@ -91,12 +106,20 @@ async fn main() -> Result<()> {
     bindings.insert("L".to_string(), CastBinding::correlated("ledger/state"));
     let cast = Cast::new(Arc::clone(&api)).with_traces(traces.clone());
     cast.activate_once(
-        &CastConfig { name: "ops".into(), dxg, bindings, mode: CastMode::Direct },
+        &CastConfig {
+            name: "ops".into(),
+            dxg,
+            bindings,
+            mode: CastMode::Direct,
+        },
         &"o1".into(),
     )
     .await?;
     for span in traces.trace("o1") {
-        println!("  [{}] {:<14} {:?}", span.component, span.stage, span.duration);
+        println!(
+            "  [{}] {:<14} {:?}",
+            span.component, span.stage, span.duration
+        );
     }
 
     // ---- graceful shutdown under supervision ----------------------------------
@@ -106,7 +129,9 @@ async fn main() -> Result<()> {
         .deploy_pre_externalized(
             Knactor::builder("ledger")
                 .object_store("state")
-                .reconciler(FnReconciler::new(|_ctx: ReconcilerCtx, _e| async move { Ok(()) }))
+                .reconciler(FnReconciler::new(|_ctx: ReconcilerCtx, _e| async move {
+                    Ok(())
+                }))
                 .build(),
             Arc::clone(&api),
         )

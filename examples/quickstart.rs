@@ -24,8 +24,10 @@ async fn main() -> Result<()> {
     let api: Arc<dyn ExchangeApi> = Arc::new(client);
 
     // 2. Externalize: each service gets its own store.
-    api.create_store("greeter/state".into(), ProfileSpec::Instant).await?;
-    api.create_store("display/state".into(), ProfileSpec::Instant).await?;
+    api.create_store("greeter/state".into(), ProfileSpec::Instant)
+        .await?;
+    api.create_store("display/state".into(), ProfileSpec::Instant)
+        .await?;
 
     // 3. The display service: a reconciler that reacts to ITS OWN store.
     let runtime = Runtime::new();
@@ -39,7 +41,9 @@ async fn main() -> Result<()> {
             Ok(())
         }))
         .build();
-    runtime.deploy_pre_externalized(display, Arc::clone(&api)).await?;
+    runtime
+        .deploy_pre_externalized(display, Arc::clone(&api))
+        .await?;
 
     // 4. Exchange: the composition, declared as data movement.
     let dxg = Dxg::parse(
@@ -75,7 +79,10 @@ async fn main() -> Result<()> {
                 break;
             }
         }
-        assert!(tokio::time::Instant::now() < deadline, "composition never fired");
+        assert!(
+            tokio::time::Instant::now() < deadline,
+            "composition never fired"
+        );
         tokio::time::sleep(Duration::from_millis(10)).await;
     }
 

@@ -29,23 +29,30 @@ async fn main() -> Result<()> {
     let t0 = Instant::now();
     let placed = checkout.place_order(&order).await?;
     let rpc_total = t0.elapsed();
-    println!("  placed: method={} payment={} tracking={}", placed.method, placed.payment_id, placed.tracking_id);
+    println!(
+        "  placed: method={} payment={} tracking={}",
+        placed.method, placed.payment_id, placed.tracking_id
+    );
     println!("  total latency: {rpc_total:?}");
     server.shutdown().await;
 
     // ---------------- Knactor (Fig. 3b) ----------------
     println!("\n== Knactor (data-centric) ==");
     println!("composition logic: one DXG executed by the Cast integrator");
-    let (_object, _log, client) =
-        knactor::net::loopback::in_process(Subject::integrator("retail"));
+    let (_object, _log, client) = knactor::net::loopback::in_process(Subject::integrator("retail"));
     let api: Arc<dyn ExchangeApi> = Arc::new(client);
     let app = knactor_app::deploy(
         Arc::clone(&api),
-        RetailOptions { shipment_processing: processing, ..Default::default() },
+        RetailOptions {
+            shipment_processing: processing,
+            ..Default::default()
+        },
     )
     .await?;
     let t0 = Instant::now();
-    let done = app.place_order("order-1", order, Duration::from_secs(10)).await?;
+    let done = app
+        .place_order("order-1", order, Duration::from_secs(10))
+        .await?;
     let kn_total = t0.elapsed();
     let shipment = api.get("shipping/state".into(), "order-1".into()).await?;
     println!(

@@ -13,8 +13,7 @@ use std::time::Duration;
 
 #[tokio::main]
 async fn main() -> Result<()> {
-    let (object, _log, client) =
-        knactor::net::loopback::in_process(Subject::integrator("home"));
+    let (object, _log, client) = knactor::net::loopback::in_process(Subject::integrator("home"));
     let api: Arc<dyn ExchangeApi> = Arc::new(client);
 
     println!("deploying House, Motion, Lamp (each: Object store + Log store)...");
@@ -29,7 +28,10 @@ async fn main() -> Result<()> {
     // Motion clears → lamp off.
     app.sense_motion(false).await?;
     app.wait_for_brightness(0.0, Duration::from_secs(5)).await?;
-    println!("motion cleared:\n  lamp brightness -> {}", app.lamp_brightness().await?);
+    println!(
+        "motion cleared:\n  lamp brightness -> {}",
+        app.lamp_brightness().await?
+    );
 
     // Telemetry: motion readings arrive in the House log, renamed by the
     // Sync integrator; energy rolls up into House state.
@@ -49,7 +51,11 @@ async fn main() -> Result<()> {
     object.set_access_context(AccessContext::at(23, 30));
     // The device writes through its own store (it is not the integrator).
     let motion = object.store(&"motion/config".into())?;
-    motion.patch(&ObjectKey::new(STATE_KEY), &json!({"triggered": true}), false)?;
+    motion.patch(
+        &ObjectKey::new(STATE_KEY),
+        &json!({"triggered": true}),
+        false,
+    )?;
     tokio::time::sleep(Duration::from_millis(200)).await;
     let lamp = object.store(&"lamp/config".into())?;
     let brightness = lamp.get(&ObjectKey::new(STATE_KEY))?.value["brightness"].clone();
@@ -57,8 +63,16 @@ async fn main() -> Result<()> {
     assert_eq!(brightness, json!(0.0));
 
     object.set_access_context(AccessContext::at(8, 0));
-    motion.patch(&ObjectKey::new(STATE_KEY), &json!({"triggered": false}), false)?;
-    motion.patch(&ObjectKey::new(STATE_KEY), &json!({"triggered": true}), false)?;
+    motion.patch(
+        &ObjectKey::new(STATE_KEY),
+        &json!({"triggered": false}),
+        false,
+    )?;
+    motion.patch(
+        &ObjectKey::new(STATE_KEY),
+        &json!({"triggered": true}),
+        false,
+    )?;
     let deadline = tokio::time::Instant::now() + Duration::from_secs(5);
     loop {
         let v = lamp.get(&ObjectKey::new(STATE_KEY))?.value["brightness"].clone();
@@ -66,7 +80,10 @@ async fn main() -> Result<()> {
             println!("  08:00, motion fired -> lamp at {v} (policy allows again)");
             break;
         }
-        assert!(tokio::time::Instant::now() < deadline, "lamp never lit after wake");
+        assert!(
+            tokio::time::Instant::now() < deadline,
+            "lamp never lit after wake"
+        );
         tokio::time::sleep(Duration::from_millis(10)).await;
     }
 

@@ -81,8 +81,8 @@ pub use knactor_yamlish as yamlish;
 pub mod prelude {
     pub use knactor_core::{
         Cast, CastBinding, CastConfig, CastController, CastMode, FnReconciler, Knactor,
-        KnactorBuilder, Reconciler, ReconcilerCtx, Runtime, Sync, SyncConfig, SyncDest,
-        SyncMode, TraceCollector,
+        KnactorBuilder, Reconciler, ReconcilerCtx, Runtime, Sync, SyncConfig, SyncDest, SyncMode,
+        TraceCollector,
     };
     pub use knactor_dxg::{Dxg, Plan};
     pub use knactor_expr::{Env, FnRegistry};

@@ -31,10 +31,11 @@ where
 /// touching any service.
 #[tokio::test]
 async fn t1_compose_payment_and_shipping_at_runtime() {
-    let (_object, _log, client) =
-        knactor::net::loopback::in_process(Subject::integrator("retail"));
+    let (_object, _log, client) = knactor::net::loopback::in_process(Subject::integrator("retail"));
     let api: Arc<dyn ExchangeApi> = Arc::new(client);
-    let app = knactor_app::deploy(Arc::clone(&api), RetailOptions::default()).await.unwrap();
+    let app = knactor_app::deploy(Arc::clone(&api), RetailOptions::default())
+        .await
+        .unwrap();
 
     // Swap DOWN to the do-nothing baseline spec first.
     let mut base_bindings = retail_bindings();
@@ -71,9 +72,14 @@ async fn t1_compose_payment_and_shipping_at_runtime() {
         .unwrap();
 
     // The EXISTING order now flows (a fresh event is needed: nudge it).
-    api.patch("checkout/state".into(), "o1".into(), json!({"nudge": 1}), false)
-        .await
-        .unwrap();
+    api.patch(
+        "checkout/state".into(),
+        "o1".into(),
+        json!({"nudge": 1}),
+        false,
+    )
+    .await
+    .unwrap();
     let api2 = Arc::clone(&api);
     wait_for(
         move || {
@@ -95,11 +101,12 @@ async fn t1_compose_payment_and_shipping_at_runtime() {
 /// swap. The new spec writes `destination`/`contact` instead of `addr`.
 #[tokio::test]
 async fn t3_adapt_to_shipping_schema_v2() {
-    let (_object, _log, client) =
-        knactor::net::loopback::in_process(Subject::integrator("retail"));
+    let (_object, _log, client) = knactor::net::loopback::in_process(Subject::integrator("retail"));
     let api: Arc<dyn ExchangeApi> = Arc::new(client);
     for s in ["checkout/state", "shipping/state", "payment/state"] {
-        api.create_store(s.into(), ProfileSpec::Instant).await.unwrap();
+        api.create_store(s.into(), ProfileSpec::Instant)
+            .await
+            .unwrap();
     }
     let dxg = Dxg::parse(&asset("retail_dxg_t3.yaml")).unwrap();
     let analysis = knactor::dxg::analyze::analyze(&dxg);
@@ -123,7 +130,10 @@ async fn t3_adapt_to_shipping_schema_v2() {
         json!("2570 Soda Hall, Berkeley CA"),
         "v2 field name must be used"
     );
-    assert!(shipment.value.get("addr").is_none(), "v1 field must be gone");
+    assert!(
+        shipment.value.get("addr").is_none(),
+        "v1 field must be gone"
+    );
     assert_eq!(shipment.value["method"], json!("ground"));
 }
 
@@ -147,17 +157,22 @@ fn shipping_schema_versions_differ_as_documented() {
 /// The Fig. 5 checkout schema gates what enters the Checkout store.
 #[tokio::test]
 async fn checkout_schema_validates_ingest() {
-    let (_object, _log, client) =
-        knactor::net::loopback::in_process(Subject::operator("test"));
+    let (_object, _log, client) = knactor::net::loopback::in_process(Subject::operator("test"));
     let api: Arc<dyn ExchangeApi> = Arc::new(client);
-    api.create_store("checkout/state".into(), ProfileSpec::Instant).await.unwrap();
+    api.create_store("checkout/state".into(), ProfileSpec::Instant)
+        .await
+        .unwrap();
     let schema = knactor::core::parse_schema(&asset("checkout_schema.yaml")).unwrap();
     api.register_schema(schema.clone()).await.unwrap();
-    api.bind_schema("checkout/state".into(), schema.name.clone()).await.unwrap();
+    api.bind_schema("checkout/state".into(), schema.name.clone())
+        .await
+        .unwrap();
 
     // A conforming order object (the schema describes the inner order).
     let order = sample_order(100.0)["order"].clone();
-    api.create("checkout/state".into(), "ok".into(), order).await.unwrap();
+    api.create("checkout/state".into(), "ok".into(), order)
+        .await
+        .unwrap();
 
     // Undeclared fields are rejected.
     let err = api

@@ -17,15 +17,25 @@ async fn durable_store_survives_restart_mid_flow() {
     {
         let exchange = DataExchange::new();
         let store = exchange
-            .create_store("checkout/state", EngineProfile::apiserver(&dir, "checkout/state"))
+            .create_store(
+                "checkout/state",
+                EngineProfile::apiserver(&dir, "checkout/state"),
+            )
             .unwrap();
         for i in 0..5 {
             store
-                .create(ObjectKey::new(format!("o{i}")), sample_order(100.0 + i as f64))
+                .create(
+                    ObjectKey::new(format!("o{i}")),
+                    sample_order(100.0 + i as f64),
+                )
                 .unwrap();
         }
         store
-            .patch(&ObjectKey::new("o0"), &json!({"status": "checked-out"}), false)
+            .patch(
+                &ObjectKey::new("o0"),
+                &json!({"status": "checked-out"}),
+                false,
+            )
             .unwrap();
         // Dropped here — simulating a process crash after fsync'd commits.
     }
@@ -33,7 +43,10 @@ async fn durable_store_survives_restart_mid_flow() {
     // Phase 2: a new exchange process recovers everything from the WAL.
     let exchange = DataExchange::new();
     let store = exchange
-        .create_store("checkout/state", EngineProfile::apiserver(&dir, "checkout/state"))
+        .create_store(
+            "checkout/state",
+            EngineProfile::apiserver(&dir, "checkout/state"),
+        )
         .unwrap();
     assert_eq!(store.len(), 5);
     assert_eq!(
@@ -42,7 +55,9 @@ async fn durable_store_survives_restart_mid_flow() {
     );
     // Revision continuity: new writes continue the sequence.
     let rev_before = store.revision();
-    store.create(ObjectKey::new("post-crash"), json!({})).unwrap();
+    store
+        .create(ObjectKey::new("post-crash"), json!({}))
+        .unwrap();
     assert_eq!(store.revision(), rev_before.next());
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -50,11 +65,12 @@ async fn durable_store_survives_restart_mid_flow() {
 
 #[tokio::test]
 async fn fifty_concurrent_orders_all_complete() {
-    let (_object, _log, client) =
-        knactor::net::loopback::in_process(Subject::integrator("retail"));
+    let (_object, _log, client) = knactor::net::loopback::in_process(Subject::integrator("retail"));
     let api: Arc<dyn ExchangeApi> = Arc::new(client);
     let app = Arc::new(
-        knactor_app::deploy(Arc::clone(&api), RetailOptions::default()).await.unwrap(),
+        knactor_app::deploy(Arc::clone(&api), RetailOptions::default())
+            .await
+            .unwrap(),
     );
 
     let mut tasks = Vec::new();
@@ -62,9 +78,13 @@ async fn fifty_concurrent_orders_all_complete() {
         let app = Arc::clone(&app);
         tasks.push(tokio::spawn(async move {
             let cost = if i % 2 == 0 { 1500.0 } else { 60.0 };
-            app.place_order(&format!("bulk-{i}"), sample_order(cost), Duration::from_secs(30))
-                .await
-                .unwrap()
+            app.place_order(
+                &format!("bulk-{i}"),
+                sample_order(cost),
+                Duration::from_secs(30),
+            )
+            .await
+            .unwrap()
         }));
     }
     for (i, t) in tasks.into_iter().enumerate() {
@@ -82,21 +102,28 @@ async fn fifty_concurrent_orders_all_complete() {
         assert_eq!(shipment.value["method"], json!(expected), "order bulk-{i}");
     }
 
-    Arc::try_unwrap(app).ok().expect("sole owner").shutdown().await;
+    Arc::try_unwrap(app)
+        .ok()
+        .expect("sole owner")
+        .shutdown()
+        .await;
 }
 
 #[tokio::test]
 async fn retention_cleans_consumed_orders() {
     // State retention (§3.3): orders fully processed by their consumers
     // are garbage-collected under RefCounted retention.
-    let (object, _log, client) =
-        knactor::net::loopback::in_process(Subject::operator("retention"));
+    let (object, _log, client) = knactor::net::loopback::in_process(Subject::operator("retention"));
     let api: Arc<dyn ExchangeApi> = Arc::new(client);
-    api.create_store("orders/state".into(), ProfileSpec::Instant).await.unwrap();
+    api.create_store("orders/state".into(), ProfileSpec::Instant)
+        .await
+        .unwrap();
     let store = object.store(&StoreId::new("orders/state")).unwrap();
     store.set_retention(RetentionPolicy::RefCounted);
 
-    api.create("orders/state".into(), "done".into(), json!({"v": 1})).await.unwrap();
+    api.create("orders/state".into(), "done".into(), json!({"v": 1}))
+        .await
+        .unwrap();
     api.register_consumer("orders/state".into(), "done".into(), "archiver".into())
         .await
         .unwrap();

@@ -56,9 +56,13 @@ async fn smart_home_over_tcp_exchange() {
         .await
         .unwrap();
     app.sense_motion(true).await.unwrap();
-    app.wait_for_brightness(8.0, Duration::from_secs(10)).await.unwrap();
+    app.wait_for_brightness(8.0, Duration::from_secs(10))
+        .await
+        .unwrap();
     app.sense_motion(false).await.unwrap();
-    app.wait_for_brightness(0.0, Duration::from_secs(10)).await.unwrap();
+    app.wait_for_brightness(0.0, Duration::from_secs(10))
+        .await
+        .unwrap();
 
     // Telemetry crossed the wire too.
     let deadline = tokio::time::Instant::now() + Duration::from_secs(10);
@@ -94,9 +98,13 @@ async fn mixed_transports_one_exchange() {
         .unwrap();
 
     let raw = server.object.store(&StoreId::new("shared/state")).unwrap();
-    assert_eq!(raw.get(&ObjectKey::new("k")).unwrap().value, json!({"from": "tcp"}));
+    assert_eq!(
+        raw.get(&ObjectKey::new("k")).unwrap().value,
+        json!({"from": "tcp"})
+    );
 
-    raw.patch(&ObjectKey::new("k"), &json!({"seen": true}), false).unwrap();
+    raw.patch(&ObjectKey::new("k"), &json!({"seen": true}), false)
+        .unwrap();
     let got = tcp.get("shared/state".into(), "k".into()).await.unwrap();
     assert_eq!(got.value, json!({"from": "tcp", "seen": true}));
 

@@ -12,15 +12,16 @@ use std::time::Duration;
 
 #[tokio::test]
 async fn notifications_integrator_composes_without_touching_services() {
-    let (_object, _log, client) =
-        knactor::net::loopback::in_process(Subject::integrator("retail"));
+    let (_object, _log, client) = knactor::net::loopback::in_process(Subject::integrator("retail"));
     let api: Arc<dyn ExchangeApi> = Arc::new(client);
-    let app = knactor_app::deploy(Arc::clone(&api), RetailOptions::default()).await.unwrap();
+    let app = knactor_app::deploy(Arc::clone(&api), RetailOptions::default())
+        .await
+        .unwrap();
 
     // A second integrator arrives later, owned by another team. It knows
     // only the Checkout and Email store schemas.
-    let spec = std::fs::read_to_string(knactor::apps::crate_file("assets/retail_email_dxg.yaml"))
-        .unwrap();
+    let spec =
+        std::fs::read_to_string(knactor::apps::crate_file("assets/retail_email_dxg.yaml")).unwrap();
     let mut bindings = BTreeMap::new();
     bindings.insert("C".to_string(), CastBinding::correlated("checkout/state"));
     bindings.insert("E".to_string(), CastBinding::correlated("email/state"));
@@ -45,7 +46,12 @@ async fn notifications_integrator_composes_without_touching_services() {
     let deadline = tokio::time::Instant::now() + Duration::from_secs(10);
     loop {
         if let Ok(obj) = api.get("email/state".into(), "notif-1".into()).await {
-            if obj.value.get("sentAt").map(|v| !v.is_null()).unwrap_or(false) {
+            if obj
+                .value
+                .get("sentAt")
+                .map(|v| !v.is_null())
+                .unwrap_or(false)
+            {
                 assert_eq!(
                     obj.value["notify"],
                     serde_json::json!("2570 Soda Hall, Berkeley CA")

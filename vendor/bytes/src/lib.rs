@@ -1,0 +1,214 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! Implements `BytesMut` over a `Vec<u8>` with a consumed-prefix offset so
+//! `advance`/`split_to` are cheap, plus the `Buf`/`BufMut` trait subset the
+//! framing layer and tokio's `read_buf` rely on.
+#![allow(clippy::all)]
+
+use std::ops::{Deref, DerefMut};
+
+/// Read-side cursor trait (subset of `bytes::Buf`).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+/// Write-side trait (subset of `bytes::BufMut`).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+    fn remaining_mut(&self) -> usize {
+        usize::MAX
+    }
+    fn has_remaining_mut(&self) -> bool {
+        self.remaining_mut() > 0
+    }
+}
+
+/// Growable byte buffer with an amortized-O(1) consumed prefix.
+#[derive(Clone, Default, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut {
+            buf: Vec::new(),
+            start: 0,
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            start: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity() - self.start
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.compact();
+        self.buf.reserve(additional);
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Split off and return the first `at` bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.as_slice()[..at].to_vec();
+        self.start += at;
+        self.maybe_compact();
+        BytesMut {
+            buf: head,
+            start: 0,
+        }
+    }
+
+    pub fn freeze(self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    fn maybe_compact(&mut self) {
+        // Reclaim the consumed prefix once it dominates the allocation.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.compact();
+        }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+        self.maybe_compact();
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let start = self.start;
+        &mut self.buf[start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({:?})", self.as_slice())
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[u8]> for BytesMut {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut {
+            buf: src.to_vec(),
+            start: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        BytesMut { buf, start: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_advance() {
+        let mut b = BytesMut::with_capacity(8);
+        b.extend_from_slice(b"abcdef");
+        assert_eq!(b.len(), 6);
+        b.advance(1);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], b"bc");
+        assert_eq!(&b[..], b"def");
+        assert_eq!(b[0], b'd');
+    }
+}

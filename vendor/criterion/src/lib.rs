@@ -1,0 +1,237 @@
+//! Offline stand-in for `criterion`: measures real wall-clock time per
+//! iteration (calibrated batches, median-of-samples) and prints one line
+//! per benchmark. No statistical analysis, plots, or baselines.
+#![allow(clippy::all)]
+
+use std::future::Future;
+use std::time::{Duration, Instant};
+
+pub use tokio::runtime::Runtime;
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            label: name.to_string(),
+            sample_size: 20,
+        };
+        f(&mut b);
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            label: format!("{}/{}", self.name, name),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Per-sample iteration count targeting ~5ms of work, bounded so slow
+/// benchmarks (fsync, network round-trips) still finish promptly.
+fn calibrate(once: Duration) -> u64 {
+    if once.is_zero() {
+        return 1000;
+    }
+    let target = Duration::from_millis(5);
+    ((target.as_nanos() / once.as_nanos().max(1)) as u64).clamp(1, 10_000)
+}
+
+fn report(label: &str, mut per_iter: Vec<Duration>) {
+    per_iter.sort();
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    let median = per_iter[per_iter.len() / 2];
+    println!("{label:<44} time: [{min:>12.3?} {median:>12.3?} {max:>12.3?}]");
+}
+
+pub struct Bencher {
+    label: String,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let t0 = Instant::now();
+        black_box(routine());
+        let iters = calibrate(t0.elapsed());
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed() / iters as u32);
+        }
+        report(&self.label, samples);
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let iters = calibrate(t0.elapsed());
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                total += t0.elapsed();
+            }
+            samples.push(total / iters as u32);
+        }
+        report(&self.label, samples);
+    }
+
+    /// The routine receives an iteration count and returns the measured
+    /// duration for exactly that many iterations (multi-threaded
+    /// benchmarks time their own parallel section).
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        let once = routine(1);
+        let iters = calibrate(once);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let total = routine(iters);
+            samples.push(total / iters as u32);
+        }
+        report(&self.label, samples);
+    }
+
+    pub fn to_async<'b>(&'b mut self, runtime: &'b Runtime) -> AsyncBencher<'b> {
+        AsyncBencher {
+            bencher: self,
+            runtime,
+        }
+    }
+}
+
+pub struct AsyncBencher<'b> {
+    bencher: &'b mut Bencher,
+    runtime: &'b Runtime,
+}
+
+impl AsyncBencher<'_> {
+    pub fn iter<O, F: Future<Output = O>>(&mut self, mut routine: impl FnMut() -> F) {
+        let sample_size = self.bencher.sample_size;
+        let label = self.bencher.label.clone();
+        self.runtime.block_on(async move {
+            let t0 = Instant::now();
+            black_box(routine().await);
+            let iters = calibrate(t0.elapsed());
+            let mut samples = Vec::with_capacity(sample_size);
+            for _ in 0..sample_size {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine().await);
+                }
+                samples.push(t0.elapsed() / iters as u32);
+            }
+            report(&label, samples);
+        });
+    }
+
+    /// The routine receives an iteration count and returns the measured
+    /// duration for exactly that many iterations.
+    pub fn iter_custom<F: Future<Output = Duration>>(&mut self, mut routine: impl FnMut(u64) -> F) {
+        let sample_size = self.bencher.sample_size;
+        let label = self.bencher.label.clone();
+        self.runtime.block_on(async move {
+            let once = routine(1).await;
+            let iters = calibrate(once);
+            let mut samples = Vec::with_capacity(sample_size);
+            for _ in 0..sample_size {
+                let total = routine(iters).await;
+                samples.push(total / iters as u32);
+            }
+            report(&label, samples);
+        });
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}

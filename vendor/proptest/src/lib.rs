@@ -1,0 +1,700 @@
+//! Offline stand-in for `proptest`: deterministic pseudo-random input
+//! generation with the same macro-level API surface. Strategies generate
+//! values directly (no shrinking); each test's RNG is seeded from the test
+//! name so failures reproduce exactly across runs.
+#![allow(clippy::all)]
+
+pub mod test_runner {
+    /// Number of generated cases per property.
+    pub const CASES: usize = 96;
+
+    /// xorshift64* generator — deterministic and dependency-free.
+    pub struct Rng(u64);
+
+    impl Rng {
+        pub fn seed_from_name(name: &str) -> Rng {
+            // FNV-1a over the fully qualified test name.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            Rng(h | 1)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 ^= self.0 >> 12;
+            self.0 ^= self.0 << 25;
+            self.0 ^= self.0 >> 27;
+            self.0.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The inputs did not satisfy an assumption; generate a fresh case.
+        Reject,
+        Fail(String),
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::Rng;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let s = self;
+            BoxedStrategy {
+                gen: Arc::new(move |rng| s.generate(rng)),
+            }
+        }
+
+        /// Build a recursive strategy: `depth` levels of `recurse` layered
+        /// over the base, choosing base vs deeper uniformly at each level.
+        fn prop_recursive<R>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: impl Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+        {
+            let base = self.boxed();
+            let mut cur = base.clone();
+            for _ in 0..depth {
+                let deeper = recurse(cur).boxed();
+                cur = Union::new(vec![base.clone(), deeper]).boxed();
+            }
+            cur
+        }
+    }
+
+    /// Type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T> {
+        gen: Arc<dyn Fn(&mut Rng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Arc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut Rng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut Rng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut Rng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 consecutive values: {}",
+                self.whence
+            );
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among same-typed strategies (used by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut Rng) -> T {
+            let i = rng.below(self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    // ---- primitive strategies ----
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    ((self.start as i128) + off) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut Rng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident $i:tt),+);)+) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+    }
+
+    /// `&'static str` patterns generate strings from a small regex subset:
+    /// literals, escapes, `[...]` classes with ranges, `(...)` groups, and
+    /// `{n}`/`{m,n}` quantifiers — covering every pattern in this workspace.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut Rng) -> String {
+            let atoms = parse_pattern(self.as_bytes());
+            let mut out = String::new();
+            gen_atoms(&atoms, rng, &mut out);
+            out
+        }
+    }
+
+    enum Atom {
+        Lit(char),
+        Class(Vec<char>),
+        Group(Vec<(Atom, (usize, usize))>),
+    }
+
+    type Quantified = (Atom, (usize, usize));
+
+    fn parse_pattern(mut s: &[u8]) -> Vec<Quantified> {
+        let mut atoms = Vec::new();
+        while !s.is_empty() {
+            let (atom, rest) = parse_atom(s);
+            let (quant, rest) = parse_quant(rest);
+            atoms.push((atom, quant));
+            s = rest;
+        }
+        atoms
+    }
+
+    fn parse_atom(s: &[u8]) -> (Atom, &[u8]) {
+        match s[0] {
+            b'[' => {
+                let close = find_class_end(s);
+                (Atom::Class(expand_class(&s[1..close])), &s[close + 1..])
+            }
+            b'(' => {
+                let close = find_group_end(s);
+                (Atom::Group(parse_pattern(&s[1..close])), &s[close + 1..])
+            }
+            b'\\' => (Atom::Lit(unescape(s[1])), &s[2..]),
+            c => (Atom::Lit(c as char), &s[1..]),
+        }
+    }
+
+    fn find_class_end(s: &[u8]) -> usize {
+        let mut i = 1;
+        while i < s.len() {
+            match s[i] {
+                b'\\' => i += 2,
+                b']' => return i,
+                _ => i += 1,
+            }
+        }
+        panic!("unterminated character class in pattern");
+    }
+
+    fn find_group_end(s: &[u8]) -> usize {
+        let mut depth = 0usize;
+        let mut i = 0;
+        while i < s.len() {
+            match s[i] {
+                b'\\' => i += 2,
+                b'(' => {
+                    depth += 1;
+                    i += 1;
+                }
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        panic!("unterminated group in pattern");
+    }
+
+    fn unescape(c: u8) -> char {
+        match c {
+            b'n' => '\n',
+            b't' => '\t',
+            b'r' => '\r',
+            other => other as char,
+        }
+    }
+
+    fn expand_class(body: &[u8]) -> Vec<char> {
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            let c = if body[i] == b'\\' {
+                i += 1;
+                unescape(body[i])
+            } else {
+                body[i] as char
+            };
+            // Range like `a-z` (a trailing `-` is a literal).
+            if i + 2 < body.len() && body[i + 1] == b'-' {
+                let hi = body[i + 2] as char;
+                for v in (c as u32)..=(hi as u32) {
+                    chars.push(char::from_u32(v).unwrap());
+                }
+                i += 3;
+            } else {
+                chars.push(c);
+                i += 1;
+            }
+        }
+        assert!(!chars.is_empty(), "empty character class in pattern");
+        chars
+    }
+
+    /// Parse an optional `{n}` / `{m,n}` quantifier; default is exactly one.
+    fn parse_quant(s: &[u8]) -> ((usize, usize), &[u8]) {
+        if s.first() != Some(&b'{') {
+            return ((1, 1), s);
+        }
+        let close = s
+            .iter()
+            .position(|&b| b == b'}')
+            .expect("unterminated quantifier");
+        let body = std::str::from_utf8(&s[1..close]).unwrap();
+        let (lo, hi) = match body.split_once(',') {
+            Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+            None => {
+                let n = body.parse().unwrap();
+                (n, n)
+            }
+        };
+        ((lo, hi), &s[close + 1..])
+    }
+
+    fn gen_atoms(atoms: &[Quantified], rng: &mut Rng, out: &mut String) {
+        for (atom, (lo, hi)) in atoms {
+            let count = lo + if hi > lo { rng.below(hi - lo + 1) } else { 0 };
+            for _ in 0..count {
+                match atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(chars) => out.push(chars[rng.below(chars.len())]),
+                    Atom::Group(inner) => gen_atoms(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut Rng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut Rng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let n = self.size.start + rng.below(self.size.end - self.size.start);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut Rng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.start + rng.below(self.size.end - self.size.start);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut Rng) -> BTreeSet<S::Value> {
+            let n = self.size.start + rng.below(self.size.end - self.size.start);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut Rng) -> Option<S::Value> {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} == {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}: {:?} != {:?}", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::Rng::seed_from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut __cases = 0usize;
+                let mut __rejects = 0usize;
+                while __cases < $crate::test_runner::CASES {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => __cases += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects < 4096,
+                                "{}: too many rejected cases",
+                                stringify!($name)
+                            );
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("{} failed at case {}: {}", stringify!($name), __cases, msg);
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_patterns_generate_expected_shapes() {
+        let mut rng = crate::test_runner::Rng::seed_from_name("shapes");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,6}/[a-z]{1,6}", &mut rng);
+            let (a, b) = s.split_once('/').expect("slash literal");
+            assert!((1..=6).contains(&a.len()) && a.bytes().all(|c| c.is_ascii_lowercase()));
+            assert!((1..=6).contains(&b.len()) && b.bytes().all(|c| c.is_ascii_lowercase()));
+
+            let p = Strategy::generate(&"[a-z]{1,5}(\\.[a-z]{1,5}){0,2}", &mut rng);
+            assert!(p.split('.').count() <= 3 && p.split('.').all(|seg| !seg.is_empty()));
+
+            let h = Strategy::generate(&"[a-z0-9-]{1,8}", &mut rng);
+            assert!((1..=8).contains(&h.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_roundtrip(v in 0usize..50, flag in any::<bool>()) {
+            prop_assume!(v != 13);
+            prop_assert!(v < 50);
+            if flag {
+                prop_assert_ne!(v, 13);
+            }
+        }
+    }
+}

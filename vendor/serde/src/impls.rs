@@ -1,0 +1,327 @@
+//! `Serialize`/`Deserialize` implementations for std types.
+
+use crate::de::Deserialize;
+use crate::ser::Serialize;
+use crate::{Error, Number, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
+
+fn type_err(expected: &str, got: &Value) -> Error {
+    Error::msg(format!("invalid type: expected {expected}, got {got}"))
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| type_err("bool", value))
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                // Route through i64/u64 to accept either integer form.
+                if let Some(i) = value.as_i64() {
+                    return <$t>::try_from(i)
+                        .map_err(|_| type_err(stringify!($t), value));
+                }
+                if let Some(u) = value.as_u64() {
+                    return <$t>::try_from(u)
+                        .map_err(|_| type_err(stringify!($t), value));
+                }
+                Err(type_err(stringify!($t), value))
+            }
+        }
+    )*};
+}
+int_impls!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| type_err("f64", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| type_err("f32", value))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| type_err("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let s = value.as_str().ok_or_else(|| type_err("char", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(type_err("single-char string", value)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        T::deserialize_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Arc<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        T::deserialize_value(value).map(Arc::new)
+    }
+}
+
+// No overlap with the generic impl above: `Deserialize` requires
+// `Self: Sized`, which `str` can never satisfy.
+impl<'de> Deserialize<'de> for Arc<str> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        String::deserialize_value(value).map(Arc::from)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.serialize_value(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let arr = value.as_array().ok_or_else(|| type_err("array", value))?;
+        arr.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let arr = value.as_array().ok_or_else(|| type_err("array", value))?;
+        arr.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let arr = value.as_array().ok_or_else(|| type_err("array", value))?;
+        arr.iter().map(T::deserialize_value).collect()
+    }
+}
+
+/// Map keys serialize through `Value`: a key must render as a JSON string
+/// (true for `String` and every transparent string newtype in this
+/// workspace).
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.serialize_value() {
+        Value::String(s) => s,
+        other => other.to_string(),
+    }
+}
+
+fn key_from_string<'de, K: Deserialize<'de>>(key: &str) -> Result<K, Error> {
+    K::deserialize_value(&Value::String(key.to_string()))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        let mut map = crate::Map::new();
+        for (k, v) in self {
+            map.insert(key_to_string(k), v.serialize_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let obj = value.as_object().ok_or_else(|| type_err("object", value))?;
+        obj.iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        let mut map = crate::Map::new();
+        for (k, v) in self {
+            map.insert(key_to_string(k), v.serialize_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let obj = value.as_object().ok_or_else(|| type_err("object", value))?;
+        obj.iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident . $idx:tt),+ ; $len:expr))+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let arr = value.as_array().ok_or_else(|| type_err("tuple array", value))?;
+                if arr.len() != $len {
+                    return Err(type_err(concat!("array of length ", $len), value));
+                }
+                let mut it = arr.iter();
+                Ok(($($name::deserialize_value(it.next().unwrap())?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_impls! {
+    (A.0 ; 1)
+    (A.0, B.1 ; 2)
+    (A.0, B.1, C.2 ; 3)
+    (A.0, B.1, C.2, D.3 ; 4)
+    (A.0, B.1, C.2, D.3, E.4 ; 5)
+    (A.0, B.1, C.2, D.3, E.4, F.5 ; 6)
+}
+
+impl Serialize for () {
+    fn serialize_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(type_err("null", other)),
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Minimal offline stand-in for `serde` (+ the value model of `serde_json`).
+//!
+//! The real serde serializes through a visitor pipeline; this stand-in
+//! serializes through an owned JSON [`Value`] tree, which is exactly what
+//! every caller in this workspace ultimately wants (the wire format and the
+//! WAL are both JSON text). `Serialize` produces a `Value`; `Deserialize`
+//! consumes one. The derive macros live in the `serde_derive` crate and are
+//! re-exported here under the usual names.
+#![allow(clippy::all)]
+
+mod impls;
+mod text;
+mod value;
+
+pub use text::{parse_json, write_json};
+pub use value::{Map, Number, Value};
+
+/// Error type shared by serialization and deserialization
+/// (re-exported by `serde_json` as `serde_json::Error`).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn msg(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub mod ser {
+    /// A type that can render itself as a JSON value tree.
+    pub trait Serialize {
+        fn serialize_value(&self) -> crate::Value;
+    }
+}
+
+pub mod de {
+    /// A type that can be rebuilt from a JSON value tree.
+    ///
+    /// The lifetime parameter exists only for signature compatibility with
+    /// real serde (`for<'de> Deserialize<'de>` bounds in downstream code);
+    /// this implementation always deserializes from owned values.
+    pub trait Deserialize<'de>: Sized {
+        fn deserialize_value(value: &crate::Value) -> Result<Self, crate::Error>;
+    }
+
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+}
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[doc(hidden)]
+pub mod __private {
+    //! Paths the derive-generated code references, insulated from whatever
+    //! the deriving module imports.
+    pub use crate::de::Deserialize;
+    pub use crate::ser::Serialize;
+    pub use crate::{Error, Map, Value};
+
+    /// `rename_all = "snake_case"`, matching serde's conversion exactly:
+    /// an underscore is inserted before every uppercase letter except the
+    /// first, then everything is lowercased (`RefCounted` → `ref_counted`,
+    /// `I64` → `i64`).
+    pub fn snake_case(name: &str) -> String {
+        let mut out = String::with_capacity(name.len() + 4);
+        for (i, ch) in name.char_indices() {
+            if ch.is_uppercase() {
+                if i > 0 {
+                    out.push('_');
+                }
+                out.extend(ch.to_lowercase());
+            } else {
+                out.push(ch);
+            }
+        }
+        out
+    }
+
+    pub fn missing_field(ty: &str, field: &str) -> crate::Error {
+        crate::Error::msg(format!("missing field `{field}` of {ty}"))
+    }
+
+    pub fn expected_object(ty: &str, got: &crate::Value) -> crate::Error {
+        crate::Error::msg(format!("invalid type: expected object for {ty}, got {got}"))
+    }
+
+    pub fn unknown_variant(ty: &str, variant: &str) -> crate::Error {
+        crate::Error::msg(format!("unknown variant `{variant}` of enum {ty}"))
+    }
+}

@@ -1,0 +1,516 @@
+//! The JSON value tree: `Value`, `Number`, `Map`.
+//!
+//! Semantics follow `serde_json`: object keys are sorted (`BTreeMap`),
+//! integers and floats are distinct (`json!(1) != json!(1.0)`), and the
+//! `Display` form is compact JSON.
+
+use std::collections::{btree_map, BTreeMap};
+use std::fmt;
+
+/// A JSON number. Non-negative integers normalize to the unsigned form so
+/// `Number::from(1i64) == Number::from(1u64)`, while floats never compare
+/// equal to integers — the same behaviour as `serde_json`.
+#[derive(Clone, Copy)]
+pub enum Number {
+    NegInt(i64),
+    PosInt(u64),
+    Float(f64),
+}
+
+impl Number {
+    /// `None` for NaN or infinite input, like `serde_json`.
+    pub fn from_f64(f: f64) -> Option<Number> {
+        if f.is_finite() {
+            Some(Number::Float(f))
+        } else {
+            None
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::NegInt(i) => Some(i),
+            Number::PosInt(u) => i64::try_from(u).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::NegInt(i) => u64::try_from(i).ok(),
+            Number::PosInt(u) => Some(u),
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::NegInt(i) => Some(i as f64),
+            Number::PosInt(u) => Some(u as f64),
+            Number::Float(f) => Some(f),
+        }
+    }
+
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    pub fn is_u64(&self) -> bool {
+        matches!(self, Number::PosInt(_))
+    }
+
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Number::Float(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Float(a), Number::Float(b)) => a == b,
+            (Number::Float(_), _) | (_, Number::Float(_)) => false,
+            (a, b) => match (a.as_i64(), b.as_i64(), a.as_u64(), b.as_u64()) {
+                (Some(x), Some(y), _, _) => x == y,
+                (_, _, Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Debug for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::NegInt(i) => write!(f, "{i}"),
+            Number::PosInt(u) => write!(f, "{u}"),
+            Number::Float(x) => f.write_str(&crate::text::format_f64(x)),
+        }
+    }
+}
+
+macro_rules! number_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(i: $t) -> Number {
+                let i = i as i64;
+                if i >= 0 { Number::PosInt(i as u64) } else { Number::NegInt(i) }
+            }
+        }
+    )*};
+}
+macro_rules! number_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(u: $t) -> Number { Number::PosInt(u as u64) }
+        }
+    )*};
+}
+number_from_signed!(i8, i16, i32, i64, isize);
+number_from_unsigned!(u8, u16, u32, u64, usize);
+
+/// A JSON object with sorted keys (the `preserve_order`-off representation
+/// real `serde_json` uses by default).
+#[derive(Clone, Default, PartialEq)]
+pub struct Map {
+    map: BTreeMap<String, Value>,
+}
+
+impl Map {
+    pub fn new() -> Map {
+        Map {
+            map: BTreeMap::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        self.map.insert(key.into(), value)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.map.get(key)
+    }
+
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.map.get_mut(key)
+    }
+
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.map.remove(key)
+    }
+
+    pub fn entry(&mut self, key: impl Into<String>) -> btree_map::Entry<'_, String, Value> {
+        self.map.entry(key.into())
+    }
+
+    pub fn append(&mut self, other: &mut Map) {
+        self.map.append(&mut other.map);
+    }
+
+    pub fn iter(&self) -> btree_map::Iter<'_, String, Value> {
+        self.map.iter()
+    }
+
+    pub fn iter_mut(&mut self) -> btree_map::IterMut<'_, String, Value> {
+        self.map.iter_mut()
+    }
+
+    pub fn keys(&self) -> btree_map::Keys<'_, String, Value> {
+        self.map.keys()
+    }
+
+    pub fn values(&self) -> btree_map::Values<'_, String, Value> {
+        self.map.values()
+    }
+
+    pub fn values_mut(&mut self) -> btree_map::ValuesMut<'_, String, Value> {
+        self.map.values_mut()
+    }
+
+    pub fn retain(&mut self, f: impl FnMut(&String, &mut Value) -> bool) {
+        self.map.retain(f);
+    }
+}
+
+impl fmt::Debug for Map {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.map.fmt(f)
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = btree_map::IntoIter<String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.map.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = btree_map::Iter<'a, String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.map.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut Map {
+    type Item = (&'a String, &'a mut Value);
+    type IntoIter = btree_map::IterMut<'a, String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.map.iter_mut()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Map {
+        Map {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, Value)> for Map {
+    fn extend<I: IntoIterator<Item = (String, Value)>>(&mut self, iter: I) {
+        self.map.extend(iter);
+    }
+}
+
+impl From<BTreeMap<String, Value>> for Map {
+    fn from(map: BTreeMap<String, Value>) -> Map {
+        Map { map }
+    }
+}
+
+/// A JSON value.
+#[derive(Clone, Default, PartialEq)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_number(&self) -> Option<&Number> {
+        match self {
+            Value::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.as_object_mut().and_then(|m| m.get_mut(key))
+    }
+
+    /// Replace `self` with `Null`, returning the old value.
+    pub fn take(&mut self) -> Value {
+        std::mem::take(self)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("Null"),
+            Value::Bool(b) => write!(f, "Bool({b})"),
+            Value::Number(n) => write!(f, "Number({n})"),
+            Value::String(s) => write!(f, "String({s:?})"),
+            Value::Array(a) => f.debug_tuple("Array").field(a).finish(),
+            Value::Object(m) => f.debug_tuple("Object").field(m).finish(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::text::write_json(self))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Value {
+        Value::String(s.clone())
+    }
+}
+
+impl From<Number> for Value {
+    fn from(n: Number) -> Value {
+        Value::Number(n)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Number::from_f64(f)
+            .map(Value::Number)
+            .unwrap_or(Value::Null)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(f: f32) -> Value {
+        Value::from(f as f64)
+    }
+}
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(i: $t) -> Value { Value::Number(Number::from(i)) }
+        }
+    )*};
+}
+value_from_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl From<Vec<Value>> for Value {
+    fn from(a: Vec<Value>) -> Value {
+        Value::Array(a)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Value {
+        Value::Object(m)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Value {
+        o.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+macro_rules! value_partial_eq {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                *self == Value::from(other.clone())
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                Value::from(self.clone()) == *other
+            }
+        }
+    )*};
+}
+value_partial_eq!(bool, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64, String);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+// Shared values (`Arc<Value>`) compare transparently against plain
+// `Value` literals, so `assert_eq!(obj.value, json!(..))` keeps working
+// when stores hand out reference-counted objects.
+impl PartialEq<Value> for std::sync::Arc<Value> {
+    fn eq(&self, other: &Value) -> bool {
+        **self == *other
+    }
+}
+
+impl PartialEq<std::sync::Arc<Value>> for Value {
+    fn eq(&self, other: &std::sync::Arc<Value>) -> bool {
+        *self == **other
+    }
+}

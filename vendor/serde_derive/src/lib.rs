@@ -1,0 +1,599 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the value-tree `Serialize`/`Deserialize` traits from
+//! the stand-in `serde` crate. The input item is parsed directly from the
+//! `proc_macro` token stream (no `syn`): only the shapes this workspace
+//! uses are supported — non-generic structs and enums, with the container
+//! attributes `transparent`, `rename_all = "snake_case"`, `tag = "..."`,
+//! and the field attributes `default` / `default = "path"`.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+// ---------------------------------------------------------------- model --
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    rename_all_snake: bool,
+    tag: Option<String>,
+}
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    /// `Some(None)` = `#[serde(default)]`, `Some(Some(path))` = custom fn.
+    default: Option<Option<String>>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+    is_option: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with this many fields (only 1 is supported).
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    body: Body,
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == name {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consume a run of outer attributes, folding any `#[serde(...)]`
+    /// contents into `c_attrs`/`f_attrs`.
+    fn attrs(&mut self, c_attrs: Option<&mut ContainerAttrs>, f_attrs: Option<&mut FieldAttrs>) {
+        let mut c_attrs = c_attrs;
+        let mut f_attrs = f_attrs;
+        while self.eat_punct('#') {
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                _ => panic!("malformed attribute"),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+            if !is_serde {
+                continue;
+            }
+            let args = match inner.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+                _ => continue,
+            };
+            let mut a = Cursor::new(args);
+            while let Some(tok) = a.next() {
+                let key = match tok {
+                    TokenTree::Ident(i) => i.to_string(),
+                    _ => continue,
+                };
+                let val = if a.eat_punct('=') {
+                    match a.next() {
+                        Some(TokenTree::Literal(l)) => Some(strip_quotes(&l.to_string())),
+                        other => panic!("unsupported serde attribute value: {other:?}"),
+                    }
+                } else {
+                    None
+                };
+                match (key.as_str(), &val) {
+                    ("transparent", _) => {
+                        if let Some(c) = c_attrs.as_deref_mut() {
+                            c.transparent = true;
+                        }
+                    }
+                    ("rename_all", Some(v)) => {
+                        assert_eq!(v, "snake_case", "only rename_all=snake_case is supported");
+                        if let Some(c) = c_attrs.as_deref_mut() {
+                            c.rename_all_snake = true;
+                        }
+                    }
+                    ("tag", Some(v)) => {
+                        if let Some(c) = c_attrs.as_deref_mut() {
+                            c.tag = Some(v.clone());
+                        }
+                    }
+                    ("default", v) => {
+                        if let Some(f) = f_attrs.as_deref_mut() {
+                            f.default = Some(v.clone());
+                        }
+                    }
+                    (other, _) => panic!("unsupported serde attribute `{other}`"),
+                }
+                a.eat_punct(',');
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, etc.
+    fn visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Consume type tokens until a top-level `,` (angle-bracket aware).
+    /// Returns whether the type's head is `Option`.
+    fn field_type(&mut self) -> bool {
+        let is_option =
+            matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "Option");
+        let mut angle: i32 = 0;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        is_option
+    }
+
+    fn named_fields(group: TokenStream) -> Vec<Field> {
+        let mut c = Cursor::new(group);
+        let mut fields = Vec::new();
+        while c.peek().is_some() {
+            let mut fa = FieldAttrs::default();
+            c.attrs(None, Some(&mut fa));
+            if c.peek().is_none() {
+                break;
+            }
+            c.visibility();
+            let name = match c.next() {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("expected field name, got {other:?}"),
+            };
+            assert!(c.eat_punct(':'), "expected ':' after field `{name}`");
+            let is_option = c.field_type();
+            c.eat_punct(',');
+            fields.push(Field {
+                name,
+                attrs: fa,
+                is_option,
+            });
+        }
+        fields
+    }
+
+    fn tuple_field_count(group: TokenStream) -> usize {
+        let mut c = Cursor::new(group);
+        if c.peek().is_none() {
+            return 0;
+        }
+        let mut count = 0;
+        while c.peek().is_some() {
+            let mut fa = FieldAttrs::default();
+            c.attrs(None, Some(&mut fa));
+            c.visibility();
+            c.field_type();
+            c.eat_punct(',');
+            count += 1;
+        }
+        count
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.char_indices() {
+        if ch.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(ch.to_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    let mut attrs = ContainerAttrs::default();
+    c.attrs(Some(&mut attrs), None);
+    c.visibility();
+
+    let is_enum = if c.eat_ident("struct") {
+        false
+    } else if c.eat_ident("enum") {
+        true
+    } else {
+        panic!("derive input must be a struct or enum, got {:?}", c.peek());
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("generic types are not supported by the offline serde_derive");
+    }
+
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && !is_enum => {
+            Body::NamedStruct(Cursor::named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+            Body::TupleStruct(Cursor::tuple_field_count(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && is_enum => {
+            let mut vc = Cursor::new(g.stream());
+            let mut variants = Vec::new();
+            while vc.peek().is_some() {
+                vc.attrs(None, None);
+                if vc.peek().is_none() {
+                    break;
+                }
+                let vname = match vc.next() {
+                    Some(TokenTree::Ident(i)) => i.to_string(),
+                    other => panic!("expected variant name, got {other:?}"),
+                };
+                let shape = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = Cursor::tuple_field_count(g.stream());
+                        vc.pos += 1;
+                        assert_eq!(n, 1, "only newtype enum variants are supported ({vname})");
+                        VariantShape::Newtype
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = Cursor::named_fields(g.stream());
+                        vc.pos += 1;
+                        VariantShape::Named(fields)
+                    }
+                    _ => VariantShape::Unit,
+                };
+                // Skip an optional discriminant (`= expr`) up to the comma.
+                if vc.eat_punct('=') {
+                    while let Some(tok) = vc.peek() {
+                        if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                            break;
+                        }
+                        vc.pos += 1;
+                    }
+                }
+                vc.eat_punct(',');
+                variants.push(Variant { name: vname, shape });
+            }
+            Body::Enum(variants)
+        }
+        other => panic!("unsupported item body: {other:?}"),
+    };
+
+    Item { name, attrs, body }
+}
+
+// -------------------------------------------------------------- codegen --
+
+const VALUE: &str = "::serde::__private::Value";
+const MAP: &str = "::serde::__private::Map";
+const ERROR: &str = "::serde::__private::Error";
+const SER: &str = "::serde::ser::Serialize";
+const DE: &str = "::serde::de::Deserialize";
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let item = parse_item(input);
+    let code = match dir {
+        Direction::Serialize => gen_serialize(&item),
+        Direction::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+fn wire_name(item: &Item, raw: &str) -> String {
+    if item.attrs.rename_all_snake {
+        snake_case(raw)
+    } else {
+        raw.to_string()
+    }
+}
+
+fn missing_expr(item: &Item, f: &Field) -> String {
+    match &f.attrs.default {
+        Some(Some(path)) => format!("{path}()"),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        None if f.is_option => "::std::option::Option::None".to_string(),
+        None => format!(
+            "return ::std::result::Result::Err(::serde::__private::missing_field(\"{}\", \"{}\"))",
+            item.name, f.name
+        ),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::TupleStruct(n) => {
+            assert_eq!(*n, 1, "only newtype tuple structs are supported ({name})");
+            format!("{SER}::serialize_value(&self.0)")
+        }
+        Body::NamedStruct(fields) => {
+            let mut s = format!("let mut __map = {MAP}::new();\n");
+            for f in fields {
+                let key = wire_name(item, &f.name);
+                s.push_str(&format!(
+                    "__map.insert(\"{key}\", {SER}::serialize_value(&self.{}));\n",
+                    f.name
+                ));
+            }
+            s.push_str(&format!("{VALUE}::Object(__map)"));
+            s
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let wname = wire_name(item, &v.name);
+                match (&v.shape, &item.attrs.tag) {
+                    (VariantShape::Unit, None) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => {VALUE}::String(\"{wname}\".to_string()),\n",
+                            v = v.name
+                        ));
+                    }
+                    (VariantShape::Unit, Some(tag)) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => {{ let mut __m = {MAP}::new(); \
+                             __m.insert(\"{tag}\", {VALUE}::String(\"{wname}\".to_string())); \
+                             {VALUE}::Object(__m) }}\n",
+                            v = v.name
+                        ));
+                    }
+                    (VariantShape::Newtype, None) => {
+                        arms.push_str(&format!(
+                            "{name}::{v}(__inner) => {{ let mut __m = {MAP}::new(); \
+                             __m.insert(\"{wname}\", {SER}::serialize_value(__inner)); \
+                             {VALUE}::Object(__m) }}\n",
+                            v = v.name
+                        ));
+                    }
+                    (VariantShape::Newtype, Some(_)) => {
+                        panic!(
+                            "newtype variants cannot be internally tagged ({name}::{})",
+                            v.name
+                        )
+                    }
+                    (VariantShape::Named(fields), tag) => {
+                        let pat: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner =
+                            String::from("let mut __m = ::serde::__private::Map::new();\n");
+                        if let Some(tag) = tag {
+                            inner.push_str(&format!(
+                                "__m.insert(\"{tag}\", {VALUE}::String(\"{wname}\".to_string()));\n"
+                            ));
+                        }
+                        for f in fields {
+                            let key = wire_name(item, &f.name);
+                            inner.push_str(&format!(
+                                "__m.insert(\"{key}\", {SER}::serialize_value({}));\n",
+                                f.name
+                            ));
+                        }
+                        let payload = if tag.is_some() {
+                            format!("{inner}{VALUE}::Object(__m)")
+                        } else {
+                            format!(
+                                "{inner}let mut __outer = {MAP}::new(); \
+                                 __outer.insert(\"{wname}\", {VALUE}::Object(__m)); \
+                                 {VALUE}::Object(__outer)"
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {pat} }} => {{ {payload} }}\n",
+                            v = v.name,
+                            pat = pat.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl {SER} for {name} {{\n\
+         fn serialize_value(&self) -> {VALUE} {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn named_fields_from_obj(item: &Item, variant_path: &str, fields: &[Field]) -> String {
+    let mut s = format!("::std::result::Result::Ok({variant_path} {{\n");
+    for f in fields {
+        let key = wire_name(item, &f.name);
+        s.push_str(&format!(
+            "{fname}: match __obj.get(\"{key}\") {{\n\
+             ::std::option::Option::Some(__v) => {DE}::deserialize_value(__v)?,\n\
+             ::std::option::Option::None => {{ {missing} }},\n}},\n",
+            fname = f.name,
+            missing = missing_expr(item, f)
+        ));
+    }
+    s.push_str("})");
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::TupleStruct(n) => {
+            assert_eq!(*n, 1, "only newtype tuple structs are supported ({name})");
+            format!("::std::result::Result::Ok({name}({DE}::deserialize_value(__value)?))")
+        }
+        Body::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                 ::serde::__private::expected_object(\"{name}\", __value))?;\n"
+            );
+            s.push_str(&named_fields_from_obj(item, name, fields));
+            s
+        }
+        Body::Enum(variants) => match &item.attrs.tag {
+            Some(tag) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let wname = wire_name(item, &v.name);
+                    match &v.shape {
+                        VariantShape::Unit => {
+                            arms.push_str(&format!(
+                                "\"{wname}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                                v = v.name
+                            ));
+                        }
+                        VariantShape::Named(fields) => {
+                            arms.push_str(&format!(
+                                "\"{wname}\" => {{ {} }}\n",
+                                named_fields_from_obj(item, &format!("{name}::{}", v.name), fields)
+                            ));
+                        }
+                        VariantShape::Newtype => {
+                            panic!(
+                                "newtype variants cannot be internally tagged ({name}::{})",
+                                v.name
+                            )
+                        }
+                    }
+                }
+                format!(
+                    "let __obj = __value.as_object().ok_or_else(|| \
+                     ::serde::__private::expected_object(\"{name}\", __value))?;\n\
+                     let __tag = __obj.get(\"{tag}\").and_then(|t| t.as_str()).ok_or_else(|| \
+                     {ERROR}::msg(\"missing `{tag}` tag for enum {name}\"))?;\n\
+                     match __tag {{\n{arms}\
+                     __other => ::std::result::Result::Err(\
+                     ::serde::__private::unknown_variant(\"{name}\", __other)),\n}}"
+                )
+            }
+            None => {
+                let mut unit_arms = String::new();
+                let mut data_arms = String::new();
+                for v in variants {
+                    let wname = wire_name(item, &v.name);
+                    match &v.shape {
+                        VariantShape::Unit => {
+                            unit_arms.push_str(&format!(
+                                "\"{wname}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                                v = v.name
+                            ));
+                        }
+                        VariantShape::Newtype => {
+                            data_arms.push_str(&format!(
+                                "\"{wname}\" => ::std::result::Result::Ok(\
+                                 {name}::{v}({DE}::deserialize_value(__inner)?)),\n",
+                                v = v.name
+                            ));
+                        }
+                        VariantShape::Named(fields) => {
+                            data_arms.push_str(&format!(
+                                "\"{wname}\" => {{\n\
+                                 let __obj = __inner.as_object().ok_or_else(|| \
+                                 ::serde::__private::expected_object(\"{name}\", __inner))?;\n\
+                                 {}\n}}\n",
+                                named_fields_from_obj(item, &format!("{name}::{}", v.name), fields)
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match __value {{\n\
+                     {VALUE}::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                     __other => ::std::result::Result::Err(\
+                     ::serde::__private::unknown_variant(\"{name}\", __other)),\n}},\n\
+                     {VALUE}::Object(__m) if __m.len() == 1 => {{\n\
+                     let (__k, __inner) = __m.iter().next().unwrap();\n\
+                     match __k.as_str() {{\n{data_arms}\
+                     __other => ::std::result::Result::Err(\
+                     ::serde::__private::unknown_variant(\"{name}\", __other)),\n}}\n}},\n\
+                     __other => ::std::result::Result::Err({ERROR}::msg(\
+                     format!(\"invalid value for enum {name}: {{__other}}\"))),\n}}"
+                )
+            }
+        },
+    };
+    format!(
+        "#[automatically_derived]\nimpl<'de> {DE}<'de> for {name} {{\n\
+         fn deserialize_value(__value: &{VALUE}) -> ::std::result::Result<Self, {ERROR}> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

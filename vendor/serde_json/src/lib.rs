@@ -1,0 +1,175 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde`
+//! value tree: `Value`/`Number`/`Map` live in `serde` and are re-exported
+//! here under their usual names, together with the string/byte entry
+//! points and the `json!` macro.
+#![allow(clippy::all)]
+
+pub use serde::{Error, Map, Number, Value};
+
+use serde::de::DeserializeOwned;
+use serde::ser::Serialize;
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.serialize_value())
+}
+
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T> {
+    T::deserialize_value(&value)
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::write_json(&value.serialize_value()))
+}
+
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
+    let v = serde::parse_json(s)?;
+    T::deserialize_value(&v)
+}
+
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Construct a [`Value`] from a JSON-like literal.
+///
+/// Token-tree muncher in the style of the real `serde_json::json!`:
+/// arrays and objects accumulate elements token-by-token so nested
+/// `{...}`/`[...]` literals (which are not valid Rust expressions)
+/// work, while interpolated Rust expressions go through [`to_value`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_internal!(@array [] $($tt)+)) };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut __map = $crate::Map::new();
+        $crate::json_internal!(@object __map () ($($tt)+));
+        $crate::Value::Object(__map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other).unwrap() };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- arrays: accumulate finished elements in [..], munch the rest ----
+
+    // Done.
+    (@array [$($elems:expr,)*]) => {
+        ::std::vec![$($elems,)*]
+    };
+    // Next element is a complete literal/structure followed by ',' or end.
+    (@array [$($elems:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!(null),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] true $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!(true),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] false $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!(false),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!([$($arr)*]),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] {$($obj:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!({$($obj)*}),] $($($rest)*)?)
+    };
+    // General expression element: everything up to a top-level comma.
+    (@array [$($elems:expr,)*] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!($next),] $($($rest)*)?)
+    };
+
+    // ---- objects: @object <map> (<partial key>) (<remaining tokens>) ----
+
+    // Done.
+    (@object $map:ident () ()) => {};
+    // Key complete (saw ':'): value is a structural literal.
+    (@object $map:ident ($($key:tt)+) (: null $(, $($rest:tt)*)?)) => {
+        $map.insert($crate::json_internal!(@key $($key)+), $crate::json!(null));
+        $crate::json_internal!(@object $map () ($($($rest)*)?));
+    };
+    (@object $map:ident ($($key:tt)+) (: true $(, $($rest:tt)*)?)) => {
+        $map.insert($crate::json_internal!(@key $($key)+), $crate::json!(true));
+        $crate::json_internal!(@object $map () ($($($rest)*)?));
+    };
+    (@object $map:ident ($($key:tt)+) (: false $(, $($rest:tt)*)?)) => {
+        $map.insert($crate::json_internal!(@key $($key)+), $crate::json!(false));
+        $crate::json_internal!(@object $map () ($($($rest)*)?));
+    };
+    (@object $map:ident ($($key:tt)+) (: [$($arr:tt)*] $(, $($rest:tt)*)?)) => {
+        $map.insert($crate::json_internal!(@key $($key)+), $crate::json!([$($arr)*]));
+        $crate::json_internal!(@object $map () ($($($rest)*)?));
+    };
+    (@object $map:ident ($($key:tt)+) (: {$($obj:tt)*} $(, $($rest:tt)*)?)) => {
+        $map.insert($crate::json_internal!(@key $($key)+), $crate::json!({$($obj)*}));
+        $crate::json_internal!(@object $map () ($($($rest)*)?));
+    };
+    // Key complete: value is a general expression up to a top-level comma.
+    (@object $map:ident ($($key:tt)+) (: $value:expr $(, $($rest:tt)*)?)) => {
+        $map.insert($crate::json_internal!(@key $($key)+), $crate::json!($value));
+        $crate::json_internal!(@object $map () ($($($rest)*)?));
+    };
+    // Still accumulating key tokens.
+    (@object $map:ident ($($key:tt)*) ($kt:tt $($rest:tt)*)) => {
+        $crate::json_internal!(@object $map ($($key)* $kt) ($($rest)*));
+    };
+
+    // Keys: string literals or parenthesized expressions.
+    (@key $lit:literal) => { $lit };
+    (@key ($e:expr)) => { $e };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let n = 5;
+        let v = json!({
+            "null": null,
+            "arr": [1, 2.5, "x", {"nested": true}, [null]],
+            "num": n,
+            "expr": n + 1,
+            "s": "hi",
+        });
+        assert_eq!(v["null"], Value::Null);
+        assert_eq!(v["arr"][0], json!(1));
+        assert_eq!(v["arr"][3]["nested"], json!(true));
+        assert_eq!(v["num"], json!(5));
+        assert_eq!(v["expr"], json!(6));
+        assert_eq!(to_string(&v).unwrap(), serde::write_json(&v));
+        assert_eq!(json!([]), Value::Array(vec![]));
+        assert_eq!(json!({}), Value::Object(Map::new()));
+    }
+
+    #[test]
+    fn int_float_distinction() {
+        assert_ne!(json!(1), json!(1.0));
+        assert_eq!(to_string(&json!(1.0)).unwrap(), "1.0");
+        assert_eq!(to_string(&json!(1)).unwrap(), "1");
+        let back: Value = from_str("1.0").unwrap();
+        assert_eq!(back, json!(1.0));
+    }
+
+    #[test]
+    fn struct_free_roundtrip() {
+        let v = json!({"a": [1, {"b": null}], "c": "x\ny"});
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+        let bytes = to_vec(&v).unwrap();
+        let back2: Value = from_slice(&bytes).unwrap();
+        assert_eq!(v, back2);
+    }
+}

@@ -1,0 +1,370 @@
+//! Async read/write traits, extension adapters, and an in-memory duplex
+//! pipe. Extension methods return named future structs (not `async fn`)
+//! so their `Send`-ness is visible to `spawn`.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
+
+pub use std::io::{Error, ErrorKind, Result};
+
+/// Destination buffer for `poll_read`: a borrowed slice plus a fill cursor.
+pub struct ReadBuf<'a> {
+    buf: &'a mut [u8],
+    filled: usize,
+}
+
+impl<'a> ReadBuf<'a> {
+    pub fn new(buf: &'a mut [u8]) -> ReadBuf<'a> {
+        ReadBuf { buf, filled: 0 }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn filled(&self) -> &[u8] {
+        &self.buf[..self.filled]
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.filled
+    }
+
+    pub fn unfilled_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[self.filled..]
+    }
+
+    pub fn advance(&mut self, n: usize) {
+        assert!(
+            self.filled + n <= self.buf.len(),
+            "advance past end of ReadBuf"
+        );
+        self.filled += n;
+    }
+
+    pub fn put_slice(&mut self, data: &[u8]) {
+        assert!(
+            data.len() <= self.remaining(),
+            "put_slice overflows ReadBuf"
+        );
+        self.buf[self.filled..self.filled + data.len()].copy_from_slice(data);
+        self.filled += data.len();
+    }
+}
+
+pub trait AsyncRead {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<Result<()>>;
+}
+
+pub trait AsyncWrite {
+    fn poll_write(self: Pin<&mut Self>, cx: &mut Context<'_>, data: &[u8]) -> Poll<Result<usize>>;
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<()>>;
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<()>>;
+}
+
+impl<T: AsyncRead + Unpin + ?Sized> AsyncRead for &mut T {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<Result<()>> {
+        Pin::new(&mut **self.get_mut()).poll_read(cx, buf)
+    }
+}
+
+impl<T: AsyncWrite + Unpin + ?Sized> AsyncWrite for &mut T {
+    fn poll_write(self: Pin<&mut Self>, cx: &mut Context<'_>, data: &[u8]) -> Poll<Result<usize>> {
+        Pin::new(&mut **self.get_mut()).poll_write(cx, data)
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<()>> {
+        Pin::new(&mut **self.get_mut()).poll_flush(cx)
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<()>> {
+        Pin::new(&mut **self.get_mut()).poll_shutdown(cx)
+    }
+}
+
+/// Future for `AsyncReadExt::read`.
+pub struct Read<'a, R: ?Sized> {
+    reader: &'a mut R,
+    buf: &'a mut [u8],
+}
+
+impl<R: AsyncRead + Unpin + ?Sized> Future for Read<'_, R> {
+    type Output = Result<usize>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<usize>> {
+        let me = self.get_mut();
+        let mut rb = ReadBuf::new(me.buf);
+        match Pin::new(&mut *me.reader).poll_read(cx, &mut rb) {
+            Poll::Ready(Ok(())) => Poll::Ready(Ok(rb.filled().len())),
+            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Future for `AsyncReadExt::read_buf`.
+pub struct ReadBufFut<'a, R: ?Sized, B> {
+    reader: &'a mut R,
+    buf: &'a mut B,
+}
+
+impl<R: AsyncRead + Unpin + ?Sized, B: bytes::BufMut> Future for ReadBufFut<'_, R, B> {
+    type Output = Result<usize>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<usize>> {
+        let me = self.get_mut();
+        let mut chunk = [0u8; 8192];
+        let want = chunk.len().min(me.buf.remaining_mut().max(1));
+        let mut rb = ReadBuf::new(&mut chunk[..want]);
+        match Pin::new(&mut *me.reader).poll_read(cx, &mut rb) {
+            Poll::Ready(Ok(())) => {
+                let filled = rb.filled();
+                me.buf.put_slice(filled);
+                Poll::Ready(Ok(filled.len()))
+            }
+            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+pub trait AsyncReadExt: AsyncRead {
+    fn read<'a>(&'a mut self, buf: &'a mut [u8]) -> Read<'a, Self>
+    where
+        Self: Unpin,
+    {
+        Read { reader: self, buf }
+    }
+
+    fn read_buf<'a, B: bytes::BufMut>(&'a mut self, buf: &'a mut B) -> ReadBufFut<'a, Self, B>
+    where
+        Self: Unpin,
+    {
+        ReadBufFut { reader: self, buf }
+    }
+}
+
+impl<T: AsyncRead + ?Sized> AsyncReadExt for T {}
+
+/// Future for `AsyncWriteExt::write_all`.
+pub struct WriteAll<'a, W: ?Sized> {
+    writer: &'a mut W,
+    buf: &'a [u8],
+}
+
+impl<W: AsyncWrite + Unpin + ?Sized> Future for WriteAll<'_, W> {
+    type Output = Result<()>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<()>> {
+        let me = self.get_mut();
+        while !me.buf.is_empty() {
+            match Pin::new(&mut *me.writer).poll_write(cx, me.buf) {
+                Poll::Ready(Ok(0)) => {
+                    return Poll::Ready(Err(Error::new(
+                        ErrorKind::WriteZero,
+                        "failed to write whole buffer",
+                    )))
+                }
+                Poll::Ready(Ok(n)) => me.buf = &me.buf[n..],
+                Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+/// Future for `AsyncWriteExt::flush`.
+pub struct Flush<'a, W: ?Sized> {
+    writer: &'a mut W,
+}
+
+impl<W: AsyncWrite + Unpin + ?Sized> Future for Flush<'_, W> {
+    type Output = Result<()>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<()>> {
+        let me = self.get_mut();
+        Pin::new(&mut *me.writer).poll_flush(cx)
+    }
+}
+
+/// Future for `AsyncWriteExt::shutdown`.
+pub struct Shutdown<'a, W: ?Sized> {
+    writer: &'a mut W,
+}
+
+impl<W: AsyncWrite + Unpin + ?Sized> Future for Shutdown<'_, W> {
+    type Output = Result<()>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<()>> {
+        let me = self.get_mut();
+        Pin::new(&mut *me.writer).poll_shutdown(cx)
+    }
+}
+
+pub trait AsyncWriteExt: AsyncWrite {
+    fn write_all<'a>(&'a mut self, buf: &'a [u8]) -> WriteAll<'a, Self>
+    where
+        Self: Unpin,
+    {
+        WriteAll { writer: self, buf }
+    }
+
+    fn flush(&mut self) -> Flush<'_, Self>
+    where
+        Self: Unpin,
+    {
+        Flush { writer: self }
+    }
+
+    fn shutdown(&mut self) -> Shutdown<'_, Self>
+    where
+        Self: Unpin,
+    {
+        Shutdown { writer: self }
+    }
+}
+
+impl<T: AsyncWrite + ?Sized> AsyncWriteExt for T {}
+
+// ---------------------------------------------------------------------------
+// In-memory duplex pipe
+// ---------------------------------------------------------------------------
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+struct Pipe {
+    buf: VecDeque<u8>,
+    cap: usize,
+    read_waker: Option<Waker>,
+    write_waker: Option<Waker>,
+    writer_closed: bool,
+    reader_closed: bool,
+}
+
+impl Pipe {
+    fn new(cap: usize) -> Arc<Mutex<Pipe>> {
+        Arc::new(Mutex::new(Pipe {
+            buf: VecDeque::new(),
+            cap,
+            read_waker: None,
+            write_waker: None,
+            writer_closed: false,
+            reader_closed: false,
+        }))
+    }
+
+    fn poll_read(&mut self, cx: &mut Context<'_>, out: &mut ReadBuf<'_>) -> Poll<Result<()>> {
+        if self.buf.is_empty() {
+            if self.writer_closed {
+                return Poll::Ready(Ok(())); // EOF
+            }
+            self.read_waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let n = out.remaining().min(self.buf.len());
+        for _ in 0..n {
+            let b = self.buf.pop_front().unwrap();
+            out.put_slice(&[b]);
+        }
+        if let Some(w) = self.write_waker.take() {
+            w.wake();
+        }
+        Poll::Ready(Ok(()))
+    }
+
+    fn poll_write(&mut self, cx: &mut Context<'_>, data: &[u8]) -> Poll<Result<usize>> {
+        if self.reader_closed {
+            return Poll::Ready(Err(Error::new(ErrorKind::BrokenPipe, "reader dropped")));
+        }
+        let space = self.cap.saturating_sub(self.buf.len());
+        if space == 0 {
+            self.write_waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let n = space.min(data.len());
+        self.buf.extend(&data[..n]);
+        if let Some(w) = self.read_waker.take() {
+            w.wake();
+        }
+        Poll::Ready(Ok(n))
+    }
+}
+
+/// One end of an in-memory, bounded, bidirectional byte pipe.
+pub struct DuplexStream {
+    read: Arc<Mutex<Pipe>>,
+    write: Arc<Mutex<Pipe>>,
+}
+
+/// A pair of connected `DuplexStream`s, each side buffering up to
+/// `max_buf_size` bytes per direction.
+pub fn duplex(max_buf_size: usize) -> (DuplexStream, DuplexStream) {
+    let a_to_b = Pipe::new(max_buf_size);
+    let b_to_a = Pipe::new(max_buf_size);
+    (
+        DuplexStream {
+            read: Arc::clone(&b_to_a),
+            write: Arc::clone(&a_to_b),
+        },
+        DuplexStream {
+            read: a_to_b,
+            write: b_to_a,
+        },
+    )
+}
+
+impl AsyncRead for DuplexStream {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<Result<()>> {
+        self.read.lock().unwrap().poll_read(cx, buf)
+    }
+}
+
+impl AsyncWrite for DuplexStream {
+    fn poll_write(self: Pin<&mut Self>, cx: &mut Context<'_>, data: &[u8]) -> Poll<Result<usize>> {
+        self.write.lock().unwrap().poll_write(cx, data)
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Result<()>> {
+        let mut p = self.write.lock().unwrap();
+        p.writer_closed = true;
+        if let Some(w) = p.read_waker.take() {
+            w.wake();
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl Drop for DuplexStream {
+    fn drop(&mut self) {
+        let mut w = self.write.lock().unwrap();
+        w.writer_closed = true;
+        if let Some(waker) = w.read_waker.take() {
+            waker.wake();
+        }
+        drop(w);
+        let mut r = self.read.lock().unwrap();
+        r.reader_closed = true;
+        if let Some(waker) = r.write_waker.take() {
+            waker.wake();
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Offline stand-in for `tokio`, implementing the API subset this
+//! workspace uses on top of plain OS threads.
+//!
+//! Execution model: `spawn` runs each task's future on a dedicated thread
+//! with a park/unpark waker, and `block_on` drives a future on the calling
+//! thread the same way. That trades thread cheapness for total simplicity —
+//! no shared scheduler state, no work stealing — while keeping real
+//! concurrency (tasks genuinely run in parallel), real time (a dedicated
+//! timer thread with microsecond-level waits), and faithful cancellation
+//! (`JoinHandle::abort` wakes the task thread, which drops the future).
+#![allow(clippy::all)]
+
+pub mod io;
+pub mod net;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::spawn;
+pub use tokio_macros::{main, test};
+
+#[doc(hidden)]
+pub enum SelectOut<A, B> {
+    First(A),
+    Second(B),
+}
+
+/// Two-arm `select!`: polls the first arm, then the second, completing
+/// with whichever future finishes first. Both futures are dropped before
+/// the chosen arm's body runs, so the body can re-borrow what the futures
+/// borrowed (and `break`/`continue`/`return` inside a body target the
+/// caller's context, exactly like real `select!`).
+#[macro_export]
+macro_rules! select {
+    // `biased;` is accepted and redundant: this implementation always
+    // polls the first arm first.
+    (biased; $($rest:tt)+) => {
+        $crate::select! { $($rest)+ }
+    };
+    ($p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:block) => {{
+        let __out = {
+            let mut __fut1 = ::std::pin::pin!($f1);
+            let mut __fut2 = ::std::pin::pin!($f2);
+            ::std::future::poll_fn(|__cx| {
+                match ::std::future::Future::poll(__fut1.as_mut(), __cx) {
+                    ::std::task::Poll::Ready(__v) => {
+                        return ::std::task::Poll::Ready($crate::SelectOut::First(__v))
+                    }
+                    ::std::task::Poll::Pending => {}
+                }
+                match ::std::future::Future::poll(__fut2.as_mut(), __cx) {
+                    ::std::task::Poll::Ready(__v) => {
+                        return ::std::task::Poll::Ready($crate::SelectOut::Second(__v))
+                    }
+                    ::std::task::Poll::Pending => {}
+                }
+                ::std::task::Poll::Pending
+            })
+            .await
+        };
+        match __out {
+            $crate::SelectOut::First(__v) => {
+                #[allow(irrefutable_let_patterns)]
+                if let $p1 = __v {
+                    $b1
+                } else {
+                    unreachable!("select! pattern must be irrefutable")
+                }
+            }
+            $crate::SelectOut::Second(__v) => {
+                #[allow(irrefutable_let_patterns)]
+                if let $p2 = __v {
+                    $b2
+                } else {
+                    unreachable!("select! pattern must be irrefutable")
+                }
+            }
+        }
+    }};
+}

@@ -1,0 +1,213 @@
+//! TCP on top of nonblocking `std::net`, with timer-scheduled retry wakes
+//! standing in for epoll readiness (the retry interval is ~200µs, well
+//! under the engine profiles' modeled latencies).
+
+use crate::io::{AsyncRead, AsyncWrite, ReadBuf};
+use crate::time::register_wake_at;
+use std::io::{Read as _, Write as _};
+use std::net::Shutdown;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+use std::time::{Duration, Instant};
+
+pub use std::net::ToSocketAddrs;
+
+const RETRY: Duration = Duration::from_micros(200);
+
+fn retry_later(cx: &mut Context<'_>) {
+    register_wake_at(Instant::now() + RETRY, cx.waker().clone());
+}
+
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    pub async fn bind(addr: impl ToSocketAddrs) -> std::io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub async fn accept(&self) -> std::io::Result<(TcpStream, std::net::SocketAddr)> {
+        std::future::poll_fn(|cx| match self.inner.accept() {
+            Ok((stream, addr)) => {
+                stream.set_nonblocking(true)?;
+                Poll::Ready(Ok((
+                    TcpStream {
+                        inner: Arc::new(stream),
+                    },
+                    addr,
+                )))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                retry_later(cx);
+                Poll::Pending
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+            Err(e) => Poll::Ready(Err(e)),
+        })
+        .await
+    }
+}
+
+pub struct TcpStream {
+    inner: Arc<std::net::TcpStream>,
+}
+
+impl TcpStream {
+    pub async fn connect(addr: impl ToSocketAddrs) -> std::io::Result<TcpStream> {
+        // A blocking connect is fine: each task runs on its own thread.
+        let inner = std::net::TcpStream::connect(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpStream {
+            inner: Arc::new(inner),
+        })
+    }
+
+    pub fn set_nodelay(&self, nodelay: bool) -> std::io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub fn peer_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    pub fn into_split(self) -> (OwnedReadHalf, OwnedWriteHalf) {
+        (
+            OwnedReadHalf {
+                inner: Arc::clone(&self.inner),
+            },
+            OwnedWriteHalf { inner: self.inner },
+        )
+    }
+}
+
+fn poll_read_inner(
+    sock: &std::net::TcpStream,
+    cx: &mut Context<'_>,
+    buf: &mut ReadBuf<'_>,
+) -> Poll<std::io::Result<()>> {
+    let mut sock = sock;
+    match sock.read(buf.unfilled_mut()) {
+        Ok(n) => {
+            buf.advance(n);
+            Poll::Ready(Ok(()))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            retry_later(cx);
+            Poll::Pending
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+        Err(e) => Poll::Ready(Err(e)),
+    }
+}
+
+fn poll_write_inner(
+    sock: &std::net::TcpStream,
+    cx: &mut Context<'_>,
+    data: &[u8],
+) -> Poll<std::io::Result<usize>> {
+    let mut sock = sock;
+    match sock.write(data) {
+        Ok(n) => Poll::Ready(Ok(n)),
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            retry_later(cx);
+            Poll::Pending
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+        Err(e) => Poll::Ready(Err(e)),
+    }
+}
+
+impl AsyncRead for TcpStream {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<std::io::Result<()>> {
+        poll_read_inner(&self.inner, cx, buf)
+    }
+}
+
+impl AsyncWrite for TcpStream {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        data: &[u8],
+    ) -> Poll<std::io::Result<usize>> {
+        poll_write_inner(&self.inner, cx, data)
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        let _ = self.inner.shutdown(Shutdown::Write);
+        Poll::Ready(Ok(()))
+    }
+}
+
+pub struct OwnedReadHalf {
+    inner: Arc<std::net::TcpStream>,
+}
+
+pub struct OwnedWriteHalf {
+    inner: Arc<std::net::TcpStream>,
+}
+
+impl AsyncRead for OwnedReadHalf {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<std::io::Result<()>> {
+        poll_read_inner(&self.inner, cx, buf)
+    }
+}
+
+impl AsyncWrite for OwnedWriteHalf {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        data: &[u8],
+    ) -> Poll<std::io::Result<usize>> {
+        poll_write_inner(&self.inner, cx, data)
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        let _ = self.inner.shutdown(Shutdown::Write);
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl Drop for OwnedWriteHalf {
+    fn drop(&mut self) {
+        // Mirror tokio: dropping the write half shuts down the write
+        // direction so the peer observes EOF.
+        let _ = self.inner.shutdown(Shutdown::Write);
+    }
+}

@@ -1,0 +1,118 @@
+//! `block_on` and the `Runtime`/`Builder` facade.
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+/// A waker that unparks one specific thread via flag + condvar.
+pub(crate) struct ThreadWaker {
+    notified: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl ThreadWaker {
+    pub(crate) fn new() -> Arc<ThreadWaker> {
+        Arc::new(ThreadWaker {
+            notified: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn wait(&self) {
+        let mut notified = self.notified.lock().unwrap();
+        while !*notified {
+            notified = self.cv.wait(notified).unwrap();
+        }
+        *notified = false;
+    }
+
+    pub(crate) fn notify(&self) {
+        *self.notified.lock().unwrap() = true;
+        self.cv.notify_one();
+    }
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.notify();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.notify();
+    }
+}
+
+/// Drive a future to completion on the calling thread.
+pub fn block_on_free<F: Future>(fut: F) -> F::Output {
+    let tw = ThreadWaker::new();
+    let waker = Waker::from(Arc::clone(&tw));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => tw.wait(),
+        }
+    }
+}
+
+/// Runtime facade. Tasks run on their own threads regardless of which
+/// runtime spawned them, so this only needs to provide `block_on`.
+#[derive(Debug)]
+pub struct Runtime {
+    _priv: (),
+}
+
+impl Runtime {
+    pub fn new() -> std::io::Result<Runtime> {
+        Ok(Runtime { _priv: () })
+    }
+
+    pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+        block_on_free(fut)
+    }
+
+    pub fn spawn<F>(&self, fut: F) -> crate::task::JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        crate::task::spawn(fut)
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Builder {
+    _priv: (),
+}
+
+impl Builder {
+    pub fn new_multi_thread() -> Builder {
+        Builder { _priv: () }
+    }
+
+    pub fn new_current_thread() -> Builder {
+        Builder { _priv: () }
+    }
+
+    pub fn worker_threads(&mut self, _n: usize) -> &mut Builder {
+        self
+    }
+
+    pub fn enable_all(&mut self) -> &mut Builder {
+        self
+    }
+
+    pub fn enable_time(&mut self) -> &mut Builder {
+        self
+    }
+
+    pub fn enable_io(&mut self) -> &mut Builder {
+        self
+    }
+
+    pub fn build(&mut self) -> std::io::Result<Runtime> {
+        Runtime::new()
+    }
+}

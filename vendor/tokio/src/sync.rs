@@ -1,0 +1,426 @@
+//! Channels: unbounded mpsc, oneshot, and watch.
+
+/// Unbounded multi-producer single-consumer channel.
+pub mod mpsc {
+    use std::collections::VecDeque;
+    use std::future::poll_fn;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Poll, Waker};
+
+    pub mod error {
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct SendError<T>(pub T);
+
+        impl<T> std::fmt::Display for SendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("channel closed")
+            }
+        }
+
+        impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+        #[derive(Debug, PartialEq, Eq)]
+        pub enum TryRecvError {
+            Empty,
+            Disconnected,
+        }
+
+        impl std::fmt::Display for TryRecvError {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                match self {
+                    TryRecvError::Empty => f.write_str("channel empty"),
+                    TryRecvError::Disconnected => f.write_str("channel closed"),
+                }
+            }
+        }
+
+        impl std::error::Error for TryRecvError {}
+    }
+
+    struct Shared<T> {
+        queue: VecDeque<T>,
+        rx_waker: Option<Waker>,
+        senders: usize,
+        rx_alive: bool,
+    }
+
+    pub struct UnboundedSender<T> {
+        shared: Arc<Mutex<Shared<T>>>,
+    }
+
+    pub struct UnboundedReceiver<T> {
+        shared: Arc<Mutex<Shared<T>>>,
+    }
+
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        let shared = Arc::new(Mutex::new(Shared {
+            queue: VecDeque::new(),
+            rx_waker: None,
+            senders: 1,
+            rx_alive: true,
+        }));
+        (
+            UnboundedSender {
+                shared: Arc::clone(&shared),
+            },
+            UnboundedReceiver { shared },
+        )
+    }
+
+    impl<T> UnboundedSender<T> {
+        pub fn send(&self, value: T) -> Result<(), error::SendError<T>> {
+            let mut s = self.shared.lock().unwrap();
+            if !s.rx_alive {
+                return Err(error::SendError(value));
+            }
+            s.queue.push_back(value);
+            if let Some(w) = s.rx_waker.take() {
+                drop(s);
+                w.wake();
+            }
+            Ok(())
+        }
+
+        pub fn is_closed(&self) -> bool {
+            !self.shared.lock().unwrap().rx_alive
+        }
+
+        pub fn same_channel(&self, other: &UnboundedSender<T>) -> bool {
+            Arc::ptr_eq(&self.shared, &other.shared)
+        }
+    }
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().unwrap().senders += 1;
+            UnboundedSender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for UnboundedSender<T> {
+        fn drop(&mut self) {
+            let mut s = self.shared.lock().unwrap();
+            s.senders -= 1;
+            if s.senders == 0 {
+                if let Some(w) = s.rx_waker.take() {
+                    drop(s);
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for UnboundedSender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("UnboundedSender")
+        }
+    }
+
+    impl<T> UnboundedReceiver<T> {
+        /// Receive the next value, or `None` once every sender is gone and
+        /// the queue is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            poll_fn(|cx| {
+                let mut s = self.shared.lock().unwrap();
+                if let Some(v) = s.queue.pop_front() {
+                    return Poll::Ready(Some(v));
+                }
+                if s.senders == 0 {
+                    return Poll::Ready(None);
+                }
+                s.rx_waker = Some(cx.waker().clone());
+                Poll::Pending
+            })
+            .await
+        }
+
+        pub fn try_recv(&mut self) -> Result<T, error::TryRecvError> {
+            let mut s = self.shared.lock().unwrap();
+            match s.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if s.senders == 0 => Err(error::TryRecvError::Disconnected),
+                None => Err(error::TryRecvError::Empty),
+            }
+        }
+
+        pub fn close(&mut self) {
+            self.shared.lock().unwrap().rx_alive = false;
+        }
+    }
+
+    impl<T> Drop for UnboundedReceiver<T> {
+        fn drop(&mut self) {
+            self.shared.lock().unwrap().rx_alive = false;
+        }
+    }
+
+    impl<T> std::fmt::Debug for UnboundedReceiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("UnboundedReceiver")
+        }
+    }
+}
+
+/// Single-value, single-use channel.
+pub mod oneshot {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    pub mod error {
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct RecvError(pub(crate) ());
+
+        impl std::fmt::Display for RecvError {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("sender dropped without sending")
+            }
+        }
+
+        impl std::error::Error for RecvError {}
+    }
+
+    struct Shared<T> {
+        value: Option<T>,
+        tx_alive: bool,
+        rx_alive: bool,
+        rx_waker: Option<Waker>,
+    }
+
+    pub struct Sender<T> {
+        shared: Arc<Mutex<Shared<T>>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Mutex<Shared<T>>>,
+    }
+
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Mutex::new(Shared {
+            value: None,
+            tx_alive: true,
+            rx_alive: true,
+            rx_waker: None,
+        }));
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(self, value: T) -> Result<(), T> {
+            let mut s = self.shared.lock().unwrap();
+            if !s.rx_alive {
+                return Err(value);
+            }
+            s.value = Some(value);
+            if let Some(w) = s.rx_waker.take() {
+                drop(s);
+                w.wake();
+            }
+            Ok(())
+        }
+
+        pub fn is_closed(&self) -> bool {
+            !self.shared.lock().unwrap().rx_alive
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut s = self.shared.lock().unwrap();
+            s.tx_alive = false;
+            if let Some(w) = s.rx_waker.take() {
+                drop(s);
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, error::RecvError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut s = self.shared.lock().unwrap();
+            if let Some(v) = s.value.take() {
+                return Poll::Ready(Ok(v));
+            }
+            if !s.tx_alive {
+                return Poll::Ready(Err(error::RecvError(())));
+            }
+            s.rx_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.lock().unwrap().rx_alive = false;
+        }
+    }
+}
+
+/// Single-value broadcast channel where receivers observe the latest value.
+pub mod watch {
+    use std::future::poll_fn;
+    use std::ops::Deref;
+    use std::sync::{Arc, Mutex, MutexGuard};
+    use std::task::{Poll, Waker};
+
+    pub mod error {
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct RecvError(pub(crate) ());
+
+        impl std::fmt::Display for RecvError {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("watch sender dropped")
+            }
+        }
+
+        impl std::error::Error for RecvError {}
+
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct SendError<T>(pub T);
+
+        impl<T> std::fmt::Display for SendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("watch channel closed")
+            }
+        }
+
+        impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+    }
+
+    struct Shared<T> {
+        value: T,
+        version: u64,
+        tx_alive: bool,
+        wakers: Vec<Waker>,
+    }
+
+    pub struct Sender<T> {
+        shared: Arc<Mutex<Shared<T>>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Mutex<Shared<T>>>,
+        seen: u64,
+    }
+
+    pub fn channel<T>(initial: T) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Mutex::new(Shared {
+            value: initial,
+            version: 0,
+            tx_alive: true,
+            wakers: Vec::new(),
+        }));
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared, seen: 0 },
+        )
+    }
+
+    /// Read guard over the current value.
+    pub struct Ref<'a, T> {
+        guard: MutexGuard<'a, Shared<T>>,
+    }
+
+    impl<T> Deref for Ref<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.guard.value
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), error::SendError<T>> {
+            let mut s = self.shared.lock().unwrap();
+            s.value = value;
+            s.version += 1;
+            let wakers = std::mem::take(&mut s.wakers);
+            drop(s);
+            for w in wakers {
+                w.wake();
+            }
+            Ok(())
+        }
+
+        pub fn subscribe(&self) -> Receiver<T> {
+            let s = self.shared.lock().unwrap();
+            let seen = s.version;
+            drop(s);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+                seen,
+            }
+        }
+
+        pub fn borrow(&self) -> Ref<'_, T> {
+            Ref {
+                guard: self.shared.lock().unwrap(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut s = self.shared.lock().unwrap();
+            s.tx_alive = false;
+            let wakers = std::mem::take(&mut s.wakers);
+            drop(s);
+            for w in wakers {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn borrow(&self) -> Ref<'_, T> {
+            Ref {
+                guard: self.shared.lock().unwrap(),
+            }
+        }
+
+        /// Marks the current value seen and returns it.
+        pub fn borrow_and_update(&mut self) -> Ref<'_, T> {
+            let guard = self.shared.lock().unwrap();
+            self.seen = guard.version;
+            Ref { guard }
+        }
+
+        /// Completes when a value newer than the last-seen one is published.
+        pub async fn changed(&mut self) -> Result<(), error::RecvError> {
+            poll_fn(|cx| {
+                let mut s = self.shared.lock().unwrap();
+                if s.version != self.seen {
+                    self.seen = s.version;
+                    return Poll::Ready(Ok(()));
+                }
+                if !s.tx_alive {
+                    return Poll::Ready(Err(error::RecvError(())));
+                }
+                s.wakers.push(cx.waker().clone());
+                Poll::Pending
+            })
+            .await
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+                seen: self.seen,
+            }
+        }
+    }
+}

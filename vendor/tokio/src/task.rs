@@ -1,0 +1,162 @@
+//! Task spawning: one OS thread per task, with abort support.
+
+use crate::runtime::ThreadWaker;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Error returned by awaiting a `JoinHandle` whose task was aborted
+/// or panicked.
+#[derive(Debug)]
+pub struct JoinError {
+    cancelled: bool,
+}
+
+impl JoinError {
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+
+    pub fn is_panic(&self) -> bool {
+        !self.cancelled
+    }
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.cancelled {
+            f.write_str("task was cancelled")
+        } else {
+            f.write_str("task panicked")
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+struct JoinState<T> {
+    result: Option<Result<T, JoinError>>,
+    join_waker: Option<Waker>,
+    aborted: bool,
+    finished: bool,
+    task_waker: Option<Arc<ThreadWaker>>,
+}
+
+pub struct JoinHandle<T> {
+    state: Arc<Mutex<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Request cancellation: the task thread observes the flag at its next
+    /// wakeup, drops the future, and completes the handle with a
+    /// cancellation error.
+    pub fn abort(&self) {
+        let mut s = self.state.lock().unwrap();
+        if s.finished {
+            return;
+        }
+        s.aborted = true;
+        if let Some(tw) = &s.task_waker {
+            tw.notify();
+        }
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.state.lock().unwrap().finished
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut s = self.state.lock().unwrap();
+        if let Some(result) = s.result.take() {
+            return Poll::Ready(result);
+        }
+        if s.finished {
+            // Result already taken by an earlier poll.
+            return Poll::Ready(Err(JoinError { cancelled: true }));
+        }
+        s.join_waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+fn complete<T>(state: &Arc<Mutex<JoinState<T>>>, result: Result<T, JoinError>) {
+    let mut s = state.lock().unwrap();
+    s.result = Some(result);
+    s.finished = true;
+    s.task_waker = None;
+    if let Some(w) = s.join_waker.take() {
+        w.wake();
+    }
+}
+
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let tw = ThreadWaker::new();
+    let state = Arc::new(Mutex::new(JoinState {
+        result: None,
+        join_waker: None,
+        aborted: false,
+        finished: false,
+        task_waker: Some(Arc::clone(&tw)),
+    }));
+    let thread_state = Arc::clone(&state);
+    std::thread::Builder::new()
+        .name("tokio-task".to_string())
+        .spawn(move || {
+            let waker = Waker::from(Arc::clone(&tw));
+            let mut cx = Context::from_waker(&waker);
+            let mut fut = Box::pin(fut);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+                if thread_state.lock().unwrap().aborted {
+                    return Err(JoinError { cancelled: true });
+                }
+                match fut.as_mut().poll(&mut cx) {
+                    Poll::Ready(v) => return Ok(v),
+                    Poll::Pending => tw.wait(),
+                }
+            }));
+            match outcome {
+                Ok(result) => complete(&thread_state, result),
+                Err(_panic) => complete(&thread_state, Err(JoinError { cancelled: false })),
+            }
+        })
+        .expect("failed to spawn task thread");
+    JoinHandle { state }
+}
+
+/// Run a blocking closure on its own thread.
+pub fn spawn_blocking<F, R>(f: F) -> JoinHandle<R>
+where
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    spawn(async move { f() })
+}
+
+/// Yield once: wakes itself immediately so the executor re-polls after
+/// giving other threads a chance to run.
+pub async fn yield_now() {
+    struct YieldNow(bool);
+    impl Future for YieldNow {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.0 {
+                Poll::Ready(())
+            } else {
+                self.0 = true;
+                cx.waker().wake_by_ref();
+                std::thread::yield_now();
+                Poll::Pending
+            }
+        }
+    }
+    YieldNow(false).await
+}

@@ -1,0 +1,248 @@
+//! Timers: a dedicated timer thread wakes registered wakers at their
+//! deadlines with `Condvar::wait_timeout` precision (sub-millisecond on
+//! Linux), which the engine-profile latency model depends on.
+
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+pub use std::time::Instant;
+
+struct TimerEntry {
+    deadline: Instant,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline
+        // on top.
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct TimerState {
+    heap: BinaryHeap<TimerEntry>,
+    next_seq: u64,
+}
+
+struct Timer {
+    state: Mutex<TimerState>,
+    cv: Condvar,
+}
+
+fn timer() -> &'static Timer {
+    static TIMER: OnceLock<&'static Timer> = OnceLock::new();
+    TIMER.get_or_init(|| {
+        let timer: &'static Timer = Box::leak(Box::new(Timer {
+            state: Mutex::new(TimerState {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+            }),
+            cv: Condvar::new(),
+        }));
+        std::thread::Builder::new()
+            .name("tokio-timer".to_string())
+            .spawn(move || timer_loop(timer))
+            .expect("failed to spawn timer thread");
+        timer
+    })
+}
+
+fn timer_loop(timer: &'static Timer) {
+    let mut state = timer.state.lock().unwrap();
+    loop {
+        let now = Instant::now();
+        let mut due = Vec::new();
+        while let Some(top) = state.heap.peek() {
+            if top.deadline <= now {
+                due.push(state.heap.pop().unwrap().waker);
+            } else {
+                break;
+            }
+        }
+        if !due.is_empty() {
+            drop(state);
+            for w in due {
+                w.wake();
+            }
+            state = timer.state.lock().unwrap();
+            continue;
+        }
+        state = match state.heap.peek() {
+            Some(top) => {
+                let wait = top.deadline.saturating_duration_since(now);
+                timer.cv.wait_timeout(state, wait).unwrap().0
+            }
+            None => timer.cv.wait(state).unwrap(),
+        };
+    }
+}
+
+/// Register `waker` to be woken at `deadline`.
+pub(crate) fn register_wake_at(deadline: Instant, waker: Waker) {
+    let t = timer();
+    let mut state = t.state.lock().unwrap();
+    let seq = state.next_seq;
+    state.next_seq += 1;
+    state.heap.push(TimerEntry {
+        deadline,
+        seq,
+        waker,
+    });
+    t.cv.notify_one();
+}
+
+/// Future that completes at a fixed deadline.
+pub struct Sleep {
+    deadline: Instant,
+}
+
+impl Sleep {
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            register_wake_at(self.deadline, cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+pub fn sleep(duration: Duration) -> Sleep {
+    Sleep {
+        deadline: Instant::now() + duration,
+    }
+}
+
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep { deadline }
+}
+
+/// Error returned by [`timeout`] when the deadline fires first.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Elapsed(());
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+pub struct Timeout<F> {
+    fut: Pin<Box<F>>,
+    delay: Sleep,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Poll::Ready(v) = self.fut.as_mut().poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        match Pin::new(&mut self.delay).poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(Elapsed(()))),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+pub fn timeout<F: Future>(duration: Duration, fut: F) -> Timeout<F> {
+    Timeout {
+        fut: Box::pin(fut),
+        delay: sleep(duration),
+    }
+}
+
+/// What an interval does about ticks missed while the consumer lagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MissedTickBehavior {
+    #[default]
+    Burst,
+    Delay,
+    Skip,
+}
+
+pub struct Interval {
+    period: Duration,
+    next: Instant,
+    behavior: MissedTickBehavior,
+}
+
+impl Interval {
+    pub fn set_missed_tick_behavior(&mut self, behavior: MissedTickBehavior) {
+        self.behavior = behavior;
+    }
+
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Completes at the next tick instant. Like tokio, the first tick
+    /// completes immediately.
+    pub async fn tick(&mut self) -> Instant {
+        let target = self.next;
+        sleep_until(target).await;
+        let now = Instant::now();
+        self.next = match self.behavior {
+            // Delay: re-anchor on actual wakeup so ticks never bunch up.
+            MissedTickBehavior::Delay => now + self.period,
+            MissedTickBehavior::Burst => target + self.period,
+            MissedTickBehavior::Skip => {
+                let mut next = target + self.period;
+                while next <= now {
+                    next += self.period;
+                }
+                next
+            }
+        };
+        now
+    }
+}
+
+pub fn interval(period: Duration) -> Interval {
+    assert!(!period.is_zero(), "interval period must be non-zero");
+    Interval {
+        period,
+        next: Instant::now(),
+        behavior: MissedTickBehavior::Burst,
+    }
+}
+
+pub fn interval_at(start: Instant, period: Duration) -> Interval {
+    assert!(!period.is_zero(), "interval period must be non-zero");
+    Interval {
+        period,
+        next: start,
+        behavior: MissedTickBehavior::Burst,
+    }
+}

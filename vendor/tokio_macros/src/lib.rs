@@ -1,0 +1,83 @@
+//! Offline stand-in for `tokio-macros`.
+//!
+//! Rewrites `async fn f() { body }` into a synchronous fn that drives the
+//! body on the vendored runtime's `block_on`. Runtime-flavor arguments
+//! (`flavor`, `worker_threads`, `start_paused`) are accepted and ignored —
+//! the stand-in runtime always uses real time and real threads.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// Append a token's text, keeping joint punctuation (`->`, `::`, `=>`)
+/// glued together so the re-parsed output stays valid Rust.
+fn push_tok(out: &mut String, tok: &TokenTree) {
+    out.push_str(&tok.to_string());
+    match tok {
+        TokenTree::Punct(p) if p.spacing() == Spacing::Joint => {}
+        _ => out.push(' '),
+    }
+}
+
+#[proc_macro_attribute]
+pub fn main(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, false)
+}
+
+#[proc_macro_attribute]
+pub fn test(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, true)
+}
+
+/// Split an `async fn` item into (attrs+vis prefix, signature between `fn`
+/// and the body, body group), dropping the `async` keyword.
+fn rewrite(item: TokenStream, is_test: bool) -> TokenStream {
+    let toks: Vec<TokenTree> = item.into_iter().collect();
+
+    let mut prefix = String::new();
+    let mut sig = String::new();
+    let mut body = None;
+    let mut seen_fn = false;
+
+    let mut i = 0;
+    while i < toks.len() {
+        let tok = &toks[i];
+        if !seen_fn {
+            match tok {
+                TokenTree::Ident(id) if id.to_string() == "async" => {}
+                TokenTree::Ident(id) if id.to_string() == "fn" => {
+                    seen_fn = true;
+                    sig.push_str("fn ");
+                }
+                other => push_tok(&mut prefix, other),
+            }
+        } else if i == toks.len() - 1 {
+            match tok {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    body = Some(g.stream().to_string());
+                }
+                other => panic!("expected fn body, got {other}"),
+            }
+        } else {
+            push_tok(&mut sig, tok);
+        }
+        i += 1;
+    }
+
+    let body = body.expect("#[tokio::main]/#[tokio::test] requires a fn with a body");
+    assert!(
+        seen_fn,
+        "#[tokio::main]/#[tokio::test] must be applied to an async fn"
+    );
+
+    let test_attr = if is_test {
+        "#[::core::prelude::v1::test]\n"
+    } else {
+        ""
+    };
+    let out = format!(
+        "{test_attr}{prefix}{sig}{{\n\
+         ::tokio::runtime::block_on_free(async move {{ {body} }})\n\
+         }}"
+    );
+    out.parse().expect("tokio-macros generated invalid Rust")
+}
