@@ -255,7 +255,29 @@ async fn start_watches(
             .bindings
             .get(&alias)
             .expect("validated: every alias bound");
-        let mut rx = api.watch(binding.store.clone(), Revision::ZERO).await?;
+        let mut rx = match api.watch(binding.store.clone(), Revision::ZERO).await {
+            Ok(rx) => rx,
+            // The store's bounded watch history no longer reaches back to
+            // ZERO (long-lived or recovered store). Bootstrap from a full
+            // listing instead: synthesize one Updated event per live
+            // object — activations are idempotent (no-op patches are
+            // suppressed), so re-seeing current state is safe — then
+            // watch from the listing's revision, which is gapless.
+            Err(Error::WatchTooOld { .. }) => {
+                let (objects, revision) = api.list(binding.store.clone()).await?;
+                for obj in objects {
+                    let event = WatchEvent {
+                        revision: obj.revision,
+                        kind: EventKind::Updated,
+                        key: obj.key.clone(),
+                        value: Arc::clone(&obj.value),
+                    };
+                    let _ = merged_tx.send((alias.clone(), event));
+                }
+                api.watch(binding.store.clone(), revision).await?
+            }
+            Err(e) => return Err(e),
+        };
         let tx = merged_tx.clone();
         let alias_name = alias.clone();
         tasks.push(tokio::spawn(async move {

@@ -168,8 +168,17 @@ async fn run_loop(
     mut cmd_rx: mpsc::UnboundedReceiver<Command>,
     processed: Arc<AtomicU64>,
 ) {
+    // Resume point: highest source sequence already processed. Survives
+    // re-tailing (reconfigure, transport loss) so records are not
+    // re-delivered to the destination; resets when the source changes.
+    let mut last_seq: u64 = 0;
+    let mut tail_source = config.source.clone();
     'outer: loop {
-        let mut tail = match api.log_tail(config.source.clone(), 0).await {
+        if config.source != tail_source {
+            tail_source = config.source.clone();
+            last_seq = 0;
+        }
+        let mut tail = match api.log_tail(config.source.clone(), last_seq).await {
             Ok(t) => t,
             Err(_) => {
                 // Source unavailable — retry with backoff while still
@@ -221,6 +230,11 @@ async fn run_loop(
                 }
                 record = tail.recv() => {
                     let Some(record) = record else { return };
+                    if record.seq <= last_seq {
+                        // Replayed by a resumed tail; already processed.
+                        continue;
+                    }
+                    last_seq = record.seq;
                     let trace_id = format!("{}#{}", config.source, record.seq);
                     let component = format!("sync:{}", config.name);
                     let start = Instant::now();
@@ -497,9 +511,9 @@ mod tests {
         })
         .await;
 
-        // New pipeline drops everything below 10. Note: reconfigure
-        // re-tails from the beginning; the no-op-free log dest would
-        // re-deliver old records, so the new filter also excludes them.
+        // New pipeline drops everything below 10. Reconfigure resumes the
+        // tail from the last processed sequence, so records handled under
+        // the old pipeline are not re-delivered to the destination.
         let filtered = SyncConfig {
             query: QuerySpec {
                 ops: vec![OpSpec::Filter {

@@ -5,8 +5,19 @@
 //! events to per-subscription streams. Optional injected latency models a
 //! cluster network RTT deterministically (loopback TCP alone measures in
 //! microseconds; pod-to-pod traffic does not).
+//!
+//! Two client layers live here:
+//!
+//! * [`TcpClient`] — one connection, fail-fast. A dead socket or a
+//!   timed-out request surfaces immediately as `Transport`/`Timeout`.
+//! * [`ResilientClient`] — wraps reconnection, capped exponential backoff
+//!   with jitter ([`RetryPolicy`]), idempotent retry recovery keyed by OCC
+//!   revisions, and watch/tail **resume**: a subscription survives the
+//!   connection it was created on, deduplicating replayed events and
+//!   detecting revision gaps (see [`ResilientClient::watch`]).
 
 use crate::api::{BoxFuture, ExchangeApi, TailRx, WatchRx};
+use crate::fault::FaultRng;
 use crate::frame::{FrameReader, FrameWriter};
 use crate::proto::{
     decode, encode, EventBody, Hello, ProfileSpec, QuerySpec, Request, RequestEnvelope, Response,
@@ -15,10 +26,11 @@ use crate::proto::{
 use knactor_logstore::LogRecord;
 use knactor_rbac::{Subject, SubjectKind};
 use knactor_store::udf::UdfAssignment;
-use knactor_store::{StoredObject, TxOp, UdfBinding, WatchEvent};
+use knactor_store::{EventKind, StoredObject, TxOp, UdfBinding, WatchEvent};
 use knactor_types::{Error, ObjectKey, Result, Revision, Schema, SchemaName, StoreId, Value};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -49,6 +61,10 @@ pub struct TcpClient {
     router: Arc<Mutex<Router>>,
     next_id: AtomicU64,
     latency: Option<Duration>,
+    /// Per-request reply deadline; `None` waits forever (the default, so
+    /// existing single-connection users keep fail-on-disconnect behaviour
+    /// without spurious timeouts).
+    timeout: Option<Duration>,
     subject: Subject,
 }
 
@@ -160,6 +176,7 @@ impl TcpClient {
             router,
             next_id: AtomicU64::new(1),
             latency: None,
+            timeout: None,
             subject,
         })
     }
@@ -169,6 +186,20 @@ impl TcpClient {
     pub fn with_latency(mut self, rtt: Duration) -> TcpClient {
         self.latency = Some(rtt);
         self
+    }
+
+    /// Bound how long a request waits for its reply. A lost request or
+    /// reply frame then surfaces as [`Error::Timeout`] instead of hanging
+    /// the caller forever.
+    pub fn with_request_timeout(mut self, limit: Duration) -> TcpClient {
+        self.timeout = Some(limit);
+        self
+    }
+
+    /// True once the connection is gone (demultiplexer exited); every
+    /// request from then on fails fast.
+    pub fn is_closed(&self) -> bool {
+        self.router.lock().closed
     }
 
     pub fn subject(&self) -> &Subject {
@@ -198,9 +229,30 @@ impl TcpClient {
         self.out_tx
             .send(RequestEnvelope { id, body })
             .map_err(|_| Error::Transport("connection closed".to_string()))?;
-        let response = rx
-            .await
-            .map_err(|_| Error::Transport("connection closed awaiting reply".to_string()))?;
+        let response = match self.timeout {
+            None => rx
+                .await
+                .map_err(|_| Error::Transport("connection closed awaiting reply".to_string()))?,
+            Some(limit) => match tokio::time::timeout(limit, rx).await {
+                Ok(Ok(response)) => response,
+                Ok(Err(_)) => {
+                    return Err(Error::Transport(
+                        "connection closed awaiting reply".to_string(),
+                    ))
+                }
+                Err(_) => {
+                    // Deregister so a reply arriving after the deadline is
+                    // dropped instead of resolving a request nobody waits
+                    // on (and so a late Watch reply can't leak a sub).
+                    let mut router = self.router.lock();
+                    router.pending.remove(&id);
+                    router.staged_watches.remove(&id);
+                    return Err(Error::Timeout(format!(
+                        "no reply within {limit:?} (request {id})"
+                    )));
+                }
+            },
+        };
         response.into_result()
     }
 
@@ -503,6 +555,730 @@ impl ExchangeApi for TcpClient {
                 Response::Watch { .. } => Ok(rx),
                 other => Err(unexpected(other)),
             }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resilient layer: reconnect, retry, resume.
+// ---------------------------------------------------------------------------
+
+/// Retry/backoff knobs for [`ResilientClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Per-attempt reply deadline (installed on every connection via
+    /// [`TcpClient::with_request_timeout`]).
+    pub request_timeout: Duration,
+    /// Total attempts per logical operation (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff: Duration,
+    /// Ceiling for the exponential backoff.
+    pub max_backoff: Duration,
+    /// Seed for backoff jitter (deterministic given the call sequence).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            request_timeout: Duration::from_secs(2),
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            seed: 0x6B6E_6163,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Tighter deadlines and backoffs for tests driving many failures.
+    pub fn fast(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            request_timeout: Duration::from_millis(250),
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+            seed,
+        }
+    }
+
+    /// Backoff before retry number `attempt` (0-based): capped exponential
+    /// with a jitter multiplier in `[0.5, 1.0)` so a herd of retriers
+    /// decorrelates.
+    pub fn backoff(&self, attempt: u32, rng: &mut FaultRng) -> Duration {
+        let exp = self.base_backoff.saturating_mul(1u32 << attempt.min(16));
+        let capped = exp.min(self.max_backoff);
+        capped.mul_f64(0.5 + rng.unit() / 2.0)
+    }
+}
+
+/// The slot holding the current connection; replaced on reconnect.
+struct ConnSlot {
+    client: Option<Arc<TcpClient>>,
+}
+
+/// Everything [`ResilientClient`] shares with its watch/tail driver tasks.
+struct Resilient {
+    addr: SocketAddr,
+    subject: Subject,
+    policy: RetryPolicy,
+    conn: Mutex<ConnSlot>,
+    rng: Mutex<FaultRng>,
+}
+
+/// Identity-coercion helper: gives the compiler the higher-ranked `Fn`
+/// signature retry closures must satisfy (a bare closure literal often
+/// fails to generalize over the connection lifetime on its own).
+fn op_fn<T, F>(f: F) -> F
+where
+    F: for<'c> Fn(&'c TcpClient, u32) -> BoxFuture<'c, Result<T>>,
+{
+    f
+}
+
+impl Resilient {
+    /// Current live connection, (re)establishing one if needed. Losing a
+    /// reconnect race is harmless: whoever installs a live client last
+    /// wins, and in-flight operations keep their own `Arc` alive.
+    async fn current(&self) -> Result<Arc<TcpClient>> {
+        if let Some(client) = &self.conn.lock().client {
+            if !client.is_closed() {
+                return Ok(Arc::clone(client));
+            }
+        }
+        let fresh = TcpClient::connect(self.addr, self.subject.clone())
+            .await?
+            .with_request_timeout(self.policy.request_timeout);
+        let fresh = Arc::new(fresh);
+        let mut slot = self.conn.lock();
+        if let Some(existing) = &slot.client {
+            if !existing.is_closed() && !Arc::ptr_eq(existing, &fresh) {
+                return Ok(Arc::clone(existing));
+            }
+        }
+        slot.client = Some(Arc::clone(&fresh));
+        Ok(fresh)
+    }
+
+    fn next_backoff(&self, attempt: u32) -> Duration {
+        self.policy.backoff(attempt, &mut self.rng.lock())
+    }
+
+    /// Run `op` with reconnect + capped-backoff retry on transport-level
+    /// failures (`Transport`, `Timeout`). Semantic errors (`Conflict`,
+    /// `AlreadyExists`, `NotFound`, ...) propagate immediately; per-op
+    /// recovery for those lives in the individual `ExchangeApi` methods,
+    /// because only they know the idempotency key. `op` receives the
+    /// 0-based attempt number: `attempt > 0` means an earlier attempt may
+    /// have executed without us seeing its reply.
+    async fn retry<T, F>(&self, op: F) -> Result<T>
+    where
+        F: for<'c> Fn(&'c TcpClient, u32) -> BoxFuture<'c, Result<T>>,
+    {
+        let mut last: Option<Error> = None;
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                tokio::time::sleep(self.next_backoff(attempt - 1)).await;
+            }
+            let client = match self.current().await {
+                Ok(client) => client,
+                Err(e) => {
+                    last = Some(e);
+                    continue;
+                }
+            };
+            match op(&client, attempt).await {
+                Ok(value) => return Ok(value),
+                Err(e @ (Error::Transport(_) | Error::Timeout(_))) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| Error::Transport("retries exhausted".to_string())))
+    }
+}
+
+/// Client-side resume state for one watch subscription.
+struct WatchState {
+    /// Highest revision delivered downstream; resubscriptions ask the
+    /// server for everything after it.
+    last_seen: Revision,
+    /// Keys currently believed alive, so a post-horizon re-list can
+    /// synthesize `Deleted` events for objects that vanished while the
+    /// watch was down.
+    known: BTreeSet<ObjectKey>,
+}
+
+/// A self-healing exchange client: one logical connection that survives
+/// resets, with per-operation retry and resumable subscriptions.
+///
+/// # Watch-resume protocol
+///
+/// The server guarantees consecutive revisions — every commit bumps the
+/// store revision by exactly one — which makes client-side integrity
+/// checking possible:
+///
+/// * **duplicate** (revision ≤ last seen): dropped. Covers both replay
+///   after resubscription and duplicated frames in transit.
+/// * **gap** (revision > last seen + 1): an event frame was lost on the
+///   live connection. The gapped event is *not* delivered; the client
+///   resubscribes from the last seen revision and the server replays the
+///   missing range from history.
+/// * **stream end**: connection died; resubscribe from the last seen
+///   revision with backoff.
+/// * **`WatchTooOld`**: the resume point fell out of the server's bounded
+///   history. Fall back to a full re-list: changed objects are delivered
+///   as synthetic `Updated` events (in revision order), vanished keys as
+///   synthetic `Deleted` events at the listing revision, and the watch
+///   restarts from the listing revision.
+///
+/// Gap detection assumes the subscription sees *every* commit (no
+/// server-side event filtering for this subject); that holds for all
+/// current callers.
+pub struct ResilientClient {
+    inner: Arc<Resilient>,
+}
+
+impl ResilientClient {
+    /// Connect eagerly (so configuration errors surface here, not on the
+    /// first operation).
+    pub async fn connect(
+        addr: SocketAddr,
+        subject: Subject,
+        policy: RetryPolicy,
+    ) -> Result<ResilientClient> {
+        let inner = Arc::new(Resilient {
+            addr,
+            subject,
+            policy,
+            conn: Mutex::new(ConnSlot { client: None }),
+            rng: Mutex::new(FaultRng::new(policy.seed)),
+        });
+        inner.current().await?;
+        Ok(ResilientClient { inner })
+    }
+
+    pub fn subject(&self) -> &Subject {
+        &self.inner.subject
+    }
+
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.inner.policy
+    }
+}
+
+impl Resilient {
+    /// Establish (or re-establish) a server-side subscription for `state`,
+    /// falling back to re-list when the resume point is beyond the
+    /// server's history horizon. Synthetic re-list events go straight to
+    /// `tx`.
+    async fn establish_watch(
+        &self,
+        store: &StoreId,
+        state: &mut WatchState,
+        tx: &mpsc::UnboundedSender<WatchEvent>,
+    ) -> Result<WatchRx> {
+        loop {
+            let from = state.last_seen;
+            match self
+                .retry(op_fn(move |c, _| Box::pin(c.watch(store.clone(), from))))
+                .await
+            {
+                Ok(sub) => return Ok(sub),
+                Err(Error::WatchTooOld { .. }) => {
+                    let (objects, revision) = self
+                        .retry(op_fn(move |c, _| Box::pin(c.list(store.clone()))))
+                        .await?;
+                    emit_relist(state, objects, revision, tx)?;
+                    // Loop: subscribe from the listing revision (which may
+                    // itself be too old by now on a busy store — then we
+                    // simply re-list again).
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Pump events from server subscriptions into `tx` until the consumer
+    /// goes away, resubscribing across connection loss, deduplicating
+    /// replays, and closing the gap-detection loop described on
+    /// [`ResilientClient`].
+    async fn drive_watch(
+        self: Arc<Self>,
+        store: StoreId,
+        mut state: WatchState,
+        mut sub: WatchRx,
+        tx: mpsc::UnboundedSender<WatchEvent>,
+    ) {
+        loop {
+            while let Some(event) = sub.recv().await {
+                if event.revision <= state.last_seen {
+                    continue; // duplicate (replay or duplicated frame)
+                }
+                if event.revision.0 > state.last_seen.0 + 1 {
+                    break; // gap: resubscribe, do not deliver out of order
+                }
+                state.last_seen = event.revision;
+                match event.kind {
+                    EventKind::Created | EventKind::Updated => {
+                        state.known.insert(event.key.clone());
+                    }
+                    EventKind::Deleted => {
+                        state.known.remove(&event.key);
+                    }
+                }
+                if tx.send(event).is_err() {
+                    return; // consumer dropped the stream
+                }
+            }
+            if tx.is_closed() {
+                return;
+            }
+            // Gap or dead connection either way: resume from last_seen.
+            match self.establish_watch(&store, &mut state, &tx).await {
+                Ok(fresh) => sub = fresh,
+                Err(_) => return, // non-retryable (e.g. Forbidden): end the stream
+            }
+        }
+    }
+
+    /// Pump log records, resuming from the last delivered sequence number
+    /// (`log_tail(from)` is exclusive). Log sequences are dense (start at
+    /// 1, +1 per record), so mid-stream dedup/gap detection mirrors the
+    /// watch driver — with one wrinkle: a log whose retention window has
+    /// moved past the resume point silently replays from its oldest
+    /// retained record, so a forward jump at the *start* of a (re)played
+    /// subscription is the retention horizon, not a lost frame, and is
+    /// accepted.
+    async fn drive_tail(
+        self: Arc<Self>,
+        store: StoreId,
+        mut last_seen: u64,
+        mut sub: TailRx,
+        tx: mpsc::UnboundedSender<LogRecord>,
+    ) {
+        // True until the current subscription has yielded a record.
+        let mut fresh = true;
+        loop {
+            while let Some(record) = sub.recv().await {
+                if record.seq <= last_seen {
+                    fresh = false;
+                    continue; // duplicate (replay or duplicated frame)
+                }
+                if record.seq > last_seen + 1 && !fresh {
+                    break; // mid-stream gap: a record frame was lost
+                }
+                fresh = false;
+                last_seen = record.seq;
+                if tx.send(record).is_err() {
+                    return;
+                }
+            }
+            if tx.is_closed() {
+                return;
+            }
+            let from = last_seen;
+            let store_ref = &store;
+            match self
+                .retry(op_fn(move |c, _| {
+                    Box::pin(c.log_tail(store_ref.clone(), from))
+                }))
+                .await
+            {
+                Ok(renewed) => {
+                    sub = renewed;
+                    fresh = true;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+/// Turn a fresh listing into the synthetic events a resumed-too-late
+/// watcher needs: `Updated` for everything that changed past `last_seen`
+/// (in revision order), then `Deleted` (at the listing revision) for keys
+/// that vanished while the watch was down.
+fn emit_relist(
+    state: &mut WatchState,
+    objects: Vec<StoredObject>,
+    revision: Revision,
+    tx: &mpsc::UnboundedSender<WatchEvent>,
+) -> Result<()> {
+    let listed: BTreeSet<ObjectKey> = objects.iter().map(|o| o.key.clone()).collect();
+    let mut changed: Vec<&StoredObject> = objects
+        .iter()
+        .filter(|o| o.revision > state.last_seen)
+        .collect();
+    changed.sort_by_key(|o| o.revision);
+    for obj in changed {
+        let event = WatchEvent {
+            revision: obj.revision,
+            kind: EventKind::Updated,
+            key: obj.key.clone(),
+            value: Arc::clone(&obj.value),
+        };
+        tx.send(event)
+            .map_err(|_| Error::Transport("watch consumer gone".to_string()))?;
+    }
+    for key in state.known.difference(&listed) {
+        let event = WatchEvent {
+            revision,
+            kind: EventKind::Deleted,
+            key: key.clone(),
+            value: Arc::new(Value::Null),
+        };
+        tx.send(event)
+            .map_err(|_| Error::Transport("watch consumer gone".to_string()))?;
+    }
+    state.known = listed;
+    state.last_seen = state.last_seen.max(revision);
+    Ok(())
+}
+
+impl ExchangeApi for ResilientClient {
+    fn create_store(&self, store: StoreId, profile: ProfileSpec) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| {
+                    let (store, profile) = (store.clone(), profile.clone());
+                    Box::pin(async move {
+                        match c.create_store(store, profile).await {
+                            // Idempotent under at-least-once delivery: a
+                            // lost reply (or a duplicated request frame
+                            // whose genuine reply was dropped) still
+                            // created the store; that is success. Even the
+                            // first attempt can collide with its own
+                            // duplicated execution, so no attempt guard.
+                            Err(Error::AlreadyExists(_)) => Ok(()),
+                            r => r,
+                        }
+                    })
+                }))
+                .await
+        })
+    }
+
+    fn create(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        value: Value,
+    ) -> BoxFuture<'_, Result<Revision>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| {
+                    let (store, key, value) = (store.clone(), key.clone(), value.clone());
+                    Box::pin(async move {
+                        match c.create(store.clone(), key.clone(), value.clone()).await {
+                            // Disambiguate: did *our* unacknowledged
+                            // execution create it? Read back and compare
+                            // the value — the OCC metadata then yields the
+                            // commit revision the lost reply carried. The
+                            // attempt count cannot gate this: a duplicated
+                            // request frame makes even the first attempt
+                            // collide with its own execution when the
+                            // genuine reply is dropped.
+                            Err(e @ Error::AlreadyExists(_)) => {
+                                let obj = c.get(store, key).await?;
+                                if *obj.value == value {
+                                    Ok(obj.created_revision)
+                                } else {
+                                    Err(e)
+                                }
+                            }
+                            r => r,
+                        }
+                    })
+                }))
+                .await
+        })
+    }
+
+    fn get(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<StoredObject>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| {
+                    Box::pin(c.get(store.clone(), key.clone()))
+                }))
+                .await
+        })
+    }
+
+    fn list(&self, store: StoreId) -> BoxFuture<'_, Result<(Vec<StoredObject>, Revision)>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| Box::pin(c.list(store.clone()))))
+                .await
+        })
+    }
+
+    fn update(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        value: Value,
+        expected: Option<Revision>,
+    ) -> BoxFuture<'_, Result<Revision>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| {
+                    let (store, key, value) = (store.clone(), key.clone(), value.clone());
+                    Box::pin(async move {
+                        match c
+                            .update(store.clone(), key.clone(), value.clone(), expected)
+                            .await
+                        {
+                            // OCC-keyed disambiguation: if the object now
+                            // holds exactly our value, the conflict is our
+                            // own unacknowledged commit (lost reply, or a
+                            // duplicated request colliding with itself).
+                            Err(e @ Error::Conflict { .. }) if expected.is_some() => {
+                                let obj = c.get(store, key).await?;
+                                if *obj.value == value {
+                                    Ok(obj.revision)
+                                } else {
+                                    Err(e)
+                                }
+                            }
+                            r => r,
+                        }
+                    })
+                }))
+                .await
+        })
+    }
+
+    fn patch(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        patch: Value,
+        upsert: bool,
+    ) -> BoxFuture<'_, Result<Revision>> {
+        // Patch is naturally retry-safe: re-applying an already-applied
+        // patch merges to an identical value, which the store suppresses
+        // as a no-op commit and answers with the current revision.
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| {
+                    Box::pin(c.patch(store.clone(), key.clone(), patch.clone(), upsert))
+                }))
+                .await
+        })
+    }
+
+    fn delete(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<Revision>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, attempt| {
+                    let (store, key) = (store.clone(), key.clone());
+                    Box::pin(async move {
+                        match c.delete(store, key).await {
+                            // An earlier attempt (reply lost) already
+                            // deleted it; the commit revision is gone with
+                            // that reply, so answer with the ZERO sentinel
+                            // rather than failing a delete that succeeded.
+                            // Unlike create/update there is no value left
+                            // to compare, so a first-attempt NotFound —
+                            // ambiguous only when a duplicated request
+                            // collides with itself — stays an error.
+                            Err(Error::NotFound(_)) if attempt > 0 => Ok(Revision::ZERO),
+                            r => r,
+                        }
+                    })
+                }))
+                .await
+        })
+    }
+
+    fn register_consumer(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        consumer: String,
+    ) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| {
+                    Box::pin(c.register_consumer(store.clone(), key.clone(), consumer.clone()))
+                }))
+                .await
+        })
+    }
+
+    fn mark_processed(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        consumer: String,
+    ) -> BoxFuture<'_, Result<Vec<ObjectKey>>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| {
+                    Box::pin(c.mark_processed(store.clone(), key.clone(), consumer.clone()))
+                }))
+                .await
+        })
+    }
+
+    fn watch(&self, store: StoreId, from: Revision) -> BoxFuture<'_, Result<WatchRx>> {
+        Box::pin(async move {
+            let (tx, rx) = mpsc::unbounded_channel();
+            let mut state = WatchState {
+                last_seen: from,
+                known: BTreeSet::new(),
+            };
+            // Establish inline so hard errors (Forbidden, unknown store)
+            // surface to the caller instead of silently closing the
+            // stream later.
+            let sub = self.inner.establish_watch(&store, &mut state, &tx).await?;
+            let driver = Arc::clone(&self.inner);
+            tokio::spawn(driver.drive_watch(store, state, sub, tx));
+            Ok(rx)
+        })
+    }
+
+    fn register_schema(&self, schema: Schema) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| {
+                    Box::pin(c.register_schema(schema.clone()))
+                }))
+                .await
+        })
+    }
+
+    fn bind_schema(&self, store: StoreId, schema: SchemaName) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| {
+                    Box::pin(c.bind_schema(store.clone(), schema.clone()))
+                }))
+                .await
+        })
+    }
+
+    fn get_schema(&self, schema: SchemaName) -> BoxFuture<'_, Result<Schema>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| Box::pin(c.get_schema(schema.clone()))))
+                .await
+        })
+    }
+
+    fn register_udf(
+        &self,
+        name: String,
+        inputs: Vec<String>,
+        assignments: Vec<UdfAssignment>,
+    ) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| {
+                    Box::pin(c.register_udf(name.clone(), inputs.clone(), assignments.clone()))
+                }))
+                .await
+        })
+    }
+
+    fn execute_udf(
+        &self,
+        name: String,
+        bindings: Vec<UdfBinding>,
+    ) -> BoxFuture<'_, Result<Vec<(StoreId, Revision)>>> {
+        // At-least-once: a lost reply retries the execution. UDFs are
+        // assignment-style (set fields from inputs), so re-execution
+        // converges to the same values.
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| {
+                    Box::pin(c.execute_udf(name.clone(), bindings.clone()))
+                }))
+                .await
+        })
+    }
+
+    fn transact(&self, ops: Vec<TxOp>) -> BoxFuture<'_, Result<Vec<(StoreId, Revision)>>> {
+        // At-least-once: preconditioned ops are protected by their OCC
+        // revisions (a replay fails with Conflict, surfaced to the
+        // caller); unconditional patches re-merge to a no-op.
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| Box::pin(c.transact(ops.clone()))))
+                .await
+        })
+    }
+
+    fn log_create_store(&self, store: StoreId) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, attempt| {
+                    let store = store.clone();
+                    Box::pin(async move {
+                        match c.log_create_store(store).await {
+                            Err(Error::AlreadyExists(_)) if attempt > 0 => Ok(()),
+                            r => r,
+                        }
+                    })
+                }))
+                .await
+        })
+    }
+
+    fn log_append(&self, store: StoreId, fields: Value) -> BoxFuture<'_, Result<u64>> {
+        // At-least-once: a retried append after a lost reply duplicates
+        // the record. Log consumers must treat records as events, not
+        // exactly-once commands (see DESIGN.md §"Fault model").
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| {
+                    Box::pin(c.log_append(store.clone(), fields.clone()))
+                }))
+                .await
+        })
+    }
+
+    fn log_append_batch(&self, store: StoreId, batch: Vec<Value>) -> BoxFuture<'_, Result<u64>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| {
+                    Box::pin(c.log_append_batch(store.clone(), batch.clone()))
+                }))
+                .await
+        })
+    }
+
+    fn log_read(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<Vec<LogRecord>>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| Box::pin(c.log_read(store.clone(), from))))
+                .await
+        })
+    }
+
+    fn log_query(&self, store: StoreId, query: QuerySpec) -> BoxFuture<'_, Result<Vec<Value>>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| {
+                    Box::pin(c.log_query(store.clone(), query.clone()))
+                }))
+                .await
+        })
+    }
+
+    fn log_tail(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<TailRx>> {
+        Box::pin(async move {
+            let (tx, rx) = mpsc::unbounded_channel();
+            let first = {
+                let store = store.clone();
+                self.inner
+                    .retry(op_fn(move |c, _| Box::pin(c.log_tail(store.clone(), from))))
+                    .await?
+            };
+            let driver = Arc::clone(&self.inner);
+            tokio::spawn(driver.drive_tail(store, from, first, tx));
+            Ok(rx)
         })
     }
 }

@@ -19,16 +19,23 @@
 //! * [`api`] — [`api::ExchangeApi`], the transport-independent trait both
 //!   clients implement; integrators and reconcilers are written against
 //!   it and never know whether the exchange is local or remote.
+//! * [`fault`] — seeded, deterministic fault injection: a frame-level
+//!   [`fault::FaultProxy`] for TCP and a [`fault::FaultApi`] decorator for
+//!   loopback, both driven by a [`fault::FaultPlan`]. Pairs with
+//!   [`client::ResilientClient`] (retry/backoff + watch resume), which is
+//!   what makes those faults survivable.
 
 pub mod api;
 pub mod client;
+pub mod fault;
 pub mod frame;
 pub mod loopback;
 pub mod proto;
 pub mod server;
 
 pub use api::{BoxFuture, ExchangeApi, WatchRx};
-pub use client::TcpClient;
+pub use client::{ResilientClient, RetryPolicy, TcpClient};
+pub use fault::{FaultApi, FaultPlan, FaultProxy, FaultRng, FaultStats};
 pub use loopback::LoopbackClient;
 pub use server::ExchangeServer;
 

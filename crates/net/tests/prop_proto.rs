@@ -1,5 +1,8 @@
-//! Property tests: every wire message round-trips through encode/decode.
+//! Property tests: every wire message round-trips through encode/decode,
+//! and the frame decoder survives arbitrary byte garbage — it may error,
+//! it must never panic, over-read, or hand back an oversized frame.
 
+use knactor_net::frame::{FrameReader, FrameWriter, MAX_FRAME};
 use knactor_net::proto::{
     decode, encode, EventBody, Hello, OpSpec, ProfileSpec, QuerySpec, Request, RequestEnvelope,
     Response, ServerMsg,
@@ -8,6 +11,7 @@ use knactor_store::{EventKind, TxOp, WatchEvent};
 use knactor_types::{ObjectKey, Revision, StoreId, Value};
 use proptest::prelude::*;
 use serde_json::json;
+use tokio::runtime::block_on_free;
 
 fn any_value() -> impl Strategy<Value = Value> {
     let leaf = prop_oneof![
@@ -150,5 +154,178 @@ proptest! {
         };
         let back: ProfileSpec = decode(&encode(&spec).unwrap()).unwrap();
         prop_assert_eq!(back, spec);
+    }
+}
+
+/// One byte-level mutation of a wire stream, chosen by proptest.
+#[derive(Debug, Clone)]
+enum Mutation {
+    Flip { at: usize, bits: u8 },
+    Truncate { at: usize },
+    Insert { at: usize, byte: u8 },
+    Delete { at: usize },
+}
+
+fn any_mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        // `bits | 1` keeps the flip mask nonzero, so a Flip always changes
+        // the byte it lands on.
+        (any::<usize>(), any::<u8>()).prop_map(|(at, bits)| Mutation::Flip { at, bits: bits | 1 }),
+        any::<usize>().prop_map(|at| Mutation::Truncate { at }),
+        (any::<usize>(), any::<u8>()).prop_map(|(at, byte)| Mutation::Insert { at, byte }),
+        any::<usize>().prop_map(|at| Mutation::Delete { at }),
+    ]
+}
+
+impl Mutation {
+    fn apply(&self, bytes: &mut Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        match *self {
+            Mutation::Flip { at, bits } => {
+                let at = at % bytes.len();
+                bytes[at] ^= bits;
+            }
+            Mutation::Truncate { at } => bytes.truncate(at % (bytes.len() + 1)),
+            Mutation::Insert { at, byte } => {
+                let at = at % (bytes.len() + 1);
+                bytes.insert(at, byte);
+            }
+            Mutation::Delete { at } => {
+                let at = at % bytes.len();
+                bytes.remove(at);
+            }
+        }
+    }
+}
+
+/// Drain a byte stream through [`FrameReader`] until clean EOF or error.
+/// Returns the parsed frames and whether the stream ended cleanly. The
+/// act of returning at all is half the property: the decoder must
+/// *terminate* on any input, panic on none.
+fn read_all_frames(bytes: Vec<u8>) -> (Vec<Vec<u8>>, bool) {
+    block_on_free(async move {
+        let (mut w, r) = tokio::io::duplex(bytes.len().max(1) + 8);
+        {
+            use tokio::io::AsyncWriteExt;
+            w.write_all(&bytes).await.unwrap();
+        }
+        drop(w); // EOF after the garbage
+        let mut reader = FrameReader::new(r);
+        let mut frames = Vec::new();
+        loop {
+            match reader.read_frame().await {
+                Ok(Some(frame)) => frames.push(frame.to_vec()),
+                Ok(None) => return (frames, true),
+                Err(_) => return (frames, false),
+            }
+        }
+    })
+}
+
+/// Build a valid multi-frame stream from encoded request envelopes.
+fn valid_stream(envelopes: &[RequestEnvelope]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for env in envelopes {
+        let payload = encode(env).unwrap();
+        bytes.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&payload);
+    }
+    bytes
+}
+
+proptest! {
+    /// Arbitrary byte soup: the decoder errors or EOFs, never panics, and
+    /// never conjures more payload bytes than the input held.
+    #[test]
+    fn decoder_survives_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let input_len = bytes.len();
+        let (frames, clean) = read_all_frames(bytes);
+        let consumed: usize = frames.iter().map(|f| f.len() + 4).sum();
+        prop_assert!(consumed <= input_len, "decoder over-read: {consumed} > {input_len}");
+        for frame in &frames {
+            prop_assert!(frame.len() <= MAX_FRAME);
+        }
+        // Empty input is the one guaranteed-clean case.
+        if input_len == 0 {
+            prop_assert!(clean && frames.is_empty());
+        }
+    }
+
+    /// A valid stream hit by byte mutations: every frame the decoder does
+    /// hand over is length-consistent, everything before the first
+    /// corrupted record still parses, and message-level decode of damaged
+    /// payloads errors instead of panicking.
+    #[test]
+    fn decoder_survives_mutated_valid_streams(
+        bodies in proptest::collection::vec(any_request(), 1..5),
+        mutations in proptest::collection::vec(any_mutation(), 1..4),
+    ) {
+        let envelopes: Vec<RequestEnvelope> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| RequestEnvelope { id: i as u64, body })
+            .collect();
+        let pristine = valid_stream(&envelopes);
+        let mut mutated = pristine.clone();
+        for m in &mutations {
+            m.apply(&mut mutated);
+        }
+        let input_len = mutated.len();
+        let (frames, _clean) = read_all_frames(mutated);
+        let consumed: usize = frames.iter().map(|f| f.len() + 4).sum();
+        prop_assert!(consumed <= input_len, "decoder over-read: {consumed} > {input_len}");
+        for frame in &frames {
+            prop_assert!(frame.len() <= MAX_FRAME);
+            // Message decode of whatever survived transit must be a
+            // Result, never a panic; when it succeeds the envelope is
+            // structurally sound (its id is one a client could route).
+            let _ = decode::<RequestEnvelope>(frame);
+        }
+    }
+
+    /// The unmutated stream always parses back to exactly its frames —
+    /// the baseline the mutation property perturbs.
+    #[test]
+    fn decoder_roundtrips_valid_streams(
+        bodies in proptest::collection::vec(any_request(), 0..5),
+    ) {
+        let envelopes: Vec<RequestEnvelope> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| RequestEnvelope { id: i as u64, body })
+            .collect();
+        let (frames, clean) = read_all_frames(valid_stream(&envelopes));
+        prop_assert!(clean, "a valid stream must EOF cleanly");
+        prop_assert_eq!(frames.len(), envelopes.len());
+        for (frame, env) in frames.iter().zip(&envelopes) {
+            let back: RequestEnvelope = decode(frame).unwrap();
+            prop_assert_eq!(&back, env);
+        }
+    }
+
+    /// Frames written by [`FrameWriter`] read back byte-identical through
+    /// [`FrameReader`], for any payload mix (empty frames included).
+    #[test]
+    fn frame_writer_reader_roundtrip(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 0..6),
+    ) {
+        let total: usize = payloads.iter().map(|p| p.len() + 4).sum();
+        let got = block_on_free(async {
+            let (client, server) = tokio::io::duplex(total.max(1) + 8);
+            let mut w = FrameWriter::new(client);
+            for p in &payloads {
+                w.write_frame(p).await.unwrap();
+            }
+            drop(w);
+            let mut r = FrameReader::new(server);
+            let mut got = Vec::new();
+            while let Some(frame) = r.read_frame().await.unwrap() {
+                got.push(frame.to_vec());
+            }
+            got
+        });
+        prop_assert_eq!(got, payloads);
     }
 }

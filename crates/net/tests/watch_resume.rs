@@ -1,0 +1,184 @@
+//! Watch-resume regressions: the `WatchTooOld` error stays *typed* across
+//! the wire (the resilient client dispatches on it, so a stringly-typed
+//! regression would silently break resume), and the re-list fallback
+//! reconstructs state when the resume point has fallen out of the
+//! server's bounded history.
+
+use knactor_net::{ExchangeApi, ExchangeServer, ResilientClient, RetryPolicy, TcpClient};
+use knactor_net::{FaultPlan, FaultProxy};
+use knactor_rbac::Subject;
+use knactor_store::{EngineProfile, EventKind};
+use knactor_types::{Error, ObjectKey, Revision, StoreId, Value};
+use serde_json::json;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const STORE: &str = "resume/state";
+
+fn key(i: u64) -> ObjectKey {
+    ObjectKey::new(format!("obj-{i}"))
+}
+
+fn val(i: u64) -> Value {
+    json!({"n": i})
+}
+
+/// A server whose store keeps only the last `cap` events for replay,
+/// pre-loaded with `writes` objects.
+async fn trimmed_server(cap: usize, writes: u64) -> ExchangeServer {
+    let server = ExchangeServer::bind_ephemeral().await.unwrap();
+    let profile = EngineProfile {
+        history_cap: cap,
+        ..EngineProfile::instant()
+    };
+    server
+        .object
+        .create_store(StoreId::new(STORE), profile)
+        .unwrap();
+    let store = server.object.store(&StoreId::new(STORE)).unwrap();
+    for i in 0..writes {
+        store.create(key(i), val(i)).unwrap();
+    }
+    server
+}
+
+/// The wire preserves `WatchTooOld` as a *typed* error with both fields
+/// intact — not a generic transport/internal string. `history_cap = 4`
+/// after 10 commits retains revisions 7..=10, so a resume from 1 must
+/// report oldest = 7 exactly.
+#[tokio::test]
+async fn watch_too_old_roundtrips_typed_over_the_wire() {
+    let server = trimmed_server(4, 10).await;
+    let client = TcpClient::connect(server.local_addr(), Subject::operator("w"))
+        .await
+        .unwrap();
+    let err = client.watch(STORE.into(), Revision(1)).await.unwrap_err();
+    match err {
+        Error::WatchTooOld { from, oldest } => {
+            assert_eq!(from, 1);
+            assert_eq!(oldest, 7);
+        }
+        other => panic!("expected typed WatchTooOld, got {other:?}"),
+    }
+    // A resume inside the window still works over the same connection.
+    assert!(client.watch(STORE.into(), Revision(7)).await.is_ok());
+    server.shutdown().await;
+}
+
+/// Resume-after-horizon fallback: a resilient watch from `ZERO` on a
+/// store whose history no longer reaches back that far re-lists and
+/// synthesizes `Updated` events for every object, in revision order,
+/// then continues live with no gap.
+#[tokio::test]
+async fn resilient_watch_falls_back_to_relist_after_horizon() {
+    const WRITES: u64 = 10;
+    let server = trimmed_server(4, WRITES).await;
+    let client = ResilientClient::connect(
+        server.local_addr(),
+        Subject::operator("w"),
+        RetryPolicy::default(),
+    )
+    .await
+    .unwrap();
+    let api: Arc<dyn ExchangeApi> = Arc::new(client);
+
+    let mut events = api.watch(STORE.into(), Revision::ZERO).await.unwrap();
+    // The synthetic re-list: every object once, ascending revision (for
+    // a create-only store each object's revision is its creation).
+    for i in 0..WRITES {
+        let event = tokio::time::timeout(Duration::from_secs(5), events.recv())
+            .await
+            .expect("relist event timed out")
+            .expect("stream ended during relist");
+        assert_eq!(event.kind, EventKind::Updated, "relist synthesizes Updated");
+        assert_eq!(event.revision, Revision(i + 1));
+        assert_eq!(event.key, key(i));
+        assert_eq!(*event.value, val(i));
+    }
+    // Live continuation, gaplessly from the listing revision.
+    let store = server.object.store(&StoreId::new(STORE)).unwrap();
+    store.create(key(100), val(100)).unwrap();
+    let live = tokio::time::timeout(Duration::from_secs(5), events.recv())
+        .await
+        .expect("live event timed out")
+        .expect("stream ended after relist");
+    assert_eq!(live.revision, Revision(WRITES + 1));
+    assert_eq!(live.key, key(100));
+    server.shutdown().await;
+}
+
+/// Deletes and creates that happen while the watcher is disconnected are
+/// not lost: after a forced disconnect, the stream (by replay if history
+/// still covers the gap, by re-list with synthesized `Deleted` events if
+/// it does not) converges the consumer's materialized view to the
+/// server's state.
+#[tokio::test]
+async fn resumed_watch_converges_after_downtime_mutations() {
+    const WRITES: u64 = 10;
+    let server = trimmed_server(4, WRITES).await;
+    let proxy = FaultProxy::spawn(server.local_addr(), FaultPlan::none(7))
+        .await
+        .unwrap();
+    let client = ResilientClient::connect(
+        proxy.local_addr(),
+        Subject::operator("w"),
+        RetryPolicy::fast(7),
+    )
+    .await
+    .unwrap();
+    let api: Arc<dyn ExchangeApi> = Arc::new(client);
+    let mut events = api.watch(STORE.into(), Revision::ZERO).await.unwrap();
+
+    // Materialize the watch stream into a view.
+    let mut view: BTreeMap<ObjectKey, Value> = BTreeMap::new();
+    for _ in 0..WRITES {
+        let event = tokio::time::timeout(Duration::from_secs(5), events.recv())
+            .await
+            .expect("initial relist timed out")
+            .expect("stream ended early");
+        view.insert(event.key, (*event.value).clone());
+    }
+
+    // Partition, then mutate enough to push the resume point past the
+    // 4-event history window: one delete + six creates.
+    proxy.kill_connections();
+    let store = server.object.store(&StoreId::new(STORE)).unwrap();
+    store.delete(&key(3)).unwrap();
+    for i in 20..26 {
+        store.create(key(i), val(i)).unwrap();
+    }
+
+    let expected: BTreeMap<ObjectKey, Value> = {
+        let (objects, _) = store.list();
+        objects
+            .iter()
+            .map(|o| (o.key.clone(), (*o.value).clone()))
+            .collect()
+    };
+    let deadline = tokio::time::Instant::now() + Duration::from_secs(10);
+    while view != expected {
+        let remaining = deadline
+            .checked_duration_since(tokio::time::Instant::now())
+            .expect("view never converged to server state after downtime");
+        let event = tokio::time::timeout(remaining, events.recv())
+            .await
+            .expect("no event before deadline")
+            .expect("stream ended before converging");
+        match event.kind {
+            EventKind::Created | EventKind::Updated => {
+                view.insert(event.key, (*event.value).clone());
+            }
+            EventKind::Deleted => {
+                view.remove(&event.key);
+            }
+        }
+    }
+    assert!(
+        !view.contains_key(&key(3)),
+        "delete during downtime must surface"
+    );
+    assert_eq!(view.len() as u64, WRITES - 1 + 6);
+    proxy.shutdown();
+    server.shutdown().await;
+}

@@ -47,3 +47,4 @@ pub use object::{RetentionPolicy, StoredObject};
 pub use profile::EngineProfile;
 pub use store::ObjectStore;
 pub use udf::{Udf, UdfBinding};
+pub use wal::{CrashPoint, Recovery, Wal};

@@ -110,15 +110,20 @@ impl ObjectStore {
         let mut revision = Revision::ZERO;
         let mut wal = None;
         if let Some(path) = &profile.wal_path {
+            // Recovery first: truncate any torn tail (crash mid-append)
+            // and verify revision continuity, then rebuild shard state
+            // from the surviving prefix. A torn final record is lost —
+            // it was never acknowledged — but every acked commit is here.
+            let (recovered_wal, events) = Wal::open_recovering(path, profile.fsync)?;
             let mut objects = BTreeMap::new();
-            for event in Wal::replay(path)? {
+            for event in events {
                 apply_event(&mut objects, &event);
                 revision = event.revision;
             }
             for (key, obj) in objects {
                 shards[shard_of(&key)].get_mut().insert(key, obj);
             }
-            wal = Some(Arc::new(Wal::open(path, profile.fsync)?));
+            wal = Some(Arc::new(recovered_wal));
         }
         Ok(ObjectStore {
             id,
@@ -173,6 +178,21 @@ impl ObjectStore {
     /// Current store revision (revision of the last committed mutation).
     pub fn revision(&self) -> Revision {
         Revision(self.revision.load(Ordering::Acquire))
+    }
+
+    /// Arm a WAL crash point for deterministic crash testing: the
+    /// `after`-th commit from now dies at `point` and every later commit
+    /// fails too (the "process" is dead until the store is reopened from
+    /// its WAL). Returns `false` for purely in-memory profiles, which
+    /// have no WAL to crash.
+    pub fn arm_crash(&self, point: crate::wal::CrashPoint, after: u64) -> bool {
+        match &self.commit.lock().wal {
+            Some(wal) => {
+                wal.arm_crash(point, after);
+                true
+            }
+            None => false,
+        }
     }
 
     pub fn len(&self) -> usize {

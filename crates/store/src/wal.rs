@@ -5,21 +5,73 @@
 //! K-apiserver configuration pays its latency (Table 2: 20.6 ms between
 //! Checkout and the integrator vs 3.2 ms for K-redis).
 //!
-//! Replay is total: a truncated final line (torn write) is ignored, and
-//! everything before it is recovered.
+//! # Recovery
+//!
+//! Opening a log runs **recovery** ([`Wal::open_recovering`]): the file is
+//! scanned record by record, a torn final record (a crash mid-write or
+//! mid-fsync) is physically truncated away so later appends can never
+//! land after garbage, and the surviving records are checked for
+//! **revision continuity** — every record's revision must be exactly one
+//! more than its predecessor's. A hole or duplicate means the log prefix
+//! is not trustworthy and recovery fails loudly rather than replaying a
+//! corrupt history.
+//!
+//! # Crash points
+//!
+//! For deterministic crash testing, a WAL can be armed with a
+//! [`CrashPoint`] ([`Wal::arm_crash`]): the Nth append after arming then
+//! fails as if the process had died at that instant — before the write,
+//! after the (durable) write, or halfway through it, leaving a torn tail
+//! on disk. A fired crash point **poisons** the log: every later append
+//! fails too, modelling a dead process until the store is reopened.
 
 use crate::event::WatchEvent;
 use knactor_types::{Error, Result};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
+
+/// Where an injected crash interrupts [`Wal::append`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die before any bytes reach the file: the commit is simply lost.
+    BeforeAppend,
+    /// Die after the record (and its fsync) hit the disk but before the
+    /// caller learns about it: the write is durable yet unacknowledged.
+    AfterAppend,
+    /// Die mid-write/mid-fsync: only a prefix of the record survives,
+    /// leaving a torn tail for recovery to truncate.
+    TornWrite,
+}
+
+struct CrashState {
+    /// `(point, appends_to_skip_first)` — fires on the (N+1)th append.
+    armed: Option<(CrashPoint, u64)>,
+    /// Set once a crash point fired; the "process" is dead.
+    poisoned: bool,
+}
+
+/// What [`Wal::recover`] found on disk.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Every complete, continuous record, in append order.
+    pub events: Vec<WatchEvent>,
+    /// Bytes of torn trailing data that must be truncated away.
+    pub torn_bytes: u64,
+    /// Length of the valid prefix (the post-truncation file size).
+    pub valid_len: u64,
+    /// The valid prefix ends without a record terminator (a crash fell
+    /// between the payload and its newline); opening re-terminates it.
+    pub needs_terminator: bool,
+}
 
 /// An append-only event log on disk.
 pub struct Wal {
     path: PathBuf,
     file: Mutex<File>,
     fsync: bool,
+    crash: Mutex<CrashState>,
 }
 
 impl std::fmt::Debug for Wal {
@@ -31,62 +83,203 @@ impl std::fmt::Debug for Wal {
     }
 }
 
+fn crash_err(which: &str) -> Error {
+    Error::Internal(format!("crash injected: {which}"))
+}
+
 impl Wal {
-    /// Open (creating if absent) the log at `path`.
+    /// Open (creating if absent) the log at `path`, running recovery but
+    /// discarding the recovered events (callers that need them use
+    /// [`Wal::open_recovering`]).
     pub fn open(path: impl AsRef<Path>, fsync: bool) -> Result<Wal> {
+        Ok(Wal::open_recovering(path, fsync)?.0)
+    }
+
+    /// Open the log, truncating any torn tail, verifying revision
+    /// continuity, and returning the recovered events alongside the
+    /// append handle.
+    pub fn open_recovering(path: impl AsRef<Path>, fsync: bool) -> Result<(Wal, Vec<WatchEvent>)> {
         let path = path.as_ref().to_path_buf();
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
+        let recovery = Wal::recover(&path)?;
+        if recovery.torn_bytes > 0 || recovery.needs_terminator {
+            // Physically repair the file before any append can follow
+            // torn garbage: truncate to the valid prefix and restore the
+            // missing terminator of a complete-but-unterminated record.
+            let repair = OpenOptions::new()
+                .create(true)
+                .truncate(false)
+                .write(true)
+                .open(&path)?;
+            repair.set_len(recovery.valid_len)?;
+            repair.sync_data()?;
+            if recovery.needs_terminator {
+                let mut repair = OpenOptions::new().append(true).open(&path)?;
+                repair.write_all(b"\n")?;
+                repair.sync_data()?;
+            }
+        }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Wal {
+        let wal = Wal {
             path,
             file: Mutex::new(file),
             fsync,
-        })
+            crash: Mutex::new(CrashState {
+                armed: None,
+                poisoned: false,
+            }),
+        };
+        Ok((wal, recovery.events))
+    }
+
+    /// Arm a crash point: the `after`-th append from now (0 = the next
+    /// one) fails at `point` and poisons the log.
+    pub fn arm_crash(&self, point: CrashPoint, after: u64) {
+        self.crash.lock().armed = Some((point, after));
+    }
+
+    /// True once an injected crash has fired.
+    pub fn is_poisoned(&self) -> bool {
+        self.crash.lock().poisoned
     }
 
     /// Append one committed event. With `fsync` enabled the call returns
     /// only after the OS confirms the write is on stable storage.
     pub fn append(&self, event: &WatchEvent) -> Result<()> {
+        let mut crash = self.crash.lock();
+        if crash.poisoned {
+            return Err(crash_err("wal poisoned by earlier crash"));
+        }
+        let firing = match &mut crash.armed {
+            Some((point, remaining)) => {
+                if *remaining == 0 {
+                    let point = *point;
+                    crash.armed = None;
+                    crash.poisoned = true;
+                    Some(point)
+                } else {
+                    *remaining -= 1;
+                    None
+                }
+            }
+            None => None,
+        };
+
         let mut line = serde_json::to_vec(event)?;
         line.push(b'\n');
+        // The crash lock is held across the file write so an armed crash
+        // and the append it interrupts are one atomic decision.
         let mut file = self.file.lock();
-        file.write_all(&line)?;
-        if self.fsync {
-            file.sync_data()?;
+        match firing {
+            Some(CrashPoint::BeforeAppend) => Err(crash_err("before append")),
+            Some(CrashPoint::TornWrite) => {
+                // Half the record reaches the disk; the terminator never
+                // does. This is what a power cut mid-write leaves behind.
+                let torn = &line[..(line.len() / 2).max(1)];
+                file.write_all(torn)?;
+                let _ = file.sync_data();
+                Err(crash_err("torn write"))
+            }
+            Some(CrashPoint::AfterAppend) => {
+                file.write_all(&line)?;
+                file.sync_data()?;
+                Err(crash_err("after append"))
+            }
+            None => {
+                file.write_all(&line)?;
+                if self.fsync {
+                    file.sync_data()?;
+                }
+                Ok(())
+            }
         }
-        Ok(())
     }
 
-    /// Read every complete event in the log, in append order.
+    /// Scan the log without modifying it: parse every record, locate the
+    /// valid prefix, and verify revision continuity.
     ///
-    /// A torn final line is tolerated; a corrupt line *before* the end is
-    /// an error because it means the prefix already replayed is suspect.
-    pub fn replay(path: impl AsRef<Path>) -> Result<Vec<WatchEvent>> {
+    /// A torn *final* record (truncated bytes, or a trailing segment that
+    /// no longer parses) is reported for truncation; a corrupt record
+    /// *before* the end, or any revision hole/duplicate, is an error
+    /// because the already-replayed prefix would be suspect.
+    pub fn recover(path: impl AsRef<Path>) -> Result<Recovery> {
         let path = path.as_ref();
         if !path.exists() {
-            return Ok(Vec::new());
+            return Ok(Recovery {
+                events: Vec::new(),
+                torn_bytes: 0,
+                valid_len: 0,
+                needs_terminator: false,
+            });
         }
-        let reader = BufReader::new(File::open(path)?);
-        let mut events = Vec::new();
+        let bytes = std::fs::read(path)?;
+        let total = bytes.len() as u64;
+        let mut events: Vec<WatchEvent> = Vec::new();
+        let mut valid_len: u64 = 0;
+        let mut needs_terminator = false;
         let mut pending_error: Option<String> = None;
-        for (idx, line) in reader.lines().enumerate() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
+        let mut offset = 0usize;
+        let mut line_no = 0usize;
+        while offset < bytes.len() {
+            let (segment, end, terminated) = match bytes[offset..].iter().position(|b| *b == b'\n')
+            {
+                Some(nl) => (&bytes[offset..offset + nl], offset + nl + 1, true),
+                None => (&bytes[offset..], bytes.len(), false),
+            };
+            line_no += 1;
             if let Some(msg) = pending_error.take() {
-                // The bad line was not the last one: real corruption.
+                // The bad record was not the last one: real corruption.
                 return Err(Error::Internal(format!("corrupt WAL entry: {msg}")));
             }
-            match serde_json::from_str::<WatchEvent>(&line) {
-                Ok(e) => events.push(e),
-                Err(e) => pending_error = Some(format!("line {}: {e}", idx + 1)),
+            if segment.iter().all(|b| b.is_ascii_whitespace()) {
+                offset = end;
+                if terminated {
+                    valid_len = end as u64;
+                }
+                continue;
             }
+            match serde_json::from_slice::<WatchEvent>(segment) {
+                Ok(event) => {
+                    if let Some(prev) = events.last() {
+                        if event.revision.0 != prev.revision.0 + 1 {
+                            return Err(Error::Internal(format!(
+                                "WAL revision discontinuity at line {line_no}: \
+                                 {} follows {}",
+                                event.revision, prev.revision
+                            )));
+                        }
+                    }
+                    events.push(event);
+                    if terminated {
+                        valid_len = end as u64;
+                    } else {
+                        // A complete record whose terminator was lost in
+                        // the crash: keep it, restore the newline later.
+                        valid_len = end as u64;
+                        needs_terminator = true;
+                    }
+                }
+                Err(e) => pending_error = Some(format!("line {line_no}: {e}")),
+            }
+            offset = end;
         }
-        // pending_error still set => torn tail; drop it silently.
-        Ok(events)
+        // pending_error still set => torn tail; everything after the last
+        // good record is garbage to truncate.
+        Ok(Recovery {
+            events,
+            torn_bytes: total - valid_len,
+            valid_len,
+            needs_terminator,
+        })
+    }
+
+    /// Read every complete event in the log, in append order, without
+    /// repairing the file (use [`Wal::open_recovering`] to also truncate
+    /// a torn tail before appending).
+    pub fn replay(path: impl AsRef<Path>) -> Result<Vec<WatchEvent>> {
+        Ok(Wal::recover(path)?.events)
     }
 
     pub fn path(&self) -> &Path {
@@ -151,6 +344,59 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
     }
 
+    /// The regression the recovery path exists for: a torn tail must be
+    /// truncated on open, so a post-crash append starts on a fresh line
+    /// instead of gluing itself to the garbage (which would corrupt the
+    /// log *mid-file*, an unrecoverable state).
+    #[test]
+    fn open_truncates_torn_tail_so_appends_stay_parseable() {
+        let path = tmp("torn-then-append");
+        {
+            let wal = Wal::open(&path, false).unwrap();
+            wal.append(&ev(1)).unwrap();
+            wal.append(&ev(2)).unwrap();
+        }
+        let len_before_tear = std::fs::metadata(&path).unwrap().len();
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"revision\":3,\"kind\":\"upd").unwrap();
+        }
+        let (wal, recovered) = Wal::open_recovering(&path, false).unwrap();
+        assert_eq!(recovered.len(), 2, "torn record dropped");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            len_before_tear,
+            "torn bytes physically removed"
+        );
+        wal.append(&ev(3)).unwrap();
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(replayed[2].revision, Revision(3));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A record whose newline was lost (crash between payload and
+    /// terminator) is complete data: recovery keeps it and re-terminates.
+    #[test]
+    fn unterminated_final_record_is_kept_and_reterminated() {
+        let path = tmp("no-terminator");
+        {
+            let wal = Wal::open(&path, false).unwrap();
+            wal.append(&ev(1)).unwrap();
+            wal.append(&ev(2)).unwrap();
+        }
+        // Chop exactly the trailing newline.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 1).unwrap();
+        drop(f);
+        let (wal, recovered) = Wal::open_recovering(&path, false).unwrap();
+        assert_eq!(recovered.len(), 2, "unterminated record kept");
+        wal.append(&ev(3)).unwrap();
+        assert_eq!(Wal::replay(&path).unwrap().len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
     #[test]
     fn mid_log_corruption_is_an_error() {
         let path = tmp("corrupt");
@@ -163,10 +409,28 @@ mod tests {
             f.write_all(b"garbage line\n").unwrap();
         }
         {
-            let wal = Wal::open(&path, false).unwrap();
-            wal.append(&ev(2)).unwrap();
+            // Raw append (not through recovery) so the garbage stays.
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            let mut line = serde_json::to_vec(&ev(2)).unwrap();
+            line.push(b'\n');
+            f.write_all(&line).unwrap();
         }
         assert!(Wal::replay(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn revision_hole_is_an_error() {
+        let path = tmp("hole");
+        {
+            let wal = Wal::open(&path, false).unwrap();
+            wal.append(&ev(1)).unwrap();
+            // Skip revision 2 entirely; append itself does not police
+            // revisions, recovery does.
+            wal.append(&ev(3)).unwrap();
+        }
+        let err = Wal::recover(&path).unwrap_err();
+        assert!(err.to_string().contains("discontinuity"), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -176,6 +440,60 @@ mod tests {
         let wal = Wal::open(&path, true).unwrap();
         wal.append(&ev(1)).unwrap();
         assert_eq!(Wal::replay(&path).unwrap().len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crash_before_append_leaves_no_trace() {
+        let path = tmp("crash-before");
+        let wal = Wal::open(&path, false).unwrap();
+        wal.append(&ev(1)).unwrap();
+        wal.arm_crash(CrashPoint::BeforeAppend, 0);
+        assert!(wal.append(&ev(2)).is_err());
+        assert!(wal.is_poisoned());
+        // Poisoned: later appends fail too.
+        assert!(wal.append(&ev(2)).is_err());
+        assert_eq!(Wal::replay(&path).unwrap().len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crash_after_append_is_durable_but_unacked() {
+        let path = tmp("crash-after");
+        let wal = Wal::open(&path, false).unwrap();
+        wal.append(&ev(1)).unwrap();
+        wal.arm_crash(CrashPoint::AfterAppend, 0);
+        assert!(wal.append(&ev(2)).is_err());
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 2, "the unacked record is on disk");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crash_torn_write_recovers_to_clean_prefix() {
+        let path = tmp("crash-torn");
+        {
+            let wal = Wal::open(&path, false).unwrap();
+            wal.append(&ev(1)).unwrap();
+            wal.arm_crash(CrashPoint::TornWrite, 0);
+            assert!(wal.append(&ev(2)).is_err());
+        }
+        let (wal, recovered) = Wal::open_recovering(&path, false).unwrap();
+        assert_eq!(recovered.len(), 1, "torn record dropped");
+        wal.append(&ev(2)).unwrap();
+        assert_eq!(Wal::replay(&path).unwrap().len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crash_fires_on_the_nth_append() {
+        let path = tmp("crash-nth");
+        let wal = Wal::open(&path, false).unwrap();
+        wal.arm_crash(CrashPoint::BeforeAppend, 2);
+        wal.append(&ev(1)).unwrap();
+        wal.append(&ev(2)).unwrap();
+        assert!(wal.append(&ev(3)).is_err());
+        assert_eq!(Wal::replay(&path).unwrap().len(), 2);
         std::fs::remove_file(&path).unwrap();
     }
 }

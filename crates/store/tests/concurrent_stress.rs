@@ -145,3 +145,96 @@ fn concurrent_patches_merge_without_losing_fields() {
         }
     }
 }
+
+/// The outbox drainer under a subscribe/unsubscribe storm: churner
+/// threads register watches and drop them immediately while writers keep
+/// committing, so the CAS-elected drainer constantly loses its election,
+/// stands down mid-queue, re-checks the outbox, and prunes dead
+/// subscribers. Through all of it a watcher that stays subscribed must
+/// see every commit exactly once, in revision order — an event enqueued
+/// during a drainer hand-off must never be stranded or delivered out of
+/// order.
+#[test]
+fn outbox_drainer_survives_subscriber_churn() {
+    const WRITERS: usize = 4;
+    const ITERS: u64 = 300;
+    const CHURNERS: usize = 4;
+
+    let store = Arc::new(ObjectStore::in_memory("stress/churn"));
+    // Anchor watcher: subscribed before the first commit, must see all.
+    let mut anchor = store.watch().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let churners: Vec<_> = (0..CHURNERS)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut spins = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Subscribe at the live edge, maybe peek, then drop:
+                    // the dead sender is what the drainer must prune while
+                    // events are in flight.
+                    if let Ok(mut rx) = store.watch_from(store.revision()) {
+                        if spins.is_multiple_of(3) {
+                            let _ = rx.try_recv();
+                        }
+                    }
+                    spins += 1;
+                }
+            })
+        })
+        .collect();
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for i in 0..ITERS {
+                    let key = ObjectKey::new(format!("w{w}-{i}"));
+                    store.create(key, json!({"w": w, "i": i})).unwrap();
+                }
+            })
+        })
+        .collect();
+
+    // A mid-stream subscriber joining while the storm is in full swing:
+    // its stream must be consecutive from wherever it joined.
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let joined_at = store.revision();
+    let mut mid = store
+        .watch_from(joined_at)
+        .expect("join point is current, never beyond history");
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for c in churners {
+        c.join().unwrap();
+    }
+
+    let total = WRITERS as u64 * ITERS;
+    assert_eq!(store.revision(), Revision(total));
+
+    // Anchor: every commit exactly once, in order, none stranded in the
+    // outbox by a drainer hand-off.
+    let mut expect = 1u64;
+    while let Ok(e) = anchor.try_recv() {
+        assert_eq!(e.revision, Revision(expect), "gapless in-order delivery");
+        expect += 1;
+    }
+    assert_eq!(expect - 1, total, "anchor watcher missed commits");
+
+    // Mid-stream: consecutive from its join revision through the end.
+    let mut expect = joined_at.0 + 1;
+    while let Ok(e) = mid.try_recv() {
+        assert_eq!(
+            e.revision,
+            Revision(expect),
+            "mid-join stream must be consecutive"
+        );
+        expect += 1;
+    }
+    assert_eq!(expect - 1, total, "mid-join watcher missed the tail");
+}

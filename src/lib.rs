@@ -65,6 +65,8 @@
 //! # }
 //! ```
 
+pub mod testkit;
+
 pub use knactor_apps as apps;
 pub use knactor_core as core;
 pub use knactor_dxg as dxg;

@@ -1,0 +1,166 @@
+//! Deterministic synchronization helpers for integration tests.
+//!
+//! Polling a store with `sleep` in a loop makes tests timing-sensitive:
+//! too short a sleep burns CPU, too long misses deadlines on loaded CI
+//! machines, and every poll is a race against the writer. These barriers
+//! synchronize on the store's **revision stream** instead — a watch from
+//! `Revision::ZERO` replays committed history and then follows live
+//! commits, so the condition is observed the moment its commit exists,
+//! with no sampling gap. The only timing left is the outer deadline, and
+//! that exists purely to fail fast when the condition never comes.
+
+use knactor_logstore::LogRecord;
+use knactor_net::ExchangeApi;
+use knactor_types::{Error, ObjectKey, Result, Revision, StoreId, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Wait until any object in `store` satisfies `pred`, returning the
+/// matching key and value. Observes every committed state (replayed
+/// history first, then live events), so a condition that held at *any*
+/// commit is found even if later commits changed the value again.
+pub async fn await_store_state(
+    api: &Arc<dyn ExchangeApi>,
+    store: impl Into<StoreId>,
+    limit: Duration,
+    pred: impl Fn(&ObjectKey, &Value) -> bool,
+) -> Result<(ObjectKey, Arc<Value>)> {
+    let store = store.into();
+    let mut rx = api.watch(store.clone(), Revision::ZERO).await?;
+    let found = tokio::time::timeout(limit, async move {
+        while let Some(event) = rx.recv().await {
+            if pred(&event.key, &event.value) {
+                return Some((event.key, event.value));
+            }
+        }
+        None
+    })
+    .await
+    .map_err(|_| Error::Timeout(format!("condition not reached in {store} within {limit:?}")))?;
+    found.ok_or_else(|| Error::Transport(format!("watch on {store} closed before condition")))
+}
+
+/// Wait until `key` in `store` satisfies `pred` (see
+/// [`await_store_state`]).
+pub async fn await_object_state(
+    api: &Arc<dyn ExchangeApi>,
+    store: impl Into<StoreId>,
+    key: impl Into<ObjectKey>,
+    limit: Duration,
+    pred: impl Fn(&Value) -> bool,
+) -> Result<Arc<Value>> {
+    let key = key.into();
+    let (_, value) = await_store_state(api, store, limit, |k, v| *k == key && pred(v)).await?;
+    Ok(value)
+}
+
+/// Wait until `store`'s log holds at least `count` records, returning the
+/// first `count` in sequence order. Tails from the beginning, so records
+/// appended before the call are counted too.
+pub async fn await_log_records(
+    api: &Arc<dyn ExchangeApi>,
+    store: impl Into<StoreId>,
+    count: usize,
+    limit: Duration,
+) -> Result<Vec<LogRecord>> {
+    let store = store.into();
+    let mut rx = api.log_tail(store.clone(), 0).await?;
+    let records = tokio::time::timeout(limit, async move {
+        let mut records = Vec::with_capacity(count);
+        while records.len() < count {
+            match rx.recv().await {
+                Some(record) => records.push(record),
+                None => break,
+            }
+        }
+        records
+    })
+    .await
+    .map_err(|_| {
+        Error::Timeout(format!(
+            "log {store} did not reach {count} records within {limit:?}"
+        ))
+    })?;
+    if records.len() < count {
+        return Err(Error::Transport(format!(
+            "tail on {store} closed after {} of {count} records",
+            records.len()
+        )));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knactor_net::loopback::in_process;
+    use knactor_net::proto::ProfileSpec;
+    use knactor_rbac::Subject;
+    use serde_json::json;
+
+    #[tokio::test]
+    async fn object_barrier_sees_past_and_future_commits() {
+        let (_o, _l, client) = in_process(Subject::operator("testkit"));
+        let api: Arc<dyn ExchangeApi> = Arc::new(client);
+        api.create_store("t/state".into(), ProfileSpec::Instant)
+            .await
+            .unwrap();
+        // Condition already committed before the barrier starts.
+        api.create("t/state".into(), "k".into(), json!({"n": 1}))
+            .await
+            .unwrap();
+        let v = await_object_state(&api, "t/state", "k", Duration::from_secs(5), |v| {
+            v["n"] == json!(1)
+        })
+        .await
+        .unwrap();
+        assert_eq!(v["n"], json!(1));
+
+        // Condition committed after the barrier starts.
+        let api2 = Arc::clone(&api);
+        let waiter = tokio::spawn(async move {
+            await_object_state(&api2, "t/state", "k", Duration::from_secs(5), |v| {
+                v["n"] == json!(2)
+            })
+            .await
+        });
+        api.patch("t/state".into(), "k".into(), json!({"n": 2}), false)
+            .await
+            .unwrap();
+        assert!(waiter.await.unwrap().is_ok());
+    }
+
+    #[tokio::test]
+    async fn object_barrier_times_out() {
+        let (_o, _l, client) = in_process(Subject::operator("testkit"));
+        let api: Arc<dyn ExchangeApi> = Arc::new(client);
+        api.create_store("t/state".into(), ProfileSpec::Instant)
+            .await
+            .unwrap();
+        let err = await_object_state(&api, "t/state", "nope", Duration::from_millis(50), |_| true)
+            .await
+            .unwrap_err();
+        assert!(matches!(err, Error::Timeout(_)), "{err:?}");
+    }
+
+    #[tokio::test]
+    async fn log_barrier_counts_past_and_future_records() {
+        let (_o, _l, client) = in_process(Subject::operator("testkit"));
+        let api: Arc<dyn ExchangeApi> = Arc::new(client);
+        api.log_create_store("t/log".into()).await.unwrap();
+        api.log_append("t/log".into(), json!({"i": 0}))
+            .await
+            .unwrap();
+        let api2 = Arc::clone(&api);
+        let waiter = tokio::spawn(async move {
+            await_log_records(&api2, "t/log", 2, Duration::from_secs(5)).await
+        });
+        api.log_append("t/log".into(), json!({"i": 1}))
+            .await
+            .unwrap();
+        let records = waiter.await.unwrap().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].fields, json!({"i": 0}));
+        assert_eq!(records[1].fields, json!({"i": 1}));
+    }
+}

@@ -64,17 +64,13 @@ async fn smart_home_over_tcp_exchange() {
         .await
         .unwrap();
 
-    // Telemetry crossed the wire too.
-    let deadline = tokio::time::Instant::now() + Duration::from_secs(10);
-    loop {
-        let recs = api.log_read("house/telemetry".into(), 0).await.unwrap();
-        if recs.len() >= 2 {
-            assert_eq!(recs[0].fields, json!({"motion": true}));
-            break;
-        }
-        assert!(tokio::time::Instant::now() < deadline);
-        tokio::time::sleep(Duration::from_millis(10)).await;
-    }
+    // Telemetry crossed the wire too: barrier on the log's own record
+    // stream instead of polling reads on a timer.
+    let recs =
+        knactor::testkit::await_log_records(&api, "house/telemetry", 2, Duration::from_secs(10))
+            .await
+            .unwrap();
+    assert_eq!(recs[0].fields, json!({"motion": true}));
 
     app.shutdown().await;
     server.shutdown().await;

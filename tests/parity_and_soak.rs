@@ -81,26 +81,22 @@ async fn smarthome_parity_across_paradigms() {
         .await
         .unwrap();
 
-    // Same brightness, same energy model.
+    // Same brightness, same energy model. Barrier on the house store's
+    // revision stream: the motion-triggered activation must accrue at
+    // least one lamp activation's worth of energy. (The knactor lamp may
+    // report the initial brightness=0 reading first — energy exists but
+    // is still zero — so the predicate waits for the accrued value, not
+    // mere presence.)
     let pubsub_brightness = pubsub.state.lock().lamp_brightness;
     assert_eq!(pubsub_brightness, app.lamp_brightness().await.unwrap());
     let expected_kwh = lamp_kwh(8.0);
-    let deadline = tokio::time::Instant::now() + Duration::from_secs(5);
-    loop {
-        // The knactor lamp may report the initial brightness=0 reading
-        // first, in which case energy exists but is still zero — keep
-        // waiting for the motion-triggered activation to accrue.
-        if let Some(e) = app.house_energy().await.unwrap() {
-            if e >= expected_kwh - 1e-9 {
-                break;
-            }
-        }
-        assert!(
-            tokio::time::Instant::now() < deadline,
-            "knactor energy never reached {expected_kwh}"
-        );
-        tokio::time::sleep(Duration::from_millis(5)).await;
-    }
+    knactor::testkit::await_store_state(&api, "house/config", Duration::from_secs(5), |_, v| {
+        v.get("energy")
+            .and_then(serde_json::Value::as_f64)
+            .is_some_and(|e| e >= expected_kwh - 1e-9)
+    })
+    .await
+    .expect("knactor energy never reached the expected kWh");
     assert!(pubsub.state.lock().house_energy_total >= expected_kwh);
 
     pubsub.shutdown().await;
@@ -156,32 +152,29 @@ async fn reconfigure_under_load_loses_no_orders() {
     }
     producer.await.unwrap();
 
-    // Every order completes (trackingID present) within the deadline.
-    let deadline = tokio::time::Instant::now() + Duration::from_secs(30);
+    // Every order completes (trackingID present): barrier on each
+    // order's commit in the checkout store's revision stream instead of
+    // polling reads. The watch replays history, so orders that finished
+    // before we look are found just as reliably as in-flight ones.
     for i in 0..30 {
         let key = format!("soak-{i}");
-        loop {
-            let obj = api
-                .get("checkout/state".into(), key.as_str().into())
-                .await
-                .unwrap();
-            if !obj.value["order"]["trackingID"].is_null() {
-                // Whatever policy version handled it, the method is one
-                // of the two valid outcomes.
-                let shipment = api
-                    .get("shipping/state".into(), key.as_str().into())
-                    .await
-                    .unwrap();
-                let m = shipment.value["method"].clone();
-                assert!(m == json!("air") || m == json!("ground"), "{key}: {m}");
-                break;
-            }
-            assert!(
-                tokio::time::Instant::now() < deadline,
-                "order {key} never completed after reconfigurations"
-            );
-            tokio::time::sleep(Duration::from_millis(10)).await;
-        }
+        knactor::testkit::await_object_state(
+            &api,
+            "checkout/state",
+            key.as_str(),
+            Duration::from_secs(30),
+            |v| !v["order"]["trackingID"].is_null(),
+        )
+        .await
+        .unwrap_or_else(|e| panic!("order {key} never completed after reconfigurations: {e}"));
+        // Whatever policy version handled it, the method is one of the
+        // two valid outcomes.
+        let shipment = api
+            .get("shipping/state".into(), key.as_str().into())
+            .await
+            .unwrap();
+        let m = shipment.value["method"].clone();
+        assert!(m == json!("air") || m == json!("ground"), "{key}: {m}");
     }
     Arc::try_unwrap(app)
         .ok()
