@@ -16,8 +16,8 @@
 
 use crate::retail::carrier_quote;
 use knactor_core::{
-    Cast, CastBinding, CastConfig, CastController, CastMode, FnReconciler, Knactor, ReconcilerCtx,
-    Runtime, TraceCollector,
+    ApplyReport, CastBinding, CastMode, Composer, Composition, FnReconciler, Knactor,
+    ReconcilerCtx, Runtime, TraceCollector,
 };
 use knactor_dxg::Dxg;
 use knactor_net::proto::ProfileSpec;
@@ -54,9 +54,10 @@ impl Default for RetailOptions {
 /// A deployed Knactor retail app.
 pub struct RetailApp {
     pub runtime: Runtime,
-    pub cast: CastController,
+    pub composer: Composer,
     pub traces: TraceCollector,
     api: Arc<dyn ExchangeApi>,
+    mode: CastMode,
 }
 
 /// The Fig. 6 DXG, loaded from the shipped asset.
@@ -72,6 +73,11 @@ pub fn retail_bindings() -> BTreeMap<String, CastBinding> {
     bindings.insert("S".to_string(), CastBinding::correlated("shipping/state"));
     bindings.insert("P".to_string(), CastBinding::correlated("payment/state"));
     bindings
+}
+
+/// The declarative composition the app applies: one DXG with bindings.
+pub fn retail_composition(dxg: Dxg, mode: CastMode) -> Composition {
+    Composition::new().with_cast(dxg, retail_bindings(), mode)
 }
 
 /// Build the eleven knactors (reconcilers included where the shipment
@@ -254,22 +260,23 @@ pub async fn deploy(api: Arc<dyn ExchangeApi>, opts: RetailOptions) -> Result<Re
             .await?;
     }
 
+    // The shipment flow is declared, not wired: the composer slices the
+    // DXG into per-target edges and runs one Cast per edge. Evolving the
+    // composition later is a second `apply` — see
+    // [`RetailApp::apply_dxg`].
     let traces = TraceCollector::new();
-    let cast = Cast::new(Arc::clone(&api))
-        .with_traces(traces.clone())
-        .spawn(CastConfig {
-            name: "retail".to_string(),
-            dxg: retail_dxg()?,
-            bindings: retail_bindings(),
-            mode: opts.mode.clone(),
-        })
+    let composer = Composer::new("retail", Arc::clone(&api)).with_traces(traces.clone());
+    composer.supervise(&runtime);
+    composer
+        .apply(retail_composition(retail_dxg()?, opts.mode.clone()))
         .await?;
 
     Ok(RetailApp {
         runtime,
-        cast,
+        composer,
         traces,
         api,
+        mode: opts.mode,
     })
 }
 
@@ -309,9 +316,24 @@ impl RetailApp {
         &self.api
     }
 
+    /// Live-reconfigure the shipment flow to a new DXG (tasks T1–T3 of
+    /// Table 1): one `Composer::apply`, disturbing only the edges the
+    /// spec change touches.
+    pub async fn apply_dxg(&self, dxg: Dxg) -> Result<ApplyReport> {
+        self.composer
+            .apply(retail_composition(dxg, self.mode.clone()))
+            .await
+    }
+
+    /// Like [`RetailApp::apply_dxg`] but with explicit bindings (e.g. a
+    /// composition extended with aliases beyond C/S/P).
+    pub async fn apply_composition(&self, composition: Composition) -> Result<ApplyReport> {
+        self.composer.apply(composition).await
+    }
+
     /// Graceful teardown.
     pub async fn shutdown(self) {
-        self.cast.shutdown().await;
+        self.composer.shutdown_all().await;
         self.runtime.shutdown().await;
     }
 }

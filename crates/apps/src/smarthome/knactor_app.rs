@@ -21,8 +21,8 @@
 
 use crate::smarthome::lamp_kwh;
 use knactor_core::{
-    Cast, CastBinding, CastConfig, CastController, CastMode, FnReconciler, Knactor, ReconcilerCtx,
-    Runtime, Sync, SyncConfig, SyncDest, SyncMode,
+    ApplyReport, CastBinding, CastMode, Composer, Composition, FnReconciler, Knactor,
+    ReconcilerCtx, Runtime, SyncConfig, SyncDest, SyncMode,
 };
 use knactor_dxg::Dxg;
 use knactor_net::proto::{OpSpec, ProfileSpec, QuerySpec};
@@ -41,8 +41,7 @@ pub const STATE_KEY: &str = "state";
 /// A deployed Knactor smart home.
 pub struct SmartHomeApp {
     pub runtime: Runtime,
-    pub cast: CastController,
-    sync_controllers: Vec<knactor_core::sync::SyncController>,
+    pub composer: Composer,
     api: Arc<dyn ExchangeApi>,
 }
 
@@ -183,18 +182,28 @@ pub async fn deploy(api: Arc<dyn ExchangeApi>) -> Result<SmartHomeApp> {
         .await?;
     }
 
-    let cast = Cast::new(Arc::clone(&api))
-        .spawn(CastConfig {
-            name: "home".to_string(),
-            dxg: smarthome_dxg()?,
-            bindings: bindings(),
-            mode: CastMode::Direct,
-        })
+    // The whole home — Cast over the three config stores plus both Sync
+    // pipelines — is one declarative composition; one apply runs it all.
+    let composer = Composer::new("home", Arc::clone(&api));
+    composer.supervise(&runtime);
+    composer
+        .apply(smarthome_composition(smarthome_dxg()?))
         .await?;
 
-    // Sync 1 (stream): motion telemetry → house telemetry, renamed.
-    let rename = Sync::new(Arc::clone(&api))
-        .spawn(SyncConfig {
+    Ok(SmartHomeApp {
+        runtime,
+        composer,
+        api,
+    })
+}
+
+/// The full declarative composition of Fig. 4: the cast DXG plus the
+/// stream-rename and snapshot-rollup Sync pipelines.
+pub fn smarthome_composition(dxg: Dxg) -> Composition {
+    Composition::new()
+        .with_cast(dxg, bindings(), CastMode::Direct)
+        // Sync 1 (stream): motion telemetry → house telemetry, renamed.
+        .with_sync(SyncConfig {
             name: "motion-to-house".to_string(),
             source: StoreId::new("motion/telemetry"),
             dest: SyncDest::Log(StoreId::new("house/telemetry")),
@@ -206,11 +215,8 @@ pub async fn deploy(api: Arc<dyn ExchangeApi>) -> Result<SmartHomeApp> {
             },
             mode: SyncMode::Stream,
         })
-        .await?;
-
-    // Sync 2 (snapshot): lamp energy log → house `energy` rollup.
-    let energy = Sync::new(Arc::clone(&api))
-        .spawn(SyncConfig {
+        // Sync 2 (snapshot): lamp energy log → house `energy` rollup.
+        .with_sync(SyncConfig {
             name: "energy-rollup".to_string(),
             source: StoreId::new("lamp/telemetry"),
             dest: SyncDest::ObjectField {
@@ -228,14 +234,6 @@ pub async fn deploy(api: Arc<dyn ExchangeApi>) -> Result<SmartHomeApp> {
             },
             mode: SyncMode::Snapshot,
         })
-        .await?;
-
-    Ok(SmartHomeApp {
-        runtime,
-        cast,
-        sync_controllers: vec![rename, energy],
-        api,
-    })
 }
 
 impl SmartHomeApp {
@@ -296,11 +294,14 @@ impl SmartHomeApp {
         &self.api
     }
 
+    /// Live-reconfigure the home (e.g. a new automation DXG): one
+    /// `Composer::apply`, disturbing only the edges that changed.
+    pub async fn apply_composition(&self, composition: Composition) -> Result<ApplyReport> {
+        self.composer.apply(composition).await
+    }
+
     pub async fn shutdown(self) {
-        self.cast.shutdown().await;
-        for s in self.sync_controllers {
-            s.shutdown().await;
-        }
+        self.composer.shutdown_all().await;
         self.runtime.shutdown().await;
     }
 }

@@ -6,6 +6,7 @@
 //! knactorctl dxg validate <file>          parse a DXG spec and run static analysis
 //! knactorctl dxg plan <file>              show the consolidated execution plan
 //! knactorctl dxg udf <file>               export the DXG as pushdown UDF assignments
+//! knactorctl diff <old> <new>             diff two DXGs + composer dry-run of edge actions
 //! knactorctl codegen <schema-file>        generate typed Rust accessors
 //! ```
 
@@ -24,6 +25,7 @@ fn main() -> ExitCode {
         ["dxg", "plan", file] => dxg_plan(file),
         ["dxg", "udf", file] => dxg_udf(file),
         ["dxg", "diff", old, new] => dxg_diff(old, new),
+        ["diff", old, new] => composer_diff(old, new),
         ["codegen", file] => codegen_cmd(file),
         ["help"] | ["--help"] | ["-h"] | [] => {
             print!("{}", usage());
@@ -46,6 +48,7 @@ fn usage() -> String {
      \u{20}   knactorctl dxg plan <file>\n\
      \u{20}   knactorctl dxg udf <file>\n\
      \u{20}   knactorctl dxg diff <old> <new>\n\
+     \u{20}   knactorctl diff <old> <new>\n\
      \u{20}   knactorctl codegen <schema-file>\n"
         .to_string()
 }
@@ -200,6 +203,33 @@ fn dxg_diff(old: &str, new: &str) -> ExitCode {
     for c in &changes {
         println!("  {c}");
     }
+    ExitCode::SUCCESS
+}
+
+fn composer_diff(old: &str, new: &str) -> ExitCode {
+    let (old, new) = match (load_dxg(old), load_dxg(new)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let changes = knactor_dxg::diff(&old, &new);
+    if changes.is_empty() {
+        println!("specs are equivalent (no exchange-level changes)");
+    } else {
+        println!("{} exchange-level change(s):", changes.len());
+        for c in &changes {
+            println!("  {c}");
+        }
+    }
+    // Dry-run: what a live Composer::apply of the new spec would do to a
+    // system currently running the old one, edge by edge.
+    println!("\ncomposer dry-run (per-edge actions):");
+    let mut counts = std::collections::BTreeMap::new();
+    for (alias, action) in knactor_core::cast_edge_actions(&old, &new) {
+        println!("  cast:{alias:<12} {action}");
+        *counts.entry(action.to_string()).or_insert(0u32) += 1;
+    }
+    let summary: Vec<String> = counts.iter().map(|(a, n)| format!("{n} {a}")).collect();
+    println!("  => {}", summary.join(", "));
     ExitCode::SUCCESS
 }
 

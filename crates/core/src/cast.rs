@@ -89,7 +89,7 @@ pub struct CastConfig {
 
 impl CastConfig {
     /// Validate: plan builds, every alias is bound.
-    fn validate(&self) -> Result<Plan> {
+    pub(crate) fn validate(&self) -> Result<Plan> {
         let plan = Plan::build(&self.dxg)?;
         for alias in self.dxg.inputs.keys() {
             if !self.bindings.contains_key(alias) {
@@ -112,6 +112,7 @@ pub struct Cast {
 
 enum Command {
     Reconfigure(CastConfig, oneshot::Sender<Result<()>>),
+    Drain(oneshot::Sender<()>),
     Shutdown(oneshot::Sender<()>),
 }
 
@@ -135,6 +136,18 @@ impl CastController {
         rx.await.map_err(|_| Error::ShuttingDown)?
     }
 
+    /// Process every event already delivered by the watches, then return.
+    /// A barrier, not a stop: the integrator keeps running afterwards.
+    /// `Composer::apply` drains an edge before stopping it so queued
+    /// activations are not lost in the swap.
+    pub async fn drain(&self) -> Result<()> {
+        let (tx, rx) = oneshot::channel();
+        self.cmd_tx
+            .send(Command::Drain(tx))
+            .map_err(|_| Error::ShuttingDown)?;
+        rx.await.map_err(|_| Error::ShuttingDown)
+    }
+
     /// Stop the integrator and wait for it to finish.
     pub async fn shutdown(self) {
         let (tx, rx) = oneshot::channel();
@@ -142,6 +155,11 @@ impl CastController {
             let _ = rx.await;
         }
         let _ = self.task.await;
+    }
+
+    /// Whether the run loop is still alive and accepting commands.
+    pub fn is_running(&self) -> bool {
+        !self.task.is_finished() && !self.cmd_tx.is_closed()
     }
 
     /// Number of activations processed (diagnostics, test sync).
@@ -323,6 +341,8 @@ async fn run_loop(
                                     }
                                 }
                             }
+                            // No watches running → nothing queued.
+                            Some(Command::Drain(ack)) => { let _ = ack.send(()); }
                             Some(Command::Shutdown(ack)) => {
                                 let _ = ack.send(());
                                 return;
@@ -354,6 +374,21 @@ async fn run_loop(
                                     let _ = ack.send(Err(e));
                                 }
                             }
+                        }
+                        Some(Command::Drain(ack)) => {
+                            // Barrier: run every activation the watches
+                            // have already queued before acking.
+                            while let Ok((_, event)) = merged_rx.try_recv() {
+                                if event.kind == EventKind::Deleted {
+                                    continue;
+                                }
+                                let _ = activation(
+                                    &api, &fns, &traces, &config, &plan, &event.key,
+                                )
+                                .await;
+                                activations.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let _ = ack.send(());
                         }
                         Some(Command::Shutdown(ack)) => {
                             for t in &watch_tasks { t.abort(); }

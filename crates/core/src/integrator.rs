@@ -1,0 +1,182 @@
+//! One lifecycle for every integrator kind.
+//!
+//! The paper treats Cast (object exchange) and Sync (log exchange) as two
+//! instances of the same idea — a *composition task* running inside the
+//! data exchange. This module makes that literal: [`Integrator`] is the
+//! common lifecycle both controllers implement, and the unit
+//! [`crate::composer::Composer`] manages. The contract:
+//!
+//! * **reconfigure** swaps the configuration in place. The running task
+//!   is never restarted; resume state (a Sync's tail position, a Cast's
+//!   live watches) survives unless the new config changes the source.
+//! * **drain** is a barrier: every event already delivered to the
+//!   integrator is processed before it returns. It does not stop the
+//!   integrator. Drain-then-shutdown is the lossless stop sequence.
+//! * **shutdown** consumes the integrator and waits for its task to end.
+//! * **health**/**stats** are cheap, non-blocking observations.
+
+use crate::cast::{CastConfig, CastController};
+use crate::sync::{SyncConfig, SyncController};
+use knactor_net::BoxFuture;
+use knactor_types::{Error, Result};
+
+/// Configuration for any integrator kind — what [`Integrator::reconfigure`]
+/// accepts and what the composer stores per edge.
+#[derive(Debug, Clone)]
+pub enum IntegratorConfig {
+    Cast(CastConfig),
+    Sync(SyncConfig),
+}
+
+impl IntegratorConfig {
+    /// The integrator kind this config is for (`"cast"` / `"sync"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            IntegratorConfig::Cast(_) => "cast",
+            IntegratorConfig::Sync(_) => "sync",
+        }
+    }
+
+    /// The instance name inside the config.
+    pub fn name(&self) -> &str {
+        match self {
+            IntegratorConfig::Cast(c) => &c.name,
+            IntegratorConfig::Sync(c) => &c.name,
+        }
+    }
+
+    /// Validate without spawning (plan builds, aliases bound, query
+    /// compiles). The composer prevalidates every edge of a new
+    /// composition before touching any running one.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            IntegratorConfig::Cast(c) => c.validate().map(|_| ()),
+            IntegratorConfig::Sync(c) => c.validate(),
+        }
+    }
+}
+
+/// Liveness of a running integrator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Task alive and accepting commands.
+    Running,
+    /// Task finished or command channel closed.
+    Stopped,
+}
+
+/// Cheap observation of a running integrator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegratorStats {
+    /// `"cast"` or `"sync"`.
+    pub kind: &'static str,
+    /// Activations (Cast) or records processed (Sync).
+    pub processed: u64,
+    /// Highest source sequence processed — Sync only. Surviving a
+    /// reconfigure (same source) is the no-re-delivery guarantee the
+    /// composer's minimal-restart test asserts.
+    pub tail_position: Option<u64>,
+}
+
+/// The common lifecycle of a running integrator (see module docs).
+pub trait Integrator: Send {
+    fn kind(&self) -> &'static str;
+
+    /// Swap configuration in place; `Err` keeps the old config running.
+    /// Fails with a kind mismatch if handed the other variant.
+    fn reconfigure(&self, config: IntegratorConfig) -> BoxFuture<'_, Result<()>>;
+
+    /// Process everything already queued, then return (barrier).
+    fn drain(&self) -> BoxFuture<'_, Result<()>>;
+
+    /// Stop and wait for the task to finish.
+    fn shutdown(self: Box<Self>) -> BoxFuture<'static, ()>;
+
+    fn health(&self) -> Health;
+
+    fn stats(&self) -> IntegratorStats;
+}
+
+impl Integrator for CastController {
+    fn kind(&self) -> &'static str {
+        "cast"
+    }
+
+    fn reconfigure(&self, config: IntegratorConfig) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            match config {
+                IntegratorConfig::Cast(c) => CastController::reconfigure(self, c).await,
+                other => Err(Error::Internal(format!(
+                    "cast integrator handed a {} config",
+                    other.kind()
+                ))),
+            }
+        })
+    }
+
+    fn drain(&self) -> BoxFuture<'_, Result<()>> {
+        Box::pin(CastController::drain(self))
+    }
+
+    fn shutdown(self: Box<Self>) -> BoxFuture<'static, ()> {
+        Box::pin(CastController::shutdown(*self))
+    }
+
+    fn health(&self) -> Health {
+        if self.is_running() {
+            Health::Running
+        } else {
+            Health::Stopped
+        }
+    }
+
+    fn stats(&self) -> IntegratorStats {
+        IntegratorStats {
+            kind: "cast",
+            processed: self.activations(),
+            tail_position: None,
+        }
+    }
+}
+
+impl Integrator for SyncController {
+    fn kind(&self) -> &'static str {
+        "sync"
+    }
+
+    fn reconfigure(&self, config: IntegratorConfig) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            match config {
+                IntegratorConfig::Sync(c) => SyncController::reconfigure(self, c).await,
+                other => Err(Error::Internal(format!(
+                    "sync integrator handed a {} config",
+                    other.kind()
+                ))),
+            }
+        })
+    }
+
+    fn drain(&self) -> BoxFuture<'_, Result<()>> {
+        Box::pin(SyncController::drain(self))
+    }
+
+    fn shutdown(self: Box<Self>) -> BoxFuture<'static, ()> {
+        Box::pin(SyncController::shutdown(*self))
+    }
+
+    fn health(&self) -> Health {
+        if self.is_running() {
+            Health::Running
+        } else {
+            Health::Stopped
+        }
+    }
+
+    fn stats(&self) -> IntegratorStats {
+        IntegratorStats {
+            kind: "sync",
+            processed: self.processed(),
+            tail_position: Some(self.tail_position()),
+        }
+    }
+}

@@ -25,12 +25,23 @@
 //! touching, rebuilding, or redeploying any knactor. That operation *is*
 //! the paper's headline claim, and Table 1's harness measures it.
 //!
+//! The [`composer`] module lifts reconfiguration from one integrator to
+//! the whole composition: applications declare a [`composer::Composition`]
+//! and [`composer::Composer::apply`] diffs it against what is running,
+//! disturbing only the edges that actually changed. Both integrator kinds
+//! share one lifecycle — the [`integrator::Integrator`] trait
+//! (reconfigure / drain / shutdown / health / stats) — which is what the
+//! composer manages.
+//!
 //! ## Observability
 //!
 //! [`telemetry`] threads exchange-level traces (per-activation spans)
-//! through Cast and Sync so cross-service data flows stay visible.
+//! through Cast and Sync so cross-service data flows stay visible;
+//! [`telemetry::Counters`] counts composer lifecycle events.
 
 pub mod cast;
+pub mod composer;
+pub mod integrator;
 pub mod knactor;
 pub mod reconciler;
 pub mod runtime;
@@ -39,9 +50,13 @@ pub mod sync;
 pub mod telemetry;
 
 pub use cast::{Cast, CastBinding, CastConfig, CastController, CastMode, KeyBinding};
+pub use composer::{
+    cast_edge_actions, ApplyReport, CastSection, Composer, Composition, EdgeAction,
+};
+pub use integrator::{Health, Integrator, IntegratorConfig, IntegratorStats};
 pub use knactor::{Knactor, KnactorBuilder};
 pub use reconciler::{FnReconciler, Reconciler, ReconcilerCtx};
 pub use runtime::Runtime;
 pub use schema_file::{parse_schema, schema_to_yaml};
 pub use sync::{Sync, SyncConfig, SyncDest, SyncMode};
-pub use telemetry::{Span, TraceCollector};
+pub use telemetry::{Counters, Span, TraceCollector};

@@ -124,6 +124,39 @@ impl Runtime {
         self.tasks.lock().push((name.into(), task));
     }
 
+    /// Replace a named task: abort the old one (if any) and track the new
+    /// one under the same name. This is how the composer swaps an edge's
+    /// supervision entry without leaking the stale handle.
+    pub fn replace(&self, name: impl Into<String>, task: JoinHandle<()>) {
+        let name = name.into();
+        let mut tasks = self.tasks.lock();
+        tasks.retain(|(n, t)| {
+            if *n == name {
+                t.abort();
+                false
+            } else {
+                true
+            }
+        });
+        tasks.push((name, task));
+    }
+
+    /// Stop tracking (and abort) a named task. Returns whether any entry
+    /// matched.
+    pub fn remove(&self, name: &str) -> bool {
+        let mut tasks = self.tasks.lock();
+        let before = tasks.len();
+        tasks.retain(|(n, t)| {
+            if n == name {
+                t.abort();
+                false
+            } else {
+                true
+            }
+        });
+        tasks.len() != before
+    }
+
     /// A shutdown flag receiver for custom components.
     pub fn shutdown_signal(&self) -> watch::Receiver<bool> {
         self.shutdown_tx.subscribe()
@@ -139,10 +172,21 @@ impl Runtime {
 
     /// Graceful shutdown: raise the flag, await every task.
     pub async fn shutdown(self) {
+        self.shutdown_with_grace(std::time::Duration::from_secs(10))
+            .await;
+    }
+
+    /// Drain-aware shutdown: raise the flag, give every task `grace` to
+    /// observe it and finish (a supervised composer uses this window to
+    /// drain its edges), then abort stragglers so shutdown always
+    /// terminates.
+    pub async fn shutdown_with_grace(self, grace: std::time::Duration) {
         let _ = self.shutdown_tx.send(true);
         let tasks: Vec<_> = self.tasks.into_inner();
-        for (_name, task) in tasks {
-            let _ = task.await;
+        for (_name, mut task) in tasks {
+            if tokio::time::timeout(grace, &mut task).await.is_err() {
+                task.abort();
+            }
         }
     }
 }

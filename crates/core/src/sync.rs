@@ -50,7 +50,7 @@ pub enum SyncMode {
 }
 
 /// Configuration of a Sync instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyncConfig {
     pub name: String,
     pub source: StoreId,
@@ -60,7 +60,7 @@ pub struct SyncConfig {
 }
 
 impl SyncConfig {
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         // Compile once to surface expression errors before running.
         self.query.compile()?;
         if let SyncDest::Log(dest) = &self.dest {
@@ -77,6 +77,7 @@ impl SyncConfig {
 
 enum Command {
     Reconfigure(SyncConfig, oneshot::Sender<Result<()>>),
+    Drain(oneshot::Sender<()>),
     Shutdown(oneshot::Sender<()>),
 }
 
@@ -85,6 +86,7 @@ pub struct SyncController {
     cmd_tx: mpsc::UnboundedSender<Command>,
     task: JoinHandle<()>,
     processed: Arc<AtomicU64>,
+    tail_pos: Arc<AtomicU64>,
 }
 
 impl SyncController {
@@ -94,6 +96,18 @@ impl SyncController {
             .send(Command::Reconfigure(config, tx))
             .map_err(|_| Error::ShuttingDown)?;
         rx.await.map_err(|_| Error::ShuttingDown)?
+    }
+
+    /// Finish the work already queued: every record the tail has
+    /// delivered by the time the drain is handled is processed before
+    /// the call returns. Records appended afterwards still flow; drain
+    /// is a barrier, not a stop.
+    pub async fn drain(&self) -> Result<()> {
+        let (tx, rx) = oneshot::channel();
+        self.cmd_tx
+            .send(Command::Drain(tx))
+            .map_err(|_| Error::ShuttingDown)?;
+        rx.await.map_err(|_| Error::ShuttingDown)
     }
 
     pub async fn shutdown(self) {
@@ -107,6 +121,18 @@ impl SyncController {
     /// Records processed so far (test synchronization).
     pub fn processed(&self) -> u64 {
         self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Highest source sequence processed. Survives reconfiguration (the
+    /// tail resumes here, so nothing is re-delivered) and is the value
+    /// composer tests assert to prove an edge was not disturbed.
+    pub fn tail_position(&self) -> u64 {
+        self.tail_pos.load(Ordering::Relaxed)
+    }
+
+    /// True while the integrator task is alive and accepting commands.
+    pub fn is_running(&self) -> bool {
+        !self.task.is_finished() && !self.cmd_tx.is_closed()
     }
 }
 
@@ -151,12 +177,20 @@ impl Sync {
         config.validate()?;
         let (cmd_tx, cmd_rx) = mpsc::unbounded_channel();
         let processed = Arc::new(AtomicU64::new(0));
-        let counter = Arc::clone(&processed);
-        let task = tokio::spawn(run_loop(self.api, self.traces, config, cmd_rx, counter));
+        let tail_pos = Arc::new(AtomicU64::new(0));
+        let task = tokio::spawn(run_loop(
+            self.api,
+            self.traces,
+            config,
+            cmd_rx,
+            Arc::clone(&processed),
+            Arc::clone(&tail_pos),
+        ));
         Ok(SyncController {
             cmd_tx,
             task,
             processed,
+            tail_pos,
         })
     }
 }
@@ -167,6 +201,7 @@ async fn run_loop(
     mut config: SyncConfig,
     mut cmd_rx: mpsc::UnboundedReceiver<Command>,
     processed: Arc<AtomicU64>,
+    tail_pos: Arc<AtomicU64>,
 ) {
     // Resume point: highest source sequence already processed. Survives
     // re-tailing (reconfigure, transport loss) so records are not
@@ -177,6 +212,7 @@ async fn run_loop(
         if config.source != tail_source {
             tail_source = config.source.clone();
             last_seq = 0;
+            tail_pos.store(0, Ordering::Relaxed);
         }
         let mut tail = match api.log_tail(config.source.clone(), last_seq).await {
             Ok(t) => t,
@@ -195,6 +231,8 @@ async fn run_loop(
                                     Err(e) => { let _ = ack.send(Err(e)); }
                                 }
                             }
+                            // Nothing tailed → nothing queued to finish.
+                            Some(Command::Drain(ack)) => { let _ = ack.send(()); }
                             Some(Command::Shutdown(ack)) => {
                                 let _ = ack.send(());
                                 return;
@@ -221,6 +259,18 @@ async fn run_loop(
                                 Err(e) => { let _ = ack.send(Err(e)); }
                             }
                         }
+                        Some(Command::Drain(ack)) => {
+                            // Barrier: everything the tail already
+                            // delivered is processed before the ack.
+                            while let Ok(record) = tail.try_recv() {
+                                process_record(
+                                    &api, &traces, &config, &mut last_seq,
+                                    &processed, &tail_pos, record,
+                                )
+                                .await;
+                            }
+                            let _ = ack.send(());
+                        }
                         Some(Command::Shutdown(ack)) => {
                             let _ = ack.send(());
                             return;
@@ -230,39 +280,59 @@ async fn run_loop(
                 }
                 record = tail.recv() => {
                     let Some(record) = record else { return };
-                    if record.seq <= last_seq {
-                        // Replayed by a resumed tail; already processed.
-                        continue;
-                    }
-                    last_seq = record.seq;
-                    let trace_id = format!("{}#{}", config.source, record.seq);
-                    let component = format!("sync:{}", config.name);
-                    let start = Instant::now();
-                    let result = match config.mode {
-                        SyncMode::Stream => {
-                            match config.query.compile() {
-                                Ok(q) => match q.run(std::iter::once(record.fields.clone())) {
-                                    Ok(rows) => deliver(&*api, &config, rows).await,
-                                    Err(e) => Err(e),
-                                },
-                                Err(e) => Err(e),
-                            }
-                        }
-                        SyncMode::Snapshot => {
-                            match api.log_query(config.source.clone(), config.query.clone()).await {
-                                Ok(rows) => deliver(&*api, &config, rows).await,
-                                Err(e) => Err(e),
-                            }
-                        }
-                    };
-                    traces.record(&trace_id, &component, "process-record", start.elapsed());
-                    // Errors are per-record; keep tailing.
-                    let _ = result;
-                    processed.fetch_add(1, Ordering::Relaxed);
+                    process_record(
+                        &api, &traces, &config, &mut last_seq,
+                        &processed, &tail_pos, record,
+                    )
+                    .await;
                 }
             }
         }
     }
+}
+
+/// Run one tailed record through the configured pipeline (dedup against
+/// the resume point, query, deliver, trace, count).
+async fn process_record(
+    api: &Arc<dyn ExchangeApi>,
+    traces: &TraceCollector,
+    config: &SyncConfig,
+    last_seq: &mut u64,
+    processed: &AtomicU64,
+    tail_pos: &AtomicU64,
+    record: knactor_logstore::LogRecord,
+) {
+    if record.seq <= *last_seq {
+        // Replayed by a resumed tail; already processed.
+        return;
+    }
+    *last_seq = record.seq;
+    tail_pos.store(record.seq, Ordering::Relaxed);
+    let trace_id = format!("{}#{}", config.source, record.seq);
+    let component = format!("sync:{}", config.name);
+    let start = Instant::now();
+    let result = match config.mode {
+        SyncMode::Stream => match config.query.compile() {
+            Ok(q) => match q.run(std::iter::once(record.fields.clone())) {
+                Ok(rows) => deliver(&**api, config, rows).await,
+                Err(e) => Err(e),
+            },
+            Err(e) => Err(e),
+        },
+        SyncMode::Snapshot => {
+            match api
+                .log_query(config.source.clone(), config.query.clone())
+                .await
+            {
+                Ok(rows) => deliver(&**api, config, rows).await,
+                Err(e) => Err(e),
+            }
+        }
+    };
+    traces.record(&trace_id, &component, "process-record", start.elapsed());
+    // Errors are per-record; keep tailing.
+    let _ = result;
+    processed.fetch_add(1, Ordering::Relaxed);
 }
 
 async fn deliver(api: &dyn ExchangeApi, config: &SyncConfig, rows: Vec<Value>) -> Result<()> {

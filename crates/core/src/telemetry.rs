@@ -104,9 +104,74 @@ impl TraceCollector {
     }
 }
 
+/// Named monotone counters (composer apply outcomes, per-edge restart
+/// counts, …). Spans time *stages*; counters count *events* — the
+/// composer records both: an `apply` span for latency and counters like
+/// `composer.edge.cast:S.restarts` for lifecycle accounting.
+#[derive(Clone, Default)]
+pub struct Counters {
+    inner: Arc<Mutex<std::collections::BTreeMap<String, u64>>>,
+}
+
+impl std::fmt::Debug for Counters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counters({} names)", self.inner.lock().len())
+    }
+}
+
+impl Counters {
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Add `by` to `name`, returning the new value.
+    pub fn add(&self, name: &str, by: u64) -> u64 {
+        let mut inner = self.inner.lock();
+        let slot = inner.entry(name.to_string()).or_insert(0);
+        *slot += by;
+        *slot
+    }
+
+    /// Increment `name` by one, returning the new value.
+    pub fn incr(&self, name: &str) -> u64 {
+        self.add(name, 1)
+    }
+
+    /// Current value of `name` (0 when never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = Counters::new();
+        assert_eq!(c.get("composer.apply.ok"), 0);
+        assert_eq!(c.incr("composer.apply.ok"), 1);
+        assert_eq!(c.add("composer.apply.ok", 2), 3);
+        c.incr("composer.apply.rolled_back");
+        let snap = c.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                ("composer.apply.ok".to_string(), 3),
+                ("composer.apply.rolled_back".to_string(), 1),
+            ]
+        );
+    }
 
     #[test]
     fn record_and_query() {

@@ -9,7 +9,7 @@
 //! (§5, *Ecosystem*) would attach to an upgrade.
 
 use crate::spec::Dxg;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One assignment-level change.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +30,49 @@ pub enum Change {
         old: Option<String>,
         new: Option<String>,
     },
+}
+
+impl Change {
+    /// The target alias this change writes through (`S.method` → `S`).
+    /// `None` for input-binding changes, which have no single target —
+    /// use [`affected_targets`] to expand those.
+    pub fn target_alias(&self) -> Option<&str> {
+        match self {
+            Change::Added { target, .. }
+            | Change::Removed { target, .. }
+            | Change::Rewritten { target, .. } => Some(target.split('.').next().unwrap_or(target)),
+            Change::InputChanged { .. } => None,
+        }
+    }
+}
+
+/// The set of target aliases (edges, in the [`crate::Dxg::edge`] sense)
+/// a change list disturbs. Assignment-level changes map to the alias
+/// they write; an input change touches every edge that reads *or*
+/// writes the changed alias in either spec. `Composer::apply` restarts
+/// exactly this set and nothing else.
+pub fn affected_targets(old: &Dxg, new: &Dxg, changes: &[Change]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for change in changes {
+        match change.target_alias() {
+            Some(alias) => {
+                out.insert(alias.to_string());
+            }
+            None => {
+                let Change::InputChanged { alias, .. } = change else {
+                    continue;
+                };
+                for dxg in [old, new] {
+                    for a in &dxg.assignments {
+                        if a.target_alias == *alias || a.expr.free_roots().contains(alias) {
+                            out.insert(a.target_alias.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
 }
 
 impl std::fmt::Display for Change {
@@ -172,6 +215,85 @@ mod tests {
             expr: "3.0".into()
         }));
         assert_eq!(changes.len(), 2);
+    }
+
+    #[test]
+    fn edge_retarget_is_remove_plus_add() {
+        // The same field moves to a new destination alias: the old edge
+        // stops being filled, the new one starts — never a rewrite.
+        let old = Dxg::parse(
+            "Input:\n  A: g/v/s/a\n  B: g/v/s/b\n  C: g/v/s/c\nDXG:\n  B:\n    x: A.v\n",
+        )
+        .unwrap();
+        let new = Dxg::parse(
+            "Input:\n  A: g/v/s/a\n  B: g/v/s/b\n  C: g/v/s/c\nDXG:\n  C:\n    x: A.v\n",
+        )
+        .unwrap();
+        let changes = diff(&old, &new);
+        assert_eq!(changes.len(), 2);
+        assert!(changes
+            .iter()
+            .any(|c| matches!(c, Change::Removed { target, .. } if target == "B.x")));
+        assert!(changes
+            .iter()
+            .any(|c| matches!(c, Change::Added { target, .. } if target == "C.x")));
+        // Exactly the two destinations' edges are disturbed; A's is not.
+        let affected = affected_targets(&old, &new, &changes);
+        assert_eq!(
+            affected.into_iter().collect::<Vec<_>>(),
+            vec!["B".to_string(), "C".to_string()]
+        );
+    }
+
+    #[test]
+    fn expression_only_change_touches_one_edge() {
+        let old = Dxg::parse(FIG6_RETAIL_DXG).unwrap();
+        let new =
+            Dxg::parse(&FIG6_RETAIL_DXG.replace("C.order.cost > 1000", "C.order.cost > 2000"))
+                .unwrap();
+        let changes = diff(&old, &new);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].target_alias(), Some("S"));
+        let affected = affected_targets(&old, &new, &changes);
+        assert_eq!(affected.into_iter().collect::<Vec<_>>(), vec!["S"]);
+    }
+
+    #[test]
+    fn store_rename_affects_every_edge_touching_the_alias() {
+        // Shipping's input reference changes (store/service rename):
+        // every edge reading or writing S must restart — C (reads S.quote,
+        // S.id) and S (written) — but P's edge reads only C and survives.
+        let old = Dxg::parse(FIG6_RETAIL_DXG).unwrap();
+        let new = Dxg::parse(
+            &FIG6_RETAIL_DXG.replace("OnlineRetail/v1/Shipping", "OnlineRetail/v1/ShippingEU"),
+        )
+        .unwrap();
+        let changes = diff(&old, &new);
+        assert_eq!(changes.len(), 1);
+        assert!(matches!(&changes[0], Change::InputChanged { alias, .. } if alias == "S"));
+        assert_eq!(changes[0].target_alias(), None);
+        let affected = affected_targets(&old, &new, &changes);
+        assert_eq!(
+            affected.into_iter().collect::<Vec<_>>(),
+            vec!["C".to_string(), "S".to_string()]
+        );
+    }
+
+    #[test]
+    fn reordered_but_identical_graphs_are_equivalent() {
+        // Same inputs and assignments, declared in a different order:
+        // no exchange-level change, so a composer apply must not restart
+        // anything.
+        let a = Dxg::parse(
+            "Input:\n  A: g/v/s/a\n  B: g/v/s/b\nDXG:\n  A:\n    x: B.u\n    y: B.v\n  B:\n    w: '1'\n",
+        )
+        .unwrap();
+        let b = Dxg::parse(
+            "Input:\n  B: g/v/s/b\n  A: g/v/s/a\nDXG:\n  B:\n    w: '1'\n  A:\n    y: B.v\n    x: B.u\n",
+        )
+        .unwrap();
+        assert!(equivalent(&a, &b));
+        assert!(affected_targets(&a, &b, &diff(&a, &b)).is_empty());
     }
 
     #[test]

@@ -44,6 +44,6 @@ pub mod plan;
 pub mod spec;
 
 pub use analyze::{Analysis, Finding, Severity};
-pub use diff::{diff, equivalent, Change};
+pub use diff::{affected_targets, diff, equivalent, Change};
 pub use plan::{Plan, Step};
 pub use spec::{Assignment, Dxg, InputRef};

@@ -23,6 +23,11 @@ pub struct Step {
     pub target_alias: String,
     /// Indices into `Dxg::assignments`, in evaluation order.
     pub assignments: Vec<usize>,
+    /// Write references (`alias.path`) of those assignments, parallel to
+    /// `assignments`. This is the attribution [`crate::diff`] output maps
+    /// through: a `Change` names a write ref, [`Plan::step_for`] names
+    /// the step — and therefore the edge/integrator — it lands in.
+    pub writes: Vec<String>,
 }
 
 /// A dependency-respecting, consolidated execution plan.
@@ -49,15 +54,30 @@ impl Plan {
         let mut steps: Vec<Step> = Vec::new();
         for idx in order {
             let alias = dxg.assignments[idx].target_alias.clone();
+            let write = dxg.assignments[idx].write_ref();
             match steps.last_mut() {
-                Some(step) if step.target_alias == alias => step.assignments.push(idx),
+                Some(step) if step.target_alias == alias => {
+                    step.assignments.push(idx);
+                    step.writes.push(write);
+                }
                 _ => steps.push(Step {
                     target_alias: alias,
                     assignments: vec![idx],
+                    writes: vec![write],
                 }),
             }
         }
         Ok(Plan { steps })
+    }
+
+    /// The step a write reference lands in (diff → plan attribution):
+    /// given a `Change`'s target, this names the step whose patch the
+    /// change alters, and `steps[i].target_alias` names the edge whose
+    /// integrator must be reconfigured.
+    pub fn step_for(&self, write_ref: &str) -> Option<usize> {
+        self.steps
+            .iter()
+            .position(|s| s.writes.iter().any(|w| w == write_ref))
     }
 
     /// Total number of write operations the plan issues (one per step)
@@ -119,6 +139,54 @@ mod tests {
                 assert_eq!(dxg.assignments[i].target_alias, step.target_alias);
             }
         }
+    }
+
+    #[test]
+    fn steps_attribute_writes_to_edges() {
+        let dxg = Dxg::parse(FIG6_RETAIL_DXG).unwrap();
+        let plan = Plan::build(&dxg).unwrap();
+        for step in &plan.steps {
+            assert_eq!(step.writes.len(), step.assignments.len());
+            for (&i, w) in step.assignments.iter().zip(&step.writes) {
+                assert_eq!(&dxg.assignments[i].write_ref(), w);
+            }
+        }
+        // A diff target maps to the step (and edge) it belongs to.
+        let i = plan.step_for("S.method").expect("S.method is planned");
+        assert_eq!(plan.steps[i].target_alias, "S");
+        assert_eq!(plan.step_for("S.nonexistent"), None);
+    }
+
+    #[test]
+    fn edge_slices_plan_independently() {
+        // Each per-target edge of Fig. 6 yields a valid single-target
+        // plan, and together they cover every assignment exactly once.
+        let dxg = Dxg::parse(FIG6_RETAIL_DXG).unwrap();
+        let edges = dxg.edges();
+        assert_eq!(
+            edges.keys().cloned().collect::<Vec<_>>(),
+            vec!["C", "P", "S"]
+        );
+        let mut covered = 0;
+        for (target, edge) in &edges {
+            let plan = Plan::build(edge).unwrap();
+            for step in &plan.steps {
+                assert_eq!(&step.target_alias, target);
+            }
+            covered += plan.assignment_count();
+            // Inputs are restricted to what the slice touches.
+            for alias in edge.inputs.keys() {
+                assert!(
+                    alias == target
+                        || edge
+                            .assignments
+                            .iter()
+                            .any(|a| a.expr.free_roots().contains(alias)),
+                    "edge {target} carries unused input {alias}"
+                );
+            }
+        }
+        assert_eq!(covered, dxg.assignments.len());
     }
 
     #[test]

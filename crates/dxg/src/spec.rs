@@ -168,6 +168,47 @@ impl Dxg {
         out.dedup();
         out
     }
+
+    /// The per-target-alias slice of this graph: every assignment that
+    /// writes `target`, with `Input` restricted to the aliases that
+    /// slice reads or writes. This is the **edge** unit of live
+    /// reconfiguration — the composer runs one integrator per edge, so
+    /// a change confined to one target alias disturbs only that
+    /// integrator. Returns `None` when nothing writes `target`.
+    pub fn edge(&self, target: &str) -> Option<Dxg> {
+        let assignments: Vec<Assignment> = self
+            .assignments
+            .iter()
+            .filter(|a| a.target_alias == target)
+            .cloned()
+            .collect();
+        if assignments.is_empty() {
+            return None;
+        }
+        let mut aliases: std::collections::BTreeSet<String> = assignments
+            .iter()
+            .flat_map(|a| a.expr.free_roots())
+            .collect();
+        aliases.insert(target.to_string());
+        let inputs = self
+            .inputs
+            .iter()
+            .filter(|(alias, _)| aliases.contains(*alias))
+            .map(|(alias, r)| (alias.clone(), r.clone()))
+            .collect();
+        Some(Dxg {
+            inputs,
+            assignments,
+        })
+    }
+
+    /// All edges of the graph, keyed by target alias (see [`Dxg::edge`]).
+    pub fn edges(&self) -> BTreeMap<String, Dxg> {
+        self.target_aliases()
+            .into_iter()
+            .filter_map(|t| self.edge(&t).map(|e| (t, e)))
+            .collect()
+    }
 }
 
 fn collect_assignments(

@@ -357,7 +357,7 @@ enum Decision {
 /// Fault-injecting [`ExchangeApi`] decorator for in-process deployments.
 pub struct FaultApi {
     inner: Arc<dyn ExchangeApi>,
-    plan: FaultPlan,
+    plan: Mutex<FaultPlan>,
     rng: Mutex<FaultRng>,
     stats: Arc<FaultStats>,
 }
@@ -367,7 +367,7 @@ impl FaultApi {
         FaultApi {
             inner,
             rng: Mutex::new(FaultRng::new(plan.seed)),
-            plan,
+            plan: Mutex::new(plan),
             stats: Arc::new(FaultStats::default()),
         }
     }
@@ -376,23 +376,35 @@ impl FaultApi {
         &self.stats
     }
 
+    /// Swap the fault plan mid-run (healthy bring-up, then inject — the
+    /// composer rollback test does exactly this). The RNG stream is kept,
+    /// so the run stays reproducible from the original seed plus the
+    /// sequence of plans.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.plan.lock() = plan;
+    }
+
+    pub fn plan(&self) -> FaultPlan {
+        *self.plan.lock()
+    }
+
     fn decide(&self) -> Decision {
+        let plan = *self.plan.lock();
         let mut rng = self.rng.lock();
-        if rng.chance(self.plan.drop_frame) {
+        if rng.chance(plan.drop_frame) {
             FaultStats::bump(&self.stats.frames_dropped);
             return Decision::LoseRequest;
         }
-        if rng.chance(self.plan.close_conn) {
+        if rng.chance(plan.close_conn) {
             return Decision::LoseReply;
         }
-        if rng.chance(self.plan.dup_frame) {
+        if rng.chance(plan.dup_frame) {
             FaultStats::bump(&self.stats.frames_duplicated);
             return Decision::Duplicate;
         }
-        if rng.chance(self.plan.delay_frame) {
+        if rng.chance(plan.delay_frame) {
             FaultStats::bump(&self.stats.frames_delayed);
-            let micros =
-                rng.below(self.plan.max_delay.as_micros().min(u64::MAX as u128) as u64 + 1);
+            let micros = rng.below(plan.max_delay.as_micros().min(u64::MAX as u128) as u64 + 1);
             return Decision::Delay(Duration::from_micros(micros));
         }
         Decision::Pass

@@ -10,7 +10,7 @@
 //! (the T2 task of Table 1) and demonstrates the new policy — zero
 //! service rebuilds.
 
-use knactor::apps::retail::knactor_app::{self, retail_bindings, retail_dxg, RetailOptions};
+use knactor::apps::retail::knactor_app::{self, retail_dxg, RetailOptions};
 use knactor::apps::retail::sample_order;
 use knactor::prelude::*;
 use std::sync::Arc;
@@ -60,14 +60,14 @@ async fn main() -> Result<()> {
     println!("\nreconfiguring the integrator: air threshold 1000 -> 2000 ...");
     let new_spec = std::fs::read_to_string(knactor::apps::crate_file("assets/retail_dxg.yaml"))?
         .replace("C.order.cost > 1000", "C.order.cost > 2000");
-    app.cast
-        .reconfigure(knactor::core::CastConfig {
-            name: "retail".into(),
-            dxg: Dxg::parse(&new_spec)?,
-            bindings: retail_bindings(),
-            mode: CastMode::Direct,
-        })
-        .await?;
+    let report = app.apply_dxg(Dxg::parse(&new_spec)?).await?;
+    println!(
+        "  composer diff: {} reconfigured, {} spawned, {} stopped, {} untouched",
+        report.reconfigured.len(),
+        report.spawned.len(),
+        report.stopped.len(),
+        report.untouched.len()
+    );
 
     app.place_order("order-3", sample_order(1500.0), Duration::from_secs(10))
         .await?;

@@ -82,9 +82,10 @@ pub use knactor_yamlish as yamlish;
 /// The names most programs need.
 pub mod prelude {
     pub use knactor_core::{
-        Cast, CastBinding, CastConfig, CastController, CastMode, FnReconciler, Knactor,
-        KnactorBuilder, Reconciler, ReconcilerCtx, Runtime, Sync, SyncConfig, SyncDest, SyncMode,
-        TraceCollector,
+        ApplyReport, Cast, CastBinding, CastConfig, CastController, CastMode, Composer,
+        Composition, Counters, FnReconciler, Health, Integrator, IntegratorConfig, IntegratorStats,
+        Knactor, KnactorBuilder, Reconciler, ReconcilerCtx, Runtime, Sync, SyncConfig, SyncDest,
+        SyncMode, TraceCollector,
     };
     pub use knactor_dxg::{Dxg, Plan};
     pub use knactor_expr::{Env, FnRegistry};

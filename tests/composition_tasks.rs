@@ -1,5 +1,5 @@
 //! The Table 1 tasks, executed behaviourally: each task is one
-//! integrator reconfiguration, applied to a *running* application.
+//! composition apply, executed against a *running* application.
 
 use knactor::apps::retail::knactor_app::{self, retail_bindings, RetailOptions};
 use knactor::apps::retail::sample_order;
@@ -10,20 +10,6 @@ use std::time::Duration;
 
 fn asset(name: &str) -> String {
     std::fs::read_to_string(knactor::apps::crate_file(&format!("assets/{name}"))).unwrap()
-}
-
-async fn wait_for<F>(mut f: F, what: &str)
-where
-    F: FnMut() -> std::pin::Pin<Box<dyn std::future::Future<Output = bool> + Send + 'static>>,
-{
-    let deadline = tokio::time::Instant::now() + Duration::from_secs(10);
-    loop {
-        if f().await {
-            return;
-        }
-        assert!(tokio::time::Instant::now() < deadline, "timeout: {what}");
-        tokio::time::sleep(Duration::from_millis(10)).await;
-    }
 }
 
 /// T1: start with a DXG that composes nothing, then swap in the Fig. 6
@@ -37,39 +23,44 @@ async fn t1_compose_payment_and_shipping_at_runtime() {
         .await
         .unwrap();
 
-    // Swap DOWN to the do-nothing baseline spec first.
-    let mut base_bindings = retail_bindings();
-    base_bindings.retain(|alias, _| alias == "C");
-    app.cast
-        .reconfigure(CastConfig {
-            name: "retail".into(),
-            dxg: Dxg::parse(&asset("retail_dxg_t1_base.yaml")).unwrap(),
-            bindings: base_bindings,
-            mode: CastMode::Direct,
-        })
+    // Swap DOWN to the do-nothing baseline spec first. The diff against
+    // the full Fig. 6 composition stops the P and S edges and
+    // reconfigures C's in place.
+    let report = app
+        .apply_dxg(Dxg::parse(&asset("retail_dxg_t1_base.yaml")).unwrap())
         .await
         .unwrap();
+    assert_eq!(report.reconfigured, vec!["cast:C"]);
+    assert_eq!(report.stopped, vec!["cast:P", "cast:S"]);
 
-    // An order placed now goes nowhere: no shipment materializes.
+    // An order placed now goes nowhere: no shipment materializes even
+    // after the baseline edge has demonstrably processed the event (the
+    // drain barrier replaces a racy sleep here).
     api.create("checkout/state".into(), "o1".into(), sample_order(900.0))
         .await
         .unwrap();
-    tokio::time::sleep(Duration::from_millis(150)).await;
+    knactor::testkit::await_object_state(
+        &api,
+        "checkout/state",
+        "o1",
+        Duration::from_secs(5),
+        |v| !v["order"]["totalCost"].is_null(),
+    )
+    .await
+    .unwrap();
+    app.composer.drain_all().await.unwrap();
     assert!(
         api.get("shipping/state".into(), "o1".into()).await.is_err(),
         "baseline spec must not create shipments"
     );
 
-    // T1: one reconfiguration composes Payment + Shipping with Checkout.
-    app.cast
-        .reconfigure(CastConfig {
-            name: "retail".into(),
-            dxg: Dxg::parse(&asset("retail_dxg.yaml")).unwrap(),
-            bindings: retail_bindings(),
-            mode: CastMode::Direct,
-        })
+    // T1: one apply composes Payment + Shipping with Checkout.
+    let report = app
+        .apply_dxg(Dxg::parse(&asset("retail_dxg.yaml")).unwrap())
         .await
         .unwrap();
+    assert_eq!(report.spawned, vec!["cast:P", "cast:S"]);
+    assert_eq!(report.reconfigured, vec!["cast:C"]);
 
     // The EXISTING order now flows (a fresh event is needed: nudge it).
     api.patch(
@@ -80,20 +71,15 @@ async fn t1_compose_payment_and_shipping_at_runtime() {
     )
     .await
     .unwrap();
-    let api2 = Arc::clone(&api);
-    wait_for(
-        move || {
-            let api = Arc::clone(&api2);
-            Box::pin(async move {
-                api.get("checkout/state".into(), "o1".into())
-                    .await
-                    .map(|o| !o.value["order"]["trackingID"].is_null())
-                    .unwrap_or(false)
-            })
-        },
-        "T1 composition",
+    knactor::testkit::await_object_state(
+        &api,
+        "checkout/state",
+        "o1",
+        Duration::from_secs(10),
+        |v| !v["order"]["trackingID"].is_null(),
     )
-    .await;
+    .await
+    .expect("T1 composition");
     app.shutdown().await;
 }
 

@@ -43,29 +43,23 @@ async fn notifications_integrator_composes_without_touching_services() {
     // …and the notifications integrator reacts to its completion: the
     // Email knactor receives a notify request, its reconciler sends the
     // mail and logs it.
-    let deadline = tokio::time::Instant::now() + Duration::from_secs(10);
-    loop {
-        if let Ok(obj) = api.get("email/state".into(), "notif-1".into()).await {
-            if obj
-                .value
-                .get("sentAt")
-                .map(|v| !v.is_null())
-                .unwrap_or(false)
-            {
-                assert_eq!(
-                    obj.value["notify"],
-                    serde_json::json!("2570 Soda Hall, Berkeley CA")
-                );
-                break;
-            }
-        }
-        assert!(
-            tokio::time::Instant::now() < deadline,
-            "email notification never materialized"
-        );
-        tokio::time::sleep(Duration::from_millis(10)).await;
-    }
-    let sent_log = api.log_read("email/sent".into(), 0).await.unwrap();
+    let sent = knactor::testkit::await_object_state(
+        &api,
+        "email/state",
+        "notif-1",
+        Duration::from_secs(10),
+        |v| v.get("sentAt").map(|s| !s.is_null()).unwrap_or(false),
+    )
+    .await
+    .expect("email notification never materialized");
+    assert_eq!(
+        sent["notify"],
+        serde_json::json!("2570 Soda Hall, Berkeley CA")
+    );
+    let sent_log =
+        knactor::testkit::await_log_records(&api, "email/sent", 1, Duration::from_secs(10))
+            .await
+            .unwrap();
     assert_eq!(sent_log.len(), 1);
     assert_eq!(sent_log[0].fields["order"], serde_json::json!("notif-1"));
 

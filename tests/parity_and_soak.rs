@@ -2,7 +2,7 @@
 //! business outcomes) and behaviour under churn (reconfiguration while
 //! orders are in flight).
 
-use knactor::apps::retail::knactor_app::{self, retail_bindings, RetailOptions};
+use knactor::apps::retail::knactor_app::{self, RetailOptions};
 use knactor::apps::retail::rpc_app::{serve_providers, CheckoutRpc};
 use knactor::apps::retail::sample_order;
 use knactor::apps::smarthome::{knactor_app as home_kn, lamp_kwh, pubsub_app};
@@ -140,15 +140,13 @@ async fn reconfigure_under_load_loses_no_orders() {
             "C.order.cost > 1000",
             &format!("C.order.cost > {threshold}"),
         );
-        app.cast
-            .reconfigure(CastConfig {
-                name: "retail".into(),
-                dxg: Dxg::parse(&new_spec).unwrap(),
-                bindings: retail_bindings(),
-                mode: CastMode::Direct,
-            })
-            .await
-            .unwrap();
+        let report = app.apply_dxg(Dxg::parse(&new_spec).unwrap()).await.unwrap();
+        // A threshold tweak is an expression-only change to the S edge:
+        // nothing restarts.
+        assert!(
+            report.spawned.is_empty() && report.stopped.is_empty(),
+            "{report:?}"
+        );
     }
     producer.await.unwrap();
 
