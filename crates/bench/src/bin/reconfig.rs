@@ -15,6 +15,10 @@
 //!   while the hot cast edge is flipped back and forth; appended vs
 //!   delivered vs duplicated counts the records harmed by the swaps
 //!   (the composer's contract: zero).
+//!
+//! Also emits `metrics.prom`: the run's full metrics-registry snapshot in
+//! Prometheus text format (store ops, activation-stage histograms,
+//! composer apply timings) — the scrape CI uploads as an artifact.
 
 use knactor_core::{CastBinding, CastMode, Composer, Composition, SyncConfig, SyncDest, SyncMode};
 use knactor_net::proto::{OpSpec, ProfileSpec, QuerySpec};
@@ -130,6 +134,26 @@ async fn run(iterations: usize, stream_records: usize) -> serde_json::Value {
     }
     let (change_mean, change_median, change_max) = micros(&mut change_us);
 
+    // Cross-check ad-hoc timers against the metrics registry: every
+    // apply above also landed in knactor_composer_apply_seconds.
+    let snapshot = knactor_core::metrics::global().snapshot();
+    let apply_hist = snapshot
+        .histograms
+        .iter()
+        .find(|h| {
+            h.name == "knactor_composer_apply_seconds"
+                && h.labels
+                    .iter()
+                    .any(|(k, v)| k == "composer" && v == "bench")
+        })
+        .expect("composer apply histogram registered");
+    assert!(
+        apply_hist.count as usize >= iterations,
+        "registry saw {} applies, bench ran {}",
+        apply_hist.count,
+        iterations
+    );
+
     // No-op re-apply: everything classified untouched.
     let mut noop_us: Vec<u64> = Vec::with_capacity(iterations);
     for i in 0..iterations {
@@ -182,6 +206,24 @@ async fn run(iterations: usize, stream_records: usize) -> serde_json::Value {
 
     composer.shutdown_all().await;
 
+    // Registry-derived quantiles for the same operation the ad-hoc
+    // timers measured, so later PRs can regress against stable names.
+    let final_snapshot = knactor_core::metrics::global().snapshot();
+    std::fs::write("metrics.prom", final_snapshot.to_prometheus()).expect("write metrics.prom");
+    eprintln!("wrote metrics.prom");
+    let apply_hist = final_snapshot
+        .histograms
+        .iter()
+        .find(|h| h.name == "knactor_composer_apply_seconds")
+        .expect("apply histogram");
+    let registry_apply = json!({
+        "count": apply_hist.count,
+        "p50_us": apply_hist.p50().map(|s| s * 1e6),
+        "p95_us": apply_hist.p95().map(|s| s * 1e6),
+        "p99_us": apply_hist.p99().map(|s| s * 1e6),
+        "max_us": apply_hist.max_seconds().map(|s| s * 1e6),
+    });
+
     json!({
         "description": "Composer live-reconfiguration bench (cargo run -p knactor-bench --bin reconfig --release). A 17-edge composition (16 cast edges in a star DXG + 1 sync relay); the 1-edge change flips the hot edge's expression, which the composer reconfigures in place while every other edge keeps running. Latencies in microseconds. Swap-loss streams records through the sync relay during repeated applies and counts records lost or duplicated across the swaps (contract: zero).",
         "edges": EDGES + 1,
@@ -198,6 +240,7 @@ async fn run(iterations: usize, stream_records: usize) -> serde_json::Value {
             "duplicated": duplicated,
             "applies_during_stream": applies_during_stream,
         },
+        "registry_apply_seconds": registry_apply,
     })
 }
 

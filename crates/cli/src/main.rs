@@ -8,9 +8,11 @@
 //! knactorctl dxg udf <file>               export the DXG as pushdown UDF assignments
 //! knactorctl diff <old> <new>             diff two DXGs + composer dry-run of edge actions
 //! knactorctl codegen <schema-file>        generate typed Rust accessors
+//! knactorctl metrics <addr> [--watch|--prom]  scrape a live exchange's metrics
 //! ```
 
 mod codegen;
+mod metrics;
 
 use knactor_dxg::{analyze, Dxg, Plan, Severity};
 use std::process::ExitCode;
@@ -27,6 +29,13 @@ fn main() -> ExitCode {
         ["dxg", "diff", old, new] => dxg_diff(old, new),
         ["diff", old, new] => composer_diff(old, new),
         ["codegen", file] => codegen_cmd(file),
+        ["metrics", addr] => metrics::run(addr, false, false),
+        ["metrics", addr, "--watch"] | ["metrics", "--watch", addr] => {
+            metrics::run(addr, true, false)
+        }
+        ["metrics", addr, "--prom"] | ["metrics", "--prom", addr] => {
+            metrics::run(addr, false, true)
+        }
         ["help"] | ["--help"] | ["-h"] | [] => {
             print!("{}", usage());
             ExitCode::SUCCESS
@@ -49,7 +58,8 @@ fn usage() -> String {
      \u{20}   knactorctl dxg udf <file>\n\
      \u{20}   knactorctl dxg diff <old> <new>\n\
      \u{20}   knactorctl diff <old> <new>\n\
-     \u{20}   knactorctl codegen <schema-file>\n"
+     \u{20}   knactorctl codegen <schema-file>\n\
+     \u{20}   knactorctl metrics <addr> [--watch|--prom]\n"
         .to_string()
 }
 

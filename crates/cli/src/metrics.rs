@@ -1,0 +1,128 @@
+//! `knactorctl metrics` — scrape a live exchange and render its registry.
+//!
+//! Connects over the knactor-net wire, sends a `Metrics` request, and
+//! prints a sorted table: counters and gauges first, then histograms with
+//! p50/p95/p99/max quantiles. `--watch` re-scrapes every 2 seconds;
+//! `--prom` dumps the raw Prometheus text exposition instead (what a
+//! Prometheus scrape job would ingest).
+
+use knactor_net::TcpClient;
+use knactor_rbac::Subject;
+use knactor_types::metrics::{HistogramSnapshot, MetricsSnapshot};
+use std::process::ExitCode;
+use std::time::Duration;
+
+pub fn run(addr: &str, watch: bool, prom: bool) -> ExitCode {
+    let addr: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("invalid address {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rt = match tokio::runtime::Builder::new_current_thread()
+        .enable_all()
+        .build()
+    {
+        Ok(rt) => rt,
+        Err(e) => {
+            eprintln!("cannot start runtime: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    rt.block_on(async move {
+        loop {
+            let snapshot = match scrape(addr).await {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("scrape failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if prom {
+                print!("{}", snapshot.to_prometheus());
+            } else {
+                if watch {
+                    // ANSI clear + home, like `watch(1)`.
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", render_table(&snapshot));
+            }
+            if !watch {
+                return ExitCode::SUCCESS;
+            }
+            tokio::time::sleep(Duration::from_secs(2)).await;
+        }
+    })
+}
+
+async fn scrape(addr: std::net::SocketAddr) -> knactor_types::Result<MetricsSnapshot> {
+    let client = TcpClient::connect(addr, Subject::operator("knactorctl")).await?;
+    use knactor_net::ExchangeApi;
+    client.metrics().await
+}
+
+fn label_suffix(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+fn ms(seconds: Option<f64>) -> String {
+    match seconds {
+        Some(s) => format!("{:.3}", s * 1e3),
+        None => "-".to_string(),
+    }
+}
+
+fn histogram_row(h: &HistogramSnapshot) -> String {
+    format!(
+        "{:<58} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+        format!("{}{}", h.name, label_suffix(&h.labels)),
+        h.count,
+        ms(h.p50()),
+        ms(h.p95()),
+        ms(h.p99()),
+        ms(h.max_seconds()),
+    )
+}
+
+/// Sorted, aligned, human-first rendering of a snapshot.
+pub fn render_table(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() {
+        out.push_str(&format!("{:<58} {:>12}\n", "COUNTER", "VALUE"));
+        for c in &snapshot.counters {
+            out.push_str(&format!(
+                "{:<58} {:>12}\n",
+                format!("{}{}", c.name, label_suffix(&c.labels)),
+                c.value
+            ));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str(&format!("\n{:<58} {:>12}\n", "GAUGE", "VALUE"));
+        for g in &snapshot.gauges {
+            out.push_str(&format!(
+                "{:<58} {:>12}\n",
+                format!("{}{}", g.name, label_suffix(&g.labels)),
+                g.value
+            ));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str(&format!(
+            "\n{:<58} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "HISTOGRAM", "COUNT", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)"
+        ));
+        for h in &snapshot.histograms {
+            out.push_str(&histogram_row(h));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("no metrics registered\n");
+    }
+    out
+}

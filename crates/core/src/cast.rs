@@ -26,6 +26,7 @@
 //! [`CastController::reconfigure`] swaps the entire DXG at run time —
 //! no knactor is touched, rebuilt, or redeployed.
 
+use crate::metrics::{inc_activation, observe_stage};
 use crate::telemetry::TraceCollector;
 use knactor_dxg::{Dxg, Plan};
 use knactor_expr::{Env, FnRegistry};
@@ -387,6 +388,7 @@ async fn run_loop(
                                 )
                                 .await;
                                 activations.fetch_add(1, Ordering::Relaxed);
+                                inc_activation(&format!("cast:{}", config.name));
                             }
                             let _ = ack.send(());
                         }
@@ -414,6 +416,7 @@ async fn run_loop(
                     // fatal: the next event retries naturally.
                     let _ = activation(&api, &fns, &traces, &config, &plan, &key).await;
                     activations.fetch_add(1, Ordering::Relaxed);
+                    inc_activation(&format!("cast:{}", config.name));
                 }
             }
         }
@@ -474,7 +477,9 @@ async fn activation(
             })
             .collect();
         let result = api.execute_udf(udf_name.clone(), bindings).await;
-        traces.record(&trace_id, &component, "pushdown-execute", start.elapsed());
+        let elapsed = start.elapsed();
+        traces.record(&trace_id, &component, "pushdown-execute", elapsed);
+        observe_stage(&component, "pushdown-execute", elapsed);
         return result.map(|_| ());
     }
 
@@ -508,7 +513,9 @@ async fn activation(
             env.bind(alias, fetched_value(result)?);
         }
     }
-    traces.record(&trace_id, &component, "read-sources", start.elapsed());
+    let elapsed = start.elapsed();
+    traces.record(&trace_id, &component, "read-sources", elapsed);
+    observe_stage(&component, "read-sources", elapsed);
 
     // Evaluate step by step (steps are dependency-ordered, so later steps
     // must observe earlier steps' writes via the local env), coalescing
@@ -534,7 +541,9 @@ async fn activation(
                 }
             }
         }
-        traces.record(&trace_id, &component, "evaluate", start.elapsed());
+        let elapsed = start.elapsed();
+        traces.record(&trace_id, &component, "evaluate", elapsed);
+        observe_stage(&component, "evaluate", elapsed);
         if !wrote {
             continue;
         }
@@ -560,12 +569,10 @@ async fn activation(
         let key = resolve_key(binding, trigger_key);
         let start = Instant::now();
         api.patch(binding.store.clone(), key, patch, true).await?;
-        traces.record(
-            &trace_id,
-            &component,
-            &format!("write:{alias}"),
-            start.elapsed(),
-        );
+        let elapsed = start.elapsed();
+        let stage = format!("write:{alias}");
+        traces.record(&trace_id, &component, &stage, elapsed);
+        observe_stage(&component, &stage, elapsed);
     } else if !pending.is_empty() {
         let flushes: Vec<_> = pending
             .into_iter()
@@ -586,7 +593,9 @@ async fn activation(
                 .await
                 .map_err(|e| Error::Internal(format!("cast flush task: {e}")))?;
             result?;
-            traces.record(&trace_id, &component, &format!("write:{alias}"), elapsed);
+            let stage = format!("write:{alias}");
+            traces.record(&trace_id, &component, &stage, elapsed);
+            observe_stage(&component, &stage, elapsed);
         }
     }
     Ok(())

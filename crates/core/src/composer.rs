@@ -101,6 +101,21 @@ impl ApplyReport {
     }
 }
 
+/// [`Composer::health`]: per-edge integrator health plus a metrics
+/// snapshot from the process-wide registry.
+#[derive(Debug, Clone)]
+pub struct ComposerHealth {
+    pub edges: Vec<(String, Health)>,
+    pub metrics: crate::metrics::MetricsSnapshot,
+}
+
+impl ComposerHealth {
+    /// True when every running edge's task is alive.
+    pub fn all_running(&self) -> bool {
+        self.edges.iter().all(|(_, h)| *h == Health::Running)
+    }
+}
+
 /// How an apply would treat one edge — the dry-run view `knactorctl
 /// diff` prints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -272,8 +287,23 @@ impl Composer {
         let start = Instant::now();
         let result = self.apply_locked(&mut inner, composition).await;
         self.inner.put(inner);
-        self.traces
-            .record(&trace_id, &component, "apply", start.elapsed());
+        let elapsed = start.elapsed();
+        self.traces.record(&trace_id, &component, "apply", elapsed);
+        let registry = crate::metrics::global();
+        registry
+            .histogram(
+                "knactor_composer_apply_seconds",
+                &[("composer", &self.name)],
+            )
+            .observe(elapsed);
+        let event = |kind: &str, n: u64| {
+            registry
+                .counter(
+                    "knactor_composer_events_total",
+                    &[("composer", &self.name), ("kind", kind)],
+                )
+                .add(n);
+        };
         match &result {
             Ok(report) => {
                 self.counters.incr("composer.apply.ok");
@@ -285,9 +315,14 @@ impl Composer {
                 );
                 self.counters
                     .add("composer.apply.edges_stopped", report.stopped.len() as u64);
+                event("apply_ok", 1);
+                event("edges_spawned", report.spawned.len() as u64);
+                event("edges_reconfigured", report.reconfigured.len() as u64);
+                event("edges_stopped", report.stopped.len() as u64);
             }
             Err(_) => {
                 self.counters.incr("composer.apply.rolled_back");
+                event("apply_rolled_back", 1);
             }
         }
         result
@@ -478,6 +513,23 @@ impl Composer {
         let out = inner.edges.get(key).map(|s| s.integrator.stats());
         self.inner.put(inner);
         out
+    }
+
+    /// One composite health view: per-edge integrator health plus a
+    /// point-in-time snapshot of the process-wide metrics registry (the
+    /// same snapshot `knactorctl metrics` scrapes over the wire).
+    pub async fn health(&self) -> ComposerHealth {
+        let inner = self.inner.take().await;
+        let edges: Vec<(String, Health)> = inner
+            .edges
+            .iter()
+            .map(|(key, slot)| (key.clone(), slot.integrator.health()))
+            .collect();
+        self.inner.put(inner);
+        ComposerHealth {
+            edges,
+            metrics: crate::metrics::global().snapshot(),
+        }
     }
 
     /// Decompose a composition into per-edge integrator configs.

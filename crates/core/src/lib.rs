@@ -37,12 +37,16 @@
 //!
 //! [`telemetry`] threads exchange-level traces (per-activation spans)
 //! through Cast and Sync so cross-service data flows stay visible;
-//! [`telemetry::Counters`] counts composer lifecycle events.
+//! [`telemetry::Counters`] counts composer lifecycle events. [`metrics`]
+//! is the quantitative side: a process-wide registry of counters, gauges,
+//! and latency histograms (aggregating the same stage names the traces
+//! use), scrapeable in Prometheus text format over the wire.
 
 pub mod cast;
 pub mod composer;
 pub mod integrator;
 pub mod knactor;
+pub mod metrics;
 pub mod reconciler;
 pub mod runtime;
 pub mod schema_file;
@@ -51,7 +55,7 @@ pub mod telemetry;
 
 pub use cast::{Cast, CastBinding, CastConfig, CastController, CastMode, KeyBinding};
 pub use composer::{
-    cast_edge_actions, ApplyReport, CastSection, Composer, Composition, EdgeAction,
+    cast_edge_actions, ApplyReport, CastSection, Composer, ComposerHealth, Composition, EdgeAction,
 };
 pub use integrator::{Health, Integrator, IntegratorConfig, IntegratorStats};
 pub use knactor::{Knactor, KnactorBuilder};

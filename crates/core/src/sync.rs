@@ -329,7 +329,10 @@ async fn process_record(
             }
         }
     };
-    traces.record(&trace_id, &component, "process-record", start.elapsed());
+    let elapsed = start.elapsed();
+    traces.record(&trace_id, &component, "process-record", elapsed);
+    crate::metrics::observe_stage(&component, "process-record", elapsed);
+    crate::metrics::inc_activation(&component);
     // Errors are per-record; keep tailing.
     let _ = result;
     processed.fetch_add(1, Ordering::Relaxed);

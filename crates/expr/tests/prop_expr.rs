@@ -152,3 +152,142 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Seeded well-typed generator (splitmix64, same style as net's
+// prop_proto.rs): unlike `expr_src()` above, which explores arbitrary —
+// often ill-typed — shapes, this one only builds expressions whose
+// conditionals pick between same-typed arms and whose comprehensions map
+// numeric bodies over a numeric list, so evaluation is expected to
+// *succeed*, not merely not panic.
+// ---------------------------------------------------------------------------
+
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// A numeric-valued expression over `x` (number), `n` (number), and the
+/// comprehension variable `v` when `in_comprehension` is set.
+fn gen_num(rng: &mut SplitMix, depth: u32, in_comprehension: bool) -> String {
+    if depth == 0 {
+        return match rng.below(if in_comprehension { 4 } else { 3 }) {
+            0 => rng.below(100).to_string(),
+            1 => "x".to_string(),
+            2 => "n".to_string(),
+            _ => "v".to_string(),
+        };
+    }
+    match rng.below(4) {
+        0 => format!(
+            "({} + {})",
+            gen_num(rng, depth - 1, in_comprehension),
+            gen_num(rng, depth - 1, in_comprehension)
+        ),
+        1 => format!(
+            "({} * {})",
+            gen_num(rng, depth - 1, in_comprehension),
+            gen_num(rng, depth - 1, in_comprehension)
+        ),
+        // The headline shape: X if C else Y with numeric arms.
+        2 => format!(
+            "({} if {} else {})",
+            gen_num(rng, depth - 1, in_comprehension),
+            gen_bool(rng, depth - 1, in_comprehension),
+            gen_num(rng, depth - 1, in_comprehension)
+        ),
+        _ => gen_num(rng, depth - 1, in_comprehension),
+    }
+}
+
+/// A boolean-valued expression (comparisons of numerics, and/not).
+fn gen_bool(rng: &mut SplitMix, depth: u32, in_comprehension: bool) -> String {
+    if depth == 0 {
+        return if rng.below(2) == 0 { "true" } else { "false" }.to_string();
+    }
+    match rng.below(4) {
+        0 => format!(
+            "({} < {})",
+            gen_num(rng, depth - 1, in_comprehension),
+            gen_num(rng, depth - 1, in_comprehension)
+        ),
+        1 => format!(
+            "({} == {})",
+            gen_num(rng, depth - 1, in_comprehension),
+            gen_num(rng, depth - 1, in_comprehension)
+        ),
+        2 => format!(
+            "({} and {})",
+            gen_bool(rng, depth - 1, in_comprehension),
+            gen_bool(rng, depth - 1, in_comprehension)
+        ),
+        _ => format!("(not {})", gen_bool(rng, depth - 1, in_comprehension)),
+    }
+}
+
+/// Top-level shape: either a numeric conditional tree or a comprehension
+/// mapping a numeric body over `xs`.
+fn gen_well_typed(rng: &mut SplitMix, depth: u32) -> String {
+    match rng.below(3) {
+        0 => gen_num(rng, depth, false),
+        1 => format!("[{} for v in xs]", gen_num(rng, depth, true)),
+        _ => format!(
+            "([{} for v in xs] if {} else [{} for v in xs])",
+            gen_num(rng, depth.saturating_sub(1), true),
+            gen_bool(rng, depth.saturating_sub(1), false),
+            gen_num(rng, depth.saturating_sub(1), true)
+        ),
+    }
+}
+
+/// Conditionals and comprehensions over well-typed inputs: parse →
+/// print → parse round-trips, and evaluation both never panics *and*
+/// actually succeeds (the generator only emits type-correct programs).
+#[test]
+fn seeded_well_typed_conditionals_and_comprehensions() {
+    let fns = FnRegistry::standard();
+    let mut e = Env::new();
+    e.bind("x", json!(3.0));
+    e.bind("n", json!(7.0));
+    e.bind("xs", json!([1.0, 2.0, 3.0, 4.0]));
+
+    let mut rng = SplitMix(0x6B6E_6163_746F_7221);
+    for case in 0..2000u32 {
+        let depth = 1 + (case % 4);
+        let src = gen_well_typed(&mut rng, depth);
+        let ast = parse_expr(&src)
+            .unwrap_or_else(|err| panic!("case {case}: generated '{src}' failed to parse: {err}"));
+
+        // Round-trip: the printed form re-parses to the identical AST.
+        let printed = ast.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("case {case}: printed '{printed}' failed: {err}"));
+        assert_eq!(reparsed, ast, "case {case}: '{src}' → '{printed}'");
+
+        // Well-typed inputs: evaluation succeeds and is deterministic.
+        let a = eval(&ast, &e, &fns)
+            .unwrap_or_else(|err| panic!("case {case}: eval of '{src}' errored: {err}"));
+        let b = eval(&ast, &e, &fns).unwrap();
+        assert_eq!(a, b, "case {case}: nondeterministic eval of '{src}'");
+
+        // Comprehensions over a 4-element list yield 4 elements.
+        if src.starts_with('[') {
+            assert_eq!(
+                a.as_array().map(Vec::len),
+                Some(4),
+                "case {case}: '{src}' -> {a}"
+            );
+        }
+    }
+}

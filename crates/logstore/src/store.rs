@@ -1,5 +1,6 @@
 //! Append-only log stores and the exchange hosting them.
 
+use knactor_types::metrics::{self, Counter};
 use knactor_types::{Error, Result, StoreId, Value};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
@@ -31,6 +32,9 @@ struct Segment {
 pub struct LogStore {
     id: StoreId,
     inner: Mutex<LogInner>,
+    /// `knactor_log_appends_total{store=<id>}`, registered once at
+    /// construction so the append path only bumps an atomic.
+    appends: Arc<Counter>,
 }
 
 #[derive(Default)]
@@ -57,12 +61,16 @@ impl std::fmt::Debug for LogStore {
 
 impl LogStore {
     pub fn new(id: impl Into<StoreId>) -> LogStore {
+        let id = id.into();
+        let appends =
+            metrics::global().counter("knactor_log_appends_total", &[("store", &id.to_string())]);
         LogStore {
-            id: id.into(),
+            id,
             inner: Mutex::new(LogInner {
                 next_seq: 1,
                 ..Default::default()
             }),
+            appends,
         }
     }
 
@@ -112,6 +120,7 @@ impl LogStore {
             }
         }
         inner.tails.retain(|tx| tx.send(record.clone()).is_ok());
+        self.appends.inc();
         seq
     }
 

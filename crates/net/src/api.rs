@@ -89,4 +89,16 @@ pub trait ExchangeApi: Send + Sync {
     fn log_read(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<Vec<LogRecord>>>;
     fn log_query(&self, store: StoreId, query: QuerySpec) -> BoxFuture<'_, Result<Vec<Value>>>;
     fn log_tail(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<TailRx>>;
+
+    // ---- observability -------------------------------------------------------
+    /// Scrape the exchange's metrics registry. Default-bodied so existing
+    /// implementations keep compiling; transports that can reach a
+    /// registry (TCP, loopback, fault decorators) override it.
+    fn metrics(&self) -> BoxFuture<'_, Result<knactor_types::metrics::MetricsSnapshot>> {
+        Box::pin(async {
+            Err(knactor_types::Error::Transport(
+                "metrics not supported by this transport".to_string(),
+            ))
+        })
+    }
 }

@@ -557,6 +557,15 @@ impl ExchangeApi for TcpClient {
             }
         })
     }
+
+    fn metrics(&self) -> BoxFuture<'_, Result<knactor_types::metrics::MetricsSnapshot>> {
+        Box::pin(async move {
+            match self.request(Request::Metrics).await? {
+                Response::Metrics { snapshot } => Ok(snapshot),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -679,7 +688,13 @@ impl Resilient {
         let mut last: Option<Error> = None;
         for attempt in 0..self.policy.max_attempts.max(1) {
             if attempt > 0 {
-                tokio::time::sleep(self.next_backoff(attempt - 1)).await;
+                let backoff = self.next_backoff(attempt - 1);
+                let registry = knactor_types::metrics::global();
+                registry.counter("knactor_client_retries_total", &[]).inc();
+                registry
+                    .histogram("knactor_client_backoff_seconds", &[])
+                    .observe(backoff);
+                tokio::time::sleep(backoff).await;
             }
             let client = match self.current().await {
                 Ok(client) => client,
@@ -1279,6 +1294,14 @@ impl ExchangeApi for ResilientClient {
             let driver = Arc::clone(&self.inner);
             tokio::spawn(driver.drive_tail(store, from, first, tx));
             Ok(rx)
+        })
+    }
+
+    fn metrics(&self) -> BoxFuture<'_, Result<knactor_types::metrics::MetricsSnapshot>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| Box::pin(c.metrics())))
+                .await
         })
     }
 }

@@ -316,15 +316,18 @@ async fn relay<R, W>(
         }
         if rng.chance(plan.close_conn) {
             FaultStats::bump(&stats.conns_killed);
+            count_injection("close");
             break;
         }
         if rng.chance(plan.drop_frame) {
             FaultStats::bump(&stats.frames_dropped);
+            count_injection("drop");
             continue;
         }
         if rng.chance(plan.delay_frame) {
             let micros = rng.below(plan.max_delay.as_micros().min(u64::MAX as u128) as u64 + 1);
             FaultStats::bump(&stats.frames_delayed);
+            count_injection("delay");
             tokio::time::sleep(Duration::from_micros(micros)).await;
         }
         if writer.write_frame(&frame).await.is_err() {
@@ -333,11 +336,21 @@ async fn relay<R, W>(
         FaultStats::bump(&stats.frames_forwarded);
         if rng.chance(plan.dup_frame) {
             FaultStats::bump(&stats.frames_duplicated);
+            count_injection("duplicate");
             if writer.write_frame(&frame).await.is_err() {
                 break;
             }
         }
     }
+}
+
+/// Mirror one injected fault into the global registry
+/// (`knactor_fault_injections_total{kind}`), alongside the local
+/// [`FaultStats`] atomics tests assert against.
+fn count_injection(kind: &str) {
+    knactor_types::metrics::global()
+        .counter("knactor_fault_injections_total", &[("kind", kind)])
+        .inc();
 }
 
 /// What [`FaultApi`] decided to do with one request.
@@ -393,17 +406,21 @@ impl FaultApi {
         let mut rng = self.rng.lock();
         if rng.chance(plan.drop_frame) {
             FaultStats::bump(&self.stats.frames_dropped);
+            count_injection("drop");
             return Decision::LoseRequest;
         }
         if rng.chance(plan.close_conn) {
+            count_injection("close");
             return Decision::LoseReply;
         }
         if rng.chance(plan.dup_frame) {
             FaultStats::bump(&self.stats.frames_duplicated);
+            count_injection("duplicate");
             return Decision::Duplicate;
         }
         if rng.chance(plan.delay_frame) {
             FaultStats::bump(&self.stats.frames_delayed);
+            count_injection("delay");
             let micros = rng.below(plan.max_delay.as_micros().min(u64::MAX as u128) as u64 + 1);
             return Decision::Delay(Duration::from_micros(micros));
         }
@@ -589,6 +606,13 @@ impl ExchangeApi for FaultApi {
     fn log_tail(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<TailRx>> {
         let inner = Arc::clone(&self.inner);
         Box::pin(async move { inner.log_tail(store, from).await })
+    }
+
+    fn metrics(&self) -> BoxFuture<'_, Result<knactor_types::metrics::MetricsSnapshot>> {
+        // Observability must stay reliable under chaos: scrapes bypass
+        // fault injection, like watch/tail subscriptions do.
+        let inner = Arc::clone(&self.inner);
+        Box::pin(async move { inner.metrics().await })
     }
 }
 

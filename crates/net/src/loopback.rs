@@ -265,6 +265,12 @@ impl ExchangeApi for LoopbackClient {
     fn log_tail(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<TailRx>> {
         Box::pin(async move { Ok(self.log.store(&store)?.tail(from)) })
     }
+
+    fn metrics(&self) -> BoxFuture<'_, Result<knactor_types::metrics::MetricsSnapshot>> {
+        // In-process deployment: the client and the exchange share one
+        // process, so the global registry *is* the exchange's registry.
+        Box::pin(async move { Ok(knactor_types::metrics::global().snapshot()) })
+    }
 }
 
 /// Bundle of fresh in-process exchanges plus a client, for tests and

@@ -229,6 +229,10 @@ pub enum Request {
         store: StoreId,
         from: u64,
     },
+    // ---- observability ------------------------------------------------------
+    /// Scrape the server's metrics registry (counters, gauges, latency
+    /// histograms); the reply is `Response::Metrics`.
+    Metrics,
 }
 
 /// Server → client replies.
@@ -267,6 +271,9 @@ pub enum Response {
     },
     Watch {
         sub_id: u64,
+    },
+    Metrics {
+        snapshot: knactor_types::metrics::MetricsSnapshot,
     },
     Error {
         code: String,

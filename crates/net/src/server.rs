@@ -422,6 +422,9 @@ async fn dispatch(
             subs.insert(sub_id, task);
             Ok(Response::Watch { sub_id })
         }
+        Request::Metrics => Ok(Response::Metrics {
+            snapshot: knactor_types::metrics::global().snapshot(),
+        }),
     }
 }
 

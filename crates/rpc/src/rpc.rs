@@ -243,7 +243,17 @@ impl RpcClient {
     }
 
     /// Invoke `Service/Method` with a JSON payload.
+    ///
+    /// Every call is counted into `knactor_rpc_calls_total{method}` and
+    /// timed into `knactor_rpc_call_seconds{method}` — the API-centric
+    /// baseline's side of the Table 2 comparison, so parity runs can cite
+    /// the same metric names as the knactor deployment.
     pub async fn call(&self, method: &str, payload: Value) -> Result<Value> {
+        let registry = knactor_types::metrics::global();
+        registry
+            .counter("knactor_rpc_calls_total", &[("method", method)])
+            .inc();
+        let call_start = std::time::Instant::now();
         if let Some(rtt) = self.latency {
             knactor_net::precise_sleep(rtt).await;
         }
@@ -260,6 +270,9 @@ impl RpcClient {
         let reply = rx
             .await
             .map_err(|_| Error::Transport("connection closed awaiting reply".to_string()))?;
+        registry
+            .histogram("knactor_rpc_call_seconds", &[("method", method)])
+            .observe(call_start.elapsed());
         match (reply.result, reply.error) {
             (Some(v), None) => Ok(v),
             (_, Some((code, msg))) => Err(Error::from_wire(&code, &msg)),

@@ -28,12 +28,14 @@ use crate::event::{EventKind, WatchEvent};
 use crate::object::{RetentionPolicy, StoredObject};
 use crate::profile::EngineProfile;
 use crate::wal::Wal;
+use knactor_types::metrics::{self, Counter, Gauge, Histogram};
 use knactor_types::{value, Error, ObjectKey, Result, Revision, Schema, StoreId, Value};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use tokio::sync::mpsc;
 
 /// Number of hash-partitioned object shards. A power of two so the shard
@@ -65,6 +67,48 @@ pub struct ObjectStore {
     fanout: Mutex<Fanout>,
     /// Set while one thread is draining the fan-out outbox.
     draining: AtomicBool,
+    metrics: StoreMetrics,
+}
+
+/// Pre-registered handles into the global metrics registry, one set per
+/// store (labelled `store=<id>`). Registered once at open so the hot
+/// paths only touch atomics.
+struct StoreMetrics {
+    op_create: Arc<Counter>,
+    op_get: Arc<Counter>,
+    op_list: Arc<Counter>,
+    op_update: Arc<Counter>,
+    op_patch: Arc<Counter>,
+    op_delete: Arc<Counter>,
+    commit_seconds: Arc<Histogram>,
+    /// Live subscriber count, as observed at each fan-out delivery.
+    fanout_depth: Arc<Gauge>,
+    /// Committed-but-undelivered events still queued in the outbox.
+    outbox_lag: Arc<Gauge>,
+}
+
+impl StoreMetrics {
+    fn for_store(id: &StoreId) -> StoreMetrics {
+        let reg = metrics::global();
+        let store = id.to_string();
+        let op = |name: &str| {
+            reg.counter(
+                "knactor_store_ops_total",
+                &[("store", &store), ("op", name)],
+            )
+        };
+        StoreMetrics {
+            op_create: op("create"),
+            op_get: op("get"),
+            op_list: op("list"),
+            op_update: op("update"),
+            op_patch: op("patch"),
+            op_delete: op("delete"),
+            commit_seconds: reg.histogram("knactor_store_commit_seconds", &[("store", &store)]),
+            fanout_depth: reg.gauge("knactor_store_fanout_depth", &[("store", &store)]),
+            outbox_lag: reg.gauge("knactor_store_outbox_lag", &[("store", &store)]),
+        }
+    }
 }
 
 /// Serialization point for commits: WAL + bounded watch history.
@@ -125,6 +169,7 @@ impl ObjectStore {
             }
             wal = Some(Arc::new(recovered_wal));
         }
+        let store_metrics = StoreMetrics::for_store(&id);
         Ok(ObjectStore {
             id,
             revision: AtomicU64::new(revision.0),
@@ -141,6 +186,7 @@ impl ObjectStore {
             draining: AtomicBool::new(false),
             schema: Mutex::new(None),
             policy: Mutex::new(RetentionPolicy::Forever),
+            metrics: store_metrics,
             profile,
         })
     }
@@ -209,6 +255,7 @@ impl ObjectStore {
 
     /// Create a new object. Fails with `AlreadyExists` if the key is taken.
     pub fn create(&self, key: ObjectKey, value: impl Into<Arc<Value>>) -> Result<Revision> {
+        self.metrics.op_create.inc();
         let value: Arc<Value> = value.into();
         if let Some(schema) = &*self.schema.lock() {
             schema.validate(&value)?;
@@ -228,6 +275,7 @@ impl ObjectStore {
 
     /// Read an object (shared value handle and metadata).
     pub fn get(&self, key: &ObjectKey) -> Result<StoredObject> {
+        self.metrics.op_get.inc();
         self.shard(key)
             .read()
             .get(key)
@@ -242,6 +290,7 @@ impl ObjectStore {
     /// write-locked through the commit section, so no half-committed
     /// state (or its revision bump) can be observed.
     pub fn list(&self) -> (Vec<StoredObject>, Revision) {
+        self.metrics.op_list.inc();
         let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
         let rev = self.revision();
         let mut objects: Vec<StoredObject> =
@@ -259,6 +308,7 @@ impl ObjectStore {
         new_value: impl Into<Arc<Value>>,
         expected: Option<Revision>,
     ) -> Result<Revision> {
+        self.metrics.op_update.inc();
         let new_value: Arc<Value> = new_value.into();
         let schema = self.schema.lock().clone();
         let rev;
@@ -304,6 +354,7 @@ impl ObjectStore {
     /// as `Conflict`, and the merge is retried against fresh state a
     /// bounded number of times before the conflict propagates.
     pub fn patch(&self, key: &ObjectKey, patch: &Value, upsert: bool) -> Result<Revision> {
+        self.metrics.op_patch.inc();
         let mut last = None;
         for _ in 0..PATCH_RETRIES {
             let current = self
@@ -335,6 +386,7 @@ impl ObjectStore {
 
     /// Delete an object.
     pub fn delete(&self, key: &ObjectKey) -> Result<Revision> {
+        self.metrics.op_delete.inc();
         let rev;
         {
             let mut shard = self.shard(key).write();
@@ -363,6 +415,7 @@ impl ObjectStore {
         key: &ObjectKey,
         value: &Arc<Value>,
     ) -> Result<Revision> {
+        let commit_start = Instant::now();
         let mut commit = self.commit.lock();
         let rev = Revision(self.revision.load(Ordering::Relaxed) + 1);
         let event = WatchEvent {
@@ -379,7 +432,12 @@ impl ObjectStore {
         while commit.history.len() > commit.history_cap {
             commit.history.pop_front();
         }
-        self.fanout.lock().outbox.push_back(event);
+        {
+            let mut fanout = self.fanout.lock();
+            fanout.outbox.push_back(event);
+            self.metrics.outbox_lag.set(fanout.outbox.len() as i64);
+        }
+        self.metrics.commit_seconds.observe(commit_start.elapsed());
         Ok(rev)
     }
 
@@ -402,8 +460,14 @@ impl ObjectStore {
                 let (event, subscribers) = {
                     let mut fanout = self.fanout.lock();
                     fanout.subscribers.retain(|s| !s.tx.is_closed());
+                    self.metrics
+                        .fanout_depth
+                        .set(fanout.subscribers.len() as i64);
                     match fanout.outbox.pop_front() {
-                        Some(event) => (event, fanout.subscribers.clone()),
+                        Some(event) => {
+                            self.metrics.outbox_lag.set(fanout.outbox.len() as i64);
+                            (event, fanout.subscribers.clone())
+                        }
                         None => break,
                     }
                 };

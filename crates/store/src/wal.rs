@@ -26,6 +26,7 @@
 //! fails too, modelling a dead process until the store is reopened.
 
 use crate::event::WatchEvent;
+use knactor_types::metrics;
 use knactor_types::{Error, Result};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -104,6 +105,9 @@ impl Wal {
             std::fs::create_dir_all(dir)?;
         }
         let recovery = Wal::recover(&path)?;
+        metrics::global()
+            .counter("knactor_wal_recoveries_total", &[])
+            .inc();
         if recovery.torn_bytes > 0 || recovery.needs_terminator {
             // Physically repair the file before any append can follow
             // torn garbage: truncate to the valid prefix and restore the
@@ -192,6 +196,9 @@ impl Wal {
                 if self.fsync {
                     file.sync_data()?;
                 }
+                metrics::global()
+                    .counter("knactor_wal_appends_total", &[])
+                    .inc();
                 Ok(())
             }
         }

@@ -10,6 +10,9 @@
 //!   (Fig. 5 of the paper) and a [`schema::SchemaRegistry`].
 //! * [`id`] — strongly-typed identifiers: knactors, stores, object keys,
 //!   and monotonically increasing store [`id::Revision`]s.
+//! * [`metrics`] — the process-wide metrics registry (counters, gauges,
+//!   latency histograms) every layer instruments into; re-exported by
+//!   `knactor-core` as `core::metrics`.
 //! * [`error`] — the shared [`error::Error`] type.
 //!
 //! The paper externalizes each service's state into a data store hosted on
@@ -19,6 +22,7 @@
 
 pub mod error;
 pub mod id;
+pub mod metrics;
 pub mod path;
 pub mod schema;
 pub mod value;

@@ -1,0 +1,111 @@
+//! Corpus round-trip: every real spec shipped under `crates/apps/assets`
+//! (schemas, DXGs, and the Kubernetes-style deployment manifests) must
+//! survive parse → emit → parse with structure preserved, and the emitted
+//! form must carry every `# +kr:` semantic annotation — those comments
+//! are load-bearing (they mark integrator-filled fields), so losing one
+//! in a rewrite would silently change a schema's meaning.
+
+use knactor_yamlish::{parse, to_string, Node, Yaml};
+use std::path::{Path, PathBuf};
+
+fn corpus_files() -> Vec<PathBuf> {
+    let assets = Path::new(env!("CARGO_MANIFEST_DIR")).join("../apps/assets");
+    let mut files = Vec::new();
+    let mut stack = vec![assets];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("read assets dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "yaml") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn count_annotations(node: &Node) -> usize {
+    let own = node.annotations.len();
+    own + match &node.yaml {
+        Yaml::Scalar(_) => 0,
+        Yaml::Seq(items) => items.iter().map(count_annotations).sum(),
+        Yaml::Map(entries) => entries.iter().map(|(_, v)| count_annotations(v)).sum(),
+    }
+}
+
+/// Trailing `# +kr:` comments in the raw source (full-line comments never
+/// attach to a node, so they are excluded from the comparison).
+fn count_source_annotations(text: &str) -> usize {
+    text.lines()
+        .filter(|line| !line.trim_start().starts_with('#'))
+        .filter(|line| line.contains("# +kr:"))
+        .count()
+}
+
+#[test]
+fn corpus_roundtrips_with_structure_and_annotations() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 9,
+        "expected the full spec corpus, found only {files:?}"
+    );
+    let mut annotated_files = 0usize;
+    for path in &files {
+        let text = std::fs::read_to_string(path).expect("read spec");
+        let name = path.file_name().unwrap().to_string_lossy();
+        let node = parse(&text).unwrap_or_else(|e| panic!("{name}: does not parse: {e}"));
+
+        // Every trailing +kr: comment in the source is attached somewhere
+        // in the tree — the parser dropped none of them.
+        let in_tree = count_annotations(&node);
+        let in_source = count_source_annotations(&text);
+        assert_eq!(
+            in_tree, in_source,
+            "{name}: {in_source} trailing +kr: comments in source, {in_tree} in tree"
+        );
+        if in_tree > 0 {
+            annotated_files += 1;
+        }
+
+        // parse ∘ emit ∘ parse preserves structure AND annotations
+        // (structurally_eq compares annotations node-by-node).
+        let emitted = to_string(&node);
+        let reparsed =
+            parse(&emitted).unwrap_or_else(|e| panic!("{name}: emitted form does not parse: {e}"));
+        assert!(
+            node.structurally_eq(&reparsed),
+            "{name}: round-trip changed the tree\n--- emitted ---\n{emitted}"
+        );
+
+        // And a second rewrite is a fixpoint: emit is stable.
+        assert_eq!(emitted, to_string(&reparsed), "{name}: emit not stable");
+    }
+    assert!(
+        annotated_files >= 4,
+        "corpus should include +kr:-annotated schemas, found {annotated_files}"
+    );
+}
+
+#[test]
+fn corpus_annotations_survive_a_programmatic_edit() {
+    // The rewrite workflow the annotations exist for: load a schema, add
+    // a field, write it back — the external markers must still be there.
+    let assets = Path::new(env!("CARGO_MANIFEST_DIR")).join("../apps/assets");
+    let text = std::fs::read_to_string(assets.join("payment_schema.yaml")).unwrap();
+    let node = parse(&text).unwrap();
+    let mut entries = node.entries().unwrap().to_vec();
+    entries.push(("note".to_string(), Node::scalar("added by test")));
+    let edited = Node::map(entries);
+    let reparsed = parse(&to_string(&edited)).unwrap();
+    assert_eq!(
+        count_annotations(&reparsed),
+        count_source_annotations(&text)
+    );
+    assert!(reparsed.get("note").is_some());
+    assert_eq!(
+        reparsed.get("amount").unwrap().annotations,
+        vec!["external".to_string()]
+    );
+}
