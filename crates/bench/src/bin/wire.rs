@@ -1,0 +1,216 @@
+//! Wire-batching throughput bench: how much does batching at every layer
+//! (batched wire ops → corked framing → WAL group commit) buy over the
+//! one-op-one-frame-one-fsync baseline?
+//!
+//! ```text
+//! cargo run -p knactor-bench --bin wire --release          # full
+//! cargo run -p knactor-bench --bin wire --release -- quick # CI variant
+//! ```
+//!
+//! A real [`knactor_net::server::ExchangeServer`] on loopback TCP, a real
+//! [`knactor_net::client::TcpClient`], and — for the fsync rows — a real
+//! WAL fsynced on commit. Stores use a zero-delay durable profile (no
+//! simulated apiserver latencies), so the measured cost is the genuine
+//! wire + framing + fsync pipeline and nothing else.
+//!
+//! The matrix is batch size {1, 16, 64, 256} × fsync {off, on}. Batch 1
+//! is the per-record baseline: one `create` request, one frame, one
+//! fsync per record. Larger sizes send one `BatchCommit` per chunk, which
+//! the server stages as one WAL group and acknowledges after a single
+//! covering fsync. Emits `BENCH_wire.json`; the headline number is
+//! `speedup_batch64_fsync` (acceptance floor: ≥ 3×).
+
+use knactor_logstore::LogExchange;
+use knactor_net::client::TcpClient;
+use knactor_net::server::ExchangeServer;
+use knactor_net::ExchangeApi;
+use knactor_rbac::Subject;
+use knactor_store::profile::WatchDelivery;
+use knactor_store::{BatchOp, DataExchange, EngineProfile};
+use knactor_types::{ObjectKey, StoreId};
+use serde_json::json;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BATCH_SIZES: [usize; 4] = [1, 16, 64, 256];
+
+/// Durable profile with no simulated per-op delays: the bench measures
+/// the real pipeline, not the apiserver's modelled latency.
+fn bench_profile(dir: &std::path::Path, store: &str, fsync: bool) -> EngineProfile {
+    let mut wal = dir.to_path_buf();
+    wal.push(format!("{}.wal", store.replace('/', "_")));
+    EngineProfile {
+        name: if fsync { "wal-fsync" } else { "wal-nofsync" }.to_string(),
+        wal_path: Some(wal),
+        fsync,
+        read_delay: Duration::ZERO,
+        write_delay: Duration::ZERO,
+        watch: WatchDelivery::Push,
+        history_cap: knactor_store::profile::DEFAULT_HISTORY_CAP,
+    }
+}
+
+/// Sum of one counter across its label sets in a scraped snapshot.
+fn counter_total(snapshot: &knactor_types::metrics::MetricsSnapshot, name: &str) -> u64 {
+    snapshot
+        .counters
+        .iter()
+        .filter(|c| c.name == name)
+        .map(|c| c.value)
+        .sum()
+}
+
+/// Write `records` objects into a fresh store, `batch` per request.
+/// Returns (records/sec, fsyncs consumed).
+async fn run_config(
+    server: &ExchangeServer,
+    client: &TcpClient,
+    data_dir: &std::path::Path,
+    records: usize,
+    batch: usize,
+    fsync: bool,
+) -> (f64, u64) {
+    let store_name = format!("wire/b{batch}-{}", if fsync { "fsync" } else { "nofsync" });
+    let store = StoreId::new(store_name.as_str());
+    server
+        .object
+        .create_store(store.clone(), bench_profile(data_dir, &store_name, fsync))
+        .expect("create bench store");
+
+    let fsyncs_before = counter_total(
+        &client.metrics().await.expect("scrape metrics"),
+        "knactor_wal_fsyncs_total",
+    );
+    let start = Instant::now();
+    if batch == 1 {
+        // Per-record baseline: one request, one frame, one fsync each.
+        for i in 0..records {
+            client
+                .create(
+                    store.clone(),
+                    ObjectKey::new(format!("k{i:06}").as_str()),
+                    json!({"i": i, "payload": "0123456789abcdef"}),
+                )
+                .await
+                .expect("create");
+        }
+    } else {
+        for chunk_start in (0..records).step_by(batch) {
+            let ops: Vec<BatchOp> = (chunk_start..(chunk_start + batch).min(records))
+                .map(|i| BatchOp::Create {
+                    key: ObjectKey::new(format!("k{i:06}").as_str()),
+                    value: json!({"i": i, "payload": "0123456789abcdef"}),
+                })
+                .collect();
+            let items = client
+                .batch_commit(store.clone(), ops)
+                .await
+                .expect("batch_commit");
+            for item in items {
+                item.into_revision().expect("per-item commit");
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    let fsyncs_after = counter_total(
+        &client.metrics().await.expect("scrape metrics"),
+        "knactor_wal_fsyncs_total",
+    );
+
+    // Everything acked must be readable: the batches really committed.
+    let (objects, _) = client.list(store).await.expect("list");
+    assert_eq!(objects.len(), records, "committed records");
+
+    let throughput = records as f64 / elapsed.as_secs_f64();
+    (throughput, fsyncs_after - fsyncs_before)
+}
+
+async fn run(records: usize) -> serde_json::Value {
+    let data_dir = std::env::temp_dir().join(format!("knactor-wire-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&data_dir).expect("bench data dir");
+    let server = ExchangeServer::bind(
+        "127.0.0.1:0",
+        Arc::new(DataExchange::new()),
+        Arc::new(LogExchange::new()),
+    )
+    .await
+    .expect("bind server");
+    let client = TcpClient::connect(server.local_addr(), Subject::operator("wire-bench"))
+        .await
+        .expect("connect");
+
+    let mut rows = Vec::new();
+    let mut by_key = std::collections::BTreeMap::new();
+    for fsync in [false, true] {
+        for batch in BATCH_SIZES {
+            let (throughput, fsyncs) =
+                run_config(&server, &client, &data_dir, records, batch, fsync).await;
+            eprintln!(
+                "batch={batch:>3} fsync={fsync:5} -> {throughput:>10.0} rec/s ({fsyncs} fsyncs)"
+            );
+            by_key.insert((fsync, batch), throughput);
+            rows.push(json!({
+                "batch": batch,
+                "fsync": fsync,
+                "records": records,
+                "records_per_sec": throughput,
+                "fsyncs": fsyncs,
+            }));
+        }
+    }
+
+    let speedup = |fsync: bool, batch: usize| by_key[&(fsync, batch)] / by_key[&(fsync, 1)];
+    let speedup_batch64_fsync = speedup(true, 64);
+
+    // Server-side batching observability, scraped over the same wire.
+    let snapshot = client.metrics().await.expect("scrape metrics");
+    let group_records = snapshot
+        .histograms
+        .iter()
+        .find(|h| h.name == "knactor_wal_group_commit_records")
+        .map(|h| json!({"count": h.count, "max": h.max_ns}));
+
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    json!({
+        "description": "Wire-batching throughput bench (cargo run -p knactor-bench --bin wire --release). Real TCP server + client on loopback; each config writes the same records into a fresh WAL-backed store, batch 1 as single create requests, larger batches as one BatchCommit per chunk (one frame out, one WAL group fsync to cover the chunk). records_per_sec is sustained write throughput; speedups are vs the batch-1 row with the same fsync setting.",
+        "records_per_config": records,
+        "configs": rows,
+        "speedup_vs_batch1": {
+            "nofsync": {
+                "batch16": speedup(false, 16),
+                "batch64": speedup(false, 64),
+                "batch256": speedup(false, 256),
+            },
+            "fsync": {
+                "batch16": speedup(true, 16),
+                "batch64": speedup(true, 64),
+                "batch256": speedup(true, 256),
+            },
+        },
+        "speedup_batch64_fsync": speedup_batch64_fsync,
+        "wal_group_commit_records": group_records,
+    })
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick" || a == "--quick");
+    let records = if quick { 512 } else { 2048 };
+
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    let result = runtime.block_on(run(records));
+
+    let pretty = serde_json::to_string(&result).unwrap();
+    println!("{pretty}");
+    std::fs::write("BENCH_wire.json", format!("{pretty}\n")).expect("write BENCH_wire.json");
+    eprintln!("wrote BENCH_wire.json");
+
+    let speedup = result["speedup_batch64_fsync"].as_f64().unwrap();
+    assert!(
+        speedup >= 3.0,
+        "batch-64 fsync speedup {speedup:.2}x below the 3x floor"
+    );
+}

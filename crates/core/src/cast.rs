@@ -31,7 +31,7 @@ use crate::telemetry::TraceCollector;
 use knactor_dxg::{Dxg, Plan};
 use knactor_expr::{Env, FnRegistry};
 use knactor_net::ExchangeApi;
-use knactor_store::{EventKind, StoredObject, UdfBinding, WatchEvent};
+use knactor_store::{EventKind, PutItem, StoredObject, UdfBinding, WatchEvent};
 use knactor_types::{Error, ObjectKey, Result, Revision, StoreId, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -562,37 +562,56 @@ async fn activation(
         }
     }
 
-    // Write phase: one patch per target, all targets concurrently.
-    if pending.len() == 1 {
-        let (alias, patch) = pending.into_iter().next().expect("len checked");
+    // Write phase: the coalesced per-target patches go out as **one
+    // batched wire op per target store** (`batch_put`) — N targets in a
+    // store cost one round trip and one WAL group fsync, not N of each.
+    // Distinct stores still flush concurrently.
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let mut per_store: BTreeMap<StoreId, Vec<(String, PutItem)>> = BTreeMap::new();
+    for (alias, patch) in pending {
         let binding = &config.bindings[&alias];
-        let key = resolve_key(binding, trigger_key);
-        let start = Instant::now();
-        api.patch(binding.store.clone(), key, patch, true).await?;
-        let elapsed = start.elapsed();
-        let stage = format!("write:{alias}");
-        traces.record(&trace_id, &component, &stage, elapsed);
-        observe_stage(&component, &stage, elapsed);
-    } else if !pending.is_empty() {
-        let flushes: Vec<_> = pending
+        let item = PutItem {
+            key: resolve_key(binding, trigger_key),
+            value: patch,
+            upsert: true,
+        };
+        per_store
+            .entry(binding.store.clone())
+            .or_default()
+            .push((alias, item));
+    }
+    let flush_group = |store: StoreId, group: Vec<(String, PutItem)>| {
+        let api = Arc::clone(api);
+        async move {
+            let (aliases, items): (Vec<String>, Vec<PutItem>) = group.into_iter().unzip();
+            let start = Instant::now();
+            let result = api.batch_put(store, items).await;
+            (aliases, start.elapsed(), result)
+        }
+    };
+    let mut flushed = Vec::new();
+    if per_store.len() == 1 {
+        // No cross-store parallelism to win — skip the task machinery.
+        let (store, group) = per_store.into_iter().next().expect("len checked");
+        flushed.push(flush_group(store, group).await);
+    } else {
+        let tasks: Vec<_> = per_store
             .into_iter()
-            .map(|(alias, patch)| {
-                let api = Arc::clone(api);
-                let binding = &config.bindings[&alias];
-                let store = binding.store.clone();
-                let key = resolve_key(binding, trigger_key);
-                tokio::spawn(async move {
-                    let start = Instant::now();
-                    let result = api.patch(store, key, patch, true).await;
-                    (alias, start.elapsed(), result)
-                })
-            })
+            .map(|(store, group)| tokio::spawn(flush_group(store, group)))
             .collect();
-        for flush in flushes {
-            let (alias, elapsed, result) = flush
-                .await
-                .map_err(|e| Error::Internal(format!("cast flush task: {e}")))?;
-            result?;
+        for task in tasks {
+            flushed.push(
+                task.await
+                    .map_err(|e| Error::Internal(format!("cast flush task: {e}")))?,
+            );
+        }
+    }
+    for (aliases, elapsed, result) in flushed {
+        let items = result?;
+        for (alias, item) in aliases.into_iter().zip(items) {
+            item.into_revision()?;
             let stage = format!("write:{alias}");
             traces.record(&trace_id, &component, &stage, elapsed);
             observe_stage(&component, &stage, elapsed);

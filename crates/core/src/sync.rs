@@ -363,7 +363,19 @@ async fn deliver(api: &dyn ExchangeApi, config: &SyncConfig, rows: Vec<Value>) -
             };
             let mut patch = Value::Object(serde_json::Map::new());
             knactor_types::value::set_path(&mut patch, field, value)?;
-            api.patch(store.clone(), key.clone(), patch, true).await?;
+            // Through the batched wire op so snapshot refreshes share the
+            // exchange's group-commit path with Cast's writes.
+            let item = knactor_store::PutItem {
+                key: key.clone(),
+                value: patch,
+                upsert: true,
+            };
+            api.batch_put(store.clone(), vec![item])
+                .await?
+                .into_iter()
+                .next()
+                .ok_or_else(|| Error::Internal("empty batch reply".to_string()))?
+                .into_revision()?;
             Ok(())
         }
     }

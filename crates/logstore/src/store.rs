@@ -124,12 +124,46 @@ impl LogStore {
         seq
     }
 
-    /// Ingest a batch; returns the sequence of the last record.
+    /// Ingest a batch under one lock acquisition (retention runs once,
+    /// after the whole batch); returns the sequence of the last record.
     pub fn append_batch(&self, batch: impl IntoIterator<Item = Value>) -> u64 {
-        let mut last = self.inner.lock().next_seq.saturating_sub(1);
-        for v in batch {
-            last = self.append(v);
+        let mut inner = self.inner.lock();
+        let mut last = inner.next_seq.saturating_sub(1);
+        let mut appended: u64 = 0;
+        for fields in batch {
+            let fields = match fields {
+                Value::Object(_) => fields,
+                other => serde_json::json!({ "value": other }),
+            };
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            let record = LogRecord { seq, fields };
+            if inner
+                .segments
+                .last()
+                .map(|s| s.records.len() >= SEGMENT_CAPACITY)
+                .unwrap_or(true)
+            {
+                inner.segments.push(Segment::default());
+            }
+            inner
+                .segments
+                .last_mut()
+                .expect("segment pushed above")
+                .records
+                .push(record.clone());
+            inner.total += 1;
+            inner.tails.retain(|tx| tx.send(record.clone()).is_ok());
+            last = seq;
+            appended += 1;
         }
+        if let Some(max) = inner.retain_max {
+            while inner.total > max && inner.segments.len() > 1 {
+                let dropped = inner.segments.remove(0);
+                inner.total -= dropped.records.len();
+            }
+        }
+        self.appends.add(appended);
         last
     }
 
@@ -277,6 +311,17 @@ impl LogExchange {
             )));
         }
         Ok(self.store(id)?.append(fields))
+    }
+
+    /// Ingest a batch with one access check (the check is per subject and
+    /// store, not per record) and one store-lock acquisition.
+    pub fn ingest_batch(&self, subject: &str, id: &StoreId, batch: Vec<Value>) -> Result<u64> {
+        if !self.access.read().allows(subject, "create", id) {
+            return Err(Error::Forbidden(format!(
+                "{subject} may not ingest into {id}"
+            )));
+        }
+        Ok(self.store(id)?.append_batch(batch))
     }
 
     /// Query with access check (see [`crate::query::Query::run`]).

@@ -8,7 +8,7 @@
 use crate::proto::{ProfileSpec, QuerySpec};
 use knactor_logstore::LogRecord;
 use knactor_store::udf::UdfAssignment;
-use knactor_store::{StoredObject, TxOp, UdfBinding, WatchEvent};
+use knactor_store::{BatchOp, ItemResult, PutItem, StoredObject, TxOp, UdfBinding, WatchEvent};
 use knactor_types::{ObjectKey, Result, Revision, Schema, SchemaName, StoreId, Value};
 use std::future::Future;
 use std::pin::Pin;
@@ -50,6 +50,64 @@ pub trait ExchangeApi: Send + Sync {
         upsert: bool,
     ) -> BoxFuture<'_, Result<Revision>>;
     fn delete(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<Revision>>;
+
+    // ---- batched object ops --------------------------------------------------
+    // Default bodies fall back to looping the single ops, so every
+    // implementation keeps the same per-item semantics; real transports
+    // override these to collapse N items into one round-trip (and, server
+    // side, one WAL group fsync).
+
+    /// Read many keys; one [`ItemResult`] per key, in request order.
+    fn batch_get(
+        &self,
+        store: StoreId,
+        keys: Vec<ObjectKey>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        Box::pin(async move {
+            let mut items = Vec::with_capacity(keys.len());
+            for key in keys {
+                items.push(ItemResult::from_object(self.get(store.clone(), key).await));
+            }
+            Ok(items)
+        })
+    }
+
+    /// Batched merge-writes (patch/upsert per item).
+    fn batch_put(
+        &self,
+        store: StoreId,
+        items: Vec<PutItem>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        self.batch_commit(store, items.into_iter().map(BatchOp::from).collect())
+    }
+
+    /// Batched mutations with per-item OCC and per-item outcomes.
+    fn batch_commit(
+        &self,
+        store: StoreId,
+        ops: Vec<BatchOp>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        Box::pin(async move {
+            let mut items = Vec::with_capacity(ops.len());
+            for op in ops {
+                let result = match op {
+                    BatchOp::Create { key, value } => self.create(store.clone(), key, value).await,
+                    BatchOp::Update {
+                        key,
+                        value,
+                        expected,
+                    } => self.update(store.clone(), key, value, expected).await,
+                    BatchOp::Patch { key, patch, upsert } => {
+                        self.patch(store.clone(), key, patch, upsert).await
+                    }
+                    BatchOp::Delete { key } => self.delete(store.clone(), key).await,
+                };
+                items.push(ItemResult::from_revision(result));
+            }
+            Ok(items)
+        })
+    }
+
     fn register_consumer(
         &self,
         store: StoreId,

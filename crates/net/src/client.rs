@@ -20,13 +20,15 @@ use crate::api::{BoxFuture, ExchangeApi, TailRx, WatchRx};
 use crate::fault::FaultRng;
 use crate::frame::{FrameReader, FrameWriter};
 use crate::proto::{
-    decode, encode, EventBody, Hello, ProfileSpec, QuerySpec, Request, RequestEnvelope, Response,
-    ServerMsg,
+    decode, encode, encode_into, EventBody, Hello, ProfileSpec, QuerySpec, Request,
+    RequestEnvelope, Response, ServerMsg,
 };
 use knactor_logstore::LogRecord;
 use knactor_rbac::{Subject, SubjectKind};
 use knactor_store::udf::UdfAssignment;
-use knactor_store::{EventKind, StoredObject, TxOp, UdfBinding, WatchEvent};
+use knactor_store::{
+    BatchOp, EventKind, ItemResult, PutItem, StoredObject, TxOp, UdfBinding, WatchEvent,
+};
 use knactor_types::{Error, ObjectKey, Result, Revision, Schema, SchemaName, StoreId, Value};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
@@ -78,6 +80,10 @@ impl TcpClient {
         socket
             .set_nodelay(true)
             .map_err(|e| Error::Transport(e.to_string()))?;
+        let peer = socket
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "peer".to_string());
         let (read_half, write_half) = socket.into_split();
         let mut writer = FrameWriter::new(write_half);
         let hello = Hello {
@@ -93,11 +99,33 @@ impl TcpClient {
         let router = Arc::new(Mutex::new(Router::default()));
 
         // Writer task: serializes request envelopes onto the socket.
+        // Corked: after the first envelope, drain whatever else is already
+        // queued (pipelined callers, batch fan-out) into the frame buffer
+        // and flush once — N requests, one write.
         let (out_tx, mut out_rx) = mpsc::unbounded_channel::<RequestEnvelope>();
         tokio::spawn(async move {
-            while let Some(envelope) = out_rx.recv().await {
-                let Ok(bytes) = encode(&envelope) else { break };
-                if writer.write_frame(&bytes).await.is_err() {
+            let frames_per_flush = knactor_types::metrics::global().histogram(
+                "knactor_net_batch_size",
+                &[("role", "client"), ("unit", "frames")],
+            );
+            let mut scratch = String::new();
+            'conn: while let Some(mut envelope) = out_rx.recv().await {
+                let mut frames = 0u64;
+                loop {
+                    if encode_into(&envelope, &mut scratch).is_err() {
+                        break 'conn;
+                    }
+                    if writer.write_frame_buffered(scratch.as_bytes()).is_err() {
+                        break 'conn;
+                    }
+                    frames += 1;
+                    match out_rx.try_recv() {
+                        Ok(next) => envelope = next,
+                        Err(_) => break,
+                    }
+                }
+                frames_per_flush.observe_ns(frames);
+                if writer.flush().await.is_err() {
                     break;
                 }
             }
@@ -140,33 +168,30 @@ impl TcpClient {
                             let _ = tx.send(response);
                         }
                     }
-                    ServerMsg::Event { sub_id, body } => match body {
-                        EventBody::Object { event } => {
-                            if let Some(tx) = router.object_subs.get(&sub_id) {
-                                if tx.send(event).is_err() {
-                                    router.object_subs.remove(&sub_id);
-                                }
-                            }
+                    ServerMsg::Event { sub_id, body } => {
+                        deliver_event(&mut router, sub_id, body);
+                    }
+                    ServerMsg::EventBatch { sub_id, bodies } => {
+                        // A batched frame is exactly N events in delivery
+                        // order; unpack it through the same path.
+                        for body in bodies {
+                            deliver_event(&mut router, sub_id, body);
                         }
-                        EventBody::Record { record } => {
-                            if let Some(tx) = router.record_subs.get(&sub_id) {
-                                if tx.send(record).is_err() {
-                                    router.record_subs.remove(&sub_id);
-                                }
-                            }
-                        }
-                        EventBody::Closed => {
-                            router.object_subs.remove(&sub_id);
-                            router.record_subs.remove(&sub_id);
-                        }
-                    },
+                    }
                 }
             }
-            // Connection gone: fail all pending requests by dropping their
-            // senders, close all subscriptions, and refuse future requests.
+            // Connection gone: answer every pending request with an
+            // explicit transport error (naming the peer and the fact that
+            // the reply is outstanding — the caller may have executed),
+            // close all subscriptions, and refuse future requests.
             let mut router = demux_router.lock();
             router.closed = true;
-            router.pending.clear();
+            let lost = Error::Transport(format!(
+                "connection to {peer} lost with the reply outstanding"
+            ));
+            for (_, tx) in router.pending.drain() {
+                let _ = tx.send(Response::from_error(&lost));
+            }
             router.object_subs.clear();
             router.record_subs.clear();
         });
@@ -269,6 +294,32 @@ fn unexpected(r: Response) -> Error {
     Error::Transport(format!("unexpected response {r:?}"))
 }
 
+/// Route one pushed event body to its subscription channel, dropping the
+/// subscription on a gone consumer. Shared by single-event and batched
+/// frames so both deliver identically.
+fn deliver_event(router: &mut Router, sub_id: u64, body: EventBody) {
+    match body {
+        EventBody::Object { event } => {
+            if let Some(tx) = router.object_subs.get(&sub_id) {
+                if tx.send(event).is_err() {
+                    router.object_subs.remove(&sub_id);
+                }
+            }
+        }
+        EventBody::Record { record } => {
+            if let Some(tx) = router.record_subs.get(&sub_id) {
+                if tx.send(record).is_err() {
+                    router.record_subs.remove(&sub_id);
+                }
+            }
+        }
+        EventBody::Closed => {
+            router.object_subs.remove(&sub_id);
+            router.record_subs.remove(&sub_id);
+        }
+    }
+}
+
 impl ExchangeApi for TcpClient {
     fn create_store(&self, store: StoreId, profile: ProfileSpec) -> BoxFuture<'_, Result<()>> {
         Box::pin(async move {
@@ -364,6 +415,45 @@ impl ExchangeApi for TcpClient {
         Box::pin(async move {
             match self.request(Request::Delete { store, key }).await? {
                 Response::Revision { revision } => Ok(revision),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn batch_get(
+        &self,
+        store: StoreId,
+        keys: Vec<ObjectKey>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        Box::pin(async move {
+            match self.request(Request::BatchGet { store, keys }).await? {
+                Response::Batch { items } => Ok(items),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn batch_put(
+        &self,
+        store: StoreId,
+        items: Vec<PutItem>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        Box::pin(async move {
+            match self.request(Request::BatchPut { store, items }).await? {
+                Response::Batch { items } => Ok(items),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn batch_commit(
+        &self,
+        store: StoreId,
+        ops: Vec<BatchOp>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        Box::pin(async move {
+            match self.request(Request::BatchCommit { store, ops }).await? {
+                Response::Batch { items } => Ok(items),
                 other => Err(unexpected(other)),
             }
         })
@@ -1101,6 +1191,96 @@ impl ExchangeApi for ResilientClient {
                             Err(Error::NotFound(_)) if attempt > 0 => Ok(Revision::ZERO),
                             r => r,
                         }
+                    })
+                }))
+                .await
+        })
+    }
+
+    fn batch_get(
+        &self,
+        store: StoreId,
+        keys: Vec<ObjectKey>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, _| {
+                    Box::pin(c.batch_get(store.clone(), keys.clone()))
+                }))
+                .await
+        })
+    }
+
+    // batch_put inherits the trait default (convert to ops, call
+    // batch_commit), so it lands on the recovering override below.
+
+    fn batch_commit(
+        &self,
+        store: StoreId,
+        ops: Vec<BatchOp>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        Box::pin(async move {
+            self.inner
+                .retry(op_fn(move |c, attempt| {
+                    let (store, ops) = (store.clone(), ops.clone());
+                    Box::pin(async move {
+                        let mut items = c.batch_commit(store.clone(), ops.clone()).await?;
+                        // A replayed batch collides with its own earlier
+                        // execution *item by item* (the server applies each
+                        // op independently), so recovery mirrors the scalar
+                        // rules per item: create → AlreadyExists → read back
+                        // and value-compare; preconditioned update →
+                        // Conflict → same; delete → NotFound on a retry →
+                        // already gone, answer the ZERO sentinel.
+                        for (op, item) in ops.iter().zip(items.iter_mut()) {
+                            let Some(err) = item.as_error() else { continue };
+                            match (op, err) {
+                                (BatchOp::Create { key, value }, Error::AlreadyExists(_)) => {
+                                    // The read-back itself crosses the same
+                                    // unreliable wire; a transport failure
+                                    // here must re-run the whole attempt,
+                                    // not leave the item ambiguous.
+                                    match c.get(store.clone(), key.clone()).await {
+                                        Ok(obj) if *obj.value == *value => {
+                                            *item = ItemResult::Revision {
+                                                revision: obj.created_revision,
+                                            };
+                                        }
+                                        Ok(_) => {}
+                                        Err(e @ (Error::Transport(_) | Error::Timeout(_))) => {
+                                            return Err(e)
+                                        }
+                                        Err(_) => {}
+                                    }
+                                }
+                                (
+                                    BatchOp::Update {
+                                        key,
+                                        value,
+                                        expected: Some(_),
+                                    },
+                                    Error::Conflict { .. },
+                                ) => match c.get(store.clone(), key.clone()).await {
+                                    Ok(obj) if *obj.value == *value => {
+                                        *item = ItemResult::Revision {
+                                            revision: obj.revision,
+                                        };
+                                    }
+                                    Ok(_) => {}
+                                    Err(e @ (Error::Transport(_) | Error::Timeout(_))) => {
+                                        return Err(e)
+                                    }
+                                    Err(_) => {}
+                                },
+                                (BatchOp::Delete { .. }, Error::NotFound(_)) if attempt > 0 => {
+                                    *item = ItemResult::Revision {
+                                        revision: Revision::ZERO,
+                                    };
+                                }
+                                _ => {}
+                            }
+                        }
+                        Ok(items)
                     })
                 }))
                 .await

@@ -25,7 +25,7 @@ use crate::frame::{FrameReader, FrameWriter};
 use crate::proto::{ProfileSpec, QuerySpec};
 use knactor_logstore::LogRecord;
 use knactor_store::udf::UdfAssignment;
-use knactor_store::{StoredObject, TxOp, UdfBinding};
+use knactor_store::{BatchOp, ItemResult, PutItem, StoredObject, TxOp, UdfBinding};
 use knactor_types::{Error, ObjectKey, Result, Revision, Schema, SchemaName, StoreId, Value};
 use parking_lot::Mutex;
 use std::net::SocketAddr;
@@ -524,6 +524,34 @@ impl ExchangeApi for FaultApi {
 
     fn delete(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<Revision>> {
         faulted_op!(self, (store, key), delete)
+    }
+
+    // Batch ops are one wire frame each, so they take ONE fault decision
+    // per call — a dropped batch loses all of it, a duplicated batch
+    // re-executes all of it. That is exactly what the proxy does to a
+    // batched frame.
+    fn batch_get(
+        &self,
+        store: StoreId,
+        keys: Vec<ObjectKey>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        faulted_op!(self, (store, keys), batch_get)
+    }
+
+    fn batch_put(
+        &self,
+        store: StoreId,
+        items: Vec<PutItem>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        faulted_op!(self, (store, items), batch_put)
+    }
+
+    fn batch_commit(
+        &self,
+        store: StoreId,
+        ops: Vec<BatchOp>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        faulted_op!(self, (store, ops), batch_commit)
     }
 
     fn register_consumer(

@@ -62,26 +62,69 @@ impl<R: AsyncRead + Unpin> FrameReader<R> {
 }
 
 /// Writes frames to an async byte stream.
+///
+/// Frames are assembled (length prefix + payload) in a reusable scratch
+/// buffer, so a frame costs exactly one `write_all` — not two writes and
+/// a flush. Writer loops that drain a queue should *cork*: call
+/// [`FrameWriter::write_frame_buffered`] per message and
+/// [`FrameWriter::flush`] once the queue is empty, turning N frames into
+/// one syscall-ish write.
 pub struct FrameWriter<W> {
     inner: W,
+    /// Encoded-but-unwritten frames (the cork).
+    scratch: BytesMut,
 }
 
 impl<W: AsyncWrite + Unpin> FrameWriter<W> {
     pub fn new(inner: W) -> Self {
-        FrameWriter { inner }
+        FrameWriter {
+            inner,
+            scratch: BytesMut::with_capacity(8 * 1024),
+        }
     }
 
+    /// Append one frame to the scratch buffer without checking length or
+    /// touching the socket.
+    fn buffer_frame(&mut self, payload: &[u8]) {
+        self.scratch.reserve(4 + payload.len());
+        self.scratch
+            .extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        self.scratch.extend_from_slice(payload);
+    }
+
+    /// Write one frame and flush: the unbatched path, one buffered write
+    /// for prefix + payload.
     pub async fn write_frame(&mut self, payload: &[u8]) -> Result<()> {
+        self.write_frame_buffered(payload)?;
+        self.flush().await
+    }
+
+    /// Stage one frame in the scratch buffer; nothing reaches the stream
+    /// until [`FrameWriter::flush`]. Synchronous — no I/O happens here —
+    /// and an oversized payload is rejected before staging, so it never
+    /// poisons frames already in the buffer.
+    pub fn write_frame_buffered(&mut self, payload: &[u8]) -> Result<()> {
         if payload.len() > MAX_FRAME {
             return Err(Error::Transport(format!(
                 "refusing to send {}-byte frame (max {MAX_FRAME})",
                 payload.len()
             )));
         }
-        self.inner
-            .write_all(&(payload.len() as u32).to_be_bytes())
-            .await?;
-        self.inner.write_all(payload).await?;
+        self.buffer_frame(payload);
+        Ok(())
+    }
+
+    /// Bytes currently staged and unflushed.
+    pub fn buffered_len(&self) -> usize {
+        self.scratch.len()
+    }
+
+    /// Push every staged frame to the stream in one write, then flush it.
+    pub async fn flush(&mut self) -> Result<()> {
+        if !self.scratch.is_empty() {
+            self.inner.write_all(&self.scratch).await?;
+            self.scratch.clear();
+        }
         self.inner.flush().await?;
         Ok(())
     }
@@ -150,5 +193,33 @@ mod tests {
         let mut w = FrameWriter::new(client);
         let big = vec![0u8; MAX_FRAME + 1];
         assert!(w.write_frame(&big).await.is_err());
+    }
+
+    /// Corked frames stay local until flush, then arrive intact and in
+    /// order — the framing contract batching relies on.
+    #[tokio::test]
+    async fn buffered_frames_arrive_only_after_flush() {
+        let (client, server) = tokio::io::duplex(4096);
+        let mut w = FrameWriter::new(client);
+        let mut r = FrameReader::new(server);
+        w.write_frame_buffered(b"one").unwrap();
+        w.write_frame_buffered(b"two").unwrap();
+        assert_eq!(w.buffered_len(), 4 + 3 + 4 + 3);
+        w.flush().await.unwrap();
+        assert_eq!(w.buffered_len(), 0);
+        assert_eq!(&r.read_frame().await.unwrap().unwrap()[..], b"one");
+        assert_eq!(&r.read_frame().await.unwrap().unwrap()[..], b"two");
+    }
+
+    #[tokio::test]
+    async fn oversized_buffered_frame_leaves_staged_frames_intact() {
+        let (client, server) = tokio::io::duplex(4096);
+        let mut w = FrameWriter::new(client);
+        w.write_frame_buffered(b"good").unwrap();
+        let big = vec![0u8; MAX_FRAME + 1];
+        assert!(w.write_frame_buffered(&big).is_err());
+        w.flush().await.unwrap();
+        let mut r = FrameReader::new(server);
+        assert_eq!(&r.read_frame().await.unwrap().unwrap()[..], b"good");
     }
 }

@@ -14,7 +14,7 @@ use crate::proto::{ProfileSpec, QuerySpec};
 use knactor_logstore::{LogExchange, LogRecord};
 use knactor_rbac::Subject;
 use knactor_store::udf::UdfAssignment;
-use knactor_store::{DataExchange, StoredObject, TxOp, UdfBinding};
+use knactor_store::{BatchOp, DataExchange, ItemResult, StoredObject, TxOp, UdfBinding};
 use knactor_types::{ObjectKey, Result, Revision, Schema, SchemaName, StoreId, Value};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -141,6 +141,38 @@ impl ExchangeApi for LoopbackClient {
         })
     }
 
+    fn batch_get(
+        &self,
+        store: StoreId,
+        keys: Vec<ObjectKey>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        Box::pin(async move {
+            self.object
+                .handle(&store, self.subject.clone())?
+                .batch_get(&keys)
+                .await
+        })
+    }
+
+    // batch_put keeps the trait default (convert to patch ops, call
+    // batch_commit) — identical to what the server does with a BatchPut.
+
+    fn batch_commit(
+        &self,
+        store: StoreId,
+        ops: Vec<BatchOp>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        // Same handle entry point the TCP server dispatches to, so both
+        // transports share one batch semantics (per-item outcomes, one
+        // fan-out drain, one WAL group fsync).
+        Box::pin(async move {
+            self.object
+                .handle(&store, self.subject.clone())?
+                .batch_commit(ops)
+                .await
+        })
+    }
+
     fn register_consumer(
         &self,
         store: StoreId,
@@ -242,13 +274,7 @@ impl ExchangeApi for LoopbackClient {
     }
 
     fn log_append_batch(&self, store: StoreId, batch: Vec<Value>) -> BoxFuture<'_, Result<u64>> {
-        Box::pin(async move {
-            let mut last = 0;
-            for fields in batch {
-                last = self.log.ingest(&self.subject_str(), &store, fields)?;
-            }
-            Ok(last)
-        })
+        Box::pin(async move { self.log.ingest_batch(&self.subject_str(), &store, batch) })
     }
 
     fn log_read(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<Vec<LogRecord>>> {

@@ -12,7 +12,9 @@
 
 use knactor_logstore::{AggFn, LogRecord, Query};
 use knactor_store::udf::UdfAssignment;
-use knactor_store::{EngineProfile, StoredObject, TxOp, UdfBinding, WatchEvent};
+use knactor_store::{
+    BatchOp, EngineProfile, ItemResult, PutItem, StoredObject, TxOp, UdfBinding, WatchEvent,
+};
 use knactor_types::{Error, ObjectKey, Result, Revision, Schema, SchemaName, StoreId, Value};
 use serde::{Deserialize, Serialize};
 
@@ -160,6 +162,24 @@ pub enum Request {
         store: StoreId,
         key: ObjectKey,
     },
+    /// Read many keys in one round-trip; replies `Response::Batch` with
+    /// one item per key (missing keys are per-item errors).
+    BatchGet {
+        store: StoreId,
+        keys: Vec<ObjectKey>,
+    },
+    /// Batched merge-writes (the integrator fast path): each item is a
+    /// patch/upsert; the whole batch shares one WAL group fsync.
+    BatchPut {
+        store: StoreId,
+        items: Vec<PutItem>,
+    },
+    /// General mutation batch with per-item OCC; replies
+    /// `Response::Batch` with per-item revisions or errors.
+    BatchCommit {
+        store: StoreId,
+        ops: Vec<BatchOp>,
+    },
     RegisterConsumer {
         store: StoreId,
         key: ObjectKey,
@@ -272,6 +292,10 @@ pub enum Response {
     Watch {
         sub_id: u64,
     },
+    /// Per-item outcomes of a `BatchGet`/`BatchPut`/`BatchCommit`.
+    Batch {
+        items: Vec<ItemResult>,
+    },
     Metrics {
         snapshot: knactor_types::metrics::MetricsSnapshot,
     },
@@ -316,12 +340,34 @@ pub enum EventBody {
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 #[serde(rename_all = "snake_case", tag = "type")]
 pub enum ServerMsg {
-    Reply { id: u64, response: Response },
-    Event { sub_id: u64, body: EventBody },
+    Reply {
+        id: u64,
+        response: Response,
+    },
+    Event {
+        sub_id: u64,
+        body: EventBody,
+    },
+    /// A drained run of events for one subscription in a single frame —
+    /// watch fan-out's framing amortization. Bodies are in delivery
+    /// order; receivers process them exactly as N `Event` frames.
+    EventBatch {
+        sub_id: u64,
+        bodies: Vec<EventBody>,
+    },
 }
 
 pub fn encode<T: Serialize>(msg: &T) -> Result<Vec<u8>> {
     Ok(serde_json::to_vec(msg)?)
+}
+
+/// Serialize `msg` appending to `scratch` (cleared first), reusing the
+/// buffer's allocation across messages. Per-connection writer loops keep
+/// one scratch `String` instead of allocating per frame.
+pub fn encode_into<T: Serialize>(msg: &T, scratch: &mut String) -> Result<()> {
+    scratch.clear();
+    serde_json::to_string_into(msg, scratch)?;
+    Ok(())
 }
 
 pub fn decode<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Result<T> {
@@ -411,6 +457,75 @@ mod tests {
         assert_eq!(ProfileSpec::Redis.materialize(&dir, &store).name, "redis");
         let api = ProfileSpec::Apiserver.materialize(&dir, &store);
         assert!(api.is_durable());
+    }
+
+    #[test]
+    fn batch_request_and_reply_roundtrip() {
+        let req = RequestEnvelope {
+            id: 11,
+            body: Request::BatchCommit {
+                store: StoreId::new("checkout/state"),
+                ops: vec![
+                    BatchOp::Create {
+                        key: ObjectKey::new("a"),
+                        value: json!({"x": 1}),
+                    },
+                    BatchOp::Delete {
+                        key: ObjectKey::new("b"),
+                    },
+                ],
+            },
+        };
+        let back: RequestEnvelope = decode(&encode(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
+
+        let resp = Response::Batch {
+            items: vec![
+                ItemResult::Revision {
+                    revision: Revision(4),
+                },
+                ItemResult::Error {
+                    code: "not_found".into(),
+                    message: "b".into(),
+                },
+            ],
+        };
+        let back: Response = decode(&encode(&resp).unwrap()).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn event_batch_roundtrip() {
+        let msg = ServerMsg::EventBatch {
+            sub_id: 5,
+            bodies: vec![
+                EventBody::Record {
+                    record: LogRecord {
+                        seq: 1,
+                        fields: json!({"a": 1}),
+                    },
+                },
+                EventBody::Closed,
+            ],
+        };
+        let back: ServerMsg = decode(&encode(&msg).unwrap()).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn encode_into_reuses_scratch_and_matches_encode() {
+        let msg = Response::Revision {
+            revision: Revision(9),
+        };
+        let mut scratch = String::new();
+        encode_into(&msg, &mut scratch).unwrap();
+        assert_eq!(scratch.as_bytes(), encode(&msg).unwrap().as_slice());
+        // A second encode clears the previous content.
+        encode_into(&Response::Ok, &mut scratch).unwrap();
+        assert_eq!(
+            scratch.as_bytes(),
+            encode(&Response::Ok).unwrap().as_slice()
+        );
     }
 
     #[test]

@@ -9,12 +9,12 @@
 
 use crate::frame::{FrameReader, FrameWriter};
 use crate::proto::{
-    decode, encode, EventBody, Hello, Request, RequestEnvelope, Response, ServerMsg,
+    decode, encode_into, EventBody, Hello, Request, RequestEnvelope, Response, ServerMsg,
 };
 use knactor_logstore::LogExchange;
 use knactor_rbac::Subject;
-use knactor_store::DataExchange;
-use knactor_types::{Error, Result, StoreId};
+use knactor_store::{BatchOp, DataExchange};
+use knactor_types::{metrics, Error, Result, StoreId, Value};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -140,13 +140,36 @@ async fn serve_connection(
     let (read_half, write_half) = socket.into_split();
     let mut reader = FrameReader::new(read_half);
 
-    // Outbound writer task: everything the server sends goes through here.
+    // Outbound writer task: everything the server sends goes through
+    // here. The loop is *corked*: after the blocking recv it drains every
+    // already-queued message into the frame writer's scratch buffer and
+    // flushes once, so a burst of replies/events costs one socket write.
     let (out_tx, mut out_rx) = mpsc::unbounded_channel::<ServerMsg>();
     let writer_task = tokio::spawn(async move {
         let mut writer = FrameWriter::new(write_half);
-        while let Some(msg) = out_rx.recv().await {
-            let Ok(bytes) = encode(&msg) else { break };
-            if writer.write_frame(&bytes).await.is_err() {
+        let mut scratch = String::new();
+        let frames_per_flush = metrics::global().histogram(
+            "knactor_net_batch_size",
+            &[("role", "server"), ("unit", "frames")],
+        );
+        'conn: while let Some(first) = out_rx.recv().await {
+            let mut msg = first;
+            let mut frames: u64 = 0;
+            loop {
+                if encode_into(&msg, &mut scratch).is_err() {
+                    break 'conn;
+                }
+                if writer.write_frame_buffered(scratch.as_bytes()).is_err() {
+                    break 'conn;
+                }
+                frames += 1;
+                match out_rx.try_recv() {
+                    Ok(next) => msg = next,
+                    Err(_) => break,
+                }
+            }
+            frames_per_flush.observe_ns(frames);
+            if writer.flush().await.is_err() {
                 break;
             }
         }
@@ -205,6 +228,42 @@ async fn serve_connection(
     drop(out_tx);
     let _ = writer_task.await;
     result
+}
+
+/// Most events a single pushed frame may carry.
+const BATCH_MAX_EVENTS: usize = 128;
+/// Rough payload-byte budget per pushed frame (estimated, not encoded
+/// sizes — enough to keep a run of large values from building a frame
+/// anywhere near `MAX_FRAME`).
+const BATCH_MAX_BYTES: usize = 256 * 1024;
+
+/// Wrap a drained run of bodies: a lone event keeps the compact `Event`
+/// form, a run becomes one `EventBatch` frame.
+fn batched_msg(sub_id: u64, mut bodies: Vec<EventBody>) -> ServerMsg {
+    if bodies.len() == 1 {
+        ServerMsg::Event {
+            sub_id,
+            body: bodies.pop().expect("len checked"),
+        }
+    } else {
+        ServerMsg::EventBatch { sub_id, bodies }
+    }
+}
+
+/// Cheap JSON-size estimate (no serialization) used for the byte cap.
+fn approx_value_bytes(v: &Value) -> usize {
+    match v {
+        Value::Null | Value::Bool(_) => 8,
+        Value::Number(_) => 16,
+        Value::String(s) => s.len() + 8,
+        Value::Array(items) => 8 + items.iter().map(approx_value_bytes).sum::<usize>(),
+        Value::Object(map) => {
+            8 + map
+                .iter()
+                .map(|(k, v)| k.len() + 8 + approx_value_bytes(v))
+                .sum::<usize>()
+        }
+    }
 }
 
 fn subject_from_hello(hello: &Hello) -> Result<Subject> {
@@ -285,6 +344,31 @@ async fn dispatch(
                 .await?;
             Ok(Response::Revision { revision: rev })
         }
+        Request::BatchGet { store, keys } => {
+            let items = ctx
+                .object
+                .handle(&store, subject.clone())?
+                .batch_get(&keys)
+                .await?;
+            Ok(Response::Batch { items })
+        }
+        Request::BatchPut { store, items } => {
+            let ops = items.into_iter().map(BatchOp::from).collect();
+            let items = ctx
+                .object
+                .handle(&store, subject.clone())?
+                .batch_commit(ops)
+                .await?;
+            Ok(Response::Batch { items })
+        }
+        Request::BatchCommit { store, ops } => {
+            let items = ctx
+                .object
+                .handle(&store, subject.clone())?
+                .batch_commit(ops)
+                .await?;
+            Ok(Response::Batch { items })
+        }
         Request::RegisterConsumer {
             store,
             key,
@@ -316,14 +400,23 @@ async fn dispatch(
             let sub_id = ctx.next_sub.fetch_add(1, Ordering::Relaxed);
             let out = out_tx.clone();
             let task = tokio::spawn(async move {
+                // Drain-available batching: after each blocking recv,
+                // scoop up whatever else has already committed (bounded
+                // by count and bytes) so fan-out sends one frame for N
+                // events instead of N frames.
                 while let Some(event) = stream.recv().await {
-                    if out
-                        .send(ServerMsg::Event {
-                            sub_id,
-                            body: EventBody::Object { event },
-                        })
-                        .is_err()
-                    {
+                    let mut bytes = approx_value_bytes(&event.value);
+                    let mut bodies = vec![EventBody::Object { event }];
+                    while bodies.len() < BATCH_MAX_EVENTS && bytes < BATCH_MAX_BYTES {
+                        match stream.try_recv() {
+                            Some(event) => {
+                                bytes += approx_value_bytes(&event.value);
+                                bodies.push(EventBody::Object { event });
+                            }
+                            None => break,
+                        }
+                    }
+                    if out.send(batched_msg(sub_id, bodies)).is_err() {
                         return;
                     }
                 }
@@ -383,10 +476,7 @@ async fn dispatch(
             Ok(Response::Seq { seq })
         }
         Request::LogAppendBatch { store, batch } => {
-            let mut seq = 0;
-            for fields in batch {
-                seq = ctx.log.ingest(&subject.to_string(), &store, fields)?;
-            }
+            let seq = ctx.log.ingest_batch(&subject.to_string(), &store, batch)?;
             Ok(Response::Seq { seq })
         }
         Request::LogRead { store, from } => {
@@ -403,14 +493,20 @@ async fn dispatch(
             let sub_id = ctx.next_sub.fetch_add(1, Ordering::Relaxed);
             let out = out_tx.clone();
             let task = tokio::spawn(async move {
+                // Same drain-available batching as watch fan-out.
                 while let Some(record) = rx.recv().await {
-                    if out
-                        .send(ServerMsg::Event {
-                            sub_id,
-                            body: EventBody::Record { record },
-                        })
-                        .is_err()
-                    {
+                    let mut bytes = approx_value_bytes(&record.fields);
+                    let mut bodies = vec![EventBody::Record { record }];
+                    while bodies.len() < BATCH_MAX_EVENTS && bytes < BATCH_MAX_BYTES {
+                        match rx.try_recv() {
+                            Ok(record) => {
+                                bytes += approx_value_bytes(&record.fields);
+                                bodies.push(EventBody::Record { record });
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    if out.send(batched_msg(sub_id, bodies)).is_err() {
                         return;
                     }
                 }

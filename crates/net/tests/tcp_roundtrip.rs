@@ -5,7 +5,7 @@ use knactor_net::server::test_server;
 use knactor_net::{ExchangeApi, TcpClient};
 use knactor_rbac::{Role, RoleBinding, Subject};
 use knactor_store::udf::UdfAssignment;
-use knactor_store::UdfBinding;
+use knactor_store::{BatchOp, ItemResult, PutItem, UdfBinding};
 use knactor_types::schema::{FieldSpec, FieldType};
 use knactor_types::{Error, ObjectKey, Revision, Schema, SchemaName, StoreId};
 use serde_json::json;
@@ -353,6 +353,191 @@ async fn concurrent_clients_pipeline() {
     assert_eq!(objects.len(), 32);
     assert_eq!(rev, Revision(32));
     server.shutdown().await;
+}
+
+/// The shared batch workload: mixed successes and per-item failures
+/// across `batch_commit`, `batch_put`, and `batch_get`. Returns every
+/// item outcome in order so transports can be compared verbatim.
+async fn batch_script(api: &dyn ExchangeApi) -> Vec<Vec<ItemResult>> {
+    let store = StoreId::new("parity/batch");
+    api.create_store(store.clone(), ProfileSpec::Instant)
+        .await
+        .unwrap();
+    let mut outcomes = Vec::new();
+    // Mixed commit: failing items must not poison their neighbours.
+    outcomes.push(
+        api.batch_commit(
+            store.clone(),
+            vec![
+                BatchOp::Create {
+                    key: ObjectKey::new("a"),
+                    value: json!({"v": 1}),
+                },
+                BatchOp::Create {
+                    key: ObjectKey::new("b"),
+                    value: json!({"v": 2}),
+                },
+                BatchOp::Create {
+                    key: ObjectKey::new("a"), // duplicate
+                    value: json!({"v": 99}),
+                },
+                BatchOp::Update {
+                    key: ObjectKey::new("ghost"), // missing
+                    value: json!(0),
+                    expected: None,
+                },
+                BatchOp::Update {
+                    key: ObjectKey::new("a"),
+                    value: json!({"v": 3}),
+                    expected: Some(Revision(99)), // stale OCC guard
+                },
+                BatchOp::Patch {
+                    key: ObjectKey::new("b"),
+                    patch: json!({"note": "hi"}),
+                    upsert: false,
+                },
+            ],
+        )
+        .await
+        .unwrap(),
+    );
+    // Put sugar: merge-patch an existing object, upsert a new one, and
+    // refuse a non-upsert put of a missing key.
+    outcomes.push(
+        api.batch_put(
+            store.clone(),
+            vec![
+                PutItem {
+                    key: ObjectKey::new("a"),
+                    value: json!({"extra": true}),
+                    upsert: false,
+                },
+                PutItem {
+                    key: ObjectKey::new("c"),
+                    value: json!({"v": 3}),
+                    upsert: true,
+                },
+                PutItem {
+                    key: ObjectKey::new("ghost"),
+                    value: json!({}),
+                    upsert: false,
+                },
+            ],
+        )
+        .await
+        .unwrap(),
+    );
+    // Reads: hits interleaved with a miss.
+    outcomes.push(
+        api.batch_get(
+            store.clone(),
+            vec![
+                ObjectKey::new("a"),
+                ObjectKey::new("ghost"),
+                ObjectKey::new("c"),
+            ],
+        )
+        .await
+        .unwrap(),
+    );
+    // Deletes: one real, one missing.
+    outcomes.push(
+        api.batch_commit(
+            store,
+            vec![
+                BatchOp::Delete {
+                    key: ObjectKey::new("b"),
+                },
+                BatchOp::Delete {
+                    key: ObjectKey::new("ghost"),
+                },
+            ],
+        )
+        .await
+        .unwrap(),
+    );
+    outcomes
+}
+
+/// Batched ops must behave identically on the in-process loopback and
+/// over real TCP: same per-item revisions, same objects, same typed
+/// errors in the same slots.
+#[tokio::test]
+async fn batch_ops_parity_loopback_vs_tcp() {
+    let (_object, _log, loopback) = knactor_net::loopback::in_process(Subject::operator("parity"));
+    let local = batch_script(&loopback).await;
+
+    let server = knactor_net::ExchangeServer::bind_ephemeral().await.unwrap();
+    let client = client_for(&server, Subject::operator("parity")).await;
+    let remote = batch_script(&client).await;
+    server.shutdown().await;
+
+    assert_eq!(
+        local, remote,
+        "loopback and TCP must produce identical batch outcomes"
+    );
+
+    // Pin the semantics on one transport (the other is equal by the
+    // assert above). Revisions advance only for committed items.
+    let codes = |items: &[ItemResult]| -> Vec<String> {
+        items
+            .iter()
+            .map(|i| match i {
+                ItemResult::Revision { revision } => format!("rev:{revision}"),
+                ItemResult::Object { object } => format!("obj:{}", object.key),
+                ItemResult::Error { code, .. } => format!("err:{code}"),
+            })
+            .collect()
+    };
+    assert_eq!(
+        codes(&local[0]),
+        [
+            "rev:1",
+            "rev:2",
+            "err:already_exists",
+            "err:not_found",
+            "err:conflict",
+            "rev:3"
+        ]
+    );
+    assert_eq!(codes(&local[1]), ["rev:4", "rev:5", "err:not_found"]);
+    assert_eq!(codes(&local[2]), ["obj:a", "err:not_found", "obj:c"]);
+    assert_eq!(codes(&local[3]), ["rev:6", "err:not_found"]);
+    // The merge-patch really merged.
+    let ItemResult::Object { object } = &local[2][0] else {
+        panic!("expected object for a");
+    };
+    assert_eq!(*object.value, json!({"v": 1, "extra": true}));
+}
+
+/// Losing the connection mid-request must fail the pending caller with a
+/// descriptive transport error — not strand it on a reply that can never
+/// arrive, and not hand it an opaque channel-closed message.
+#[tokio::test]
+async fn connection_loss_fails_pending_requests_descriptively() {
+    let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+    let addr = listener.local_addr().unwrap();
+    tokio::spawn(async move {
+        // Accept, never reply, hang up with the request outstanding.
+        let (socket, _) = listener.accept().await.unwrap();
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        drop(socket);
+    });
+
+    let client = TcpClient::connect(addr, Subject::operator("doomed"))
+        .await
+        .unwrap();
+    let err = client.ping().await.unwrap_err();
+    match err {
+        Error::Transport(msg) => assert!(
+            msg.contains("lost") && msg.contains("outstanding"),
+            "transport error should describe the connection loss, got: {msg}"
+        ),
+        other => panic!("expected Error::Transport, got {other:?}"),
+    }
+    // The client is marked closed: later requests fail fast instead of
+    // queueing onto a dead socket.
+    assert!(matches!(client.ping().await, Err(Error::Transport(_))));
 }
 
 #[tokio::test]

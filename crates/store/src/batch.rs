@@ -1,0 +1,209 @@
+//! Batched mutation types shared by the store core and the wire protocol.
+//!
+//! A batch is a *vector of independent operations*, not a transaction:
+//! each item succeeds or fails on its own ([`ItemResult`]), so one
+//! conflicting record does not poison its neighbours. What the batch buys
+//! is amortization — one wire round-trip, one framing flush, and (for
+//! durable engines) one WAL group fsync covering every item.
+//!
+//! The types live here (like [`crate::exchange::TxOp`]) so
+//! [`crate::ObjectStore`], [`crate::StoreHandle`], and the `net` crate
+//! all speak the same vocabulary.
+
+use crate::object::StoredObject;
+use knactor_types::{Error, ObjectKey, Result, Revision, Value};
+use serde::{Deserialize, Serialize};
+
+/// One mutation inside a `BatchCommit`. Mirrors the single-op API,
+/// including each op's OCC knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum BatchOp {
+    Create {
+        key: ObjectKey,
+        value: Value,
+    },
+    Update {
+        key: ObjectKey,
+        value: Value,
+        #[serde(default)]
+        expected: Option<Revision>,
+    },
+    Patch {
+        key: ObjectKey,
+        patch: Value,
+        #[serde(default)]
+        upsert: bool,
+    },
+    Delete {
+        key: ObjectKey,
+    },
+}
+
+impl BatchOp {
+    pub fn key(&self) -> &ObjectKey {
+        match self {
+            BatchOp::Create { key, .. }
+            | BatchOp::Update { key, .. }
+            | BatchOp::Patch { key, .. }
+            | BatchOp::Delete { key } => key,
+        }
+    }
+}
+
+/// One record of a `BatchPut`: a deep-merge write (the same semantics as
+/// the single-op `patch`), creating the object when `upsert` is set. This
+/// is the integrator workhorse — Cast and Sync write derived state as
+/// merge-patches, never blind replaces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PutItem {
+    pub key: ObjectKey,
+    pub value: Value,
+    #[serde(default)]
+    pub upsert: bool,
+}
+
+impl From<PutItem> for BatchOp {
+    fn from(item: PutItem) -> BatchOp {
+        BatchOp::Patch {
+            key: item.key,
+            patch: item.value,
+            upsert: item.upsert,
+        }
+    }
+}
+
+/// Per-item outcome of a batched call. Logical failures (`not_found`,
+/// `conflict`, …) ride inside the batch as `Error` items; only
+/// batch-wide failures (transport loss, a dead WAL) fail the whole call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "outcome", rename_all = "snake_case")]
+pub enum ItemResult {
+    /// The mutation committed at this revision.
+    Revision { revision: Revision },
+    /// The read found this object (`BatchGet`).
+    Object { object: StoredObject },
+    /// The item failed; `code`/`message` follow the wire error form.
+    Error { code: String, message: String },
+}
+
+impl ItemResult {
+    pub fn from_revision(r: Result<Revision>) -> ItemResult {
+        match r {
+            Ok(revision) => ItemResult::Revision { revision },
+            Err(e) => ItemResult::from_error(&e),
+        }
+    }
+
+    pub fn from_object(r: Result<StoredObject>) -> ItemResult {
+        match r {
+            Ok(object) => ItemResult::Object { object },
+            Err(e) => ItemResult::from_error(&e),
+        }
+    }
+
+    pub fn from_error(e: &Error) -> ItemResult {
+        ItemResult::Error {
+            code: e.code().to_string(),
+            message: e.wire_message(),
+        }
+    }
+
+    /// Unpack a mutation item: committed revision or the item's error.
+    pub fn into_revision(self) -> Result<Revision> {
+        match self {
+            ItemResult::Revision { revision } => Ok(revision),
+            ItemResult::Object { object } => Ok(object.revision),
+            ItemResult::Error { code, message } => Err(Error::from_wire(&code, &message)),
+        }
+    }
+
+    /// Unpack a read item: the object or the item's error.
+    pub fn into_object(self) -> Result<StoredObject> {
+        match self {
+            ItemResult::Object { object } => Ok(object),
+            ItemResult::Revision { revision } => Err(Error::Internal(format!(
+                "batch item returned a bare revision {revision} where an object was expected"
+            ))),
+            ItemResult::Error { code, message } => Err(Error::from_wire(&code, &message)),
+        }
+    }
+
+    pub fn is_err(&self) -> bool {
+        matches!(self, ItemResult::Error { .. })
+    }
+
+    pub fn as_error(&self) -> Option<Error> {
+        match self {
+            ItemResult::Error { code, message } => Some(Error::from_wire(code, message)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn batch_op_roundtrips_through_json() {
+        let ops = vec![
+            BatchOp::Create {
+                key: ObjectKey::new("a"),
+                value: json!({"x": 1}),
+            },
+            BatchOp::Update {
+                key: ObjectKey::new("b"),
+                value: json!(2),
+                expected: Some(Revision(7)),
+            },
+            BatchOp::Patch {
+                key: ObjectKey::new("c"),
+                patch: json!({"y": 3}),
+                upsert: true,
+            },
+            BatchOp::Delete {
+                key: ObjectKey::new("d"),
+            },
+        ];
+        let wire = serde_json::to_string(&ops).unwrap();
+        let back: Vec<BatchOp> = serde_json::from_str(&wire).unwrap();
+        assert_eq!(ops, back);
+    }
+
+    #[test]
+    fn item_result_carries_typed_errors() {
+        let item = ItemResult::from_error(&Error::Conflict {
+            expected: 3,
+            actual: 5,
+        });
+        assert!(item.is_err());
+        let err = item.into_revision().unwrap_err();
+        assert_eq!(
+            err,
+            Error::Conflict {
+                expected: 3,
+                actual: 5
+            }
+        );
+    }
+
+    #[test]
+    fn put_item_is_patch_sugar() {
+        let op: BatchOp = PutItem {
+            key: ObjectKey::new("k"),
+            value: json!({"v": 1}),
+            upsert: true,
+        }
+        .into();
+        assert_eq!(
+            op,
+            BatchOp::Patch {
+                key: ObjectKey::new("k"),
+                patch: json!({"v": 1}),
+                upsert: true,
+            }
+        );
+    }
+}

@@ -12,6 +12,7 @@
 //!    they commit, poll streams release them on a fixed tick, reproducing
 //!    the Kubernetes list-watch cadence of the paper's K-apiserver setup.
 
+use crate::batch::{BatchOp, ItemResult};
 use crate::event::WatchEvent;
 use crate::object::StoredObject;
 use crate::profile::WatchDelivery;
@@ -195,6 +196,43 @@ impl StoreHandle {
         self.check(Verb::Delete)?;
         let key = key.clone();
         self.run_write(move |s| s.delete(&key)).await
+    }
+
+    /// Read many objects in one call, one [`ItemResult`] per key. A
+    /// missing key is a per-item `not_found`, never a call failure.
+    pub async fn batch_get(&self, keys: &[ObjectKey]) -> Result<Vec<ItemResult>> {
+        self.check(Verb::Get)?;
+        self.read_delay().await;
+        Ok(keys
+            .iter()
+            .map(|key| {
+                ItemResult::from_object(self.store.get(key).and_then(|mut obj| {
+                    obj.value = self.redact(&obj.value)?;
+                    Ok(obj)
+                }))
+            })
+            .collect())
+    }
+
+    /// Apply a batch of mutations with per-item outcomes and one shared
+    /// durability barrier (see [`ObjectStore::apply_batch`]). Access is
+    /// checked per item verb *before* anything commits, so a forbidden op
+    /// rejects the whole batch rather than partially applying it.
+    pub async fn batch_commit(&self, ops: Vec<BatchOp>) -> Result<Vec<ItemResult>> {
+        for op in &ops {
+            match op {
+                BatchOp::Create { .. } => self.check(Verb::Create)?,
+                BatchOp::Update { .. } => self.check(Verb::Update)?,
+                BatchOp::Patch { upsert, .. } => {
+                    self.check(Verb::Update)?;
+                    if *upsert {
+                        self.check(Verb::Create)?;
+                    }
+                }
+                BatchOp::Delete { .. } => self.check(Verb::Delete)?,
+            }
+        }
+        self.run_write(move |s| s.apply_batch(ops)).await
     }
 
     /// Register interest for state retention.

@@ -31,6 +31,7 @@
 //! * an update carrying a stale expected revision never commits
 //! * a WAL replay reconstructs exactly the committed state
 
+pub mod batch;
 pub mod event;
 pub mod exchange;
 pub mod handle;
@@ -40,6 +41,7 @@ pub mod store;
 pub mod udf;
 pub mod wal;
 
+pub use batch::{BatchOp, ItemResult, PutItem};
 pub use event::{EventKind, WatchEvent};
 pub use exchange::{DataExchange, TxOp};
 pub use handle::StoreHandle;

@@ -24,6 +24,7 @@
 //! reads, history retention, and fan-out are refcount bumps, never deep
 //! copies of the JSON tree.
 
+use crate::batch::{BatchOp, ItemResult};
 use crate::event::{EventKind, WatchEvent};
 use crate::object::{RetentionPolicy, StoredObject};
 use crate::profile::EngineProfile;
@@ -48,6 +49,21 @@ const SHARD_COUNT: usize = 16;
 const PATCH_RETRIES: usize = 8;
 
 type Shard = RwLock<BTreeMap<ObjectKey, StoredObject>>;
+
+/// When a mutation's caller learns about durability.
+///
+/// `Acked` is the single-op contract: the call returns only after a WAL
+/// group fsync covers the commit. `Staged` is the batch building block:
+/// the commit is staged (and visible) but the ack is deferred until the
+/// batch-wide [`Wal::durable_barrier`], so N items share one fsync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Durability {
+    Acked,
+    Staged,
+}
+
+/// A staged-but-unacknowledged WAL write: wait on it before acking.
+type PendingDurability = Option<(Arc<Wal>, u64)>;
 
 /// A single data store: versioned objects + watch machinery.
 ///
@@ -255,21 +271,25 @@ impl ObjectStore {
 
     /// Create a new object. Fails with `AlreadyExists` if the key is taken.
     pub fn create(&self, key: ObjectKey, value: impl Into<Arc<Value>>) -> Result<Revision> {
+        self.create_impl(Durability::Acked, key, value.into())
+    }
+
+    fn create_impl(&self, mode: Durability, key: ObjectKey, value: Arc<Value>) -> Result<Revision> {
         self.metrics.op_create.inc();
-        let value: Arc<Value> = value.into();
         if let Some(schema) = &*self.schema.lock() {
             schema.validate(&value)?;
         }
         let rev;
+        let pending;
         {
             let mut shard = self.shard(&key).write();
             if shard.contains_key(&key) {
                 return Err(Error::AlreadyExists(key.to_string()));
             }
-            rev = self.commit_locked(EventKind::Created, &key, &value)?;
+            (rev, pending) = self.commit_locked(EventKind::Created, &key, &value)?;
             shard.insert(key.clone(), StoredObject::new(key, value, rev));
         }
-        self.drain_fanout();
+        self.finish_commit(mode, pending)?;
         Ok(rev)
     }
 
@@ -308,10 +328,20 @@ impl ObjectStore {
         new_value: impl Into<Arc<Value>>,
         expected: Option<Revision>,
     ) -> Result<Revision> {
+        self.update_impl(Durability::Acked, key, new_value.into(), expected)
+    }
+
+    fn update_impl(
+        &self,
+        mode: Durability,
+        key: &ObjectKey,
+        new_value: Arc<Value>,
+        expected: Option<Revision>,
+    ) -> Result<Revision> {
         self.metrics.op_update.inc();
-        let new_value: Arc<Value> = new_value.into();
         let schema = self.schema.lock().clone();
         let rev;
+        let pending;
         {
             let mut shard = self.shard(key).write();
             let obj = shard
@@ -328,7 +358,7 @@ impl ObjectStore {
             if let Some(schema) = &schema {
                 schema.validate_update(&obj.value, &new_value)?;
             }
-            rev = self.commit_locked(EventKind::Updated, key, &new_value)?;
+            (rev, pending) = self.commit_locked(EventKind::Updated, key, &new_value)?;
             let obj = shard.get_mut(key).expect("checked above");
             obj.value = new_value;
             obj.revision = rev;
@@ -337,7 +367,7 @@ impl ObjectStore {
                 *done = false;
             }
         }
-        self.drain_fanout();
+        self.finish_commit(mode, pending)?;
         Ok(rev)
     }
 
@@ -354,6 +384,16 @@ impl ObjectStore {
     /// as `Conflict`, and the merge is retried against fresh state a
     /// bounded number of times before the conflict propagates.
     pub fn patch(&self, key: &ObjectKey, patch: &Value, upsert: bool) -> Result<Revision> {
+        self.patch_impl(Durability::Acked, key, patch, upsert)
+    }
+
+    fn patch_impl(
+        &self,
+        mode: Durability,
+        key: &ObjectKey,
+        patch: &Value,
+        upsert: bool,
+    ) -> Result<Revision> {
         self.metrics.op_patch.inc();
         let mut last = None;
         for _ in 0..PATCH_RETRIES {
@@ -369,9 +409,9 @@ impl ObjectStore {
                     if merged == *base {
                         return Ok(rev);
                     }
-                    self.update(key, merged, Some(rev))
+                    self.update_impl(mode, key, merged.into(), Some(rev))
                 }
-                None if upsert => self.create(key.clone(), patch.clone()),
+                None if upsert => self.create_impl(mode, key.clone(), patch.clone().into()),
                 None => return Err(Error::NotFound(key.to_string())),
             };
             match attempt {
@@ -386,19 +426,66 @@ impl ObjectStore {
 
     /// Delete an object.
     pub fn delete(&self, key: &ObjectKey) -> Result<Revision> {
+        self.delete_impl(Durability::Acked, key)
+    }
+
+    fn delete_impl(&self, mode: Durability, key: &ObjectKey) -> Result<Revision> {
         self.metrics.op_delete.inc();
         let rev;
+        let pending;
         {
             let mut shard = self.shard(key).write();
             let value = shard
                 .get(key)
                 .map(|o| o.value.clone())
                 .ok_or_else(|| Error::NotFound(key.to_string()))?;
-            rev = self.commit_locked(EventKind::Deleted, key, &value)?;
+            (rev, pending) = self.commit_locked(EventKind::Deleted, key, &value)?;
             shard.remove(key);
         }
-        self.drain_fanout();
+        self.finish_commit(mode, pending)?;
         Ok(rev)
+    }
+
+    /// Apply a batch of independent mutations with per-item outcomes.
+    ///
+    /// Items run in order; logical failures (`conflict`, `not_found`, a
+    /// schema violation) become [`ItemResult::Error`] entries without
+    /// touching their neighbours. Durability is batch-wide: every item is
+    /// *staged* as it commits, and a single [`Wal::durable_barrier`] (one
+    /// group fsync) covers the whole batch before the call returns — N
+    /// records, one fsync. A durability failure fails the entire call,
+    /// because none of the staged items can honestly be acknowledged.
+    pub fn apply_batch(&self, ops: Vec<BatchOp>) -> Result<Vec<ItemResult>> {
+        let mut results = Vec::with_capacity(ops.len());
+        for op in ops {
+            let attempt = match op {
+                BatchOp::Create { key, value } => {
+                    self.create_impl(Durability::Staged, key, value.into())
+                }
+                BatchOp::Update {
+                    key,
+                    value,
+                    expected,
+                } => self.update_impl(Durability::Staged, &key, value.into(), expected),
+                BatchOp::Patch { key, patch, upsert } => {
+                    self.patch_impl(Durability::Staged, &key, &patch, upsert)
+                }
+                BatchOp::Delete { key } => self.delete_impl(Durability::Staged, &key),
+            };
+            match attempt {
+                Ok(revision) => results.push(ItemResult::Revision { revision }),
+                // A dead WAL (injected crash, I/O failure) is batch-fatal:
+                // staged items can no longer be fsynced, so nothing here
+                // can be acked item-by-item.
+                Err(e @ Error::Internal(_)) => return Err(e),
+                Err(e) => results.push(ItemResult::from_error(&e)),
+            }
+        }
+        self.drain_fanout();
+        if let Some(wal) = self.commit.lock().wal.clone() {
+            wal.durable_barrier()?;
+        }
+        Ok(results)
     }
 
     /// Commit one mutation for `key`: allocate the next revision, append
@@ -409,12 +496,19 @@ impl ObjectStore {
     /// The caller holds the key's shard write lock, which is what makes
     /// "validate, commit, mutate" atomic against readers and other
     /// writers of the same key.
+    /// The WAL write here is a *stage*, not a full `append`: the fsync
+    /// wait happens in [`ObjectStore::finish_commit`], after the shard
+    /// lock is released, so concurrent committers (any shard) and batch
+    /// items share group fsyncs instead of serializing them under the
+    /// commit mutex. A stage failure still aborts before anything became
+    /// visible; the returned [`PendingDurability`] ticket is what turns
+    /// visibility into an acknowledgement.
     fn commit_locked(
         &self,
         kind: EventKind,
         key: &ObjectKey,
         value: &Arc<Value>,
-    ) -> Result<Revision> {
+    ) -> Result<(Revision, PendingDurability)> {
         let commit_start = Instant::now();
         let mut commit = self.commit.lock();
         let rev = Revision(self.revision.load(Ordering::Relaxed) + 1);
@@ -424,9 +518,10 @@ impl ObjectStore {
             key: key.clone(),
             value: Arc::clone(value),
         };
-        if let Some(wal) = &commit.wal {
-            wal.append(&event)?;
-        }
+        let pending = match &commit.wal {
+            Some(wal) => Some((Arc::clone(wal), wal.stage(&event)?)),
+            None => None,
+        };
         self.revision.store(rev.0, Ordering::Release);
         commit.history.push_back(event.clone());
         while commit.history.len() > commit.history_cap {
@@ -438,7 +533,26 @@ impl ObjectStore {
             self.metrics.outbox_lag.set(fanout.outbox.len() as i64);
         }
         self.metrics.commit_seconds.observe(commit_start.elapsed());
-        Ok(rev)
+        Ok((rev, pending))
+    }
+
+    /// Complete a commit after its shard lock is gone: deliver fan-out
+    /// and, for `Acked` mode, block until the commit's WAL group fsync
+    /// lands. `Staged` mode defers both to the batch caller.
+    ///
+    /// An fsync failure after the commit became visible means the record
+    /// is applied-but-unacknowledged — exactly the contract a crash
+    /// between write and ack already imposes on clients (OCC read-back
+    /// disambiguation on retry).
+    fn finish_commit(&self, mode: Durability, pending: PendingDurability) -> Result<()> {
+        if mode == Durability::Staged {
+            return Ok(());
+        }
+        self.drain_fanout();
+        match pending {
+            Some((wal, ticket)) => wal.wait_durable(ticket),
+            None => Ok(()),
+        }
     }
 
     /// Deliver queued events to subscribers, outside every store lock.
@@ -867,6 +981,99 @@ mod tests {
         let s = store();
         s.create(k("a"), json!(1)).unwrap();
         assert!(s.mark_processed(&k("a"), "ghost").is_err());
+    }
+
+    #[test]
+    fn batch_isolates_item_failures() {
+        let s = store();
+        s.create(k("dup"), json!(0)).unwrap();
+        let results = s
+            .apply_batch(vec![
+                BatchOp::Create {
+                    key: k("a"),
+                    value: json!({"x": 1}),
+                },
+                BatchOp::Create {
+                    key: k("dup"),
+                    value: json!(1),
+                },
+                BatchOp::Update {
+                    key: k("missing"),
+                    value: json!(2),
+                    expected: None,
+                },
+                BatchOp::Patch {
+                    key: k("a"),
+                    patch: json!({"y": 2}),
+                    upsert: false,
+                },
+                BatchOp::Delete { key: k("a") },
+            ])
+            .unwrap();
+        assert_eq!(results.len(), 5);
+        assert!(!results[0].is_err());
+        assert!(matches!(
+            results[1].as_error(),
+            Some(Error::AlreadyExists(_))
+        ));
+        assert!(matches!(results[2].as_error(), Some(Error::NotFound(_))));
+        assert!(!results[3].is_err());
+        assert!(!results[4].is_err());
+        assert!(s.get(&k("a")).is_err(), "created then deleted in-batch");
+        // Failed items committed nothing: 1 seed + 3 batch commits.
+        assert_eq!(s.revision(), Revision(4));
+    }
+
+    #[tokio::test]
+    async fn batch_events_reach_watchers_in_order() {
+        let s = store();
+        let mut rx = s.watch().unwrap();
+        s.apply_batch(vec![
+            BatchOp::Create {
+                key: k("a"),
+                value: json!(1),
+            },
+            BatchOp::Create {
+                key: k("b"),
+                value: json!(2),
+            },
+            BatchOp::Delete { key: k("a") },
+        ])
+        .unwrap();
+        let revs: Vec<u64> = [
+            rx.recv().await.unwrap(),
+            rx.recv().await.unwrap(),
+            rx.recv().await.unwrap(),
+        ]
+        .iter()
+        .map(|e| e.revision.0)
+        .collect();
+        assert_eq!(revs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn durable_batch_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("knactor-batch-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let profile = EngineProfile::apiserver(&dir, "batch/store");
+        {
+            let s = ObjectStore::open(StoreId::new("batch/store"), profile.clone()).unwrap();
+            let results = s
+                .apply_batch(
+                    (0..8)
+                        .map(|i| BatchOp::Create {
+                            key: k(&format!("k{i}")),
+                            value: json!(i),
+                        })
+                        .collect(),
+                )
+                .unwrap();
+            assert!(results.iter().all(|r| !r.is_err()));
+        }
+        let s = ObjectStore::open(StoreId::new("batch/store"), profile).unwrap();
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.revision(), Revision(8));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -16,6 +16,21 @@
 //! is not trustworthy and recovery fails loudly rather than replaying a
 //! corrupt history.
 //!
+//! # Group commit
+//!
+//! Durability is split in two: [`Wal::stage`] writes the record's bytes
+//! into the file (buffered, ordered by the staging lock) and hands back a
+//! ticket, and [`Wal::wait_durable`] blocks until an fsync covering that
+//! ticket has completed. Concurrent committers that stage while an fsync
+//! is in flight are all covered by the *next* one — a single
+//! leader-elected `sync_data` acknowledges the whole group, so N
+//! concurrent (or batched) commits cost one fsync, not N. The classic
+//! [`Wal::append`] is `stage` + `wait_durable` back to back.
+//!
+//! Because staged records hit the file in ticket order, a crash can only
+//! lose a *suffix* of the log: recovery always lands on a group boundary
+//! (the last fsync-covered record), never in the middle of one.
+//!
 //! # Crash points
 //!
 //! For deterministic crash testing, a WAL can be armed with a
@@ -23,15 +38,21 @@
 //! fails as if the process had died at that instant — before the write,
 //! after the (durable) write, or halfway through it, leaving a torn tail
 //! on disk. A fired crash point **poisons** the log: every later append
-//! fails too, modelling a dead process until the store is reopened.
+//! fails too, modelling a dead process until the store is reopened. A
+//! firing crash also fails the in-flight fsync group — commits staged but
+//! not yet covered by an fsync can never be acknowledged by a process
+//! that just died.
 
 use crate::event::WatchEvent;
-use knactor_types::metrics;
+use knactor_types::metrics::{self, Counter, Histogram};
 use knactor_types::{Error, Result};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+// The vendored `parking_lot` wraps std primitives (its `MutexGuard` *is*
+// `std::sync::MutexGuard`), so std's Condvar pairs with its Mutex.
+use std::sync::{Arc, Condvar};
 
 /// Where an injected crash interrupts [`Wal::append`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,12 +88,31 @@ pub struct Recovery {
     pub needs_terminator: bool,
 }
 
+/// Group-commit bookkeeping: which staged records an fsync has covered.
+struct GroupState {
+    /// Ticket of the most recently staged record.
+    staged: u64,
+    /// Highest ticket covered by a completed fsync.
+    durable: u64,
+    /// An fsync leader is currently running `sync_data`.
+    syncing: bool,
+    /// Sticky failure: a crashed/failed group can never be acknowledged.
+    failed: Option<String>,
+}
+
 /// An append-only event log on disk.
 pub struct Wal {
     path: PathBuf,
     file: Mutex<File>,
     fsync: bool,
     crash: Mutex<CrashState>,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
+    appends_total: Arc<Counter>,
+    fsyncs_total: Arc<Counter>,
+    /// Records acknowledged per fsync — the amortization the group-commit
+    /// machinery exists to buy (1 = no batching benefit).
+    group_records: Arc<Histogram>,
 }
 
 impl std::fmt::Debug for Wal {
@@ -126,6 +166,7 @@ impl Wal {
             }
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let registry = metrics::global();
         let wal = Wal {
             path,
             file: Mutex::new(file),
@@ -134,6 +175,16 @@ impl Wal {
                 armed: None,
                 poisoned: false,
             }),
+            group: Mutex::new(GroupState {
+                staged: 0,
+                durable: 0,
+                syncing: false,
+                failed: None,
+            }),
+            group_cv: Condvar::new(),
+            appends_total: registry.counter("knactor_wal_appends_total", &[]),
+            fsyncs_total: registry.counter("knactor_wal_fsyncs_total", &[]),
+            group_records: registry.histogram("knactor_wal_group_commit_records", &[]),
         };
         Ok((wal, recovery.events))
     }
@@ -150,58 +201,164 @@ impl Wal {
     }
 
     /// Append one committed event. With `fsync` enabled the call returns
-    /// only after the OS confirms the write is on stable storage.
+    /// only after an fsync covering the record has completed — possibly
+    /// one issued by a concurrent committer's group.
     pub fn append(&self, event: &WatchEvent) -> Result<()> {
+        let ticket = self.stage(event)?;
+        self.wait_durable(ticket)
+    }
+
+    /// Write one record's bytes to the file without waiting for
+    /// durability. Returns the record's group-commit ticket: pass it to
+    /// [`Wal::wait_durable`] before acknowledging the commit.
+    pub fn stage(&self, event: &WatchEvent) -> Result<u64> {
+        self.stage_batch(std::slice::from_ref(event))
+    }
+
+    /// Stage a run of records as one buffered file write. Returns the
+    /// ticket of the *last* record; waiting on it covers the whole run
+    /// (tickets are assigned in file order).
+    pub fn stage_batch(&self, events: &[WatchEvent]) -> Result<u64> {
         let mut crash = self.crash.lock();
         if crash.poisoned {
             return Err(crash_err("wal poisoned by earlier crash"));
         }
-        let firing = match &mut crash.armed {
-            Some((point, remaining)) => {
-                if *remaining == 0 {
-                    let point = *point;
-                    crash.armed = None;
-                    crash.poisoned = true;
-                    Some(point)
-                } else {
-                    *remaining -= 1;
-                    None
+        // One crash decision per record, so "crash on the Nth append"
+        // lands mid-batch exactly like it would mid-sequence: records
+        // before the firing point reach the file, the rest never do.
+        let mut firing: Option<(CrashPoint, usize)> = None;
+        let mut writable = events.len();
+        for (i, _) in events.iter().enumerate() {
+            match &mut crash.armed {
+                Some((point, remaining)) => {
+                    if *remaining == 0 {
+                        let point = *point;
+                        crash.armed = None;
+                        crash.poisoned = true;
+                        firing = Some((point, i));
+                        writable = i;
+                        break;
+                    } else {
+                        *remaining -= 1;
+                    }
                 }
+                None => break,
             }
-            None => None,
-        };
+        }
 
-        let mut line = serde_json::to_vec(event)?;
-        line.push(b'\n');
+        let mut buf = Vec::with_capacity(events.len() * 128);
+        for event in &events[..writable] {
+            buf.append(&mut serde_json::to_vec(event)?);
+            buf.push(b'\n');
+        }
         // The crash lock is held across the file write so an armed crash
         // and the append it interrupts are one atomic decision.
         let mut file = self.file.lock();
         match firing {
-            Some(CrashPoint::BeforeAppend) => Err(crash_err("before append")),
-            Some(CrashPoint::TornWrite) => {
-                // Half the record reaches the disk; the terminator never
-                // does. This is what a power cut mid-write leaves behind.
-                let torn = &line[..(line.len() / 2).max(1)];
-                file.write_all(torn)?;
-                let _ = file.sync_data();
-                Err(crash_err("torn write"))
-            }
-            Some(CrashPoint::AfterAppend) => {
-                file.write_all(&line)?;
-                file.sync_data()?;
-                Err(crash_err("after append"))
-            }
             None => {
-                file.write_all(&line)?;
-                if self.fsync {
-                    file.sync_data()?;
-                }
-                metrics::global()
-                    .counter("knactor_wal_appends_total", &[])
-                    .inc();
-                Ok(())
+                file.write_all(&buf)?;
+                drop(file);
+                self.appends_total.add(events.len() as u64);
+                let mut group = self.group.lock();
+                group.staged += events.len() as u64;
+                Ok(group.staged)
+            }
+            Some((point, at)) => {
+                // The "process" dies here: whatever this batch (and any
+                // concurrently staged, not-yet-fsynced commit) wrote can
+                // never be acknowledged.
+                let result = match point {
+                    CrashPoint::BeforeAppend => {
+                        file.write_all(&buf)?;
+                        Err(crash_err("before append"))
+                    }
+                    CrashPoint::TornWrite => {
+                        // Half of the firing record reaches the disk; the
+                        // terminator never does. This is what a power cut
+                        // mid-write leaves behind.
+                        let mut line = serde_json::to_vec(&events[at])?;
+                        line.push(b'\n');
+                        buf.extend_from_slice(&line[..(line.len() / 2).max(1)]);
+                        file.write_all(&buf)?;
+                        let _ = file.sync_data();
+                        Err(crash_err("torn write"))
+                    }
+                    CrashPoint::AfterAppend => {
+                        let mut line = serde_json::to_vec(&events[at])?;
+                        line.push(b'\n');
+                        buf.extend_from_slice(&line);
+                        file.write_all(&buf)?;
+                        file.sync_data()?;
+                        Err(crash_err("after append"))
+                    }
+                };
+                drop(file);
+                self.fail_group("crash injected mid-group");
+                result
             }
         }
+    }
+
+    /// Block until an fsync covering `ticket` has completed, joining (or
+    /// leading) a group fsync. Without `fsync` mode this is free: the
+    /// engine never promised stable storage.
+    pub fn wait_durable(&self, ticket: u64) -> Result<()> {
+        if !self.fsync {
+            return Ok(());
+        }
+        let mut group = self.group.lock();
+        loop {
+            if group.durable >= ticket {
+                return Ok(());
+            }
+            if let Some(msg) = &group.failed {
+                return Err(Error::Internal(format!("wal group commit failed: {msg}")));
+            }
+            if group.syncing {
+                // A leader's fsync is in flight; it (or the next one)
+                // will cover us. Wait for the verdict.
+                group = self
+                    .group_cv
+                    .wait(group)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                continue;
+            }
+            // Become the leader: everything staged up to here rides this
+            // one fsync.
+            group.syncing = true;
+            let target = group.staged;
+            let covered = target - group.durable;
+            drop(group);
+            let synced = self.file.lock().sync_data();
+            group = self.group.lock();
+            group.syncing = false;
+            match synced {
+                Ok(()) => {
+                    group.durable = group.durable.max(target);
+                    self.fsyncs_total.inc();
+                    self.group_records.observe_ns(covered);
+                }
+                Err(e) => {
+                    group.failed = Some(e.to_string());
+                }
+            }
+            self.group_cv.notify_all();
+        }
+    }
+
+    /// Wait until everything staged so far is durable (one group fsync
+    /// for a whole batch of staged commits).
+    pub fn durable_barrier(&self) -> Result<()> {
+        let ticket = self.group.lock().staged;
+        self.wait_durable(ticket)
+    }
+
+    /// Fail the in-flight group: staged-but-unfsynced commits can never
+    /// be acknowledged (the "process" died before their fsync).
+    fn fail_group(&self, msg: &str) {
+        let mut group = self.group.lock();
+        group.failed = Some(msg.to_string());
+        self.group_cv.notify_all();
     }
 
     /// Scan the log without modifying it: parse every record, locate the
@@ -489,6 +646,89 @@ mod tests {
         assert_eq!(recovered.len(), 1, "torn record dropped");
         wal.append(&ev(2)).unwrap();
         assert_eq!(Wal::replay(&path).unwrap().len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stage_batch_writes_all_records_under_one_ticket() {
+        let path = tmp("stage-batch");
+        let wal = Wal::open(&path, true).unwrap();
+        let events: Vec<WatchEvent> = (1..=4).map(ev).collect();
+        let ticket = wal.stage_batch(&events).unwrap();
+        assert_eq!(ticket, 4);
+        wal.wait_durable(ticket).unwrap();
+        assert_eq!(Wal::replay(&path).unwrap().len(), 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn durable_barrier_covers_everything_staged() {
+        let path = tmp("barrier");
+        let wal = Wal::open(&path, true).unwrap();
+        wal.stage(&ev(1)).unwrap();
+        wal.stage(&ev(2)).unwrap();
+        wal.durable_barrier().unwrap();
+        // Both tickets are now covered without further fsyncs.
+        wal.wait_durable(1).unwrap();
+        wal.wait_durable(2).unwrap();
+        assert_eq!(Wal::replay(&path).unwrap().len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// One fsync covers the whole group: concurrent committers that stage
+    /// before any of them reaches wait_durable share a leader's sync.
+    #[test]
+    fn group_commit_amortizes_fsyncs() {
+        let path = tmp("group-amortize");
+        let wal = Wal::open(&path, true).unwrap();
+        let before = wal.fsyncs_total.get();
+        let tickets: Vec<u64> = (1..=8).map(|r| wal.stage(&ev(r)).unwrap()).collect();
+        for t in tickets {
+            wal.wait_durable(t).unwrap();
+        }
+        let fsyncs = wal.fsyncs_total.get() - before;
+        assert!(
+            fsyncs <= 2,
+            "8 staged records should share at most a couple of fsyncs, got {fsyncs}"
+        );
+        assert_eq!(Wal::replay(&path).unwrap().len(), 8);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A crash firing mid-batch loses the firing record and everything
+    /// after it, but keeps the batch prefix — recovery lands on a clean
+    /// group boundary.
+    #[test]
+    fn crash_mid_batch_keeps_prefix_and_fails_group() {
+        let path = tmp("crash-mid-batch");
+        {
+            let wal = Wal::open(&path, true).unwrap();
+            let ticket = wal.stage(&ev(1)).unwrap();
+            // Fires on the second record of the batch (ev 3).
+            wal.arm_crash(CrashPoint::TornWrite, 1);
+            let events: Vec<WatchEvent> = (2..=6).map(ev).collect();
+            assert!(wal.stage_batch(&events).is_err());
+            assert!(wal.is_poisoned());
+            // The in-flight group is failed: the commit staged before the
+            // crash can never be acknowledged by this "process".
+            assert!(wal.wait_durable(ticket).is_err());
+        }
+        let (_, recovered) = Wal::open_recovering(&path, true).unwrap();
+        assert_eq!(recovered.len(), 2, "prefix before the crash survives");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// After a crash fires, a committer already staged (but not yet
+    /// durable) must see an error from wait_durable, never a false ack.
+    #[test]
+    fn crash_fails_already_staged_commits() {
+        let path = tmp("crash-staged");
+        let wal = Wal::open(&path, true).unwrap();
+        let ticket = wal.stage(&ev(1)).unwrap();
+        wal.arm_crash(CrashPoint::BeforeAppend, 0);
+        assert!(wal.stage(&ev(2)).is_err());
+        let err = wal.wait_durable(ticket).unwrap_err();
+        assert!(err.to_string().contains("group commit failed"), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -96,7 +96,8 @@ pub mod prelude {
         AccessContext, AccessController, Condition, Role, RoleBinding, Rule, Subject, Verb,
     };
     pub use knactor_store::{
-        DataExchange, EngineProfile, ObjectStore, RetentionPolicy, StoreHandle,
+        BatchOp, DataExchange, EngineProfile, ItemResult, ObjectStore, PutItem, RetentionPolicy,
+        StoreHandle,
     };
     pub use knactor_types::{
         Error, FieldPath, KnactorId, ObjectKey, Result, Revision, Schema, SchemaName, StoreId,

@@ -306,6 +306,170 @@ async fn chaos_cast_converges_to_faultless_state() {
     server.shutdown().await;
 }
 
+/// Batched writes under chaos: `batch_commit` frames are dropped,
+/// duplicated, delayed and their connections killed, so whole batches
+/// vanish (retried), execute twice (every item collides with its own
+/// earlier execution), or land with the ack lost. The resilient client's
+/// per-item recovery must turn all of that into exactly-once commits:
+/// every item eventually acks a revision, the audit sees every object
+/// exactly once, and the store revision is *exactly* the item count — a
+/// double-committed batch would overshoot it.
+#[tokio::test]
+async fn chaos_batch_commits_exactly_once_through_flaky_wire() {
+    let seed = chaos_seed(0xC0FF_EE05);
+    const BATCHES: u64 = 10;
+    const PER_BATCH: u64 = 8;
+
+    let server = ExchangeServer::bind_ephemeral().await.unwrap();
+    let proxy = FaultProxy::spawn(server.local_addr(), FaultPlan::flaky(seed))
+        .await
+        .unwrap();
+    let client = ResilientClient::connect(
+        proxy.local_addr(),
+        Subject::integrator("chaos"),
+        RetryPolicy::fast(seed),
+    )
+    .await
+    .unwrap();
+    let api: Arc<dyn ExchangeApi> = Arc::new(client);
+
+    api.create_store("chaos/batched".into(), ProfileSpec::Instant)
+        .await
+        .unwrap();
+    for b in 0..BATCHES {
+        let ops: Vec<BatchOp> = (0..PER_BATCH)
+            .map(|j| {
+                let i = b * PER_BATCH + j;
+                BatchOp::Create {
+                    key: key(i),
+                    value: val(i),
+                }
+            })
+            .collect();
+        let items = api.batch_commit("chaos/batched".into(), ops).await.unwrap();
+        for (j, item) in items.into_iter().enumerate() {
+            item.into_revision()
+                .unwrap_or_else(|e| panic!("batch {b} item {j} did not recover to a commit: {e}"));
+        }
+        if b % 3 == 2 {
+            // Sever mid-run: the next batch rides a fresh connection and
+            // may collide with this one's unacked execution.
+            proxy.kill_connections();
+        }
+    }
+
+    const WRITES: u64 = BATCHES * PER_BATCH;
+    let audit = TcpClient::connect(server.local_addr(), Subject::operator("audit"))
+        .await
+        .unwrap();
+    let (objects, revision) = audit.list("chaos/batched".into()).await.unwrap();
+    assert_eq!(objects.len() as u64, WRITES, "every acked item is present");
+    assert_eq!(
+        revision,
+        Revision(WRITES),
+        "revision must be exactly the item count: no lost or double-committed batch items"
+    );
+    for i in 0..WRITES {
+        assert_eq!(
+            *audit
+                .get("chaos/batched".into(), key(i))
+                .await
+                .unwrap()
+                .value,
+            val(i)
+        );
+    }
+    println!("proxy faults: {}", proxy.stats().summary());
+
+    proxy.shutdown();
+    server.shutdown().await;
+}
+
+/// Gapless watch over batched fan-out. Batched commits make the server
+/// emit `EventBatch` frames (runs of events in one frame); the proxy
+/// drops/duplicates *whole frames*, so a single fault now harms a run of
+/// events at once, and forced kills sever subscriptions mid-batch. The
+/// resilient watcher must still deliver revisions `1..=N` exactly once,
+/// in order.
+#[tokio::test]
+async fn chaos_batched_watch_stays_gapless() {
+    let seed = chaos_seed(0xC0FF_EE06);
+    const BATCHES: u64 = 8;
+    const PER_BATCH: u64 = 8;
+    const WRITES: u64 = BATCHES * PER_BATCH;
+
+    let server = ExchangeServer::bind_ephemeral().await.unwrap();
+    server
+        .object
+        .create_store(StoreId::new("chaos/batchfeed"), EngineProfile::instant())
+        .unwrap();
+    let proxy = FaultProxy::spawn(server.local_addr(), FaultPlan::flaky(seed))
+        .await
+        .unwrap();
+
+    let watcher = ResilientClient::connect(
+        proxy.local_addr(),
+        Subject::operator("watcher"),
+        RetryPolicy::fast(seed),
+    )
+    .await
+    .unwrap();
+    let watcher: Arc<dyn ExchangeApi> = Arc::new(watcher);
+    let mut events = watcher
+        .watch("chaos/batchfeed".into(), Revision::ZERO)
+        .await
+        .unwrap();
+
+    // Writer commits whole batches over a clean connection; each batch
+    // lands as one run of consecutive revisions fanned out together.
+    let writer = TcpClient::connect(server.local_addr(), Subject::operator("writer"))
+        .await
+        .unwrap();
+    for b in 0..BATCHES {
+        let ops: Vec<BatchOp> = (0..PER_BATCH)
+            .map(|j| {
+                let i = b * PER_BATCH + j;
+                BatchOp::Create {
+                    key: key(i),
+                    value: val(i),
+                }
+            })
+            .collect();
+        let items = writer
+            .batch_commit("chaos/batchfeed".into(), ops)
+            .await
+            .unwrap();
+        assert!(items.iter().all(|i| !i.is_err()));
+        if b % 3 == 1 {
+            proxy.kill_connections();
+        }
+    }
+
+    let seen = tokio::time::timeout(Duration::from_secs(30), async {
+        let mut seen = Vec::new();
+        while (seen.len() as u64) < WRITES {
+            match events.recv().await {
+                Some(event) => seen.push(event),
+                None => break,
+            }
+        }
+        seen
+    })
+    .await
+    .expect("batched watch did not deliver all revisions in time");
+
+    let revisions: Vec<u64> = seen.iter().map(|e| e.revision.0).collect();
+    let expected: Vec<u64> = (1..=WRITES).collect();
+    assert_eq!(
+        revisions, expected,
+        "batched fan-out must stay gapless and duplicate-free through faults"
+    );
+    println!("proxy faults: {}", proxy.stats().summary());
+
+    proxy.shutdown();
+    server.shutdown().await;
+}
+
 /// The in-process fault decorator tells the same exactly-once story
 /// without a socket in sight: creates driven through [`FaultApi`] see
 /// lost requests, lost replies (executed-but-unacked) and duplicated

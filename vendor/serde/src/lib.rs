@@ -12,7 +12,7 @@ mod impls;
 mod text;
 mod value;
 
-pub use text::{parse_json, write_json};
+pub use text::{parse_json, write_json, write_json_into};
 pub use value::{Map, Number, Value};
 
 /// Error type shared by serialization and deserialization

@@ -23,6 +23,12 @@ pub fn write_json(v: &Value) -> String {
     out
 }
 
+/// Append `v`'s JSON text to an existing buffer (callers reuse `out`
+/// across messages to avoid a fresh allocation per serialization).
+pub fn write_json_into(out: &mut String, v: &Value) {
+    write_value(out, v);
+}
+
 fn write_value(out: &mut String, v: &Value) {
     match v {
         Value::Null => out.push_str("null"),

@@ -27,6 +27,14 @@ pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
     to_string(value).map(String::into_bytes)
 }
 
+/// Append the JSON text of `value` to `out`, reusing its allocation.
+/// Hot serialization paths (framing, the WAL) keep one scratch buffer per
+/// connection/log instead of allocating a fresh string per message.
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<()> {
+    serde::write_json_into(out, &value.serialize_value());
+    Ok(())
+}
+
 pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
     let v = serde::parse_json(s)?;
     T::deserialize_value(&v)
