@@ -14,6 +14,9 @@
 //!   `triggered` renamed to `motion` (the Fig. 4 rename).
 //! * **Sync (snapshot)**: Lamp's energy log rolls up into the House
 //!   object store's `energy` field (sum of kWh).
+//! * **Continuous (windowed)**: Lamp's energy log is summed per tumbling
+//!   window of [`ENERGY_WINDOW`] records into the `house/analytics`
+//!   object store — the rolling "energy this window" dashboard value.
 //!
 //! Access control: the exchange is configured so House's integrator may
 //! not write the Lamp's store during sleep hours (§3.3's access-control
@@ -21,10 +24,11 @@
 
 use crate::smarthome::lamp_kwh;
 use knactor_core::{
-    ApplyReport, CastBinding, CastMode, Composer, Composition, FnReconciler, Knactor,
-    ReconcilerCtx, Runtime, SyncConfig, SyncDest, SyncMode,
+    ApplyReport, CastBinding, CastMode, Composer, Composition, ContinuousConfig, FnReconciler,
+    Knactor, ReconcilerCtx, Runtime, SyncConfig, SyncDest, SyncMode,
 };
 use knactor_dxg::Dxg;
+use knactor_logstore::WindowSpec;
 use knactor_net::proto::{OpSpec, ProfileSpec, QuerySpec};
 use knactor_net::ExchangeApi;
 use knactor_rbac::{AccessController, Condition, Role, RoleBinding, Rule, Subject, Verb};
@@ -37,6 +41,15 @@ use std::time::Duration;
 
 /// The singleton object key each device keeps its state under.
 pub const STATE_KEY: &str = "state";
+
+/// Records per tumbling window of the continuous energy query.
+pub const ENERGY_WINDOW: usize = 32;
+
+/// Object store holding continuous-query results.
+pub const ANALYTICS_STORE: &str = "house/analytics";
+
+/// Key of the rolling windowed-energy result.
+pub const ENERGY_WINDOW_KEY: &str = "energy-window";
 
 /// A deployed Knactor smart home.
 pub struct SmartHomeApp {
@@ -182,8 +195,13 @@ pub async fn deploy(api: Arc<dyn ExchangeApi>) -> Result<SmartHomeApp> {
         .await?;
     }
 
+    // Results of continuous queries land here, beside the config stores.
+    api.create_store(StoreId::new(ANALYTICS_STORE), ProfileSpec::Instant)
+        .await?;
+
     // The whole home — Cast over the three config stores plus both Sync
-    // pipelines — is one declarative composition; one apply runs it all.
+    // pipelines and the windowed energy query — is one declarative
+    // composition; one apply runs it all.
     let composer = Composer::new("home", Arc::clone(&api));
     composer.supervise(&runtime);
     composer
@@ -198,7 +216,8 @@ pub async fn deploy(api: Arc<dyn ExchangeApi>) -> Result<SmartHomeApp> {
 }
 
 /// The full declarative composition of Fig. 4: the cast DXG plus the
-/// stream-rename and snapshot-rollup Sync pipelines.
+/// stream-rename and snapshot-rollup Sync pipelines and the continuous
+/// windowed-energy query.
 pub fn smarthome_composition(dxg: Dxg) -> Composition {
     Composition::new()
         .with_cast(dxg, bindings(), CastMode::Direct)
@@ -234,6 +253,22 @@ pub fn smarthome_composition(dxg: Dxg) -> Composition {
             },
             mode: SyncMode::Snapshot,
         })
+        // Continuous: lamp energy per tumbling window → analytics store.
+        .with_continuous(ContinuousConfig {
+            name: "energy-window".to_string(),
+            source: StoreId::new("lamp/telemetry"),
+            query: QuerySpec {
+                ops: vec![OpSpec::Aggregate {
+                    group_by: None,
+                    agg: "sum".into(),
+                    field: Some("kwh".into()),
+                    as_field: "window_kwh".into(),
+                }],
+            },
+            window: WindowSpec::tumbling(ENERGY_WINDOW),
+            dest_store: StoreId::new(ANALYTICS_STORE),
+            dest_key: ObjectKey::new(ENERGY_WINDOW_KEY),
+        })
 }
 
 impl SmartHomeApp {
@@ -263,6 +298,28 @@ impl SmartHomeApp {
             .get(StoreId::new("lamp/config"), ObjectKey::new(STATE_KEY))
             .await?;
         Ok(obj.value["brightness"].as_f64().unwrap_or(0.0))
+    }
+
+    /// The latest closed energy window from the continuous query, if any
+    /// window has closed yet: `(window index, summed kWh, records_total)`.
+    pub async fn energy_window(&self) -> Result<Option<(u64, f64, u64)>> {
+        let obj = match self
+            .api
+            .get(
+                StoreId::new(ANALYTICS_STORE),
+                ObjectKey::new(ENERGY_WINDOW_KEY),
+            )
+            .await
+        {
+            Ok(obj) => obj,
+            Err(_) => return Ok(None),
+        };
+        let v = &obj.value;
+        let (Some(w), Some(total)) = (v["window"].as_u64(), v["records_total"].as_u64()) else {
+            return Ok(None);
+        };
+        let kwh = v["rows"][0]["window_kwh"].as_f64().unwrap_or(0.0);
+        Ok(Some((w, kwh, total)))
     }
 
     /// House's rolled-up energy total, if computed yet.
@@ -378,6 +435,56 @@ mod tests {
                 "energy rollup never ran"
             );
             tokio::time::sleep(Duration::from_millis(5)).await;
+        }
+        app.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn windowed_energy_survives_sustained_batch_ingest() {
+        let (_, _, client) = in_process(Subject::integrator("home"));
+        let api: Arc<dyn ExchangeApi> = Arc::new(client);
+        let app = deploy(Arc::clone(&api)).await.unwrap();
+
+        // Sustained telemetry at volume: batched appends racing the
+        // continuous query's tail (and the store's columnar re-encode +
+        // rotation underneath).
+        let total: u64 = 4096;
+        let batch_size: u64 = 64;
+        let mut appended = 0u64;
+        while appended < total {
+            let batch: Vec<Value> = (0..batch_size)
+                .map(|j| json!({"kind": "energy", "kwh": 0.125, "i": appended + j}))
+                .collect();
+            api.log_append_batch(StoreId::new("lamp/telemetry"), batch)
+                .await
+                .unwrap();
+            appended += batch_size;
+        }
+
+        // Every record lands in exactly one window: after the barrier the
+        // destination must account for all `total` records, none counted
+        // twice (records_total is cumulative over *closed* windows) and
+        // none missed (the last window ends exactly at seq `total`).
+        let deadline = tokio::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            app.composer.drain_all().await.unwrap();
+            let window = app.energy_window().await.unwrap();
+            if let Some((index, kwh, records_total)) = window {
+                if records_total == total {
+                    assert_eq!(index, total / ENERGY_WINDOW as u64 - 1);
+                    assert!((kwh - 0.125 * ENERGY_WINDOW as f64).abs() < 1e-9);
+                    break;
+                }
+                assert!(
+                    records_total < total,
+                    "double-counted: {records_total} > {total}"
+                );
+            }
+            assert!(
+                tokio::time::Instant::now() < deadline,
+                "window result never caught up: {window:?}"
+            );
+            tokio::time::sleep(Duration::from_millis(10)).await;
         }
         app.shutdown().await;
     }

@@ -35,7 +35,7 @@ fn bench_ingest(c: &mut Criterion) {
     group.finish();
 }
 
-fn motion_log(n: usize) -> LogStore {
+fn motion_log(n: usize) -> std::sync::Arc<LogStore> {
     let log = LogStore::new("bench/motion");
     for i in 0..n {
         log.append(json!({

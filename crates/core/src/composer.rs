@@ -31,6 +31,7 @@
 //! and `apply` returns the error.
 
 use crate::cast::{Cast, CastBinding, CastConfig, CastMode};
+use crate::continuous::{Continuous, ContinuousConfig};
 use crate::integrator::{Health, Integrator, IntegratorConfig, IntegratorStats};
 use crate::runtime::Runtime;
 use crate::sync::{Sync, SyncConfig};
@@ -57,6 +58,7 @@ pub struct CastSection {
 pub struct Composition {
     pub cast: Option<CastSection>,
     pub syncs: BTreeMap<String, SyncConfig>,
+    pub continuous: BTreeMap<String, ContinuousConfig>,
 }
 
 impl Composition {
@@ -80,6 +82,11 @@ impl Composition {
 
     pub fn with_sync(mut self, config: SyncConfig) -> Composition {
         self.syncs.insert(config.name.clone(), config);
+        self
+    }
+
+    pub fn with_continuous(mut self, config: ContinuousConfig) -> Composition {
+        self.continuous.insert(config.name.clone(), config);
         self
     }
 }
@@ -563,6 +570,11 @@ impl Composer {
             config.name = name.clone();
             out.insert(format!("sync:{name}"), IntegratorConfig::Sync(config));
         }
+        for (name, config) in &composition.continuous {
+            let mut config = config.clone();
+            config.name = name.clone();
+            out.insert(format!("cq:{name}"), IntegratorConfig::Continuous(config));
+        }
         out
     }
 
@@ -577,6 +589,9 @@ impl Composer {
             }
             IntegratorConfig::Sync(c) => {
                 // Read past the end: cheap, allocation-free liveness probe.
+                self.api.log_read(c.source.clone(), u64::MAX).await?;
+            }
+            IntegratorConfig::Continuous(c) => {
                 self.api.log_read(c.source.clone(), u64::MAX).await?;
             }
         }
@@ -603,6 +618,14 @@ impl Composer {
                     .await?;
                 Ok(Box::new(controller))
             }
+            IntegratorConfig::Continuous(c) => {
+                let controller = Continuous::new(Arc::clone(&self.api))
+                    .with_functions(self.fns.clone())
+                    .with_traces(self.traces.clone())
+                    .spawn(c.clone())
+                    .await?;
+                Ok(Box::new(controller))
+            }
         }
     }
 }
@@ -619,6 +642,7 @@ fn config_equal(a: &IntegratorConfig, b: &IntegratorConfig) -> bool {
                 && knactor_dxg::equivalent(&x.dxg, &y.dxg)
         }
         (IntegratorConfig::Sync(x), IntegratorConfig::Sync(y)) => x == y,
+        (IntegratorConfig::Continuous(x), IntegratorConfig::Continuous(y)) => x == y,
         _ => false,
     }
 }

@@ -1,0 +1,559 @@
+//! The **Continuous** integrator: windowed queries over a log tail.
+//!
+//! Where Sync runs its pipeline per record (stream) or over the whole
+//! retained log (snapshot), a continuous query evaluates its pipeline
+//! over *windows* of records — tumbling or sliding counts
+//! ([`knactor_logstore::WindowSpec`]) — and keeps the latest closed
+//! window's result fresh in an Object-store key, written through the
+//! same batched wire path as Cast's writes.
+//!
+//! **Exactly-once window accounting.** Windows are count-based over the
+//! store's dense sequence numbers, so a window's boundaries are a pure
+//! function of its start sequence. The destination object records the
+//! last closed window's `end_seq`; on (re)spawn the controller reads it
+//! back and resumes the tail from there, so a crash/restart cannot
+//! re-count a record into a second window or skip one — the next window
+//! starts at exactly `end_seq + 1`. A typed [`TailEvent::Lagged`] (the
+//! source's retention outran us) is the one unavoidable loss: the
+//! controller drops its partial window, restarts windowing at the resume
+//! point, and counts the event in `knactor_cq_lagged_total`.
+
+use crate::telemetry::TraceCollector;
+use knactor_expr::FnRegistry;
+use knactor_logstore::{TailEvent, WindowSpec, WindowState};
+use knactor_net::proto::QuerySpec;
+use knactor_net::ExchangeApi;
+use knactor_types::{Error, ObjectKey, Result, StoreId, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tokio::sync::{mpsc, oneshot};
+use tokio::task::JoinHandle;
+
+/// Configuration of a continuous query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuousConfig {
+    pub name: String,
+    /// Log store whose tail feeds the windows.
+    pub source: StoreId,
+    /// Pipeline evaluated over each closed window's records.
+    pub query: QuerySpec,
+    pub window: WindowSpec,
+    /// Object store + key receiving the rolling result.
+    pub dest_store: StoreId,
+    pub dest_key: ObjectKey,
+}
+
+impl ContinuousConfig {
+    pub(crate) fn validate(&self) -> Result<()> {
+        self.query.compile()?;
+        self.window.validate()?;
+        Ok(())
+    }
+}
+
+enum Command {
+    Reconfigure(ContinuousConfig, oneshot::Sender<Result<()>>),
+    Drain(oneshot::Sender<()>),
+    Shutdown(oneshot::Sender<()>),
+}
+
+/// Handle to a running continuous query.
+pub struct ContinuousController {
+    cmd_tx: mpsc::UnboundedSender<Command>,
+    task: JoinHandle<()>,
+    processed: Arc<AtomicU64>,
+    windows: Arc<AtomicU64>,
+    tail_pos: Arc<AtomicU64>,
+}
+
+impl ContinuousController {
+    pub async fn reconfigure(&self, config: ContinuousConfig) -> Result<()> {
+        let (tx, rx) = oneshot::channel();
+        self.cmd_tx
+            .send(Command::Reconfigure(config, tx))
+            .map_err(|_| Error::ShuttingDown)?;
+        rx.await.map_err(|_| Error::ShuttingDown)?
+    }
+
+    /// Barrier: every record the tail has already delivered is windowed
+    /// (and any windows it closed are written) before this returns.
+    pub async fn drain(&self) -> Result<()> {
+        let (tx, rx) = oneshot::channel();
+        self.cmd_tx
+            .send(Command::Drain(tx))
+            .map_err(|_| Error::ShuttingDown)?;
+        rx.await.map_err(|_| Error::ShuttingDown)
+    }
+
+    pub async fn shutdown(self) {
+        let (tx, rx) = oneshot::channel();
+        if self.cmd_tx.send(Command::Shutdown(tx)).is_ok() {
+            let _ = rx.await;
+        }
+        let _ = self.task.await;
+    }
+
+    /// Records consumed into windows so far.
+    pub fn processed(&self) -> u64 {
+        self.processed.load(Ordering::Relaxed)
+    }
+
+    /// Windows closed (and written) so far.
+    pub fn windows_closed(&self) -> u64 {
+        self.windows.load(Ordering::Relaxed)
+    }
+
+    /// Highest source sequence consumed.
+    pub fn tail_position(&self) -> u64 {
+        self.tail_pos.load(Ordering::Relaxed)
+    }
+
+    pub fn is_running(&self) -> bool {
+        !self.task.is_finished() && !self.cmd_tx.is_closed()
+    }
+}
+
+/// The continuous-query integrator factory.
+pub struct Continuous {
+    api: Arc<dyn ExchangeApi>,
+    fns: FnRegistry,
+    traces: TraceCollector,
+}
+
+impl Continuous {
+    pub fn new(api: Arc<dyn ExchangeApi>) -> Continuous {
+        Continuous {
+            api,
+            fns: FnRegistry::standard(),
+            traces: TraceCollector::new(),
+        }
+    }
+
+    pub fn with_functions(mut self, fns: FnRegistry) -> Continuous {
+        self.fns = fns;
+        self
+    }
+
+    pub fn with_traces(mut self, traces: TraceCollector) -> Continuous {
+        self.traces = traces;
+        self
+    }
+
+    /// Spawn the continuous integrator.
+    pub async fn spawn(self, config: ContinuousConfig) -> Result<ContinuousController> {
+        config.validate()?;
+        let (cmd_tx, cmd_rx) = mpsc::unbounded_channel();
+        let processed = Arc::new(AtomicU64::new(0));
+        let windows = Arc::new(AtomicU64::new(0));
+        let tail_pos = Arc::new(AtomicU64::new(0));
+        let task = tokio::spawn(run_loop(
+            self.api,
+            self.fns,
+            self.traces,
+            config,
+            cmd_rx,
+            Arc::clone(&processed),
+            Arc::clone(&windows),
+            Arc::clone(&tail_pos),
+        ));
+        Ok(ContinuousController {
+            cmd_tx,
+            task,
+            processed,
+            windows,
+            tail_pos,
+        })
+    }
+}
+
+/// Mutable windowing state of the run loop, reset whenever windowing
+/// must restart from a new base (source change, lag).
+struct CqState {
+    window: WindowState,
+    /// Highest source seq consumed (tail resume point).
+    last_seq: u64,
+    /// Index the next closed window is published under. Continues from
+    /// the destination object across restarts.
+    window_base: u64,
+    /// Records accounted into *closed* windows, cumulative across
+    /// restarts — the zero-missed/zero-double-counted check in tests.
+    records_total: u64,
+}
+
+/// Read the destination object back for the resume point. No object (or
+/// one this query never wrote) → start from scratch.
+async fn recover(api: &Arc<dyn ExchangeApi>, config: &ContinuousConfig) -> CqState {
+    let mut state = CqState {
+        window: WindowState::new(config.window.clone()),
+        last_seq: 0,
+        window_base: 0,
+        records_total: 0,
+    };
+    if let Ok(obj) = api
+        .get(config.dest_store.clone(), config.dest_key.clone())
+        .await
+    {
+        let v = &obj.value;
+        if v["cq"].as_str() == Some(config.name.as_str()) {
+            state.last_seq = v["end_seq"].as_u64().unwrap_or(0);
+            state.window_base = v["window"].as_u64().map(|w| w + 1).unwrap_or(0);
+            state.records_total = v["records_total"].as_u64().unwrap_or(0);
+        }
+    }
+    state
+}
+
+#[allow(clippy::too_many_arguments)]
+async fn run_loop(
+    api: Arc<dyn ExchangeApi>,
+    fns: FnRegistry,
+    traces: TraceCollector,
+    mut config: ContinuousConfig,
+    mut cmd_rx: mpsc::UnboundedReceiver<Command>,
+    processed: Arc<AtomicU64>,
+    windows: Arc<AtomicU64>,
+    tail_pos: Arc<AtomicU64>,
+) {
+    let mut state = recover(&api, &config).await;
+    tail_pos.store(state.last_seq, Ordering::Relaxed);
+    let mut tail_source = config.source.clone();
+    let mut tail_window = config.window.clone();
+    'outer: loop {
+        if config.source != tail_source || config.window != tail_window {
+            // New source or new window shape: windowing restarts from the
+            // destination's recorded resume point (same-source window
+            // changes keep the seq cursor; a new source starts over).
+            let same_source = config.source == tail_source;
+            tail_source = config.source.clone();
+            tail_window = config.window.clone();
+            state = if same_source {
+                recover(&api, &config).await
+            } else {
+                CqState {
+                    window: WindowState::new(config.window.clone()),
+                    last_seq: 0,
+                    window_base: 0,
+                    records_total: 0,
+                }
+            };
+            tail_pos.store(state.last_seq, Ordering::Relaxed);
+        }
+        let mut tail = match api.log_tail(config.source.clone(), state.last_seq).await {
+            Ok(t) => t,
+            Err(_) => {
+                tokio::select! {
+                    cmd = cmd_rx.recv() => {
+                        match cmd {
+                            Some(Command::Reconfigure(new, ack)) => {
+                                match new.validate() {
+                                    Ok(()) => { config = new; let _ = ack.send(Ok(())); }
+                                    Err(e) => { let _ = ack.send(Err(e)); }
+                                }
+                            }
+                            Some(Command::Drain(ack)) => { let _ = ack.send(()); }
+                            Some(Command::Shutdown(ack)) => { let _ = ack.send(()); return; }
+                            None => return,
+                        }
+                    }
+                    _ = tokio::time::sleep(std::time::Duration::from_millis(200)) => {}
+                }
+                continue 'outer;
+            }
+        };
+        loop {
+            tokio::select! {
+                cmd = cmd_rx.recv() => {
+                    match cmd {
+                        Some(Command::Reconfigure(new, ack)) => {
+                            match new.validate() {
+                                Ok(()) => {
+                                    config = new;
+                                    let _ = ack.send(Ok(()));
+                                    continue 'outer;
+                                }
+                                Err(e) => { let _ = ack.send(Err(e)); }
+                            }
+                        }
+                        Some(Command::Drain(ack)) => {
+                            while let Ok(event) = tail.try_recv() {
+                                process_event(
+                                    &api, &fns, &traces, &config, &mut state,
+                                    &processed, &windows, &tail_pos, event,
+                                )
+                                .await;
+                            }
+                            let _ = ack.send(());
+                        }
+                        Some(Command::Shutdown(ack)) => {
+                            let _ = ack.send(());
+                            return;
+                        }
+                        None => return,
+                    }
+                }
+                event = tail.recv() => {
+                    let Some(event) = event else { return };
+                    process_event(
+                        &api, &fns, &traces, &config, &mut state,
+                        &processed, &windows, &tail_pos, event,
+                    )
+                    .await;
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+async fn process_event(
+    api: &Arc<dyn ExchangeApi>,
+    fns: &FnRegistry,
+    traces: &TraceCollector,
+    config: &ContinuousConfig,
+    state: &mut CqState,
+    processed: &AtomicU64,
+    windows: &AtomicU64,
+    tail_pos: &AtomicU64,
+    event: TailEvent,
+) {
+    let record = match event {
+        TailEvent::Record(record) => record,
+        TailEvent::Lagged {
+            missed,
+            resume_from,
+        } => {
+            // Retention outran the tail: the partial window can never
+            // complete (its records are gone). Drop it and restart
+            // windowing at the resume point; never fabricate a window
+            // from a gap.
+            crate::metrics::global()
+                .counter("knactor_cq_lagged_total", &[("cq", &config.name)])
+                .add(missed);
+            state.window = WindowState::new(config.window.clone());
+            if resume_from > state.last_seq + 1 {
+                state.last_seq = resume_from - 1;
+                tail_pos.store(state.last_seq, Ordering::Relaxed);
+            }
+            return;
+        }
+    };
+    if record.seq <= state.last_seq {
+        return; // replayed by a resumed tail; already windowed
+    }
+    state.last_seq = record.seq;
+    tail_pos.store(record.seq, Ordering::Relaxed);
+    processed.fetch_add(1, Ordering::Relaxed);
+    for closed in state.window.push(record) {
+        let start = Instant::now();
+        let index = state.window_base + closed.index;
+        // Only tumbling windows partition the stream; sliding windows
+        // overlap by design, so the exactly-once accounting tracks
+        // tumbling advancement (stride) rather than raw buffer size.
+        let advanced = match config.window {
+            WindowSpec::TumblingCount { .. } => closed.records.len() as u64,
+            WindowSpec::SlidingCount { step, .. } => step as u64,
+        };
+        state.records_total += advanced;
+        let result = write_window(api, fns, config, &closed, index, state.records_total).await;
+        let elapsed = start.elapsed();
+        let component = format!("cq:{}", config.name);
+        let trace_id = format!("{}#w{}", config.source, index);
+        traces.record(&trace_id, &component, "close-window", elapsed);
+        crate::metrics::observe_stage(&component, "close-window", elapsed);
+        crate::metrics::inc_activation(&component);
+        crate::metrics::global()
+            .counter("knactor_cq_windows_total", &[("cq", &config.name)])
+            .inc();
+        windows.fetch_add(1, Ordering::Relaxed);
+        // Errors are per-window; the next window still runs.
+        let _ = result;
+    }
+}
+
+/// Evaluate the pipeline over one closed window and upsert the rolling
+/// result object through the batched wire path.
+async fn write_window(
+    api: &Arc<dyn ExchangeApi>,
+    fns: &FnRegistry,
+    config: &ContinuousConfig,
+    closed: &knactor_logstore::ClosedWindow,
+    index: u64,
+    records_total: u64,
+) -> Result<()> {
+    let query = config.query.compile()?;
+    let rows = closed.run(&query, fns)?;
+    let value = serde_json::json!({
+        "cq": config.name,
+        "window": index,
+        "kind": config.window.kind(),
+        "start_seq": closed.start_seq,
+        "end_seq": closed.end_seq,
+        "records": closed.records.len() as u64,
+        "records_total": records_total,
+        "rows": Value::Array(rows),
+    });
+    let item = knactor_store::PutItem {
+        key: config.dest_key.clone(),
+        value,
+        upsert: true,
+    };
+    api.batch_put(config.dest_store.clone(), vec![item])
+        .await?
+        .into_iter()
+        .next()
+        .ok_or_else(|| Error::Internal("empty batch reply".to_string()))?
+        .into_revision()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knactor_net::loopback::in_process;
+    use knactor_net::proto::{OpSpec, ProfileSpec};
+    use knactor_rbac::Subject;
+    use serde_json::json;
+    use std::time::Duration;
+
+    async fn setup() -> Arc<dyn ExchangeApi> {
+        let (_, _, client) = in_process(Subject::integrator("cq"));
+        let api: Arc<dyn ExchangeApi> = Arc::new(client);
+        api.log_create_store(StoreId::new("sensor/telemetry"))
+            .await
+            .unwrap();
+        api.create_store(StoreId::new("house/analytics"), ProfileSpec::Instant)
+            .await
+            .unwrap();
+        api
+    }
+
+    fn config() -> ContinuousConfig {
+        ContinuousConfig {
+            name: "energy-window".to_string(),
+            source: StoreId::new("sensor/telemetry"),
+            query: QuerySpec {
+                ops: vec![OpSpec::Aggregate {
+                    group_by: None,
+                    agg: "sum".into(),
+                    field: Some("kwh".into()),
+                    as_field: "total".into(),
+                }],
+            },
+            window: WindowSpec::tumbling(4),
+            dest_store: StoreId::new("house/analytics"),
+            dest_key: ObjectKey::new("energy-window"),
+        }
+    }
+
+    async fn await_window(api: &Arc<dyn ExchangeApi>, index: u64) -> Value {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Ok(obj) = api
+                .get(
+                    StoreId::new("house/analytics"),
+                    ObjectKey::new("energy-window"),
+                )
+                .await
+            {
+                if obj.value["window"].as_u64() == Some(index) {
+                    return (*obj.value).clone();
+                }
+            }
+            assert!(Instant::now() < deadline, "window {index} never appeared");
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+    }
+
+    #[tokio::test]
+    async fn tumbling_window_keeps_rolling_sum_fresh() {
+        let api = setup().await;
+        let controller = Continuous::new(Arc::clone(&api))
+            .spawn(config())
+            .await
+            .unwrap();
+        for i in 0..8 {
+            api.log_append(
+                StoreId::new("sensor/telemetry"),
+                json!({"kwh": 0.5, "i": i}),
+            )
+            .await
+            .unwrap();
+        }
+        let v = await_window(&api, 1).await;
+        assert_eq!(v["start_seq"].as_u64(), Some(5));
+        assert_eq!(v["end_seq"].as_u64(), Some(8));
+        assert_eq!(v["records_total"].as_u64(), Some(8));
+        assert!((v["rows"][0]["total"].as_f64().unwrap() - 2.0).abs() < 1e-9);
+        assert_eq!(controller.windows_closed(), 2);
+        controller.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn restart_resumes_exactly_once() {
+        let api = setup().await;
+        let controller = Continuous::new(Arc::clone(&api))
+            .spawn(config())
+            .await
+            .unwrap();
+        for _ in 0..4 {
+            api.log_append(StoreId::new("sensor/telemetry"), json!({"kwh": 1.0}))
+                .await
+                .unwrap();
+        }
+        await_window(&api, 0).await;
+        controller.shutdown().await;
+
+        // Restart; the new controller recovers end_seq=4 and window 0
+        // from the destination object, so the next window is exactly
+        // records 5..=8 — nothing recounted, nothing skipped.
+        let controller = Continuous::new(Arc::clone(&api))
+            .spawn(config())
+            .await
+            .unwrap();
+        for _ in 0..4 {
+            api.log_append(StoreId::new("sensor/telemetry"), json!({"kwh": 2.0}))
+                .await
+                .unwrap();
+        }
+        let v = await_window(&api, 1).await;
+        assert_eq!(v["start_seq"].as_u64(), Some(5));
+        assert_eq!(v["end_seq"].as_u64(), Some(8));
+        assert_eq!(v["records_total"].as_u64(), Some(8));
+        assert!((v["rows"][0]["total"].as_f64().unwrap() - 8.0).abs() < 1e-9);
+        controller.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn drain_is_a_window_barrier() {
+        let api = setup().await;
+        let controller = Continuous::new(Arc::clone(&api))
+            .spawn(config())
+            .await
+            .unwrap();
+        for _ in 0..4 {
+            api.log_append(StoreId::new("sensor/telemetry"), json!({"kwh": 1.0}))
+                .await
+                .unwrap();
+        }
+        controller.drain().await.unwrap();
+        // After the barrier the closed window is visible without polling.
+        let obj = api
+            .get(
+                StoreId::new("house/analytics"),
+                ObjectKey::new("energy-window"),
+            )
+            .await
+            .unwrap();
+        assert_eq!(obj.value["window"].as_u64(), Some(0));
+        controller.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn invalid_window_rejected() {
+        let api = setup().await;
+        let mut bad = config();
+        bad.window = WindowSpec::tumbling(0);
+        assert!(Continuous::new(api).spawn(bad).await.is_err());
+    }
+}

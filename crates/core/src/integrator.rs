@@ -16,6 +16,7 @@
 //! * **health**/**stats** are cheap, non-blocking observations.
 
 use crate::cast::{CastConfig, CastController};
+use crate::continuous::{ContinuousConfig, ContinuousController};
 use crate::sync::{SyncConfig, SyncController};
 use knactor_net::BoxFuture;
 use knactor_types::{Error, Result};
@@ -26,14 +27,17 @@ use knactor_types::{Error, Result};
 pub enum IntegratorConfig {
     Cast(CastConfig),
     Sync(SyncConfig),
+    Continuous(ContinuousConfig),
 }
 
 impl IntegratorConfig {
-    /// The integrator kind this config is for (`"cast"` / `"sync"`).
+    /// The integrator kind this config is for (`"cast"` / `"sync"` /
+    /// `"cq"`).
     pub fn kind(&self) -> &'static str {
         match self {
             IntegratorConfig::Cast(_) => "cast",
             IntegratorConfig::Sync(_) => "sync",
+            IntegratorConfig::Continuous(_) => "cq",
         }
     }
 
@@ -42,6 +46,7 @@ impl IntegratorConfig {
         match self {
             IntegratorConfig::Cast(c) => &c.name,
             IntegratorConfig::Sync(c) => &c.name,
+            IntegratorConfig::Continuous(c) => &c.name,
         }
     }
 
@@ -52,6 +57,7 @@ impl IntegratorConfig {
         match self {
             IntegratorConfig::Cast(c) => c.validate().map(|_| ()),
             IntegratorConfig::Sync(c) => c.validate(),
+            IntegratorConfig::Continuous(c) => c.validate(),
         }
     }
 }
@@ -70,7 +76,8 @@ pub enum Health {
 pub struct IntegratorStats {
     /// `"cast"` or `"sync"`.
     pub kind: &'static str,
-    /// Activations (Cast) or records processed (Sync).
+    /// Activations (Cast), records processed (Sync), or records
+    /// windowed (Continuous).
     pub processed: u64,
     /// Highest source sequence processed — Sync only. Surviving a
     /// reconfigure (same source) is the no-re-delivery guarantee the
@@ -175,6 +182,48 @@ impl Integrator for SyncController {
     fn stats(&self) -> IntegratorStats {
         IntegratorStats {
             kind: "sync",
+            processed: self.processed(),
+            tail_position: Some(self.tail_position()),
+        }
+    }
+}
+
+impl Integrator for ContinuousController {
+    fn kind(&self) -> &'static str {
+        "cq"
+    }
+
+    fn reconfigure(&self, config: IntegratorConfig) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            match config {
+                IntegratorConfig::Continuous(c) => ContinuousController::reconfigure(self, c).await,
+                other => Err(Error::Internal(format!(
+                    "continuous integrator handed a {} config",
+                    other.kind()
+                ))),
+            }
+        })
+    }
+
+    fn drain(&self) -> BoxFuture<'_, Result<()>> {
+        Box::pin(ContinuousController::drain(self))
+    }
+
+    fn shutdown(self: Box<Self>) -> BoxFuture<'static, ()> {
+        Box::pin(ContinuousController::shutdown(*self))
+    }
+
+    fn health(&self) -> Health {
+        if self.is_running() {
+            Health::Running
+        } else {
+            Health::Stopped
+        }
+    }
+
+    fn stats(&self) -> IntegratorStats {
+        IntegratorStats {
+            kind: "cq",
             processed: self.processed(),
             tail_position: Some(self.tail_position()),
         }

@@ -44,6 +44,7 @@
 
 pub mod cast;
 pub mod composer;
+pub mod continuous;
 pub mod integrator;
 pub mod knactor;
 pub mod metrics;
@@ -57,6 +58,7 @@ pub use cast::{Cast, CastBinding, CastConfig, CastController, CastMode, KeyBindi
 pub use composer::{
     cast_edge_actions, ApplyReport, CastSection, Composer, ComposerHealth, Composition, EdgeAction,
 };
+pub use continuous::{Continuous, ContinuousConfig, ContinuousController};
 pub use integrator::{Health, Integrator, IntegratorConfig, IntegratorStats};
 pub use knactor::{Knactor, KnactorBuilder};
 pub use reconciler::{FnReconciler, Reconciler, ReconcilerCtx};

@@ -262,10 +262,10 @@ async fn run_loop(
                         Some(Command::Drain(ack)) => {
                             // Barrier: everything the tail already
                             // delivered is processed before the ack.
-                            while let Ok(record) = tail.try_recv() {
-                                process_record(
+                            while let Ok(event) = tail.try_recv() {
+                                process_event(
                                     &api, &traces, &config, &mut last_seq,
-                                    &processed, &tail_pos, record,
+                                    &processed, &tail_pos, event,
                                 )
                                 .await;
                             }
@@ -278,14 +278,39 @@ async fn run_loop(
                         None => return,
                     }
                 }
-                record = tail.recv() => {
-                    let Some(record) = record else { return };
-                    process_record(
+                event = tail.recv() => {
+                    let Some(event) = event else { return };
+                    process_event(
                         &api, &traces, &config, &mut last_seq,
-                        &processed, &tail_pos, record,
+                        &processed, &tail_pos, event,
                     )
                     .await;
                 }
+            }
+        }
+    }
+}
+
+/// Handle one tail event: records run the pipeline; a typed lag notice
+/// (source retention outran the tail) jumps the resume point forward so
+/// the post-lag records flow without being mistaken for replays.
+async fn process_event(
+    api: &Arc<dyn ExchangeApi>,
+    traces: &TraceCollector,
+    config: &SyncConfig,
+    last_seq: &mut u64,
+    processed: &AtomicU64,
+    tail_pos: &AtomicU64,
+    event: knactor_logstore::TailEvent,
+) {
+    match event {
+        knactor_logstore::TailEvent::Record(record) => {
+            process_record(api, traces, config, last_seq, processed, tail_pos, record).await;
+        }
+        knactor_logstore::TailEvent::Lagged { resume_from, .. } => {
+            if resume_from > *last_seq + 1 {
+                *last_seq = resume_from - 1;
+                tail_pos.store(*last_seq, Ordering::Relaxed);
             }
         }
     }

@@ -1,0 +1,372 @@
+//! Columnar encoding for sealed segments.
+//!
+//! A sealed segment never changes, so we can afford a one-time re-encode
+//! into per-field columns. Telemetry is repetitive — a handful of device
+//! ids, rooms and event kinds repeated across thousands of records — so
+//! each column dictionary-encodes its distinct values and run-length
+//! encodes the code stream. High-cardinality columns (free-text, floats
+//! that never repeat) fall back to a plain value vector so pathological
+//! data never blows up the dictionary.
+//!
+//! Encoding is exact: `encode` → [`ColumnarSegment::materialize_all`]
+//! round-trips every record bit-for-bit (including the int-vs-float
+//! distinction — dictionary identity is the value's canonical JSON text,
+//! under which `1` and `1.0` stay distinct).
+
+use knactor_types::Value;
+use std::collections::BTreeMap;
+
+/// Code meaning "this record does not have the field at all" (distinct
+/// from the field being present with value `null`).
+const ABSENT: u32 = u32::MAX;
+
+/// Above this many rows, a column whose distinct-value count exceeds
+/// half the rows is stored plain: the dictionary would cost more than it
+/// saves.
+const DICT_MIN_ROWS: usize = 8;
+
+/// One field's values across every record of a segment.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// Distinct values plus a run-length-encoded code stream.
+    /// `runs` is a sequence of `(code, count)`; `code == ABSENT` marks
+    /// records without the field.
+    Dict {
+        values: Vec<Value>,
+        runs: Vec<(u32, u32)>,
+    },
+    /// One slot per record; `None` marks records without the field.
+    Plain(Vec<Option<Value>>),
+}
+
+impl Column {
+    /// Number of records covered by the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Dict { runs, .. } => runs.iter().map(|&(_, n)| n as usize).sum(),
+            Column::Plain(slots) => slots.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate retained heap bytes (shared estimator with the row
+    /// form, so compression ratios compare like with like).
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Column::Dict { values, runs } => {
+                values.iter().map(approx_value_bytes).sum::<usize>() + runs.len() * 8
+            }
+            Column::Plain(slots) => slots
+                .iter()
+                .map(|s| s.as_ref().map(approx_value_bytes).unwrap_or(1))
+                .sum(),
+        }
+    }
+
+    /// Visit each run as `(row_count, field_value)`; `None` = absent.
+    /// Plain columns visit one "run" per record.
+    pub fn for_each_run(&self, mut f: impl FnMut(usize, Option<&Value>)) {
+        match self {
+            Column::Dict { values, runs } => {
+                for &(code, n) in runs {
+                    let v = if code == ABSENT {
+                        None
+                    } else {
+                        Some(&values[code as usize])
+                    };
+                    f(n as usize, v);
+                }
+            }
+            Column::Plain(slots) => {
+                for s in slots {
+                    f(1, s.as_ref());
+                }
+            }
+        }
+    }
+
+    /// Expand to one dictionary code per record. Plain columns get a
+    /// synthetic identity coding (`row index` as code, `ABSENT` for
+    /// missing) so callers can treat both layouts uniformly.
+    pub fn codes(&self) -> Vec<u32> {
+        match self {
+            Column::Dict { runs, .. } => {
+                let mut out = Vec::with_capacity(self.len());
+                for &(code, n) in runs {
+                    out.extend(std::iter::repeat_n(code, n as usize));
+                }
+                out
+            }
+            Column::Plain(slots) => slots
+                .iter()
+                .enumerate()
+                .map(|(i, s)| if s.is_some() { i as u32 } else { ABSENT })
+                .collect(),
+        }
+    }
+
+    /// The value for a dictionary code produced by [`Column::codes`].
+    pub fn code_value(&self, code: u32) -> Option<&Value> {
+        if code == ABSENT {
+            return None;
+        }
+        match self {
+            Column::Dict { values, .. } => values.get(code as usize),
+            Column::Plain(slots) => slots.get(code as usize).and_then(|s| s.as_ref()),
+        }
+    }
+
+    /// Distinct codes that actually occur (excluding `ABSENT`), for
+    /// evaluate-once-per-distinct-value predicate paths.
+    pub fn distinct_codes(&self) -> Vec<u32> {
+        match self {
+            Column::Dict { runs, .. } => {
+                let mut seen: Vec<u32> = runs
+                    .iter()
+                    .map(|&(c, _)| c)
+                    .filter(|&c| c != ABSENT)
+                    .collect();
+                seen.sort_unstable();
+                seen.dedup();
+                seen
+            }
+            Column::Plain(slots) => (0..slots.len() as u32)
+                .filter(|&i| slots[i as usize].is_some())
+                .collect(),
+        }
+    }
+
+    /// Whether any record lacks the field.
+    pub fn has_absent(&self) -> bool {
+        match self {
+            Column::Dict { runs, .. } => runs.iter().any(|&(c, _)| c == ABSENT),
+            Column::Plain(slots) => slots.iter().any(|s| s.is_none()),
+        }
+    }
+}
+
+/// A fully column-oriented segment: every record re-expressed as one
+/// entry per field column. Field names are stored once.
+#[derive(Debug, Clone)]
+pub struct ColumnarSegment {
+    len: usize,
+    /// Sorted by field name (records are `BTreeMap`-backed objects, so
+    /// materialization re-sorts for free on insert).
+    fields: Vec<(String, Column)>,
+}
+
+impl ColumnarSegment {
+    /// Re-encode row payloads into columns. Returns `None` if any payload
+    /// is not a JSON object — the store wraps non-objects on append, so
+    /// this only trips on legacy data, which then simply stays row-form.
+    pub fn encode(rows: &[Value]) -> Option<ColumnarSegment> {
+        let mut field_names: Vec<&str> = Vec::new();
+        for r in rows {
+            let obj = r.as_object()?;
+            for k in obj.keys() {
+                field_names.push(k.as_str());
+            }
+        }
+        field_names.sort_unstable();
+        field_names.dedup();
+
+        let mut fields = Vec::with_capacity(field_names.len());
+        for name in field_names {
+            fields.push((name.to_string(), encode_column(rows, name)));
+        }
+        Some(ColumnarSegment {
+            len: rows.len(),
+            fields,
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn approx_bytes(&self) -> usize {
+        self.fields
+            .iter()
+            .map(|(name, col)| name.len() + col.approx_bytes())
+            .sum()
+    }
+
+    pub fn column(&self, field: &str) -> Option<&Column> {
+        self.fields
+            .iter()
+            .find(|(name, _)| name == field)
+            .map(|(_, col)| col)
+    }
+
+    /// Rebuild every record payload, in order.
+    pub fn materialize_all(&self) -> Vec<Value> {
+        let mut out: Vec<serde_json::Map> = (0..self.len).map(|_| serde_json::Map::new()).collect();
+        for (name, col) in &self.fields {
+            let mut row = 0usize;
+            col.for_each_run(|n, v| {
+                if let Some(v) = v {
+                    for slot in &mut out[row..row + n] {
+                        slot.insert(name.clone(), v.clone());
+                    }
+                }
+                row += n;
+            });
+        }
+        out.into_iter().map(Value::Object).collect()
+    }
+
+    /// Rebuild only the records at `indices` (must be sorted ascending),
+    /// in that order. Runs are walked once per column with a two-pointer
+    /// sweep, so cost is `O(runs + |indices|)` per column.
+    pub fn materialize_selected(&self, indices: &[u32]) -> Vec<Value> {
+        let mut out: Vec<serde_json::Map> =
+            (0..indices.len()).map(|_| serde_json::Map::new()).collect();
+        for (name, col) in &self.fields {
+            let mut row = 0usize; // first row of current run
+            let mut sel = 0usize; // next index position to fill
+            col.for_each_run(|n, v| {
+                if let Some(v) = v {
+                    while sel < indices.len() && (indices[sel] as usize) < row + n {
+                        out[sel].insert(name.clone(), v.clone());
+                        sel += 1;
+                    }
+                } else {
+                    while sel < indices.len() && (indices[sel] as usize) < row + n {
+                        sel += 1;
+                    }
+                }
+                row += n;
+            });
+        }
+        out.into_iter().map(Value::Object).collect()
+    }
+}
+
+fn encode_column(rows: &[Value], field: &str) -> Column {
+    // Dictionary keyed on canonical JSON text: exact identity, so `1`
+    // and `1.0` (distinct `Number` representations) never merge.
+    let mut dict: BTreeMap<String, u32> = BTreeMap::new();
+    let mut values: Vec<Value> = Vec::new();
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    for r in rows {
+        let slot = r.as_object().and_then(|o| o.get(field));
+        let code = match slot {
+            None => ABSENT,
+            Some(v) => {
+                let key = v.to_string();
+                *dict.entry(key).or_insert_with(|| {
+                    values.push(v.clone());
+                    (values.len() - 1) as u32
+                })
+            }
+        };
+        match runs.last_mut() {
+            Some((c, n)) if *c == code => *n += 1,
+            _ => runs.push((code, 1)),
+        }
+    }
+    if rows.len() > DICT_MIN_ROWS && values.len() > rows.len() / 2 {
+        // High cardinality: the dictionary costs more than it saves.
+        return Column::Plain(
+            rows.iter()
+                .map(|r| r.as_object().and_then(|o| o.get(field)).cloned())
+                .collect(),
+        );
+    }
+    Column::Dict { values, runs }
+}
+
+/// Approximate heap footprint of a value, shared by row and columnar
+/// accounting so the `knactor_log_retained_bytes` gauge and compression
+/// ratios are comparable across layouts.
+pub fn approx_value_bytes(v: &Value) -> usize {
+    match v {
+        Value::Null | Value::Bool(_) => 1,
+        Value::Number(_) => 8,
+        Value::String(s) => 16 + s.len(),
+        Value::Array(items) => 16 + items.iter().map(approx_value_bytes).sum::<usize>(),
+        Value::Object(map) => {
+            16 + map
+                .iter()
+                .map(|(k, v)| 16 + k.len() + approx_value_bytes(v))
+                .sum::<usize>()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn round_trips_heterogeneous_rows() {
+        let rows = vec![
+            json!({"a": 1, "b": "x"}),
+            json!({"a": 1, "c": null}),
+            json!({"b": "x", "n": 1.0}),
+            json!({"n": 1}),
+        ];
+        let seg = ColumnarSegment::encode(&rows).unwrap();
+        assert_eq!(seg.materialize_all(), rows);
+        // int and float with equal magnitude stay distinct values.
+        let n = seg.column("n").unwrap();
+        assert_eq!(n.distinct_codes().len(), 2);
+    }
+
+    #[test]
+    fn rle_collapses_repetition() {
+        let rows: Vec<Value> = (0..100).map(|_| json!({"kind": "energy"})).collect();
+        let seg = ColumnarSegment::encode(&rows).unwrap();
+        match seg.column("kind").unwrap() {
+            Column::Dict { values, runs } => {
+                assert_eq!(values.len(), 1);
+                assert_eq!(runs, &vec![(0, 100)]);
+            }
+            other => panic!("expected dict column, got {other:?}"),
+        }
+        assert!(seg.approx_bytes() * 4 < rows.iter().map(approx_value_bytes).sum::<usize>());
+    }
+
+    #[test]
+    fn high_cardinality_falls_back_to_plain() {
+        let rows: Vec<Value> = (0..100).map(|i| json!({"id": format!("u{i}")})).collect();
+        let seg = ColumnarSegment::encode(&rows).unwrap();
+        assert!(matches!(seg.column("id").unwrap(), Column::Plain(_)));
+        assert_eq!(seg.materialize_all(), rows);
+    }
+
+    #[test]
+    fn materialize_selected_matches_full() {
+        let rows: Vec<Value> = (0..50)
+            .map(|i| json!({"i": i, "k": if i % 3 == 0 { "a" } else { "b" }}))
+            .collect();
+        let seg = ColumnarSegment::encode(&rows).unwrap();
+        let idx: Vec<u32> = vec![0, 3, 7, 20, 49];
+        let picked = seg.materialize_selected(&idx);
+        let all = seg.materialize_all();
+        for (got, &i) in picked.iter().zip(&idx) {
+            assert_eq!(got, &all[i as usize]);
+        }
+    }
+
+    #[test]
+    fn non_object_rows_refuse_encoding() {
+        assert!(ColumnarSegment::encode(&[json!(3)]).is_none());
+    }
+
+    #[test]
+    fn absent_vs_null_distinct() {
+        let rows = vec![json!({"a": null}), json!({})];
+        let seg = ColumnarSegment::encode(&rows).unwrap();
+        assert_eq!(seg.materialize_all(), rows);
+        assert!(seg.column("a").unwrap().has_absent());
+    }
+}

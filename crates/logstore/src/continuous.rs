@@ -1,0 +1,232 @@
+//! Windowing state for continuous queries.
+//!
+//! A continuous query tails a log store and evaluates its [`Query`] over
+//! *windows* of records instead of the whole history. This module owns
+//! the pure windowing state machine — push records in, closed windows
+//! come out — so it can be tested exhaustively without any integrator or
+//! exchange plumbing. The driving loop (subscription, query execution,
+//! Object-store write-back) lives in `knactor-core`.
+//!
+//! Windows are count-based, which composes with the store's dense
+//! per-store sequence numbers: a tumbling window of size `n` starting at
+//! seq `s` always covers exactly `[s, s+n)`, so a restarted subscriber
+//! that resumes from the last closed window's `end_seq` reproduces the
+//! same window boundaries — the basis for the exactly-once write-back
+//! guarantee (no record is ever counted twice, none is skipped).
+
+use crate::query::Query;
+use crate::store::LogRecord;
+use knactor_expr::FnRegistry;
+use knactor_types::{Result, Value};
+use std::collections::VecDeque;
+
+/// Window shape for a continuous query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// Non-overlapping windows of exactly `size` records.
+    TumblingCount { size: usize },
+    /// Overlapping windows of `size` records, one closing every `step`
+    /// records (first close after the initial `size` records).
+    SlidingCount { size: usize, step: usize },
+}
+
+impl WindowSpec {
+    pub fn tumbling(size: usize) -> WindowSpec {
+        WindowSpec::TumblingCount { size }
+    }
+
+    pub fn sliding(size: usize, step: usize) -> WindowSpec {
+        WindowSpec::SlidingCount { size, step }
+    }
+
+    /// Validate sizes (zero-sized windows would spin forever).
+    pub fn validate(&self) -> Result<()> {
+        let ok = match self {
+            WindowSpec::TumblingCount { size } => *size > 0,
+            WindowSpec::SlidingCount { size, step } => *size > 0 && *step > 0,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(knactor_types::Error::Dxg(
+                "window size and step must be positive".into(),
+            ))
+        }
+    }
+
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WindowSpec::TumblingCount { .. } => "tumbling",
+            WindowSpec::SlidingCount { .. } => "sliding",
+        }
+    }
+}
+
+/// One closed window, ready for query evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedWindow {
+    /// 0-based window number since the state was created.
+    pub index: u64,
+    /// Sequence range covered, inclusive.
+    pub start_seq: u64,
+    pub end_seq: u64,
+    pub records: Vec<LogRecord>,
+}
+
+impl ClosedWindow {
+    /// Evaluate a query over the window's records.
+    pub fn run(&self, query: &Query, fns: &FnRegistry) -> Result<Vec<Value>> {
+        query
+            .run_with(self.records.iter().map(|r| r.fields.clone()), fns)
+            .map(|(rows, _)| rows)
+    }
+}
+
+/// Incremental window assembly: feed records in arrival order, collect
+/// closed windows.
+#[derive(Debug)]
+pub struct WindowState {
+    spec: WindowSpec,
+    buf: VecDeque<LogRecord>,
+    /// Records consumed since creation.
+    seen: u64,
+    /// Windows closed so far.
+    closed: u64,
+}
+
+impl WindowState {
+    pub fn new(spec: WindowSpec) -> WindowState {
+        WindowState {
+            spec,
+            buf: VecDeque::new(),
+            seen: 0,
+            closed: 0,
+        }
+    }
+
+    pub fn spec(&self) -> &WindowSpec {
+        &self.spec
+    }
+
+    /// Records currently buffered (not yet part of a closed window for
+    /// tumbling; the trailing overlap for sliding).
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Windows closed so far.
+    pub fn closed_count(&self) -> u64 {
+        self.closed
+    }
+
+    /// Feed one record; returns every window this record closes (at most
+    /// one for count-based specs).
+    pub fn push(&mut self, record: LogRecord) -> Vec<ClosedWindow> {
+        self.seen += 1;
+        self.buf.push_back(record);
+        let mut out = Vec::new();
+        match self.spec {
+            WindowSpec::TumblingCount { size } => {
+                if self.buf.len() >= size {
+                    let records: Vec<LogRecord> = self.buf.drain(..).collect();
+                    out.push(self.close(records));
+                }
+            }
+            WindowSpec::SlidingCount { size, step } => {
+                while self.buf.len() > size {
+                    self.buf.pop_front();
+                }
+                if self.seen >= size as u64 && (self.seen - size as u64).is_multiple_of(step as u64)
+                {
+                    let records: Vec<LogRecord> = self.buf.iter().cloned().collect();
+                    out.push(self.close(records));
+                }
+            }
+        }
+        out
+    }
+
+    fn close(&mut self, records: Vec<LogRecord>) -> ClosedWindow {
+        let start_seq = records.first().map(|r| r.seq).unwrap_or(0);
+        let end_seq = records.last().map(|r| r.seq).unwrap_or(start_seq);
+        let index = self.closed;
+        self.closed += 1;
+        ClosedWindow {
+            index,
+            start_seq,
+            end_seq,
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn rec(seq: u64) -> LogRecord {
+        LogRecord {
+            seq,
+            fields: json!({"i": seq}),
+        }
+    }
+
+    #[test]
+    fn tumbling_closes_disjoint_windows() {
+        let mut w = WindowState::new(WindowSpec::tumbling(3));
+        let mut closed = Vec::new();
+        for s in 1..=10 {
+            closed.extend(w.push(rec(s)));
+        }
+        assert_eq!(closed.len(), 3);
+        assert_eq!((closed[0].start_seq, closed[0].end_seq), (1, 3));
+        assert_eq!((closed[1].start_seq, closed[1].end_seq), (4, 6));
+        assert_eq!((closed[2].start_seq, closed[2].end_seq), (7, 9));
+        assert_eq!(w.pending(), 1);
+        // Every record lands in exactly one window.
+        let all: Vec<u64> = closed
+            .iter()
+            .flat_map(|c| c.records.iter().map(|r| r.seq))
+            .collect();
+        assert_eq!(all, (1..=9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sliding_overlaps_by_step() {
+        let mut w = WindowState::new(WindowSpec::sliding(4, 2));
+        let mut closed = Vec::new();
+        for s in 1..=8 {
+            closed.extend(w.push(rec(s)));
+        }
+        assert_eq!(closed.len(), 3);
+        assert_eq!((closed[0].start_seq, closed[0].end_seq), (1, 4));
+        assert_eq!((closed[1].start_seq, closed[1].end_seq), (3, 6));
+        assert_eq!((closed[2].start_seq, closed[2].end_seq), (5, 8));
+        assert_eq!(closed[1].records.len(), 4);
+    }
+
+    #[test]
+    fn window_query_evaluates_per_window() {
+        let mut w = WindowState::new(WindowSpec::tumbling(2));
+        let q = Query::new()
+            .aggregate(None, crate::query::AggFn::Count, None, "n")
+            .unwrap();
+        let fns = FnRegistry::standard();
+        let mut counts = Vec::new();
+        for s in 1..=4 {
+            for c in w.push(rec(s)) {
+                counts.extend(c.run(&q, &fns).unwrap());
+            }
+        }
+        assert_eq!(counts, vec![json!({"n": 2}), json!({"n": 2})]);
+    }
+
+    #[test]
+    fn specs_validate() {
+        assert!(WindowSpec::tumbling(0).validate().is_err());
+        assert!(WindowSpec::sliding(4, 0).validate().is_err());
+        assert!(WindowSpec::sliding(4, 2).validate().is_ok());
+        assert_eq!(WindowSpec::tumbling(1).kind(), "tumbling");
+    }
+}

@@ -1,0 +1,716 @@
+//! Segment-parallel query execution over store snapshots.
+//!
+//! [`run_store`] is the engine behind [`crate::query::Query::run_store`]:
+//! it snapshots the store's segments (sealed `Arc`s + a clone of the
+//! small active tail) and executes the pipeline segment-at-a-time:
+//!
+//! * the longest prefix of *record-wise* operators (filter / rename /
+//!   project / derive) runs per segment — such operators are pure per
+//!   record and order-preserving, so concatenating per-segment outputs in
+//!   segment order is exactly the row-path result;
+//! * an aggregate directly after that prefix folds into per-segment
+//!   *partials* that are merged in segment order — numeric streams are
+//!   concatenated, not re-associated, so float results are bit-identical
+//!   to the sequential fold;
+//! * everything after the aggregate (or after the prefix when there is no
+//!   aggregate) — sort, limit, further stages — runs sequentially on the
+//!   merged output, which is small by then.
+//!
+//! Columnar segments additionally get two fast paths that skip row
+//! materialization entirely: single-field filters are evaluated once per
+//! *distinct dictionary value* instead of once per record, and aggregates
+//! read group keys and fold inputs straight off the columns.
+
+use crate::query::{
+    apply, eval_on, number, op_name, render_group_key, AggFn, Op, Query, QueryStats,
+};
+use crate::segment::{SealedSegment, SegmentData};
+use crate::store::LogStore;
+use knactor_expr::ast::BinOp;
+use knactor_expr::{eval::truthy, Expr, FnRegistry};
+use knactor_types::metrics;
+use knactor_types::path::Segment as PathSeg;
+use knactor_types::{FieldPath, Result, Value};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Below this many records the per-thread setup outweighs the win and we
+/// run the segment loop on the calling thread.
+const PARALLEL_MIN_RECORDS: usize = 4096;
+
+/// One unit of per-segment work.
+enum SegUnit {
+    Sealed(Arc<SealedSegment>),
+    Active(Vec<Value>),
+}
+
+impl SegUnit {
+    fn len(&self) -> usize {
+        match self {
+            SegUnit::Sealed(s) => s.len(),
+            SegUnit::Active(rows) => rows.len(),
+        }
+    }
+}
+
+/// The aggregate spec of an [`Op::Aggregate`], borrowed.
+struct AggSpec<'a> {
+    group_by: Option<&'a String>,
+    agg: &'a AggFn,
+    field: Option<&'a FieldPath>,
+    as_field: &'a String,
+}
+
+/// How the pipeline splits around the segment-parallel part.
+struct Plan<'a> {
+    /// Record-wise prefix (filter/rename/project/derive), run per segment.
+    prefix: &'a [Op],
+    /// Aggregate directly after the prefix, folded via partials.
+    agg: Option<AggSpec<'a>>,
+    /// Everything after — runs sequentially on the merged result.
+    rest: &'a [Op],
+    /// Prefix filters usable on columns: `(expr, the single field read)`.
+    /// `Some` only when *every* prefix op qualifies.
+    fast_filters: Option<Vec<(&'a Expr, String)>>,
+}
+
+fn plan(ops: &[Op]) -> Plan<'_> {
+    let mut split = 0;
+    while split < ops.len() {
+        match &ops[split] {
+            Op::Filter(_) | Op::Rename { .. } | Op::Project(_) | Op::Derive { .. } => split += 1,
+            _ => break,
+        }
+    }
+    let (agg, rest) = match ops.get(split) {
+        Some(Op::Aggregate {
+            group_by,
+            agg,
+            field,
+            as_field,
+        }) => (
+            Some(AggSpec {
+                group_by: group_by.as_ref(),
+                agg,
+                field: field.as_ref(),
+                as_field,
+            }),
+            &ops[split + 1..],
+        ),
+        _ => (None, &ops[split..]),
+    };
+    let prefix = &ops[..split];
+    let fast_filters = prefix
+        .iter()
+        .map(|op| match op {
+            Op::Filter(expr) => conjuncts(expr)
+                .into_iter()
+                .map(|e| single_field(e).map(|f| (e, f)))
+                .collect::<Option<Vec<_>>>(),
+            _ => None,
+        })
+        .collect::<Option<Vec<Vec<_>>>>()
+        .map(|per_op| per_op.into_iter().flatten().collect::<Vec<_>>())
+        .filter(|_| {
+            // The aggregate must also be column-addressable: group key is a
+            // top-level field, fold input starts with a field segment.
+            match &agg {
+                None => true,
+                Some(a) => a
+                    .field
+                    .is_none_or(|p| matches!(p.segments.first(), None | Some(PathSeg::Field(_)))),
+            }
+        });
+    Plan {
+        prefix,
+        agg,
+        rest,
+        fast_filters,
+    }
+}
+
+/// Flatten a top-level `and` chain into its conjuncts. Filtering on
+/// `A and B` equals filtering on A then on B: `and` short-circuits, so a
+/// record dropped (or error-dropped) by A never evaluates B on either
+/// path, and a record passing A lives or dies by B on both. This lets a
+/// multi-field conjunction use the per-field columnar fast path.
+fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+    match expr {
+        Expr::Binary(BinOp::And, l, r) => {
+            let mut out = conjuncts(l);
+            out.extend(conjuncts(r));
+            out
+        }
+        _ => vec![expr],
+    }
+}
+
+/// If the expression reads exactly one top-level field of `this` (and
+/// nothing else), return that field: evaluating it against a one-field
+/// mini-record is then equivalent to evaluating against the full record
+/// (missing fields read as `null` either way).
+fn single_field(expr: &Expr) -> Option<String> {
+    let mut field: Option<String> = None;
+    let mut bound: Vec<&str> = Vec::new();
+    fn walk<'e>(expr: &'e Expr, bound: &mut Vec<&'e str>, field: &mut Option<String>) -> bool {
+        match expr {
+            Expr::Literal(_) => true,
+            Expr::Ident(_) => false, // bare `this` or another free root
+            Expr::Member(base, f) => {
+                if let Expr::Ident(name) = &**base {
+                    if name == "this" && !bound.contains(&name.as_str()) {
+                        return match field {
+                            None => {
+                                *field = Some(f.clone());
+                                true
+                            }
+                            Some(existing) => existing == f,
+                        };
+                    }
+                }
+                walk(base, bound, field)
+            }
+            Expr::Index(base, idx) => walk(base, bound, field) && walk(idx, bound, field),
+            Expr::Call(_, args) => args.iter().all(|a| walk(a, bound, field)),
+            Expr::Binary(_, l, r) => walk(l, bound, field) && walk(r, bound, field),
+            Expr::Unary(_, e) => walk(e, bound, field),
+            Expr::If {
+                then,
+                cond,
+                otherwise,
+            } => {
+                walk(then, bound, field)
+                    && walk(cond, bound, field)
+                    && walk(otherwise, bound, field)
+            }
+            Expr::Comprehension {
+                body,
+                var,
+                source,
+                filter,
+            } => {
+                if !walk(source, bound, field) {
+                    return false;
+                }
+                bound.push(var.as_str());
+                let ok = walk(body, bound, field)
+                    && filter
+                        .as_ref()
+                        .map(|f| walk(f, bound, field))
+                        .unwrap_or(true);
+                bound.pop();
+                ok
+            }
+            Expr::List(items) => items.iter().all(|i| walk(i, bound, field)),
+        }
+    }
+    // A comprehension variable shadowing `this` would break the
+    // mini-record equivalence; `walk` treats a shadowed `this` member as
+    // an opaque bound access, which is also fine — but a *bare* bound
+    // ident is rejected above for simplicity (filters never bind vars in
+    // practice).
+    if walk(expr, &mut bound, &mut field) {
+        field
+    } else {
+        None
+    }
+}
+
+/// Per-segment, per-group fold state. Numeric inputs are kept as the
+/// *ordered stream* the row path would have seen, so the merge can
+/// replay the exact same left-to-right fold.
+#[derive(Default)]
+struct GroupPartial {
+    count: usize,
+    nums: Vec<f64>,
+    /// First member's group-field value (`None` = member lacked it).
+    first_keyval: Option<Value>,
+    /// Last member's fold-field value (`None` = lacked it; `Last` only).
+    last_val: Option<Value>,
+}
+
+/// Per-segment aggregation output: group key → partial, plus per-segment
+/// drop counts from the filter prefix.
+struct SegOut {
+    rows: Vec<Value>,
+    groups: Option<BTreeMap<String, GroupPartial>>,
+    stats: QueryStats,
+}
+
+/// Run `query` against a store snapshot; results are bit-identical to
+/// `query.run_with(store.read_all(), fns)`.
+pub fn run_store(
+    query: &Query,
+    store: &LogStore,
+    fns: &FnRegistry,
+) -> Result<(Vec<Value>, QueryStats)> {
+    let (sealed, active) = store.snapshot();
+    let mut units: Vec<SegUnit> = sealed.into_iter().map(SegUnit::Sealed).collect();
+    if !active.is_empty() {
+        units.push(SegUnit::Active(
+            active.into_iter().map(|r| r.fields).collect(),
+        ));
+    }
+    let plan = plan(&query.ops);
+
+    let total: usize = units.iter().map(|u| u.len()).sum();
+    let per_segment = |unit: &SegUnit| -> Result<SegOut> { run_segment(unit, &plan, fns) };
+    let outs: Vec<Result<SegOut>> = if total >= PARALLEL_MIN_RECORDS && units.len() > 1 {
+        map_parallel(&units, &per_segment)
+    } else {
+        units.iter().map(per_segment).collect()
+    };
+
+    let mut stats = QueryStats::default();
+    let mut rows: Vec<Value> = Vec::new();
+    let mut merged: Option<BTreeMap<String, GroupPartial>> = plan.agg.as_ref().map(|a| {
+        let mut m = BTreeMap::new();
+        if a.group_by.is_none() {
+            // SQL semantics: an ungrouped aggregate always yields one
+            // row, even over an empty input.
+            m.insert(String::new(), GroupPartial::default());
+        }
+        m
+    });
+    for out in outs {
+        let out = out?;
+        stats.dropped_errors += out.stats.dropped_errors;
+        if let (Some(merged), Some(groups)) = (merged.as_mut(), out.groups) {
+            for (key, gp) in groups {
+                let slot = merged.entry(key).or_default();
+                if slot.count == 0 && gp.count > 0 {
+                    slot.first_keyval = gp.first_keyval;
+                }
+                if gp.count > 0 {
+                    slot.last_val = gp.last_val;
+                }
+                slot.count += gp.count;
+                slot.nums.extend(gp.nums);
+            }
+        } else {
+            rows.extend(out.rows);
+        }
+    }
+    if let (Some(merged), Some(a)) = (merged, plan.agg.as_ref()) {
+        rows = fold_merged(merged, a);
+    }
+    for op in plan.rest {
+        let start = Instant::now();
+        rows = apply(op, rows, fns, &mut stats)?;
+        observe_op(op_name(op), start);
+    }
+    Ok((rows, stats))
+}
+
+fn observe_op(op: &str, start: Instant) {
+    metrics::global()
+        .histogram("knactor_log_query_op_ns", &[("op", op)])
+        .observe(start.elapsed());
+}
+
+/// Run the per-segment part of the plan on one unit.
+fn run_segment(unit: &SegUnit, plan: &Plan<'_>, fns: &FnRegistry) -> Result<SegOut> {
+    if let (Some(filters), SegUnit::Sealed(seg)) = (&plan.fast_filters, unit) {
+        if let SegmentData::Columnar(col) = seg.data() {
+            return Ok(run_columnar(col, filters, plan.agg.as_ref(), fns));
+        }
+    }
+    // Generic path: materialize rows, run the record-wise prefix, then
+    // fold into partials when an aggregate follows.
+    let mut rows = match unit {
+        SegUnit::Sealed(seg) => seg.rows(),
+        SegUnit::Active(rows) => rows.clone(),
+    };
+    let mut stats = QueryStats::default();
+    for op in plan.prefix {
+        let start = Instant::now();
+        rows = apply(op, rows, fns, &mut stats)?;
+        observe_op(op_name(op), start);
+    }
+    match plan.agg.as_ref() {
+        None => Ok(SegOut {
+            rows,
+            groups: None,
+            stats,
+        }),
+        Some(a) => {
+            let start = Instant::now();
+            let groups = partial_from_rows(&rows, a);
+            observe_op("aggregate", start);
+            Ok(SegOut {
+                rows: Vec::new(),
+                groups: Some(groups),
+                stats,
+            })
+        }
+    }
+}
+
+/// Fold already-filtered rows into per-group partials (generic path).
+fn partial_from_rows(rows: &[Value], a: &AggSpec<'_>) -> BTreeMap<String, GroupPartial> {
+    let mut groups: BTreeMap<String, GroupPartial> = BTreeMap::new();
+    let numeric = matches!(a.agg, AggFn::Sum | AggFn::Avg | AggFn::Min | AggFn::Max);
+    for r in rows {
+        let key = match a.group_by {
+            Some(g) => r
+                .get(g)
+                .map(render_group_key)
+                .unwrap_or_else(|| "null".to_string()),
+            None => String::new(),
+        };
+        let gp = groups.entry(key).or_default();
+        if gp.count == 0 {
+            gp.first_keyval = a.group_by.and_then(|g| r.get(g)).cloned();
+        }
+        gp.count += 1;
+        if numeric {
+            if let Some(n) = a
+                .field
+                .and_then(|f| knactor_types::value::get_path(r, f))
+                .and_then(Value::as_f64)
+            {
+                gp.nums.push(n);
+            }
+        }
+        if matches!(a.agg, AggFn::Last) {
+            gp.last_val = a
+                .field
+                .and_then(|f| knactor_types::value::get_path(r, f))
+                .cloned();
+        }
+    }
+    groups
+}
+
+/// Replay the row path's fold over the merged, order-preserving partials.
+fn fold_merged(merged: BTreeMap<String, GroupPartial>, a: &AggSpec<'_>) -> Vec<Value> {
+    let mut out = Vec::with_capacity(merged.len());
+    for (key, gp) in merged {
+        let folded = match a.agg {
+            AggFn::Count => Value::from(gp.count as u64),
+            AggFn::Sum => number(gp.nums.iter().sum()),
+            AggFn::Avg => {
+                if gp.nums.is_empty() {
+                    Value::Null
+                } else {
+                    number(gp.nums.iter().sum::<f64>() / gp.nums.len() as f64)
+                }
+            }
+            AggFn::Min => gp
+                .nums
+                .iter()
+                .fold(None::<f64>, |acc, &n| Some(acc.map_or(n, |a| a.min(n))))
+                .map(number)
+                .unwrap_or(Value::Null),
+            AggFn::Max => gp
+                .nums
+                .iter()
+                .fold(None::<f64>, |acc, &n| Some(acc.map_or(n, |a| a.max(n))))
+                .map(number)
+                .unwrap_or(Value::Null),
+            AggFn::Last => gp.last_val.clone().unwrap_or(Value::Null),
+        };
+        let mut obj = serde_json::Map::new();
+        if let Some(g) = a.group_by {
+            let key_val = gp.first_keyval.clone().unwrap_or(Value::String(key));
+            obj.insert(g.clone(), key_val);
+        }
+        obj.insert(a.as_field.clone(), folded);
+        out.push(Value::Object(obj));
+    }
+    out
+}
+
+/// Predicate outcome for one distinct column value.
+#[derive(Clone, Copy, PartialEq)]
+enum Verdict {
+    Keep,
+    Drop,
+    Error,
+}
+
+fn verdict(expr: &Expr, field: &str, value: Option<&Value>, fns: &FnRegistry) -> Verdict {
+    // One-field mini-record: equivalent to the full record for
+    // expressions that only read this field (see `single_field`).
+    let mut mini = serde_json::Map::new();
+    if let Some(v) = value {
+        mini.insert(field.to_string(), v.clone());
+    }
+    match eval_on(expr, &Value::Object(mini), fns) {
+        Ok(v) if truthy(&v) => Verdict::Keep,
+        Ok(_) => Verdict::Drop,
+        Err(_) => Verdict::Error,
+    }
+}
+
+/// Columnar fast path: filters evaluated per distinct dictionary value,
+/// aggregation read straight off the columns — no row materialization.
+fn run_columnar(
+    col: &crate::columnar::ColumnarSegment,
+    filters: &[(&Expr, String)],
+    agg: Option<&AggSpec<'_>>,
+    fns: &FnRegistry,
+) -> SegOut {
+    let len = col.len();
+    let mut stats = QueryStats::default();
+    // `None` = all rows selected; `Some(idx)` = sorted surviving rows.
+    let mut selection: Option<Vec<u32>> = None;
+    let start = Instant::now();
+    for (expr, field) in filters {
+        let column = col.column(field);
+        match column {
+            None => {
+                // Field absent in every record: one verdict for all rows.
+                match verdict(expr, field, None, fns) {
+                    Verdict::Keep => {}
+                    Verdict::Drop => selection = Some(Vec::new()),
+                    Verdict::Error => {
+                        stats.dropped_errors += selection.as_ref().map(|s| s.len()).unwrap_or(len);
+                        selection = Some(Vec::new());
+                    }
+                }
+            }
+            Some(column) => {
+                let codes = column.codes();
+                // Evaluate once per distinct value (dictionary win); plain
+                // columns degrade to once per row.
+                let mut by_code: BTreeMap<u32, Verdict> = BTreeMap::new();
+                for code in column.distinct_codes() {
+                    by_code.insert(code, verdict(expr, field, column.code_value(code), fns));
+                }
+                let absent = if column.has_absent() {
+                    verdict(expr, field, None, fns)
+                } else {
+                    Verdict::Drop // unused
+                };
+                let verdict_at = |row: usize| -> Verdict {
+                    let code = codes[row];
+                    if code == u32::MAX {
+                        absent
+                    } else {
+                        by_code[&code]
+                    }
+                };
+                let survivors: Vec<u32> = match &selection {
+                    None => (0..len as u32).collect::<Vec<_>>(),
+                    Some(sel) => sel.clone(),
+                };
+                let mut next = Vec::with_capacity(survivors.len());
+                for i in survivors {
+                    match verdict_at(i as usize) {
+                        Verdict::Keep => next.push(i),
+                        Verdict::Drop => {}
+                        Verdict::Error => stats.dropped_errors += 1,
+                    }
+                }
+                selection = Some(next);
+            }
+        }
+    }
+    if !filters.is_empty() {
+        observe_op("columnar_filter", start);
+    }
+
+    let Some(a) = agg else {
+        // No aggregate: materialize just the survivors.
+        let rows = match &selection {
+            None => col.materialize_all(),
+            Some(idx) => col.materialize_selected(idx),
+        };
+        return SegOut {
+            rows,
+            groups: None,
+            stats,
+        };
+    };
+
+    let start = Instant::now();
+    let groups = aggregate_columnar(col, selection.as_deref(), a);
+    observe_op("columnar_aggregate", start);
+    SegOut {
+        rows: Vec::new(),
+        groups: Some(groups),
+        stats,
+    }
+}
+
+/// Fold selected rows into partials straight off the columns.
+fn aggregate_columnar(
+    col: &crate::columnar::ColumnarSegment,
+    selection: Option<&[u32]>,
+    a: &AggSpec<'_>,
+) -> BTreeMap<String, GroupPartial> {
+    let len = col.len();
+    let numeric = matches!(a.agg, AggFn::Sum | AggFn::Avg | AggFn::Min | AggFn::Max);
+
+    // Group-key column: codes plus the rendered key / key value per code.
+    let group_col = a.group_by.and_then(|g| col.column(g.as_str()));
+    let group_codes = group_col.map(|c| c.codes());
+    let mut key_by_code: BTreeMap<u32, String> = BTreeMap::new();
+    if let Some(c) = group_col {
+        for code in c.distinct_codes() {
+            let v = c.code_value(code).expect("distinct code has a value");
+            key_by_code.insert(code, render_group_key(v));
+        }
+    }
+
+    // Fold-field column: the numeric input per code (the path may
+    // descend below the column's top-level value).
+    let field_head = a.field.and_then(|p| match p.segments.first() {
+        Some(PathSeg::Field(f)) => Some((
+            f.as_str(),
+            FieldPath {
+                segments: p.segments[1..].to_vec(),
+            },
+        )),
+        None => None, // root path: whole record, never numeric → no input
+        Some(PathSeg::Index(_)) => unreachable!("plan() rejects index-rooted folds"),
+    });
+    let field_col = field_head.as_ref().and_then(|(f, _)| col.column(f));
+    let field_codes = field_col.map(|c| c.codes());
+    let mut num_by_code: BTreeMap<u32, Option<f64>> = BTreeMap::new();
+    if let (Some(c), Some((_, tail))) = (field_col, field_head.as_ref()) {
+        for code in c.distinct_codes() {
+            let v = c
+                .code_value(code)
+                .and_then(|v| knactor_types::value::get_path(v, tail));
+            num_by_code.insert(code, v.and_then(Value::as_f64));
+        }
+    }
+    let field_value_at = |row: usize| -> Option<Value> {
+        let (c, tail) = match (field_col, field_head.as_ref()) {
+            (Some(c), Some((_, tail))) => (c, tail),
+            _ => return None,
+        };
+        let code = field_codes.as_ref().map(|codes| codes[row])?;
+        c.code_value(code)
+            .and_then(|v| knactor_types::value::get_path(v, tail))
+            .cloned()
+    };
+
+    let mut groups: BTreeMap<String, GroupPartial> = BTreeMap::new();
+    let mut visit = |row: usize| {
+        let (key, keyval_code) = match (&group_codes, a.group_by) {
+            (Some(codes), _) => {
+                let code = codes[row];
+                match key_by_code.get(&code) {
+                    Some(k) => (k.clone(), Some(code)),
+                    None => ("null".to_string(), None), // absent field
+                }
+            }
+            (None, Some(_)) => ("null".to_string(), None), // column missing entirely
+            (None, None) => (String::new(), None),
+        };
+        let gp = groups.entry(key).or_default();
+        if gp.count == 0 {
+            gp.first_keyval = keyval_code
+                .and_then(|code| group_col.and_then(|c| c.code_value(code)))
+                .cloned();
+        }
+        gp.count += 1;
+        if numeric {
+            let n = field_codes
+                .as_ref()
+                .and_then(|codes| num_by_code.get(&codes[row]).copied().flatten());
+            if let Some(n) = n {
+                gp.nums.push(n);
+            }
+        }
+        if matches!(a.agg, AggFn::Last) {
+            gp.last_val = field_value_at(row);
+        }
+    };
+    match selection {
+        None => (0..len).for_each(&mut visit),
+        Some(sel) => sel.iter().for_each(|&i| visit(i as usize)),
+    }
+    groups
+}
+
+/// Run `f` over every unit on a small thread pool, preserving order.
+fn map_parallel<T: Send>(units: &[SegUnit], f: &(dyn Fn(&SegUnit) -> T + Sync)) -> Vec<T> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(units.len())
+        .max(1);
+    let next = AtomicUsize::new(0);
+    let out: Vec<Mutex<Option<T>>> = (0..units.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= units.len() {
+                    break;
+                }
+                *out[i].lock() = Some(f(&units[i]));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.into_inner().expect("every unit was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Expr {
+        knactor_expr::parse_expr(src).unwrap()
+    }
+
+    #[test]
+    fn single_field_detection() {
+        assert_eq!(
+            single_field(&parse("this.kind == \"energy\"")),
+            Some("kind".into())
+        );
+        assert_eq!(
+            single_field(&parse("this.kwh > 0.2 and this.kwh < 0.6")),
+            Some("kwh".into())
+        );
+        // Nested member access below one top-level field still qualifies.
+        assert_eq!(
+            single_field(&parse("this.meta.room == \"hall\"")),
+            Some("meta".into())
+        );
+        // Two fields, bare `this`, or non-`this` roots disqualify.
+        assert_eq!(single_field(&parse("this.a == this.b")), None);
+        assert_eq!(single_field(&parse("this == 3")), None);
+        assert_eq!(
+            single_field(&parse("len(this.items) > 1")),
+            Some("items".into())
+        );
+    }
+
+    #[test]
+    fn plan_splits_around_aggregate() {
+        let q = crate::query::Query::new()
+            .filter("this.kind == \"energy\"")
+            .unwrap()
+            .aggregate(Some("room"), AggFn::Sum, Some("kwh"), "total")
+            .unwrap()
+            .sort("total", true)
+            .unwrap();
+        let p = plan(&q.ops);
+        assert_eq!(p.prefix.len(), 1);
+        assert!(p.agg.is_some());
+        assert_eq!(p.rest.len(), 1);
+        assert!(p.fast_filters.is_some());
+    }
+
+    #[test]
+    fn plan_rejects_fast_path_on_rename() {
+        let q = crate::query::Query::new()
+            .rename("a", "b")
+            .filter("this.b")
+            .unwrap();
+        let p = plan(&q.ops);
+        assert_eq!(p.prefix.len(), 2);
+        assert!(p.fast_filters.is_none());
+    }
+}

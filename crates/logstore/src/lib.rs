@@ -22,8 +22,15 @@
 //! record bound as `this`, keeping one expression language across both
 //! exchanges.
 
+pub mod columnar;
+pub mod compact;
+pub mod continuous;
+mod exec;
 pub mod query;
+pub mod segment;
 pub mod store;
 
+pub use compact::CompactionPolicy;
+pub use continuous::{ClosedWindow, WindowSpec, WindowState};
 pub use query::{AggFn, Op, Query};
-pub use store::{LogExchange, LogRecord, LogStore};
+pub use store::{LogConfig, LogExchange, LogRecord, LogStore, TailEvent, TailRx};

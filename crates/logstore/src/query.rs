@@ -162,15 +162,48 @@ impl Query {
         }
         Ok((rows, stats))
     }
+
+    /// Run against a store's segment snapshot: record-wise operators and
+    /// aggregates execute per segment (in parallel on big stores, with
+    /// columnar fast paths on sealed segments); sort/limit and anything
+    /// after an aggregate run on the merged result. Results are
+    /// bit-identical to collecting `store.read_all()` and calling
+    /// [`Query::run`] — see [`crate::exec`].
+    pub fn run_store(&self, store: &crate::store::LogStore) -> Result<Vec<Value>> {
+        self.run_store_with(store, &FnRegistry::standard())
+            .map(|(v, _)| v)
+    }
+
+    /// [`Query::run_store`] with an explicit registry and drop counters.
+    pub fn run_store_with(
+        &self,
+        store: &crate::store::LogStore,
+        fns: &FnRegistry,
+    ) -> Result<(Vec<Value>, QueryStats)> {
+        crate::exec::run_store(self, store, fns)
+    }
 }
 
-fn eval_on(expr: &Expr, record: &Value, fns: &FnRegistry) -> Result<Value> {
+/// Stable operator label for the `knactor_log_query_op_ns{op}` histogram.
+pub(crate) fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Filter(_) => "filter",
+        Op::Rename { .. } => "rename",
+        Op::Project(_) => "project",
+        Op::Derive { .. } => "derive",
+        Op::Sort { .. } => "sort",
+        Op::Aggregate { .. } => "aggregate",
+        Op::Limit(_) => "limit",
+    }
+}
+
+pub(crate) fn eval_on(expr: &Expr, record: &Value, fns: &FnRegistry) -> Result<Value> {
     let mut env = Env::new();
     env.bind("this", record.clone());
     knactor_expr::eval(expr, &env, fns)
 }
 
-fn apply(
+pub(crate) fn apply(
     op: &Op,
     rows: Vec<Value>,
     fns: &FnRegistry,
@@ -289,7 +322,7 @@ fn apply(
     }
 }
 
-fn render_group_key(v: &Value) -> String {
+pub(crate) fn render_group_key(v: &Value) -> String {
     match v {
         Value::String(s) => s.clone(),
         other => other.to_string(),
@@ -371,7 +404,7 @@ fn fold(agg: &AggFn, field: Option<&FieldPath>, members: &[&Value]) -> Value {
     }
 }
 
-fn number(f: f64) -> Value {
+pub(crate) fn number(f: f64) -> Value {
     serde_json::Number::from_f64(f)
         .map(Value::Number)
         .unwrap_or(Value::Null)

@@ -1,0 +1,234 @@
+//! Sealed (immutable) segments of the log.
+//!
+//! The active segment is a plain `Vec<LogRecord>` inside the store's
+//! mutex — cheap appends. Once it reaches capacity it is *sealed*: moved
+//! behind an `Arc` and never mutated again. Readers snapshot the `Arc`s
+//! under the lock and materialize rows outside it, so big scans no longer
+//! stall appenders. Sealed segments are re-encoded into columnar form
+//! ([`crate::columnar`]) off the lock; compaction later merges runs of
+//! small sealed segments into bigger ones.
+//!
+//! Sequence numbers are dense per store (retention only ever drops whole
+//! oldest segments), so a segment stores just its first sequence number:
+//! record `i` has `seq = first_seq + i`.
+
+use crate::columnar::{approx_value_bytes, ColumnarSegment};
+use crate::store::LogRecord;
+use knactor_types::Value;
+use std::sync::Arc;
+
+/// Physical layout of a sealed segment.
+#[derive(Debug, Clone)]
+pub enum SegmentData {
+    /// Row-oriented: as appended.
+    Rows(Vec<LogRecord>),
+    /// Column-oriented re-encoding (dictionary + run-length).
+    Columnar(ColumnarSegment),
+}
+
+/// An immutable run of consecutive records.
+#[derive(Debug)]
+pub struct SealedSegment {
+    first_seq: u64,
+    /// Inclusive.
+    last_seq: u64,
+    /// Approximate retained heap bytes of the payloads.
+    bytes: usize,
+    data: SegmentData,
+}
+
+impl SealedSegment {
+    /// Seal a run of row records. `records` must be non-empty with dense
+    /// consecutive sequence numbers.
+    pub fn from_rows(records: Vec<LogRecord>) -> SealedSegment {
+        debug_assert!(!records.is_empty());
+        let first_seq = records.first().map(|r| r.seq).unwrap_or(1);
+        let last_seq = records.last().map(|r| r.seq).unwrap_or(first_seq);
+        let bytes = records.iter().map(|r| approx_value_bytes(&r.fields)).sum();
+        SealedSegment {
+            first_seq,
+            last_seq,
+            bytes,
+            data: SegmentData::Rows(records),
+        }
+    }
+
+    /// Re-encode into columnar form. Returns `None` when any payload is
+    /// not an object (the segment then stays row-form) or when this
+    /// segment is already columnar.
+    pub fn to_columnar(&self) -> Option<SealedSegment> {
+        let rows = match &self.data {
+            SegmentData::Rows(records) => {
+                records.iter().map(|r| r.fields.clone()).collect::<Vec<_>>()
+            }
+            SegmentData::Columnar(_) => return None,
+        };
+        let col = ColumnarSegment::encode(&rows)?;
+        Some(SealedSegment {
+            first_seq: self.first_seq,
+            last_seq: self.last_seq,
+            bytes: col.approx_bytes(),
+            data: SegmentData::Columnar(col),
+        })
+    }
+
+    /// Merge adjacent segments (in order, densely consecutive) into one,
+    /// re-encoding columnar when `columnar` is set and the payloads allow
+    /// it.
+    pub fn merge(parts: &[Arc<SealedSegment>], columnar: bool) -> SealedSegment {
+        debug_assert!(!parts.is_empty());
+        let first_seq = parts[0].first_seq;
+        let mut records = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        for p in parts {
+            records.extend(p.records());
+        }
+        let merged = SealedSegment::from_rows(records);
+        debug_assert_eq!(merged.first_seq, first_seq);
+        if columnar {
+            if let Some(col) = merged.to_columnar() {
+                return col;
+            }
+        }
+        merged
+    }
+
+    pub fn first_seq(&self) -> u64 {
+        self.first_seq
+    }
+
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    pub fn len(&self) -> usize {
+        (self.last_seq - self.first_seq + 1) as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // sealed segments are never empty
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    pub fn is_columnar(&self) -> bool {
+        matches!(self.data, SegmentData::Columnar(_))
+    }
+
+    pub fn data(&self) -> &SegmentData {
+        &self.data
+    }
+
+    /// Materialize every record (payload + reconstructed seq).
+    pub fn records(&self) -> Vec<LogRecord> {
+        match &self.data {
+            SegmentData::Rows(records) => records.clone(),
+            SegmentData::Columnar(col) => col
+                .materialize_all()
+                .into_iter()
+                .enumerate()
+                .map(|(i, fields)| LogRecord {
+                    seq: self.first_seq + i as u64,
+                    fields,
+                })
+                .collect(),
+        }
+    }
+
+    /// Materialize records with `seq > from`, in order.
+    pub fn records_from(&self, from: u64) -> Vec<LogRecord> {
+        if from < self.first_seq {
+            return self.records();
+        }
+        if from >= self.last_seq {
+            return Vec::new();
+        }
+        let skip = (from - self.first_seq + 1) as usize;
+        match &self.data {
+            SegmentData::Rows(records) => records[skip..].to_vec(),
+            SegmentData::Columnar(col) => {
+                let idx: Vec<u32> = (skip as u32..self.len() as u32).collect();
+                col.materialize_selected(&idx)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, fields)| LogRecord {
+                        seq: self.first_seq + (skip + i) as u64,
+                        fields,
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Materialize just the payloads (query path).
+    pub fn rows(&self) -> Vec<Value> {
+        match &self.data {
+            SegmentData::Rows(records) => records.iter().map(|r| r.fields.clone()).collect(),
+            SegmentData::Columnar(col) => col.materialize_all(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn seg(n: u64, first: u64) -> SealedSegment {
+        SealedSegment::from_rows(
+            (0..n)
+                .map(|i| LogRecord {
+                    seq: first + i,
+                    fields: json!({"i": first + i, "kind": "telemetry"}),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn columnar_round_trip_preserves_records() {
+        let rows = seg(10, 5);
+        let col = rows.to_columnar().unwrap();
+        assert!(col.is_columnar());
+        assert_eq!(col.records(), rows.records());
+        assert_eq!(col.first_seq(), 5);
+        assert_eq!(col.last_seq(), 14);
+    }
+
+    #[test]
+    fn records_from_skips_prefix() {
+        for s in [seg(10, 5), seg(10, 5).to_columnar().unwrap()] {
+            assert_eq!(s.records_from(0).len(), 10);
+            assert_eq!(s.records_from(7).first().unwrap().seq, 8);
+            assert_eq!(s.records_from(14).len(), 0);
+            assert_eq!(s.records_from(99).len(), 0);
+        }
+    }
+
+    #[test]
+    fn merge_concatenates_and_encodes() {
+        let a = Arc::new(seg(4, 1));
+        let b = Arc::new(seg(6, 5).to_columnar().unwrap());
+        let m = SealedSegment::merge(&[a.clone(), b.clone()], true);
+        assert!(m.is_columnar());
+        assert_eq!(m.len(), 10);
+        assert_eq!(m.first_seq(), 1);
+        assert_eq!(m.last_seq(), 10);
+        let mut want = a.records();
+        want.extend(b.records());
+        assert_eq!(m.records(), want);
+    }
+
+    #[test]
+    fn columnar_shrinks_repetitive_payloads() {
+        let rows = seg(1024, 1);
+        let col = rows.to_columnar().unwrap();
+        assert!(
+            col.bytes() * 2 < rows.bytes(),
+            "columnar {} vs rows {}",
+            col.bytes(),
+            rows.bytes()
+        );
+    }
+}

@@ -1,17 +1,29 @@
 //! Append-only log stores and the exchange hosting them.
+//!
+//! Storage layout (see [`crate::segment`]): one mutable row-oriented
+//! *active* segment plus a list of immutable *sealed* segments behind
+//! `Arc`s. Appends only touch the active segment; readers snapshot the
+//! sealed `Arc`s under the lock and materialize outside it; sealed
+//! segments are re-encoded columnar off the lock and compacted in the
+//! background ([`crate::compact`]).
+//!
+//! Tailing is pull-based: a [`TailRx`] holds a cursor into the store and
+//! pulls bounded chunks on demand, waking on a watch channel when new
+//! records land. A slow tailer therefore buffers at most one chunk — if
+//! retention truncates records it never pulled, it gets a typed
+//! [`TailEvent::Lagged`] resume point instead of silently unbounded
+//! memory.
 
-use knactor_types::metrics::{self, Counter};
+use crate::compact::CompactionPolicy;
+use crate::segment::SealedSegment;
+use knactor_types::metrics::{self, Counter, Gauge};
 use knactor_types::{Error, Result, StoreId, Value};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-use std::sync::Arc;
-use tokio::sync::mpsc;
-
-/// Records per segment before rotation. Segments exist to bound the cost
-/// of scans that only need recent data and to give retention a natural
-/// truncation unit.
-const SEGMENT_CAPACITY: usize = 1024;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Weak};
+use tokio::sync::{mpsc, watch};
 
 /// One ingested record: a sequence number and a structured payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -22,30 +34,89 @@ pub struct LogRecord {
     pub fields: Value,
 }
 
-/// A sealed or active run of consecutive records.
-#[derive(Debug, Default)]
-struct Segment {
-    records: Vec<LogRecord>,
+/// Tuning knobs for one store.
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Records per segment before the active segment seals.
+    pub segment_capacity: usize,
+    /// Re-encode sealed segments into columnar form (off the lock).
+    /// `false` keeps everything row-oriented — the seed layout, kept as a
+    /// baseline for benchmarks and parity tests.
+    pub columnar: bool,
+    /// Merge runs of small sealed segments in the background.
+    pub compaction: Option<CompactionPolicy>,
+    /// Max records a tail pull materializes at once (bounds per-tailer
+    /// memory).
+    pub tail_chunk: usize,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            segment_capacity: 1024,
+            columnar: true,
+            compaction: None,
+            tail_chunk: 256,
+        }
+    }
 }
 
 /// An append-only log store with tailing.
 pub struct LogStore {
     id: StoreId,
+    config: LogConfig,
     inner: Mutex<LogInner>,
-    /// `knactor_log_appends_total{store=<id>}`, registered once at
-    /// construction so the append path only bumps an atomic.
+    /// Self-handle so `&self` methods can hand out owned references
+    /// (tail receivers, background compaction tasks).
+    self_ref: Weak<LogStore>,
+    /// Last assigned seq, published after every append — tailers park on
+    /// this instead of owning per-tailer channels.
+    append_watch: watch::Sender<u64>,
+    /// Serializes background compaction (at most one task per store).
+    compacting: AtomicBool,
+    metrics: StoreMetrics,
+}
+
+/// Per-store instruments, registered once at construction so hot paths
+/// only bump atomics.
+struct StoreMetrics {
+    /// `knactor_log_appends_total{store}`
     appends: Arc<Counter>,
+    /// `knactor_log_tail_lagged_total{store}` — records truncated before
+    /// a tailer pulled them.
+    tail_lagged: Arc<Counter>,
+    /// `knactor_log_compactions_total{store}`
+    compactions: Arc<Counter>,
+    /// `knactor_log_segments{store,kind}` for kind ∈ active|rows|columnar
+    seg_active: Arc<Gauge>,
+    seg_rows: Arc<Gauge>,
+    seg_columnar: Arc<Gauge>,
+    /// `knactor_log_retained_bytes{store}` (sealed payloads, approx)
+    retained_bytes: Arc<Gauge>,
+    /// `knactor_log_bytes_per_record{store}` (sealed payloads, approx)
+    bytes_per_record: Arc<Gauge>,
 }
 
 #[derive(Default)]
 struct LogInner {
-    segments: Vec<Segment>,
+    active: Vec<LogRecord>,
+    sealed: Vec<Arc<SealedSegment>>,
     next_seq: u64,
-    tails: Vec<mpsc::UnboundedSender<LogRecord>>,
-    /// Maximum records retained (oldest segments truncate first);
+    /// Maximum records retained (oldest sealed segments truncate first);
     /// `None` = unbounded.
     retain_max: Option<usize>,
     total: usize,
+}
+
+impl LogInner {
+    /// First retained seq; `next_seq` when nothing is retained (i.e. the
+    /// next record to arrive will be the oldest).
+    fn oldest_seq(&self) -> u64 {
+        if let Some(s) = self.sealed.first() {
+            return s.first_seq();
+        }
+        self.active.first().map(|r| r.seq).unwrap_or(self.next_seq)
+    }
 }
 
 impl std::fmt::Debug for LogStore {
@@ -54,129 +125,287 @@ impl std::fmt::Debug for LogStore {
         f.debug_struct("LogStore")
             .field("id", &self.id)
             .field("records", &inner.total)
-            .field("segments", &inner.segments.len())
+            .field("sealed", &inner.sealed.len())
             .finish()
     }
 }
 
 impl LogStore {
-    pub fn new(id: impl Into<StoreId>) -> LogStore {
+    pub fn new(id: impl Into<StoreId>) -> Arc<LogStore> {
+        LogStore::with_config(id, LogConfig::default())
+    }
+
+    pub fn with_config(id: impl Into<StoreId>, config: LogConfig) -> Arc<LogStore> {
         let id = id.into();
-        let appends =
-            metrics::global().counter("knactor_log_appends_total", &[("store", &id.to_string())]);
-        LogStore {
+        let store = id.to_string();
+        let labels: &[(&str, &str)] = &[("store", &store)];
+        let reg = metrics::global();
+        let metrics = StoreMetrics {
+            appends: reg.counter("knactor_log_appends_total", labels),
+            tail_lagged: reg.counter("knactor_log_tail_lagged_total", labels),
+            compactions: reg.counter("knactor_log_compactions_total", labels),
+            seg_active: reg.gauge(
+                "knactor_log_segments",
+                &[("store", &store), ("kind", "active")],
+            ),
+            seg_rows: reg.gauge(
+                "knactor_log_segments",
+                &[("store", &store), ("kind", "rows")],
+            ),
+            seg_columnar: reg.gauge(
+                "knactor_log_segments",
+                &[("store", &store), ("kind", "columnar")],
+            ),
+            retained_bytes: reg.gauge("knactor_log_retained_bytes", labels),
+            bytes_per_record: reg.gauge("knactor_log_bytes_per_record", labels),
+        };
+        let (append_watch, _) = watch::channel(0);
+        Arc::new_cyclic(|weak| LogStore {
             id,
+            config,
             inner: Mutex::new(LogInner {
                 next_seq: 1,
                 ..Default::default()
             }),
-            appends,
-        }
+            self_ref: weak.clone(),
+            append_watch,
+            compacting: AtomicBool::new(false),
+            metrics,
+        })
     }
 
     pub fn id(&self) -> &StoreId {
         &self.id
     }
 
-    /// Bound retained records; excess oldest segments are dropped on the
-    /// next append. Tailers are unaffected (they already received those
-    /// records).
+    pub fn config(&self) -> &LogConfig {
+        &self.config
+    }
+
+    fn strong(&self) -> Arc<LogStore> {
+        self.self_ref
+            .upgrade()
+            .expect("LogStore is always constructed inside an Arc")
+    }
+
+    pub(crate) fn strong_opt(&self) -> Option<Arc<LogStore>> {
+        self.self_ref.upgrade()
+    }
+
+    /// Bound retained records; excess oldest sealed segments are dropped
+    /// on the next append. Tailers that already pulled those records are
+    /// unaffected; tailers that had not yet pulled them observe a
+    /// [`TailEvent::Lagged`] resume point.
     pub fn set_retention(&self, max_records: Option<usize>) {
         self.inner.lock().retain_max = max_records;
     }
 
-    /// Ingest one record. Non-object payloads are wrapped as
-    /// `{"value": …}` so schema-on-read field access always has an object
-    /// to address.
-    pub fn append(&self, fields: Value) -> u64 {
-        let fields = match fields {
+    fn wrap(fields: Value) -> Value {
+        // Non-object payloads are wrapped as `{"value": …}` so
+        // schema-on-read field access always has an object to address.
+        match fields {
             Value::Object(_) => fields,
             other => serde_json::json!({ "value": other }),
-        };
-        let mut inner = self.inner.lock();
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
-        let record = LogRecord { seq, fields };
-        if inner
-            .segments
-            .last()
-            .map(|s| s.records.len() >= SEGMENT_CAPACITY)
-            .unwrap_or(true)
+        }
+    }
+
+    /// Ingest one record.
+    pub fn append(&self, fields: Value) -> u64 {
+        let fields = Self::wrap(fields);
+        let mut sealed_new = None;
+        let seq;
         {
-            inner.segments.push(Segment::default());
-        }
-        inner
-            .segments
-            .last_mut()
-            .expect("segment pushed above")
-            .records
-            .push(record.clone());
-        inner.total += 1;
-        // Retention: drop whole oldest segments while over budget.
-        if let Some(max) = inner.retain_max {
-            while inner.total > max && inner.segments.len() > 1 {
-                let dropped = inner.segments.remove(0);
-                inner.total -= dropped.records.len();
+            let mut inner = self.inner.lock();
+            seq = inner.next_seq;
+            inner.next_seq += 1;
+            inner.active.push(LogRecord { seq, fields });
+            inner.total += 1;
+            if inner.active.len() >= self.config.segment_capacity {
+                sealed_new = self.seal_active_locked(&mut inner);
             }
+            self.apply_retention_locked(&mut inner);
         }
-        inner.tails.retain(|tx| tx.send(record.clone()).is_ok());
-        self.appends.inc();
+        self.metrics.appends.inc();
+        if let Some(seg) = sealed_new {
+            self.after_seal(seg);
+        }
+        let _ = self.append_watch.send(seq);
         seq
     }
 
     /// Ingest a batch under one lock acquisition (retention runs once,
     /// after the whole batch); returns the sequence of the last record.
     pub fn append_batch(&self, batch: impl IntoIterator<Item = Value>) -> u64 {
-        let mut inner = self.inner.lock();
-        let mut last = inner.next_seq.saturating_sub(1);
+        let mut sealed_new = Vec::new();
         let mut appended: u64 = 0;
-        for fields in batch {
-            let fields = match fields {
-                Value::Object(_) => fields,
-                other => serde_json::json!({ "value": other }),
+        let last;
+        {
+            let mut inner = self.inner.lock();
+            last = {
+                let mut last = inner.next_seq.saturating_sub(1);
+                for fields in batch {
+                    let fields = Self::wrap(fields);
+                    let seq = inner.next_seq;
+                    inner.next_seq += 1;
+                    inner.active.push(LogRecord { seq, fields });
+                    inner.total += 1;
+                    if inner.active.len() >= self.config.segment_capacity {
+                        sealed_new.extend(self.seal_active_locked(&mut inner));
+                    }
+                    last = seq;
+                    appended += 1;
+                }
+                last
             };
-            let seq = inner.next_seq;
-            inner.next_seq += 1;
-            let record = LogRecord { seq, fields };
-            if inner
-                .segments
-                .last()
-                .map(|s| s.records.len() >= SEGMENT_CAPACITY)
-                .unwrap_or(true)
-            {
-                inner.segments.push(Segment::default());
-            }
-            inner
-                .segments
-                .last_mut()
-                .expect("segment pushed above")
-                .records
-                .push(record.clone());
-            inner.total += 1;
-            inner.tails.retain(|tx| tx.send(record.clone()).is_ok());
-            last = seq;
-            appended += 1;
+            self.apply_retention_locked(&mut inner);
         }
-        if let Some(max) = inner.retain_max {
-            while inner.total > max && inner.segments.len() > 1 {
-                let dropped = inner.segments.remove(0);
-                inner.total -= dropped.records.len();
-            }
+        self.metrics.appends.add(appended);
+        for seg in sealed_new {
+            self.after_seal(seg);
         }
-        self.appends.add(appended);
+        if appended > 0 {
+            let _ = self.append_watch.send(last);
+        }
         last
     }
 
-    /// All retained records with `seq > from`, in order.
+    fn seal_active_locked(&self, inner: &mut LogInner) -> Option<Arc<SealedSegment>> {
+        if inner.active.is_empty() {
+            return None;
+        }
+        let records = std::mem::take(&mut inner.active);
+        let seg = Arc::new(SealedSegment::from_rows(records));
+        inner.sealed.push(Arc::clone(&seg));
+        self.update_gauges_locked(inner);
+        Some(seg)
+    }
+
+    fn apply_retention_locked(&self, inner: &mut LogInner) {
+        let Some(max) = inner.retain_max else { return };
+        let mut changed = false;
+        while inner.total > max && !inner.sealed.is_empty() {
+            let dropped = inner.sealed.remove(0);
+            inner.total -= dropped.len();
+            changed = true;
+        }
+        if changed {
+            self.update_gauges_locked(inner);
+        }
+    }
+
+    /// Post-seal work done *off* the lock: columnar re-encode (spliced
+    /// back via pointer identity, so a concurrent retention drop simply
+    /// wins) and a background compaction kick.
+    fn after_seal(&self, seg: Arc<SealedSegment>) {
+        if self.config.columnar {
+            if let Some(encoded) = seg.to_columnar() {
+                self.replace_segment(&seg, Arc::new(encoded));
+            }
+        }
+        crate::compact::maybe_spawn(self);
+    }
+
+    /// Swap `old` for `new` if `old` is still retained (pointer
+    /// identity). Returns whether the swap happened.
+    pub(crate) fn replace_segment(
+        &self,
+        old: &Arc<SealedSegment>,
+        new: Arc<SealedSegment>,
+    ) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.sealed.iter().position(|s| Arc::ptr_eq(s, old)) {
+            Some(pos) => {
+                inner.sealed[pos] = new;
+                self.update_gauges_locked(&inner);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replace the contiguous run `old` (still retained, still adjacent)
+    /// with the single merged segment `new`. Returns whether the splice
+    /// happened (a concurrent retention drop aborts it).
+    pub(crate) fn replace_run(&self, old: &[Arc<SealedSegment>], new: Arc<SealedSegment>) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(first) = old.first() else {
+            return false;
+        };
+        let Some(pos) = inner.sealed.iter().position(|s| Arc::ptr_eq(s, first)) else {
+            return false;
+        };
+        if pos + old.len() > inner.sealed.len() {
+            return false;
+        }
+        for (i, o) in old.iter().enumerate() {
+            if !Arc::ptr_eq(&inner.sealed[pos + i], o) {
+                return false;
+            }
+        }
+        inner.sealed.splice(pos..pos + old.len(), [new]);
+        self.metrics.compactions.inc();
+        self.update_gauges_locked(&inner);
+        true
+    }
+
+    pub(crate) fn compacting_flag(&self) -> &AtomicBool {
+        &self.compacting
+    }
+
+    /// Snapshot the sealed run for compaction candidate selection.
+    pub(crate) fn sealed_snapshot(&self) -> Vec<Arc<SealedSegment>> {
+        self.inner.lock().sealed.clone()
+    }
+
+    fn update_gauges_locked(&self, inner: &LogInner) {
+        let (mut rows, mut columnar, mut bytes, mut records) = (0i64, 0i64, 0usize, 0usize);
+        for s in &inner.sealed {
+            if s.is_columnar() {
+                columnar += 1;
+            } else {
+                rows += 1;
+            }
+            bytes += s.bytes();
+            records += s.len();
+        }
+        self.metrics
+            .seg_active
+            .set(i64::from(!inner.active.is_empty()));
+        self.metrics.seg_rows.set(rows);
+        self.metrics.seg_columnar.set(columnar);
+        self.metrics.retained_bytes.set(bytes as i64);
+        self.metrics
+            .bytes_per_record
+            .set(bytes.checked_div(records).unwrap_or(0) as i64);
+    }
+
+    /// All retained records with `seq > from`, in order. Sealed segments
+    /// are snapshotted by `Arc` under the lock and materialized outside
+    /// it, so big scans no longer stall appenders.
     pub fn read_from(&self, from: u64) -> Vec<LogRecord> {
-        let inner = self.inner.lock();
-        inner
-            .segments
-            .iter()
-            .flat_map(|s| s.records.iter())
-            .filter(|r| r.seq > from)
-            .cloned()
-            .collect()
+        let (sealed, active) = {
+            let inner = self.inner.lock();
+            (
+                inner
+                    .sealed
+                    .iter()
+                    .filter(|s| s.last_seq() > from)
+                    .cloned()
+                    .collect::<Vec<_>>(),
+                inner
+                    .active
+                    .iter()
+                    .filter(|r| r.seq > from)
+                    .cloned()
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let mut out = Vec::new();
+        for s in &sealed {
+            out.extend(s.records_from(from));
+        }
+        out.extend(active);
+        out
     }
 
     /// Everything retained.
@@ -184,9 +413,21 @@ impl LogStore {
         self.read_from(0)
     }
 
+    /// Snapshot for query execution: sealed segments by `Arc` plus a
+    /// clone of the (small, capacity-bounded) active tail.
+    pub fn snapshot(&self) -> (Vec<Arc<SealedSegment>>, Vec<LogRecord>) {
+        let inner = self.inner.lock();
+        (inner.sealed.clone(), inner.active.clone())
+    }
+
     /// The sequence number of the most recent record (0 when empty).
     pub fn last_seq(&self) -> u64 {
         self.inner.lock().next_seq - 1
+    }
+
+    /// First retained sequence number (`last_seq + 1` when empty).
+    pub fn oldest_seq(&self) -> u64 {
+        self.inner.lock().oldest_seq()
     }
 
     /// Number of retained records.
@@ -198,26 +439,212 @@ impl LogStore {
         self.len() == 0
     }
 
-    /// Live subscription: replays retained records with `seq > from`,
-    /// then continues with new appends, gapless and in order.
-    ///
-    /// If `from` is older than the retention window the replay starts at
-    /// the oldest retained record — logs, unlike object stores, tolerate
-    /// holes by design (sensor telemetry is lossy); callers that need
-    /// gap detection can check `seq` continuity themselves.
-    pub fn tail(&self, from: u64) -> mpsc::UnboundedReceiver<LogRecord> {
-        let mut inner = self.inner.lock();
-        let (tx, rx) = mpsc::unbounded_channel();
-        for rec in inner
-            .segments
-            .iter()
-            .flat_map(|s| s.records.iter())
-            .filter(|r| r.seq > from)
-        {
-            let _ = tx.send(rec.clone());
+    /// Number of sealed segments `(total, columnar)` — observability and
+    /// test hook.
+    pub fn segment_counts(&self) -> (usize, usize) {
+        let inner = self.inner.lock();
+        let columnar = inner.sealed.iter().filter(|s| s.is_columnar()).count();
+        (inner.sealed.len(), columnar)
+    }
+
+    /// Approximate retained payload bytes across sealed segments.
+    pub fn retained_bytes(&self) -> usize {
+        self.inner.lock().sealed.iter().map(|s| s.bytes()).sum()
+    }
+
+    /// Bounded chunk for tail pulls: up to `max` records with
+    /// `seq > cursor`, plus the current oldest retained seq (for lag
+    /// detection). Sealed `Arc`s are materialized outside the lock.
+    fn tail_pull(&self, cursor: u64, max: usize) -> (u64, Vec<LogRecord>) {
+        let (oldest, sealed, active) = {
+            let inner = self.inner.lock();
+            let oldest = inner.oldest_seq();
+            let mut need = max as u64;
+            let mut sealed = Vec::new();
+            for s in &inner.sealed {
+                if s.last_seq() <= cursor {
+                    continue;
+                }
+                if need == 0 {
+                    break;
+                }
+                sealed.push(Arc::clone(s));
+                let from = cursor.max(s.first_seq().saturating_sub(1));
+                need = need.saturating_sub(s.last_seq() - from);
+            }
+            let active: Vec<LogRecord> = if need > 0 {
+                inner
+                    .active
+                    .iter()
+                    .filter(|r| r.seq > cursor)
+                    .take(need as usize)
+                    .cloned()
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (oldest, sealed, active)
+        };
+        let mut out = Vec::new();
+        for s in &sealed {
+            out.extend(s.records_from(cursor));
+            if out.len() >= max {
+                out.truncate(max);
+                return (oldest, out);
+            }
         }
-        inner.tails.push(tx);
-        rx
+        out.extend(active);
+        out.truncate(max);
+        (oldest, out)
+    }
+
+    /// Live subscription: replays retained records with `seq > from`,
+    /// then continues with new appends, in order.
+    ///
+    /// If `from` is already older than the retention window, replay
+    /// starts at the oldest retained record without comment (logs
+    /// tolerate holes by design — sensor telemetry is lossy). If records
+    /// are truncated *after* the subscription started but before the
+    /// tailer pulled them, the tailer gets a [`TailEvent::Lagged`] with
+    /// the count and the next available seq, and
+    /// `knactor_log_tail_lagged_total` counts the loss.
+    pub fn tail(&self, from: u64) -> TailRx {
+        TailRx(TailRxInner::Store(StoreTail {
+            watch: self.append_watch.subscribe(),
+            store: self.strong(),
+            cursor: from,
+            started: false,
+            buf: VecDeque::new(),
+        }))
+    }
+}
+
+/// One event from a log tail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TailEvent {
+    Record(LogRecord),
+    /// Records in `(cursor, resume_from)` were truncated by retention
+    /// before this tailer pulled them; the stream resumes at
+    /// `resume_from`.
+    Lagged {
+        missed: u64,
+        resume_from: u64,
+    },
+}
+
+/// Receiver side of a log tail.
+///
+/// Store-backed tails (in-process) are *pull-based*: they hold a cursor
+/// and materialize bounded chunks on demand, so a slow consumer costs
+/// O(chunk) memory instead of an unbounded queue. Channel-backed tails
+/// adapt remote streams (the TCP client demux) to the same interface.
+pub struct TailRx(TailRxInner);
+
+enum TailRxInner {
+    Store(StoreTail),
+    Channel(mpsc::UnboundedReceiver<TailEvent>),
+}
+
+struct StoreTail {
+    store: Arc<LogStore>,
+    /// Last seq already delivered (records `> cursor` are pending).
+    cursor: u64,
+    /// Whether anything was pulled yet — the *initial* jump to the
+    /// retention horizon is the documented replay semantics, not lag.
+    started: bool,
+    buf: VecDeque<TailEvent>,
+    watch: watch::Receiver<u64>,
+}
+
+impl StoreTail {
+    fn pull(&mut self) {
+        let chunk = self.store.config.tail_chunk.max(1);
+        let (oldest, records) = self.store.tail_pull(self.cursor, chunk);
+        if oldest > self.cursor + 1 {
+            let missed = oldest - 1 - self.cursor;
+            if self.started {
+                self.store.metrics.tail_lagged.add(missed);
+                self.buf.push_back(TailEvent::Lagged {
+                    missed,
+                    resume_from: oldest,
+                });
+            }
+            self.cursor = oldest - 1;
+        }
+        self.started = true;
+        for r in records {
+            self.cursor = self.cursor.max(r.seq);
+            self.buf.push_back(TailEvent::Record(r));
+        }
+    }
+}
+
+impl std::fmt::Debug for TailRx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            TailRxInner::Store(t) => f
+                .debug_struct("TailRx")
+                .field("store", t.store.id())
+                .field("cursor", &t.cursor)
+                .finish(),
+            TailRxInner::Channel(_) => f.write_str("TailRx(channel)"),
+        }
+    }
+}
+
+impl TailRx {
+    /// Adapt a channel of tail events (remote streams) to the tail
+    /// interface.
+    pub fn from_channel(rx: mpsc::UnboundedReceiver<TailEvent>) -> TailRx {
+        TailRx(TailRxInner::Channel(rx))
+    }
+
+    /// Next event; `None` when the stream is closed (remote tails only —
+    /// a store-backed tail lives as long as its receiver).
+    pub async fn recv(&mut self) -> Option<TailEvent> {
+        match &mut self.0 {
+            TailRxInner::Channel(rx) => rx.recv().await,
+            TailRxInner::Store(t) => loop {
+                if let Some(ev) = t.buf.pop_front() {
+                    return Some(ev);
+                }
+                t.pull();
+                if !t.buf.is_empty() {
+                    continue;
+                }
+                if t.watch.changed().await.is_err() {
+                    t.pull();
+                    if t.buf.is_empty() {
+                        return None;
+                    }
+                }
+            },
+        }
+    }
+
+    /// Non-blocking variant.
+    pub fn try_recv(&mut self) -> std::result::Result<TailEvent, mpsc::error::TryRecvError> {
+        match &mut self.0 {
+            TailRxInner::Channel(rx) => rx.try_recv(),
+            TailRxInner::Store(t) => {
+                if let Some(ev) = t.buf.pop_front() {
+                    return Ok(ev);
+                }
+                t.pull();
+                t.buf.pop_front().ok_or(mpsc::error::TryRecvError::Empty)
+            }
+        }
+    }
+
+    /// Next record, skipping lag notices — for callers that only need
+    /// the data stream.
+    pub async fn recv_record(&mut self) -> Option<LogRecord> {
+        loop {
+            match self.recv().await? {
+                TailEvent::Record(r) => return Some(r),
+                TailEvent::Lagged { .. } => continue,
+            }
+        }
     }
 }
 
@@ -281,12 +708,20 @@ impl LogExchange {
     }
 
     pub fn create_store(&self, id: impl Into<StoreId>) -> Result<Arc<LogStore>> {
+        self.create_store_with(id, LogConfig::default())
+    }
+
+    pub fn create_store_with(
+        &self,
+        id: impl Into<StoreId>,
+        config: LogConfig,
+    ) -> Result<Arc<LogStore>> {
         let id = id.into();
         let mut stores = self.stores.write();
         if stores.contains_key(&id) {
             return Err(Error::AlreadyExists(format!("log store {id}")));
         }
-        let store = Arc::new(LogStore::new(id.clone()));
+        let store = LogStore::with_config(id.clone(), config);
         stores.insert(id, Arc::clone(&store));
         Ok(store)
     }
@@ -324,7 +759,9 @@ impl LogExchange {
         Ok(self.store(id)?.append_batch(batch))
     }
 
-    /// Query with access check (see [`crate::query::Query::run`]).
+    /// Query with access check. Runs on the store's segment snapshot —
+    /// columnar fast paths and per-segment parallelism included (see
+    /// [`crate::query::Query::run_store`]).
     pub fn query(
         &self,
         subject: &str,
@@ -334,8 +771,10 @@ impl LogExchange {
         if !self.access.read().allows(subject, "get", id) {
             return Err(Error::Forbidden(format!("{subject} may not query {id}")));
         }
-        let records = self.store(id)?.read_all();
-        query.run(records.into_iter().map(|r| r.fields))
+        {
+            let store = self.store(id)?;
+            query.run_store(&store)
+        }
     }
 }
 
@@ -372,34 +811,54 @@ mod tests {
     }
 
     #[test]
-    fn segment_rotation_preserves_order() {
+    fn segment_rotation_preserves_order_and_encodes() {
         let log = LogStore::new("t");
-        let n = SEGMENT_CAPACITY * 2 + 10;
+        let cap = log.config().segment_capacity;
+        let n = cap * 2 + 10;
         for i in 0..n {
-            log.append(json!({"i": i}));
+            log.append(json!({"i": i, "kind": "telemetry"}));
         }
         let recs = log.read_all();
         assert_eq!(recs.len(), n);
         for (idx, r) in recs.iter().enumerate() {
             assert_eq!(r.seq, idx as u64 + 1);
+            assert_eq!(r.fields["i"], json!(idx));
         }
+        // Sealed segments re-encoded columnar (default config).
+        assert_eq!(log.segment_counts(), (2, 2));
+    }
+
+    #[test]
+    fn row_mode_stays_row_oriented() {
+        let log = LogStore::with_config(
+            "t",
+            LogConfig {
+                segment_capacity: 8,
+                columnar: false,
+                ..Default::default()
+            },
+        );
+        for i in 0..20 {
+            log.append(json!({"i": i}));
+        }
+        assert_eq!(log.segment_counts(), (2, 0));
+        assert_eq!(log.read_all().len(), 20);
     }
 
     #[test]
     fn retention_drops_oldest_segments() {
         let log = LogStore::new("t");
-        log.set_retention(Some(SEGMENT_CAPACITY));
-        for i in 0..(SEGMENT_CAPACITY * 3) {
+        let cap = log.config().segment_capacity;
+        log.set_retention(Some(cap));
+        for i in 0..(cap * 3) {
             log.append(json!({"i": i}));
         }
-        assert!(
-            log.len() <= SEGMENT_CAPACITY * 2,
-            "retention must bound growth"
-        );
+        assert!(log.len() <= cap * 2, "retention must bound growth");
         // Sequence numbers keep counting despite truncation.
-        assert_eq!(log.last_seq(), (SEGMENT_CAPACITY * 3) as u64);
+        assert_eq!(log.last_seq(), (cap * 3) as u64);
         let first_retained = log.read_all()[0].seq;
         assert!(first_retained > 1);
+        assert_eq!(log.oldest_seq(), first_retained);
     }
 
     #[tokio::test]
@@ -409,19 +868,91 @@ mod tests {
         log.append(json!({"i": 1}));
         let mut rx = log.tail(1);
         // Replay of seq 2.
-        assert_eq!(rx.recv().await.unwrap().seq, 2);
+        assert_eq!(rx.recv_record().await.unwrap().seq, 2);
         // Live append.
         log.append(json!({"i": 2}));
-        assert_eq!(rx.recv().await.unwrap().seq, 3);
+        assert_eq!(rx.recv_record().await.unwrap().seq, 3);
     }
 
     #[tokio::test]
-    async fn dropped_tail_is_pruned() {
-        let log = LogStore::new("t");
-        let rx = log.tail(0);
-        drop(rx);
-        log.append(json!({}));
-        assert_eq!(log.inner.lock().tails.len(), 0);
+    async fn tail_crosses_sealed_segments() {
+        let log = LogStore::with_config(
+            "t",
+            LogConfig {
+                segment_capacity: 4,
+                tail_chunk: 3,
+                ..Default::default()
+            },
+        );
+        for i in 0..10 {
+            log.append(json!({"i": i}));
+        }
+        let mut rx = log.tail(0);
+        for want in 1..=10u64 {
+            assert_eq!(rx.recv_record().await.unwrap().seq, want);
+        }
+        log.append(json!({"i": 10}));
+        assert_eq!(rx.recv_record().await.unwrap().seq, 11);
+    }
+
+    #[tokio::test]
+    async fn slow_tailer_gets_typed_lag() {
+        let log = LogStore::with_config(
+            "t",
+            LogConfig {
+                segment_capacity: 4,
+                ..Default::default()
+            },
+        );
+        log.append(json!({"i": 0}));
+        let mut rx = log.tail(0);
+        // Pull the first record so the tail is "started".
+        assert_eq!(rx.recv_record().await.unwrap().seq, 1);
+        // Truncate everything the tailer hasn't pulled yet.
+        log.set_retention(Some(4));
+        for i in 1..20 {
+            log.append(json!({"i": i}));
+        }
+        let oldest = log.oldest_seq();
+        assert!(oldest > 2, "retention should have truncated");
+        match rx.recv().await.unwrap() {
+            TailEvent::Lagged {
+                missed,
+                resume_from,
+            } => {
+                assert_eq!(resume_from, oldest);
+                assert_eq!(missed, oldest - 2);
+            }
+            other => panic!("expected lag notice, got {other:?}"),
+        }
+        // Stream resumes at the oldest retained record.
+        assert_eq!(rx.recv_record().await.unwrap().seq, oldest);
+        let lagged = knactor_types::metrics::global()
+            .counter("knactor_log_tail_lagged_total", &[("store", "t")])
+            .get();
+        assert!(lagged >= oldest - 2);
+    }
+
+    #[tokio::test]
+    async fn initial_horizon_jump_is_not_lag() {
+        let log = LogStore::with_config(
+            "t",
+            LogConfig {
+                segment_capacity: 2,
+                ..Default::default()
+            },
+        );
+        log.set_retention(Some(2));
+        for i in 0..10 {
+            log.append(json!({"i": i}));
+        }
+        // Subscribing from 0 when seq 1.. is truncated replays from the
+        // horizon silently (documented semantics, not lag).
+        let mut rx = log.tail(0);
+        match rx.recv().await.unwrap() {
+            TailEvent::Record(r) => assert_eq!(r.seq, log.oldest_seq()),
+            other => panic!("expected record, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Columnar encode → materialize round-trip properties.
+//!
+//! The columnar layout is only allowed to change *representation*, never
+//! content: re-encoding a sealed segment's rows into per-field columns
+//! (dictionary + RLE or plain) and materializing them back must be
+//! bit-identical — including the `1` vs `1.0` number distinction, absent
+//! vs `null` fields, and arbitrarily nested payloads. These tests drive
+//! the encoder with a seeded generator (same SplitMix64 idiom as
+//! `crates/expr/tests/prop_expr.rs`) so failures reproduce by case
+//! number.
+
+use knactor_logstore::columnar::{approx_value_bytes, ColumnarSegment};
+use serde_json::{json, Value};
+
+/// SplitMix64 — tiny, seedable, good-enough mixing for case generation.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// An arbitrary JSON value: scalars are common; arrays/objects recurse
+/// with shrinking depth. Ints and floats are generated separately so the
+/// dictionary's `1` ≠ `1.0` identity rule is exercised.
+fn gen_value(rng: &mut SplitMix, depth: u32) -> Value {
+    let top = if depth == 0 { 6 } else { 8 };
+    match rng.below(top) {
+        0 => Value::Null,
+        1 => json!(rng.below(2) == 0),
+        2 => json!(rng.next() as i64 % 1000),
+        3 => json!((rng.below(2000) as f64 - 1000.0) / 8.0),
+        4 => json!(format!("s{}", rng.below(12))),
+        5 => json!(""),
+        6 => Value::Array(
+            (0..rng.below(4))
+                .map(|_| gen_value(rng, depth - 1))
+                .collect(),
+        ),
+        _ => {
+            let mut map = serde_json::Map::new();
+            for _ in 0..rng.below(4) {
+                map.insert(format!("k{}", rng.below(6)), gen_value(rng, depth - 1));
+            }
+            Value::Object(map)
+        }
+    }
+}
+
+/// One record payload: an object with a random subset of a small field
+/// pool (so columns see absent slots) plus occasional one-off fields
+/// (so columns see high cardinality and sparse coverage).
+fn gen_row(rng: &mut SplitMix, case: u64) -> Value {
+    let mut map = serde_json::Map::new();
+    for field in ["kind", "room", "n", "payload"] {
+        if rng.below(4) > 0 {
+            map.insert(field.to_string(), gen_value(rng, 2));
+        }
+    }
+    if rng.below(8) == 0 {
+        map.insert(format!("rare{}", case % 97), gen_value(rng, 1));
+    }
+    Value::Object(map)
+}
+
+#[test]
+fn columnar_round_trips_arbitrary_rows() {
+    let mut rng = SplitMix(0x636F_6C75_6D6E_6172);
+    for case in 0..2000u64 {
+        let rows: Vec<Value> = (0..rng.below(40))
+            .map(|_| gen_row(&mut rng, case))
+            .collect();
+        let seg = ColumnarSegment::encode(&rows)
+            .unwrap_or_else(|| panic!("case {case}: object rows must encode"));
+        assert_eq!(seg.len(), rows.len(), "case {case}: length must survive");
+        let back = seg.materialize_all();
+        assert_eq!(back, rows, "case {case}: round-trip must be bit-identical");
+    }
+}
+
+#[test]
+fn selected_matches_full_materialization() {
+    let mut rng = SplitMix(0x7365_6C65_6374_6564);
+    for case in 0..500u64 {
+        let rows: Vec<Value> = (0..1 + rng.below(60))
+            .map(|_| gen_row(&mut rng, case))
+            .collect();
+        let seg = ColumnarSegment::encode(&rows).expect("object rows must encode");
+        // A random sorted subset of row indices, possibly empty or full.
+        let mut indices: Vec<u32> = (0..rows.len() as u32)
+            .filter(|_| rng.below(3) > 0)
+            .collect();
+        indices.dedup();
+        let got = seg.materialize_selected(&indices);
+        let want: Vec<Value> = indices.iter().map(|&i| rows[i as usize].clone()).collect();
+        assert_eq!(got, want, "case {case}: selected rows must match full rows");
+    }
+}
+
+#[test]
+fn int_and_float_never_merge_in_dictionary() {
+    // `1` and `1.0` serialize differently and must stay distinct values
+    // through the dictionary (the bug this guards against: canonicalizing
+    // numbers during encode and handing floats back for ints).
+    let rows: Vec<Value> = (0..32)
+        .map(|i| {
+            if i % 2 == 0 {
+                json!({"v": 1})
+            } else {
+                json!({"v": 1.0})
+            }
+        })
+        .collect();
+    let seg = ColumnarSegment::encode(&rows).unwrap();
+    let back = seg.materialize_all();
+    assert_eq!(back, rows);
+    for (i, v) in back.iter().enumerate() {
+        let n = v["v"].as_i64();
+        if i % 2 == 0 {
+            assert_eq!(n, Some(1), "row {i} must stay an integer");
+        } else {
+            assert_eq!(n, None, "row {i} must stay a float");
+        }
+    }
+}
+
+#[test]
+fn absent_and_null_stay_distinct() {
+    let rows = vec![
+        json!({"a": null, "b": 1}),
+        json!({"b": 2}),
+        json!({"a": null}),
+        json!({}),
+    ];
+    let seg = ColumnarSegment::encode(&rows).unwrap();
+    let back = seg.materialize_all();
+    assert_eq!(back, rows);
+    assert!(back[0].as_object().unwrap().contains_key("a"));
+    assert!(!back[1].as_object().unwrap().contains_key("a"));
+}
+
+#[test]
+fn repetitive_rows_compress_below_row_accounting() {
+    // Dictionary + RLE must beat per-row accounting on telemetry-shaped
+    // data (few distinct values, long runs) — the premise of compaction's
+    // retained-bytes win.
+    let rows: Vec<Value> = (0..512)
+        .map(|i| json!({"kind": "energy", "room": "kitchen", "on": i > 0}))
+        .collect();
+    let seg = ColumnarSegment::encode(&rows).unwrap();
+    let row_bytes: usize = rows.iter().map(approx_value_bytes).sum();
+    assert!(
+        seg.approx_bytes() * 2 < row_bytes,
+        "columnar {} must be well under half of row {}",
+        seg.approx_bytes(),
+        row_bytes
+    );
+}
+
+#[test]
+fn non_object_rows_refuse_to_encode() {
+    assert!(ColumnarSegment::encode(&[json!({"a": 1}), json!(7)]).is_none());
+}

@@ -20,8 +20,9 @@ pub type BoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + Send + 'a>>;
 /// Stream of object watch events.
 pub type WatchRx = mpsc::UnboundedReceiver<WatchEvent>;
 
-/// Stream of tailed log records.
-pub type TailRx = mpsc::UnboundedReceiver<LogRecord>;
+/// Stream of tailed log events ([`knactor_logstore::TailEvent`]): records
+/// plus typed `Lagged` resume points when retention outran the tailer.
+pub type TailRx = knactor_logstore::TailRx;
 
 /// Everything a client can do against a data exchange (Object + Log).
 pub trait ExchangeApi: Send + Sync {

@@ -23,7 +23,7 @@ use crate::proto::{
     decode, encode, encode_into, EventBody, Hello, ProfileSpec, QuerySpec, Request,
     RequestEnvelope, Response, ServerMsg,
 };
-use knactor_logstore::LogRecord;
+use knactor_logstore::{LogRecord, TailEvent};
 use knactor_rbac::{Subject, SubjectKind};
 use knactor_store::udf::UdfAssignment;
 use knactor_store::{
@@ -49,12 +49,12 @@ struct Router {
     /// Request id → channel to install once the Watch reply names a sub id.
     staged_watches: HashMap<u64, StagedSub>,
     object_subs: HashMap<u64, mpsc::UnboundedSender<WatchEvent>>,
-    record_subs: HashMap<u64, mpsc::UnboundedSender<LogRecord>>,
+    record_subs: HashMap<u64, mpsc::UnboundedSender<TailEvent>>,
 }
 
 enum StagedSub {
     Object(mpsc::UnboundedSender<WatchEvent>),
-    Record(mpsc::UnboundedSender<LogRecord>),
+    Record(mpsc::UnboundedSender<TailEvent>),
 }
 
 /// Async exchange client over TCP.
@@ -308,7 +308,23 @@ fn deliver_event(router: &mut Router, sub_id: u64, body: EventBody) {
         }
         EventBody::Record { record } => {
             if let Some(tx) = router.record_subs.get(&sub_id) {
-                if tx.send(record).is_err() {
+                if tx.send(TailEvent::Record(record)).is_err() {
+                    router.record_subs.remove(&sub_id);
+                }
+            }
+        }
+        EventBody::Lagged {
+            missed,
+            resume_from,
+        } => {
+            if let Some(tx) = router.record_subs.get(&sub_id) {
+                if tx
+                    .send(TailEvent::Lagged {
+                        missed,
+                        resume_from,
+                    })
+                    .is_err()
+                {
                     router.record_subs.remove(&sub_id);
                 }
             }
@@ -642,7 +658,7 @@ impl ExchangeApi for TcpClient {
                 )
                 .await?
             {
-                Response::Watch { .. } => Ok(rx),
+                Response::Watch { .. } => Ok(TailRx::from_channel(rx)),
                 other => Err(unexpected(other)),
             }
         })
@@ -960,12 +976,38 @@ impl Resilient {
         store: StoreId,
         mut last_seen: u64,
         mut sub: TailRx,
-        tx: mpsc::UnboundedSender<LogRecord>,
+        tx: mpsc::UnboundedSender<TailEvent>,
     ) {
         // True until the current subscription has yielded a record.
         let mut fresh = true;
         loop {
-            while let Some(record) = sub.recv().await {
+            while let Some(event) = sub.recv().await {
+                let record = match event {
+                    TailEvent::Record(record) => record,
+                    TailEvent::Lagged {
+                        missed,
+                        resume_from,
+                    } => {
+                        // The store truncated records this tail never
+                        // pulled. Forward the typed resume point and jump
+                        // the cursor so the post-lag records are not
+                        // mistaken for a lost-frame gap.
+                        if resume_from > last_seen + 1 {
+                            if tx
+                                .send(TailEvent::Lagged {
+                                    missed,
+                                    resume_from,
+                                })
+                                .is_err()
+                            {
+                                return;
+                            }
+                            last_seen = resume_from - 1;
+                        }
+                        fresh = false;
+                        continue;
+                    }
+                };
                 if record.seq <= last_seen {
                     fresh = false;
                     continue; // duplicate (replay or duplicated frame)
@@ -975,7 +1017,7 @@ impl Resilient {
                 }
                 fresh = false;
                 last_seen = record.seq;
-                if tx.send(record).is_err() {
+                if tx.send(TailEvent::Record(record)).is_err() {
                     return;
                 }
             }
@@ -1473,7 +1515,7 @@ impl ExchangeApi for ResilientClient {
             };
             let driver = Arc::clone(&self.inner);
             tokio::spawn(driver.drive_tail(store, from, first, tx));
-            Ok(rx)
+            Ok(TailRx::from_channel(rx))
         })
     }
 

@@ -332,6 +332,12 @@ pub enum EventBody {
     Record {
         record: LogRecord,
     },
+    /// Retention truncated records the tailer never pulled; resume a
+    /// fresh tail from `resume_from` to continue without double-reads.
+    Lagged {
+        missed: u64,
+        resume_from: u64,
+    },
     /// The subscription ended server-side (store dropped, shutdown).
     Closed,
 }

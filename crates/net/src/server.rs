@@ -11,7 +11,7 @@ use crate::frame::{FrameReader, FrameWriter};
 use crate::proto::{
     decode, encode_into, EventBody, Hello, Request, RequestEnvelope, Response, ServerMsg,
 };
-use knactor_logstore::LogExchange;
+use knactor_logstore::{LogExchange, TailEvent};
 use knactor_rbac::Subject;
 use knactor_store::{BatchOp, DataExchange};
 use knactor_types::{metrics, Error, Result, StoreId, Value};
@@ -197,7 +197,8 @@ async fn serve_connection(
                             Err(e) => break Err(e),
                         };
                         let id = envelope.id;
-                        let response = dispatch(
+                        let response = match dispatch(
+                            id,
                             envelope.body,
                             &ctx,
                             &subject,
@@ -205,7 +206,14 @@ async fn serve_connection(
                             &mut subs,
                         )
                         .await
-                        .unwrap_or_else(|e| Response::from_error(&e));
+                        {
+                            // Subscription arms reply through `out_tx`
+                            // themselves (the reply must be queued before
+                            // the fan-out task can push its first event).
+                            Ok(None) => continue,
+                            Ok(Some(response)) => response,
+                            Err(e) => Response::from_error(&e),
+                        };
                         if out_tx.send(ServerMsg::Reply { id, response }).is_err() {
                             break Ok(());
                         }
@@ -276,11 +284,134 @@ fn subject_from_hello(hello: &Hello) -> Result<Subject> {
     Ok(subject)
 }
 
+/// Handle one request. Subscription requests (`Watch`, `LogTail`) enqueue
+/// their own success reply on `out_tx` *before* spawning the fan-out task
+/// and return `Ok(None)`: the channel is FIFO, so the client is guaranteed
+/// to process the reply (installing the subscription routing) before the
+/// first pushed event — otherwise a fast replay could race ahead of the
+/// reply and be dropped by the client demultiplexer. Every other request
+/// returns `Ok(Some(response))` for the caller to reply with.
 async fn dispatch(
+    id: u64,
     request: Request,
     ctx: &Arc<ServerCtx>,
     subject: &Subject,
     out_tx: &mpsc::UnboundedSender<ServerMsg>,
+    subs: &mut HashMap<u64, JoinHandle<()>>,
+) -> Result<Option<Response>> {
+    match request {
+        Request::Watch { store, from } => {
+            let mut stream = ctx
+                .object
+                .handle(&store, subject.clone())?
+                .watch_from(from)?;
+            let sub_id = ctx.next_sub.fetch_add(1, Ordering::Relaxed);
+            if out_tx
+                .send(ServerMsg::Reply {
+                    id,
+                    response: Response::Watch { sub_id },
+                })
+                .is_err()
+            {
+                // Connection gone; nothing to fan out to.
+                return Ok(None);
+            }
+            let out = out_tx.clone();
+            let task = tokio::spawn(async move {
+                // Drain-available batching: after each blocking recv,
+                // scoop up whatever else has already committed (bounded
+                // by count and bytes) so fan-out sends one frame for N
+                // events instead of N frames.
+                while let Some(event) = stream.recv().await {
+                    let mut bytes = approx_value_bytes(&event.value);
+                    let mut bodies = vec![EventBody::Object { event }];
+                    while bodies.len() < BATCH_MAX_EVENTS && bytes < BATCH_MAX_BYTES {
+                        match stream.try_recv() {
+                            Some(event) => {
+                                bytes += approx_value_bytes(&event.value);
+                                bodies.push(EventBody::Object { event });
+                            }
+                            None => break,
+                        }
+                    }
+                    if out.send(batched_msg(sub_id, bodies)).is_err() {
+                        return;
+                    }
+                }
+                let _ = out.send(ServerMsg::Event {
+                    sub_id,
+                    body: EventBody::Closed,
+                });
+            });
+            subs.insert(sub_id, task);
+            Ok(None)
+        }
+        Request::LogTail { store, from } => {
+            let mut rx = ctx.log.store(&store)?.tail(from);
+            let sub_id = ctx.next_sub.fetch_add(1, Ordering::Relaxed);
+            if out_tx
+                .send(ServerMsg::Reply {
+                    id,
+                    response: Response::Watch { sub_id },
+                })
+                .is_err()
+            {
+                return Ok(None);
+            }
+            let out = out_tx.clone();
+            let task = tokio::spawn(async move {
+                // Same drain-available batching as watch fan-out. Lag
+                // markers ride the same stream as typed bodies so the
+                // client sees them in order relative to records.
+                let wire = |ev: TailEvent| match ev {
+                    TailEvent::Record(record) => (
+                        approx_value_bytes(&record.fields),
+                        EventBody::Record { record },
+                    ),
+                    TailEvent::Lagged {
+                        missed,
+                        resume_from,
+                    } => (
+                        16,
+                        EventBody::Lagged {
+                            missed,
+                            resume_from,
+                        },
+                    ),
+                };
+                while let Some(ev) = rx.recv().await {
+                    let (mut bytes, body) = wire(ev);
+                    let mut bodies = vec![body];
+                    while bodies.len() < BATCH_MAX_EVENTS && bytes < BATCH_MAX_BYTES {
+                        match rx.try_recv() {
+                            Ok(ev) => {
+                                let (b, body) = wire(ev);
+                                bytes += b;
+                                bodies.push(body);
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    if out.send(batched_msg(sub_id, bodies)).is_err() {
+                        return;
+                    }
+                }
+                let _ = out.send(ServerMsg::Event {
+                    sub_id,
+                    body: EventBody::Closed,
+                });
+            });
+            subs.insert(sub_id, task);
+            Ok(None)
+        }
+        other => dispatch_request(other, ctx, subject, subs).await.map(Some),
+    }
+}
+
+async fn dispatch_request(
+    request: Request,
+    ctx: &Arc<ServerCtx>,
+    subject: &Subject,
     subs: &mut HashMap<u64, JoinHandle<()>>,
 ) -> Result<Response> {
     match request {
@@ -392,41 +523,8 @@ async fn dispatch(
                 .await?;
             Ok(Response::Collected { keys })
         }
-        Request::Watch { store, from } => {
-            let mut stream = ctx
-                .object
-                .handle(&store, subject.clone())?
-                .watch_from(from)?;
-            let sub_id = ctx.next_sub.fetch_add(1, Ordering::Relaxed);
-            let out = out_tx.clone();
-            let task = tokio::spawn(async move {
-                // Drain-available batching: after each blocking recv,
-                // scoop up whatever else has already committed (bounded
-                // by count and bytes) so fan-out sends one frame for N
-                // events instead of N frames.
-                while let Some(event) = stream.recv().await {
-                    let mut bytes = approx_value_bytes(&event.value);
-                    let mut bodies = vec![EventBody::Object { event }];
-                    while bodies.len() < BATCH_MAX_EVENTS && bytes < BATCH_MAX_BYTES {
-                        match stream.try_recv() {
-                            Some(event) => {
-                                bytes += approx_value_bytes(&event.value);
-                                bodies.push(EventBody::Object { event });
-                            }
-                            None => break,
-                        }
-                    }
-                    if out.send(batched_msg(sub_id, bodies)).is_err() {
-                        return;
-                    }
-                }
-                let _ = out.send(ServerMsg::Event {
-                    sub_id,
-                    body: EventBody::Closed,
-                });
-            });
-            subs.insert(sub_id, task);
-            Ok(Response::Watch { sub_id })
+        Request::Watch { .. } | Request::LogTail { .. } => {
+            unreachable!("subscription requests are handled by `dispatch`")
         }
         Request::Unwatch { sub_id } => {
             if let Some(task) = subs.remove(&sub_id) {
@@ -487,36 +585,6 @@ async fn dispatch(
             let compiled = query.compile()?;
             let rows = ctx.log.query(&subject.to_string(), &store, &compiled)?;
             Ok(Response::Rows { rows })
-        }
-        Request::LogTail { store, from } => {
-            let mut rx = ctx.log.store(&store)?.tail(from);
-            let sub_id = ctx.next_sub.fetch_add(1, Ordering::Relaxed);
-            let out = out_tx.clone();
-            let task = tokio::spawn(async move {
-                // Same drain-available batching as watch fan-out.
-                while let Some(record) = rx.recv().await {
-                    let mut bytes = approx_value_bytes(&record.fields);
-                    let mut bodies = vec![EventBody::Record { record }];
-                    while bodies.len() < BATCH_MAX_EVENTS && bytes < BATCH_MAX_BYTES {
-                        match rx.try_recv() {
-                            Ok(record) => {
-                                bytes += approx_value_bytes(&record.fields);
-                                bodies.push(EventBody::Record { record });
-                            }
-                            Err(_) => break,
-                        }
-                    }
-                    if out.send(batched_msg(sub_id, bodies)).is_err() {
-                        return;
-                    }
-                }
-                let _ = out.send(ServerMsg::Event {
-                    sub_id,
-                    body: EventBody::Closed,
-                });
-            });
-            subs.insert(sub_id, task);
-            Ok(Response::Watch { sub_id })
         }
         Request::Metrics => Ok(Response::Metrics {
             snapshot: knactor_types::metrics::global().snapshot(),

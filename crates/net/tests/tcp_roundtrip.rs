@@ -245,12 +245,12 @@ async fn log_ops_over_tcp() {
 
     // Tail: replay + live.
     let mut tail = client.log_tail(store.clone(), 2).await.unwrap();
-    assert_eq!(tail.recv().await.unwrap().seq, 3);
+    assert_eq!(tail.recv_record().await.unwrap().seq, 3);
     client
         .log_append(store.clone(), json!({"triggered": false}))
         .await
         .unwrap();
-    assert_eq!(tail.recv().await.unwrap().seq, 4);
+    assert_eq!(tail.recv_record().await.unwrap().seq, 4);
     server.shutdown().await;
 }
 

@@ -68,7 +68,7 @@ pub async fn await_log_records(
     let records = tokio::time::timeout(limit, async move {
         let mut records = Vec::with_capacity(count);
         while records.len() < count {
-            match rx.recv().await {
+            match rx.recv_record().await {
                 Some(record) => records.push(record),
                 None => break,
             }
