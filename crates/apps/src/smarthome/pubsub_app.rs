@@ -13,6 +13,8 @@ use knactor_types::Value;
 use parking_lot::Mutex;
 use serde_json::json;
 use std::sync::Arc;
+use std::time::Duration;
+use tokio::sync::watch;
 use tokio::task::JoinHandle;
 
 /// Topic names — the implicit API surface of this composition.
@@ -33,6 +35,7 @@ pub struct HomeState {
 pub struct PubSubHome {
     pub broker: Broker,
     pub state: Arc<Mutex<HomeState>>,
+    changes: Arc<watch::Sender<()>>,
     tasks: Vec<JoinHandle<()>>,
 }
 
@@ -40,6 +43,8 @@ pub struct PubSubHome {
 pub fn deploy(target_brightness: f64) -> PubSubHome {
     let broker = Broker::new();
     let state = Arc::new(Mutex::new(HomeState::default()));
+    let (changes, _) = watch::channel(());
+    let changes = Arc::new(changes);
     let mut tasks = Vec::new();
 
     // House: subscribes to Motion's topic, publishes to Lamp's topic —
@@ -49,6 +54,7 @@ pub fn deploy(target_brightness: f64) -> PubSubHome {
         let mut energy_rx = broker.subscribe(TOPIC_ENERGY);
         let broker = broker.clone();
         let state = Arc::clone(&state);
+        let changes = Arc::clone(&changes);
         tasks.push(tokio::spawn(async move {
             loop {
                 tokio::select! {
@@ -57,6 +63,7 @@ pub fn deploy(target_brightness: f64) -> PubSubHome {
                         // Decode Motion's schema (vendor Z).
                         let triggered = msg.payload["triggered"].as_bool().unwrap_or(false);
                         state.lock().house_motion = triggered;
+                        let _ = changes.send(());
                         // Encode Lamp's schema (vendor Y).
                         let brightness = if triggered { target_brightness } else { 0.0 };
                         broker.publish(TOPIC_LAMP, json!({"brightness": brightness}));
@@ -65,6 +72,7 @@ pub fn deploy(target_brightness: f64) -> PubSubHome {
                         let Some(msg) = msg else { return };
                         let kwh = msg.payload["kwh"].as_f64().unwrap_or(0.0);
                         state.lock().house_energy_total += kwh;
+                        let _ = changes.send(());
                     }
                 }
             }
@@ -76,6 +84,7 @@ pub fn deploy(target_brightness: f64) -> PubSubHome {
         let mut lamp_rx = broker.subscribe(TOPIC_LAMP);
         let broker = broker.clone();
         let state = Arc::clone(&state);
+        let changes = Arc::clone(&changes);
         tasks.push(tokio::spawn(async move {
             while let Some(msg) = lamp_rx.recv().await {
                 let b = msg.payload["brightness"].as_f64().unwrap_or(0.0);
@@ -84,6 +93,7 @@ pub fn deploy(target_brightness: f64) -> PubSubHome {
                     s.lamp_brightness = b;
                     s.lamp_commands_seen += 1;
                 }
+                let _ = changes.send(());
                 broker.publish(TOPIC_ENERGY, json!({"kwh": lamp_kwh(b)}));
             }
         }));
@@ -92,6 +102,7 @@ pub fn deploy(target_brightness: f64) -> PubSubHome {
     PubSubHome {
         broker,
         state,
+        changes,
         tasks,
     }
 }
@@ -100,6 +111,34 @@ impl PubSubHome {
     /// The motion device fires.
     pub fn sense_motion(&self, triggered: bool) {
         self.broker.publish(TOPIC_MOTION, motion_message(triggered));
+    }
+
+    /// Event-driven barrier: resolves once `f` holds over the shared
+    /// state. Every state mutation in the service tasks publishes a
+    /// change notification, so the predicate is re-checked exactly when
+    /// something changed — no sleep/poll cadence, no missed wakeups
+    /// (the subscription is registered before the first check).
+    pub async fn wait_for(
+        &self,
+        timeout: Duration,
+        f: impl Fn(&HomeState) -> bool,
+    ) -> Result<(), String> {
+        let mut rx = self.changes.subscribe();
+        let settled = async {
+            loop {
+                if f(&self.state.lock()) {
+                    return;
+                }
+                if rx.changed().await.is_err() {
+                    // All services gone; give the predicate one last look.
+                    assert!(f(&self.state.lock()), "home shut down before condition");
+                    return;
+                }
+            }
+        };
+        tokio::time::timeout(timeout, settled)
+            .await
+            .map_err(|_| format!("condition not met within {timeout:?}: {:?}", self.state.lock()))
     }
 
     pub async fn shutdown(self) {
@@ -120,26 +159,20 @@ pub fn motion_message(triggered: bool) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
 
-    async fn eventually(state: &Arc<Mutex<HomeState>>, f: impl Fn(&HomeState) -> bool) {
-        let deadline = tokio::time::Instant::now() + Duration::from_secs(5);
-        loop {
-            if f(&state.lock()) {
-                return;
-            }
-            assert!(tokio::time::Instant::now() < deadline, "condition not met");
-            tokio::time::sleep(Duration::from_millis(5)).await;
-        }
-    }
+    const WAIT: Duration = Duration::from_secs(5);
 
     #[tokio::test]
     async fn motion_drives_lamp_through_broker() {
         let home = deploy(8.0);
         home.sense_motion(true);
-        eventually(&home.state, |s| s.lamp_brightness == 8.0 && s.house_motion).await;
+        home.wait_for(WAIT, |s| s.lamp_brightness == 8.0 && s.house_motion)
+            .await
+            .unwrap();
         home.sense_motion(false);
-        eventually(&home.state, |s| s.lamp_brightness == 0.0).await;
+        home.wait_for(WAIT, |s| s.lamp_brightness == 0.0)
+            .await
+            .unwrap();
         home.shutdown().await;
     }
 
@@ -147,7 +180,9 @@ mod tests {
     async fn energy_accumulates_in_house() {
         let home = deploy(4.0);
         home.sense_motion(true);
-        eventually(&home.state, |s| s.house_energy_total > 0.0).await;
+        home.wait_for(WAIT, |s| s.house_energy_total > 0.0)
+            .await
+            .unwrap();
         home.shutdown().await;
     }
 }

@@ -1,0 +1,345 @@
+//! The open-loop load driver.
+//!
+//! Closed-loop load generators (issue, await, issue) measure the
+//! server's *convenient* latency: when the server slows down, the
+//! generator slows down with it, and the tail disappears from the data
+//! — the coordinated-omission trap. Real traffic does not wait. This
+//! driver is **open loop**: operations are issued on a fixed schedule
+//! derived from the target rate, regardless of whether earlier
+//! operations have completed, and each operation's latency is measured
+//! from its *scheduled* start — pacing delay included — to completion.
+//! Past saturation the measured tail therefore grows without bound
+//! unless the system sheds, which is exactly the behaviour the
+//! backpressure suite pins down.
+//!
+//! Latencies land in the process-global metrics registry (histogram
+//! `knactor_load_op_seconds`, labelled by app and config) so the report
+//! layer reads p50/p95/p99 from the same registry operators scrape.
+
+use crate::workload::{LoadOp, OpGen};
+use knactor_net::{ExchangeApi, TcpClient};
+use knactor_rbac::Subject;
+use knactor_types::{metrics, Error, Revision};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One sweep point: a target rate sustained for a duration, with a
+/// population of churning watch subscribers riding along.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Label for metrics and the report (e.g. `"rate-2000"`).
+    pub label: String,
+    /// Target offered load, operations per second, open loop.
+    pub rate: f64,
+    /// How long to sustain the schedule.
+    pub duration: Duration,
+    /// Concurrent watch subscribers churning while load runs.
+    pub watchers: usize,
+    /// How long each subscriber stays connected before reconnecting.
+    pub watcher_lifetime: Duration,
+    /// Store the churning subscribers watch.
+    pub watch_store: String,
+    /// How long to wait for stragglers after the schedule ends.
+    pub drain: Duration,
+    /// Fixed pool of concurrent op executors — the load generator's
+    /// analogue of a connection pool. Scheduled ops queue (unbounded)
+    /// when all executors are busy, and because every op carries its
+    /// *scheduled* start, that queueing delay lands in the measured
+    /// latency rather than silently throttling the offered rate.
+    pub concurrency: usize,
+}
+
+impl RunConfig {
+    pub fn new(label: impl Into<String>, rate: f64, duration: Duration) -> RunConfig {
+        RunConfig {
+            label: label.into(),
+            rate,
+            duration,
+            watchers: 0,
+            watcher_lifetime: Duration::from_millis(250),
+            watch_store: String::new(),
+            drain: Duration::from_secs(5),
+            concurrency: 64,
+        }
+    }
+
+    pub fn with_watchers(mut self, watchers: usize, store: &str, lifetime: Duration) -> RunConfig {
+        self.watchers = watchers;
+        self.watch_store = store.to_string();
+        self.watcher_lifetime = lifetime;
+        self
+    }
+}
+
+/// Shared per-run tallies.
+#[derive(Default)]
+struct Tallies {
+    ok: AtomicU64,
+    /// `NotFound` on a read: a miss, not a failure.
+    miss: AtomicU64,
+    /// Typed `Overloaded` shed by admission control.
+    shed: AtomicU64,
+    /// Everything else (transport, timeout, semantic).
+    errors: AtomicU64,
+    /// Scheduled but still queued in the generator when the drain window
+    /// closed — offered-load deficit, not a server failure.
+    unsent: AtomicU64,
+    /// Events observed by the churning watch subscribers.
+    watch_events: AtomicU64,
+    /// Watch sessions the subscribers completed (connect → drop).
+    watch_sessions: AtomicU64,
+}
+
+/// What one sweep point produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    pub label: String,
+    pub target_rate: f64,
+    pub issued: u64,
+    pub ok: u64,
+    pub miss: u64,
+    pub shed: u64,
+    pub errors: u64,
+    /// Scheduled ops the generator never dispatched before the drain
+    /// window closed: the visible deficit between offered and achievable
+    /// load past deep saturation.
+    pub unsent: u64,
+    /// Dispatched operations that had not completed when the drain
+    /// window closed — the wedge signal.
+    pub abandoned: u64,
+    /// Completed (ok + miss) operations per wall-clock second.
+    pub achieved_rate: f64,
+    pub elapsed: Duration,
+    pub watch_events: u64,
+    pub watch_sessions: u64,
+}
+
+impl RunOutcome {
+    pub fn completed(&self) -> u64 {
+        self.ok + self.miss
+    }
+}
+
+/// Drive one sweep point against `api`, pacing ops open-loop.
+///
+/// `addr` is the server address the churning watch subscribers dial
+/// (each subscriber session is its own connection, so a dropped
+/// subscriber tears down its server-side subscription the way a real
+/// departing client does).
+pub async fn run(
+    api: Arc<dyn ExchangeApi>,
+    addr: SocketAddr,
+    gen: &mut OpGen,
+    cfg: &RunConfig,
+) -> RunOutcome {
+    assert!(cfg.rate > 0.0, "open-loop rate must be positive");
+    let app = gen.spec().app.label();
+    let hist = metrics::global().histogram(
+        "knactor_load_op_seconds",
+        &[("app", app), ("config", &cfg.label)],
+    );
+    let tallies = Arc::new(Tallies::default());
+
+    // Watch churn runs beside the op schedule.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut watcher_tasks = Vec::new();
+    for w in 0..cfg.watchers {
+        watcher_tasks.push(tokio::spawn(churn_watcher(
+            addr,
+            cfg.watch_store.clone(),
+            cfg.watcher_lifetime,
+            Arc::clone(&stop),
+            Arc::clone(&tallies),
+            w,
+        )));
+    }
+
+    // A fixed executor pool, fed round-robin over per-worker queues
+    // (per-worker FIFO keeps each queue's scheduled starts monotonic).
+    // Ops are *scheduled* open loop regardless of pool state; a busy
+    // pool means ops wait in queue with their sched timestamp ticking.
+    let workers = cfg.concurrency.max(1);
+    let discard = Arc::new(AtomicBool::new(false));
+    let mut op_txs = Vec::with_capacity(workers);
+    let mut worker_tasks = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, mut rx) = tokio::sync::mpsc::unbounded_channel::<(LoadOp, Instant)>();
+        let api = Arc::clone(&api);
+        let hist = Arc::clone(&hist);
+        let tallies = Arc::clone(&tallies);
+        let discard = Arc::clone(&discard);
+        op_txs.push(tx);
+        worker_tasks.push(tokio::spawn(async move {
+            while let Some((op, sched)) = rx.recv().await {
+                if discard.load(Ordering::Relaxed) {
+                    tallies.unsent.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                execute(api.as_ref(), op, sched, &hist, &tallies).await;
+            }
+        }));
+    }
+
+    // The schedule: op `i` is due at `start + i / rate`. Ticking at a
+    // coarse granularity and issuing every op that has come due keeps
+    // the pacer honest at rates far above the timer resolution.
+    let start = Instant::now();
+    let tick = Duration::from_secs_f64((1.0 / cfg.rate).max(0.001));
+    let mut ticker = tokio::time::interval(tick);
+    let mut issued: u64 = 0;
+    loop {
+        ticker.tick().await;
+        let elapsed = start.elapsed();
+        if elapsed >= cfg.duration {
+            break;
+        }
+        let due = (cfg.rate * elapsed.as_secs_f64()) as u64;
+        while issued < due {
+            let sched = start + Duration::from_secs_f64(issued as f64 / cfg.rate);
+            let op = gen.next_op();
+            let _ = op_txs[(issued as usize) % workers].send((op, sched));
+            issued += 1;
+        }
+    }
+
+    // Close the queues and give stragglers the drain window. Past deep
+    // saturation the generator's own queue holds more scheduled ops than
+    // the drain can flush; once the window closes those are *unsent* —
+    // offered-load deficit, reported but not a failure. Only an op that
+    // was actually dispatched and still never completes counts as
+    // abandoned: that is the wedge signal the suite asserts on.
+    drop(op_txs);
+    let drain_deadline = Instant::now() + cfg.drain;
+    let mut straggling = Vec::new();
+    for mut task in worker_tasks {
+        let left = drain_deadline.saturating_duration_since(Instant::now());
+        if tokio::time::timeout(left.max(Duration::from_millis(1)), &mut task)
+            .await
+            .is_err()
+        {
+            straggling.push(task);
+        }
+    }
+    discard.store(true, Ordering::Relaxed);
+    for task in straggling {
+        let _ = tokio::time::timeout(Duration::from_secs(5), task).await;
+    }
+    let elapsed = start.elapsed();
+    let accounted = tallies.ok.load(Ordering::Relaxed)
+        + tallies.miss.load(Ordering::Relaxed)
+        + tallies.shed.load(Ordering::Relaxed)
+        + tallies.errors.load(Ordering::Relaxed)
+        + tallies.unsent.load(Ordering::Relaxed);
+    let abandoned = issued.saturating_sub(accounted);
+
+    stop.store(true, Ordering::Relaxed);
+    for task in watcher_tasks {
+        let _ = tokio::time::timeout(Duration::from_secs(5), task).await;
+    }
+
+    let ok = tallies.ok.load(Ordering::Relaxed);
+    let miss = tallies.miss.load(Ordering::Relaxed);
+    RunOutcome {
+        label: cfg.label.clone(),
+        target_rate: cfg.rate,
+        issued,
+        ok,
+        miss,
+        shed: tallies.shed.load(Ordering::Relaxed),
+        errors: tallies.errors.load(Ordering::Relaxed),
+        unsent: tallies.unsent.load(Ordering::Relaxed),
+        abandoned,
+        achieved_rate: (ok + miss) as f64 / elapsed.as_secs_f64(),
+        elapsed,
+        watch_events: tallies.watch_events.load(Ordering::Relaxed),
+        watch_sessions: tallies.watch_sessions.load(Ordering::Relaxed),
+    }
+}
+
+/// Run one op, classify the outcome, and record open-loop latency
+/// (successes and misses only — shed and failed ops answer fast and
+/// would flatter the tail).
+async fn execute(
+    api: &dyn ExchangeApi,
+    op: LoadOp,
+    sched: Instant,
+    hist: &metrics::Histogram,
+    tallies: &Tallies,
+) {
+    let result = match op {
+        LoadOp::Get { store, key } => api.get(store, key).await.map(|_| ()),
+        LoadOp::Patch { store, key, value } => {
+            api.patch(store, key, value, true).await.map(|_| ())
+        }
+        LoadOp::BatchGet { store, keys } => api.batch_get(store, keys).await.map(|_| ()),
+        LoadOp::Append { store, fields } => api.log_append(store, fields).await.map(|_| ()),
+        LoadOp::AppendBatch { store, batch } => {
+            api.log_append_batch(store, batch).await.map(|_| ())
+        }
+    };
+    match result {
+        Ok(()) => {
+            hist.observe(sched.elapsed());
+            tallies.ok.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(Error::NotFound(_)) => {
+            hist.observe(sched.elapsed());
+            tallies.miss.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(Error::Overloaded { .. }) => {
+            tallies.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(_) => {
+            tallies.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One churning subscriber: connect, watch from the store's current
+/// revision, consume events for a lifetime, drop the connection, and
+/// start over — the arrive/depart pattern of a large subscriber
+/// population compressed into one looping task.
+async fn churn_watcher(
+    addr: SocketAddr,
+    store: String,
+    lifetime: Duration,
+    stop: Arc<AtomicBool>,
+    tallies: Arc<Tallies>,
+    index: usize,
+) {
+    let subject = Subject::operator(&format!("load-watcher-{index}"));
+    while !stop.load(Ordering::Relaxed) {
+        let Ok(client) = TcpClient::connect(addr, subject.clone()).await else {
+            tokio::time::sleep(Duration::from_millis(20)).await;
+            continue;
+        };
+        // Watch from the listing revision: the documented way to start
+        // a subscription "now" without replaying all history.
+        let rev = match client.list(store.as_str().into()).await {
+            Ok((_, rev)) => rev,
+            Err(_) => Revision::ZERO,
+        };
+        let Ok(mut rx) = client.watch(store.as_str().into(), rev).await else {
+            continue;
+        };
+        let session_end = Instant::now() + lifetime;
+        loop {
+            let left = session_end.saturating_duration_since(Instant::now());
+            if left.is_zero() || stop.load(Ordering::Relaxed) {
+                break;
+            }
+            match tokio::time::timeout(left, rx.recv()).await {
+                Ok(Some(_)) => {
+                    tallies.watch_events.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(None) => break,
+                Err(_) => break,
+            }
+        }
+        tallies.watch_sessions.fetch_add(1, Ordering::Relaxed);
+        // Dropping `client` closes the connection; the server reaps the
+        // subscription with it.
+    }
+}

@@ -1,0 +1,32 @@
+//! # knactor-loadgen
+//!
+//! The load harness for the paper's scale question: a data-centric
+//! exchange that composes *millions of users'* worth of service state
+//! has to keep serving — and degrade in a *typed*, recoverable way —
+//! when offered load passes capacity. This crate provides the three
+//! pieces the SLO and backpressure suites are built from:
+//!
+//! * [`zipf`] — seeded Zipf key selection (YCSB-style skew), so hot-key
+//!   effects show up the way they do in production traffic.
+//! * [`workload`] — deterministic app-shaped operation generators for
+//!   the retail and smart-home case studies. Same spec + seed ⇒ same
+//!   operation sequence, always (property-tested).
+//! * [`driver`] — an **open-loop** runner: ops are issued on a schedule
+//!   derived from the target rate, never gated on earlier completions,
+//!   and latency is measured from scheduled start to completion —
+//!   the coordinated-omission-free methodology. Watch-subscriber churn
+//!   (connect, subscribe, consume, depart) runs alongside.
+//! * [`report`] — p50/p95/p99 and shed/error rates read back from the
+//!   process-global metrics registry, the same series operators scrape.
+//!
+//! The `load` binary sweeps arrival rates against a real TCP exchange
+//! with both apps deployed and emits `BENCH_load.json` + `metrics.prom`.
+
+pub mod driver;
+pub mod report;
+pub mod workload;
+pub mod zipf;
+
+pub use driver::{run, RunConfig, RunOutcome};
+pub use workload::{AppKind, LoadOp, OpGen, WorkloadSpec};
+pub use zipf::Zipf;

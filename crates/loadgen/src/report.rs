@@ -1,0 +1,74 @@
+//! SLO reporting: read the percentiles back out of the metrics
+//! registry and shape one JSON row per sweep config.
+//!
+//! The driver records latencies into the process-global registry (the
+//! same one the server exports over `Request::Metrics` and
+//! `to_prometheus`), so the report is computed from exactly the series
+//! an operator would scrape — the harness has no private math to
+//! disagree with production dashboards.
+
+use crate::driver::RunOutcome;
+use knactor_types::metrics::{self, HistogramSnapshot, MetricsSnapshot};
+use serde_json::{json, Value};
+
+/// Find the latency series for `(app, config)` in a snapshot.
+pub fn latency_series<'s>(
+    snapshot: &'s MetricsSnapshot,
+    app: &str,
+    config: &str,
+) -> Option<&'s HistogramSnapshot> {
+    snapshot.histograms.iter().find(|h| {
+        h.name == "knactor_load_op_seconds"
+            && h.labels
+                .iter()
+                .any(|(k, v)| k == "app" && v == app)
+            && h.labels
+                .iter()
+                .any(|(k, v)| k == "config" && v == config)
+    })
+}
+
+/// One report row: the outcome tallies joined with the registry's
+/// percentile view of the same run. Latencies are milliseconds.
+pub fn config_row(app: &str, outcome: &RunOutcome, snapshot: &MetricsSnapshot) -> Value {
+    let series = latency_series(snapshot, app, &outcome.label);
+    let ms = |q: Option<f64>| q.map(|s| s * 1e3);
+    let (p50, p95, p99, max) = match series {
+        Some(h) => (
+            ms(h.p50()),
+            ms(h.p95()),
+            ms(h.p99()),
+            ms(h.max_seconds()),
+        ),
+        None => (None, None, None, None),
+    };
+    json!({
+        "app": app,
+        "config": outcome.label,
+        "target_rate": outcome.target_rate,
+        "achieved_rate": outcome.achieved_rate,
+        "issued": outcome.issued,
+        "completed": outcome.completed(),
+        "ok": outcome.ok,
+        "miss": outcome.miss,
+        "shed": outcome.shed,
+        "errors": outcome.errors,
+        "unsent": outcome.unsent,
+        "abandoned": outcome.abandoned,
+        "shed_rate": outcome.shed as f64 / outcome.issued.max(1) as f64,
+        "error_rate": outcome.errors as f64 / outcome.issued.max(1) as f64,
+        "p50_ms": p50,
+        "p95_ms": p95,
+        "p99_ms": p99,
+        "max_ms": max,
+        "watch_events": outcome.watch_events,
+        "watch_sessions": outcome.watch_sessions,
+        "elapsed_secs": outcome.elapsed.as_secs_f64(),
+    })
+}
+
+/// Snapshot the global registry (the bin also dumps this to
+/// `metrics.prom` beside the JSON report).
+pub fn global_snapshot() -> MetricsSnapshot {
+    metrics::global().snapshot()
+}

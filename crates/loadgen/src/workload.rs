@@ -1,0 +1,280 @@
+//! Deterministic workload generation.
+//!
+//! An [`OpGen`] is a pure function of its [`WorkloadSpec`]: the same
+//! spec (seed included) always yields the same operation sequence,
+//! byte for byte. That makes load runs reproducible — a failing sweep
+//! config can be rerun exactly — and is what the determinism property
+//! tests pin down.
+//!
+//! Two app-shaped presets target the paper's case studies:
+//!
+//! * **retail** — reads, upsert-patches, and batch reads against the
+//!   `checkout/state` store, order-shaped values, Zipf-skewed order
+//!   keys. Writes wake the Checkout reconciler and the Cast integrator,
+//!   so the measured system is the composed app, not a bare KV store.
+//! * **smart-home** — reads across the three device config stores,
+//!   telemetry appends (single and batched) into `lamp/telemetry`,
+//!   which drive the Sync pipelines and the continuous windowed-energy
+//!   query.
+
+use crate::zipf::Zipf;
+use knactor_net::FaultRng;
+use knactor_types::{ObjectKey, StoreId, Value};
+use serde_json::json;
+
+/// Which case-study app the workload targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    Retail,
+    SmartHome,
+}
+
+impl AppKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            AppKind::Retail => "retail",
+            AppKind::SmartHome => "smarthome",
+        }
+    }
+}
+
+/// Everything that determines an operation sequence.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    pub app: AppKind,
+    /// Seed for the generator's RNG; printed by every harness and test
+    /// so failures replay exactly.
+    pub seed: u64,
+    /// Number of distinct keys (retail orders / smart-home devices).
+    pub keyspace: usize,
+    /// Zipf skew over the keyspace (0 = uniform, 0.99 = YCSB default).
+    pub zipf_theta: f64,
+    /// Relative weights of the operation classes.
+    pub read_weight: f64,
+    pub write_weight: f64,
+    pub batch_weight: f64,
+    /// Keys (or records) per batch operation.
+    pub batch_size: usize,
+    /// Approximate payload padding per written value, in bytes.
+    pub payload_bytes: usize,
+}
+
+impl WorkloadSpec {
+    /// Retail preset: read-heavy order traffic (70/20/10) over a
+    /// Zipf-skewed order keyspace.
+    pub fn retail(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            app: AppKind::Retail,
+            seed,
+            keyspace: 1024,
+            zipf_theta: 0.99,
+            read_weight: 0.7,
+            write_weight: 0.2,
+            batch_weight: 0.1,
+            batch_size: 16,
+            payload_bytes: 64,
+        }
+    }
+
+    /// Smart-home preset: telemetry-heavy (30/50/20) — appends dominate,
+    /// reads sample device config state.
+    pub fn smarthome(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            app: AppKind::SmartHome,
+            seed,
+            keyspace: 3,
+            zipf_theta: 0.5,
+            read_weight: 0.3,
+            write_weight: 0.5,
+            batch_weight: 0.2,
+            batch_size: 16,
+            payload_bytes: 32,
+        }
+    }
+}
+
+/// One generated operation, transport-agnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadOp {
+    Get {
+        store: StoreId,
+        key: ObjectKey,
+    },
+    /// Upsert-patch: naturally idempotent, so overload retries are safe
+    /// and the generator never trips `AlreadyExists` races against its
+    /// own concurrent in-flight writes.
+    Patch {
+        store: StoreId,
+        key: ObjectKey,
+        value: Value,
+    },
+    BatchGet {
+        store: StoreId,
+        keys: Vec<ObjectKey>,
+    },
+    Append {
+        store: StoreId,
+        fields: Value,
+    },
+    AppendBatch {
+        store: StoreId,
+        batch: Vec<Value>,
+    },
+}
+
+/// Deterministic operation generator: `(spec) -> op, op, op, ...`.
+pub struct OpGen {
+    spec: WorkloadSpec,
+    rng: FaultRng,
+    zipf: Zipf,
+    seq: u64,
+    pad: String,
+}
+
+const SMARTHOME_CONFIGS: [&str; 3] = ["house/config", "lamp/config", "motion/config"];
+
+impl OpGen {
+    pub fn new(spec: WorkloadSpec) -> OpGen {
+        let rng = FaultRng::new(spec.seed);
+        let zipf = Zipf::new(spec.keyspace.max(1), spec.zipf_theta);
+        let pad = "x".repeat(spec.payload_bytes);
+        OpGen {
+            spec,
+            rng,
+            zipf,
+            seq: 0,
+            pad,
+        }
+    }
+
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Keys the retail preset addresses; the harness preloads them so
+    /// measured reads are hits, not a `NotFound` storm.
+    pub fn retail_keys(&self) -> Vec<ObjectKey> {
+        (0..self.spec.keyspace)
+            .map(|i| ObjectKey::new(format!("order-{i:05}").as_str()))
+            .collect()
+    }
+
+    fn sample_key(&mut self) -> usize {
+        let u = self.rng.unit();
+        self.zipf.sample(u)
+    }
+
+    fn order_key(rank: usize) -> ObjectKey {
+        ObjectKey::new(format!("order-{rank:05}").as_str())
+    }
+
+    fn order_value(&mut self, rank: usize) -> Value {
+        let amount = 10.0 + (rank % 97) as f64;
+        json!({
+            "order": {
+                "amount": amount,
+                "addr": format!("addr-{rank}"),
+                "items": [{"sku": format!("sku-{}", rank % 13), "qty": 1 + (self.seq % 3)}],
+                "pad": self.pad,
+            }
+        })
+    }
+
+    /// Produce the next operation. Total-weight-relative class choice,
+    /// then Zipf key choice — all from the seeded RNG, so the sequence
+    /// is a pure function of the spec.
+    pub fn next_op(&mut self) -> LoadOp {
+        self.seq += 1;
+        let total = self.spec.read_weight + self.spec.write_weight + self.spec.batch_weight;
+        let draw = self.rng.unit() * total;
+        let class = if draw < self.spec.read_weight {
+            0
+        } else if draw < self.spec.read_weight + self.spec.write_weight {
+            1
+        } else {
+            2
+        };
+        match self.spec.app {
+            AppKind::Retail => {
+                let store = StoreId::new("checkout/state");
+                match class {
+                    0 => LoadOp::Get {
+                        store,
+                        key: Self::order_key(self.sample_key()),
+                    },
+                    1 => {
+                        let rank = self.sample_key();
+                        LoadOp::Patch {
+                            store,
+                            key: Self::order_key(rank),
+                            value: self.order_value(rank),
+                        }
+                    }
+                    _ => {
+                        let keys = (0..self.spec.batch_size)
+                            .map(|_| Self::order_key(self.sample_key()))
+                            .collect();
+                        LoadOp::BatchGet { store, keys }
+                    }
+                }
+            }
+            AppKind::SmartHome => match class {
+                0 => {
+                    let dev = SMARTHOME_CONFIGS[self.sample_key() % SMARTHOME_CONFIGS.len()];
+                    LoadOp::Get {
+                        store: StoreId::new(dev),
+                        key: ObjectKey::new("state"),
+                    }
+                }
+                1 => LoadOp::Append {
+                    store: StoreId::new("lamp/telemetry"),
+                    fields: self.telemetry(),
+                },
+                _ => {
+                    let batch = (0..self.spec.batch_size).map(|_| self.telemetry()).collect();
+                    LoadOp::AppendBatch {
+                        store: StoreId::new("lamp/telemetry"),
+                        batch,
+                    }
+                }
+            },
+        }
+    }
+
+    fn telemetry(&mut self) -> Value {
+        let kwh = (self.rng.below(500) as f64) / 100.0;
+        json!({"kwh": kwh, "seq": self.seq, "pad": self.pad})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_pick_app_stores() {
+        let mut retail = OpGen::new(WorkloadSpec::retail(7));
+        for _ in 0..50 {
+            match retail.next_op() {
+                LoadOp::Get { store, .. }
+                | LoadOp::Patch { store, .. }
+                | LoadOp::BatchGet { store, .. } => {
+                    assert_eq!(store, StoreId::new("checkout/state"));
+                }
+                other => panic!("retail generated {other:?}"),
+            }
+        }
+        let mut home = OpGen::new(WorkloadSpec::smarthome(7));
+        for _ in 0..50 {
+            match home.next_op() {
+                LoadOp::Get { store, .. } => {
+                    assert!(SMARTHOME_CONFIGS.contains(&store.as_str()));
+                }
+                LoadOp::Append { store, .. } | LoadOp::AppendBatch { store, .. } => {
+                    assert_eq!(store, StoreId::new("lamp/telemetry"));
+                }
+                other => panic!("smart-home generated {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Zipf-distributed key selection.
+//!
+//! Web-scale key popularity is heavily skewed — a handful of hot carts,
+//! orders, and device states absorb most of the traffic — and a load
+//! harness that samples keys uniformly misses every hot-key effect
+//! (watch fan-out amplification, OCC conflict pile-ups, cache-friendly
+//! reads). The classic model is the Zipfian distribution used by YCSB:
+//! key rank `i` (0-based) gets weight `1 / (i + 1)^theta`.
+//!
+//! The sampler precomputes the normalized cumulative distribution once
+//! (`O(n)` setup) and answers each sample with a binary search over it
+//! (`O(log n)`), driven by a caller-supplied uniform draw so the whole
+//! generator stays deterministic under a seed.
+
+/// A precomputed Zipf sampler over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler for `n` ranks with skew `theta`.
+    ///
+    /// `theta = 0` degenerates to uniform; YCSB's default skew is
+    /// `0.99`. Panics when `n == 0` (an empty keyspace cannot be
+    /// sampled) or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "zipf over an empty keyspace");
+        assert!(theta >= 0.0, "negative zipf skew");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0_f64;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(theta);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top end: a unit
+        // draw of 0.999999... must still land inside the table.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Map a uniform draw in `[0, 1)` to a rank. Rank 0 is the hottest.
+    pub fn sample(&self, unit: f64) -> usize {
+        let u = unit.clamp(0.0, 1.0);
+        self.cdf
+            .partition_point(|&c| c < u)
+            .min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of `rank` (for tests checking the sampler
+    /// against theory).
+    pub fn mass(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        for rank in 0..10 {
+            assert!((z.mass(rank) - 0.1).abs() < 1e-9, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn skew_orders_ranks() {
+        let z = Zipf::new(100, 0.99);
+        assert!(z.mass(0) > z.mass(1));
+        assert!(z.mass(1) > z.mass(50));
+        // The hot head dominates: rank 0 takes a double-digit share.
+        assert!(z.mass(0) > 0.1);
+    }
+
+    #[test]
+    fn sample_covers_and_respects_bounds() {
+        let z = Zipf::new(7, 0.99);
+        assert_eq!(z.sample(0.0), 0);
+        assert_eq!(z.sample(0.9999999), 6);
+        for i in 0..1000 {
+            let u = i as f64 / 1000.0;
+            assert!(z.sample(u) < 7);
+        }
+    }
+}

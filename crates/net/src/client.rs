@@ -329,6 +329,20 @@ fn deliver_event(router: &mut Router, sub_id: u64, body: EventBody) {
                 }
             }
         }
+        EventBody::WatchLagged { resume_from } => {
+            // The store cut this watch for exceeding its lag cap. The raw
+            // stream simply ends (an unconsumed backlog is exactly what got
+            // the subscription cut, so there is nothing useful to flush);
+            // `resume_from` names the gapless restart point. The resilient
+            // driver resubscribes from its own `last_seen` cursor, which is
+            // never past `resume_from` — every event it has not delivered
+            // gets replayed from history.
+            knactor_types::metrics::global()
+                .counter("knactor_client_watch_lagged_total", &[("role", "client")])
+                .inc();
+            let _ = resume_from;
+            router.object_subs.remove(&sub_id);
+        }
         EventBody::Closed => {
             router.object_subs.remove(&sub_id);
             router.record_subs.remove(&sub_id);
@@ -781,20 +795,26 @@ impl Resilient {
     }
 
     /// Run `op` with reconnect + capped-backoff retry on transport-level
-    /// failures (`Transport`, `Timeout`). Semantic errors (`Conflict`,
-    /// `AlreadyExists`, `NotFound`, ...) propagate immediately; per-op
-    /// recovery for those lives in the individual `ExchangeApi` methods,
-    /// because only they know the idempotency key. `op` receives the
-    /// 0-based attempt number: `attempt > 0` means an earlier attempt may
-    /// have executed without us seeing its reply.
+    /// failures (`Transport`, `Timeout`) and on admission-control shedding
+    /// (`Overloaded` — shed before dispatch, so a retry is always safe; the
+    /// next backoff is floored at the server's `retry_after_ms` hint).
+    /// Semantic errors (`Conflict`, `AlreadyExists`, `NotFound`, ...)
+    /// propagate immediately; per-op recovery for those lives in the
+    /// individual `ExchangeApi` methods, because only they know the
+    /// idempotency key. `op` receives the 0-based attempt number:
+    /// `attempt > 0` means an earlier attempt may have executed without us
+    /// seeing its reply.
     async fn retry<T, F>(&self, op: F) -> Result<T>
     where
         F: for<'c> Fn(&'c TcpClient, u32) -> BoxFuture<'c, Result<T>>,
     {
         let mut last: Option<Error> = None;
+        let mut floor = Duration::ZERO;
         for attempt in 0..self.policy.max_attempts.max(1) {
             if attempt > 0 {
-                let backoff = self.next_backoff(attempt - 1);
+                let backoff = self
+                    .next_backoff(attempt - 1)
+                    .max(std::mem::take(&mut floor));
                 let registry = knactor_types::metrics::global();
                 registry.counter("knactor_client_retries_total", &[]).inc();
                 registry
@@ -812,6 +832,13 @@ impl Resilient {
             match op(&client, attempt).await {
                 Ok(value) => return Ok(value),
                 Err(e @ (Error::Transport(_) | Error::Timeout(_))) => last = Some(e),
+                Err(Error::Overloaded { retry_after_ms }) => {
+                    floor = Duration::from_millis(retry_after_ms);
+                    knactor_types::metrics::global()
+                        .counter("knactor_client_shed_total", &[("role", "client")])
+                        .inc();
+                    last = Some(Error::Overloaded { retry_after_ms });
+                }
                 Err(e) => return Err(e),
             }
         }

@@ -338,6 +338,13 @@ pub enum EventBody {
         missed: u64,
         resume_from: u64,
     },
+    /// The store cut this watch subscription for exceeding its lag cap
+    /// (the subscriber stopped reading while events kept committing).
+    /// A gapless resume is `Watch { from: resume_from }`, falling back
+    /// to list+rewatch on `watch_too_old`.
+    WatchLagged {
+        resume_from: u64,
+    },
     /// The subscription ended server-side (store dropped, shutdown).
     Closed,
 }
@@ -532,6 +539,16 @@ mod tests {
             scratch.as_bytes(),
             encode(&Response::Ok).unwrap().as_slice()
         );
+    }
+
+    #[test]
+    fn watch_lagged_event_roundtrips() {
+        let msg = ServerMsg::Event {
+            sub_id: 4,
+            body: EventBody::WatchLagged { resume_from: 17 },
+        };
+        let back: ServerMsg = decode(&encode(&msg).unwrap()).unwrap();
+        assert_eq!(back, msg);
     }
 
     #[test]

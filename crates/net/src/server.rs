@@ -17,11 +17,47 @@ use knactor_store::{BatchOp, DataExchange};
 use knactor_types::{metrics, Error, Result, StoreId, Value};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::{mpsc, watch};
 use tokio::task::JoinHandle;
+
+/// Overload-protection knobs for one server.
+///
+/// The flow-control model is layered: the per-connection outbound queue
+/// is *bounded*, so a client that stops reading eventually blocks the
+/// server's reply enqueue — which stops the server reading that
+/// connection's requests, pushing backpressure into TCP. Before that
+/// hard stop, admission control sheds new requests with a typed
+/// [`Error::Overloaded`] once the connection's outbound queue passes the
+/// shed watermark or the server-wide inflight count passes its cap.
+/// Shed requests are rejected *before* dispatch — no side effects — so
+/// retrying them is always safe.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-connection outbound queue capacity (replies + pushed events).
+    pub outbound_queue: usize,
+    /// Outbound-queue depth at which new requests on that connection are
+    /// shed with `Overloaded` instead of being executed.
+    pub shed_watermark: usize,
+    /// Server-wide cap on concurrently executing requests; admission
+    /// sheds past it.
+    pub max_inflight: usize,
+    /// Backoff hint carried in `Overloaded { retry_after_ms }`.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            outbound_queue: 1024,
+            shed_watermark: 896,
+            max_inflight: 512,
+            retry_after_ms: 40,
+        }
+    }
+}
 
 /// A running exchange server.
 pub struct ExchangeServer {
@@ -41,6 +77,16 @@ impl ExchangeServer {
         object: Arc<DataExchange>,
         log: Arc<LogExchange>,
     ) -> Result<ExchangeServer> {
+        ExchangeServer::bind_with_config(addr, object, log, ServerConfig::default()).await
+    }
+
+    /// [`ExchangeServer::bind`] with explicit overload-protection knobs.
+    pub async fn bind_with_config(
+        addr: &str,
+        object: Arc<DataExchange>,
+        log: Arc<LogExchange>,
+        config: ServerConfig,
+    ) -> Result<ExchangeServer> {
         let listener = TcpListener::bind(addr).await?;
         let local_addr = listener
             .local_addr()
@@ -48,11 +94,16 @@ impl ExchangeServer {
         let (shutdown_tx, shutdown_rx) = watch::channel(false);
         let data_dir =
             std::env::temp_dir().join(format!("knactor-server-{local_addr}").replace(':', "_"));
+        let reg = metrics::global();
         let ctx = Arc::new(ServerCtx {
             object: Arc::clone(&object),
             log: Arc::clone(&log),
             data_dir: data_dir.clone(),
             next_sub: AtomicU64::new(1),
+            config,
+            inflight: AtomicI64::new(0),
+            shed_total: reg.counter("knactor_net_shed_total", &[("role", "server")]),
+            inflight_gauge: reg.gauge("knactor_net_inflight", &[("role", "server")]),
         });
         let accept_task = tokio::spawn(accept_loop(listener, ctx, shutdown_rx));
         Ok(ExchangeServer {
@@ -97,6 +148,32 @@ struct ServerCtx {
     log: Arc<LogExchange>,
     data_dir: PathBuf,
     next_sub: AtomicU64,
+    config: ServerConfig,
+    /// Requests currently executing across all connections.
+    inflight: AtomicI64,
+    shed_total: Arc<metrics::Counter>,
+    inflight_gauge: Arc<metrics::Gauge>,
+}
+
+impl ServerCtx {
+    /// True when new work should be shed: this connection's outbound
+    /// queue is past its watermark (the client is not consuming replies
+    /// fast enough) or the server-wide inflight count is at its cap.
+    fn should_shed(&self, out_tx: &mpsc::Sender<ServerMsg>) -> bool {
+        let queued = self.config.outbound_queue.saturating_sub(out_tx.capacity());
+        queued >= self.config.shed_watermark
+            || self.inflight.load(Ordering::Relaxed) >= self.config.max_inflight as i64
+    }
+}
+
+/// Requests subject to admission control. Ping (health), Metrics
+/// (observability), and Unwatch (teardown that *relieves* load) are
+/// always admitted.
+fn sheddable(request: &Request) -> bool {
+    !matches!(
+        request,
+        Request::Ping | Request::Metrics | Request::Unwatch { .. }
+    )
 }
 
 async fn accept_loop(
@@ -144,7 +221,12 @@ async fn serve_connection(
     // here. The loop is *corked*: after the blocking recv it drains every
     // already-queued message into the frame writer's scratch buffer and
     // flushes once, so a burst of replies/events costs one socket write.
-    let (out_tx, mut out_rx) = mpsc::unbounded_channel::<ServerMsg>();
+    //
+    // The channel is *bounded*: a client that stops reading fills it,
+    // which parks the enqueuers — fan-out tasks first, and ultimately the
+    // request loop itself, which stops reading requests and lets TCP
+    // push the backpressure to the producer.
+    let (out_tx, mut out_rx) = mpsc::channel::<ServerMsg>(ctx.config.outbound_queue);
     let writer_task = tokio::spawn(async move {
         let mut writer = FrameWriter::new(write_half);
         let mut scratch = String::new();
@@ -197,7 +279,24 @@ async fn serve_connection(
                             Err(e) => break Err(e),
                         };
                         let id = envelope.id;
-                        let response = match dispatch(
+                        // Admission control: shed before dispatch (no side
+                        // effects, so retry is always safe). Ping, Metrics,
+                        // and Unwatch stay admitted — health checks and
+                        // load-relieving teardown must work *especially*
+                        // under overload.
+                        if sheddable(&envelope.body) && ctx.should_shed(&out_tx) {
+                            ctx.shed_total.inc();
+                            let response = Response::from_error(&Error::Overloaded {
+                                retry_after_ms: ctx.config.retry_after_ms,
+                            });
+                            if out_tx.send(ServerMsg::Reply { id, response }).await.is_err() {
+                                break Ok(());
+                            }
+                            continue;
+                        }
+                        ctx.inflight.fetch_add(1, Ordering::Relaxed);
+                        ctx.inflight_gauge.add(1);
+                        let dispatched = dispatch(
                             id,
                             envelope.body,
                             &ctx,
@@ -205,8 +304,10 @@ async fn serve_connection(
                             &out_tx,
                             &mut subs,
                         )
-                        .await
-                        {
+                        .await;
+                        ctx.inflight.fetch_sub(1, Ordering::Relaxed);
+                        ctx.inflight_gauge.sub(1);
+                        let response = match dispatched {
                             // Subscription arms reply through `out_tx`
                             // themselves (the reply must be queued before
                             // the fan-out task can push its first event).
@@ -214,7 +315,7 @@ async fn serve_connection(
                             Ok(Some(response)) => response,
                             Err(e) => Response::from_error(&e),
                         };
-                        if out_tx.send(ServerMsg::Reply { id, response }).is_err() {
+                        if out_tx.send(ServerMsg::Reply { id, response }).await.is_err() {
                             break Ok(());
                         }
                     }
@@ -296,7 +397,7 @@ async fn dispatch(
     request: Request,
     ctx: &Arc<ServerCtx>,
     subject: &Subject,
-    out_tx: &mpsc::UnboundedSender<ServerMsg>,
+    out_tx: &mpsc::Sender<ServerMsg>,
     subs: &mut HashMap<u64, JoinHandle<()>>,
 ) -> Result<Option<Response>> {
     match request {
@@ -311,6 +412,7 @@ async fn dispatch(
                     id,
                     response: Response::Watch { sub_id },
                 })
+                .await
                 .is_err()
             {
                 // Connection gone; nothing to fan out to.
@@ -322,6 +424,12 @@ async fn dispatch(
                 // scoop up whatever else has already committed (bounded
                 // by count and bytes) so fan-out sends one frame for N
                 // events instead of N frames.
+                //
+                // `out.send` parks when the connection's bounded queue is
+                // full — this task stops *reading* the store stream, the
+                // store-side lag gate fills, and the store cuts the
+                // subscription rather than queueing without bound. The
+                // shared outbox drainer is never blocked either way.
                 while let Some(event) = stream.recv().await {
                     let mut bytes = approx_value_bytes(&event.value);
                     let mut bodies = vec![EventBody::Object { event }];
@@ -334,14 +442,20 @@ async fn dispatch(
                             None => break,
                         }
                     }
-                    if out.send(batched_msg(sub_id, bodies)).is_err() {
+                    if out.send(batched_msg(sub_id, bodies)).await.is_err() {
                         return;
                     }
                 }
-                let _ = out.send(ServerMsg::Event {
-                    sub_id,
-                    body: EventBody::Closed,
-                });
+                // Stream end: a lag cutoff carries a typed resume point so
+                // the client can rewatch gaplessly; an ordinary close says
+                // so plainly.
+                let body = match stream.lag_resume_from() {
+                    Some(resume) => EventBody::WatchLagged {
+                        resume_from: resume.0,
+                    },
+                    None => EventBody::Closed,
+                };
+                let _ = out.send(ServerMsg::Event { sub_id, body }).await;
             });
             subs.insert(sub_id, task);
             Ok(None)
@@ -354,6 +468,7 @@ async fn dispatch(
                     id,
                     response: Response::Watch { sub_id },
                 })
+                .await
                 .is_err()
             {
                 return Ok(None);
@@ -392,14 +507,16 @@ async fn dispatch(
                             Err(_) => break,
                         }
                     }
-                    if out.send(batched_msg(sub_id, bodies)).is_err() {
+                    if out.send(batched_msg(sub_id, bodies)).await.is_err() {
                         return;
                     }
                 }
-                let _ = out.send(ServerMsg::Event {
-                    sub_id,
-                    body: EventBody::Closed,
-                });
+                let _ = out
+                    .send(ServerMsg::Event {
+                        sub_id,
+                        body: EventBody::Closed,
+                    })
+                    .await;
             });
             subs.insert(sub_id, task);
             Ok(None)

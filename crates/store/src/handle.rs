@@ -42,24 +42,97 @@ impl std::fmt::Debug for StoreHandle {
 }
 
 /// A watch subscription. Events arrive in revision order, exactly once.
+///
+/// When the stream ends, [`WatchStream::lag_resume_from`] distinguishes
+/// "the store cut this subscriber for lagging" (a typed, gapless resume
+/// point) from an ordinary close.
 pub struct WatchStream {
-    rx: mpsc::UnboundedReceiver<WatchEvent>,
+    inner: WatchInner,
+    probe: crate::store::LagProbe,
+}
+
+enum WatchInner {
+    /// Push delivery reads the store's stream directly: every consumer
+    /// `recv` feeds the store-level lag gate, so a consumer that stops
+    /// reading is the one that gets cut — with no intermediate pump
+    /// eagerly buffering on its behalf.
+    Direct {
+        src: crate::store::StoreWatch,
+        handle: StoreHandle,
+    },
+    /// Poll delivery keeps a pump task that buffers between ticks
+    /// (list-watch cadence); the pump reads promptly, so the lag gate
+    /// effectively bounds the poll buffer plus channel backlog.
+    Pumped(mpsc::UnboundedReceiver<WatchEvent>),
 }
 
 impl WatchStream {
-    /// Next event, or `None` when the store (or pump) shut down.
+    /// Next event, or `None` when the subscription ended (store shut
+    /// down, or this subscriber was cut for lagging — see
+    /// [`WatchStream::lag_resume_from`]).
     pub async fn recv(&mut self) -> Option<WatchEvent> {
-        self.rx.recv().await
+        match &mut self.inner {
+            WatchInner::Direct { src, handle } => loop {
+                let mut event = src.recv().await?;
+                match handle.redact(&event.value) {
+                    Ok(v) => event.value = v,
+                    // A value this subject may not see at all is skipped.
+                    Err(_) => continue,
+                }
+                return Some(event);
+            },
+            WatchInner::Pumped(rx) => rx.recv().await,
+        }
     }
 
     /// Non-blocking poll used by tests and draining loops.
     pub fn try_recv(&mut self) -> Option<WatchEvent> {
-        self.rx.try_recv().ok()
+        match &mut self.inner {
+            WatchInner::Direct { src, handle } => loop {
+                let mut event = src.try_recv().ok()?;
+                match handle.redact(&event.value) {
+                    Ok(v) => event.value = v,
+                    Err(_) => continue,
+                }
+                return Some(event);
+            },
+            WatchInner::Pumped(rx) => rx.try_recv().ok(),
+        }
     }
 
-    /// Unwrap into the raw channel (transport adapters).
+    /// `Some(resume_from)` once the store cut this subscriber for
+    /// exceeding its lag cap; resume with `watch_from(resume_from)`
+    /// (falling back to list+rewatch on `WatchTooOld`).
+    pub fn lag_resume_from(&self) -> Option<Revision> {
+        self.probe.resume_from()
+    }
+
+    /// Unwrap into a raw channel (transport adapters).
+    ///
+    /// For direct (push) streams this spawns a forwarder task, which
+    /// reads eagerly on the adapter's behalf: the in-process loopback
+    /// path deliberately opts out of per-subscriber lag cutoffs (its
+    /// consumers share the process; wire subscribers get the bounded
+    /// treatment in `knactor-net`).
     pub fn into_receiver(self) -> mpsc::UnboundedReceiver<WatchEvent> {
-        self.rx
+        match self.inner {
+            WatchInner::Direct { mut src, handle } => {
+                let (tx, rx) = mpsc::unbounded_channel();
+                tokio::spawn(async move {
+                    while let Some(mut event) = src.recv().await {
+                        match handle.redact(&event.value) {
+                            Ok(v) => event.value = v,
+                            Err(_) => continue,
+                        }
+                        if tx.send(event).is_err() {
+                            break;
+                        }
+                    }
+                });
+                rx
+            }
+            WatchInner::Pumped(rx) => rx,
+        }
     }
 }
 
@@ -254,7 +327,15 @@ impl StoreHandle {
     pub fn watch_from(&self, from: Revision) -> Result<WatchStream> {
         self.check(Verb::Watch)?;
         let src = self.store.watch_from(from)?;
-        Ok(self.pump(src))
+        let probe = src.probe();
+        let inner = match self.store.profile().watch {
+            WatchDelivery::Push => WatchInner::Direct {
+                src,
+                handle: self.clone(),
+            },
+            WatchDelivery::Poll { .. } => WatchInner::Pumped(self.pump(src)),
+        };
+        Ok(WatchStream { inner, probe })
     }
 
     /// Watch from the beginning of retained history.
@@ -262,8 +343,8 @@ impl StoreHandle {
         self.watch_from(Revision::ZERO)
     }
 
-    /// Spawn the delivery pump implementing the profile's watch mode.
-    fn pump(&self, mut src: mpsc::UnboundedReceiver<WatchEvent>) -> WatchStream {
+    /// Spawn the delivery pump implementing poll-mode watch delivery.
+    fn pump(&self, mut src: crate::store::StoreWatch) -> mpsc::UnboundedReceiver<WatchEvent> {
         let (tx, rx) = mpsc::unbounded_channel();
         let delivery = self.store.profile().watch;
         let handle = self.clone();
@@ -321,7 +402,7 @@ impl StoreHandle {
                 }
             }
         });
-        WatchStream { rx }
+        rx
     }
 
     /// Project a value down to what this subject may read.

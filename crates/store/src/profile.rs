@@ -52,11 +52,21 @@ pub struct EngineProfile {
     /// Watches resuming from before this window get
     /// [`knactor_types::Error::WatchTooOld`] and must re-list.
     pub history_cap: usize,
+    /// Per-subscriber watch backlog bound: a subscriber whose unread
+    /// event queue reaches this depth is cut from the fan-out with a
+    /// typed resume point instead of queueing without bound (and
+    /// without ever blocking the shared outbox drainer).
+    pub watch_lag_cap: usize,
 }
 
 /// Default watch-replay window, sized so short reconnect gaps replay
 /// cheaply while a hot store's memory stays bounded.
 pub const DEFAULT_HISTORY_CAP: usize = 8192;
+
+/// Default per-subscriber lag bound. Matches the history window: a
+/// subscriber cut at this depth can always resume through history
+/// replay, so the cutoff is recoverable rather than lossy.
+pub const DEFAULT_WATCH_LAG_CAP: usize = DEFAULT_HISTORY_CAP;
 
 impl EngineProfile {
     /// The Kubernetes-apiserver-like engine: durable, deliberate.
@@ -77,6 +87,7 @@ impl EngineProfile {
                 interval: Duration::from_millis(10),
             },
             history_cap: DEFAULT_HISTORY_CAP,
+            watch_lag_cap: DEFAULT_WATCH_LAG_CAP,
         }
     }
 
@@ -94,6 +105,7 @@ impl EngineProfile {
             write_delay: Duration::from_micros(300),
             watch: WatchDelivery::Push,
             history_cap: DEFAULT_HISTORY_CAP,
+            watch_lag_cap: DEFAULT_WATCH_LAG_CAP,
         }
     }
 
@@ -107,6 +119,7 @@ impl EngineProfile {
             write_delay: Duration::ZERO,
             watch: WatchDelivery::Push,
             history_cap: DEFAULT_HISTORY_CAP,
+            watch_lag_cap: DEFAULT_WATCH_LAG_CAP,
         }
     }
 

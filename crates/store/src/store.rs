@@ -34,7 +34,7 @@ use knactor_types::{value, Error, ObjectKey, Result, Revision, Schema, StoreId, 
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use tokio::sync::mpsc;
@@ -101,6 +101,8 @@ struct StoreMetrics {
     fanout_depth: Arc<Gauge>,
     /// Committed-but-undelivered events still queued in the outbox.
     outbox_lag: Arc<Gauge>,
+    /// Subscribers cut loose for exceeding their per-subscriber lag cap.
+    watch_cutoffs: Arc<Counter>,
 }
 
 impl StoreMetrics {
@@ -123,6 +125,7 @@ impl StoreMetrics {
             commit_seconds: reg.histogram("knactor_store_commit_seconds", &[("store", &store)]),
             fanout_depth: reg.gauge("knactor_store_fanout_depth", &[("store", &store)]),
             outbox_lag: reg.gauge("knactor_store_outbox_lag", &[("store", &store)]),
+            watch_cutoffs: reg.counter("knactor_store_watch_cutoffs_total", &[("store", &store)]),
         }
     }
 }
@@ -147,6 +150,114 @@ struct Subscriber {
     /// were already replayed from history, so the drainer skips them even
     /// if they are still sitting in the outbox.
     joined_at: Revision,
+    /// Lag accounting shared with the subscriber's [`StoreWatch`].
+    gate: Arc<SubGate>,
+}
+
+/// Sentinel for "this subscriber has not been cut".
+const NOT_CUT: u64 = u64::MAX;
+
+/// Per-subscriber backpressure state, shared between the drainer (which
+/// counts deliveries) and the consuming [`StoreWatch`] (which counts
+/// reads). The channel itself stays unbounded so the drainer never
+/// blocks; the gate is what bounds it.
+struct SubGate {
+    /// Events queued in the subscriber's channel, not yet consumed.
+    pending: AtomicI64,
+    /// First revision *not* delivered when the drainer cut this
+    /// subscriber for exceeding its lag cap; [`NOT_CUT`] while healthy.
+    cut_at: AtomicU64,
+}
+
+impl SubGate {
+    fn new() -> Arc<SubGate> {
+        Arc::new(SubGate {
+            pending: AtomicI64::new(0),
+            cut_at: AtomicU64::new(NOT_CUT),
+        })
+    }
+
+    fn is_cut(&self) -> bool {
+        self.cut_at.load(Ordering::Acquire) != NOT_CUT
+    }
+}
+
+/// A live watch subscription: an in-order event stream plus the lag
+/// bookkeeping that lets the store cut this subscriber loose — instead
+/// of queueing without bound — if it stops reading.
+///
+/// When the stream ends (`recv` returns `None`), check
+/// [`StoreWatch::lag_resume_from`]: `Some(rev)` means the store cut the
+/// subscription for lagging and a gapless resume is
+/// `watch_from(rev)` (falling back to list+rewatch on
+/// [`Error::WatchTooOld`]); `None` means an ordinary close.
+pub struct StoreWatch {
+    rx: mpsc::UnboundedReceiver<WatchEvent>,
+    gate: Arc<SubGate>,
+}
+
+impl StoreWatch {
+    /// Receive the next event, or `None` once the subscription ended.
+    pub async fn recv(&mut self) -> Option<WatchEvent> {
+        let event = self.rx.recv().await;
+        if event.is_some() {
+            self.gate.pending.fetch_sub(1, Ordering::Relaxed);
+        }
+        event
+    }
+
+    pub fn try_recv(&mut self) -> Result<WatchEvent, mpsc::error::TryRecvError> {
+        let event = self.rx.try_recv();
+        if event.is_ok() {
+            self.gate.pending.fetch_sub(1, Ordering::Relaxed);
+        }
+        event
+    }
+
+    /// `Some(resume_from)` once the store has cut this subscriber for
+    /// exceeding its lag cap. Events already queued are still readable;
+    /// after draining them, `watch_from(resume_from)` continues without
+    /// gaps (the first missed revision is `resume_from + 1`).
+    pub fn lag_resume_from(&self) -> Option<Revision> {
+        let cut = self.gate.cut_at.load(Ordering::Acquire);
+        (cut != NOT_CUT).then(|| Revision(cut.saturating_sub(1)))
+    }
+
+    /// Events delivered but not yet read (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.gate.pending.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    /// A cheap, cloneable handle onto this subscription's lag state,
+    /// usable independently of the consuming stream.
+    pub fn probe(&self) -> LagProbe {
+        LagProbe {
+            gate: Arc::clone(&self.gate),
+        }
+    }
+}
+
+/// See [`StoreWatch::probe`].
+#[derive(Clone)]
+pub struct LagProbe {
+    gate: Arc<SubGate>,
+}
+
+impl LagProbe {
+    /// `Some(resume_from)` once the subscriber was cut for lagging.
+    pub fn resume_from(&self) -> Option<Revision> {
+        let cut = self.gate.cut_at.load(Ordering::Acquire);
+        (cut != NOT_CUT).then(|| Revision(cut.saturating_sub(1)))
+    }
+}
+
+impl std::fmt::Debug for StoreWatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreWatch")
+            .field("pending", &self.pending())
+            .field("cut", &self.gate.is_cut())
+            .finish()
+    }
 }
 
 impl std::fmt::Debug for ObjectStore {
@@ -561,6 +672,7 @@ impl ObjectStore {
     /// revision order; after standing down it re-checks the outbox so an
     /// event enqueued during the hand-off window is never stranded.
     fn drain_fanout(&self) {
+        let lag_cap = self.profile.watch_lag_cap as i64;
         loop {
             if self
                 .draining
@@ -573,7 +685,13 @@ impl ObjectStore {
             loop {
                 let (event, subscribers) = {
                     let mut fanout = self.fanout.lock();
-                    fanout.subscribers.retain(|s| !s.tx.is_closed());
+                    // Drop closed and lag-cut subscribers eagerly: the cut
+                    // mark was set on the shared gate below, so removing
+                    // the fanout-side sender here is what ends the
+                    // consumer's stream (after it drains what's queued).
+                    fanout
+                        .subscribers
+                        .retain(|s| !s.tx.is_closed() && !s.gate.is_cut());
                     self.metrics
                         .fanout_depth
                         .set(fanout.subscribers.len() as i64);
@@ -588,9 +706,20 @@ impl ObjectStore {
                 for sub in &subscribers {
                     // Events up to `joined_at` were replayed from history
                     // at registration time.
-                    if event.revision > sub.joined_at {
-                        let _ = sub.tx.send(event.clone());
+                    if event.revision <= sub.joined_at {
+                        continue;
                     }
+                    // Per-subscriber bounded lag: a subscriber that has
+                    // stopped reading gets cut (typed resume point),
+                    // never queued-to without bound — and never blocks
+                    // this drainer or its healthy neighbours.
+                    if sub.gate.pending.load(Ordering::Relaxed) >= lag_cap {
+                        sub.gate.cut_at.store(event.revision.0, Ordering::Release);
+                        self.metrics.watch_cutoffs.inc();
+                        continue;
+                    }
+                    sub.gate.pending.fetch_add(1, Ordering::Relaxed);
+                    let _ = sub.tx.send(event.clone());
                 }
             }
             self.draining.store(false, Ordering::Release);
@@ -610,7 +739,7 @@ impl ObjectStore {
     /// Fails with [`Error::WatchTooOld`] if `from` predates the bounded
     /// history window (the caller must [`ObjectStore::list`] and watch
     /// from the listing's revision).
-    pub fn watch_from(&self, from: Revision) -> Result<mpsc::UnboundedReceiver<WatchEvent>> {
+    pub fn watch_from(&self, from: Revision) -> Result<StoreWatch> {
         // Commit lock freezes the revision and history; fanout lock makes
         // "replay + register" atomic against the drainer.
         let commit = self.commit.lock();
@@ -630,19 +759,24 @@ impl ObjectStore {
             });
         }
         let (tx, rx) = mpsc::unbounded_channel();
+        let gate = SubGate::new();
         for event in commit.history.iter().filter(|e| e.revision > from) {
+            // Replayed events count toward the lag cap too: the gate
+            // bounds the whole unread backlog, not just live deliveries.
+            gate.pending.fetch_add(1, Ordering::Relaxed);
             // Receiver can't be dropped yet; ignore errors defensively.
             let _ = tx.send(event.clone());
         }
         fanout.subscribers.push(Subscriber {
             tx,
             joined_at: revision,
+            gate: Arc::clone(&gate),
         });
-        Ok(rx)
+        Ok(StoreWatch { rx, gate })
     }
 
     /// Convenience: watch everything from the beginning of history.
-    pub fn watch(&self) -> Result<mpsc::UnboundedReceiver<WatchEvent>> {
+    pub fn watch(&self) -> Result<StoreWatch> {
         self.watch_from(Revision::ZERO)
     }
 
@@ -723,7 +857,9 @@ impl ObjectStore {
     /// Number of live watch subscribers (diagnostics).
     pub fn subscriber_count(&self) -> usize {
         let mut fanout = self.fanout.lock();
-        fanout.subscribers.retain(|s| !s.tx.is_closed());
+        fanout
+            .subscribers
+            .retain(|s| !s.tx.is_closed() && !s.gate.is_cut());
         fanout.subscribers.len()
     }
 }
@@ -1123,5 +1259,63 @@ mod tests {
             seen.push(rx.recv().await.unwrap().revision.0);
         }
         assert_eq!(seen, vec![6, 7, 8, 9, 10, 11]);
+    }
+
+    /// A subscriber that stops reading is cut at its lag cap with a typed
+    /// resume point — it never wedges the drainer, and a healthy
+    /// subscriber alongside it receives every event.
+    #[tokio::test]
+    async fn slow_subscriber_is_cut_healthy_keeps_flowing() {
+        let profile = EngineProfile {
+            watch_lag_cap: 4,
+            ..EngineProfile::instant()
+        };
+        let s = ObjectStore::open(StoreId::new("test/slow"), profile).unwrap();
+        let mut slow = s.watch().unwrap();
+        let mut healthy = s.watch().unwrap();
+        for i in 0..20u64 {
+            s.create(k(&format!("k{i}")), json!(i)).unwrap();
+            // The healthy subscriber keeps up; the slow one never reads.
+            let e = healthy.recv().await.unwrap();
+            assert_eq!(e.revision, Revision(i + 1));
+        }
+        // The slow subscriber got exactly its lag cap, then the cut.
+        let mut delivered = 0;
+        while let Ok(e) = slow.try_recv() {
+            delivered += 1;
+            assert_eq!(e.revision, Revision(delivered));
+        }
+        assert_eq!(delivered, 4, "delivery stops at the lag cap");
+        let resume = slow.lag_resume_from().expect("cut must carry a resume point");
+        assert_eq!(resume, Revision(4), "first missed revision is 5");
+        assert!(slow.recv().await.is_none(), "cut stream ends");
+        assert_eq!(s.subscriber_count(), 1, "only the healthy subscriber remains");
+        // The typed resume point supports a gapless re-watch.
+        let mut resumed = s.watch_from(resume).unwrap();
+        for want in 5..=20u64 {
+            assert_eq!(resumed.recv().await.unwrap().revision, Revision(want));
+        }
+    }
+
+    /// The cut subscriber's gate must not leak into fresh subscriptions:
+    /// after a cutoff, a new watch from the resume point behaves normally.
+    #[tokio::test]
+    async fn cutoff_does_not_stall_outbox_drain() {
+        let profile = EngineProfile {
+            watch_lag_cap: 2,
+            ..EngineProfile::instant()
+        };
+        let s = ObjectStore::open(StoreId::new("test/cut"), profile).unwrap();
+        let slow = s.watch().unwrap();
+        for i in 0..10u64 {
+            s.create(k(&format!("k{i}")), json!(i)).unwrap();
+        }
+        assert!(slow.lag_resume_from().is_some());
+        // The outbox fully drained despite the cut subscriber: a new
+        // write flows to a fresh subscriber immediately.
+        let mut fresh = s.watch_from(s.revision()).unwrap();
+        s.create(k("after"), json!("x")).unwrap();
+        let e = fresh.recv().await.unwrap();
+        assert_eq!(e.key, k("after"));
     }
 }

@@ -41,6 +41,12 @@ pub enum Error {
     /// Contains the requested resume point and the oldest replayable
     /// revision still held.
     WatchTooOld { from: u64, oldest: u64 },
+    /// The exchange is saturated and shed this request before executing
+    /// it; the caller should back off at least `retry_after_ms` and retry.
+    ///
+    /// Shed requests are rejected at admission, before any side effect,
+    /// so retrying is always safe (no idempotency disambiguation needed).
+    Overloaded { retry_after_ms: u64 },
     /// A wire-protocol or transport failure.
     Transport(String),
     /// The store or exchange rejected the request (internal invariant,
@@ -67,6 +73,7 @@ impl Error {
             Error::Dxg(_) => "dxg",
             Error::Parse { .. } => "parse",
             Error::WatchTooOld { .. } => "watch_too_old",
+            Error::Overloaded { .. } => "overloaded",
             Error::Transport(_) => "transport",
             Error::Internal(_) => "internal",
             Error::ShuttingDown => "shutting_down",
@@ -95,6 +102,9 @@ impl Error {
                 let oldest = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
                 Error::WatchTooOld { from, oldest }
             }
+            "overloaded" => Error::Overloaded {
+                retry_after_ms: msg.parse().unwrap_or(0),
+            },
             "forbidden" => Error::Forbidden(msg.to_string()),
             "schema_violation" => Error::SchemaViolation(msg.to_string()),
             "unknown_schema" => Error::UnknownSchema(msg.to_string()),
@@ -113,6 +123,7 @@ impl Error {
         match self {
             Error::Conflict { expected, actual } => format!("{expected}:{actual}"),
             Error::WatchTooOld { from, oldest } => format!("{from}:{oldest}"),
+            Error::Overloaded { retry_after_ms } => format!("{retry_after_ms}"),
             Error::Parse { line, msg } => format!("line {line}: {msg}"),
             other => format!("{other}"),
         }
@@ -122,7 +133,10 @@ impl Error {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            Error::Conflict { .. } | Error::Timeout(_) | Error::Transport(_)
+            Error::Conflict { .. }
+                | Error::Timeout(_)
+                | Error::Transport(_)
+                | Error::Overloaded { .. }
         )
     }
 }
@@ -144,6 +158,9 @@ impl fmt::Display for Error {
             Error::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             Error::WatchTooOld { from, oldest } => {
                 write!(f, "watch too old: from {from}, oldest retained {oldest}")
+            }
+            Error::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded: retry after {retry_after_ms}ms")
             }
             Error::Transport(m) => write!(f, "transport error: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
@@ -210,6 +227,7 @@ mod tests {
             Error::Expr("e".into()),
             Error::Dxg("d".into()),
             Error::WatchTooOld { from: 3, oldest: 9 },
+            Error::Overloaded { retry_after_ms: 25 },
             Error::Transport("t".into()),
             Error::ShuttingDown,
             Error::Timeout("t".into()),
@@ -239,7 +257,15 @@ mod tests {
         }
         .is_retryable());
         assert!(Error::Timeout("x".into()).is_retryable());
+        assert!(Error::Overloaded { retry_after_ms: 10 }.is_retryable());
         assert!(!Error::Forbidden("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn overloaded_roundtrips_retry_after_through_wire_form() {
+        let e = Error::Overloaded { retry_after_ms: 40 };
+        let rebuilt = Error::from_wire(e.code(), &e.wire_message());
+        assert_eq!(rebuilt, e);
     }
 
     #[test]

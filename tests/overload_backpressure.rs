@@ -1,0 +1,469 @@
+//! Backpressure and overload behaviour over the wire.
+//!
+//! Three properties the load work forces and this suite pins down:
+//!
+//! 1. **Typed shedding, zero acked loss** — past saturation the server
+//!    answers with `Error::Overloaded { retry_after_ms }` *before*
+//!    dispatch, so a shed request has no side effects, every acked
+//!    write is durable, and `ResilientClient` can retry blindly.
+//! 2. **No wedge** — an open-loop sweep far past capacity (through the
+//!    fault proxy, the deployment path chaos CI exercises) completes,
+//!    leaves no abandoned operations, and the server still answers.
+//! 3. **Slow subscribers can't take the store down** — a watcher that
+//!    stops reading is cut with a typed `WatchLagged { resume_from }`
+//!    frame while healthy subscribers keep receiving every event.
+//!
+//! Seeded (`CHAOS_SEED`) like the rest of the chaos suite.
+
+use knactor::prelude::*;
+use knactor_loadgen::{driver, OpGen, RunConfig, WorkloadSpec};
+use knactor_net::client::{ResilientClient, RetryPolicy};
+use knactor_net::frame::{FrameReader, FrameWriter};
+use knactor_net::proto::{decode, encode, EventBody, Hello, Request, RequestEnvelope, ServerMsg};
+use knactor_net::server::ServerConfig;
+use knactor_net::{FaultPlan, FaultProxy};
+use knactor_store::profile::WatchDelivery;
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xBACC_0FF5)
+}
+
+/// Instant-engine profile with a deliberate per-write cost, so a small
+/// inflight cap saturates at a load a test can comfortably offer.
+fn slow_write_profile(write_delay: Duration) -> EngineProfile {
+    EngineProfile {
+        write_delay,
+        ..EngineProfile::instant()
+    }
+}
+
+/// Overload a tightly-provisioned server from many connections at once:
+/// shedding must be typed, acked writes must all be durable, and
+/// resilient writers must land everything despite the storm.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn overload_sheds_typed_and_loses_no_acked_write() {
+    let seed = seed();
+    eprintln!("CHAOS_SEED={seed}");
+    let server = ExchangeServer::bind_with_config(
+        "127.0.0.1:0",
+        Arc::new(DataExchange::new()),
+        Arc::new(LogExchange::new()),
+        ServerConfig {
+            outbound_queue: 64,
+            shed_watermark: 48,
+            max_inflight: 2,
+            retry_after_ms: 5,
+        },
+    )
+    .await
+    .unwrap();
+    server
+        .object
+        .create_store(
+            StoreId::new("burst/state"),
+            slow_write_profile(Duration::from_millis(2)),
+        )
+        .unwrap();
+    let proxy = FaultProxy::spawn(server.local_addr(), FaultPlan::none(seed))
+        .await
+        .unwrap();
+
+    // The storm: 12 connections, each firing 24 pipelined creates with
+    // no pacing — open-loop far past a 2-op inflight budget.
+    let mut writers = Vec::new();
+    for conn in 0..12u64 {
+        let addr = proxy.local_addr();
+        writers.push(tokio::spawn(async move {
+            let client = TcpClient::connect(addr, Subject::operator(&format!("burst-{conn}")))
+                .await
+                .expect("connect burst writer");
+            let mut acked = Vec::new();
+            let mut shed = 0u64;
+            let ops = (0..24u64).map(|i| {
+                let client = &client;
+                let key = format!("k-{conn}-{i}");
+                async move {
+                    let value = json!({"conn": conn, "i": i});
+                    let result = client
+                        .create(
+                            StoreId::new("burst/state"),
+                            ObjectKey::new(key.as_str()),
+                            value.clone(),
+                        )
+                        .await;
+                    (key, value, result)
+                }
+            });
+            for (key, value, result) in futures_join_all(ops).await {
+                match result {
+                    Ok(_) => acked.push((key, value)),
+                    Err(Error::Overloaded { retry_after_ms }) => {
+                        assert!(retry_after_ms > 0, "shed must carry a backoff hint");
+                        shed += 1;
+                    }
+                    Err(other) => panic!("burst write failed untyped: {other}"),
+                }
+            }
+            (acked, shed)
+        }));
+    }
+
+    // Resilient writers ride through the same storm: every logical
+    // write must land, with Overloaded absorbed by retry + backoff.
+    let resilient = ResilientClient::connect(
+        proxy.local_addr(),
+        Subject::operator("resilient-burst"),
+        RetryPolicy {
+            max_attempts: 60,
+            ..RetryPolicy::fast(seed)
+        },
+    )
+    .await
+    .unwrap();
+    let mut resilient_keys = Vec::new();
+    for i in 0..10u64 {
+        let key = format!("resilient-{i}");
+        resilient
+            .create(
+                StoreId::new("burst/state"),
+                ObjectKey::new(key.as_str()),
+                json!({"resilient": i}),
+            )
+            .await
+            .expect("resilient write through overload");
+        resilient_keys.push(key);
+    }
+
+    let mut acked = Vec::new();
+    let mut shed_total = 0u64;
+    for writer in writers {
+        let (conn_acked, conn_shed) = tokio::time::timeout(Duration::from_secs(60), writer)
+            .await
+            .expect("burst wedged: writer did not finish")
+            .unwrap();
+        acked.extend(conn_acked);
+        shed_total += conn_shed;
+    }
+    assert!(
+        shed_total > 0,
+        "a 12-connection storm against max_inflight=2 must shed (seed {seed})"
+    );
+
+    // Zero acked loss: every acknowledged create is readable with the
+    // exact acknowledged value, through a fresh connection.
+    let verifier = TcpClient::connect(proxy.local_addr(), Subject::operator("verify"))
+        .await
+        .unwrap();
+    assert!(!acked.is_empty(), "storm acked nothing at all");
+    for (key, value) in &acked {
+        let got = verifier
+            .get(StoreId::new("burst/state"), ObjectKey::new(key.as_str()))
+            .await
+            .unwrap_or_else(|e| panic!("acked write {key} lost: {e} (seed {seed})"));
+        assert_eq!(&*got.value, value, "acked write {key} corrupted");
+    }
+    for key in &resilient_keys {
+        verifier
+            .get(StoreId::new("burst/state"), ObjectKey::new(key.as_str()))
+            .await
+            .unwrap_or_else(|e| panic!("resilient write {key} lost: {e} (seed {seed})"));
+    }
+
+    // Once the storm subsides the server admits everything again.
+    verifier.ping().await.expect("server dead after overload");
+    let snapshot = verifier.metrics().await.unwrap();
+    let shed_counter: u64 = snapshot
+        .counters
+        .iter()
+        .filter(|c| c.name == "knactor_net_shed_total")
+        .map(|c| c.value)
+        .sum();
+    assert!(
+        shed_counter >= shed_total,
+        "server shed counter {shed_counter} below client-observed {shed_total}"
+    );
+
+    proxy.shutdown();
+    server.shutdown().await;
+}
+
+/// Tiny join_all (the workspace has no futures crate): polls all
+/// futures to completion concurrently within one task.
+async fn futures_join_all<F, T>(futs: impl IntoIterator<Item = F>) -> Vec<T>
+where
+    F: std::future::Future<Output = T>,
+{
+    let mut handles: Vec<std::pin::Pin<Box<F>>> = futs.into_iter().map(Box::pin).collect();
+    let mut out: Vec<Option<T>> = handles.iter().map(|_| None).collect();
+    std::future::poll_fn(|cx| {
+        let mut all_done = true;
+        for (slot, fut) in out.iter_mut().zip(handles.iter_mut()) {
+            if slot.is_none() {
+                match fut.as_mut().poll(cx) {
+                    std::task::Poll::Ready(v) => *slot = Some(v),
+                    std::task::Poll::Pending => all_done = false,
+                }
+            }
+        }
+        if all_done {
+            std::task::Poll::Ready(())
+        } else {
+            std::task::Poll::Pending
+        }
+    })
+    .await;
+    out.into_iter().map(|v| v.unwrap()).collect()
+}
+
+/// An open-loop sweep far past capacity, through the fault proxy, must
+/// degrade (latency, shedding, lower achieved rate) — never wedge.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn saturating_rate_sweep_degrades_but_never_wedges() {
+    let seed = seed();
+    eprintln!("CHAOS_SEED={seed}");
+    let server = ExchangeServer::bind_with_config(
+        "127.0.0.1:0",
+        Arc::new(DataExchange::new()),
+        Arc::new(LogExchange::new()),
+        ServerConfig {
+            outbound_queue: 256,
+            shed_watermark: 192,
+            max_inflight: 64,
+            retry_after_ms: 5,
+        },
+    )
+    .await
+    .unwrap();
+    server
+        .object
+        .create_store(
+            StoreId::new("checkout/state"),
+            slow_write_profile(Duration::from_micros(200)),
+        )
+        .unwrap();
+    let proxy = FaultProxy::spawn(server.local_addr(), FaultPlan::none(seed))
+        .await
+        .unwrap();
+
+    let client = TcpClient::connect(proxy.local_addr(), Subject::operator("sweep"))
+        .await
+        .unwrap();
+    let api: Arc<dyn ExchangeApi> = Arc::new(client);
+    let mut gen = OpGen::new(WorkloadSpec::retail(seed));
+
+    // Well under, then far over what the store can serve through one
+    // serialized connection.
+    for (label, rate) in [("under", 400.0), ("over", 20_000.0)] {
+        let cfg = RunConfig::new(label, rate, Duration::from_millis(600));
+        let outcome = driver::run(Arc::clone(&api), proxy.local_addr(), &mut gen, &cfg).await;
+        eprintln!(
+            "{label}: issued={} ok={} shed={} errors={} abandoned={}",
+            outcome.issued, outcome.ok, outcome.shed, outcome.errors, outcome.abandoned
+        );
+        assert!(outcome.ok > 0, "{label}: nothing completed (seed {seed})");
+        assert_eq!(
+            outcome.errors, 0,
+            "{label}: untyped errors under clean-network overload (seed {seed})"
+        );
+        assert_eq!(
+            outcome.abandoned, 0,
+            "{label}: operations wedged past the drain window (seed {seed})"
+        );
+    }
+
+    // The server survived the sweep and still answers promptly.
+    let prober = TcpClient::connect(proxy.local_addr(), Subject::operator("prober"))
+        .await
+        .unwrap()
+        .with_request_timeout(Duration::from_secs(5));
+    prober.ping().await.expect("server unresponsive after sweep");
+
+    proxy.shutdown();
+    server.shutdown().await;
+}
+
+/// A subscriber that stops reading is cut with a typed
+/// `WatchLagged { resume_from }` while healthy subscribers — and the
+/// store's outbox drainer — keep flowing; resuming from the carried
+/// revision replays the gap exactly.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn slow_subscriber_cut_healthy_subscriber_served() {
+    let server = ExchangeServer::bind_with_config(
+        "127.0.0.1:0",
+        Arc::new(DataExchange::new()),
+        Arc::new(LogExchange::new()),
+        ServerConfig {
+            // A small per-connection queue so the non-reading socket
+            // backs up into the store-side lag gate quickly.
+            outbound_queue: 8,
+            shed_watermark: 8,
+            max_inflight: 64,
+            retry_after_ms: 5,
+        },
+    )
+    .await
+    .unwrap();
+    let store = StoreId::new("feed/state");
+    server
+        .object
+        .create_store(
+            store.clone(),
+            EngineProfile {
+                watch: WatchDelivery::Push,
+                watch_lag_cap: 16,
+                ..EngineProfile::instant()
+            },
+        )
+        .unwrap();
+
+    // The slow subscriber: a raw socket that subscribes and then never
+    // reads a byte.
+    let slow = tokio::net::TcpStream::connect(server.local_addr())
+        .await
+        .unwrap();
+    let (slow_read, slow_write) = slow.into_split();
+    let mut slow_writer = FrameWriter::new(slow_write);
+    let hello = Hello {
+        subject_kind: "operator".to_string(),
+        subject_name: "slow-sub".to_string(),
+    };
+    slow_writer.write_frame(&encode(&hello).unwrap()).await.unwrap();
+    let watch = RequestEnvelope {
+        id: 1,
+        body: Request::Watch {
+            store: store.clone(),
+            from: Revision::ZERO,
+        },
+    };
+    slow_writer.write_frame(&encode(&watch).unwrap()).await.unwrap();
+
+    // Read exactly one frame — the Watch reply, sent after the
+    // subscription registered server-side — then go silent forever.
+    // This is the registration barrier: every commit below happens
+    // after the slow subscription exists.
+    let mut slow_reader = FrameReader::new(slow_read);
+    let reply = tokio::time::timeout(Duration::from_secs(5), slow_reader.read_frame())
+        .await
+        .expect("no Watch reply for the slow subscriber")
+        .unwrap()
+        .expect("slow connection closed during handshake");
+    assert!(matches!(
+        decode::<ServerMsg>(&reply).unwrap(),
+        ServerMsg::Reply { id: 1, .. }
+    ));
+
+    // The healthy subscriber, reading normally over a real client.
+    let healthy = TcpClient::connect(server.local_addr(), Subject::operator("healthy"))
+        .await
+        .unwrap();
+    let mut healthy_rx = healthy.watch(store.clone(), Revision::ZERO).await.unwrap();
+
+    // Values are deliberately fat: the slow subscriber's backlog has to
+    // overflow the kernel's TCP buffers before the server's bounded
+    // outbound queue — and behind it the store's lag gate — fills up.
+    const COMMITS: u64 = 400;
+    let pad = "x".repeat(48 * 1024);
+    let writer = TcpClient::connect(server.local_addr(), Subject::operator("writer"))
+        .await
+        .unwrap();
+    for i in 0..COMMITS {
+        writer
+            .create(
+                store.clone(),
+                ObjectKey::new(format!("k{i:04}").as_str()),
+                json!({"i": i, "pad": pad}),
+            )
+            .await
+            .unwrap();
+    }
+
+    // Healthy subscriber: every commit arrives, in order — the drainer
+    // was never stalled behind the non-reading connection.
+    let mut next = 1u64;
+    while next <= COMMITS {
+        let event = tokio::time::timeout(Duration::from_secs(10), healthy_rx.recv())
+            .await
+            .expect("healthy subscriber starved behind a slow peer")
+            .expect("healthy watch closed early");
+        assert_eq!(event.revision, Revision(next), "healthy stream gapped");
+        next += 1;
+    }
+
+    // The store cut the laggard (typed, counted) and its outbox drains
+    // to empty — the drainer was never stalled.
+    let snapshot = healthy.metrics().await.unwrap();
+    let cutoffs: u64 = snapshot
+        .counters
+        .iter()
+        .filter(|c| c.name == "knactor_store_watch_cutoffs_total")
+        .map(|c| c.value)
+        .sum();
+    assert!(cutoffs >= 1, "lagging subscriber was never cut");
+    let drained = tokio::time::timeout(Duration::from_secs(5), async {
+        loop {
+            let snapshot = healthy.metrics().await.unwrap();
+            let lag = snapshot
+                .gauges
+                .iter()
+                .find(|g| {
+                    g.name == "knactor_store_outbox_lag"
+                        && g.labels.iter().any(|(k, v)| k == "store" && v == "feed/state")
+                })
+                .map(|g| g.value)
+                .expect("outbox lag gauge missing");
+            if lag == 0 {
+                break;
+            }
+            tokio::time::sleep(Duration::from_millis(5)).await;
+        }
+    })
+    .await;
+    assert!(drained.is_ok(), "outbox never drained after the cut");
+
+    // Now drain the slow socket: buffered events, then the typed cut
+    // frame naming the resume revision.
+    let resume_from = tokio::time::timeout(Duration::from_secs(10), async {
+        loop {
+            let frame = slow_reader
+                .read_frame()
+                .await
+                .expect("slow socket read")
+                .expect("slow socket closed before WatchLagged");
+            if let Ok(ServerMsg::Event {
+                body: EventBody::WatchLagged { resume_from },
+                ..
+            }) = decode::<ServerMsg>(&frame)
+            {
+                break resume_from;
+            }
+        }
+    })
+    .await
+    .expect("no WatchLagged frame reached the cut subscriber");
+    assert!(resume_from < COMMITS, "resume point past the write horizon");
+
+    // The carried resume point is genuinely gapless: a fresh watch from
+    // it replays revisions resume_from+1 ..= COMMITS in order.
+    let resumer = TcpClient::connect(server.local_addr(), Subject::operator("resumer"))
+        .await
+        .unwrap();
+    let mut resumed = resumer
+        .watch(store.clone(), Revision(resume_from))
+        .await
+        .unwrap();
+    for expected in (resume_from + 1)..=COMMITS {
+        let event = tokio::time::timeout(Duration::from_secs(10), resumed.recv())
+            .await
+            .expect("resume replay stalled")
+            .expect("resume stream closed early");
+        assert_eq!(event.revision, Revision(expected), "resume replay gapped");
+    }
+
+    server.shutdown().await;
+}

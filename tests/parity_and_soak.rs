@@ -60,17 +60,14 @@ async fn retail_parity_across_paradigms() {
 /// per-activation energy.
 #[tokio::test]
 async fn smarthome_parity_across_paradigms() {
-    // Pub/Sub side.
+    // Pub/Sub side. Change-notification barrier, not a sleep/poll loop:
+    // the predicate is re-checked whenever a service mutates state.
     let pubsub = pubsub_app::deploy(8.0);
     pubsub.sense_motion(true);
-    let deadline = tokio::time::Instant::now() + Duration::from_secs(5);
-    loop {
-        if pubsub.state.lock().lamp_brightness == 8.0 {
-            break;
-        }
-        assert!(tokio::time::Instant::now() < deadline);
-        tokio::time::sleep(Duration::from_millis(5)).await;
-    }
+    pubsub
+        .wait_for(Duration::from_secs(5), |s| s.lamp_brightness == 8.0)
+        .await
+        .expect("pubsub lamp never reached target brightness");
 
     // Knactor side.
     let (_object, _log, client) = knactor::net::loopback::in_process(Subject::integrator("home"));
@@ -97,7 +94,14 @@ async fn smarthome_parity_across_paradigms() {
     })
     .await
     .expect("knactor energy never reached the expected kWh");
-    assert!(pubsub.state.lock().house_energy_total >= expected_kwh);
+    // Same barrier on the pub/sub side: House accrues energy one hop
+    // after the lamp applies brightness, so a bare assert here races.
+    pubsub
+        .wait_for(Duration::from_secs(5), |s| {
+            s.house_energy_total >= expected_kwh
+        })
+        .await
+        .expect("pubsub energy never reached the expected kWh");
 
     pubsub.shutdown().await;
     app.shutdown().await;
@@ -131,11 +135,23 @@ async fn reconfigure_under_load_loses_no_orders() {
         }
     });
 
-    // Meanwhile: three policy reconfigurations mid-stream.
+    // Meanwhile: three policy reconfigurations mid-stream. Each waits on
+    // a revision barrier — order `k` committed in the checkout store —
+    // instead of a fixed sleep, so every change verifiably lands while
+    // the producer is still trickling orders in.
     let spec =
         std::fs::read_to_string(knactor::apps::crate_file("assets/retail_dxg.yaml")).unwrap();
-    for threshold in [2000, 500, 1000] {
-        tokio::time::sleep(Duration::from_millis(30)).await;
+    for (after_order, threshold) in [(4, 2000), (12, 500), (20, 1000)] {
+        let gate = format!("soak-{after_order}");
+        knactor::testkit::await_object_state(
+            &api,
+            "checkout/state",
+            gate.as_str(),
+            Duration::from_secs(30),
+            |v| !v["order"].is_null(),
+        )
+        .await
+        .unwrap_or_else(|e| panic!("producer never committed {gate}: {e}"));
         let new_spec = spec.replace(
             "C.order.cost > 1000",
             &format!("C.order.cost > {threshold}"),

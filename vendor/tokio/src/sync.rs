@@ -20,6 +20,33 @@ pub mod mpsc {
         impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
 
         #[derive(Debug, PartialEq, Eq)]
+        pub enum TrySendError<T> {
+            /// The channel is at capacity.
+            Full(T),
+            /// The receiver was dropped.
+            Closed(T),
+        }
+
+        impl<T> TrySendError<T> {
+            pub fn into_inner(self) -> T {
+                match self {
+                    TrySendError::Full(v) | TrySendError::Closed(v) => v,
+                }
+            }
+        }
+
+        impl<T> std::fmt::Display for TrySendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                match self {
+                    TrySendError::Full(_) => f.write_str("channel full"),
+                    TrySendError::Closed(_) => f.write_str("channel closed"),
+                }
+            }
+        }
+
+        impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
+        #[derive(Debug, PartialEq, Eq)]
         pub enum TryRecvError {
             Empty,
             Disconnected,
@@ -159,6 +186,208 @@ pub mod mpsc {
     impl<T> std::fmt::Debug for UnboundedReceiver<T> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             f.write_str("UnboundedReceiver")
+        }
+    }
+
+    struct BoundedShared<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        rx_waker: Option<Waker>,
+        tx_wakers: Vec<Waker>,
+        senders: usize,
+        rx_alive: bool,
+    }
+
+    pub struct Sender<T> {
+        shared: Arc<Mutex<BoundedShared<T>>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Mutex<BoundedShared<T>>>,
+    }
+
+    /// Bounded multi-producer single-consumer channel. `send` waits for a
+    /// free slot, which is what gives callers backpressure: a producer
+    /// that outruns its consumer parks instead of growing the queue.
+    pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "bounded channel capacity must be positive");
+        let shared = Arc::new(Mutex::new(BoundedShared {
+            queue: VecDeque::with_capacity(cap.min(1024)),
+            cap,
+            rx_waker: None,
+            tx_wakers: Vec::new(),
+            senders: 1,
+            rx_alive: true,
+        }));
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value, waiting until the channel has capacity.
+        pub async fn send(&self, value: T) -> Result<(), error::SendError<T>> {
+            let mut slot = Some(value);
+            poll_fn(|cx| {
+                let mut s = self.shared.lock().unwrap();
+                if !s.rx_alive {
+                    return Poll::Ready(Err(error::SendError(slot.take().unwrap())));
+                }
+                if s.queue.len() < s.cap {
+                    s.queue.push_back(slot.take().unwrap());
+                    let w = s.rx_waker.take();
+                    drop(s);
+                    if let Some(w) = w {
+                        w.wake();
+                    }
+                    return Poll::Ready(Ok(()));
+                }
+                s.tx_wakers.push(cx.waker().clone());
+                Poll::Pending
+            })
+            .await
+        }
+
+        /// Send without waiting; fails fast when the channel is full.
+        pub fn try_send(&self, value: T) -> Result<(), error::TrySendError<T>> {
+            let mut s = self.shared.lock().unwrap();
+            if !s.rx_alive {
+                return Err(error::TrySendError::Closed(value));
+            }
+            if s.queue.len() >= s.cap {
+                return Err(error::TrySendError::Full(value));
+            }
+            s.queue.push_back(value);
+            let w = s.rx_waker.take();
+            drop(s);
+            if let Some(w) = w {
+                w.wake();
+            }
+            Ok(())
+        }
+
+        /// Remaining free slots.
+        pub fn capacity(&self) -> usize {
+            let s = self.shared.lock().unwrap();
+            s.cap - s.queue.len()
+        }
+
+        pub fn max_capacity(&self) -> usize {
+            self.shared.lock().unwrap().cap
+        }
+
+        pub fn is_closed(&self) -> bool {
+            !self.shared.lock().unwrap().rx_alive
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut s = self.shared.lock().unwrap();
+            s.senders -= 1;
+            if s.senders == 0 {
+                if let Some(w) = s.rx_waker.take() {
+                    drop(s);
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive the next value, or `None` once every sender is gone and
+        /// the queue is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            poll_fn(|cx| {
+                let mut s = self.shared.lock().unwrap();
+                if let Some(v) = s.queue.pop_front() {
+                    // A slot freed: release every parked producer (they
+                    // re-race for it; losers re-park).
+                    let wakers = std::mem::take(&mut s.tx_wakers);
+                    drop(s);
+                    for w in wakers {
+                        w.wake();
+                    }
+                    return Poll::Ready(Some(v));
+                }
+                if s.senders == 0 {
+                    return Poll::Ready(None);
+                }
+                s.rx_waker = Some(cx.waker().clone());
+                Poll::Pending
+            })
+            .await
+        }
+
+        pub fn try_recv(&mut self) -> Result<T, error::TryRecvError> {
+            let mut s = self.shared.lock().unwrap();
+            match s.queue.pop_front() {
+                Some(v) => {
+                    let wakers = std::mem::take(&mut s.tx_wakers);
+                    drop(s);
+                    for w in wakers {
+                        w.wake();
+                    }
+                    Ok(v)
+                }
+                None if s.senders == 0 => Err(error::TryRecvError::Disconnected),
+                None => Err(error::TryRecvError::Empty),
+            }
+        }
+
+        /// Number of values currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().unwrap().queue.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().unwrap().queue.is_empty()
+        }
+
+        pub fn close(&mut self) {
+            let mut s = self.shared.lock().unwrap();
+            s.rx_alive = false;
+            let wakers = std::mem::take(&mut s.tx_wakers);
+            drop(s);
+            for w in wakers {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut s = self.shared.lock().unwrap();
+            s.rx_alive = false;
+            let wakers = std::mem::take(&mut s.tx_wakers);
+            drop(s);
+            for w in wakers {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver")
         }
     }
 }
