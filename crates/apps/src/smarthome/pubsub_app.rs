@@ -136,9 +136,12 @@ impl PubSubHome {
                 }
             }
         };
-        tokio::time::timeout(timeout, settled)
-            .await
-            .map_err(|_| format!("condition not met within {timeout:?}: {:?}", self.state.lock()))
+        tokio::time::timeout(timeout, settled).await.map_err(|_| {
+            format!(
+                "condition not met within {timeout:?}: {:?}",
+                self.state.lock()
+            )
+        })
     }
 
     pub async fn shutdown(self) {

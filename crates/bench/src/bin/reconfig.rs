@@ -16,9 +16,10 @@
 //!   delivered vs duplicated counts the records harmed by the swaps
 //!   (the composer's contract: zero).
 //!
-//! Also emits `metrics.prom`: the run's full metrics-registry snapshot in
-//! Prometheus text format (store ops, activation-stage histograms,
-//! composer apply timings) — the scrape CI uploads as an artifact.
+//! Also emits `target/metrics.prom`: the run's full metrics-registry
+//! snapshot in Prometheus text format (store ops, activation-stage
+//! histograms, composer apply timings) — the scrape CI uploads as an
+//! artifact.
 
 use knactor_core::{CastBinding, CastMode, Composer, Composition, SyncConfig, SyncDest, SyncMode};
 use knactor_net::proto::{OpSpec, ProfileSpec, QuerySpec};
@@ -209,8 +210,10 @@ async fn run(iterations: usize, stream_records: usize) -> serde_json::Value {
     // Registry-derived quantiles for the same operation the ad-hoc
     // timers measured, so later PRs can regress against stable names.
     let final_snapshot = knactor_core::metrics::global().snapshot();
-    std::fs::write("metrics.prom", final_snapshot.to_prometheus()).expect("write metrics.prom");
-    eprintln!("wrote metrics.prom");
+    std::fs::create_dir_all("target").expect("create target dir");
+    std::fs::write("target/metrics.prom", final_snapshot.to_prometheus())
+        .expect("write target/metrics.prom");
+    eprintln!("wrote target/metrics.prom");
     let apply_hist = final_snapshot
         .histograms
         .iter()

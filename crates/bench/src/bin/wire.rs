@@ -19,11 +19,19 @@
 //! the server stages as one WAL group and acknowledges after a single
 //! covering fsync. Emits `BENCH_wire.json`; the headline number is
 //! `speedup_batch64_fsync` (acceptance floor: ≥ 3×).
+//!
+//! A second sweep measures **shard scaling**: partition-aligned batch-64
+//! commits from 8 concurrent writers through a
+//! [`knactor_net::ShardRouter`] over 1/2/4/8 routed-TCP shard nodes, each
+//! running the apiserver-modelled durable engine (fsync WAL + the paper's
+//! per-commit latency — the per-node serial resource that sharding
+//! overlaps). Full runs gate `shard_scaling.speedup_4_shards ≥ 2×`.
 
 use knactor_logstore::LogExchange;
 use knactor_net::client::TcpClient;
+use knactor_net::proto::ProfileSpec;
 use knactor_net::server::ExchangeServer;
-use knactor_net::ExchangeApi;
+use knactor_net::{ExchangeApi, ShardedExchange};
 use knactor_rbac::Subject;
 use knactor_store::profile::WatchDelivery;
 use knactor_store::{BatchOp, DataExchange, EngineProfile};
@@ -126,6 +134,103 @@ async fn run_config(
     (throughput, fsyncs_after - fsyncs_before)
 }
 
+/// Concurrent writers per shard-scaling config. Enough to keep every
+/// shard's WAL pipeline busy at 8 shards.
+const SCALING_WRITERS: usize = 8;
+/// Batch size for the shard-scaling sweep — the single-node headline row.
+const SCALING_BATCH: usize = 64;
+
+/// Aggregate write throughput through a [`ShardRouter`] over `shards`
+/// routed-TCP shard nodes, each with its own fsync WAL.
+///
+/// [`SCALING_WRITERS`] tasks issue batch-[`SCALING_BATCH`] commits
+/// concurrently through one router. Writers are **partition-aligned** —
+/// each writer's keys all live on its designated shard, the way a
+/// partitioned producer batches per partition — so every commit is one
+/// whole sub-batch on one node. Stores use the paper's apiserver-modelled
+/// durable engine: its per-commit latency is each node's serial resource
+/// (a node's connection handles one request at a time), which is exactly
+/// what sharding overlaps. Returns records/sec across all writers.
+async fn run_sharded(shards: usize, records: usize) -> f64 {
+    let exchange = ShardedExchange::launch(shards)
+        .await
+        .expect("launch shards");
+    let router = Arc::new(
+        exchange
+            .client(Subject::operator("wire-bench"))
+            .await
+            .expect("connect router"),
+    );
+    let store = StoreId::new(format!("scale/s{shards}").as_str());
+    router
+        .create_store(store.clone(), ProfileSpec::Apiserver)
+        .await
+        .expect("create sharded store");
+
+    // Pre-compute each writer's key set: scan candidates and keep the
+    // ones the shard map places on the writer's target shard (writers
+    // round-robin over shards). Key generation stays outside the timed
+    // window.
+    let per_writer = records / SCALING_WRITERS;
+    let keys_for: Vec<Vec<ObjectKey>> = (0..SCALING_WRITERS)
+        .map(|w| {
+            let target = w % shards;
+            let mut keys = Vec::with_capacity(per_writer);
+            let mut n = 0u64;
+            while keys.len() < per_writer {
+                let key = ObjectKey::new(format!("w{w}-k{n:06}").as_str());
+                if router.shard_of_key(&store, &key) == target {
+                    keys.push(key);
+                }
+                n += 1;
+            }
+            keys
+        })
+        .collect();
+
+    let start = Instant::now();
+    let mut writers = Vec::with_capacity(SCALING_WRITERS);
+    for (w, keys) in keys_for.into_iter().enumerate() {
+        let router = Arc::clone(&router);
+        let store = store.clone();
+        writers.push(tokio::spawn(async move {
+            for chunk in keys.chunks(SCALING_BATCH) {
+                let ops: Vec<BatchOp> = chunk
+                    .iter()
+                    .map(|key| BatchOp::Create {
+                        key: key.clone(),
+                        value: json!({"w": w, "payload": "0123456789abcdef"}),
+                    })
+                    .collect();
+                let items = router
+                    .batch_commit(store.clone(), ops)
+                    .await
+                    .expect("batch_commit");
+                for item in items {
+                    item.into_revision().expect("per-item commit");
+                }
+            }
+        }));
+    }
+    for writer in writers {
+        writer.await.expect("writer task");
+    }
+    let elapsed = start.elapsed();
+
+    // Every acked record must be visible through the router, and the
+    // virtual revision (sum of shard revisions) must match the commits.
+    let committed = SCALING_WRITERS * per_writer;
+    let (objects, revision) = router.list(store).await.expect("list");
+    assert_eq!(objects.len(), committed, "committed records across shards");
+    assert!(
+        revision.0 as usize >= committed,
+        "virtual revision below commit count"
+    );
+    exchange.shutdown().await;
+
+    committed as f64 / elapsed.as_secs_f64()
+}
+
 async fn run(records: usize) -> serde_json::Value {
     let data_dir = std::env::temp_dir().join(format!("knactor-wire-bench-{}", std::process::id()));
     std::fs::create_dir_all(&data_dir).expect("bench data dir");
@@ -173,6 +278,24 @@ async fn run(records: usize) -> serde_json::Value {
 
     let _ = std::fs::remove_dir_all(&data_dir);
 
+    // Shard-scaling sweep: the same write workload through a ShardRouter
+    // over 1/2/4/8 routed-TCP shard nodes, each with its own fsync WAL.
+    let mut scaling_rows = Vec::new();
+    let mut scaling_by_shards = std::collections::BTreeMap::new();
+    for shards in [1usize, 2, 4, 8] {
+        let throughput = run_sharded(shards, records).await;
+        eprintln!("shards={shards} -> {throughput:>10.0} rec/s aggregate");
+        scaling_by_shards.insert(shards, throughput);
+        scaling_rows.push(json!({
+            "shards": shards,
+            "writers": SCALING_WRITERS,
+            "batch": SCALING_BATCH,
+            "records": records,
+            "records_per_sec": throughput,
+        }));
+    }
+    let scaling_4x = scaling_by_shards[&4] / scaling_by_shards[&1];
+
     json!({
         "description": "Wire-batching throughput bench (cargo run -p knactor-bench --bin wire --release). Real TCP server + client on loopback; each config writes the same records into a fresh WAL-backed store, batch 1 as single create requests, larger batches as one BatchCommit per chunk (one frame out, one WAL group fsync to cover the chunk). records_per_sec is sustained write throughput; speedups are vs the batch-1 row with the same fsync setting.",
         "records_per_config": records,
@@ -191,6 +314,13 @@ async fn run(records: usize) -> serde_json::Value {
         },
         "speedup_batch64_fsync": speedup_batch64_fsync,
         "wal_group_commit_records": group_records,
+        "shard_scaling": {
+            "description": "Aggregate write throughput through a ShardRouter over N routed-TCP shard nodes running the apiserver-modelled durable engine (fsync WAL + the paper's measured per-commit latency). 8 concurrent partition-aligned writers (each writer's keys co-located on its shard, as a partitioned producer batches) issue batch-64 commits through one router; each node serves its connection serially, so per-node commit latency is the serial resource sharding overlaps. speedup_4_shards is aggregate rec/s at 4 shards vs 1 shard (acceptance floor in full runs: >= 2x).",
+            "configs": scaling_rows,
+            "speedup_2_shards": scaling_by_shards[&2] / scaling_by_shards[&1],
+            "speedup_4_shards": scaling_4x,
+            "speedup_8_shards": scaling_by_shards[&8] / scaling_by_shards[&1],
+        },
     })
 }
 
@@ -214,4 +344,15 @@ fn main() {
         speedup >= 3.0,
         "batch-64 fsync speedup {speedup:.2}x below the 3x floor"
     );
+    // The shard-scaling floor only gates full runs: quick/CI runs write
+    // too few records per config for the sweep to be load-bearing.
+    if !quick {
+        let scaling = result["shard_scaling"]["speedup_4_shards"]
+            .as_f64()
+            .unwrap();
+        assert!(
+            scaling >= 2.0,
+            "4-shard aggregate write speedup {scaling:.2}x below the 2x floor"
+        );
+    }
 }

@@ -9,10 +9,12 @@
 //! knactorctl diff <old> <new>             diff two DXGs + composer dry-run of edge actions
 //! knactorctl codegen <schema-file>        generate typed Rust accessors
 //! knactorctl metrics <addr> [--watch|--prom]  scrape a live exchange's metrics
+//! knactorctl serve [--shards N] [--port P]    run exchange shard nodes
 //! ```
 
 mod codegen;
 mod metrics;
+mod serve;
 
 use knactor_dxg::{analyze, Dxg, Plan, Severity};
 use std::process::ExitCode;
@@ -36,6 +38,7 @@ fn main() -> ExitCode {
         ["metrics", addr, "--prom"] | ["metrics", "--prom", addr] => {
             metrics::run(addr, false, true)
         }
+        ["serve", rest @ ..] => serve_cmd(rest),
         ["help"] | ["--help"] | ["-h"] | [] => {
             print!("{}", usage());
             ExitCode::SUCCESS
@@ -59,8 +62,43 @@ fn usage() -> String {
      \u{20}   knactorctl dxg diff <old> <new>\n\
      \u{20}   knactorctl diff <old> <new>\n\
      \u{20}   knactorctl codegen <schema-file>\n\
-     \u{20}   knactorctl metrics <addr> [--watch|--prom]\n"
+     \u{20}   knactorctl metrics <addr> [--watch|--prom]\n\
+     \u{20}   knactorctl serve [--shards N] [--port P]\n"
         .to_string()
+}
+
+/// Parse `serve` flags: `--shards N` (default 1) and `--port P`
+/// (default 7070, consecutive ports for the remaining shards).
+fn serve_cmd(rest: &[&str]) -> ExitCode {
+    let mut shards = 1usize;
+    let mut port = 7070u16;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<&str>| -> Option<String> {
+            it.next().map(|v| v.to_string())
+        };
+        match *flag {
+            "--shards" => match value(&mut it).and_then(|v| v.parse().ok()) {
+                Some(n) => shards = n,
+                None => {
+                    eprintln!("--shards needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--port" => match value(&mut it).and_then(|v| v.parse().ok()) {
+                Some(p) => port = p,
+                None => {
+                    eprintln!("--port needs a port number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown serve flag: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    serve::run(shards, port)
 }
 
 fn read(file: &str) -> Result<String, ExitCode> {

@@ -270,9 +270,7 @@ async fn execute(
 ) {
     let result = match op {
         LoadOp::Get { store, key } => api.get(store, key).await.map(|_| ()),
-        LoadOp::Patch { store, key, value } => {
-            api.patch(store, key, value, true).await.map(|_| ())
-        }
+        LoadOp::Patch { store, key, value } => api.patch(store, key, value, true).await.map(|_| ()),
         LoadOp::BatchGet { store, keys } => api.batch_get(store, keys).await.map(|_| ()),
         LoadOp::Append { store, fields } => api.log_append(store, fields).await.map(|_| ()),
         LoadOp::AppendBatch { store, batch } => {
@@ -309,7 +307,7 @@ async fn churn_watcher(
     tallies: Arc<Tallies>,
     index: usize,
 ) {
-    let subject = Subject::operator(&format!("load-watcher-{index}"));
+    let subject = Subject::operator(format!("load-watcher-{index}"));
     while !stop.load(Ordering::Relaxed) {
         let Ok(client) = TcpClient::connect(addr, subject.clone()).await else {
             tokio::time::sleep(Duration::from_millis(20)).await;

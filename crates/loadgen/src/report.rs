@@ -19,12 +19,8 @@ pub fn latency_series<'s>(
 ) -> Option<&'s HistogramSnapshot> {
     snapshot.histograms.iter().find(|h| {
         h.name == "knactor_load_op_seconds"
-            && h.labels
-                .iter()
-                .any(|(k, v)| k == "app" && v == app)
-            && h.labels
-                .iter()
-                .any(|(k, v)| k == "config" && v == config)
+            && h.labels.iter().any(|(k, v)| k == "app" && v == app)
+            && h.labels.iter().any(|(k, v)| k == "config" && v == config)
     })
 }
 
@@ -34,12 +30,7 @@ pub fn config_row(app: &str, outcome: &RunOutcome, snapshot: &MetricsSnapshot) -
     let series = latency_series(snapshot, app, &outcome.label);
     let ms = |q: Option<f64>| q.map(|s| s * 1e3);
     let (p50, p95, p99, max) = match series {
-        Some(h) => (
-            ms(h.p50()),
-            ms(h.p95()),
-            ms(h.p99()),
-            ms(h.max_seconds()),
-        ),
+        Some(h) => (ms(h.p50()), ms(h.p95()), ms(h.p99()), ms(h.max_seconds())),
         None => (None, None, None, None),
     };
     json!({

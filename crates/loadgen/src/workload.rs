@@ -231,7 +231,9 @@ impl OpGen {
                     fields: self.telemetry(),
                 },
                 _ => {
-                    let batch = (0..self.spec.batch_size).map(|_| self.telemetry()).collect();
+                    let batch = (0..self.spec.batch_size)
+                        .map(|_| self.telemetry())
+                        .collect();
                     LoadOp::AppendBatch {
                         store: StoreId::new("lamp/telemetry"),
                         batch,

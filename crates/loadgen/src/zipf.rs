@@ -54,9 +54,7 @@ impl Zipf {
     /// Map a uniform draw in `[0, 1)` to a rank. Rank 0 is the hottest.
     pub fn sample(&self, unit: f64) -> usize {
         let u = unit.clamp(0.0, 1.0);
-        self.cdf
-            .partition_point(|&c| c < u)
-            .min(self.cdf.len() - 1)
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 
     /// Probability mass of `rank` (for tests checking the sampler

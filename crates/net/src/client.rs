@@ -39,6 +39,10 @@ use std::time::Duration;
 use tokio::net::TcpStream;
 use tokio::sync::{mpsc, oneshot};
 
+/// Byte ceiling for one corked writer drain: once this much is staged
+/// unflushed, the writer flushes before draining more of its queue.
+const CORK_MAX_BYTES: usize = 256 * 1024;
+
 /// Routing state shared with the demultiplexer task.
 #[derive(Default)]
 struct Router {
@@ -119,6 +123,14 @@ impl TcpClient {
                         break 'conn;
                     }
                     frames += 1;
+                    // Byte-bounded cork (mirrors the server writer): a
+                    // caller pipelining as fast as this loop drains would
+                    // otherwise keep the drain spinning forever, growing
+                    // the staged buffer without bound and never letting
+                    // the flush park on a congested socket.
+                    if writer.buffered_len() >= CORK_MAX_BYTES {
+                        break;
+                    }
                     match out_rx.try_recv() {
                         Ok(next) => envelope = next,
                         Err(_) => break,

@@ -19,6 +19,11 @@
 //! * [`api`] — [`api::ExchangeApi`], the transport-independent trait both
 //!   clients implement; integrators and reconcilers are written against
 //!   it and never know whether the exchange is local or remote.
+//! * [`router`] — [`router::ShardRouter`]: one logical exchange over N
+//!   shard nodes. Scatter-gathers batches by a consistent-hash
+//!   [`knactor_store::ShardMap`], merges per-shard watch streams into one
+//!   dense subscription, and is itself just another [`api::ExchangeApi`]
+//!   — integrators cannot tell a sharded exchange from a single node.
 //! * [`fault`] — seeded, deterministic fault injection: a frame-level
 //!   [`fault::FaultProxy`] for TCP and a [`fault::FaultApi`] decorator for
 //!   loopback, both driven by a [`fault::FaultPlan`]. Pairs with
@@ -31,12 +36,14 @@ pub mod fault;
 pub mod frame;
 pub mod loopback;
 pub mod proto;
+pub mod router;
 pub mod server;
 
 pub use api::{BoxFuture, ExchangeApi, WatchRx};
 pub use client::{ResilientClient, RetryPolicy, TcpClient};
 pub use fault::{FaultApi, FaultPlan, FaultProxy, FaultRng, FaultStats};
 pub use loopback::LoopbackClient;
+pub use router::{ShardRouter, ShardedExchange};
 pub use server::ExchangeServer;
 
 /// Re-export: sub-millisecond-accurate sleep used for latency injection.

@@ -42,6 +42,9 @@ pub enum ProfileSpec {
     Redis,
     /// Durable engine; the WAL lives under the server's data directory.
     Apiserver,
+    /// Durable with zero modelled latency: fsync WAL under the server's
+    /// data directory, push watches, no simulated op delays.
+    Durable,
 }
 
 impl ProfileSpec {
@@ -51,6 +54,7 @@ impl ProfileSpec {
             ProfileSpec::Instant => EngineProfile::instant(),
             ProfileSpec::Redis => EngineProfile::redis(),
             ProfileSpec::Apiserver => EngineProfile::apiserver(data_dir, store.as_str()),
+            ProfileSpec::Durable => EngineProfile::durable(data_dir, store.as_str()),
         }
     }
 }

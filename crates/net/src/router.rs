@@ -1,0 +1,1021 @@
+//! The sharded multi-node exchange: N independent shard nodes behind one
+//! [`ExchangeApi`].
+//!
+//! A [`ShardRouter`] owns a versioned [`ShardMap`] plus one client per
+//! shard node and implements the whole [`ExchangeApi`] by routing:
+//!
+//! * **Key-routed ops** (create/get/update/patch/delete, consumer
+//!   registration) go to the shard that owns `(store, key)` under the
+//!   map's consistent hash.
+//! * **Batches** are split by owning shard, scatter-gathered
+//!   concurrently, and merged back **in input order**. A shard that fails
+//!   wholesale (down, timed out, shed) surfaces as typed per-item errors
+//!   for *its* items only — never a whole-batch abort — so callers keep
+//!   the per-item recovery semantics they already have.
+//! * **Watches** merge the per-shard revision streams into one
+//!   subscription carrying dense *virtual* revisions (see below).
+//! * **Store-routed ops**: a Log-DE store lives whole on one shard (its
+//!   dense append sequence cannot be split), so every `log_*` call routes
+//!   by store id.
+//! * **Broadcast ops**: store/schema/UDF registration goes to every
+//!   shard, since keys of any store may land anywhere.
+//! * **Single-shard-only ops**: `transact` and `execute_udf` are atomic
+//!   *within* one shard; a request whose keys span shards is rejected
+//!   with a typed error rather than executed non-atomically.
+//!
+//! ## Virtual revisions
+//!
+//! Each shard's store revision is dense (+1 per commit), but a merged
+//! subscription needs one ordered counter. The router numbers merged
+//! events 1, 2, 3, … in delivery order and reports `list()` revisions as
+//! the **sum** of the shard revisions — the two agree because every
+//! commit bumps exactly one shard by exactly one. Resume cursors are the
+//! per-shard revision vector behind a virtual revision; the router
+//! remembers the decompositions it has handed out (via `list` or
+//! delivered events) and a `watch(from)` for a revision it no longer
+//! remembers returns [`Error::WatchTooOld`], pushing the caller through
+//! the standard list-then-watch fallback that `ResilientClient` and Cast
+//! already implement.
+//!
+//! Because per-shard clients are themselves `ExchangeApi` values, the
+//! router composes with the rest of the stack: over TCP each shard client
+//! is typically a [`crate::ResilientClient`], which gives per-shard
+//! retry, per-op idempotent disambiguation, and per-shard watch resume —
+//! so one flaky shard is retried without re-sending the other shards'
+//! sub-batches.
+
+use crate::api::{BoxFuture, ExchangeApi, TailRx, WatchRx};
+use crate::client::{ResilientClient, RetryPolicy, TcpClient};
+use crate::proto::{ProfileSpec, QuerySpec};
+use crate::server::ExchangeServer;
+use knactor_logstore::{LogExchange, LogRecord};
+use knactor_rbac::Subject;
+use knactor_store::udf::UdfAssignment;
+use knactor_store::{
+    BatchOp, DataExchange, ItemResult, ShardMap, StoredObject, TxOp, UdfBinding, WatchEvent,
+};
+use knactor_types::metrics::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
+use knactor_types::{Error, ObjectKey, Result, Revision, Schema, SchemaName, StoreId, Value};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::sync::mpsc;
+
+/// Virtual-revision decompositions remembered per store. Bounded so a
+/// long-lived router doesn't grow without limit; a resume point older
+/// than the window surfaces as `WatchTooOld` (the same contract a
+/// single store's bounded watch history has).
+const CURSOR_CACHE_CAP: usize = 8192;
+
+type CursorCache = Mutex<HashMap<StoreId, BTreeMap<u64, Vec<u64>>>>;
+
+fn remember_cursor(cache: &CursorCache, store: &StoreId, virtual_rev: u64, shard_revs: Vec<u64>) {
+    let mut guard = cache.lock();
+    let per_store = guard.entry(store.clone()).or_default();
+    per_store.insert(virtual_rev, shard_revs);
+    while per_store.len() > CURSOR_CACHE_CAP {
+        per_store.pop_first();
+    }
+}
+
+/// One logical exchange spread over N shard nodes.
+pub struct ShardRouter {
+    map: Arc<ShardMap>,
+    shards: Vec<Arc<dyn ExchangeApi>>,
+    cursors: Arc<CursorCache>,
+}
+
+impl ShardRouter {
+    /// Route through the given per-shard clients. The client at index
+    /// `i` must reach the node named `map.nodes()[i]`.
+    pub fn new(map: ShardMap, shards: Vec<Arc<dyn ExchangeApi>>) -> ShardRouter {
+        assert_eq!(
+            map.shard_count(),
+            shards.len(),
+            "shard map names {} nodes but {} clients were supplied",
+            map.shard_count(),
+            shards.len()
+        );
+        ShardRouter {
+            map: Arc::new(map),
+            shards,
+            cursors: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// A fully in-process sharded exchange: N loopback shard nodes, each
+    /// with its own `DataExchange`/`LogExchange` (and WAL directory).
+    pub fn in_process(
+        shards: usize,
+        subject: Subject,
+    ) -> (Vec<Arc<DataExchange>>, Vec<Arc<LogExchange>>, ShardRouter) {
+        static NONCE: AtomicU64 = AtomicU64::new(0);
+        let base = std::env::temp_dir().join(format!(
+            "knactor-shards-{}-{}",
+            std::process::id(),
+            NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut objects = Vec::with_capacity(shards);
+        let mut logs = Vec::with_capacity(shards);
+        let mut clients: Vec<Arc<dyn ExchangeApi>> = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let object = Arc::new(DataExchange::new());
+            let log = Arc::new(LogExchange::new());
+            let client = crate::loopback::LoopbackClient::new(
+                Arc::clone(&object),
+                Arc::clone(&log),
+                subject.clone(),
+            )
+            .with_data_dir(base.join(format!("shard-{i}")));
+            objects.push(object);
+            logs.push(log);
+            clients.push(Arc::new(client));
+        }
+        (
+            objects,
+            logs,
+            ShardRouter::new(ShardMap::uniform(shards), clients),
+        )
+    }
+
+    /// Route over plain [`TcpClient`]s, one per shard address.
+    pub async fn connect_tcp(
+        map: ShardMap,
+        addrs: &[SocketAddr],
+        subject: Subject,
+    ) -> Result<ShardRouter> {
+        let mut shards: Vec<Arc<dyn ExchangeApi>> = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            shards.push(Arc::new(TcpClient::connect(*addr, subject.clone()).await?));
+        }
+        Ok(ShardRouter::new(map, shards))
+    }
+
+    /// Route over per-shard [`ResilientClient`]s: each shard gets its own
+    /// retry/backoff state and watch-resume machinery, so a fault on one
+    /// shard retries only that shard's traffic.
+    pub async fn connect_resilient(
+        map: ShardMap,
+        addrs: &[SocketAddr],
+        subject: Subject,
+        policy: RetryPolicy,
+    ) -> Result<ShardRouter> {
+        let mut shards: Vec<Arc<dyn ExchangeApi>> = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            shards.push(Arc::new(
+                ResilientClient::connect(*addr, subject.clone(), policy).await?,
+            ));
+        }
+        Ok(ShardRouter::new(map, shards))
+    }
+
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard client owning `(store, key)` — exposed for tests that
+    /// need to aim a fault at the right node.
+    pub fn shard_of_key(&self, store: &StoreId, key: &ObjectKey) -> usize {
+        self.map.owner_of_key(store.as_str(), key.as_str())
+    }
+
+    pub fn shard_of_store(&self, store: &StoreId) -> usize {
+        self.map.owner_of_store(store.as_str())
+    }
+
+    fn key_shard(&self, store: &StoreId, key: &ObjectKey) -> &Arc<dyn ExchangeApi> {
+        &self.shards[self.shard_of_key(store, key)]
+    }
+
+    fn store_shard(&self, store: &StoreId) -> &Arc<dyn ExchangeApi> {
+        &self.shards[self.shard_of_store(store)]
+    }
+
+    /// Scatter a batch split across shards and merge per-item results
+    /// back in input order. `chunks[i]` holds (input index, payload)
+    /// pairs for shard `i`; `call` runs one shard's sub-batch.
+    async fn scatter_items<P, F>(
+        &self,
+        total: usize,
+        chunks: Vec<Vec<(usize, P)>>,
+        call: F,
+    ) -> Vec<ItemResult>
+    where
+        P: Send + 'static,
+        F: Fn(Arc<dyn ExchangeApi>, Vec<P>) -> BoxFuture<'static, Result<Vec<ItemResult>>>,
+    {
+        // Fast path: the whole batch lands on one shard (the common case
+        // for partition-aligned producers and small key ranges). Call it
+        // inline — no task spawn, no index remap, one wire round trip.
+        if chunks.iter().filter(|c| !c.is_empty()).count() == 1 {
+            let (shard, chunk) = chunks
+                .into_iter()
+                .enumerate()
+                .find(|(_, c)| !c.is_empty())
+                .expect("one non-empty chunk");
+            let payloads: Vec<P> = chunk.into_iter().map(|(_, p)| p).collect();
+            return match call(Arc::clone(&self.shards[shard]), payloads).await {
+                Ok(items) if items.len() == total => items,
+                Ok(_) => (0..total)
+                    .map(|_| {
+                        ItemResult::from_error(&Error::Internal(
+                            "shard returned a short batch".into(),
+                        ))
+                    })
+                    .collect(),
+                Err(e) => (0..total).map(|_| ItemResult::from_error(&e)).collect(),
+            };
+        }
+
+        let mut handles = Vec::new();
+        for (shard, chunk) in chunks.into_iter().enumerate() {
+            if chunk.is_empty() {
+                continue;
+            }
+            let (idxs, payloads): (Vec<usize>, Vec<P>) = chunk.into_iter().unzip();
+            let fut = call(Arc::clone(&self.shards[shard]), payloads);
+            handles.push((idxs, tokio::spawn(fut)));
+        }
+        let mut out: Vec<Option<ItemResult>> = (0..total).map(|_| None).collect();
+        for (idxs, handle) in handles {
+            let result = handle
+                .await
+                .unwrap_or_else(|_| Err(Error::Internal("shard sub-batch task died".into())));
+            match result {
+                Ok(items) => {
+                    let mut items = items.into_iter();
+                    for &i in &idxs {
+                        out[i] = Some(items.next().unwrap_or_else(|| {
+                            ItemResult::from_error(&Error::Internal(
+                                "shard returned a short batch".into(),
+                            ))
+                        }));
+                    }
+                }
+                // The whole sub-batch failed (shard down, timed out,
+                // shed): typed per-item errors for this shard's items
+                // only; the other shards' results stand.
+                Err(e) => {
+                    for &i in &idxs {
+                        out[i] = Some(ItemResult::from_error(&e));
+                    }
+                }
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every input index assigned to exactly one shard"))
+            .collect()
+    }
+}
+
+impl ExchangeApi for ShardRouter {
+    // ---- broadcast ops: every shard may come to own this store's keys ----
+
+    fn create_store(&self, store: StoreId, profile: ProfileSpec) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            for shard in &self.shards {
+                shard.create_store(store.clone(), profile.clone()).await?;
+            }
+            Ok(())
+        })
+    }
+
+    fn register_schema(&self, schema: Schema) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            for shard in &self.shards {
+                shard.register_schema(schema.clone()).await?;
+            }
+            Ok(())
+        })
+    }
+
+    fn bind_schema(&self, store: StoreId, schema: SchemaName) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            for shard in &self.shards {
+                shard.bind_schema(store.clone(), schema.clone()).await?;
+            }
+            Ok(())
+        })
+    }
+
+    fn get_schema(&self, schema: SchemaName) -> BoxFuture<'_, Result<Schema>> {
+        // Registration broadcast to all shards, so any shard can answer.
+        self.shards[0].get_schema(schema)
+    }
+
+    fn register_udf(
+        &self,
+        name: String,
+        inputs: Vec<String>,
+        assignments: Vec<UdfAssignment>,
+    ) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            for shard in &self.shards {
+                shard
+                    .register_udf(name.clone(), inputs.clone(), assignments.clone())
+                    .await?;
+            }
+            Ok(())
+        })
+    }
+
+    // ---- key-routed ops ----
+
+    fn create(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        value: Value,
+    ) -> BoxFuture<'_, Result<Revision>> {
+        self.key_shard(&store, &key).create(store, key, value)
+    }
+
+    fn get(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<StoredObject>> {
+        self.key_shard(&store, &key).get(store, key)
+    }
+
+    fn update(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        value: Value,
+        expected: Option<Revision>,
+    ) -> BoxFuture<'_, Result<Revision>> {
+        self.key_shard(&store, &key)
+            .update(store, key, value, expected)
+    }
+
+    fn patch(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        patch: Value,
+        upsert: bool,
+    ) -> BoxFuture<'_, Result<Revision>> {
+        self.key_shard(&store, &key)
+            .patch(store, key, patch, upsert)
+    }
+
+    fn delete(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<Revision>> {
+        self.key_shard(&store, &key).delete(store, key)
+    }
+
+    fn register_consumer(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        consumer: String,
+    ) -> BoxFuture<'_, Result<()>> {
+        self.key_shard(&store, &key)
+            .register_consumer(store, key, consumer)
+    }
+
+    fn mark_processed(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        consumer: String,
+    ) -> BoxFuture<'_, Result<Vec<ObjectKey>>> {
+        self.key_shard(&store, &key)
+            .mark_processed(store, key, consumer)
+    }
+
+    // ---- scatter-gather ----
+
+    fn list(&self, store: StoreId) -> BoxFuture<'_, Result<(Vec<StoredObject>, Revision)>> {
+        Box::pin(async move {
+            let mut handles = Vec::with_capacity(self.shards.len());
+            for shard in &self.shards {
+                let api = Arc::clone(shard);
+                let store = store.clone();
+                handles.push(tokio::spawn(async move { api.list(store).await }));
+            }
+            let mut objects = Vec::new();
+            let mut shard_revs = vec![0u64; self.shards.len()];
+            for (i, handle) in handles.into_iter().enumerate() {
+                let (objs, rev) = handle
+                    .await
+                    .unwrap_or_else(|_| Err(Error::Internal("shard list task died".into())))?;
+                shard_revs[i] = rev.0;
+                objects.extend(objs);
+            }
+            objects.sort_by(|a, b| a.key.cmp(&b.key));
+            let virtual_rev: u64 = shard_revs.iter().sum();
+            // A listing is a resume point: remember its decomposition so
+            // the list-then-watch fallback can pick up from here.
+            remember_cursor(&self.cursors, &store, virtual_rev, shard_revs);
+            Ok((objects, Revision(virtual_rev)))
+        })
+    }
+
+    fn batch_get(
+        &self,
+        store: StoreId,
+        keys: Vec<ObjectKey>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        Box::pin(async move {
+            let total = keys.len();
+            let mut chunks: Vec<Vec<(usize, ObjectKey)>> =
+                (0..self.shards.len()).map(|_| Vec::new()).collect();
+            for (i, key) in keys.into_iter().enumerate() {
+                chunks[self.shard_of_key(&store, &key)].push((i, key));
+            }
+            Ok(self
+                .scatter_items(total, chunks, move |api, keys| {
+                    let store = store.clone();
+                    Box::pin(async move { api.batch_get(store, keys).await })
+                })
+                .await)
+        })
+    }
+
+    fn batch_commit(
+        &self,
+        store: StoreId,
+        ops: Vec<BatchOp>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        Box::pin(async move {
+            let total = ops.len();
+            let mut chunks: Vec<Vec<(usize, BatchOp)>> =
+                (0..self.shards.len()).map(|_| Vec::new()).collect();
+            for (i, op) in ops.into_iter().enumerate() {
+                chunks[self.shard_of_key(&store, op.key())].push((i, op));
+            }
+            Ok(self
+                .scatter_items(total, chunks, move |api, ops| {
+                    let store = store.clone();
+                    Box::pin(async move { api.batch_commit(store, ops).await })
+                })
+                .await)
+        })
+    }
+
+    // ---- merged watch ----
+
+    fn watch(&self, store: StoreId, from: Revision) -> BoxFuture<'_, Result<WatchRx>> {
+        Box::pin(async move {
+            let n = self.shards.len();
+            let start: Vec<u64> = if from.0 == 0 {
+                vec![0; n]
+            } else {
+                let found = self
+                    .cursors
+                    .lock()
+                    .get(&store)
+                    .and_then(|per| per.get(&from.0))
+                    .cloned();
+                match found {
+                    Some(revs) => revs,
+                    None => {
+                        // We no longer remember how `from` decomposes
+                        // into per-shard cursors; send the caller through
+                        // the standard re-list fallback (its `list` will
+                        // seed a fresh decomposition).
+                        let oldest = self
+                            .cursors
+                            .lock()
+                            .get(&store)
+                            .and_then(|per| per.keys().next().copied())
+                            .unwrap_or(0);
+                        return Err(Error::WatchTooOld {
+                            from: from.0,
+                            oldest,
+                        });
+                    }
+                }
+            };
+
+            // Subscribe every shard before forwarding anything, so no
+            // shard's events race the subscription of another.
+            let (merge_tx, mut merge_rx) = mpsc::unbounded_channel::<(usize, WatchEvent)>();
+            for (i, &cursor) in start.iter().enumerate() {
+                let mut sub = self.shards[i]
+                    .watch(store.clone(), Revision(cursor))
+                    .await?;
+                let tx = merge_tx.clone();
+                tokio::spawn(async move {
+                    while let Some(event) = sub.recv().await {
+                        if tx.send((i, event)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(merge_tx);
+
+            let (out_tx, out_rx) = mpsc::unbounded_channel();
+            let cursors = Arc::clone(&self.cursors);
+            let mut shard_revs = start;
+            let mut virtual_rev = from.0;
+            tokio::spawn(async move {
+                while let Some((shard, mut event)) = merge_rx.recv().await {
+                    shard_revs[shard] = event.revision.0;
+                    virtual_rev += 1;
+                    event.revision = Revision(virtual_rev);
+                    remember_cursor(&cursors, &store, virtual_rev, shard_revs.clone());
+                    if out_tx.send(event).is_err() {
+                        break;
+                    }
+                }
+            });
+            Ok(out_rx)
+        })
+    }
+
+    // ---- single-shard-only ops ----
+
+    fn transact(&self, ops: Vec<TxOp>) -> BoxFuture<'_, Result<Vec<(StoreId, Revision)>>> {
+        Box::pin(async move {
+            let Some(first) = ops.first() else {
+                return Ok(Vec::new());
+            };
+            let shard = self.shard_of_key(&first.store, &first.key);
+            for op in &ops {
+                let s = self.shard_of_key(&op.store, &op.key);
+                if s != shard {
+                    return Err(Error::Internal(format!(
+                        "cross-shard transact: {}/{} lives on shard {shard} but {}/{} on shard \
+                         {s}; transactions are atomic only within one shard",
+                        first.store, first.key, op.store, op.key
+                    )));
+                }
+            }
+            self.shards[shard].transact(ops).await
+        })
+    }
+
+    fn execute_udf(
+        &self,
+        name: String,
+        bindings: Vec<UdfBinding>,
+    ) -> BoxFuture<'_, Result<Vec<(StoreId, Revision)>>> {
+        Box::pin(async move {
+            let Some(first) = bindings.first() else {
+                return self.shards[0].execute_udf(name, bindings).await;
+            };
+            let shard = self.shard_of_key(&first.store, &first.key);
+            for b in &bindings {
+                let s = self.shard_of_key(&b.store, &b.key);
+                if s != shard {
+                    return Err(Error::Internal(format!(
+                        "cross-shard udf {name}: {}/{} lives on shard {shard} but {}/{} on \
+                         shard {s}; pushdown executes atomically only within one shard",
+                        first.store, first.key, b.store, b.key
+                    )));
+                }
+            }
+            self.shards[shard].execute_udf(name, bindings).await
+        })
+    }
+
+    // ---- store-routed ops (Log-DE stores live whole on one shard) ----
+
+    fn log_create_store(&self, store: StoreId) -> BoxFuture<'_, Result<()>> {
+        self.store_shard(&store).log_create_store(store)
+    }
+
+    fn log_append(&self, store: StoreId, fields: Value) -> BoxFuture<'_, Result<u64>> {
+        self.store_shard(&store).log_append(store, fields)
+    }
+
+    fn log_append_batch(&self, store: StoreId, batch: Vec<Value>) -> BoxFuture<'_, Result<u64>> {
+        self.store_shard(&store).log_append_batch(store, batch)
+    }
+
+    fn log_read(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<Vec<LogRecord>>> {
+        self.store_shard(&store).log_read(store, from)
+    }
+
+    fn log_query(&self, store: StoreId, query: QuerySpec) -> BoxFuture<'_, Result<Vec<Value>>> {
+        self.store_shard(&store).log_query(store, query)
+    }
+
+    fn log_tail(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<TailRx>> {
+        self.store_shard(&store).log_tail(store, from)
+    }
+
+    // ---- observability ----
+
+    fn metrics(&self) -> BoxFuture<'_, Result<MetricsSnapshot>> {
+        Box::pin(async move {
+            let mut parts = Vec::with_capacity(self.shards.len());
+            for shard in &self.shards {
+                parts.push(shard.metrics().await?);
+            }
+            Ok(merge_snapshots(parts))
+        })
+    }
+}
+
+/// Merge per-shard registry snapshots into one cluster view: counters and
+/// gauges sum by (name, labels); histograms with identical bounds add
+/// bucket-wise. (When shards are colocated in one test process they share
+/// one registry, so the merge multiplies by the shard count — in the
+/// deployment this models, each shard node is its own process.)
+pub fn merge_snapshots(parts: Vec<MetricsSnapshot>) -> MetricsSnapshot {
+    let mut counters: BTreeMap<(String, Vec<(String, String)>), u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<(String, Vec<(String, String)>), i64> = BTreeMap::new();
+    let mut histograms: BTreeMap<(String, Vec<(String, String)>), HistogramSnapshot> =
+        BTreeMap::new();
+    for part in parts {
+        for c in part.counters {
+            *counters.entry((c.name, c.labels)).or_insert(0) += c.value;
+        }
+        for g in part.gauges {
+            *gauges.entry((g.name, g.labels)).or_insert(0) += g.value;
+        }
+        for h in part.histograms {
+            match histograms.entry((h.name.clone(), h.labels.clone())) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(h);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let acc = slot.get_mut();
+                    if acc.bounds_ns == h.bounds_ns && acc.buckets.len() == h.buckets.len() {
+                        for (a, b) in acc.buckets.iter_mut().zip(&h.buckets) {
+                            *a += b;
+                        }
+                        acc.count += h.count;
+                        acc.sum_ns += h.sum_ns;
+                        acc.min_ns = acc.min_ns.min(h.min_ns);
+                        acc.max_ns = acc.max_ns.max(h.max_ns);
+                    }
+                }
+            }
+        }
+    }
+    MetricsSnapshot {
+        counters: counters
+            .into_iter()
+            .map(|((name, labels), value)| CounterSnapshot {
+                name,
+                labels,
+                value,
+            })
+            .collect(),
+        gauges: gauges
+            .into_iter()
+            .map(|((name, labels), value)| GaugeSnapshot {
+                name,
+                labels,
+                value,
+            })
+            .collect(),
+        histograms: histograms.into_values().collect(),
+    }
+}
+
+/// A multi-node exchange for tests, benches, and `knactorctl serve`: N
+/// [`ExchangeServer`]s (each its own `DataExchange` + `LogExchange` +
+/// WAL directory — a shard *node*) plus the [`ShardMap`] naming them.
+pub struct ShardedExchange {
+    servers: Vec<ExchangeServer>,
+    map: ShardMap,
+}
+
+impl ShardedExchange {
+    /// Launch `shards` nodes on ephemeral localhost ports.
+    pub async fn launch(shards: usize) -> Result<ShardedExchange> {
+        let mut servers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            servers.push(ExchangeServer::bind_ephemeral().await?);
+        }
+        Ok(ShardedExchange {
+            servers,
+            map: ShardMap::uniform(shards),
+        })
+    }
+
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.servers.iter().map(|s| s.local_addr()).collect()
+    }
+
+    pub fn servers(&self) -> &[ExchangeServer] {
+        &self.servers
+    }
+
+    /// A plain-TCP router onto this exchange.
+    pub async fn client(&self, subject: Subject) -> Result<ShardRouter> {
+        ShardRouter::connect_tcp(self.map.clone(), &self.addrs(), subject).await
+    }
+
+    /// A router over per-shard resilient clients.
+    pub async fn resilient_client(
+        &self,
+        subject: Subject,
+        policy: RetryPolicy,
+    ) -> Result<ShardRouter> {
+        ShardRouter::connect_resilient(self.map.clone(), &self.addrs(), subject, policy).await
+    }
+
+    pub async fn shutdown(self) {
+        for server in self.servers {
+            server.shutdown().await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn key(i: u64) -> ObjectKey {
+        ObjectKey::new(format!("k-{i}"))
+    }
+
+    #[tokio::test]
+    async fn key_ops_round_trip_through_the_router() {
+        let (_, _, router) = ShardRouter::in_process(4, Subject::integrator("t"));
+        let store = StoreId::new("r/state");
+        router
+            .create_store(store.clone(), ProfileSpec::Instant)
+            .await
+            .unwrap();
+        for i in 0..32 {
+            router
+                .create(store.clone(), key(i), json!({"n": i}))
+                .await
+                .unwrap();
+        }
+        for i in 0..32 {
+            let obj = router.get(store.clone(), key(i)).await.unwrap();
+            assert_eq!(obj.value["n"], json!(i));
+        }
+        let (objects, revision) = router.list(store.clone()).await.unwrap();
+        assert_eq!(objects.len(), 32);
+        assert_eq!(
+            revision,
+            Revision(32),
+            "virtual revision sums shard revisions"
+        );
+        // The listing is key-sorted like a single store's.
+        let mut keys: Vec<_> = objects.iter().map(|o| o.key.clone()).collect();
+        let sorted = {
+            let mut k = keys.clone();
+            k.sort();
+            k
+        };
+        assert_eq!(keys, sorted);
+        keys.dedup();
+        assert_eq!(keys.len(), 32);
+    }
+
+    #[tokio::test]
+    async fn writes_actually_spread_across_shards() {
+        let (objects, _, router) = ShardRouter::in_process(4, Subject::integrator("t"));
+        let store = StoreId::new("spread/state");
+        router
+            .create_store(store.clone(), ProfileSpec::Instant)
+            .await
+            .unwrap();
+        for i in 0..64 {
+            router
+                .create(store.clone(), key(i), json!({"n": i}))
+                .await
+                .unwrap();
+        }
+        let populated = objects
+            .iter()
+            .filter(|o| o.store(&store).map(|s| s.len() > 0).unwrap_or(false))
+            .count();
+        assert!(
+            populated >= 3,
+            "64 keys landed on only {populated} of 4 shards"
+        );
+    }
+
+    #[tokio::test]
+    async fn merged_watch_is_dense_and_resumable() {
+        let (_, _, router) = ShardRouter::in_process(4, Subject::integrator("t"));
+        let store = StoreId::new("w/state");
+        router
+            .create_store(store.clone(), ProfileSpec::Instant)
+            .await
+            .unwrap();
+        let mut sub = router.watch(store.clone(), Revision::ZERO).await.unwrap();
+        for i in 0..20 {
+            router
+                .create(store.clone(), key(i), json!({"n": i}))
+                .await
+                .unwrap();
+        }
+        let mut seen = Vec::new();
+        for _ in 0..20 {
+            seen.push(sub.recv().await.unwrap());
+        }
+        let revisions: Vec<u64> = seen.iter().map(|e| e.revision.0).collect();
+        assert_eq!(revisions, (1..=20).collect::<Vec<_>>());
+
+        // Resume mid-stream from a delivered virtual revision: the rest
+        // of the stream replays exactly once.
+        let mut resumed = router.watch(store.clone(), Revision(12)).await.unwrap();
+        let mut replayed = Vec::new();
+        for _ in 0..8 {
+            replayed.push(resumed.recv().await.unwrap());
+        }
+        assert_eq!(
+            replayed.iter().map(|e| e.revision.0).collect::<Vec<_>>(),
+            (13..=20).collect::<Vec<_>>()
+        );
+        let mut original: Vec<_> = seen[12..].iter().map(|e| e.key.clone()).collect();
+        let mut resumed_keys: Vec<_> = replayed.iter().map(|e| e.key.clone()).collect();
+        original.sort();
+        resumed_keys.sort();
+        assert_eq!(original, resumed_keys);
+    }
+
+    #[tokio::test]
+    async fn watch_from_forgotten_revision_is_watch_too_old() {
+        let (_, _, router) = ShardRouter::in_process(2, Subject::integrator("t"));
+        let store = StoreId::new("old/state");
+        router
+            .create_store(store.clone(), ProfileSpec::Instant)
+            .await
+            .unwrap();
+        // Revision 7 was never handed out by this router.
+        let err = router.watch(store.clone(), Revision(7)).await.unwrap_err();
+        assert!(matches!(err, Error::WatchTooOld { from: 7, .. }), "{err}");
+        // After a list, the listing revision is a valid resume point.
+        router
+            .create(store.clone(), key(1), json!({"n": 1}))
+            .await
+            .unwrap();
+        let (_, revision) = router.list(store.clone()).await.unwrap();
+        router.watch(store.clone(), revision).await.unwrap();
+    }
+
+    #[tokio::test]
+    async fn batches_split_and_merge_in_input_order() {
+        let (_, _, router) = ShardRouter::in_process(4, Subject::integrator("t"));
+        let store = StoreId::new("b/state");
+        router
+            .create_store(store.clone(), ProfileSpec::Instant)
+            .await
+            .unwrap();
+        let ops: Vec<BatchOp> = (0..40)
+            .map(|i| BatchOp::Create {
+                key: key(i),
+                value: json!({"n": i}),
+            })
+            .collect();
+        let items = router.batch_commit(store.clone(), ops).await.unwrap();
+        assert_eq!(items.len(), 40);
+        assert!(items.iter().all(|i| !i.is_err()));
+        // Mixed batch: an existing create fails per-item, the rest land.
+        let ops = vec![
+            BatchOp::Create {
+                key: key(0),
+                value: json!({"dup": true}),
+            },
+            BatchOp::Patch {
+                key: key(1),
+                patch: json!({"patched": true}),
+                upsert: false,
+            },
+            BatchOp::Delete { key: key(2) },
+        ];
+        let items = router.batch_commit(store.clone(), ops).await.unwrap();
+        assert_eq!(
+            items[0].as_error().map(|e| e.code()),
+            Some("already_exists"),
+            "{items:?}"
+        );
+        assert!(!items[1].is_err());
+        assert!(!items[2].is_err());
+        // Reads come back in request order, misses as typed items.
+        let results = router
+            .batch_get(store.clone(), vec![key(1), key(2), key(3)])
+            .await
+            .unwrap();
+        assert_eq!(
+            results[0].clone().into_object().unwrap().value["patched"],
+            json!(true)
+        );
+        assert_eq!(results[1].as_error().map(|e| e.code()), Some("not_found"));
+        assert_eq!(
+            results[2].clone().into_object().unwrap().value["n"],
+            json!(3)
+        );
+    }
+
+    #[tokio::test]
+    async fn cross_shard_transact_is_rejected_with_a_typed_error() {
+        let (_, _, router) = ShardRouter::in_process(4, Subject::integrator("t"));
+        let store = StoreId::new("tx/state");
+        router
+            .create_store(store.clone(), ProfileSpec::Instant)
+            .await
+            .unwrap();
+        // Find two keys on different shards.
+        let mut a = None;
+        let mut b = None;
+        for i in 0..64 {
+            let k = key(i);
+            let shard = router.shard_of_key(&store, &k);
+            if a.is_none() {
+                a = Some((k, shard));
+            } else if shard != a.as_ref().unwrap().1 {
+                b = Some((k, shard));
+                break;
+            }
+        }
+        let (ka, _) = a.unwrap();
+        let (kb, _) = b.unwrap();
+        let cross = vec![
+            TxOp {
+                store: store.clone(),
+                key: ka.clone(),
+                patch: json!({"x": 1}),
+                upsert: true,
+                expected: None,
+            },
+            TxOp {
+                store: store.clone(),
+                key: kb,
+                patch: json!({"x": 2}),
+                upsert: true,
+                expected: None,
+            },
+        ];
+        let err = router.transact(cross).await.unwrap_err();
+        assert!(
+            format!("{err}").contains("cross-shard"),
+            "wrong error: {err}"
+        );
+        // Single-shard transactions still work.
+        let single = vec![TxOp {
+            store: store.clone(),
+            key: ka.clone(),
+            patch: json!({"x": 3}),
+            upsert: true,
+            expected: None,
+        }];
+        router.transact(single).await.unwrap();
+        assert_eq!(
+            router.get(store.clone(), ka).await.unwrap().value["x"],
+            json!(3)
+        );
+    }
+
+    #[tokio::test]
+    async fn log_stores_stay_dense_on_one_shard() {
+        let (_, _, router) = ShardRouter::in_process(4, Subject::integrator("t"));
+        let store = StoreId::new("t/telemetry");
+        router.log_create_store(store.clone()).await.unwrap();
+        for i in 0..10 {
+            let seq = router
+                .log_append(store.clone(), json!({"n": i}))
+                .await
+                .unwrap();
+            assert_eq!(seq, i + 1, "append sequence must stay dense");
+        }
+        let records = router.log_read(store.clone(), 0).await.unwrap();
+        assert_eq!(records.len(), 10);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_buckets() {
+        let a = MetricsSnapshot {
+            counters: vec![CounterSnapshot {
+                name: "ops".into(),
+                labels: vec![("k".into(), "v".into())],
+                value: 3,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "depth".into(),
+                labels: vec![],
+                value: 2,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "lat".into(),
+                labels: vec![],
+                bounds_ns: vec![10, 100],
+                buckets: vec![1, 2, 0],
+                count: 3,
+                sum_ns: 60,
+                min_ns: 5,
+                max_ns: 90,
+            }],
+        };
+        let mut b = a.clone();
+        b.counters[0].value = 4;
+        b.histograms[0].min_ns = 2;
+        let merged = merge_snapshots(vec![a, b]);
+        assert_eq!(merged.counters[0].value, 7);
+        assert_eq!(merged.gauges[0].value, 4);
+        assert_eq!(merged.histograms[0].count, 6);
+        assert_eq!(merged.histograms[0].buckets, vec![2, 4, 0]);
+        assert_eq!(merged.histograms[0].min_ns, 2);
+    }
+}

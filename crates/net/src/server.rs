@@ -245,6 +245,16 @@ async fn serve_connection(
                     break 'conn;
                 }
                 frames += 1;
+                // The cork is byte-bounded: without the cap, a producer
+                // that refills the queue as fast as this loop drains it
+                // would keep the drain going forever, growing the staged
+                // buffer without bound and never reaching the flush —
+                // which is where a slow peer's TCP backpressure actually
+                // parks this task. The cap keeps the batching win while
+                // guaranteeing every staged byte meets the socket.
+                if writer.buffered_len() >= CORK_MAX_BYTES {
+                    break;
+                }
                 match out_rx.try_recv() {
                     Ok(next) => msg = next,
                     Err(_) => break,
@@ -338,6 +348,10 @@ async fn serve_connection(
     let _ = writer_task.await;
     result
 }
+
+/// Byte ceiling for one corked writer drain: once this much is staged
+/// unflushed, the writer flushes before draining more of its queue.
+const CORK_MAX_BYTES: usize = 256 * 1024;
 
 /// Most events a single pushed frame may carry.
 const BATCH_MAX_EVENTS: usize = 128;

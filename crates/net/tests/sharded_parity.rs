@@ -1,0 +1,113 @@
+//! Transport parity for the sharded exchange: the same batch workload
+//! must produce identical per-item outcomes on a 4-shard **loopback**
+//! router and a 4-shard **routed-TCP** router with the same topology —
+//! and the same outcome *shape* (typed error codes in the same slots) as
+//! the single-node parity suite pins down.
+
+use knactor_net::proto::ProfileSpec;
+use knactor_net::{ExchangeApi, ShardRouter, ShardedExchange};
+use knactor_rbac::Subject;
+use knactor_store::ItemResult;
+use knactor_types::{Revision, StoreId};
+use serde_json::json;
+
+#[path = "util/batch_workload.rs"]
+mod batch_workload;
+use batch_workload::{batch_script, outcome_tags};
+
+/// Loopback ≡ routed-TCP, item by item, at 4 shards. Both routers share
+/// one `ShardMap::uniform(4)`, so per-item (shard-local) revisions must
+/// match exactly, not just error codes.
+#[tokio::test]
+async fn batch_ops_parity_sharded_loopback_vs_routed_tcp() {
+    let (_objects, _logs, local_router) = ShardRouter::in_process(4, Subject::operator("parity"));
+    let local = batch_script(&local_router).await;
+
+    let exchange = ShardedExchange::launch(4).await.unwrap();
+    let remote_router = exchange.client(Subject::operator("parity")).await.unwrap();
+    let remote = batch_script(&remote_router).await;
+
+    assert_eq!(
+        local, remote,
+        "sharded loopback and routed TCP must produce identical batch outcomes"
+    );
+
+    // The outcome shape is the one the single-node suite pins: same typed
+    // errors in the same slots, commits and reads where commits and reads
+    // belong. (Revision numbers are shard-local, hence compared via the
+    // full equality above, not against the single-node 1..6 sequence.)
+    assert_eq!(
+        outcome_tags(&local[0]),
+        [
+            "rev",
+            "rev",
+            "err:already_exists",
+            "err:not_found",
+            "err:conflict",
+            "rev"
+        ]
+    );
+    assert_eq!(outcome_tags(&local[1]), ["rev", "rev", "err:not_found"]);
+    assert_eq!(outcome_tags(&local[2]), ["obj:a", "err:not_found", "obj:c"]);
+    assert_eq!(outcome_tags(&local[3]), ["rev", "err:not_found"]);
+    // The merge-patch really merged, through the router.
+    let ItemResult::Object { object } = &local[2][0] else {
+        panic!("expected object for a");
+    };
+    assert_eq!(*object.value, json!({"v": 1, "extra": true}));
+
+    // Virtual revision accounting: the script commits 6 mutations
+    // (a, b, patch-b, merge-a, upsert-c, delete-b), so the routed list
+    // revision — the sum of shard revisions — must be exactly 6.
+    let (_, revision) = remote_router
+        .list(StoreId::new("parity/batch"))
+        .await
+        .unwrap();
+    assert_eq!(revision, Revision(6));
+
+    exchange.shutdown().await;
+}
+
+/// The same workload at 1 shard must be bit-identical to the single-node
+/// loopback — a 1-shard router is just a pass-through.
+#[tokio::test]
+async fn one_shard_router_is_a_passthrough() {
+    let (_object, _log, plain) = knactor_net::loopback::in_process(Subject::operator("parity"));
+    let baseline = batch_script(&plain).await;
+
+    let (_objects, _logs, router) = ShardRouter::in_process(1, Subject::operator("parity"));
+    let routed = batch_script(&router).await;
+
+    assert_eq!(baseline, routed);
+}
+
+/// A watch established through the routed-TCP 4-shard exchange delivers
+/// dense virtual revisions 1..=N for N commits.
+#[tokio::test]
+async fn routed_tcp_watch_is_dense() {
+    let exchange = ShardedExchange::launch(4).await.unwrap();
+    let router = exchange.client(Subject::operator("watcher")).await.unwrap();
+    let store = StoreId::new("w/state");
+    router
+        .create_store(store.clone(), ProfileSpec::Instant)
+        .await
+        .unwrap();
+    let mut sub = router.watch(store.clone(), Revision::ZERO).await.unwrap();
+    const WRITES: u64 = 24;
+    for i in 0..WRITES {
+        router
+            .create(
+                store.clone(),
+                knactor_types::ObjectKey::new(format!("k-{i}")),
+                json!({"n": i}),
+            )
+            .await
+            .unwrap();
+    }
+    let mut revisions = Vec::new();
+    for _ in 0..WRITES {
+        revisions.push(sub.recv().await.unwrap().revision.0);
+    }
+    assert_eq!(revisions, (1..=WRITES).collect::<Vec<_>>());
+    exchange.shutdown().await;
+}

@@ -5,11 +5,15 @@ use knactor_net::server::test_server;
 use knactor_net::{ExchangeApi, TcpClient};
 use knactor_rbac::{Role, RoleBinding, Subject};
 use knactor_store::udf::UdfAssignment;
-use knactor_store::{BatchOp, ItemResult, PutItem, UdfBinding};
+use knactor_store::{ItemResult, UdfBinding};
 use knactor_types::schema::{FieldSpec, FieldType};
 use knactor_types::{Error, ObjectKey, Revision, Schema, SchemaName, StoreId};
 use serde_json::json;
 use std::time::Duration;
+
+#[path = "util/batch_workload.rs"]
+mod batch_workload;
+use batch_workload::batch_script;
 
 async fn client_for(server: &knactor_net::ExchangeServer, subject: Subject) -> TcpClient {
     TcpClient::connect(server.local_addr(), subject)
@@ -353,110 +357,6 @@ async fn concurrent_clients_pipeline() {
     assert_eq!(objects.len(), 32);
     assert_eq!(rev, Revision(32));
     server.shutdown().await;
-}
-
-/// The shared batch workload: mixed successes and per-item failures
-/// across `batch_commit`, `batch_put`, and `batch_get`. Returns every
-/// item outcome in order so transports can be compared verbatim.
-async fn batch_script(api: &dyn ExchangeApi) -> Vec<Vec<ItemResult>> {
-    let store = StoreId::new("parity/batch");
-    api.create_store(store.clone(), ProfileSpec::Instant)
-        .await
-        .unwrap();
-    let mut outcomes = Vec::new();
-    // Mixed commit: failing items must not poison their neighbours.
-    outcomes.push(
-        api.batch_commit(
-            store.clone(),
-            vec![
-                BatchOp::Create {
-                    key: ObjectKey::new("a"),
-                    value: json!({"v": 1}),
-                },
-                BatchOp::Create {
-                    key: ObjectKey::new("b"),
-                    value: json!({"v": 2}),
-                },
-                BatchOp::Create {
-                    key: ObjectKey::new("a"), // duplicate
-                    value: json!({"v": 99}),
-                },
-                BatchOp::Update {
-                    key: ObjectKey::new("ghost"), // missing
-                    value: json!(0),
-                    expected: None,
-                },
-                BatchOp::Update {
-                    key: ObjectKey::new("a"),
-                    value: json!({"v": 3}),
-                    expected: Some(Revision(99)), // stale OCC guard
-                },
-                BatchOp::Patch {
-                    key: ObjectKey::new("b"),
-                    patch: json!({"note": "hi"}),
-                    upsert: false,
-                },
-            ],
-        )
-        .await
-        .unwrap(),
-    );
-    // Put sugar: merge-patch an existing object, upsert a new one, and
-    // refuse a non-upsert put of a missing key.
-    outcomes.push(
-        api.batch_put(
-            store.clone(),
-            vec![
-                PutItem {
-                    key: ObjectKey::new("a"),
-                    value: json!({"extra": true}),
-                    upsert: false,
-                },
-                PutItem {
-                    key: ObjectKey::new("c"),
-                    value: json!({"v": 3}),
-                    upsert: true,
-                },
-                PutItem {
-                    key: ObjectKey::new("ghost"),
-                    value: json!({}),
-                    upsert: false,
-                },
-            ],
-        )
-        .await
-        .unwrap(),
-    );
-    // Reads: hits interleaved with a miss.
-    outcomes.push(
-        api.batch_get(
-            store.clone(),
-            vec![
-                ObjectKey::new("a"),
-                ObjectKey::new("ghost"),
-                ObjectKey::new("c"),
-            ],
-        )
-        .await
-        .unwrap(),
-    );
-    // Deletes: one real, one missing.
-    outcomes.push(
-        api.batch_commit(
-            store,
-            vec![
-                BatchOp::Delete {
-                    key: ObjectKey::new("b"),
-                },
-                BatchOp::Delete {
-                    key: ObjectKey::new("ghost"),
-                },
-            ],
-        )
-        .await
-        .unwrap(),
-    );
-    outcomes
 }
 
 /// Batched ops must behave identically on the in-process loopback and

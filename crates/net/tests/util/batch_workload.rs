@@ -1,0 +1,129 @@
+//! The shared batch workload used by every transport-parity suite
+//! (`tcp_roundtrip.rs` single-node, `sharded_parity.rs` 4-shard): mixed
+//! successes and per-item failures across `batch_commit`, `batch_put`,
+//! and `batch_get`. Returns every item outcome in order so transports
+//! can be compared verbatim.
+
+use knactor_net::proto::ProfileSpec;
+use knactor_net::ExchangeApi;
+use knactor_store::{BatchOp, ItemResult, PutItem};
+use knactor_types::{ObjectKey, Revision, StoreId};
+use serde_json::json;
+
+pub async fn batch_script(api: &dyn ExchangeApi) -> Vec<Vec<ItemResult>> {
+    let store = StoreId::new("parity/batch");
+    api.create_store(store.clone(), ProfileSpec::Instant)
+        .await
+        .unwrap();
+    let mut outcomes = Vec::new();
+    // Mixed commit: failing items must not poison their neighbours.
+    outcomes.push(
+        api.batch_commit(
+            store.clone(),
+            vec![
+                BatchOp::Create {
+                    key: ObjectKey::new("a"),
+                    value: json!({"v": 1}),
+                },
+                BatchOp::Create {
+                    key: ObjectKey::new("b"),
+                    value: json!({"v": 2}),
+                },
+                BatchOp::Create {
+                    key: ObjectKey::new("a"), // duplicate
+                    value: json!({"v": 99}),
+                },
+                BatchOp::Update {
+                    key: ObjectKey::new("ghost"), // missing
+                    value: json!(0),
+                    expected: None,
+                },
+                BatchOp::Update {
+                    key: ObjectKey::new("a"),
+                    value: json!({"v": 3}),
+                    expected: Some(Revision(99)), // stale OCC guard
+                },
+                BatchOp::Patch {
+                    key: ObjectKey::new("b"),
+                    patch: json!({"note": "hi"}),
+                    upsert: false,
+                },
+            ],
+        )
+        .await
+        .unwrap(),
+    );
+    // Put sugar: merge-patch an existing object, upsert a new one, and
+    // refuse a non-upsert put of a missing key.
+    outcomes.push(
+        api.batch_put(
+            store.clone(),
+            vec![
+                PutItem {
+                    key: ObjectKey::new("a"),
+                    value: json!({"extra": true}),
+                    upsert: false,
+                },
+                PutItem {
+                    key: ObjectKey::new("c"),
+                    value: json!({"v": 3}),
+                    upsert: true,
+                },
+                PutItem {
+                    key: ObjectKey::new("ghost"),
+                    value: json!({}),
+                    upsert: false,
+                },
+            ],
+        )
+        .await
+        .unwrap(),
+    );
+    // Reads: hits interleaved with a miss.
+    outcomes.push(
+        api.batch_get(
+            store.clone(),
+            vec![
+                ObjectKey::new("a"),
+                ObjectKey::new("ghost"),
+                ObjectKey::new("c"),
+            ],
+        )
+        .await
+        .unwrap(),
+    );
+    // Deletes: one real, one missing.
+    outcomes.push(
+        api.batch_commit(
+            store,
+            vec![
+                BatchOp::Delete {
+                    key: ObjectKey::new("b"),
+                },
+                BatchOp::Delete {
+                    key: ObjectKey::new("ghost"),
+                },
+            ],
+        )
+        .await
+        .unwrap(),
+    );
+    outcomes
+}
+
+/// Render item outcomes as compact comparable tags: committed revisions
+/// become `rev`, objects keep their key, errors keep their typed code.
+/// (Revision *numbers* are shard-local in a sharded deployment, so the
+/// cross-topology comparison is on outcome shape + codes; exact revision
+/// equality is asserted between same-topology transports.)
+#[allow(dead_code)] // each parity suite uses a subset of this module
+pub fn outcome_tags(items: &[ItemResult]) -> Vec<String> {
+    items
+        .iter()
+        .map(|i| match i {
+            ItemResult::Revision { .. } => "rev".to_string(),
+            ItemResult::Object { object } => format!("obj:{}", object.key),
+            ItemResult::Error { code, .. } => format!("err:{code}"),
+        })
+        .collect()
+}

@@ -37,6 +37,7 @@ pub mod exchange;
 pub mod handle;
 pub mod object;
 pub mod profile;
+pub mod shard;
 pub mod store;
 pub mod udf;
 pub mod wal;
@@ -47,6 +48,7 @@ pub use exchange::{DataExchange, TxOp};
 pub use handle::StoreHandle;
 pub use object::{RetentionPolicy, StoredObject};
 pub use profile::EngineProfile;
+pub use shard::ShardMap;
 pub use store::ObjectStore;
 pub use udf::{Udf, UdfBinding};
 pub use wal::{CrashPoint, Recovery, Wal};

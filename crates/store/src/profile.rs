@@ -91,6 +91,26 @@ impl EngineProfile {
         }
     }
 
+    /// Durable with no modelled latency: fsync-on-commit WAL, push
+    /// watches, zero simulated op delays. The profile for measuring the
+    /// *real* durability pipeline (wire + framing + group fsync) — and
+    /// the per-shard engine of a sharded exchange, where each node's WAL
+    /// is its genuine serial resource.
+    pub fn durable(dir: impl Into<PathBuf>, store_name: &str) -> EngineProfile {
+        let mut wal = dir.into();
+        wal.push(format!("{}.wal", store_name.replace('/', "_")));
+        EngineProfile {
+            name: "durable".to_string(),
+            wal_path: Some(wal),
+            fsync: true,
+            read_delay: Duration::ZERO,
+            write_delay: Duration::ZERO,
+            watch: WatchDelivery::Push,
+            history_cap: DEFAULT_HISTORY_CAP,
+            watch_lag_cap: DEFAULT_WATCH_LAG_CAP,
+        }
+    }
+
     /// The Redis-like engine: in-memory, immediate notification.
     ///
     /// The per-op delays model one in-cluster command round trip to a

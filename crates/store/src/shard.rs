@@ -1,0 +1,256 @@
+//! Shard topology: which node owns which key.
+//!
+//! The store core has always partitioned its in-memory map 16 ways for
+//! lock concurrency (see [`crate::store`]); a [`ShardMap`] promotes the
+//! same idea to *deployment* topology — consistent-hash partitioning of
+//! keys over N shard **nodes**, each of which runs its own full store +
+//! WAL exactly as a single-node exchange does today.
+//!
+//! Design points:
+//!
+//! * **Consistent hashing with virtual nodes.** Each node contributes
+//!   `vnodes` points on a 64-bit ring; a key is owned by the node whose
+//!   point follows the key's hash (wrapping). Adding or removing a node
+//!   moves only ~1/N of the keyspace.
+//! * **Versioned topology object.** A `ShardMap` is a value: it
+//!   serializes (so it can itself live in a store, ship over the wire, or
+//!   sit in a config file) and carries a monotonically bumped `version`
+//!   so routers can detect that they disagree about topology.
+//! * **Store-granular and key-granular placement.** Object keys spread
+//!   across nodes ([`ShardMap::owner_of_key`]); Log-DE stores are placed
+//!   *whole* on one node ([`ShardMap::owner_of_store`]) because their
+//!   dense append sequence is per-store state that cannot be split
+//!   without breaking tail/Sync cursors.
+//!
+//! The hash is a fixed FNV-1a/splitmix64 combination — deterministic
+//! across processes, architectures, and releases, which is what makes a
+//! serialized map a contract between independently deployed routers.
+
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a over the bytes, then a splitmix64 finalizer to spread the
+/// avalanche. Stable by construction: never re-seeded, never
+/// platform-dependent (unlike `std::hash`).
+fn stable_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // splitmix64 finalizer
+    h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Serialized form: the ring is derived state, so only the inputs travel.
+#[derive(Serialize, Deserialize)]
+struct ShardMapSpec {
+    version: u64,
+    nodes: Vec<String>,
+    vnodes: usize,
+}
+
+impl Serialize for ShardMap {
+    fn serialize_value(&self) -> serde_json::Value {
+        ShardMapSpec {
+            version: self.version,
+            nodes: self.nodes.clone(),
+            vnodes: self.vnodes,
+        }
+        .serialize_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for ShardMap {
+    fn deserialize_value(value: &serde_json::Value) -> Result<Self, serde::Error> {
+        let spec = ShardMapSpec::deserialize_value(value)?;
+        if spec.nodes.is_empty() || spec.vnodes == 0 {
+            return Err(serde::Error::msg(
+                "shard map needs at least one node and one vnode",
+            ));
+        }
+        Ok(ShardMap::with_vnodes(spec.version, spec.nodes, spec.vnodes))
+    }
+}
+
+/// Consistent-hash partitioning of the keyspace over N shard nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    version: u64,
+    nodes: Vec<String>,
+    vnodes: usize,
+    /// Sorted ring of (point, node index). Rebuilt, never serialized.
+    ring: Vec<(u64, u32)>,
+}
+
+/// Default virtual nodes per physical node: enough that a 4-node map
+/// keeps every node within ~±20% of its fair share of a uniform keyspace.
+pub const DEFAULT_VNODES: usize = 128;
+
+impl ShardMap {
+    /// A map over the given named nodes (index in the slice = shard id).
+    pub fn new(version: u64, nodes: Vec<String>) -> ShardMap {
+        ShardMap::with_vnodes(version, nodes, DEFAULT_VNODES)
+    }
+
+    pub fn with_vnodes(version: u64, nodes: Vec<String>, vnodes: usize) -> ShardMap {
+        assert!(!nodes.is_empty(), "a shard map needs at least one node");
+        assert!(vnodes > 0, "a shard map needs at least one vnode per node");
+        let mut ring = Vec::with_capacity(nodes.len() * vnodes);
+        for (idx, node) in nodes.iter().enumerate() {
+            for v in 0..vnodes {
+                let point = stable_hash(format!("{node}\u{1}{v}").as_bytes());
+                ring.push((point, idx as u32));
+            }
+        }
+        // Ties (hash collisions between vnodes) break by node index so
+        // the ring is a pure function of the spec.
+        ring.sort_unstable();
+        ShardMap {
+            version,
+            nodes,
+            vnodes,
+            ring,
+        }
+    }
+
+    /// The usual test/bootstrap topology: `n` nodes named `shard-0..n`.
+    pub fn uniform(n: usize) -> ShardMap {
+        ShardMap::new(1, (0..n).map(|i| format!("shard-{i}")).collect())
+    }
+
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Virtual nodes per physical node on the hash ring.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// A new topology with the given node set and a bumped version.
+    pub fn rebalanced(&self, nodes: Vec<String>) -> ShardMap {
+        ShardMap::with_vnodes(self.version + 1, nodes, self.vnodes)
+    }
+
+    fn owner_of_hash(&self, h: u64) -> usize {
+        let i = self.ring.partition_point(|&(point, _)| point < h);
+        let (_, node) = self.ring[i % self.ring.len()];
+        node as usize
+    }
+
+    /// Which shard owns this object. Keys of one store spread over all
+    /// nodes; the store id participates in the hash so the same key in
+    /// two stores need not co-locate.
+    pub fn owner_of_key(&self, store: &str, key: &str) -> usize {
+        let mut bytes = Vec::with_capacity(store.len() + 1 + key.len());
+        bytes.extend_from_slice(store.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(key.as_bytes());
+        self.owner_of_hash(stable_hash(&bytes))
+    }
+
+    /// Which shard owns this store as a whole (Log-DE placement: the
+    /// append sequence is store-level state and must stay dense).
+    pub fn owner_of_store(&self, store: &str) -> usize {
+        self.owner_of_hash(stable_hash(store.as_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = ShardMap::uniform(4);
+        let b = ShardMap::uniform(4);
+        for i in 0..1000 {
+            let key = format!("key-{i}");
+            assert_eq!(
+                a.owner_of_key("s/state", &key),
+                b.owner_of_key("s/state", &key)
+            );
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keys_balance_across_nodes() {
+        let map = ShardMap::uniform(4);
+        let mut counts = [0usize; 4];
+        for i in 0..10_000 {
+            counts[map.owner_of_key("bal/state", &format!("key-{i}"))] += 1;
+        }
+        // Fair share is 2500 per node; with 128 vnodes each node should
+        // land well within 2× either way.
+        for (node, &c) in counts.iter().enumerate() {
+            assert!(
+                (1250..=5000).contains(&c),
+                "node {node} owns {c} of 10000 keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn store_id_participates_in_key_placement() {
+        let map = ShardMap::uniform(4);
+        let spread = (0..100)
+            .map(|i| format!("key-{i}"))
+            .filter(|k| map.owner_of_key("a/state", k) != map.owner_of_key("b/state", k))
+            .count();
+        assert!(spread > 0, "same key always co-located across stores");
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_the_ring() {
+        let map = ShardMap::uniform(3);
+        let wire = serde_json::to_string(&map).unwrap();
+        let back: ShardMap = serde_json::from_str(&wire).unwrap();
+        assert_eq!(map, back);
+        for i in 0..200 {
+            let key = format!("key-{i}");
+            assert_eq!(
+                map.owner_of_key("s/state", &key),
+                back.owner_of_key("s/state", &key)
+            );
+        }
+    }
+
+    #[test]
+    fn rebalance_moves_a_minority_of_keys() {
+        let four = ShardMap::uniform(4);
+        let five = four.rebalanced((0..5).map(|i| format!("shard-{i}")).collect());
+        assert_eq!(five.version(), four.version() + 1);
+        let moved = (0..10_000)
+            .map(|i| format!("key-{i}"))
+            .filter(|k| four.owner_of_key("s/state", k) != five.owner_of_key("s/state", k))
+            .count();
+        // Consistent hashing: only ~1/5 of keys should move to the new
+        // node; a modulo scheme would move ~4/5.
+        assert!(
+            moved < 4_000,
+            "{moved} of 10000 keys moved adding one node — not consistent hashing"
+        );
+        assert!(moved > 0, "a new node must take over some keys");
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let map = ShardMap::uniform(1);
+        for i in 0..100 {
+            assert_eq!(map.owner_of_key("s/state", &format!("k{i}")), 0);
+            assert_eq!(map.owner_of_store(&format!("store-{i}")), 0);
+        }
+    }
+}

@@ -1286,10 +1286,16 @@ mod tests {
             assert_eq!(e.revision, Revision(delivered));
         }
         assert_eq!(delivered, 4, "delivery stops at the lag cap");
-        let resume = slow.lag_resume_from().expect("cut must carry a resume point");
+        let resume = slow
+            .lag_resume_from()
+            .expect("cut must carry a resume point");
         assert_eq!(resume, Revision(4), "first missed revision is 5");
         assert!(slow.recv().await.is_none(), "cut stream ends");
-        assert_eq!(s.subscriber_count(), 1, "only the healthy subscriber remains");
+        assert_eq!(
+            s.subscriber_count(),
+            1,
+            "only the healthy subscriber remains"
+        );
         // The typed resume point supports a gapless re-watch.
         let mut resumed = s.watch_from(resume).unwrap();
         for want in 5..=20u64 {

@@ -91,13 +91,15 @@ pub mod prelude {
     pub use knactor_expr::{Env, FnRegistry};
     pub use knactor_logstore::{AggFn, LogExchange, LogStore, Query};
     pub use knactor_net::proto::{OpSpec, ProfileSpec, QuerySpec};
-    pub use knactor_net::{ExchangeApi, ExchangeServer, LoopbackClient, TcpClient};
+    pub use knactor_net::{
+        ExchangeApi, ExchangeServer, LoopbackClient, ShardRouter, ShardedExchange, TcpClient,
+    };
     pub use knactor_rbac::{
         AccessContext, AccessController, Condition, Role, RoleBinding, Rule, Subject, Verb,
     };
     pub use knactor_store::{
         BatchOp, DataExchange, EngineProfile, ItemResult, ObjectStore, PutItem, RetentionPolicy,
-        StoreHandle,
+        ShardMap, StoreHandle,
     };
     pub use knactor_types::{
         Error, FieldPath, KnactorId, ObjectKey, Result, Revision, Schema, SchemaName, StoreId,

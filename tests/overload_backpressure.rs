@@ -282,7 +282,10 @@ async fn saturating_rate_sweep_degrades_but_never_wedges() {
         .await
         .unwrap()
         .with_request_timeout(Duration::from_secs(5));
-    prober.ping().await.expect("server unresponsive after sweep");
+    prober
+        .ping()
+        .await
+        .expect("server unresponsive after sweep");
 
     proxy.shutdown();
     server.shutdown().await;
@@ -314,9 +317,15 @@ async fn slow_subscriber_cut_healthy_subscriber_served() {
         .object
         .create_store(
             store.clone(),
+            // The lag cap is sized so only a subscriber that has stopped
+            // reading can plausibly trip it: 256 events of ~48KiB is
+            // ~12MiB of backlog, far past any transient scheduling stall
+            // of a reader that is actually consuming, while the
+            // non-reading socket blows through it the moment the kernel's
+            // buffers stop absorbing.
             EngineProfile {
                 watch: WatchDelivery::Push,
-                watch_lag_cap: 16,
+                watch_lag_cap: 256,
                 ..EngineProfile::instant()
             },
         )
@@ -333,7 +342,10 @@ async fn slow_subscriber_cut_healthy_subscriber_served() {
         subject_kind: "operator".to_string(),
         subject_name: "slow-sub".to_string(),
     };
-    slow_writer.write_frame(&encode(&hello).unwrap()).await.unwrap();
+    slow_writer
+        .write_frame(&encode(&hello).unwrap())
+        .await
+        .unwrap();
     let watch = RequestEnvelope {
         id: 1,
         body: Request::Watch {
@@ -341,7 +353,10 @@ async fn slow_subscriber_cut_healthy_subscriber_served() {
             from: Revision::ZERO,
         },
     };
-    slow_writer.write_frame(&encode(&watch).unwrap()).await.unwrap();
+    slow_writer
+        .write_frame(&encode(&watch).unwrap())
+        .await
+        .unwrap();
 
     // Read exactly one frame — the Watch reply, sent after the
     // subscription registered server-side — then go silent forever.
@@ -358,53 +373,105 @@ async fn slow_subscriber_cut_healthy_subscriber_served() {
         ServerMsg::Reply { id: 1, .. }
     ));
 
-    // The healthy subscriber, reading normally over a real client.
+    // The healthy subscriber, reading normally over a real client: a
+    // concurrent task consumes events as they arrive (a subscriber that
+    // sat on its channel for the whole write volume would deservedly be
+    // cut too), asserting density and order, until told the final
+    // revision to expect.
     let healthy = TcpClient::connect(server.local_addr(), Subject::operator("healthy"))
         .await
         .unwrap();
     let mut healthy_rx = healthy.watch(store.clone(), Revision::ZERO).await.unwrap();
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let target = Arc::new(AtomicU64::new(0));
+    let target_in_task = Arc::clone(&target);
+    let healthy_task = tokio::spawn(async move {
+        let mut next = 1u64;
+        loop {
+            let t = target_in_task.load(Ordering::Acquire);
+            if t != 0 && next > t {
+                break;
+            }
+            match tokio::time::timeout(Duration::from_secs(10), healthy_rx.recv()).await {
+                Ok(Some(event)) => {
+                    assert_eq!(event.revision, Revision(next), "healthy stream gapped");
+                    next += 1;
+                }
+                Ok(None) => panic!("healthy watch closed early"),
+                Err(_) => {
+                    let t = target_in_task.load(Ordering::Acquire);
+                    assert!(
+                        t != 0 && next > t,
+                        "healthy subscriber starved behind a slow peer (saw {})",
+                        next - 1
+                    );
+                    break;
+                }
+            }
+        }
+        next - 1
+    });
 
     // Values are deliberately fat: the slow subscriber's backlog has to
     // overflow the kernel's TCP buffers before the server's bounded
     // outbound queue — and behind it the store's lag gate — fills up.
-    const COMMITS: u64 = 400;
+    // How much the kernel absorbs depends on autotuned window sizes
+    // (warmed loopback route metrics can push rcvbuf to tcp_rmem's max),
+    // so instead of a fixed write count we commit until the cutoff
+    // counter moves, with a byte ceiling comfortably above the largest
+    // buffer budget autotuning can reach (32 MiB rmem + 4 MiB wmem on
+    // stock kernels; the ceiling below is ~66 MiB of padded values).
+    const MAX_COMMITS: u64 = 1400;
     let pad = "x".repeat(48 * 1024);
     let writer = TcpClient::connect(server.local_addr(), Subject::operator("writer"))
         .await
         .unwrap();
-    for i in 0..COMMITS {
-        writer
-            .create(
-                store.clone(),
-                ObjectKey::new(format!("k{i:04}").as_str()),
-                json!({"i": i, "pad": pad}),
-            )
-            .await
-            .unwrap();
+    let cutoffs_at = |snapshot: &knactor::types::metrics::MetricsSnapshot| -> u64 {
+        snapshot
+            .counters
+            .iter()
+            .filter(|c| c.name == "knactor_store_watch_cutoffs_total")
+            .map(|c| c.value)
+            .sum()
+    };
+    let cutoffs_before = cutoffs_at(&writer.metrics().await.unwrap());
+    let mut committed = 0u64;
+    while committed < MAX_COMMITS {
+        for _ in 0..50 {
+            writer
+                .create(
+                    store.clone(),
+                    ObjectKey::new(format!("k{committed:04}").as_str()),
+                    json!({"i": committed, "pad": pad}),
+                )
+                .await
+                .unwrap();
+            committed += 1;
+        }
+        if cutoffs_at(&writer.metrics().await.unwrap()) > cutoffs_before {
+            break;
+        }
     }
+    let commits = committed;
 
     // Healthy subscriber: every commit arrives, in order — the drainer
     // was never stalled behind the non-reading connection.
-    let mut next = 1u64;
-    while next <= COMMITS {
-        let event = tokio::time::timeout(Duration::from_secs(10), healthy_rx.recv())
-            .await
-            .expect("healthy subscriber starved behind a slow peer")
-            .expect("healthy watch closed early");
-        assert_eq!(event.revision, Revision(next), "healthy stream gapped");
-        next += 1;
-    }
+    target.store(commits, Ordering::Release);
+    let received = healthy_task
+        .await
+        .expect("healthy subscriber task panicked");
+    assert_eq!(
+        received, commits,
+        "healthy subscriber missed events behind a slow peer"
+    );
 
     // The store cut the laggard (typed, counted) and its outbox drains
     // to empty — the drainer was never stalled.
     let snapshot = healthy.metrics().await.unwrap();
-    let cutoffs: u64 = snapshot
-        .counters
-        .iter()
-        .filter(|c| c.name == "knactor_store_watch_cutoffs_total")
-        .map(|c| c.value)
-        .sum();
-    assert!(cutoffs >= 1, "lagging subscriber was never cut");
+    assert!(
+        cutoffs_at(&snapshot) > cutoffs_before,
+        "lagging subscriber was never cut within {commits} fat commits"
+    );
     let drained = tokio::time::timeout(Duration::from_secs(5), async {
         loop {
             let snapshot = healthy.metrics().await.unwrap();
@@ -413,7 +480,9 @@ async fn slow_subscriber_cut_healthy_subscriber_served() {
                 .iter()
                 .find(|g| {
                     g.name == "knactor_store_outbox_lag"
-                        && g.labels.iter().any(|(k, v)| k == "store" && v == "feed/state")
+                        && g.labels
+                            .iter()
+                            .any(|(k, v)| k == "store" && v == "feed/state")
                 })
                 .map(|g| g.value)
                 .expect("outbox lag gauge missing");
@@ -446,10 +515,10 @@ async fn slow_subscriber_cut_healthy_subscriber_served() {
     })
     .await
     .expect("no WatchLagged frame reached the cut subscriber");
-    assert!(resume_from < COMMITS, "resume point past the write horizon");
+    assert!(resume_from < commits, "resume point past the write horizon");
 
     // The carried resume point is genuinely gapless: a fresh watch from
-    // it replays revisions resume_from+1 ..= COMMITS in order.
+    // it replays revisions resume_from+1 ..= commits in order.
     let resumer = TcpClient::connect(server.local_addr(), Subject::operator("resumer"))
         .await
         .unwrap();
@@ -457,7 +526,7 @@ async fn slow_subscriber_cut_healthy_subscriber_served() {
         .watch(store.clone(), Revision(resume_from))
         .await
         .unwrap();
-    for expected in (resume_from + 1)..=COMMITS {
+    for expected in (resume_from + 1)..=commits {
         let event = tokio::time::timeout(Duration::from_secs(10), resumed.recv())
             .await
             .expect("resume replay stalled")

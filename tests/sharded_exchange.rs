@@ -1,0 +1,479 @@
+//! The chaos suite, re-run against a **4-shard exchange**: every invariant
+//! the single-node chaos suite proves (`tests/chaos_recovery.rs`) must
+//! survive sharding, because the [`ShardRouter`] is just another
+//! [`ExchangeApi`] — integrator code cannot tell the difference.
+//!
+//! Faults are injected per shard: each shard node sits behind its own
+//! seeded [`FaultProxy`], and the router's per-shard [`ResilientClient`]s
+//! retry and resume **per shard** — a fault on one node never re-sends
+//! another node's traffic.
+//!
+//! Seeds follow the chaos convention: printed at the top, overridable
+//! with `CHAOS_SEED=<seed>` for exact replay (CI runs the same seed
+//! matrix as `chaos_recovery`).
+
+use knactor::net::{FaultPlan, FaultProxy, RetryPolicy, ShardRouter};
+use knactor::prelude::*;
+use serde_json::json;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SHARDS: usize = 4;
+
+fn chaos_seed(default: u64) -> u64 {
+    let seed = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default);
+    println!("chaos seed: {seed} (rerun with CHAOS_SEED={seed})");
+    seed
+}
+
+fn key(i: u64) -> ObjectKey {
+    ObjectKey::new(format!("chaos-{i}"))
+}
+
+fn val(i: u64) -> Value {
+    json!({"n": i, "payload": format!("data-{i}")})
+}
+
+/// A 4-shard exchange with one flaky proxy per shard node.
+struct ChaosShards {
+    exchange: ShardedExchange,
+    proxies: Vec<FaultProxy>,
+}
+
+impl ChaosShards {
+    async fn launch(seed: u64, plan: fn(u64) -> FaultPlan) -> ChaosShards {
+        let exchange = ShardedExchange::launch(SHARDS).await.unwrap();
+        let mut proxies = Vec::with_capacity(SHARDS);
+        for (i, addr) in exchange.addrs().into_iter().enumerate() {
+            // Each shard gets its own fault stream forked off the seed,
+            // so the schedule stays a pure function of (seed, shard).
+            proxies.push(
+                FaultProxy::spawn(addr, plan(seed ^ (0xD15C_0000 + i as u64)))
+                    .await
+                    .unwrap(),
+            );
+        }
+        ChaosShards { exchange, proxies }
+    }
+
+    fn proxied_addrs(&self) -> Vec<SocketAddr> {
+        self.proxies.iter().map(|p| p.local_addr()).collect()
+    }
+
+    /// A router whose per-shard clients ride the flaky proxies with
+    /// per-shard retry/resume.
+    async fn faulted_router(&self, seed: u64, subject: Subject) -> ShardRouter {
+        ShardRouter::connect_resilient(
+            self.exchange.map().clone(),
+            &self.proxied_addrs(),
+            subject,
+            RetryPolicy::fast(seed),
+        )
+        .await
+        .unwrap()
+    }
+
+    /// A clean router straight to the shard nodes, for audits.
+    async fn audit_router(&self, subject: Subject) -> ShardRouter {
+        ShardRouter::connect_tcp(self.exchange.map().clone(), &self.exchange.addrs(), subject)
+            .await
+            .unwrap()
+    }
+
+    fn kill_connections(&self) {
+        for proxy in &self.proxies {
+            proxy.kill_connections();
+        }
+    }
+
+    async fn shutdown(self) {
+        for proxy in &self.proxies {
+            proxy.shutdown();
+        }
+        for proxy in &self.proxies {
+            println!("proxy faults: {}", proxy.stats().summary());
+        }
+        self.exchange.shutdown().await;
+    }
+}
+
+/// Exactly-once writes through four flaky wires: 40 creates scatter over
+/// the shards, every one retried per shard until acked; the clean audit
+/// must see every object exactly once and a virtual revision of exactly
+/// the write count (sum of shard revisions — an overshoot means some
+/// shard double-committed, an undershoot means one lost an acked write).
+#[tokio::test]
+async fn sharded_writes_commit_exactly_once_through_flaky_wire() {
+    let seed = chaos_seed(0x5AAD_EE01);
+    const WRITES: u64 = 40;
+
+    let shards = ChaosShards::launch(seed, FaultPlan::flaky).await;
+    let api: Arc<dyn ExchangeApi> = Arc::new(
+        shards
+            .faulted_router(seed, Subject::integrator("chaos"))
+            .await,
+    );
+
+    api.create_store("chaos/state".into(), ProfileSpec::Instant)
+        .await
+        .unwrap();
+    for i in 0..WRITES {
+        api.create("chaos/state".into(), key(i), val(i))
+            .await
+            .unwrap();
+    }
+
+    let audit = shards.audit_router(Subject::operator("audit")).await;
+    let (objects, revision) = audit.list("chaos/state".into()).await.unwrap();
+    assert_eq!(
+        objects.len() as u64,
+        WRITES,
+        "every acked create is present"
+    );
+    assert_eq!(
+        revision,
+        Revision(WRITES),
+        "virtual revision must be exactly the commit count: no shard lost or double-committed"
+    );
+    for i in 0..WRITES {
+        let got = audit.get("chaos/state".into(), key(i)).await.unwrap();
+        assert_eq!(*got.value, val(i), "value for {} corrupted", key(i));
+    }
+
+    shards.shutdown().await;
+}
+
+/// The merged watch stays dense through per-shard faults and forced
+/// disconnects: revisions must be exactly 1..=N in order (the router's
+/// virtual numbering), and every written key must appear exactly once.
+#[tokio::test]
+async fn sharded_watch_delivers_every_write_exactly_once() {
+    let seed = chaos_seed(0x5AAD_EE02);
+    const WRITES: u64 = 50;
+
+    let shards = ChaosShards::launch(seed, FaultPlan::flaky).await;
+    let watcher: Arc<dyn ExchangeApi> = Arc::new(
+        shards
+            .faulted_router(seed, Subject::operator("watcher"))
+            .await,
+    );
+    let writer = shards.audit_router(Subject::operator("writer")).await;
+
+    writer
+        .create_store("chaos/feed".into(), ProfileSpec::Instant)
+        .await
+        .unwrap();
+    let mut events = watcher
+        .watch("chaos/feed".into(), Revision::ZERO)
+        .await
+        .unwrap();
+
+    for i in 0..WRITES {
+        writer
+            .create("chaos/feed".into(), key(i), val(i))
+            .await
+            .unwrap();
+        if i % 10 == 9 {
+            // Sever every proxied connection on every shard mid-stream;
+            // each shard's resilient watch must resume from its own
+            // per-shard cursor.
+            shards.kill_connections();
+        }
+    }
+
+    let seen = tokio::time::timeout(Duration::from_secs(60), async {
+        let mut seen = Vec::new();
+        while (seen.len() as u64) < WRITES {
+            match events.recv().await {
+                Some(event) => seen.push(event),
+                None => break,
+            }
+        }
+        seen
+    })
+    .await
+    .expect("merged watch did not deliver all revisions in time");
+
+    let revisions: Vec<u64> = seen.iter().map(|e| e.revision.0).collect();
+    let expected: Vec<u64> = (1..=WRITES).collect();
+    assert_eq!(
+        revisions, expected,
+        "merged watch must deliver dense virtual revisions, exactly once, in order"
+    );
+    // Cross-shard delivery order may interleave, but the key *set* must
+    // be exactly the writes — no loss, no duplication.
+    let mut keys: Vec<ObjectKey> = seen.iter().map(|e| e.key.clone()).collect();
+    keys.sort();
+    let mut expected_keys: Vec<ObjectKey> = (0..WRITES).map(key).collect();
+    expected_keys.sort();
+    assert_eq!(keys, expected_keys);
+
+    shards.shutdown().await;
+}
+
+/// Batched commits scatter-gathered across four flaky wires stay
+/// exactly-once: per-shard sub-batches are retried independently with
+/// per-item OCC disambiguation, and the audited virtual revision equals
+/// the total item count.
+#[tokio::test]
+async fn sharded_batch_commits_exactly_once_through_flaky_wire() {
+    let seed = chaos_seed(0x5AAD_EE03);
+    const BATCHES: u64 = 10;
+    const PER_BATCH: u64 = 8;
+
+    let shards = ChaosShards::launch(seed, FaultPlan::flaky).await;
+    let api: Arc<dyn ExchangeApi> = Arc::new(
+        shards
+            .faulted_router(seed, Subject::integrator("chaos"))
+            .await,
+    );
+
+    api.create_store("chaos/batched".into(), ProfileSpec::Instant)
+        .await
+        .unwrap();
+    for b in 0..BATCHES {
+        let ops: Vec<BatchOp> = (0..PER_BATCH)
+            .map(|j| {
+                let i = b * PER_BATCH + j;
+                BatchOp::Create {
+                    key: key(i),
+                    value: val(i),
+                }
+            })
+            .collect();
+        let items = api.batch_commit("chaos/batched".into(), ops).await.unwrap();
+        for (j, item) in items.into_iter().enumerate() {
+            item.into_revision()
+                .unwrap_or_else(|e| panic!("batch {b} item {j} did not recover to a commit: {e}"));
+        }
+        if b % 3 == 2 {
+            shards.kill_connections();
+        }
+    }
+
+    const WRITES: u64 = BATCHES * PER_BATCH;
+    let audit = shards.audit_router(Subject::operator("audit")).await;
+    let (objects, revision) = audit.list("chaos/batched".into()).await.unwrap();
+    assert_eq!(objects.len() as u64, WRITES, "every acked item is present");
+    assert_eq!(
+        revision,
+        Revision(WRITES),
+        "virtual revision must be exactly the item count across shards"
+    );
+
+    shards.shutdown().await;
+}
+
+/// The refactor's success test: the same Cast integration, with zero
+/// integrator-code changes, converges to the same state on a clean
+/// single-node exchange and on a faulted 4-shard exchange.
+#[tokio::test]
+async fn sharded_cast_converges_to_faultless_state() {
+    let seed = chaos_seed(0x5AAD_EE04);
+    const OBJECTS: u64 = 12;
+    let dxg_spec =
+        "Input:\n  A: chaos/v1/A/a\n  B: chaos/v1/B/b\nDXG:\n  B:\n    shout: upper(A.greeting)\n";
+    let config = || -> CastConfig {
+        let mut bindings = std::collections::BTreeMap::new();
+        bindings.insert("A".to_string(), CastBinding::correlated("a/state"));
+        bindings.insert("B".to_string(), CastBinding::correlated("b/state"));
+        CastConfig {
+            name: "chaos".into(),
+            dxg: Dxg::parse(dxg_spec).unwrap(),
+            bindings,
+            mode: CastMode::Direct,
+        }
+    };
+    let deploy = |api: &Arc<dyn ExchangeApi>| {
+        let api = Arc::clone(api);
+        async move {
+            api.create_store("a/state".into(), ProfileSpec::Instant)
+                .await?;
+            api.create_store("b/state".into(), ProfileSpec::Instant)
+                .await?;
+            Cast::new(api).spawn(config()).await
+        }
+    };
+    let feed = |api: &Arc<dyn ExchangeApi>| {
+        let api = Arc::clone(api);
+        async move {
+            for i in 0..OBJECTS {
+                api.create(
+                    "a/state".into(),
+                    key(i),
+                    json!({"greeting": format!("msg-{i}")}),
+                )
+                .await?;
+            }
+            Ok::<_, Error>(())
+        }
+    };
+    let converged = |api: &Arc<dyn ExchangeApi>| {
+        let api = Arc::clone(api);
+        async move {
+            let mut finals = Vec::new();
+            for i in 0..OBJECTS {
+                let value = knactor::testkit::await_object_state(
+                    &api,
+                    "b/state",
+                    key(i),
+                    Duration::from_secs(30),
+                    |v| !v["shout"].is_null(),
+                )
+                .await
+                .unwrap_or_else(|e| panic!("b/state {} never converged: {e}", key(i)));
+                finals.push((key(i), value["shout"].clone()));
+            }
+            finals
+        }
+    };
+
+    // Baseline: clean single-node in-process exchange.
+    let (_object, _log, clean) = knactor::net::loopback::in_process(Subject::integrator("chaos"));
+    let clean: Arc<dyn ExchangeApi> = Arc::new(clean);
+    let baseline_cast = deploy(&clean).await.unwrap();
+    feed(&clean).await.unwrap();
+    let baseline = converged(&clean).await;
+
+    // Sharded + faulted: the identical integrator code over a 4-shard
+    // exchange behind flaky proxies.
+    let shards = ChaosShards::launch(seed, FaultPlan::flaky).await;
+    let faulted: Arc<dyn ExchangeApi> = Arc::new(
+        shards
+            .faulted_router(seed, Subject::integrator("chaos"))
+            .await,
+    );
+    let faulted_cast = deploy(&faulted).await.unwrap();
+    feed(&faulted).await.unwrap();
+    let audit: Arc<dyn ExchangeApi> =
+        Arc::new(shards.audit_router(Subject::operator("audit")).await);
+    let chaotic = converged(&audit).await;
+
+    assert_eq!(
+        baseline, chaotic,
+        "sharding + faults must not change what the integration converges to"
+    );
+    assert_eq!(baseline[0].1, json!("MSG-0"));
+
+    baseline_cast.shutdown().await;
+    faulted_cast.shutdown().await;
+    shards.shutdown().await;
+}
+
+/// Scatter-gather partial failure (the satellite test): with one shard
+/// node unreachable, a batch spanning all shards must yield typed
+/// per-item errors for the dead shard's keys *only*, commit everything
+/// else, and retry only the dead shard's sub-batch — the healthy shards
+/// see their sub-batch exactly once.
+#[tokio::test]
+async fn one_shard_down_fails_only_its_items_and_retries_only_its_sub_batch() {
+    let seed = chaos_seed(0x5AAD_EE05);
+
+    // Transparent proxies: the only fault in this scenario is the outage.
+    let shards = ChaosShards::launch(seed, FaultPlan::none).await;
+    let router = Arc::new(
+        ShardRouter::connect_resilient(
+            shards.exchange.map().clone(),
+            &shards.proxied_addrs(),
+            Subject::integrator("chaos"),
+            RetryPolicy::fast(seed),
+        )
+        .await
+        .unwrap(),
+    );
+    router
+        .create_store("chaos/partial".into(), ProfileSpec::Instant)
+        .await
+        .unwrap();
+
+    // Pick the victim shard, then compose a batch with keys on every
+    // shard so the outage splits it.
+    let store = StoreId::new("chaos/partial");
+    let keys: Vec<ObjectKey> = (0..32).map(key).collect();
+    let down_shard = router.shard_of_key(&store, &keys[0]);
+
+    // Take the victim's proxy down: connections die and reconnects are
+    // refused — the node is unreachable.
+    shards.proxies[down_shard].shutdown();
+    shards.proxies[down_shard].kill_connections();
+    tokio::time::sleep(Duration::from_millis(50)).await;
+
+    // Snapshot healthy-shard traffic so we can prove their sub-batches
+    // were sent exactly once (no whole-batch retry).
+    let healthy_before: Vec<(usize, u64)> = (0..SHARDS)
+        .filter(|&s| s != down_shard)
+        .map(|s| {
+            (
+                s,
+                shards.proxies[s]
+                    .stats()
+                    .frames_forwarded
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            )
+        })
+        .collect();
+
+    let ops: Vec<BatchOp> = keys
+        .iter()
+        .map(|k| BatchOp::Create {
+            key: k.clone(),
+            value: json!({"v": k.as_str()}),
+        })
+        .collect();
+    let items = router.batch_commit(store.clone(), ops).await.unwrap();
+
+    let mut failed = 0;
+    let mut committed = 0;
+    for (k, item) in keys.iter().zip(&items) {
+        if router.shard_of_key(&store, k) == down_shard {
+            let err = item
+                .as_error()
+                .unwrap_or_else(|| panic!("{k} is on the dead shard but its item succeeded"));
+            assert!(
+                matches!(err, Error::Transport(_) | Error::Timeout(_)),
+                "dead shard's items must fail with a typed transport error, got {err:?}"
+            );
+            failed += 1;
+        } else {
+            assert!(
+                !item.is_err(),
+                "{k} is on a healthy shard but failed: {item:?}"
+            );
+            committed += 1;
+        }
+    }
+    assert!(
+        failed > 0,
+        "no key landed on the dead shard — widen the key range"
+    );
+    assert!(committed > 0, "no key landed on a healthy shard");
+
+    // Healthy shards saw exactly one request + one reply for their
+    // sub-batch: the failed shard's retries never re-sent their items.
+    for (s, before) in healthy_before {
+        let after = shards.proxies[s]
+            .stats()
+            .frames_forwarded
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            2,
+            "healthy shard {s} saw re-sent traffic during the dead shard's retries"
+        );
+    }
+
+    // The healthy shards' commits are durable and visible.
+    let audit = shards.audit_router(Subject::operator("audit")).await;
+    let (objects, _) = audit.list(store.clone()).await.unwrap();
+    assert_eq!(
+        objects.len(),
+        committed,
+        "healthy commits must all be visible"
+    );
+
+    shards.shutdown().await;
+}
