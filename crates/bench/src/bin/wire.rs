@@ -26,16 +26,32 @@
 //! running the apiserver-modelled durable engine (fsync WAL + the paper's
 //! per-commit latency — the per-node serial resource that sharding
 //! overlaps). Full runs gate `shard_scaling.speedup_4_shards ≥ 2×`.
+//!
+//! A third sweep measures **replication cost and replica-read scaling**
+//! on a 3-node replica set (leader + 2 followers): batch-64 write
+//! throughput for acked (no quorum), `Replicated(1)`, and
+//! `Replicated(2)` profiles — the price of each added ack — and read
+//! throughput from 8 concurrent readers through a
+//! [`knactor_net::ReplicaRouter`] that load-balances reads across the
+//! set versus the same readers pinned to the leader alone. The read
+//! store runs the apiserver-modelled engine with a `Replicated(1)`
+//! quorum: like the shard sweep, the paper's per-op latency is the
+//! per-node serial resource — each node serves its connection serially,
+//! so replicas overlap modelled read latency the same way shards
+//! overlap modelled commit latency. (On the zero-latency durable
+//! engine a single pipelined connection already saturates client-side
+//! framing, so there is no per-node resource left for replicas to
+//! overlap.) Full runs gate `replication.read_scaling_8_readers ≥ 1.5×`.
 
 use knactor_logstore::LogExchange;
 use knactor_net::client::TcpClient;
 use knactor_net::proto::ProfileSpec;
 use knactor_net::server::ExchangeServer;
-use knactor_net::{ExchangeApi, ShardedExchange};
+use knactor_net::{ExchangeApi, ReplicaRouter, ReplicatedExchange, RetryPolicy, ShardedExchange};
 use knactor_rbac::Subject;
 use knactor_store::profile::WatchDelivery;
 use knactor_store::{BatchOp, DataExchange, EngineProfile};
-use knactor_types::{ObjectKey, StoreId};
+use knactor_types::{ObjectKey, Revision, StoreId};
 use serde_json::json;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -56,6 +72,7 @@ fn bench_profile(dir: &std::path::Path, store: &str, fsync: bool) -> EngineProfi
         watch: WatchDelivery::Push,
         history_cap: knactor_store::profile::DEFAULT_HISTORY_CAP,
         watch_lag_cap: knactor_store::profile::DEFAULT_WATCH_LAG_CAP,
+        repl_acks: 0,
     }
 }
 
@@ -231,6 +248,101 @@ async fn run_sharded(shards: usize, records: usize) -> f64 {
     committed as f64 / elapsed.as_secs_f64()
 }
 
+/// Followers in the replication sweep's replica set (3 nodes total).
+const REPL_FOLLOWERS: usize = 2;
+/// Concurrent readers in the replica-read scaling sweep.
+const REPL_READERS: usize = 8;
+/// Keys seeded for the read sweep.
+const REPL_KEYS: usize = 256;
+
+/// Batch-64 write throughput into a fresh replica set. `acks == 0` is
+/// the acked baseline (durable leader, followers replicate but the
+/// leader never waits for them); `acks == n` writes through a
+/// `Replicated(n)` profile, so every commit waits for `n` follower
+/// acks. Returns records/sec.
+async fn run_replicated_writes(acks: usize, records: usize) -> f64 {
+    let cluster = ReplicatedExchange::launch(REPL_FOLLOWERS)
+        .await
+        .expect("launch replica set");
+    let router = cluster
+        .router(RetryPolicy::fast(7))
+        .await
+        .expect("connect router");
+    let store = StoreId::new(format!("repl/w{acks}").as_str());
+    let profile = if acks == 0 {
+        ProfileSpec::Durable
+    } else {
+        ProfileSpec::Replicated { acks }
+    };
+    router
+        .create_store(store.clone(), profile)
+        .await
+        .expect("create replicated store");
+
+    let start = Instant::now();
+    for chunk_start in (0..records).step_by(SCALING_BATCH) {
+        let ops: Vec<BatchOp> = (chunk_start..(chunk_start + SCALING_BATCH).min(records))
+            .map(|i| BatchOp::Create {
+                key: ObjectKey::new(format!("k{i:06}").as_str()),
+                value: json!({"i": i, "payload": "0123456789abcdef"}),
+            })
+            .collect();
+        let items = router
+            .batch_commit(store.clone(), ops)
+            .await
+            .expect("batch_commit");
+        for item in items {
+            item.into_revision().expect("per-item commit");
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let (objects, _) = router.list(store).await.expect("list");
+    assert_eq!(objects.len(), records, "committed records");
+    cluster.shutdown().await;
+
+    records as f64 / elapsed.as_secs_f64()
+}
+
+/// Read throughput from [`REPL_READERS`] concurrent readers over a
+/// seeded apiserver-modelled `Replicated(1)` store: either pinned to
+/// the leader alone (`nodes == 1`) or load-balanced across the whole
+/// replica set by the [`ReplicaRouter`]. Returns gets/sec.
+async fn run_replica_reads(cluster: &ReplicatedExchange, nodes: usize, gets: usize) -> f64 {
+    let addrs = cluster.addrs();
+    let router = Arc::new(
+        ReplicaRouter::connect(
+            &addrs[..nodes],
+            Subject::operator("wire-bench"),
+            RetryPolicy::fast(7),
+        )
+        .await
+        .expect("connect read router"),
+    );
+    let store = StoreId::new("repl/read");
+
+    let per_reader = gets / REPL_READERS;
+    let start = Instant::now();
+    let mut readers = Vec::with_capacity(REPL_READERS);
+    for r in 0..REPL_READERS {
+        let router = Arc::clone(&router);
+        let store = store.clone();
+        readers.push(tokio::spawn(async move {
+            for i in 0..per_reader {
+                let key = ObjectKey::new(format!("r{:06}", (r * 37 + i) % REPL_KEYS).as_str());
+                let obj = router.get(store.clone(), key).await.expect("get");
+                assert!(obj.value.get("i").is_some(), "seeded value");
+            }
+        }));
+    }
+    for reader in readers {
+        reader.await.expect("reader task");
+    }
+    let elapsed = start.elapsed();
+
+    (per_reader * REPL_READERS) as f64 / elapsed.as_secs_f64()
+}
+
 async fn run(records: usize) -> serde_json::Value {
     let data_dir = std::env::temp_dir().join(format!("knactor-wire-bench-{}", std::process::id()));
     std::fs::create_dir_all(&data_dir).expect("bench data dir");
@@ -296,6 +408,71 @@ async fn run(records: usize) -> serde_json::Value {
     }
     let scaling_4x = scaling_by_shards[&4] / scaling_by_shards[&1];
 
+    // Replication sweep: the write-side cost of each added ack, then
+    // replica-read scaling over one seeded replica set.
+    let mut repl_write_rows = Vec::new();
+    for acks in [0usize, 1, 2] {
+        let throughput = run_replicated_writes(acks, records).await;
+        let label = if acks == 0 {
+            "acked".to_string()
+        } else {
+            format!("replicated({acks})")
+        };
+        eprintln!("repl writes {label:>13} -> {throughput:>10.0} rec/s");
+        repl_write_rows.push(json!({
+            "mode": label,
+            "acks": acks,
+            "batch": SCALING_BATCH,
+            "records": records,
+            "records_per_sec": throughput,
+        }));
+    }
+
+    let cluster = ReplicatedExchange::launch(REPL_FOLLOWERS)
+        .await
+        .expect("launch read replica set");
+    let seed_router = cluster
+        .router(RetryPolicy::fast(7))
+        .await
+        .expect("connect seed router");
+    let read_store = StoreId::new("repl/read");
+    seed_router
+        .create_store(
+            read_store.clone(),
+            ProfileSpec::ReplicatedApiserver { acks: 1 },
+        )
+        .await
+        .expect("create read store");
+    for chunk_start in (0..REPL_KEYS).step_by(SCALING_BATCH) {
+        let ops: Vec<BatchOp> = (chunk_start..(chunk_start + SCALING_BATCH).min(REPL_KEYS))
+            .map(|i| BatchOp::Create {
+                key: ObjectKey::new(format!("r{i:06}").as_str()),
+                value: json!({"i": i, "payload": "0123456789abcdef"}),
+            })
+            .collect();
+        seed_router
+            .batch_commit(read_store.clone(), ops)
+            .await
+            .expect("seed batch");
+    }
+    cluster
+        .await_converged(
+            &read_store,
+            Revision(REPL_KEYS as u64),
+            Duration::from_secs(10),
+        )
+        .await
+        .expect("replicas converge before read sweep");
+    let reads_leader_only = run_replica_reads(&cluster, 1, records).await;
+    let reads_replicated = run_replica_reads(&cluster, REPL_FOLLOWERS + 1, records).await;
+    let read_scaling = reads_replicated / reads_leader_only;
+    eprintln!(
+        "repl reads leader-only -> {reads_leader_only:>10.0} get/s; \
+         {} nodes -> {reads_replicated:>10.0} get/s ({read_scaling:.2}x)",
+        REPL_FOLLOWERS + 1
+    );
+    cluster.shutdown().await;
+
     json!({
         "description": "Wire-batching throughput bench (cargo run -p knactor-bench --bin wire --release). Real TCP server + client on loopback; each config writes the same records into a fresh WAL-backed store, batch 1 as single create requests, larger batches as one BatchCommit per chunk (one frame out, one WAL group fsync to cover the chunk). records_per_sec is sustained write throughput; speedups are vs the batch-1 row with the same fsync setting.",
         "records_per_config": records,
@@ -320,6 +497,18 @@ async fn run(records: usize) -> serde_json::Value {
             "speedup_2_shards": scaling_by_shards[&2] / scaling_by_shards[&1],
             "speedup_4_shards": scaling_4x,
             "speedup_8_shards": scaling_by_shards[&8] / scaling_by_shards[&1],
+        },
+        "replication": {
+            "description": "Replication sweep on a 3-node replica set (leader + 2 followers). Writes: batch-64 commits through a ReplicaRouter into a durable store with no quorum (acked) vs Replicated(1) vs Replicated(2) — each added ack makes the commit wait for one more follower to durably stage the group. Reads: 8 concurrent readers issue gets over a converged replicated store running the apiserver-modelled engine (the paper's per-op read latency is each node's serial resource, same basis as the shard sweep), pinned to the leader alone vs load-balanced across the set by the ReplicaRouter; each node serves its connection serially, so replicas overlap modelled read latency the way shards overlap modelled commit latency. read_scaling_8_readers is set-wide gets/s over leader-only gets/s (acceptance floor in full runs: >= 1.5x).",
+            "writes": repl_write_rows,
+            "reads": {
+                "readers": REPL_READERS,
+                "keys": REPL_KEYS,
+                "gets": records,
+                "leader_only_gets_per_sec": reads_leader_only,
+                "replicated_gets_per_sec": reads_replicated,
+            },
+            "read_scaling_8_readers": read_scaling,
         },
     })
 }
@@ -353,6 +542,13 @@ fn main() {
         assert!(
             scaling >= 2.0,
             "4-shard aggregate write speedup {scaling:.2}x below the 2x floor"
+        );
+        let read_scaling = result["replication"]["read_scaling_8_readers"]
+            .as_f64()
+            .unwrap();
+        assert!(
+            read_scaling >= 1.5,
+            "replica-read scaling {read_scaling:.2}x below the 1.5x floor at 8 readers"
         );
     }
 }

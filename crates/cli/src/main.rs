@@ -10,6 +10,7 @@
 //! knactorctl codegen <schema-file>        generate typed Rust accessors
 //! knactorctl metrics <addr> [--watch|--prom]  scrape a live exchange's metrics
 //! knactorctl serve [--shards N] [--port P]    run exchange shard nodes
+//! knactorctl serve --replicas N [--port P]    run a leader + N replicating followers
 //! ```
 
 mod codegen;
@@ -63,14 +64,17 @@ fn usage() -> String {
      \u{20}   knactorctl diff <old> <new>\n\
      \u{20}   knactorctl codegen <schema-file>\n\
      \u{20}   knactorctl metrics <addr> [--watch|--prom]\n\
-     \u{20}   knactorctl serve [--shards N] [--port P]\n"
+     \u{20}   knactorctl serve [--shards N] [--port P]\n\
+     \u{20}   knactorctl serve --replicas N [--port P]\n"
         .to_string()
 }
 
-/// Parse `serve` flags: `--shards N` (default 1) and `--port P`
-/// (default 7070, consecutive ports for the remaining shards).
+/// Parse `serve` flags: `--shards N` (default 1), `--replicas N`
+/// (leader + N followers; exclusive with `--shards`), and `--port P`
+/// (default 7070, consecutive ports for the remaining nodes).
 fn serve_cmd(rest: &[&str]) -> ExitCode {
     let mut shards = 1usize;
+    let mut replicas: Option<usize> = None;
     let mut port = 7070u16;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -82,6 +86,13 @@ fn serve_cmd(rest: &[&str]) -> ExitCode {
                 Some(n) => shards = n,
                 None => {
                     eprintln!("--shards needs a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--replicas" => match value(&mut it).and_then(|v| v.parse().ok()) {
+                Some(n) => replicas = Some(n),
+                None => {
+                    eprintln!("--replicas needs a follower count");
                     return ExitCode::FAILURE;
                 }
             },
@@ -98,7 +109,16 @@ fn serve_cmd(rest: &[&str]) -> ExitCode {
             }
         }
     }
-    serve::run(shards, port)
+    match replicas {
+        Some(_) if shards != 1 => {
+            eprintln!(
+                "--replicas and --shards are exclusive: a node set either shards or replicates"
+            );
+            ExitCode::FAILURE
+        }
+        Some(followers) => serve::run_replicated(followers, port),
+        None => serve::run(shards, port),
+    }
 }
 
 fn read(file: &str) -> Result<String, ExitCode> {

@@ -300,6 +300,105 @@ impl TcpClient {
             other => Err(unexpected(other)),
         }
     }
+
+    // ---- replication control plane ------------------------------------------
+    // Not part of `ExchangeApi`: these are node-to-node (and router-to-
+    // node) operations, not composition surface.
+
+    /// Subscribe to a store's replication stream: every committed event
+    /// with revision > `from`, in order, as a raw watch stream.
+    pub async fn repl_subscribe(&self, store: StoreId, from: Revision) -> Result<WatchRx> {
+        let (tx, rx) = mpsc::unbounded_channel();
+        match self
+            .request_staged(
+                Request::ReplSubscribe { store, from },
+                Some(StagedSub::Object(tx)),
+            )
+            .await?
+        {
+            Response::Watch { .. } => Ok(rx),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Report this follower's durably-staged high-water mark to the leader.
+    pub async fn repl_ack(
+        &self,
+        store: StoreId,
+        follower: String,
+        revision: Revision,
+    ) -> Result<()> {
+        match self
+            .request(Request::ReplAck {
+                store,
+                follower,
+                revision,
+            })
+            .await?
+        {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Probe the node's replication role, epoch, and per-store progress.
+    pub async fn repl_status(&self) -> Result<ReplStatusInfo> {
+        match self.request(Request::ReplStatus).await? {
+            Response::ReplStatus {
+                leader,
+                epoch,
+                applied,
+            } => Ok(ReplStatusInfo {
+                leader,
+                epoch,
+                applied,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Promote the node to leader at `epoch` (must exceed its current
+    /// epoch — the stale-leader fence).
+    pub async fn repl_promote(&self, epoch: u64) -> Result<()> {
+        match self.request(Request::ReplPromote { epoch }).await? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Block until the node's copy of `store` has applied at least
+    /// `revision` (read-your-writes barrier before a replica read).
+    pub async fn repl_wait(&self, store: StoreId, revision: Revision) -> Result<Revision> {
+        match self.request(Request::ReplWait { store, revision }).await? {
+            Response::Revision { revision } => Ok(revision),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+/// One node's answer to [`TcpClient::repl_status`].
+#[derive(Debug, Clone)]
+pub struct ReplStatusInfo {
+    pub leader: bool,
+    pub epoch: u64,
+    /// Per-store applied revisions (replication progress).
+    pub applied: Vec<(StoreId, Revision)>,
+}
+
+impl ReplStatusInfo {
+    /// Total applied revisions across stores — the "how caught up is
+    /// this node" scalar that failover elections compare.
+    pub fn total_applied(&self) -> u64 {
+        self.applied.iter().map(|(_, r)| r.0).sum()
+    }
+
+    pub fn applied_for(&self, store: &StoreId) -> Revision {
+        self.applied
+            .iter()
+            .find(|(s, _)| s == store)
+            .map(|(_, r)| *r)
+            .unwrap_or(Revision::ZERO)
+    }
 }
 
 fn unexpected(r: Response) -> Error {
@@ -924,6 +1023,42 @@ impl ResilientClient {
 
     pub fn policy(&self) -> &RetryPolicy {
         &self.inner.policy
+    }
+
+    /// Address this client (re)connects to.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// [`TcpClient::repl_status`] with reconnect + transport retry.
+    pub async fn repl_status(&self) -> Result<ReplStatusInfo> {
+        self.inner
+            .retry(op_fn(move |c, _| {
+                Box::pin(async move { c.repl_status().await })
+            }))
+            .await
+    }
+
+    /// [`TcpClient::repl_wait`] with reconnect + transport retry. Safe to
+    /// retry blindly: the barrier is a read, not a mutation.
+    pub async fn repl_wait(&self, store: StoreId, revision: Revision) -> Result<Revision> {
+        self.inner
+            .retry(op_fn(move |c, _| {
+                let store = store.clone();
+                Box::pin(async move { c.repl_wait(store, revision).await })
+            }))
+            .await
+    }
+
+    /// [`TcpClient::repl_promote`] with reconnect + transport retry.
+    /// Idempotent under the epoch fence: a duplicate promote at the same
+    /// epoch surfaces `Conflict`, which callers treat as already done.
+    pub async fn repl_promote(&self, epoch: u64) -> Result<()> {
+        self.inner
+            .retry(op_fn(move |c, _| {
+                Box::pin(async move { c.repl_promote(epoch).await })
+            }))
+            .await
     }
 }
 

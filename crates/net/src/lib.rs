@@ -24,6 +24,12 @@
 //!   [`knactor_store::ShardMap`], merges per-shard watch streams into one
 //!   dense subscription, and is itself just another [`api::ExchangeApi`]
 //!   — integrators cannot tell a sharded exchange from a single node.
+//! * [`replica`] — leader/follower replication behind the same
+//!   [`api::ExchangeApi`]: the leader streams its commit sequence to
+//!   followers (`Replicated(n)` writes ack only after `n` followers
+//!   stage them), followers detect leader loss and elect the most
+//!   caught-up survivor, and [`replica::ReplicaRouter`] gives clients
+//!   leader-routed writes plus read-your-writes replica reads.
 //! * [`fault`] — seeded, deterministic fault injection: a frame-level
 //!   [`fault::FaultProxy`] for TCP and a [`fault::FaultApi`] decorator for
 //!   loopback, both driven by a [`fault::FaultPlan`]. Pairs with
@@ -36,13 +42,17 @@ pub mod fault;
 pub mod frame;
 pub mod loopback;
 pub mod proto;
+pub mod replica;
 pub mod router;
 pub mod server;
 
 pub use api::{BoxFuture, ExchangeApi, WatchRx};
-pub use client::{ResilientClient, RetryPolicy, TcpClient};
+pub use client::{ReplStatusInfo, ResilientClient, RetryPolicy, TcpClient};
 pub use fault::{FaultApi, FaultPlan, FaultProxy, FaultRng, FaultStats};
 pub use loopback::LoopbackClient;
+pub use replica::{
+    run_follower, FollowerConfig, FollowerHandle, ReplRuntime, ReplicaRouter, ReplicatedExchange,
+};
 pub use router::{ShardRouter, ShardedExchange};
 pub use server::ExchangeServer;
 

@@ -45,6 +45,22 @@ pub enum ProfileSpec {
     /// Durable with zero modelled latency: fsync WAL under the server's
     /// data directory, push watches, no simulated op delays.
     Durable,
+    /// `Durable` plus a replication ack quorum: a write acknowledges only
+    /// after `acks` followers have durably staged it. On a follower node
+    /// the quorum wait is passive until promotion, so one spec can be
+    /// broadcast to every member of a replica set.
+    Replicated {
+        acks: usize,
+    },
+    /// `Apiserver` plus a replication ack quorum: the paper-modelled
+    /// engine (fsync WAL, simulated per-op latencies) whose writes also
+    /// wait for `acks` followers. Use where the modelled per-op cost is
+    /// the per-node serial resource replicas must overlap — the bench's
+    /// replica-read sweep measures scaling on this engine for the same
+    /// reason the shard sweep does.
+    ReplicatedApiserver {
+        acks: usize,
+    },
 }
 
 impl ProfileSpec {
@@ -55,6 +71,14 @@ impl ProfileSpec {
             ProfileSpec::Redis => EngineProfile::redis(),
             ProfileSpec::Apiserver => EngineProfile::apiserver(data_dir, store.as_str()),
             ProfileSpec::Durable => EngineProfile::durable(data_dir, store.as_str()),
+            ProfileSpec::Replicated { acks } => EngineProfile::durable(data_dir, store.as_str())
+                .named("replicated")
+                .replicated(*acks),
+            ProfileSpec::ReplicatedApiserver { acks } => {
+                EngineProfile::apiserver(data_dir, store.as_str())
+                    .named("replicated-apiserver")
+                    .replicated(*acks)
+            }
         }
     }
 }
@@ -253,6 +277,41 @@ pub enum Request {
         store: StoreId,
         from: u64,
     },
+    // ---- replication --------------------------------------------------------
+    /// Follower → leader: stream the store's committed events from
+    /// revision `from` (exclusive). Handled exactly like `Watch` — the
+    /// reply is `Response::Watch { sub_id }` and events arrive as
+    /// `EventBody::Object` — but named separately so roles can fence it
+    /// differently from client watches and the protocol stays explicit
+    /// about which streams are replication traffic.
+    ReplSubscribe {
+        store: StoreId,
+        from: Revision,
+    },
+    /// Follower → leader: `follower` has durably staged everything up to
+    /// `revision`. Releases leader-side `Replicated(n)` quorum waits.
+    ReplAck {
+        store: StoreId,
+        follower: String,
+        revision: Revision,
+    },
+    /// Role/epoch/progress probe; doubles as the failover heartbeat. The
+    /// reply is `Response::ReplStatus`.
+    ReplStatus,
+    /// Promote this node to leader at `epoch`. Rejected with `conflict`
+    /// unless `epoch` is strictly newer than the node's current epoch —
+    /// the fence that keeps a stale leader from reclaiming the role.
+    ReplPromote {
+        epoch: u64,
+    },
+    /// Read barrier: block until the local store's revision is at least
+    /// `revision` (bounded wait). A router issues this before serving a
+    /// session's read from a replica, which is what turns follower reads
+    /// into read-your-writes reads.
+    ReplWait {
+        store: StoreId,
+        revision: Revision,
+    },
     // ---- observability ------------------------------------------------------
     /// Scrape the server's metrics registry (counters, gauges, latency
     /// histograms); the reply is `Response::Metrics`.
@@ -302,6 +361,13 @@ pub enum Response {
     },
     Metrics {
         snapshot: knactor_types::metrics::MetricsSnapshot,
+    },
+    /// Reply to `Request::ReplStatus`: this node's role, fencing epoch,
+    /// and per-store applied revisions (its replication progress).
+    ReplStatus {
+        leader: bool,
+        epoch: u64,
+        applied: Vec<(StoreId, Revision)>,
     },
     Error {
         code: String,
@@ -474,6 +540,13 @@ mod tests {
         assert_eq!(ProfileSpec::Redis.materialize(&dir, &store).name, "redis");
         let api = ProfileSpec::Apiserver.materialize(&dir, &store);
         assert!(api.is_durable());
+        let repl_api = ProfileSpec::ReplicatedApiserver { acks: 1 }.materialize(&dir, &store);
+        assert!(repl_api.is_durable());
+        assert_eq!(repl_api.name, "replicated-apiserver");
+        assert_eq!(repl_api.repl_acks, 1);
+        // The modelled latencies carry over from the apiserver base.
+        assert_eq!(repl_api.read_delay, api.read_delay);
+        assert_eq!(repl_api.write_delay, api.write_delay);
     }
 
     #[test]

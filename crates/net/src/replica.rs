@@ -1,0 +1,1460 @@
+//! Leader/follower replication: the node runtime, the follower
+//! replicator, failover, and the client-side [`ReplicaRouter`].
+//!
+//! One node of a replica set is the **leader**; it serves every mutation
+//! and streams its committed event sequence (the same dense revision
+//! stream the WAL and watch history order) to **followers** over
+//! `ReplSubscribe`. Followers apply the stream through their own
+//! `apply_batch` path — so their stores, revisions, histories, and watch
+//! outboxes are indistinguishable from the leader's — and `ReplAck`
+//! their durably-staged high-water mark back. A `Replicated(n)` write
+//! acks to the client only once `n` followers have staged it.
+//!
+//! **Fencing.** Roles are guarded twice: follower nodes reject client
+//! mutations on replicated stores with [`Error::NotLeader`], and — the
+//! backstop that needs no connectivity — a deposed leader can never
+//! acknowledge a write, because its followers have stopped acking it and
+//! `Replicated(n)` holds the ack until quorum. Promotion bumps a fencing
+//! epoch; `ReplPromote` with a stale epoch is refused.
+//!
+//! **Failover.** Followers heartbeat the leader (`ReplStatus` doubles as
+//! the probe). After a miss budget, survivors poll every peer's status
+//! and elect deterministically: the most-caught-up reachable node wins,
+//! ties broken toward the lowest node index, so independent electors
+//! agree without a coordination round. The winner promotes itself at
+//! `max_seen_epoch + 1`; losers re-point their replicators at it.
+//!
+//! **Reads.** [`ReplicaRouter`] sends writes to the leader and fans
+//! reads out across the replica set with read-your-writes session
+//! guarantees: it remembers the last revision each store acked to *this*
+//! session and issues a `ReplWait` barrier before serving the session's
+//! read from a replica that has not provably caught up to it.
+
+use crate::api::{BoxFuture, ExchangeApi, TailRx, WatchRx};
+use crate::client::{ReplStatusInfo, ResilientClient, RetryPolicy, TcpClient};
+use crate::fault::{FaultApi, FaultPlan};
+use crate::loopback::LoopbackClient;
+use crate::proto::{ProfileSpec, QuerySpec};
+use crate::server::ExchangeServer;
+use knactor_logstore::LogRecord;
+use knactor_rbac::Subject;
+use knactor_store::udf::UdfAssignment;
+use knactor_store::ApplyOutcome as CursorOutcome;
+use knactor_store::{
+    BatchOp, DataExchange, EventKind, FollowerCursor, ItemResult, PutItem, ReplGroup, ReplState,
+    StoredObject, TxOp, UdfBinding, WatchEvent,
+};
+use knactor_types::{
+    metrics, Error, ObjectKey, Result, Revision, Schema, SchemaName, StoreId, Value,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tokio::sync::mpsc;
+use tokio::task::JoinHandle;
+
+/// Follower → leader heartbeat cadence.
+const HEARTBEAT: Duration = Duration::from_millis(20);
+/// Consecutive heartbeat misses before the leader is declared dead.
+const HEARTBEAT_MISSES: u32 = 5;
+/// Per-probe timeout for heartbeats and election status polls.
+const PROBE_TIMEOUT: Duration = Duration::from_millis(300);
+/// How long an election keeps re-polling before giving up this round
+/// (the follower loop immediately starts another).
+const ELECTION_ROUND: Duration = Duration::from_secs(5);
+/// Max events coalesced into one follower apply batch.
+const APPLY_BATCH_MAX: usize = 128;
+/// Bounded router retries across leader re-resolutions.
+const LEAD_ATTEMPTS: u32 = 6;
+/// How long `resolve_leader` keeps polling for *some* node to claim the
+/// role before the write fails. Covers a full detection + election round.
+const RESOLVE_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Per-node replication role state, shared between the serving stack
+/// (which fences mutations) and every attached [`ReplState`] (which
+/// gates quorum waits on the same flag).
+pub struct ReplRuntime {
+    leading: Arc<AtomicBool>,
+    epoch: AtomicU64,
+    failovers: Arc<metrics::Counter>,
+}
+
+impl ReplRuntime {
+    fn with_role(leading: bool) -> Arc<ReplRuntime> {
+        Arc::new(ReplRuntime {
+            leading: Arc::new(AtomicBool::new(leading)),
+            epoch: AtomicU64::new(0),
+            failovers: metrics::global().counter("knactor_failover_total", &[]),
+        })
+    }
+
+    /// A node that starts out leading (epoch 0).
+    pub fn leader() -> Arc<ReplRuntime> {
+        ReplRuntime::with_role(true)
+    }
+
+    /// A node that starts out following.
+    pub fn follower() -> Arc<ReplRuntime> {
+        ReplRuntime::with_role(false)
+    }
+
+    pub fn is_leader(&self) -> bool {
+        self.leading.load(Ordering::Acquire)
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The flag [`ReplState`]s share so promotion/demotion flips quorum
+    /// behaviour for every store on the node at once.
+    pub fn leading_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.leading)
+    }
+
+    /// Demote to follower (initial wiring; a live demotion happens via
+    /// [`ReplRuntime::observe_epoch`]).
+    pub fn set_follower(&self) {
+        self.leading.store(false, Ordering::Release);
+    }
+
+    /// Take leadership at `epoch`. Fails with `Conflict` unless `epoch`
+    /// is strictly newer than the node's current epoch — the fence that
+    /// keeps a deposed leader (or a lost election round) from reclaiming
+    /// the role with stale authority.
+    pub fn promote(&self, epoch: u64) -> Result<()> {
+        loop {
+            let current = self.epoch.load(Ordering::Acquire);
+            if epoch <= current {
+                return Err(Error::Conflict {
+                    expected: epoch,
+                    actual: current,
+                });
+            }
+            if self
+                .epoch
+                .compare_exchange(current, epoch, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                if !self.leading.swap(true, Ordering::AcqRel) {
+                    self.failovers.inc();
+                }
+                return Ok(());
+            }
+        }
+    }
+
+    /// Learn of a peer's epoch. A strictly higher epoch than ours means
+    /// someone else was promoted after us: record it and stand down.
+    pub fn observe_epoch(&self, epoch: u64) {
+        loop {
+            let current = self.epoch.load(Ordering::Acquire);
+            if epoch <= current {
+                return;
+            }
+            if self
+                .epoch
+                .compare_exchange(current, epoch, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.leading.store(false, Ordering::Release);
+                return;
+            }
+        }
+    }
+}
+
+/// Static wiring of one follower node into its replica set.
+#[derive(Clone)]
+pub struct FollowerConfig {
+    /// Follower identity used in `ReplAck`s (must be unique per node).
+    pub name: String,
+    /// This node's index in `peers`.
+    pub node_index: usize,
+    /// Every replica-set member's address, index-aligned across nodes.
+    pub peers: Vec<SocketAddr>,
+    /// Index of the node believed to lead at startup.
+    pub initial_leader: usize,
+}
+
+/// Handle onto one follower node's replication machinery.
+pub struct FollowerHandle {
+    task: JoinHandle<()>,
+    shutdown: Arc<AtomicBool>,
+    leader_idx: Arc<AtomicUsize>,
+}
+
+impl FollowerHandle {
+    /// Index of the peer this follower currently replicates from.
+    pub fn leader_index(&self) -> usize {
+        self.leader_idx.load(Ordering::Acquire)
+    }
+
+    pub async fn stop(self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.task.abort();
+        let _ = self.task.await;
+    }
+}
+
+/// Start a follower node's replication + failover machinery.
+///
+/// `apply` is the path replicated events take into this node's own
+/// exchange — normally a [`LoopbackClient`] onto `server`'s exchanges,
+/// optionally decorated with a [`FaultApi`] to inject replication delay
+/// or loss in tests. The apply path runs on the follower role, where
+/// quorum waits are passive, so it can never deadlock on itself.
+pub fn run_follower(
+    server: &ExchangeServer,
+    apply: Arc<dyn ExchangeApi>,
+    config: FollowerConfig,
+) -> FollowerHandle {
+    let object = Arc::clone(&server.object);
+    let runtime = server.repl();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let leader_idx = Arc::new(AtomicUsize::new(config.initial_leader));
+    let task = tokio::spawn(follower_loop(
+        object,
+        runtime,
+        apply,
+        config,
+        Arc::clone(&leader_idx),
+        Arc::clone(&shutdown),
+    ));
+    FollowerHandle {
+        task,
+        shutdown,
+        leader_idx,
+    }
+}
+
+async fn follower_loop(
+    object: Arc<DataExchange>,
+    runtime: Arc<ReplRuntime>,
+    apply: Arc<dyn ExchangeApi>,
+    config: FollowerConfig,
+    leader_idx: Arc<AtomicUsize>,
+    shutdown: Arc<AtomicBool>,
+) {
+    while !shutdown.load(Ordering::Acquire) && !runtime.is_leader() {
+        let target = leader_idx.load(Ordering::Acquire);
+        let addr = config.peers[target];
+        let connected = TcpClient::connect(addr, Subject::integrator(&config.name)).await;
+        match connected {
+            Ok(client) => {
+                let client = Arc::new(client.with_request_timeout(PROBE_TIMEOUT));
+                replication_session(&object, &runtime, &apply, &config, &client, &shutdown).await;
+            }
+            Err(_) => {
+                tokio::time::sleep(HEARTBEAT).await;
+            }
+        }
+        if shutdown.load(Ordering::Acquire) || runtime.is_leader() {
+            break;
+        }
+        // The session collapsed (or the leader never answered): elect.
+        run_election(&object, &runtime, &config, &leader_idx, &shutdown).await;
+    }
+}
+
+/// One replication session against one (believed) leader connection.
+/// Returns when the connection dies, the peer stops leading, heartbeats
+/// lapse, or this node is promoted.
+async fn replication_session(
+    object: &Arc<DataExchange>,
+    runtime: &Arc<ReplRuntime>,
+    apply: &Arc<dyn ExchangeApi>,
+    config: &FollowerConfig,
+    client: &Arc<TcpClient>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let mut streams: HashMap<StoreId, JoinHandle<()>> = HashMap::new();
+    let mut misses = 0u32;
+    let mut ticker = tokio::time::interval(HEARTBEAT);
+    ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+    loop {
+        ticker.tick().await;
+        if shutdown.load(Ordering::Acquire) || runtime.is_leader() || client.is_closed() {
+            break;
+        }
+        // Track replicated stores as they appear (the router broadcasts
+        // `CreateStore` to every member, so discovery is local).
+        for id in object.store_ids() {
+            let replicated = object
+                .store(&id)
+                .map(|s| s.repl().is_some() || s.profile().repl_acks > 0)
+                .unwrap_or(false);
+            let dead = streams.get(&id).map(|t| t.is_finished()).unwrap_or(true);
+            if replicated && dead {
+                streams.insert(
+                    id.clone(),
+                    tokio::spawn(replicate_store(
+                        Arc::clone(object),
+                        Arc::clone(runtime),
+                        Arc::clone(apply),
+                        config.name.clone(),
+                        Arc::clone(client),
+                        id,
+                        Arc::clone(shutdown),
+                    )),
+                );
+            }
+        }
+        // Heartbeat: the leader's status doubles as liveness, epoch
+        // learning, and role verification.
+        match tokio::time::timeout(PROBE_TIMEOUT, client.repl_status()).await {
+            Ok(Ok(status)) => {
+                misses = 0;
+                runtime.observe_epoch(status.epoch);
+                if !status.leader {
+                    break; // it stood down; re-resolve
+                }
+            }
+            _ => {
+                misses += 1;
+                if misses >= HEARTBEAT_MISSES {
+                    break;
+                }
+            }
+        }
+    }
+    for (_, task) in streams {
+        task.abort();
+    }
+}
+
+/// Convert one replicated event into the batch op that reproduces it.
+fn op_of(event: &WatchEvent) -> BatchOp {
+    match event.kind {
+        EventKind::Created => BatchOp::Create {
+            key: event.key.clone(),
+            value: (*event.value).clone(),
+        },
+        EventKind::Updated => BatchOp::Update {
+            key: event.key.clone(),
+            value: (*event.value).clone(),
+            expected: None,
+        },
+        EventKind::Deleted => BatchOp::Delete {
+            key: event.key.clone(),
+        },
+    }
+}
+
+/// Stream one store's replication feed and apply it locally. Runs until
+/// the feed, the apply path, or the node's follower role ends; the
+/// session loop respawns it (resubscribing from the store's recovered
+/// revision), which is also the catch-up path after a follower crash.
+async fn replicate_store(
+    object: Arc<DataExchange>,
+    runtime: Arc<ReplRuntime>,
+    apply: Arc<dyn ExchangeApi>,
+    follower: String,
+    client: Arc<TcpClient>,
+    id: StoreId,
+    shutdown: Arc<AtomicBool>,
+) {
+    let Ok(local) = object.store(&id) else { return };
+    'subscribe: while !shutdown.load(Ordering::Acquire) && !runtime.is_leader() {
+        let from = local.revision();
+        let mut cursor = FollowerCursor::at(from);
+        let mut rx = match client.repl_subscribe(id.clone(), from).await {
+            Ok(rx) => rx,
+            Err(_) => return, // connection-level problem; session handles it
+        };
+        while let Some(first) = rx.recv().await {
+            // Coalesce whatever else already arrived into one apply
+            // batch (one group fsync + one ack on the follower).
+            let mut events = vec![first];
+            while events.len() < APPLY_BATCH_MAX {
+                match rx.try_recv() {
+                    Ok(event) => events.push(event),
+                    Err(_) => break,
+                }
+            }
+            let mut ops = Vec::with_capacity(events.len());
+            let mut expected = Vec::with_capacity(events.len());
+            for event in &events {
+                // Classify per event: replays after resubscription may
+                // overlap what this store already holds.
+                match cursor.offer(&ReplGroup::new(vec![event.clone()])) {
+                    CursorOutcome::Apply { .. } => {
+                        ops.push(op_of(event));
+                        expected.push(event.revision);
+                    }
+                    CursorOutcome::Duplicate => {}
+                    CursorOutcome::Gap { .. } => {
+                        // A frame went missing: resubscribe from what we
+                        // actually hold rather than tear a hole.
+                        continue 'subscribe;
+                    }
+                }
+            }
+            if ops.is_empty() {
+                continue;
+            }
+            let applied = match apply.batch_commit(id.clone(), ops).await {
+                Ok(items) => items,
+                Err(_) => continue 'subscribe, // e.g. WAL crash injection; re-sync
+            };
+            // The follower must land the leader's exact revisions; any
+            // divergence means its state drifted (or a crash point fired
+            // mid-batch) and the only safe continuation is a fresh
+            // subscription from what the store really holds.
+            let clean = applied.len() == expected.len()
+                && applied.iter().zip(&expected).all(|(item, want)| {
+                    matches!(item, ItemResult::Revision { revision } if revision == want)
+                });
+            if !clean {
+                continue 'subscribe;
+            }
+            let high = *expected.last().expect("non-empty batch");
+            if client
+                .repl_ack(id.clone(), follower.clone(), high)
+                .await
+                .is_err()
+            {
+                return;
+            }
+        }
+        // Feed ended (lag cut or connection close): resubscribe — the
+        // session loop notices dead connections via its heartbeat.
+        if client.is_closed() {
+            return;
+        }
+    }
+}
+
+/// Deterministic failover: poll every peer, adopt an existing newer
+/// leader if one emerged, otherwise promote the most-caught-up reachable
+/// node (ties to the lowest index). Every elector runs the same rule on
+/// the same (quiesced — the old leader is gone, so progress has stopped)
+/// data, so they agree without a coordination protocol.
+async fn run_election(
+    object: &Arc<DataExchange>,
+    runtime: &Arc<ReplRuntime>,
+    config: &FollowerConfig,
+    leader_idx: &Arc<AtomicUsize>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let deadline = Instant::now() + ELECTION_ROUND;
+    while Instant::now() < deadline {
+        if shutdown.load(Ordering::Acquire) || runtime.is_leader() {
+            return;
+        }
+        let mut statuses: Vec<Option<ReplStatusInfo>> = Vec::with_capacity(config.peers.len());
+        for (i, addr) in config.peers.iter().enumerate() {
+            if i == config.node_index {
+                statuses.push(Some(ReplStatusInfo {
+                    leader: runtime.is_leader(),
+                    epoch: runtime.epoch(),
+                    applied: object
+                        .store_ids()
+                        .into_iter()
+                        .filter_map(|id| object.store(&id).ok().map(|s| (id, s.revision())))
+                        .collect(),
+                }));
+                continue;
+            }
+            statuses.push(probe_status(*addr, &config.name).await);
+        }
+        let max_epoch = statuses
+            .iter()
+            .flatten()
+            .map(|s| s.epoch)
+            .max()
+            .unwrap_or(0);
+        runtime.observe_epoch(max_epoch);
+        // A leader already emerged (possibly a racing elector): follow it.
+        if let Some((idx, _)) = statuses
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (i, s)))
+            .filter(|(i, s)| s.leader && *i != config.node_index)
+            .max_by_key(|(_, s)| s.epoch)
+        {
+            leader_idx.store(idx, Ordering::Release);
+            return;
+        }
+        // Most caught-up reachable node wins; lowest index breaks ties.
+        let winner = statuses
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (i, s.total_applied())))
+            .max_by(|(ai, at), (bi, bt)| at.cmp(bt).then(bi.cmp(ai)))
+            .map(|(i, _)| i);
+        match winner {
+            Some(i) if i == config.node_index => {
+                // promote() refuses stale epochs, so losing a race here
+                // just sends us back around the loop to adopt the winner.
+                if runtime.promote(max_epoch + 1).is_ok() {
+                    return;
+                }
+            }
+            Some(_) => {
+                // The winner should promote itself shortly; re-poll.
+                tokio::time::sleep(Duration::from_millis(50)).await;
+            }
+            None => {
+                tokio::time::sleep(Duration::from_millis(50)).await;
+            }
+        }
+    }
+}
+
+async fn probe_status(addr: SocketAddr, name: &str) -> Option<ReplStatusInfo> {
+    let connect = tokio::time::timeout(
+        PROBE_TIMEOUT,
+        TcpClient::connect(addr, Subject::integrator(name)),
+    );
+    let client = connect.await.ok()?.ok()?;
+    tokio::time::timeout(PROBE_TIMEOUT, client.repl_status())
+        .await
+        .ok()?
+        .ok()
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaRouter
+// ---------------------------------------------------------------------------
+
+/// Client-side entry point to a replica set, behind the unchanged
+/// [`ExchangeApi`]: writes go to the leader (re-resolving through
+/// `NotLeader`/transport failures and failovers), reads round-robin
+/// across the whole set with read-your-writes session barriers, and
+/// watches ride replicas so they only ever observe replicated — hence
+/// ack-eligible — state.
+pub struct ReplicaRouter {
+    nodes: Vec<Arc<ResilientClient>>,
+    leader: AtomicUsize,
+    rr: AtomicUsize,
+    reads: AtomicU64,
+    /// Nodes recently seen dead; skipped by read rotation and revived
+    /// periodically (and whenever a status poll answers).
+    dead: Vec<AtomicBool>,
+    /// Session write high-water marks: last *acked* revision per store.
+    session: Mutex<HashMap<StoreId, u64>>,
+    /// Per-(node, store) proof of catch-up, so the barrier round-trip is
+    /// paid once per write burst, not once per read.
+    caught_up: Mutex<HashMap<(usize, StoreId), u64>>,
+}
+
+impl ReplicaRouter {
+    /// Connect one resilient client per replica-set member and resolve
+    /// the current leader.
+    pub async fn connect(
+        addrs: &[SocketAddr],
+        subject: Subject,
+        policy: RetryPolicy,
+    ) -> Result<ReplicaRouter> {
+        assert!(!addrs.is_empty(), "a replica set has at least one node");
+        let mut nodes = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            nodes.push(Arc::new(
+                ResilientClient::connect(*addr, subject.clone(), policy).await?,
+            ));
+        }
+        let router = ReplicaRouter {
+            dead: nodes.iter().map(|_| AtomicBool::new(false)).collect(),
+            nodes,
+            leader: AtomicUsize::new(0),
+            rr: AtomicUsize::new(0),
+            reads: AtomicU64::new(0),
+            session: Mutex::new(HashMap::new()),
+            caught_up: Mutex::new(HashMap::new()),
+        };
+        let _ = router.resolve_leader().await;
+        Ok(router)
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Index of the node currently believed to lead.
+    pub fn leader_index(&self) -> usize {
+        self.leader.load(Ordering::Acquire)
+    }
+
+    /// Poll the set until some node claims leadership; highest epoch
+    /// wins. Nodes that answer are revived for read rotation.
+    pub async fn resolve_leader(&self) -> Result<usize> {
+        let deadline = Instant::now() + RESOLVE_DEADLINE;
+        loop {
+            let mut best: Option<(usize, u64)> = None;
+            for (i, node) in self.nodes.iter().enumerate() {
+                let status = tokio::time::timeout(PROBE_TIMEOUT, node.repl_status()).await;
+                match status {
+                    Ok(Ok(s)) => {
+                        self.dead[i].store(false, Ordering::Release);
+                        if s.leader && best.map(|(_, e)| s.epoch > e).unwrap_or(true) {
+                            best = Some((i, s.epoch));
+                        }
+                    }
+                    _ => self.dead[i].store(true, Ordering::Release),
+                }
+            }
+            if let Some((idx, _)) = best {
+                self.leader.store(idx, Ordering::Release);
+                return Ok(idx);
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::Timeout(
+                    "no replica-set node claims leadership".to_string(),
+                ));
+            }
+            tokio::time::sleep(Duration::from_millis(50)).await;
+        }
+    }
+
+    /// Run `op` against the leader, re-resolving leadership and retrying
+    /// on `NotLeader` and transport-level failures (which is how a write
+    /// in flight during failover finds the new leader). `op` receives
+    /// the routing attempt number; `attempt > 0` means an earlier try
+    /// may have executed on a now-dead leader without us seeing its ack.
+    async fn lead<T, F>(&self, op: F) -> Result<T>
+    where
+        F: for<'c> Fn(&'c ResilientClient, u32) -> BoxFuture<'c, Result<T>>,
+    {
+        let mut last: Option<Error> = None;
+        for attempt in 0..LEAD_ATTEMPTS {
+            let idx = self.leader.load(Ordering::Acquire);
+            match op(&self.nodes[idx], attempt).await {
+                Err(e @ (Error::NotLeader { .. } | Error::Transport(_) | Error::Timeout(_))) => {
+                    last = Some(e);
+                    if let Err(resolve) = self.resolve_leader().await {
+                        return Err(last.unwrap_or(resolve));
+                    }
+                }
+                other => return other,
+            }
+        }
+        Err(last.unwrap_or_else(|| Error::Transport("leader retries exhausted".to_string())))
+    }
+
+    /// Record an acked write: the session's floor for replica reads.
+    fn note_write(&self, store: &StoreId, rev: Revision) {
+        let mut session = self.session.lock();
+        let entry = session.entry(store.clone()).or_insert(0);
+        if rev.0 > *entry {
+            *entry = rev.0;
+        }
+    }
+
+    fn session_floor(&self, store: &StoreId) -> u64 {
+        self.session.lock().get(store).copied().unwrap_or(0)
+    }
+
+    /// Pick the next read node (round-robin over live nodes). Every 64
+    /// reads the dead set is revived so crashed-then-recovered replicas
+    /// rejoin the rotation without a control-plane event.
+    fn read_candidates(&self) -> Vec<usize> {
+        if self.reads.fetch_add(1, Ordering::Relaxed) % 64 == 63 {
+            for flag in &self.dead {
+                flag.store(false, Ordering::Release);
+            }
+        }
+        let n = self.nodes.len();
+        let start = self.rr.fetch_add(1, Ordering::Relaxed) % n;
+        let mut order: Vec<usize> = (0..n).map(|i| (start + i) % n).collect();
+        order.retain(|i| !self.dead[*i].load(Ordering::Acquire));
+        let leader = self.leader.load(Ordering::Acquire);
+        if order.is_empty() {
+            order.push(leader);
+        } else if !order.contains(&leader) {
+            // The leader always serves as the fallback of last resort.
+            order.push(leader);
+        }
+        order
+    }
+
+    /// Read-your-writes barrier: make sure `node` has applied this
+    /// session's last acked write to `store` before reading from it.
+    async fn barrier(&self, idx: usize, store: &StoreId) -> Result<()> {
+        let floor = self.session_floor(store);
+        if floor == 0 || idx == self.leader.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        if self
+            .caught_up
+            .lock()
+            .get(&(idx, store.clone()))
+            .map(|have| *have >= floor)
+            .unwrap_or(false)
+        {
+            return Ok(());
+        }
+        let seen = self.nodes[idx]
+            .repl_wait(store.clone(), Revision(floor))
+            .await?;
+        let mut caught = self.caught_up.lock();
+        let entry = caught.entry((idx, store.clone())).or_insert(0);
+        if seen.0 > *entry {
+            *entry = seen.0;
+        }
+        Ok(())
+    }
+
+    /// Run a read against the replica set: rotate across live nodes
+    /// (barriered), falling back toward the leader on failure.
+    async fn read<T, F>(&self, store: &StoreId, op: F) -> Result<T>
+    where
+        F: for<'c> Fn(&'c ResilientClient) -> BoxFuture<'c, Result<T>>,
+    {
+        let mut last: Option<Error> = None;
+        for idx in self.read_candidates() {
+            if self.barrier(idx, store).await.is_err() {
+                // Replica can't prove catch-up (e.g. partitioned from the
+                // leader): skip it rather than risk a stale read.
+                continue;
+            }
+            match op(&self.nodes[idx]).await {
+                Err(e @ (Error::Transport(_) | Error::Timeout(_))) => {
+                    self.dead[idx].store(true, Ordering::Release);
+                    last = Some(e);
+                }
+                other => return other,
+            }
+        }
+        Err(last.unwrap_or_else(|| Error::Transport("no readable replica".to_string())))
+    }
+}
+
+impl ExchangeApi for ReplicaRouter {
+    /// Broadcast: every member materializes the store (followers need it
+    /// before the replication stream can land). `AlreadyExists` from a
+    /// member that restarted with surviving state is tolerated.
+    fn create_store(&self, store: StoreId, profile: ProfileSpec) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            let leader = self.leader.load(Ordering::Acquire);
+            let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+            order.sort_by_key(|i| if *i == leader { 0 } else { 1 });
+            for idx in order {
+                match self.nodes[idx]
+                    .create_store(store.clone(), profile.clone())
+                    .await
+                {
+                    Ok(()) | Err(Error::AlreadyExists(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(())
+        })
+    }
+
+    fn create(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        value: Value,
+    ) -> BoxFuture<'_, Result<Revision>> {
+        Box::pin(async move {
+            let result = self
+                .lead(|node, attempt| {
+                    let (store, key, value) = (store.clone(), key.clone(), value.clone());
+                    Box::pin(async move {
+                        match node.create(store.clone(), key.clone(), value.clone()).await {
+                            // A retried create that lost its ack to a dying
+                            // leader resurfaces as AlreadyExists on the new
+                            // one; identical content means it was ours.
+                            Err(Error::AlreadyExists(_)) if attempt > 0 => {
+                                let existing = node.get(store, key).await?;
+                                if *existing.value == value {
+                                    Ok(existing.revision)
+                                } else {
+                                    Err(Error::AlreadyExists(existing.key.to_string()))
+                                }
+                            }
+                            other => other,
+                        }
+                    })
+                })
+                .await?;
+            self.note_write(&store, result);
+            Ok(result)
+        })
+    }
+
+    fn get(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<StoredObject>> {
+        Box::pin(async move {
+            self.read(&store, |node| {
+                let (store, key) = (store.clone(), key.clone());
+                Box::pin(async move { node.get(store, key).await })
+            })
+            .await
+        })
+    }
+
+    fn list(&self, store: StoreId) -> BoxFuture<'_, Result<(Vec<StoredObject>, Revision)>> {
+        Box::pin(async move {
+            self.read(&store, |node| {
+                let store = store.clone();
+                Box::pin(async move { node.list(store).await })
+            })
+            .await
+        })
+    }
+
+    fn update(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        value: Value,
+        expected: Option<Revision>,
+    ) -> BoxFuture<'_, Result<Revision>> {
+        Box::pin(async move {
+            let result = self
+                .lead(|node, attempt| {
+                    let (store, key, value) = (store.clone(), key.clone(), value.clone());
+                    Box::pin(async move {
+                        match node
+                            .update(store.clone(), key.clone(), value.clone(), expected)
+                            .await
+                        {
+                            // OCC conflict on a routing retry: if the store
+                            // already holds exactly our value, the lost ack
+                            // was ours.
+                            Err(Error::Conflict { .. }) if attempt > 0 && expected.is_some() => {
+                                let existing = node.get(store, key).await?;
+                                if *existing.value == value {
+                                    Ok(existing.revision)
+                                } else {
+                                    Err(Error::Conflict {
+                                        expected: expected.map(|r| r.0).unwrap_or(0),
+                                        actual: existing.revision.0,
+                                    })
+                                }
+                            }
+                            other => other,
+                        }
+                    })
+                })
+                .await?;
+            self.note_write(&store, result);
+            Ok(result)
+        })
+    }
+
+    fn patch(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        patch: Value,
+        upsert: bool,
+    ) -> BoxFuture<'_, Result<Revision>> {
+        Box::pin(async move {
+            // A patch is naturally idempotent across routing retries: the
+            // store's no-op suppression absorbs a re-merge of content that
+            // already landed.
+            let result = self
+                .lead(|node, _| {
+                    let (store, key, patch) = (store.clone(), key.clone(), patch.clone());
+                    Box::pin(async move { node.patch(store, key, patch, upsert).await })
+                })
+                .await?;
+            self.note_write(&store, result);
+            Ok(result)
+        })
+    }
+
+    fn delete(&self, store: StoreId, key: ObjectKey) -> BoxFuture<'_, Result<Revision>> {
+        Box::pin(async move {
+            let result = self
+                .lead(|node, attempt| {
+                    let (store, key) = (store.clone(), key.clone());
+                    Box::pin(async move {
+                        match node.delete(store, key).await {
+                            // Our earlier attempt may have deleted it before
+                            // the ack was lost: report the store's revision.
+                            Err(Error::NotFound(_)) if attempt > 0 => Err(Error::NotFound(
+                                "deleted (ack lost in failover)".to_string(),
+                            )),
+                            other => other,
+                        }
+                    })
+                })
+                .await?;
+            self.note_write(&store, result);
+            Ok(result)
+        })
+    }
+
+    fn batch_get(
+        &self,
+        store: StoreId,
+        keys: Vec<ObjectKey>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        Box::pin(async move {
+            self.read(&store, |node| {
+                let (store, keys) = (store.clone(), keys.clone());
+                Box::pin(async move { node.batch_get(store, keys).await })
+            })
+            .await
+        })
+    }
+
+    fn batch_put(
+        &self,
+        store: StoreId,
+        items: Vec<PutItem>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        Box::pin(async move {
+            let results = self
+                .lead(|node, _| {
+                    let (store, items) = (store.clone(), items.clone());
+                    Box::pin(async move { node.batch_put(store, items).await })
+                })
+                .await?;
+            if let Some(high) = results.iter().filter_map(item_revision).max() {
+                self.note_write(&store, high);
+            }
+            Ok(results)
+        })
+    }
+
+    fn batch_commit(
+        &self,
+        store: StoreId,
+        ops: Vec<BatchOp>,
+    ) -> BoxFuture<'_, Result<Vec<ItemResult>>> {
+        Box::pin(async move {
+            let results = self
+                .lead(|node, _| {
+                    let (store, ops) = (store.clone(), ops.clone());
+                    Box::pin(async move { node.batch_commit(store, ops).await })
+                })
+                .await?;
+            if let Some(high) = results.iter().filter_map(item_revision).max() {
+                self.note_write(&store, high);
+            }
+            Ok(results)
+        })
+    }
+
+    fn register_consumer(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        consumer: String,
+    ) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            self.lead(|node, _| {
+                let (store, key, consumer) = (store.clone(), key.clone(), consumer.clone());
+                Box::pin(async move { node.register_consumer(store, key, consumer).await })
+            })
+            .await
+        })
+    }
+
+    fn mark_processed(
+        &self,
+        store: StoreId,
+        key: ObjectKey,
+        consumer: String,
+    ) -> BoxFuture<'_, Result<Vec<ObjectKey>>> {
+        Box::pin(async move {
+            self.lead(|node, _| {
+                let (store, key, consumer) = (store.clone(), key.clone(), consumer.clone());
+                Box::pin(async move { node.mark_processed(store, key, consumer).await })
+            })
+            .await
+        })
+    }
+
+    /// Watch through the replica set, surviving node loss: the stream
+    /// rides one node's resilient watch until that node dies, then
+    /// resumes from the router's own `last_seen` cursor on another
+    /// member — deduplicating the overlap and verifying the dense
+    /// revision sequence, exactly like the single-node resume protocol.
+    ///
+    /// Watches prefer replicas: a replica only ever fans out *applied
+    /// replicated* state, so a promotion can never retract an event this
+    /// stream delivered.
+    fn watch(&self, store: StoreId, from: Revision) -> BoxFuture<'_, Result<WatchRx>> {
+        Box::pin(async move {
+            let nodes = self.nodes.clone();
+            let leader = self.leader.load(Ordering::Acquire);
+            let start = watch_node_order(nodes.len(), leader);
+            // Establish eagerly so immediate errors surface to the caller.
+            let (mut current, mut inner) = establish_watch(&nodes, &start, &store, from).await?;
+            let (tx, rx) = mpsc::unbounded_channel();
+            let store_id = store.clone();
+            tokio::spawn(async move {
+                let mut last_seen = from;
+                loop {
+                    match inner.recv().await {
+                        Some(event) => {
+                            if event.revision <= last_seen {
+                                continue; // resubscription overlap
+                            }
+                            if event.revision.0 > last_seen.0 + 1 {
+                                // Gap on the live stream: resume from the
+                                // cursor rather than deliver a hole.
+                                match establish_watch(
+                                    &nodes,
+                                    &rotation(nodes.len(), current),
+                                    &store_id,
+                                    last_seen,
+                                )
+                                .await
+                                {
+                                    Ok((node, stream)) => {
+                                        current = node;
+                                        inner = stream;
+                                        continue;
+                                    }
+                                    Err(_) => break,
+                                }
+                            }
+                            last_seen = event.revision;
+                            if tx.send(event).is_err() {
+                                return; // consumer gone
+                            }
+                        }
+                        None => {
+                            // This node's resilient watch gave up (node
+                            // dead): resume on the next member.
+                            match establish_watch(
+                                &nodes,
+                                &rotation(nodes.len(), current),
+                                &store_id,
+                                last_seen,
+                            )
+                            .await
+                            {
+                                Ok((node, stream)) => {
+                                    current = node;
+                                    inner = stream;
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                }
+            });
+            Ok(rx)
+        })
+    }
+
+    fn register_schema(&self, schema: Schema) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            self.lead(|node, _| {
+                let schema = schema.clone();
+                Box::pin(async move { node.register_schema(schema).await })
+            })
+            .await
+        })
+    }
+
+    fn bind_schema(&self, store: StoreId, schema: SchemaName) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            self.lead(|node, _| {
+                let (store, schema) = (store.clone(), schema.clone());
+                Box::pin(async move { node.bind_schema(store, schema).await })
+            })
+            .await
+        })
+    }
+
+    fn get_schema(&self, schema: SchemaName) -> BoxFuture<'_, Result<Schema>> {
+        Box::pin(async move {
+            self.lead(|node, _| {
+                let schema = schema.clone();
+                Box::pin(async move { node.get_schema(schema).await })
+            })
+            .await
+        })
+    }
+
+    fn register_udf(
+        &self,
+        name: String,
+        inputs: Vec<String>,
+        assignments: Vec<UdfAssignment>,
+    ) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            self.lead(|node, _| {
+                let (name, inputs, assignments) =
+                    (name.clone(), inputs.clone(), assignments.clone());
+                Box::pin(async move { node.register_udf(name, inputs, assignments).await })
+            })
+            .await
+        })
+    }
+
+    fn execute_udf(
+        &self,
+        name: String,
+        bindings: Vec<UdfBinding>,
+    ) -> BoxFuture<'_, Result<Vec<(StoreId, Revision)>>> {
+        Box::pin(async move {
+            let revisions = self
+                .lead(|node, _| {
+                    let (name, bindings) = (name.clone(), bindings.clone());
+                    Box::pin(async move { node.execute_udf(name, bindings).await })
+                })
+                .await?;
+            for (store, rev) in &revisions {
+                self.note_write(store, *rev);
+            }
+            Ok(revisions)
+        })
+    }
+
+    fn transact(&self, ops: Vec<TxOp>) -> BoxFuture<'_, Result<Vec<(StoreId, Revision)>>> {
+        Box::pin(async move {
+            let revisions = self
+                .lead(|node, _| {
+                    let ops = ops.clone();
+                    Box::pin(async move { node.transact(ops).await })
+                })
+                .await?;
+            for (store, rev) in &revisions {
+                self.note_write(store, *rev);
+            }
+            Ok(revisions)
+        })
+    }
+
+    // Log stores are not replicated (ROADMAP: Object-DE first); log
+    // traffic rides the leader like any single-node deployment.
+    fn log_create_store(&self, store: StoreId) -> BoxFuture<'_, Result<()>> {
+        Box::pin(async move {
+            self.lead(|node, _| {
+                let store = store.clone();
+                Box::pin(async move { node.log_create_store(store).await })
+            })
+            .await
+        })
+    }
+
+    fn log_append(&self, store: StoreId, fields: Value) -> BoxFuture<'_, Result<u64>> {
+        Box::pin(async move {
+            self.lead(|node, _| {
+                let (store, fields) = (store.clone(), fields.clone());
+                Box::pin(async move { node.log_append(store, fields).await })
+            })
+            .await
+        })
+    }
+
+    fn log_append_batch(&self, store: StoreId, batch: Vec<Value>) -> BoxFuture<'_, Result<u64>> {
+        Box::pin(async move {
+            self.lead(|node, _| {
+                let (store, batch) = (store.clone(), batch.clone());
+                Box::pin(async move { node.log_append_batch(store, batch).await })
+            })
+            .await
+        })
+    }
+
+    fn log_read(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<Vec<LogRecord>>> {
+        Box::pin(async move {
+            self.lead(|node, _| {
+                let store = store.clone();
+                Box::pin(async move { node.log_read(store, from).await })
+            })
+            .await
+        })
+    }
+
+    fn log_query(&self, store: StoreId, query: QuerySpec) -> BoxFuture<'_, Result<Vec<Value>>> {
+        Box::pin(async move {
+            self.lead(|node, _| {
+                let (store, query) = (store.clone(), query.clone());
+                Box::pin(async move { node.log_query(store, query).await })
+            })
+            .await
+        })
+    }
+
+    fn log_tail(&self, store: StoreId, from: u64) -> BoxFuture<'_, Result<TailRx>> {
+        Box::pin(async move {
+            let idx = self.leader.load(Ordering::Acquire);
+            self.nodes[idx].log_tail(store, from).await
+        })
+    }
+
+    fn metrics(&self) -> BoxFuture<'_, Result<knactor_types::metrics::MetricsSnapshot>> {
+        Box::pin(async move {
+            let idx = self.leader.load(Ordering::Acquire);
+            self.nodes[idx].metrics().await
+        })
+    }
+}
+
+fn item_revision(item: &ItemResult) -> Option<Revision> {
+    match item {
+        ItemResult::Revision { revision } => Some(*revision),
+        _ => None,
+    }
+}
+
+/// Watch-node preference order: replicas first (leader last), so the
+/// stream observes only replicated state.
+fn watch_node_order(n: usize, leader: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).filter(|i| *i != leader).collect();
+    order.push(leader);
+    order
+}
+
+/// Resume order after node `current` failed: everyone else first, then
+/// `current` again as the last resort.
+fn rotation(n: usize, current: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).filter(|i| *i != current).collect();
+    order.push(current);
+    order
+}
+
+/// Try the given nodes in order until one yields a watch stream.
+async fn establish_watch(
+    nodes: &[Arc<ResilientClient>],
+    order: &[usize],
+    store: &StoreId,
+    from: Revision,
+) -> Result<(usize, WatchRx)> {
+    let mut last: Option<Error> = None;
+    for idx in order {
+        match nodes[*idx].watch(store.clone(), from).await {
+            Ok(rx) => return Ok((*idx, rx)),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| Error::Transport("no watchable replica".to_string())))
+}
+
+// ---------------------------------------------------------------------------
+// ReplicatedExchange harness
+// ---------------------------------------------------------------------------
+
+/// One member of an in-process [`ReplicatedExchange`].
+pub struct ReplicaNode {
+    pub name: String,
+    addr: SocketAddr,
+    server: Option<ExchangeServer>,
+    follower: Option<FollowerHandle>,
+}
+
+impl ReplicaNode {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The node's exchange server, if it is still alive.
+    pub fn server(&self) -> Option<&ExchangeServer> {
+        self.server.as_ref()
+    }
+}
+
+/// A whole replica set in one process: a leader plus N followers with
+/// their replicators and failover sentinels running — the deployment
+/// harness tests, benches, and `knactorctl serve --replicas` share.
+pub struct ReplicatedExchange {
+    nodes: Vec<ReplicaNode>,
+    subject: Subject,
+}
+
+impl ReplicatedExchange {
+    /// Launch a leader (node 0) and `followers` follower nodes.
+    pub async fn launch(followers: usize) -> Result<ReplicatedExchange> {
+        ReplicatedExchange::launch_with(followers, None).await
+    }
+
+    /// [`ReplicatedExchange::launch`] with a [`FaultPlan`] decorating
+    /// every follower's *apply path* — deterministic replication delay,
+    /// loss, and duplication between leader commit and follower apply.
+    pub async fn launch_with(
+        followers: usize,
+        apply_plan: Option<FaultPlan>,
+    ) -> Result<ReplicatedExchange> {
+        let total = followers + 1;
+        let mut servers = Vec::with_capacity(total);
+        for i in 0..total {
+            let server = ExchangeServer::bind_ephemeral().await?;
+            if i > 0 {
+                server.repl().set_follower();
+            }
+            servers.push(server);
+        }
+        let addrs: Vec<SocketAddr> = servers.iter().map(|s| s.local_addr()).collect();
+        let subject = Subject::integrator("repl-harness");
+        let mut nodes = Vec::with_capacity(total);
+        for (i, server) in servers.into_iter().enumerate() {
+            let name = format!("node-{i}");
+            let follower = if i > 0 {
+                let loopback: Arc<dyn ExchangeApi> = Arc::new(
+                    LoopbackClient::new(
+                        Arc::clone(&server.object),
+                        Arc::clone(&server.log),
+                        Subject::integrator(&name),
+                    )
+                    .with_data_dir(server.data_dir()),
+                );
+                let apply = match &apply_plan {
+                    Some(plan) => {
+                        let mut plan = *plan;
+                        // One independent deterministic stream per node.
+                        plan.seed = plan.seed.wrapping_add(i as u64);
+                        Arc::new(FaultApi::new(loopback, plan)) as Arc<dyn ExchangeApi>
+                    }
+                    None => loopback,
+                };
+                Some(run_follower(
+                    &server,
+                    apply,
+                    FollowerConfig {
+                        name: name.clone(),
+                        node_index: i,
+                        peers: addrs.clone(),
+                        initial_leader: 0,
+                    },
+                ))
+            } else {
+                None
+            };
+            nodes.push(ReplicaNode {
+                name,
+                addr: addrs[i],
+                server: Some(server),
+                follower,
+            });
+        }
+        Ok(ReplicatedExchange { nodes, subject })
+    }
+
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.nodes.iter().map(|n| n.addr).collect()
+    }
+
+    pub fn node(&self, idx: usize) -> &ReplicaNode {
+        &self.nodes[idx]
+    }
+
+    /// Index of the node currently leading (in-process view).
+    pub fn leader_index(&self) -> Option<usize> {
+        self.nodes.iter().position(|n| {
+            n.server
+                .as_ref()
+                .map(|s| s.repl().is_leader())
+                .unwrap_or(false)
+        })
+    }
+
+    /// A [`ReplicaRouter`] over the whole set.
+    pub async fn router(&self, policy: RetryPolicy) -> Result<ReplicaRouter> {
+        ReplicaRouter::connect(&self.addrs(), self.subject.clone(), policy).await
+    }
+
+    /// Kill the current leader (server shutdown: every connection dies,
+    /// the node never comes back). Returns the dead node's index.
+    pub async fn kill_leader(&mut self) -> usize {
+        let idx = self.leader_index().expect("a live leader to kill");
+        if let Some(server) = self.nodes[idx].server.take() {
+            server.shutdown().await;
+        }
+        if let Some(follower) = self.nodes[idx].follower.take() {
+            follower.stop().await;
+        }
+        idx
+    }
+
+    /// Wait until some surviving node has promoted itself.
+    pub async fn await_leader(&self, timeout: Duration) -> Result<usize> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(idx) = self.leader_index() {
+                return Ok(idx);
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::Timeout("no node promoted itself".to_string()));
+            }
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+    }
+
+    /// Block until every *live* node's copy of `store` has applied at
+    /// least `revision` (test convergence helper).
+    pub async fn await_converged(
+        &self,
+        store: &StoreId,
+        revision: Revision,
+        timeout: Duration,
+    ) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let caught_up = self
+                .nodes
+                .iter()
+                .filter_map(|n| n.server.as_ref())
+                .all(|s| {
+                    s.object
+                        .store(store)
+                        .map(|st| st.revision() >= revision)
+                        .unwrap_or(false)
+                });
+            if caught_up {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                let positions: Vec<String> = self
+                    .nodes
+                    .iter()
+                    .map(|n| match &n.server {
+                        Some(s) => format!(
+                            "{}={}",
+                            n.name,
+                            s.object.store(store).map(|st| st.revision().0).unwrap_or(0)
+                        ),
+                        None => format!("{}=dead", n.name),
+                    })
+                    .collect();
+                return Err(Error::Timeout(format!(
+                    "replicas not converged to {}: {}",
+                    revision.0,
+                    positions.join(", ")
+                )));
+            }
+            tokio::time::sleep(Duration::from_millis(5)).await;
+        }
+    }
+
+    /// Simulate a follower crash at store granularity: drop the node's
+    /// copy of `store` and re-open it from its WAL (the PR 2 recovery
+    /// path truncates any torn tail). The node's replicator re-discovers
+    /// the store and catches up from its recovered revision.
+    pub fn crash_recover_store(&self, idx: usize, store: &StoreId) -> Result<Revision> {
+        let server = self.nodes[idx]
+            .server
+            .as_ref()
+            .ok_or_else(|| Error::Internal("node is dead".to_string()))?;
+        let profile = server.object.store(store)?.profile().clone();
+        server.object.drop_store(store)?;
+        let reopened = server.object.create_store(store.clone(), profile)?;
+        reopened.attach_repl(ReplState::new(store, server.repl().leading_flag()));
+        Ok(reopened.revision())
+    }
+
+    /// Live (non-killed) node indexes.
+    pub fn live_nodes(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.server.is_some())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    pub async fn shutdown(mut self) {
+        for node in &mut self.nodes {
+            if let Some(follower) = node.follower.take() {
+                follower.stop().await;
+            }
+            if let Some(server) = node.server.take() {
+                server.shutdown().await;
+            }
+        }
+    }
+}

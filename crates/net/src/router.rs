@@ -89,20 +89,34 @@ pub struct ShardRouter {
 
 impl ShardRouter {
     /// Route through the given per-shard clients. The client at index
-    /// `i` must reach the node named `map.nodes()[i]`.
+    /// `i` must reach the node named `map.nodes()[i]`. Panics on a
+    /// count mismatch; [`ShardRouter::try_new`] returns it typed.
     pub fn new(map: ShardMap, shards: Vec<Arc<dyn ExchangeApi>>) -> ShardRouter {
-        assert_eq!(
-            map.shard_count(),
-            shards.len(),
-            "shard map names {} nodes but {} clients were supplied",
-            map.shard_count(),
-            shards.len()
-        );
-        ShardRouter {
+        ShardRouter::try_new(map, shards).expect("shard map / client count mismatch")
+    }
+
+    /// [`ShardRouter::new`] with the topology-mismatch failure surfaced
+    /// as a typed error instead of a panic — the form control planes
+    /// want when the map comes from configuration rather than code.
+    ///
+    /// Note the map is **pinned at construction**: a `rebalanced()`
+    /// successor map is a new topology and needs a new router (plus a
+    /// data migration this layer does not perform — see DESIGN.md §9).
+    /// Mid-flight topology changes therefore surface as this typed
+    /// error at the next construction, never as a silent misroute.
+    pub fn try_new(map: ShardMap, shards: Vec<Arc<dyn ExchangeApi>>) -> Result<ShardRouter> {
+        if map.shard_count() != shards.len() {
+            return Err(Error::Internal(format!(
+                "shard map names {} nodes but {} clients were supplied",
+                map.shard_count(),
+                shards.len()
+            )));
+        }
+        Ok(ShardRouter {
             map: Arc::new(map),
             shards,
             cursors: Arc::new(Mutex::new(HashMap::new())),
-        }
+        })
     }
 
     /// A fully in-process sharded exchange: N loopback shard nodes, each

@@ -11,9 +11,10 @@ use crate::frame::{FrameReader, FrameWriter};
 use crate::proto::{
     decode, encode_into, EventBody, Hello, Request, RequestEnvelope, Response, ServerMsg,
 };
+use crate::replica::ReplRuntime;
 use knactor_logstore::{LogExchange, TailEvent};
 use knactor_rbac::Subject;
-use knactor_store::{BatchOp, DataExchange};
+use knactor_store::{BatchOp, DataExchange, ReplState};
 use knactor_types::{metrics, Error, Result, StoreId, Value};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -67,6 +68,9 @@ pub struct ExchangeServer {
     shutdown_tx: watch::Sender<bool>,
     accept_task: JoinHandle<()>,
     data_dir: PathBuf,
+    /// Bound to port 0: the data dir is per-instance and disposable.
+    ephemeral: bool,
+    repl: Arc<ReplRuntime>,
 }
 
 impl ExchangeServer {
@@ -92,9 +96,29 @@ impl ExchangeServer {
             .local_addr()
             .map_err(|e| Error::Transport(e.to_string()))?;
         let (shutdown_tx, shutdown_rx) = watch::channel(false);
-        let data_dir =
-            std::env::temp_dir().join(format!("knactor-server-{local_addr}").replace(':', "_"));
+        // A server bound to an explicit port keeps a port-stable data
+        // dir, so restarting it recovers its WALs. A port-0 bind asked
+        // for *any* port — and the OS recycles ephemeral ports, so a
+        // port-stable dir would let a fresh server silently recover a
+        // dead stranger's WAL. Those dirs get a per-instance uniquifier
+        // instead (and are removed on graceful shutdown).
+        let ephemeral = addr.trim_end().ends_with(":0");
+        let dir_name = if ephemeral {
+            static EPHEMERAL_SEQ: AtomicU64 = AtomicU64::new(0);
+            format!(
+                "knactor-server-{local_addr}-{}-{}",
+                std::process::id(),
+                EPHEMERAL_SEQ.fetch_add(1, Ordering::Relaxed)
+            )
+        } else {
+            format!("knactor-server-{local_addr}")
+        };
+        let data_dir = std::env::temp_dir().join(dir_name.replace(':', "_"));
         let reg = metrics::global();
+        // Every node starts as its own leader: a single-node deployment
+        // never notices replication exists. Harnesses demote followers
+        // via `server.repl().set_follower()` right after bind.
+        let repl = ReplRuntime::leader();
         let ctx = Arc::new(ServerCtx {
             object: Arc::clone(&object),
             log: Arc::clone(&log),
@@ -104,6 +128,7 @@ impl ExchangeServer {
             inflight: AtomicI64::new(0),
             shed_total: reg.counter("knactor_net_shed_total", &[("role", "server")]),
             inflight_gauge: reg.gauge("knactor_net_inflight", &[("role", "server")]),
+            repl: Arc::clone(&repl),
         });
         let accept_task = tokio::spawn(accept_loop(listener, ctx, shutdown_rx));
         Ok(ExchangeServer {
@@ -113,6 +138,8 @@ impl ExchangeServer {
             shutdown_tx,
             accept_task,
             data_dir,
+            ephemeral,
+            repl,
         })
     }
 
@@ -135,11 +162,21 @@ impl ExchangeServer {
         &self.data_dir
     }
 
+    /// This node's replication role state (leader by default).
+    pub fn repl(&self) -> Arc<ReplRuntime> {
+        Arc::clone(&self.repl)
+    }
+
     /// Signal shutdown and wait for the accept loop to finish. Existing
     /// connections observe the flag and drain.
     pub async fn shutdown(self) {
         let _ = self.shutdown_tx.send(true);
         let _ = self.accept_task.await;
+        // An ephemeral server's WALs are unreachable after shutdown (no
+        // one can re-bind "the same" port-0 server), so reclaim the dir.
+        if self.ephemeral {
+            let _ = std::fs::remove_dir_all(&self.data_dir);
+        }
     }
 }
 
@@ -153,9 +190,32 @@ struct ServerCtx {
     inflight: AtomicI64,
     shed_total: Arc<metrics::Counter>,
     inflight_gauge: Arc<metrics::Gauge>,
+    repl: Arc<ReplRuntime>,
 }
 
 impl ServerCtx {
+    /// Reject client mutations of replicated stores on non-leader nodes.
+    ///
+    /// Followers mutate their replicated stores only through the
+    /// in-process replication apply path ([`crate::loopback`]), which
+    /// never crosses this fence. Unknown stores pass: the op will fail
+    /// with its own `NotFound` (or is a `CreateStore` broadcast).
+    fn fence_replicated(&self, store: &StoreId) -> Result<()> {
+        if self.repl.is_leader() {
+            return Ok(());
+        }
+        let replicated = self
+            .object
+            .store(store)
+            .map(|s| s.repl().is_some() || s.profile().repl_acks > 0)
+            .unwrap_or(false);
+        if replicated {
+            return Err(Error::NotLeader {
+                epoch: self.repl.epoch(),
+            });
+        }
+        Ok(())
+    }
     /// True when new work should be shed: this connection's outbound
     /// queue is past its watermark (the client is not consuming replies
     /// fast enough) or the server-wide inflight count is at its cap.
@@ -168,11 +228,20 @@ impl ServerCtx {
 
 /// Requests subject to admission control. Ping (health), Metrics
 /// (observability), and Unwatch (teardown that *relieves* load) are
-/// always admitted.
+/// always admitted. So is the replication control plane: a follower ack
+/// is what releases a quorum-blocked writer (shedding it would deepen
+/// the overload it is reacting to), and heartbeats/promotion must work
+/// precisely when the cluster is struggling.
 fn sheddable(request: &Request) -> bool {
     !matches!(
         request,
-        Request::Ping | Request::Metrics | Request::Unwatch { .. }
+        Request::Ping
+            | Request::Metrics
+            | Request::Unwatch { .. }
+            | Request::ReplAck { .. }
+            | Request::ReplStatus
+            | Request::ReplSubscribe { .. }
+            | Request::ReplPromote { .. }
     )
 }
 
@@ -474,6 +543,55 @@ async fn dispatch(
             subs.insert(sub_id, task);
             Ok(None)
         }
+        Request::ReplSubscribe { store, from } => {
+            // Replication stream: the raw store watch (no RBAC handle, no
+            // profile delivery delays) — followers mirror commit order,
+            // they are not clients. Same reply-before-spawn and
+            // drain-available batching as `Watch`.
+            let mut stream = ctx.object.store(&store)?.watch_from(from)?;
+            let sub_id = ctx.next_sub.fetch_add(1, Ordering::Relaxed);
+            if out_tx
+                .send(ServerMsg::Reply {
+                    id,
+                    response: Response::Watch { sub_id },
+                })
+                .await
+                .is_err()
+            {
+                return Ok(None);
+            }
+            let out = out_tx.clone();
+            let task = tokio::spawn(async move {
+                while let Some(event) = stream.recv().await {
+                    let mut bytes = approx_value_bytes(&event.value);
+                    let mut bodies = vec![EventBody::Object { event }];
+                    while bodies.len() < BATCH_MAX_EVENTS && bytes < BATCH_MAX_BYTES {
+                        match stream.try_recv() {
+                            Ok(event) => {
+                                bytes += approx_value_bytes(&event.value);
+                                bodies.push(EventBody::Object { event });
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    if out.send(batched_msg(sub_id, bodies)).await.is_err() {
+                        return;
+                    }
+                }
+                // A lag cut just ends the stream: the follower resubscribes
+                // from its own applied revision, which is always a valid
+                // resume point.
+                let body = match stream.lag_resume_from() {
+                    Some(resume) => EventBody::WatchLagged {
+                        resume_from: resume.0,
+                    },
+                    None => EventBody::Closed,
+                };
+                let _ = out.send(ServerMsg::Event { sub_id, body }).await;
+            });
+            subs.insert(sub_id, task);
+            Ok(None)
+        }
         Request::LogTail { store, from } => {
             let mut rx = ctx.log.store(&store)?.tail(from);
             let sub_id = ctx.next_sub.fetch_add(1, Ordering::Relaxed);
@@ -549,10 +667,17 @@ async fn dispatch_request(
         Request::Ping => Ok(Response::Pong),
         Request::CreateStore { store, profile } => {
             let profile = profile.materialize(&ctx.data_dir, &store);
-            ctx.object.create_store(store, profile)?;
+            let repl_acks = profile.repl_acks;
+            let created = ctx.object.create_store(store.clone(), profile)?;
+            if repl_acks > 0 {
+                // Replicated store: wire its quorum state to this node's
+                // role flag (quorum waits are live only while leading).
+                created.attach_repl(ReplState::new(&store, ctx.repl.leading_flag()));
+            }
             Ok(Response::Ok)
         }
         Request::Create { store, key, value } => {
+            ctx.fence_replicated(&store)?;
             let rev = ctx
                 .object
                 .handle(&store, subject.clone())?
@@ -578,6 +703,7 @@ async fn dispatch_request(
             value,
             expected,
         } => {
+            ctx.fence_replicated(&store)?;
             let rev = ctx
                 .object
                 .handle(&store, subject.clone())?
@@ -591,6 +717,7 @@ async fn dispatch_request(
             patch,
             upsert,
         } => {
+            ctx.fence_replicated(&store)?;
             let rev = ctx
                 .object
                 .handle(&store, subject.clone())?
@@ -599,6 +726,7 @@ async fn dispatch_request(
             Ok(Response::Revision { revision: rev })
         }
         Request::Delete { store, key } => {
+            ctx.fence_replicated(&store)?;
             let rev = ctx
                 .object
                 .handle(&store, subject.clone())?
@@ -615,6 +743,7 @@ async fn dispatch_request(
             Ok(Response::Batch { items })
         }
         Request::BatchPut { store, items } => {
+            ctx.fence_replicated(&store)?;
             let ops = items.into_iter().map(BatchOp::from).collect();
             let items = ctx
                 .object
@@ -624,6 +753,7 @@ async fn dispatch_request(
             Ok(Response::Batch { items })
         }
         Request::BatchCommit { store, ops } => {
+            ctx.fence_replicated(&store)?;
             let items = ctx
                 .object
                 .handle(&store, subject.clone())?
@@ -691,6 +821,9 @@ async fn dispatch_request(
             })
         }
         Request::Transact { ops } => {
+            for op in &ops {
+                ctx.fence_replicated(&op.store)?;
+            }
             let revisions = ctx.object.transact(subject, &ops)?;
             Ok(Response::Revisions {
                 revisions: revisions.into_iter().collect(),
@@ -717,11 +850,70 @@ async fn dispatch_request(
             let rows = ctx.log.query(&subject.to_string(), &store, &compiled)?;
             Ok(Response::Rows { rows })
         }
+        Request::ReplSubscribe { .. } => {
+            unreachable!("subscription requests are handled by `dispatch`")
+        }
+        Request::ReplAck {
+            store,
+            follower,
+            revision,
+        } => {
+            // Acks against a store with no attached ReplState (e.g. a
+            // non-replicated profile) are harmless no-ops.
+            let target = ctx.object.store(&store)?;
+            if let Some(repl) = target.repl() {
+                repl.ack(&follower, revision, target.revision());
+            }
+            Ok(Response::Ok)
+        }
+        Request::ReplStatus => {
+            let applied = ctx
+                .object
+                .store_ids()
+                .into_iter()
+                .filter_map(|id| ctx.object.store(&id).ok().map(|s| (id, s.revision())))
+                .collect();
+            Ok(Response::ReplStatus {
+                leader: ctx.repl.is_leader(),
+                epoch: ctx.repl.epoch(),
+                applied,
+            })
+        }
+        Request::ReplPromote { epoch } => {
+            ctx.repl.promote(epoch)?;
+            Ok(Response::Ok)
+        }
+        Request::ReplWait { store, revision } => {
+            // Read-your-writes barrier: block (bounded) until this node's
+            // copy of the store has applied at least `revision`.
+            let deadline = std::time::Instant::now() + REPL_WAIT_TIMEOUT;
+            loop {
+                let current = ctx.object.store(&store)?.revision();
+                if current >= revision {
+                    return Ok(Response::Revision { revision: current });
+                }
+                if std::time::Instant::now() >= deadline {
+                    return Err(Error::Timeout(format!(
+                        "replica at revision {} has not applied {}",
+                        current.0, revision.0
+                    )));
+                }
+                tokio::time::sleep(REPL_WAIT_POLL).await;
+            }
+        }
         Request::Metrics => Ok(Response::Metrics {
             snapshot: knactor_types::metrics::global().snapshot(),
         }),
     }
 }
+
+/// How long a `ReplWait` barrier may block before reporting the replica
+/// as behind. Bounded well under client request timeouts.
+const REPL_WAIT_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(3);
+/// Poll cadence for the `ReplWait` barrier (applies arrive from the
+/// replication task, not this connection, so polling is the simple,
+/// allocation-free wait).
+const REPL_WAIT_POLL: std::time::Duration = std::time::Duration::from_micros(500);
 
 /// Helper used by tests and benches: a running server plus its address,
 /// with exchanges pre-created for the given store ids.

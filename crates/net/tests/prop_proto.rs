@@ -66,6 +66,23 @@ fn any_request() -> impl Strategy<Value = Request> {
             store,
             from: Revision(from)
         }),
+        (store.clone(), any::<u64>()).prop_map(|(store, from)| Request::ReplSubscribe {
+            store,
+            from: Revision(from)
+        }),
+        (store.clone(), "[a-z0-9-]{1,8}", any::<u64>()).prop_map(|(store, follower, rev)| {
+            Request::ReplAck {
+                store,
+                follower,
+                revision: Revision(rev),
+            }
+        }),
+        Just(Request::ReplStatus),
+        any::<u64>().prop_map(|epoch| Request::ReplPromote { epoch }),
+        (store.clone(), any::<u64>()).prop_map(|(store, rev)| Request::ReplWait {
+            store,
+            revision: Revision(rev)
+        }),
         proptest::collection::vec(
             (store.clone(), key.clone(), any_value(), any::<bool>()).prop_map(
                 |(store, key, patch, upsert)| TxOp {
@@ -129,6 +146,14 @@ proptest! {
                 },
             },
             ServerMsg::Event { sub_id: id, body: EventBody::Closed },
+            ServerMsg::Reply {
+                id,
+                response: Response::ReplStatus {
+                    leader: rev.is_multiple_of(2),
+                    epoch: rev,
+                    applied: vec![(StoreId::new("a/b"), Revision(rev))],
+                },
+            },
         ];
         for msg in samples {
             let bytes = encode(&msg).unwrap();
@@ -146,10 +171,12 @@ proptest! {
 
     /// Profile specs survive the wire and materialize deterministically.
     #[test]
-    fn profile_spec_roundtrip(which in 0u8..3) {
+    fn profile_spec_roundtrip(which in 0u8..5, acks in 1usize..4) {
         let spec = match which {
             0 => ProfileSpec::Instant,
             1 => ProfileSpec::Redis,
+            2 => ProfileSpec::Replicated { acks },
+            3 => ProfileSpec::ReplicatedApiserver { acks },
             _ => ProfileSpec::Apiserver,
         };
         let back: ProfileSpec = decode(&encode(&spec).unwrap()).unwrap();

@@ -37,6 +37,7 @@ pub mod exchange;
 pub mod handle;
 pub mod object;
 pub mod profile;
+pub mod repl;
 pub mod shard;
 pub mod store;
 pub mod udf;
@@ -48,6 +49,7 @@ pub use exchange::{DataExchange, TxOp};
 pub use handle::StoreHandle;
 pub use object::{RetentionPolicy, StoredObject};
 pub use profile::EngineProfile;
+pub use repl::{ApplyOutcome, FollowerCursor, ReplGroup, ReplState};
 pub use shard::ShardMap;
 pub use store::ObjectStore;
 pub use udf::{Udf, UdfBinding};

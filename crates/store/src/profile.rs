@@ -57,6 +57,12 @@ pub struct EngineProfile {
     /// typed resume point instead of queueing without bound (and
     /// without ever blocking the shared outbox drainer).
     pub watch_lag_cap: usize,
+    /// Replication ack quorum: how many followers must durably stage a
+    /// commit before it is acknowledged (`Durability::Replicated(n)`).
+    /// `0` disables the quorum wait (single-node operation). Only
+    /// meaningful on a store with an attached
+    /// [`crate::repl::ReplState`] whose node is leading.
+    pub repl_acks: usize,
 }
 
 /// Default watch-replay window, sized so short reconnect gaps replay
@@ -88,6 +94,7 @@ impl EngineProfile {
             },
             history_cap: DEFAULT_HISTORY_CAP,
             watch_lag_cap: DEFAULT_WATCH_LAG_CAP,
+            repl_acks: 0,
         }
     }
 
@@ -108,6 +115,7 @@ impl EngineProfile {
             watch: WatchDelivery::Push,
             history_cap: DEFAULT_HISTORY_CAP,
             watch_lag_cap: DEFAULT_WATCH_LAG_CAP,
+            repl_acks: 0,
         }
     }
 
@@ -126,6 +134,7 @@ impl EngineProfile {
             watch: WatchDelivery::Push,
             history_cap: DEFAULT_HISTORY_CAP,
             watch_lag_cap: DEFAULT_WATCH_LAG_CAP,
+            repl_acks: 0,
         }
     }
 
@@ -140,12 +149,20 @@ impl EngineProfile {
             watch: WatchDelivery::Push,
             history_cap: DEFAULT_HISTORY_CAP,
             watch_lag_cap: DEFAULT_WATCH_LAG_CAP,
+            repl_acks: 0,
         }
     }
 
     /// Rename the profile (useful when benchmarks run several variants).
     pub fn named(mut self, name: impl Into<String>) -> EngineProfile {
         self.name = name.into();
+        self
+    }
+
+    /// Require `acks` follower acknowledgements before a write acks
+    /// (see [`crate::repl`]).
+    pub fn replicated(mut self, acks: usize) -> EngineProfile {
+        self.repl_acks = acks;
         self
     }
 

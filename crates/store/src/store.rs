@@ -28,6 +28,7 @@ use crate::batch::{BatchOp, ItemResult};
 use crate::event::{EventKind, WatchEvent};
 use crate::object::{RetentionPolicy, StoredObject};
 use crate::profile::EngineProfile;
+use crate::repl::{ReplState, REPL_ACK_TIMEOUT};
 use crate::wal::Wal;
 use knactor_types::metrics::{self, Counter, Gauge, Histogram};
 use knactor_types::{value, Error, ObjectKey, Result, Revision, Schema, StoreId, Value};
@@ -56,10 +57,14 @@ type Shard = RwLock<BTreeMap<ObjectKey, StoredObject>>;
 /// group fsync covers the commit. `Staged` is the batch building block:
 /// the commit is staged (and visible) but the ack is deferred until the
 /// batch-wide [`Wal::durable_barrier`], so N items share one fsync.
+/// `Replicated(n)` extends `Acked`: after the local fsync the ack is
+/// further held until `n` followers have durably staged the commit's
+/// revision (see [`crate::repl::ReplState`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Durability {
     Acked,
     Staged,
+    Replicated(usize),
 }
 
 /// A staged-but-unacknowledged WAL write: wait on it before acking.
@@ -83,6 +88,9 @@ pub struct ObjectStore {
     fanout: Mutex<Fanout>,
     /// Set while one thread is draining the fan-out outbox.
     draining: AtomicBool,
+    /// Leader-side replication ack table, attached by the node runtime
+    /// when the store participates in a replica set.
+    repl: Mutex<Option<Arc<ReplState>>>,
     metrics: StoreMetrics,
 }
 
@@ -311,6 +319,7 @@ impl ObjectStore {
                 subscribers: Vec::new(),
             }),
             draining: AtomicBool::new(false),
+            repl: Mutex::new(None),
             schema: Mutex::new(None),
             policy: Mutex::new(RetentionPolicy::Forever),
             metrics: store_metrics,
@@ -329,6 +338,26 @@ impl ObjectStore {
 
     pub fn profile(&self) -> &EngineProfile {
         &self.profile
+    }
+
+    /// Attach the leader-side replication ack table. Subsequent acked
+    /// writes additionally wait for the profile's `repl_acks` quorum
+    /// (when the attached state is leading).
+    pub fn attach_repl(&self, state: Arc<ReplState>) {
+        *self.repl.lock() = Some(state);
+    }
+
+    pub fn repl(&self) -> Option<Arc<ReplState>> {
+        self.repl.lock().clone()
+    }
+
+    /// Single-op durability mode: plain `Acked`, or `Replicated(n)` when
+    /// the profile demands a replication quorum.
+    fn ack_mode(&self) -> Durability {
+        match self.profile.repl_acks {
+            0 => Durability::Acked,
+            n => Durability::Replicated(n),
+        }
     }
 
     /// Attach a schema; subsequent writes are validated against it.
@@ -382,7 +411,7 @@ impl ObjectStore {
 
     /// Create a new object. Fails with `AlreadyExists` if the key is taken.
     pub fn create(&self, key: ObjectKey, value: impl Into<Arc<Value>>) -> Result<Revision> {
-        self.create_impl(Durability::Acked, key, value.into())
+        self.create_impl(self.ack_mode(), key, value.into())
     }
 
     fn create_impl(&self, mode: Durability, key: ObjectKey, value: Arc<Value>) -> Result<Revision> {
@@ -400,7 +429,7 @@ impl ObjectStore {
             (rev, pending) = self.commit_locked(EventKind::Created, &key, &value)?;
             shard.insert(key.clone(), StoredObject::new(key, value, rev));
         }
-        self.finish_commit(mode, pending)?;
+        self.finish_commit(mode, rev, pending)?;
         Ok(rev)
     }
 
@@ -439,7 +468,7 @@ impl ObjectStore {
         new_value: impl Into<Arc<Value>>,
         expected: Option<Revision>,
     ) -> Result<Revision> {
-        self.update_impl(Durability::Acked, key, new_value.into(), expected)
+        self.update_impl(self.ack_mode(), key, new_value.into(), expected)
     }
 
     fn update_impl(
@@ -478,7 +507,7 @@ impl ObjectStore {
                 *done = false;
             }
         }
-        self.finish_commit(mode, pending)?;
+        self.finish_commit(mode, rev, pending)?;
         Ok(rev)
     }
 
@@ -495,7 +524,7 @@ impl ObjectStore {
     /// as `Conflict`, and the merge is retried against fresh state a
     /// bounded number of times before the conflict propagates.
     pub fn patch(&self, key: &ObjectKey, patch: &Value, upsert: bool) -> Result<Revision> {
-        self.patch_impl(Durability::Acked, key, patch, upsert)
+        self.patch_impl(self.ack_mode(), key, patch, upsert)
     }
 
     fn patch_impl(
@@ -537,7 +566,7 @@ impl ObjectStore {
 
     /// Delete an object.
     pub fn delete(&self, key: &ObjectKey) -> Result<Revision> {
-        self.delete_impl(Durability::Acked, key)
+        self.delete_impl(self.ack_mode(), key)
     }
 
     fn delete_impl(&self, mode: Durability, key: &ObjectKey) -> Result<Revision> {
@@ -553,7 +582,7 @@ impl ObjectStore {
             (rev, pending) = self.commit_locked(EventKind::Deleted, key, &value)?;
             shard.remove(key);
         }
-        self.finish_commit(mode, pending)?;
+        self.finish_commit(mode, rev, pending)?;
         Ok(rev)
     }
 
@@ -595,6 +624,26 @@ impl ObjectStore {
         self.drain_fanout();
         if let Some(wal) = self.commit.lock().wal.clone() {
             wal.durable_barrier()?;
+        }
+        // Batch-wide replication quorum: one wait at the batch's last
+        // committed revision covers every item (acks are cumulative),
+        // mirroring the one-fsync-per-batch durability barrier. Skipped
+        // when nothing committed, and a no-op on passive (follower)
+        // stores — which is what lets the replication apply path itself
+        // run through here without waiting on its own quorum.
+        if self.profile.repl_acks > 0 {
+            if let Some(repl) = self.repl() {
+                let last = results
+                    .iter()
+                    .filter_map(|r| match r {
+                        ItemResult::Revision { revision } => Some(revision.0),
+                        _ => None,
+                    })
+                    .max();
+                if let Some(rev) = last {
+                    repl.wait_quorum(Revision(rev), self.profile.repl_acks, REPL_ACK_TIMEOUT)?;
+                }
+            }
         }
         Ok(results)
     }
@@ -650,20 +699,32 @@ impl ObjectStore {
     /// Complete a commit after its shard lock is gone: deliver fan-out
     /// and, for `Acked` mode, block until the commit's WAL group fsync
     /// lands. `Staged` mode defers both to the batch caller.
+    /// `Replicated(n)` additionally holds the ack until `n` followers
+    /// have durably staged `rev` (quorum release).
     ///
-    /// An fsync failure after the commit became visible means the record
-    /// is applied-but-unacknowledged — exactly the contract a crash
-    /// between write and ack already imposes on clients (OCC read-back
-    /// disambiguation on retry).
-    fn finish_commit(&self, mode: Durability, pending: PendingDurability) -> Result<()> {
+    /// An fsync (or quorum) failure after the commit became visible means
+    /// the record is applied-but-unacknowledged — exactly the contract a
+    /// crash between write and ack already imposes on clients (OCC
+    /// read-back disambiguation on retry).
+    fn finish_commit(
+        &self,
+        mode: Durability,
+        rev: Revision,
+        pending: PendingDurability,
+    ) -> Result<()> {
         if mode == Durability::Staged {
             return Ok(());
         }
         self.drain_fanout();
-        match pending {
-            Some((wal, ticket)) => wal.wait_durable(ticket),
-            None => Ok(()),
+        if let Some((wal, ticket)) = pending {
+            wal.wait_durable(ticket)?;
         }
+        if let Durability::Replicated(n) = mode {
+            if let Some(repl) = self.repl() {
+                repl.wait_quorum(rev, n, REPL_ACK_TIMEOUT)?;
+            }
+        }
+        Ok(())
     }
 
     /// Deliver queued events to subscribers, outside every store lock.

@@ -54,6 +54,11 @@ pub enum Error {
     Internal(String),
     /// The target component is shutting down and no longer accepts work.
     ShuttingDown,
+    /// A mutation reached a replica that is not the current leader; the
+    /// client must re-resolve leadership (at or above `epoch`) and retry
+    /// there. Not blindly retryable: retrying the *same* node cannot
+    /// succeed, which is why this is distinct from `Transport`.
+    NotLeader { epoch: u64 },
     /// A request exceeded its deadline.
     Timeout(String),
 }
@@ -77,6 +82,7 @@ impl Error {
             Error::Transport(_) => "transport",
             Error::Internal(_) => "internal",
             Error::ShuttingDown => "shutting_down",
+            Error::NotLeader { .. } => "not_leader",
             Error::Timeout(_) => "timeout",
         }
     }
@@ -113,6 +119,9 @@ impl Error {
             "dxg" => Error::Dxg(msg.to_string()),
             "transport" => Error::Transport(msg.to_string()),
             "shutting_down" => Error::ShuttingDown,
+            "not_leader" => Error::NotLeader {
+                epoch: msg.parse().unwrap_or(0),
+            },
             "timeout" => Error::Timeout(msg.to_string()),
             _ => Error::Internal(msg.to_string()),
         }
@@ -124,6 +133,7 @@ impl Error {
             Error::Conflict { expected, actual } => format!("{expected}:{actual}"),
             Error::WatchTooOld { from, oldest } => format!("{from}:{oldest}"),
             Error::Overloaded { retry_after_ms } => format!("{retry_after_ms}"),
+            Error::NotLeader { epoch } => format!("{epoch}"),
             Error::Parse { line, msg } => format!("line {line}: {msg}"),
             other => format!("{other}"),
         }
@@ -165,6 +175,7 @@ impl fmt::Display for Error {
             Error::Transport(m) => write!(f, "transport error: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
             Error::ShuttingDown => write!(f, "shutting down"),
+            Error::NotLeader { epoch } => write!(f, "not the leader (epoch {epoch})"),
             Error::Timeout(m) => write!(f, "timeout: {m}"),
         }
     }
@@ -230,6 +241,7 @@ mod tests {
             Error::Overloaded { retry_after_ms: 25 },
             Error::Transport("t".into()),
             Error::ShuttingDown,
+            Error::NotLeader { epoch: 4 },
             Error::Timeout("t".into()),
         ];
         for e in samples {
@@ -259,6 +271,14 @@ mod tests {
         assert!(Error::Timeout("x".into()).is_retryable());
         assert!(Error::Overloaded { retry_after_ms: 10 }.is_retryable());
         assert!(!Error::Forbidden("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn not_leader_roundtrips_epoch_through_wire_form() {
+        let e = Error::NotLeader { epoch: 12 };
+        let rebuilt = Error::from_wire(e.code(), &e.wire_message());
+        assert_eq!(rebuilt, e);
+        assert!(!e.is_retryable());
     }
 
     #[test]

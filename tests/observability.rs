@@ -336,3 +336,70 @@ async fn fault_injections_and_retries_surface_in_metrics() {
     proxy.shutdown();
     server.shutdown().await;
 }
+
+/// The replication metrics surface in a scrape and agree with ground
+/// truth: acks flow (`knactor_repl_acks_total`), the lag gauge exists
+/// for the replicated store (`knactor_repl_lag_records`), and a
+/// promotion bumps `knactor_failover_total`. Uses a test-unique store
+/// label plus delta baselines — the registry is process-global.
+#[tokio::test]
+async fn replication_metrics_surface_in_scrape() {
+    use knactor::net::{ReplicatedExchange, RetryPolicy};
+
+    const WRITES: u64 = 25;
+    let store = "obsrepl/state";
+
+    let before = knactor::types::metrics::global().snapshot();
+    let failovers_before = counter_value(&before, "knactor_failover_total", &[]);
+
+    let cluster = ReplicatedExchange::launch(1).await.unwrap();
+    let router = cluster.router(RetryPolicy::fast(7)).await.unwrap();
+    let api: Arc<dyn ExchangeApi> = Arc::new(router);
+    api.create_store(store.into(), ProfileSpec::Replicated { acks: 1 })
+        .await
+        .unwrap();
+    for i in 0..WRITES {
+        api.create(
+            store.into(),
+            ObjectKey::new(format!("m-{i}")),
+            json!({"i": i}),
+        )
+        .await
+        .unwrap();
+    }
+
+    // Scrape the leader over the wire.
+    let snap = scrape(cluster.node(0).addr()).await;
+    let acks = counter_value(&snap, "knactor_repl_acks_total", &[("store", store)]);
+    assert!(
+        acks >= WRITES,
+        "every acked write needs at least one follower ack; scraped {acks} < {WRITES}"
+    );
+    let lag = snap
+        .gauges
+        .iter()
+        .find(|g| {
+            g.name == "knactor_repl_lag_records"
+                && g.labels.iter().any(|(k, v)| k == "store" && v == store)
+        })
+        .expect("lag gauge must be registered for the replicated store");
+    assert!(
+        lag.value >= 0,
+        "replication lag cannot be negative, scraped {}",
+        lag.value
+    );
+
+    // A promotion is a failover: the counter must move.
+    let follower = TcpClient::connect(cluster.node(1).addr(), Subject::operator("obs"))
+        .await
+        .unwrap();
+    follower.repl_promote(1).await.unwrap();
+    let after = scrape(cluster.node(1).addr()).await;
+    let failovers_after = counter_value(&after, "knactor_failover_total", &[]);
+    assert!(
+        failovers_after > failovers_before,
+        "promotion must bump knactor_failover_total ({failovers_before} -> {failovers_after})"
+    );
+
+    cluster.shutdown().await;
+}

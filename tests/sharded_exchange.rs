@@ -477,3 +477,53 @@ async fn one_shard_down_fails_only_its_items_and_retries_only_its_sub_batch() {
 
     shards.shutdown().await;
 }
+
+/// Pin the router's topology contract: the shard map is **fixed at
+/// construction**. A `rebalanced()` successor map bumps its version but
+/// does not (and must not) bleed into a live router — re-routing without
+/// migrating resident data would silently misroute every moved key. The
+/// only way topology changes reach traffic is constructing a new router,
+/// where a map/client count mismatch is a *typed* error (`try_new`),
+/// never a misroute. (Live rebalance-with-migration is future work —
+/// DESIGN.md §9.)
+#[tokio::test]
+async fn rebalanced_map_needs_a_new_router_and_mismatch_is_typed() {
+    let (_objects, _logs, router) = ShardRouter::in_process(SHARDS, Subject::integrator("pin"));
+
+    // A rebalance produces a *successor* map...
+    let grown = router
+        .map()
+        .rebalanced((0..SHARDS + 1).map(|i| format!("shard-{i}")).collect());
+    assert_eq!(grown.version(), router.map().version() + 1);
+    assert_eq!(grown.shard_count(), SHARDS + 1);
+    // ...but the live router keeps routing by its construction-time map:
+    // same version, same owners, for every key.
+    assert_eq!(router.map().version(), 1);
+    assert_eq!(router.shard_count(), SHARDS);
+    for i in 0..200u64 {
+        let owner = router.shard_of_key(&StoreId::new("pin/state"), &key(i));
+        assert!(
+            owner < SHARDS,
+            "owner index escaped the constructed topology"
+        );
+    }
+
+    // Wiring the successor map to the *old* client set is refused with a
+    // typed error — the failure a control plane can catch and handle.
+    let (_o2, _l2, donor) = ShardRouter::in_process(SHARDS, Subject::integrator("pin"));
+    let clients: Vec<Arc<dyn ExchangeApi>> = (0..SHARDS)
+        .map(|_| {
+            let (_, _, lb) = knactor::net::loopback::in_process(Subject::integrator("pin"));
+            Arc::new(lb) as Arc<dyn ExchangeApi>
+        })
+        .collect();
+    let _ = donor;
+    let err = match ShardRouter::try_new(grown, clients) {
+        Ok(_) => panic!("count mismatch must not construct a router"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(err, Error::Internal(_)),
+        "count mismatch must be a typed error, got {err:?}"
+    );
+}
