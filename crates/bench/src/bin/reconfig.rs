@@ -79,6 +79,7 @@ fn composition(hot_expr: &str) -> Composition {
                 }],
             },
             mode: SyncMode::Stream,
+            max_batch: 1,
         })
 }
 

@@ -5,6 +5,7 @@
 //! knactorctl schema show <file>           parse and re-render a schema
 //! knactorctl dxg validate <file>          parse a DXG spec and run static analysis
 //! knactorctl dxg plan <file>              show the consolidated execution plan
+//! knactorctl plan --explain <file>        score execution candidates per edge (cost model)
 //! knactorctl dxg udf <file>               export the DXG as pushdown UDF assignments
 //! knactorctl diff <old> <new>             diff two DXGs + composer dry-run of edge actions
 //! knactorctl codegen <schema-file>        generate typed Rust accessors
@@ -28,6 +29,9 @@ fn main() -> ExitCode {
         ["schema", "show", file] => schema_show(file),
         ["dxg", "validate", file] => dxg_validate(file),
         ["dxg", "plan", file] => dxg_plan(file),
+        ["plan", "--explain", file]
+        | ["plan", file, "--explain"]
+        | ["dxg", "plan", "--explain", file] => plan_explain(file),
         ["dxg", "udf", file] => dxg_udf(file),
         ["dxg", "diff", old, new] => dxg_diff(old, new),
         ["diff", old, new] => composer_diff(old, new),
@@ -59,6 +63,7 @@ fn usage() -> String {
      \u{20}   knactorctl schema show <file>\n\
      \u{20}   knactorctl dxg validate <file>\n\
      \u{20}   knactorctl dxg plan <file>\n\
+     \u{20}   knactorctl plan --explain <file>\n\
      \u{20}   knactorctl dxg udf <file>\n\
      \u{20}   knactorctl dxg diff <old> <new>\n\
      \u{20}   knactorctl diff <old> <new>\n\
@@ -235,6 +240,51 @@ fn dxg_plan(file: &str) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `plan --explain`: slice the DXG into per-target edges and print the
+/// cost model's verdict for each — both candidates with their derivation,
+/// eligibility, the winner, and the consolidation saving. Offline static
+/// costs (a Redis-like engine); the live tuner runs the same model over
+/// measured windows.
+fn plan_explain(file: &str) -> ExitCode {
+    use knactor_dxg::cost::{explain, CostModel, StaticCosts};
+    let dxg = match load_dxg(file) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    let costs = StaticCosts::default();
+    let reports = match explain(&dxg, &costs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot plan: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "cost model (static: read {:.0}µs, write {:.0}µs, eval {:.0}µs per step)",
+        costs.read_seconds * 1e6,
+        costs.write_seconds * 1e6,
+        costs.eval_seconds * 1e6
+    );
+    for (report, plan) in &reports {
+        let best = report.best().map(|c| c.choice);
+        println!("edge {} (cast:{}):", report.edge, report.edge);
+        for c in &report.candidates {
+            let marker = if Some(c.choice) == best { "→" } else { " " };
+            let eligible = if c.eligible { "" } else { "  [ineligible]" };
+            println!(
+                "  {marker} {:<8} {:>9.1}µs/activation{}  ({})",
+                c.choice.to_string(),
+                c.per_activation * 1e6,
+                eligible,
+                c.note
+            );
+        }
+        let (naive, consolidated) = CostModel::default().consolidation(plan);
+        println!("    consolidation: {naive} assignments → {consolidated} write op(s)");
+    }
+    ExitCode::SUCCESS
 }
 
 fn dxg_udf(file: &str) -> ExitCode {

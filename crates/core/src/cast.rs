@@ -26,7 +26,7 @@
 //! [`CastController::reconfigure`] swaps the entire DXG at run time —
 //! no knactor is touched, rebuilt, or redeployed.
 
-use crate::metrics::{inc_activation, observe_stage};
+use crate::metrics::{global, inc_activation, observe_stage};
 use crate::telemetry::TraceCollector;
 use knactor_dxg::{Dxg, Plan};
 use knactor_expr::{Env, FnRegistry};
@@ -86,6 +86,14 @@ pub struct CastConfig {
     pub dxg: Dxg,
     pub bindings: BTreeMap<String, CastBinding>,
     pub mode: CastMode,
+    /// Event-coalescing threshold: how many already-queued watch events
+    /// one loop turn may fold together, deduplicated by trigger key, one
+    /// activation per distinct key. `0`/`1` disable coalescing. Safe by
+    /// the same argument as the drain barrier: an activation reads
+    /// *current* state and no-op patches are suppressed, so folding
+    /// duplicate keys batches events without ever skipping one. The
+    /// cost model suggests a value from the observed event rate.
+    pub coalesce: usize,
 }
 
 impl CastConfig {
@@ -411,12 +419,38 @@ async fn run_loop(
                     if event.kind == EventKind::Deleted {
                         continue;
                     }
-                    let key = event.key.clone();
-                    // Activation failures are logged as traces, never
-                    // fatal: the next event retries naturally.
-                    let _ = activation(&api, &fns, &traces, &config, &plan, &key).await;
-                    activations.fetch_add(1, Ordering::Relaxed);
-                    inc_activation(&format!("cast:{}", config.name));
+                    // Coalesce: fold up to `coalesce` queued events into
+                    // this turn, one activation per distinct trigger key
+                    // (batching events, never skipping them — each
+                    // activation reads current state).
+                    let mut keys = vec![event.key.clone()];
+                    if config.coalesce > 1 {
+                        let mut seen: std::collections::BTreeSet<ObjectKey> =
+                            keys.iter().cloned().collect();
+                        let mut examined = 1usize;
+                        while examined < config.coalesce {
+                            let Ok((_, e)) = merged_rx.try_recv() else { break };
+                            examined += 1;
+                            if e.kind != EventKind::Deleted && seen.insert(e.key.clone()) {
+                                keys.push(e.key);
+                            }
+                        }
+                        if examined > keys.len() {
+                            global()
+                                .counter(
+                                    "knactor_cast_coalesced_events_total",
+                                    &[("integrator", &format!("cast:{}", config.name))],
+                                )
+                                .add((examined - keys.len()) as u64);
+                        }
+                    }
+                    for key in keys {
+                        // Activation failures are logged as traces, never
+                        // fatal: the next event retries naturally.
+                        let _ = activation(&api, &fns, &traces, &config, &plan, &key).await;
+                        activations.fetch_add(1, Ordering::Relaxed);
+                        inc_activation(&format!("cast:{}", config.name));
+                    }
                 }
             }
         }
@@ -657,6 +691,7 @@ mod tests {
             dxg: Dxg::parse(FIG6_RETAIL_DXG).unwrap(),
             bindings,
             mode: CastMode::Direct,
+            coalesce: 1,
         };
         (api, config)
     }

@@ -51,6 +51,14 @@ pub struct CastSection {
     pub dxg: knactor_dxg::Dxg,
     pub bindings: BTreeMap<String, CastBinding>,
     pub mode: CastMode,
+    /// Per-target-alias execution overrides, keyed by alias. An entry
+    /// wins over `mode` for that alias's edge only — this is how the
+    /// tuner re-plans one edge without restating the whole section.
+    /// Pushdown UDF names here get the same `:<alias>` suffix as `mode`.
+    pub mode_overrides: BTreeMap<String, CastMode>,
+    /// Per-target-alias coalescing window (see [`CastConfig::coalesce`]);
+    /// absent aliases run uncoalesced.
+    pub coalesce_overrides: BTreeMap<String, usize>,
 }
 
 /// A full declarative composition: what should be running.
@@ -76,7 +84,35 @@ impl Composition {
             dxg,
             bindings,
             mode,
+            mode_overrides: BTreeMap::new(),
+            coalesce_overrides: BTreeMap::new(),
         });
+        self
+    }
+
+    /// Override the execution mode of one cast edge (panics without a
+    /// cast section — overrides refine `with_cast`, they don't replace
+    /// it).
+    pub fn with_cast_mode_override(
+        mut self,
+        alias: impl Into<String>,
+        mode: CastMode,
+    ) -> Composition {
+        self.cast
+            .as_mut()
+            .expect("with_cast_mode_override requires with_cast first")
+            .mode_overrides
+            .insert(alias.into(), mode);
+        self
+    }
+
+    /// Override the coalescing window of one cast edge.
+    pub fn with_cast_coalesce(mut self, alias: impl Into<String>, coalesce: usize) -> Composition {
+        self.cast
+            .as_mut()
+            .expect("with_cast_coalesce requires with_cast first")
+            .coalesce_overrides
+            .insert(alias.into(), coalesce);
         self
     }
 
@@ -378,6 +414,10 @@ impl Composer {
 
         'exec: {
             for (key, config) in &to_reconfigure {
+                if let Err(e) = self.preflight_reconfigure(config).await {
+                    failure = Some(e);
+                    break 'exec;
+                }
                 let slot = inner.edges.get_mut(key).expect("classified as running");
                 let old_config = slot.config.clone();
                 match slot.integrator.reconfigure(config.clone()).await {
@@ -491,6 +531,21 @@ impl Composer {
         result
     }
 
+    /// The composer's name — the `composer` label on its metrics and the
+    /// prefix of its edge integrator names (`{name}:{alias}`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The currently-applied composition, if any — the tuner's starting
+    /// point for minimal-diff re-plans.
+    pub async fn applied(&self) -> Option<Composition> {
+        let inner = self.inner.take().await;
+        let out = inner.applied.clone();
+        self.inner.put(inner);
+        out
+    }
+
     /// Keys of the currently-running edges.
     pub async fn edge_keys(&self) -> Vec<String> {
         let inner = self.inner.take().await;
@@ -550,7 +605,7 @@ impl Composer {
                     .filter(|(a, _)| edge_dxg.inputs.contains_key(*a))
                     .map(|(a, b)| (a.clone(), b.clone()))
                     .collect();
-                let mode = match &section.mode {
+                let mode = match section.mode_overrides.get(&alias).unwrap_or(&section.mode) {
                     CastMode::Direct => CastMode::Direct,
                     CastMode::Pushdown { udf_name } => CastMode::Pushdown {
                         udf_name: format!("{udf_name}:{alias}"),
@@ -561,6 +616,7 @@ impl Composer {
                     dxg: edge_dxg,
                     bindings,
                     mode,
+                    coalesce: section.coalesce_overrides.get(&alias).copied().unwrap_or(1),
                 };
                 out.insert(format!("cast:{alias}"), IntegratorConfig::Cast(config));
             }
@@ -593,6 +649,33 @@ impl Composer {
             }
             IntegratorConfig::Continuous(c) => {
                 self.api.log_read(c.source.clone(), u64::MAX).await?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconfiguration is normally network-free — the running task keeps
+    /// its tail position and watches, and validation is offline. A
+    /// **pushdown** cast config is the exception: its UDF executes inside
+    /// the target exchange, so retargeting it toward a store the exchange
+    /// does not host would otherwise report success while the edge
+    /// dead-loops on watch restarts and the stale UDF registration keeps
+    /// serving the old target. Probe every binding store first and
+    /// surface the failure as a typed [`PushdownUnavailable`] error so
+    /// the apply rolls back instead of silently degrading.
+    ///
+    /// [`PushdownUnavailable`]: knactor_types::Error::PushdownUnavailable
+    async fn preflight_reconfigure(&self, config: &IntegratorConfig) -> knactor_types::Result<()> {
+        if let IntegratorConfig::Cast(c) = config {
+            if let CastMode::Pushdown { udf_name } = &c.mode {
+                for binding in c.bindings.values() {
+                    if self.api.list(binding.store.clone()).await.is_err() {
+                        return Err(knactor_types::Error::PushdownUnavailable {
+                            udf: udf_name.clone(),
+                            store: binding.store.to_string(),
+                        });
+                    }
+                }
             }
         }
         Ok(())
@@ -639,6 +722,7 @@ fn config_equal(a: &IntegratorConfig, b: &IntegratorConfig) -> bool {
             x.name == y.name
                 && x.bindings == y.bindings
                 && x.mode == y.mode
+                && x.coalesce == y.coalesce
                 && knactor_dxg::equivalent(&x.dxg, &y.dxg)
         }
         (IntegratorConfig::Sync(x), IntegratorConfig::Sync(y)) => x == y,
@@ -732,6 +816,78 @@ mod tests {
         assert_eq!(composer.edge_instance("cast:B").await, instance);
         assert_eq!(composer.edge_health("cast:B").await, Some(Health::Running));
         assert_eq!(composer.counters().get("composer.apply.rolled_back"), 1);
+        composer.shutdown_all().await;
+    }
+
+    #[tokio::test]
+    async fn pushdown_retarget_to_missing_store_fails_typed_and_rolls_back() {
+        // Regression: reconfiguring a pushdown edge toward a store the
+        // exchange does not host used to "succeed" (validation is
+        // offline and register_udf is exchange-global), leaving the
+        // stale UDF serving the old target while the watch loop
+        // dead-looped. It must surface a typed error and keep the old
+        // composition applied.
+        let api = api_with_stores(&["a/state", "b/state", "c/state"]).await;
+        let composer = Composer::new("t", api);
+        let pushdown = CastMode::Pushdown {
+            udf_name: "t-udf".to_string(),
+        };
+        composer
+            .apply(Composition::new().with_cast(two_edge_dxg(), bindings(), pushdown.clone()))
+            .await
+            .unwrap();
+        let instance = composer.edge_instance("cast:B").await;
+
+        // Same spec, but alias B now binds a store nobody created.
+        let mut bad_bindings = bindings();
+        bad_bindings.insert("B".to_string(), CastBinding::correlated("ghost/state"));
+        let err = composer
+            .apply(Composition::new().with_cast(two_edge_dxg(), bad_bindings, pushdown))
+            .await
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                knactor_types::Error::PushdownUnavailable { udf, store }
+                    if udf == "t-udf:B" && store == "ghost/state"
+            ),
+            "want typed PushdownUnavailable, got {err:?}"
+        );
+
+        // Old composition is still applied and the edge never restarted.
+        assert_eq!(composer.edge_instance("cast:B").await, instance);
+        assert_eq!(composer.edge_health("cast:B").await, Some(Health::Running));
+        let applied = composer.applied().await.expect("prior apply sticks");
+        assert_eq!(
+            applied.cast.unwrap().bindings["B"],
+            CastBinding::correlated("b/state")
+        );
+        composer.shutdown_all().await;
+    }
+
+    #[tokio::test]
+    async fn mode_override_retunes_one_edge_only() {
+        let api = api_with_stores(&["a/state", "b/state", "c/state"]).await;
+        let composer = Composer::new("t", api);
+        let comp = Composition::new().with_cast(two_edge_dxg(), bindings(), CastMode::Direct);
+        composer.apply(comp.clone()).await.unwrap();
+        let b_instance = composer.edge_instance("cast:B").await;
+        let c_instance = composer.edge_instance("cast:C").await;
+        let report = composer
+            .apply(comp.with_cast_mode_override(
+                "B",
+                CastMode::Pushdown {
+                    udf_name: "t-udf".to_string(),
+                },
+            ))
+            .await
+            .unwrap();
+        assert_eq!(report.reconfigured, vec!["cast:B"]);
+        assert_eq!(report.untouched, vec!["cast:C"]);
+        assert_eq!(report.restarts(), 0);
+        // Reconfigure keeps both tasks; only B's config changed.
+        assert_eq!(composer.edge_instance("cast:B").await, b_instance);
+        assert_eq!(composer.edge_instance("cast:C").await, c_instance);
         composer.shutdown_all().await;
     }
 

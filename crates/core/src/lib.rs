@@ -53,6 +53,7 @@ pub mod runtime;
 pub mod schema_file;
 pub mod sync;
 pub mod telemetry;
+pub mod tuner;
 
 pub use cast::{Cast, CastBinding, CastConfig, CastController, CastMode, KeyBinding};
 pub use composer::{
@@ -66,3 +67,7 @@ pub use runtime::Runtime;
 pub use schema_file::{parse_schema, schema_to_yaml};
 pub use sync::{Sync, SyncConfig, SyncDest, SyncMode};
 pub use telemetry::{Counters, Span, TraceCollector};
+pub use tuner::{
+    placement_for, Decision, DecisionState, EdgeObservation, Tuner, TunerConfig, TunerHandle,
+    TunerPolicy,
+};

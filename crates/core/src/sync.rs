@@ -57,6 +57,14 @@ pub struct SyncConfig {
     pub dest: SyncDest,
     pub query: QuerySpec,
     pub mode: SyncMode,
+    /// Batch threshold: how many already-tailed records one loop turn
+    /// may fold into a single delivery. Stream mode still runs the
+    /// pipeline per record (aggregation semantics are per-record) but
+    /// ships all produced rows in one batched append; Snapshot mode
+    /// collapses the batch into a single re-query (earlier refreshes
+    /// are subsumed by the last). `0`/`1` disable batching. The cost
+    /// model suggests a value from the observed record rate.
+    pub max_batch: usize,
 }
 
 impl SyncConfig {
@@ -262,13 +270,15 @@ async fn run_loop(
                         Some(Command::Drain(ack)) => {
                             // Barrier: everything the tail already
                             // delivered is processed before the ack.
+                            let mut events = Vec::new();
                             while let Ok(event) = tail.try_recv() {
-                                process_event(
-                                    &api, &traces, &config, &mut last_seq,
-                                    &processed, &tail_pos, event,
-                                )
-                                .await;
+                                events.push(event);
                             }
+                            process_batch(
+                                &api, &traces, &config, &mut last_seq,
+                                &processed, &tail_pos, events,
+                            )
+                            .await;
                             let _ = ack.send(());
                         }
                         Some(Command::Shutdown(ack)) => {
@@ -280,9 +290,16 @@ async fn run_loop(
                 }
                 event = tail.recv() => {
                     let Some(event) = event else { return };
-                    process_event(
+                    // Fold up to `max_batch` already-tailed events into
+                    // one delivery (see `SyncConfig::max_batch`).
+                    let mut events = vec![event];
+                    while events.len() < config.max_batch.max(1) {
+                        let Ok(e) = tail.try_recv() else { break };
+                        events.push(e);
+                    }
+                    process_batch(
                         &api, &traces, &config, &mut last_seq,
-                        &processed, &tail_pos, event,
+                        &processed, &tail_pos, events,
                     )
                     .await;
                 }
@@ -294,54 +311,61 @@ async fn run_loop(
 /// Handle one tail event: records run the pipeline; a typed lag notice
 /// (source retention outran the tail) jumps the resume point forward so
 /// the post-lag records flow without being mistaken for replays.
-async fn process_event(
+/// Run a batch of tailed events through the configured pipeline: lag
+/// notices jump the resume point, replayed records are deduplicated
+/// against it, and the fresh remainder delivers as **one** destination
+/// operation. Stream mode still runs the pipeline per record (any
+/// per-record aggregation keeps its semantics) but ships all produced
+/// rows in a single batched append; Snapshot mode collapses the batch
+/// into one re-query — every earlier refresh is subsumed by the last.
+async fn process_batch(
     api: &Arc<dyn ExchangeApi>,
     traces: &TraceCollector,
     config: &SyncConfig,
     last_seq: &mut u64,
     processed: &AtomicU64,
     tail_pos: &AtomicU64,
-    event: knactor_logstore::TailEvent,
+    events: Vec<knactor_logstore::TailEvent>,
 ) {
-    match event {
-        knactor_logstore::TailEvent::Record(record) => {
-            process_record(api, traces, config, last_seq, processed, tail_pos, record).await;
-        }
-        knactor_logstore::TailEvent::Lagged { resume_from, .. } => {
-            if resume_from > *last_seq + 1 {
-                *last_seq = resume_from - 1;
-                tail_pos.store(*last_seq, Ordering::Relaxed);
+    let mut fresh: Vec<knactor_logstore::LogRecord> = Vec::new();
+    for event in events {
+        match event {
+            knactor_logstore::TailEvent::Record(record) => {
+                if record.seq <= *last_seq {
+                    // Replayed by a resumed tail; already processed.
+                    continue;
+                }
+                *last_seq = record.seq;
+                tail_pos.store(record.seq, Ordering::Relaxed);
+                fresh.push(record);
+            }
+            knactor_logstore::TailEvent::Lagged { resume_from, .. } => {
+                if resume_from > *last_seq + 1 {
+                    *last_seq = resume_from - 1;
+                    tail_pos.store(*last_seq, Ordering::Relaxed);
+                }
             }
         }
     }
-}
-
-/// Run one tailed record through the configured pipeline (dedup against
-/// the resume point, query, deliver, trace, count).
-async fn process_record(
-    api: &Arc<dyn ExchangeApi>,
-    traces: &TraceCollector,
-    config: &SyncConfig,
-    last_seq: &mut u64,
-    processed: &AtomicU64,
-    tail_pos: &AtomicU64,
-    record: knactor_logstore::LogRecord,
-) {
-    if record.seq <= *last_seq {
-        // Replayed by a resumed tail; already processed.
+    if fresh.is_empty() {
         return;
     }
-    *last_seq = record.seq;
-    tail_pos.store(record.seq, Ordering::Relaxed);
-    let trace_id = format!("{}#{}", config.source, record.seq);
+    let n = fresh.len();
     let component = format!("sync:{}", config.name);
     let start = Instant::now();
     let result = match config.mode {
         SyncMode::Stream => match config.query.compile() {
-            Ok(q) => match q.run(std::iter::once(record.fields.clone())) {
-                Ok(rows) => deliver(&**api, config, rows).await,
-                Err(e) => Err(e),
-            },
+            Ok(q) => {
+                let mut rows = Vec::new();
+                for record in &fresh {
+                    // Per-record pipeline errors skip that record only,
+                    // exactly as unbatched processing did.
+                    if let Ok(mut out) = q.run(std::iter::once(record.fields.clone())) {
+                        rows.append(&mut out);
+                    }
+                }
+                deliver(&**api, config, rows).await
+            }
             Err(e) => Err(e),
         },
         SyncMode::Snapshot => {
@@ -355,12 +379,26 @@ async fn process_record(
         }
     };
     let elapsed = start.elapsed();
-    traces.record(&trace_id, &component, "process-record", elapsed);
-    crate::metrics::observe_stage(&component, "process-record", elapsed);
-    crate::metrics::inc_activation(&component);
-    // Errors are per-record; keep tailing.
+    // Attribute the batch cost evenly so per-record stage sums stay
+    // comparable across batch sizes.
+    let share = elapsed / n as u32;
+    for record in &fresh {
+        let trace_id = format!("{}#{}", config.source, record.seq);
+        traces.record(&trace_id, &component, "process-record", share);
+        crate::metrics::observe_stage(&component, "process-record", share);
+        crate::metrics::inc_activation(&component);
+    }
+    if n > 1 {
+        crate::metrics::global()
+            .counter(
+                "knactor_sync_batched_records_total",
+                &[("integrator", &component)],
+            )
+            .add(n as u64);
+    }
+    // Errors are per-batch; keep tailing.
     let _ = result;
-    processed.fetch_add(1, Ordering::Relaxed);
+    processed.fetch_add(n as u64, Ordering::Relaxed);
 }
 
 async fn deliver(api: &dyn ExchangeApi, config: &SyncConfig, rows: Vec<Value>) -> Result<()> {
@@ -456,6 +494,7 @@ mod tests {
                 ],
             },
             mode: SyncMode::Stream,
+            max_batch: 1,
         };
         let controller = Sync::new(Arc::clone(&api)).spawn(config).await.unwrap();
 
@@ -515,6 +554,7 @@ mod tests {
                 }],
             },
             mode: SyncMode::Snapshot,
+            max_batch: 1,
         };
         let controller = Sync::new(Arc::clone(&api)).spawn(config).await.unwrap();
 
@@ -562,6 +602,7 @@ mod tests {
                 }],
             },
             mode: SyncMode::Stream,
+            max_batch: 1,
         };
         let n = Sync::new(Arc::clone(&api)).run_once(&config).await.unwrap();
         assert_eq!(n, 3);
@@ -582,6 +623,7 @@ mod tests {
             dest: SyncDest::Log(StoreId::new("a/log")),
             query: QuerySpec::default(),
             mode: SyncMode::Stream,
+            max_batch: 1,
         };
         assert!(matches!(
             Sync::new(api).spawn(config).await,
@@ -602,6 +644,7 @@ mod tests {
             dest: SyncDest::Log(StoreId::new("dst/log")),
             query: QuerySpec::default(),
             mode: SyncMode::Stream,
+            max_batch: 1,
         };
         let controller = Sync::new(Arc::clone(&api))
             .spawn(pass_all.clone())

@@ -1,0 +1,572 @@
+//! The **Tuner**: close the metrics→plan loop.
+//!
+//! The cost model in `knactor-dxg` can say which execution of an edge
+//! *should* be cheaper; this task makes the system act on it. Every
+//! `interval` it snapshots the process-wide metrics registry, windows it
+//! against the previous scrape (`MetricsSnapshot::delta`), builds an
+//! [`EdgeCostInput`] per cast edge of the applied composition, and asks
+//! [`CostModel::score_edge`]. When an eligible candidate beats the
+//! current choice by the hysteresis margin — and the edge is outside its
+//! cooldown — the tuner issues a *minimal-diff* re-plan: the applied
+//! composition plus one per-edge mode override, through the ordinary
+//! [`Composer::apply`] path. Reconfigure-in-place plus drain-as-barrier
+//! means a live switch loses and duplicates nothing.
+//!
+//! The decision core ([`DecisionState::decide`]) is a pure function of
+//! an abstract clock and the scored reports, which is what the
+//! oscillation property tests exercise: hysteresis makes a switch
+//! require a strict improvement, the cooldown bounds switch frequency,
+//! and the measured-cost cache means a switch *back* is judged against
+//! the real history of the abandoned choice, not a fresh estimate.
+//!
+//! Shard awareness: with a [`ShardMap`] configured, an edge whose
+//! bindings land on more than one shard is [`Placement::Scattered`] —
+//! the cost model keeps pushdown ineligible there and the report carries
+//! the hypothetical scatter cost instead.
+
+use crate::cast::{CastBinding, CastMode, KeyBinding};
+use crate::composer::Composer;
+use knactor_dxg::{CostModel, EdgeCostInput, EdgeCostReport, ExecChoice, Placement};
+use knactor_store::ShardMap;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The pure decision parameters — everything [`DecisionState::decide`]
+/// needs besides the scored reports.
+#[derive(Debug, Clone)]
+pub struct TunerPolicy {
+    /// Fractional margin a candidate must win by: with `0.2`, switching
+    /// requires the candidate to cost less than 80% of the current
+    /// choice. This is the anti-oscillation hysteresis — a near-tie
+    /// never flips the plan.
+    pub hysteresis: f64,
+    /// Minimum time between switches of the same edge (abstract clock:
+    /// whatever `now` the caller feeds `decide`).
+    pub cooldown: Duration,
+    /// Minimum activations observed in the window before the edge's
+    /// measurements are trusted at all.
+    pub min_activations: u64,
+}
+
+impl Default for TunerPolicy {
+    fn default() -> TunerPolicy {
+        TunerPolicy {
+            hysteresis: 0.2,
+            cooldown: Duration::from_secs(10),
+            min_activations: 20,
+        }
+    }
+}
+
+/// Configuration of the background tuner task.
+#[derive(Debug, Clone)]
+pub struct TunerConfig {
+    /// Scrape-and-score period; also the rate window.
+    pub interval: Duration,
+    pub policy: TunerPolicy,
+    /// Shard topology, when the exchange is sharded. `None` means
+    /// unsharded: every edge is colocated.
+    pub shard_map: Option<ShardMap>,
+    /// Base UDF name for edges the tuner switches to pushdown (the
+    /// composer suffixes `:{alias}` per edge, as always).
+    pub pushdown_udf: String,
+}
+
+impl Default for TunerConfig {
+    fn default() -> TunerConfig {
+        TunerConfig {
+            interval: Duration::from_secs(2),
+            policy: TunerPolicy::default(),
+            shard_map: None,
+            pushdown_udf: "tuned".to_string(),
+        }
+    }
+}
+
+/// One edge's scored window, as fed to [`DecisionState::decide`].
+#[derive(Debug, Clone)]
+pub struct EdgeObservation {
+    /// Target alias of the edge (`cast:<alias>`).
+    pub alias: String,
+    pub report: EdgeCostReport,
+    /// Activations counted inside the window.
+    pub activations: u64,
+}
+
+/// A switch the decision core wants executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    pub alias: String,
+    pub from: ExecChoice,
+    pub to: ExecChoice,
+    /// Expected per-activation seconds saved.
+    pub expected_gain: f64,
+    /// Coalescing window suggested for the observed rate, applied with
+    /// the switch.
+    pub coalesce: usize,
+}
+
+/// The tuner's memory between ticks: per-edge cooldown clocks and the
+/// last *measured* cost of each (edge, choice). Pure — time is an
+/// argument, not a syscall — so properties about its behaviour are
+/// testable without a runtime.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionState {
+    last_switch: BTreeMap<String, Duration>,
+    measured: BTreeMap<(String, ExecChoice), f64>,
+}
+
+impl DecisionState {
+    /// Decide which edges to switch at `now`. At most one decision per
+    /// edge per call; an edge inside its cooldown, below the activation
+    /// floor, or without a candidate beating the hysteresis margin stays
+    /// put.
+    pub fn decide(
+        &mut self,
+        now: Duration,
+        policy: &TunerPolicy,
+        observations: &[EdgeObservation],
+    ) -> Vec<Decision> {
+        let mut out = Vec::new();
+        for obs in observations {
+            // Remember every *measured* cost: once an edge has actually
+            // run a choice, later comparisons against that choice use
+            // the measurement, never a model estimate.
+            for c in &obs.report.candidates {
+                if c.measured && c.eligible {
+                    self.measured
+                        .insert((obs.alias.clone(), c.choice), c.per_activation);
+                }
+            }
+            if obs.activations < policy.min_activations {
+                continue;
+            }
+            let current = obs.report.current;
+            let Some(current_cost) = self.cost_of(obs, current) else {
+                continue;
+            };
+            let best = obs
+                .report
+                .candidates
+                .iter()
+                .filter(|c| c.eligible && c.choice != current)
+                .map(|c| {
+                    (
+                        c.choice,
+                        self.cached(&obs.alias, c.choice, c.per_activation),
+                    )
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            let Some((choice, cost)) = best else { continue };
+            if cost >= current_cost * (1.0 - policy.hysteresis) {
+                continue;
+            }
+            if let Some(&at) = self.last_switch.get(&obs.alias) {
+                if now < at + policy.cooldown {
+                    continue;
+                }
+            }
+            self.last_switch.insert(obs.alias.clone(), now);
+            out.push(Decision {
+                alias: obs.alias.clone(),
+                from: current,
+                to: choice,
+                expected_gain: current_cost - cost,
+                coalesce: obs.report.suggested_coalesce,
+            });
+        }
+        out
+    }
+
+    fn cached(&self, alias: &str, choice: ExecChoice, fallback: f64) -> f64 {
+        self.measured
+            .get(&(alias.to_string(), choice))
+            .copied()
+            .unwrap_or(fallback)
+    }
+
+    fn cost_of(&self, obs: &EdgeObservation, choice: ExecChoice) -> Option<f64> {
+        obs.report
+            .cost_of(choice)
+            .map(|c| self.cached(&obs.alias, choice, c))
+    }
+}
+
+/// Shard placement of one edge's bindings. Fixed keys hash through
+/// [`ShardMap::owner_of_key`]; a correlated binding activates with a
+/// different key per event, so over a multi-shard map its activations
+/// necessarily scatter (the store participates in the key hash, but the
+/// key does too).
+pub fn placement_for(
+    bindings: &BTreeMap<String, CastBinding>,
+    shard_map: Option<&ShardMap>,
+) -> Placement {
+    let Some(map) = shard_map else {
+        return Placement::Colocated;
+    };
+    if map.shard_count() <= 1 {
+        return Placement::Colocated;
+    }
+    let mut shards = std::collections::BTreeSet::new();
+    for binding in bindings.values() {
+        match &binding.key {
+            KeyBinding::Fixed(key) => {
+                shards.insert(map.owner_of_key(binding.store.as_str(), key.as_str()));
+            }
+            KeyBinding::Correlated => {
+                return Placement::Scattered {
+                    shards: map.shard_count(),
+                };
+            }
+        }
+    }
+    if shards.len() <= 1 {
+        Placement::Colocated
+    } else {
+        Placement::Scattered {
+            shards: shards.len(),
+        }
+    }
+}
+
+/// Build the cost-model input for one edge from a **windowed** snapshot
+/// (a `MetricsSnapshot::delta` between two scrapes).
+pub fn edge_input_from_window(
+    window: &crate::metrics::MetricsSnapshot,
+    integrator: &str,
+    interval: Duration,
+    placement: Placement,
+) -> (EdgeCostInput, u64) {
+    let activations = window
+        .counter_value("knactor_activations_total", &[("integrator", integrator)])
+        .unwrap_or(0);
+    let mut stage_mean = BTreeMap::new();
+    for h in window.histograms.iter().filter(|h| {
+        h.name == "knactor_activation_stage_seconds"
+            && h.labels
+                .iter()
+                .any(|(k, v)| k == "integrator" && v == integrator)
+    }) {
+        if let (Some((_, stage)), Some(mean)) = (
+            h.labels.iter().find(|(k, _)| k == "stage"),
+            h.mean_seconds(),
+        ) {
+            stage_mean.insert(stage.clone(), mean);
+        }
+    }
+    // Client retries are process-global; attributing the window's
+    // retries across the window's activations is an approximation that
+    // errs toward caution (retries inflate every candidate equally).
+    let retries = window
+        .counter_value("knactor_client_retries_total", &[])
+        .unwrap_or(0);
+    let secs = interval.as_secs_f64();
+    let input = EdgeCostInput {
+        activation_rate: if secs > 0.0 {
+            activations as f64 / secs
+        } else {
+            0.0
+        },
+        stage_mean,
+        placement,
+        retry_rate: if activations > 0 {
+            retries as f64 / activations as f64
+        } else {
+            0.0
+        },
+    };
+    (input, activations)
+}
+
+/// Handle to a running tuner task.
+pub struct TunerHandle {
+    stop: tokio::sync::watch::Sender<bool>,
+    task: tokio::task::JoinHandle<()>,
+}
+
+impl TunerHandle {
+    pub async fn shutdown(self) {
+        let _ = self.stop.send(true);
+        let _ = self.task.await;
+    }
+}
+
+/// The background tuner. [`Tuner::spawn`] starts the loop; it reads the
+/// applied composition from the composer every tick and re-applies with
+/// overrides when the decision core says so.
+pub struct Tuner;
+
+impl Tuner {
+    pub fn spawn(composer: Arc<Composer>, config: TunerConfig) -> TunerHandle {
+        let (stop, mut stop_rx) = tokio::sync::watch::channel(false);
+        let task = tokio::spawn(async move {
+            let registry = crate::metrics::global();
+            let started = Instant::now();
+            let mut prev = registry.snapshot();
+            let mut state = DecisionState::default();
+            loop {
+                tokio::select! {
+                    changed = stop_rx.changed() => {
+                        if changed.is_err() || *stop_rx.borrow() {
+                            return;
+                        }
+                    }
+                    _ = tokio::time::sleep(config.interval) => {}
+                }
+                let current_snapshot = registry.snapshot();
+                let window = current_snapshot.delta(&prev);
+                prev = current_snapshot;
+
+                let Some(composition) = composer.applied().await else {
+                    continue;
+                };
+                let Some(section) = composition.cast.as_ref() else {
+                    continue;
+                };
+                let model = CostModel::default();
+                let mut observations = Vec::new();
+                for (alias, edge_dxg) in section.dxg.edges() {
+                    let integrator = format!("cast:{}:{alias}", composer.name());
+                    let bindings: BTreeMap<String, CastBinding> = section
+                        .bindings
+                        .iter()
+                        .filter(|(a, _)| edge_dxg.inputs.contains_key(*a))
+                        .map(|(a, b)| (a.clone(), b.clone()))
+                        .collect();
+                    let placement = placement_for(&bindings, config.shard_map.as_ref());
+                    let (input, activations) =
+                        edge_input_from_window(&window, &integrator, config.interval, placement);
+                    let current = match section.mode_overrides.get(&alias).unwrap_or(&section.mode)
+                    {
+                        CastMode::Direct => ExecChoice::Direct,
+                        CastMode::Pushdown { .. } => ExecChoice::Pushdown,
+                    };
+                    let report = model.score_edge(&alias, current, &input);
+                    for c in &report.candidates {
+                        registry
+                            .gauge(
+                                "knactor_planner_cost",
+                                &[
+                                    ("composer", composer.name()),
+                                    ("edge", &alias),
+                                    ("choice", &c.choice.to_string()),
+                                ],
+                            )
+                            .set((c.per_activation * 1e9) as i64);
+                    }
+                    observations.push(EdgeObservation {
+                        alias,
+                        report,
+                        activations,
+                    });
+                }
+
+                let decisions = state.decide(started.elapsed(), &config.policy, &observations);
+                if decisions.is_empty() {
+                    continue;
+                }
+                let mut next = composition.clone();
+                let section = next.cast.as_mut().expect("checked above");
+                for d in &decisions {
+                    let mode = match d.to {
+                        ExecChoice::Direct => CastMode::Direct,
+                        ExecChoice::Pushdown => CastMode::Pushdown {
+                            udf_name: config.pushdown_udf.clone(),
+                        },
+                    };
+                    section.mode_overrides.insert(d.alias.clone(), mode);
+                    if d.coalesce > 1 {
+                        section
+                            .coalesce_overrides
+                            .insert(d.alias.clone(), d.coalesce);
+                    }
+                }
+                match composer.apply(next).await {
+                    Ok(_) => {
+                        registry
+                            .counter(
+                                "knactor_planner_replans_total",
+                                &[("composer", composer.name())],
+                            )
+                            .add(decisions.len() as u64);
+                    }
+                    Err(_) => {
+                        registry
+                            .counter(
+                                "knactor_planner_replan_errors_total",
+                                &[("composer", composer.name())],
+                            )
+                            .inc();
+                    }
+                }
+            }
+        });
+        TunerHandle { stop, task }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knactor_dxg::CandidateCost;
+
+    fn report(edge: &str, current: ExecChoice, direct: f64, pushdown: f64) -> EdgeCostReport {
+        EdgeCostReport {
+            edge: edge.to_string(),
+            current,
+            candidates: vec![
+                CandidateCost {
+                    choice: ExecChoice::Direct,
+                    per_activation: direct,
+                    measured: current == ExecChoice::Direct,
+                    eligible: true,
+                    note: String::new(),
+                },
+                CandidateCost {
+                    choice: ExecChoice::Pushdown,
+                    per_activation: pushdown,
+                    measured: current == ExecChoice::Pushdown,
+                    eligible: true,
+                    note: String::new(),
+                },
+            ],
+            suggested_coalesce: 1,
+        }
+    }
+
+    fn obs(edge: &str, current: ExecChoice, direct: f64, pushdown: f64) -> EdgeObservation {
+        EdgeObservation {
+            alias: edge.to_string(),
+            report: report(edge, current, direct, pushdown),
+            activations: 100,
+        }
+    }
+
+    #[test]
+    fn clear_win_switches_and_near_tie_does_not() {
+        let policy = TunerPolicy::default();
+        let mut state = DecisionState::default();
+        // 560µs direct vs 110µs pushdown: clear win.
+        let d = state.decide(
+            Duration::from_secs(1),
+            &policy,
+            &[obs("S", ExecChoice::Direct, 560e-6, 110e-6)],
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].to, ExecChoice::Pushdown);
+        // 560µs vs 500µs is inside the 20% hysteresis band: no switch.
+        let mut state = DecisionState::default();
+        let d = state.decide(
+            Duration::from_secs(1),
+            &policy,
+            &[obs("S", ExecChoice::Direct, 560e-6, 500e-6)],
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn cooldown_suppresses_consecutive_switches() {
+        let policy = TunerPolicy {
+            cooldown: Duration::from_secs(10),
+            ..TunerPolicy::default()
+        };
+        let mut state = DecisionState::default();
+        let first = state.decide(
+            Duration::from_secs(1),
+            &policy,
+            &[obs("S", ExecChoice::Direct, 200e-6, 110e-6)],
+        );
+        assert_eq!(first.len(), 1);
+        // The switch happened; pushdown then measures far worse than
+        // direct's remembered 200µs — but inside the cooldown nothing
+        // may flip back.
+        let back = state.decide(
+            Duration::from_secs(5),
+            &policy,
+            &[obs("S", ExecChoice::Pushdown, 200e-6, 560e-6)],
+        );
+        assert!(back.is_empty(), "cooldown must suppress the flip-back");
+        // After the cooldown it may.
+        let later = state.decide(
+            Duration::from_secs(12),
+            &policy,
+            &[obs("S", ExecChoice::Pushdown, 200e-6, 560e-6)],
+        );
+        assert_eq!(later.len(), 1);
+        assert_eq!(later[0].to, ExecChoice::Direct);
+    }
+
+    #[test]
+    fn too_few_activations_never_switch() {
+        let mut state = DecisionState::default();
+        let mut o = obs("S", ExecChoice::Direct, 560e-6, 110e-6);
+        o.activations = 3;
+        let d = state.decide(Duration::from_secs(1), &TunerPolicy::default(), &[o]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn measured_history_overrides_optimistic_estimates() {
+        let policy = TunerPolicy {
+            cooldown: Duration::ZERO,
+            ..TunerPolicy::default()
+        };
+        let mut state = DecisionState::default();
+        // Round 1: direct measured at 200µs — cached.
+        let none = state.decide(
+            Duration::from_secs(1),
+            &policy,
+            &[obs("S", ExecChoice::Direct, 200e-6, 190e-6)],
+        );
+        assert!(none.is_empty());
+        // Round 2: now running pushdown (say a manual re-plan happened);
+        // the model *estimates* direct at a tempting 50µs, but the cache
+        // remembers it really cost 200µs — no switch.
+        let mut o = obs("S", ExecChoice::Pushdown, 50e-6, 180e-6);
+        o.report.candidates[0].measured = false;
+        let d = state.decide(Duration::from_secs(2), &policy, &[o]);
+        assert!(
+            d.is_empty(),
+            "estimate must not beat remembered measurement"
+        );
+    }
+
+    #[test]
+    fn scattered_bindings_compute_from_shard_map() {
+        let map = ShardMap::uniform(4);
+        let mut b = BTreeMap::new();
+        b.insert("A".to_string(), CastBinding::fixed("a/state", "k1"));
+        b.insert("B".to_string(), CastBinding::fixed("b/state", "k2"));
+        // Fixed keys over 4 shards will (almost surely) scatter; assert
+        // against the map's own answer so the test is hash-stable.
+        let owners: std::collections::BTreeSet<usize> = [("a/state", "k1"), ("b/state", "k2")]
+            .iter()
+            .map(|(s, k)| map.owner_of_key(s, k))
+            .collect();
+        let placement = placement_for(&b, Some(&map));
+        if owners.len() == 1 {
+            assert_eq!(placement, Placement::Colocated);
+        } else {
+            assert_eq!(
+                placement,
+                Placement::Scattered {
+                    shards: owners.len()
+                }
+            );
+        }
+        // Correlated bindings over a multi-shard map always scatter.
+        let mut c = BTreeMap::new();
+        c.insert("A".to_string(), CastBinding::correlated("a/state"));
+        assert_eq!(
+            placement_for(&c, Some(&map)),
+            Placement::Scattered { shards: 4 }
+        );
+        // Unsharded or single-shard: colocated.
+        assert_eq!(placement_for(&c, None), Placement::Colocated);
+        assert_eq!(
+            placement_for(&c, Some(&ShardMap::uniform(1))),
+            Placement::Colocated
+        );
+    }
+}

@@ -1,0 +1,477 @@
+//! Cost-based planning: score the candidate executions of a DXG edge.
+//!
+//! The planner's static choices (pushdown selection, consolidation,
+//! batch thresholds) were made at compose time until now; this module
+//! turns them into a *scored* decision over measured behaviour. The
+//! inputs come from the metrics registry — per-stage activation latency
+//! histograms, activation counts, retry rates — windowed between two
+//! scrapes via `MetricsSnapshot::delta` so the model sees what the
+//! system is doing *now*, not a lifetime average.
+//!
+//! The model is deliberately simple and fully explainable (the CLI's
+//! `plan --explain` prints every number it produces):
+//!
+//! * **Direct** execution pays a read phase (all source fetches run
+//!   concurrently, so one round-trip window regardless of input count),
+//!   an evaluate phase, and one write phase per target store.
+//! * **Pushdown** pays a single exchange round trip: evaluate-and-write
+//!   happen inside the exchange, so the write phase disappears from the
+//!   client's critical path.
+//! * When one candidate has not run inside the window, its cost is
+//!   *estimated* from the other's measured stages (marked `measured:
+//!   false` so consumers can weigh confidence): pushdown ≈ read + eval;
+//!   direct ≈ 2 × the pushdown round trip (one extra delay window).
+//! * **Shard placement** gates eligibility: pushdown executes on one
+//!   shard, so an edge whose bound keys scatter across shards cannot
+//!   push down — the report still carries the hypothetical scatter cost
+//!   so operators see *why* it lost.
+//!
+//! The tuner in `knactor-core` closes the loop: it builds
+//! [`EdgeCostInput`]s from snapshot deltas, asks [`CostModel::score_edge`],
+//! and re-plans via `Composer::apply` when a candidate wins by a
+//! hysteresis margin.
+
+use crate::plan::Plan;
+use crate::spec::Dxg;
+use knactor_types::Result;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Stage names as recorded by the Cast integrator (`knactor-core`
+/// mirrors these into `knactor_activation_stage_seconds{stage=...}`).
+pub const STAGE_READ: &str = "read-sources";
+pub const STAGE_EVAL: &str = "evaluate";
+pub const STAGE_PUSHDOWN: &str = "pushdown-execute";
+pub const STAGE_WRITE_PREFIX: &str = "write:";
+
+/// How one edge executes: client-side or inside the exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ExecChoice {
+    Direct,
+    Pushdown,
+}
+
+impl fmt::Display for ExecChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecChoice::Direct => write!(f, "direct"),
+            ExecChoice::Pushdown => write!(f, "pushdown"),
+        }
+    }
+}
+
+/// Where an edge's bound keys live relative to the shard topology.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Placement {
+    /// Every binding resolves to one shard (or the exchange is
+    /// unsharded): pushdown is eligible.
+    #[default]
+    Colocated,
+    /// Bindings span `shards` distinct shards: a pushdown would have to
+    /// scatter, which the router rejects — ineligible, and costed as a
+    /// hypothetical so the report explains the rejection.
+    Scattered { shards: usize },
+}
+
+/// Windowed observations for one edge, the model's only input. Build it
+/// from a `MetricsSnapshot::delta` (stage means out of
+/// `knactor_activation_stage_seconds`, rates out of the counters) or
+/// synthesize it for offline explanation.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeCostInput {
+    /// Activations per second over the window.
+    pub activation_rate: f64,
+    /// Mean seconds per stage over the window, keyed by stage name
+    /// ([`STAGE_READ`], [`STAGE_EVAL`], `write:{alias}`,
+    /// [`STAGE_PUSHDOWN`]).
+    pub stage_mean: BTreeMap<String, f64>,
+    /// Shard placement of the edge's bindings.
+    pub placement: Placement,
+    /// Client retries per activation over the window (retried work is
+    /// paid work: it scales the per-activation cost).
+    pub retry_rate: f64,
+}
+
+impl EdgeCostInput {
+    fn read(&self) -> Option<f64> {
+        self.stage_mean.get(STAGE_READ).copied()
+    }
+
+    fn eval(&self) -> f64 {
+        self.stage_mean.get(STAGE_EVAL).copied().unwrap_or(0.0)
+    }
+
+    fn writes(&self) -> f64 {
+        self.stage_mean
+            .iter()
+            .filter(|(k, _)| k.starts_with(STAGE_WRITE_PREFIX))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    fn pushdown(&self) -> Option<f64> {
+        self.stage_mean.get(STAGE_PUSHDOWN).copied()
+    }
+}
+
+/// One scored candidate for an edge.
+#[derive(Debug, Clone)]
+pub struct CandidateCost {
+    pub choice: ExecChoice,
+    /// Mean seconds per activation this candidate would cost.
+    pub per_activation: f64,
+    /// True when the window actually measured this choice's stages;
+    /// false when the model estimated it from the other choice's.
+    pub measured: bool,
+    /// False when the candidate cannot run (e.g. scattered pushdown).
+    pub eligible: bool,
+    /// Human-readable derivation, printed by `plan --explain`.
+    pub note: String,
+}
+
+/// The model's verdict for one edge: every candidate, plus threshold
+/// suggestions derived from the observed rate.
+#[derive(Debug, Clone)]
+pub struct EdgeCostReport {
+    pub edge: String,
+    pub current: ExecChoice,
+    pub candidates: Vec<CandidateCost>,
+    /// Suggested Cast event-coalescing threshold for the observed rate.
+    pub suggested_coalesce: usize,
+}
+
+impl EdgeCostReport {
+    /// The cheapest *eligible* candidate.
+    pub fn best(&self) -> Option<&CandidateCost> {
+        self.candidates
+            .iter()
+            .filter(|c| c.eligible)
+            .min_by(|a, b| a.per_activation.total_cmp(&b.per_activation))
+    }
+
+    pub fn cost_of(&self, choice: ExecChoice) -> Option<f64> {
+        self.candidates
+            .iter()
+            .find(|c| c.choice == choice)
+            .map(|c| c.per_activation)
+    }
+}
+
+/// The cost model. Stateless: every score is a pure function of its
+/// input, which is what makes the tuner's decisions property-testable.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Multiplier applied per extra shard when costing a hypothetical
+    /// scattered pushdown (reported, never chosen).
+    pub scatter_penalty: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            scatter_penalty: 2.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Score both execution candidates for one edge. `current` names the
+    /// choice the window's measurements describe.
+    pub fn score_edge(
+        &self,
+        edge: &str,
+        current: ExecChoice,
+        input: &EdgeCostInput,
+    ) -> EdgeCostReport {
+        let retry_factor = 1.0 + input.retry_rate.max(0.0);
+
+        // Direct: measured when its stages appeared in the window,
+        // otherwise one extra delay window over the pushdown round trip.
+        let direct = match input.read() {
+            Some(read) => CandidateCost {
+                choice: ExecChoice::Direct,
+                per_activation: (read + input.eval() + input.writes()) * retry_factor,
+                measured: true,
+                eligible: true,
+                note: format!(
+                    "measured: read {:.1}µs + eval {:.1}µs + writes {:.1}µs",
+                    read * 1e6,
+                    input.eval() * 1e6,
+                    input.writes() * 1e6
+                ),
+            },
+            None => {
+                let rt = input.pushdown().unwrap_or(0.0);
+                CandidateCost {
+                    choice: ExecChoice::Direct,
+                    per_activation: 2.0 * rt * retry_factor,
+                    measured: false,
+                    eligible: true,
+                    note: format!("estimated: 2 × pushdown round trip ({:.1}µs)", rt * 1e6),
+                }
+            }
+        };
+
+        // Pushdown: measured when the window ran it; otherwise the read
+        // round trip plus evaluation (the write phase folds into the
+        // same exchange command). Scattering disqualifies it.
+        let base = match input.pushdown() {
+            Some(rt) => CandidateCost {
+                choice: ExecChoice::Pushdown,
+                per_activation: rt * retry_factor,
+                measured: true,
+                eligible: true,
+                note: format!("measured: round trip {:.1}µs", rt * 1e6),
+            },
+            None => {
+                let est = input.read().unwrap_or(0.0) + input.eval();
+                CandidateCost {
+                    choice: ExecChoice::Pushdown,
+                    per_activation: est * retry_factor,
+                    measured: false,
+                    eligible: true,
+                    note: format!(
+                        "estimated: one round trip ≈ read + eval ({:.1}µs)",
+                        est * 1e6
+                    ),
+                }
+            }
+        };
+        let pushdown = match input.placement {
+            Placement::Colocated => base,
+            Placement::Scattered { shards } => CandidateCost {
+                per_activation: base.per_activation * self.scatter_penalty * shards.max(1) as f64,
+                eligible: false,
+                note: format!(
+                    "ineligible: bindings scatter across {shards} shards \
+                     (hypothetical scatter cost shown)"
+                ),
+                ..base
+            },
+        };
+
+        EdgeCostReport {
+            edge: edge.to_string(),
+            current,
+            candidates: vec![direct, pushdown],
+            suggested_coalesce: self.suggest_coalesce(input.activation_rate),
+        }
+    }
+
+    /// Event-coalescing threshold for a Cast edge: at low rates coalesce
+    /// nothing (latency matters, queues are empty anyway); as the event
+    /// rate climbs, folding more queued events per activation amortizes
+    /// the per-activation round trips. Capped so a drain can't stall.
+    pub fn suggest_coalesce(&self, activation_rate: f64) -> usize {
+        if activation_rate < 500.0 {
+            1
+        } else {
+            ((activation_rate / 250.0) as usize).clamp(2, 64)
+        }
+    }
+
+    /// Batch threshold for a Sync edge, by the same shape: one record
+    /// per delivery until the arrival rate justifies batched appends.
+    pub fn suggest_sync_batch(&self, record_rate: f64) -> usize {
+        if record_rate < 200.0 {
+            1
+        } else {
+            ((record_rate / 100.0) as usize).clamp(2, 64)
+        }
+    }
+
+    /// Consolidation score of a plan: (naive per-assignment writes,
+    /// consolidated write ops). The planner already consolidates; this
+    /// is the measured saving the explain output attributes to it.
+    pub fn consolidation(&self, plan: &Plan) -> (usize, usize) {
+        (plan.assignment_count(), plan.write_ops())
+    }
+}
+
+/// Per-operation costs for *offline* explanation, when no live window
+/// exists. Defaults model a Redis-like engine (250µs reads, 300µs
+/// writes) — the same numbers `EngineProfile::redis` models.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticCosts {
+    pub read_seconds: f64,
+    pub write_seconds: f64,
+    pub eval_seconds: f64,
+}
+
+impl Default for StaticCosts {
+    fn default() -> StaticCosts {
+        StaticCosts {
+            read_seconds: 250e-6,
+            write_seconds: 300e-6,
+            eval_seconds: 5e-6,
+        }
+    }
+}
+
+/// Synthesize an [`EdgeCostInput`] for one edge plan from static
+/// per-operation costs: one concurrent read window, one evaluate per
+/// step, one write per step target.
+pub fn static_input(plan: &Plan, costs: &StaticCosts) -> EdgeCostInput {
+    let mut stage_mean = BTreeMap::new();
+    stage_mean.insert(STAGE_READ.to_string(), costs.read_seconds);
+    stage_mean.insert(
+        STAGE_EVAL.to_string(),
+        costs.eval_seconds * plan.steps.len().max(1) as f64,
+    );
+    for step in &plan.steps {
+        stage_mean.insert(
+            format!("{STAGE_WRITE_PREFIX}{}", step.target_alias),
+            costs.write_seconds,
+        );
+    }
+    EdgeCostInput {
+        activation_rate: 0.0,
+        stage_mean,
+        placement: Placement::Colocated,
+        retry_rate: 0.0,
+    }
+}
+
+/// Offline candidate enumeration for a whole DXG: slice into per-target
+/// edges, plan each, and score both candidates from static costs. This
+/// is what `knactorctl plan --explain` prints.
+pub fn explain(dxg: &Dxg, costs: &StaticCosts) -> Result<Vec<(EdgeCostReport, Plan)>> {
+    let mut out = Vec::new();
+    for (alias, edge) in dxg.edges() {
+        let plan = Plan::build(&edge)?;
+        let input = static_input(&plan, costs);
+        let report = CostModel::default().score_edge(&alias, ExecChoice::Direct, &input);
+        out.push((report, plan));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FIG6_RETAIL_DXG;
+
+    fn measured_direct() -> EdgeCostInput {
+        let mut stage_mean = BTreeMap::new();
+        stage_mean.insert(STAGE_READ.to_string(), 250e-6);
+        stage_mean.insert(STAGE_EVAL.to_string(), 10e-6);
+        stage_mean.insert("write:S".to_string(), 300e-6);
+        EdgeCostInput {
+            activation_rate: 100.0,
+            stage_mean,
+            placement: Placement::Colocated,
+            retry_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn pushdown_estimate_beats_measured_direct_when_writes_dominate() {
+        let report = CostModel::default().score_edge("S", ExecChoice::Direct, &measured_direct());
+        let direct = report.cost_of(ExecChoice::Direct).unwrap();
+        let pushdown = report.cost_of(ExecChoice::Pushdown).unwrap();
+        assert!((direct - 560e-6).abs() < 1e-9, "direct {direct}");
+        assert!((pushdown - 260e-6).abs() < 1e-9, "pushdown {pushdown}");
+        let best = report.best().unwrap();
+        assert_eq!(best.choice, ExecChoice::Pushdown);
+        assert!(
+            !best.measured,
+            "pushdown was never run: must be an estimate"
+        );
+    }
+
+    #[test]
+    fn measured_pushdown_preferred_over_its_own_estimate() {
+        let mut input = measured_direct();
+        input.stage_mean.insert(STAGE_PUSHDOWN.to_string(), 80e-6);
+        let report = CostModel::default().score_edge("S", ExecChoice::Pushdown, &input);
+        let c = report
+            .candidates
+            .iter()
+            .find(|c| c.choice == ExecChoice::Pushdown)
+            .unwrap();
+        assert!(c.measured);
+        assert!((c.per_activation - 80e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scattered_placement_disqualifies_pushdown() {
+        let mut input = measured_direct();
+        input.placement = Placement::Scattered { shards: 4 };
+        let report = CostModel::default().score_edge("S", ExecChoice::Direct, &input);
+        let best = report.best().unwrap();
+        assert_eq!(
+            best.choice,
+            ExecChoice::Direct,
+            "scatter must fall back to direct"
+        );
+        let pd = report
+            .candidates
+            .iter()
+            .find(|c| c.choice == ExecChoice::Pushdown)
+            .unwrap();
+        assert!(!pd.eligible);
+        // The hypothetical is costed (and explains itself) rather than
+        // silently vanishing from the report.
+        assert!(pd.per_activation > report.cost_of(ExecChoice::Direct).unwrap());
+        assert!(pd.note.contains("4 shards"), "{}", pd.note);
+    }
+
+    #[test]
+    fn direct_estimated_from_pushdown_round_trip_when_unmeasured() {
+        let mut stage_mean = BTreeMap::new();
+        stage_mean.insert(STAGE_PUSHDOWN.to_string(), 100e-6);
+        let input = EdgeCostInput {
+            stage_mean,
+            ..EdgeCostInput::default()
+        };
+        let report = CostModel::default().score_edge("S", ExecChoice::Pushdown, &input);
+        let direct = report
+            .candidates
+            .iter()
+            .find(|c| c.choice == ExecChoice::Direct)
+            .unwrap();
+        assert!(!direct.measured);
+        assert!((direct.per_activation - 200e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retries_scale_cost() {
+        let mut input = measured_direct();
+        input.retry_rate = 1.0; // one retry per activation → double the work
+        let report = CostModel::default().score_edge("S", ExecChoice::Direct, &input);
+        let direct = report.cost_of(ExecChoice::Direct).unwrap();
+        assert!((direct - 2.0 * 560e-6).abs() < 1e-9, "direct {direct}");
+    }
+
+    #[test]
+    fn coalesce_suggestion_is_monotone_and_clamped() {
+        let m = CostModel::default();
+        assert_eq!(m.suggest_coalesce(0.0), 1);
+        assert_eq!(m.suggest_coalesce(499.0), 1);
+        let mut last = 1;
+        for rate in [500.0, 1_000.0, 5_000.0, 100_000.0] {
+            let s = m.suggest_coalesce(rate);
+            assert!(s >= last, "suggestion must not shrink as rate grows");
+            assert!((1..=64).contains(&s));
+            last = s;
+        }
+        assert_eq!(m.suggest_coalesce(1e9), 64);
+        assert_eq!(m.suggest_sync_batch(0.0), 1);
+        assert!(m.suggest_sync_batch(1e9) == 64);
+    }
+
+    #[test]
+    fn explain_scores_every_edge_of_fig6() {
+        let dxg = Dxg::parse(FIG6_RETAIL_DXG).unwrap();
+        let reports = explain(&dxg, &StaticCosts::default()).unwrap();
+        assert_eq!(reports.len(), 3, "C, P, S edges");
+        for (report, plan) in &reports {
+            assert_eq!(report.candidates.len(), 2);
+            // With defaults (write ≈ read), pushdown's single round trip
+            // wins every edge on paper.
+            assert_eq!(report.best().unwrap().choice, ExecChoice::Pushdown);
+            let (naive, consolidated) = CostModel::default().consolidation(plan);
+            assert!(consolidated <= naive);
+        }
+    }
+}

@@ -61,6 +61,13 @@ pub enum Error {
     NotLeader { epoch: u64 },
     /// A request exceeded its deadline.
     Timeout(String),
+    /// A pushdown cast edge cannot run against its (new) target: the
+    /// named UDF has no usable registration for `store` — typically a
+    /// live retarget onto a store the exchange does not host. Surfaced
+    /// by `Composer::apply` so a re-plan fails loudly (and rolls back)
+    /// instead of leaving an edge silently executing a stale `udf_name`
+    /// against a target that will never serve it.
+    PushdownUnavailable { udf: String, store: String },
 }
 
 impl Error {
@@ -84,6 +91,7 @@ impl Error {
             Error::ShuttingDown => "shutting_down",
             Error::NotLeader { .. } => "not_leader",
             Error::Timeout(_) => "timeout",
+            Error::PushdownUnavailable { .. } => "pushdown_unavailable",
         }
     }
 
@@ -123,6 +131,14 @@ impl Error {
                 epoch: msg.parse().unwrap_or(0),
             },
             "timeout" => Error::Timeout(msg.to_string()),
+            "pushdown_unavailable" => {
+                let mut parts = msg.splitn(2, ':');
+                let store = parts.next().unwrap_or_default().to_string();
+                Error::PushdownUnavailable {
+                    udf: parts.next().unwrap_or_default().to_string(),
+                    store,
+                }
+            }
             _ => Error::Internal(msg.to_string()),
         }
     }
@@ -134,6 +150,10 @@ impl Error {
             Error::WatchTooOld { from, oldest } => format!("{from}:{oldest}"),
             Error::Overloaded { retry_after_ms } => format!("{retry_after_ms}"),
             Error::NotLeader { epoch } => format!("{epoch}"),
+            // Store first: UDF names may contain ':' (per-edge
+            // registrations are suffixed `{udf}:{alias}`), store ids
+            // cannot, so the first ':' splits unambiguously.
+            Error::PushdownUnavailable { udf, store } => format!("{store}:{udf}"),
             Error::Parse { line, msg } => format!("line {line}: {msg}"),
             other => format!("{other}"),
         }
@@ -177,6 +197,12 @@ impl fmt::Display for Error {
             Error::ShuttingDown => write!(f, "shutting down"),
             Error::NotLeader { epoch } => write!(f, "not the leader (epoch {epoch})"),
             Error::Timeout(m) => write!(f, "timeout: {m}"),
+            Error::PushdownUnavailable { udf, store } => {
+                write!(
+                    f,
+                    "pushdown unavailable: udf '{udf}' cannot serve store '{store}'"
+                )
+            }
         }
     }
 }
@@ -243,6 +269,10 @@ mod tests {
             Error::ShuttingDown,
             Error::NotLeader { epoch: 4 },
             Error::Timeout("t".into()),
+            Error::PushdownUnavailable {
+                udf: "u:T".into(),
+                store: "t/state".into(),
+            },
         ];
         for e in samples {
             let rebuilt = Error::from_wire(e.code(), &e.wire_message());

@@ -388,6 +388,16 @@ impl HistogramSnapshot {
     }
 }
 
+/// Owned, sorted label pairs — the series-identity form snapshots store.
+fn sorted_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    out.sort();
+    out
+}
+
 /// Escape a label value for Prometheus text exposition: backslash,
 /// double-quote, and newline must be escaped, in that order of rules.
 fn escape_label_value(v: &str) -> String {
@@ -432,6 +442,135 @@ fn fmt_f64(v: f64) -> String {
 }
 
 impl MetricsSnapshot {
+    /// The value of one counter series, by exact name + label set
+    /// (label order is irrelevant; identity is sorted pairs, matching
+    /// the registry). `None` when the series has never been recorded.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let id = sorted_labels(labels);
+        self.counters
+            .iter()
+            .find(|c| c.name == name && c.labels == id)
+            .map(|c| c.value)
+    }
+
+    /// The value of one gauge series (exact name + label set).
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        let id = sorted_labels(labels);
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && g.labels == id)
+            .map(|g| g.value)
+    }
+
+    /// One histogram series, by exact name + label set.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        let id = sorted_labels(labels);
+        self.histograms
+            .iter()
+            .find(|h| h.name == name && h.labels == id)
+    }
+
+    /// The between-scrapes window: everything that happened *after*
+    /// `earlier` was taken. This is what rate computations must use —
+    /// process-lifetime totals hide recent shifts behind the entire
+    /// history's average.
+    ///
+    /// Semantics per metric kind:
+    ///
+    /// * **Counters** subtract saturating: a counter that reset (restart,
+    ///   or the `earlier` snapshot is from another process) yields `0`
+    ///   for the window rather than a bogus huge value; a series absent
+    ///   from `earlier` contributes its full value (it was born inside
+    ///   the window).
+    /// * **Gauges** are levels, not rates — the later value is kept
+    ///   verbatim.
+    /// * **Histograms** subtract bucket-wise (and `count`/`sum_ns`),
+    ///   saturating per bucket. `min_ns`/`max_ns` are lifetime extremes
+    ///   the registry does not window, so the delta keeps the later
+    ///   snapshot's values as a conservative bound — unless nothing
+    ///   landed in the window, in which case the delta histogram is
+    ///   empty (`count == 0`, `min_ns == u64::MAX`, `max_ns == 0`).
+    ///
+    /// Series that exist only in `earlier` are dropped (nothing happened
+    /// to them inside the window that the later snapshot can attest).
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|c| {
+                let before = earlier
+                    .counters
+                    .iter()
+                    .find(|e| e.name == c.name && e.labels == c.labels)
+                    .map(|e| e.value)
+                    .unwrap_or(0);
+                CounterSnapshot {
+                    name: c.name.clone(),
+                    labels: c.labels.clone(),
+                    value: c.value.saturating_sub(before),
+                }
+            })
+            .collect();
+        let gauges = self.gauges.clone();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                let before = earlier
+                    .histograms
+                    .iter()
+                    .find(|e| e.name == h.name && e.labels == h.labels);
+                match before {
+                    None => h.clone(),
+                    Some(b) => {
+                        let buckets = h
+                            .buckets
+                            .iter()
+                            .zip(b.buckets.iter().chain(std::iter::repeat(&0)))
+                            .map(|(now, before)| now.saturating_sub(*before))
+                            .collect();
+                        let count = h.count.saturating_sub(b.count);
+                        HistogramSnapshot {
+                            name: h.name.clone(),
+                            labels: h.labels.clone(),
+                            bounds_ns: h.bounds_ns.clone(),
+                            buckets,
+                            count,
+                            sum_ns: h.sum_ns.saturating_sub(b.sum_ns),
+                            min_ns: if count == 0 { u64::MAX } else { h.min_ns },
+                            max_ns: if count == 0 { 0 } else { h.max_ns },
+                        }
+                    }
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Windowed rate of one counter series: its [`delta`](Self::delta)
+    /// against `earlier`, divided by the window length. This is the
+    /// number `knactorctl metrics --watch` and the planner's cost model
+    /// want — events per second *between* the two scrapes.
+    pub fn counter_rate(
+        &self,
+        earlier: &MetricsSnapshot,
+        window: Duration,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> f64 {
+        let secs = window.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        let now = self.counter_value(name, labels).unwrap_or(0);
+        let before = earlier.counter_value(name, labels).unwrap_or(0);
+        now.saturating_sub(before) as f64 / secs
+    }
+
     /// Render the snapshot in Prometheus text exposition format.
     /// Durations are exported in seconds; each metric family gets one
     /// `# TYPE` line; series are emitted in sorted (name, labels) order.
@@ -546,6 +685,112 @@ mod tests {
         assert!(p50 <= p99, "p50 {p50} <= p99 {p99}");
         assert!(p50 >= hs.min_seconds().unwrap());
         assert!(p99 <= hs.max_seconds().unwrap());
+    }
+
+    #[test]
+    fn delta_subtracts_counters_between_scrapes() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("knactor_events_total", &[("kind", "a")]);
+        c.add(10);
+        let earlier = reg.snapshot();
+        c.add(7);
+        let later = reg.snapshot();
+        let d = later.delta(&earlier);
+        assert_eq!(
+            d.counter_value("knactor_events_total", &[("kind", "a")]),
+            Some(7)
+        );
+        // Rate over a 2s window: 7 / 2.
+        let rate = later.counter_rate(
+            &earlier,
+            Duration::from_secs(2),
+            "knactor_events_total",
+            &[("kind", "a")],
+        );
+        assert!((rate - 3.5).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn delta_counter_reset_saturates_to_zero() {
+        // `earlier` claims a larger value than `self` (counter reset,
+        // e.g. the process restarted between scrapes): the window must
+        // be 0, never a wrapped huge number.
+        let reg_a = MetricsRegistry::new();
+        reg_a.counter("m_total", &[]).add(100);
+        let earlier = reg_a.snapshot();
+        let reg_b = MetricsRegistry::new();
+        reg_b.counter("m_total", &[]).add(3);
+        let later = reg_b.snapshot();
+        assert_eq!(later.delta(&earlier).counter_value("m_total", &[]), Some(0));
+    }
+
+    #[test]
+    fn delta_series_born_inside_window_counts_fully() {
+        let reg = MetricsRegistry::new();
+        let earlier = reg.snapshot();
+        reg.counter("born_total", &[]).add(5);
+        reg.histogram("born_seconds", &[])
+            .observe(Duration::from_micros(10));
+        let later = reg.snapshot();
+        let d = later.delta(&earlier);
+        assert_eq!(d.counter_value("born_total", &[]), Some(5));
+        assert_eq!(d.histogram("born_seconds", &[]).unwrap().count, 1);
+    }
+
+    #[test]
+    fn delta_histograms_subtract_bucketwise() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("knactor_stage_seconds", &[("stage", "read")]);
+        h.observe(Duration::from_micros(10));
+        h.observe(Duration::from_millis(10));
+        let earlier = reg.snapshot();
+        h.observe(Duration::from_micros(10));
+        h.observe(Duration::from_micros(10));
+        let later = reg.snapshot();
+        let d = later.delta(&earlier);
+        let hs = d
+            .histogram("knactor_stage_seconds", &[("stage", "read")])
+            .unwrap();
+        assert_eq!(hs.count, 2);
+        // Only the 10µs bucket moved inside the window.
+        assert_eq!(hs.buckets.iter().sum::<u64>(), 2);
+        let mean = hs.mean_seconds().unwrap();
+        assert!((mean - 10e-6).abs() < 1e-9, "windowed mean {mean}");
+    }
+
+    #[test]
+    fn delta_empty_window_yields_empty_histogram() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("quiet_seconds", &[]);
+        h.observe(Duration::from_micros(50));
+        let earlier = reg.snapshot();
+        let later = reg.snapshot();
+        let d = later.delta(&earlier);
+        let hs = d.histogram("quiet_seconds", &[]).unwrap();
+        assert_eq!(hs.count, 0);
+        assert_eq!(
+            hs.min_ns,
+            u64::MAX,
+            "empty delta must look like an empty histogram"
+        );
+        assert_eq!(hs.max_ns, 0);
+        assert_eq!(hs.mean_seconds(), None);
+        assert_eq!(hs.p50(), None);
+    }
+
+    #[test]
+    fn delta_of_identical_snapshots_is_all_zero() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", &[]).add(9);
+        reg.gauge("b_depth", &[]).set(4);
+        reg.histogram("c_seconds", &[])
+            .observe(Duration::from_micros(10));
+        let snap = reg.snapshot();
+        let d = snap.delta(&snap.clone());
+        assert_eq!(d.counter_value("a_total", &[]), Some(0));
+        // Gauges are levels: kept verbatim, not differenced.
+        assert_eq!(d.gauge_value("b_depth", &[]), Some(4));
+        assert_eq!(d.histogram("c_seconds", &[]).unwrap().count, 0);
     }
 
     #[test]

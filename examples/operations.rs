@@ -111,6 +111,7 @@ async fn main() -> Result<()> {
             dxg,
             bindings,
             mode: CastMode::Direct,
+            coalesce: 1,
         },
         &"o1".into(),
     )

@@ -59,6 +59,7 @@ async fn main() -> Result<()> {
             dxg,
             bindings,
             mode: CastMode::Direct,
+            coalesce: 1,
         })
         .await?;
 

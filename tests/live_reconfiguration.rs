@@ -56,6 +56,7 @@ fn relay_sync() -> SyncConfig {
             }],
         },
         mode: SyncMode::Stream,
+        max_batch: 1,
     }
 }
 

@@ -101,6 +101,7 @@ async fn scraped_metrics_agree_with_delivered_records() {
                 }],
             },
             mode: SyncMode::Stream,
+            max_batch: 1,
         });
     let composer = Composer::new("obs-e2e", Arc::clone(&api));
     let report = composer.apply(composition).await.unwrap();
@@ -241,6 +242,206 @@ async fn scraped_metrics_agree_with_delivered_records() {
     assert!(prom.contains("# TYPE knactor_activation_stage_seconds histogram"));
     assert!(prom.contains("knactor_store_ops_total{op=\"create\",store=\"obsa/state\"}"));
 
+    composer.shutdown_all().await;
+    server.shutdown().await;
+}
+
+/// End-to-end self-tuning: an edge deployed in the slower Direct mode
+/// over a Redis-profiled TCP exchange (modelled 250µs reads / 300µs
+/// writes) carries streaming load while the tuner scrapes, scores, and —
+/// live, via an ordinary minimal-diff `Composer::apply` — switches it to
+/// pushdown. The switch must lose nothing, duplicate nothing, keep the
+/// edge's task (reconfigure-in-place, no restart), and surface
+/// `knactor_planner_replans_total` / `knactor_planner_cost` in a wire
+/// scrape.
+#[tokio::test]
+async fn tuner_switches_edge_live_with_zero_loss_and_planner_metrics() {
+    use knactor::core::tuner::{Tuner, TunerConfig, TunerPolicy};
+
+    const TUNE_DXG: &str = "\
+Input:
+  A: Tune/v1/A/a
+  B: Tune/v1/B/b
+DXG:
+  B:
+    copied: A.tag
+";
+    const POST: usize = 40;
+
+    let server = ExchangeServer::bind_ephemeral().await.unwrap();
+    let client = TcpClient::connect(server.local_addr(), Subject::operator("tune"))
+        .await
+        .unwrap();
+    let api: Arc<dyn ExchangeApi> = Arc::new(client);
+    // Redis-profiled stores: direct execution pays the modelled read and
+    // write windows per activation; pushdown folds them into the
+    // exchange-side UDF. That asymmetry is what the tuner must find.
+    for s in ["tunea/state", "tuneb/state"] {
+        api.create_store(s.into(), ProfileSpec::Redis)
+            .await
+            .unwrap();
+    }
+
+    let mut bindings = BTreeMap::new();
+    bindings.insert("A".to_string(), CastBinding::correlated("tunea/state"));
+    bindings.insert("B".to_string(), CastBinding::correlated("tuneb/state"));
+    let composer = Arc::new(Composer::new("tune-e2e", Arc::clone(&api)));
+    composer
+        .apply(Composition::new().with_cast(
+            Dxg::parse(TUNE_DXG).unwrap(),
+            bindings,
+            CastMode::Direct,
+        ))
+        .await
+        .unwrap();
+    let instance_before = composer.edge_instance("cast:B").await;
+
+    // Independent duplicate audit: watch the target store from the
+    // beginning and count post-hoc how often each key was written.
+    let mut target_events = api
+        .watch("tuneb/state".into(), Revision::ZERO)
+        .await
+        .unwrap();
+
+    let tuner = Tuner::spawn(
+        Arc::clone(&composer),
+        TunerConfig {
+            interval: Duration::from_millis(250),
+            policy: TunerPolicy {
+                hysteresis: 0.2,
+                cooldown: Duration::from_secs(1),
+                min_activations: 5,
+            },
+            shard_map: None,
+            pushdown_udf: "tune-e2e-udf".to_string(),
+        },
+    );
+
+    // Streaming load until the tuner re-plans (bounded): the switch must
+    // happen *under* traffic, not in a quiet gap.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut written = 0usize;
+    let mut switched = false;
+    while std::time::Instant::now() < deadline {
+        api.create(
+            "tunea/state".into(),
+            format!("tk-{written}").as_str().into(),
+            json!({"tag": format!("t{written}")}),
+        )
+        .await
+        .unwrap();
+        written += 1;
+        if written.is_multiple_of(10) {
+            if let Some(applied) = composer.applied().await {
+                let section = applied.cast.expect("cast section stays applied");
+                if let Some(CastMode::Pushdown { udf_name }) = section.mode_overrides.get("B") {
+                    assert_eq!(udf_name, "tune-e2e-udf");
+                    switched = true;
+                    break;
+                }
+            }
+        }
+        tokio::time::sleep(Duration::from_millis(4)).await;
+    }
+    assert!(switched, "tuner never re-planned the edge to pushdown");
+
+    // The switch was a reconfigure, not a respawn.
+    assert_eq!(composer.edge_instance("cast:B").await, instance_before);
+
+    // Post-switch traffic proves the pushdown edge carries load.
+    for _ in 0..POST {
+        api.create(
+            "tunea/state".into(),
+            format!("tk-{written}").as_str().into(),
+            json!({"tag": format!("t{written}")}),
+        )
+        .await
+        .unwrap();
+        written += 1;
+    }
+
+    // Barrier: last key propagated, then drain the edge.
+    let last = written - 1;
+    knactor::testkit::await_object_state(
+        &api,
+        "tuneb/state",
+        format!("tk-{last}").as_str(),
+        Duration::from_secs(15),
+        |v| v["copied"] == json!(format!("t{last}")),
+    )
+    .await
+    .unwrap();
+    composer.drain_all().await.unwrap();
+
+    // Zero loss: every source key landed in the target with the right
+    // value, across the live re-plan.
+    let audit = |v: &serde_json::Value, i: usize| v["copied"] == json!(format!("t{i}"));
+    for i in 0..written {
+        knactor::testkit::await_object_state(
+            &api,
+            "tuneb/state",
+            format!("tk-{i}").as_str(),
+            Duration::from_secs(15),
+            |v| audit(v, i),
+        )
+        .await
+        .unwrap_or_else(|e| panic!("key tk-{i} lost or wrong across re-plan: {e}"));
+    }
+    let (objects, _) = api.list("tuneb/state".into()).await.unwrap();
+    assert_eq!(
+        objects.len(),
+        written,
+        "target must hold exactly the source keys"
+    );
+
+    // Zero duplicates: the watch saw each key mutated exactly once.
+    tokio::time::sleep(Duration::from_millis(200)).await;
+    let mut per_key: BTreeMap<String, usize> = BTreeMap::new();
+    while let Ok(event) = target_events.try_recv() {
+        if !event.is_delete() {
+            *per_key.entry(event.key.as_str().to_string()).or_default() += 1;
+        }
+    }
+    assert_eq!(
+        per_key.len(),
+        written,
+        "every key must have produced an event"
+    );
+    for (key, n) in &per_key {
+        assert_eq!(*n, 1, "key {key} written {n} times across the re-plan");
+    }
+
+    // Planner metrics surface in a wire scrape.
+    let snap = scrape(server.local_addr()).await;
+    assert!(
+        counter_value(
+            &snap,
+            "knactor_planner_replans_total",
+            &[("composer", "tune-e2e")]
+        ) >= 1,
+        "re-plan must be counted"
+    );
+    assert!(
+        snap.gauges.iter().any(|g| {
+            g.name == "knactor_planner_cost"
+                && g.labels
+                    .iter()
+                    .any(|(k, v)| k == "composer" && v == "tune-e2e")
+        }),
+        "per-candidate cost gauges must be scrapeable"
+    );
+    let pd_stage = histogram(
+        &snap,
+        "knactor_activation_stage_seconds",
+        &[
+            ("integrator", "cast:tune-e2e:B"),
+            ("stage", "pushdown-execute"),
+        ],
+    )
+    .expect("switched edge must have recorded pushdown stages");
+    assert!(pd_stage.count > 0);
+
+    tuner.shutdown().await;
     composer.shutdown_all().await;
     server.shutdown().await;
 }

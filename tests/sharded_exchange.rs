@@ -286,6 +286,7 @@ async fn sharded_cast_converges_to_faultless_state() {
             dxg: Dxg::parse(dxg_spec).unwrap(),
             bindings,
             mode: CastMode::Direct,
+            coalesce: 1,
         }
     };
     let deploy = |api: &Arc<dyn ExchangeApi>| {
